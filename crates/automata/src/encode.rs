@@ -1,0 +1,209 @@
+//! The full-binary ε-encoding of probabilistic polytrees (Appendix C,
+//! proof of Proposition 5.4).
+//!
+//! Every vertex of the polytree becomes a chain of clone nodes linked by
+//! certain, undirected ε-edges; each original edge becomes one tree node
+//! whose label records the edge's direction (↑ for child → parent, ↓ for
+//! parent → child) and whose probability is the edge's. Chains guarantee
+//! every internal node has exactly two children (dummy ε leaves pad nodes
+//! with a single child), so the result is a full binary uncertain tree.
+//!
+//! Correctness contract (tested exhaustively on small polytrees): worlds of
+//! the polytree correspond to annotations of the tree, and the world
+//! contains a directed path of length `m` iff the annotated tree contains a
+//! path of the form `(→ ε*)^m` — which is exactly what the automata of
+//! [`crate::dta`] test.
+
+use crate::utree::{NodeLabel, UNode, UTree};
+use phom_graph::classes::as_polytree;
+use phom_graph::{Dir, ProbGraph};
+use phom_num::Rational;
+
+/// Encodes a *connected* probabilistic polytree as a full binary uncertain
+/// tree. Returns `None` when the instance is not a connected polytree.
+pub fn encode_polytree(h: &ProbGraph) -> Option<UTree> {
+    let view = as_polytree(h.graph(), 0)?;
+    let mut nodes: Vec<UNode> = Vec::new();
+
+    // Build bottom-up over the BFS order reversed, so that each vertex's
+    // chain is constructed after all its children's chains. chain_top[v]
+    // is the clone-chain root of v, to which v's parent edge attaches.
+    let n = h.graph().n_vertices();
+    let mut chain_top: Vec<Option<usize>> = vec![None; n];
+
+    let push = |nodes: &mut Vec<UNode>, node: UNode| -> usize {
+        nodes.push(node);
+        nodes.len() - 1
+    };
+
+    for &v in view.order.iter().rev() {
+        // Children of v, each contributing (subtree root, label, prob, edge).
+        let kids: Vec<(usize, NodeLabel, Rational, usize)> = view.children[v]
+            .iter()
+            .map(|&(w, e, dir)| {
+                let label = match dir {
+                    Dir::Forward => NodeLabel::Down, // v → w
+                    Dir::Backward => NodeLabel::Up,  // w → v
+                };
+                (chain_top[w].expect("children built first"), label, h.prob(e).clone(), e)
+            })
+            .collect();
+
+        // Assigning a child into the chain means setting its (label, prob,
+        // edge) — the child subtree root carries its own parent-edge data.
+        let set_edge_data =
+            |nodes: &mut Vec<UNode>, (idx, label, prob, e): (usize, NodeLabel, Rational, usize)| {
+                nodes[idx].label = label;
+                nodes[idx].prob = prob;
+                nodes[idx].edge = Some(e);
+                idx
+            };
+
+        let r = kids.len();
+        let top = match r {
+            0 => push(
+                &mut nodes,
+                UNode { label: NodeLabel::Eps, prob: Rational::one(), children: None, edge: None },
+            ),
+            1 => {
+                let c = set_edge_data(&mut nodes, kids[0].clone());
+                let dummy = push(
+                    &mut nodes,
+                    UNode {
+                        label: NodeLabel::Eps,
+                        prob: Rational::one(),
+                        children: None,
+                        edge: None,
+                    },
+                );
+                push(
+                    &mut nodes,
+                    UNode {
+                        label: NodeLabel::Eps,
+                        prob: Rational::one(),
+                        children: Some((c, dummy)),
+                        edge: None,
+                    },
+                )
+            }
+            _ => {
+                // Chain z_0 … z_{r−2}: z_i holds child i and z_{i+1};
+                // z_{r−2} holds children r−2 and r−1. Build from the bottom.
+                let c_last = set_edge_data(&mut nodes, kids[r - 1].clone());
+                let c_prev = set_edge_data(&mut nodes, kids[r - 2].clone());
+                let mut z = push(
+                    &mut nodes,
+                    UNode {
+                        label: NodeLabel::Eps,
+                        prob: Rational::one(),
+                        children: Some((c_prev, c_last)),
+                        edge: None,
+                    },
+                );
+                for i in (0..r.saturating_sub(2)).rev() {
+                    let c = set_edge_data(&mut nodes, kids[i].clone());
+                    z = push(
+                        &mut nodes,
+                        UNode {
+                            label: NodeLabel::Eps,
+                            prob: Rational::one(),
+                            children: Some((c, z)),
+                            edge: None,
+                        },
+                    );
+                }
+                z
+            }
+        };
+        chain_top[v] = Some(top);
+    }
+
+    // New root ρ above the original root's chain (plus a dummy sibling to
+    // keep the tree full binary).
+    let old = chain_top[view.root].unwrap();
+    let dummy = {
+        nodes.push(UNode {
+            label: NodeLabel::Eps,
+            prob: Rational::one(),
+            children: None,
+            edge: None,
+        });
+        nodes.len() - 1
+    };
+    nodes.push(UNode {
+        label: NodeLabel::Eps,
+        prob: Rational::one(),
+        children: Some((old, dummy)),
+        edge: None,
+    });
+    let root = nodes.len() - 1;
+    Some(UTree::new(nodes, root))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::generate;
+    use phom_graph::Graph;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn full_binary(t: &UTree) -> bool {
+        (0..t.n_nodes()).all(|i| match t.node(i).children {
+            None => true,
+            Some((l, r)) => l != r && l < t.n_nodes() && r < t.n_nodes(),
+        })
+    }
+
+    #[test]
+    fn encodes_single_vertex() {
+        let h = ProbGraph::certain(Graph::directed_path(0));
+        let t = encode_polytree(&h).unwrap();
+        assert!(full_binary(&t));
+        // ρ + chain-leaf + dummy.
+        assert_eq!(t.n_nodes(), 3);
+    }
+
+    #[test]
+    fn encodes_paths_and_trees() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for n in 1..30 {
+            let g = generate::polytree(n, 1, &mut rng);
+            let h = generate::with_probabilities(g, generate::ProbProfile::default(), &mut rng);
+            let t = encode_polytree(&h).unwrap();
+            assert!(full_binary(&t));
+            // One tree node per instance edge carries that edge.
+            let edge_nodes: Vec<usize> =
+                (0..t.n_nodes()).filter_map(|i| t.node(i).edge).collect();
+            let mut sorted = edge_nodes.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), h.graph().n_edges());
+            // Every node has 0 or 2 children and the postorder covers all.
+            assert_eq!(t.postorder().len(), t.n_nodes());
+        }
+    }
+
+    #[test]
+    fn rejects_non_polytrees() {
+        let mut b = phom_graph::GraphBuilder::with_vertices(2);
+        b.edge(0, 1, phom_graph::Label::UNLABELED);
+        b.edge(1, 0, phom_graph::Label::UNLABELED);
+        let h = ProbGraph::certain(b.build());
+        assert!(encode_polytree(&h).is_none());
+    }
+
+    #[test]
+    fn edge_probabilities_preserved() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = generate::polytree(12, 1, &mut rng);
+        let h = generate::with_probabilities(g, generate::ProbProfile::default(), &mut rng);
+        let t = encode_polytree(&h).unwrap();
+        for i in 0..t.n_nodes() {
+            match t.node(i).edge {
+                Some(e) => assert_eq!(&t.node(i).prob, h.prob(e)),
+                None => assert!(t.node(i).prob.is_one()),
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Full binary uncertain trees: the input shape for the bottom-up tree
+//! automata of Prop 5.4.
+
+use phom_num::Rational;
+
+/// The label alphabet Γ = {↑, ↓, −} of Appendix C: the direction of a
+/// node's parent edge in the encoded polytree (− is an ε-edge).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeLabel {
+    /// The parent edge is directed child → parent (towards the root).
+    Up,
+    /// The parent edge is directed parent → child.
+    Down,
+    /// An ε-edge (the child clone denotes the same polytree vertex).
+    Eps,
+}
+
+/// A node of an uncertain tree.
+#[derive(Clone, Debug)]
+pub struct UNode {
+    /// Direction of this node's parent edge.
+    pub label: NodeLabel,
+    /// Probability that the node's Boolean annotation is 1 (i.e. that the
+    /// represented polytree edge is present). ε nodes have probability 1.
+    pub prob: Rational,
+    /// Children (`None` for leaves; always two for internal nodes — the
+    /// tree is full binary).
+    pub children: Option<(usize, usize)>,
+    /// The original instance edge this node represents, if any.
+    pub edge: Option<usize>,
+}
+
+/// A full binary tree with probabilistic Boolean node annotations.
+///
+/// A *possible world* of the tree assigns each node `1` (with its
+/// probability) or `0`, independently; the automaton reads the pair
+/// `(label, bit)` at every node.
+#[derive(Clone, Debug)]
+pub struct UTree {
+    nodes: Vec<UNode>,
+    root: usize,
+}
+
+impl UTree {
+    /// Builds a tree from its node table and root index, checking the
+    /// full-binary invariant.
+    pub fn new(nodes: Vec<UNode>, root: usize) -> Self {
+        assert!(root < nodes.len());
+        for n in &nodes {
+            if let Some((l, r)) = n.children {
+                assert!(l < nodes.len() && r < nodes.len());
+            }
+        }
+        let t = UTree { nodes, root };
+        debug_assert_eq!(t.postorder().len(), t.nodes.len(), "tree must be connected");
+        t
+    }
+
+    /// The root node index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Node accessor.
+    pub fn node(&self, i: usize) -> &UNode {
+        &self.nodes[i]
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nodes in postorder (children before parents) — the evaluation order
+    /// for bottom-up automata.
+    pub fn postorder(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        // Iterative postorder.
+        let mut stack = vec![(self.root, false)];
+        while let Some((n, expanded)) = stack.pop() {
+            if expanded {
+                order.push(n);
+            } else {
+                stack.push((n, true));
+                if let Some((l, r)) = self.nodes[n].children {
+                    stack.push((r, false));
+                    stack.push((l, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// Translates a possible world of the original instance (an edge mask)
+    /// into the node annotation of this tree: a node is `1` iff its
+    /// represented edge is present; nodes representing no edge (ε, dummies)
+    /// are always `1`.
+    pub fn annotation_from_edge_mask(&self, edge_present: &[bool]) -> Vec<bool> {
+        self.nodes
+            .iter()
+            .map(|n| n.edge.is_none_or(|e| edge_present[e]))
+            .collect()
+    }
+
+    /// The per-node probabilities, as circuit-variable weights.
+    pub fn node_probs(&self) -> Vec<Rational> {
+        self.nodes.iter().map(|n| n.prob.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(label: NodeLabel) -> UNode {
+        UNode { label, prob: Rational::one(), children: None, edge: None }
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        // Root 2 with children 0, 1.
+        let nodes = vec![
+            leaf(NodeLabel::Up),
+            leaf(NodeLabel::Down),
+            UNode {
+                label: NodeLabel::Eps,
+                prob: Rational::one(),
+                children: Some((0, 1)),
+                edge: None,
+            },
+        ];
+        let t = UTree::new(nodes, 2);
+        assert_eq!(t.postorder(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn annotation_mapping() {
+        let mut n0 = leaf(NodeLabel::Up);
+        n0.edge = Some(1);
+        n0.prob = Rational::from_ratio(1, 2);
+        let nodes = vec![
+            n0,
+            leaf(NodeLabel::Eps),
+            UNode {
+                label: NodeLabel::Eps,
+                prob: Rational::one(),
+                children: Some((0, 1)),
+                edge: None,
+            },
+        ];
+        let t = UTree::new(nodes, 2);
+        assert_eq!(t.annotation_from_edge_mask(&[false, true]), vec![true, true, true]);
+        assert_eq!(t.annotation_from_edge_mask(&[true, false]), vec![false, true, true]);
+    }
+}

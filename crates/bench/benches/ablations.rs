@@ -1,0 +1,130 @@
+//! Ablations over the design choices documented in `DESIGN.md`:
+//!
+//! * ABL-1 — the paper's β-acyclic lineage pipeline vs the direct dynamic
+//!   programs (Props 4.10 and 4.11);
+//! * ABL-2 — the paper's `⟨↑,↓,Max⟩` automaton vs the optimized
+//!   `⟨↑,↓,sat⟩` automaton vs the explicit d-DNNF compilation (Prop 5.4);
+//! * ABL-3 — exact rational arithmetic vs `f64`;
+//! * ABL-4 — Monte-Carlo estimation on a hard cell vs brute force.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phom_bench as wl;
+use phom_core::algo::path_on_pt::{self, PtStrategy};
+use phom_core::algo::{connected_on_2wp, path_on_dwt};
+use phom_core::{bruteforce, montecarlo};
+use phom_num::Rational;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// ABL-1a: Prop 4.10 — lineage vs direct DP.
+fn abl1_path_on_dwt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/prop410_lineage_vs_dp");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let h = wl::dwt_instance(2048, 4);
+    let q = wl::planted_query(&h, 6);
+    group.bench_function("lineage", |b| {
+        b.iter(|| path_on_dwt::probability_lineage::<f64>(&q, &h).unwrap())
+    });
+    group.bench_function("direct_dp", |b| {
+        b.iter(|| path_on_dwt::probability_dp::<f64>(&q, &h).unwrap())
+    });
+    group.finish();
+}
+
+/// ABL-1b: Prop 4.11 — lineage vs interval DP.
+fn abl1_connected_on_2wp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/prop411_lineage_vs_dp");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let h = wl::twp_instance(1024, 2);
+    let q = wl::connected_query(4, 2);
+    group.bench_function("lineage", |b| {
+        b.iter(|| connected_on_2wp::probability_lineage::<f64>(&q, &h).unwrap())
+    });
+    group.bench_function("interval_dp", |b| {
+        b.iter(|| connected_on_2wp::probability_dp::<f64>(&q, &h).unwrap())
+    });
+    group.finish();
+}
+
+/// ABL-2: the three Prop 5.4 pipelines as the query grows (the `Max`
+/// component costs the paper automaton a factor ~m in states).
+fn abl2_automata(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/prop54_pipelines");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let h = wl::deep_polytree_instance(512);
+    for m in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("paper_ijk", m), &m, |b, _| {
+            b.iter(|| {
+                path_on_pt::long_path_probability::<f64>(&h, m, PtStrategy::PaperAutomaton)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("opt_ij_sat", m), &m, |b, _| {
+            b.iter(|| {
+                path_on_pt::long_path_probability::<f64>(&h, m, PtStrategy::OptAutomaton)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ddnnf", m), &m, |b, _| {
+            b.iter(|| {
+                path_on_pt::long_path_probability::<f64>(&h, m, PtStrategy::Ddnnf).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// ABL-3: exact rationals vs f64 on the same Prop 4.10 workload.
+fn abl3_exact_vs_float(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/exact_vs_f64");
+    group.sample_size(10).measurement_time(Duration::from_millis(1500));
+    for n in [64usize, 256, 1024] {
+        let h = wl::dwt_instance(n, 4);
+        let q = wl::planted_query(&h, 4);
+        group.bench_with_input(BenchmarkId::new("f64", n), &n, |b, _| {
+            b.iter(|| path_on_dwt::probability_dp::<f64>(&q, &h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rational", n), &n, |b, _| {
+            b.iter(|| path_on_dwt::probability_dp::<Rational>(&q, &h).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// ABL-4: approximating a hard cell — Monte-Carlo sampling vs exact brute
+/// force on the Example 2.2 input scaled up.
+fn abl4_montecarlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/montecarlo_vs_bruteforce");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    // 12 vertices ⇒ ~17 uncertain edges ⇒ ~10⁵ worlds per exact solve:
+    // large enough that sampling wins, small enough to benchmark.
+    let h = wl::connected_instance(12, 2);
+    let q = wl::connected_query(3, 2);
+    group.bench_function("bruteforce_exact", |b| {
+        b.iter(|| bruteforce::probability(&q, &h))
+    });
+    for samples in [1_000u64, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("montecarlo", samples),
+            &samples,
+            |b, &s| {
+                b.iter(|| {
+                    let mut rng = SmallRng::seed_from_u64(wl::SEED);
+                    montecarlo::estimate(&q, &h, s, &mut rng).mean
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    abl1_path_on_dwt,
+    abl1_connected_on_2wp,
+    abl2_automata,
+    abl3_exact_vs_float,
+    abl4_montecarlo
+);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Benchmarks for the Section 6 future-work extensions (experiment ids
+//! EXT-3 … EXT-6 in `DESIGN.md`):
+//!
+//! * EXT-3 — the bounded-treewidth walk DP: near-linear scaling in the
+//!   instance at fixed width and query length, the conjectured
+//!   generalization of Prop 5.5;
+//! * EXT-4 — UCQ evaluation: the union lineage costs about as much as
+//!   evaluating the largest disjunct, not the sum of all of them;
+//! * EXT-5 (ablation) — β-elimination vs OBDD compilation on identical
+//!   Prop 4.10 lineages, including the variable-order blowup;
+//! * EXT-6 (ablation) — influence computation: one circuit-gradient pass
+//!   vs `2·|E|` conditioning solves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phom_bench as wl;
+use phom_core::algo::{obdd_route, path_on_dwt, walk_on_tw};
+use phom_core::sensitivity;
+use phom_core::ucq::{self, Ucq};
+use phom_graph::treedecomp::NiceDecomposition;
+use phom_num::Rational;
+use std::time::Duration;
+
+/// EXT-3: the treewidth walk DP over a width-2 mesh, sweeping layers.
+fn ext3_walk_on_tw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/walk_on_tw_scaling");
+    group.sample_size(10).measurement_time(Duration::from_millis(1200));
+    for layers in [8usize, 16, 32, 64] {
+        let h = wl::mesh_instance(layers, 2);
+        let nice = NiceDecomposition::heuristic(h.graph());
+        group.bench_with_input(BenchmarkId::new("dp_f64", layers), &layers, |b, _| {
+            b.iter(|| walk_on_tw::long_walk_probability::<f64>(&h, 6, &nice))
+        });
+        group.bench_with_input(BenchmarkId::new("decompose", layers), &layers, |b, _| {
+            b.iter(|| NiceDecomposition::heuristic(h.graph()))
+        });
+    }
+    group.finish();
+}
+
+/// EXT-3b: exact rationals on the same workload (the cost of exactness).
+fn ext3_walk_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/walk_on_tw_exact");
+    group.sample_size(10).measurement_time(Duration::from_millis(1200));
+    for layers in [8usize, 16, 32] {
+        let h = wl::mesh_instance(layers, 2);
+        let nice = NiceDecomposition::heuristic(h.graph());
+        group.bench_with_input(BenchmarkId::new("dp_rational", layers), &layers, |b, _| {
+            b.iter(|| walk_on_tw::long_walk_probability::<Rational>(&h, 6, &nice))
+        });
+    }
+    group.finish();
+}
+
+/// EXT-4: UCQ via the union lineage vs evaluating disjuncts one by one
+/// (the latter yields only per-disjunct numbers, *not* the union
+/// probability — the comparison shows the union costs no more).
+fn ext4_ucq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/ucq_union_vs_disjuncts");
+    group.sample_size(10).measurement_time(Duration::from_millis(1200));
+    for k in [1usize, 2, 4, 8] {
+        let disjuncts = wl::ucq_path_disjuncts(k, 4);
+        let ucq = Ucq::new(disjuncts.clone());
+        let h = wl::dwt_instance(1024, 4);
+        group.bench_with_input(BenchmarkId::new("union_lineage", k), &k, |b, _| {
+            b.iter(|| ucq::probability::<f64>(&ucq, &h).expect("DWT route").0)
+        });
+        group.bench_with_input(BenchmarkId::new("each_disjunct", k), &k, |b, _| {
+            b.iter(|| {
+                disjuncts
+                    .iter()
+                    .map(|q| {
+                        path_on_dwt::probability_lineage::<f64>(q, &h).expect("1WP on DWT")
+                    })
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// EXT-5: β-elimination vs OBDD (good DFS order) on the same Prop 4.10
+/// lineage; the bad (reverse-BFS) order is measured at a smaller size —
+/// it is the documented blowup.
+fn ext5_obdd_vs_beta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/obdd_vs_beta");
+    group.sample_size(10).measurement_time(Duration::from_millis(1200));
+    for n in [256usize, 1024] {
+        let h = wl::dwt_instance(n, 4);
+        let q = wl::planted_query(&h, 4);
+        group.bench_with_input(BenchmarkId::new("beta_elimination", n), &n, |b, _| {
+            b.iter(|| path_on_dwt::probability_lineage::<f64>(&q, &h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("obdd_dfs_order", n), &n, |b, _| {
+            b.iter(|| obdd_route::probability_obdd_dwt::<f64>(&q, &h).unwrap())
+        });
+    }
+    // The order ablation, at a size where the bad order is still feasible.
+    let h = wl::dwt_instance(96, 4);
+    let q = wl::planted_query(&h, 3);
+    group.bench_function("obdd_order_blowup_sizes_n96", |b| {
+        b.iter(|| obdd_route::obdd_size_dwt(&q, h.graph()).unwrap())
+    });
+    group.finish();
+}
+
+/// EXT-6: all-edge influences — one gradient pass vs 2·|E| conditioned
+/// solves, on the Prop 4.11 (2WP) cell.
+fn ext6_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/influences");
+    group.sample_size(10).measurement_time(Duration::from_millis(1500));
+    for n in [64usize, 256] {
+        let h = wl::twp_instance(n, 2);
+        let q = wl::connected_query(3, 2);
+        group.bench_with_input(BenchmarkId::new("circuit_gradient", n), &n, |b, _| {
+            b.iter(|| sensitivity::influences::<f64>(&q, &h).expect("2WP route").0)
+        });
+        group.bench_with_input(BenchmarkId::new("conditioning_2E", n), &n, |b, _| {
+            b.iter(|| {
+                sensitivity::influences_by_conditioning::<f64>(&h, |inst| {
+                    phom_core::algo::connected_on_2wp::probability_dp::<f64>(&q, inst)
+                        .expect("2WP instance")
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ext3_walk_on_tw,
+    ext3_walk_exact,
+    ext4_ucq,
+    ext5_obdd_vs_beta,
+    ext6_sensitivity
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! The hardness reductions as algorithms: construction cost (polynomial —
+//! the whole point of a reduction) and output sizes, for all four
+//! executable reductions (Props 3.3, 3.4, 4.1, 5.6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phom_bench as wl;
+use phom_reductions::edge_cover::Bipartite;
+use phom_reductions::pp2dnf::Pp2Dnf;
+use phom_reductions::{prop33, prop34, prop41, prop56};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bipartite(m: usize) -> Bipartite {
+    let mut rng = SmallRng::seed_from_u64(wl::SEED ^ 333);
+    Bipartite::random_covered(m / 2, m / 2, m / 2, &mut rng)
+}
+
+fn formula(vars: usize) -> Pp2Dnf {
+    let mut rng = SmallRng::seed_from_u64(wl::SEED ^ 444);
+    Pp2Dnf::random(vars / 2, vars / 2, vars, &mut rng)
+}
+
+fn construction_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions/construction");
+    group.sample_size(10).measurement_time(Duration::from_millis(700));
+    for size in [64usize, 256, 1024] {
+        let gamma = bipartite(size);
+        group.bench_with_input(BenchmarkId::new("prop33", size), &size, |b, _| {
+            b.iter(|| prop33::reduce(&gamma).instance.graph().n_edges())
+        });
+        group.bench_with_input(BenchmarkId::new("prop34", size), &size, |b, _| {
+            b.iter(|| prop34::reduce(&gamma).instance.graph().n_edges())
+        });
+        let phi = formula(size);
+        group.bench_with_input(BenchmarkId::new("prop41", size), &size, |b, _| {
+            b.iter(|| prop41::reduce(&phi).instance.graph().n_edges())
+        });
+        group.bench_with_input(BenchmarkId::new("prop56", size), &size, |b, _| {
+            b.iter(|| prop56::reduce(&phi).instance.graph().n_edges())
+        });
+    }
+    group.finish();
+}
+
+/// The source counters themselves (used as verification oracles):
+/// `#PP2DNF` via the `O(2^{n1}·m)` algorithm and `#EC` via
+/// inclusion–exclusion — both exponential, doubling per variable/vertex.
+fn oracle_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions/source_oracles");
+    group.sample_size(10).measurement_time(Duration::from_millis(700));
+    for vars in [16usize, 20, 24] {
+        let phi = formula(vars);
+        group.bench_with_input(BenchmarkId::new("count_pp2dnf", vars), &vars, |b, _| {
+            b.iter(|| phi.count_satisfying())
+        });
+    }
+    for n in [12usize, 16, 20] {
+        let gamma = bipartite(n);
+        group.bench_with_input(BenchmarkId::new("count_edge_covers", n), &n, |b, _| {
+            b.iter(|| gamma.count_edge_covers_inclusion_exclusion())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction_costs, oracle_costs);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Table 1 — `PHom̸L` for disconnected queries.
+//!
+//! PTIME cells: Prop 3.6 (any query on ⊔DWT instances) and the Prop 5.5
+//! collapse onto 2WP/PT instances — measured as scaling sweeps.
+//! Hard cells: (⊔2WP, 2WP) via the Prop 3.4 reduction (brute-force blowup)
+//! and (⊔1WP, Connected) via Prop 5.1 (the →→ query on connected
+//! instances).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phom_bench as wl;
+use phom_core::algo::{dwt_instance as p36, path_on_pt};
+use phom_core::bruteforce;
+use phom_graph::Graph;
+use phom_reductions::edge_cover::Bipartite;
+use phom_reductions::prop34;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// T1-ptime-a: Prop 3.6 — arbitrary graded queries on ⊔DWT instances.
+fn t1_prop36(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/prop36_all_on_dwt");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    for n in [64usize, 256, 1024, 4096] {
+        let h = wl::dwt_union_instance(n, 1);
+        let q = wl::graded_query(12);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let m = p36::collapse_length(&q).unwrap();
+                let parts = phom_core::algo::components::split_components(&h);
+                let per: Vec<f64> = parts
+                    .iter()
+                    .map(|hc| p36::dwt_long_path_probability::<f64>(hc, m).unwrap())
+                    .collect();
+                per.iter().fold(1.0, |acc, p| acc * (1.0 - p))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// T1-ptime-b: ⊔DWT queries collapse (Prop 5.5) and run on PT instances
+/// via the Prop 5.4 automaton.
+fn t1_collapse_on_pt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/collapse_dwt_union_on_pt");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    for n in [64usize, 256, 1024, 4096] {
+        let h = wl::polytree_instance(n, 1);
+        let q = wl::dwt_union_query(8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let collapsed =
+                    phom_core::algo::collapse::collapse_union_dwt_query(&q).unwrap();
+                path_on_pt::long_path_probability::<f64>(
+                    &h,
+                    collapsed.n_edges(),
+                    path_on_pt::PtStrategy::OptAutomaton,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// T1-hard-a: the (⊔2WP, 2WP) cell — the Prop 3.4 reduction image can only
+/// be brute-forced, and doubles per extra bipartite edge.
+fn t1_hard_prop34(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/hard_prop34_bruteforce");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    for m_edges in [4usize, 6, 8] {
+        let mut rng = SmallRng::seed_from_u64(wl::SEED);
+        let gamma = Bipartite::random_covered(m_edges / 2, m_edges / 2, m_edges / 3, &mut rng);
+        let red = prop34::reduce(&gamma);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(red.instance.uncertain_edges().len()),
+            &m_edges,
+            |b, _| b.iter(|| red.count_via_brute_force()),
+        );
+    }
+    group.finish();
+}
+
+/// T1-hard-b: the (⊔1WP, Connected) cell (Prop 5.1) — the →→ query on
+/// connected instances, brute force only.
+fn t1_hard_prop51(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/hard_prop51_bruteforce");
+    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    let q = Graph::directed_path(2);
+    for n in [6usize, 8, 10] {
+        let h = wl::connected_instance(n, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(h.uncertain_edges().len()),
+            &n,
+            |b, _| b.iter(|| bruteforce::probability(&q, &h)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, t1_prop36, t1_collapse_on_pt, t1_hard_prop34, t1_hard_prop51);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Query preprocessing: *component absorption* for disconnected queries.
+//!
+//! `H ⊨ G₁ ⊔ G₂` iff both components map; if `G₁ ⇝ G₂` then any
+//! homomorphism `G₂ → H` composes into one for `G₁`, so `G₁ ⊔ G₂ ≡ G₂` as
+//! queries. Absorbing components can turn a disconnected query into a
+//! connected one — e.g. a labeled `⊔1WP` query with hom-comparable
+//! components becomes a single 1WP, moving the input from the Prop 3.3
+//! hard cell into the tractable Prop 4.10/4.11 cells. (This does not
+//! contradict Table 1/the §3.1 hardness, which are worst-case statements;
+//! it is an opportunistic, always-sound simplification.)
+//!
+//! Component-to-component homomorphism testing is NP-hard in general, so
+//! absorption is only attempted between components below a size cap;
+//! skipping it is always sound.
+
+use phom_graph::classes::connected_components;
+use phom_graph::hom::exists_hom;
+use phom_graph::{Graph, GraphBuilder};
+
+/// Size cap (edges) above which component pairs are not tested.
+const MAX_COMPONENT_EDGES: usize = 16;
+
+/// Removes query components that map into another remaining component
+/// (and trivial edgeless components). Returns the simplified query — the
+/// same graph when nothing absorbs.
+pub fn absorb_query_components(query: &Graph) -> Graph {
+    let components = connected_components(query);
+    if components.len() <= 1 {
+        return query.clone();
+    }
+    // Extract each component as a standalone graph.
+    let comp_graphs: Vec<Graph> = components
+        .iter()
+        .map(|verts| {
+            let mut renumber = vec![usize::MAX; query.n_vertices()];
+            for (i, &v) in verts.iter().enumerate() {
+                renumber[v] = i;
+            }
+            let mut b = GraphBuilder::with_vertices(verts.len());
+            for e in query.edges() {
+                if renumber[e.src] != usize::MAX && renumber[e.dst] != usize::MAX {
+                    b.edge(renumber[e.src], renumber[e.dst], e.label);
+                }
+            }
+            b.build()
+        })
+        .collect();
+
+    // keep[i]: component i survives. Absorb greedily: i is dropped when it
+    // maps into some surviving j ≠ i (ties by index to avoid dropping
+    // both of a hom-equivalent pair).
+    let n = comp_graphs.len();
+    let mut keep = vec![true; n];
+    for i in 0..n {
+        if comp_graphs[i].n_edges() == 0 {
+            keep[i] = false; // edgeless components always map
+            continue;
+        }
+        if comp_graphs[i].n_edges() > MAX_COMPONENT_EDGES {
+            continue;
+        }
+        for j in 0..n {
+            if i == j || !keep[j] || comp_graphs[j].n_edges() > MAX_COMPONENT_EDGES {
+                continue;
+            }
+            // Drop i if it maps into j — for hom-equivalent pairs keep the
+            // smaller index (j < i wins; for j > i require strictness by
+            // checking the reverse direction does not also hold).
+            if exists_hom(&comp_graphs[i], &comp_graphs[j])
+                && (j < i || !exists_hom(&comp_graphs[j], &comp_graphs[i]))
+            {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    if keep.iter().all(|&k| k) {
+        return query.clone();
+    }
+    let survivors: Vec<&Graph> =
+        comp_graphs.iter().zip(&keep).filter(|(_, &k)| k).map(|(g, _)| g).collect();
+    if survivors.is_empty() {
+        // All components were edgeless: the query is trivially true;
+        // return a single vertex.
+        return GraphBuilder::with_vertices(1).build();
+    }
+    Graph::disjoint_union(&survivors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::classes::classify;
+    use phom_graph::fixtures::{R, S};
+    use phom_graph::hom::exists_hom_into_world;
+    use phom_graph::generate;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn duplicate_components_collapse() {
+        let comp = Graph::one_way_path(&[R, S]);
+        let q = Graph::disjoint_union(&[&comp, &comp, &comp]);
+        let simplified = absorb_query_components(&q);
+        assert!(classify(&simplified).is_connected());
+        assert_eq!(simplified.n_edges(), 2);
+    }
+
+    #[test]
+    fn shorter_paths_absorb_into_longer() {
+        let short = Graph::one_way_path(&[R]);
+        let long = Graph::one_way_path(&[R, R, R]);
+        let q = Graph::disjoint_union(&[&short, &long]);
+        let simplified = absorb_query_components(&q);
+        assert!(classify(&simplified).is_connected());
+        assert_eq!(simplified.n_edges(), 3);
+    }
+
+    #[test]
+    fn incomparable_components_stay() {
+        let a = Graph::one_way_path(&[R, S]);
+        let b = Graph::one_way_path(&[S, R]);
+        let q = Graph::disjoint_union(&[&a, &b]);
+        let simplified = absorb_query_components(&q);
+        assert_eq!(classify(&simplified).components.len(), 2);
+    }
+
+    #[test]
+    fn edgeless_components_are_dropped() {
+        let a = Graph::one_way_path(&[R]);
+        let lonely = GraphBuilder::with_vertices(2).build();
+        let q = Graph::disjoint_union(&[&a, &lonely]);
+        let simplified = absorb_query_components(&q);
+        assert!(classify(&simplified).is_connected());
+        // An all-edgeless query collapses to a single vertex.
+        let q = Graph::disjoint_union(&[&lonely, &lonely]);
+        let simplified = absorb_query_components(&q);
+        assert_eq!(simplified.n_edges(), 0);
+        assert_eq!(simplified.n_vertices(), 1);
+    }
+
+    /// Absorption preserves the Boolean query on arbitrary instances.
+    #[test]
+    fn absorption_preserves_semantics() {
+        let mut rng = SmallRng::seed_from_u64(91);
+        for _ in 0..120 {
+            let q = generate::union_of(rng.gen_range(2..4), &mut rng, |r| {
+                generate::two_way_path(r.gen_range(1..4), 2, r)
+            });
+            let simplified = absorb_query_components(&q);
+            let h = generate::arbitrary(rng.gen_range(1..6), 0.4, 2, &mut rng);
+            let full = vec![true; h.n_edges()];
+            assert_eq!(
+                exists_hom_into_world(&q, &h, &full),
+                exists_hom_into_world(&simplified, &h, &full),
+                "q={q:?} simplified={simplified:?} h={h:?}"
+            );
+        }
+    }
+}

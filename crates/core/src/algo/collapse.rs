@@ -1,0 +1,79 @@
+//! Proposition 5.5 (and the discussion in Sections 3.1/3.3): in the
+//! unlabeled setting, a `⊔DWT` query is equivalent — on **every** instance
+//! — to the one-way path `→^m`, where `m` is the maximum height of a
+//! component.
+//!
+//! (Contrast with Prop 3.6's collapse, which applies to *arbitrary* graded
+//! queries but only on `⊔DWT` instances.)
+
+use phom_graph::classes::classify;
+use phom_graph::graded::longest_directed_path;
+use phom_graph::Graph;
+
+/// If the query is unlabeled and all of its components are downward trees
+/// (1WP included), returns the equivalent query `→^m`. Returns `None`
+/// otherwise.
+pub fn collapse_union_dwt_query(query: &Graph) -> Option<Graph> {
+    if !query.is_effectively_unlabeled() {
+        return None;
+    }
+    let cls = classify(query);
+    if !cls.in_union_class(phom_graph::ConnClass::DownwardTree) {
+        return None;
+    }
+    // Height of a DWT = its longest directed path (well-defined, acyclic).
+    let m = longest_directed_path(query).expect("DWTs are acyclic");
+    Some(Graph::directed_path(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::fixtures;
+    use phom_graph::generate;
+    use phom_graph::hom::equivalent;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn dwt_collapses_to_height_path() {
+        let tree = fixtures::figure_4_dwt(); // height 3
+        let collapsed = collapse_union_dwt_query(&tree).unwrap();
+        assert_eq!(collapsed.n_edges(), 3);
+        assert!(equivalent(&tree, &collapsed));
+    }
+
+    #[test]
+    fn union_takes_max_height() {
+        let u = Graph::disjoint_union(&[&Graph::directed_path(2), &fixtures::figure_4_dwt()]);
+        let collapsed = collapse_union_dwt_query(&u).unwrap();
+        assert_eq!(collapsed.n_edges(), 3);
+        assert!(equivalent(&u, &collapsed));
+    }
+
+    #[test]
+    fn labeled_and_non_dwt_queries_do_not_collapse() {
+        assert!(collapse_union_dwt_query(&fixtures::figure_3_owp()).is_none()); // labeled
+        assert!(collapse_union_dwt_query(&fixtures::figure_4_polytree()).is_none()); // two-way
+    }
+
+    #[test]
+    fn random_dwt_unions_are_equivalent_to_their_collapse() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let q = generate::union_of(rng.gen_range(1..4), &mut rng, |r| {
+                generate::downward_tree(r.gen_range(1..7), 1, r)
+            });
+            let collapsed = collapse_union_dwt_query(&q).unwrap();
+            assert!(equivalent(&q, &collapsed), "q={q:?}");
+        }
+    }
+
+    #[test]
+    fn edgeless_query_collapses_to_single_vertex() {
+        let q = phom_graph::GraphBuilder::with_vertices(3).build();
+        let collapsed = collapse_union_dwt_query(&q).unwrap();
+        assert_eq!(collapsed.n_vertices(), 1);
+        assert_eq!(collapsed.n_edges(), 0);
+    }
+}

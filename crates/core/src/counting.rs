@@ -1,0 +1,160 @@
+//! The *unweighted* regime the paper's conclusion proposes as future work:
+//! all probabilities are ½, so `PHom` becomes **model counting** — the
+//! number of subgraphs of `H` to which `G` has a homomorphism (the
+//! `#SUB`-adjacent problem of the introduction's related work).
+//!
+//! For an instance whose uncertain edges all have probability ½ (certain
+//! and impossible edges are allowed), the count of satisfying worlds is
+//! `Pr(G ⇝ H) · 2^u` with `u` the number of uncertain edges, so every
+//! tractable cell of Tables 1–3 yields polynomial-time *counting* over an
+//! exponential world space.
+
+use crate::solver::{solve_with, Hardness, SolverOptions};
+use phom_graph::{Graph, ProbGraph};
+use phom_num::{Natural, Rational};
+
+/// Why a counting call failed.
+#[derive(Debug, Clone)]
+pub enum CountError {
+    /// Some uncertain edge has a probability other than ½.
+    NotUnweighted {
+        /// The offending edge id.
+        edge: usize,
+    },
+    /// The input lies in a #P-hard cell (and no fallback was configured).
+    Hard(Hardness),
+}
+
+/// Counts the worlds of `H` (over its uncertain edges, which must all have
+/// probability ½) in which `G` has a homomorphism. Certain (π = 1) and
+/// impossible (π = 0) edges are fixed, not counted.
+///
+/// Returns an arbitrary-precision [`Natural`]: counts reach `2^u`.
+pub fn count_satisfying_worlds(
+    query: &Graph,
+    instance: &ProbGraph,
+) -> Result<Natural, CountError> {
+    count_satisfying_worlds_with(query, instance, SolverOptions::default())
+}
+
+/// As [`count_satisfying_worlds`], with solver options (e.g. a brute-force
+/// fallback for hard cells).
+pub fn count_satisfying_worlds_with(
+    query: &Graph,
+    instance: &ProbGraph,
+    opts: SolverOptions,
+) -> Result<Natural, CountError> {
+    let half = Rational::from_ratio(1, 2);
+    let uncertain = instance.uncertain_edges();
+    for &e in &uncertain {
+        if instance.prob(e) != &half {
+            return Err(CountError::NotUnweighted { edge: e });
+        }
+    }
+    let sol = solve_with(query, instance, opts).map_err(CountError::Hard)?;
+    let scale = Rational::new(false, Natural::one().shl(uncertain.len() as u32), Natural::one());
+    let scaled = sol.probability.mul(&scale);
+    debug_assert!(scaled.denom().is_one(), "½-weights make Pr·2^u integral");
+    Ok(scaled.numer().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::generate::{self, ProbProfile};
+    use phom_graph::hom::exists_hom_into_world;
+    use phom_graph::{GraphBuilder, Label};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Oracle: count satisfying worlds by enumeration.
+    fn brute_count(query: &Graph, instance: &ProbGraph) -> u64 {
+        let mut count = 0;
+        for (mask, p) in instance.worlds() {
+            if !p.is_zero() && exists_hom_into_world(query, instance.graph(), &mask) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn counts_on_a_path() {
+        // Instance → → at ½ each; query →: 3 of the 4 worlds contain an
+        // edge.
+        let h = ProbGraph::new(
+            Graph::directed_path(2),
+            vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+        );
+        let q = Graph::directed_path(1);
+        assert_eq!(count_satisfying_worlds(&q, &h).unwrap(), Natural::from_u64(3));
+        let q2 = Graph::directed_path(2);
+        assert_eq!(count_satisfying_worlds(&q2, &h).unwrap(), Natural::from_u64(1));
+    }
+
+    #[test]
+    fn certain_edges_are_not_counted() {
+        let mut b = GraphBuilder::with_vertices(3);
+        b.edge(0, 1, Label::UNLABELED);
+        b.edge(1, 2, Label::UNLABELED);
+        let h = ProbGraph::new(
+            b.build(),
+            vec![Rational::one(), Rational::from_ratio(1, 2)],
+        );
+        // One uncertain edge: counts range over 2 worlds.
+        let q = Graph::directed_path(2);
+        assert_eq!(count_satisfying_worlds(&q, &h).unwrap(), Natural::from_u64(1));
+        let q1 = Graph::directed_path(1);
+        assert_eq!(count_satisfying_worlds(&q1, &h).unwrap(), Natural::from_u64(2));
+    }
+
+    #[test]
+    fn rejects_weighted_instances() {
+        let h = ProbGraph::new(Graph::directed_path(1), vec![Rational::from_ratio(1, 3)]);
+        let q = Graph::directed_path(1);
+        assert!(matches!(
+            count_satisfying_worlds(&q, &h),
+            Err(CountError::NotUnweighted { edge: 0 })
+        ));
+    }
+
+    #[test]
+    fn hard_cells_reported_or_brute_forced() {
+        let h = phom_graph::fixtures::figure_1();
+        // Figure 1 has non-½ probabilities, so normalize: all uncertain → ½.
+        let probs: Vec<Rational> = h
+            .probs()
+            .iter()
+            .map(|p| {
+                if p.is_one() || p.is_zero() {
+                    p.clone()
+                } else {
+                    Rational::from_ratio(1, 2)
+                }
+            })
+            .collect();
+        let h = ProbGraph::new(h.graph().clone(), probs);
+        let q = phom_graph::fixtures::example_2_2_query();
+        assert!(matches!(count_satisfying_worlds(&q, &h), Err(CountError::Hard(_))));
+        let opts = SolverOptions {
+            fallback: crate::solver::Fallback::BruteForce { max_uncertain: 10 },
+            ..Default::default()
+        };
+        let got = count_satisfying_worlds_with(&q, &h, opts).unwrap();
+        assert_eq!(got, Natural::from_u64(brute_count(&q, &h)));
+    }
+
+    #[test]
+    fn random_unweighted_counts_match_enumeration() {
+        let mut rng = SmallRng::seed_from_u64(71);
+        for _ in 0..60 {
+            let h_graph = generate::downward_tree(rng.gen_range(1..8), 2, &mut rng);
+            let h = generate::with_probabilities(h_graph, ProbProfile::half(), &mut rng);
+            let q = generate::one_way_path(rng.gen_range(1..4), 2, &mut rng);
+            let got = count_satisfying_worlds(&q, &h).unwrap();
+            assert_eq!(got, Natural::from_u64(brute_count(&q, &h)), "q={q:?}");
+        }
+    }
+
+    use phom_graph::Graph;
+}

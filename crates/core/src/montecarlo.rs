@@ -1,0 +1,91 @@
+//! Monte-Carlo estimation of `Pr(G ⇝ H)`.
+//!
+//! The paper's hard cells are #P-hard to solve exactly, but the underlying
+//! probability is trivially approximable by sampling possible worlds: each
+//! sample needs one homomorphism test (NP-hard in combined complexity in
+//! general, but cheap for the small queries where brute force already
+//! explodes in the *instance*). This estimator is the "practical fallback"
+//! discussed as future work in the paper's conclusion, and an ablation
+//! (ABL-4) in the benchmark harness.
+
+use phom_graph::hom::exists_hom_into_world;
+use phom_graph::{Graph, ProbGraph};
+use rand::Rng;
+
+/// The result of a sampling run.
+#[derive(Clone, Debug)]
+pub struct Estimate {
+    /// Point estimate of the probability.
+    pub mean: f64,
+    /// Number of samples.
+    pub samples: u64,
+    /// Half-width of an approximate 95% confidence interval
+    /// (normal approximation).
+    pub ci95: f64,
+}
+
+impl Estimate {
+    /// True iff `value` lies within the 95% confidence interval (widened by
+    /// a small absolute slack for degenerate cases).
+    pub fn covers(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci95 + 1e-9
+    }
+}
+
+/// Estimates `Pr(G ⇝ H)` from `samples` independent possible worlds.
+pub fn estimate<R: Rng>(
+    query: &Graph,
+    instance: &ProbGraph,
+    samples: u64,
+    rng: &mut R,
+) -> Estimate {
+    assert!(samples > 0);
+    let probs: Vec<f64> = instance.probs().iter().map(|p| p.to_f64()).collect();
+    let mut hits = 0u64;
+    let mut mask = vec![false; probs.len()];
+    for _ in 0..samples {
+        for (e, p) in probs.iter().enumerate() {
+            mask[e] = rng.gen_bool(*p);
+        }
+        if exists_hom_into_world(query, instance.graph(), &mask) {
+            hits += 1;
+        }
+    }
+    let mean = hits as f64 / samples as f64;
+    let var = mean * (1.0 - mean) / samples as f64;
+    Estimate { mean, samples, ci95: 1.96 * var.sqrt() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce;
+    use phom_graph::fixtures;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimator_converges_on_example_2_2() {
+        let h = fixtures::figure_1();
+        let g = fixtures::example_2_2_query();
+        let exact = bruteforce::probability(&g, &h).to_f64();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let est = estimate(&g, &h, 20_000, &mut rng);
+        assert!(est.covers(exact), "estimate {est:?} vs exact {exact}");
+        assert!(est.ci95 < 0.01);
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let h = ProbGraph::certain(fixtures::figure_3_owp());
+        let g = fixtures::figure_3_owp();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let est = estimate(&g, &h, 100, &mut rng);
+        assert_eq!(est.mean, 1.0);
+        let g2 = Graph::one_way_path(&[phom_graph::Label(9)]);
+        let est2 = estimate(&g2, &h, 100, &mut rng);
+        assert_eq!(est2.mean, 0.0);
+    }
+
+    use phom_graph::Graph;
+}

@@ -1,0 +1,483 @@
+//! The `PHom` dispatcher: classifies the input into the paper's
+//! classification and routes it to the unique applicable polynomial-time
+//! algorithm — or reports the matching hardness result.
+//!
+//! The dispatcher is *opportunistic*: class-level hardness (Tables 1–3)
+//! speaks about worst cases, so individually easy inputs inside hard cells
+//! (e.g. a query using a label absent from the instance, a cyclic query
+//! on a polytree instance, or a disconnected query whose components
+//! absorb into one — see [`crate::algo::absorb`]) are still answered in
+//! polynomial time through the fast paths below.
+
+use crate::algo::{collapse, components, connected_on_2wp, dwt_instance, path_on_dwt, path_on_pt};
+use crate::algo::path_on_pt::PtStrategy;
+use crate::{bruteforce, montecarlo};
+use phom_graph::classes::{classify, Classification};
+use phom_graph::graded::level_mapping;
+use phom_graph::{ConnClass, Graph, ProbGraph};
+use phom_num::{Natural, Rational};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// What to do when the input falls in a #P-hard cell.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum Fallback {
+    /// Report hardness (default).
+    #[default]
+    None,
+    /// Enumerate possible worlds if at most `max_uncertain` edges are
+    /// uncertain (exponential!).
+    BruteForce {
+        /// Bound on the number of uncertain edges (worlds = 2^this).
+        max_uncertain: usize,
+    },
+    /// Monte-Carlo estimation (approximate, with the returned probability
+    /// rounded to a dyadic rational).
+    MonteCarlo {
+        /// Number of sampled worlds.
+        samples: u64,
+        /// RNG seed, for reproducibility.
+        seed: u64,
+    },
+}
+
+/// Solver configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverOptions {
+    /// Fallback on hard cells.
+    pub fallback: Fallback,
+    /// Pipeline for the polytree automaton cases (Prop 5.4).
+    pub pt_strategy: PtStrategy,
+    /// Use the direct dynamic programs instead of the paper's β-acyclic
+    /// lineages for Props 4.10/4.11 (ablation; same answers).
+    pub prefer_dp: bool,
+}
+
+/// How a solution was obtained.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Route {
+    /// The query has no edges: probability 1.
+    TrivialNoEdges,
+    /// The query uses an edge label the instance lacks: probability 0.
+    MissingLabel,
+    /// Cyclic or non-graded query on a `⊔PT` instance: probability 0.
+    ZeroOnPolytrees,
+    /// Prop 3.6: graded collapse on a `⊔DWT` instance.
+    Prop36,
+    /// Prop 4.10: 1WP query on `⊔DWT` instance via β-acyclic lineage
+    /// (through Lemma 3.7 for disconnected instances).
+    Prop410,
+    /// Prop 4.11: connected query on `⊔2WP` instance via X-property +
+    /// β-acyclic lineage (through Lemma 3.7).
+    Prop411,
+    /// Prop 5.4 (possibly after the Prop 5.5 collapse): path automaton on
+    /// `⊔PT` instances (through Lemma 3.7).
+    Prop54 {
+        /// Whether the query was first collapsed from a `⊔DWT` (Prop 5.5).
+        via_collapse: bool,
+    },
+    /// Exponential brute force (fallback).
+    BruteForce,
+    /// Monte-Carlo estimate (fallback; approximate).
+    MonteCarlo {
+        /// Samples used.
+        samples: u64,
+        /// 95% confidence half-width.
+        ci95_times_1e9: u64,
+    },
+}
+
+/// An answer to a `PHom` instance.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// `Pr(G ⇝ H)` (exact except on the Monte-Carlo route).
+    pub probability: Rational,
+    /// The algorithm that produced it.
+    pub route: Route,
+}
+
+/// The input falls in a #P-hard cell and no fallback applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hardness {
+    /// The hardness result covering this cell.
+    pub prop: &'static str,
+    /// Human-readable cell description.
+    pub cell: String,
+}
+
+/// Solves with default options (no fallback).
+pub fn solve(query: &Graph, instance: &ProbGraph) -> Result<Solution, Hardness> {
+    solve_with(query, instance, SolverOptions::default())
+}
+
+/// Solves with explicit options.
+pub fn solve_with(
+    query: &Graph,
+    instance: &ProbGraph,
+    opts: SolverOptions,
+) -> Result<Solution, Hardness> {
+    // Trivial: an edgeless query maps anywhere (vertex sets are non-empty
+    // and worlds keep all vertices).
+    if query.n_edges() == 0 {
+        return Ok(Solution { probability: Rational::one(), route: Route::TrivialNoEdges });
+    }
+    // A query edge label absent from the instance can never be matched.
+    {
+        let h_labels = instance.graph().labels_used();
+        if query.labels_used().iter().any(|l| !h_labels.contains(l)) {
+            return Ok(Solution { probability: Rational::zero(), route: Route::MissingLabel });
+        }
+    }
+    // Component absorption (algo::absorb): hom-comparable components of a
+    // disconnected query are redundant; this can move the input into a
+    // tractable cell (e.g. duplicated ⊔1WP components become one 1WP).
+    let simplified;
+    let query = {
+        let s = crate::algo::absorb::absorb_query_components(query);
+        simplified = s;
+        &simplified
+    };
+    if query.n_edges() == 0 {
+        return Ok(Solution { probability: Rational::one(), route: Route::TrivialNoEdges });
+    }
+    let qc = classify(query);
+    let ic = classify(instance.graph());
+    let unlabeled = {
+        let mut labels = query.labels_used();
+        labels.extend(instance.graph().labels_used());
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len() <= 1
+    };
+
+    // On ⊔PT instances every world is a polytree forest: queries with a
+    // directed cycle or a jumping edge have probability 0 (App. A).
+    if ic.in_union_class(ConnClass::Polytree) && level_mapping(query).is_none() {
+        return Ok(Solution { probability: Rational::zero(), route: Route::ZeroOnPolytrees });
+    }
+
+    let attempt = if unlabeled {
+        solve_unlabeled(query, instance, &qc, &ic, opts)
+    } else {
+        solve_labeled(query, instance, &qc, &ic, opts)
+    };
+    match attempt {
+        Some(solution) => Ok(solution),
+        None => fallback(query, instance, &qc, &ic, unlabeled, opts),
+    }
+}
+
+fn solve_unlabeled(
+    query: &Graph,
+    instance: &ProbGraph,
+    qc: &Classification,
+    ic: &Classification,
+    opts: SolverOptions,
+) -> Option<Solution> {
+    // Prop 3.6: any query on ⊔DWT instances.
+    if ic.in_union_class(ConnClass::DownwardTree) {
+        let probability = dwt_instance::probability(query, instance)?;
+        return Some(Solution { probability, route: Route::Prop36 });
+    }
+    // Prop 5.5: a ⊔DWT query collapses to →^m on every instance.
+    if let Some(path_query) = collapse::collapse_union_dwt_query(query) {
+        if path_query.n_edges() == 0 {
+            return Some(Solution {
+                probability: Rational::one(),
+                route: Route::TrivialNoEdges,
+            });
+        }
+        if ic.in_union_class(ConnClass::TwoWayPath) {
+            let p = per_component(&path_query, instance, |q, h| {
+                prop_411(q, h, opts)
+            })?;
+            return Some(Solution { probability: p, route: Route::Prop411 });
+        }
+        if ic.in_union_class(ConnClass::Polytree) {
+            let m = path_query.n_edges();
+            let p = per_component(&path_query, instance, |_q, h| {
+                path_on_pt::long_path_probability::<Rational>(h, m, opts.pt_strategy)
+            })?;
+            return Some(Solution {
+                probability: p,
+                route: Route::Prop54 { via_collapse: !qc.flags.owp || !qc.is_connected() },
+            });
+        }
+        return None;
+    }
+    // Connected queries on ⊔2WP instances (Prop 4.11, unlabeled flavor).
+    if qc.is_connected() && ic.in_union_class(ConnClass::TwoWayPath) {
+        let p = per_component(query, instance, |q, h| prop_411(q, h, opts))?;
+        return Some(Solution { probability: p, route: Route::Prop411 });
+    }
+    None
+}
+
+fn solve_labeled(
+    query: &Graph,
+    instance: &ProbGraph,
+    qc: &Classification,
+    ic: &Classification,
+    opts: SolverOptions,
+) -> Option<Solution> {
+    if !qc.is_connected() {
+        return None; // Prop 3.3 territory
+    }
+    // Prop 4.11: connected queries on ⊔2WP instances.
+    if ic.in_union_class(ConnClass::TwoWayPath) {
+        let p = per_component(query, instance, |q, h| prop_411(q, h, opts))?;
+        return Some(Solution { probability: p, route: Route::Prop411 });
+    }
+    // Prop 4.10: 1WP queries on ⊔DWT instances.
+    if qc.flags.owp && ic.in_union_class(ConnClass::DownwardTree) {
+        let p = per_component(query, instance, |q, h| {
+            if opts.prefer_dp {
+                path_on_dwt::probability_dp::<Rational>(q, h)
+            } else {
+                path_on_dwt::probability_lineage(q, h)
+            }
+        })?;
+        return Some(Solution { probability: p, route: Route::Prop410 });
+    }
+    None
+}
+
+fn prop_411(query: &Graph, instance: &ProbGraph, opts: SolverOptions) -> Option<Rational> {
+    if opts.prefer_dp {
+        connected_on_2wp::probability_dp::<Rational>(query, instance)
+    } else {
+        connected_on_2wp::probability_lineage(query, instance)
+    }
+}
+
+/// Lemma 3.7: run a per-component algorithm and combine with
+/// `1 − Π(1 − pᵢ)`. The query must be connected.
+fn per_component(
+    query: &Graph,
+    instance: &ProbGraph,
+    algo: impl Fn(&Graph, &ProbGraph) -> Option<Rational>,
+) -> Option<Rational> {
+    let parts = components::split_components(instance);
+    let per: Option<Vec<Rational>> = parts.iter().map(|h| algo(query, h)).collect();
+    Some(components::combine_connected_query(&per?))
+}
+
+fn fallback(
+    query: &Graph,
+    instance: &ProbGraph,
+    qc: &Classification,
+    ic: &Classification,
+    unlabeled: bool,
+    opts: SolverOptions,
+) -> Result<Solution, Hardness> {
+    match opts.fallback {
+        Fallback::BruteForce { max_uncertain }
+            if instance.uncertain_edges().len() <= max_uncertain =>
+        {
+            Ok(Solution {
+                probability: bruteforce::probability(query, instance),
+                route: Route::BruteForce,
+            })
+        }
+        Fallback::MonteCarlo { samples, seed } => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let est = montecarlo::estimate(query, instance, samples, &mut rng);
+            Ok(Solution {
+                probability: dyadic_from_f64(est.mean),
+                route: Route::MonteCarlo {
+                    samples,
+                    ci95_times_1e9: (est.ci95 * 1e9) as u64,
+                },
+            })
+        }
+        _ => Err(hardness(qc, ic, unlabeled)),
+    }
+}
+
+/// Best-effort attribution of the hardness result covering the input's
+/// cell.
+fn hardness(qc: &Classification, ic: &Classification, unlabeled: bool) -> Hardness {
+    let q_union = !qc.is_connected();
+    let q_class = qc.flags.most_specific();
+    let i_class = ic.flags.most_specific();
+    let i_in_pt = ic.in_union_class(ConnClass::Polytree);
+    let i_in_dwt = ic.in_union_class(ConnClass::DownwardTree);
+    let prop: &'static str = if !i_in_pt {
+        "Prop 5.1" // instance beyond ⊔PT: hard already for 1WP queries
+    } else if !unlabeled {
+        if q_union {
+            "Prop 3.3"
+        } else if i_in_dwt {
+            match q_class {
+                ConnClass::TwoWayPath => "Prop 4.5",
+                _ => "Prop 4.4",
+            }
+        } else {
+            "Prop 4.1"
+        }
+    } else if q_union {
+        "Prop 3.4"
+    } else {
+        "Prop 5.6"
+    };
+    Hardness {
+        prop,
+        cell: format!(
+            "{} query ({}) on {} instance ({})",
+            if unlabeled { "unlabeled" } else { "labeled" },
+            crate::tables::class_name(q_class, q_union),
+            if ic.is_connected() { "connected" } else { "disconnected" },
+            crate::tables::class_name(i_class, !ic.is_connected()),
+        ),
+    }
+}
+
+/// Rounds an `f64` in `[0,1]` to a dyadic rational with denominator 2³².
+fn dyadic_from_f64(x: f64) -> Rational {
+    let denom: u64 = 1 << 32;
+    let num = (x.clamp(0.0, 1.0) * denom as f64).round() as u64;
+    Rational::new(false, Natural::from_u64(num), Natural::from_u64(denom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::fixtures;
+    use phom_graph::generate;
+    use phom_graph::Label;
+    
+
+    #[test]
+    fn example_2_2_is_hard_cell_but_brute_forcible() {
+        // Figure 1's H is a connected graph with an undirected cycle, so
+        // the solver reports hardness without a fallback...
+        let h = fixtures::figure_1();
+        let g = fixtures::example_2_2_query();
+        let err = solve(&g, &h).unwrap_err();
+        assert_eq!(err.prop, "Prop 5.1");
+        // ...and solves exactly with the brute-force fallback.
+        let opts = SolverOptions {
+            fallback: Fallback::BruteForce { max_uncertain: 10 },
+            ..Default::default()
+        };
+        let sol = solve_with(&g, &h, opts).unwrap();
+        assert_eq!(sol.probability, fixtures::example_2_2_answer());
+        assert_eq!(sol.route, Route::BruteForce);
+    }
+
+    #[test]
+    fn trivial_routes() {
+        let h = fixtures::figure_1();
+        let sol = solve(&Graph::directed_path(0), &h).unwrap();
+        assert_eq!(sol.route, Route::TrivialNoEdges);
+        assert!(sol.probability.is_one());
+
+        let sol = solve(&Graph::one_way_path(&[Label(9)]), &h).unwrap();
+        assert_eq!(sol.route, Route::MissingLabel);
+        assert!(sol.probability.is_zero());
+    }
+
+    #[test]
+    fn cyclic_query_on_polytree_is_zero() {
+        let mut b = phom_graph::GraphBuilder::with_vertices(2);
+        b.edge(0, 1, Label::UNLABELED);
+        b.edge(1, 0, Label::UNLABELED);
+        let q = b.build();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let h_graph = generate::polytree(10, 1, &mut rng);
+        let h = generate::with_probabilities(h_graph, generate::ProbProfile::default(), &mut rng);
+        let sol = solve(&q, &h).unwrap();
+        assert_eq!(sol.route, Route::ZeroOnPolytrees);
+        assert!(sol.probability.is_zero());
+    }
+
+    #[test]
+    fn routes_match_expected_propositions() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        // Prop 3.6: branching unlabeled query on a DWT instance.
+        let q = generate::graded_query(5, 2, 2, &mut rng);
+        let h = generate::with_probabilities(
+            generate::downward_tree(12, 1, &mut rng),
+            generate::ProbProfile::default(),
+            &mut rng,
+        );
+        assert_eq!(solve(&q, &h).unwrap().route, Route::Prop36);
+
+        // Prop 4.10: labeled path query on a labeled DWT.
+        let tree = generate::downward_tree(12, 3, &mut rng);
+        let h = generate::with_probabilities(tree, generate::ProbProfile::default(), &mut rng);
+        let q = generate::one_way_path(2, 3, &mut rng);
+        assert_eq!(solve(&q, &h).unwrap().route, Route::Prop410);
+
+        // Prop 4.11: labeled connected query on a 2WP.
+        let h = generate::with_probabilities(
+            generate::two_way_path(8, 3, &mut rng),
+            generate::ProbProfile::default(),
+            &mut rng,
+        );
+        let q = generate::connected(3, 1, 3, &mut rng);
+        assert_eq!(solve(&q, &h).unwrap().route, Route::Prop411);
+
+        // Prop 5.4: unlabeled path query on a polytree.
+        let h = generate::with_probabilities(
+            generate::polytree(12, 1, &mut rng),
+            generate::ProbProfile::default(),
+            &mut rng,
+        );
+        let q = Graph::directed_path(3);
+        assert!(matches!(solve(&q, &h).unwrap().route, Route::Prop54 { .. }));
+    }
+
+    #[test]
+    fn hard_cells_reported_with_propositions() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Labeled 1WP on PT: Prop 4.1.
+        let h = generate::with_probabilities(
+            generate::polytree(10, 2, &mut rng),
+            generate::ProbProfile::default(),
+            &mut rng,
+        );
+        // Make sure the query's labels occur and it is genuinely labeled.
+        let q = match generate::planted_path_query(h.graph(), 2, &mut rng) {
+            Some(q) if !q.is_effectively_unlabeled() => q,
+            _ => {
+                let labels = [h.graph().edge(0).label, h.graph().edge(1).label];
+                Graph::one_way_path(&labels)
+            }
+        };
+        if let Err(e) = solve(&q, &h) {
+            assert!(e.prop.contains("4.1") || e.prop.contains("4.4"), "{e:?}");
+        }
+
+        // Unlabeled 2WP query on PT: Prop 5.6.
+        let q = Graph::two_way_path(&[
+            (phom_graph::Dir::Forward, Label::UNLABELED),
+            (phom_graph::Dir::Backward, Label::UNLABELED),
+            (phom_graph::Dir::Forward, Label::UNLABELED),
+        ]);
+        let h = generate::with_probabilities(
+            generate::polytree(10, 1, &mut rng),
+            generate::ProbProfile::default(),
+            &mut rng,
+        );
+        let e = solve(&q, &h).unwrap_err();
+        assert_eq!(e.prop, "Prop 5.6");
+    }
+
+    #[test]
+    fn monte_carlo_fallback_close_to_brute_force() {
+        let h = fixtures::figure_1();
+        let g = fixtures::example_2_2_query();
+        let opts = SolverOptions {
+            fallback: Fallback::MonteCarlo { samples: 20_000, seed: 7 },
+            ..Default::default()
+        };
+        let sol = solve_with(&g, &h, opts).unwrap();
+        let exact = fixtures::example_2_2_answer().to_f64();
+        assert!((sol.probability.to_f64() - exact).abs() < 0.02);
+        assert!(matches!(sol.route, Route::MonteCarlo { .. }));
+    }
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+}

@@ -1,0 +1,347 @@
+//! **Extension (paper §6, future work):** path queries with a *descendant
+//! axis* "in the spirit of XML query languages", evaluated on probabilistic
+//! downward trees — the probabilistic-XML-flavored setting of Prop 4.10.
+//!
+//! A [`PathPattern`] is a sequence of steps; a match in a possible world is
+//! a chain `v₀, v₁, …, v_k` where step `i` connects `v_{i−1}` to `v_i`:
+//!
+//! * `Child(l)` — one present edge labeled `l`;
+//! * `Descendant(l)` — a downward path of ≥ 1 present edges whose **last**
+//!   edge is labeled `l` (intermediate labels are arbitrary) — the XPath
+//!   `descendant::l` axis.
+//!
+//! Patterns without `Descendant` are exactly the 1WP queries of Prop 4.10.
+//!
+//! ### Algorithm
+//!
+//! Along any root-to-leaf path, matching is a word problem: compile the
+//! pattern to an NFA whose state `i` means "steps `1..i` matched by a
+//! contiguous present suffix ending here"; state 0 is re-seeded everywhere
+//! (matches may start anywhere) and an absent edge resets the active set
+//! (matches cannot cross missing edges). The active set at a vertex is a
+//! deterministic function of the presence of its ancestor edges, so the
+//! probability follows from a memoized top-down DP over `(vertex, active
+//! set)` pairs. Worst-case the number of reachable sets is exponential in
+//! the pattern length (as for wildcard-pattern determinization); on real
+//! patterns it is tiny, and the test oracle bounds stay small.
+
+use phom_graph::classes::as_downward_tree;
+use phom_graph::{Graph, Label, ProbGraph, VertexId};
+use phom_num::Weight;
+use std::collections::HashMap;
+
+/// One step of a path pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// One present edge with this label (`/l` in XPath terms).
+    Child(Label),
+    /// A present downward path of ≥ 1 edges whose last edge has this label
+    /// (`//l`).
+    Descendant(Label),
+}
+
+/// A root-free path pattern (matches may start at any vertex).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathPattern {
+    steps: Vec<Step>,
+}
+
+impl PathPattern {
+    /// Builds a pattern.
+    pub fn new(steps: Vec<Step>) -> Self {
+        assert!(steps.len() < 63, "pattern too long for bitmask states");
+        PathPattern { steps }
+    }
+
+    /// The pattern `R₁/R₂/…` of plain child steps — a Prop 4.10 query.
+    pub fn children(labels: &[Label]) -> Self {
+        PathPattern::new(labels.iter().map(|&l| Step::Child(l)).collect())
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True iff the pattern has no steps (matches trivially).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// NFA transition on reading a *present* edge labeled `label`:
+    /// state 0 is always re-seeded.
+    fn advance(&self, active: u64, label: Label) -> u64 {
+        let mut out = 1u64; // state 0: a match can start below this edge
+        for (i, step) in self.steps.iter().enumerate() {
+            if active >> i & 1 == 0 {
+                continue;
+            }
+            match *step {
+                Step::Child(l) => {
+                    if l == label {
+                        out |= 1 << (i + 1);
+                    }
+                }
+                Step::Descendant(l) => {
+                    out |= 1 << i; // the descendant axis keeps scanning
+                    if l == label {
+                        out |= 1 << (i + 1);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn accepting(&self, active: u64) -> bool {
+        active >> self.steps.len() & 1 == 1
+    }
+
+    /// Decides whether the pattern has a match in a *fixed world* of a DWT
+    /// instance (present edges per the mask). Implemented as a literal
+    /// recursive search over match chains — deliberately independent of the
+    /// NFA, as the test oracle.
+    pub fn matches_world(&self, h: &Graph, present: &[bool]) -> bool {
+        let view = match as_downward_tree(h) {
+            Some(v) => v,
+            None => return false,
+        };
+        if self.is_empty() {
+            return true;
+        }
+        // try to match steps[i..] starting at vertex v.
+        fn rec(
+            pat: &PathPattern,
+            h: &Graph,
+            present: &[bool],
+            v: VertexId,
+            i: usize,
+        ) -> bool {
+            if i == pat.steps.len() {
+                return true;
+            }
+            match pat.steps[i] {
+                Step::Child(l) => h.out_edges(v).iter().any(|&e| {
+                    present[e] && h.edge(e).label == l && rec(pat, h, present, h.edge(e).dst, i + 1)
+                }),
+                Step::Descendant(l) => {
+                    // Walk down any number of present edges; the edge that
+                    // completes the step must be labeled l.
+                    fn walk(
+                        pat: &PathPattern,
+                        h: &Graph,
+                        present: &[bool],
+                        v: VertexId,
+                        i: usize,
+                        l: Label,
+                    ) -> bool {
+                        h.out_edges(v).iter().any(|&e| {
+                            if !present[e] {
+                                return false;
+                            }
+                            let w = h.edge(e).dst;
+                            (h.edge(e).label == l && rec(pat, h, present, w, i + 1))
+                                || walk(pat, h, present, w, i, l)
+                        })
+                    }
+                    walk(pat, h, present, v, i, l)
+                }
+            }
+        }
+        let _ = &view;
+        (0..h.n_vertices()).any(|v| rec(self, h, present, v, 0))
+    }
+}
+
+/// `Pr[the pattern has a match]` on a *connected DWT* probabilistic
+/// instance. Returns `None` when the instance is not a connected DWT.
+pub fn probability<W: Weight>(pattern: &PathPattern, instance: &ProbGraph) -> Option<W> {
+    let view = as_downward_tree(instance.graph())?;
+    if pattern.is_empty() {
+        return Some(W::one());
+    }
+    let g = instance.graph();
+    // fail[(v, active)] = Pr[no match completes inside subtree(v) | the
+    // active set at v is `active`]; active sets never contain the accept
+    // bit (acceptance is absorbed at transition time).
+    let mut memo: HashMap<(VertexId, u64), W> = HashMap::new();
+    // Iterative over reverse BFS is awkward because the reachable active
+    // sets flow top-down; use explicit recursion with memoization instead
+    // (depth = tree height).
+    fn go<W: Weight>(
+        pattern: &PathPattern,
+        g: &Graph,
+        instance: &ProbGraph,
+        memo: &mut HashMap<(VertexId, u64), W>,
+        v: VertexId,
+        active: u64,
+    ) -> W {
+        if let Some(w) = memo.get(&(v, active)) {
+            return w.clone();
+        }
+        let mut acc = W::one();
+        for &e in g.out_edges(v) {
+            let c = g.edge(e).dst;
+            let p = W::from_rational(instance.prob(e));
+            let q = p.complement();
+            // Absent: the child's active set resets to {start}.
+            let absent = if q.is_zero() {
+                W::zero()
+            } else {
+                q.mul(&go(pattern, g, instance, memo, c, 1))
+            };
+            // Present: advance; a completed match kills this branch.
+            let present = if p.is_zero() {
+                W::zero()
+            } else {
+                let next = pattern.advance(active, g.edge(e).label);
+                if pattern.accepting(next) {
+                    W::zero()
+                } else {
+                    p.mul(&go(pattern, g, instance, memo, c, next))
+                }
+            };
+            acc = acc.mul(&absent.add(&present));
+        }
+        memo.insert((v, active), acc.clone());
+        acc
+    }
+    let fail = go(pattern, g, instance, &mut memo, view.root, 1);
+    Some(fail.complement())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::generate::{self, ProbProfile};
+    use phom_num::Rational;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    const R: Label = Label(0);
+    const S: Label = Label(1);
+
+    fn brute(pattern: &PathPattern, h: &ProbGraph) -> Rational {
+        let mut total = Rational::zero();
+        for (mask, p) in h.worlds() {
+            if pattern.matches_world(h.graph(), &mask) {
+                total = total.add(&p);
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn child_only_matches_prop_410() {
+        // Child-only patterns are 1WP queries: compare with Prop 4.10.
+        let mut rng = SmallRng::seed_from_u64(81);
+        for _ in 0..40 {
+            let tree = generate::downward_tree(rng.gen_range(1..9), 2, &mut rng);
+            let h = generate::with_probabilities(
+                tree,
+                ProbProfile { certain_ratio: 0.25, denominator: 4 },
+                &mut rng,
+            );
+            let labels: Vec<Label> =
+                (0..rng.gen_range(1..4)).map(|_| Label(rng.gen_range(0..2))).collect();
+            let pattern = PathPattern::children(&labels);
+            let q = Graph::one_way_path(&labels);
+            let via_pattern: Rational = probability(&pattern, &h).unwrap();
+            let via_410: Rational =
+                crate::algo::path_on_dwt::probability_lineage(&q, &h).unwrap();
+            assert_eq!(via_pattern, via_410, "labels={labels:?}");
+        }
+    }
+
+    #[test]
+    fn descendant_axis_on_a_chain() {
+        // Chain R, S, R with probs ½ each. Pattern //R: any world with an
+        // R edge: edges 0 and 2 are R → 1 − (½)² = ¾.
+        let h = ProbGraph::new(
+            Graph::one_way_path(&[R, S, R]),
+            vec![
+                Rational::from_ratio(1, 2),
+                Rational::from_ratio(1, 2),
+                Rational::from_ratio(1, 2),
+            ],
+        );
+        let p: Rational =
+            probability(&PathPattern::new(vec![Step::Descendant(R)]), &h).unwrap();
+        assert_eq!(p, Rational::from_ratio(3, 4));
+        // Pattern R//R: an R edge followed (at any depth) by another R.
+        // Only match: edges 0,1,2 all present (R at 0, descendant path via
+        // 1 ending with R at 2): 1/8.
+        let p: Rational = probability(
+            &PathPattern::new(vec![Step::Child(R), Step::Descendant(R)]),
+            &h,
+        )
+        .unwrap();
+        assert_eq!(p, Rational::from_ratio(1, 8));
+    }
+
+    #[test]
+    fn empty_pattern_is_certain() {
+        let h = ProbGraph::certain(Graph::one_way_path(&[R]));
+        let p: Rational = probability(&PathPattern::new(vec![]), &h).unwrap();
+        assert!(p.is_one());
+    }
+
+    #[test]
+    fn non_dwt_rejected() {
+        let mut b = phom_graph::GraphBuilder::with_vertices(3);
+        b.edge(0, 1, R);
+        b.edge(2, 1, R);
+        let h = ProbGraph::certain(b.build());
+        assert!(probability::<Rational>(&PathPattern::children(&[R]), &h).is_none());
+    }
+
+    #[test]
+    fn random_patterns_match_brute_force() {
+        let mut rng = SmallRng::seed_from_u64(82);
+        for _ in 0..80 {
+            let tree = generate::downward_tree(rng.gen_range(2..9), 2, &mut rng);
+            let h = generate::with_probabilities(
+                tree,
+                ProbProfile { certain_ratio: 0.3, denominator: 4 },
+                &mut rng,
+            );
+            let steps: Vec<Step> = (0..rng.gen_range(1..4))
+                .map(|_| {
+                    let l = Label(rng.gen_range(0..2));
+                    if rng.gen_bool(0.5) {
+                        Step::Child(l)
+                    } else {
+                        Step::Descendant(l)
+                    }
+                })
+                .collect();
+            let pattern = PathPattern::new(steps);
+            let got: Rational = probability(&pattern, &h).unwrap();
+            let expect = brute(&pattern, &h);
+            assert_eq!(got, expect, "pattern={pattern:?} h={:?}", h.graph());
+        }
+    }
+
+    #[test]
+    fn f64_mode_agrees() {
+        let mut rng = SmallRng::seed_from_u64(83);
+        let tree = generate::downward_tree(30, 2, &mut rng);
+        let h = generate::with_probabilities(tree, ProbProfile::default(), &mut rng);
+        let pattern = PathPattern::new(vec![
+            Step::Descendant(R),
+            Step::Child(S),
+            Step::Descendant(S),
+        ]);
+        let exact: Rational = probability(&pattern, &h).unwrap();
+        let float: f64 = probability(&pattern, &h).unwrap();
+        assert!((exact.to_f64() - float).abs() < 1e-9);
+    }
+
+    use phom_graph::Graph;
+    use phom_graph::ProbGraph;
+}

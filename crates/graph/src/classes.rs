@@ -1,0 +1,492 @@
+//! Recognition of the paper's graph classes (Section 2, Figure 2):
+//!
+//! ```text
+//! 1WP ⊆ 2WP ⊆ PT ⊆ Connected ⊆ All
+//! 1WP ⊆ DWT ⊆ PT
+//! ```
+//!
+//! plus the disjoint-union classes `⊔1WP`, `⊔2WP`, `⊔DWT`, `⊔PT`. A graph is
+//! classified by the most specific class of each of its connected
+//! components, joined over components.
+
+use crate::digraph::{Dir, EdgeId, Graph, Label, VertexId};
+
+/// The paper's five named classes of connected graphs. Note the classes
+/// overlap beyond the Figure 2 chain inclusions (e.g. `1 ← 0 → 2` is both a
+/// 2WP and a DWT), so *membership* is tracked by [`ClassFlags`];
+/// `ConnClass` is the vocabulary for naming cells of Tables 1–3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum ConnClass {
+    /// One-way path (includes the single-vertex graph).
+    OneWayPath,
+    /// Two-way path.
+    TwoWayPath,
+    /// Downward tree.
+    DownwardTree,
+    /// Polytree.
+    Polytree,
+    /// Connected, otherwise arbitrary.
+    General,
+}
+
+/// Membership of a *connected* graph in each class of Figure 2.
+/// Invariants: `owp ⟹ twp ∧ dwt`, `twp ∨ dwt ⟹ pt`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClassFlags {
+    /// One-way path.
+    pub owp: bool,
+    /// Two-way path.
+    pub twp: bool,
+    /// Downward tree.
+    pub dwt: bool,
+    /// Polytree.
+    pub pt: bool,
+}
+
+impl ClassFlags {
+    /// Membership in a named class (`General` always holds for connected
+    /// graphs).
+    pub fn member(self, c: ConnClass) -> bool {
+        match c {
+            ConnClass::OneWayPath => self.owp,
+            ConnClass::TwoWayPath => self.twp,
+            ConnClass::DownwardTree => self.dwt,
+            ConnClass::Polytree => self.pt,
+            ConnClass::General => true,
+        }
+    }
+
+    /// Intersection (used to aggregate over components).
+    pub fn and(self, other: ClassFlags) -> ClassFlags {
+        ClassFlags {
+            owp: self.owp && other.owp,
+            twp: self.twp && other.twp,
+            dwt: self.dwt && other.dwt,
+            pt: self.pt && other.pt,
+        }
+    }
+
+    /// A human-readable name of a most-specific class (ties broken toward
+    /// paths, for display only).
+    pub fn most_specific(self) -> ConnClass {
+        if self.owp {
+            ConnClass::OneWayPath
+        } else if self.twp {
+            ConnClass::TwoWayPath
+        } else if self.dwt {
+            ConnClass::DownwardTree
+        } else if self.pt {
+            ConnClass::Polytree
+        } else {
+            ConnClass::General
+        }
+    }
+}
+
+/// Full classification of a graph.
+#[derive(Clone, Debug)]
+pub struct Classification {
+    /// Vertex sets of the connected components (underlying undirected).
+    pub components: Vec<Vec<VertexId>>,
+    /// Class membership per component.
+    pub component_flags: Vec<ClassFlags>,
+    /// Intersection of the component memberships (`⊔`-class membership).
+    pub flags: ClassFlags,
+    /// More than one distinct edge label in use.
+    pub labeled: bool,
+}
+
+impl Classification {
+    /// True iff the graph is connected.
+    pub fn is_connected(&self) -> bool {
+        self.components.len() == 1
+    }
+
+    /// True iff the graph belongs to class `c` (connected + membership).
+    pub fn in_class(&self, c: ConnClass) -> bool {
+        self.is_connected() && self.flags.member(c)
+    }
+
+    /// True iff the graph belongs to `⊔c` (every component a member of `c`).
+    pub fn in_union_class(&self, c: ConnClass) -> bool {
+        self.component_flags.iter().all(|f| f.member(c))
+    }
+
+    /// Display name for the most specific class of the whole graph.
+    pub fn most_specific(&self) -> ConnClass {
+        self.flags.most_specific()
+    }
+}
+
+/// Computes the connected components of the underlying undirected graph.
+pub fn connected_components(g: &Graph) -> Vec<Vec<VertexId>> {
+    let mut comp = vec![usize::MAX; g.n_vertices()];
+    let mut components = Vec::new();
+    for start in 0..g.n_vertices() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut verts = vec![start];
+        comp[start] = id;
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            for (w, _, _) in g.und_neighbors(v) {
+                if comp[w] == usize::MAX {
+                    comp[w] = id;
+                    verts.push(w);
+                    stack.push(w);
+                }
+            }
+        }
+        components.push(verts);
+    }
+    components
+}
+
+/// Classifies a graph.
+pub fn classify(g: &Graph) -> Classification {
+    let components = connected_components(g);
+    let component_flags: Vec<ClassFlags> =
+        components.iter().map(|vs| classify_component(g, vs)).collect();
+    let flags = component_flags
+        .iter()
+        .copied()
+        .fold(ClassFlags { owp: true, twp: true, dwt: true, pt: true }, ClassFlags::and);
+    Classification { components, component_flags, flags, labeled: !g.is_effectively_unlabeled() }
+}
+
+fn classify_component(g: &Graph, verts: &[VertexId]) -> ClassFlags {
+    let n = verts.len();
+    let m: usize = verts.iter().map(|&v| g.out_degree(v)).sum();
+    // A connected component is a (poly)tree iff |E| = |V| − 1 in the
+    // underlying undirected *multigraph* (so a 2-cycle a⇄b is not a tree).
+    if m != n - 1 {
+        return ClassFlags { owp: false, twp: false, dwt: false, pt: false };
+    }
+    let twp = verts.iter().all(|&v| g.und_degree(v) <= 2);
+    let dwt = verts.iter().all(|&v| g.in_degree(v) <= 1);
+    let owp = twp && verts.iter().all(|&v| g.in_degree(v) <= 1 && g.out_degree(v) <= 1);
+    ClassFlags { owp, twp, dwt, pt: true }
+}
+
+/// Structural view of a one-way path: vertices in order plus edge labels.
+#[derive(Clone, Debug)]
+pub struct OneWayPathView {
+    /// Vertices from source to sink.
+    pub vertices: Vec<VertexId>,
+    /// `edges[i]` goes from `vertices[i]` to `vertices[i+1]`.
+    pub edges: Vec<EdgeId>,
+    /// Labels along the path.
+    pub labels: Vec<Label>,
+}
+
+/// Extracts the one-way-path structure of a *connected* graph, if it is a
+/// 1WP.
+pub fn as_one_way_path(g: &Graph) -> Option<OneWayPathView> {
+    let cls = classify(g);
+    if !cls.is_connected() || !cls.flags.owp {
+        return None;
+    }
+    // The unique source is the vertex with in-degree 0.
+    let start = (0..g.n_vertices()).find(|&v| g.in_degree(v) == 0)?;
+    let mut vertices = vec![start];
+    let mut edges = Vec::new();
+    let mut labels = Vec::new();
+    let mut cur = start;
+    while let Some(&e) = g.out_edges(cur).first() {
+        let edge = g.edge(e);
+        edges.push(e);
+        labels.push(edge.label);
+        cur = edge.dst;
+        vertices.push(cur);
+    }
+    debug_assert_eq!(vertices.len(), g.n_vertices());
+    Some(OneWayPathView { vertices, edges, labels })
+}
+
+/// Structural view of a two-way path.
+#[derive(Clone, Debug)]
+pub struct TwoWayPathView {
+    /// Vertices in path order (one of the two symmetric orders).
+    pub vertices: Vec<VertexId>,
+    /// `steps[i]` connects `vertices[i]` and `vertices[i+1]`: the edge id,
+    /// its label, and its direction relative to the walk.
+    pub steps: Vec<(EdgeId, Label, Dir)>,
+}
+
+/// Extracts the two-way-path structure of a *connected* graph, if it is a
+/// 2WP (one-way paths qualify too).
+pub fn as_two_way_path(g: &Graph) -> Option<TwoWayPathView> {
+    let cls = classify(g);
+    if !cls.is_connected() || !cls.flags.twp {
+        return None;
+    }
+    if g.n_vertices() == 1 {
+        return Some(TwoWayPathView { vertices: vec![0], steps: Vec::new() });
+    }
+    let start = (0..g.n_vertices()).find(|&v| g.und_degree(v) == 1)?;
+    let mut vertices = vec![start];
+    let mut steps = Vec::new();
+    let mut prev_edge: Option<EdgeId> = None;
+    let mut cur = start;
+    loop {
+        let mut advanced = false;
+        for (w, e, dir) in g.und_neighbors(cur) {
+            if Some(e) == prev_edge {
+                continue;
+            }
+            steps.push((e, g.edge(e).label, dir));
+            vertices.push(w);
+            prev_edge = Some(e);
+            cur = w;
+            advanced = true;
+            break;
+        }
+        if !advanced {
+            break;
+        }
+    }
+    debug_assert_eq!(vertices.len(), g.n_vertices());
+    Some(TwoWayPathView { vertices, steps })
+}
+
+/// Structural view of a downward tree.
+#[derive(Clone, Debug)]
+pub struct DwtView {
+    /// The root (in-degree 0).
+    pub root: VertexId,
+    /// `parent[v] = Some((parent vertex, edge id))` for non-roots.
+    pub parent: Vec<Option<(VertexId, EdgeId)>>,
+    /// Vertices in BFS order from the root (parents before children).
+    pub order: Vec<VertexId>,
+    /// Depth of each vertex.
+    pub depth: Vec<usize>,
+}
+
+/// Extracts the rooted structure of a *connected* DWT.
+pub fn as_downward_tree(g: &Graph) -> Option<DwtView> {
+    let cls = classify(g);
+    if !cls.is_connected() || !cls.flags.dwt {
+        return None;
+    }
+    let root = (0..g.n_vertices()).find(|&v| g.in_degree(v) == 0)?;
+    let mut parent = vec![None; g.n_vertices()];
+    let mut depth = vec![0usize; g.n_vertices()];
+    let mut order = vec![root];
+    let mut i = 0;
+    while i < order.len() {
+        let v = order[i];
+        i += 1;
+        for &e in g.out_edges(v) {
+            let c = g.edge(e).dst;
+            parent[c] = Some((v, e));
+            depth[c] = depth[v] + 1;
+            order.push(c);
+        }
+    }
+    debug_assert_eq!(order.len(), g.n_vertices());
+    Some(DwtView { root, parent, order, depth })
+}
+
+/// Structural view of a polytree rooted at an arbitrary vertex of each use
+/// site's choosing: `parent[v] = Some((parent, edge id, dir))` where `dir`
+/// is [`Dir::Forward`] when the edge goes parent → child (downward).
+#[derive(Clone, Debug)]
+pub struct PolytreeView {
+    /// Chosen root.
+    pub root: VertexId,
+    /// Parent links; `dir = Forward` means the edge is `parent → child`.
+    pub parent: Vec<Option<(VertexId, EdgeId, Dir)>>,
+    /// Children lists mirroring `parent`.
+    pub children: Vec<Vec<(VertexId, EdgeId, Dir)>>,
+    /// BFS order from the root.
+    pub order: Vec<VertexId>,
+}
+
+/// Roots a *connected* polytree at `root` (any vertex). Returns `None` if
+/// the graph is not a connected polytree.
+pub fn as_polytree(g: &Graph, root: VertexId) -> Option<PolytreeView> {
+    let cls = classify(g);
+    if !cls.is_connected() || !cls.flags.pt {
+        return None;
+    }
+    let n = g.n_vertices();
+    let mut parent = vec![None; n];
+    let mut children = vec![Vec::new(); n];
+    let mut order = vec![root];
+    let mut seen = vec![false; n];
+    seen[root] = true;
+    let mut i = 0;
+    while i < order.len() {
+        let v = order[i];
+        i += 1;
+        for (w, e, dir) in g.und_neighbors(v) {
+            if seen[w] {
+                continue;
+            }
+            seen[w] = true;
+            // dir is relative to v: Forward means v → w, i.e. the edge goes
+            // parent → child (downward).
+            parent[w] = Some((v, e, dir));
+            children[v].push((w, e, dir));
+            order.push(w);
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    Some(PolytreeView { root, parent, children, order })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::GraphBuilder;
+    use crate::fixtures;
+
+    #[test]
+    fn figure_3_classes() {
+        assert_eq!(classify(&fixtures::figure_3_owp()).most_specific(), ConnClass::OneWayPath);
+        assert_eq!(classify(&fixtures::figure_3_twp()).most_specific(), ConnClass::TwoWayPath);
+        assert!(classify(&fixtures::figure_3_owp()).labeled);
+    }
+
+    #[test]
+    fn figure_4_classes() {
+        assert_eq!(classify(&fixtures::figure_4_dwt()).most_specific(), ConnClass::DownwardTree);
+        assert_eq!(classify(&fixtures::figure_4_polytree()).most_specific(), ConnClass::Polytree);
+        assert!(!classify(&fixtures::figure_4_dwt()).labeled);
+    }
+
+    #[test]
+    fn single_vertex_is_owp() {
+        let g = Graph::directed_path(0);
+        let c = classify(&g);
+        assert_eq!(c.most_specific(), ConnClass::OneWayPath);
+        assert!(c.is_connected());
+        assert!(c.in_class(ConnClass::Polytree)); // by inclusion
+    }
+
+    #[test]
+    fn two_cycle_is_general() {
+        let mut b = GraphBuilder::with_vertices(2);
+        b.edge(0, 1, Label::UNLABELED);
+        b.edge(1, 0, Label::UNLABELED);
+        assert_eq!(classify(&b.build()).most_specific(), ConnClass::General);
+    }
+
+    #[test]
+    fn union_classification() {
+        let u = Graph::disjoint_union(&[
+            &Graph::directed_path(2),
+            &fixtures::figure_4_dwt(),
+        ]);
+        let c = classify(&u);
+        assert!(!c.is_connected());
+        assert_eq!(c.component_flags[0].most_specific(), ConnClass::OneWayPath);
+        assert_eq!(c.component_flags[1].most_specific(), ConnClass::DownwardTree);
+        assert_eq!(c.most_specific(), ConnClass::DownwardTree);
+        assert!(c.in_union_class(ConnClass::DownwardTree));
+        assert!(c.in_union_class(ConnClass::Polytree));
+        assert!(!c.in_union_class(ConnClass::OneWayPath));
+        assert!(!c.in_class(ConnClass::DownwardTree)); // not connected
+    }
+
+    #[test]
+    fn inclusion_diagram_on_flags() {
+        // Figure 2 inclusions hold as invariants of ClassFlags: whenever a
+        // component is a 1WP it is also a 2WP and a DWT; 2WP/DWT imply PT.
+        let g = Graph::directed_path(3);
+        let f = classify(&g).flags;
+        assert!(f.owp && f.twp && f.dwt && f.pt);
+        let g = fixtures::figure_3_twp();
+        let f = classify(&g).flags;
+        assert!(!f.owp && f.twp && !f.dwt && f.pt);
+        let g = fixtures::figure_4_dwt();
+        let f = classify(&g).flags;
+        assert!(!f.owp && !f.twp && f.dwt && f.pt);
+    }
+
+    #[test]
+    fn overlap_beyond_the_chain() {
+        // 1 ← 0 → 2 is simultaneously a 2WP and a DWT but not a 1WP.
+        let u = Label::UNLABELED;
+        let mut b = GraphBuilder::with_vertices(3);
+        b.edge(0, 1, u);
+        b.edge(0, 2, u);
+        let f = classify(&b.build()).flags;
+        assert!(!f.owp && f.twp && f.dwt && f.pt);
+    }
+
+    #[test]
+    fn owp_view_extraction() {
+        let g = fixtures::figure_3_owp();
+        let v = as_one_way_path(&g).unwrap();
+        assert_eq!(v.labels, vec![fixtures::R, fixtures::S, fixtures::S, fixtures::T]);
+        assert_eq!(v.vertices.len(), 5);
+        assert!(as_one_way_path(&fixtures::figure_3_twp()).is_none());
+    }
+
+    #[test]
+    fn twp_view_extraction() {
+        let g = fixtures::figure_3_twp();
+        let v = as_two_way_path(&g).unwrap();
+        assert_eq!(v.vertices.len(), 6);
+        assert_eq!(v.steps.len(), 5);
+        // A 1WP also has a 2WP view.
+        assert!(as_two_way_path(&fixtures::figure_3_owp()).is_some());
+        // Trees do not.
+        assert!(as_two_way_path(&fixtures::figure_4_dwt()).is_none());
+    }
+
+    #[test]
+    fn dwt_view_extraction() {
+        let g = fixtures::figure_4_dwt();
+        let v = as_downward_tree(&g).unwrap();
+        assert_eq!(v.root, 0);
+        assert_eq!(v.depth[6], 3);
+        assert_eq!(v.order[0], 0);
+        assert!(as_downward_tree(&fixtures::figure_4_polytree()).is_none());
+    }
+
+    #[test]
+    fn polytree_view_rooting() {
+        let g = fixtures::figure_4_polytree();
+        for root in 0..g.n_vertices() {
+            let v = as_polytree(&g, root).unwrap();
+            assert_eq!(v.order.len(), g.n_vertices());
+            let child_count: usize = v.children.iter().map(Vec::len).sum();
+            assert_eq!(child_count, g.n_edges());
+        }
+    }
+
+    #[test]
+    fn reversed_path_direction_detected() {
+        // ← ← is a 1WP (read in the other direction).
+        let mut b = GraphBuilder::with_vertices(3);
+        b.edge(2, 1, Label::UNLABELED);
+        b.edge(1, 0, Label::UNLABELED);
+        assert_eq!(classify(&b.build()).most_specific(), ConnClass::OneWayPath);
+        // → ← is a genuine 2WP.
+        let mut b = GraphBuilder::with_vertices(3);
+        b.edge(0, 1, Label::UNLABELED);
+        b.edge(2, 1, Label::UNLABELED);
+        assert_eq!(classify(&b.build()).most_specific(), ConnClass::TwoWayPath);
+    }
+
+    #[test]
+    fn star_is_dwt_or_polytree() {
+        // Out-star is a DWT.
+        let u = Label::UNLABELED;
+        let mut b = GraphBuilder::with_vertices(4);
+        b.edge(0, 1, u);
+        b.edge(0, 2, u);
+        b.edge(0, 3, u);
+        assert_eq!(classify(&b.build()).most_specific(), ConnClass::DownwardTree);
+        // In-star (all edges into the center) is a polytree, not a DWT.
+        let mut b = GraphBuilder::with_vertices(4);
+        b.edge(1, 0, u);
+        b.edge(2, 0, u);
+        b.edge(3, 0, u);
+        assert_eq!(classify(&b.build()).most_specific(), ConnClass::Polytree);
+    }
+}

@@ -1,0 +1,143 @@
+//! The concrete graphs appearing in the paper's figures, as reusable
+//! fixtures. They are exercised by tests across the workspace and printed
+//! by the `figures` binary of `phom-bench`.
+
+use crate::digraph::{Dir, Graph, GraphBuilder, Label};
+use crate::prob::ProbGraph;
+use phom_num::Rational;
+
+/// `R` in the paper's two-label signature σ = {R, S}.
+pub const R: Label = Label(0);
+/// `S` in the paper's two-label signature σ = {R, S}.
+pub const S: Label = Label(1);
+/// `T`, used by Figure 3's three-label signature σ = {R, S, T}.
+pub const T: Label = Label(2);
+
+/// The probabilistic graph `(H, π)` of **Figure 1** (Example 2.1).
+///
+/// Six edges over σ = {R, S}: five R edges (probabilities 1, 0.1, 0.1, 0.8,
+/// 0.05) and one S edge (0.7). One edge is certain and five are uncertain,
+/// so there are 2⁶ possible worlds of which 2⁵ have non-zero probability —
+/// and the possible world keeping all R-edges and removing the S-edge has
+/// probability `0.1 × 1 × 0.8 × 0.1 × 0.05 × (1 − 0.7)`, both as stated in
+/// Example 2.1. Example 2.2's query evaluates to
+/// `0.7 × (1 − (1 − 0.1)(1 − 0.8)) = 0.574` on it.
+pub fn figure_1() -> ProbGraph {
+    let rat = Rational::from_ratio;
+    let mut b = GraphBuilder::with_vertices(4);
+    b.edge(0, 1, R); // p = 1
+    b.edge(1, 2, R); // p = 0.1   (into the S-source)
+    b.edge(0, 2, R); // p = 0.8   (into the S-source)
+    b.edge(1, 3, R); // p = 0.1
+    b.edge(1, 0, R); // p = 0.05
+    b.edge(2, 3, S); // p = 0.7
+    ProbGraph::new(
+        b.build(),
+        vec![rat(1, 1), rat(1, 10), rat(8, 10), rat(1, 10), rat(5, 100), rat(7, 10)],
+    )
+}
+
+/// The query graph of **Example 2.2**: `•-R->•-S->•<-S-•`, i.e. the
+/// conjunctive query ∃xyzt R(x,y) ∧ S(y,z) ∧ S(t,z).
+pub fn example_2_2_query() -> Graph {
+    let mut b = GraphBuilder::with_vertices(4);
+    b.edge(0, 1, R);
+    b.edge(1, 2, S);
+    b.edge(3, 2, S);
+    b.build()
+}
+
+/// The exact answer of Example 2.2: `Pr(G ⇝ H) = 0.7·(1 − 0.9·0.2) = 287/500`.
+pub fn example_2_2_answer() -> Rational {
+    Rational::from_ratio(287, 500)
+}
+
+/// The labeled one-way path of **Figure 3** (top): `R S S T`.
+pub fn figure_3_owp() -> Graph {
+    Graph::one_way_path(&[R, S, S, T])
+}
+
+/// The labeled two-way path of **Figure 3** (bottom): `→R →S ←S →T ←R`.
+pub fn figure_3_twp() -> Graph {
+    Graph::two_way_path(&[
+        (Dir::Forward, R),
+        (Dir::Forward, S),
+        (Dir::Backward, S),
+        (Dir::Forward, T),
+        (Dir::Backward, R),
+    ])
+}
+
+/// An unlabeled downward tree in the spirit of **Figure 4** (left).
+pub fn figure_4_dwt() -> Graph {
+    let u = Label::UNLABELED;
+    Graph::downward_tree(&[
+        None,
+        Some((0, u)),
+        Some((0, u)),
+        Some((1, u)),
+        Some((1, u)),
+        Some((2, u)),
+        Some((5, u)),
+    ])
+}
+
+/// An unlabeled polytree in the spirit of **Figure 4** (right).
+pub fn figure_4_polytree() -> Graph {
+    let u = Label::UNLABELED;
+    let mut b = GraphBuilder::with_vertices(7);
+    b.edge(0, 1, u);
+    b.edge(2, 1, u); // reversed edge: branching + two-wayness
+    b.edge(1, 3, u);
+    b.edge(4, 3, u);
+    b.edge(3, 5, u);
+    b.edge(5, 6, u);
+    b.build()
+}
+
+/// The graded DAG of **Figure 6**, together with the level mapping shown in
+/// the figure: vertices are numbered so that vertex `i` has level
+/// `LEVELS[i]`.
+pub fn figure_6_graded_dag() -> (Graph, Vec<i64>) {
+    // A DAG with levels 0..=5 (the figure shows levels 2,0,1,3,4,5 on its
+    // six vertices). We build one with the same level structure: edges go
+    // from level ℓ to level ℓ−1.
+    let u = Label::UNLABELED;
+    let levels = vec![2i64, 0, 1, 3, 4, 5];
+    let mut b = GraphBuilder::with_vertices(6);
+    // Edges chosen to connect the graph while respecting the level drop.
+    b.edge(0, 2, u); // 2 → 1
+    b.edge(2, 1, u); // 1 → 0
+    b.edge(3, 0, u); // 3 → 2
+    b.edge(4, 3, u); // 4 → 3
+    b.edge(5, 4, u); // 5 → 4
+    (b.build(), levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom::exists_hom;
+
+    #[test]
+    fn figure_1_shape() {
+        let h = figure_1();
+        assert_eq!(h.graph().n_vertices(), 4);
+        assert_eq!(h.graph().n_edges(), 6);
+        assert_eq!(h.uncertain_edges().len(), 5);
+    }
+
+    #[test]
+    fn example_2_2_query_matches_certain_world() {
+        let h = figure_1();
+        assert!(exists_hom(&example_2_2_query(), h.graph()));
+    }
+
+    #[test]
+    fn figure_6_levels_are_consistent() {
+        let (g, levels) = figure_6_graded_dag();
+        for e in g.edges() {
+            assert_eq!(levels[e.dst], levels[e.src] - 1, "level drops by 1 along each edge");
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Graded DAGs and level mappings (Definition 3.5), the key tool of
+//! Proposition 3.6.
+//!
+//! A *level mapping* of a DAG `G` maps vertices to integers so that every
+//! edge `u → v` satisfies `µ(v) = µ(u) − 1`. A DAG is *graded* iff it has
+//! one, iff it has no two directed paths of different lengths between the
+//! same pair of vertices (no "jumping edge", \[28]).
+//!
+//! We compute level mappings by BFS over the underlying undirected graph:
+//! this detects, in one pass, both directed cycles and jumping edges (any
+//! closed undirected walk whose ±1 level increments do not cancel).
+
+use crate::digraph::Graph;
+
+/// Result of the gradedness analysis of a directed graph.
+#[derive(Clone, Debug)]
+pub struct LevelMapping {
+    /// Per-vertex level; within each connected component the mapping is
+    /// shifted so that its minimum is 0 (the "minimal level mapping" of the
+    /// paper's Appendix A).
+    pub levels: Vec<i64>,
+    /// Difference of levels (max − min) per connected component, in the
+    /// order of [`crate::classes::connected_components`].
+    pub component_differences: Vec<i64>,
+}
+
+impl LevelMapping {
+    /// The difference of levels of the whole graph: the maximum over
+    /// connected components (Appendix A). This is the length `m` such that
+    /// the graph is equivalent to `→^m` on `⊔DWT` instances.
+    pub fn difference_of_levels(&self) -> i64 {
+        self.component_differences.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes a level mapping if the graph is graded (in particular acyclic);
+/// returns `None` otherwise.
+///
+/// A graph with a directed cycle or a jumping edge has no level mapping:
+/// both produce an inconsistent constraint along some undirected walk, which
+/// the BFS detects.
+pub fn level_mapping(g: &Graph) -> Option<LevelMapping> {
+    let n = g.n_vertices();
+    let mut levels = vec![0i64; n];
+    let mut seen = vec![false; n];
+    let mut component_differences = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        levels[start] = 0;
+        let mut members = vec![start];
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for (w, _, dir) in g.und_neighbors(v) {
+                // Edge v → w demands µ(w) = µ(v) − 1; edge w → v demands
+                // µ(w) = µ(v) + 1.
+                let expected = match dir {
+                    crate::digraph::Dir::Forward => levels[v] - 1,
+                    crate::digraph::Dir::Backward => levels[v] + 1,
+                };
+                if seen[w] {
+                    if levels[w] != expected {
+                        return None; // cycle or jumping edge
+                    }
+                } else {
+                    seen[w] = true;
+                    levels[w] = expected;
+                    members.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        let lo = members.iter().map(|&v| levels[v]).min().unwrap();
+        let hi = members.iter().map(|&v| levels[v]).max().unwrap();
+        for &v in &members {
+            levels[v] -= lo;
+        }
+        component_differences.push(hi - lo);
+    }
+    Some(LevelMapping { levels, component_differences })
+}
+
+/// True iff the graph is a graded DAG.
+pub fn is_graded(g: &Graph) -> bool {
+    level_mapping(g).is_some()
+}
+
+/// True iff the graph has a directed cycle (self-loops count).
+pub fn has_directed_cycle(g: &Graph) -> bool {
+    // Iterative three-color DFS.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = g.n_vertices();
+    let mut color = vec![Color::White; n];
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        // Stack of (vertex, next out-edge index).
+        let mut stack = vec![(start, 0usize)];
+        color[start] = Color::Gray;
+        while let Some(&(v, i)) = stack.last() {
+            if i < g.out_edges(v).len() {
+                stack.last_mut().unwrap().1 += 1;
+                let e = g.out_edges(v)[i];
+                let w = g.edge(e).dst;
+                match color[w] {
+                    Color::Gray => return true,
+                    Color::White => {
+                        color[w] = Color::Gray;
+                        stack.push((w, 0));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[v] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+/// Length (edge count) of the longest directed path in a DAG; `None` if the
+/// graph has a directed cycle. In a DAG, the longest directed *walk* is a
+/// path, so simple memoization suffices. Used as the reference oracle for
+/// the longest-path probability DPs (Props 3.6 and 5.4).
+pub fn longest_directed_path(g: &Graph) -> Option<usize> {
+    if has_directed_cycle(g) {
+        return None;
+    }
+    let n = g.n_vertices();
+    // best[v] = longest path starting at v.
+    let mut best = vec![usize::MAX; n];
+    fn go(g: &Graph, v: usize, best: &mut [usize]) -> usize {
+        if best[v] != usize::MAX {
+            return best[v];
+        }
+        let mut b = 0;
+        for &e in g.out_edges(v) {
+            b = b.max(1 + go(g, g.edge(e).dst, best));
+        }
+        best[v] = b;
+        b
+    }
+    Some((0..n).map(|v| go(g, v, &mut best)).max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::{Graph, GraphBuilder, Label};
+    use crate::fixtures;
+
+    const U: Label = Label::UNLABELED;
+
+    #[test]
+    fn figure_6_dag_is_graded() {
+        let (g, expected) = fixtures::figure_6_graded_dag();
+        let lm = level_mapping(&g).expect("Figure 6's DAG is graded");
+        assert_eq!(lm.levels, expected);
+        assert_eq!(lm.difference_of_levels(), 5);
+        assert!(!has_directed_cycle(&g));
+    }
+
+    #[test]
+    fn path_levels() {
+        let g = Graph::directed_path(3);
+        let lm = level_mapping(&g).unwrap();
+        assert_eq!(lm.levels, vec![3, 2, 1, 0]);
+        assert_eq!(lm.difference_of_levels(), 3);
+    }
+
+    #[test]
+    fn jumping_edge_not_graded() {
+        // u → a → v and u → v: two directed paths of lengths 2 and 1.
+        let mut b = GraphBuilder::with_vertices(3);
+        b.edge(0, 1, U);
+        b.edge(1, 2, U);
+        b.edge(0, 2, U);
+        let g = b.build();
+        assert!(!is_graded(&g));
+        assert!(!has_directed_cycle(&g)); // still a DAG
+    }
+
+    #[test]
+    fn diamond_is_graded() {
+        // u → a → v, u → b → v: equal-length paths are fine.
+        let mut b = GraphBuilder::with_vertices(4);
+        b.edge(0, 1, U);
+        b.edge(0, 2, U);
+        b.edge(1, 3, U);
+        b.edge(2, 3, U);
+        let g = b.build();
+        let lm = level_mapping(&g).unwrap();
+        assert_eq!(lm.difference_of_levels(), 2);
+    }
+
+    #[test]
+    fn cycles_are_not_graded() {
+        let mut b = GraphBuilder::with_vertices(3);
+        b.edge(0, 1, U);
+        b.edge(1, 2, U);
+        b.edge(2, 0, U);
+        let g = b.build();
+        assert!(has_directed_cycle(&g));
+        assert!(!is_graded(&g));
+
+        let mut b = GraphBuilder::with_vertices(1);
+        b.edge(0, 0, U);
+        let loop_g = b.build();
+        assert!(has_directed_cycle(&loop_g));
+        assert!(!is_graded(&loop_g));
+
+        let mut b = GraphBuilder::with_vertices(2);
+        b.edge(0, 1, U);
+        b.edge(1, 0, U);
+        let two_cycle = b.build();
+        assert!(has_directed_cycle(&two_cycle));
+        assert!(!is_graded(&two_cycle));
+    }
+
+    #[test]
+    fn per_component_normalization() {
+        // Two components: a path of length 1 and a path of length 3.
+        let g = Graph::disjoint_union(&[&Graph::directed_path(1), &Graph::directed_path(3)]);
+        let lm = level_mapping(&g).unwrap();
+        assert_eq!(lm.component_differences, vec![1, 3]);
+        assert_eq!(lm.difference_of_levels(), 3);
+        // Each component's minimum level is 0.
+        assert_eq!(lm.levels[1], 0);
+        assert_eq!(lm.levels[5], 0);
+        assert_eq!(lm.levels[2], 3);
+    }
+
+    #[test]
+    fn two_way_path_gradedness() {
+        use crate::digraph::Dir::*;
+        // → ← → : levels 1,0,1,0 — graded with difference 1.
+        let g = Graph::two_way_path(&[(Forward, U), (Backward, U), (Forward, U)]);
+        let lm = level_mapping(&g).unwrap();
+        assert_eq!(lm.difference_of_levels(), 1);
+        // → → ← : levels 2,1,0,1 — difference 2.
+        let g = Graph::two_way_path(&[(Forward, U), (Forward, U), (Backward, U)]);
+        assert_eq!(level_mapping(&g).unwrap().difference_of_levels(), 2);
+    }
+
+    #[test]
+    fn longest_path_oracle() {
+        assert_eq!(longest_directed_path(&Graph::directed_path(4)), Some(4));
+        assert_eq!(longest_directed_path(&Graph::directed_path(0)), Some(0));
+        let (g, _) = fixtures::figure_6_graded_dag();
+        assert_eq!(longest_directed_path(&g), Some(5));
+        // Diamond: longest is 2.
+        let mut b = GraphBuilder::with_vertices(4);
+        b.edge(0, 1, U);
+        b.edge(0, 2, U);
+        b.edge(1, 3, U);
+        b.edge(2, 3, U);
+        assert_eq!(longest_directed_path(&b.build()), Some(2));
+        // Cyclic: None.
+        let mut b = GraphBuilder::with_vertices(2);
+        b.edge(0, 1, U);
+        b.edge(1, 0, U);
+        assert_eq!(longest_directed_path(&b.build()), None);
+        // The DWT fixture has height 3.
+        assert_eq!(longest_directed_path(&fixtures::figure_4_dwt()), Some(3));
+    }
+
+    #[test]
+    fn isolated_vertices_are_graded() {
+        let g = GraphBuilder::with_vertices(5).build();
+        let lm = level_mapping(&g).unwrap();
+        assert_eq!(lm.difference_of_levels(), 0);
+        assert_eq!(lm.component_differences.len(), 5);
+    }
+}

@@ -1,0 +1,430 @@
+//! Homomorphism testing between directed labeled graphs.
+//!
+//! `G ⇝ H` holds when there is a map `h : V(G) → V(H)` such that every edge
+//! `u --R--> v` of `G` has an image edge `h(u) --R--> h(v)` in `H`.
+//!
+//! The general problem is NP-hard (it is CSP); the backtracking search here
+//! is the *reference* decision procedure used by the brute-force solver and
+//! the test suite, with standard pruning. The polynomial-time special cases
+//! used by the paper's algorithms live in [`crate::xprop`] (X-property
+//! instances) and in the collapse arguments of `phom-core`.
+
+use crate::digraph::{Graph, VertexId};
+
+/// Decides whether `G ⇝ H`.
+pub fn exists_hom(g: &Graph, h: &Graph) -> bool {
+    find_hom(g, h).is_some()
+}
+
+/// Finds a homomorphism from `g` to `h` if one exists.
+pub fn find_hom(g: &Graph, h: &Graph) -> Option<Vec<VertexId>> {
+    Search::new(g, h).run()
+}
+
+/// Decides whether `G` maps into the world of `H` selected by the edge mask
+/// (the subgraph keeps all vertices, per the paper's convention).
+pub fn exists_hom_into_world(g: &Graph, h: &Graph, present: &[bool]) -> bool {
+    // Cheap path: worlds are edge-subgraphs, so reuse the search with a mask.
+    Search::with_mask(g, h, Some(present)).run().is_some()
+}
+
+struct Search<'a> {
+    g: &'a Graph,
+    h: &'a Graph,
+    mask: Option<&'a [bool]>,
+    /// Query vertices in assignment order (BFS across each component so
+    /// every vertex after the first of its component has an assigned
+    /// neighbor).
+    order: Vec<VertexId>,
+    assignment: Vec<Option<VertexId>>,
+}
+
+impl<'a> Search<'a> {
+    fn new(g: &'a Graph, h: &'a Graph) -> Self {
+        Search::with_mask(g, h, None)
+    }
+
+    fn with_mask(g: &'a Graph, h: &'a Graph, mask: Option<&'a [bool]>) -> Self {
+        let mut order = Vec::with_capacity(g.n_vertices());
+        let mut seen = vec![false; g.n_vertices()];
+        for start in 0..g.n_vertices() {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(v) = queue.pop_front() {
+                order.push(v);
+                for (w, _, _) in g.und_neighbors(v) {
+                    if !seen[w] {
+                        seen[w] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        Search { g, h, mask, order, assignment: vec![None; g.n_vertices()] }
+    }
+
+    fn edge_present(&self, e: usize) -> bool {
+        self.mask.is_none_or(|m| m[e])
+    }
+
+    fn run(mut self) -> Option<Vec<VertexId>> {
+        if self.backtrack(0) {
+            Some(self.assignment.iter().map(|a| a.unwrap()).collect())
+        } else {
+            None
+        }
+    }
+
+    /// Candidate images for query vertex `u` given current assignment:
+    /// derived from one assigned neighbor when available, else all of H.
+    fn candidates(&self, u: VertexId) -> Vec<VertexId> {
+        // Pick an assigned neighbor to constrain the domain.
+        for (w, e, dir) in self.g.und_neighbors(u) {
+            if let Some(hw) = self.assignment[w] {
+                let label = self.g.edge(e).label;
+                let mut cands = Vec::new();
+                match dir {
+                    // u --label--> w, so image must have x --label--> h(w).
+                    crate::digraph::Dir::Forward => {
+                        for &he in self.h.in_edges(hw) {
+                            if self.h.edge(he).label == label && self.edge_present(he) {
+                                cands.push(self.h.edge(he).src);
+                            }
+                        }
+                    }
+                    // w --label--> u.
+                    crate::digraph::Dir::Backward => {
+                        for &he in self.h.out_edges(hw) {
+                            if self.h.edge(he).label == label && self.edge_present(he) {
+                                cands.push(self.h.edge(he).dst);
+                            }
+                        }
+                    }
+                }
+                cands.sort_unstable();
+                cands.dedup();
+                return cands;
+            }
+        }
+        (0..self.h.n_vertices()).collect()
+    }
+
+    /// Checks all constraints between `u ↦ img` and already-assigned
+    /// neighbors.
+    fn consistent(&self, u: VertexId, img: VertexId) -> bool {
+        for &e in self.g.out_edges(u) {
+            let edge = self.g.edge(e);
+            if let Some(hv) = self.assignment[edge.dst] {
+                match self.h.edge_between(img, hv) {
+                    Some(he)
+                        if self.h.edge(he).label == edge.label && self.edge_present(he) => {}
+                    _ => return false,
+                }
+            }
+        }
+        for &e in self.g.in_edges(u) {
+            let edge = self.g.edge(e);
+            if let Some(hv) = self.assignment[edge.src] {
+                match self.h.edge_between(hv, img) {
+                    Some(he)
+                        if self.h.edge(he).label == edge.label && self.edge_present(he) => {}
+                    _ => return false,
+                }
+            }
+        }
+        // Self-loop on u.
+        if let Some(e) = self.g.edge_between(u, u) {
+            match self.h.edge_between(img, img) {
+                Some(he)
+                    if self.h.edge(he).label == self.g.edge(e).label
+                        && self.edge_present(he) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn backtrack(&mut self, depth: usize) -> bool {
+        if depth == self.order.len() {
+            return true;
+        }
+        let u = self.order[depth];
+        for img in self.candidates(u) {
+            if self.consistent(u, img) {
+                self.assignment[u] = Some(img);
+                if self.backtrack(depth + 1) {
+                    return true;
+                }
+                self.assignment[u] = None;
+            }
+        }
+        false
+    }
+}
+
+/// Checks that `assignment` is a homomorphism from `g` to `h` (testing aid).
+pub fn is_hom(g: &Graph, h: &Graph, assignment: &[VertexId]) -> bool {
+    assignment.len() == g.n_vertices()
+        && g.edges().iter().all(|e| {
+            matches!(h.edge_between(assignment[e.src], assignment[e.dst]),
+                 Some(he) if h.edge(he).label == e.label)
+        })
+}
+
+/// Two graphs are equivalent when each maps into the other (Section 2).
+pub fn equivalent(g1: &Graph, g2: &Graph) -> bool {
+    exists_hom(g1, g2) && exists_hom(g2, g1)
+}
+
+/// The induced subgraph on the vertices with `keep[v] = true` (vertices
+/// renumbered in increasing order).
+fn induced_subgraph(g: &Graph, keep: &[bool]) -> Graph {
+    let mut renumber = vec![usize::MAX; g.n_vertices()];
+    let mut next = 0;
+    for (v, &k) in keep.iter().enumerate() {
+        if k {
+            renumber[v] = next;
+            next += 1;
+        }
+    }
+    let mut b = crate::digraph::GraphBuilder::with_vertices(next.max(1));
+    for e in g.edges() {
+        if keep[e.src] && keep[e.dst] {
+            b.edge(renumber[e.src], renumber[e.dst], e.label);
+        }
+    }
+    b.build()
+}
+
+/// The **core** of a query graph: a vertex-minimal equivalent induced
+/// subgraph. Computed by greedy retraction — while some vertex `v` admits
+/// `G ⇝ G − v`, remove it. This terminates at a core because any
+/// non-core graph retracts onto a proper induced subgraph, which in
+/// particular misses some vertex.
+///
+/// Minimizing a query before evaluation is sound for `PHom` (equivalent
+/// queries have equal probability on every instance) and realizes the
+/// paper's collapses as special cases: the core of an unlabeled `⊔DWT`
+/// query *is* the path `→^m` of Prop 5.5 (up to iso). Worst-case
+/// exponential in the **query** size only — queries are the small input
+/// in combined complexity, and hom-testing reuses the same search as
+/// [`exists_hom`].
+pub fn core_of(g: &Graph) -> Graph {
+    let mut cur = g.clone();
+    'outer: loop {
+        if cur.n_vertices() <= 1 {
+            return cur;
+        }
+        for v in 0..cur.n_vertices() {
+            let mut keep = vec![true; cur.n_vertices()];
+            keep[v] = false;
+            let smaller = induced_subgraph(&cur, &keep);
+            if exists_hom(&cur, &smaller) {
+                cur = smaller;
+                continue 'outer;
+            }
+        }
+        return cur;
+    }
+}
+
+/// Whether `g` is its own core (no single-vertex retraction applies —
+/// equivalent to having no proper retract at all).
+pub fn is_core(g: &Graph) -> bool {
+    g.n_vertices() <= 1
+        || (0..g.n_vertices()).all(|v| {
+            let mut keep = vec![true; g.n_vertices()];
+            keep[v] = false;
+            !exists_hom(g, &induced_subgraph(g, &keep))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::{Dir, GraphBuilder, Label};
+
+    const R: Label = Label(0);
+    const S: Label = Label(1);
+
+    #[test]
+    fn path_into_longer_path() {
+        let g = Graph::directed_path(2);
+        let h = Graph::directed_path(5);
+        assert!(exists_hom(&g, &h));
+        assert!(!exists_hom(&h, &g));
+        let hom = find_hom(&g, &h).unwrap();
+        assert!(is_hom(&g, &h, &hom));
+    }
+
+    #[test]
+    fn labels_must_match() {
+        let g = Graph::one_way_path(&[R, S]);
+        let h1 = Graph::one_way_path(&[R, S, R]);
+        let h2 = Graph::one_way_path(&[R, R, S]);
+        assert!(exists_hom(&g, &h1));
+        assert!(exists_hom(&g, &h2));
+        let h3 = Graph::one_way_path(&[S, R, R]);
+        assert!(!exists_hom(&g, &h3));
+    }
+
+    #[test]
+    fn direction_matters() {
+        let g = Graph::two_way_path(&[(Dir::Forward, R), (Dir::Backward, R)]);
+        let h = Graph::one_way_path(&[R, R]);
+        // → ← cannot map into → → unless it folds: u→v←w maps with u,w ↦
+        // same source? u→v and w→v require edges x→y and z→y; in →→ the
+        // middle vertex has in-degree 1, the last has in-degree 1: map
+        // v ↦ 1, u ↦ 0, w ↦ 0. That IS a homomorphism.
+        assert!(exists_hom(&g, &h));
+        // But a genuine zig-zag of length 4 needs more room: →←→ into →→?
+        let zig = Graph::two_way_path(&[(Dir::Forward, R), (Dir::Backward, R), (Dir::Forward, R)]);
+        assert!(exists_hom(&zig, &h)); // still folds
+        // Into a single edge, → ← folds too (u,w ↦ src, v ↦ dst).
+        let single = Graph::one_way_path(&[R]);
+        assert!(exists_hom(&g, &single));
+    }
+
+    #[test]
+    fn dwt_query_equivalent_to_its_height_path() {
+        // Proposition 5.5: an unlabeled DWT is equivalent to →^height.
+        let u = Label::UNLABELED;
+        let tree = Graph::downward_tree(&[
+            None,
+            Some((0, u)),
+            Some((0, u)),
+            Some((1, u)),
+            Some((1, u)),
+            Some((4, u)),
+        ]);
+        // Height = 3 (0→1→4→5).
+        assert!(equivalent(&tree, &Graph::directed_path(3)));
+        assert!(!equivalent(&tree, &Graph::directed_path(2)));
+        assert!(!equivalent(&tree, &Graph::directed_path(4)));
+    }
+
+    #[test]
+    fn cycle_needs_cycle() {
+        let mut b = GraphBuilder::with_vertices(3);
+        b.edge(0, 1, R);
+        b.edge(1, 2, R);
+        b.edge(2, 0, R);
+        let triangle = b.build();
+        let path = Graph::one_way_path(&[R, R, R, R]);
+        assert!(!exists_hom(&triangle, &path));
+        // A 3-cycle maps into itself rotated.
+        assert!(exists_hom(&triangle, &triangle));
+        // The path maps into the cycle (wraps around).
+        assert!(exists_hom(&path, &triangle));
+    }
+
+    #[test]
+    fn world_mask_respected() {
+        let g = Graph::directed_path(2);
+        let h = Graph::directed_path(2);
+        assert!(exists_hom_into_world(&g, &h, &[true, true]));
+        assert!(!exists_hom_into_world(&g, &h, &[true, false]));
+        assert!(!exists_hom_into_world(&g, &h, &[false, true]));
+    }
+
+    #[test]
+    fn disconnected_query_needs_all_components() {
+        let g = Graph::disjoint_union(&[&Graph::one_way_path(&[R]), &Graph::one_way_path(&[S])]);
+        let h_r = Graph::one_way_path(&[R]);
+        let h_rs = Graph::one_way_path(&[R, S]);
+        assert!(!exists_hom(&g, &h_r));
+        assert!(exists_hom(&g, &h_rs));
+    }
+
+    #[test]
+    fn self_loop_handling() {
+        let mut b = GraphBuilder::with_vertices(1);
+        b.edge(0, 0, R);
+        let loop_g = b.build();
+        let path = Graph::one_way_path(&[R, R]);
+        assert!(!exists_hom(&loop_g, &path));
+        assert!(exists_hom(&loop_g, &loop_g));
+        // Any query maps into a reflexive vertex with the right label.
+        assert!(exists_hom(&path, &loop_g));
+    }
+
+    #[test]
+    fn single_vertex_query_always_maps() {
+        let g = Graph::directed_path(0);
+        let h = Graph::one_way_path(&[R, S]);
+        assert!(exists_hom(&g, &h));
+    }
+
+    #[test]
+    fn core_of_paths_and_trees() {
+        // An unlabeled DWT's core is the path of its height (Prop 5.5's
+        // collapse, realized by minimization).
+        let tree = crate::fixtures::figure_4_dwt();
+        let core = core_of(&tree);
+        let height = crate::graded::longest_directed_path(&tree).unwrap();
+        assert!(equivalent(&core, &Graph::directed_path(height)));
+        assert_eq!(core.n_vertices(), height + 1);
+        assert!(is_core(&core));
+        // A labeled 1WP with distinct labels is already a core.
+        let p = Graph::one_way_path(&[R, S, R]);
+        assert!(is_core(&p));
+        assert_eq!(core_of(&p).n_vertices(), p.n_vertices());
+    }
+
+    #[test]
+    fn core_of_cycles_and_loops() {
+        // A directed triangle is a core.
+        let mut b = GraphBuilder::with_vertices(3);
+        b.edge(0, 1, R);
+        b.edge(1, 2, R);
+        b.edge(2, 0, R);
+        let triangle = b.build();
+        assert!(is_core(&triangle));
+        // A reflexive vertex absorbs everything reachable by R-paths:
+        // the core of loop ⊔ long R-path is the single looped vertex.
+        let mut b = GraphBuilder::with_vertices(1);
+        b.edge(0, 0, R);
+        let looped = b.build();
+        let g = Graph::disjoint_union(&[&looped, &Graph::one_way_path(&[R, R, R])]);
+        let core = core_of(&g);
+        assert_eq!(core.n_vertices(), 1);
+        assert_eq!(core.n_edges(), 1);
+    }
+
+    #[test]
+    fn core_is_equivalent_and_idempotent() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(0xC07E);
+        for _ in 0..25 {
+            let g = crate::generate::arbitrary(5, 0.35, 2, &mut rng);
+            let core = core_of(&g);
+            assert!(equivalent(&g, &core));
+            assert!(is_core(&core));
+            let again = core_of(&core);
+            assert_eq!(again.n_vertices(), core.n_vertices());
+        }
+    }
+
+    #[test]
+    fn duplicate_components_collapse_in_core() {
+        // G ⊔ G retracts onto G.
+        let p = Graph::one_way_path(&[R, S]);
+        let dup = Graph::disjoint_union(&[&p, &p]);
+        let core = core_of(&dup);
+        assert!(equivalent(&core, &p));
+        assert_eq!(core.n_vertices(), p.n_vertices());
+    }
+
+    #[test]
+    fn example_2_2_match_structure() {
+        // G = •-R->•-S->•<-S-• has a hom into Figure 1's H exactly when the
+        // right edges are there; here we test the certain world.
+        let g = crate::fixtures::example_2_2_query();
+        let h = crate::fixtures::figure_1();
+        assert!(exists_hom(&g, h.graph()));
+    }
+}

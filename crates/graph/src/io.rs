@@ -1,0 +1,245 @@
+//! A small text format for (probabilistic) graphs, used by the CLI and by
+//! downstream tooling.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! vertices 4
+//! edge 0 1 R          # certain edge with label R
+//! edge 1 2 S 1/2      # probability 1/2
+//! edge 3 2 S 0.25     # decimal probabilities become exact rationals
+//! ```
+//!
+//! Labels are arbitrary identifiers; they are interned in first-seen order
+//! (`R` ↦ 0, `S` ↦ 1, …). Query files use the same format without
+//! probabilities.
+
+use crate::digraph::{Graph, GraphBuilder, Label};
+use crate::prob::ProbGraph;
+use phom_num::{Natural, Rational};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure, with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line where the problem was found.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses a rational: `a/b`, an integer, or a decimal like `0.25`.
+pub fn parse_rational(s: &str) -> Option<Rational> {
+    if let Some((num, den)) = s.split_once('/') {
+        let n = Natural::from_decimal(num.trim())?;
+        let d = Natural::from_decimal(den.trim())?;
+        if d.is_zero() {
+            return None;
+        }
+        return Some(Rational::new(false, n, d));
+    }
+    if let Some((int, frac)) = s.split_once('.') {
+        let int = if int.is_empty() { Natural::zero() } else { Natural::from_decimal(int)? };
+        let digits = frac.len() as u32;
+        if digits > 18 {
+            return None;
+        }
+        let fr = if frac.is_empty() { Natural::zero() } else { Natural::from_decimal(frac)? };
+        let scale = Natural::from_u64(10u64.pow(digits));
+        return Some(Rational::new(false, int.mul(&scale).add(&fr), scale));
+    }
+    Natural::from_decimal(s).map(|n| Rational::new(false, n, Natural::one()))
+}
+
+/// The result of parsing: the graph, probabilities (1 where omitted), and
+/// the label names in intern order.
+#[derive(Debug, Clone)]
+pub struct ParsedGraph {
+    /// The parsed graph.
+    pub graph: Graph,
+    /// Edge probabilities (all 1 for query files).
+    pub probs: Vec<Rational>,
+    /// Label names in intern order (`labels[l.0 as usize]`).
+    pub labels: Vec<String>,
+}
+
+impl ParsedGraph {
+    /// Converts into a probabilistic graph.
+    pub fn into_prob_graph(self) -> ProbGraph {
+        ProbGraph::new(self.graph, self.probs)
+    }
+}
+
+/// Parses the text format.
+pub fn parse_graph(text: &str) -> Result<ParsedGraph, ParseError> {
+    let mut b: Option<GraphBuilder> = None;
+    let mut probs: Vec<Rational> = Vec::new();
+    let mut interner: HashMap<String, Label> = HashMap::new();
+    let mut names: Vec<String> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("vertices") => {
+                let n: usize = tok
+                    .next()
+                    .ok_or_else(|| err(line_no, "expected a count after 'vertices'"))?
+                    .parse()
+                    .map_err(|_| err(line_no, "invalid vertex count"))?;
+                if n == 0 {
+                    return Err(err(line_no, "graphs need at least one vertex"));
+                }
+                if b.is_some() {
+                    return Err(err(line_no, "duplicate 'vertices' line"));
+                }
+                b = Some(GraphBuilder::with_vertices(n));
+            }
+            Some("edge") => {
+                let builder = b.get_or_insert_with(|| GraphBuilder::with_vertices(1));
+                let src: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, "expected source vertex"))?;
+                let dst: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, "expected target vertex"))?;
+                let label_name = tok
+                    .next()
+                    .ok_or_else(|| err(line_no, "expected an edge label"))?
+                    .to_string();
+                let next_id = interner.len() as u32;
+                let label = *interner.entry(label_name.clone()).or_insert_with(|| {
+                    names.push(label_name);
+                    Label(next_id)
+                });
+                let prob = match tok.next() {
+                    None => Rational::one(),
+                    Some(p) => {
+                        let r = parse_rational(p)
+                            .ok_or_else(|| err(line_no, format!("invalid probability '{p}'")))?;
+                        if !r.is_probability() {
+                            return Err(err(line_no, format!("probability {r} not in [0,1]")));
+                        }
+                        r
+                    }
+                };
+                if tok.next().is_some() {
+                    return Err(err(line_no, "trailing tokens after edge"));
+                }
+                if builder.try_edge(src, dst, label).is_none() {
+                    return Err(err(line_no, format!("duplicate edge ({src}, {dst})")));
+                }
+                probs.push(prob);
+            }
+            Some(other) => return Err(err(line_no, format!("unknown directive '{other}'"))),
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    let builder = b.ok_or_else(|| err(0, "empty input"))?;
+    Ok(ParsedGraph { graph: builder.build(), probs, labels: names })
+}
+
+/// Serializes a probabilistic graph into the text format (inverse of
+/// [`parse_graph`] up to label naming).
+pub fn write_prob_graph(h: &ProbGraph, label_names: Option<&[String]>) -> String {
+    let mut out = format!("vertices {}\n", h.graph().n_vertices());
+    for (i, e) in h.graph().edges().iter().enumerate() {
+        let name = label_names
+            .and_then(|ns| ns.get(e.label.0 as usize).cloned())
+            .unwrap_or_else(|| e.label.name());
+        if h.prob(i).is_one() {
+            out.push_str(&format!("edge {} {} {}\n", e.src, e.dst, name));
+        } else {
+            out.push_str(&format!("edge {} {} {} {}\n", e.src, e.dst, name, h.prob(i)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_graph() {
+        let text = "\
+# a probabilistic triangle-ish graph
+vertices 3
+edge 0 1 R
+edge 1 2 S 1/2
+edge 0 2 S 0.25
+";
+        let parsed = parse_graph(text).unwrap();
+        assert_eq!(parsed.graph.n_vertices(), 3);
+        assert_eq!(parsed.graph.n_edges(), 3);
+        assert_eq!(parsed.labels, vec!["R", "S"]);
+        assert_eq!(parsed.probs[0], Rational::one());
+        assert_eq!(parsed.probs[1], Rational::from_ratio(1, 2));
+        assert_eq!(parsed.probs[2], Rational::from_ratio(1, 4));
+        let h = parsed.into_prob_graph();
+        assert_eq!(h.uncertain_edges().len(), 2);
+    }
+
+    #[test]
+    fn vertices_grow_on_demand() {
+        let parsed = parse_graph("edge 0 5 A\n").unwrap();
+        assert_eq!(parsed.graph.n_vertices(), 6);
+    }
+
+    #[test]
+    fn parse_rational_forms() {
+        assert_eq!(parse_rational("1/2"), Some(Rational::from_ratio(1, 2)));
+        assert_eq!(parse_rational("3"), Some(Rational::from_ratio(3, 1)));
+        assert_eq!(parse_rational("0.125"), Some(Rational::from_ratio(1, 8)));
+        assert_eq!(parse_rational(".5"), Some(Rational::from_ratio(1, 2)));
+        assert_eq!(parse_rational("1.0"), Some(Rational::one()));
+        assert_eq!(parse_rational("1/0"), None);
+        assert_eq!(parse_rational("x"), None);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_graph("vertices 2\nedge 0 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_graph("edge 0 1 R 3/2\n").unwrap_err();
+        assert!(e.message.contains("not in [0,1]"));
+        let e = parse_graph("edge 0 1 R\nedge 0 1 S\n").unwrap_err();
+        assert!(e.message.contains("duplicate edge"));
+        let e = parse_graph("frobnicate\n").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+        assert!(parse_graph("").is_err());
+        let e = parse_graph("vertices 0\n").unwrap_err();
+        assert!(e.message.contains("at least one vertex"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "vertices 4\nedge 0 1 R\nedge 1 2 S 1/2\nedge 3 2 S 1/4\n";
+        let parsed = parse_graph(text).unwrap();
+        let labels = parsed.labels.clone();
+        let h = parsed.into_prob_graph();
+        let written = write_prob_graph(&h, Some(&labels));
+        assert_eq!(written, text);
+        // And parse(write(x)) == x.
+        let reparsed = parse_graph(&written).unwrap();
+        assert_eq!(&reparsed.graph, h.graph());
+        assert_eq!(reparsed.probs, h.probs());
+    }
+}

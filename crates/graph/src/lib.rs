@@ -1,0 +1,29 @@
+//! Directed edge-labeled graphs, probabilistic graphs, and the structural
+//! toolbox of the paper: graph-class recognition (1WP / 2WP / DWT / PT and
+//! disjoint unions), homomorphism testing, graded DAGs (Definition 3.5) and
+//! the X-property (Definition 4.12).
+//!
+//! Conventions, following Section 2 of the paper:
+//!
+//! * graphs are **directed** and have **no multi-edges**: an ordered pair
+//!   `(a, b)` carries at most one edge, with a unique label;
+//! * a *probabilistic graph* annotates every edge with a rational
+//!   probability; its possible worlds are the edge-subgraphs (vertices are
+//!   always kept);
+//! * the *unlabeled setting* is modeled by using a single label everywhere
+//!   ([`digraph::Label::UNLABELED`]).
+
+pub mod classes;
+pub mod digraph;
+pub mod fixtures;
+pub mod generate;
+pub mod graded;
+pub mod hom;
+pub mod io;
+pub mod prob;
+pub mod treedecomp;
+pub mod xprop;
+
+pub use classes::{classify, Classification, ConnClass};
+pub use digraph::{Dir, EdgeId, Graph, GraphBuilder, Label, VertexId};
+pub use prob::ProbGraph;

@@ -1,0 +1,233 @@
+//! Probabilistic graphs (tuple-independent representation) and possible
+//! worlds.
+
+use crate::digraph::{EdgeId, Graph};
+use phom_num::Rational;
+
+/// A probabilistic graph `(H, π)`: a graph whose edges carry independent
+/// presence probabilities (rationals, as in the paper).
+#[derive(Clone, Debug)]
+pub struct ProbGraph {
+    graph: Graph,
+    probs: Vec<Rational>,
+}
+
+impl ProbGraph {
+    /// Wraps a graph with its edge probabilities. Panics if the vector has
+    /// the wrong length or contains values outside `[0, 1]`.
+    pub fn new(graph: Graph, probs: Vec<Rational>) -> Self {
+        assert_eq!(probs.len(), graph.n_edges(), "one probability per edge");
+        assert!(probs.iter().all(Rational::is_probability), "probabilities must lie in [0,1]");
+        ProbGraph { graph, probs }
+    }
+
+    /// A deterministic graph: every edge has probability 1.
+    pub fn certain(graph: Graph) -> Self {
+        let probs = vec![Rational::one(); graph.n_edges()];
+        ProbGraph { graph, probs }
+    }
+
+    /// The underlying graph `H`.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The probability of edge `e`.
+    pub fn prob(&self, e: EdgeId) -> &Rational {
+        &self.probs[e]
+    }
+
+    /// All probabilities, edge-indexed.
+    pub fn probs(&self) -> &[Rational] {
+        &self.probs
+    }
+
+    /// Ids of the *uncertain* edges (`0 < π(e) < 1`).
+    pub fn uncertain_edges(&self) -> Vec<EdgeId> {
+        (0..self.graph.n_edges())
+            .filter(|&e| !self.probs[e].is_zero() && !self.probs[e].is_one())
+            .collect()
+    }
+
+    /// Restriction of the probabilistic graph to a subset of vertices
+    /// (used to split a disconnected instance into components, Lemma 3.7).
+    /// `keep_vertex[v]` selects the vertices; edges with both endpoints kept
+    /// survive. Returns the restricted graph and the vertex renumbering.
+    pub fn vertex_restriction(&self, keep_vertex: &[bool]) -> (ProbGraph, Vec<Option<usize>>) {
+        let mut renumber = vec![None; self.graph.n_vertices()];
+        let mut next = 0;
+        for (v, &k) in keep_vertex.iter().enumerate() {
+            if k {
+                renumber[v] = Some(next);
+                next += 1;
+            }
+        }
+        let mut b = crate::digraph::GraphBuilder::with_vertices(next.max(1));
+        let mut probs = Vec::new();
+        for (i, e) in self.graph.edges().iter().enumerate() {
+            if let (Some(s), Some(d)) = (renumber[e.src], renumber[e.dst]) {
+                b.edge(s, d, e.label);
+                probs.push(self.probs[i].clone());
+            }
+        }
+        (ProbGraph::new(b.build(), probs), renumber)
+    }
+
+    /// The probability of the world selected by `present` (edge mask), per
+    /// the product semantics of Section 2. Edges with π = 1 absent in the
+    /// mask (or π = 0 present) make the world's probability zero.
+    pub fn world_probability(&self, present: &[bool]) -> Rational {
+        assert_eq!(present.len(), self.graph.n_edges());
+        let mut p = Rational::one();
+        for (e, &keep) in present.iter().enumerate() {
+            let factor = if keep { self.probs[e].clone() } else { self.probs[e].one_minus() };
+            if factor.is_zero() {
+                return Rational::zero();
+            }
+            p = p.mul(&factor);
+        }
+        p
+    }
+
+    /// Iterates over all possible worlds of non-zero probability, yielding
+    /// `(edge mask, probability)`. Exponential in the number of uncertain
+    /// edges — this is the brute-force baseline, not an algorithm.
+    pub fn worlds(&self) -> WorldIter<'_> {
+        let uncertain = self.uncertain_edges();
+        assert!(uncertain.len() < 63, "too many uncertain edges for world enumeration");
+        WorldIter { pg: self, uncertain, next_mask: 0, done: false }
+    }
+
+    /// Number of possible worlds with non-zero probability that
+    /// [`ProbGraph::worlds`] will yield.
+    pub fn n_nonzero_worlds(&self) -> u64 {
+        1u64 << self.uncertain_edges().len()
+    }
+}
+
+/// Iterator over the non-zero-probability possible worlds of a
+/// [`ProbGraph`].
+pub struct WorldIter<'a> {
+    pg: &'a ProbGraph,
+    uncertain: Vec<EdgeId>,
+    next_mask: u64,
+    done: bool,
+}
+
+impl Iterator for WorldIter<'_> {
+    type Item = (Vec<bool>, Rational);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mask = self.next_mask;
+        let g = self.pg.graph();
+        let mut present = vec![false; g.n_edges()];
+        let mut prob = Rational::one();
+        #[allow(clippy::needless_range_loop)] // e indexes two parallel arrays
+        for e in 0..g.n_edges() {
+            if self.pg.probs[e].is_one() {
+                present[e] = true;
+            }
+        }
+        for (bit, &e) in self.uncertain.iter().enumerate() {
+            if mask >> bit & 1 == 1 {
+                present[e] = true;
+                prob = prob.mul(&self.pg.probs[e]);
+            } else {
+                prob = prob.mul(&self.pg.probs[e].one_minus());
+            }
+        }
+        if mask + 1 == 1u64 << self.uncertain.len() {
+            self.done = true;
+        } else {
+            self.next_mask = mask + 1;
+        }
+        Some((present, prob))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    use crate::fixtures::figure_1;
+
+    fn rat(n: u64, d: u64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn world_count_matches_example_2_1() {
+        // "There are 2^6 possible worlds, 2^5 of which have non-zero
+        // probability": one edge has probability 1, five are uncertain.
+        let h = figure_1();
+        assert_eq!(h.uncertain_edges().len(), 5);
+        assert_eq!(h.n_nonzero_worlds(), 32);
+        let worlds: Vec<_> = h.worlds().collect();
+        assert_eq!(worlds.len(), 32);
+        // Probabilities of all possible worlds sum to 1.
+        let total = worlds.iter().fold(Rational::zero(), |acc, (_, p)| acc.add(p));
+        assert!(total.is_one());
+    }
+
+    #[test]
+    fn example_2_1_world_probability() {
+        // "The possible world where all R-edges are kept and all S-edges
+        // are removed has probability 0.1 × 1 × 0.8 × 0.1 × 0.05 × (1−0.7)."
+        let h = figure_1();
+        let present = vec![true, true, true, true, true, false];
+        let expect = rat(1, 10)
+            .mul(&rat(1, 1))
+            .mul(&rat(8, 10))
+            .mul(&rat(1, 10))
+            .mul(&rat(5, 100))
+            .mul(&rat(7, 10).one_minus());
+        assert_eq!(h.world_probability(&present), expect);
+    }
+
+    #[test]
+    fn certain_graph_has_one_world() {
+        let g = crate::digraph::Graph::directed_path(3);
+        let h = ProbGraph::certain(g);
+        assert_eq!(h.n_nonzero_worlds(), 1);
+        let worlds: Vec<_> = h.worlds().collect();
+        assert_eq!(worlds.len(), 1);
+        assert!(worlds[0].1.is_one());
+        assert!(worlds[0].0.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn zero_probability_edge_never_present() {
+        let g = crate::digraph::Graph::directed_path(1);
+        let h = ProbGraph::new(g, vec![Rational::zero()]);
+        let worlds: Vec<_> = h.worlds().collect();
+        assert_eq!(worlds.len(), 1);
+        assert!(!worlds[0].0[0]);
+        // A world forcing the zero edge present has zero probability.
+        assert!(h.world_probability(&[true]).is_zero());
+    }
+
+    #[test]
+    fn vertex_restriction_components() {
+        let a = crate::digraph::Graph::directed_path(1);
+        let b = crate::digraph::Graph::directed_path(1);
+        let u = crate::digraph::Graph::disjoint_union(&[&a, &b]);
+        let pg = ProbGraph::new(u, vec![rat(1, 2), rat(1, 3)]);
+        let (left, renum) = pg.vertex_restriction(&[true, true, false, false]);
+        assert_eq!(left.graph().n_vertices(), 2);
+        assert_eq!(left.graph().n_edges(), 1);
+        assert_eq!(left.prob(0), &rat(1, 2));
+        assert_eq!(renum[1], Some(1));
+        assert_eq!(renum[2], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must lie")]
+    fn rejects_out_of_range_probability() {
+        let g = crate::digraph::Graph::directed_path(1);
+        let _ = ProbGraph::new(g, vec![rat(3, 2)]);
+    }
+}

@@ -1,0 +1,788 @@
+//! Tree decompositions of the underlying undirected graph.
+//!
+//! Section 6 of the paper proposes generalizing the polytree instances of
+//! Propositions 5.4/5.5 to **bounded-treewidth** instances ("we believe
+//! that the relevant tractability result (Proposition 5.5) adapts to this
+//! setting"). This module provides the substrate for that extension:
+//!
+//! * [`TreeDecomposition`] — bags on a tree, with full validation of the
+//!   three tree-decomposition axioms and width computation;
+//! * construction heuristics ([`min_degree_decomposition`],
+//!   [`min_fill_decomposition`]) via elimination orderings — exact on
+//!   chordal graphs, and in particular of width 1 on (poly)trees;
+//! * [`NiceDecomposition`] — the *nice* form with explicit edge
+//!   introduction ([`NiceNode::IntroduceEdge`]), the shape consumed by the
+//!   dynamic program of `phom-core::algo::walk_on_tw`.
+//!
+//! Treewidth is NP-hard to compute exactly, so the constructors here are
+//! heuristics: they always return a *valid* decomposition, whose width is
+//! an upper bound on the true treewidth. On trees, polytrees and forests
+//! the heuristics are exact (width 1, or 0 for edgeless graphs).
+
+use crate::digraph::{EdgeId, Graph, VertexId};
+use std::collections::BTreeSet;
+
+/// A tree decomposition of (the underlying undirected graph of) a [`Graph`].
+///
+/// Stored as a rooted forest of bags: `parent[i]` is the parent bag of bag
+/// `i`, or `None` for roots. Bags are sorted vertex lists.
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    bags: Vec<Vec<VertexId>>,
+    parent: Vec<Option<usize>>,
+}
+
+/// Why a claimed tree decomposition is not one (see
+/// [`TreeDecomposition::validate`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeDecompError {
+    /// A vertex appears in no bag.
+    VertexNotCovered(VertexId),
+    /// An edge's endpoints share no bag.
+    EdgeNotCovered(EdgeId),
+    /// The bags containing a vertex do not form a connected subtree.
+    VertexBagsDisconnected(VertexId),
+    /// A parent pointer is out of range or creates a cycle.
+    MalformedTree,
+}
+
+impl std::fmt::Display for TreeDecompError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeDecompError::VertexNotCovered(v) => {
+                write!(f, "vertex {v} appears in no bag")
+            }
+            TreeDecompError::EdgeNotCovered(e) => {
+                write!(f, "edge {e}'s endpoints share no bag")
+            }
+            TreeDecompError::VertexBagsDisconnected(v) => {
+                write!(f, "bags containing vertex {v} are not connected in the tree")
+            }
+            TreeDecompError::MalformedTree => write!(f, "parent pointers do not form a forest"),
+        }
+    }
+}
+
+impl TreeDecomposition {
+    /// Builds a decomposition from explicit bags and parent pointers.
+    /// Bags are sorted and deduplicated; structural validity against a
+    /// graph is checked separately by [`TreeDecomposition::validate`].
+    pub fn new(mut bags: Vec<Vec<VertexId>>, parent: Vec<Option<usize>>) -> Self {
+        assert_eq!(bags.len(), parent.len(), "one parent pointer per bag");
+        for bag in &mut bags {
+            bag.sort_unstable();
+            bag.dedup();
+        }
+        TreeDecomposition { bags, parent }
+    }
+
+    /// The trivial decomposition: one bag holding every vertex. Always
+    /// valid; width `n − 1`.
+    pub fn trivial(graph: &Graph) -> Self {
+        TreeDecomposition {
+            bags: vec![(0..graph.n_vertices()).collect()],
+            parent: vec![None],
+        }
+    }
+
+    /// Number of bags.
+    pub fn n_bags(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// The `i`-th bag (sorted).
+    pub fn bag(&self, i: usize) -> &[VertexId] {
+        &self.bags[i]
+    }
+
+    /// All bags.
+    pub fn bags(&self) -> &[Vec<VertexId>] {
+        &self.bags
+    }
+
+    /// Parent of bag `i` (`None` for roots).
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// The width: max bag size − 1 (−1 ⇒ 0 bags, treated as width 0 of the
+    /// empty graph).
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(Vec::len).max().unwrap_or(1).saturating_sub(1)
+    }
+
+    /// Checks the three tree-decomposition axioms against `graph`:
+    /// every vertex is in a bag, every (undirected) edge is inside a bag,
+    /// and each vertex's bags form a connected subtree.
+    pub fn validate(&self, graph: &Graph) -> Result<(), TreeDecompError> {
+        // Parent pointers form a forest (no cycles, indices in range).
+        let n_bags = self.bags.len();
+        for (i, &p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                if p >= n_bags {
+                    return Err(TreeDecompError::MalformedTree);
+                }
+                // Walk up with a step bound to detect cycles.
+                let (mut cur, mut steps) = (i, 0usize);
+                while let Some(next) = self.parent[cur] {
+                    cur = next;
+                    steps += 1;
+                    if steps > n_bags {
+                        return Err(TreeDecompError::MalformedTree);
+                    }
+                }
+            }
+        }
+        // Vertex coverage + connected-subtree condition, per vertex.
+        let mut containing: Vec<Vec<usize>> = vec![Vec::new(); graph.n_vertices()];
+        for (i, bag) in self.bags.iter().enumerate() {
+            for &v in bag {
+                if v >= graph.n_vertices() {
+                    return Err(TreeDecompError::MalformedTree);
+                }
+                containing[v].push(i);
+            }
+        }
+        for (v, bags_v) in containing.iter().enumerate() {
+            if bags_v.is_empty() {
+                return Err(TreeDecompError::VertexNotCovered(v));
+            }
+            // The bags containing v must induce a connected sub-forest:
+            // count how many of them have a parent *also containing v*;
+            // connected ⟺ exactly one element of bags_v is a local root.
+            let in_set: BTreeSet<usize> = bags_v.iter().copied().collect();
+            let local_roots = bags_v
+                .iter()
+                .filter(|&&b| match self.parent[b] {
+                    Some(p) => !in_set.contains(&p),
+                    None => true,
+                })
+                .count();
+            if local_roots != 1 {
+                return Err(TreeDecompError::VertexBagsDisconnected(v));
+            }
+        }
+        // Edge coverage.
+        for (e, edge) in graph.edges().iter().enumerate() {
+            let ok = self
+                .bags
+                .iter()
+                .any(|bag| bag.binary_search(&edge.src).is_ok() && bag.binary_search(&edge.dst).is_ok());
+            if !ok {
+                return Err(TreeDecompError::EdgeNotCovered(e));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Undirected simple adjacency of a directed graph (2-cycles collapse to
+/// one undirected edge; self-loops are dropped — they never affect
+/// treewidth).
+fn undirected_adjacency(graph: &Graph) -> Vec<BTreeSet<VertexId>> {
+    let mut adj: Vec<BTreeSet<VertexId>> = vec![BTreeSet::new(); graph.n_vertices()];
+    for e in graph.edges() {
+        if e.src != e.dst {
+            adj[e.src].insert(e.dst);
+            adj[e.dst].insert(e.src);
+        }
+    }
+    adj
+}
+
+/// Builds a tree decomposition from an elimination ordering: eliminating a
+/// vertex creates the bag `{v} ∪ N(v)` and connects `N(v)` into a clique
+/// (the standard fill-in construction). The bag of `v` is attached to the
+/// bag of the first-eliminated remaining neighbor.
+fn decomposition_from_elimination(graph: &Graph, order: &[VertexId]) -> TreeDecomposition {
+    let n = graph.n_vertices();
+    assert_eq!(order.len(), n, "elimination order must cover every vertex");
+    let mut adj = undirected_adjacency(graph);
+    let mut position = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        position[v] = i;
+    }
+    // bag_of[v] = index of the bag created when v was eliminated.
+    let mut bag_of = vec![usize::MAX; n];
+    let mut bags: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+    let mut parent_neighbor: Vec<Option<VertexId>> = Vec::with_capacity(n);
+    for &v in order {
+        let neighbors: Vec<VertexId> = adj[v].iter().copied().collect();
+        let mut bag = neighbors.clone();
+        bag.push(v);
+        bag.sort_unstable();
+        bags.push(bag);
+        bag_of[v] = bags.len() - 1;
+        // The parent is the neighbor eliminated soonest after v.
+        parent_neighbor.push(neighbors.iter().copied().min_by_key(|&u| position[u]));
+        // Fill in: neighbors become a clique; v disappears.
+        for &u in &neighbors {
+            adj[u].remove(&v);
+        }
+        for i in 0..neighbors.len() {
+            for j in i + 1..neighbors.len() {
+                adj[neighbors[i]].insert(neighbors[j]);
+                adj[neighbors[j]].insert(neighbors[i]);
+            }
+        }
+        adj[v].clear();
+    }
+    let parent: Vec<Option<usize>> = parent_neighbor
+        .into_iter()
+        .map(|p| p.map(|u| bag_of[u]))
+        .collect();
+    TreeDecomposition { bags, parent }
+}
+
+/// Tree decomposition via the **min-degree** elimination heuristic:
+/// repeatedly eliminate a vertex of minimum current degree. Exact on trees
+/// and forests (width ≤ 1); a good general-purpose upper bound otherwise.
+pub fn min_degree_decomposition(graph: &Graph) -> TreeDecomposition {
+    let n = graph.n_vertices();
+    let mut adj = undirected_adjacency(graph);
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !eliminated[v])
+            .min_by_key(|&v| adj[v].len())
+            .expect("some vertex remains");
+        order.push(v);
+        eliminated[v] = true;
+        let neighbors: Vec<VertexId> = adj[v].iter().copied().collect();
+        for &u in &neighbors {
+            adj[u].remove(&v);
+        }
+        for i in 0..neighbors.len() {
+            for j in i + 1..neighbors.len() {
+                adj[neighbors[i]].insert(neighbors[j]);
+                adj[neighbors[j]].insert(neighbors[i]);
+            }
+        }
+        adj[v].clear();
+    }
+    decomposition_from_elimination(graph, &order)
+}
+
+/// Tree decomposition via the **min-fill** elimination heuristic:
+/// repeatedly eliminate the vertex whose elimination adds the fewest fill
+/// edges. Slower than min-degree but often tighter.
+pub fn min_fill_decomposition(graph: &Graph) -> TreeDecomposition {
+    let n = graph.n_vertices();
+    let mut adj = undirected_adjacency(graph);
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let fill_count = |v: VertexId, adj: &[BTreeSet<VertexId>]| -> usize {
+            let neighbors: Vec<VertexId> = adj[v].iter().copied().collect();
+            let mut fill = 0;
+            for i in 0..neighbors.len() {
+                for j in i + 1..neighbors.len() {
+                    if !adj[neighbors[i]].contains(&neighbors[j]) {
+                        fill += 1;
+                    }
+                }
+            }
+            fill
+        };
+        let v = (0..n)
+            .filter(|&v| !eliminated[v])
+            .min_by_key(|&v| (fill_count(v, &adj), adj[v].len()))
+            .expect("some vertex remains");
+        order.push(v);
+        eliminated[v] = true;
+        let neighbors: Vec<VertexId> = adj[v].iter().copied().collect();
+        for &u in &neighbors {
+            adj[u].remove(&v);
+        }
+        for i in 0..neighbors.len() {
+            for j in i + 1..neighbors.len() {
+                adj[neighbors[i]].insert(neighbors[j]);
+                adj[neighbors[j]].insert(neighbors[i]);
+            }
+        }
+        adj[v].clear();
+    }
+    decomposition_from_elimination(graph, &order)
+}
+
+/// The best of the two heuristics (by resulting width).
+pub fn heuristic_decomposition(graph: &Graph) -> TreeDecomposition {
+    let a = min_degree_decomposition(graph);
+    let b = min_fill_decomposition(graph);
+    if a.width() <= b.width() {
+        a
+    } else {
+        b
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nice decompositions
+// ---------------------------------------------------------------------------
+
+/// A node of a [`NiceDecomposition`].
+///
+/// The variant set is the standard one *with edge introduction*: each edge
+/// of the graph is introduced by exactly one [`NiceNode::IntroduceEdge`]
+/// node, which is what lets the treewidth dynamic program branch on edge
+/// presence exactly once per edge (the tuple-independence semantics).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NiceNode {
+    /// A leaf with an empty bag.
+    Leaf,
+    /// Adds vertex `v` to the child's bag (no incident edges yet).
+    Introduce { child: usize, v: VertexId },
+    /// Removes vertex `v` from the child's bag.
+    Forget { child: usize, v: VertexId },
+    /// Introduces graph edge `edge`; both endpoints are in the bag, which
+    /// equals the child's bag.
+    IntroduceEdge { child: usize, edge: EdgeId },
+    /// Joins two children with identical bags.
+    Join { left: usize, right: usize },
+}
+
+/// A nice tree decomposition (binary, rooted at an empty bag, each graph
+/// edge introduced exactly once). Node ids are a topological order:
+/// children precede parents, and the root is the last node.
+#[derive(Clone, Debug)]
+pub struct NiceDecomposition {
+    nodes: Vec<NiceNode>,
+    bags: Vec<Vec<VertexId>>,
+    width: usize,
+}
+
+impl NiceDecomposition {
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The root node id (always the last node).
+    pub fn root(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The `i`-th node.
+    pub fn node(&self, i: usize) -> &NiceNode {
+        &self.nodes[i]
+    }
+
+    /// The (sorted) bag at node `i`.
+    pub fn bag(&self, i: usize) -> &[VertexId] {
+        &self.bags[i]
+    }
+
+    /// Width (max bag size − 1).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Converts a (validated) tree decomposition into nice form for
+    /// `graph`. Handles disconnected graphs and decomposition forests by
+    /// joining the roots through empty bags. Returns `None` if the
+    /// decomposition fails validation.
+    pub fn from_decomposition(graph: &Graph, td: &TreeDecomposition) -> Option<Self> {
+        td.validate(graph).ok()?;
+        let mut builder = NiceBuilder {
+            graph,
+            nodes: Vec::new(),
+            bags: Vec::new(),
+            edge_done: vec![false; graph.n_edges()],
+        };
+        // Children lists of the decomposition forest.
+        let n_bags = td.n_bags();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n_bags];
+        let mut roots = Vec::new();
+        for i in 0..n_bags {
+            match td.parent(i) {
+                Some(p) => children[p].push(i),
+                None => roots.push(i),
+            }
+        }
+        // Build each tree of the forest, reduce its root bag to ∅, then
+        // join the empty roots.
+        let mut empty_roots = Vec::new();
+        for &r in &roots {
+            let node = builder.build_subtree(td, &children, r);
+            let reduced = builder.forget_all(node);
+            empty_roots.push(reduced);
+        }
+        let root = match empty_roots.split_first() {
+            None => builder.leaf(),
+            Some((&first, rest)) => {
+                let mut acc = first;
+                for &r in rest {
+                    acc = builder.join(acc, r);
+                }
+                acc
+            }
+        };
+        debug_assert!(builder.edge_done.iter().all(|&d| d), "every edge introduced");
+        debug_assert!(builder.bags[root].is_empty(), "root bag is empty by construction");
+        debug_assert_eq!(root, builder.nodes.len() - 1);
+        let width = builder.bags.iter().map(Vec::len).max().unwrap_or(1).saturating_sub(1);
+        Some(NiceDecomposition { nodes: builder.nodes, bags: builder.bags, width })
+    }
+
+    /// Convenience: heuristic decomposition + nice conversion.
+    pub fn heuristic(graph: &Graph) -> Self {
+        let td = heuristic_decomposition(graph);
+        NiceDecomposition::from_decomposition(graph, &td)
+            .expect("heuristic decompositions are valid")
+    }
+
+    /// Sanity-checks the nice-form invariants against `graph`: bag
+    /// bookkeeping per node kind, each edge introduced exactly once with
+    /// both endpoints in the bag, root bag empty. Used by tests.
+    pub fn check(&self, graph: &Graph) -> bool {
+        let mut seen = vec![0usize; graph.n_edges()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let bag = &self.bags[i];
+            match node {
+                NiceNode::Leaf => {
+                    if !bag.is_empty() {
+                        return false;
+                    }
+                }
+                NiceNode::Introduce { child, v } => {
+                    let mut expect = self.bags[*child].clone();
+                    expect.push(*v);
+                    expect.sort_unstable();
+                    if *child >= i || self.bags[*child].contains(v) || *bag != expect {
+                        return false;
+                    }
+                }
+                NiceNode::Forget { child, v } => {
+                    let expect: Vec<VertexId> =
+                        self.bags[*child].iter().copied().filter(|u| u != v).collect();
+                    if *child >= i || !self.bags[*child].contains(v) || *bag != expect {
+                        return false;
+                    }
+                }
+                NiceNode::IntroduceEdge { child, edge } => {
+                    let e = graph.edge(*edge);
+                    if *child >= i
+                        || *bag != self.bags[*child]
+                        || bag.binary_search(&e.src).is_err()
+                        || bag.binary_search(&e.dst).is_err()
+                    {
+                        return false;
+                    }
+                    seen[*edge] += 1;
+                }
+                NiceNode::Join { left, right } => {
+                    if *left >= i || *right >= i || self.bags[*left] != self.bags[*right] || *bag != self.bags[*left]
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        seen.iter().all(|&c| c == 1) && self.bags[self.root()].is_empty()
+    }
+}
+
+struct NiceBuilder<'g> {
+    graph: &'g Graph,
+    nodes: Vec<NiceNode>,
+    bags: Vec<Vec<VertexId>>,
+    edge_done: Vec<bool>,
+}
+
+impl NiceBuilder<'_> {
+    fn push(&mut self, node: NiceNode, bag: Vec<VertexId>) -> usize {
+        self.nodes.push(node);
+        self.bags.push(bag);
+        self.nodes.len() - 1
+    }
+
+    fn leaf(&mut self) -> usize {
+        self.push(NiceNode::Leaf, Vec::new())
+    }
+
+    fn introduce(&mut self, child: usize, v: VertexId) -> usize {
+        let mut bag = self.bags[child].clone();
+        debug_assert!(!bag.contains(&v));
+        bag.push(v);
+        bag.sort_unstable();
+        self.push(NiceNode::Introduce { child, v }, bag)
+    }
+
+    fn forget(&mut self, child: usize, v: VertexId) -> usize {
+        let bag: Vec<VertexId> = self.bags[child].iter().copied().filter(|&u| u != v).collect();
+        debug_assert_ne!(bag.len(), self.bags[child].len());
+        self.push(NiceNode::Forget { child, v }, bag)
+    }
+
+    fn introduce_edge(&mut self, child: usize, edge: EdgeId) -> usize {
+        let bag = self.bags[child].clone();
+        self.push(NiceNode::IntroduceEdge { child, edge }, bag)
+    }
+
+    fn join(&mut self, left: usize, right: usize) -> usize {
+        debug_assert_eq!(self.bags[left], self.bags[right]);
+        let bag = self.bags[left].clone();
+        self.push(NiceNode::Join { left, right }, bag)
+    }
+
+    /// Chains forgets until the bag at `node` is empty.
+    fn forget_all(&mut self, mut node: usize) -> usize {
+        while let Some(&v) = self.bags[node].first() {
+            node = self.forget(node, v);
+        }
+        node
+    }
+
+    /// Morphs the bag at `node` into `target` by forgetting extras and
+    /// introducing the missing vertices.
+    fn morph(&mut self, mut node: usize, target: &[VertexId]) -> usize {
+        let extras: Vec<VertexId> = self.bags[node]
+            .iter()
+            .copied()
+            .filter(|v| target.binary_search(v).is_err())
+            .collect();
+        for v in extras {
+            node = self.forget(node, v);
+        }
+        let missing: Vec<VertexId> = target
+            .iter()
+            .copied()
+            .filter(|v| self.bags[node].binary_search(v).is_err())
+            .collect();
+        for v in missing {
+            node = self.introduce(node, v);
+        }
+        node
+    }
+
+    /// Introduces every not-yet-introduced graph edge whose endpoints both
+    /// lie in the bag at `node`.
+    fn introduce_pending_edges(&mut self, mut node: usize) -> usize {
+        // Collect first: introducing does not change the bag.
+        let bag = self.bags[node].clone();
+        let mut pending = Vec::new();
+        for &u in &bag {
+            for &e in self.graph.out_edges(u) {
+                let edge = self.graph.edge(e);
+                if !self.edge_done[e] && bag.binary_search(&edge.dst).is_ok() {
+                    self.edge_done[e] = true;
+                    pending.push(e);
+                }
+            }
+        }
+        for e in pending {
+            node = self.introduce_edge(node, e);
+        }
+        node
+    }
+
+    /// Recursively builds the nice subtree for decomposition bag `b`,
+    /// returning a node whose bag equals `td.bag(b)` with all edges
+    /// local to the subtree introduced.
+    fn build_subtree(&mut self, td: &TreeDecomposition, children: &[Vec<usize>], b: usize) -> usize {
+        let target = td.bag(b).to_vec();
+        // Build each child subtree and morph it to this bag.
+        let mut parts = Vec::new();
+        for &c in &children[b] {
+            let sub = self.build_subtree(td, children, c);
+            parts.push(self.morph(sub, &target));
+        }
+        let mut node = match parts.split_first() {
+            None => {
+                let leaf = self.leaf();
+                self.morph(leaf, &target)
+            }
+            Some((&first, rest)) => {
+                let mut acc = first;
+                for &r in rest {
+                    acc = self.join(acc, r);
+                }
+                acc
+            }
+        };
+        node = self.introduce_pending_edges(node);
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::{GraphBuilder, Label};
+    use crate::generate;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::directed_path(n - 1)
+    }
+
+    fn cycle_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::with_vertices(n);
+        for i in 0..n {
+            b.edge(i, (i + 1) % n, Label::UNLABELED);
+        }
+        b.build()
+    }
+
+    fn complete_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::with_vertices(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    b.edge(i, j, Label::UNLABELED);
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn grid_graph(rows: usize, cols: usize) -> Graph {
+        let mut b = GraphBuilder::with_vertices(rows * cols);
+        let id = |r: usize, c: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    b.edge(id(r, c), id(r, c + 1), Label::UNLABELED);
+                }
+                if r + 1 < rows {
+                    b.edge(id(r, c), id(r + 1, c), Label::UNLABELED);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn trivial_decomposition_is_valid() {
+        let g = cycle_graph(5);
+        let td = TreeDecomposition::trivial(&g);
+        assert_eq!(td.validate(&g), Ok(()));
+        assert_eq!(td.width(), 4);
+    }
+
+    #[test]
+    fn path_has_width_one() {
+        let g = path_graph(10);
+        for td in [min_degree_decomposition(&g), min_fill_decomposition(&g)] {
+            assert_eq!(td.validate(&g), Ok(()));
+            assert_eq!(td.width(), 1);
+        }
+    }
+
+    #[test]
+    fn cycle_has_width_two() {
+        let g = cycle_graph(8);
+        let td = heuristic_decomposition(&g);
+        assert_eq!(td.validate(&g), Ok(()));
+        assert_eq!(td.width(), 2);
+    }
+
+    #[test]
+    fn clique_has_width_n_minus_one() {
+        let g = complete_graph(5);
+        let td = heuristic_decomposition(&g);
+        assert_eq!(td.validate(&g), Ok(()));
+        assert_eq!(td.width(), 4);
+    }
+
+    #[test]
+    fn grid_width_bounded_by_min_dimension() {
+        let g = grid_graph(3, 6);
+        let td = heuristic_decomposition(&g);
+        assert_eq!(td.validate(&g), Ok(()));
+        // Treewidth of a 3×6 grid is 3; heuristics may be slightly above.
+        assert!(td.width() >= 3 && td.width() <= 5, "width = {}", td.width());
+    }
+
+    #[test]
+    fn two_cycle_and_self_loop_free_handling() {
+        // a ⇄ b collapses to a single undirected edge: width 1.
+        let mut b = GraphBuilder::with_vertices(2);
+        b.edge(0, 1, Label::UNLABELED);
+        b.edge(1, 0, Label::UNLABELED);
+        let g = b.build();
+        let td = heuristic_decomposition(&g);
+        assert_eq!(td.validate(&g), Ok(()));
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = GraphBuilder::with_vertices(4).build();
+        let td = heuristic_decomposition(&g);
+        assert_eq!(td.validate(&g), Ok(()));
+        assert_eq!(td.width(), 0);
+        let nice = NiceDecomposition::from_decomposition(&g, &td).unwrap();
+        assert!(nice.check(&g));
+    }
+
+    #[test]
+    fn validation_catches_missing_vertex() {
+        let g = path_graph(3);
+        let td = TreeDecomposition::new(vec![vec![0, 1]], vec![None]);
+        assert_eq!(td.validate(&g), Err(TreeDecompError::VertexNotCovered(2)));
+    }
+
+    #[test]
+    fn validation_catches_uncovered_edge() {
+        let g = path_graph(3);
+        let td = TreeDecomposition::new(vec![vec![0, 1], vec![2]], vec![None, Some(0)]);
+        assert_eq!(td.validate(&g), Err(TreeDecompError::EdgeNotCovered(1)));
+    }
+
+    #[test]
+    fn validation_catches_disconnected_occurrence() {
+        // Vertex 0 appears in bags 0 and 2, but bag 1 between them lacks it.
+        let g = path_graph(3);
+        let td = TreeDecomposition::new(
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            vec![None, Some(0), Some(1)],
+        );
+        assert_eq!(td.validate(&g), Err(TreeDecompError::VertexBagsDisconnected(0)));
+    }
+
+    #[test]
+    fn validation_catches_parent_cycle() {
+        let g = path_graph(2);
+        let td = TreeDecomposition::new(vec![vec![0, 1], vec![0, 1]], vec![Some(1), Some(0)]);
+        assert_eq!(td.validate(&g), Err(TreeDecompError::MalformedTree));
+    }
+
+    #[test]
+    fn nice_form_invariants_on_assorted_graphs() {
+        for g in [
+            path_graph(6),
+            cycle_graph(7),
+            complete_graph(4),
+            grid_graph(3, 4),
+            Graph::disjoint_union(&[&path_graph(3), &cycle_graph(4)]),
+        ] {
+            let nice = NiceDecomposition::heuristic(&g);
+            assert!(nice.check(&g), "nice-form invariants violated for {g:?}");
+            assert!(nice.width() >= heuristic_decomposition(&g).width().min(nice.width()));
+        }
+    }
+
+    #[test]
+    fn polytrees_have_width_one_and_valid_nice_form() {
+        let mut rng = SmallRng::seed_from_u64(0xDEC0);
+        for n in [2usize, 5, 17, 40] {
+            let g = generate::polytree(n, 1, &mut rng);
+            let td = heuristic_decomposition(&g);
+            assert_eq!(td.validate(&g), Ok(()));
+            assert!(td.width() <= 1);
+            let nice = NiceDecomposition::from_decomposition(&g, &td).unwrap();
+            assert!(nice.check(&g));
+        }
+    }
+
+    #[test]
+    fn nice_node_count_is_linear_ish() {
+        let g = grid_graph(3, 5);
+        let nice = NiceDecomposition::heuristic(&g);
+        // Generous linear bound in bags × width + edges.
+        assert!(nice.n_nodes() <= 20 * (g.n_vertices() + g.n_edges()) + 10);
+    }
+}

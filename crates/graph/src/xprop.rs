@@ -1,0 +1,313 @@
+//! The X-property (Definition 4.12) and the polynomial-time homomorphism
+//! test of Theorem 4.13 (Gutjahr–Welzl–Woeginger \[25], generalized by
+//! Gottlob–Koch–Schulz \[23]).
+//!
+//! Key observation (which is how we implement Theorem 4.13): a label `R`
+//! has the X-property w.r.t. a total order `<` exactly when the binary
+//! relation `{(a,b) : a —R→ b}` is **closed under coordinatewise minimum**.
+//! Indeed for edges `(n0,n3)` and `(n1,n2)`, the only non-trivial case of
+//! closure is `n0 < n1` and `n2 < n3`, where the min pair is `(n0, n2)` —
+//! precisely the X-property's conclusion. `min` is a semilattice
+//! polymorphism, so establishing **arc consistency** decides the CSP, and
+//! assigning every query vertex the minimum of its reduced domain yields a
+//! homomorphism.
+//!
+//! The paper uses this on connected subpaths of a 2WP instance, which
+//! trivially have the X-property w.r.t. the path order (Prop 4.11's proof).
+
+use crate::digraph::{Graph, VertexId};
+
+/// Checks Definition 4.12 directly: for every label `R` and all
+/// `n0 < n1`, `n2 < n3` with `n0 —R→ n3` and `n1 —R→ n2`, the edge
+/// `n0 —R→ n2` must exist. `position[v]` gives the rank of `v` in the
+/// order. Quadratic in the number of edges (used in tests, not in the
+/// solver's hot path).
+pub fn has_x_property(h: &Graph, position: &[usize]) -> bool {
+    for e1 in h.edges() {
+        for e2 in h.edges() {
+            if e1.label != e2.label {
+                continue;
+            }
+            // e1 = n0 → n3, e2 = n1 → n2 with n0 < n1 and n2 < n3.
+            let (n0, n3) = (e1.src, e1.dst);
+            let (n1, n2) = (e2.src, e2.dst);
+            if position[n0] < position[n1] && position[n2] < position[n3] {
+                match h.edge_between(n0, n2) {
+                    Some(e) if h.edge(e).label == e1.label => {}
+                    _ => return false,
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Decides `G ⇝ H` in time `O(|G| · |H|)` up to small factors, **assuming**
+/// `H` has the X-property w.r.t. the identity order on its vertex ids.
+/// Returns a homomorphism when one exists.
+///
+/// Callers that cannot guarantee the X-property should verify it first with
+/// [`has_x_property`]; with the assumption violated the result may be
+/// incorrect (this mirrors Theorem 4.13's precondition).
+pub fn x_property_hom(g: &Graph, h: &Graph) -> Option<Vec<VertexId>> {
+    let nh = h.n_vertices();
+    let words = nh.div_ceil(64);
+    // Domains as bitsets: dom[u] ⊆ V(H).
+    let mut dom = vec![vec![u64::MAX; words]; g.n_vertices()];
+    for d in &mut dom {
+        // Mask off bits beyond nh.
+        if !nh.is_multiple_of(64) {
+            d[words - 1] = (1u64 << (nh % 64)) - 1;
+        }
+        if nh == 0 {
+            return None;
+        }
+    }
+
+    // Unary pass: a vertex with a self-loop labeled R must map to a vertex
+    // with an R self-loop.
+    #[allow(clippy::needless_range_loop)] // u is a vertex id, not a slice index
+    for u in 0..g.n_vertices() {
+        if let Some(e) = g.edge_between(u, u) {
+            let label = g.edge(e).label;
+            for b in 0..nh {
+                let ok = matches!(h.edge_between(b, b), Some(he) if h.edge(he).label == label);
+                if !ok {
+                    dom[u][b / 64] &= !(1u64 << (b % 64));
+                }
+            }
+        }
+    }
+
+    // AC-3 over the binary constraints (one per query edge, both
+    // directions).
+    let mut queue: std::collections::VecDeque<usize> = (0..g.n_edges()).collect();
+    let mut in_queue = vec![true; g.n_edges()];
+    while let Some(ce) = queue.pop_front() {
+        in_queue[ce] = false;
+        let edge = g.edge(ce);
+        if edge.src == edge.dst {
+            continue; // handled by the unary pass
+        }
+        // Supports for src: {a : ∃b ∈ dom[dst], a —R→ b in H}.
+        let mut support_src = vec![0u64; words];
+        let mut support_dst = vec![0u64; words];
+        for hedge in h.edges() {
+            if hedge.label != edge.label {
+                continue;
+            }
+            let (a, b) = (hedge.src, hedge.dst);
+            if dom[edge.dst][b / 64] >> (b % 64) & 1 == 1 {
+                support_src[a / 64] |= 1u64 << (a % 64);
+            }
+            if dom[edge.src][a / 64] >> (a % 64) & 1 == 1 {
+                support_dst[b / 64] |= 1u64 << (b % 64);
+            }
+        }
+        let mut changed = [false; 2];
+        for w in 0..words {
+            let ns = dom[edge.src][w] & support_src[w];
+            if ns != dom[edge.src][w] {
+                dom[edge.src][w] = ns;
+                changed[0] = true;
+            }
+            let nd = dom[edge.dst][w] & support_dst[w];
+            if nd != dom[edge.dst][w] {
+                dom[edge.dst][w] = nd;
+                changed[1] = true;
+            }
+        }
+        for (side, &ch) in changed.iter().enumerate() {
+            if !ch {
+                continue;
+            }
+            let v = if side == 0 { edge.src } else { edge.dst };
+            if dom[v].iter().all(|&w| w == 0) {
+                return None; // domain wipe-out: no homomorphism
+            }
+            // Requeue all constraints incident to v.
+            for &oe in g.out_edges(v).iter().chain(g.in_edges(v)) {
+                if !in_queue[oe] {
+                    in_queue[oe] = true;
+                    queue.push_back(oe);
+                }
+            }
+        }
+    }
+
+    // Minimum assignment: h(u) = min dom[u].
+    let mut assignment = Vec::with_capacity(g.n_vertices());
+    for d in &dom {
+        let mut min = None;
+        for (w, &bits) in d.iter().enumerate() {
+            if bits != 0 {
+                min = Some(w * 64 + bits.trailing_zeros() as usize);
+                break;
+            }
+        }
+        assignment.push(min?);
+    }
+    debug_assert!(
+        crate::hom::is_hom(g, h, &assignment),
+        "min-assignment must be a homomorphism on X-property instances"
+    );
+    Some(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use crate::digraph::{Dir, GraphBuilder, Label};
+    use crate::hom::{exists_hom, is_hom};
+
+    const R: Label = Label(0);
+    const S: Label = Label(1);
+
+    /// 2WPs (with vertices in path order) trivially have the X-property —
+    /// the argument in Prop 4.11's proof.
+    #[test]
+    fn two_way_paths_have_x_property() {
+        let h = Graph::two_way_path(&[
+            (Dir::Forward, R),
+            (Dir::Backward, S),
+            (Dir::Forward, S),
+            (Dir::Forward, R),
+        ]);
+        let position: Vec<usize> = (0..h.n_vertices()).collect();
+        assert!(has_x_property(&h, &position));
+    }
+
+    #[test]
+    fn x_property_violation_detected() {
+        // n0 → n3 and n1 → n2 with n0<n1, n2<n3 but no n0 → n2.
+        let mut b = GraphBuilder::with_vertices(4);
+        b.edge(0, 3, R);
+        b.edge(1, 2, R);
+        let h = b.build();
+        let position: Vec<usize> = (0..4).collect();
+        assert!(!has_x_property(&h, &position));
+        // Adding the closing edge restores it.
+        let mut b = GraphBuilder::with_vertices(4);
+        b.edge(0, 3, R);
+        b.edge(1, 2, R);
+        b.edge(0, 2, R);
+        assert!(has_x_property(&b.build(), &position));
+    }
+
+    #[test]
+    fn hom_on_paths_agrees_with_backtracking() {
+        // Exhaustive-ish check on small 2WPs: X-property solver must agree
+        // with the reference backtracking solver.
+        let dirs = [Dir::Forward, Dir::Backward];
+        let labels = [R, S];
+        let mut checked = 0;
+        for hbits in 0..(1 << 3) {
+            for hlab in 0..(1 << 3) {
+                let steps: Vec<(Dir, Label)> = (0..3)
+                    .map(|i| (dirs[(hbits >> i) & 1], labels[(hlab >> i) & 1]))
+                    .collect();
+                let h = Graph::two_way_path(&steps);
+                assert!(has_x_property(&h, &(0..h.n_vertices()).collect::<Vec<_>>()));
+                for gbits in 0..(1 << 2) {
+                    for glab in 0..(1 << 2) {
+                        let gsteps: Vec<(Dir, Label)> = (0..2)
+                            .map(|i| (dirs[(gbits >> i) & 1], labels[(glab >> i) & 1]))
+                            .collect();
+                        let g = Graph::two_way_path(&gsteps);
+                        let expect = exists_hom(&g, &h);
+                        let got = x_property_hom(&g, &h);
+                        assert_eq!(got.is_some(), expect, "g={g:?} h={h:?}");
+                        if let Some(a) = got {
+                            assert!(is_hom(&g, &h, &a));
+                        }
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(checked, 1024);
+    }
+
+    #[test]
+    fn branching_query_on_path() {
+        // A tree query into a path instance: u → v, u → w with labels R, S.
+        let mut b = GraphBuilder::with_vertices(3);
+        b.edge(0, 1, R);
+        b.edge(0, 2, S);
+        let g = b.build();
+        // Instance a0 -R→ a1, a0 -S→? No: a path can't have two out-edges
+        // at one vertex... unless the query folds. With R = S it folds.
+        let h = Graph::two_way_path(&[(Dir::Forward, R), (Dir::Forward, S)]);
+        assert_eq!(x_property_hom(&g, &h).is_some(), exists_hom(&g, &h));
+        let mut b = GraphBuilder::with_vertices(3);
+        b.edge(0, 1, R);
+        b.edge(0, 2, R);
+        let g_fold = b.build();
+        let h2 = Graph::two_way_path(&[(Dir::Forward, R)]);
+        // u→v, u→w folds onto a single R edge.
+        assert!(x_property_hom(&g_fold, &h2).is_some());
+        assert!(exists_hom(&g_fold, &h2));
+    }
+
+    #[test]
+    fn cyclic_query_on_path_instance() {
+        // A directed 2-cycle query never maps into a path.
+        let mut b = GraphBuilder::with_vertices(2);
+        b.edge(0, 1, R);
+        b.edge(1, 0, R);
+        let g = b.build();
+        let h = Graph::two_way_path(&[(Dir::Forward, R), (Dir::Backward, R)]);
+        assert!(x_property_hom(&g, &h).is_none());
+        assert!(!exists_hom(&g, &h));
+    }
+
+    #[test]
+    fn self_loop_query() {
+        let mut b = GraphBuilder::with_vertices(1);
+        b.edge(0, 0, R);
+        let g = b.build();
+        let h = Graph::two_way_path(&[(Dir::Forward, R)]);
+        assert!(x_property_hom(&g, &h).is_none());
+    }
+
+    #[test]
+    fn random_connected_queries_on_random_2wps_agree() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x5eed);
+        for _ in 0..200 {
+            let hlen = rng.gen_range(1..8);
+            let steps: Vec<(Dir, Label)> = (0..hlen)
+                .map(|_| {
+                    (
+                        if rng.gen_bool(0.5) { Dir::Forward } else { Dir::Backward },
+                        Label(rng.gen_range(0..2)),
+                    )
+                })
+                .collect();
+            let h = Graph::two_way_path(&steps);
+            // Random small connected query: a random tree plus extra edges.
+            let qn = rng.gen_range(1..5);
+            let mut b = GraphBuilder::with_vertices(qn);
+            for v in 1..qn {
+                let p = rng.gen_range(0..v);
+                if rng.gen_bool(0.5) {
+                    b.try_edge(p, v, Label(rng.gen_range(0..2)));
+                } else {
+                    b.try_edge(v, p, Label(rng.gen_range(0..2)));
+                }
+            }
+            for _ in 0..rng.gen_range(0..2) {
+                let a = rng.gen_range(0..qn);
+                let c = rng.gen_range(0..qn);
+                b.try_edge(a, c, Label(rng.gen_range(0..2)));
+            }
+            let g = b.build();
+            // Skip disconnected queries (X-property theorem is for CQs in
+            // general, but our use is connected; the solver handles both).
+            let expect = exists_hom(&g, &h);
+            let got = x_property_hom(&g, &h);
+            assert_eq!(got.is_some(), expect, "g={g:?} h={h:?}");
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Interchange formats for lineages: the c2d **NNF** text format for
+//! circuits, and a DIMACS-like format for positive DNFs.
+//!
+//! The d-DNNF circuits this workspace compiles (Prop 5.4's automata
+//! lineages, the labeled-route circuits, OBDD exports) are useful beyond
+//! one probability computation — external model counters, knowledge
+//! compilers and visualizers speak the `c2d` NNF format, so we write and
+//! read it:
+//!
+//! ```text
+//! nnf <#nodes> <#edges> <#vars>
+//! L <lit>                 (literal: ±(var+1))
+//! A <k> <child...>        (AND with k children)
+//! O <j> <k> <child...>    (OR; j is the "conflict variable" or 0)
+//! ```
+//!
+//! `A 0` encodes constant true and `O 0 0` constant false, as in c2d.
+//! Node ids are line numbers (0-based); children must precede parents —
+//! exactly the bottom-up order [`Circuit`] maintains, so export is a
+//! straight dump and import re-checks the ordering.
+
+use crate::circuit::{Circuit, Gate, GateId};
+use std::fmt::Write as _;
+
+/// Serializes a circuit (rooted at `root`) in c2d NNF format. Gates not
+/// reachable from `root` are dropped; node ids are remapped densely.
+pub fn to_nnf(circuit: &Circuit, root: GateId) -> String {
+    // Collect reachable gates, preserving bottom-up order.
+    let mut reachable = vec![false; circuit.n_gates()];
+    reachable[root] = true;
+    for (i, g) in circuit.gates().iter().enumerate().rev() {
+        if !reachable[i] {
+            continue;
+        }
+        match g {
+            Gate::And(cs) | Gate::Or(cs) => {
+                for &c in cs {
+                    reachable[c] = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut remap = vec![usize::MAX; circuit.n_gates()];
+    let mut next = 0usize;
+    let mut body = String::new();
+    let mut n_edges = 0usize;
+    for (i, g) in circuit.gates().iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        remap[i] = next;
+        next += 1;
+        match g {
+            Gate::Var(v) => {
+                let _ = writeln!(body, "L {}", v + 1);
+            }
+            Gate::NegVar(v) => {
+                let _ = writeln!(body, "L -{}", *v as i64 + 1);
+            }
+            Gate::Const(true) => {
+                let _ = writeln!(body, "A 0");
+            }
+            Gate::Const(false) => {
+                let _ = writeln!(body, "O 0 0");
+            }
+            Gate::And(cs) => {
+                n_edges += cs.len();
+                let _ = write!(body, "A {}", cs.len());
+                for &c in cs {
+                    let _ = write!(body, " {}", remap[c]);
+                }
+                let _ = writeln!(body);
+            }
+            Gate::Or(cs) => {
+                n_edges += cs.len();
+                let _ = write!(body, "O 0 {}", cs.len());
+                for &c in cs {
+                    let _ = write!(body, " {}", remap[c]);
+                }
+                let _ = writeln!(body);
+            }
+        }
+    }
+    format!("nnf {next} {n_edges} {}\n{body}", circuit.num_vars())
+}
+
+/// Why NNF parsing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NnfError {
+    /// The first line is not a valid `nnf <nodes> <edges> <vars>` header.
+    BadHeader,
+    /// A node line could not be parsed (1-based line number, message).
+    BadNode(usize, String),
+    /// A node references a child at or after itself.
+    ForwardReference(usize),
+    /// The node count in the header does not match the body.
+    CountMismatch,
+}
+
+impl std::fmt::Display for NnfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnfError::BadHeader => write!(f, "bad nnf header"),
+            NnfError::BadNode(line, msg) => write!(f, "line {line}: {msg}"),
+            NnfError::ForwardReference(line) => {
+                write!(f, "line {line}: child id not yet defined")
+            }
+            NnfError::CountMismatch => write!(f, "node count does not match header"),
+        }
+    }
+}
+
+/// Parses c2d NNF text into a [`Circuit`] and its root (the last node).
+/// The circuit's semantic properties (decomposability, determinism) are
+/// *not* assumed — run the [`Circuit`] checkers before trusting
+/// probability computation on foreign files.
+pub fn from_nnf(text: &str) -> Result<(Circuit, GateId), NnfError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or(NnfError::BadHeader)?;
+    let mut hp = header.split_whitespace();
+    if hp.next() != Some("nnf") {
+        return Err(NnfError::BadHeader);
+    }
+    let n_nodes: usize = hp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(NnfError::BadHeader)?;
+    let _n_edges: usize = hp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(NnfError::BadHeader)?;
+    let n_vars: usize = hp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(NnfError::BadHeader)?;
+    let mut circuit = Circuit::new(n_vars);
+    let mut ids: Vec<GateId> = Vec::with_capacity(n_nodes);
+    for (lineno, line) in lines {
+        let human = lineno + 1;
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().ok_or_else(|| NnfError::BadNode(human, "empty".into()))?;
+        let nums: Result<Vec<i64>, _> = parts.map(str::parse).collect();
+        let nums = nums.map_err(|e| NnfError::BadNode(human, format!("{e}")))?;
+        let gate = match kind {
+            "L" => {
+                let [lit] = nums.as_slice() else {
+                    return Err(NnfError::BadNode(human, "L takes one literal".into()));
+                };
+                let var = lit.unsigned_abs() as usize - 1;
+                if var >= n_vars {
+                    return Err(NnfError::BadNode(human, "variable out of range".into()));
+                }
+                if *lit > 0 {
+                    circuit.var(var)
+                } else {
+                    circuit.neg_var(var)
+                }
+            }
+            "A" => {
+                let [k, children @ ..] = nums.as_slice() else {
+                    return Err(NnfError::BadNode(human, "A needs a count".into()));
+                };
+                if *k as usize != children.len() {
+                    return Err(NnfError::BadNode(human, "child count mismatch".into()));
+                }
+                if children.is_empty() {
+                    circuit.constant(true)
+                } else {
+                    let cs = resolve(children, &ids, human)?;
+                    circuit.and_gate(cs)
+                }
+            }
+            "O" => {
+                let [_conflict_var, k, children @ ..] = nums.as_slice() else {
+                    return Err(NnfError::BadNode(human, "O needs j and a count".into()));
+                };
+                if *k as usize != children.len() {
+                    return Err(NnfError::BadNode(human, "child count mismatch".into()));
+                }
+                if children.is_empty() {
+                    circuit.constant(false)
+                } else {
+                    let cs = resolve(children, &ids, human)?;
+                    circuit.or_gate(cs)
+                }
+            }
+            other => {
+                return Err(NnfError::BadNode(human, format!("unknown node kind '{other}'")))
+            }
+        };
+        ids.push(gate);
+    }
+    if ids.len() != n_nodes {
+        return Err(NnfError::CountMismatch);
+    }
+    let root = *ids.last().ok_or(NnfError::CountMismatch)?;
+    Ok((circuit, root))
+}
+
+fn resolve(children: &[i64], ids: &[GateId], line: usize) -> Result<Vec<GateId>, NnfError> {
+    children
+        .iter()
+        .map(|&c| {
+            usize::try_from(c)
+                .ok()
+                .and_then(|c| ids.get(c).copied())
+                .ok_or(NnfError::ForwardReference(line))
+        })
+        .collect()
+}
+
+/// Serializes a positive DNF in a DIMACS-like format: a header
+/// `pdnf <vars> <clauses>` and one 1-based, 0-terminated line per clause.
+pub fn dnf_to_text(dnf: &crate::dnf::Dnf) -> String {
+    let mut out = format!("pdnf {} {}\n", dnf.num_vars(), dnf.clauses().len());
+    for clause in dnf.clauses() {
+        for v in clause {
+            let _ = write!(out, "{} ", v + 1);
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+/// Parses the [`dnf_to_text`] format.
+pub fn dnf_from_text(text: &str) -> Result<crate::dnf::Dnf, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty input")?;
+    let mut hp = header.split_whitespace();
+    if hp.next() != Some("pdnf") {
+        return Err("bad header".into());
+    }
+    let n_vars: usize = hp.next().and_then(|s| s.parse().ok()).ok_or("bad var count")?;
+    let n_clauses: usize =
+        hp.next().and_then(|s| s.parse().ok()).ok_or("bad clause count")?;
+    let mut dnf = crate::dnf::Dnf::falsum(n_vars);
+    for line in lines {
+        let mut clause = Vec::new();
+        for tok in line.split_whitespace() {
+            let v: usize = tok.parse().map_err(|e| format!("{e}"))?;
+            if v == 0 {
+                break;
+            }
+            if v > n_vars {
+                return Err(format!("variable {v} out of range"));
+            }
+            clause.push(v - 1);
+        }
+        dnf.push_clause(clause);
+    }
+    if dnf.clauses().len() != n_clauses {
+        return Err("clause count does not match header".into());
+    }
+    Ok(dnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnf::Dnf;
+    use crate::obdd::Manager;
+    use phom_num::Rational;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dnf(rng: &mut SmallRng, num_vars: usize, clauses: usize) -> Dnf {
+        let mut dnf = Dnf::falsum(num_vars);
+        for _ in 0..clauses {
+            let len = rng.gen_range(1..=num_vars.min(3));
+            let mut clause: Vec<usize> = (0..len).map(|_| rng.gen_range(0..num_vars)).collect();
+            clause.sort_unstable();
+            clause.dedup();
+            dnf.push_clause(clause);
+        }
+        dnf
+    }
+
+    #[test]
+    fn nnf_roundtrip_preserves_semantics() {
+        let mut rng = SmallRng::seed_from_u64(0x0FF);
+        for trial in 0..25 {
+            let n = rng.gen_range(1..7);
+            let n_clauses = rng.gen_range(0..5);
+            let dnf = random_dnf(&mut rng, n, n_clauses);
+            let mut m = Manager::identity_order(n);
+            let f = m.from_dnf(&dnf);
+            let (circuit, root) = m.to_circuit(f);
+            let text = to_nnf(&circuit, root);
+            let (parsed, parsed_root) = from_nnf(&text).expect("roundtrip parses");
+            for mask in 0..1u32 << n {
+                let v: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+                assert_eq!(
+                    parsed.eval(parsed_root, &v),
+                    circuit.eval(root, &v),
+                    "trial {trial}, mask {mask}"
+                );
+            }
+            // Probabilities survive too (same d-DNNF structure).
+            let probs: Vec<Rational> =
+                (0..n).map(|_| Rational::from_ratio(rng.gen_range(0..=3), 3)).collect();
+            assert_eq!(
+                parsed.probability::<Rational>(parsed_root, &probs),
+                circuit.probability::<Rational>(root, &probs)
+            );
+        }
+    }
+
+    #[test]
+    fn nnf_header_and_constants() {
+        let mut c = Circuit::new(2);
+        let t = c.constant(true);
+        let text = to_nnf(&c, t);
+        assert!(text.starts_with("nnf 1 0 2"), "{text}");
+        assert!(text.contains("A 0"), "{text}");
+        let (parsed, root) = from_nnf(&text).unwrap();
+        assert!(parsed.eval(root, &[false, false]));
+        let f = {
+            let mut c = Circuit::new(1);
+            let f = c.constant(false);
+            to_nnf(&c, f)
+        };
+        let (parsed, root) = from_nnf(&f).unwrap();
+        assert!(!parsed.eval(root, &[true]));
+    }
+
+    #[test]
+    fn nnf_rejects_malformed_input() {
+        assert!(matches!(from_nnf("garbage"), Err(NnfError::BadHeader)));
+        assert!(matches!(from_nnf("nnf x y z"), Err(NnfError::BadHeader)));
+        assert!(matches!(from_nnf("nnf 1 0 1\nL 5"), Err(NnfError::BadNode(..))));
+        assert!(matches!(from_nnf("nnf 1 2 1\nA 2 0 1"), Err(NnfError::ForwardReference(_))));
+        assert!(matches!(from_nnf("nnf 3 0 1\nL 1"), Err(NnfError::CountMismatch)));
+    }
+
+    #[test]
+    fn nnf_drops_unreachable_gates() {
+        let mut c = Circuit::new(2);
+        let _orphan = c.var(0);
+        let x = c.var(1);
+        let text = to_nnf(&c, x);
+        assert!(text.starts_with("nnf 1 0 2"), "orphan must be dropped: {text}");
+    }
+
+    #[test]
+    fn dnf_text_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(0xD1F);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..8);
+            let n_clauses = rng.gen_range(0..6);
+            let dnf = random_dnf(&mut rng, n, n_clauses);
+            let text = dnf_to_text(&dnf);
+            let parsed = dnf_from_text(&text).expect("roundtrip parses");
+            assert_eq!(parsed.num_vars(), dnf.num_vars());
+            assert_eq!(parsed.clauses(), dnf.clauses());
+        }
+        assert!(dnf_from_text("pdnf 2 1\n3 0").is_err());
+        assert!(dnf_from_text("nope").is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Hypergraphs and β-acyclicity (Definition 4.7).
+//!
+//! A vertex is a **β-leaf** when the set of hyperedges containing it is
+//! totally ordered by inclusion. A hypergraph is **β-acyclic** when
+//! repeatedly deleting β-leaves (and the resulting empty/duplicate edges)
+//! empties it; the deletion sequence is a **β-elimination order**.
+
+use crate::dnf::VarId;
+use std::collections::BTreeSet;
+
+/// A hypergraph over vertices `0..num_vertices` with non-empty hyperedges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypergraph {
+    num_vertices: usize,
+    edges: Vec<BTreeSet<VarId>>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph; empty hyperedges are rejected, duplicates are
+    /// merged (hypergraphs have *sets* of edges).
+    pub fn new(num_vertices: usize, edges: Vec<Vec<VarId>>) -> Self {
+        let mut set: Vec<BTreeSet<VarId>> = Vec::new();
+        for e in edges {
+            assert!(!e.is_empty(), "hyperedges are non-empty");
+            assert!(e.iter().all(|&v| v < num_vertices), "vertex out of range");
+            let s: BTreeSet<VarId> = e.into_iter().collect();
+            if !set.contains(&s) {
+                set.push(s);
+            }
+        }
+        Hypergraph { num_vertices, edges: set }
+    }
+
+    /// Number of vertices in the universe.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Hyperedges (deduplicated).
+    pub fn edges(&self) -> &[BTreeSet<VarId>] {
+        &self.edges
+    }
+
+    /// The vertices that occur in at least one hyperedge.
+    pub fn occurring_vertices(&self) -> BTreeSet<VarId> {
+        self.edges.iter().flatten().copied().collect()
+    }
+
+    /// True iff `v` is a β-leaf: its incident hyperedges form a chain under
+    /// inclusion.
+    pub fn is_beta_leaf(&self, v: VarId) -> bool {
+        let incident: Vec<&BTreeSet<VarId>> =
+            self.edges.iter().filter(|e| e.contains(&v)).collect();
+        for i in 0..incident.len() {
+            for j in i + 1..incident.len() {
+                let (a, b) = (incident[i], incident[j]);
+                if !(a.is_subset(b) || b.is_subset(a)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The hypergraph `H \ v` of Definition 4.7: removes `v` from every
+    /// hyperedge, drops empties, merges duplicates.
+    pub fn remove_vertex(&self, v: VarId) -> Hypergraph {
+        let mut edges: Vec<BTreeSet<VarId>> = Vec::new();
+        for e in &self.edges {
+            let mut e2 = e.clone();
+            e2.remove(&v);
+            if !e2.is_empty() && !edges.contains(&e2) {
+                edges.push(e2);
+            }
+        }
+        Hypergraph { num_vertices: self.num_vertices, edges }
+    }
+
+    /// Computes a β-elimination order covering all occurring vertices, or
+    /// `None` if the hypergraph is not β-acyclic.
+    ///
+    /// Greedy elimination is complete here: deleting a β-leaf never destroys
+    /// β-acyclicity (β-acyclicity is preserved under vertex deletion), so if
+    /// the graph is β-acyclic, any greedy run succeeds.
+    pub fn beta_elimination_order(&self) -> Option<Vec<VarId>> {
+        let mut h = self.clone();
+        let mut order = Vec::new();
+        let mut remaining: BTreeSet<VarId> = h.occurring_vertices();
+        while !remaining.is_empty() {
+            let leaf = remaining.iter().copied().find(|&v| h.is_beta_leaf(v))?;
+            order.push(leaf);
+            h = h.remove_vertex(leaf);
+            remaining.remove(&leaf);
+        }
+        Some(order)
+    }
+
+    /// True iff β-acyclic.
+    pub fn is_beta_acyclic(&self) -> bool {
+        self.beta_elimination_order().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hg(n: usize, edges: &[&[usize]]) -> Hypergraph {
+        Hypergraph::new(n, edges.iter().map(|e| e.to_vec()).collect())
+    }
+
+    #[test]
+    fn single_edge_is_beta_acyclic() {
+        let h = hg(3, &[&[0, 1, 2]]);
+        assert!(h.is_beta_acyclic());
+        assert_eq!(h.beta_elimination_order().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn nested_edges_are_beta_acyclic() {
+        // Chains under inclusion: {0} ⊆ {0,1} ⊆ {0,1,2}.
+        let h = hg(3, &[&[0], &[0, 1], &[0, 1, 2]]);
+        assert!(h.is_beta_acyclic());
+    }
+
+    #[test]
+    fn paths_of_intervals_are_beta_acyclic() {
+        // Interval clauses on a path (the Prop 4.11 lineage shape).
+        let h = hg(5, &[&[0, 1], &[1, 2, 3], &[3, 4], &[2, 3, 4]]);
+        assert!(h.is_beta_acyclic());
+    }
+
+    #[test]
+    fn triangle_is_not_beta_acyclic() {
+        // The triangle hypergraph {01, 12, 02} has no β-leaf.
+        let h = hg(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        assert!(!h.is_beta_acyclic());
+        assert!(!h.is_beta_leaf(0));
+        assert!(!h.is_beta_leaf(1));
+        assert!(!h.is_beta_leaf(2));
+    }
+
+    #[test]
+    fn alpha_but_not_beta_acyclic() {
+        // Classic example: {0,1,2} with the three pairs is α-acyclic (the
+        // big edge covers the pairs) but not β-acyclic.
+        let h = hg(3, &[&[0, 1, 2], &[0, 1], &[1, 2], &[0, 2]]);
+        assert!(!h.is_beta_acyclic());
+    }
+
+    #[test]
+    fn beta_leaf_detection() {
+        let h = hg(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        assert!(h.is_beta_leaf(0));
+        assert!(h.is_beta_leaf(3));
+        assert!(!h.is_beta_leaf(1));
+        assert!(!h.is_beta_leaf(2));
+        assert!(h.is_beta_acyclic()); // eliminate 0, then 1, then 2, 3.
+    }
+
+    #[test]
+    fn isolated_vertex_is_trivially_beta_leaf() {
+        let h = hg(3, &[&[0, 1]]);
+        assert!(h.is_beta_leaf(2));
+        // Elimination order only covers occurring vertices.
+        assert_eq!(h.beta_elimination_order().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let h = Hypergraph::new(2, vec![vec![0, 1], vec![1, 0]]);
+        assert_eq!(h.edges().len(), 1);
+    }
+
+    #[test]
+    fn remove_vertex_merges_and_drops() {
+        let h = hg(3, &[&[0, 1], &[0, 2], &[0]]);
+        let h2 = h.remove_vertex(0);
+        // {1}, {2} remain; {} dropped.
+        assert_eq!(h2.edges().len(), 2);
+        let h3 = hg(3, &[&[0, 1], &[1]]).remove_vertex(0);
+        // {1} and {1} merge.
+        assert_eq!(h3.edges().len(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Boolean lineages and their tractable probability computation.
+//!
+//! The paper's tractability results for the labeled setting (Props 4.10 and
+//! 4.11) follow the classical probabilistic-database recipe: compute a
+//! **positive DNF lineage** of the query on the instance, observe that its
+//! clause hypergraph is **β-acyclic** (Definition 4.7), and evaluate its
+//! probability in polynomial time (Theorem 4.9, after Brault-Baron, Capelli
+//! and Mengel's β-acyclic `#CSPd` \[11]).
+//!
+//! The unlabeled polytree case (Prop 5.4) instead compiles the lineage into
+//! a **d-DNNF circuit** (Definition 5.3), whose probability is computable in
+//! linear time.
+//!
+//! This crate provides all three pieces:
+//!
+//! * [`dnf`] — positive DNFs, brute-force evaluation/probability (test
+//!   oracle);
+//! * [`hypergraph`] — hypergraphs, β-leaves, β-elimination orders;
+//! * [`beta`] — the polynomial-time β-acyclic DNF probability algorithm;
+//! * [`circuit`] — d-DNNF circuits with structural checks and linear-time
+//!   probability evaluation.
+
+pub mod analysis;
+pub mod beta;
+pub mod circuit;
+pub mod dnf;
+pub mod export;
+pub mod hypergraph;
+pub mod obdd;
+
+pub use beta::beta_dnf_probability;
+pub use circuit::{Circuit, GateId};
+pub use dnf::Dnf;
+pub use hypergraph::Hypergraph;

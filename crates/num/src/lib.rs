@@ -1,0 +1,23 @@
+//! Exact arbitrary-precision arithmetic for probabilistic query evaluation.
+//!
+//! The paper requires probabilities to be "rational numbers" and all the
+//! tractability results are stated for exact computation, so this crate
+//! provides:
+//!
+//! * [`Natural`] — arbitrary-precision unsigned integers (base 2³² limbs),
+//! * [`Rational`] — exact rationals kept in lowest terms,
+//! * [`Weight`] — an abstraction over exact ([`Rational`]) and approximate
+//!   (`f64`) probability arithmetic, so every algorithm in the workspace can
+//!   run in either mode (the exact mode is the paper-faithful one; the `f64`
+//!   mode is used for large benchmark sweeps).
+//!
+//! No external bignum crate is used: the whole stack is self-contained, as
+//! documented in `DESIGN.md`.
+
+pub mod natural;
+pub mod rational;
+pub mod weight;
+
+pub use natural::Natural;
+pub use rational::Rational;
+pub use weight::Weight;

@@ -1,0 +1,593 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Little-endian base-2³² limbs with no trailing zero limb (the canonical
+//! representation of zero is the empty limb vector). The operations
+//! implemented are exactly those the rest of the workspace needs: addition,
+//! subtraction, multiplication, Knuth-style long division, binary GCD,
+//! shifts, comparison, and conversions.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+const BASE_BITS: u32 = 32;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Natural {
+    /// Little-endian limbs; invariant: no trailing `0` limb.
+    limbs: Vec<u32>,
+}
+
+impl Natural {
+    /// The number zero.
+    pub fn zero() -> Self {
+        Natural { limbs: Vec::new() }
+    }
+
+    /// The number one.
+    pub fn one() -> Self {
+        Natural { limbs: vec![1] }
+    }
+
+    /// Builds a natural from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut limbs = vec![v as u32, (v >> 32) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Natural { limbs }
+    }
+
+    /// Builds a natural from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let mut limbs = vec![
+            v as u32,
+            (v >> 32) as u32,
+            (v >> 64) as u32,
+            (v >> 96) as u32,
+        ];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Natural { limbs }
+    }
+
+    /// Returns the value as a `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut v: u128 = 0;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            v |= (l as u128) << (32 * i as u32);
+        }
+        Some(v)
+    }
+
+    /// True iff this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff this is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * BASE_BITS as u64
+                    + (BASE_BITS - top.leading_zeros()) as u64
+            }
+        }
+    }
+
+    fn normalize(mut limbs: Vec<u32>) -> Natural {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Natural { limbs }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Natural) -> Natural {
+        let (a, b) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry: u64 = 0;
+        #[allow(clippy::needless_range_loop)] // b is indexed too, via get()
+        for i in 0..a.len() {
+            let sum = a[i] as u64 + *b.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        Natural::normalize(out)
+    }
+
+    /// Subtraction; returns `None` if `other > self`.
+    pub fn checked_sub(&self, other: &Natural) -> Option<Natural> {
+        if self.cmp_nat(other) == Ordering::Less {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow: i64 = 0;
+        for i in 0..self.limbs.len() {
+            let mut diff =
+                self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            if diff < 0 {
+                diff += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(diff as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Natural::normalize(out))
+    }
+
+    /// Multiplication (schoolbook; our operand sizes stay small enough that
+    /// asymptotically faster algorithms are not worth the complexity).
+    pub fn mul(&self, other: &Natural) -> Natural {
+        if self.is_zero() || other.is_zero() {
+            return Natural::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u64 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        Natural::normalize(out)
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: u32) -> Natural {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / BASE_BITS) as usize;
+        let bit_shift = bits % BASE_BITS;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry: u32 = 0;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (BASE_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Natural::normalize(out)
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: u32) -> Natural {
+        let limb_shift = (bits / BASE_BITS) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Natural::zero();
+        }
+        let bit_shift = bits % BASE_BITS;
+        let mut out: Vec<u32> = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            let mut carry: u32 = 0;
+            for l in out.iter_mut().rev() {
+                let new = (*l >> bit_shift) | carry;
+                carry = *l << (BASE_BITS - bit_shift);
+                *l = new;
+            }
+        }
+        Natural::normalize(out)
+    }
+
+    /// True iff the number is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Comparison.
+    pub fn cmp_nat(&self, other: &Natural) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Division with remainder. Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Natural) -> (Natural, Natural) {
+        assert!(!divisor.is_zero(), "division by zero Natural");
+        match self.cmp_nat(divisor) {
+            Ordering::Less => return (Natural::zero(), self.clone()),
+            Ordering::Equal => return (Natural::one(), Natural::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0] as u64;
+            let mut rem: u64 = 0;
+            let mut out = vec![0u32; self.limbs.len()];
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 32) | self.limbs[i] as u64;
+                out[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            return (Natural::normalize(out), Natural::from_u64(rem));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Knuth Algorithm D for multi-limb divisors.
+    fn div_rem_knuth(&self, divisor: &Natural) -> (Natural, Natural) {
+        let shift = divisor.limbs.last().unwrap().leading_zeros();
+        let v = divisor.shl(shift).limbs;
+        let mut u = {
+            let shifted = self.shl(shift);
+            let mut l = shifted.limbs;
+            l.push(0); // room for the virtual extra limb u[m+n]
+            l
+        };
+        let n = v.len();
+        let m = u.len() - 1 - n;
+        let mut q = vec![0u32; m + 1];
+        let b: u64 = 1 << 32;
+        for j in (0..=m).rev() {
+            let top = ((u[j + n] as u64) << 32) | u[j + n - 1] as u64;
+            let mut qhat = top / v[n - 1] as u64;
+            let mut rhat = top % v[n - 1] as u64;
+            while qhat >= b
+                || qhat * v[n - 2] as u64 > ((rhat << 32) | u[j + n - 2] as u64)
+            {
+                qhat -= 1;
+                rhat += v[n - 1] as u64;
+                if rhat >= b {
+                    break;
+                }
+            }
+            // Multiply and subtract: u[j..j+n+1] -= qhat * v.
+            let mut borrow: i64 = 0;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let p = qhat * v[i] as u64 + carry;
+                carry = p >> 32;
+                let mut t = u[j + i] as i64 - (p as u32) as i64 - borrow;
+                if t < 0 {
+                    t += b as i64;
+                    borrow = 1;
+                } else {
+                    borrow = 0;
+                }
+                u[j + i] = t as u32;
+            }
+            let t = u[j + n] as i64 - carry as i64 - borrow;
+            if t < 0 {
+                // qhat was one too large: add back.
+                u[j + n] = (t + b as i64) as u32;
+                qhat -= 1;
+                let mut c: u64 = 0;
+                for i in 0..n {
+                    let s = u[j + i] as u64 + v[i] as u64 + c;
+                    u[j + i] = s as u32;
+                    c = s >> 32;
+                }
+                u[j + n] = u[j + n].wrapping_add(c as u32);
+            } else {
+                u[j + n] = t as u32;
+            }
+            q[j] = qhat as u32;
+        }
+        let rem = Natural::normalize(u[..n].to_vec()).shr(shift);
+        (Natural::normalize(q), rem)
+    }
+
+    /// Greatest common divisor (binary GCD; division-free inner loop).
+    pub fn gcd(&self, other: &Natural) -> Natural {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let mut shift = 0u32;
+        while a.is_even() && b.is_even() {
+            a = a.shr(1);
+            b = b.shr(1);
+            shift += 1;
+        }
+        while a.is_even() {
+            a = a.shr(1);
+        }
+        loop {
+            while b.is_even() {
+                b = b.shr(1);
+            }
+            if a.cmp_nat(&b) == Ordering::Greater {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.checked_sub(&a).expect("b >= a by the swap above");
+            if b.is_zero() {
+                return a.shl(shift);
+            }
+        }
+    }
+
+    /// Approximate conversion to `f64` (correct up to the usual rounding;
+    /// returns `f64::INFINITY` when out of range).
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bit_len();
+        if bits == 0 {
+            return 0.0;
+        }
+        if bits <= 64 {
+            let mut v: u64 = 0;
+            for (i, &l) in self.limbs.iter().enumerate() {
+                v |= (l as u64) << (32 * i as u32);
+            }
+            return v as f64;
+        }
+        // Take the top 64 bits and scale.
+        let excess = (bits - 64) as u32;
+        let top = self.shr(excess);
+        let mut v: u64 = 0;
+        for (i, &l) in top.limbs.iter().enumerate() {
+            v |= (l as u64) << (32 * i as u32);
+        }
+        (v as f64) * 2f64.powi(excess as i32)
+    }
+
+    /// `self * 10^0 ..` decimal rendering.
+    fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let chunk = Natural::from_u64(1_000_000_000);
+        let mut rest = self.clone();
+        let mut parts: Vec<u32> = Vec::new();
+        while !rest.is_zero() {
+            let (q, r) = rest.div_rem(&chunk);
+            parts.push(r.to_u128().unwrap() as u32);
+            rest = q;
+        }
+        let mut s = format!("{}", parts.pop().unwrap());
+        for p in parts.into_iter().rev() {
+            s.push_str(&format!("{p:09}"));
+        }
+        s
+    }
+
+    /// Parses a decimal string (used by tests and examples).
+    pub fn from_decimal(s: &str) -> Option<Natural> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let ten9 = Natural::from_u64(1_000_000_000);
+        let mut out = Natural::zero();
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let remaining = bytes.len() - i;
+            let take = if remaining.is_multiple_of(9) { 9 } else { remaining % 9 };
+            let chunk: u64 = s[i..i + take].parse().ok()?;
+            let mult = if take == 9 {
+                ten9.clone()
+            } else {
+                Natural::from_u64(10u64.pow(take as u32))
+            };
+            out = out.mul(&mult).add(&Natural::from_u64(chunk));
+            i += take;
+        }
+        Some(out)
+    }
+}
+
+impl PartialOrd for Natural {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Natural {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_nat(other)
+    }
+}
+
+impl fmt::Display for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_decimal())
+    }
+}
+
+impl fmt::Debug for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Natural({self})")
+    }
+}
+
+impl From<u64> for Natural {
+    fn from(v: u64) -> Self {
+        Natural::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Natural::zero().is_zero());
+        assert!(Natural::one().is_one());
+        assert!(!Natural::one().is_zero());
+        assert_eq!(Natural::zero().bit_len(), 0);
+        assert_eq!(Natural::one().bit_len(), 1);
+        assert_eq!(Natural::from_u64(0), Natural::zero());
+    }
+
+    #[test]
+    fn display_roundtrip_small() {
+        for v in [0u64, 1, 9, 10, 999_999_999, 1_000_000_000, u64::MAX] {
+            let n = Natural::from_u64(v);
+            assert_eq!(n.to_string(), v.to_string());
+            assert_eq!(Natural::from_decimal(&v.to_string()), Some(n));
+        }
+    }
+
+    #[test]
+    fn big_display() {
+        // 2^128 = 340282366920938463463374607431768211456
+        let two = Natural::from_u64(2);
+        let mut n = Natural::one();
+        for _ in 0..128 {
+            n = n.mul(&two);
+        }
+        assert_eq!(n.to_string(), "340282366920938463463374607431768211456");
+        assert_eq!(Natural::from_decimal(&n.to_string()), Some(n));
+    }
+
+    #[test]
+    fn division_by_zero_panics() {
+        let r = std::panic::catch_unwind(|| Natural::one().div_rem(&Natural::zero()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn knuth_addback_case() {
+        // A case engineered to exercise the add-back branch:
+        // u = b^4 * 3/4-ish patterns. Use known tricky values.
+        let u = Natural::from_u128(0x8000_0000_0000_0000_0000_0000_0000_0000u128);
+        let v = Natural::from_u128(0x8000_0000_0000_0001u128);
+        let (q, r) = u.div_rem(&v);
+        let back = q.mul(&v).add(&r);
+        assert_eq!(back, u);
+        assert!(r.cmp_nat(&v) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        let a = Natural::from_u64(48);
+        let b = Natural::from_u64(36);
+        assert_eq!(a.gcd(&b), Natural::from_u64(12));
+        assert_eq!(a.gcd(&Natural::zero()), a);
+        assert_eq!(Natural::zero().gcd(&b), b);
+        assert_eq!(Natural::one().gcd(&b), Natural::one());
+    }
+
+    #[test]
+    fn shifts() {
+        let n = Natural::from_u64(0xdead_beef);
+        assert_eq!(n.shl(40).shr(40), n);
+        assert_eq!(n.shr(64), Natural::zero());
+        assert_eq!(Natural::zero().shl(100), Natural::zero());
+    }
+
+    fn nat(v: u128) -> Natural {
+        Natural::from_u128(v)
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128(a in 0u128..=u64::MAX as u128, b in 0u128..=u64::MAX as u128) {
+            prop_assert_eq!(nat(a).add(&nat(b)), nat(a + b));
+        }
+
+        #[test]
+        fn sub_matches_u128(a: u128, b: u128) {
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            prop_assert_eq!(nat(hi).checked_sub(&nat(lo)), Some(nat(hi - lo)));
+            if hi != lo {
+                prop_assert_eq!(nat(lo).checked_sub(&nat(hi)), None);
+            }
+        }
+
+        #[test]
+        fn mul_matches_u128(a in 0u128..=u64::MAX as u128, b in 0u128..=u64::MAX as u128) {
+            prop_assert_eq!(nat(a).mul(&nat(b)), nat(a * b));
+        }
+
+        #[test]
+        fn div_rem_matches_u128(a: u128, b in 1u128..) {
+            let (q, r) = nat(a).div_rem(&nat(b));
+            prop_assert_eq!(q, nat(a / b));
+            prop_assert_eq!(r, nat(a % b));
+        }
+
+        #[test]
+        fn div_rem_reconstructs(a: u128, b in 1u128..) {
+            let (q, r) = nat(a).div_rem(&nat(b));
+            prop_assert_eq!(q.mul(&nat(b)).add(&r), nat(a));
+            prop_assert!(r < nat(b));
+        }
+
+        #[test]
+        fn gcd_matches_euclid(a: u64, b: u64) {
+            fn euclid(mut a: u64, mut b: u64) -> u64 {
+                while b != 0 {
+                    let t = a % b;
+                    a = b;
+                    b = t;
+                }
+                a
+            }
+            prop_assert_eq!(nat(a as u128).gcd(&nat(b as u128)), nat(euclid(a, b) as u128));
+        }
+
+        #[test]
+        fn cmp_matches_u128(a: u128, b: u128) {
+            prop_assert_eq!(nat(a).cmp_nat(&nat(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn to_f64_close(a: u128) {
+            let f = nat(a).to_f64();
+            let expect = a as f64;
+            prop_assert!((f - expect).abs() <= expect * 1e-9);
+        }
+
+        #[test]
+        fn decimal_roundtrip(a: u128) {
+            let n = nat(a);
+            prop_assert_eq!(n.to_string(), a.to_string());
+            prop_assert_eq!(Natural::from_decimal(&a.to_string()), Some(n));
+        }
+
+        #[test]
+        fn big_mul_div_roundtrip(a: u128, b in 1u128.., c in 1u128..) {
+            // (a*b*c) / (b*c) == a with multi-limb divisors.
+            let prod = nat(a).mul(&nat(b)).mul(&nat(c));
+            let div = nat(b).mul(&nat(c));
+            let (q, r) = prod.div_rem(&div);
+            prop_assert_eq!(q, nat(a));
+            prop_assert!(r.is_zero());
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Exact rational numbers in lowest terms.
+
+use crate::Natural;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational number.
+///
+/// Invariants: `den != 0`, `gcd(num, den) == 1`, and `num == 0` implies
+/// `!neg && den == 1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    neg: bool,
+    num: Natural,
+    den: Natural,
+}
+
+impl Rational {
+    /// Zero.
+    pub fn zero() -> Self {
+        Rational { neg: false, num: Natural::zero(), den: Natural::one() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Rational { neg: false, num: Natural::one(), den: Natural::one() }
+    }
+
+    /// Builds `num/den` from unsigned parts. Panics if `den == 0`.
+    pub fn from_ratio(num: u64, den: u64) -> Self {
+        Rational::new(false, Natural::from_u64(num), Natural::from_u64(den))
+    }
+
+    /// Builds a signed integer.
+    pub fn from_i64(v: i64) -> Self {
+        Rational::new(v < 0, Natural::from_u64(v.unsigned_abs()), Natural::one())
+    }
+
+    /// Builds a normalized rational from sign + parts.
+    pub fn new(neg: bool, num: Natural, den: Natural) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let g = num.gcd(&den);
+        let (num, _) = num.div_rem(&g);
+        let (den, _) = den.div_rem(&g);
+        Rational { neg, num, den }
+    }
+
+    /// The numerator (absolute value).
+    pub fn numer(&self) -> &Natural {
+        &self.num
+    }
+
+    /// The denominator.
+    pub fn denom(&self) -> &Natural {
+        &self.den
+    }
+
+    /// True iff negative.
+    pub fn is_negative(&self) -> bool {
+        self.neg
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True iff exactly one.
+    pub fn is_one(&self) -> bool {
+        !self.neg && self.num.is_one() && self.den.is_one()
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Rational {
+        if self.is_zero() {
+            self.clone()
+        } else {
+            Rational { neg: !self.neg, num: self.num.clone(), den: self.den.clone() }
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Rational) -> Rational {
+        // a/b + c/d = (a*d + c*b) / (b*d), with signs.
+        let ad = self.num.mul(&other.den);
+        let cb = other.num.mul(&self.den);
+        let den = self.den.mul(&other.den);
+        match (self.neg, other.neg) {
+            (false, false) => Rational::new(false, ad.add(&cb), den),
+            (true, true) => Rational::new(true, ad.add(&cb), den),
+            (sn, _) => match ad.cmp_nat(&cb) {
+                Ordering::Equal => Rational::zero(),
+                Ordering::Greater => {
+                    Rational::new(sn, ad.checked_sub(&cb).unwrap(), den)
+                }
+                Ordering::Less => Rational::new(!sn, cb.checked_sub(&ad).unwrap(), den),
+            },
+        }
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &Rational) -> Rational {
+        self.add(&other.neg())
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, other: &Rational) -> Rational {
+        Rational::new(
+            self.neg != other.neg,
+            self.num.mul(&other.num),
+            self.den.mul(&other.den),
+        )
+    }
+
+    /// Division. Panics on division by zero.
+    pub fn div(&self, other: &Rational) -> Rational {
+        assert!(!other.is_zero(), "rational division by zero");
+        Rational::new(
+            self.neg != other.neg,
+            self.num.mul(&other.den),
+            self.den.mul(&other.num),
+        )
+    }
+
+    /// `1 - self` (ubiquitous for probabilities).
+    pub fn one_minus(&self) -> Rational {
+        Rational::one().sub(self)
+    }
+
+    /// Integer power.
+    pub fn pow(&self, mut e: u32) -> Rational {
+        let mut base = self.clone();
+        let mut acc = Rational::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            base = base.mul(&base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Approximate `f64` value.
+    pub fn to_f64(&self) -> f64 {
+        let mag = if self.den.is_one() {
+            self.num.to_f64()
+        } else {
+            // Align bit lengths to avoid overflow for huge numerators
+            // or denominators.
+            let nb = self.num.bit_len() as i64;
+            let db = self.den.bit_len() as i64;
+            let shift = (nb.max(db) - 96).max(0) as u32;
+            let n = self.num.shr(shift).to_f64();
+            let d = self.den.shr(shift).to_f64();
+            n / d
+        };
+        if self.neg {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// True iff the value lies in `[0, 1]` (valid probability).
+    pub fn is_probability(&self) -> bool {
+        !self.neg && self.num.cmp_nat(&self.den) != Ordering::Greater
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.neg, other.neg) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (neg, _) => {
+                let lhs = self.num.mul(&other.den);
+                let rhs = other.num.mul(&self.den);
+                let ord = lhs.cmp_nat(&rhs);
+                if neg {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.neg {
+            write!(f, "-")?;
+        }
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({self} ≈ {})", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rat(n: i64, d: u64) -> Rational {
+        Rational::new(n < 0, Natural::from_u64(n.unsigned_abs()), Natural::from_u64(d))
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-6, 9), rat(-2, 3));
+        assert_eq!(rat(0, 7), Rational::zero());
+        assert_eq!(rat(0, 7).to_string(), "0");
+        assert_eq!(rat(-1, 2).to_string(), "-1/2");
+        assert_eq!(rat(4, 2).to_string(), "2");
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(rat(1, 2).add(&rat(1, 3)), rat(5, 6));
+        assert_eq!(rat(1, 2).sub(&rat(1, 3)), rat(1, 6));
+        assert_eq!(rat(1, 3).sub(&rat(1, 2)), rat(-1, 6));
+        assert_eq!(rat(2, 3).mul(&rat(3, 4)), rat(1, 2));
+        assert_eq!(rat(2, 3).div(&rat(4, 3)), rat(1, 2));
+        assert_eq!(rat(1, 4).one_minus(), rat(3, 4));
+        assert_eq!(rat(-1, 2).add(&rat(1, 2)), Rational::zero());
+        assert_eq!(rat(1, 2).pow(10), rat(1, 1024));
+        assert_eq!(rat(-2, 1).pow(3), rat(-8, 1));
+        assert_eq!(rat(7, 3).pow(0), Rational::one());
+    }
+
+    #[test]
+    fn probability_range() {
+        assert!(rat(1, 2).is_probability());
+        assert!(Rational::zero().is_probability());
+        assert!(Rational::one().is_probability());
+        assert!(!rat(3, 2).is_probability());
+        assert!(!rat(-1, 2).is_probability());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(-1, 2) < rat(1, 100));
+        assert_eq!(rat(2, 4).cmp(&rat(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn example_2_2_value() {
+        // Pr(G ⇝ H) = 0.7 × (1 − 0.9 × 0.2) = 0.574 = 287/500.
+        let p = rat(7, 10).mul(&rat(9, 10).mul(&rat(2, 10)).one_minus());
+        assert_eq!(p, rat(287, 500));
+        assert!((p.to_f64() - 0.574).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in -1000i64..1000, b in 1u64..100, c in -1000i64..1000, d in 1u64..100) {
+            let x = rat(a, b);
+            let y = rat(c, d);
+            prop_assert_eq!(x.add(&y), y.add(&x));
+        }
+
+        #[test]
+        fn add_associates(a in -100i64..100, b in 1u64..20, c in -100i64..100,
+                          d in 1u64..20, e in -100i64..100, f in 1u64..20) {
+            let x = rat(a, b);
+            let y = rat(c, d);
+            let z = rat(e, f);
+            prop_assert_eq!(x.add(&y).add(&z), x.add(&y.add(&z)));
+        }
+
+        #[test]
+        fn mul_distributes(a in -100i64..100, b in 1u64..20, c in -100i64..100,
+                           d in 1u64..20, e in -100i64..100, f in 1u64..20) {
+            let x = rat(a, b);
+            let y = rat(c, d);
+            let z = rat(e, f);
+            prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+        }
+
+        #[test]
+        fn sub_then_add_roundtrips(a in -1000i64..1000, b in 1u64..100,
+                                   c in -1000i64..1000, d in 1u64..100) {
+            let x = rat(a, b);
+            let y = rat(c, d);
+            prop_assert_eq!(x.sub(&y).add(&y), x);
+        }
+
+        #[test]
+        fn div_inverts_mul(a in -1000i64..1000, b in 1u64..100,
+                           c in -1000i64..1000, d in 1u64..100) {
+            prop_assume!(c != 0);
+            let x = rat(a, b);
+            let y = rat(c, d);
+            prop_assert_eq!(x.mul(&y).div(&y), x);
+        }
+
+        #[test]
+        fn to_f64_close(a in -100_000i64..100_000, b in 1u64..100_000) {
+            let x = rat(a, b);
+            let expect = a as f64 / b as f64;
+            prop_assert!((x.to_f64() - expect).abs() < 1e-9);
+        }
+
+        #[test]
+        fn cmp_matches_f64(a in -1000i64..1000, b in 1u64..100,
+                           c in -1000i64..1000, d in 1u64..100) {
+            let x = rat(a, b);
+            let y = rat(c, d);
+            let fx = a as f64 / b as f64;
+            let fy = c as f64 / d as f64;
+            if (fx - fy).abs() > 1e-9 {
+                prop_assert_eq!(x < y, fx < fy);
+            }
+        }
+    }
+}

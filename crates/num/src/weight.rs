@@ -1,0 +1,126 @@
+//! The [`Weight`] abstraction: a common interface for exact rational and
+//! floating-point probability arithmetic.
+//!
+//! Every algorithm in the workspace is generic over `Weight`, so the same
+//! code path yields the paper-faithful exact answer (with [`Rational`]) or a
+//! fast approximation for large benchmark sweeps (with `f64`).
+
+use crate::Rational;
+
+/// Semifield-like operations used by probability computations.
+///
+/// The β-acyclic elimination of Theorem 4.9 also needs exact division and a
+/// reliable zero test, so both are part of the contract. `f64` satisfies it
+/// only approximately — tests always cross-check `f64` runs against exact
+/// rational runs on the same inputs.
+pub trait Weight: Clone + std::fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Subtraction (results may be negative transiently).
+    fn sub(&self, other: &Self) -> Self;
+    /// Multiplication.
+    fn mul(&self, other: &Self) -> Self;
+    /// Division; callers must not pass a zero divisor.
+    fn div(&self, other: &Self) -> Self;
+    /// Exact (or best-effort, for floats) zero test.
+    fn is_zero(&self) -> bool;
+    /// Injects a rational constant (how edge probabilities enter).
+    fn from_rational(r: &Rational) -> Self;
+    /// Approximate value, for reporting.
+    fn to_f64(&self) -> f64;
+
+    /// `1 − self`, the complement of a probability.
+    fn complement(&self) -> Self {
+        Self::one().sub(self)
+    }
+}
+
+impl Weight for Rational {
+    fn zero() -> Self {
+        Rational::zero()
+    }
+    fn one() -> Self {
+        Rational::one()
+    }
+    fn add(&self, other: &Self) -> Self {
+        Rational::add(self, other)
+    }
+    fn sub(&self, other: &Self) -> Self {
+        Rational::sub(self, other)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Rational::mul(self, other)
+    }
+    fn div(&self, other: &Self) -> Self {
+        Rational::div(self, other)
+    }
+    fn is_zero(&self) -> bool {
+        Rational::is_zero(self)
+    }
+    fn from_rational(r: &Rational) -> Self {
+        r.clone()
+    }
+    fn to_f64(&self) -> f64 {
+        Rational::to_f64(self)
+    }
+}
+
+impl Weight for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+    fn from_rational(r: &Rational) -> Self {
+        r.to_f64()
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_generic<W: Weight>() -> f64 {
+        let half = W::from_rational(&Rational::from_ratio(1, 2));
+        let third = W::from_rational(&Rational::from_ratio(1, 3));
+        // 1 - (1 - 1/2 * 1/3) = 1/6
+        half.mul(&third).complement().complement().to_f64()
+    }
+
+    #[test]
+    fn generic_code_agrees_across_weights() {
+        let exact = run_generic::<Rational>();
+        let float = run_generic::<f64>();
+        assert!((exact - float).abs() < 1e-12);
+        assert!((exact - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complement_of_zero_is_one() {
+        assert!(Rational::zero().complement().is_one());
+        assert_eq!(0.0f64.complement(), 1.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Positive partitioned 2-DNFs and the `#PP2DNF` problem (Definition 4.3).
+//!
+//! A PP2DNF over variables `X₁…X_{n1} ⊔ Y₁…Y_{n2}` is
+//! `⋁_j (X_{x_j} ∧ Y_{y_j})`; `#PP2DNF` counts its satisfying valuations
+//! and is #P-hard \[29, 32]. Counting here is by two independent
+//! exponential-time oracles used to validate the reductions.
+
+use rand::Rng;
+
+/// A positive partitioned 2-DNF formula (variable indices are 0-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pp2Dnf {
+    /// Number of X variables.
+    pub n1: usize,
+    /// Number of Y variables.
+    pub n2: usize,
+    /// Clauses `(x_j, y_j)`.
+    pub clauses: Vec<(usize, usize)>,
+}
+
+impl Pp2Dnf {
+    /// Builds a formula, validating indices.
+    pub fn new(n1: usize, n2: usize, clauses: Vec<(usize, usize)>) -> Self {
+        assert!(clauses.iter().all(|&(x, y)| x < n1 && y < n2), "index out of range");
+        Pp2Dnf { n1, n2, clauses }
+    }
+
+    /// The running example of Figures 7 and 8: `X₁Y₂ ∨ X₁Y₁ ∨ X₂Y₂`.
+    pub fn figure_7_formula() -> Self {
+        Pp2Dnf::new(2, 2, vec![(0, 1), (0, 0), (1, 1)])
+    }
+
+    /// A random formula with `m` clauses (duplicates allowed, as in the
+    /// problem definition).
+    pub fn random<R: Rng>(n1: usize, n2: usize, m: usize, rng: &mut R) -> Self {
+        let clauses =
+            (0..m).map(|_| (rng.gen_range(0..n1), rng.gen_range(0..n2))).collect();
+        Pp2Dnf::new(n1, n2, clauses)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n1 + self.n2
+    }
+
+    /// Evaluates under a valuation (X bits then Y bits).
+    pub fn eval(&self, x: u64, y: u64) -> bool {
+        self.clauses.iter().any(|&(xj, yj)| x >> xj & 1 == 1 && y >> yj & 1 == 1)
+    }
+
+    /// `#PP2DNF` in time `O(2^{n1} · m)`: for each X-assignment, the
+    /// falsifying Y-assignments avoid the `d` distinct Y variables of
+    /// active clauses, so the satisfying count is `2^{n2} − 2^{n2 − d}`.
+    pub fn count_satisfying(&self) -> u64 {
+        assert!(self.n1 < 60 && self.n2 < 60, "formula too large to count");
+        let mut total = 0u64;
+        for x in 0u64..(1 << self.n1) {
+            let mut active_ys = 0u64;
+            for &(xj, yj) in &self.clauses {
+                if x >> xj & 1 == 1 {
+                    active_ys |= 1 << yj;
+                }
+            }
+            let d = active_ys.count_ones();
+            total += (1u64 << self.n2) - (1u64 << (self.n2 - d as usize));
+        }
+        total
+    }
+
+    /// `#PP2DNF` by full enumeration, `O(2^{n1+n2} · m)` — the independent
+    /// cross-check for [`Pp2Dnf::count_satisfying`].
+    pub fn count_satisfying_naive(&self) -> u64 {
+        assert!(self.num_vars() < 30);
+        let mut total = 0u64;
+        for x in 0u64..(1 << self.n1) {
+            for y in 0u64..(1 << self.n2) {
+                if self.eval(x, y) {
+                    total += 1;
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn figure_7_formula_count() {
+        // X₁Y₂ ∨ X₁Y₁ ∨ X₂Y₂ over 4 variables: count by hand = 8.
+        // (X₁ ∧ (Y₁∨Y₂)) ∨ (X₂∧Y₂): 0 + 3 + 2 + 3 = 8 over the four Y-cases.
+        let f = Pp2Dnf::figure_7_formula();
+        assert_eq!(f.count_satisfying_naive(), 8);
+        assert_eq!(f.count_satisfying(), 8);
+    }
+
+    #[test]
+    fn empty_formula() {
+        let f = Pp2Dnf::new(2, 2, vec![]);
+        assert_eq!(f.count_satisfying(), 0);
+    }
+
+    #[test]
+    fn single_clause() {
+        // X₁ ∧ Y₁ over 1+1 variables: exactly 1 satisfying valuation.
+        let f = Pp2Dnf::new(1, 1, vec![(0, 0)]);
+        assert_eq!(f.count_satisfying(), 1);
+        // Over 2+2 variables: 4.
+        let f = Pp2Dnf::new(2, 2, vec![(0, 0)]);
+        assert_eq!(f.count_satisfying(), 4);
+    }
+
+    #[test]
+    fn duplicate_clauses_are_harmless() {
+        let f = Pp2Dnf::new(2, 2, vec![(0, 0), (0, 0)]);
+        assert_eq!(f.count_satisfying(), 4);
+    }
+
+    #[test]
+    fn counters_agree_on_random_formulas() {
+        let mut rng = SmallRng::seed_from_u64(61);
+        for _ in 0..200 {
+            let n1 = rand::Rng::gen_range(&mut rng, 1..6);
+            let n2 = rand::Rng::gen_range(&mut rng, 1..6);
+            let m = rand::Rng::gen_range(&mut rng, 0..8);
+            let f = Pp2Dnf::random(n1, n2, m, &mut rng);
+            assert_eq!(f.count_satisfying(), f.count_satisfying_naive(), "{f:?}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Proposition 3.3: `#Bipartite-Edge-Cover ≤ PHomL(⊔1WP, 1WP)`.
+//!
+//! From a bipartite graph `Γ = (X ⊔ Y, E)` with `E = {e_j = (x_{l_j},
+//! y_{r_j})}`, build (Figure 5):
+//!
+//! * the 1WP instance `H = C→ H_{e₁} C→ H_{e₂} … C→ H_{e_m} C→` where
+//!   `H_{e_j} = (L→)^{l_j} V→ (R→)^{r_j}`; V-edges get probability ½
+//!   (coding membership of `e_j` in the candidate cover), all others 1;
+//! * the `⊔1WP` query `G` with a component `C→ (L→)^i V→` per left vertex
+//!   `x_i` and a component `V→ (R→)^i C→` per right vertex `y_i`.
+//!
+//! Identity: `#EdgeCovers(Γ) = Pr(G ⇝ H) · 2^m`.
+
+use crate::edge_cover::Bipartite;
+use crate::Reduction;
+use phom_graph::{Graph, GraphBuilder, Label, ProbGraph};
+use phom_num::Rational;
+
+/// The labels of the construction: σ = {C, L, V, R}.
+pub const C: Label = Label(0);
+/// Left-index unary coding.
+pub const L: Label = Label(1);
+/// The probabilistic cover-membership edges.
+pub const V: Label = Label(2);
+/// Right-index unary coding.
+pub const R: Label = Label(3);
+
+/// Builds the reduction. Vertex indices in `Γ` are 0-based, so `x_i`
+/// contributes the component `C (L)^{i+1} V` (the paper is 1-based).
+pub fn reduce(gamma: &Bipartite) -> Reduction {
+    // Instance: C (L^{l_j} V R^{r_j} C)_j as one long 1WP.
+    let mut labels: Vec<Label> = vec![C];
+    let mut v_positions = Vec::new();
+    for &(x, y) in &gamma.edges {
+        let (lj, rj) = (x + 1, y + 1);
+        labels.extend(std::iter::repeat_n(L, lj));
+        v_positions.push(labels.len());
+        labels.push(V);
+        labels.extend(std::iter::repeat_n(R, rj));
+        labels.push(C);
+    }
+    let graph = Graph::one_way_path(&labels);
+    let probs: Vec<Rational> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            if v_positions.contains(&i) {
+                Rational::from_ratio(1, 2)
+            } else {
+                Rational::one()
+            }
+        })
+        .collect();
+    let instance = ProbGraph::new(graph, probs);
+
+    // Query: one component per vertex of Γ.
+    let mut b = GraphBuilder::with_vertices(1);
+    let mut next = 0usize;
+    let path = |b: &mut GraphBuilder, labels: &[Label], next: &mut usize| {
+        let start = *next;
+        for (k, &l) in labels.iter().enumerate() {
+            b.edge(start + k, start + k + 1, l);
+        }
+        *next = start + labels.len() + 1;
+    };
+    for i in 0..gamma.nl {
+        let mut ls = vec![C];
+        ls.extend(std::iter::repeat_n(L, i + 1));
+        ls.push(V);
+        path(&mut b, &ls, &mut next);
+    }
+    for i in 0..gamma.nr {
+        let mut ls = vec![V];
+        ls.extend(std::iter::repeat_n(R, i + 1));
+        ls.push(C);
+        path(&mut b, &ls, &mut next);
+    }
+    let query = b.build();
+
+    Reduction { query, instance, log2_scale: gamma.m() as u32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::classes::classify;
+    use phom_graph::ConnClass;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn figure_5_shapes() {
+        let gamma = Bipartite::figure_5_graph();
+        let red = reduce(&gamma);
+        let qc = classify(&red.query);
+        let ic = classify(red.instance.graph());
+        assert!(qc.in_union_class(ConnClass::OneWayPath));
+        assert!(!qc.is_connected());
+        assert!(ic.in_class(ConnClass::OneWayPath));
+        assert!(qc.labeled && ic.labeled);
+        // One component per vertex of Γ.
+        assert_eq!(qc.components.len(), 5);
+        // m probabilistic edges.
+        assert_eq!(red.instance.uncertain_edges().len(), gamma.m());
+    }
+
+    #[test]
+    fn figure_5_identity() {
+        let gamma = Bipartite::figure_5_graph();
+        let red = reduce(&gamma);
+        assert_eq!(red.count_via_brute_force(), 2);
+    }
+
+    #[test]
+    fn identity_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(63);
+        for _ in 0..25 {
+            let nl = rand::Rng::gen_range(&mut rng, 1..4);
+            let nr = rand::Rng::gen_range(&mut rng, 1..4);
+            let gamma = Bipartite::random_covered(nl, nr, 1, &mut rng);
+            if gamma.m() > 9 {
+                continue;
+            }
+            let red = reduce(&gamma);
+            assert_eq!(
+                red.count_via_brute_force(),
+                gamma.count_edge_covers_brute_force(),
+                "{gamma:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn construction_is_polynomial_sized() {
+        let gamma = Bipartite::random_covered(5, 5, 10, &mut SmallRng::seed_from_u64(1));
+        let red = reduce(&gamma);
+        // |H| = O(m · (nl + nr)), |G| = O((nl + nr)²).
+        assert!(red.instance.graph().n_edges() <= gamma.m() * (gamma.nl + gamma.nr + 3) + 1);
+        assert!(red.query.n_edges() <= (gamma.nl + gamma.nr) * (gamma.nl.max(gamma.nr) + 2));
+    }
+}

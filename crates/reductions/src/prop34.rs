@@ -1,0 +1,159 @@
+//! Proposition 3.4: `#Bipartite-Edge-Cover ≤ PHom̸L(⊔2WP, 2WP)` — in the
+//! unlabeled setting, two-wayness simulates labels.
+//!
+//! Start from the Prop 3.3 construction and rewrite every edge by a
+//! direction pattern (the paper's gadgets):
+//!
+//! * `a -L→ b` and `a -R→ b` become `a → → ← b`;
+//! * `a -C→ b` becomes `a ← ← ← b`;
+//! * `a -V→ b` becomes `a → → → → → ← b`, whose **first** edge carries the
+//!   probability ½ in the instance.
+//!
+//! The 5 consecutive forward edges only occur inside rewritten V-edges,
+//! which pins the matches exactly as in Prop 3.3, and the identity
+//! `#EdgeCovers(Γ) = Pr(G' ⇝ H') · 2^m` carries over.
+
+use crate::edge_cover::Bipartite;
+use crate::{prop33, Reduction};
+use phom_graph::{Graph, GraphBuilder, Label, ProbGraph};
+use phom_num::Rational;
+
+const U: Label = Label::UNLABELED;
+
+/// The direction pattern replacing a labeled edge: `true` = forward.
+fn pattern(label: Label) -> &'static [bool] {
+    match label {
+        prop33::L | prop33::R => &[true, true, false],
+        prop33::C => &[false, false, false],
+        prop33::V => &[true, true, true, true, true, false],
+        _ => unreachable!("Prop 3.3 uses labels C, L, V, R"),
+    }
+}
+
+/// Rewrites a labeled graph into its unlabeled two-way form. Returns the
+/// graph and, for each original edge id, the new edge id carrying its
+/// probability (the first edge of the pattern).
+fn rewrite(g: &Graph) -> (Graph, Vec<usize>) {
+    let mut b = GraphBuilder::with_vertices(g.n_vertices());
+    let mut prob_carrier = Vec::with_capacity(g.n_edges());
+    let mut next = g.n_vertices();
+    for edge in g.edges() {
+        let pat = pattern(edge.label);
+        // Intermediate vertices between edge.src and edge.dst.
+        let mut cur = edge.src;
+        let mut first_new_edge = None;
+        for (k, &fwd) in pat.iter().enumerate() {
+            let nxt = if k + 1 == pat.len() {
+                edge.dst
+            } else {
+                let v = next;
+                next += 1;
+                v
+            };
+            let id = if fwd {
+                b.edge(cur, nxt, U)
+            } else {
+                b.edge(nxt, cur, U)
+            };
+            if k == 0 {
+                first_new_edge = Some(id);
+            }
+            cur = nxt;
+        }
+        prob_carrier.push(first_new_edge.unwrap());
+    }
+    (b.build(), prob_carrier)
+}
+
+/// Builds the Prop 3.4 reduction from a bipartite graph.
+pub fn reduce(gamma: &Bipartite) -> Reduction {
+    let labeled = prop33::reduce(gamma);
+    let (h2, carriers) = rewrite(labeled.instance.graph());
+    let mut probs = vec![Rational::one(); h2.n_edges()];
+    for (orig, &carrier) in carriers.iter().enumerate() {
+        if !labeled.instance.prob(orig).is_one() {
+            probs[carrier] = labeled.instance.prob(orig).clone();
+        }
+    }
+    let instance = ProbGraph::new(h2, probs);
+    let (query, _) = rewrite(&labeled.query);
+    Reduction { query, instance, log2_scale: labeled.log2_scale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::classes::classify;
+    use phom_graph::ConnClass;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_are_unlabeled_two_way_paths() {
+        let gamma = Bipartite::figure_5_graph();
+        let red = reduce(&gamma);
+        let qc = classify(&red.query);
+        let ic = classify(red.instance.graph());
+        assert!(qc.in_union_class(ConnClass::TwoWayPath));
+        assert!(!qc.is_connected());
+        assert!(ic.in_class(ConnClass::TwoWayPath));
+        assert!(!qc.labeled && !ic.labeled);
+        assert_eq!(red.instance.uncertain_edges().len(), gamma.m());
+    }
+
+    #[test]
+    fn figure_5_identity_unlabeled() {
+        let gamma = Bipartite::figure_5_graph();
+        let red = reduce(&gamma);
+        assert_eq!(red.count_via_brute_force(), 2);
+    }
+
+    #[test]
+    fn identity_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(64);
+        for _ in 0..12 {
+            let nl = rand::Rng::gen_range(&mut rng, 1..3);
+            let nr = rand::Rng::gen_range(&mut rng, 1..4);
+            let gamma = Bipartite::random_covered(nl, nr, 0, &mut rng);
+            if gamma.m() > 6 {
+                continue;
+            }
+            let red = reduce(&gamma);
+            assert_eq!(
+                red.count_via_brute_force(),
+                gamma.count_edge_covers_brute_force(),
+                "{gamma:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn five_forward_runs_only_in_v_gadgets() {
+        // The proof's key observation: runs of ≥5 consecutive forward edges
+        // exist only as prefixes of rewritten V-edges.
+        let gamma = Bipartite::figure_5_graph();
+        let red = reduce(&gamma);
+        let view = phom_graph::classes::as_two_way_path(red.instance.graph()).unwrap();
+        let mut run = 0usize;
+        let mut max_run_excluding_v = 0usize;
+        let v_count = gamma.m();
+        let mut long_runs = 0;
+        for &(_, _, dir) in &view.steps {
+            if dir == phom_graph::Dir::Forward {
+                run += 1;
+            } else {
+                if run >= 5 {
+                    long_runs += 1;
+                } else {
+                    max_run_excluding_v = max_run_excluding_v.max(run);
+                }
+                run = 0;
+            }
+        }
+        if run >= 5 {
+            long_runs += 1;
+        }
+        assert_eq!(long_runs, v_count);
+        assert!(max_run_excluding_v < 5);
+    }
+}

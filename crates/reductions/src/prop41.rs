@@ -1,0 +1,153 @@
+//! Proposition 4.1: `#PP2DNF ≤ PHomL(1WP, PT)` (Appendix B, Figure 7).
+//!
+//! From a PP2DNF `φ = ⋁_{j=1..m} (X_{x_j} ∧ Y_{y_j})`, build the polytree
+//! instance over σ = {S, T}:
+//!
+//! * vertices `R`, `X_i`, `Y_i`, chain vertices `X_{i,j}` / `Y_{i,j}`
+//!   (`j = 1..m`), and clause markers `A_{x_j,j}`, `B_{y_j,j}`;
+//! * probability-½ edges `X_i -S→ R` and `R -S→ Y_i` (the valuation);
+//! * certain chains `X_{i,j} -S→ X_{i,j+1}`, `X_{i,m} -S→ X_i` and
+//!   `Y_i -S→ Y_{i,1}`, `Y_{i,j} -S→ Y_{i,j+1}`;
+//! * clause markers `A_{x_j,j} -T→ X_{x_j,j}` and `Y_{y_j,j} -T→ B_{y_j,j}`.
+//!
+//! The 1WP query is `T→ (S→)^{m+3} T→`; its matches must climb an X-branch
+//! from a marker at depth `j`, cross `R`, and descend a Y-branch to a
+//! marker at depth `j′`, and the length budget forces `j = j′` — i.e. a
+//! clause whose two variables are both true. Identity:
+//! `#φ = Pr(G ⇝ H) · 2^{n1+n2}`.
+
+use crate::pp2dnf::Pp2Dnf;
+use crate::Reduction;
+use phom_graph::{GraphBuilder, Label, ProbGraph};
+use phom_num::Rational;
+
+/// Chain label.
+pub const S: Label = Label(0);
+/// Clause-marker label.
+pub const T: Label = Label(1);
+
+/// Builds the reduction (0-based variables; clause `j` is 1-based in depth
+/// arithmetic to match the paper).
+pub fn reduce(phi: &Pp2Dnf) -> Reduction {
+    let m = phi.clauses.len();
+    assert!(m >= 1, "the construction needs at least one clause");
+    let mut b = GraphBuilder::with_vertices(1);
+    let mut probs: Vec<(usize, Rational)> = Vec::new(); // (edge, prob ½)
+
+    let r = 0usize;
+    let mut next = 1usize;
+    let mut fresh = || {
+        let v = next;
+        next += 1;
+        v
+    };
+
+    // X side: chains X_{i,1} → … → X_{i,m} → X_i → R.
+    let mut x_chain: Vec<Vec<usize>> = Vec::new(); // [i][j-1] = X_{i,j}
+    for _i in 0..phi.n1 {
+        let xi = fresh();
+        let chain: Vec<usize> = (0..m).map(|_| fresh()).collect();
+        for j in 0..m {
+            if j + 1 < m {
+                b.edge(chain[j], chain[j + 1], S);
+            } else {
+                b.edge(chain[j], xi, S);
+            }
+        }
+        let e = b.edge(xi, r, S);
+        probs.push((e, Rational::from_ratio(1, 2)));
+        x_chain.push(chain);
+    }
+    // Y side: chains R → Y_i → Y_{i,1} → … → Y_{i,m}.
+    let mut y_chain: Vec<Vec<usize>> = Vec::new();
+    for _i in 0..phi.n2 {
+        let yi = fresh();
+        let e = b.edge(r, yi, S);
+        probs.push((e, Rational::from_ratio(1, 2)));
+        let chain: Vec<usize> = (0..m).map(|_| fresh()).collect();
+        b.edge(yi, chain[0], S);
+        for j in 0..m - 1 {
+            b.edge(chain[j], chain[j + 1], S);
+        }
+        y_chain.push(chain);
+    }
+    // Clause markers: A_{x_j,j} -T→ X_{x_j,j} and Y_{y_j,j} -T→ B_{y_j,j}.
+    for (j1, &(xj, yj)) in phi.clauses.iter().enumerate() {
+        let j = j1; // 0-based position in the chains
+        let a = fresh();
+        b.edge(a, x_chain[xj][j], T);
+        let bb = fresh();
+        b.edge(y_chain[yj][j], bb, T);
+    }
+
+    let graph = b.build();
+    let mut prob_vec = vec![Rational::one(); graph.n_edges()];
+    for (e, p) in probs {
+        prob_vec[e] = p;
+    }
+    let instance = ProbGraph::new(graph, prob_vec);
+
+    // Query: T (S)^{m+3} T.
+    let mut labels = vec![T];
+    labels.extend(std::iter::repeat_n(S, m + 3));
+    labels.push(T);
+    let query = phom_graph::Graph::one_way_path(&labels);
+
+    Reduction { query, instance, log2_scale: (phi.n1 + phi.n2) as u32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::classes::classify;
+    use phom_graph::ConnClass;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn figure_7_shapes() {
+        let phi = Pp2Dnf::figure_7_formula();
+        let red = reduce(&phi);
+        let qc = classify(&red.query);
+        let ic = classify(red.instance.graph());
+        assert!(qc.in_class(ConnClass::OneWayPath));
+        assert!(ic.in_class(ConnClass::Polytree));
+        assert!(!ic.in_class(ConnClass::DownwardTree)); // genuinely two-way
+        assert!(qc.labeled && ic.labeled);
+        // n1 + n2 probabilistic edges.
+        assert_eq!(red.instance.uncertain_edges().len(), phi.num_vars());
+        // Query is T S^{m+3} T.
+        assert_eq!(red.query.n_edges(), phi.clauses.len() + 5);
+    }
+
+    #[test]
+    fn figure_7_identity() {
+        // #φ = 8 for X₁Y₂ ∨ X₁Y₁ ∨ X₂Y₂; Pr · 2⁴ must equal 8.
+        let phi = Pp2Dnf::figure_7_formula();
+        let red = reduce(&phi);
+        assert_eq!(red.count_via_brute_force(), 8);
+    }
+
+    #[test]
+    fn identity_on_random_formulas() {
+        let mut rng = SmallRng::seed_from_u64(65);
+        for _ in 0..25 {
+            let n1 = rand::Rng::gen_range(&mut rng, 1..4);
+            let n2 = rand::Rng::gen_range(&mut rng, 1..4);
+            let m = rand::Rng::gen_range(&mut rng, 1..5);
+            let phi = Pp2Dnf::random(n1, n2, m, &mut rng);
+            let red = reduce(&phi);
+            assert_eq!(red.count_via_brute_force(), phi.count_satisfying(), "{phi:?}");
+        }
+    }
+
+    #[test]
+    fn construction_is_polynomial_sized() {
+        let mut rng = SmallRng::seed_from_u64(66);
+        let phi = Pp2Dnf::random(6, 6, 10, &mut rng);
+        let red = reduce(&phi);
+        let n_vertices = red.instance.graph().n_vertices();
+        // 1 + (n1+n2)(m+1) + 2m vertices.
+        assert_eq!(n_vertices, 1 + phi.num_vars() * (phi.clauses.len() + 1) + 2 * phi.clauses.len());
+    }
+}

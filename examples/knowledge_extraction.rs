@@ -1,0 +1,138 @@
+//! Probabilistic knowledge extraction over document trees — the
+//! "probabilistic XML" scenario the paper's conclusion singles out for
+//! Prop 4.10: *"the instance is a labeled (downward) tree, while the query
+//! is a path evaluated on that tree"*.
+//!
+//! An information-extraction pipeline parsed a corporate filing into a
+//! section tree; every structural edge carries the extractor's confidence.
+//! Analysts ask path queries ("a Contract section containing a Party
+//! element containing an Address") and need exact probabilities, fast.
+//!
+//! Run with: `cargo run --example knowledge_extraction`
+
+use phom::core::algo::path_on_dwt;
+use phom::core::bruteforce;
+use phom::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+// The edge vocabulary of the extraction.
+const SECTION: Label = Label(0);
+const PARTY: Label = Label(1);
+const ADDRESS: Label = Label(2);
+const DATE: Label = Label(3);
+
+/// Builds a synthetic filing: a root document with `sections` section
+/// subtrees, each holding party/address/date elements with extraction
+/// confidences.
+fn build_filing(sections: usize, rng: &mut SmallRng) -> ProbGraph {
+    let mut b = GraphBuilder::with_vertices(1);
+    let mut probs: Vec<Rational> = Vec::new();
+    let mut next = 1usize;
+    let add = |b: &mut GraphBuilder,
+                   probs: &mut Vec<Rational>,
+                   parent: usize,
+                   label: Label,
+                   conf: Rational,
+                   next: &mut usize| {
+        let v = *next;
+        *next += 1;
+        b.edge(parent, v, label);
+        probs.push(conf);
+        v
+    };
+    for _ in 0..sections {
+        // Sections are parsed reliably; nested elements less so.
+        let sec = add(&mut b, &mut probs, 0, SECTION, Rational::from_ratio(19, 20), &mut next);
+        for _ in 0..rng.gen_range(1..4) {
+            let party = add(
+                &mut b,
+                &mut probs,
+                sec,
+                PARTY,
+                Rational::from_ratio(rng.gen_range(10..20), 20),
+                &mut next,
+            );
+            if rng.gen_bool(0.8) {
+                add(
+                    &mut b,
+                    &mut probs,
+                    party,
+                    ADDRESS,
+                    Rational::from_ratio(rng.gen_range(5..20), 20),
+                    &mut next,
+                );
+            }
+            if rng.gen_bool(0.5) {
+                add(
+                    &mut b,
+                    &mut probs,
+                    party,
+                    DATE,
+                    Rational::from_ratio(rng.gen_range(5..20), 20),
+                    &mut next,
+                );
+            }
+        }
+    }
+    ProbGraph::new(b.build(), probs)
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2017);
+
+    // A small filing first, so brute force can confirm the exact answers.
+    let small = build_filing(2, &mut rng);
+    println!(
+        "Small filing: {} elements, {} extracted edges ({} uncertain)",
+        small.graph().n_vertices(),
+        small.graph().n_edges(),
+        small.uncertain_edges().len()
+    );
+
+    let queries = [
+        ("Section/Party", Graph::one_way_path(&[SECTION, PARTY])),
+        ("Section/Party/Address", Graph::one_way_path(&[SECTION, PARTY, ADDRESS])),
+        ("Section/Party/Date", Graph::one_way_path(&[SECTION, PARTY, DATE])),
+    ];
+    for (name, q) in &queries {
+        let sol = phom::solve(q, &small).unwrap();
+        assert_eq!(sol.route, Route::Prop410);
+        let exact = bruteforce::probability(q, &small);
+        assert_eq!(sol.probability, exact, "Prop 4.10 must match brute force");
+        println!("  Pr[{name}] = {} ≈ {:.4}", sol.probability, sol.probability.to_f64());
+    }
+
+    // Now a filing far beyond brute force (hundreds of uncertain edges):
+    // the Prop 4.10 lineage algorithm and its direct-DP ablation agree and
+    // both run in milliseconds.
+    // (Kept modest so the exact-rational arithmetic stays fast even in
+    // debug builds; hundreds of uncertain edges is already ~2^300 worlds.)
+    let big = build_filing(120, &mut rng);
+    println!(
+        "\nLarge filing: {} elements, {} uncertain edges (≈2^{} possible worlds)",
+        big.graph().n_vertices(),
+        big.uncertain_edges().len(),
+        big.uncertain_edges().len(),
+    );
+    let q = Graph::one_way_path(&[SECTION, PARTY, ADDRESS]);
+    let t0 = std::time::Instant::now();
+    let via_lineage: Rational = path_on_dwt::probability_lineage(&q, &big).unwrap();
+    let t1 = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let via_dp: Rational = path_on_dwt::probability_dp(&q, &big).unwrap();
+    let t2 = t0.elapsed();
+    assert_eq!(via_lineage, via_dp);
+    println!(
+        "  Pr[Section/Party/Address] ≈ {:.6}",
+        via_lineage.to_f64()
+    );
+    println!("  β-acyclic lineage: {t1:?}; direct DP: {t2:?} — identical exact answers");
+
+    // The exact rational is fully materialized — print its size.
+    println!(
+        "  exact answer has a {}-digit numerator over a {}-digit denominator",
+        via_lineage.numer().to_string().len(),
+        via_lineage.denom().to_string().len()
+    );
+}

@@ -1,0 +1,130 @@
+//! Network reliability on bounded-treewidth topologies — the Section 6
+//! "bounded-treewidth instances" extension in action.
+//!
+//! Scenario: a layered service mesh. Each layer holds `w` replicas; links
+//! go from every replica of one layer to some replicas of the next, each
+//! link up independently with some probability, plus occasional "skip"
+//! and feedback links. The underlying graph has pathwidth ≈ 2w, far from
+//! a polytree — yet `Pr(a request can chain through ≥ m hops)` is exactly
+//! the `PHom` probability of the query `→^m`, and the treewidth walk DP
+//! (`phom::core::algo::walk_on_tw`) computes it in polynomial time.
+//!
+//! Run with: `cargo run --release --example network_reliability`
+
+use phom::core::algo::walk_on_tw;
+use phom::core::{bruteforce, sensitivity};
+use phom::graph::treedecomp::NiceDecomposition;
+use phom::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Builds a `layers × width` mesh: forward links between consecutive
+/// layers (probability 9/10), sparse skip links (1/2), and one feedback
+/// link per third layer (1/4). Returns the probabilistic graph.
+fn mesh(layers: usize, width: usize, rng: &mut SmallRng) -> ProbGraph {
+    let mut b = GraphBuilder::with_vertices(layers * width);
+    let mut probs = Vec::new();
+    let id = |l: usize, i: usize| l * width + i;
+    for l in 0..layers - 1 {
+        for i in 0..width {
+            for j in 0..width {
+                // Forward links: dense but not complete.
+                if i == j || rng.gen_bool(0.5) {
+                    b.edge(id(l, i), id(l + 1, j), Label::UNLABELED);
+                    probs.push(Rational::from_ratio(9, 10));
+                }
+            }
+        }
+        // A skip link two layers ahead.
+        if l + 2 < layers && rng.gen_bool(0.6) {
+            b.edge(id(l, 0), id(l + 2, width - 1), Label::UNLABELED);
+            probs.push(Rational::from_ratio(1, 2));
+        }
+        // Feedback (creates directed cycles — walks, not paths!).
+        if l % 3 == 2 {
+            b.edge(id(l, width - 1), id(l - 1, 0), Label::UNLABELED);
+            probs.push(Rational::from_ratio(1, 4));
+        }
+    }
+    ProbGraph::new(b.build(), probs)
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(0xEE7);
+
+    // ------------------------------------------------------------------
+    // 1. Exactness check on a small mesh (vs brute-force enumeration).
+    // ------------------------------------------------------------------
+    let small = mesh(4, 2, &mut rng);
+    let nice = NiceDecomposition::heuristic(small.graph());
+    println!(
+        "small mesh: {} vertices, {} edges, decomposition width {}",
+        small.graph().n_vertices(),
+        small.graph().n_edges(),
+        nice.width()
+    );
+    for m in 1..=4 {
+        let dp: Rational = walk_on_tw::long_walk_probability(&small, m, &nice);
+        let bf = bruteforce::probability(&Graph::directed_path(m), &small);
+        assert_eq!(dp, bf, "treewidth DP must equal brute force");
+        println!("  Pr(chain of ≥ {m} hops) = {} ≈ {:.4}", dp, dp.to_f64());
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Scaling: instances far beyond brute-force reach. Brute force
+    //    would enumerate 2^|E| worlds; the DP is polynomial for fixed
+    //    width.
+    // ------------------------------------------------------------------
+    println!("\nscaling (m = 6, width-2 mesh):");
+    println!("{:>8} {:>8} {:>7} {:>12} {:>10}", "layers", "edges", "tw≤", "Pr≈", "time");
+    for layers in [8usize, 16, 32, 64] {
+        let h = mesh(layers, 2, &mut rng);
+        let nice = NiceDecomposition::heuristic(h.graph());
+        let t0 = Instant::now();
+        let p: f64 = walk_on_tw::long_walk_probability(&h, 6, &nice);
+        let dt = t0.elapsed();
+        println!(
+            "{:>8} {:>8} {:>7} {:>12.6} {:>9.1?}",
+            layers,
+            h.graph().n_edges(),
+            nice.width(),
+            p,
+            dt
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Which link matters? Influence by conditioning on the DP.
+    // ------------------------------------------------------------------
+    let h = mesh(6, 2, &mut rng);
+    let nice = NiceDecomposition::heuristic(h.graph());
+    let m = 5usize;
+    let total: Rational = walk_on_tw::long_walk_probability(&h, m, &nice);
+    println!(
+        "\ninfluence analysis: mesh with {} edges, Pr(≥ {m} hops) = {:.4}",
+        h.graph().n_edges(),
+        total.to_f64()
+    );
+    let influences = sensitivity::influences_by_conditioning(&h, |inst| {
+        let nice = NiceDecomposition::heuristic(inst.graph());
+        walk_on_tw::long_walk_probability::<Rational>(inst, m, &nice)
+    });
+    let ranked = sensitivity::rank_edges(influences);
+    println!("top 5 links by Birnbaum importance:");
+    for &(e, ref inf) in ranked.iter().take(5) {
+        let edge = h.graph().edge(e);
+        println!(
+            "  link {:>2} ({} → {}): influence {:.4}, π = {}",
+            e,
+            edge.src,
+            edge.dst,
+            inf.to_f64(),
+            h.prob(e)
+        );
+    }
+    // Sanity: influences of a monotone event are nonnegative.
+    assert!(ranked.iter().all(|(_, inf)| !inf.is_negative()));
+
+    println!("\nall reliability numbers are exact rationals — no sampling error.");
+}

@@ -1,0 +1,110 @@
+//! Quickstart: the paper's running example (Figures 1 and Example 2.2) and
+//! a first taste of the solver's routes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use phom::graph::fixtures;
+use phom::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The paper's running example (Figure 1 / Example 2.2).
+    // ------------------------------------------------------------------
+    let h = fixtures::figure_1();
+    let g = fixtures::example_2_2_query();
+    println!("Instance H (Figure 1): {:?}", h.graph());
+    println!("Query    G (Ex. 2.2):  {g:?}");
+
+    // H is a general connected graph, so this input sits in a #P-hard cell
+    // (Prop 5.1); the solver says so...
+    match phom::solve(&g, &h) {
+        Err(hard) => println!("dispatcher: #P-hard cell — {} [{}]", hard.cell, hard.prop),
+        Ok(_) => unreachable!(),
+    }
+
+    // ...but the instance is tiny, so we can fall back to brute force and
+    // recover the paper's exact value 0.574 = 287/500.
+    let opts = SolverOptions {
+        fallback: Fallback::BruteForce { max_uncertain: 20 },
+        ..Default::default()
+    };
+    let sol = solve_with(&g, &h, opts).unwrap();
+    println!(
+        "Pr(G ⇝ H) = {} ≈ {:.4}   (route: {:?})",
+        sol.probability,
+        sol.probability.to_f64(),
+        sol.route
+    );
+    assert_eq!(sol.probability, fixtures::example_2_2_answer());
+
+    // ------------------------------------------------------------------
+    // 2. A tractable cell: a labeled path query on a downward tree
+    //    (Prop 4.10 — polynomial time, exact rationals).
+    // ------------------------------------------------------------------
+    let (r, s) = (Label(0), Label(1));
+    let tree = Graph::downward_tree(&[
+        None,
+        Some((0, r)),
+        Some((0, s)),
+        Some((1, s)),
+        Some((1, s)),
+        Some((2, r)),
+    ]);
+    let h = ProbGraph::new(
+        tree,
+        vec![
+            Rational::from_ratio(9, 10),
+            Rational::from_ratio(1, 2),
+            Rational::from_ratio(3, 4),
+            Rational::from_ratio(1, 3),
+            Rational::from_ratio(2, 3),
+        ],
+    );
+    let q = Graph::one_way_path(&[r, s]);
+    let sol = phom::solve(&q, &h).unwrap();
+    println!(
+        "\nPath query R·S on a probabilistic tree: Pr = {} ≈ {:.4} (route: {:?})",
+        sol.probability,
+        sol.probability.to_f64(),
+        sol.route
+    );
+    assert_eq!(sol.route, Route::Prop410);
+
+    // ------------------------------------------------------------------
+    // 3. An unlabeled branching query on a polytree (Prop 5.5 collapse +
+    //    Prop 5.4 tree automaton).
+    // ------------------------------------------------------------------
+    let u = Label::UNLABELED;
+    // The query: a small tree of height 2 — equivalent to →→.
+    let query_tree =
+        Graph::downward_tree(&[None, Some((0, u)), Some((0, u)), Some((1, u))]);
+    // The instance: a genuine polytree — it branches (so it is not a
+    // two-way path) and has a vertex of in-degree 2 (so it is not a
+    // downward tree).
+    let mut b = GraphBuilder::with_vertices(6);
+    b.edge(0, 1, u);
+    b.edge(2, 1, u);
+    b.edge(2, 3, u);
+    b.edge(3, 4, u);
+    b.edge(3, 5, u);
+    let h = ProbGraph::new(
+        b.build(),
+        vec![
+            Rational::from_ratio(1, 2),
+            Rational::from_ratio(1, 2),
+            Rational::from_ratio(3, 4),
+            Rational::from_ratio(3, 4),
+            Rational::from_ratio(1, 4),
+        ],
+    );
+    let sol = phom::solve(&query_tree, &h).unwrap();
+    println!(
+        "Branching unlabeled query on a polytree: Pr = {} ≈ {:.4} (route: {:?})",
+        sol.probability,
+        sol.probability.to_f64(),
+        sol.route
+    );
+    assert!(matches!(sol.route, Route::Prop54 { via_collapse: true }));
+
+    println!("\nAll quickstart checks passed.");
+}

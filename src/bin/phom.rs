@@ -1,0 +1,12 @@
+//! The `phom` command-line tool. See `phom::cli` for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match phom::cli::run(&args, &phom::cli::read_fs) {
+        Ok(out) => print!("{out}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! The `phom` command-line interface (logic; the thin binary lives in
+//! `src/bin/phom.rs`).
+//!
+//! ```text
+//! phom solve <query-file> <instance-file> [--brute-force <max-edges>]
+//!                                         [--monte-carlo <samples>] [--dp]
+//! phom classify <graph-file>
+//! phom count <query-file> <instance-file> [--brute-force <max-edges>]
+//! phom tables
+//! ```
+//!
+//! Graph files use the `phom_graph::io` text format. Queries must share
+//! label *names* with the instance: labels are interned per run, instance
+//! first, so `R` in the query means `R` in the instance.
+
+use phom_core::counting;
+use phom_core::tables;
+use phom_graph::io::{parse_graph, ParsedGraph};
+use phom_graph::{classify, Graph, Label, ProbGraph};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Runs the CLI on `args` (without the program name). Returns the output
+/// to print, or an error message (exit code 1).
+pub fn run(args: &[String], read_file: &dyn Fn(&str) -> Result<String, String>) -> Result<String, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("solve") => solve_cmd(&args[1..], read_file, false),
+        Some("count") => solve_cmd(&args[1..], read_file, true),
+        Some("classify") => classify_cmd(&args[1..], read_file),
+        Some("tables") => Ok(tables_cmd()),
+        Some("walk") => walk_cmd(&args[1..], read_file),
+        Some("influence") => influence_cmd(&args[1..], read_file),
+        Some("ucq") => ucq_cmd(&args[1..], read_file),
+        Some("help") | None => Ok(usage()),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "phom — probabilistic graph homomorphism (PODS'17)\n\
+     \n\
+     commands:\n\
+     \x20 solve <query> <instance>    exact Pr(G ⇝ H), or the hardness cell\n\
+     \x20 count <query> <instance>    satisfying-world count (all-½ instances)\n\
+     \x20 classify <graph>            graph classes per Figure 2\n\
+     \x20 tables                      the paper's complexity tables\n\
+     \x20 walk <instance> <m>         Pr(∃ directed walk ≥ m) via the\n\
+     \x20                             bounded-treewidth DP (§6 extension)\n\
+     \x20 influence <query> <instance>  edge influences ∂Pr/∂π(e), ranked\n\
+     \x20 ucq <instance> <query>...   Pr(G₁ ∨ … ∨ G_k ⇝ H), union of CQs\n\
+     \n\
+     options for solve/count:\n\
+     \x20 --brute-force <max-edges>   fall back to world enumeration\n\
+     \x20 --monte-carlo <samples>     fall back to sampling (solve only)\n\
+     \x20 --dp                        use the direct-DP ablations\n"
+        .into()
+}
+
+/// Re-interns the query's labels against the instance's label names, so
+/// identical names mean identical labels. Unknown names are mapped to
+/// fresh labels (they simply never match).
+fn align_labels(query: &ParsedGraph, instance_names: &[String]) -> Graph {
+    let lookup: HashMap<&str, u32> = instance_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i as u32))
+        .collect();
+    let mut next_fresh = instance_names.len() as u32;
+    let mut fresh: HashMap<&str, u32> = HashMap::new();
+    let mut b = phom_graph::GraphBuilder::with_vertices(query.graph.n_vertices());
+    for e in query.graph.edges() {
+        let name = &query.labels[e.label.0 as usize];
+        let id = lookup.get(name.as_str()).copied().unwrap_or_else(|| {
+            *fresh.entry(name.as_str()).or_insert_with(|| {
+                next_fresh += 1;
+                next_fresh - 1
+            })
+        });
+        b.edge(e.src, e.dst, Label(id));
+    }
+    b.build()
+}
+
+fn parse_inputs(
+    qfile: &str,
+    hfile: &str,
+    read_file: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<(Graph, ProbGraph), String> {
+    let htext = read_file(hfile)?;
+    let hparsed = parse_graph(&htext).map_err(|e| format!("{hfile}: {e}"))?;
+    let qtext = read_file(qfile)?;
+    let qparsed = parse_graph(&qtext).map_err(|e| format!("{qfile}: {e}"))?;
+    if qparsed.probs.iter().any(|p| !p.is_one()) {
+        return Err(format!("{qfile}: query edges must not carry probabilities"));
+    }
+    let query = align_labels(&qparsed, &hparsed.labels);
+    Ok((query, hparsed.into_prob_graph()))
+}
+
+fn solve_cmd(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, String>,
+    count_mode: bool,
+) -> Result<String, String> {
+    let mut files = Vec::new();
+    let mut opts = phom_core::SolverOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--brute-force" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--brute-force needs a number")?;
+                opts.fallback = phom_core::Fallback::BruteForce { max_uncertain: n };
+            }
+            "--monte-carlo" => {
+                i += 1;
+                let samples: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--monte-carlo needs a sample count")?;
+                opts.fallback = phom_core::Fallback::MonteCarlo { samples, seed: 0x5eed };
+            }
+            "--dp" => opts.prefer_dp = true,
+            f => files.push(f.to_string()),
+        }
+        i += 1;
+    }
+    let [qfile, hfile] = files.as_slice() else {
+        return Err("expected: <query-file> <instance-file>".into());
+    };
+    let (query, instance) = parse_inputs(qfile, hfile, read_file)?;
+
+    if count_mode {
+        return match counting::count_satisfying_worlds_with(&query, &instance, opts) {
+            Ok(count) => Ok(format!(
+                "satisfying worlds: {count} (of 2^{})\n",
+                instance.uncertain_edges().len()
+            )),
+            Err(counting::CountError::NotUnweighted { edge }) => Err(format!(
+                "instance is not unweighted: edge {edge} has probability {}",
+                instance.prob(edge)
+            )),
+            Err(counting::CountError::Hard(h)) => Err(format!(
+                "#P-hard cell ({}; {}); re-run with --brute-force",
+                h.cell, h.prop
+            )),
+        };
+    }
+
+    match phom_core::solve_with(&query, &instance, opts) {
+        Ok(sol) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "Pr(G ⇝ H) = {} ≈ {:.6}", sol.probability, sol.probability.to_f64());
+            let _ = writeln!(out, "route: {:?}", sol.route);
+            Ok(out)
+        }
+        Err(h) => Err(format!(
+            "#P-hard cell: {} [{}]; re-run with --brute-force or --monte-carlo",
+            h.cell, h.prop
+        )),
+    }
+}
+
+fn classify_cmd(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<String, String> {
+    let [file] = args else {
+        return Err("expected: <graph-file>".into());
+    };
+    let text = read_file(file)?;
+    let parsed = parse_graph(&text).map_err(|e| format!("{file}: {e}"))?;
+    let c = classify(&parsed.graph);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "vertices: {}, edges: {}, labels: {:?}",
+        parsed.graph.n_vertices(),
+        parsed.graph.n_edges(),
+        parsed.labels
+    );
+    let _ = writeln!(out, "connected: {} ({} components)", c.is_connected(), c.components.len());
+    let _ = writeln!(out, "setting: {}", if c.labeled { "labeled" } else { "unlabeled" });
+    let _ = writeln!(
+        out,
+        "classes: 1WP={} 2WP={} DWT={} PT={}",
+        c.flags.owp, c.flags.twp, c.flags.dwt, c.flags.pt
+    );
+    let _ = writeln!(out, "most specific: {:?}", c.most_specific());
+    let graded = phom_graph::graded::level_mapping(&parsed.graph);
+    match graded {
+        Some(lm) => {
+            let _ = writeln!(out, "graded: yes (difference of levels {})", lm.difference_of_levels());
+        }
+        None => {
+            let _ = writeln!(out, "graded: no (directed cycle or jumping edge)");
+        }
+    }
+    Ok(out)
+}
+
+fn tables_cmd() -> String {
+    let mut out = String::new();
+    for (title, table, union_rows) in [
+        ("Table 1: PHom (unlabeled), disconnected queries", tables::TableId::T1UnlabeledDisconnected, true),
+        ("Table 2: PHom (labeled), connected queries", tables::TableId::T2LabeledConnected, false),
+        ("Table 3: PHom (unlabeled), connected queries", tables::TableId::T3UnlabeledConnected, false),
+    ] {
+        let _ = writeln!(out, "\n{title}");
+        let _ = write!(out, "{:>14} |", "query\\instance");
+        for col in tables::CLASSES {
+            let _ = write!(out, "{:>26}", tables::class_name(col, false));
+        }
+        let _ = writeln!(out);
+        for row in tables::CLASSES {
+            let _ = write!(out, "{:>14} |", tables::class_name(row, union_rows));
+            for col in tables::CLASSES {
+                let cell = tables::lookup(table, row, col);
+                let text = match cell {
+                    tables::CellStatus::PTime(p) => format!("PTIME [{p}]"),
+                    tables::CellStatus::Hard(p) => format!("#P-hard [{p}]"),
+                };
+                let _ = write!(out, "{text:>26}");
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+fn walk_cmd(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<String, String> {
+    let [hfile, m_str] = args else {
+        return Err("expected: <instance-file> <m>".into());
+    };
+    let m: usize = m_str.parse().map_err(|_| format!("'{m_str}' is not a length"))?;
+    let htext = read_file(hfile)?;
+    let hparsed = parse_graph(&htext).map_err(|e| format!("{hfile}: {e}"))?;
+    if hparsed.labels.len() > 1 {
+        return Err("walk treats the instance as unlabeled; found multiple labels".into());
+    }
+    let instance = hparsed.into_prob_graph();
+    let nice = phom_graph::treedecomp::NiceDecomposition::heuristic(instance.graph());
+    let p: phom_num::Rational =
+        phom_core::algo::walk_on_tw::long_walk_probability(&instance, m, &nice);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "decomposition width: {} ({} nice nodes)",
+        nice.width(),
+        nice.n_nodes()
+    );
+    let _ = writeln!(out, "Pr(∃ directed walk ≥ {m}) = {} ≈ {:.6}", p, p.to_f64());
+    Ok(out)
+}
+
+fn influence_cmd(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<String, String> {
+    let [qfile, hfile] = args else {
+        return Err("expected: <query-file> <instance-file>".into());
+    };
+    let (query, instance) = parse_inputs(qfile, hfile, read_file)?;
+    let Some((grads, route)) =
+        phom_core::sensitivity::influences::<phom_num::Rational>(&query, &instance)
+    else {
+        return Err(
+            "no circuit route for these shapes (need a connected query on a 2WP \
+             instance, or a 1WP query on a DWT instance); see \
+             phom_core::sensitivity::influences_by_conditioning for other cells"
+                .into(),
+        );
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "route: {route:?}");
+    let _ = writeln!(out, "{:>6} {:>16} {:>10} {}", "edge", "influence", "π(e)", "(src -label-> dst)");
+    for (e, inf) in phom_core::sensitivity::rank_edges(grads) {
+        let edge = instance.graph().edge(e);
+        let _ = writeln!(
+            out,
+            "{:>6} {:>16} {:>10} ({} -{}-> {})",
+            e,
+            format!("{:.6}", inf.to_f64()),
+            instance.prob(e).to_string(),
+            edge.src,
+            edge.label.name(),
+            edge.dst
+        );
+    }
+    Ok(out)
+}
+
+fn ucq_cmd(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<String, String> {
+    let [hfile, qfiles @ ..] = args else {
+        return Err("expected: <instance-file> <query-file> [<query-file> ...]".into());
+    };
+    if qfiles.is_empty() {
+        return Err("expected at least one query file".into());
+    }
+    let htext = read_file(hfile)?;
+    let hparsed = parse_graph(&htext).map_err(|e| format!("{hfile}: {e}"))?;
+    let mut disjuncts = Vec::new();
+    for qfile in qfiles {
+        let qtext = read_file(qfile)?;
+        let qparsed = parse_graph(&qtext).map_err(|e| format!("{qfile}: {e}"))?;
+        if qparsed.probs.iter().any(|p| !p.is_one()) {
+            return Err(format!("{qfile}: query edges must not carry probabilities"));
+        }
+        disjuncts.push(align_labels(&qparsed, &hparsed.labels));
+    }
+    let instance = hparsed.into_prob_graph();
+    let ucq = phom_core::ucq::Ucq::new(disjuncts);
+    match phom_core::ucq::probability::<phom_num::Rational>(&ucq, &instance) {
+        Some((p, route)) => Ok(format!(
+            "Pr(G₁ ∨ … ∨ G_{} ⇝ H) = {} ≈ {:.6}\nroute: {route:?}\n",
+            ucq.len(),
+            p,
+            p.to_f64()
+        )),
+        None => Err(
+            "no tractable UCQ route for these shapes (see phom_core::ucq); \
+             the problem is #P-hard beyond them"
+                .into(),
+        ),
+    }
+}
+
+/// Convenience used by the binary: read from the real filesystem.
+pub fn read_fs(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_fs<'a>(files: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Result<String, String> + 'a {
+        move |path: &str| {
+            files
+                .iter()
+                .find(|(n, _)| *n == path)
+                .map(|(_, c)| c.to_string())
+                .ok_or_else(|| format!("{path}: not found"))
+        }
+    }
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn solve_tractable_input() {
+        let fs = fake_fs(&[
+            ("q.pg", "edge 0 1 R\nedge 1 2 S\n"),
+            ("h.pg", "vertices 3\nedge 0 1 R 1/2\nedge 1 2 S 3/4\n"),
+        ]);
+        let out = run(&args(&["solve", "q.pg", "h.pg"]), &fs).unwrap();
+        assert!(out.contains("3/8"), "{out}");
+        assert!(out.contains("Prop411"), "{out}"); // a 1WP instance routes via 2WP
+    }
+
+    #[test]
+    fn solve_reports_hard_cell() {
+        let fs = fake_fs(&[
+            ("q.pg", "edge 0 1 R\n"),
+            // A 2-cycle instance: beyond ⊔PT.
+            ("h.pg", "edge 0 1 R 1/2\nedge 1 0 R 1/2\n"),
+        ]);
+        let err = run(&args(&["solve", "q.pg", "h.pg"]), &fs).unwrap_err();
+        assert!(err.contains("Prop 5.1"), "{err}");
+        // With brute force it resolves: Pr(∃ R edge) = 3/4.
+        let out = run(&args(&["solve", "q.pg", "h.pg", "--brute-force", "10"]), &fs).unwrap();
+        assert!(out.contains("3/4"), "{out}");
+    }
+
+    #[test]
+    fn label_names_align_across_files() {
+        // The instance interns S first; the query uses R only — names must
+        // match by string, not by intern order.
+        let fs = fake_fs(&[
+            ("q.pg", "edge 0 1 R\n"),
+            ("h.pg", "vertices 3\nedge 0 1 S\nedge 1 2 R 1/2\n"),
+        ]);
+        let out = run(&args(&["solve", "q.pg", "h.pg"]), &fs).unwrap();
+        assert!(out.contains("= 1/2"), "{out}");
+        // A query label absent from the instance gives probability 0.
+        let fs = fake_fs(&[
+            ("q.pg", "edge 0 1 Zap\n"),
+            ("h.pg", "vertices 3\nedge 0 1 S\nedge 1 2 R 1/2\n"),
+        ]);
+        let out = run(&args(&["solve", "q.pg", "h.pg"]), &fs).unwrap();
+        assert!(out.contains("= 0"), "{out}");
+    }
+
+    #[test]
+    fn count_mode() {
+        let fs = fake_fs(&[
+            ("q.pg", "edge 0 1 R\n"),
+            ("h.pg", "vertices 3\nedge 0 1 R 1/2\nedge 1 2 R 1/2\n"),
+        ]);
+        let out = run(&args(&["count", "q.pg", "h.pg"]), &fs).unwrap();
+        assert!(out.contains("satisfying worlds: 3 (of 2^2)"), "{out}");
+        // Non-½ probabilities are rejected.
+        let fs = fake_fs(&[
+            ("q.pg", "edge 0 1 R\n"),
+            ("h.pg", "edge 0 1 R 1/3\n"),
+        ]);
+        let err = run(&args(&["count", "q.pg", "h.pg"]), &fs).unwrap_err();
+        assert!(err.contains("not unweighted"), "{err}");
+    }
+
+    #[test]
+    fn classify_output() {
+        let fs = fake_fs(&[("g.pg", "edge 0 1 A\nedge 0 2 A\nedge 2 3 B\n")]);
+        let out = run(&args(&["classify", "g.pg"]), &fs).unwrap();
+        assert!(out.contains("DWT=true"), "{out}");
+        assert!(out.contains("1WP=false"), "{out}");
+        assert!(out.contains("labeled"), "{out}");
+        assert!(out.contains("graded: yes"), "{out}");
+    }
+
+    #[test]
+    fn tables_output() {
+        let out = run(&args(&["tables"]), &fake_fs(&[])).unwrap();
+        assert!(out.contains("Table 2"));
+        assert!(out.contains("Prop 4.10"));
+        assert!(out.contains("#P-hard [Prop 5.6]"));
+    }
+
+    #[test]
+    fn query_with_probabilities_rejected() {
+        let fs = fake_fs(&[
+            ("q.pg", "edge 0 1 R 1/2\n"),
+            ("h.pg", "edge 0 1 R 1/2\n"),
+        ]);
+        let err = run(&args(&["solve", "q.pg", "h.pg"]), &fs).unwrap_err();
+        assert!(err.contains("must not carry probabilities"), "{err}");
+    }
+
+    #[test]
+    fn usage_and_unknown_commands() {
+        assert!(run(&[], &fake_fs(&[])).unwrap().contains("commands:"));
+        assert!(run(&args(&["bogus"]), &fake_fs(&[])).is_err());
+    }
+
+    #[test]
+    fn walk_command() {
+        // A 2-cycle instance (beyond polytrees): walk ≥ 2 needs both
+        // edges... or one edge twice? One edge a→b alone gives walk 1;
+        // both give cycles, so any length. Pr = 1/4.
+        let fs = fake_fs(&[("h.pg", "edge 0 1 R 1/2\nedge 1 0 R 1/2\n")]);
+        let out = run(&args(&["walk", "h.pg", "2"]), &fs).unwrap();
+        assert!(out.contains("= 1/4"), "{out}");
+        assert!(out.contains("width"), "{out}");
+        // m = 0 is certain.
+        let out = run(&args(&["walk", "h.pg", "0"]), &fs).unwrap();
+        assert!(out.contains("= 1 "), "{out}");
+        // Labeled instances are rejected.
+        let fs = fake_fs(&[("h.pg", "edge 0 1 R 1/2\nedge 1 2 S 1/2\n")]);
+        assert!(run(&args(&["walk", "h.pg", "1"]), &fs).is_err());
+    }
+
+    #[test]
+    fn influence_command() {
+        let fs = fake_fs(&[
+            ("q.pg", "edge 0 1 R\nedge 1 2 S\n"),
+            ("h.pg", "vertices 4\nedge 0 1 R 1/2\nedge 1 2 S 3/4\nedge 2 3 R 1/2\n"),
+        ]);
+        let out = run(&args(&["influence", "q.pg", "h.pg"]), &fs).unwrap();
+        assert!(out.contains("route: Circuit2wp"), "{out}");
+        // Edge 2 (the trailing R) is irrelevant to R·S: influence 0.
+        assert!(out.lines().last().unwrap().contains("0.000000"), "{out}");
+        // Shapes without a circuit route are refused with advice.
+        let fs = fake_fs(&[
+            ("q.pg", "edge 0 1 R\n"),
+            ("h.pg", "edge 0 1 R 1/2\nedge 1 0 R 1/2\n"),
+        ]);
+        let err = run(&args(&["influence", "q.pg", "h.pg"]), &fs).unwrap_err();
+        assert!(err.contains("no circuit route"), "{err}");
+    }
+
+    #[test]
+    fn ucq_command() {
+        // R·S ∨ S·S on a DWT instance.
+        let fs = fake_fs(&[
+            ("h.pg", "vertices 4\nedge 0 1 R 1/2\nedge 1 2 S 1/2\nedge 1 3 S 1/2\n"),
+            ("q1.pg", "edge 0 1 R\nedge 1 2 S\n"),
+            ("q2.pg", "edge 0 1 S\nedge 1 2 S\n"),
+        ]);
+        let out = run(&args(&["ucq", "h.pg", "q1.pg", "q2.pg"]), &fs).unwrap();
+        assert!(out.contains("UnionLineageDwt"), "{out}");
+        // Pr(R·S) = 1/2·(1 − 1/2·1/2) = 3/8; S·S never matches (S edges
+        // are siblings), so the union equals the first disjunct.
+        assert!(out.contains("= 3/8"), "{out}");
+        // No queries: usage error.
+        assert!(run(&args(&["ucq", "h.pg"]), &fs).is_err());
+    }
+
+    #[test]
+    fn monte_carlo_flag() {
+        let fs = fake_fs(&[
+            ("q.pg", "edge 0 1 R\n"),
+            ("h.pg", "edge 0 1 R 1/2\nedge 1 0 R 1/2\n"),
+        ]);
+        let out =
+            run(&args(&["solve", "q.pg", "h.pg", "--monte-carlo", "4000"]), &fs).unwrap();
+        assert!(out.contains("MonteCarlo"), "{out}");
+    }
+}

@@ -1,0 +1,82 @@
+//! # phom — probabilistic graph homomorphism
+//!
+//! A complete implementation of *"Conjunctive Queries on Probabilistic
+//! Graphs: Combined Complexity"* (Amarilli, Monet & Senellart, PODS 2017):
+//! exact evaluation of conjunctive queries over tuple-independent
+//! probabilistic graphs, with the paper's full combined-complexity
+//! classification — every polynomial-time algorithm, every hardness
+//! reduction, and the machinery they rest on (β-acyclic lineages, d-DNNF
+//! circuits, tree automata, graded DAGs, the X-property).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use phom::prelude::*;
+//!
+//! // A probabilistic instance: a downward tree of R/S-labeled edges.
+//! let (r, s) = (Label(0), Label(1));
+//! let mut b = GraphBuilder::with_vertices(3);
+//! b.edge(0, 1, r);
+//! b.edge(1, 2, s);
+//! let h = ProbGraph::new(
+//!     b.build(),
+//!     vec![Rational::from_ratio(1, 2), Rational::from_ratio(3, 4)],
+//! );
+//!
+//! // The query: does an R-edge followed by an S-edge exist?
+//! let g = Graph::one_way_path(&[r, s]);
+//!
+//! // The solver routes this to Prop 4.10 (β-acyclic lineage) and answers
+//! // exactly: 1/2 · 3/4 = 3/8.
+//! let sol = phom::solve(&g, &h).unwrap();
+//! assert_eq!(sol.probability, Rational::from_ratio(3, 8));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`num`] | arbitrary-precision naturals and exact rationals |
+//! | [`graph`] | graphs, probabilistic graphs, classes, homomorphisms |
+//! | [`lineage`] | positive DNFs, β-acyclicity (Thm 4.9), d-DNNF circuits |
+//! | [`automata`] | the polytree encoding and path automata of Prop 5.4 |
+//! | [`core`] | the per-proposition algorithms and the Tables 1–3 dispatcher |
+//! | [`reductions`] | executable #P-hardness reductions (Props 3.3/3.4/4.1/5.6) |
+//!
+//! Beyond the paper's own results, the workspace implements its Section 6
+//! future-work program: **bounded-treewidth instances**
+//! ([`graph::treedecomp`] + [`core::algo::walk_on_tw`]), **unions of
+//! conjunctive queries** ([`core::ucq`]), **OBDD lineage compilation**
+//! ([`lineage::obdd`] + [`core::algo::obdd_route`]), and **sensitivity
+//! analysis** on lineage circuits — edge influences, conditioning and
+//! most-probable witnesses ([`lineage::analysis`], [`core::sensitivity`]).
+
+pub use phom_automata as automata;
+pub use phom_core as core;
+pub use phom_graph as graph;
+pub use phom_lineage as lineage;
+pub use phom_num as num;
+pub use phom_reductions as reductions;
+
+pub use phom_core::{solve, solve_with, Fallback, Hardness, Route, Solution, SolverOptions};
+
+pub mod cli;
+
+/// The most common imports, for examples and downstream users.
+pub mod prelude {
+    pub use phom_core::ucq::Ucq;
+    pub use phom_core::{solve, solve_with, Fallback, Route, Solution, SolverOptions};
+    pub use phom_graph::{classify, Dir, Graph, GraphBuilder, Label, ProbGraph};
+    pub use phom_num::{Rational, Weight};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_work() {
+        let h = crate::graph::fixtures::figure_1();
+        let g = crate::graph::fixtures::example_2_2_query();
+        let p = crate::core::bruteforce::probability(&g, &h);
+        assert_eq!(p, crate::graph::fixtures::example_2_2_answer());
+    }
+}

@@ -1,0 +1,229 @@
+//! The central correctness experiment: on thousands of seeded random
+//! inputs drawn from every PTIME cell of Tables 1–3, the dispatcher must
+//! (a) accept the input and (b) return exactly the brute-force probability.
+
+use phom::core::bruteforce;
+use phom::graph::generate;
+use phom::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn check_exact(q: &Graph, h: &ProbGraph, expected_route: Option<&Route>) {
+    let sol = phom::solve(q, h).unwrap_or_else(|e| {
+        panic!("solver refused a PTIME-cell input: {e:?}\n q={q:?}\n h={:?}", h.graph())
+    });
+    let expect = bruteforce::probability(q, h);
+    assert_eq!(sol.probability, expect, "q={q:?} h={:?} route={:?}", h.graph(), sol.route);
+    if let Some(r) = expected_route {
+        assert_eq!(&sol.route, r, "q={q:?}");
+    }
+}
+
+fn profile() -> generate::ProbProfile {
+    generate::ProbProfile { certain_ratio: 0.3, denominator: 4 }
+}
+
+/// Table 1 / Prop 3.6: arbitrary unlabeled queries on ⊔DWT instances.
+#[test]
+fn t1_arbitrary_queries_on_dwt_unions() {
+    let mut rng = SmallRng::seed_from_u64(1001);
+    for _ in 0..150 {
+        let q = match rng.gen_range(0..3) {
+            0 => generate::graded_query(rng.gen_range(1..7), 2, 3, &mut rng),
+            1 => generate::arbitrary(rng.gen_range(1..5), 0.35, 1, &mut rng),
+            _ => generate::union_of(rng.gen_range(1..3), &mut rng, |r| {
+                generate::polytree(r.gen_range(1..5), 1, r)
+            }),
+        };
+        let h_graph = generate::union_of(rng.gen_range(1..3), &mut rng, |r| {
+            generate::downward_tree(r.gen_range(1..6), 1, r)
+        });
+        let h = generate::with_probabilities(h_graph, profile(), &mut rng);
+        check_exact(&q, &h, None);
+    }
+}
+
+/// Table 1: ⊔1WP and ⊔DWT unlabeled queries on 2WP and PT instances
+/// (Prop 5.5 collapse, then Prop 4.11 / Prop 5.4).
+#[test]
+fn t1_dwt_union_queries_on_two_way_and_polytree_instances() {
+    let mut rng = SmallRng::seed_from_u64(1002);
+    for _ in 0..120 {
+        let q = generate::union_of(rng.gen_range(1..4), &mut rng, |r| {
+            if r.gen_bool(0.5) {
+                generate::one_way_path(r.gen_range(1..4), 1, r)
+            } else {
+                generate::downward_tree(r.gen_range(1..6), 1, r)
+            }
+        });
+        let h_graph = if rng.gen_bool(0.5) {
+            generate::two_way_path(rng.gen_range(1..8), 1, &mut rng)
+        } else {
+            generate::polytree(rng.gen_range(1..8), 1, &mut rng)
+        };
+        let h = generate::with_probabilities(h_graph, profile(), &mut rng);
+        check_exact(&q, &h, None);
+    }
+}
+
+/// Table 2 / Prop 4.10: labeled 1WP queries on (unions of) DWT instances.
+#[test]
+fn t2_path_queries_on_labeled_dwts() {
+    let mut rng = SmallRng::seed_from_u64(1003);
+    for _ in 0..150 {
+        let h_graph = generate::union_of(rng.gen_range(1..3), &mut rng, |r| {
+            generate::downward_tree(r.gen_range(1..7), 2, r)
+        });
+        let h = generate::with_probabilities(h_graph, profile(), &mut rng);
+        let m = rng.gen_range(1..4);
+        let q = generate::planted_path_query(h.graph(), m, &mut rng)
+            .unwrap_or_else(|| generate::one_way_path(m, 2, &mut rng));
+        check_exact(&q, &h, None);
+    }
+}
+
+/// Table 2 / Prop 4.11: labeled connected queries (trees, zig-zags, cyclic)
+/// on (unions of) 2WP instances.
+#[test]
+fn t2_connected_queries_on_labeled_two_way_paths() {
+    let mut rng = SmallRng::seed_from_u64(1004);
+    for _ in 0..150 {
+        let h_graph = generate::union_of(rng.gen_range(1..3), &mut rng, |r| {
+            generate::two_way_path(r.gen_range(1..7), 2, r)
+        });
+        let h = generate::with_probabilities(h_graph, profile(), &mut rng);
+        let q = generate::connected(rng.gen_range(1..5), rng.gen_range(0..3), 2, &mut rng);
+        check_exact(&q, &h, None);
+    }
+}
+
+/// Table 3 / Props 5.4+5.5: unlabeled path and DWT queries on (unions of)
+/// polytree instances, across all three Prop 5.4 pipelines.
+#[test]
+fn t3_path_queries_on_polytrees_all_strategies() {
+    use phom::core::algo::path_on_pt::PtStrategy;
+    let mut rng = SmallRng::seed_from_u64(1005);
+    for _ in 0..100 {
+        let h_graph = generate::union_of(rng.gen_range(1..3), &mut rng, |r| {
+            generate::polytree(r.gen_range(1..7), 1, r)
+        });
+        let h = generate::with_probabilities(h_graph, profile(), &mut rng);
+        let q = if rng.gen_bool(0.5) {
+            Graph::directed_path(rng.gen_range(1..4))
+        } else {
+            generate::downward_tree(rng.gen_range(2..6), 1, &mut rng)
+        };
+        let expect = bruteforce::probability(&q, &h);
+        for strategy in
+            [PtStrategy::OptAutomaton, PtStrategy::PaperAutomaton, PtStrategy::Ddnnf]
+        {
+            let opts = SolverOptions { pt_strategy: strategy, ..Default::default() };
+            let sol = solve_with(&q, &h, opts).unwrap();
+            assert_eq!(sol.probability, expect, "strategy {strategy:?} q={q:?}");
+        }
+    }
+}
+
+/// The DP ablations (prefer_dp) agree with the lineage pipelines
+/// everywhere they apply.
+#[test]
+fn dp_ablations_agree_with_lineage() {
+    let mut rng = SmallRng::seed_from_u64(1006);
+    for _ in 0..120 {
+        let (q, h_graph) = if rng.gen_bool(0.5) {
+            // Prop 4.10 shape.
+            let h = generate::downward_tree(rng.gen_range(1..8), 2, &mut rng);
+            (generate::one_way_path(rng.gen_range(1..4), 2, &mut rng), h)
+        } else {
+            // Prop 4.11 shape.
+            let h = generate::two_way_path(rng.gen_range(1..8), 2, &mut rng);
+            (generate::connected(rng.gen_range(1..5), 1, 2, &mut rng), h)
+        };
+        let h = generate::with_probabilities(h_graph, profile(), &mut rng);
+        let a = solve_with(&q, &h, SolverOptions::default());
+        let b = solve_with(&q, &h, SolverOptions { prefer_dp: true, ..Default::default() });
+        match (a, b) {
+            (Ok(x), Ok(y)) => assert_eq!(x.probability, y.probability, "q={q:?}"),
+            (Err(x), Err(y)) => assert_eq!(x.prop, y.prop),
+            (x, y) => panic!("routes disagree: {x:?} vs {y:?}"),
+        }
+    }
+}
+
+/// Lemma 3.7: disconnected instances are handled exactly, including
+/// instances with isolated vertices and certain/impossible edges.
+#[test]
+fn disconnected_instances_compose() {
+    let mut rng = SmallRng::seed_from_u64(1007);
+    for _ in 0..100 {
+        let h_graph = generate::union_of(3, &mut rng, |r| {
+            generate::two_way_path(r.gen_range(1..4), 2, r)
+        });
+        // Mix in probability-0 and probability-1 edges explicitly.
+        let probs: Vec<Rational> = (0..h_graph.n_edges())
+            .map(|_| match rng.gen_range(0..4) {
+                0 => Rational::zero(),
+                1 => Rational::one(),
+                _ => Rational::from_ratio(rng.gen_range(1..4), 4),
+            })
+            .collect();
+        let h = ProbGraph::new(h_graph, probs);
+        let q = generate::connected(rng.gen_range(1..4), 0, 2, &mut rng);
+        check_exact(&q, &h, None);
+    }
+}
+
+/// Monotonicity: increasing an edge probability never decreases
+/// Pr(G ⇝ H) — checked through the solver on tractable inputs.
+#[test]
+fn probability_is_monotone_in_edge_probabilities() {
+    let mut rng = SmallRng::seed_from_u64(1008);
+    for _ in 0..60 {
+        let tree = generate::downward_tree(rng.gen_range(2..8), 2, &mut rng);
+        let h1 = generate::with_probabilities(tree.clone(), profile(), &mut rng);
+        // h2: bump one random edge's probability.
+        let e = rng.gen_range(0..tree.n_edges());
+        let mut probs = h1.probs().to_vec();
+        probs[e] = probs[e].add(&probs[e].one_minus().mul(&Rational::from_ratio(1, 2)));
+        let h2 = ProbGraph::new(tree, probs);
+        let q = generate::one_way_path(rng.gen_range(1..4), 2, &mut rng);
+        let p1 = phom::solve(&q, &h1).unwrap().probability;
+        let p2 = phom::solve(&q, &h2).unwrap().probability;
+        assert!(p2 >= p1, "q={q:?}");
+    }
+}
+
+/// Edges with probability 0 and 1 flow through every tractable route.
+#[test]
+fn extreme_probabilities_on_all_routes() {
+    let mut rng = SmallRng::seed_from_u64(1009);
+    for _ in 0..80 {
+        let (q, h_graph) = match rng.gen_range(0..4) {
+            0 => (
+                generate::graded_query(4, 2, 3, &mut rng),
+                generate::downward_tree(rng.gen_range(1..7), 1, &mut rng),
+            ),
+            1 => (
+                generate::one_way_path(2, 2, &mut rng),
+                generate::downward_tree(rng.gen_range(2..7), 2, &mut rng),
+            ),
+            2 => (
+                generate::connected(3, 1, 2, &mut rng),
+                generate::two_way_path(rng.gen_range(2..7), 2, &mut rng),
+            ),
+            _ => (
+                Graph::directed_path(2),
+                generate::polytree(rng.gen_range(2..7), 1, &mut rng),
+            ),
+        };
+        let probs: Vec<Rational> = (0..h_graph.n_edges())
+            .map(|_| match rng.gen_range(0..3) {
+                0 => Rational::zero(),
+                1 => Rational::one(),
+                _ => Rational::from_ratio(1, 2),
+            })
+            .collect();
+        let h = ProbGraph::new(h_graph, probs);
+        check_exact(&q, &h, None);
+    }
+}
