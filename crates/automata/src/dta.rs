@@ -74,19 +74,25 @@ impl TreeAutomaton for PathAutomaton {
 
     fn leaf(&self, label: NodeLabel, present: bool) -> PathState {
         match (label, present) {
-            (_, false) | (NodeLabel::Eps, true) => PathState { up: 0, down: 0, max: 0 },
-            (NodeLabel::Up, true) => PathState { up: self.cap(1), down: 0, max: self.cap(1) },
-            (NodeLabel::Down, true) => PathState { up: 0, down: self.cap(1), max: self.cap(1) },
+            (_, false) | (NodeLabel::Eps, true) => PathState {
+                up: 0,
+                down: 0,
+                max: 0,
+            },
+            (NodeLabel::Up, true) => PathState {
+                up: self.cap(1),
+                down: 0,
+                max: self.cap(1),
+            },
+            (NodeLabel::Down, true) => PathState {
+                up: 0,
+                down: self.cap(1),
+                max: self.cap(1),
+            },
         }
     }
 
-    fn internal(
-        &self,
-        label: NodeLabel,
-        present: bool,
-        l: &PathState,
-        r: &PathState,
-    ) -> PathState {
+    fn internal(&self, label: NodeLabel, present: bool, l: &PathState, r: &PathState) -> PathState {
         // Joins through the shared child anchor: a path ending at it from
         // one child continues with a path starting at it from the other.
         // Same-child joins are already counted in that child's `max`.
@@ -99,14 +105,26 @@ impl TreeAutomaton for PathAutomaton {
                 down: l.down.max(r.down),
                 max: self.cap(submax),
             },
-            (_, false) => PathState { up: 0, down: 0, max: self.cap(submax) },
+            (_, false) => PathState {
+                up: 0,
+                down: 0,
+                max: self.cap(submax),
+            },
             (NodeLabel::Up, true) => {
                 let up = self.cap(l.up.max(r.up) + 1);
-                PathState { up, down: 0, max: self.cap(submax.max(up)) }
+                PathState {
+                    up,
+                    down: 0,
+                    max: self.cap(submax.max(up)),
+                }
             }
             (NodeLabel::Down, true) => {
                 let down = self.cap(l.down.max(r.down) + 1);
-                PathState { up: 0, down, max: self.cap(submax.max(down)) }
+                PathState {
+                    up: 0,
+                    down,
+                    max: self.cap(submax.max(down)),
+                }
             }
         }
     }
@@ -142,13 +160,21 @@ impl TreeAutomaton for OptPathAutomaton {
 
     fn leaf(&self, label: NodeLabel, present: bool) -> OptPathState {
         match (label, present) {
-            (_, false) | (NodeLabel::Eps, true) => {
-                OptPathState { up: 0, down: 0, sat: self.m == 0 }
-            }
-            (NodeLabel::Up, true) => OptPathState { up: 1.min(self.m), down: 0, sat: self.m <= 1 },
-            (NodeLabel::Down, true) => {
-                OptPathState { up: 0, down: 1.min(self.m), sat: self.m <= 1 }
-            }
+            (_, false) | (NodeLabel::Eps, true) => OptPathState {
+                up: 0,
+                down: 0,
+                sat: self.m == 0,
+            },
+            (NodeLabel::Up, true) => OptPathState {
+                up: 1.min(self.m),
+                down: 0,
+                sat: self.m <= 1,
+            },
+            (NodeLabel::Down, true) => OptPathState {
+                up: 0,
+                down: 1.min(self.m),
+                sat: self.m <= 1,
+            },
         }
     }
 
@@ -162,17 +188,31 @@ impl TreeAutomaton for OptPathAutomaton {
         let cross = (l.up + r.down).max(r.up + l.down);
         let sat = l.sat || r.sat || cross >= self.m;
         match (label, present) {
-            (_, false) => OptPathState { up: 0, down: 0, sat },
-            (NodeLabel::Eps, true) => {
-                OptPathState { up: l.up.max(r.up), down: l.down.max(r.down), sat }
-            }
+            (_, false) => OptPathState {
+                up: 0,
+                down: 0,
+                sat,
+            },
+            (NodeLabel::Eps, true) => OptPathState {
+                up: l.up.max(r.up),
+                down: l.down.max(r.down),
+                sat,
+            },
             (NodeLabel::Up, true) => {
                 let up = (l.up.max(r.up) + 1).min(self.m);
-                OptPathState { up, down: 0, sat: sat || up >= self.m }
+                OptPathState {
+                    up,
+                    down: 0,
+                    sat: sat || up >= self.m,
+                }
             }
             (NodeLabel::Down, true) => {
                 let down = (l.down.max(r.down) + 1).min(self.m);
-                OptPathState { up: 0, down, sat: sat || down >= self.m }
+                OptPathState {
+                    up: 0,
+                    down,
+                    sat: sat || down >= self.m,
+                }
             }
         }
     }
@@ -192,11 +232,39 @@ mod tests {
         // ι((s,0)) = ⟨0,0,0⟩ for any s; ι((−,1)) = ⟨0,0,0⟩;
         // ι((↑,1)) = ⟨1,0,1⟩; ι((↓,1)) = ⟨0,1,1⟩.
         for lbl in [NodeLabel::Up, NodeLabel::Down, NodeLabel::Eps] {
-            assert_eq!(a.leaf(lbl, false), PathState { up: 0, down: 0, max: 0 });
+            assert_eq!(
+                a.leaf(lbl, false),
+                PathState {
+                    up: 0,
+                    down: 0,
+                    max: 0
+                }
+            );
         }
-        assert_eq!(a.leaf(NodeLabel::Eps, true), PathState { up: 0, down: 0, max: 0 });
-        assert_eq!(a.leaf(NodeLabel::Up, true), PathState { up: 1, down: 0, max: 1 });
-        assert_eq!(a.leaf(NodeLabel::Down, true), PathState { up: 0, down: 1, max: 1 });
+        assert_eq!(
+            a.leaf(NodeLabel::Eps, true),
+            PathState {
+                up: 0,
+                down: 0,
+                max: 0
+            }
+        );
+        assert_eq!(
+            a.leaf(NodeLabel::Up, true),
+            PathState {
+                up: 1,
+                down: 0,
+                max: 1
+            }
+        );
+        assert_eq!(
+            a.leaf(NodeLabel::Down, true),
+            PathState {
+                up: 0,
+                down: 1,
+                max: 1
+            }
+        );
     }
 
     #[test]
@@ -204,8 +272,16 @@ mod tests {
         // ∆((↑,1), ⟨i,j,k⟩, ⟨i′,j′,k′⟩) = ⟨min(m, max(i,i′)+1), 0, k″⟩ with
         // k″ = min(m, max(i″, i+j′, i′+j, k, k′)).
         let a = PathAutomaton { m: 10 };
-        let s1 = PathState { up: 2, down: 3, max: 4 };
-        let s2 = PathState { up: 1, down: 5, max: 5 };
+        let s1 = PathState {
+            up: 2,
+            down: 3,
+            max: 4,
+        };
+        let s2 = PathState {
+            up: 1,
+            down: 5,
+            max: 5,
+        };
         let out = a.internal(NodeLabel::Up, true, &s1, &s2);
         assert_eq!(out.up, 3);
         assert_eq!(out.down, 0);
@@ -216,8 +292,16 @@ mod tests {
     #[test]
     fn eps_cross_value() {
         let a = PathAutomaton { m: 10 };
-        let s1 = PathState { up: 2, down: 1, max: 3 };
-        let s2 = PathState { up: 4, down: 2, max: 4 };
+        let s1 = PathState {
+            up: 2,
+            down: 1,
+            max: 3,
+        };
+        let s2 = PathState {
+            up: 4,
+            down: 2,
+            max: 4,
+        };
         let out = a.internal(NodeLabel::Eps, true, &s1, &s2);
         // cross = max(l.up + r.down, r.up + l.down) = max(4, 5) = 5.
         assert_eq!(out.max, 5);
@@ -228,8 +312,16 @@ mod tests {
     #[test]
     fn absent_node_disconnects_anchor() {
         let a = PathAutomaton { m: 10 };
-        let s1 = PathState { up: 2, down: 3, max: 4 };
-        let s2 = PathState { up: 1, down: 5, max: 5 };
+        let s1 = PathState {
+            up: 2,
+            down: 3,
+            max: 4,
+        };
+        let s2 = PathState {
+            up: 1,
+            down: 5,
+            max: 5,
+        };
         let out = a.internal(NodeLabel::Up, false, &s1, &s2);
         assert_eq!(out.up, 0);
         assert_eq!(out.down, 0);
@@ -239,10 +331,25 @@ mod tests {
     #[test]
     fn capping_at_m() {
         let a = PathAutomaton { m: 3 };
-        let s = PathState { up: 3, down: 0, max: 3 };
-        let z = PathState { up: 0, down: 0, max: 0 };
+        let s = PathState {
+            up: 3,
+            down: 0,
+            max: 3,
+        };
+        let z = PathState {
+            up: 0,
+            down: 0,
+            max: 0,
+        };
         let out = a.internal(NodeLabel::Up, true, &s, &z);
-        assert_eq!(out, PathState { up: 3, down: 0, max: 3 });
+        assert_eq!(
+            out,
+            PathState {
+                up: 3,
+                down: 0,
+                max: 3
+            }
+        );
         assert!(a.accepting(&out));
     }
 

@@ -45,7 +45,12 @@ pub fn encode_polytree(h: &ProbGraph) -> Option<UTree> {
                     Dir::Forward => NodeLabel::Down, // v → w
                     Dir::Backward => NodeLabel::Up,  // w → v
                 };
-                (chain_top[w].expect("children built first"), label, h.prob(e).clone(), e)
+                (
+                    chain_top[w].expect("children built first"),
+                    label,
+                    h.prob(e).clone(),
+                    e,
+                )
             })
             .collect();
 
@@ -63,7 +68,12 @@ pub fn encode_polytree(h: &ProbGraph) -> Option<UTree> {
         let top = match r {
             0 => push(
                 &mut nodes,
-                UNode { label: NodeLabel::Eps, prob: Rational::one(), children: None, edge: None },
+                UNode {
+                    label: NodeLabel::Eps,
+                    prob: Rational::one(),
+                    children: None,
+                    edge: None,
+                },
             ),
             1 => {
                 let c = set_edge_data(&mut nodes, kids[0].clone());
@@ -173,8 +183,7 @@ mod tests {
             let t = encode_polytree(&h).unwrap();
             assert!(full_binary(&t));
             // One tree node per instance edge carries that edge.
-            let edge_nodes: Vec<usize> =
-                (0..t.n_nodes()).filter_map(|i| t.node(i).edge).collect();
+            let edge_nodes: Vec<usize> = (0..t.n_nodes()).filter_map(|i| t.node(i).edge).collect();
             let mut sorted = edge_nodes.clone();
             sorted.sort_unstable();
             sorted.dedup();

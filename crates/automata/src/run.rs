@@ -60,9 +60,7 @@ pub fn acceptance_probability<A: TreeAutomaton, W: Weight>(aut: &A, tree: &UTree
 }
 
 fn upsert<S: std::hash::Hash + Eq, W: Weight>(dist: &mut HashMap<S, W>, s: S, w: W) {
-    dist.entry(s)
-        .and_modify(|e| *e = e.add(&w))
-        .or_insert(w);
+    dist.entry(s).and_modify(|e| *e = e.add(&w)).or_insert(w);
 }
 
 /// Compiles the lineage of "`aut` accepts" over the node annotations of
@@ -93,8 +91,15 @@ pub fn compile_ddnnf<A: TreeAutomaton>(aut: &A, tree: &UTree) -> (Circuit, GateI
         match node.children {
             None => {
                 for bit in [true, false] {
-                    let lit = if bit { circuit.var(n) } else { circuit.neg_var(n) };
-                    buckets.entry(aut.leaf(node.label, bit)).or_default().push(lit);
+                    let lit = if bit {
+                        circuit.var(n)
+                    } else {
+                        circuit.neg_var(n)
+                    };
+                    buckets
+                        .entry(aut.leaf(node.label, bit))
+                        .or_default()
+                        .push(lit);
                 }
             }
             Some((l, r)) => {
@@ -104,7 +109,11 @@ pub fn compile_ddnnf<A: TreeAutomaton>(aut: &A, tree: &UTree) -> (Circuit, GateI
                     for (sr, &cr) in &gr {
                         for bit in [true, false] {
                             let s = aut.internal(node.label, bit, sl, sr);
-                            let lit = if bit { circuit.var(n) } else { circuit.neg_var(n) };
+                            let lit = if bit {
+                                circuit.var(n)
+                            } else {
+                                circuit.neg_var(n)
+                            };
                             let and = circuit.and_gate(vec![lit, cl, cr]);
                             buckets.entry(s).or_default().push(and);
                         }
@@ -201,7 +210,11 @@ mod tests {
             for m in 1..6 {
                 let aut = PathAutomaton { m };
                 let p: Rational = acceptance_probability(&aut, &t);
-                let expect = if lp >= m { Rational::one() } else { Rational::zero() };
+                let expect = if lp >= m {
+                    Rational::one()
+                } else {
+                    Rational::zero()
+                };
                 assert_eq!(p, expect, "m={m} lp={lp} h={:?}", h.graph());
             }
         }
@@ -214,16 +227,17 @@ mod tests {
             let g = generate::polytree(rand::Rng::gen_range(&mut rng, 2..8), 1, &mut rng);
             let h = generate::with_probabilities(
                 g,
-                generate::ProbProfile { certain_ratio: 0.3, denominator: 4 },
+                generate::ProbProfile {
+                    certain_ratio: 0.3,
+                    denominator: 4,
+                },
                 &mut rng,
             );
             let t = encode_polytree(&h).unwrap();
             for m in 1..5 {
                 let expect = brute_force_path_prob(&h, m);
-                let paper: Rational =
-                    acceptance_probability(&PathAutomaton { m }, &t);
-                let opt: Rational =
-                    acceptance_probability(&OptPathAutomaton { m }, &t);
+                let paper: Rational = acceptance_probability(&PathAutomaton { m }, &t);
+                let opt: Rational = acceptance_probability(&OptPathAutomaton { m }, &t);
                 assert_eq!(paper, expect, "paper automaton, m={m}");
                 assert_eq!(opt, expect, "opt automaton, m={m}");
             }
@@ -237,7 +251,10 @@ mod tests {
             let g = generate::polytree(rand::Rng::gen_range(&mut rng, 2..8), 1, &mut rng);
             let h = generate::with_probabilities(
                 g,
-                generate::ProbProfile { certain_ratio: 0.2, denominator: 4 },
+                generate::ProbProfile {
+                    certain_ratio: 0.2,
+                    denominator: 4,
+                },
                 &mut rng,
             );
             let t = encode_polytree(&h).unwrap();
@@ -267,7 +284,7 @@ mod tests {
             // The circuit evaluates to the truth of "path ≥ 2".
             let world = h.graph().edge_subgraph(&mask);
             let expect = longest_directed_path(&world).unwrap() >= 2;
-            assert_eq!(circuit.eval(root, &annotation), expect);
+            assert_eq!(circuit.eval_world(root, &annotation), expect);
         }
     }
 

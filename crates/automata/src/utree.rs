@@ -113,7 +113,12 @@ mod tests {
     use super::*;
 
     fn leaf(label: NodeLabel) -> UNode {
-        UNode { label, prob: Rational::one(), children: None, edge: None }
+        UNode {
+            label,
+            prob: Rational::one(),
+            children: None,
+            edge: None,
+        }
     }
 
     #[test]
@@ -149,7 +154,13 @@ mod tests {
             },
         ];
         let t = UTree::new(nodes, 2);
-        assert_eq!(t.annotation_from_edge_mask(&[false, true]), vec![true, true, true]);
-        assert_eq!(t.annotation_from_edge_mask(&[true, false]), vec![false, true, true]);
+        assert_eq!(
+            t.annotation_from_edge_mask(&[false, true]),
+            vec![true, true, true]
+        );
+        assert_eq!(
+            t.annotation_from_edge_mask(&[true, false]),
+            vec![false, true, true]
+        );
     }
 }

@@ -20,7 +20,9 @@ use std::time::Duration;
 /// ABL-1a: Prop 4.10 — lineage vs direct DP.
 fn abl1_path_on_dwt(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/prop410_lineage_vs_dp");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     let h = wl::dwt_instance(2048, 4);
     let q = wl::planted_query(&h, 6);
     group.bench_function("lineage", |b| {
@@ -35,7 +37,9 @@ fn abl1_path_on_dwt(c: &mut Criterion) {
 /// ABL-1b: Prop 4.11 — lineage vs interval DP.
 fn abl1_connected_on_2wp(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/prop411_lineage_vs_dp");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     let h = wl::twp_instance(1024, 2);
     let q = wl::connected_query(4, 2);
     group.bench_function("lineage", |b| {
@@ -51,25 +55,23 @@ fn abl1_connected_on_2wp(c: &mut Criterion) {
 /// component costs the paper automaton a factor ~m in states).
 fn abl2_automata(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/prop54_pipelines");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     let h = wl::deep_polytree_instance(512);
     for m in [4usize, 8, 16] {
         group.bench_with_input(BenchmarkId::new("paper_ijk", m), &m, |b, _| {
             b.iter(|| {
-                path_on_pt::long_path_probability::<f64>(&h, m, PtStrategy::PaperAutomaton)
-                    .unwrap()
+                path_on_pt::long_path_probability::<f64>(&h, m, PtStrategy::PaperAutomaton).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("opt_ij_sat", m), &m, |b, _| {
             b.iter(|| {
-                path_on_pt::long_path_probability::<f64>(&h, m, PtStrategy::OptAutomaton)
-                    .unwrap()
+                path_on_pt::long_path_probability::<f64>(&h, m, PtStrategy::OptAutomaton).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("ddnnf", m), &m, |b, _| {
-            b.iter(|| {
-                path_on_pt::long_path_probability::<f64>(&h, m, PtStrategy::Ddnnf).unwrap()
-            })
+            b.iter(|| path_on_pt::long_path_probability::<f64>(&h, m, PtStrategy::Ddnnf).unwrap())
         });
     }
     group.finish();
@@ -78,7 +80,9 @@ fn abl2_automata(c: &mut Criterion) {
 /// ABL-3: exact rationals vs f64 on the same Prop 4.10 workload.
 fn abl3_exact_vs_float(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/exact_vs_f64");
-    group.sample_size(10).measurement_time(Duration::from_millis(1500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1500));
     for n in [64usize, 256, 1024] {
         let h = wl::dwt_instance(n, 4);
         let q = wl::planted_query(&h, 4);
@@ -96,7 +100,9 @@ fn abl3_exact_vs_float(c: &mut Criterion) {
 /// force on the Example 2.2 input scaled up.
 fn abl4_montecarlo(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/montecarlo_vs_bruteforce");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     // 12 vertices ⇒ ~17 uncertain edges ⇒ ~10⁵ worlds per exact solve:
     // large enough that sampling wins, small enough to benchmark.
     let h = wl::connected_instance(12, 2);

@@ -23,7 +23,9 @@ use std::time::Duration;
 /// EXT-3: the treewidth walk DP over a width-2 mesh, sweeping layers.
 fn ext3_walk_on_tw(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions/walk_on_tw_scaling");
-    group.sample_size(10).measurement_time(Duration::from_millis(1200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200));
     for layers in [8usize, 16, 32, 64] {
         let h = wl::mesh_instance(layers, 2);
         let nice = NiceDecomposition::heuristic(h.graph());
@@ -40,7 +42,9 @@ fn ext3_walk_on_tw(c: &mut Criterion) {
 /// EXT-3b: exact rationals on the same workload (the cost of exactness).
 fn ext3_walk_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions/walk_on_tw_exact");
-    group.sample_size(10).measurement_time(Duration::from_millis(1200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200));
     for layers in [8usize, 16, 32] {
         let h = wl::mesh_instance(layers, 2);
         let nice = NiceDecomposition::heuristic(h.graph());
@@ -56,7 +60,9 @@ fn ext3_walk_exact(c: &mut Criterion) {
 /// probability — the comparison shows the union costs no more).
 fn ext4_ucq(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions/ucq_union_vs_disjuncts");
-    group.sample_size(10).measurement_time(Duration::from_millis(1200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200));
     for k in [1usize, 2, 4, 8] {
         let disjuncts = wl::ucq_path_disjuncts(k, 4);
         let ucq = Ucq::new(disjuncts.clone());
@@ -68,9 +74,7 @@ fn ext4_ucq(c: &mut Criterion) {
             b.iter(|| {
                 disjuncts
                     .iter()
-                    .map(|q| {
-                        path_on_dwt::probability_lineage::<f64>(q, &h).expect("1WP on DWT")
-                    })
+                    .map(|q| path_on_dwt::probability_lineage::<f64>(q, &h).expect("1WP on DWT"))
                     .sum::<f64>()
             })
         });
@@ -83,7 +87,9 @@ fn ext4_ucq(c: &mut Criterion) {
 /// it is the documented blowup.
 fn ext5_obdd_vs_beta(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions/obdd_vs_beta");
-    group.sample_size(10).measurement_time(Duration::from_millis(1200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200));
     for n in [256usize, 1024] {
         let h = wl::dwt_instance(n, 4);
         let q = wl::planted_query(&h, 4);
@@ -107,7 +113,9 @@ fn ext5_obdd_vs_beta(c: &mut Criterion) {
 /// solves, on the Prop 4.11 (2WP) cell.
 fn ext6_sensitivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions/influences");
-    group.sample_size(10).measurement_time(Duration::from_millis(1500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1500));
     for n in [64usize, 256] {
         let h = wl::twp_instance(n, 2);
         let q = wl::connected_query(3, 2);

@@ -23,7 +23,9 @@ fn formula(vars: usize) -> Pp2Dnf {
 
 fn construction_costs(c: &mut Criterion) {
     let mut group = c.benchmark_group("reductions/construction");
-    group.sample_size(10).measurement_time(Duration::from_millis(700));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700));
     for size in [64usize, 256, 1024] {
         let gamma = bipartite(size);
         group.bench_with_input(BenchmarkId::new("prop33", size), &size, |b, _| {
@@ -48,7 +50,9 @@ fn construction_costs(c: &mut Criterion) {
 /// inclusion–exclusion — both exponential, doubling per variable/vertex.
 fn oracle_costs(c: &mut Criterion) {
     let mut group = c.benchmark_group("reductions/source_oracles");
-    group.sample_size(10).measurement_time(Duration::from_millis(700));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700));
     for vars in [16usize, 20, 24] {
         let phi = formula(vars);
         group.bench_with_input(BenchmarkId::new("count_pp2dnf", vars), &vars, |b, _| {

@@ -20,7 +20,9 @@ use std::time::Duration;
 /// T1-ptime-a: Prop 3.6 — arbitrary graded queries on ⊔DWT instances.
 fn t1_prop36(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/prop36_all_on_dwt");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     for n in [64usize, 256, 1024, 4096] {
         let h = wl::dwt_union_instance(n, 1);
         let q = wl::graded_query(12);
@@ -43,14 +45,15 @@ fn t1_prop36(c: &mut Criterion) {
 /// via the Prop 5.4 automaton.
 fn t1_collapse_on_pt(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/collapse_dwt_union_on_pt");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     for n in [64usize, 256, 1024, 4096] {
         let h = wl::polytree_instance(n, 1);
         let q = wl::dwt_union_query(8);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let collapsed =
-                    phom_core::algo::collapse::collapse_union_dwt_query(&q).unwrap();
+                let collapsed = phom_core::algo::collapse::collapse_union_dwt_query(&q).unwrap();
                 path_on_pt::long_path_probability::<f64>(
                     &h,
                     collapsed.n_edges(),
@@ -67,7 +70,9 @@ fn t1_collapse_on_pt(c: &mut Criterion) {
 /// be brute-forced, and doubles per extra bipartite edge.
 fn t1_hard_prop34(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/hard_prop34_bruteforce");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     for m_edges in [4usize, 6, 8] {
         let mut rng = SmallRng::seed_from_u64(wl::SEED);
         let gamma = Bipartite::random_covered(m_edges / 2, m_edges / 2, m_edges / 3, &mut rng);
@@ -85,7 +90,9 @@ fn t1_hard_prop34(c: &mut Criterion) {
 /// connected instances, brute force only.
 fn t1_hard_prop51(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/hard_prop51_bruteforce");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     let q = Graph::directed_path(2);
     for n in [6usize, 8, 10] {
         let h = wl::connected_instance(n, 1);
@@ -98,5 +105,11 @@ fn t1_hard_prop51(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, t1_prop36, t1_collapse_on_pt, t1_hard_prop34, t1_hard_prop51);
+criterion_group!(
+    benches,
+    t1_prop36,
+    t1_collapse_on_pt,
+    t1_hard_prop34,
+    t1_hard_prop51
+);
 criterion_main!(benches);

@@ -21,7 +21,9 @@ use std::time::Duration;
 /// T2-ptime-a: Prop 4.10 sweeps over n (instance) and m (query).
 fn t2_prop410(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2/prop410_path_on_dwt");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     for n in [64usize, 256, 1024, 4096] {
         let h = wl::dwt_instance(n, 4);
         let q = wl::planted_query(&h, 6);
@@ -42,7 +44,9 @@ fn t2_prop410(c: &mut Criterion) {
 /// T2-ptime-b: Prop 4.11 sweeps (quadratically many subpaths).
 fn t2_prop411(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2/prop411_connected_on_2wp");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     for n in [32usize, 128, 512, 2048] {
         let h = wl::twp_instance(n, 2);
         let q = wl::connected_query(4, 2);
@@ -57,7 +61,9 @@ fn t2_prop411(c: &mut Criterion) {
 /// evaluation (brute force) doubles per variable.
 fn t2_hard_prop41(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2/hard_prop41_bruteforce");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     for vars in [6usize, 8, 10] {
         let mut rng = SmallRng::seed_from_u64(wl::SEED);
         let phi = Pp2Dnf::random(vars / 2, vars / 2, vars, &mut rng);
@@ -74,7 +80,9 @@ fn t2_hard_prop41(c: &mut Criterion) {
 /// exponential".
 fn t2_prop41_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2/prop41_construction");
-    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600));
     for vars in [50usize, 200, 800] {
         let mut rng = SmallRng::seed_from_u64(wl::SEED);
         let phi = Pp2Dnf::random(vars / 2, vars / 2, vars, &mut rng);
@@ -89,15 +97,13 @@ fn t2_prop41_construction(c: &mut Criterion) {
 /// instances, brute force doubling per bipartite edge.
 fn t2_hard_prop33(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2/hard_prop33_bruteforce");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     for m in [4usize, 6, 8] {
         let mut rng = SmallRng::seed_from_u64(wl::SEED);
-        let gamma = phom_reductions::edge_cover::Bipartite::random_covered(
-            m / 2,
-            m / 2,
-            m / 3,
-            &mut rng,
-        );
+        let gamma =
+            phom_reductions::edge_cover::Bipartite::random_covered(m / 2, m / 2, m / 3, &mut rng);
         let red = prop33::reduce(&gamma);
         group.bench_with_input(
             BenchmarkId::from_parameter(red.instance.uncertain_edges().len()),
@@ -113,7 +119,9 @@ fn t2_hard_prop33(c: &mut Criterion) {
 /// with non-path queries doubles per uncertain edge.
 fn t2_hard_dwt_cells(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2/hard_props44_45_bruteforce");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     for n in [9usize, 11, 13] {
         let mut rng = SmallRng::seed_from_u64(wl::SEED ^ 44);
         let h = generate::with_probabilities(

@@ -18,13 +18,14 @@ use std::time::Duration;
 /// T3-ptime-a: Prop 5.4 — path queries on polytrees, across n.
 fn t3_prop54_instance_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3/prop54_path_on_pt");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     for n in [64usize, 256, 1024, 4096] {
         let h = wl::polytree_instance(n, 1);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                path_on_pt::long_path_probability::<f64>(&h, 6, PtStrategy::OptAutomaton)
-                    .unwrap()
+                path_on_pt::long_path_probability::<f64>(&h, 6, PtStrategy::OptAutomaton).unwrap()
             })
         });
     }
@@ -34,13 +35,14 @@ fn t3_prop54_instance_sweep(c: &mut Criterion) {
 /// Prop 5.4 across query length m (the combined-complexity axis).
 fn t3_prop54_query_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3/prop54_query_length");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     let h = wl::polytree_instance(1024, 1);
     for m in [2usize, 4, 8, 16, 32] {
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
             b.iter(|| {
-                path_on_pt::long_path_probability::<f64>(&h, m, PtStrategy::OptAutomaton)
-                    .unwrap()
+                path_on_pt::long_path_probability::<f64>(&h, m, PtStrategy::OptAutomaton).unwrap()
             })
         });
     }
@@ -50,7 +52,9 @@ fn t3_prop54_query_sweep(c: &mut Criterion) {
 /// T3-ptime-b: Prop 5.5 collapse of DWT queries, then the automaton.
 fn t3_prop55(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3/prop55_dwt_query_on_pt");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     for n in [64usize, 256, 1024, 4096] {
         let h = wl::polytree_instance(n, 1);
         let q = {
@@ -59,8 +63,7 @@ fn t3_prop55(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let collapsed =
-                    phom_core::algo::collapse::collapse_union_dwt_query(&q).unwrap();
+                let collapsed = phom_core::algo::collapse::collapse_union_dwt_query(&q).unwrap();
                 path_on_pt::long_path_probability::<f64>(
                     &h,
                     collapsed.n_edges(),
@@ -76,7 +79,9 @@ fn t3_prop55(c: &mut Criterion) {
 /// The DWT column of Table 3 (Prop 3.6), connected instances.
 fn t3_prop36_connected(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3/prop36_connected_dwt");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     for n in [64usize, 256, 1024, 4096] {
         let h = wl::dwt_instance(n, 1);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -89,7 +94,9 @@ fn t3_prop36_connected(c: &mut Criterion) {
 /// T3-hard-a: Prop 5.6 — the reduction image (2WP on PT), brute force.
 fn t3_hard_prop56(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3/hard_prop56_bruteforce");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
     for vars in [4usize, 6, 8] {
         let mut rng = SmallRng::seed_from_u64(wl::SEED);
         let phi = Pp2Dnf::random(vars / 2, vars / 2, vars / 2, &mut rng);

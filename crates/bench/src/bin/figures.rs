@@ -31,7 +31,10 @@ fn main() {
     let g = fixtures::example_2_2_query();
     let p = bruteforce::probability(&g, &h);
     println!("G (Ex 2.2): {g:?}");
-    println!("Pr(G ⇝ H) = {p} ≈ {:.4}  (paper: 0.7·(1−0.9·0.2) = 0.574)", p.to_f64());
+    println!(
+        "Pr(G ⇝ H) = {p} ≈ {:.4}  (paper: 0.7·(1−0.9·0.2) = 0.574)",
+        p.to_f64()
+    );
     assert_eq!(p, fixtures::example_2_2_answer());
 
     // ---------------------------------------------------------------
@@ -45,7 +48,11 @@ fn main() {
         let f = classify(&g).flags;
         println!(
             "{name}: 1WP={} 2WP={} DWT={} PT={}  → most specific: {:?}",
-            f.owp, f.twp, f.dwt, f.pt, f.most_specific()
+            f.owp,
+            f.twp,
+            f.dwt,
+            f.pt,
+            f.most_specific()
         );
     }
 

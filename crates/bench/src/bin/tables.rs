@@ -10,6 +10,11 @@
 //!   only available solver.
 //!
 //! Run with: `cargo run --release -p phom-bench --bin tables`
+//!
+//! `tables --json` instead runs a fast smoke subset and emits one JSON
+//! object per line-oriented consumer (schema `phom-bench-smoke/v1`):
+//! machine-readable median timings so the per-PR perf trajectory
+//! (`BENCH_*.json`) can track the hot paths without a full sweep.
 
 use phom_bench as wl;
 use phom_core::algo::path_on_pt::{self, PtStrategy};
@@ -30,7 +35,9 @@ fn sweep(label: &str, sizes: &[usize], mut run: impl FnMut(usize) -> f64) {
     for &n in sizes {
         let d = wl::time_median(REPS, || run(n));
         let secs = d.as_secs_f64();
-        let ratio = prev.map(|p| format!(" (×{:.1})", secs / p)).unwrap_or_default();
+        let ratio = prev
+            .map(|p| format!(" (×{:.1})", secs / p))
+            .unwrap_or_default();
         print!(" {}{ratio} |", wl::fmt_duration(d));
         prev = Some(secs);
     }
@@ -50,7 +57,94 @@ fn header(sizes: &[usize], kind: &str) {
     println!();
 }
 
+/// One smoke-mode measurement: label, workload size, median wall time.
+fn json_entry(out: &mut Vec<String>, id: &str, n: usize, mut run: impl FnMut() -> f64) {
+    let d = wl::time_median(REPS, &mut run);
+    out.push(format!(
+        "    {{\"id\": \"{id}\", \"n\": {n}, \"median_ns\": {}}}",
+        d.as_nanos()
+    ));
+}
+
+/// The `--json` smoke mode: a fast, fixed set of hot-path measurements in
+/// machine-readable form (one JSON document on stdout).
+fn json_smoke() {
+    let mut entries = Vec::new();
+
+    // Prop 3.6: level collapse + tree DP.
+    let q36 = wl::graded_query(12);
+    let m36 = p36::collapse_length(&q36).unwrap();
+    json_entry(&mut entries, "prop36_dwt_dp", 512, || {
+        let h = wl::dwt_union_instance(512, 1);
+        let parts = phom_core::algo::components::split_components(&h);
+        parts
+            .iter()
+            .map(|hc| p36::dwt_long_path_probability::<f64>(hc, m36).unwrap())
+            .fold(1.0, |acc, p| acc * (1.0 - p))
+    });
+
+    // Prop 4.10: β-acyclic lineage on a labeled DWT.
+    json_entry(&mut entries, "prop410_beta_lineage", 1024, || {
+        let h = wl::dwt_instance(1024, 4);
+        let q = wl::planted_query(&h, 6);
+        path_on_dwt::probability_lineage::<f64>(&q, &h).unwrap()
+    });
+
+    // Prop 4.11: X-property + β-acyclic lineage on a 2WP.
+    let q411 = wl::connected_query(4, 2);
+    json_entry(&mut entries, "prop411_beta_lineage", 1024, || {
+        let h = wl::twp_instance(1024, 2);
+        connected_on_2wp::probability_lineage::<f64>(&q411, &h).unwrap()
+    });
+
+    // Prop 4.11 via the provenance engine, on a query planted so the
+    // circuit is non-trivial: compile + one evaluation through the
+    // unified semiring pass.
+    {
+        let h = wl::twp_instance(1024, 2);
+        let planted = wl::planted_query(&h, 4);
+        json_entry(&mut entries, "prop411_engine_circuit", 1024, || {
+            let (circuit, root) =
+                phom_core::algo::lineage_circuits::match_circuit_2wp(&planted, h.graph())
+                    .expect("2WP circuit");
+            let probs: Vec<f64> = h.probs().iter().map(|p| p.to_f64()).collect();
+            circuit.probability::<f64>(root, &probs)
+        });
+
+        // Engine re-evaluation on the prebuilt circuit (the batched /
+        // caching hot path the ROADMAP targets): excludes compilation.
+        let (circuit, root) =
+            phom_core::algo::lineage_circuits::match_circuit_2wp(&planted, h.graph())
+                .expect("2WP circuit");
+        let probs: Vec<f64> = h.probs().iter().map(|p| p.to_f64()).collect();
+        json_entry(
+            &mut entries,
+            "engine_eval_prebuilt",
+            circuit.n_gates(),
+            || circuit.probability::<f64>(root, &probs),
+        );
+    }
+
+    // Prop 5.4: optimized automaton on a polytree.
+    json_entry(&mut entries, "prop54_opt_automaton", 1024, || {
+        let h = wl::polytree_instance(1024, 1);
+        path_on_pt::long_path_probability::<f64>(&h, 6, PtStrategy::OptAutomaton).unwrap()
+    });
+
+    println!("{{");
+    println!("  \"schema\": \"phom-bench-smoke/v1\",");
+    println!("  \"reps\": {REPS},");
+    println!("  \"results\": [");
+    println!("{}", entries.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}
+
 fn main() {
+    if std::env::args().skip(1).any(|a| a == "--json") {
+        json_smoke();
+        return;
+    }
     println!("# Regenerated evidence for Tables 1–3\n");
     println!("(times: median of {REPS} runs, f64 weights; exactness of every");
     println!("algorithm is separately established against brute force by the");
@@ -97,7 +191,10 @@ fn main() {
             let gamma = Bipartite::random_covered(2, 2, 1, &mut rng);
             if gamma.m() <= 7 {
                 let red = prop34::reduce(&gamma);
-                assert_eq!(red.count_via_brute_force(), gamma.count_edge_covers_brute_force());
+                assert_eq!(
+                    red.count_via_brute_force(),
+                    gamma.count_edge_covers_brute_force()
+                );
                 checked += 1;
             }
         }
@@ -109,7 +206,11 @@ fn main() {
             let gamma = Bipartite::random_covered(m / 2, m / 2, m / 3, &mut rng);
             let red = prop34::reduce(&gamma);
             let d = wl::time_median(3, || red.count_via_brute_force());
-            println!("| {} | {} |", red.instance.uncertain_edges().len(), wl::fmt_duration(d));
+            println!(
+                "| {} | {} |",
+                red.instance.uncertain_edges().len(),
+                wl::fmt_duration(d)
+            );
         }
     }
     println!();
@@ -121,7 +222,11 @@ fn main() {
     for n in [6usize, 8, 10, 12] {
         let h = wl::connected_instance(n, 1);
         let d = wl::time_median(3, || bruteforce::probability(&q2, &h));
-        println!("| {} | {} |", h.uncertain_edges().len(), wl::fmt_duration(d));
+        println!(
+            "| {} | {} |",
+            h.uncertain_edges().len(),
+            wl::fmt_duration(d)
+        );
     }
     println!();
 
@@ -142,14 +247,18 @@ fn main() {
     });
     let msizes = [2usize, 8, 32, 128];
     header(&msizes, "m");
-    sweep("lineage across query length (deep unlabeled DWT, n=2048)", &msizes, |m| {
-        // σ = 1 so every deep-enough vertex contributes a clause of size m
-        // (the dense-match regime where the m-dependence is visible).
-        let h = wl::deep_dwt_instance(2048, 1);
-        let q = wl::planted_query(&h, m);
-        assert_eq!(q.n_edges(), m, "planted query must exist at this depth");
-        path_on_dwt::probability_lineage::<f64>(&q, &h).unwrap()
-    });
+    sweep(
+        "lineage across query length (deep unlabeled DWT, n=2048)",
+        &msizes,
+        |m| {
+            // σ = 1 so every deep-enough vertex contributes a clause of size m
+            // (the dense-match regime where the m-dependence is visible).
+            let h = wl::deep_dwt_instance(2048, 1);
+            let q = wl::planted_query(&h, m);
+            assert_eq!(q.n_edges(), m, "planted query must exist at this depth");
+            path_on_dwt::probability_lineage::<f64>(&q, &h).unwrap()
+        },
+    );
     println!();
 
     println!("### T2-ptime-b (Prop 4.11): connected queries on labeled 2WP instances");
@@ -207,7 +316,11 @@ fn main() {
             );
             let q = phom_graph::generate::two_way_path(3, 2, &mut rng);
             let d = wl::time_median(3, || bruteforce::probability(&q, &h));
-            println!("| {} | {} |", h.uncertain_edges().len(), wl::fmt_duration(d));
+            println!(
+                "| {} | {} |",
+                h.uncertain_edges().len(),
+                wl::fmt_duration(d)
+            );
         }
     }
     println!();
@@ -227,7 +340,11 @@ fn main() {
             let gamma = Bipartite::random_covered(m / 2, m / 2, m / 3, &mut rng);
             let red = prop33::reduce(&gamma);
             let d = wl::time_median(3, || red.count_via_brute_force());
-            println!("| {} | {} |", red.instance.uncertain_edges().len(), wl::fmt_duration(d));
+            println!(
+                "| {} | {} |",
+                red.instance.uncertain_edges().len(),
+                wl::fmt_duration(d)
+            );
         }
     }
     println!();
@@ -238,8 +355,14 @@ fn main() {
     println!("### T3-ptime-a (Prop 5.4): 1WP queries on polytrees — three pipelines");
     header(&sizes, "n");
     for (name, strat) in [
-        ("paper ⟨↑,↓,Max⟩ automaton (m=6)", PtStrategy::PaperAutomaton),
-        ("optimized ⟨↑,↓,sat⟩ automaton (m=6)", PtStrategy::OptAutomaton),
+        (
+            "paper ⟨↑,↓,Max⟩ automaton (m=6)",
+            PtStrategy::PaperAutomaton,
+        ),
+        (
+            "optimized ⟨↑,↓,sat⟩ automaton (m=6)",
+            PtStrategy::OptAutomaton,
+        ),
         ("opt automaton → d-DNNF (m=6)", PtStrategy::Ddnnf),
     ] {
         sweep(name, &sizes, |n| {
@@ -294,11 +417,15 @@ fn main() {
     {
         let layers_sweep = [8usize, 16, 32, 64];
         header(&layers_sweep, "layers");
-        sweep("walk DP, width-2 mesh, m=6 (f64)", &layers_sweep, |layers| {
-            let h = wl::mesh_instance(layers, 2);
-            let nice = phom_graph::treedecomp::NiceDecomposition::heuristic(h.graph());
-            phom_core::algo::walk_on_tw::long_walk_probability::<f64>(&h, 6, &nice)
-        });
+        sweep(
+            "walk DP, width-2 mesh, m=6 (f64)",
+            &layers_sweep,
+            |layers| {
+                let h = wl::mesh_instance(layers, 2);
+                let nice = phom_graph::treedecomp::NiceDecomposition::heuristic(h.graph());
+                phom_core::algo::walk_on_tw::long_walk_probability::<f64>(&h, 6, &nice)
+            },
+        );
         print!("| decomposition width found |");
         for &layers in &layers_sweep {
             let h = wl::mesh_instance(layers, 2);
@@ -318,7 +445,9 @@ fn main() {
         sweep("UCQ union lineage (DWT n=1024, f64)", &ksweep, |k| {
             let ucq = phom_core::ucq::Ucq::new(wl::ucq_path_disjuncts(k, 4));
             let h = wl::dwt_instance(1024, 4);
-            phom_core::ucq::probability::<f64>(&ucq, &h).expect("DWT route").0
+            phom_core::ucq::probability::<f64>(&ucq, &h)
+                .expect("DWT route")
+                .0
         });
     }
     println!();
@@ -348,7 +477,9 @@ fn main() {
         sweep("circuit gradient (2WP, one pass)", &nsweep, |n| {
             let h = wl::twp_instance(n, 2);
             let q = wl::connected_query(3, 2);
-            phom_core::sensitivity::influences::<f64>(&q, &h).expect("2WP route").0[0]
+            phom_core::sensitivity::influences::<f64>(&q, &h)
+                .expect("2WP route")
+                .0[0]
         });
         sweep("conditioning (2·|E| DP solves)", &nsweep, |n| {
             let h = wl::twp_instance(n, 2);

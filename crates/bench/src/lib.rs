@@ -18,7 +18,10 @@ fn rng_for(tag: u64, n: usize) -> SmallRng {
 }
 
 fn profile() -> ProbProfile {
-    ProbProfile { certain_ratio: 0.25, denominator: 16 }
+    ProbProfile {
+        certain_ratio: 0.25,
+        denominator: 16,
+    }
 }
 
 /// A random `⊔DWT` instance with ~`n` vertices across 1–3 components.
@@ -45,7 +48,11 @@ pub fn deep_dwt_instance(n: usize, sigma: u32) -> ProbGraph {
     let mut rng = rng_for(21, n);
     let mut parent: Vec<Option<(usize, phom_graph::Label)>> = vec![None];
     for v in 1..n {
-        let p = if rng.gen_bool(0.85) { v - 1 } else { rng.gen_range(0..v) };
+        let p = if rng.gen_bool(0.85) {
+            v - 1
+        } else {
+            rng.gen_range(0..v)
+        };
         parent.push(Some((p, phom_graph::Label(rng.gen_range(0..sigma.max(1))))));
     }
     let g = Graph::downward_tree(&parent);
@@ -58,7 +65,11 @@ pub fn deep_polytree_instance(n: usize) -> ProbGraph {
     let mut rng = rng_for(22, n);
     let mut b = phom_graph::GraphBuilder::with_vertices(n);
     for v in 1..n {
-        let p = if rng.gen_bool(0.8) { v - 1 } else { rng.gen_range(0..v) };
+        let p = if rng.gen_bool(0.8) {
+            v - 1
+        } else {
+            rng.gen_range(0..v)
+        };
         // Bias orientations downward so long directed paths appear.
         if rng.gen_bool(0.8) {
             b.edge(p, v, phom_graph::Label::UNLABELED);
@@ -154,7 +165,9 @@ pub fn mesh_instance(layers: usize, width: usize) -> ProbGraph {
 /// A UCQ workload: `k` random labeled 1WP disjuncts (lengths 1–4).
 pub fn ucq_path_disjuncts(k: usize, sigma: u32) -> Vec<Graph> {
     let mut rng = rng_for(12, k);
-    (0..k).map(|_| generate::one_way_path(rng.gen_range(1..=4), sigma, &mut rng)).collect()
+    (0..k)
+        .map(|_| generate::one_way_path(rng.gen_range(1..=4), sigma, &mut rng))
+        .collect()
 }
 
 /// Times a closure (median of `reps` runs).
@@ -178,8 +191,7 @@ mod tests {
 
     #[test]
     fn workloads_have_expected_classes() {
-        assert!(classify(dwt_union_instance(40, 1).graph())
-            .in_union_class(ConnClass::DownwardTree));
+        assert!(classify(dwt_union_instance(40, 1).graph()).in_union_class(ConnClass::DownwardTree));
         assert!(classify(dwt_instance(40, 2).graph()).in_class(ConnClass::DownwardTree));
         assert!(classify(twp_instance(40, 2).graph()).in_class(ConnClass::TwoWayPath));
         assert!(classify(polytree_instance(40, 1).graph()).in_class(ConnClass::Polytree));
@@ -190,6 +202,9 @@ mod tests {
     #[test]
     fn workloads_are_deterministic() {
         assert_eq!(dwt_instance(30, 2).graph(), dwt_instance(30, 2).graph());
-        assert_eq!(planted_query(&dwt_instance(30, 2), 3), planted_query(&dwt_instance(30, 2), 3));
+        assert_eq!(
+            planted_query(&dwt_instance(30, 2), 3),
+            planted_query(&dwt_instance(30, 2), 3)
+        );
     }
 }

@@ -1,0 +1,302 @@
+//! A minimal, dependency-free stand-in for the parts of `proptest` this
+//! workspace uses: the `proptest!` macro with `name in strategy` and
+//! `name: Type` bindings, range strategies over primitive numbers,
+//! `ProptestConfig::with_cases`, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Compared to the real crate there is **no shrinking**: a failing case
+//! reports its case index and the seed-derived inputs via `Debug`
+//! formatting in the assertion message. Each test function derives its
+//! RNG seed from its own name, so runs are deterministic.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Failure type carried by `prop_assert*` (a plain message here).
+pub type TestCaseError = String;
+
+/// The random source handed to strategies.
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// A deterministic runner seeded from the test's name.
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        TestRunner {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// A value generator. Only sampling is supported (no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f64);
+
+impl<T: Clone> Strategy for fn(&mut TestRunner) -> T {
+    type Value = T;
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        self(runner)
+    }
+}
+
+/// Whole-domain generation for the `name: Type` binding form.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.rng().gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.rng().next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.rng().gen_range(-1.0e9f64..1.0e9)
+    }
+}
+
+/// The test-defining macro. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `#[test] fn` items whose
+/// parameters are either `name in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __runner =
+                $crate::TestRunner::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $crate::__proptest_bind!{ __runner, $($params)* }
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__msg) = __outcome {
+                    panic!("proptest '{}' failed at case {}: {}", stringify!($name), __case, __msg);
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($runner:ident $(,)?) => {};
+    ($runner:ident, $($rest:tt)*) => { $crate::__proptest_bind!{ $runner $($rest)* } };
+    ($runner:ident $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&($strat), &mut $runner);
+        $crate::__proptest_bind!{ $runner, $($rest)* }
+    };
+    ($runner:ident $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::sample(&($strat), &mut $runner);
+    };
+    ($runner:ident $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $runner);
+        $crate::__proptest_bind!{ $runner, $($rest)* }
+    };
+    ($runner:ident $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $runner);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert!({}) failed", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless the two sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a != __b {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq! failed: {:?} != {:?}", __a, __b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a != __b {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq! failed ({:?} != {:?}): {}", __a, __b, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_ne! failed: both sides are {:?}",
+                __a
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (counted as a pass) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Mixed binding forms and an assumption.
+        #[test]
+        fn mixed_bindings(a in 0u64..100, b: u8, c in 1usize..=4) {
+            prop_assume!(b != 255);
+            prop_assert!(a < 100);
+            prop_assert!((1..=4).contains(&c));
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(c, 0);
+        }
+
+        /// Early `return Ok(())` works as in real proptest.
+        #[test]
+        fn early_return(a in 0i64..10) {
+            if a > 5 {
+                return Ok(());
+            }
+            prop_assert!(a <= 5);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let mut a = crate::TestRunner::deterministic("x");
+        let mut b = crate::TestRunner::deterministic("x");
+        let mut c = crate::TestRunner::deterministic("y");
+        let (va, vb, vc) = (
+            crate::Strategy::sample(&(0u64..1 << 60), &mut a),
+            crate::Strategy::sample(&(0u64..1 << 60), &mut b),
+            crate::Strategy::sample(&(0u64..1 << 60), &mut c),
+        );
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}

@@ -1,0 +1,276 @@
+//! A minimal, dependency-free stand-in for the parts of the `rand` crate
+//! this workspace uses (`SmallRng`, `SeedableRng`, `Rng::gen_range`,
+//! `Rng::gen_bool`). The build environment has no access to a crates
+//! registry, so the workspace vendors exactly the API surface it needs.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction real `rand` uses for `SmallRng` on 64-bit targets. It is
+//! deterministic per seed, which is all the test suites and benchmark
+//! workloads rely on; it is **not** cryptographically secure.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Core entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding interface (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (`a..b`, `a..=b`, or `a..`).
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (which must lie in `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool called with p = {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// `next_u64` mapped to `[0, 1)` with 53-bit precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// A uniform sample from `[low, high]` (inclusive on both ends).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample; panics when the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low <= high);
+                // Work in u128 so the span never overflows the target type.
+                let span = (high as i128 - low as i128) as u128;
+                if span == u128::MAX {
+                    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    return wide as $t;
+                }
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                let offset = wide % (span + 1);
+                (low as i128).wrapping_add(offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for u128 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        debug_assert!(low <= high);
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        let span = high - low;
+        if span == u128::MAX {
+            wide
+        } else {
+            low + wide % (span + 1)
+        }
+    }
+}
+
+impl SampleUniform for i128 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let u = u128::sample_inclusive(
+            rng,
+            (low as u128).wrapping_add(1 << 127),
+            (high as u128).wrapping_add(1 << 127),
+        );
+        u.wrapping_sub(1 << 127) as i128
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        low + unit_f64(rng.next_u64()) * (high - low)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + HasMinMax> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(
+            self.start < self.end,
+            "gen_range called with an empty range"
+        );
+        T::sample_inclusive(rng, self.start, T::prev(self.end))
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + HasMinMax> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range called with an empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + HasMinMax> SampleRange<T> for RangeFrom<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, self.start, T::max_value())
+    }
+}
+
+/// Helper giving half-open ranges an inclusive upper bound.
+pub trait HasMinMax {
+    /// The largest representable value.
+    fn max_value() -> Self;
+    /// The predecessor of `v` (only called on exclusive upper bounds).
+    fn prev(v: Self) -> Self;
+}
+
+macro_rules! impl_minmax_int {
+    ($($t:ty),*) => {$(
+        impl HasMinMax for $t {
+            fn max_value() -> Self { <$t>::MAX }
+            fn prev(v: Self) -> Self { v - 1 }
+        }
+    )*};
+}
+
+impl_minmax_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl HasMinMax for f64 {
+    fn max_value() -> Self {
+        f64::MAX
+    }
+    // For floats `a..b` samples from [a, b): keep the bound as-is and rely
+    // on `unit_f64` never reaching 1.
+    fn prev(v: Self) -> Self {
+        v
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and deterministic per seed.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_their_bounds_and_stay_inside() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let (mut saw_lo, mut saw_hi) = (false, false);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3..=5usize);
+            assert!((3..=5).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi);
+        for _ in 0..2000 {
+            let v = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&v));
+        }
+        for _ in 0..200 {
+            let v = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+        }
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn take<R: Rng>(rng: &mut R) -> u64 {
+            rng.gen_range(0..10u64)
+        }
+        let mut rng = SmallRng::seed_from_u64(9);
+        let r = &mut rng;
+        assert!(take(r) < 10);
+        assert!(r.gen_range(0..10u64) < 10);
+    }
+}

@@ -77,8 +77,12 @@ pub fn absorb_query_components(query: &Graph) -> Graph {
     if keep.iter().all(|&k| k) {
         return query.clone();
     }
-    let survivors: Vec<&Graph> =
-        comp_graphs.iter().zip(&keep).filter(|(_, &k)| k).map(|(g, _)| g).collect();
+    let survivors: Vec<&Graph> = comp_graphs
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(g, _)| g)
+        .collect();
     if survivors.is_empty() {
         // All components were edgeless: the query is trivially true;
         // return a single vertex.
@@ -92,8 +96,8 @@ mod tests {
     use super::*;
     use phom_graph::classes::classify;
     use phom_graph::fixtures::{R, S};
-    use phom_graph::hom::exists_hom_into_world;
     use phom_graph::generate;
+    use phom_graph::hom::exists_hom_into_world;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 

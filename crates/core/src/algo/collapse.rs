@@ -10,9 +10,14 @@ use phom_graph::classes::classify;
 use phom_graph::graded::longest_directed_path;
 use phom_graph::Graph;
 
-/// If the query is unlabeled and all of its components are downward trees
-/// (1WP included), returns the equivalent query `→^m`. Returns `None`
-/// otherwise.
+/// If the query is effectively unlabeled (at most one distinct label) and
+/// all of its components are downward trees (1WP included), returns the
+/// equivalent query `→^m`. Returns `None` otherwise.
+///
+/// The collapsed path carries the query's own label: a single-label query
+/// other than `Label(0)` must keep that label, or downstream label-aware
+/// routes (Prop 4.10/4.11) would match nothing and silently report
+/// probability 0.
 pub fn collapse_union_dwt_query(query: &Graph) -> Option<Graph> {
     if !query.is_effectively_unlabeled() {
         return None;
@@ -23,7 +28,12 @@ pub fn collapse_union_dwt_query(query: &Graph) -> Option<Graph> {
     }
     // Height of a DWT = its longest directed path (well-defined, acyclic).
     let m = longest_directed_path(query).expect("DWTs are acyclic");
-    Some(Graph::directed_path(m))
+    let label = query
+        .labels_used()
+        .first()
+        .copied()
+        .unwrap_or(phom_graph::Label::UNLABELED);
+    Some(Graph::one_way_path(&vec![label; m]))
 }
 
 #[cfg(test)]
@@ -54,7 +64,8 @@ mod tests {
     #[test]
     fn labeled_and_non_dwt_queries_do_not_collapse() {
         assert!(collapse_union_dwt_query(&fixtures::figure_3_owp()).is_none()); // labeled
-        assert!(collapse_union_dwt_query(&fixtures::figure_4_polytree()).is_none()); // two-way
+        assert!(collapse_union_dwt_query(&fixtures::figure_4_polytree()).is_none());
+        // two-way
     }
 
     #[test]
@@ -67,6 +78,18 @@ mod tests {
             let collapsed = collapse_union_dwt_query(&q).unwrap();
             assert!(equivalent(&q, &collapsed), "q={q:?}");
         }
+    }
+
+    #[test]
+    fn single_label_queries_keep_their_label() {
+        // Regression: a query whose only label is not Label(0) is still
+        // "effectively unlabeled", but its collapse must keep the label or
+        // label-aware routes downstream match nothing.
+        let s = phom_graph::Label(1);
+        let q = Graph::one_way_path(&[s, s]);
+        let collapsed = collapse_union_dwt_query(&q).unwrap();
+        assert_eq!(collapsed.labels_used(), vec![s]);
+        assert!(equivalent(&q, &collapsed));
     }
 
     #[test]

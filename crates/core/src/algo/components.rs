@@ -58,8 +58,10 @@ mod tests {
         let g = Graph::one_way_path(&[Label(0)]);
         let parts = split_components(&h);
         assert_eq!(parts.len(), 2);
-        let per: Vec<Rational> =
-            parts.iter().map(|hi| bruteforce::probability(&g, hi)).collect();
+        let per: Vec<Rational> = parts
+            .iter()
+            .map(|hi| bruteforce::probability(&g, hi))
+            .collect();
         let combined = combine_connected_query(&per);
         assert_eq!(combined, bruteforce::probability(&g, &h));
         assert_eq!(combined, Rational::from_ratio(2, 3));
@@ -75,8 +77,10 @@ mod tests {
         // The edgeless component contributes probability 0 for any query
         // with an edge.
         let g = Graph::one_way_path(&[Label(0)]);
-        let per: Vec<Rational> =
-            parts.iter().map(|hi| bruteforce::probability(&g, hi)).collect();
+        let per: Vec<Rational> = parts
+            .iter()
+            .map(|hi| bruteforce::probability(&g, hi))
+            .collect();
         assert_eq!(combine_connected_query(&per), Rational::from_ratio(1, 2));
     }
 

@@ -120,8 +120,10 @@ pub fn lineage(query: &Graph, instance: &Graph) -> Option<(Dnf, Vec<usize>)> {
         dnf.push_clause(Vec::new());
     }
     for iv in intervals {
-        let clause: Vec<usize> =
-            view.steps[iv.start..=iv.end].iter().map(|&(e, _, _)| e).collect();
+        let clause: Vec<usize> = view.steps[iv.start..=iv.end]
+            .iter()
+            .map(|&(e, _, _)| e)
+            .collect();
         dnf.push_clause(clause);
     }
     let order: Vec<usize> = view.steps.iter().map(|&(e, _, _)| e).collect();
@@ -235,7 +237,10 @@ mod tests {
         // Instance R S R; query R: minimal intervals at positions 0 and 2.
         let h_graph = Graph::one_way_path(&[R, S, R]);
         let (ivs, _) = minimal_intervals(&Graph::one_way_path(&[R]), &h_graph).unwrap();
-        assert_eq!(ivs, vec![Interval { start: 0, end: 0 }, Interval { start: 2, end: 2 }]);
+        assert_eq!(
+            ivs,
+            vec![Interval { start: 0, end: 0 }, Interval { start: 2, end: 2 }]
+        );
         let h = ProbGraph::new(h_graph, vec![rat(1, 2), rat(1, 2), rat(1, 2)]);
         let q = Graph::one_way_path(&[R]);
         // 1 − (1/2)² = 3/4.
@@ -289,7 +294,10 @@ mod tests {
             let h_graph = generate::two_way_path(rng.gen_range(1..8), 2, &mut rng);
             let h = generate::with_probabilities(
                 h_graph,
-                generate::ProbProfile { certain_ratio: 0.25, denominator: 4 },
+                generate::ProbProfile {
+                    certain_ratio: 0.25,
+                    denominator: 4,
+                },
                 &mut rng,
             );
             let q = generate::connected(rng.gen_range(1..5), rng.gen_range(0..2), 2, &mut rng);

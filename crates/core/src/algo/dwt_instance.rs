@@ -178,7 +178,10 @@ mod tests {
             dwt_long_path_probability::<Rational>(&h, 1),
             Some(Rational::from_ratio(2, 3))
         );
-        assert_eq!(dwt_long_path_probability::<Rational>(&h, 3), Some(Rational::zero()));
+        assert_eq!(
+            dwt_long_path_probability::<Rational>(&h, 3),
+            Some(Rational::zero())
+        );
     }
 
     #[test]
@@ -188,7 +191,10 @@ mod tests {
             let g = generate::downward_tree(rng.gen_range(1..9), 1, &mut rng);
             let h = generate::with_probabilities(
                 g,
-                generate::ProbProfile { certain_ratio: 0.25, denominator: 4 },
+                generate::ProbProfile {
+                    certain_ratio: 0.25,
+                    denominator: 4,
+                },
                 &mut rng,
             );
             for m in 1..5 {
@@ -217,7 +223,10 @@ mod tests {
             });
             let h = generate::with_probabilities(
                 h_graph,
-                generate::ProbProfile { certain_ratio: 0.25, denominator: 4 },
+                generate::ProbProfile {
+                    certain_ratio: 0.25,
+                    denominator: 4,
+                },
                 &mut rng,
             );
             let got = probability(&query, &h).unwrap();

@@ -132,8 +132,7 @@ pub fn fail_circuit_dwt(query: &Graph, instance: &Graph) -> Option<(Circuit, Gat
                     let x = c.var(e);
                     let nx = c.neg_var(e);
                     let absent = c.and_gate(vec![nx, gates[&(child, 0)]]);
-                    let present =
-                        c.and_gate(vec![x, gates[&(child, (r + 1).min(m))]]);
+                    let present = c.and_gate(vec![x, gates[&(child, (r + 1).min(m))]]);
                     parts.push(c.or_gate(vec![absent, present]));
                 }
                 if parts.is_empty() {
@@ -167,7 +166,10 @@ mod tests {
             let h_graph = generate::two_way_path(rng.gen_range(1..7), 2, &mut rng);
             let h = generate::with_probabilities(
                 h_graph,
-                ProbProfile { certain_ratio: 0.2, denominator: 4 },
+                ProbProfile {
+                    certain_ratio: 0.2,
+                    denominator: 4,
+                },
                 &mut rng,
             );
             let q = generate::connected(rng.gen_range(1..5), 1, 2, &mut rng);
@@ -181,7 +183,7 @@ mod tests {
             // Per-world agreement + determinism.
             for (mask, _) in h.worlds() {
                 assert_eq!(
-                    circuit.eval(root, &mask),
+                    circuit.eval_world(root, &mask),
                     exists_hom_into_world(&q, h.graph(), &mask)
                 );
                 assert!(circuit.check_deterministic_under(&mask));
@@ -196,7 +198,10 @@ mod tests {
             let tree = generate::downward_tree(rng.gen_range(1..8), 2, &mut rng);
             let h = generate::with_probabilities(
                 tree,
-                ProbProfile { certain_ratio: 0.2, denominator: 4 },
+                ProbProfile {
+                    certain_ratio: 0.2,
+                    denominator: 4,
+                },
                 &mut rng,
             );
             let q = generate::planted_path_query(h.graph(), rng.gen_range(1..4), &mut rng)
@@ -209,7 +214,7 @@ mod tests {
             assert_eq!(p_fail.complement(), p_match, "q={q:?} h={:?}", h.graph());
             for (mask, _) in h.worlds() {
                 assert_eq!(
-                    circuit.eval(root, &mask),
+                    circuit.eval_world(root, &mask),
                     !exists_hom_into_world(&q, h.graph(), &mask)
                 );
                 assert!(circuit.check_deterministic_under(&mask));
@@ -228,10 +233,13 @@ mod tests {
         for _ in 0..10 {
             let h = generate::with_probabilities(
                 h_graph.clone(),
-                ProbProfile { certain_ratio: 0.2, denominator: 8 },
+                ProbProfile {
+                    certain_ratio: 0.2,
+                    denominator: 8,
+                },
                 &mut rng,
             );
-            let via_circuit: Rational = circuit.probability(root, &h.probs().to_vec());
+            let via_circuit: Rational = circuit.probability(root, h.probs());
             let via_dp: Rational = connected_on_2wp::probability_dp(&q, &h).unwrap();
             assert_eq!(via_circuit, via_dp);
         }
@@ -243,13 +251,13 @@ mod tests {
         // Edgeless query: constant-true match circuit.
         let q = Graph::directed_path(0);
         let (c, root) = match_circuit_2wp(&q, &h).unwrap();
-        assert!(c.eval(root, &[false]));
+        assert!(c.eval_world(root, &[false]));
         let (c, root) = fail_circuit_dwt(&q, &h).unwrap();
-        assert!(!c.eval(root, &[false])); // never fails
-        // Unmatchable query: constant-false match circuit.
+        assert!(!c.eval_world(root, &[false])); // never fails
+                                                // Unmatchable query: constant-false match circuit.
         let q = Graph::one_way_path(&[phom_graph::Label(5)]);
         let (c, root) = match_circuit_2wp(&q, &h).unwrap();
-        assert!(!c.eval(root, &[true]));
+        assert!(!c.eval_world(root, &[true]));
     }
 
     use phom_graph::Graph;

@@ -150,7 +150,10 @@ mod tests {
             .unwrap_or_else(|| generate::one_way_path(2, 2, &mut rng));
         let m = q.n_edges();
         let (dfs_size, beta_size, _clauses) = obdd_size_dwt(&q, &h).unwrap();
-        assert!(dfs_size <= 4 * h.n_edges() * (m + 1) + 16, "dfs size = {dfs_size}");
+        assert!(
+            dfs_size <= 4 * h.n_edges() * (m + 1) + 16,
+            "dfs size = {dfs_size}"
+        );
         assert!(beta_size >= dfs_size, "β-order should not beat DFS here");
     }
 

@@ -212,7 +212,10 @@ mod tests {
             let tree = generate::downward_tree(rng.gen_range(1..10), 2, &mut rng);
             let h = generate::with_probabilities(
                 tree,
-                generate::ProbProfile { certain_ratio: 0.3, denominator: 4 },
+                generate::ProbProfile {
+                    certain_ratio: 0.3,
+                    denominator: 4,
+                },
                 &mut rng,
             );
             let m = rng.gen_range(1..4);

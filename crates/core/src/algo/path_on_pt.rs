@@ -41,16 +41,15 @@ pub fn long_path_probability<W: Weight>(
     }
     let tree = encode_polytree(instance)?;
     let p = match strategy {
-        PtStrategy::OptAutomaton => {
-            acceptance_probability(&OptPathAutomaton { m }, &tree)
-        }
-        PtStrategy::PaperAutomaton => {
-            acceptance_probability(&PathAutomaton { m }, &tree)
-        }
+        PtStrategy::OptAutomaton => acceptance_probability(&OptPathAutomaton { m }, &tree),
+        PtStrategy::PaperAutomaton => acceptance_probability(&PathAutomaton { m }, &tree),
         PtStrategy::Ddnnf => {
             let (circuit, root) = compile_ddnnf(&OptPathAutomaton { m }, &tree);
-            let probs: Vec<W> =
-                tree.node_probs().iter().map(|r| W::from_rational(r)).collect();
+            let probs: Vec<W> = tree
+                .node_probs()
+                .iter()
+                .map(|r| W::from_rational(r))
+                .collect();
             circuit.probability(root, &probs)
         }
     };
@@ -80,14 +79,19 @@ mod tests {
             let g = generate::polytree(rng.gen_range(1..9), 1, &mut rng);
             let h = generate::with_probabilities(
                 g,
-                generate::ProbProfile { certain_ratio: 0.25, denominator: 4 },
+                generate::ProbProfile {
+                    certain_ratio: 0.25,
+                    denominator: 4,
+                },
                 &mut rng,
             );
             for m in 1..5 {
                 let expect = bruteforce::probability(&Graph::directed_path(m), &h);
-                for strat in
-                    [PtStrategy::OptAutomaton, PtStrategy::PaperAutomaton, PtStrategy::Ddnnf]
-                {
+                for strat in [
+                    PtStrategy::OptAutomaton,
+                    PtStrategy::PaperAutomaton,
+                    PtStrategy::Ddnnf,
+                ] {
                     let got: Rational = long_path_probability(&h, m, strat).unwrap();
                     assert_eq!(got, expect, "strategy {strat:?}, m={m}");
                 }
@@ -120,6 +124,6 @@ mod tests {
         assert!(gates > 0 && wires > 0);
     }
 
-    use phom_num::Rational;
     use phom_graph::ProbGraph;
+    use phom_num::Rational;
 }

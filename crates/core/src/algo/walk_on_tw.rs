@@ -212,7 +212,9 @@ pub fn long_walk_probability_with<W: Weight>(
             NiceNode::Forget { child, v } => {
                 let cbag = nice.bag(*child);
                 let ck = cbag.len();
-                let pos_v = cbag.binary_search(v).expect("forgotten vertex in child bag");
+                let pos_v = cbag
+                    .binary_search(v)
+                    .expect("forgotten vertex in child bag");
                 let child_states = states[*child].take().expect("children precede parents");
                 let mut map = HashMap::with_capacity(child_states.len());
                 for (ckey, w) in child_states {
@@ -325,9 +327,17 @@ pub fn long_walk_probability<W: Weight>(
 pub fn probability<W: Weight>(query: &Graph, instance: &ProbGraph) -> Option<W> {
     let collapsed = super::collapse::collapse_union_dwt_query(query)?;
     let m = collapsed.n_edges();
-    let query_label = query.labels_used().first().copied().unwrap_or(Label::UNLABELED);
-    let usable: Vec<bool> =
-        instance.graph().edges().iter().map(|e| e.label == query_label).collect();
+    let query_label = query
+        .labels_used()
+        .first()
+        .copied()
+        .unwrap_or(Label::UNLABELED);
+    let usable: Vec<bool> = instance
+        .graph()
+        .edges()
+        .iter()
+        .map(|e| e.label == query_label)
+        .collect();
     let nice = NiceDecomposition::heuristic(instance.graph());
     Some(long_walk_probability_with(instance, m, &nice, &usable))
 }
@@ -640,7 +650,11 @@ mod tests {
         b.edge(2, 3, phom_graph::Label::UNLABELED);
         let h = ProbGraph::new(
             b.build(),
-            vec![Rational::one(), Rational::from_ratio(1, 3), Rational::zero()],
+            vec![
+                Rational::one(),
+                Rational::from_ratio(1, 3),
+                Rational::zero(),
+            ],
         );
         let nice = nice_of(&h);
         let p2: Rational = long_walk_probability(&h, 2, &nice);

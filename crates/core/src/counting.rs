@@ -8,9 +8,16 @@
 //! `Pr(G ⇝ H) · 2^u` with `u` the number of uncertain edges, so every
 //! tractable cell of Tables 1–3 yields polynomial-time *counting* over an
 //! exponential world space.
+//!
+//! Counting routes through the unified provenance engine whenever the
+//! solver attaches a lineage: the circuit is evaluated once in the
+//! [`Natural`] counting semiring (uncertain edges free, certain edges
+//! pinned), with no rational arithmetic and no scaling step. Routes
+//! without a circuit fall back to the `Pr · 2^u` identity.
 
 use crate::solver::{solve_with, Hardness, SolverOptions};
 use phom_graph::{Graph, ProbGraph};
+use phom_lineage::VarStatus;
 use phom_num::{Natural, Rational};
 
 /// Why a counting call failed.
@@ -30,10 +37,7 @@ pub enum CountError {
 /// impossible (π = 0) edges are fixed, not counted.
 ///
 /// Returns an arbitrary-precision [`Natural`]: counts reach `2^u`.
-pub fn count_satisfying_worlds(
-    query: &Graph,
-    instance: &ProbGraph,
-) -> Result<Natural, CountError> {
+pub fn count_satisfying_worlds(query: &Graph, instance: &ProbGraph) -> Result<Natural, CountError> {
     count_satisfying_worlds_with(query, instance, SolverOptions::default())
 }
 
@@ -51,11 +55,39 @@ pub fn count_satisfying_worlds_with(
             return Err(CountError::NotUnweighted { edge: e });
         }
     }
+    // Ask the solver for a provenance handle: when one comes back the
+    // count is a single Natural-semiring pass of the engine.
+    let opts = SolverOptions {
+        want_provenance: true,
+        ..opts
+    };
     let sol = solve_with(query, instance, opts).map_err(CountError::Hard)?;
-    let scale = Rational::new(false, Natural::one().shl(uncertain.len() as u32), Natural::one());
-    let scaled = sol.probability.mul(&scale);
+    if let Some(prov) = &sol.provenance {
+        let status: Vec<VarStatus> = (0..instance.graph().n_edges())
+            .map(|e| {
+                let p = instance.prob(e);
+                if p.is_one() {
+                    VarStatus::Pinned(true)
+                } else if p.is_zero() {
+                    VarStatus::Pinned(false)
+                } else {
+                    VarStatus::Free
+                }
+            })
+            .collect();
+        let count = prov.count_worlds(&status);
+        debug_assert_eq!(count, scale_probability(&sol.probability, uncertain.len()));
+        return Ok(count);
+    }
+    Ok(scale_probability(&sol.probability, uncertain.len()))
+}
+
+/// The `Pr · 2^u` identity, for routes without a provenance circuit.
+fn scale_probability(probability: &Rational, uncertain: usize) -> Natural {
+    let scale = Rational::new(false, Natural::one().shl(uncertain as u32), Natural::one());
+    let scaled = probability.mul(&scale);
     debug_assert!(scaled.denom().is_one(), "½-weights make Pr·2^u integral");
-    Ok(scaled.numer().clone())
+    scaled.numer().clone()
 }
 
 #[cfg(test)]
@@ -87,9 +119,15 @@ mod tests {
             vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
         );
         let q = Graph::directed_path(1);
-        assert_eq!(count_satisfying_worlds(&q, &h).unwrap(), Natural::from_u64(3));
+        assert_eq!(
+            count_satisfying_worlds(&q, &h).unwrap(),
+            Natural::from_u64(3)
+        );
         let q2 = Graph::directed_path(2);
-        assert_eq!(count_satisfying_worlds(&q2, &h).unwrap(), Natural::from_u64(1));
+        assert_eq!(
+            count_satisfying_worlds(&q2, &h).unwrap(),
+            Natural::from_u64(1)
+        );
     }
 
     #[test]
@@ -97,15 +135,18 @@ mod tests {
         let mut b = GraphBuilder::with_vertices(3);
         b.edge(0, 1, Label::UNLABELED);
         b.edge(1, 2, Label::UNLABELED);
-        let h = ProbGraph::new(
-            b.build(),
-            vec![Rational::one(), Rational::from_ratio(1, 2)],
-        );
+        let h = ProbGraph::new(b.build(), vec![Rational::one(), Rational::from_ratio(1, 2)]);
         // One uncertain edge: counts range over 2 worlds.
         let q = Graph::directed_path(2);
-        assert_eq!(count_satisfying_worlds(&q, &h).unwrap(), Natural::from_u64(1));
+        assert_eq!(
+            count_satisfying_worlds(&q, &h).unwrap(),
+            Natural::from_u64(1)
+        );
         let q1 = Graph::directed_path(1);
-        assert_eq!(count_satisfying_worlds(&q1, &h).unwrap(), Natural::from_u64(2));
+        assert_eq!(
+            count_satisfying_worlds(&q1, &h).unwrap(),
+            Natural::from_u64(2)
+        );
     }
 
     #[test]
@@ -135,7 +176,10 @@ mod tests {
             .collect();
         let h = ProbGraph::new(h.graph().clone(), probs);
         let q = phom_graph::fixtures::example_2_2_query();
-        assert!(matches!(count_satisfying_worlds(&q, &h), Err(CountError::Hard(_))));
+        assert!(matches!(
+            count_satisfying_worlds(&q, &h),
+            Err(CountError::Hard(_))
+        ));
         let opts = SolverOptions {
             fallback: crate::solver::Fallback::BruteForce { max_uncertain: 10 },
             ..Default::default()
@@ -153,6 +197,26 @@ mod tests {
             let q = generate::one_way_path(rng.gen_range(1..4), 2, &mut rng);
             let got = count_satisfying_worlds(&q, &h).unwrap();
             assert_eq!(got, Natural::from_u64(brute_count(&q, &h)), "q={q:?}");
+        }
+    }
+
+    /// The engine-counting path (connected DWT/2WP instances attach a
+    /// provenance circuit) agrees with enumeration across both labeled
+    /// tractable cells.
+    #[test]
+    fn engine_counts_match_enumeration_on_2wp() {
+        let mut rng = SmallRng::seed_from_u64(72);
+        for _ in 0..60 {
+            let h_graph = generate::two_way_path(rng.gen_range(1..8), 2, &mut rng);
+            let h = generate::with_probabilities(h_graph, ProbProfile::half(), &mut rng);
+            let q = generate::connected(rng.gen_range(1..4), 1, 2, &mut rng);
+            match count_satisfying_worlds(&q, &h) {
+                Ok(got) => {
+                    assert_eq!(got, Natural::from_u64(brute_count(&q, &h)), "q={q:?}")
+                }
+                Err(CountError::Hard(_)) => {} // disconnected query, etc.
+                Err(e) => panic!("unexpected counting error: {e:?}"),
+            }
         }
     }
 

@@ -10,6 +10,7 @@
 
 use phom_graph::hom::exists_hom_into_world;
 use phom_graph::{Graph, ProbGraph};
+use phom_lineage::Provenance;
 use rand::Rng;
 
 /// The result of a sampling run.
@@ -53,7 +54,46 @@ pub fn estimate<R: Rng>(
     }
     let mean = hits as f64 / samples as f64;
     let var = mean * (1.0 - mean) / samples as f64;
-    Estimate { mean, samples, ci95: 1.96 * var.sqrt() }
+    Estimate {
+        mean,
+        samples,
+        ci95: 1.96 * var.sqrt(),
+    }
+}
+
+/// Estimates `Pr[event]` from a compiled [`Provenance`] handle: worlds
+/// are sampled from the product distribution and checked with the
+/// engine's Boolean-semiring pass instead of a homomorphism search. On
+/// routes that attach provenance this replaces the NP-hard per-sample
+/// hom test with a linear circuit evaluation — and because the compiled
+/// handle fixes only the query/instance pair (not the probabilities),
+/// the same circuit serves any number of probability vectors over that
+/// instance's edges.
+pub fn estimate_from_provenance<R: Rng>(
+    prov: &Provenance,
+    prob_true: &[f64],
+    samples: u64,
+    rng: &mut R,
+) -> Estimate {
+    assert!(samples > 0);
+    assert_eq!(prob_true.len(), prov.circuit.num_vars());
+    let mut hits = 0u64;
+    let mut mask = vec![false; prob_true.len()];
+    for _ in 0..samples {
+        for (e, p) in prob_true.iter().enumerate() {
+            mask[e] = rng.gen_bool(*p);
+        }
+        if prov.holds_in(&mask) {
+            hits += 1;
+        }
+    }
+    let mean = hits as f64 / samples as f64;
+    let var = mean * (1.0 - mean) / samples as f64;
+    Estimate {
+        mean,
+        samples,
+        ci95: 1.96 * var.sqrt(),
+    }
 }
 
 #[cfg(test)]
@@ -73,6 +113,36 @@ mod tests {
         let est = estimate(&g, &h, 20_000, &mut rng);
         assert!(est.covers(exact), "estimate {est:?} vs exact {exact}");
         assert!(est.ci95 < 0.01);
+    }
+
+    #[test]
+    fn provenance_estimator_matches_exact_circuit_probability() {
+        // A 2WP route compiles a provenance circuit; sampling through the
+        // engine's Boolean pass must converge to its exact probability.
+        let mut rng = SmallRng::seed_from_u64(12);
+        let h_graph = phom_graph::generate::two_way_path(6, 2, &mut rng);
+        let h = phom_graph::generate::with_probabilities(
+            h_graph,
+            phom_graph::generate::ProbProfile {
+                certain_ratio: 0.2,
+                denominator: 4,
+            },
+            &mut rng,
+        );
+        let q = phom_graph::generate::two_way_path(2, 2, &mut rng);
+        let opts = crate::solver::SolverOptions {
+            want_provenance: true,
+            ..Default::default()
+        };
+        let sol = crate::solver::solve_with(&q, &h, opts).unwrap();
+        let prov = sol.provenance.expect("2WP route attaches provenance");
+        let probs: Vec<f64> = h.probs().iter().map(|p| p.to_f64()).collect();
+        let est = estimate_from_provenance(&prov, &probs, 20_000, &mut rng);
+        assert!(
+            est.covers(sol.probability.to_f64()),
+            "{est:?} vs {}",
+            sol.probability.to_f64()
+        );
     }
 
     #[test]

@@ -8,12 +8,17 @@
 //! probability by `influence(e) · (1 − π(e))` (if confirmed) or
 //! `−influence(e) · π(e)` (if refuted).
 //!
-//! Two evaluation strategies, cross-checked in the tests:
+//! Three evaluation strategies, cross-checked in the tests — all exact:
 //!
-//! * **Circuit gradients** ([`influences`]) — on the routes that compile
-//!   a lineage circuit (Prop 4.11's 2WP instances, Prop 4.10's DWT
-//!   instances via the OBDD export), all influences come from one
-//!   forward + one backward pass ([`phom_lineage::analysis::gradients`]).
+//! * **Engine gradients** ([`influences`]) — on the routes that compile a
+//!   provenance circuit (Prop 4.11's 2WP instances, Prop 4.10's DWT
+//!   instances), all influences come from the engine's one forward + one
+//!   backward sweep ([`Provenance::gradients`]).
+//! * **Forward-mode dual numbers** ([`influence_forward`]) — the
+//!   [`Dual`](phom_num::Dual) semifield flows through the *β-elimination*
+//!   of Theorem 4.9 (divisions included), returning one edge's influence
+//!   per pass without any circuit. The demonstration that the `Semiring`
+//!   abstraction, not bespoke code, carries sensitivity.
 //! * **Conditioning** ([`influences_by_conditioning`]) — for any exact
 //!   solver (e.g. the treewidth walk DP, where no circuit is built),
 //!   re-solve with `π(e)` pinned to 1 and to 0. Costs `2·|E|` solver
@@ -23,44 +28,90 @@
 //! possible world in which the query holds (the MPE of the lineage),
 //! which pairs a reliability number with a concrete explanation.
 
-use crate::algo::{connected_on_2wp, lineage_circuits, obdd_route, path_on_dwt};
+use crate::algo::{connected_on_2wp, lineage_circuits, path_on_dwt};
 use phom_graph::hom::exists_hom_into_world;
 use phom_graph::{EdgeId, Graph, ProbGraph};
-use phom_lineage::analysis;
-use phom_num::{Rational, Weight};
+use phom_lineage::beta::beta_dnf_probability_with_order;
+use phom_lineage::{analysis, Provenance};
+use phom_num::{Dual, Rational, Weight};
 
 /// How [`influences`] obtained its answer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SensitivityRoute {
     /// Prop 4.11 match circuit (connected query, 2WP instance).
     Circuit2wp,
-    /// Prop 4.10 lineage exported as an OBDD circuit (1WP query, DWT
-    /// instance).
+    /// Prop 4.10 fail circuit, complemented (1WP query, DWT instance).
     CircuitDwt,
 }
 
-/// All edge influences `∂ Pr / ∂ π(e)` via circuit gradients, with the
-/// route taken. `None` when no circuit-compiling route matches the input
-/// shapes (fall back to [`influences_by_conditioning`] with an exact
-/// solver for the relevant cell).
+/// The provenance handle the circuit routes compile, with the route
+/// taken. `None` when no circuit-compiling route matches the input
+/// shapes.
+pub fn lineage_provenance(
+    query: &Graph,
+    instance: &ProbGraph,
+) -> Option<(Provenance, SensitivityRoute)> {
+    if let Some((circuit, root)) = lineage_circuits::match_circuit_2wp(query, instance.graph()) {
+        return Some((
+            Provenance::positive(circuit, root),
+            SensitivityRoute::Circuit2wp,
+        ));
+    }
+    if let Some((circuit, root)) = lineage_circuits::fail_circuit_dwt(query, instance.graph()) {
+        return Some((
+            Provenance::complemented(circuit, root),
+            SensitivityRoute::CircuitDwt,
+        ));
+    }
+    None
+}
+
+/// All edge influences `∂ Pr / ∂ π(e)` via the engine's gradient sweep,
+/// with the route taken. `None` when no circuit-compiling route matches
+/// the input shapes (fall back to [`influences_by_conditioning`] with an
+/// exact solver for the relevant cell).
 pub fn influences<W: Weight>(
     query: &Graph,
     instance: &ProbGraph,
 ) -> Option<(Vec<W>, SensitivityRoute)> {
     let probs: Vec<W> = instance.probs().iter().map(W::from_rational).collect();
-    if let Some((circuit, root)) = lineage_circuits::match_circuit_2wp(query, instance.graph()) {
-        let grads = analysis::gradients(&circuit, root, &probs);
-        return Some((grads, SensitivityRoute::Circuit2wp));
+    let (prov, route) = lineage_provenance(query, instance)?;
+    Some((prov.gradients(&probs), route))
+}
+
+/// One edge's influence by forward-mode automatic differentiation: the
+/// β-acyclic lineage of Theorem 4.9 is evaluated over the
+/// [`Dual`](phom_num::Dual) number semifield with edge `e` seeded, so the
+/// derivative rides along through every product, sum, *and division* of
+/// the elimination — no circuit, no backward pass.
+///
+/// Returns `None` when the inputs fit neither Prop 4.10 nor Prop 4.11,
+/// or when some edge probability is 0 or 1 (the elimination's divisions
+/// are then not dual-invertible; use [`influences`] or conditioning).
+pub fn influence_forward(query: &Graph, instance: &ProbGraph, e: EdgeId) -> Option<Rational> {
+    if instance.probs().iter().any(|p| p.is_zero() || p.is_one()) {
+        return None;
     }
-    if path_on_dwt::lineage(query, instance.graph()).is_some() {
-        let (dnf, _) = path_on_dwt::lineage(query, instance.graph())?;
-        let order = obdd_route::dfs_edge_order(instance.graph())?;
-        let (manager, f, _) = obdd_route::compile(&dnf, order);
-        let (circuit, root) = manager.to_circuit(f);
-        let grads = analysis::gradients(&circuit, root, &probs);
-        return Some((grads, SensitivityRoute::CircuitDwt));
+    let (dnf, order) = path_on_dwt::lineage(query, instance.graph())
+        .or_else(|| connected_on_2wp::lineage(query, instance.graph()))?;
+    if dnf.is_valid() {
+        return Some(Rational::zero()); // constant-true lineage: no influence
     }
-    None
+    let probs: Vec<Dual<Rational>> = instance
+        .probs()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if i == e {
+                Dual::active(p.clone())
+            } else {
+                Dual::constant(p.clone())
+            }
+        })
+        .collect();
+    let out = beta_dnf_probability_with_order(&dnf, &probs, &order)
+        .expect("the lineage routes supply valid β-elimination orders");
+    Some(out.der)
 }
 
 /// All edge influences by conditioning: `solve(H[π(e) := 1]) −
@@ -84,7 +135,11 @@ pub fn influences_by_conditioning<W: Weight>(
 /// The instance with `π(e)` pinned to 1 (present) or 0 (absent).
 pub fn pin(instance: &ProbGraph, e: EdgeId, present: bool) -> ProbGraph {
     let mut probs = instance.probs().to_vec();
-    probs[e] = if present { Rational::one() } else { Rational::zero() };
+    probs[e] = if present {
+        Rational::one()
+    } else {
+        Rational::zero()
+    };
     ProbGraph::new(instance.graph().clone(), probs)
 }
 
@@ -93,41 +148,51 @@ pub fn pin(instance: &ProbGraph, e: EdgeId, present: bool) -> ProbGraph {
 pub fn rank_edges<W: Weight + PartialOrd>(influences: Vec<W>) -> Vec<(EdgeId, W)> {
     let mut ranked: Vec<(EdgeId, W)> = influences.into_iter().enumerate().collect();
     ranked.sort_by(|(ea, a), (eb, b)| {
-        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal).then(ea.cmp(eb))
+        b.partial_cmp(a)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(ea.cmp(eb))
     });
     ranked
 }
 
 /// The most probable possible world satisfying the query (MPE of the
 /// lineage), with its probability, via the circuit routes of
-/// [`influences`]. Returns `Ok(None)` when the query holds in no world of
-/// positive or zero probability (lineage unsatisfiable), and `Err(())`
-/// when no circuit route applies.
+/// [`influences`]. Returns `Ok(None)` when the query holds in no world,
+/// and `Err(())` when no circuit route applies.
 #[allow(clippy::result_unit_err)]
 pub fn most_probable_witness(
     query: &Graph,
     instance: &ProbGraph,
 ) -> Result<Option<(Rational, Vec<bool>)>, ()> {
     let probs: Vec<Rational> = instance.probs().to_vec();
-    let compiled = if let Some((c, r)) = lineage_circuits::match_circuit_2wp(query, instance.graph())
-    {
-        Some((c, r))
-    } else if let Some((dnf, _)) = path_on_dwt::lineage(query, instance.graph()) {
-        let order = obdd_route::dfs_edge_order(instance.graph()).ok_or(())?;
-        let (manager, f, _) = obdd_route::compile(&dnf, order);
-        Some(manager.to_circuit(f))
-    } else {
-        None
-    };
-    let (circuit, root) = compiled.ok_or(())?;
-    let witness = analysis::mpe(&circuit, root, &probs);
+    let (prov, _) = lineage_provenance(query, instance).ok_or(())?;
+    if prov.negated {
+        // MPE needs the positive event; the DWT route's circuit encodes
+        // the complement, so compile the *match* DNF through the OBDD
+        // pipeline (DFS order keeps it linear) and search that instead.
+        let (dnf, _) = path_on_dwt::lineage(query, instance.graph()).ok_or(())?;
+        let order = super::algo::obdd_route::dfs_edge_order(instance.graph()).ok_or(())?;
+        let (manager, f, _) = super::algo::obdd_route::compile(&dnf, order);
+        let (circuit, root) = manager.to_circuit(f);
+        let witness = analysis::mpe(&circuit, root, &probs);
+        return Ok(check_witness(query, instance, witness));
+    }
+    let witness = analysis::mpe(&prov.circuit, prov.root, &probs);
+    Ok(check_witness(query, instance, witness))
+}
+
+fn check_witness(
+    query: &Graph,
+    instance: &ProbGraph,
+    witness: Option<(Rational, Vec<bool>)>,
+) -> Option<(Rational, Vec<bool>)> {
     if let Some((_, world)) = &witness {
         debug_assert!(
             exists_hom_into_world(query, instance.graph(), world),
             "the MPE world must satisfy the query"
         );
     }
-    Ok(witness)
+    witness
 }
 
 /// `Pr(G ⇝ H | e = present)` on the 2WP/DWT circuit routes — exported for
@@ -185,6 +250,35 @@ mod tests {
             let (grads, route) = influences::<Rational>(&q, &h).expect("DWT circuit");
             assert_eq!(route, SensitivityRoute::CircuitDwt);
             assert_eq!(grads, bf_influences(&q, &h), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn forward_mode_duals_match_gradients() {
+        let mut rng = SmallRng::seed_from_u64(0x5E56);
+        for trial in 0..25 {
+            // Strictly interior probabilities: the dual path requires
+            // invertible primal values through the elimination.
+            let h_graph = if trial % 2 == 0 {
+                generate::two_way_path(rng.gen_range(1..6), 2, &mut rng)
+            } else {
+                generate::downward_tree(rng.gen_range(2..7), 2, &mut rng)
+            };
+            let probs: Vec<Rational> = (0..h_graph.n_edges())
+                .map(|_| Rational::from_ratio(rng.gen_range(1..4), 4))
+                .collect();
+            let h = ProbGraph::new(h_graph, probs);
+            let q = generate::planted_path_query(h.graph(), rng.gen_range(1..3), &mut rng)
+                .unwrap_or_else(|| generate::one_way_path(1, 2, &mut rng));
+            let Some((grads, _)) = influences::<Rational>(&q, &h) else {
+                continue;
+            };
+            for (e, grad) in grads.iter().enumerate() {
+                let Some(fwd) = influence_forward(&q, &h, e) else {
+                    continue;
+                };
+                assert_eq!(&fwd, grad, "trial {trial}, edge {e}");
+            }
         }
     }
 
@@ -249,10 +343,10 @@ mod tests {
             // Brute-force argmax over satisfying worlds.
             let mut best: Option<Rational> = None;
             for (mask, p) in h.worlds() {
-                if exists_hom_into_world(&q, h.graph(), &mask) {
-                    if best.as_ref().map_or(true, |b| p > *b) {
-                        best = Some(p);
-                    }
+                if exists_hom_into_world(&q, h.graph(), &mask)
+                    && best.as_ref().is_none_or(|b| p > *b)
+                {
+                    best = Some(p);
                 }
             }
             match (witness, best) {
@@ -261,6 +355,34 @@ mod tests {
                     assert_eq!(wp, bp, "trial {trial}");
                     assert!(exists_hom_into_world(&q, h.graph(), &world));
                 }
+                (w, b) => panic!("trial {trial}: {:?} vs {b:?}", w.map(|x| x.0)),
+            }
+        }
+    }
+
+    #[test]
+    fn witness_on_dwt_route() {
+        let mut rng = SmallRng::seed_from_u64(0x5E57);
+        for trial in 0..10 {
+            let g = generate::downward_tree(rng.gen_range(2..7), 2, &mut rng);
+            if phom_graph::classes::as_two_way_path(&g).is_some() {
+                continue;
+            }
+            let h = generate::with_probabilities(g, ProbProfile::half(), &mut rng);
+            let q = generate::planted_path_query(h.graph(), 1, &mut rng)
+                .unwrap_or_else(|| generate::one_way_path(1, 2, &mut rng));
+            let witness = most_probable_witness(&q, &h).expect("DWT route");
+            let mut best: Option<Rational> = None;
+            for (mask, p) in h.worlds() {
+                if exists_hom_into_world(&q, h.graph(), &mask)
+                    && best.as_ref().is_none_or(|b| p > *b)
+                {
+                    best = Some(p);
+                }
+            }
+            match (witness, best) {
+                (None, None) => {}
+                (Some((wp, _)), Some(bp)) => assert_eq!(wp, bp, "trial {trial}"),
                 (w, b) => panic!("trial {trial}: {:?} vs {b:?}", w.map(|x| x.0)),
             }
         }

@@ -9,12 +9,16 @@
 //! absorb into one — see [`crate::algo::absorb`]) are still answered in
 //! polynomial time through the fast paths below.
 
-use crate::algo::{collapse, components, connected_on_2wp, dwt_instance, path_on_dwt, path_on_pt};
 use crate::algo::path_on_pt::PtStrategy;
+use crate::algo::{
+    collapse, components, connected_on_2wp, dwt_instance, lineage_circuits, path_on_dwt, path_on_pt,
+};
 use crate::{bruteforce, montecarlo};
 use phom_graph::classes::{classify, Classification};
 use phom_graph::graded::level_mapping;
 use phom_graph::{ConnClass, Graph, ProbGraph};
+use phom_lineage::engine::Arena;
+use phom_lineage::Provenance;
 use phom_num::{Natural, Rational};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -51,6 +55,10 @@ pub struct SolverOptions {
     /// Use the direct dynamic programs instead of the paper's β-acyclic
     /// lineages for Props 4.10/4.11 (ablation; same answers).
     pub prefer_dp: bool,
+    /// Attach a [`Provenance`] handle (a d-DNNF circuit over the
+    /// instance's edge ids) to the solution on the routes that can
+    /// compile one — see [`Solution::provenance`].
+    pub want_provenance: bool,
 }
 
 /// How a solution was obtained.
@@ -94,6 +102,24 @@ pub struct Solution {
     pub probability: Rational,
     /// The algorithm that produced it.
     pub route: Route,
+    /// The uniform provenance handle: a lineage circuit over the
+    /// instance's edge ids, when
+    /// [`want_provenance`](SolverOptions::want_provenance) was set and
+    /// the route can compile one (the trivial routes, and Props
+    /// 4.10/4.11 on connected instances). Downstream consumers evaluate
+    /// it through the semiring engine: re-weighted probabilities, model
+    /// counts, influences, Monte-Carlo world checks.
+    pub provenance: Option<Box<Provenance>>,
+}
+
+impl Solution {
+    fn new(probability: Rational, route: Route) -> Self {
+        Solution {
+            probability,
+            route,
+            provenance: None,
+        }
+    }
 }
 
 /// The input falls in a #P-hard cell and no fallback applied.
@@ -116,16 +142,89 @@ pub fn solve_with(
     instance: &ProbGraph,
     opts: SolverOptions,
 ) -> Result<Solution, Hardness> {
+    let mut sol = solve_inner(query, instance, opts)?;
+    if opts.want_provenance && sol.provenance.is_none() {
+        sol.provenance = compile_provenance(query, instance, &sol.route);
+        // compile_provenance mirrors solve_inner's routing (absorb +
+        // Prop 5.5 collapse); this guard catches any future drift between
+        // the two before a wrong handle reaches downstream consumers.
+        debug_assert!(
+            sol.provenance
+                .as_ref()
+                .is_none_or(|p| p.probability::<Rational>(instance.probs()) == sol.probability),
+            "provenance handle disagrees with the solved probability"
+        );
+    }
+    Ok(sol)
+}
+
+/// Compiles the uniform provenance handle for the route taken, when the
+/// route admits a circuit over the instance's edge ids: the trivial
+/// routes yield constant circuits, Prop 4.10 the DWT fail circuit
+/// (complemented polarity, mirroring `1 − Pr(¬φ)`), and Prop 4.11 the 2WP
+/// match circuit. Routes whose lineage lives in a different variable
+/// space (Prop 5.4's tree encoding) or that never build one (Prop 3.6's
+/// direct DP, the fallbacks) return `None`; extending Lemma 3.7 routes on
+/// disconnected instances needs edge-id remapping and is tracked in
+/// `ROADMAP.md`.
+fn compile_provenance(
+    query: &Graph,
+    instance: &ProbGraph,
+    route: &Route,
+) -> Option<Box<Provenance>> {
+    let constant = |value: bool| {
+        let mut arena = Arena::new(instance.graph().n_edges());
+        let root = arena.constant(value);
+        Some(Box::new(Provenance::positive(arena, root)))
+    };
+    match route {
+        Route::TrivialNoEdges => constant(true),
+        Route::MissingLabel | Route::ZeroOnPolytrees => constant(false),
+        Route::Prop410 => {
+            let absorbed = crate::algo::absorb::absorb_query_components(query);
+            let (circuit, root) = lineage_circuits::fail_circuit_dwt(&absorbed, instance.graph())?;
+            Some(Box::new(Provenance::complemented(circuit, root)))
+        }
+        Route::Prop411 => {
+            let absorbed = crate::algo::absorb::absorb_query_components(query);
+            // The unlabeled route may have gone through the Prop 5.5
+            // collapse first; mirror it so the circuit matches the query
+            // the solver actually ran. (Both lineages denote the same
+            // event on 2WP instances — Prop 5.5's equivalence — so either
+            // compilation is a correct provenance.)
+            let unlabeled = {
+                let mut labels = absorbed.labels_used();
+                labels.extend(instance.graph().labels_used());
+                labels.sort_unstable();
+                labels.dedup();
+                labels.len() <= 1
+            };
+            let effective = collapse::collapse_union_dwt_query(&absorbed)
+                .filter(|_| unlabeled)
+                .unwrap_or(absorbed);
+            let (circuit, root) =
+                lineage_circuits::match_circuit_2wp(&effective, instance.graph())?;
+            Some(Box::new(Provenance::positive(circuit, root)))
+        }
+        _ => None,
+    }
+}
+
+fn solve_inner(
+    query: &Graph,
+    instance: &ProbGraph,
+    opts: SolverOptions,
+) -> Result<Solution, Hardness> {
     // Trivial: an edgeless query maps anywhere (vertex sets are non-empty
     // and worlds keep all vertices).
     if query.n_edges() == 0 {
-        return Ok(Solution { probability: Rational::one(), route: Route::TrivialNoEdges });
+        return Ok(Solution::new(Rational::one(), Route::TrivialNoEdges));
     }
     // A query edge label absent from the instance can never be matched.
     {
         let h_labels = instance.graph().labels_used();
         if query.labels_used().iter().any(|l| !h_labels.contains(l)) {
-            return Ok(Solution { probability: Rational::zero(), route: Route::MissingLabel });
+            return Ok(Solution::new(Rational::zero(), Route::MissingLabel));
         }
     }
     // Component absorption (algo::absorb): hom-comparable components of a
@@ -138,7 +237,7 @@ pub fn solve_with(
         &simplified
     };
     if query.n_edges() == 0 {
-        return Ok(Solution { probability: Rational::one(), route: Route::TrivialNoEdges });
+        return Ok(Solution::new(Rational::one(), Route::TrivialNoEdges));
     }
     let qc = classify(query);
     let ic = classify(instance.graph());
@@ -153,7 +252,7 @@ pub fn solve_with(
     // On ⊔PT instances every world is a polytree forest: queries with a
     // directed cycle or a jumping edge have probability 0 (App. A).
     if ic.in_union_class(ConnClass::Polytree) && level_mapping(query).is_none() {
-        return Ok(Solution { probability: Rational::zero(), route: Route::ZeroOnPolytrees });
+        return Ok(Solution::new(Rational::zero(), Route::ZeroOnPolytrees));
     }
 
     let attempt = if unlabeled {
@@ -177,38 +276,35 @@ fn solve_unlabeled(
     // Prop 3.6: any query on ⊔DWT instances.
     if ic.in_union_class(ConnClass::DownwardTree) {
         let probability = dwt_instance::probability(query, instance)?;
-        return Some(Solution { probability, route: Route::Prop36 });
+        return Some(Solution::new(probability, Route::Prop36));
     }
     // Prop 5.5: a ⊔DWT query collapses to →^m on every instance.
     if let Some(path_query) = collapse::collapse_union_dwt_query(query) {
         if path_query.n_edges() == 0 {
-            return Some(Solution {
-                probability: Rational::one(),
-                route: Route::TrivialNoEdges,
-            });
+            return Some(Solution::new(Rational::one(), Route::TrivialNoEdges));
         }
         if ic.in_union_class(ConnClass::TwoWayPath) {
-            let p = per_component(&path_query, instance, |q, h| {
-                prop_411(q, h, opts)
-            })?;
-            return Some(Solution { probability: p, route: Route::Prop411 });
+            let p = per_component(&path_query, instance, |q, h| prop_411(q, h, opts))?;
+            return Some(Solution::new(p, Route::Prop411));
         }
         if ic.in_union_class(ConnClass::Polytree) {
             let m = path_query.n_edges();
             let p = per_component(&path_query, instance, |_q, h| {
                 path_on_pt::long_path_probability::<Rational>(h, m, opts.pt_strategy)
             })?;
-            return Some(Solution {
-                probability: p,
-                route: Route::Prop54 { via_collapse: !qc.flags.owp || !qc.is_connected() },
-            });
+            return Some(Solution::new(
+                p,
+                Route::Prop54 {
+                    via_collapse: !qc.flags.owp || !qc.is_connected(),
+                },
+            ));
         }
         return None;
     }
     // Connected queries on ⊔2WP instances (Prop 4.11, unlabeled flavor).
     if qc.is_connected() && ic.in_union_class(ConnClass::TwoWayPath) {
         let p = per_component(query, instance, |q, h| prop_411(q, h, opts))?;
-        return Some(Solution { probability: p, route: Route::Prop411 });
+        return Some(Solution::new(p, Route::Prop411));
     }
     None
 }
@@ -226,7 +322,7 @@ fn solve_labeled(
     // Prop 4.11: connected queries on ⊔2WP instances.
     if ic.in_union_class(ConnClass::TwoWayPath) {
         let p = per_component(query, instance, |q, h| prop_411(q, h, opts))?;
-        return Some(Solution { probability: p, route: Route::Prop411 });
+        return Some(Solution::new(p, Route::Prop411));
     }
     // Prop 4.10: 1WP queries on ⊔DWT instances.
     if qc.flags.owp && ic.in_union_class(ConnClass::DownwardTree) {
@@ -237,7 +333,7 @@ fn solve_labeled(
                 path_on_dwt::probability_lineage(q, h)
             }
         })?;
-        return Some(Solution { probability: p, route: Route::Prop410 });
+        return Some(Solution::new(p, Route::Prop410));
     }
     None
 }
@@ -274,21 +370,21 @@ fn fallback(
         Fallback::BruteForce { max_uncertain }
             if instance.uncertain_edges().len() <= max_uncertain =>
         {
-            Ok(Solution {
-                probability: bruteforce::probability(query, instance),
-                route: Route::BruteForce,
-            })
+            Ok(Solution::new(
+                bruteforce::probability(query, instance),
+                Route::BruteForce,
+            ))
         }
         Fallback::MonteCarlo { samples, seed } => {
             let mut rng = SmallRng::seed_from_u64(seed);
             let est = montecarlo::estimate(query, instance, samples, &mut rng);
-            Ok(Solution {
-                probability: dyadic_from_f64(est.mean),
-                route: Route::MonteCarlo {
+            Ok(Solution::new(
+                dyadic_from_f64(est.mean),
+                Route::MonteCarlo {
                     samples,
                     ci95_times_1e9: (est.ci95 * 1e9) as u64,
                 },
-            })
+            ))
         }
         _ => Err(hardness(qc, ic, unlabeled)),
     }
@@ -326,7 +422,11 @@ fn hardness(qc: &Classification, ic: &Classification, unlabeled: bool) -> Hardne
             "{} query ({}) on {} instance ({})",
             if unlabeled { "unlabeled" } else { "labeled" },
             crate::tables::class_name(q_class, q_union),
-            if ic.is_connected() { "connected" } else { "disconnected" },
+            if ic.is_connected() {
+                "connected"
+            } else {
+                "disconnected"
+            },
             crate::tables::class_name(i_class, !ic.is_connected()),
         ),
     }
@@ -345,7 +445,6 @@ mod tests {
     use phom_graph::fixtures;
     use phom_graph::generate;
     use phom_graph::Label;
-    
 
     #[test]
     fn example_2_2_is_hard_cell_but_brute_forcible() {
@@ -465,11 +564,108 @@ mod tests {
     }
 
     #[test]
+    fn provenance_handles_agree_with_solutions() {
+        use phom_graph::hom::exists_hom_into_world;
+        let mut rng = SmallRng::seed_from_u64(0x9A0E);
+        let opts = SolverOptions {
+            want_provenance: true,
+            ..Default::default()
+        };
+        for trial in 0..40 {
+            let h_graph = if trial % 2 == 0 {
+                generate::two_way_path(rng.gen_range(1..7), 2, &mut rng)
+            } else {
+                generate::downward_tree(rng.gen_range(2..8), 2, &mut rng)
+            };
+            let h = generate::with_probabilities(
+                h_graph,
+                generate::ProbProfile {
+                    certain_ratio: 0.25,
+                    denominator: 4,
+                },
+                &mut rng,
+            );
+            let q = generate::planted_path_query(h.graph(), rng.gen_range(1..4), &mut rng)
+                .unwrap_or_else(|| generate::one_way_path(2, 2, &mut rng));
+            let sol = solve_with(&q, &h, opts).expect("tractable cell");
+            let Some(prov) = &sol.provenance else {
+                // Routes without an edge-space circuit (Prop 3.6's direct
+                // DP, Prop 5.4's tree encoding) legitimately skip the
+                // handle.
+                assert!(
+                    matches!(sol.route, Route::Prop36 | Route::Prop54 { .. }),
+                    "trial {trial}: route {:?} should attach provenance",
+                    sol.route
+                );
+                continue;
+            };
+            // The handle re-derives the solution probability through the
+            // engine, and agrees with the homomorphism test per world.
+            assert_eq!(prov.probability::<Rational>(h.probs()), sol.probability);
+            for (mask, _) in h.worlds() {
+                assert_eq!(
+                    prov.holds_in(&mask),
+                    exists_hom_into_world(&q, h.graph(), &mask),
+                    "trial {trial}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_routes_attach_constant_provenance() {
+        let h = fixtures::figure_1();
+        let opts = SolverOptions {
+            want_provenance: true,
+            ..Default::default()
+        };
+        let sol = solve_with(&Graph::directed_path(0), &h, opts).unwrap();
+        let prov = sol.provenance.expect("trivial route");
+        assert!(prov.probability::<Rational>(h.probs()).is_one());
+        let sol = solve_with(&Graph::one_way_path(&[Label(9)]), &h, opts).unwrap();
+        let prov = sol.provenance.expect("missing-label route");
+        assert!(prov.probability::<Rational>(h.probs()).is_zero());
+    }
+
+    #[test]
+    fn single_nonzero_label_collapse_regression() {
+        // Regression (found by the provenance cross-check): query and
+        // instance sharing the single label S ≠ Label(0) route through the
+        // Prop 5.5 collapse; the collapsed path must keep S or the Prop
+        // 4.11 matcher silently reports probability 0.
+        let s = Label(1);
+        let mut b = phom_graph::GraphBuilder::with_vertices(3);
+        b.edge(0, 1, s);
+        b.edge(2, 1, s);
+        let h = ProbGraph::new(
+            b.build(),
+            vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+        );
+        let q = Graph::one_way_path(&[s]);
+        let sol = solve(&q, &h).unwrap();
+        assert_eq!(sol.probability, crate::bruteforce::probability(&q, &h));
+        assert_eq!(sol.probability, Rational::from_ratio(3, 4));
+    }
+
+    #[test]
+    fn provenance_is_opt_in() {
+        let h = fixtures::figure_1();
+        let sol = solve(&Graph::directed_path(0), &h).unwrap();
+        assert!(
+            sol.provenance.is_none(),
+            "no handle without want_provenance"
+        );
+    }
+
+    #[test]
     fn monte_carlo_fallback_close_to_brute_force() {
         let h = fixtures::figure_1();
         let g = fixtures::example_2_2_query();
         let opts = SolverOptions {
-            fallback: Fallback::MonteCarlo { samples: 20_000, seed: 7 },
+            fallback: Fallback::MonteCarlo {
+                samples: 20_000,
+                seed: 7,
+            },
             ..Default::default()
         };
         let sol = solve_with(&g, &h, opts).unwrap();
@@ -479,5 +675,5 @@ mod tests {
     }
 
     use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 }

@@ -69,7 +69,11 @@ pub fn class_name(c: ConnClass, union: bool) -> String {
         ConnClass::DownwardTree => "DWT",
         ConnClass::Polytree => "PT",
         ConnClass::General => {
-            return if union { "All".into() } else { "Connected".into() }
+            return if union {
+                "All".into()
+            } else {
+                "Connected".into()
+            }
         }
     };
     if union {
@@ -156,16 +160,28 @@ mod tests {
         // The numbered border cells of Table 1.
         assert_eq!(table1(OneWayPath, General), CellStatus::Hard("Prop 5.1"));
         assert_eq!(table1(TwoWayPath, TwoWayPath), CellStatus::Hard("Prop 3.4"));
-        assert_eq!(table1(DownwardTree, Polytree), CellStatus::PTime("Prop 5.5 + Prop 5.4"));
+        assert_eq!(
+            table1(DownwardTree, Polytree),
+            CellStatus::PTime("Prop 5.5 + Prop 5.4")
+        );
         assert_eq!(table1(General, DownwardTree), CellStatus::PTime("Prop 3.6"));
     }
 
     #[test]
     fn table2_border_cells_match_paper() {
-        assert_eq!(table2(OneWayPath, DownwardTree), CellStatus::PTime("Prop 4.10"));
+        assert_eq!(
+            table2(OneWayPath, DownwardTree),
+            CellStatus::PTime("Prop 4.10")
+        );
         assert_eq!(table2(OneWayPath, Polytree), CellStatus::Hard("Prop 4.1"));
-        assert_eq!(table2(TwoWayPath, DownwardTree), CellStatus::Hard("Prop 4.5"));
-        assert_eq!(table2(DownwardTree, DownwardTree), CellStatus::Hard("Prop 4.4"));
+        assert_eq!(
+            table2(TwoWayPath, DownwardTree),
+            CellStatus::Hard("Prop 4.5")
+        );
+        assert_eq!(
+            table2(DownwardTree, DownwardTree),
+            CellStatus::Hard("Prop 4.4")
+        );
         assert_eq!(table2(General, TwoWayPath), CellStatus::PTime("Prop 4.11"));
     }
 
@@ -173,7 +189,10 @@ mod tests {
     fn table3_border_cells_match_paper() {
         assert_eq!(table3(OneWayPath, General), CellStatus::Hard("Prop 5.1"));
         assert_eq!(table3(TwoWayPath, Polytree), CellStatus::Hard("Prop 5.6"));
-        assert_eq!(table3(DownwardTree, Polytree), CellStatus::PTime("Prop 5.5"));
+        assert_eq!(
+            table3(DownwardTree, Polytree),
+            CellStatus::PTime("Prop 5.5")
+        );
         assert_eq!(table3(OneWayPath, Polytree), CellStatus::PTime("Prop 5.4"));
         assert_eq!(table3(General, DownwardTree), CellStatus::PTime("Prop 3.6"));
         assert_eq!(table3(General, TwoWayPath), CellStatus::PTime("Prop 4.11"));
@@ -200,8 +219,7 @@ mod tests {
                 for c1 in CLASSES {
                     for r2 in CLASSES {
                         for c2 in CLASSES {
-                            if includes(r1, r2) && includes(c1, c2) && table(r2, c2).is_ptime()
-                            {
+                            if includes(r1, r2) && includes(c1, c2) && table(r2, c2).is_ptime() {
                                 assert!(
                                     table(r1, c1).is_ptime(),
                                     "({r1:?},{c1:?}) must be PTIME since ({r2:?},{c2:?}) is"

@@ -52,7 +52,9 @@ impl Ucq {
 
     /// A single-disjunct UCQ (plain conjunctive query).
     pub fn singleton(query: Graph) -> Self {
-        Ucq { disjuncts: vec![query] }
+        Ucq {
+            disjuncts: vec![query],
+        }
     }
 
     /// The disjuncts.
@@ -73,7 +75,9 @@ impl Ucq {
     /// Whether the UCQ holds in the world of `instance` selected by the
     /// `present` edge mask.
     pub fn holds_in_world(&self, instance: &Graph, present: &[bool]) -> bool {
-        self.disjuncts.iter().any(|g| exists_hom_into_world(g, instance, present))
+        self.disjuncts
+            .iter()
+            .any(|g| exists_hom_into_world(g, instance, present))
     }
 
     /// True iff some disjunct is trivially satisfied (edgeless query:
@@ -186,8 +190,12 @@ pub fn probability<W: Weight>(ucq: &Ucq, instance: &ProbGraph) -> Option<(W, Ucq
     }
     // Route A: collapse + treewidth walk DP (any instance).
     if let Some((m, label)) = try_collapse(ucq) {
-        let usable: Vec<bool> =
-            instance.graph().edges().iter().map(|e| e.label == label).collect();
+        let usable: Vec<bool> = instance
+            .graph()
+            .edges()
+            .iter()
+            .map(|e| e.label == label)
+            .collect();
         let nice = phom_graph::treedecomp::NiceDecomposition::heuristic(instance.graph());
         let p = walk_on_tw::long_walk_probability_with(instance, m, &nice, &usable);
         return Some((p, UcqRoute::CollapsedWalk { m }));
@@ -202,7 +210,10 @@ pub fn probability<W: Weight>(ucq: &Ucq, instance: &ProbGraph) -> Option<(W, Ucq
     let parts = components::split_components(instance);
     // Route B: all disjuncts 1WP, all components DWT.
     if cls.in_union_class(ConnClass::DownwardTree)
-        && ucq.disjuncts().iter().all(|g| classify(g).in_class(ConnClass::OneWayPath))
+        && ucq
+            .disjuncts()
+            .iter()
+            .all(|g| classify(g).in_class(ConnClass::OneWayPath))
     {
         let mut failure = W::one();
         for part in &parts {
@@ -241,13 +252,19 @@ mod tests {
         let (p, route) = probability::<Rational>(&Ucq::new(vec![]), &h).unwrap();
         assert_eq!(p, Rational::zero());
         assert_eq!(route, UcqRoute::Trivial);
-        assert_eq!(bruteforce_probability(&Ucq::new(vec![]), &h), Rational::zero());
+        assert_eq!(
+            bruteforce_probability(&Ucq::new(vec![]), &h),
+            Rational::zero()
+        );
     }
 
     #[test]
     fn edgeless_disjunct_is_true() {
         let h = ProbGraph::certain(Graph::directed_path(2));
-        let ucq = Ucq::new(vec![Graph::directed_path(5), GraphBuilder::with_vertices(1).build()]);
+        let ucq = Ucq::new(vec![
+            Graph::directed_path(5),
+            GraphBuilder::with_vertices(1).build(),
+        ]);
         let (p, route) = probability::<Rational>(&ucq, &h).unwrap();
         assert_eq!(p, Rational::one());
         assert_eq!(route, UcqRoute::Trivial);
@@ -341,7 +358,11 @@ mod tests {
                     // A forward-only path instance is also a DWT, so the
                     // DWT route may legitimately win the dispatch.
                     assert_ne!(route, UcqRoute::Trivial, "disjuncts all have edges");
-                    assert_eq!(p, bruteforce_probability(&ucq, &h), "trial {trial}, route {route:?}");
+                    assert_eq!(
+                        p,
+                        bruteforce_probability(&ucq, &h),
+                        "trial {trial}, route {route:?}"
+                    );
                 }
                 None => panic!("some route should apply on 2WP instances (trial {trial})"),
             }

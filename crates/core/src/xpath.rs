@@ -115,13 +115,7 @@ impl PathPattern {
             return true;
         }
         // try to match steps[i..] starting at vertex v.
-        fn rec(
-            pat: &PathPattern,
-            h: &Graph,
-            present: &[bool],
-            v: VertexId,
-            i: usize,
-        ) -> bool {
+        fn rec(pat: &PathPattern, h: &Graph, present: &[bool], v: VertexId, i: usize) -> bool {
             if i == pat.steps.len() {
                 return true;
             }
@@ -244,16 +238,19 @@ mod tests {
             let tree = generate::downward_tree(rng.gen_range(1..9), 2, &mut rng);
             let h = generate::with_probabilities(
                 tree,
-                ProbProfile { certain_ratio: 0.25, denominator: 4 },
+                ProbProfile {
+                    certain_ratio: 0.25,
+                    denominator: 4,
+                },
                 &mut rng,
             );
-            let labels: Vec<Label> =
-                (0..rng.gen_range(1..4)).map(|_| Label(rng.gen_range(0..2))).collect();
+            let labels: Vec<Label> = (0..rng.gen_range(1..4))
+                .map(|_| Label(rng.gen_range(0..2)))
+                .collect();
             let pattern = PathPattern::children(&labels);
             let q = Graph::one_way_path(&labels);
             let via_pattern: Rational = probability(&pattern, &h).unwrap();
-            let via_410: Rational =
-                crate::algo::path_on_dwt::probability_lineage(&q, &h).unwrap();
+            let via_410: Rational = crate::algo::path_on_dwt::probability_lineage(&q, &h).unwrap();
             assert_eq!(via_pattern, via_410, "labels={labels:?}");
         }
     }
@@ -270,8 +267,7 @@ mod tests {
                 Rational::from_ratio(1, 2),
             ],
         );
-        let p: Rational =
-            probability(&PathPattern::new(vec![Step::Descendant(R)]), &h).unwrap();
+        let p: Rational = probability(&PathPattern::new(vec![Step::Descendant(R)]), &h).unwrap();
         assert_eq!(p, Rational::from_ratio(3, 4));
         // Pattern R//R: an R edge followed (at any depth) by another R.
         // Only match: edges 0,1,2 all present (R at 0, descendant path via
@@ -307,7 +303,10 @@ mod tests {
             let tree = generate::downward_tree(rng.gen_range(2..9), 2, &mut rng);
             let h = generate::with_probabilities(
                 tree,
-                ProbProfile { certain_ratio: 0.3, denominator: 4 },
+                ProbProfile {
+                    certain_ratio: 0.3,
+                    denominator: 4,
+                },
                 &mut rng,
             );
             let steps: Vec<Step> = (0..rng.gen_range(1..4))

@@ -147,13 +147,25 @@ pub fn connected_components(g: &Graph) -> Vec<Vec<VertexId>> {
 /// Classifies a graph.
 pub fn classify(g: &Graph) -> Classification {
     let components = connected_components(g);
-    let component_flags: Vec<ClassFlags> =
-        components.iter().map(|vs| classify_component(g, vs)).collect();
-    let flags = component_flags
+    let component_flags: Vec<ClassFlags> = components
         .iter()
-        .copied()
-        .fold(ClassFlags { owp: true, twp: true, dwt: true, pt: true }, ClassFlags::and);
-    Classification { components, component_flags, flags, labeled: !g.is_effectively_unlabeled() }
+        .map(|vs| classify_component(g, vs))
+        .collect();
+    let flags = component_flags.iter().copied().fold(
+        ClassFlags {
+            owp: true,
+            twp: true,
+            dwt: true,
+            pt: true,
+        },
+        ClassFlags::and,
+    );
+    Classification {
+        components,
+        component_flags,
+        flags,
+        labeled: !g.is_effectively_unlabeled(),
+    }
 }
 
 fn classify_component(g: &Graph, verts: &[VertexId]) -> ClassFlags {
@@ -162,12 +174,25 @@ fn classify_component(g: &Graph, verts: &[VertexId]) -> ClassFlags {
     // A connected component is a (poly)tree iff |E| = |V| − 1 in the
     // underlying undirected *multigraph* (so a 2-cycle a⇄b is not a tree).
     if m != n - 1 {
-        return ClassFlags { owp: false, twp: false, dwt: false, pt: false };
+        return ClassFlags {
+            owp: false,
+            twp: false,
+            dwt: false,
+            pt: false,
+        };
     }
     let twp = verts.iter().all(|&v| g.und_degree(v) <= 2);
     let dwt = verts.iter().all(|&v| g.in_degree(v) <= 1);
-    let owp = twp && verts.iter().all(|&v| g.in_degree(v) <= 1 && g.out_degree(v) <= 1);
-    ClassFlags { owp, twp, dwt, pt: true }
+    let owp = twp
+        && verts
+            .iter()
+            .all(|&v| g.in_degree(v) <= 1 && g.out_degree(v) <= 1);
+    ClassFlags {
+        owp,
+        twp,
+        dwt,
+        pt: true,
+    }
 }
 
 /// Structural view of a one-way path: vertices in order plus edge labels.
@@ -202,7 +227,11 @@ pub fn as_one_way_path(g: &Graph) -> Option<OneWayPathView> {
         vertices.push(cur);
     }
     debug_assert_eq!(vertices.len(), g.n_vertices());
-    Some(OneWayPathView { vertices, edges, labels })
+    Some(OneWayPathView {
+        vertices,
+        edges,
+        labels,
+    })
 }
 
 /// Structural view of a two-way path.
@@ -223,7 +252,10 @@ pub fn as_two_way_path(g: &Graph) -> Option<TwoWayPathView> {
         return None;
     }
     if g.n_vertices() == 1 {
-        return Some(TwoWayPathView { vertices: vec![0], steps: Vec::new() });
+        return Some(TwoWayPathView {
+            vertices: vec![0],
+            steps: Vec::new(),
+        });
     }
     let start = (0..g.n_vertices()).find(|&v| g.und_degree(v) == 1)?;
     let mut vertices = vec![start];
@@ -286,7 +318,12 @@ pub fn as_downward_tree(g: &Graph) -> Option<DwtView> {
         }
     }
     debug_assert_eq!(order.len(), g.n_vertices());
-    Some(DwtView { root, parent, order, depth })
+    Some(DwtView {
+        root,
+        parent,
+        order,
+        depth,
+    })
 }
 
 /// Structural view of a polytree rooted at an arbitrary vertex of each use
@@ -334,7 +371,12 @@ pub fn as_polytree(g: &Graph, root: VertexId) -> Option<PolytreeView> {
         }
     }
     debug_assert_eq!(order.len(), n);
-    Some(PolytreeView { root, parent, children, order })
+    Some(PolytreeView {
+        root,
+        parent,
+        children,
+        order,
+    })
 }
 
 #[cfg(test)]
@@ -345,15 +387,27 @@ mod tests {
 
     #[test]
     fn figure_3_classes() {
-        assert_eq!(classify(&fixtures::figure_3_owp()).most_specific(), ConnClass::OneWayPath);
-        assert_eq!(classify(&fixtures::figure_3_twp()).most_specific(), ConnClass::TwoWayPath);
+        assert_eq!(
+            classify(&fixtures::figure_3_owp()).most_specific(),
+            ConnClass::OneWayPath
+        );
+        assert_eq!(
+            classify(&fixtures::figure_3_twp()).most_specific(),
+            ConnClass::TwoWayPath
+        );
         assert!(classify(&fixtures::figure_3_owp()).labeled);
     }
 
     #[test]
     fn figure_4_classes() {
-        assert_eq!(classify(&fixtures::figure_4_dwt()).most_specific(), ConnClass::DownwardTree);
-        assert_eq!(classify(&fixtures::figure_4_polytree()).most_specific(), ConnClass::Polytree);
+        assert_eq!(
+            classify(&fixtures::figure_4_dwt()).most_specific(),
+            ConnClass::DownwardTree
+        );
+        assert_eq!(
+            classify(&fixtures::figure_4_polytree()).most_specific(),
+            ConnClass::Polytree
+        );
         assert!(!classify(&fixtures::figure_4_dwt()).labeled);
     }
 
@@ -376,14 +430,14 @@ mod tests {
 
     #[test]
     fn union_classification() {
-        let u = Graph::disjoint_union(&[
-            &Graph::directed_path(2),
-            &fixtures::figure_4_dwt(),
-        ]);
+        let u = Graph::disjoint_union(&[&Graph::directed_path(2), &fixtures::figure_4_dwt()]);
         let c = classify(&u);
         assert!(!c.is_connected());
         assert_eq!(c.component_flags[0].most_specific(), ConnClass::OneWayPath);
-        assert_eq!(c.component_flags[1].most_specific(), ConnClass::DownwardTree);
+        assert_eq!(
+            c.component_flags[1].most_specific(),
+            ConnClass::DownwardTree
+        );
         assert_eq!(c.most_specific(), ConnClass::DownwardTree);
         assert!(c.in_union_class(ConnClass::DownwardTree));
         assert!(c.in_union_class(ConnClass::Polytree));
@@ -421,7 +475,10 @@ mod tests {
     fn owp_view_extraction() {
         let g = fixtures::figure_3_owp();
         let v = as_one_way_path(&g).unwrap();
-        assert_eq!(v.labels, vec![fixtures::R, fixtures::S, fixtures::S, fixtures::T]);
+        assert_eq!(
+            v.labels,
+            vec![fixtures::R, fixtures::S, fixtures::S, fixtures::T]
+        );
         assert_eq!(v.vertices.len(), 5);
         assert!(as_one_way_path(&fixtures::figure_3_twp()).is_none());
     }
@@ -481,7 +538,10 @@ mod tests {
         b.edge(0, 1, u);
         b.edge(0, 2, u);
         b.edge(0, 3, u);
-        assert_eq!(classify(&b.build()).most_specific(), ConnClass::DownwardTree);
+        assert_eq!(
+            classify(&b.build()).most_specific(),
+            ConnClass::DownwardTree
+        );
         // In-star (all edges into the center) is a polytree, not a DWT.
         let mut b = GraphBuilder::with_vertices(4);
         b.edge(1, 0, u);

@@ -128,8 +128,12 @@ impl Graph {
     /// Iterates over `(neighbor, edge id, direction)` of all edges incident
     /// to `v` in the underlying undirected multigraph.
     pub fn und_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId, Dir)> + '_ {
-        let fwd = self.out[v].iter().map(move |&e| (self.edges[e].dst, e, Dir::Forward));
-        let bwd = self.inc[v].iter().map(move |&e| (self.edges[e].src, e, Dir::Backward));
+        let fwd = self.out[v]
+            .iter()
+            .map(move |&e| (self.edges[e].dst, e, Dir::Forward));
+        let bwd = self.inc[v]
+            .iter()
+            .map(move |&e| (self.edges[e].src, e, Dir::Backward));
         fwd.chain(bwd)
     }
 
@@ -233,7 +237,12 @@ impl Graph {
             s.push_str(&format!("  v{v};\n"));
         }
         for e in &self.edges {
-            s.push_str(&format!("  v{} -> v{} [label=\"{}\"];\n", e.src, e.dst, e.label.name()));
+            s.push_str(&format!(
+                "  v{} -> v{} [label=\"{}\"];\n",
+                e.src,
+                e.dst,
+                e.label.name()
+            ));
         }
         s.push('}');
         s
@@ -261,7 +270,11 @@ impl GraphBuilder {
     /// Starts a graph with `n ≥ 1` vertices (vertex sets are non-empty).
     pub fn with_vertices(n: usize) -> Self {
         assert!(n >= 1, "graphs have a non-empty vertex set");
-        GraphBuilder { n, edges: Vec::new(), by_pair: HashMap::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            by_pair: HashMap::new(),
+        }
     }
 
     /// Ensures vertex `v` exists, growing the vertex set as needed.
@@ -307,7 +320,13 @@ impl GraphBuilder {
             out[e.src].push(i);
             inc[e.dst].push(i);
         }
-        Graph { n: self.n, edges: self.edges, out, inc, by_pair: self.by_pair }
+        Graph {
+            n: self.n,
+            edges: self.edges,
+            out,
+            inc,
+            by_pair: self.by_pair,
+        }
     }
 }
 

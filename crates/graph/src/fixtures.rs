@@ -33,7 +33,14 @@ pub fn figure_1() -> ProbGraph {
     b.edge(2, 3, S); // p = 0.7
     ProbGraph::new(
         b.build(),
-        vec![rat(1, 1), rat(1, 10), rat(8, 10), rat(1, 10), rat(5, 100), rat(7, 10)],
+        vec![
+            rat(1, 1),
+            rat(1, 10),
+            rat(8, 10),
+            rat(1, 10),
+            rat(5, 100),
+            rat(7, 10),
+        ],
     )
 }
 
@@ -137,7 +144,11 @@ mod tests {
     fn figure_6_levels_are_consistent() {
         let (g, levels) = figure_6_graded_dag();
         for e in g.edges() {
-            assert_eq!(levels[e.dst], levels[e.src] - 1, "level drops by 1 along each edge");
+            assert_eq!(
+                levels[e.dst],
+                levels[e.src] - 1,
+                "level drops by 1 along each edge"
+            );
         }
     }
 }

@@ -23,7 +23,10 @@ pub struct ProbProfile {
 
 impl Default for ProbProfile {
     fn default() -> Self {
-        ProbProfile { certain_ratio: 0.25, denominator: 16 }
+        ProbProfile {
+            certain_ratio: 0.25,
+            denominator: 16,
+        }
     }
 }
 
@@ -31,7 +34,10 @@ impl ProbProfile {
     /// All edges uncertain with probability 1/2 — the "unweighted" regime
     /// the paper's future work discusses, and the regime of all reductions.
     pub fn half() -> Self {
-        ProbProfile { certain_ratio: 0.0, denominator: 2 }
+        ProbProfile {
+            certain_ratio: 0.0,
+            denominator: 2,
+        }
     }
 
     fn sample<R: Rng>(&self, rng: &mut R) -> Rational {
@@ -66,7 +72,11 @@ pub fn two_way_path<R: Rng>(edges: usize, sigma: u32, rng: &mut R) -> Graph {
     let steps: Vec<(Dir, Label)> = (0..edges)
         .map(|_| {
             (
-                if rng.gen_bool(0.5) { Dir::Forward } else { Dir::Backward },
+                if rng.gen_bool(0.5) {
+                    Dir::Forward
+                } else {
+                    Dir::Backward
+                },
                 random_label(sigma, rng),
             )
         })
@@ -206,8 +216,9 @@ pub fn graded_query<R: Rng>(n: usize, extra_edges: usize, max_level: i64, rng: &
     // Tree skeleton: connect v to some earlier u with |level diff| = 1 when
     // possible; otherwise leave v possibly isolated (still graded).
     for v in 1..n {
-        let candidates: Vec<usize> =
-            (0..v).filter(|&u| (levels[u] - levels[v]).abs() == 1).collect();
+        let candidates: Vec<usize> = (0..v)
+            .filter(|&u| (levels[u] - levels[v]).abs() == 1)
+            .collect();
         if let Some(&u) = candidates.get(rng.gen_range(0..candidates.len().max(1))) {
             if levels[u] > levels[v] {
                 b.try_edge(u, v, Label::UNLABELED);

@@ -29,7 +29,11 @@ impl LevelMapping {
     /// connected components (Appendix A). This is the length `m` such that
     /// the graph is equivalent to `→^m` on `⊔DWT` instances.
     pub fn difference_of_levels(&self) -> i64 {
-        self.component_differences.iter().copied().max().unwrap_or(0)
+        self.component_differences
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -79,7 +83,10 @@ pub fn level_mapping(g: &Graph) -> Option<LevelMapping> {
         }
         component_differences.push(hi - lo);
     }
-    Some(LevelMapping { levels, component_differences })
+    Some(LevelMapping {
+        levels,
+        component_differences,
+    })
 }
 
 /// True iff the graph is a graded DAG.

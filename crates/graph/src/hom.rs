@@ -63,7 +63,13 @@ impl<'a> Search<'a> {
                 }
             }
         }
-        Search { g, h, mask, order, assignment: vec![None; g.n_vertices()] }
+        Search {
+            g,
+            h,
+            mask,
+            order,
+            assignment: vec![None; g.n_vertices()],
+        }
     }
 
     fn edge_present(&self, e: usize) -> bool {
@@ -119,8 +125,7 @@ impl<'a> Search<'a> {
             let edge = self.g.edge(e);
             if let Some(hv) = self.assignment[edge.dst] {
                 match self.h.edge_between(img, hv) {
-                    Some(he)
-                        if self.h.edge(he).label == edge.label && self.edge_present(he) => {}
+                    Some(he) if self.h.edge(he).label == edge.label && self.edge_present(he) => {}
                     _ => return false,
                 }
             }
@@ -129,8 +134,7 @@ impl<'a> Search<'a> {
             let edge = self.g.edge(e);
             if let Some(hv) = self.assignment[edge.src] {
                 match self.h.edge_between(hv, img) {
-                    Some(he)
-                        if self.h.edge(he).label == edge.label && self.edge_present(he) => {}
+                    Some(he) if self.h.edge(he).label == edge.label && self.edge_present(he) => {}
                     _ => return false,
                 }
             }
@@ -139,8 +143,7 @@ impl<'a> Search<'a> {
         if let Some(e) = self.g.edge_between(u, u) {
             match self.h.edge_between(img, img) {
                 Some(he)
-                    if self.h.edge(he).label == self.g.edge(e).label
-                        && self.edge_present(he) => {}
+                    if self.h.edge(he).label == self.g.edge(e).label && self.edge_present(he) => {}
                 _ => return false,
             }
         }
@@ -283,7 +286,7 @@ mod tests {
         // But a genuine zig-zag of length 4 needs more room: →←→ into →→?
         let zig = Graph::two_way_path(&[(Dir::Forward, R), (Dir::Backward, R), (Dir::Forward, R)]);
         assert!(exists_hom(&zig, &h)); // still folds
-        // Into a single edge, → ← folds too (u,w ↦ src, v ↦ dst).
+                                       // Into a single edge, → ← folds too (u,w ↦ src, v ↦ dst).
         let single = Graph::one_way_path(&[R]);
         assert!(exists_hom(&g, &single));
     }

@@ -37,7 +37,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a rational: `a/b`, an integer, or a decimal like `0.25`.
@@ -51,12 +54,20 @@ pub fn parse_rational(s: &str) -> Option<Rational> {
         return Some(Rational::new(false, n, d));
     }
     if let Some((int, frac)) = s.split_once('.') {
-        let int = if int.is_empty() { Natural::zero() } else { Natural::from_decimal(int)? };
+        let int = if int.is_empty() {
+            Natural::zero()
+        } else {
+            Natural::from_decimal(int)?
+        };
         let digits = frac.len() as u32;
         if digits > 18 {
             return None;
         }
-        let fr = if frac.is_empty() { Natural::zero() } else { Natural::from_decimal(frac)? };
+        let fr = if frac.is_empty() {
+            Natural::zero()
+        } else {
+            Natural::from_decimal(frac)?
+        };
         let scale = Natural::from_u64(10u64.pow(digits));
         return Some(Rational::new(false, int.mul(&scale).add(&fr), scale));
     }
@@ -153,7 +164,11 @@ pub fn parse_graph(text: &str) -> Result<ParsedGraph, ParseError> {
         }
     }
     let builder = b.ok_or_else(|| err(0, "empty input"))?;
-    Ok(ParsedGraph { graph: builder.build(), probs, labels: names })
+    Ok(ParsedGraph {
+        graph: builder.build(),
+        probs,
+        labels: names,
+    })
 }
 
 /// Serializes a probabilistic graph into the text format (inverse of
@@ -167,7 +182,13 @@ pub fn write_prob_graph(h: &ProbGraph, label_names: Option<&[String]>) -> String
         if h.prob(i).is_one() {
             out.push_str(&format!("edge {} {} {}\n", e.src, e.dst, name));
         } else {
-            out.push_str(&format!("edge {} {} {} {}\n", e.src, e.dst, name, h.prob(i)));
+            out.push_str(&format!(
+                "edge {} {} {} {}\n",
+                e.src,
+                e.dst,
+                name,
+                h.prob(i)
+            ));
         }
     }
     out

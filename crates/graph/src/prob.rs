@@ -17,7 +17,10 @@ impl ProbGraph {
     /// the wrong length or contains values outside `[0, 1]`.
     pub fn new(graph: Graph, probs: Vec<Rational>) -> Self {
         assert_eq!(probs.len(), graph.n_edges(), "one probability per edge");
-        assert!(probs.iter().all(Rational::is_probability), "probabilities must lie in [0,1]");
+        assert!(
+            probs.iter().all(Rational::is_probability),
+            "probabilities must lie in [0,1]"
+        );
         ProbGraph { graph, probs }
     }
 
@@ -80,7 +83,11 @@ impl ProbGraph {
         assert_eq!(present.len(), self.graph.n_edges());
         let mut p = Rational::one();
         for (e, &keep) in present.iter().enumerate() {
-            let factor = if keep { self.probs[e].clone() } else { self.probs[e].one_minus() };
+            let factor = if keep {
+                self.probs[e].clone()
+            } else {
+                self.probs[e].one_minus()
+            };
             if factor.is_zero() {
                 return Rational::zero();
             }
@@ -94,8 +101,16 @@ impl ProbGraph {
     /// edges — this is the brute-force baseline, not an algorithm.
     pub fn worlds(&self) -> WorldIter<'_> {
         let uncertain = self.uncertain_edges();
-        assert!(uncertain.len() < 63, "too many uncertain edges for world enumeration");
-        WorldIter { pg: self, uncertain, next_mask: 0, done: false }
+        assert!(
+            uncertain.len() < 63,
+            "too many uncertain edges for world enumeration"
+        );
+        WorldIter {
+            pg: self,
+            uncertain,
+            next_mask: 0,
+            done: false,
+        }
     }
 
     /// Number of possible worlds with non-zero probability that
@@ -151,7 +166,6 @@ impl Iterator for WorldIter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     use crate::fixtures::figure_1;
 
@@ -169,7 +183,9 @@ mod tests {
         let worlds: Vec<_> = h.worlds().collect();
         assert_eq!(worlds.len(), 32);
         // Probabilities of all possible worlds sum to 1.
-        let total = worlds.iter().fold(Rational::zero(), |acc, (_, p)| acc.add(p));
+        let total = worlds
+            .iter()
+            .fold(Rational::zero(), |acc, (_, p)| acc.add(p));
         assert!(total.is_one());
     }
 

@@ -56,7 +56,10 @@ impl std::fmt::Display for TreeDecompError {
                 write!(f, "edge {e}'s endpoints share no bag")
             }
             TreeDecompError::VertexBagsDisconnected(v) => {
-                write!(f, "bags containing vertex {v} are not connected in the tree")
+                write!(
+                    f,
+                    "bags containing vertex {v} are not connected in the tree"
+                )
             }
             TreeDecompError::MalformedTree => write!(f, "parent pointers do not form a forest"),
         }
@@ -108,7 +111,12 @@ impl TreeDecomposition {
     /// The width: max bag size − 1 (−1 ⇒ 0 bags, treated as width 0 of the
     /// empty graph).
     pub fn width(&self) -> usize {
-        self.bags.iter().map(Vec::len).max().unwrap_or(1).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
     }
 
     /// Checks the three tree-decomposition axioms against `graph`:
@@ -164,10 +172,9 @@ impl TreeDecomposition {
         }
         // Edge coverage.
         for (e, edge) in graph.edges().iter().enumerate() {
-            let ok = self
-                .bags
-                .iter()
-                .any(|bag| bag.binary_search(&edge.src).is_ok() && bag.binary_search(&edge.dst).is_ok());
+            let ok = self.bags.iter().any(|bag| {
+                bag.binary_search(&edge.src).is_ok() && bag.binary_search(&edge.dst).is_ok()
+            });
             if !ok {
                 return Err(TreeDecompError::EdgeNotCovered(e));
             }
@@ -418,11 +425,27 @@ impl NiceDecomposition {
                 acc
             }
         };
-        debug_assert!(builder.edge_done.iter().all(|&d| d), "every edge introduced");
-        debug_assert!(builder.bags[root].is_empty(), "root bag is empty by construction");
+        debug_assert!(
+            builder.edge_done.iter().all(|&d| d),
+            "every edge introduced"
+        );
+        debug_assert!(
+            builder.bags[root].is_empty(),
+            "root bag is empty by construction"
+        );
         debug_assert_eq!(root, builder.nodes.len() - 1);
-        let width = builder.bags.iter().map(Vec::len).max().unwrap_or(1).saturating_sub(1);
-        Some(NiceDecomposition { nodes: builder.nodes, bags: builder.bags, width })
+        let width = builder
+            .bags
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1);
+        Some(NiceDecomposition {
+            nodes: builder.nodes,
+            bags: builder.bags,
+            width,
+        })
     }
 
     /// Convenience: heuristic decomposition + nice conversion.
@@ -454,8 +477,11 @@ impl NiceDecomposition {
                     }
                 }
                 NiceNode::Forget { child, v } => {
-                    let expect: Vec<VertexId> =
-                        self.bags[*child].iter().copied().filter(|u| u != v).collect();
+                    let expect: Vec<VertexId> = self.bags[*child]
+                        .iter()
+                        .copied()
+                        .filter(|u| u != v)
+                        .collect();
                     if *child >= i || !self.bags[*child].contains(v) || *bag != expect {
                         return false;
                     }
@@ -472,7 +498,10 @@ impl NiceDecomposition {
                     seen[*edge] += 1;
                 }
                 NiceNode::Join { left, right } => {
-                    if *left >= i || *right >= i || self.bags[*left] != self.bags[*right] || *bag != self.bags[*left]
+                    if *left >= i
+                        || *right >= i
+                        || self.bags[*left] != self.bags[*right]
+                        || *bag != self.bags[*left]
                     {
                         return false;
                     }
@@ -510,7 +539,11 @@ impl NiceBuilder<'_> {
     }
 
     fn forget(&mut self, child: usize, v: VertexId) -> usize {
-        let bag: Vec<VertexId> = self.bags[child].iter().copied().filter(|&u| u != v).collect();
+        let bag: Vec<VertexId> = self.bags[child]
+            .iter()
+            .copied()
+            .filter(|&u| u != v)
+            .collect();
         debug_assert_ne!(bag.len(), self.bags[child].len());
         self.push(NiceNode::Forget { child, v }, bag)
     }
@@ -580,7 +613,12 @@ impl NiceBuilder<'_> {
     /// Recursively builds the nice subtree for decomposition bag `b`,
     /// returning a node whose bag equals `td.bag(b)` with all edges
     /// local to the subtree introduced.
-    fn build_subtree(&mut self, td: &TreeDecomposition, children: &[Vec<usize>], b: usize) -> usize {
+    fn build_subtree(
+        &mut self,
+        td: &TreeDecomposition,
+        children: &[Vec<usize>],
+        b: usize,
+    ) -> usize {
         let target = td.bag(b).to_vec();
         // Build each child subtree and morph it to this bag.
         let mut parts = Vec::new();
@@ -740,7 +778,10 @@ mod tests {
             vec![vec![0, 1], vec![1, 2], vec![0, 2]],
             vec![None, Some(0), Some(1)],
         );
-        assert_eq!(td.validate(&g), Err(TreeDecompError::VertexBagsDisconnected(0)));
+        assert_eq!(
+            td.validate(&g),
+            Err(TreeDecompError::VertexBagsDisconnected(0))
+        );
     }
 
     #[test]

@@ -157,7 +157,7 @@ pub fn x_property_hom(g: &Graph, h: &Graph) -> Option<Vec<VertexId>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use crate::digraph::{Dir, GraphBuilder, Label};
     use crate::hom::{exists_hom, is_hom};
 
@@ -280,7 +280,11 @@ mod tests {
             let steps: Vec<(Dir, Label)> = (0..hlen)
                 .map(|_| {
                     (
-                        if rng.gen_bool(0.5) { Dir::Forward } else { Dir::Backward },
+                        if rng.gen_bool(0.5) {
+                            Dir::Forward
+                        } else {
+                            Dir::Backward
+                        },
                         Label(rng.gen_range(0..2)),
                     )
                 })

@@ -7,17 +7,17 @@
 //! (Darwiche's differential approach to inference):
 //!
 //! * [`gradients`] — all partial derivatives `∂Pr/∂p_v` in one forward +
-//!   one backward sweep. Since `Pr` is multilinear,
-//!   `∂Pr/∂p_v = Pr(φ | v) − Pr(φ | ¬v)` — the (signed) *influence* of
-//!   edge `v`, also known as its Birnbaum importance: the natural
-//!   "which probabilistic edge matters most for this query" ranking.
+//!   one backward sweep of the provenance engine
+//!   ([`Arena::gradients`](crate::engine::Arena::gradients)). Since `Pr`
+//!   is multilinear, `∂Pr/∂p_v = Pr(φ | v) − Pr(φ | ¬v)` — the (signed)
+//!   *influence* of edge `v`, also known as its Birnbaum importance: the
+//!   natural "which probabilistic edge matters most for this query"
+//!   ranking.
 //! * [`condition`] — `Pr(φ | v = b)` by weight surgery (no restructuring).
 //! * [`mpe`] — a most probable possible world satisfying the lineage, by
-//!   max-product evaluation. Decomposability makes the max exact; missing
-//!   variables along a branch (the circuits here are not smoothed) are
-//!   handled by normalizing each variable's weights by
-//!   `max(p_v, 1 − p_v)`, so that an unmentioned variable's implicit
-//!   contribution (factor 1) is exactly its best completion.
+//!   max-product search over the arena. Decomposability makes the max
+//!   exact; missing variables along a branch (the circuits here are not
+//!   smoothed) are scored by their best completion `max(p_v, 1 − p_v)`.
 //!
 //! These operations apply uniformly to every circuit produced in this
 //! workspace: the Prop 5.4 automaton compilation, the labeled-route
@@ -27,73 +27,16 @@
 use crate::circuit::{Circuit, Gate, GateId};
 use phom_num::Weight;
 
-/// The forward values of every gate under `prob_true` (the last entry of
-/// the bottom-up pass of [`Circuit::probability`], kept for reuse).
-fn forward<W: Weight>(circuit: &Circuit, prob_true: &[W]) -> Vec<W> {
-    let mut p: Vec<W> = Vec::with_capacity(circuit.n_gates());
-    for g in circuit.gates() {
-        let w = match g {
-            Gate::Var(v) => prob_true[*v].clone(),
-            Gate::NegVar(v) => prob_true[*v].complement(),
-            Gate::Const(true) => W::one(),
-            Gate::Const(false) => W::zero(),
-            Gate::And(cs) => cs.iter().fold(W::one(), |acc, &c| acc.mul(&p[c])),
-            Gate::Or(cs) => cs.iter().fold(W::zero(), |acc, &c| acc.add(&p[c])),
-        };
-        p.push(w);
-    }
-    p
-}
+/// Per-gate MPE state: `None` = unsatisfiable, otherwise the best raw
+/// score with its sparse argmax assignment.
+type MpeScore<W> = Option<(W, Vec<(usize, bool)>)>;
 
 /// All partial derivatives `∂Pr(root)/∂p_v`, assuming the circuit is a
-/// d-DNNF (so that its value *is* the probability). One backward sweep;
-/// products over AND-siblings are taken via prefix/suffix products, so no
-/// division is performed and zero weights are handled exactly.
+/// d-DNNF (so that its value *is* the probability). Delegates to the
+/// provenance engine's forward + backward sweep; no division is performed
+/// and zero weights are handled exactly.
 pub fn gradients<W: Weight>(circuit: &Circuit, root: GateId, prob_true: &[W]) -> Vec<W> {
-    assert_eq!(prob_true.len(), circuit.num_vars());
-    let values = forward(circuit, prob_true);
-    // d[g] = ∂ value(root) / ∂ value(g).
-    let mut d: Vec<W> = vec![W::zero(); circuit.n_gates()];
-    d[root] = W::one();
-    for (i, g) in circuit.gates().iter().enumerate().rev() {
-        if d[i].is_zero() {
-            continue;
-        }
-        match g {
-            Gate::Or(cs) => {
-                for &c in cs {
-                    d[c] = d[c].add(&d[i]);
-                }
-            }
-            Gate::And(cs) => {
-                // prefix[j] = Π values of children < j; suffix likewise.
-                let k = cs.len();
-                let mut prefix = Vec::with_capacity(k + 1);
-                prefix.push(W::one());
-                for &c in cs {
-                    let last = prefix.last().unwrap().mul(&values[c]);
-                    prefix.push(last);
-                }
-                let mut suffix = W::one();
-                for j in (0..k).rev() {
-                    let contrib = d[i].mul(&prefix[j]).mul(&suffix);
-                    d[cs[j]] = d[cs[j]].add(&contrib);
-                    suffix = suffix.mul(&values[cs[j]]);
-                }
-            }
-            Gate::Var(_) | Gate::NegVar(_) | Gate::Const(_) => {}
-        }
-    }
-    // ∂ value(literal) / ∂ p_v = +1 for Var(v), −1 for NegVar(v).
-    let mut grad = vec![W::zero(); circuit.num_vars()];
-    for (i, g) in circuit.gates().iter().enumerate() {
-        match g {
-            Gate::Var(v) => grad[*v] = grad[*v].add(&d[i]),
-            Gate::NegVar(v) => grad[*v] = grad[*v].sub(&d[i]),
-            _ => {}
-        }
-    }
-    grad
+    circuit.gradients(root, prob_true)
 }
 
 /// `Pr(root | v = value)`: evaluation with `p_v` pinned to 1 or 0.
@@ -112,8 +55,7 @@ pub fn condition<W: Weight>(
 
 /// A most probable explanation: a possible world (total valuation) that
 /// satisfies the circuit, of maximum probability, together with that
-/// probability. Returns `None` when the circuit is unsatisfiable (then no
-/// world has positive... indeed no world at all satisfies it).
+/// probability. Returns `None` when the circuit is unsatisfiable.
 ///
 /// Requires a *decomposable* circuit (d-DNNF included); determinism is not
 /// needed for the max to be exact. `W` must be totally ordered on the
@@ -124,17 +66,9 @@ pub fn mpe<W: Weight + PartialOrd>(
     prob_true: &[W],
 ) -> Option<(W, Vec<bool>)> {
     assert_eq!(prob_true.len(), circuit.num_vars());
-    // Normalized literal weights r_v(b) = weight_v(b) / max(p, 1−p) would
-    // need division; instead keep both the raw best-completion product
-    // and work with "penalty" pairs. Simpler exact scheme: compute for
-    // every gate the max over its satisfying partial assignments of
-    //   Π_{v assigned} weight_v(b) · Π_{v ∈ vars \ assigned} best_v
-    // restricted to the gate's own variables — i.e. value relative to the
-    // best completion. Multiplying a gate's score by best_v for each
-    // missing variable keeps scores comparable across OR branches without
-    // smoothing the circuit. We realize this with (score, missing-mask)
-    // made canonical: score · Π_{v missing} best_v, tracked directly.
     let n = circuit.num_vars();
+    // best[v] = the weight of v's most probable value — the score of an
+    // optimal completion for variables a branch does not mention.
     let best: Vec<W> = prob_true
         .iter()
         .map(|p| {
@@ -154,7 +88,7 @@ pub fn mpe<W: Weight + PartialOrd>(
     // `best_v` for every unassigned variable, which is exactly the value
     // of the optimal completion — this is what makes the max at OR gates
     // correct without smoothing the circuit. (`None` = unsatisfiable.)
-    let mut score: Vec<Option<(W, Vec<(usize, bool)>)>> = Vec::with_capacity(circuit.n_gates());
+    let mut score: Vec<MpeScore<W>> = Vec::with_capacity(circuit.n_gates());
     let canonical = |s: &W, choices: &[(usize, bool)]| -> W {
         let mut assigned = vec![false; n];
         for &(v, _) in choices {
@@ -168,19 +102,19 @@ pub fn mpe<W: Weight + PartialOrd>(
         }
         canon
     };
-    for g in circuit.gates() {
+    for (_, g) in circuit.gates() {
         let entry = match g {
             // Zero-probability literals are kept: a satisfiable circuit
             // whose models all have mass 0 still has an MPE (of mass 0).
-            Gate::Var(v) => Some((prob_true[*v].clone(), vec![(*v, true)])),
-            Gate::NegVar(v) => Some((prob_true[*v].complement(), vec![(*v, false)])),
+            Gate::Var(v) => Some((prob_true[v].clone(), vec![(v, true)])),
+            Gate::NegVar(v) => Some((prob_true[v].complement(), vec![(v, false)])),
             Gate::Const(true) => Some((W::one(), Vec::new())),
             Gate::Const(false) => None,
             Gate::And(cs) => {
                 let mut acc = W::one();
                 let mut choices = Vec::new();
                 let mut ok = true;
-                for &c in cs {
+                for c in cs {
                     match &score[c] {
                         None => {
                             ok = false;
@@ -197,11 +131,11 @@ pub fn mpe<W: Weight + PartialOrd>(
                 ok.then_some((acc, choices))
             }
             Gate::Or(cs) => {
-                let mut winner: Option<(W, usize)> = None;
-                for &c in cs {
+                let mut winner: Option<(W, GateId)> = None;
+                for c in cs {
                     if let Some((s, ch)) = &score[c] {
                         let canon = canonical(s, ch);
-                        if winner.as_ref().map_or(true, |(cur, _)| canon > *cur) {
+                        if winner.as_ref().is_none_or(|(cur, _)| canon > *cur) {
                             winner = Some((canon, c));
                         }
                     }
@@ -230,7 +164,10 @@ pub fn mpe<W: Weight + PartialOrd>(
             prob = prob.mul(&best[v]);
         }
     }
-    debug_assert!(circuit.eval(root, &world), "MPE world must satisfy the circuit");
+    debug_assert!(
+        circuit.eval_world(root, &world),
+        "MPE world must satisfy the circuit"
+    );
     Some((prob, world))
 }
 
@@ -276,10 +213,10 @@ mod tests {
         let (c, root) = xor_circuit();
         let probs = [rat(1, 3), rat(1, 4)];
         let grads = gradients(&c, root, &probs);
-        for v in 0..2 {
+        for (v, grad) in grads.iter().enumerate() {
             let plus: Rational = condition(&c, root, &probs, v, true);
             let minus: Rational = condition(&c, root, &probs, v, false);
-            assert_eq!(grads[v], plus.sub(&minus), "v = {v}");
+            assert_eq!(*grad, plus.sub(&minus), "v = {v}");
         }
         // XOR: ∂/∂p_x Pr = (1−q) − q = 1 − 2q.
         assert_eq!(grads[0], Rational::one().sub(&rat(2, 4)));
@@ -297,10 +234,10 @@ mod tests {
             let (c, root) = m.to_circuit(f);
             let probs: Vec<Rational> = (0..n).map(|_| rat(rng.gen_range(1..4), 4)).collect();
             let grads = gradients(&c, root, &probs);
-            for v in 0..n {
+            for (v, grad) in grads.iter().enumerate() {
                 let plus: Rational = condition(&c, root, &probs, v, true);
                 let minus: Rational = condition(&c, root, &probs, v, false);
-                assert_eq!(grads[v], plus.sub(&minus), "trial {trial}, v = {v}");
+                assert_eq!(*grad, plus.sub(&minus), "trial {trial}, v = {v}");
             }
         }
     }
@@ -340,9 +277,13 @@ mod tests {
                 }
                 let mut p = Rational::one();
                 for (i, &b) in world.iter().enumerate() {
-                    p = p.mul(&if b { probs[i].clone() } else { probs[i].one_minus() });
+                    p = p.mul(&if b {
+                        probs[i].clone()
+                    } else {
+                        probs[i].one_minus()
+                    });
                 }
-                if best.as_ref().map_or(true, |(bp, _)| p > *bp) {
+                if best.as_ref().is_none_or(|(bp, _)| p > *bp) {
                     best = Some((p, world));
                 }
             }
@@ -351,7 +292,7 @@ mod tests {
                 (None, None) => {}
                 (Some((bp, _)), Some((gp, gw))) => {
                     assert_eq!(gp, bp, "trial {trial}");
-                    assert!(c.eval(root, &gw));
+                    assert!(c.eval_world(root, &gw));
                 }
                 (b, g) => panic!("trial {trial}: mismatch {b:?} vs {:?}", g.map(|x| x.0)),
             }

@@ -110,7 +110,10 @@ impl<W: Weight> Eliminator<W> {
     }
 
     fn insert(&mut self, scope: Vec<VarId>, penalty: W) {
-        debug_assert!(scope.windows(2).all(|w| w[0] < w[1]), "scopes are sorted sets");
+        debug_assert!(
+            scope.windows(2).all(|w| w[0] < w[1]),
+            "scopes are sorted sets"
+        );
         if let Some(&id) = self.by_scope.get(&scope) {
             let (_, a) = self.live_constraints[id].as_mut().unwrap();
             *a = a.mul(&penalty);
@@ -225,14 +228,20 @@ mod tests {
     fn disjunction_of_independent_clauses() {
         // x ∨ y: 1 − (1/2)(2/3) = 2/3.
         let f = Dnf::new(2, vec![vec![0], vec![1]]);
-        assert_eq!(beta_dnf_probability(&f, &[rat(1, 2), rat(1, 3)]), Some(rat(2, 3)));
+        assert_eq!(
+            beta_dnf_probability(&f, &[rat(1, 2), rat(1, 3)]),
+            Some(rat(2, 3))
+        );
     }
 
     #[test]
     fn nested_clauses_are_absorbed() {
         // x ∨ (x ∧ y) ≡ x.
         let f = Dnf::new(2, vec![vec![0], vec![0, 1]]);
-        assert_eq!(beta_dnf_probability(&f, &[rat(2, 7), rat(1, 3)]), Some(rat(2, 7)));
+        assert_eq!(
+            beta_dnf_probability(&f, &[rat(2, 7), rat(1, 3)]),
+            Some(rat(2, 7))
+        );
     }
 
     #[test]
@@ -247,22 +256,37 @@ mod tests {
     #[test]
     fn certain_and_impossible_variables() {
         let f = Dnf::new(2, vec![vec![0, 1]]);
-        assert_eq!(beta_dnf_probability(&f, &[rat(1, 1), rat(1, 3)]), Some(rat(1, 3)));
-        assert_eq!(beta_dnf_probability(&f, &[rat(0, 1), rat(1, 3)]), Some(Rational::zero()));
+        assert_eq!(
+            beta_dnf_probability(&f, &[rat(1, 1), rat(1, 3)]),
+            Some(rat(1, 3))
+        );
+        assert_eq!(
+            beta_dnf_probability(&f, &[rat(0, 1), rat(1, 3)]),
+            Some(Rational::zero())
+        );
     }
 
     #[test]
     fn valid_and_falsum() {
         let t = Dnf::new(2, vec![vec![]]);
-        assert_eq!(beta_dnf_probability(&t, &[rat(1, 2), rat(1, 2)]), Some(Rational::one()));
+        assert_eq!(
+            beta_dnf_probability(&t, &[rat(1, 2), rat(1, 2)]),
+            Some(Rational::one())
+        );
         let f = Dnf::falsum(2);
-        assert_eq!(beta_dnf_probability(&f, &[rat(1, 2), rat(1, 2)]), Some(Rational::zero()));
+        assert_eq!(
+            beta_dnf_probability(&f, &[rat(1, 2), rat(1, 2)]),
+            Some(Rational::zero())
+        );
     }
 
     #[test]
     fn non_beta_acyclic_is_rejected() {
         let f = Dnf::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
-        assert_eq!(beta_dnf_probability(&f, &[rat(1, 2), rat(1, 2), rat(1, 2)]), None);
+        assert_eq!(
+            beta_dnf_probability(&f, &[rat(1, 2), rat(1, 2), rat(1, 2)]),
+            None
+        );
     }
 
     #[test]
@@ -282,7 +306,10 @@ mod tests {
     #[test]
     fn interval_lineage_shape() {
         // The Prop 4.11 shape: intervals on a path of 6 edges.
-        let f = Dnf::new(6, vec![vec![0, 1, 2], vec![1, 2, 3], vec![3, 4, 5], vec![2, 3]]);
+        let f = Dnf::new(
+            6,
+            vec![vec![0, 1, 2], vec![1, 2, 3], vec![3, 4, 5], vec![2, 3]],
+        );
         let probs: Vec<Rational> = (1..=6).map(|i| rat(i, 7)).collect();
         let expect = f.probability_brute_force(&probs);
         // Left-to-right order must be valid.
@@ -307,12 +334,9 @@ mod tests {
                 clauses.push((a..=b).collect::<Vec<_>>());
             }
             let f = Dnf::new(n, clauses);
-            let probs: Vec<Rational> = (0..n)
-                .map(|_| rat(rng.gen_range(0..=4), 4))
-                .collect();
+            let probs: Vec<Rational> = (0..n).map(|_| rat(rng.gen_range(0..=4), 4)).collect();
             let expect = f.probability_brute_force(&probs);
-            let got = beta_dnf_probability(&f, &probs)
-                .expect("interval hypergraphs are β-acyclic");
+            let got = beta_dnf_probability(&f, &probs).expect("interval hypergraphs are β-acyclic");
             assert_eq!(got, expect, "dnf={f:?} probs={probs:?}");
             // Float mode agrees.
             let fp: Vec<f64> = probs.iter().map(Rational::to_f64).collect();
@@ -351,8 +375,7 @@ mod tests {
                 clauses.push(clause);
             }
             let f = Dnf::new(n, clauses);
-            let probs: Vec<Rational> =
-                (0..n).map(|_| rat(rng.gen_range(0..=3), 3)).collect();
+            let probs: Vec<Rational> = (0..n).map(|_| rat(rng.gen_range(0..=3), 3)).collect();
             let expect = f.probability_brute_force(&probs);
             if let Some(got) = beta_dnf_probability(&f, &probs) {
                 assert_eq!(got, expect, "dnf={f:?}");

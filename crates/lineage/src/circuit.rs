@@ -1,5 +1,5 @@
-//! d-DNNF circuits (Definition 5.3) and their linear-time probability
-//! evaluation.
+//! d-DNNF circuits (Definition 5.3), backed by the unified provenance
+//! engine.
 //!
 //! A d-DNNF is a Boolean circuit in negation normal form where
 //! (i) negations apply only to inputs, (ii) AND gates are *decomposable*
@@ -8,203 +8,35 @@
 //! computation is then a single bottom-up pass: AND ↦ product,
 //! OR ↦ sum \[21].
 //!
-//! The automata compilation of Prop 5.4 produces d-DNNFs by construction;
-//! this module additionally offers structural decomposability checking and
-//! per-valuation determinism checking, used by the test suite.
+//! Since the provenance-engine refactor, `Circuit` **is** an engine
+//! [`Arena`](crate::engine::Arena): interned gates, structural hashing,
+//! flat topological storage, and a single [`Semiring`]-generic evaluation
+//! routine shared with every other lineage representation in the
+//! workspace ([`Arena::probability`], [`Arena::eval_world`],
+//! [`Arena::eval_roots`]). The automata compilation of Prop 5.4 and the
+//! labeled-route compilers in `phom-core::algo::lineage_circuits` produce
+//! d-DNNFs by construction; [`Arena::check_decomposable`] and
+//! [`Arena::check_deterministic_under`] re-check the structure in tests.
+//!
+//! [`Semiring`]: phom_num::Semiring
+//! [`Arena`]: crate::engine::Arena
+//! [`Arena::probability`]: crate::engine::Arena::probability
+//! [`Arena::eval_world`]: crate::engine::Arena::eval_world
+//! [`Arena::eval_roots`]: crate::engine::Arena::eval_roots
+//! [`Arena::check_decomposable`]: crate::engine::Arena::check_decomposable
+//! [`Arena::check_deterministic_under`]: crate::engine::Arena::check_deterministic_under
 
-use phom_num::Weight;
-
-/// Index of a gate in a [`Circuit`].
-pub type GateId = usize;
-
-/// A circuit gate.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Gate {
-    /// A positive literal of variable `v`.
-    Var(usize),
-    /// A negative literal of variable `v`.
-    NegVar(usize),
-    /// Constant true / false.
-    Const(bool),
-    /// Conjunction.
-    And(Vec<GateId>),
-    /// Disjunction.
-    Or(Vec<GateId>),
-}
+pub use crate::engine::{Children, Gate, GateId};
 
 /// A negation-normal-form circuit built bottom-up (children are created
-/// before parents, so gate ids are a topological order).
-#[derive(Clone, Debug, Default)]
-pub struct Circuit {
-    num_vars: usize,
-    gates: Vec<Gate>,
-}
-
-impl Circuit {
-    /// An empty circuit over `num_vars` variables.
-    pub fn new(num_vars: usize) -> Self {
-        Circuit { num_vars, gates: Vec::new() }
-    }
-
-    /// Number of variables.
-    pub fn num_vars(&self) -> usize {
-        self.num_vars
-    }
-
-    /// Number of gates.
-    pub fn n_gates(&self) -> usize {
-        self.gates.len()
-    }
-
-    /// All gates, in bottom-up (topological) order.
-    pub fn gates(&self) -> &[Gate] {
-        &self.gates
-    }
-
-    /// Total number of wires (sum of fan-ins), a standard size measure.
-    pub fn n_wires(&self) -> usize {
-        self.gates
-            .iter()
-            .map(|g| match g {
-                Gate::And(c) | Gate::Or(c) => c.len(),
-                _ => 0,
-            })
-            .sum()
-    }
-
-    fn push(&mut self, g: Gate) -> GateId {
-        self.gates.push(g);
-        self.gates.len() - 1
-    }
-
-    /// A positive literal.
-    pub fn var(&mut self, v: usize) -> GateId {
-        assert!(v < self.num_vars);
-        self.push(Gate::Var(v))
-    }
-
-    /// A negative literal.
-    pub fn neg_var(&mut self, v: usize) -> GateId {
-        assert!(v < self.num_vars);
-        self.push(Gate::NegVar(v))
-    }
-
-    /// A constant gate.
-    pub fn constant(&mut self, b: bool) -> GateId {
-        self.push(Gate::Const(b))
-    }
-
-    /// An AND gate (callers must ensure decomposability for d-DNNF use).
-    pub fn and_gate(&mut self, children: Vec<GateId>) -> GateId {
-        debug_assert!(children.iter().all(|&c| c < self.gates.len()));
-        self.push(Gate::And(children))
-    }
-
-    /// An OR gate (callers must ensure determinism for d-DNNF use).
-    pub fn or_gate(&mut self, children: Vec<GateId>) -> GateId {
-        debug_assert!(children.iter().all(|&c| c < self.gates.len()));
-        self.push(Gate::Or(children))
-    }
-
-    /// Evaluates the circuit under a valuation.
-    pub fn eval(&self, root: GateId, valuation: &[bool]) -> bool {
-        assert_eq!(valuation.len(), self.num_vars);
-        let mut val = vec![false; self.gates.len()];
-        for (i, g) in self.gates.iter().enumerate() {
-            val[i] = match g {
-                Gate::Var(v) => valuation[*v],
-                Gate::NegVar(v) => !valuation[*v],
-                Gate::Const(b) => *b,
-                Gate::And(cs) => cs.iter().all(|&c| val[c]),
-                Gate::Or(cs) => cs.iter().any(|&c| val[c]),
-            };
-        }
-        val[root]
-    }
-
-    /// Computes the probability of the function at `root`, **assuming** the
-    /// circuit is a d-DNNF (sums at OR gates, products at AND gates). The
-    /// assumption is established structurally by the compiler in
-    /// `phom-automata` and re-checked by tests via
-    /// [`Circuit::check_decomposable`] and [`Circuit::check_deterministic_under`].
-    pub fn probability<W: Weight>(&self, root: GateId, prob_true: &[W]) -> W {
-        assert_eq!(prob_true.len(), self.num_vars);
-        let mut p: Vec<W> = Vec::with_capacity(self.gates.len());
-        for g in &self.gates {
-            let w = match g {
-                Gate::Var(v) => prob_true[*v].clone(),
-                Gate::NegVar(v) => prob_true[*v].complement(),
-                Gate::Const(true) => W::one(),
-                Gate::Const(false) => W::zero(),
-                Gate::And(cs) => cs.iter().fold(W::one(), |acc, &c| acc.mul(&p[c])),
-                Gate::Or(cs) => cs.iter().fold(W::zero(), |acc, &c| acc.add(&p[c])),
-            };
-            p.push(w);
-        }
-        p.swap_remove(root)
-    }
-
-    /// Structurally checks decomposability: children of every AND gate
-    /// depend on pairwise-disjoint variable sets.
-    pub fn check_decomposable(&self) -> bool {
-        let words = self.num_vars.div_ceil(64);
-        let mut deps: Vec<Vec<u64>> = Vec::with_capacity(self.gates.len());
-        for g in &self.gates {
-            let mut d = vec![0u64; words];
-            match g {
-                Gate::Var(v) | Gate::NegVar(v) => d[v / 64] |= 1 << (v % 64),
-                Gate::Const(_) => {}
-                Gate::And(cs) => {
-                    for &c in cs {
-                        for (w, &bits) in deps[c].iter().enumerate() {
-                            if d[w] & bits != 0 {
-                                return false; // overlapping children
-                            }
-                            d[w] |= bits;
-                        }
-                    }
-                }
-                Gate::Or(cs) => {
-                    for &c in cs {
-                        for (w, &bits) in deps[c].iter().enumerate() {
-                            d[w] |= bits;
-                        }
-                    }
-                }
-            }
-            deps.push(d);
-        }
-        true
-    }
-
-    /// Checks determinism *under one valuation*: at every OR gate, at most
-    /// one child evaluates to true. Exhaustive or sampled application of
-    /// this check is how the tests validate determinism (the general
-    /// problem is coNP-hard).
-    pub fn check_deterministic_under(&self, valuation: &[bool]) -> bool {
-        let mut val = vec![false; self.gates.len()];
-        for (i, g) in self.gates.iter().enumerate() {
-            val[i] = match g {
-                Gate::Var(v) => valuation[*v],
-                Gate::NegVar(v) => !valuation[*v],
-                Gate::Const(b) => *b,
-                Gate::And(cs) => cs.iter().all(|&c| val[c]),
-                Gate::Or(cs) => {
-                    if cs.iter().filter(|&&c| val[c]).count() > 1 {
-                        return false;
-                    }
-                    cs.iter().any(|&c| val[c])
-                }
-            };
-        }
-        true
-    }
-}
+/// before parents, so gate ids are a topological order). An alias for the
+/// provenance-engine arena — see the module docs.
+pub type Circuit = crate::engine::Arena;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use phom_num::Rational;
+    use phom_num::{Natural, Rational, Semiring};
 
     fn rat(n: u64, d: u64) -> Rational {
         Rational::from_ratio(n, d)
@@ -226,10 +58,10 @@ mod tests {
     #[test]
     fn xor_semantics_and_probability() {
         let (c, root) = xor_circuit();
-        assert!(c.eval(root, &[true, false]));
-        assert!(c.eval(root, &[false, true]));
-        assert!(!c.eval(root, &[true, true]));
-        assert!(!c.eval(root, &[false, false]));
+        assert!(c.eval_world(root, &[true, false]));
+        assert!(c.eval_world(root, &[false, true]));
+        assert!(!c.eval_world(root, &[true, true]));
+        assert!(!c.eval_world(root, &[false, false]));
         // P(xor) = p(1-q) + (1-p)q with p=1/2, q=1/3: 1/2·2/3+1/2·1/3 = 1/2.
         assert_eq!(c.probability(root, &[rat(1, 2), rat(1, 3)]), rat(1, 2));
         assert!(c.check_decomposable());
@@ -240,16 +72,23 @@ mod tests {
     }
 
     #[test]
-    fn non_decomposable_detected() {
-        let mut c = Circuit::new(1);
-        let x1 = c.var(0);
-        let x2 = c.var(0);
-        c.and_gate(vec![x1, x2]);
-        assert!(!c.check_decomposable());
+    fn structural_hashing_dedupes_shared_subcircuits() {
+        let mut c = Circuit::new(4);
+        let x = c.var(0);
+        let y = c.var(1);
+        let shared1 = c.and_gate(vec![x, y]);
+        let before = c.n_gates();
+        let shared2 = c.and_gate(vec![y, x]);
+        assert_eq!(shared1, shared2);
+        assert_eq!(
+            c.n_gates(),
+            before,
+            "no new gate for a structural duplicate"
+        );
     }
 
     #[test]
-    fn non_deterministic_detected() {
+    fn non_deterministic_or_detected_under_valuation() {
         let mut c = Circuit::new(2);
         let x = c.var(0);
         let y = c.var(1);
@@ -257,22 +96,25 @@ mod tests {
         // Under (true, true) both children are true.
         assert!(!c.check_deterministic_under(&[true, true]));
         assert!(c.check_deterministic_under(&[true, false]));
-        // Probability evaluation would over-count: 1/2 + 1/2 = 1 ≠ 3/4.
-        assert_eq!(c.probability(root, &[rat(1, 2), rat(1, 2)]), Rational::one());
+        // Probability evaluation over-counts on purpose: 1/2 + 1/2 = 1 ≠ 3/4.
+        assert_eq!(
+            c.probability(root, &[rat(1, 2), rat(1, 2)]),
+            Rational::one()
+        );
     }
 
     #[test]
-    fn constants() {
+    fn constants_fold_away() {
         let mut c = Circuit::new(1);
         let t = c.constant(true);
         let f = c.constant(false);
         let x = c.var(0);
         let and = c.and_gate(vec![t, x]);
+        assert_eq!(and, x, "AND with true folds to the other child");
         let or = c.or_gate(vec![f, and]);
+        assert_eq!(or, x, "OR with false folds to the other child");
         assert_eq!(c.probability(or, &[rat(2, 5)]), rat(2, 5));
         assert!(c.check_decomposable());
-        assert_eq!(c.n_gates(), 5);
-        assert_eq!(c.n_wires(), 4);
     }
 
     #[test]
@@ -284,5 +126,30 @@ mod tests {
         let p = c.probability(root, &vec![rat(1, 2); 20]);
         assert_eq!(p, Rational::from_ratio(1, 1 << 20));
         assert!(c.check_decomposable());
+    }
+
+    #[test]
+    fn counting_semiring_on_a_circuit() {
+        // x₀ ∧ x₁ over 2 variables has exactly one model.
+        let mut c = Circuit::new(2);
+        let x = c.var(0);
+        let y = c.var(1);
+        let root = c.and_gate(vec![x, y]);
+        let ones = vec![Natural::one(); 2];
+        assert_eq!(c.eval_root(root, &ones, &ones), Natural::one());
+        assert!(Semiring::is_one(
+            &c.eval_root::<Natural>(root, &ones, &ones)
+        ));
+    }
+
+    #[test]
+    fn gate_views_expose_structure() {
+        let (c, root) = xor_circuit();
+        match c.gate(root) {
+            Gate::Or(kids) => assert_eq!(kids.len(), 2),
+            g => panic!("expected an OR root, got {g:?}"),
+        }
+        let n_ands = c.gates().filter(|(_, g)| matches!(g, Gate::And(_))).count();
+        assert_eq!(n_ands, 2);
     }
 }

@@ -21,7 +21,10 @@ impl Dnf {
     /// Creates a DNF over `num_vars` variables with no clauses (constant
     /// false).
     pub fn falsum(num_vars: usize) -> Self {
-        Dnf { num_vars, clauses: Vec::new() }
+        Dnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
     }
 
     /// Creates a DNF from clauses; duplicate variables within a clause are
@@ -33,7 +36,10 @@ impl Dnf {
             c.sort_unstable();
             c.dedup();
         }
-        Dnf { num_vars, clauses: cs }
+        Dnf {
+            num_vars,
+            clauses: cs,
+        }
     }
 
     /// Number of variables.
@@ -48,7 +54,10 @@ impl Dnf {
 
     /// Adds a clause.
     pub fn push_clause(&mut self, mut clause: Vec<VarId>) {
-        assert!(clause.iter().all(|&v| v < self.num_vars), "variable out of range");
+        assert!(
+            clause.iter().all(|&v| v < self.num_vars),
+            "variable out of range"
+        );
         clause.sort_unstable();
         clause.dedup();
         self.clauses.push(clause);
@@ -87,7 +96,10 @@ impl Dnf {
                 kept.push(c.clone());
             }
         }
-        Dnf { num_vars: self.num_vars, clauses: kept }
+        Dnf {
+            num_vars: self.num_vars,
+            clauses: kept,
+        }
     }
 
     /// Brute-force probability computation: sums the weights of all
@@ -98,12 +110,15 @@ impl Dnf {
         assert!(self.num_vars < 63, "too many variables for brute force");
         let mut total = W::zero();
         for mask in 0u64..(1 << self.num_vars) {
-            let valuation: Vec<bool> =
-                (0..self.num_vars).map(|v| mask >> v & 1 == 1).collect();
+            let valuation: Vec<bool> = (0..self.num_vars).map(|v| mask >> v & 1 == 1).collect();
             if self.eval(&valuation) {
                 let mut w = W::one();
                 for (v, &val) in valuation.iter().enumerate() {
-                    let f = if val { prob_true[v].clone() } else { prob_true[v].complement() };
+                    let f = if val {
+                        prob_true[v].clone()
+                    } else {
+                        prob_true[v].complement()
+                    };
                     w = w.mul(&f);
                 }
                 total = total.add(&w);
@@ -112,13 +127,42 @@ impl Dnf {
         total
     }
 
+    /// Builds the DNF into the provenance engine as an OR-of-ANDs over
+    /// `arena` and returns the root gate.
+    ///
+    /// The resulting circuit is NNF but **not** d-DNNF in general (clauses
+    /// overlap, so the OR is not deterministic): it is valid for
+    /// Boolean-semiring evaluation, witness checking, and Monte-Carlo
+    /// sampling through the engine, but *not* for direct probability or
+    /// model-counting passes — those route through the β-elimination of
+    /// Theorem 4.9 or an OBDD/d-DNNF compilation first.
+    pub fn to_provenance(&self, arena: &mut crate::engine::Arena) -> crate::engine::GateId {
+        assert_eq!(
+            arena.num_vars(),
+            self.num_vars,
+            "variable spaces must match"
+        );
+        let mut clause_gates = Vec::with_capacity(self.clauses.len());
+        let mut lits = Vec::new();
+        for clause in &self.clauses {
+            lits.clear();
+            lits.extend(clause.iter().map(|&v| arena.var(v)));
+            clause_gates.push(arena.and(&lits));
+        }
+        arena.or(&clause_gates)
+    }
+
     /// The clause hypergraph `H(φ)` of Definition 4.8 (empty clauses are
     /// dropped; a DNF with an empty clause is constant true and callers
     /// handle it separately).
     pub fn hypergraph(&self) -> crate::hypergraph::Hypergraph {
         crate::hypergraph::Hypergraph::new(
             self.num_vars,
-            self.clauses.iter().filter(|c| !c.is_empty()).cloned().collect(),
+            self.clauses
+                .iter()
+                .filter(|c| !c.is_empty())
+                .cloned()
+                .collect(),
         )
     }
 }
@@ -174,14 +218,20 @@ mod tests {
     fn brute_force_probability_conjunction() {
         // x0 ∧ x1: 1/2 · 1/3 = 1/6.
         let f = Dnf::new(2, vec![vec![0, 1]]);
-        assert_eq!(f.probability_brute_force(&[rat(1, 2), rat(1, 3)]), rat(1, 6));
+        assert_eq!(
+            f.probability_brute_force(&[rat(1, 2), rat(1, 3)]),
+            rat(1, 6)
+        );
     }
 
     #[test]
     fn brute_force_handles_certain_variables() {
         // (x0 ∧ x1) with p0 = 1: just p1.
         let f = Dnf::new(2, vec![vec![0, 1]]);
-        assert_eq!(f.probability_brute_force(&[rat(1, 1), rat(1, 3)]), rat(1, 3));
+        assert_eq!(
+            f.probability_brute_force(&[rat(1, 1), rat(1, 3)]),
+            rat(1, 3)
+        );
         // p0 = 0: zero.
         assert!(f.probability_brute_force(&[rat(0, 1), rat(1, 3)]).is_zero());
     }
@@ -193,6 +243,27 @@ mod tests {
             .is_zero());
         let t = Dnf::new(2, vec![vec![]]);
         assert!(t.probability_brute_force(&[rat(1, 2), rat(1, 2)]).is_one());
+    }
+
+    #[test]
+    fn provenance_build_matches_direct_eval() {
+        let f = Dnf::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        let mut arena = crate::engine::Arena::new(3);
+        let root = f.to_provenance(&mut arena);
+        for mask in 0u64..8 {
+            let val: Vec<bool> = (0..3).map(|v| mask >> v & 1 == 1).collect();
+            assert_eq!(arena.eval_world(root, &val), f.eval(&val), "mask {mask}");
+        }
+        // Degenerate shapes fold to the constant gates.
+        let mut arena = crate::engine::Arena::new(2);
+        assert_eq!(
+            Dnf::falsum(2).to_provenance(&mut arena),
+            crate::engine::FALSE_GATE
+        );
+        assert_eq!(
+            Dnf::new(2, vec![vec![]]).to_provenance(&mut arena),
+            crate::engine::TRUE_GATE
+        );
     }
 
     #[test]

@@ -1,0 +1,973 @@
+//! The unified provenance engine: one arena-based IR for every Boolean
+//! lineage in the workspace, and **one** semiring-generic bottom-up
+//! evaluation routine over it.
+//!
+//! Historically the workspace had five bottom-up evaluators — DNF world
+//! evaluation, two passes in the d-DNNF `Circuit`, the OBDD weighted
+//! model counter, and the gradient forward pass in `analysis` — each with
+//! its own traversal and its own per-gate heap allocations. They all
+//! instantiated the same algebra: products at AND gates, sums at OR
+//! gates, literal weights at the leaves. This module factors that algebra
+//! out:
+//!
+//! * [`Arena`] — interned gates with structural hashing, topologically
+//!   ordered flat storage (`Vec` of fixed-size nodes plus one shared
+//!   children buffer — no per-gate `Vec` on the evaluation path);
+//! * [`Arena::eval_roots`] — *the* bottom-up pass, generic over any
+//!   [`Semiring`]: probability ([`Rational`]/`f64`), model counting
+//!   ([`Natural`]), Boolean evaluation (`bool`), forward-mode derivatives
+//!   ([`Dual`](phom_num::Dual));
+//! * [`Arena::gradients`] — the reverse sweep companion: all `∂Pr/∂p_v`
+//!   from one forward + one backward pass;
+//! * [`Provenance`] — the uniform handle solver routes attach to their
+//!   [`Solution`](../../phom_core/solver/struct.Solution.html)s, carrying
+//!   a circuit, its root, and its polarity.
+//!
+//! Because `eval_roots` takes *many* roots over one shared arena, batched
+//! multi-query evaluation (several queries compiled against the same
+//! instance, evaluated in a single pass) comes for free; see
+//! `ROADMAP.md`.
+//!
+//! ## Smoothing
+//!
+//! d-DNNF circuits here are not smoothed: an OR gate's branches may
+//! mention different variable sets. For probability this is harmless (a
+//! missing variable contributes `p + (1−p) = 1`), but for a general
+//! semiring the neutral contribution of a missing variable `v` is
+//! `pos[v] + neg[v]` — e.g. `2` when counting models. The engine detects
+//! non-unit gaps and runs a support-tracking pass that rescales OR
+//! branches (and the final root value) exactly, so *model counting on
+//! unsmoothed circuits is exact*.
+
+use phom_num::{Natural, Semiring, Weight};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Index of a gate in an [`Arena`] (creation order = topological order).
+pub type GateId = usize;
+
+/// The gate id of constant false in every arena.
+pub const FALSE_GATE: GateId = 0;
+/// The gate id of constant true in every arena.
+pub const TRUE_GATE: GateId = 1;
+
+/// Packed node representation: fixed size, children out-of-line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum NodeKind {
+    /// Constant true / false.
+    Const(bool),
+    /// A positive literal of variable `v`.
+    Var(u32),
+    /// A negative literal of variable `v`.
+    NegVar(u32),
+    /// Conjunction over `children[start .. start + len]`.
+    And { start: u32, len: u32 },
+    /// Disjunction over `children[start .. start + len]`.
+    Or { start: u32, len: u32 },
+}
+
+/// A borrowed view of one gate, for consumers that need to pattern-match
+/// the circuit structure (export, checkers, MPE).
+#[derive(Clone, Copy, Debug)]
+pub enum Gate<'a> {
+    /// A positive literal of variable `v`.
+    Var(usize),
+    /// A negative literal of variable `v`.
+    NegVar(usize),
+    /// Constant true / false.
+    Const(bool),
+    /// Conjunction.
+    And(Children<'a>),
+    /// Disjunction.
+    Or(Children<'a>),
+}
+
+/// Iterator/slice hybrid over a gate's children.
+#[derive(Clone, Copy, Debug)]
+pub struct Children<'a>(&'a [u32]);
+
+impl Children<'_> {
+    /// Number of children.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The `i`-th child gate.
+    pub fn get(&self, i: usize) -> GateId {
+        self.0[i] as GateId
+    }
+}
+
+impl Iterator for Children<'_> {
+    type Item = GateId;
+    fn next(&mut self) -> Option<GateId> {
+        let (first, rest) = self.0.split_first()?;
+        self.0 = rest;
+        Some(*first as GateId)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.0.len(), Some(self.0.len()))
+    }
+}
+
+impl ExactSizeIterator for Children<'_> {}
+
+/// The arena: an interned, topologically ordered NNF circuit store.
+///
+/// Gate ids are creation order, children always precede parents, and
+/// structurally identical gates (same kind, same children) are merged on
+/// construction, so common sub-lineages are stored and evaluated once.
+#[derive(Clone, Debug)]
+pub struct Arena {
+    num_vars: usize,
+    nodes: Vec<NodeKind>,
+    children: Vec<u32>,
+    /// Structural-hash interning table: hash → candidate gate ids.
+    unique: HashMap<u64, Vec<u32>>,
+    /// Scratch buffer for child canonicalization (kept to avoid per-gate
+    /// allocations while building).
+    scratch: Vec<u32>,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena::new(0)
+    }
+}
+
+impl Arena {
+    /// An arena over `num_vars` variables, pre-seeded with the two
+    /// constant gates ([`FALSE_GATE`], [`TRUE_GATE`]).
+    pub fn new(num_vars: usize) -> Self {
+        let mut arena = Arena {
+            num_vars,
+            nodes: Vec::with_capacity(16),
+            children: Vec::new(),
+            unique: HashMap::new(),
+            scratch: Vec::new(),
+        };
+        let f = arena.intern(NodeKind::Const(false), &[]);
+        let t = arena.intern(NodeKind::Const(true), &[]);
+        debug_assert_eq!((f, t), (FALSE_GATE, TRUE_GATE));
+        arena
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of gates (constants included).
+    pub fn n_gates(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of wires (sum of fan-ins), a standard size measure.
+    pub fn n_wires(&self) -> usize {
+        self.children.len()
+    }
+
+    /// The gate with id `g`, as a pattern-matchable view.
+    pub fn gate(&self, g: GateId) -> Gate<'_> {
+        match self.nodes[g] {
+            NodeKind::Const(b) => Gate::Const(b),
+            NodeKind::Var(v) => Gate::Var(v as usize),
+            NodeKind::NegVar(v) => Gate::NegVar(v as usize),
+            NodeKind::And { start, len } => Gate::And(Children(
+                &self.children[start as usize..(start + len) as usize],
+            )),
+            NodeKind::Or { start, len } => Gate::Or(Children(
+                &self.children[start as usize..(start + len) as usize],
+            )),
+        }
+    }
+
+    /// Iterates `(id, gate)` in bottom-up (topological) order.
+    pub fn gates(&self) -> impl Iterator<Item = (GateId, Gate<'_>)> {
+        (0..self.nodes.len()).map(|g| (g, self.gate(g)))
+    }
+
+    fn hash_node(kind_tag: u8, payload: u32, kids: &[u32]) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        kind_tag.hash(&mut h);
+        payload.hash(&mut h);
+        kids.hash(&mut h);
+        h.finish()
+    }
+
+    fn node_matches(&self, id: u32, kind_tag: u8, payload: u32, kids: &[u32]) -> bool {
+        match (kind_tag, self.nodes[id as usize]) {
+            (0, NodeKind::Const(b)) => payload == b as u32,
+            (1, NodeKind::Var(v)) => payload == v,
+            (2, NodeKind::NegVar(v)) => payload == v,
+            (3, NodeKind::And { start, len }) | (4, NodeKind::Or { start, len }) => {
+                (kind_tag == 3) == matches!(self.nodes[id as usize], NodeKind::And { .. })
+                    && &self.children[start as usize..(start + len) as usize] == kids
+            }
+            _ => false,
+        }
+    }
+
+    fn intern(&mut self, kind: NodeKind, kids: &[u32]) -> GateId {
+        let (tag, payload) = match kind {
+            NodeKind::Const(b) => (0u8, b as u32),
+            NodeKind::Var(v) => (1, v),
+            NodeKind::NegVar(v) => (2, v),
+            NodeKind::And { .. } => (3, 0),
+            NodeKind::Or { .. } => (4, 0),
+        };
+        let h = Self::hash_node(tag, payload, kids);
+        if let Some(candidates) = self.unique.get(&h) {
+            for &id in candidates {
+                if self.node_matches(id, tag, payload, kids) {
+                    return id as GateId;
+                }
+            }
+        }
+        let id = self.nodes.len();
+        assert!(id <= u32::MAX as usize, "arena gate limit exceeded");
+        let kind = match kind {
+            NodeKind::And { .. } => {
+                let start = self.children.len() as u32;
+                self.children.extend_from_slice(kids);
+                NodeKind::And {
+                    start,
+                    len: kids.len() as u32,
+                }
+            }
+            NodeKind::Or { .. } => {
+                let start = self.children.len() as u32;
+                self.children.extend_from_slice(kids);
+                NodeKind::Or {
+                    start,
+                    len: kids.len() as u32,
+                }
+            }
+            other => other,
+        };
+        self.nodes.push(kind);
+        self.unique.entry(h).or_default().push(id as u32);
+        id
+    }
+
+    /// A constant gate (returns the pre-seeded id).
+    pub fn constant(&mut self, b: bool) -> GateId {
+        if b {
+            TRUE_GATE
+        } else {
+            FALSE_GATE
+        }
+    }
+
+    /// The positive literal of variable `v` (interned: one gate per
+    /// variable arena-wide).
+    pub fn var(&mut self, v: usize) -> GateId {
+        assert!(v < self.num_vars, "variable {v} out of range");
+        self.intern(NodeKind::Var(v as u32), &[])
+    }
+
+    /// The negative literal of variable `v`.
+    pub fn neg_var(&mut self, v: usize) -> GateId {
+        assert!(v < self.num_vars, "variable {v} out of range");
+        self.intern(NodeKind::NegVar(v as u32), &[])
+    }
+
+    /// An AND gate over `children` (callers must ensure decomposability
+    /// for d-DNNF semantics). Simplifies constants, collapses duplicate
+    /// and single children, and interns the result.
+    pub fn and_gate(&mut self, children: Vec<GateId>) -> GateId {
+        self.and(&children)
+    }
+
+    /// Slice-based variant of [`Arena::and_gate`].
+    pub fn and(&mut self, children: &[GateId]) -> GateId {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for &c in children {
+            debug_assert!(c < self.nodes.len(), "child gate out of range");
+            match c {
+                FALSE_GATE => {
+                    self.scratch = scratch;
+                    return FALSE_GATE;
+                }
+                TRUE_GATE => {}
+                _ => scratch.push(c as u32),
+            }
+        }
+        scratch.sort_unstable();
+        scratch.dedup();
+        let out = match scratch.as_slice() {
+            [] => TRUE_GATE,
+            [only] => *only as GateId,
+            kids => self.intern(NodeKind::And { start: 0, len: 0 }, kids),
+        };
+        self.scratch = scratch;
+        out
+    }
+
+    /// An OR gate over `children` (callers must ensure determinism for
+    /// d-DNNF probability semantics). Simplifies like [`Arena::and_gate`].
+    pub fn or_gate(&mut self, children: Vec<GateId>) -> GateId {
+        self.or(&children)
+    }
+
+    /// Slice-based variant of [`Arena::or_gate`].
+    pub fn or(&mut self, children: &[GateId]) -> GateId {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for &c in children {
+            debug_assert!(c < self.nodes.len(), "child gate out of range");
+            match c {
+                TRUE_GATE => {
+                    self.scratch = scratch;
+                    return TRUE_GATE;
+                }
+                FALSE_GATE => {}
+                _ => scratch.push(c as u32),
+            }
+        }
+        scratch.sort_unstable();
+        scratch.dedup();
+        let out = match scratch.as_slice() {
+            [] => FALSE_GATE,
+            [only] => *only as GateId,
+            kids => self.intern(NodeKind::Or { start: 0, len: 0 }, kids),
+        };
+        self.scratch = scratch;
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // The one bottom-up evaluation routine.
+    // ------------------------------------------------------------------
+
+    /// Evaluates every root in one bottom-up pass over the shared arena.
+    ///
+    /// `pos[v]` / `neg[v]` are the semiring weights of the positive and
+    /// negative literal of variable `v`. For circuits with d-DNNF
+    /// structure this computes, per root, the weighted sum over
+    /// satisfying total valuations of the product of literal weights —
+    /// probability, model count, Boolean value, or dual-number pair,
+    /// depending on `S`. Unsmoothed circuits are handled exactly (see the
+    /// module docs).
+    ///
+    /// Evaluating `k` roots costs one pass, not `k` — the hook for
+    /// batched multi-query evaluation.
+    ///
+    /// The smoothing fast path triggers only when every `pos[v] + neg[v]`
+    /// is *exactly* the semiring one; with `f64` weights, floating-point
+    /// complements may miss that test and fall back to the (correct but
+    /// slower) support-tracking pass. Probability callers should prefer
+    /// [`Arena::probability`] / [`Arena::probability_many`], which assume
+    /// smoothness by construction.
+    pub fn eval_roots<S: Semiring>(&self, roots: &[GateId], pos: &[S], neg: &[S]) -> Vec<S> {
+        assert_eq!(
+            pos.len(),
+            self.num_vars,
+            "pos weights must cover all variables"
+        );
+        assert_eq!(
+            neg.len(),
+            self.num_vars,
+            "neg weights must cover all variables"
+        );
+        let gaps: Vec<S> = pos.iter().zip(neg).map(|(p, n)| p.add(n)).collect();
+        if gaps.iter().all(Semiring::is_one) {
+            self.eval_impl(roots, pos, neg, None)
+        } else {
+            self.eval_impl(roots, pos, neg, Some(&gaps))
+        }
+    }
+
+    /// Single-root convenience over [`Arena::eval_roots`].
+    pub fn eval_root<S: Semiring>(&self, root: GateId, pos: &[S], neg: &[S]) -> S {
+        self.eval_roots(&[root], pos, neg)
+            .pop()
+            .expect("one root in, one value out")
+    }
+
+    /// `Pr[root is true]` when variable `v` is independently true with
+    /// probability `prob_true[v]`, assuming d-DNNF structure. Skips the
+    /// smoothing machinery outright: `p + (1 − p) = 1` by construction.
+    pub fn probability<W: Weight>(&self, root: GateId, prob_true: &[W]) -> W {
+        self.probability_many(&[root], prob_true)
+            .pop()
+            .expect("one root")
+    }
+
+    /// Batched probabilities for many roots over the shared arena in a
+    /// single pass, assuming d-DNNF structure. Like [`Arena::probability`]
+    /// it bypasses the smoothing gap check (`p + (1 − p) = 1` by
+    /// construction), so `f64` weights stay on the fast path.
+    pub fn probability_many<W: Weight>(&self, roots: &[GateId], prob_true: &[W]) -> Vec<W> {
+        assert_eq!(prob_true.len(), self.num_vars);
+        let neg: Vec<W> = prob_true.iter().map(Weight::complement).collect();
+        self.eval_impl(roots, prob_true, &neg, None)
+    }
+
+    /// Evaluates the circuit as a Boolean function under a valuation
+    /// (the Boolean-semiring instantiation of the engine).
+    pub fn eval_world(&self, root: GateId, valuation: &[bool]) -> bool {
+        assert_eq!(valuation.len(), self.num_vars);
+        let neg: Vec<bool> = valuation.iter().map(|b| !b).collect();
+        self.eval_impl(&[root], valuation, &neg, None)
+            .pop()
+            .expect("one root")
+    }
+
+    /// The single generic bottom-up pass. `gaps: None` asserts that every
+    /// variable's `pos + neg` is the semiring one (probability, Boolean);
+    /// `Some(gaps)` runs the support-tracking pass that rescales OR
+    /// branches and the root for missing variables (counting).
+    fn eval_impl<S: Semiring>(
+        &self,
+        roots: &[GateId],
+        pos: &[S],
+        neg: &[S],
+        gaps: Option<&[S]>,
+    ) -> Vec<S> {
+        // Smooth case: the plain forward pass (shared with gradients/MPE)
+        // plus root selection.
+        let Some(gaps) = gaps else {
+            let values = self.eval_impl_all(pos, neg);
+            return roots.iter().map(|&r| values[r].clone()).collect();
+        };
+        // Gapped case: the same pass with support bitsets, rescaling OR
+        // branches (and finally each root) by the gaps of the variables
+        // they do not mention.
+        let n = self.nodes.len();
+        let mut values: Vec<S> = Vec::with_capacity(n);
+        let words = self.num_vars.div_ceil(64);
+        let mut supports: Vec<u64> = vec![0; n * words];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let value = match *node {
+                NodeKind::Const(b) => {
+                    if b {
+                        S::one()
+                    } else {
+                        S::zero()
+                    }
+                }
+                NodeKind::Var(v) => {
+                    supports[i * words + (v as usize) / 64] |= 1u64 << (v % 64);
+                    pos[v as usize].clone()
+                }
+                NodeKind::NegVar(v) => {
+                    supports[i * words + (v as usize) / 64] |= 1u64 << (v % 64);
+                    neg[v as usize].clone()
+                }
+                NodeKind::And { start, len } => {
+                    let kids = &self.children[start as usize..(start + len) as usize];
+                    for &c in kids {
+                        let (dst, src) = split_rows(&mut supports, i, c as usize, words);
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d |= *s;
+                        }
+                    }
+                    let mut acc = values[kids[0] as usize].clone();
+                    for &c in &kids[1..] {
+                        acc = acc.mul(&values[c as usize]);
+                    }
+                    acc
+                }
+                NodeKind::Or { start, len } => {
+                    let kids = &self.children[start as usize..(start + len) as usize];
+                    for &c in kids {
+                        let (dst, src) = split_rows(&mut supports, i, c as usize, words);
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d |= *s;
+                        }
+                    }
+                    let mut acc = S::zero();
+                    for &c in kids {
+                        // Rescale the branch by the gap of every variable
+                        // the OR mentions but the branch does not (exact
+                        // smoothing on the fly).
+                        let mut term = values[c as usize].clone();
+                        for w in 0..words {
+                            let mut missing =
+                                supports[i * words + w] & !supports[c as usize * words + w];
+                            while missing != 0 {
+                                let v = w * 64 + missing.trailing_zeros() as usize;
+                                term = term.mul(&gaps[v]);
+                                missing &= missing - 1;
+                            }
+                        }
+                        acc = acc.add(&term);
+                    }
+                    acc
+                }
+            };
+            values.push(value);
+        }
+        roots
+            .iter()
+            .map(|&r| {
+                // Scale by the gaps of variables outside the root's
+                // support, so every root's value ranges over all
+                // `num_vars` variables.
+                let mut out = values[r].clone();
+                for w in 0..words {
+                    let full = if (w + 1) * 64 <= self.num_vars {
+                        u64::MAX
+                    } else {
+                        (1u64 << (self.num_vars - w * 64)) - 1
+                    };
+                    let mut missing = full & !supports[r * words + w];
+                    while missing != 0 {
+                        let v = w * 64 + missing.trailing_zeros() as usize;
+                        out = out.mul(&gaps[v]);
+                        missing &= missing - 1;
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// All partial derivatives `∂ value(root) / ∂ p_v` in one forward plus
+    /// one backward sweep, assuming d-DNNF probability semantics. Products
+    /// over AND-siblings use prefix/suffix products, so no division is
+    /// performed and zero weights are exact.
+    pub fn gradients<W: Weight>(&self, root: GateId, prob_true: &[W]) -> Vec<W> {
+        assert_eq!(prob_true.len(), self.num_vars);
+        let neg: Vec<W> = prob_true.iter().map(Weight::complement).collect();
+        let values = self.eval_impl_all(prob_true, &neg);
+        let mut d: Vec<W> = vec![W::zero(); self.nodes.len()];
+        d[root] = W::one();
+        let mut grad = vec![W::zero(); self.num_vars];
+        for i in (0..self.nodes.len()).rev() {
+            if d[i].is_zero() {
+                continue;
+            }
+            match self.nodes[i] {
+                NodeKind::Const(_) => {}
+                NodeKind::Var(v) => grad[v as usize] = grad[v as usize].add(&d[i]),
+                NodeKind::NegVar(v) => grad[v as usize] = grad[v as usize].sub(&d[i]),
+                NodeKind::Or { start, len } => {
+                    for &c in &self.children[start as usize..(start + len) as usize] {
+                        d[c as usize] = d[c as usize].add(&d[i]);
+                    }
+                }
+                NodeKind::And { start, len } => {
+                    let kids = &self.children[start as usize..(start + len) as usize];
+                    let k = kids.len();
+                    let mut prefix = Vec::with_capacity(k + 1);
+                    prefix.push(W::one());
+                    for &c in kids {
+                        let last = prefix.last().expect("non-empty").mul(&values[c as usize]);
+                        prefix.push(last);
+                    }
+                    let mut suffix = W::one();
+                    for j in (0..k).rev() {
+                        let contrib = d[i].mul(&prefix[j]).mul(&suffix);
+                        let c = kids[j] as usize;
+                        d[c] = d[c].add(&contrib);
+                        suffix = suffix.mul(&values[c]);
+                    }
+                }
+            }
+        }
+        grad
+    }
+
+    /// Forward values of *every* gate (used by the gradient backward
+    /// sweep and the MPE search in `analysis`).
+    pub(crate) fn eval_impl_all<S: Semiring>(&self, pos: &[S], neg: &[S]) -> Vec<S> {
+        let mut values: Vec<S> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let value = match *node {
+                NodeKind::Const(b) => {
+                    if b {
+                        S::one()
+                    } else {
+                        S::zero()
+                    }
+                }
+                NodeKind::Var(v) => pos[v as usize].clone(),
+                NodeKind::NegVar(v) => neg[v as usize].clone(),
+                NodeKind::And { start, len } => {
+                    let kids = &self.children[start as usize..(start + len) as usize];
+                    let mut acc = values[kids[0] as usize].clone();
+                    for &c in &kids[1..] {
+                        acc = acc.mul(&values[c as usize]);
+                    }
+                    acc
+                }
+                NodeKind::Or { start, len } => {
+                    let kids = &self.children[start as usize..(start + len) as usize];
+                    let mut acc = values[kids[0] as usize].clone();
+                    for &c in &kids[1..] {
+                        acc = acc.add(&values[c as usize]);
+                    }
+                    acc
+                }
+            };
+            values.push(value);
+        }
+        values
+    }
+
+    // ------------------------------------------------------------------
+    // Structural checkers (not evaluators: they validate d-DNNF-ness).
+    // ------------------------------------------------------------------
+
+    /// Structurally checks decomposability: children of every AND gate
+    /// depend on pairwise-disjoint variable sets.
+    pub fn check_decomposable(&self) -> bool {
+        let words = self.num_vars.div_ceil(64);
+        let mut deps: Vec<u64> = vec![0; self.nodes.len() * words];
+        for (i, node) in self.nodes.iter().enumerate() {
+            match *node {
+                NodeKind::Const(_) => {}
+                NodeKind::Var(v) | NodeKind::NegVar(v) => {
+                    deps[i * words + (v as usize) / 64] |= 1u64 << (v % 64);
+                }
+                NodeKind::And { start, len } => {
+                    for &c in &self.children[start as usize..(start + len) as usize] {
+                        let (dst, src) = split_rows(&mut deps, i, c as usize, words);
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            if *d & *s != 0 {
+                                return false; // overlapping children
+                            }
+                            *d |= *s;
+                        }
+                    }
+                }
+                NodeKind::Or { start, len } => {
+                    for &c in &self.children[start as usize..(start + len) as usize] {
+                        let (dst, src) = split_rows(&mut deps, i, c as usize, words);
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d |= *s;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks determinism *under one valuation*: at every OR gate, at most
+    /// one child evaluates to true. Exhaustive or sampled application of
+    /// this check is how the tests validate determinism (the general
+    /// problem is coNP-hard).
+    pub fn check_deterministic_under(&self, valuation: &[bool]) -> bool {
+        assert_eq!(valuation.len(), self.num_vars);
+        let mut val = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            val[i] = match *node {
+                NodeKind::Const(b) => b,
+                NodeKind::Var(v) => valuation[v as usize],
+                NodeKind::NegVar(v) => !valuation[v as usize],
+                NodeKind::And { start, len } => self.children
+                    [start as usize..(start + len) as usize]
+                    .iter()
+                    .all(|&c| val[c as usize]),
+                NodeKind::Or { start, len } => {
+                    let kids = &self.children[start as usize..(start + len) as usize];
+                    if kids.iter().filter(|&&c| val[c as usize]).count() > 1 {
+                        return false;
+                    }
+                    kids.iter().any(|&c| val[c as usize])
+                }
+            };
+        }
+        true
+    }
+}
+
+/// Borrows two disjoint `words`-sized rows of a flattened bitset matrix.
+fn split_rows(bits: &mut [u64], dst: usize, src: usize, words: usize) -> (&mut [u64], &[u64]) {
+    debug_assert_ne!(dst, src);
+    if dst > src {
+        let (lo, hi) = bits.split_at_mut(dst * words);
+        (&mut hi[..words], &lo[src * words..src * words + words])
+    } else {
+        let (lo, hi) = bits.split_at_mut(src * words);
+        (&mut lo[dst * words..dst * words + words], &hi[..words])
+    }
+}
+
+/// How a variable enters a model-counting query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VarStatus {
+    /// The variable ranges over both values (counted).
+    Free,
+    /// The variable is pinned to a fixed value (not counted).
+    Pinned(bool),
+}
+
+/// The uniform provenance handle a solver route attaches to its solution:
+/// a circuit over the instance's edge variables, the root gate, and the
+/// polarity (`negated` routes compile the *complement* event, mirroring
+/// how Theorem 4.9 computes `1 − Pr(¬φ)`).
+#[derive(Clone, Debug)]
+pub struct Provenance {
+    /// The compiled lineage circuit (d-DNNF for all producing routes).
+    pub circuit: Arena,
+    /// The root gate of the lineage.
+    pub root: GateId,
+    /// When true, the circuit computes the complement of the query event.
+    pub negated: bool,
+}
+
+impl Provenance {
+    /// A provenance handle for the positive event at `root`.
+    pub fn positive(circuit: Arena, root: GateId) -> Self {
+        Provenance {
+            circuit,
+            root,
+            negated: false,
+        }
+    }
+
+    /// A provenance handle whose circuit computes the complement event.
+    pub fn complemented(circuit: Arena, root: GateId) -> Self {
+        Provenance {
+            circuit,
+            root,
+            negated: true,
+        }
+    }
+
+    /// `Pr[the query event]` under independent literal probabilities.
+    pub fn probability<W: Weight>(&self, prob_true: &[W]) -> W {
+        let p = self.circuit.probability(self.root, prob_true);
+        if self.negated {
+            p.complement()
+        } else {
+            p
+        }
+    }
+
+    /// Whether the query event holds in one possible world.
+    pub fn holds_in(&self, world: &[bool]) -> bool {
+        self.circuit.eval_world(self.root, world) != self.negated
+    }
+
+    /// All edge influences `∂ Pr[event] / ∂ p_v` (one engine forward +
+    /// backward sweep; negation flips every sign).
+    pub fn gradients<W: Weight>(&self, prob_true: &[W]) -> Vec<W> {
+        let mut g = self.circuit.gradients(self.root, prob_true);
+        if self.negated {
+            for gi in &mut g {
+                *gi = W::zero().sub(gi);
+            }
+        }
+        g
+    }
+
+    /// Counts the worlds (over the `Free` variables; `Pinned` ones are
+    /// fixed, not counted) in which the query event holds — the
+    /// [`Natural`]-semiring instantiation of the engine.
+    pub fn count_worlds(&self, status: &[VarStatus]) -> Natural {
+        assert_eq!(status.len(), self.circuit.num_vars());
+        let pos: Vec<Natural> = status
+            .iter()
+            .map(|s| match s {
+                VarStatus::Pinned(false) => Natural::zero(),
+                _ => Natural::one(),
+            })
+            .collect();
+        let neg: Vec<Natural> = status
+            .iter()
+            .map(|s| match s {
+                VarStatus::Pinned(true) => Natural::zero(),
+                _ => Natural::one(),
+            })
+            .collect();
+        let raw = self.circuit.eval_root(self.root, &pos, &neg);
+        if self.negated {
+            let free = status
+                .iter()
+                .filter(|s| matches!(s, VarStatus::Free))
+                .count();
+            let total = Natural::one().shl(free as u32);
+            total
+                .checked_sub(&raw)
+                .expect("complement count cannot exceed world count")
+        } else {
+            raw
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_num::{Dual, Rational};
+
+    fn rat(n: u64, d: u64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    /// (x ∧ ¬y) ∨ (¬x ∧ y), the textbook smooth d-DNNF.
+    fn xor_arena() -> (Arena, GateId) {
+        let mut a = Arena::new(2);
+        let x = a.var(0);
+        let nx = a.neg_var(0);
+        let y = a.var(1);
+        let ny = a.neg_var(1);
+        let l = a.and(&[x, ny]);
+        let r = a.and(&[nx, y]);
+        let root = a.or(&[l, r]);
+        (a, root)
+    }
+
+    #[test]
+    fn interning_merges_identical_gates() {
+        let mut a = Arena::new(3);
+        let x1 = a.var(0);
+        let x2 = a.var(0);
+        assert_eq!(x1, x2);
+        let y = a.var(1);
+        let g1 = a.and(&[x1, y]);
+        let g2 = a.and(&[y, x2]); // different order, same gate
+        assert_eq!(g1, g2);
+        let o1 = a.or(&[g1, x1]);
+        let o2 = a.or(&[x2, g2]);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn constant_simplification() {
+        let mut a = Arena::new(2);
+        let x = a.var(0);
+        let t = a.constant(true);
+        let f = a.constant(false);
+        assert_eq!(a.and(&[x, t]), x);
+        assert_eq!(a.and(&[x, f]), FALSE_GATE);
+        assert_eq!(a.or(&[x, f]), x);
+        assert_eq!(a.or(&[x, t]), TRUE_GATE);
+        assert_eq!(a.and(&[]), TRUE_GATE);
+        assert_eq!(a.or(&[]), FALSE_GATE);
+    }
+
+    #[test]
+    fn xor_probability_and_world_eval() {
+        let (a, root) = xor_arena();
+        assert_eq!(a.probability(root, &[rat(1, 2), rat(1, 3)]), rat(1, 2));
+        assert!(a.eval_world(root, &[true, false]));
+        assert!(a.eval_world(root, &[false, true]));
+        assert!(!a.eval_world(root, &[true, true]));
+        assert!(!a.eval_world(root, &[false, false]));
+        assert!(a.check_decomposable());
+        for mask in 0..4u32 {
+            assert!(a.check_deterministic_under(&[mask & 1 == 1, mask & 2 == 2]));
+        }
+    }
+
+    #[test]
+    fn natural_semiring_counts_models_with_smoothing() {
+        // f = x₀ over 3 variables, as the (unsmoothed) single literal:
+        // 4 of the 8 worlds satisfy it.
+        let mut a = Arena::new(3);
+        let root = a.var(0);
+        let ones = vec![Natural::one(); 3];
+        let count = a.eval_root(root, &ones, &ones);
+        assert_eq!(count, Natural::from_u64(4));
+        // Unsmoothed OR: x₀ ∨ (¬x₀ ∧ x₁) has 6 models over 3 vars.
+        let x0 = a.var(0);
+        let nx0 = a.neg_var(0);
+        let x1 = a.var(1);
+        let branch = a.and(&[nx0, x1]);
+        let root = a.or(&[x0, branch]);
+        assert_eq!(a.eval_root(root, &ones, &ones), Natural::from_u64(6));
+    }
+
+    #[test]
+    fn counting_with_pinned_variables() {
+        // (x₀ ∧ x₁) ∨ (¬x₀ ∧ x₂), x₀ pinned true: worlds over {x₁, x₂}
+        // where x₁ — exactly 2 of 4.
+        let mut a = Arena::new(3);
+        let x0 = a.var(0);
+        let nx0 = a.neg_var(0);
+        let x1 = a.var(1);
+        let x2 = a.var(2);
+        let l = a.and(&[x0, x1]);
+        let r = a.and(&[nx0, x2]);
+        let root = a.or(&[l, r]);
+        let prov = Provenance::positive(a, root);
+        use VarStatus::{Free, Pinned};
+        assert_eq!(
+            prov.count_worlds(&[Pinned(true), Free, Free]),
+            Natural::from_u64(2)
+        );
+        assert_eq!(
+            prov.count_worlds(&[Pinned(false), Free, Free]),
+            Natural::from_u64(2)
+        );
+        assert_eq!(prov.count_worlds(&[Free, Free, Free]), Natural::from_u64(4));
+    }
+
+    #[test]
+    fn multi_root_batched_evaluation() {
+        let mut a = Arena::new(2);
+        let x = a.var(0);
+        let y = a.var(1);
+        let ny = a.neg_var(1);
+        let both = a.and(&[x, y]);
+        let only_x = a.and(&[x, ny]);
+        let probs = [rat(1, 2), rat(1, 3)];
+        let neg: Vec<Rational> = probs.iter().map(|p| p.one_minus()).collect();
+        let out = a.eval_roots(&[both, only_x, x], &probs, &neg);
+        assert_eq!(out, vec![rat(1, 6), rat(1, 3), rat(1, 2)]);
+    }
+
+    #[test]
+    fn gradients_match_conditioning_identity() {
+        let (a, root) = xor_arena();
+        let probs = [rat(1, 3), rat(1, 4)];
+        let grads = a.gradients(root, &probs);
+        for v in 0..2 {
+            let mut plus = probs.to_vec();
+            plus[v] = Rational::one();
+            let mut minus = probs.to_vec();
+            minus[v] = Rational::zero();
+            let diff = a.probability(root, &plus).sub(&a.probability(root, &minus));
+            assert_eq!(grads[v], diff, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn dual_numbers_flow_through_the_engine() {
+        // Seeding variable 0 reproduces gradients[0] via forward mode.
+        let (a, root) = xor_arena();
+        let probs = [rat(1, 3), rat(1, 4)];
+        let pos: Vec<Dual<Rational>> = vec![
+            Dual::active(probs[0].clone()),
+            Dual::constant(probs[1].clone()),
+        ];
+        let neg: Vec<Dual<Rational>> = pos.iter().map(|d| d.complement()).collect();
+        let out = a.eval_root(root, &pos, &neg);
+        assert_eq!(out.val, a.probability(root, &probs));
+        assert_eq!(out.der, a.gradients(root, &probs)[0]);
+    }
+
+    #[test]
+    fn complemented_provenance_flips_everything() {
+        let (a, root) = xor_arena();
+        let probs = [rat(1, 3), rat(1, 4)];
+        let pos = Provenance::positive(a.clone(), root);
+        let neg = Provenance::complemented(a, root);
+        // The two handles describe complementary events: probabilities sum to 1.
+        assert_eq!(
+            pos.probability::<Rational>(&probs)
+                .add(&neg.probability::<Rational>(&probs)),
+            Rational::one()
+        );
+        assert!(pos.holds_in(&[true, false]));
+        assert!(!neg.holds_in(&[true, false]));
+        let g_pos = pos.gradients::<Rational>(&probs);
+        let g_neg = neg.gradients::<Rational>(&probs);
+        for v in 0..2 {
+            assert_eq!(g_pos[v].add(&g_neg[v]), Rational::zero());
+        }
+        use VarStatus::Free;
+        let total = pos
+            .count_worlds(&[Free, Free])
+            .add(&neg.count_worlds(&[Free, Free]));
+        assert_eq!(total, Natural::from_u64(4));
+    }
+}

@@ -28,13 +28,13 @@ pub fn to_nnf(circuit: &Circuit, root: GateId) -> String {
     // Collect reachable gates, preserving bottom-up order.
     let mut reachable = vec![false; circuit.n_gates()];
     reachable[root] = true;
-    for (i, g) in circuit.gates().iter().enumerate().rev() {
+    for i in (0..circuit.n_gates()).rev() {
         if !reachable[i] {
             continue;
         }
-        match g {
+        match circuit.gate(i) {
             Gate::And(cs) | Gate::Or(cs) => {
-                for &c in cs {
+                for c in cs {
                     reachable[c] = true;
                 }
             }
@@ -45,7 +45,7 @@ pub fn to_nnf(circuit: &Circuit, root: GateId) -> String {
     let mut next = 0usize;
     let mut body = String::new();
     let mut n_edges = 0usize;
-    for (i, g) in circuit.gates().iter().enumerate() {
+    for (i, g) in circuit.gates() {
         if !reachable[i] {
             continue;
         }
@@ -56,7 +56,7 @@ pub fn to_nnf(circuit: &Circuit, root: GateId) -> String {
                 let _ = writeln!(body, "L {}", v + 1);
             }
             Gate::NegVar(v) => {
-                let _ = writeln!(body, "L -{}", *v as i64 + 1);
+                let _ = writeln!(body, "L -{}", v as i64 + 1);
             }
             Gate::Const(true) => {
                 let _ = writeln!(body, "A 0");
@@ -67,7 +67,7 @@ pub fn to_nnf(circuit: &Circuit, root: GateId) -> String {
             Gate::And(cs) => {
                 n_edges += cs.len();
                 let _ = write!(body, "A {}", cs.len());
-                for &c in cs {
+                for c in cs {
                     let _ = write!(body, " {}", remap[c]);
                 }
                 let _ = writeln!(body);
@@ -75,7 +75,7 @@ pub fn to_nnf(circuit: &Circuit, root: GateId) -> String {
             Gate::Or(cs) => {
                 n_edges += cs.len();
                 let _ = write!(body, "O 0 {}", cs.len());
-                for &c in cs {
+                for c in cs {
                     let _ = write!(body, " {}", remap[c]);
                 }
                 let _ = writeln!(body);
@@ -116,7 +116,10 @@ impl std::fmt::Display for NnfError {
 /// *not* assumed — run the [`Circuit`] checkers before trusting
 /// probability computation on foreign files.
 pub fn from_nnf(text: &str) -> Result<(Circuit, GateId), NnfError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (_, header) = lines.next().ok_or(NnfError::BadHeader)?;
     let mut hp = header.split_whitespace();
     if hp.next() != Some("nnf") {
@@ -139,7 +142,9 @@ pub fn from_nnf(text: &str) -> Result<(Circuit, GateId), NnfError> {
     for (lineno, line) in lines {
         let human = lineno + 1;
         let mut parts = line.split_whitespace();
-        let kind = parts.next().ok_or_else(|| NnfError::BadNode(human, "empty".into()))?;
+        let kind = parts
+            .next()
+            .ok_or_else(|| NnfError::BadNode(human, "empty".into()))?;
         let nums: Result<Vec<i64>, _> = parts.map(str::parse).collect();
         let nums = nums.map_err(|e| NnfError::BadNode(human, format!("{e}")))?;
         let gate = match kind {
@@ -186,7 +191,10 @@ pub fn from_nnf(text: &str) -> Result<(Circuit, GateId), NnfError> {
                 }
             }
             other => {
-                return Err(NnfError::BadNode(human, format!("unknown node kind '{other}'")))
+                return Err(NnfError::BadNode(
+                    human,
+                    format!("unknown node kind '{other}'"),
+                ))
             }
         };
         ids.push(gate);
@@ -231,9 +239,14 @@ pub fn dnf_from_text(text: &str) -> Result<crate::dnf::Dnf, String> {
     if hp.next() != Some("pdnf") {
         return Err("bad header".into());
     }
-    let n_vars: usize = hp.next().and_then(|s| s.parse().ok()).ok_or("bad var count")?;
-    let n_clauses: usize =
-        hp.next().and_then(|s| s.parse().ok()).ok_or("bad clause count")?;
+    let n_vars: usize = hp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad var count")?;
+    let n_clauses: usize = hp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad clause count")?;
     let mut dnf = crate::dnf::Dnf::falsum(n_vars);
     for line in lines {
         let mut clause = Vec::new();
@@ -291,14 +304,15 @@ mod tests {
             for mask in 0..1u32 << n {
                 let v: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
                 assert_eq!(
-                    parsed.eval(parsed_root, &v),
-                    circuit.eval(root, &v),
+                    parsed.eval_world(parsed_root, &v),
+                    circuit.eval_world(root, &v),
                     "trial {trial}, mask {mask}"
                 );
             }
             // Probabilities survive too (same d-DNNF structure).
-            let probs: Vec<Rational> =
-                (0..n).map(|_| Rational::from_ratio(rng.gen_range(0..=3), 3)).collect();
+            let probs: Vec<Rational> = (0..n)
+                .map(|_| Rational::from_ratio(rng.gen_range(0..=3), 3))
+                .collect();
             assert_eq!(
                 parsed.probability::<Rational>(parsed_root, &probs),
                 circuit.probability::<Rational>(root, &probs)
@@ -314,23 +328,32 @@ mod tests {
         assert!(text.starts_with("nnf 1 0 2"), "{text}");
         assert!(text.contains("A 0"), "{text}");
         let (parsed, root) = from_nnf(&text).unwrap();
-        assert!(parsed.eval(root, &[false, false]));
+        assert!(parsed.eval_world(root, &[false, false]));
         let f = {
             let mut c = Circuit::new(1);
             let f = c.constant(false);
             to_nnf(&c, f)
         };
         let (parsed, root) = from_nnf(&f).unwrap();
-        assert!(!parsed.eval(root, &[true]));
+        assert!(!parsed.eval_world(root, &[true]));
     }
 
     #[test]
     fn nnf_rejects_malformed_input() {
         assert!(matches!(from_nnf("garbage"), Err(NnfError::BadHeader)));
         assert!(matches!(from_nnf("nnf x y z"), Err(NnfError::BadHeader)));
-        assert!(matches!(from_nnf("nnf 1 0 1\nL 5"), Err(NnfError::BadNode(..))));
-        assert!(matches!(from_nnf("nnf 1 2 1\nA 2 0 1"), Err(NnfError::ForwardReference(_))));
-        assert!(matches!(from_nnf("nnf 3 0 1\nL 1"), Err(NnfError::CountMismatch)));
+        assert!(matches!(
+            from_nnf("nnf 1 0 1\nL 5"),
+            Err(NnfError::BadNode(..))
+        ));
+        assert!(matches!(
+            from_nnf("nnf 1 2 1\nA 2 0 1"),
+            Err(NnfError::ForwardReference(_))
+        ));
+        assert!(matches!(
+            from_nnf("nnf 3 0 1\nL 1"),
+            Err(NnfError::CountMismatch)
+        ));
     }
 
     #[test]
@@ -339,7 +362,10 @@ mod tests {
         let _orphan = c.var(0);
         let x = c.var(1);
         let text = to_nnf(&c, x);
-        assert!(text.starts_with("nnf 1 0 2"), "orphan must be dropped: {text}");
+        assert!(
+            text.starts_with("nnf 1 0 2"),
+            "orphan must be dropped: {text}"
+        );
     }
 
     #[test]

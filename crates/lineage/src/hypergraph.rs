@@ -28,7 +28,10 @@ impl Hypergraph {
                 set.push(s);
             }
         }
-        Hypergraph { num_vertices, edges: set }
+        Hypergraph {
+            num_vertices,
+            edges: set,
+        }
     }
 
     /// Number of vertices in the universe.
@@ -73,7 +76,10 @@ impl Hypergraph {
                 edges.push(e2);
             }
         }
-        Hypergraph { num_vertices: self.num_vertices, edges }
+        Hypergraph {
+            num_vertices: self.num_vertices,
+            edges,
+        }
     }
 
     /// Computes a β-elimination order covering all occurring vertices, or

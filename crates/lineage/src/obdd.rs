@@ -91,7 +91,10 @@ impl Manager {
         let num_vars = order.len();
         let mut level_of = vec![usize::MAX; num_vars];
         for (lvl, &v) in order.iter().enumerate() {
-            assert!(v < num_vars && level_of[v] == usize::MAX, "order must be a permutation");
+            assert!(
+                v < num_vars && level_of[v] == usize::MAX,
+                "order must be a permutation"
+            );
             level_of[v] = lvl;
         }
         Manager {
@@ -102,8 +105,16 @@ impl Manager {
             // past every real level so the apply recursion can treat all
             // nodes uniformly.
             nodes: vec![
-                Node { level: usize::MAX, lo: FALSE, hi: FALSE },
-                Node { level: usize::MAX, lo: TRUE, hi: TRUE },
+                Node {
+                    level: usize::MAX,
+                    lo: FALSE,
+                    hi: FALSE,
+                },
+                Node {
+                    level: usize::MAX,
+                    lo: TRUE,
+                    hi: TRUE,
+                },
             ],
             unique: HashMap::new(),
             apply_cache: HashMap::new(),
@@ -195,7 +206,11 @@ impl Manager {
     /// Shannon-expansion `apply` with memoization.
     pub fn apply(&mut self, op: BinOp, f: NodeId, g: NodeId) -> NodeId {
         if f <= TRUE && g <= TRUE {
-            return if op.on_terminals(f == TRUE, g == TRUE) { TRUE } else { FALSE };
+            return if op.on_terminals(f == TRUE, g == TRUE) {
+                TRUE
+            } else {
+                FALSE
+            };
         }
         if f <= TRUE {
             if let Some(t) = op.absorb(f == TRUE) {
@@ -216,8 +231,16 @@ impl Manager {
         }
         let (nf, ng) = (self.nodes[f], self.nodes[g]);
         let level = nf.level.min(ng.level);
-        let (f_lo, f_hi) = if nf.level == level { (nf.lo, nf.hi) } else { (f, f) };
-        let (g_lo, g_hi) = if ng.level == level { (ng.lo, ng.hi) } else { (g, g) };
+        let (f_lo, f_hi) = if nf.level == level {
+            (nf.lo, nf.hi)
+        } else {
+            (f, f)
+        };
+        let (g_lo, g_hi) = if ng.level == level {
+            (ng.lo, ng.hi)
+        } else {
+            (g, g)
+        };
         let lo = self.apply(op, f_lo, g_lo);
         let hi = self.apply(op, f_hi, g_hi);
         let r = self.mk(level, lo, hi);
@@ -299,45 +322,36 @@ impl Manager {
         let mut cur = f;
         while cur > TRUE {
             let n = self.nodes[cur];
-            cur = if valuation[self.order[n.level]] { n.hi } else { n.lo };
+            cur = if valuation[self.order[n.level]] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         cur == TRUE
     }
 
     /// Weighted model counting: the probability that `f` is true when
     /// variable `v` is independently true with probability `prob_true[v]`.
-    /// Linear in the size of `f` (skipped levels contribute factor 1).
+    /// Routed through the unified provenance engine: the OBDD is exported
+    /// as a d-DNNF arena (one gate cluster per reachable node, shared via
+    /// structural hashing) and evaluated by the engine's single bottom-up
+    /// pass. Linear in the size of `f` (skipped levels contribute
+    /// factor 1).
     pub fn probability<W: Weight>(&self, f: NodeId, prob_true: &[W]) -> W {
         assert_eq!(prob_true.len(), self.num_vars);
-        let mut memo: HashMap<NodeId, W> = HashMap::new();
-        self.prob_rec(f, prob_true, &mut memo)
+        let (circuit, root) = self.to_circuit(f);
+        circuit.probability(root, prob_true)
     }
 
-    fn prob_rec<W: Weight>(&self, f: NodeId, prob_true: &[W], memo: &mut HashMap<NodeId, W>) -> W {
-        if f == FALSE {
-            return W::zero();
-        }
-        if f == TRUE {
-            return W::one();
-        }
-        if let Some(p) = memo.get(&f) {
-            return p.clone();
-        }
-        let n = self.nodes[f];
-        let p = &prob_true[self.order[n.level]];
-        let lo = self.prob_rec(n.lo, prob_true, memo);
-        let hi = self.prob_rec(n.hi, prob_true, memo);
-        let r = p.complement().mul(&lo).add(&p.mul(&hi));
-        memo.insert(f, r.clone());
-        r
-    }
-
-    /// Exact model count of `f` over all `2^n` valuations, as an `f64`
-    /// (exact for counts below 2⁵³): WMC with all probabilities ½ times
-    /// `2^n`.
-    pub fn model_count(&self, f: NodeId) -> f64 {
-        let half = vec![0.5f64; self.num_vars];
-        self.probability::<f64>(f, &half) * (self.num_vars as f64).exp2()
+    /// Exact model count of `f` over all `2^n` valuations — the
+    /// [`Natural`](phom_num::Natural)-semiring instantiation of the
+    /// provenance engine (the engine's smoothing pass accounts for the
+    /// levels an OBDD path skips).
+    pub fn model_count(&self, f: NodeId) -> phom_num::Natural {
+        let (circuit, root) = self.to_circuit(f);
+        let ones = vec![phom_num::Natural::one(); self.num_vars];
+        circuit.eval_root(root, &ones, &ones)
     }
 
     /// Exports `f` as a d-DNNF circuit (an OBDD *is* a d-DNNF: each node
@@ -347,10 +361,8 @@ impl Manager {
     pub fn to_circuit(&self, f: NodeId) -> (crate::circuit::Circuit, crate::circuit::GateId) {
         let mut c = crate::circuit::Circuit::new(self.num_vars);
         let mut memo: HashMap<NodeId, crate::circuit::GateId> = HashMap::new();
-        let f_gate = c.constant(false);
-        let t_gate = c.constant(true);
-        memo.insert(FALSE, f_gate);
-        memo.insert(TRUE, t_gate);
+        memo.insert(FALSE, crate::engine::FALSE_GATE);
+        memo.insert(TRUE, crate::engine::TRUE_GATE);
         // Build bottom-up: process nodes in increasing id order of the
         // reachable set (children of a node always have smaller... no —
         // ids are creation order, children may be larger; recurse).
@@ -411,8 +423,14 @@ mod tests {
         assert!(m.eval(x, &[true, false]));
         assert!(!m.eval(x, &[false, true]));
         assert!(m.eval(nx, &[false, true]));
-        assert_eq!(m.probability::<Rational>(x, &[rat(1, 3), rat(1, 2)]), rat(1, 3));
-        assert_eq!(m.probability::<Rational>(nx, &[rat(1, 3), rat(1, 2)]), rat(2, 3));
+        assert_eq!(
+            m.probability::<Rational>(x, &[rat(1, 3), rat(1, 2)]),
+            rat(1, 3)
+        );
+        assert_eq!(
+            m.probability::<Rational>(nx, &[rat(1, 3), rat(1, 2)]),
+            rat(2, 3)
+        );
     }
 
     #[test]
@@ -484,8 +502,9 @@ mod tests {
             let num_vars = rng.gen_range(1..8);
             let n_clauses = rng.gen_range(0..6);
             let dnf = random_dnf(&mut rng, num_vars, n_clauses);
-            let probs: Vec<Rational> =
-                (0..num_vars).map(|_| rat(rng.gen_range(0..=4), 4)).collect();
+            let probs: Vec<Rational> = (0..num_vars)
+                .map(|_| rat(rng.gen_range(0..=4), 4))
+                .collect();
             let mut m = Manager::identity_order(num_vars);
             let f = m.from_dnf(&dnf);
             let obdd = m.probability::<Rational>(f, &probs);
@@ -501,8 +520,9 @@ mod tests {
             let num_vars = rng.gen_range(2..7);
             let n_clauses = rng.gen_range(1..5);
             let dnf = random_dnf(&mut rng, num_vars, n_clauses);
-            let probs: Vec<Rational> =
-                (0..num_vars).map(|_| rat(rng.gen_range(0..=3), 3)).collect();
+            let probs: Vec<Rational> = (0..num_vars)
+                .map(|_| rat(rng.gen_range(0..=3), 3))
+                .collect();
             let mut id = Manager::identity_order(num_vars);
             let p_id = {
                 let f = id.from_dnf(&dnf);
@@ -550,7 +570,12 @@ mod tests {
         dnf.push_clause(vec![0]);
         dnf.push_clause(vec![1]);
         let f = m.from_dnf(&dnf);
-        assert_eq!(m.model_count(f), 3.0);
+        assert_eq!(m.model_count(f), phom_num::Natural::from_u64(3));
+        // Skipped levels are smoothed: the literal x over 3 variables
+        // still counts 4 of the 8 worlds.
+        let mut m = Manager::identity_order(3);
+        let x = m.literal(0);
+        assert_eq!(m.model_count(x), phom_num::Natural::from_u64(4));
     }
 
     #[test]

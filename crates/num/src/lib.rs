@@ -6,18 +6,24 @@
 //!
 //! * [`Natural`] — arbitrary-precision unsigned integers (base 2³² limbs),
 //! * [`Rational`] — exact rationals kept in lowest terms,
-//! * [`Weight`] — an abstraction over exact ([`Rational`]) and approximate
-//!   (`f64`) probability arithmetic, so every algorithm in the workspace can
-//!   run in either mode (the exact mode is the paper-faithful one; the `f64`
-//!   mode is used for large benchmark sweeps).
+//! * [`Semiring`] — the `(+, ·, 0, 1)` core that the unified provenance
+//!   engine in `phom_lineage::engine` evaluates over, instantiated by
+//!   [`Rational`], `f64`, [`Natural`] (model counting), `bool` (circuit
+//!   evaluation) and [`Dual`] (forward-mode derivatives),
+//! * [`Weight`] — [`Semiring`] refined with subtraction, division and
+//!   rational embedding, so every algorithm in the workspace can run in
+//!   exact mode (the paper-faithful one), `f64` mode (large benchmark
+//!   sweeps), or dual-number mode (sensitivity).
 //!
 //! No external bignum crate is used: the whole stack is self-contained, as
 //! documented in `DESIGN.md`.
 
 pub mod natural;
 pub mod rational;
+pub mod semiring;
 pub mod weight;
 
 pub use natural::Natural;
 pub use rational::Rational;
+pub use semiring::{Dual, Semiring};
 pub use weight::Weight;

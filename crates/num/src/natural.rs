@@ -121,8 +121,7 @@ impl Natural {
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow: i64 = 0;
         for i in 0..self.limbs.len() {
-            let mut diff =
-                self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            let mut diff = self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
             if diff < 0 {
                 diff += 1 << 32;
                 borrow = 1;
@@ -261,9 +260,7 @@ impl Natural {
             let top = ((u[j + n] as u64) << 32) | u[j + n - 1] as u64;
             let mut qhat = top / v[n - 1] as u64;
             let mut rhat = top % v[n - 1] as u64;
-            while qhat >= b
-                || qhat * v[n - 2] as u64 > ((rhat << 32) | u[j + n - 2] as u64)
-            {
+            while qhat >= b || qhat * v[n - 2] as u64 > ((rhat << 32) | u[j + n - 2] as u64) {
                 qhat -= 1;
                 rhat += v[n - 1] as u64;
                 if rhat >= b {
@@ -394,7 +391,11 @@ impl Natural {
         let mut i = 0;
         while i < bytes.len() {
             let remaining = bytes.len() - i;
-            let take = if remaining.is_multiple_of(9) { 9 } else { remaining % 9 };
+            let take = if remaining.is_multiple_of(9) {
+                9
+            } else {
+                remaining % 9
+            };
             let chunk: u64 = s[i..i + take].parse().ok()?;
             let mult = if take == 9 {
                 ten9.clone()

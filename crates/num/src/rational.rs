@@ -18,12 +18,20 @@ pub struct Rational {
 impl Rational {
     /// Zero.
     pub fn zero() -> Self {
-        Rational { neg: false, num: Natural::zero(), den: Natural::one() }
+        Rational {
+            neg: false,
+            num: Natural::zero(),
+            den: Natural::one(),
+        }
     }
 
     /// One.
     pub fn one() -> Self {
-        Rational { neg: false, num: Natural::one(), den: Natural::one() }
+        Rational {
+            neg: false,
+            num: Natural::one(),
+            den: Natural::one(),
+        }
     }
 
     /// Builds `num/den` from unsigned parts. Panics if `den == 0`.
@@ -78,7 +86,11 @@ impl Rational {
         if self.is_zero() {
             self.clone()
         } else {
-            Rational { neg: !self.neg, num: self.num.clone(), den: self.den.clone() }
+            Rational {
+                neg: !self.neg,
+                num: self.num.clone(),
+                den: self.den.clone(),
+            }
         }
     }
 
@@ -93,9 +105,7 @@ impl Rational {
             (true, true) => Rational::new(true, ad.add(&cb), den),
             (sn, _) => match ad.cmp_nat(&cb) {
                 Ordering::Equal => Rational::zero(),
-                Ordering::Greater => {
-                    Rational::new(sn, ad.checked_sub(&cb).unwrap(), den)
-                }
+                Ordering::Greater => Rational::new(sn, ad.checked_sub(&cb).unwrap(), den),
                 Ordering::Less => Rational::new(!sn, cb.checked_sub(&ad).unwrap(), den),
             },
         }
@@ -221,7 +231,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn rat(n: i64, d: u64) -> Rational {
-        Rational::new(n < 0, Natural::from_u64(n.unsigned_abs()), Natural::from_u64(d))
+        Rational::new(
+            n < 0,
+            Natural::from_u64(n.unsigned_abs()),
+            Natural::from_u64(d),
+        )
     }
 
     #[test]

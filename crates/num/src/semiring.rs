@@ -1,0 +1,296 @@
+//! The [`Semiring`] abstraction: the algebraic core every bottom-up
+//! provenance evaluation in the workspace runs over.
+//!
+//! A commutative semiring `(S, +, ·, 0, 1)` is exactly the structure needed
+//! to evaluate a decomposable, deterministic provenance circuit bottom-up:
+//! `·` at AND gates, `+` at OR gates. Instantiating the *same* pass with
+//! different semirings yields the workspace's whole menu of analyses:
+//!
+//! | semiring | instance | computes |
+//! |---|---|---|
+//! | probability | [`Rational`] | exact `Pr(φ)` (paper-faithful) |
+//! | probability | `f64` | fast approximate `Pr(φ)` |
+//! | counting | [`Natural`] | weighted model counts over `2^n` worlds |
+//! | Boolean | `bool` | evaluation under one valuation |
+//! | dual numbers | [`Dual<W>`] | `Pr(φ)` and one directional derivative |
+//!
+//! [`Weight`](crate::Weight) refines `Semiring` with subtraction, exact
+//! division, and rational embedding — the extra structure Theorem 4.9's
+//! β-elimination and the gradient backward sweep require.
+
+use crate::{Natural, Rational};
+
+/// A commutative semiring. The element-level contract of the unified
+/// provenance engine (`phom_lineage::engine`).
+pub trait Semiring: Clone + std::fmt::Debug + PartialEq {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Addition (OR gates).
+    fn add(&self, other: &Self) -> Self;
+    /// Multiplication (AND gates).
+    fn mul(&self, other: &Self) -> Self;
+    /// Exact (or best-effort, for floats) test against [`Semiring::zero`].
+    fn is_zero(&self) -> bool;
+    /// Exact (or best-effort, for floats) test against [`Semiring::one`].
+    fn is_one(&self) -> bool;
+}
+
+impl Semiring for Rational {
+    fn zero() -> Self {
+        Rational::zero()
+    }
+    fn one() -> Self {
+        Rational::one()
+    }
+    fn add(&self, other: &Self) -> Self {
+        Rational::add(self, other)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Rational::mul(self, other)
+    }
+    fn is_zero(&self) -> bool {
+        Rational::is_zero(self)
+    }
+    fn is_one(&self) -> bool {
+        Rational::is_one(self)
+    }
+}
+
+impl Semiring for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+    fn is_one(&self) -> bool {
+        *self == 1.0
+    }
+}
+
+/// The counting semiring `(ℕ, +, ·)`: evaluating a d-DNNF with literal
+/// weights 1/1 per free variable (and 1/0 per pinned one) counts
+/// satisfying worlds exactly, at arbitrary precision.
+impl Semiring for Natural {
+    fn zero() -> Self {
+        Natural::zero()
+    }
+    fn one() -> Self {
+        Natural::one()
+    }
+    fn add(&self, other: &Self) -> Self {
+        Natural::add(self, other)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Natural::mul(self, other)
+    }
+    fn is_zero(&self) -> bool {
+        Natural::is_zero(self)
+    }
+    fn is_one(&self) -> bool {
+        Natural::is_one(self)
+    }
+}
+
+/// The Boolean semiring `({0,1}, ∨, ∧)`: evaluation under a valuation is
+/// the same bottom-up pass as probability computation.
+impl Semiring for bool {
+    fn zero() -> Self {
+        false
+    }
+    fn one() -> Self {
+        true
+    }
+    fn add(&self, other: &Self) -> Self {
+        *self || *other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        *self && *other
+    }
+    fn is_zero(&self) -> bool {
+        !*self
+    }
+    fn is_one(&self) -> bool {
+        *self
+    }
+}
+
+/// A dual number `a + b·ε` (`ε² = 0`) over a weight type: forward-mode
+/// automatic differentiation. Seeding one variable's literal weights with
+/// `der = ±1` makes any Weight-generic algorithm — the provenance engine
+/// *and* the β-elimination of Theorem 4.9, divisions included — return
+/// `∂ Pr / ∂ p_v` alongside the probability, without bespoke gradient code.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dual<W> {
+    /// The primal value.
+    pub val: W,
+    /// The tangent (derivative) component.
+    pub der: W,
+}
+
+impl<W: crate::Weight> Dual<W> {
+    /// A constant (zero derivative).
+    pub fn constant(val: W) -> Self {
+        Dual {
+            val,
+            der: W::zero(),
+        }
+    }
+
+    /// The seeded input: value `val`, derivative 1.
+    pub fn active(val: W) -> Self {
+        Dual { val, der: W::one() }
+    }
+
+    /// A dual number from both components.
+    pub fn new(val: W, der: W) -> Self {
+        Dual { val, der }
+    }
+}
+
+impl<W: crate::Weight> Semiring for Dual<W> {
+    fn zero() -> Self {
+        Dual {
+            val: W::zero(),
+            der: W::zero(),
+        }
+    }
+    fn one() -> Self {
+        Dual {
+            val: W::one(),
+            der: W::zero(),
+        }
+    }
+    fn add(&self, other: &Self) -> Self {
+        Dual {
+            val: self.val.add(&other.val),
+            der: self.der.add(&other.der),
+        }
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Dual {
+            val: self.val.mul(&other.val),
+            der: self.val.mul(&other.der).add(&self.der.mul(&other.val)),
+        }
+    }
+    fn is_zero(&self) -> bool {
+        self.val.is_zero() && self.der.is_zero()
+    }
+    fn is_one(&self) -> bool {
+        self.val.is_one() && self.der.is_zero()
+    }
+}
+
+impl<W: crate::Weight> crate::Weight for Dual<W> {
+    fn sub(&self, other: &Self) -> Self {
+        Dual {
+            val: self.val.sub(&other.val),
+            der: self.der.sub(&other.der),
+        }
+    }
+    /// `(a + b·ε) / (c + d·ε) = a/c + (b·c − a·d)/c² · ε`. Callers must not
+    /// pass a divisor with zero primal part.
+    fn div(&self, other: &Self) -> Self {
+        let val = self.val.div(&other.val);
+        let num = self.der.mul(&other.val).sub(&self.val.mul(&other.der));
+        let den = other.val.mul(&other.val);
+        Dual {
+            val,
+            der: num.div(&den),
+        }
+    }
+    fn from_rational(r: &Rational) -> Self {
+        Dual::constant(W::from_rational(r))
+    }
+    fn to_f64(&self) -> f64 {
+        self.val.to_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Weight;
+
+    fn rat(n: u64, d: u64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn natural_semiring_counts() {
+        let two = Natural::one().add(&Natural::one());
+        // (1+1) · (1+1) = 4 — two free variables, four worlds.
+        assert_eq!(Semiring::mul(&two, &two), Natural::from_u64(4));
+        assert!(Semiring::is_one(&Natural::one()));
+        assert!(Semiring::is_zero(&Natural::zero()));
+    }
+
+    #[test]
+    fn bool_semiring_is_or_and() {
+        assert!(Semiring::add(&true, &false));
+        assert!(!Semiring::add(&false, &false));
+        assert!(Semiring::mul(&true, &true));
+        assert!(!Semiring::mul(&true, &false));
+        assert!(!<bool as Semiring>::zero());
+        assert!(<bool as Semiring>::one());
+    }
+
+    #[test]
+    fn dual_product_rule() {
+        // f(p) = p · c at p = 1/2, c = 1/3: f' = c.
+        let p = Dual::active(rat(1, 2));
+        let c = Dual::constant(rat(1, 3));
+        let f = p.mul(&c);
+        assert_eq!(f.val, rat(1, 6));
+        assert_eq!(f.der, rat(1, 3));
+    }
+
+    #[test]
+    fn dual_quotient_rule() {
+        // f(p) = 1 / p at p = 1/2: f' = −1/p² = −4.
+        let one: Dual<Rational> = Semiring::one();
+        let p = Dual::active(rat(1, 2));
+        let f = one.div(&p);
+        assert_eq!(f.val, rat(2, 1));
+        assert_eq!(f.der, Rational::from_i64(-4));
+    }
+
+    #[test]
+    fn dual_complement_flips_derivative_sign() {
+        let p = Dual::active(rat(1, 4));
+        let c = p.complement();
+        assert_eq!(c.val, rat(3, 4));
+        assert_eq!(c.der, Rational::from_i64(-1));
+    }
+
+    #[test]
+    fn dual_matches_finite_difference_through_a_formula() {
+        // Pr = 1 − (1 − p·a)(1 − p·b) with a = 1/3, b = 1/5, p = 1/2:
+        // seeded dual derivative must equal the symbolic one.
+        let eval = |p: Dual<Rational>| -> Dual<Rational> {
+            let a = Dual::constant(rat(1, 3));
+            let b = Dual::constant(rat(1, 5));
+            p.mul(&a)
+                .complement()
+                .mul(&p.mul(&b).complement())
+                .complement()
+        };
+        let out = eval(Dual::active(rat(1, 2)));
+        // d/dp [pa + pb − p²ab] = a + b − 2p·ab.
+        let expect = rat(1, 3)
+            .add(&rat(1, 5))
+            .sub(&rat(1, 2).mul(&rat(2, 1)).mul(&rat(1, 3).mul(&rat(1, 5))));
+        assert_eq!(out.der, expect);
+    }
+}

@@ -1,11 +1,14 @@
-//! The [`Weight`] abstraction: a common interface for exact rational and
-//! floating-point probability arithmetic.
+//! The [`Weight`] abstraction: [`Semiring`] refined with subtraction,
+//! exact division, and rational embedding.
 //!
-//! Every algorithm in the workspace is generic over `Weight`, so the same
-//! code path yields the paper-faithful exact answer (with [`Rational`]) or a
-//! fast approximation for large benchmark sweeps (with `f64`).
+//! Every algorithm in the workspace is generic over `Weight` (or, when it
+//! only needs sums and products, over the broader [`Semiring`]), so the
+//! same code path yields the paper-faithful exact answer (with
+//! [`Rational`]), a fast approximation for large benchmark sweeps (with
+//! `f64`), or a probability-plus-derivative pair (with
+//! [`Dual`](crate::Dual)).
 
-use crate::Rational;
+use crate::{Rational, Semiring};
 
 /// Semifield-like operations used by probability computations.
 ///
@@ -13,21 +16,11 @@ use crate::Rational;
 /// reliable zero test, so both are part of the contract. `f64` satisfies it
 /// only approximately — tests always cross-check `f64` runs against exact
 /// rational runs on the same inputs.
-pub trait Weight: Clone + std::fmt::Debug {
-    /// Additive identity.
-    fn zero() -> Self;
-    /// Multiplicative identity.
-    fn one() -> Self;
-    /// Addition.
-    fn add(&self, other: &Self) -> Self;
+pub trait Weight: Semiring {
     /// Subtraction (results may be negative transiently).
     fn sub(&self, other: &Self) -> Self;
-    /// Multiplication.
-    fn mul(&self, other: &Self) -> Self;
     /// Division; callers must not pass a zero divisor.
     fn div(&self, other: &Self) -> Self;
-    /// Exact (or best-effort, for floats) zero test.
-    fn is_zero(&self) -> bool;
     /// Injects a rational constant (how edge probabilities enter).
     fn from_rational(r: &Rational) -> Self;
     /// Approximate value, for reporting.
@@ -40,26 +33,11 @@ pub trait Weight: Clone + std::fmt::Debug {
 }
 
 impl Weight for Rational {
-    fn zero() -> Self {
-        Rational::zero()
-    }
-    fn one() -> Self {
-        Rational::one()
-    }
-    fn add(&self, other: &Self) -> Self {
-        Rational::add(self, other)
-    }
     fn sub(&self, other: &Self) -> Self {
         Rational::sub(self, other)
     }
-    fn mul(&self, other: &Self) -> Self {
-        Rational::mul(self, other)
-    }
     fn div(&self, other: &Self) -> Self {
         Rational::div(self, other)
-    }
-    fn is_zero(&self) -> bool {
-        Rational::is_zero(self)
     }
     fn from_rational(r: &Rational) -> Self {
         r.clone()
@@ -70,26 +48,11 @@ impl Weight for Rational {
 }
 
 impl Weight for f64 {
-    fn zero() -> Self {
-        0.0
-    }
-    fn one() -> Self {
-        1.0
-    }
-    fn add(&self, other: &Self) -> Self {
-        self + other
-    }
     fn sub(&self, other: &Self) -> Self {
         self - other
     }
-    fn mul(&self, other: &Self) -> Self {
-        self * other
-    }
     fn div(&self, other: &Self) -> Self {
         self / other
-    }
-    fn is_zero(&self) -> bool {
-        *self == 0.0
     }
     fn from_rational(r: &Rational) -> Self {
         r.to_f64()
@@ -122,5 +85,16 @@ mod tests {
     fn complement_of_zero_is_one() {
         assert!(Rational::zero().complement().is_one());
         assert_eq!(0.0f64.complement(), 1.0);
+    }
+
+    #[test]
+    fn semiring_operations_reachable_through_weight_bound() {
+        fn sum_of_products<W: Weight>(pairs: &[(W, W)]) -> W {
+            pairs
+                .iter()
+                .fold(W::zero(), |acc, (a, b)| acc.add(&a.mul(b)))
+        }
+        let got = sum_of_products(&[(0.5f64, 0.5), (0.25, 0.5)]);
+        assert!((got - 0.375).abs() < 1e-12);
     }
 }

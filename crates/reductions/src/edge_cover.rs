@@ -23,7 +23,10 @@ impl Bipartite {
     /// Builds a bipartite graph, validating and deduplicating edges.
     pub fn new(nl: usize, nr: usize, edges: Vec<(usize, usize)>) -> Self {
         let mut es = edges;
-        assert!(es.iter().all(|&(x, y)| x < nl && y < nr), "index out of range");
+        assert!(
+            es.iter().all(|&(x, y)| x < nl && y < nr),
+            "index out of range"
+        );
         es.sort_unstable();
         es.dedup();
         Bipartite { nl, nr, edges: es }

@@ -21,7 +21,10 @@ pub struct Pp2Dnf {
 impl Pp2Dnf {
     /// Builds a formula, validating indices.
     pub fn new(n1: usize, n2: usize, clauses: Vec<(usize, usize)>) -> Self {
-        assert!(clauses.iter().all(|&(x, y)| x < n1 && y < n2), "index out of range");
+        assert!(
+            clauses.iter().all(|&(x, y)| x < n1 && y < n2),
+            "index out of range"
+        );
         Pp2Dnf { n1, n2, clauses }
     }
 
@@ -33,8 +36,9 @@ impl Pp2Dnf {
     /// A random formula with `m` clauses (duplicates allowed, as in the
     /// problem definition).
     pub fn random<R: Rng>(n1: usize, n2: usize, m: usize, rng: &mut R) -> Self {
-        let clauses =
-            (0..m).map(|_| (rng.gen_range(0..n1), rng.gen_range(0..n2))).collect();
+        let clauses = (0..m)
+            .map(|_| (rng.gen_range(0..n1), rng.gen_range(0..n2)))
+            .collect();
         Pp2Dnf::new(n1, n2, clauses)
     }
 
@@ -45,7 +49,9 @@ impl Pp2Dnf {
 
     /// Evaluates under a valuation (X bits then Y bits).
     pub fn eval(&self, x: u64, y: u64) -> bool {
-        self.clauses.iter().any(|&(xj, yj)| x >> xj & 1 == 1 && y >> yj & 1 == 1)
+        self.clauses
+            .iter()
+            .any(|&(xj, yj)| x >> xj & 1 == 1 && y >> yj & 1 == 1)
     }
 
     /// `#PP2DNF` in time `O(2^{n1} · m)`: for each X-assignment, the

@@ -77,7 +77,11 @@ pub fn reduce(gamma: &Bipartite) -> Reduction {
     }
     let query = b.build();
 
-    Reduction { query, instance, log2_scale: gamma.m() as u32 }
+    Reduction {
+        query,
+        instance,
+        log2_scale: gamma.m() as u32,
+    }
 }
 
 #[cfg(test)]

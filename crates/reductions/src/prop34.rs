@@ -77,7 +77,11 @@ pub fn reduce(gamma: &Bipartite) -> Reduction {
     }
     let instance = ProbGraph::new(h2, probs);
     let (query, _) = rewrite(&labeled.query);
-    Reduction { query, instance, log2_scale: labeled.log2_scale }
+    Reduction {
+        query,
+        instance,
+        log2_scale: labeled.log2_scale,
+    }
 }
 
 #[cfg(test)]

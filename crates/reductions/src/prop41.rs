@@ -93,7 +93,11 @@ pub fn reduce(phi: &Pp2Dnf) -> Reduction {
     labels.push(T);
     let query = phom_graph::Graph::one_way_path(&labels);
 
-    Reduction { query, instance, log2_scale: (phi.n1 + phi.n2) as u32 }
+    Reduction {
+        query,
+        instance,
+        log2_scale: (phi.n1 + phi.n2) as u32,
+    }
 }
 
 #[cfg(test)]
@@ -137,7 +141,11 @@ mod tests {
             let m = rand::Rng::gen_range(&mut rng, 1..5);
             let phi = Pp2Dnf::random(n1, n2, m, &mut rng);
             let red = reduce(&phi);
-            assert_eq!(red.count_via_brute_force(), phi.count_satisfying(), "{phi:?}");
+            assert_eq!(
+                red.count_via_brute_force(),
+                phi.count_satisfying(),
+                "{phi:?}"
+            );
         }
     }
 
@@ -148,6 +156,9 @@ mod tests {
         let red = reduce(&phi);
         let n_vertices = red.instance.graph().n_vertices();
         // 1 + (n1+n2)(m+1) + 2m vertices.
-        assert_eq!(n_vertices, 1 + phi.num_vars() * (phi.clauses.len() + 1) + 2 * phi.clauses.len());
+        assert_eq!(
+            n_vertices,
+            1 + phi.num_vars() * (phi.clauses.len() + 1) + 2 * phi.clauses.len()
+        );
     }
 }

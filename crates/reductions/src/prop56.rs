@@ -65,7 +65,11 @@ pub fn reduce(phi: &Pp2Dnf) -> Reduction {
     }
     let instance = ProbGraph::new(h2, probs);
     let (query, _) = rewrite(&labeled.query);
-    Reduction { query, instance, log2_scale: labeled.log2_scale }
+    Reduction {
+        query,
+        instance,
+        log2_scale: labeled.log2_scale,
+    }
 }
 
 #[cfg(test)]
@@ -107,7 +111,11 @@ mod tests {
             let m = rand::Rng::gen_range(&mut rng, 1..4);
             let phi = Pp2Dnf::random(n1, n2, m, &mut rng);
             let red = reduce(&phi);
-            assert_eq!(red.count_via_brute_force(), phi.count_satisfying(), "{phi:?}");
+            assert_eq!(
+                red.count_via_brute_force(),
+                phi.count_satisfying(),
+                "{phi:?}"
+            );
         }
     }
 

@@ -49,18 +49,17 @@ fn sample_instance(class: ConnClass, sigma: u32, rng: &mut SmallRng) -> ProbGrap
     };
     generate::with_probabilities(
         g,
-        generate::ProbProfile { certain_ratio: 0.3, denominator: 4 },
+        generate::ProbProfile {
+            certain_ratio: 0.3,
+            denominator: 4,
+        },
         rng,
     )
 }
 
 /// A witness input inside the cell that dodges every fast path, so the
 /// dispatcher must report the hardness result.
-fn hard_witness(
-    table: tables::TableId,
-    row: ConnClass,
-    col: ConnClass,
-) -> (Graph, ProbGraph) {
+fn hard_witness(table: tables::TableId, row: ConnClass, col: ConnClass) -> (Graph, ProbGraph) {
     use ConnClass::*;
     let unlabeled = !matches!(table, tables::TableId::T2LabeledConnected);
     let _sigma: u32 = if unlabeled { 1 } else { 2 };
@@ -74,14 +73,10 @@ fn hard_witness(
         match c {
             OneWayPath => Graph::one_way_path(&[s, t]),
             // →→← is a 2WP that is not a DWT (middle sink has in-degree 2).
-            TwoWayPath => Graph::two_way_path(&[
-                (Dir::Forward, s),
-                (Dir::Forward, s),
-                (Dir::Backward, t),
-            ]),
-            DownwardTree => {
-                Graph::downward_tree(&[None, Some((0, s)), Some((0, t)), Some((1, s))])
+            TwoWayPath => {
+                Graph::two_way_path(&[(Dir::Forward, s), (Dir::Forward, s), (Dir::Backward, t)])
             }
+            DownwardTree => Graph::downward_tree(&[None, Some((0, s)), Some((0, t)), Some((1, s))]),
             // An in-star plus a tail: a polytree that is neither a DWT nor
             // a 2WP, but graded.
             Polytree => {
@@ -160,8 +155,7 @@ fn hard_witness(
         }
     };
     let _ = u;
-    let probs =
-        vec![Rational::from_ratio(1, 2); instance_graph.n_edges()];
+    let probs = vec![Rational::from_ratio(1, 2); instance_graph.n_edges()];
     (query, ProbGraph::new(instance_graph, probs))
 }
 
@@ -193,13 +187,15 @@ fn cell_report(
     }
     match expected {
         tables::CellStatus::PTime(prop) => {
-            assert_eq!(hard, 0, "PTIME cell ({row:?},{col:?}) must always be solved");
+            assert_eq!(
+                hard, 0,
+                "PTIME cell ({row:?},{col:?}) must always be solved"
+            );
             format!("P[{}]", prop.replace("Prop ", ""))
         }
         tables::CellStatus::Hard(_prop) => {
             let (wq, wh) = hard_witness(table, row, col);
-            let err = phom::solve(&wq, &wh)
-                .expect_err("the witness must land in the hard cell");
+            let err = phom::solve(&wq, &wh).expect_err("the witness must land in the hard cell");
             format!(
                 "#P[{}]",
                 err.prop.replace("Prop ", "").replace("Props ", "")
@@ -224,7 +220,10 @@ fn print_table(
     for row in tables::CLASSES {
         print!("{:>22} |", tables::class_name(row, union_queries));
         for col in tables::CLASSES {
-            print!("{:>14}", cell_report(table, row, col, union_queries, sigma, rng));
+            print!(
+                "{:>14}",
+                cell_report(table, row, col, union_queries, sigma, rng)
+            );
         }
         println!();
     }

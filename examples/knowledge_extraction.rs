@@ -30,11 +30,11 @@ fn build_filing(sections: usize, rng: &mut SmallRng) -> ProbGraph {
     let mut probs: Vec<Rational> = Vec::new();
     let mut next = 1usize;
     let add = |b: &mut GraphBuilder,
-                   probs: &mut Vec<Rational>,
-                   parent: usize,
-                   label: Label,
-                   conf: Rational,
-                   next: &mut usize| {
+               probs: &mut Vec<Rational>,
+               parent: usize,
+               label: Label,
+               conf: Rational,
+               next: &mut usize| {
         let v = *next;
         *next += 1;
         b.edge(parent, v, label);
@@ -43,7 +43,14 @@ fn build_filing(sections: usize, rng: &mut SmallRng) -> ProbGraph {
     };
     for _ in 0..sections {
         // Sections are parsed reliably; nested elements less so.
-        let sec = add(&mut b, &mut probs, 0, SECTION, Rational::from_ratio(19, 20), &mut next);
+        let sec = add(
+            &mut b,
+            &mut probs,
+            0,
+            SECTION,
+            Rational::from_ratio(19, 20),
+            &mut next,
+        );
         for _ in 0..rng.gen_range(1..4) {
             let party = add(
                 &mut b,
@@ -92,15 +99,25 @@ fn main() {
 
     let queries = [
         ("Section/Party", Graph::one_way_path(&[SECTION, PARTY])),
-        ("Section/Party/Address", Graph::one_way_path(&[SECTION, PARTY, ADDRESS])),
-        ("Section/Party/Date", Graph::one_way_path(&[SECTION, PARTY, DATE])),
+        (
+            "Section/Party/Address",
+            Graph::one_way_path(&[SECTION, PARTY, ADDRESS]),
+        ),
+        (
+            "Section/Party/Date",
+            Graph::one_way_path(&[SECTION, PARTY, DATE]),
+        ),
     ];
     for (name, q) in &queries {
         let sol = phom::solve(q, &small).unwrap();
         assert_eq!(sol.route, Route::Prop410);
         let exact = bruteforce::probability(q, &small);
         assert_eq!(sol.probability, exact, "Prop 4.10 must match brute force");
-        println!("  Pr[{name}] = {} ≈ {:.4}", sol.probability, sol.probability.to_f64());
+        println!(
+            "  Pr[{name}] = {} ≈ {:.4}",
+            sol.probability,
+            sol.probability.to_f64()
+        );
     }
 
     // Now a filing far beyond brute force (hundreds of uncertain edges):
@@ -123,10 +140,7 @@ fn main() {
     let via_dp: Rational = path_on_dwt::probability_dp(&q, &big).unwrap();
     let t2 = t0.elapsed();
     assert_eq!(via_lineage, via_dp);
-    println!(
-        "  Pr[Section/Party/Address] ≈ {:.6}",
-        via_lineage.to_f64()
-    );
+    println!("  Pr[Section/Party/Address] ≈ {:.6}", via_lineage.to_f64());
     println!("  β-acyclic lineage: {t1:?}; direct DP: {t2:?} — identical exact answers");
 
     // The exact rational is fully materialized — print its size.

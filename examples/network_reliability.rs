@@ -77,7 +77,10 @@ fn main() {
     //    width.
     // ------------------------------------------------------------------
     println!("\nscaling (m = 6, width-2 mesh):");
-    println!("{:>8} {:>8} {:>7} {:>12} {:>10}", "layers", "edges", "tw≤", "Pr≈", "time");
+    println!(
+        "{:>8} {:>8} {:>7} {:>12} {:>10}",
+        "layers", "edges", "tw≤", "Pr≈", "time"
+    );
     for layers in [8usize, 16, 32, 64] {
         let h = mesh(layers, 2, &mut rng);
         let nice = NiceDecomposition::heuristic(h.graph());

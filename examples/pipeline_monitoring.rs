@@ -24,8 +24,16 @@ const CONTROL: Label = Label(1);
 fn build_pipeline(n_hops: usize, rng: &mut SmallRng) -> ProbGraph {
     let steps: Vec<(Dir, Label)> = (0..n_hops)
         .map(|_| {
-            let dir = if rng.gen_bool(0.6) { Dir::Forward } else { Dir::Backward };
-            let label = if rng.gen_bool(0.7) { TELEMETRY } else { CONTROL };
+            let dir = if rng.gen_bool(0.6) {
+                Dir::Forward
+            } else {
+                Dir::Backward
+            };
+            let label = if rng.gen_bool(0.7) {
+                TELEMETRY
+            } else {
+                CONTROL
+            };
             (dir, label)
         })
         .collect();
@@ -41,7 +49,10 @@ fn build_pipeline(n_hops: usize, rng: &mut SmallRng) -> ProbGraph {
 fn patterns() -> Vec<(&'static str, Graph)> {
     let mut v = Vec::new();
     // Two telemetry hops downstream in a row.
-    v.push(("telemetry x2 downstream", Graph::one_way_path(&[TELEMETRY, TELEMETRY])));
+    v.push((
+        "telemetry x2 downstream",
+        Graph::one_way_path(&[TELEMETRY, TELEMETRY]),
+    ));
     // A control hop, against the flow, between telemetry hops.
     v.push((
         "telemetry → control(rev) → telemetry",
@@ -71,14 +82,22 @@ fn main() {
         // solver short-circuits to 0 instead of running Prop 4.11.
         assert!(matches!(sol.route, Route::Prop411 | Route::MissingLabel));
         assert_eq!(sol.probability, bruteforce::probability(q, &small));
-        println!("  Pr[{name}] = {} ≈ {:.4}", sol.probability, sol.probability.to_f64());
+        println!(
+            "  Pr[{name}] = {} ≈ {:.4}",
+            sol.probability,
+            sol.probability.to_f64()
+        );
     }
 
     // Large pipeline: thousands of hops, far beyond world enumeration.
     // (Exact rationals over thousands of hops grow large; 400 hops keeps
     // debug-build runtime low while staying far beyond world enumeration.)
     let big = build_pipeline(400, &mut rng);
-    println!("\nLarge pipeline: {} hops (2^{} worlds)", big.graph().n_edges(), big.graph().n_edges());
+    println!(
+        "\nLarge pipeline: {} hops (2^{} worlds)",
+        big.graph().n_edges(),
+        big.graph().n_edges()
+    );
     for (name, q) in &patterns() {
         let t0 = std::time::Instant::now();
         let via_lineage: Rational = connected_on_2wp::probability_lineage(q, &big).unwrap();
@@ -94,11 +113,8 @@ fn main() {
     }
 
     // The minimal-interval view: where can the zig-zag pattern match?
-    let (intervals, _) = connected_on_2wp::minimal_intervals(
-        &patterns()[1].1,
-        small.graph(),
-    )
-    .unwrap();
+    let (intervals, _) =
+        connected_on_2wp::minimal_intervals(&patterns()[1].1, small.graph()).unwrap();
     println!(
         "\nMinimal match intervals of the zig-zag pattern on the small pipeline: {intervals:?}"
     );

@@ -76,8 +76,7 @@ fn main() {
     // ------------------------------------------------------------------
     let u = Label::UNLABELED;
     // The query: a small tree of height 2 — equivalent to →→.
-    let query_tree =
-        Graph::downward_tree(&[None, Some((0, u)), Some((0, u)), Some((1, u))]);
+    let query_tree = Graph::downward_tree(&[None, Some((0, u)), Some((0, u)), Some((1, u))]);
     // The instance: a genuine polytree — it branches (so it is not a
     // two-way path) and has a vertex of in-degree 2 (so it is not a
     // downward tree).

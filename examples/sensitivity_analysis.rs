@@ -44,7 +44,11 @@ fn main() {
     let incident = Graph::one_way_path(&[d, a]);
 
     let sol = phom::solve(&incident, &h).expect("connected query on a 2WP: Prop 4.11");
-    println!("Pr(deploy → alert somewhere) = {} ≈ {:.4}", sol.probability, sol.probability.to_f64());
+    println!(
+        "Pr(deploy → alert somewhere) = {} ≈ {:.4}",
+        sol.probability,
+        sol.probability.to_f64()
+    );
 
     // ------------------------------------------------------------------
     // Influence ranking, from the match circuit's gradient.
@@ -76,9 +80,17 @@ fn main() {
         .expect("circuit route applies")
         .expect("the pattern is satisfiable");
     let (wp, world) = witness;
-    println!("\nmost probable witness world (probability {} ≈ {:.4}):", wp, wp.to_f64());
+    println!(
+        "\nmost probable witness world (probability {} ≈ {:.4}):",
+        wp,
+        wp.to_f64()
+    );
     for (e, present) in world.iter().enumerate() {
-        println!("  {:<9} {}", names[e], if *present { "present" } else { "absent" });
+        println!(
+            "  {:<9} {}",
+            names[e],
+            if *present { "present" } else { "absent" }
+        );
     }
 
     // ------------------------------------------------------------------

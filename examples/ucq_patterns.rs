@@ -54,13 +54,17 @@ fn main() {
     let log = generate::two_way_path(14, 3, &mut rng);
     let h2 = generate::with_probabilities(log, ProbProfile::half(), &mut rng);
     let patterns = Ucq::new(vec![
-        Graph::one_way_path(&[req, err]),          // request then error
-        Graph::one_way_path(&[err, retry, err]),   // error, retry, error again
-        Graph::one_way_path(&[retry, retry]),      // a retry storm
+        Graph::one_way_path(&[req, err]),        // request then error
+        Graph::one_way_path(&[err, retry, err]), // error, retry, error again
+        Graph::one_way_path(&[retry, retry]),    // a retry storm
     ]);
     match ucq::probability::<Rational>(&patterns, &h2) {
         Some((p2, route2)) => {
-            println!("\nPr(any log pattern) = {} ≈ {:.4}   via {route2:?}", p2, p2.to_f64());
+            println!(
+                "\nPr(any log pattern) = {} ≈ {:.4}   via {route2:?}",
+                p2,
+                p2.to_f64()
+            );
             assert_eq!(p2, ucq::bruteforce_probability(&patterns, &h2));
             println!("  (verified against world enumeration)");
         }

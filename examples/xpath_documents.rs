@@ -95,8 +95,7 @@ fn main() {
     }
 
     // The descendant axis strictly dominates the child axis.
-    let child: Rational =
-        probability(&PathPattern::children(&[SECTION, PARTY]), &doc).unwrap();
+    let child: Rational = probability(&PathPattern::children(&[SECTION, PARTY]), &doc).unwrap();
     let desc: Rational = probability(
         &PathPattern::new(vec![Step::Child(SECTION), Step::Descendant(PARTY)]),
         &doc,

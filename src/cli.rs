@@ -22,7 +22,10 @@ use std::fmt::Write as _;
 
 /// Runs the CLI on `args` (without the program name). Returns the output
 /// to print, or an error message (exit code 1).
-pub fn run(args: &[String], read_file: &dyn Fn(&str) -> Result<String, String>) -> Result<String, String> {
+pub fn run(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<String, String> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("solve") => solve_cmd(&args[1..], read_file, false),
@@ -122,7 +125,10 @@ fn solve_cmd(
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .ok_or("--monte-carlo needs a sample count")?;
-                opts.fallback = phom_core::Fallback::MonteCarlo { samples, seed: 0x5eed };
+                opts.fallback = phom_core::Fallback::MonteCarlo {
+                    samples,
+                    seed: 0x5eed,
+                };
             }
             "--dp" => opts.prefer_dp = true,
             f => files.push(f.to_string()),
@@ -154,7 +160,12 @@ fn solve_cmd(
     match phom_core::solve_with(&query, &instance, opts) {
         Ok(sol) => {
             let mut out = String::new();
-            let _ = writeln!(out, "Pr(G ⇝ H) = {} ≈ {:.6}", sol.probability, sol.probability.to_f64());
+            let _ = writeln!(
+                out,
+                "Pr(G ⇝ H) = {} ≈ {:.6}",
+                sol.probability,
+                sol.probability.to_f64()
+            );
             let _ = writeln!(out, "route: {:?}", sol.route);
             Ok(out)
         }
@@ -183,8 +194,17 @@ fn classify_cmd(
         parsed.graph.n_edges(),
         parsed.labels
     );
-    let _ = writeln!(out, "connected: {} ({} components)", c.is_connected(), c.components.len());
-    let _ = writeln!(out, "setting: {}", if c.labeled { "labeled" } else { "unlabeled" });
+    let _ = writeln!(
+        out,
+        "connected: {} ({} components)",
+        c.is_connected(),
+        c.components.len()
+    );
+    let _ = writeln!(
+        out,
+        "setting: {}",
+        if c.labeled { "labeled" } else { "unlabeled" }
+    );
     let _ = writeln!(
         out,
         "classes: 1WP={} 2WP={} DWT={} PT={}",
@@ -194,7 +214,11 @@ fn classify_cmd(
     let graded = phom_graph::graded::level_mapping(&parsed.graph);
     match graded {
         Some(lm) => {
-            let _ = writeln!(out, "graded: yes (difference of levels {})", lm.difference_of_levels());
+            let _ = writeln!(
+                out,
+                "graded: yes (difference of levels {})",
+                lm.difference_of_levels()
+            );
         }
         None => {
             let _ = writeln!(out, "graded: no (directed cycle or jumping edge)");
@@ -206,9 +230,21 @@ fn classify_cmd(
 fn tables_cmd() -> String {
     let mut out = String::new();
     for (title, table, union_rows) in [
-        ("Table 1: PHom (unlabeled), disconnected queries", tables::TableId::T1UnlabeledDisconnected, true),
-        ("Table 2: PHom (labeled), connected queries", tables::TableId::T2LabeledConnected, false),
-        ("Table 3: PHom (unlabeled), connected queries", tables::TableId::T3UnlabeledConnected, false),
+        (
+            "Table 1: PHom (unlabeled), disconnected queries",
+            tables::TableId::T1UnlabeledDisconnected,
+            true,
+        ),
+        (
+            "Table 2: PHom (labeled), connected queries",
+            tables::TableId::T2LabeledConnected,
+            false,
+        ),
+        (
+            "Table 3: PHom (unlabeled), connected queries",
+            tables::TableId::T3UnlabeledConnected,
+            false,
+        ),
     ] {
         let _ = writeln!(out, "\n{title}");
         let _ = write!(out, "{:>14} |", "query\\instance");
@@ -239,7 +275,9 @@ fn walk_cmd(
     let [hfile, m_str] = args else {
         return Err("expected: <instance-file> <m>".into());
     };
-    let m: usize = m_str.parse().map_err(|_| format!("'{m_str}' is not a length"))?;
+    let m: usize = m_str
+        .parse()
+        .map_err(|_| format!("'{m_str}' is not a length"))?;
     let htext = read_file(hfile)?;
     let hparsed = parse_graph(&htext).map_err(|e| format!("{hfile}: {e}"))?;
     if hparsed.labels.len() > 1 {
@@ -280,7 +318,11 @@ fn influence_cmd(
     };
     let mut out = String::new();
     let _ = writeln!(out, "route: {route:?}");
-    let _ = writeln!(out, "{:>6} {:>16} {:>10} {}", "edge", "influence", "π(e)", "(src -label-> dst)");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>16} {:>10} (src -label-> dst)",
+        "edge", "influence", "π(e)"
+    );
     for (e, inf) in phom_core::sensitivity::rank_edges(grads) {
         let edge = instance.graph().edge(e);
         let _ = writeln!(
@@ -344,7 +386,9 @@ pub fn read_fs(path: &str) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    fn fake_fs<'a>(files: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Result<String, String> + 'a {
+    fn fake_fs<'a>(
+        files: &'a [(&'a str, &'a str)],
+    ) -> impl Fn(&str) -> Result<String, String> + 'a {
         move |path: &str| {
             files
                 .iter()
@@ -379,7 +423,11 @@ mod tests {
         let err = run(&args(&["solve", "q.pg", "h.pg"]), &fs).unwrap_err();
         assert!(err.contains("Prop 5.1"), "{err}");
         // With brute force it resolves: Pr(∃ R edge) = 3/4.
-        let out = run(&args(&["solve", "q.pg", "h.pg", "--brute-force", "10"]), &fs).unwrap();
+        let out = run(
+            &args(&["solve", "q.pg", "h.pg", "--brute-force", "10"]),
+            &fs,
+        )
+        .unwrap();
         assert!(out.contains("3/4"), "{out}");
     }
 
@@ -411,10 +459,7 @@ mod tests {
         let out = run(&args(&["count", "q.pg", "h.pg"]), &fs).unwrap();
         assert!(out.contains("satisfying worlds: 3 (of 2^2)"), "{out}");
         // Non-½ probabilities are rejected.
-        let fs = fake_fs(&[
-            ("q.pg", "edge 0 1 R\n"),
-            ("h.pg", "edge 0 1 R 1/3\n"),
-        ]);
+        let fs = fake_fs(&[("q.pg", "edge 0 1 R\n"), ("h.pg", "edge 0 1 R 1/3\n")]);
         let err = run(&args(&["count", "q.pg", "h.pg"]), &fs).unwrap_err();
         assert!(err.contains("not unweighted"), "{err}");
     }
@@ -439,10 +484,7 @@ mod tests {
 
     #[test]
     fn query_with_probabilities_rejected() {
-        let fs = fake_fs(&[
-            ("q.pg", "edge 0 1 R 1/2\n"),
-            ("h.pg", "edge 0 1 R 1/2\n"),
-        ]);
+        let fs = fake_fs(&[("q.pg", "edge 0 1 R 1/2\n"), ("h.pg", "edge 0 1 R 1/2\n")]);
         let err = run(&args(&["solve", "q.pg", "h.pg"]), &fs).unwrap_err();
         assert!(err.contains("must not carry probabilities"), "{err}");
     }
@@ -474,7 +516,10 @@ mod tests {
     fn influence_command() {
         let fs = fake_fs(&[
             ("q.pg", "edge 0 1 R\nedge 1 2 S\n"),
-            ("h.pg", "vertices 4\nedge 0 1 R 1/2\nedge 1 2 S 3/4\nedge 2 3 R 1/2\n"),
+            (
+                "h.pg",
+                "vertices 4\nedge 0 1 R 1/2\nedge 1 2 S 3/4\nedge 2 3 R 1/2\n",
+            ),
         ]);
         let out = run(&args(&["influence", "q.pg", "h.pg"]), &fs).unwrap();
         assert!(out.contains("route: Circuit2wp"), "{out}");
@@ -493,7 +538,10 @@ mod tests {
     fn ucq_command() {
         // R·S ∨ S·S on a DWT instance.
         let fs = fake_fs(&[
-            ("h.pg", "vertices 4\nedge 0 1 R 1/2\nedge 1 2 S 1/2\nedge 1 3 S 1/2\n"),
+            (
+                "h.pg",
+                "vertices 4\nedge 0 1 R 1/2\nedge 1 2 S 1/2\nedge 1 3 S 1/2\n",
+            ),
             ("q1.pg", "edge 0 1 R\nedge 1 2 S\n"),
             ("q2.pg", "edge 0 1 S\nedge 1 2 S\n"),
         ]);
@@ -512,8 +560,11 @@ mod tests {
             ("q.pg", "edge 0 1 R\n"),
             ("h.pg", "edge 0 1 R 1/2\nedge 1 0 R 1/2\n"),
         ]);
-        let out =
-            run(&args(&["solve", "q.pg", "h.pg", "--monte-carlo", "4000"]), &fs).unwrap();
+        let out = run(
+            &args(&["solve", "q.pg", "h.pg", "--monte-carlo", "4000"]),
+            &fs,
+        )
+        .unwrap();
         assert!(out.contains("MonteCarlo"), "{out}");
     }
 }

@@ -36,20 +36,58 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`num`] | arbitrary-precision naturals and exact rationals |
+//! | [`num`] | arbitrary-precision naturals, exact rationals, and the algebra layer: the [`Semiring`](phom_num::Semiring) trait (Rational / `f64` / [`Natural`](phom_num::Natural) counting / `bool` / [`Dual`](phom_num::Dual) forward-mode derivatives) refined by [`Weight`](phom_num::Weight) |
 //! | [`graph`] | graphs, probabilistic graphs, classes, homomorphisms |
-//! | [`lineage`] | positive DNFs, β-acyclicity (Thm 4.9), d-DNNF circuits |
-//! | [`automata`] | the polytree encoding and path automata of Prop 5.4 |
-//! | [`core`] | the per-proposition algorithms and the Tables 1–3 dispatcher |
+//! | [`lineage`] | the **unified provenance engine** ([`lineage::engine`]): one arena IR with interned gates and structural hashing, one semiring-generic bottom-up evaluator shared by positive DNFs, β-acyclicity (Thm 4.9), d-DNNF circuits, and OBDDs |
+//! | [`automata`] | the polytree encoding and path automata of Prop 5.4, compiling into engine arenas |
+//! | [`core`] | the per-proposition algorithms and the Tables 1–3 dispatcher; tractable routes attach a [`Provenance`](phom_lineage::Provenance) handle to their [`Solution`]s |
 //! | [`reductions`] | executable #P-hardness reductions (Props 3.3/3.4/4.1/5.6) |
+//!
+//! ## The provenance engine
+//!
+//! Every tractable `PHom` route ultimately evaluates a Boolean lineage
+//! bottom-up. Those evaluations all run through **one** routine —
+//! [`Arena::eval_roots`](phom_lineage::engine::Arena::eval_roots) —
+//! instantiated at different semirings: exact [`Rational`](phom_num::Rational) probability,
+//! the `f64` fast path, [`Natural`](phom_num::Natural) model counting
+//! (with on-the-fly smoothing for unsmoothed circuits),
+//! Boolean world evaluation, and [`Dual`](phom_num::Dual)-number
+//! directional derivatives. Ask the solver for the handle with
+//! [`SolverOptions::want_provenance`] and reuse it downstream:
+//!
+//! ```
+//! use phom::prelude::*;
+//!
+//! let (r, s) = (Label(0), Label(1));
+//! let mut b = GraphBuilder::with_vertices(3);
+//! b.edge(0, 1, r);
+//! b.edge(1, 2, s);
+//! let h = ProbGraph::new(
+//!     b.build(),
+//!     vec![Rational::from_ratio(1, 2), Rational::from_ratio(3, 4)],
+//! );
+//! let g = Graph::one_way_path(&[r, s]);
+//!
+//! let opts = SolverOptions { want_provenance: true, ..Default::default() };
+//! let sol = phom::solve_with(&g, &h, opts).unwrap();
+//! let prov = sol.provenance.expect("Prop 4.10 compiles a circuit");
+//! // The same circuit re-evaluates under new probabilities (no re-solve),
+//! // answers per-world queries, and differentiates:
+//! assert_eq!(prov.probability::<Rational>(h.probs()), sol.probability);
+//! assert!(prov.holds_in(&[true, true]));
+//! let influences = prov.gradients::<Rational>(h.probs());
+//! assert_eq!(influences.len(), 2);
+//! ```
 //!
 //! Beyond the paper's own results, the workspace implements its Section 6
 //! future-work program: **bounded-treewidth instances**
 //! ([`graph::treedecomp`] + [`core::algo::walk_on_tw`]), **unions of
 //! conjunctive queries** ([`core::ucq`]), **OBDD lineage compilation**
-//! ([`lineage::obdd`] + [`core::algo::obdd_route`]), and **sensitivity
-//! analysis** on lineage circuits — edge influences, conditioning and
-//! most-probable witnesses ([`lineage::analysis`], [`core::sensitivity`]).
+//! ([`lineage::obdd`] + [`core::algo::obdd_route`]), **model counting**
+//! through the engine's counting semiring ([`core::counting`]), and
+//! **sensitivity analysis** — engine gradients, dual-number forward mode,
+//! conditioning and most-probable witnesses ([`lineage::analysis`],
+//! [`core::sensitivity`]).
 
 pub use phom_automata as automata;
 pub use phom_core as core;
@@ -67,7 +105,8 @@ pub mod prelude {
     pub use phom_core::ucq::Ucq;
     pub use phom_core::{solve, solve_with, Fallback, Route, Solution, SolverOptions};
     pub use phom_graph::{classify, Dir, Graph, GraphBuilder, Label, ProbGraph};
-    pub use phom_num::{Rational, Weight};
+    pub use phom_lineage::{Provenance, VarStatus};
+    pub use phom_num::{Rational, Semiring, Weight};
 }
 
 #[cfg(test)]

@@ -210,10 +210,10 @@ proptest! {
         let q = generate::two_way_path(rng.gen_range(1..4), 2, &mut rng);
         let (grads, _) = sensitivity::influences::<Rational>(&q, &h).expect("2WP route");
         let total = bruteforce::probability(&q, &h);
-        for e in 0..h.graph().n_edges() {
+        for (e, grad) in grads.iter().enumerate() {
             let plus = bruteforce::probability(&q, &sensitivity::pin(&h, e, true));
             let minus = bruteforce::probability(&q, &sensitivity::pin(&h, e, false));
-            prop_assert_eq!(grads[e].clone(), plus.sub(&minus));
+            prop_assert_eq!(grad.clone(), plus.sub(&minus));
             let mix = h.prob(e).mul(&plus).add(&h.prob(e).one_minus().mul(&minus));
             prop_assert_eq!(mix, total.clone());
         }
@@ -233,9 +233,7 @@ fn mpe_equals_bruteforce_argmax() {
         let witness = sensitivity::most_probable_witness(&q, &h).expect("route applies");
         let mut best: Option<Rational> = None;
         for (mask, p) in h.worlds() {
-            if exists_hom_into_world(&q, h.graph(), &mask)
-                && best.as_ref().map_or(true, |b| p > *b)
-            {
+            if exists_hom_into_world(&q, h.graph(), &mask) && best.as_ref().is_none_or(|b| p > *b) {
                 best = Some(p);
             }
         }
@@ -268,9 +266,8 @@ fn gradients_on_automata_circuits() {
             .expect("polytree")
         });
         // ...equals brute-force conditioning.
-        let by_bf = sensitivity::influences_by_conditioning(&h, |inst| {
-            bruteforce::probability(&q, inst)
-        });
+        let by_bf =
+            sensitivity::influences_by_conditioning(&h, |inst| bruteforce::probability(&q, inst));
         assert_eq!(by_cond, by_bf);
     }
 }
@@ -290,7 +287,9 @@ fn treewidth_ucq_sensitivity_composition() {
     let (p, _) = ucq::probability::<Rational>(&rule, &h).expect("collapse route");
     assert_eq!(p, ucq::bruteforce_probability(&rule, &h));
     let infl = sensitivity::influences_by_conditioning(&h, |inst| {
-        ucq::probability::<Rational>(&rule, inst).expect("collapse route").0
+        ucq::probability::<Rational>(&rule, inst)
+            .expect("collapse route")
+            .0
     });
     let infl_bf = sensitivity::influences_by_conditioning(&h, |inst| {
         ucq::bruteforce_probability(&rule, inst)
@@ -346,9 +345,8 @@ fn fail_circuit_gradients_are_negated_influences() {
         };
         let probs: Vec<Rational> = h.probs().to_vec();
         let fail_grads = analysis::gradients(&fail, root, &probs);
-        let match_infl = sensitivity::influences_by_conditioning(&h, |inst| {
-            bruteforce::probability(&q, inst)
-        });
+        let match_infl =
+            sensitivity::influences_by_conditioning(&h, |inst| bruteforce::probability(&q, inst));
         for e in 0..h.graph().n_edges() {
             assert_eq!(fail_grads[e].neg(), match_infl[e]);
         }

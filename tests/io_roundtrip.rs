@@ -75,7 +75,10 @@ fn cli_pipeline_on_written_files() {
     let g = generate::downward_tree(12, 2, &mut rng);
     let h = generate::with_probabilities(
         g,
-        generate::ProbProfile { certain_ratio: 0.2, denominator: 4 },
+        generate::ProbProfile {
+            certain_ratio: 0.2,
+            denominator: 4,
+        },
         &mut rng,
     );
     let q = generate::planted_path_query(h.graph(), 2, &mut rng)
@@ -97,5 +100,8 @@ fn cli_pipeline_on_written_files() {
     )
     .unwrap();
     let expect = phom::solve(&q, &h).unwrap().probability;
-    assert!(out.contains(&format!("= {expect} ")), "out={out} expect={expect}");
+    assert!(
+        out.contains(&format!("= {expect} ")),
+        "out={out} expect={expect}"
+    );
 }

@@ -86,15 +86,36 @@ fn tables_border_cells() {
     use phom::graph::ConnClass::*;
     use tables::CellStatus::*;
     // Table 1 row ⊔2WP: hard from 2WP instances on.
-    assert!(matches!(tables::table1(TwoWayPath, TwoWayPath), Hard("Prop 3.4")));
+    assert!(matches!(
+        tables::table1(TwoWayPath, TwoWayPath),
+        Hard("Prop 3.4")
+    ));
     // Table 2: the four numbered cells.
-    assert!(matches!(tables::table2(OneWayPath, DownwardTree), PTime("Prop 4.10")));
-    assert!(matches!(tables::table2(General, TwoWayPath), PTime("Prop 4.11")));
-    assert!(matches!(tables::table2(OneWayPath, Polytree), Hard("Prop 4.1")));
-    assert!(matches!(tables::table2(DownwardTree, DownwardTree), Hard("Prop 4.4")));
+    assert!(matches!(
+        tables::table2(OneWayPath, DownwardTree),
+        PTime("Prop 4.10")
+    ));
+    assert!(matches!(
+        tables::table2(General, TwoWayPath),
+        PTime("Prop 4.11")
+    ));
+    assert!(matches!(
+        tables::table2(OneWayPath, Polytree),
+        Hard("Prop 4.1")
+    ));
+    assert!(matches!(
+        tables::table2(DownwardTree, DownwardTree),
+        Hard("Prop 4.4")
+    ));
     // Table 3.
-    assert!(matches!(tables::table3(OneWayPath, Polytree), PTime("Prop 5.4")));
-    assert!(matches!(tables::table3(TwoWayPath, Polytree), Hard("Prop 5.6")));
+    assert!(matches!(
+        tables::table3(OneWayPath, Polytree),
+        PTime("Prop 5.4")
+    ));
+    assert!(matches!(
+        tables::table3(TwoWayPath, Polytree),
+        Hard("Prop 5.6")
+    ));
 }
 
 /// The four maximal tractable cases from the conclusion, demonstrated on

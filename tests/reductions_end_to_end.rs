@@ -14,8 +14,12 @@ use phom::reductions::{prop33, prop34, prop41, prop56};
 fn prop33_exhaustive_on_tiny_bipartite_graphs() {
     for mask in 1u32..16 {
         let all = [(0, 0), (0, 1), (1, 0), (1, 1)];
-        let edges: Vec<(usize, usize)> =
-            all.iter().enumerate().filter(|(i, _)| mask >> i & 1 == 1).map(|(_, &e)| e).collect();
+        let edges: Vec<(usize, usize)> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
         let gamma = Bipartite::new(2, 2, edges);
         let red = prop33::reduce(&gamma);
         assert_eq!(
@@ -31,8 +35,12 @@ fn prop33_exhaustive_on_tiny_bipartite_graphs() {
 fn prop34_exhaustive_on_tiny_bipartite_graphs() {
     for mask in 1u32..16 {
         let all = [(0, 0), (0, 1), (1, 0), (1, 1)];
-        let edges: Vec<(usize, usize)> =
-            all.iter().enumerate().filter(|(i, _)| mask >> i & 1 == 1).map(|(_, &e)| e).collect();
+        let edges: Vec<(usize, usize)> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
         let gamma = Bipartite::new(2, 2, edges);
         let red = prop34::reduce(&gamma);
         assert_eq!(
@@ -61,7 +69,11 @@ fn prop41_exhaustive_on_tiny_formulas() {
     for clauses in formulas {
         let phi = Pp2Dnf::new(2, 2, clauses);
         let red = prop41::reduce(&phi);
-        assert_eq!(red.count_via_brute_force(), phi.count_satisfying(), "{phi:?}");
+        assert_eq!(
+            red.count_via_brute_force(),
+            phi.count_satisfying(),
+            "{phi:?}"
+        );
         assert_eq!(phi.count_satisfying(), phi.count_satisfying_naive());
     }
 }
@@ -81,7 +93,11 @@ fn prop56_exhaustive_on_tiny_formulas() {
     for clauses in formulas {
         let phi = Pp2Dnf::new(2, 2, clauses);
         let red = prop56::reduce(&phi);
-        assert_eq!(red.count_via_brute_force(), phi.count_satisfying(), "{phi:?}");
+        assert_eq!(
+            red.count_via_brute_force(),
+            phi.count_satisfying(),
+            "{phi:?}"
+        );
     }
 }
 
@@ -117,10 +133,16 @@ fn monte_carlo_approximates_reduction_counts() {
     let gamma = Bipartite::figure_5_graph();
     let red = prop33::reduce(&gamma);
     let opts = SolverOptions {
-        fallback: Fallback::MonteCarlo { samples: 40_000, seed: 99 },
+        fallback: Fallback::MonteCarlo {
+            samples: 40_000,
+            seed: 99,
+        },
         ..Default::default()
     };
     let sol = phom::solve_with(&red.query, &red.instance, opts).unwrap();
     let approx_count = sol.probability.to_f64() * (1u64 << red.log2_scale) as f64;
-    assert!((approx_count - 2.0).abs() < 0.5, "approx #EC = {approx_count}");
+    assert!(
+        (approx_count - 2.0).abs() < 0.5,
+        "approx #EC = {approx_count}"
+    );
 }

@@ -10,17 +10,29 @@ use rand::{Rng, SeedableRng};
 
 fn check_exact(q: &Graph, h: &ProbGraph, expected_route: Option<&Route>) {
     let sol = phom::solve(q, h).unwrap_or_else(|e| {
-        panic!("solver refused a PTIME-cell input: {e:?}\n q={q:?}\n h={:?}", h.graph())
+        panic!(
+            "solver refused a PTIME-cell input: {e:?}\n q={q:?}\n h={:?}",
+            h.graph()
+        )
     });
     let expect = bruteforce::probability(q, h);
-    assert_eq!(sol.probability, expect, "q={q:?} h={:?} route={:?}", h.graph(), sol.route);
+    assert_eq!(
+        sol.probability,
+        expect,
+        "q={q:?} h={:?} route={:?}",
+        h.graph(),
+        sol.route
+    );
     if let Some(r) = expected_route {
         assert_eq!(&sol.route, r, "q={q:?}");
     }
 }
 
 fn profile() -> generate::ProbProfile {
-    generate::ProbProfile { certain_ratio: 0.3, denominator: 4 }
+    generate::ProbProfile {
+        certain_ratio: 0.3,
+        denominator: 4,
+    }
 }
 
 /// Table 1 / Prop 3.6: arbitrary unlabeled queries on ⊔DWT instances.
@@ -114,10 +126,15 @@ fn t3_path_queries_on_polytrees_all_strategies() {
             generate::downward_tree(rng.gen_range(2..6), 1, &mut rng)
         };
         let expect = bruteforce::probability(&q, &h);
-        for strategy in
-            [PtStrategy::OptAutomaton, PtStrategy::PaperAutomaton, PtStrategy::Ddnnf]
-        {
-            let opts = SolverOptions { pt_strategy: strategy, ..Default::default() };
+        for strategy in [
+            PtStrategy::OptAutomaton,
+            PtStrategy::PaperAutomaton,
+            PtStrategy::Ddnnf,
+        ] {
+            let opts = SolverOptions {
+                pt_strategy: strategy,
+                ..Default::default()
+            };
             let sol = solve_with(&q, &h, opts).unwrap();
             assert_eq!(sol.probability, expect, "strategy {strategy:?} q={q:?}");
         }
@@ -141,7 +158,14 @@ fn dp_ablations_agree_with_lineage() {
         };
         let h = generate::with_probabilities(h_graph, profile(), &mut rng);
         let a = solve_with(&q, &h, SolverOptions::default());
-        let b = solve_with(&q, &h, SolverOptions { prefer_dp: true, ..Default::default() });
+        let b = solve_with(
+            &q,
+            &h,
+            SolverOptions {
+                prefer_dp: true,
+                ..Default::default()
+            },
+        );
         match (a, b) {
             (Ok(x), Ok(y)) => assert_eq!(x.probability, y.probability, "q={q:?}"),
             (Err(x), Err(y)) => assert_eq!(x.prop, y.prop),
