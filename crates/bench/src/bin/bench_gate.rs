@@ -1,0 +1,139 @@
+//! The perf-regression gate: compares a fresh `tables --json` smoke run
+//! against the committed baseline (`BENCH_*.json` at the repo root) and
+//! fails when any hot-path median regresses beyond the allowed ratio.
+//!
+//! The gate is deliberately **loose** (default 3×): CI runners are noisy,
+//! and the point is to catch catastrophic regressions — an accidental
+//! `O(n²)` on the β-elimination path, a lost fast path — not 10% drift.
+//! Entries below a noise floor (10µs) are skipped outright, and entries
+//! present on only one side are reported but never fail the gate (new
+//! benchmarks may land before or after their baselines).
+//!
+//! Usage: `bench_gate <baseline.json> <current.json> [--max-ratio <r>]`
+//!
+//! Both files use the `phom-bench-smoke/v1` schema emitted by
+//! `tables --json`; the parser below reads exactly that shape (one
+//! `{"id": …, "n": …, "median_ns": …}` object per line) without pulling a
+//! JSON dependency into the workspace.
+
+use std::process::ExitCode;
+
+/// Minimum baseline median (ns) for an entry to participate in the gate.
+const NOISE_FLOOR_NS: f64 = 10_000.0;
+
+fn parse_entries(text: &str, origin: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id) = extract_str(line, "\"id\"") else {
+            continue;
+        };
+        let median = extract_num(line, "\"median_ns\"")
+            .ok_or_else(|| format!("{origin}: entry '{id}' has no median_ns"))?;
+        out.push((id, median));
+    }
+    if out.is_empty() {
+        return Err(format!("{origin}: no phom-bench-smoke entries found"));
+    }
+    Ok(out)
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let at = line.find(key)? + key.len();
+    let rest = line[at..].trim_start_matches([':', ' ']);
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let at = line.find(key)? + key.len();
+    let rest = line[at..].trim_start_matches([':', ' ']);
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut files = Vec::new();
+    let mut max_ratio = 3.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-ratio" => {
+                i += 1;
+                max_ratio = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--max-ratio needs a number")?;
+            }
+            f => files.push(f.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        return Err("usage: bench_gate <baseline.json> <current.json> [--max-ratio <r>]".into());
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let baseline = parse_entries(&read(baseline_path)?, baseline_path)?;
+    let current = parse_entries(&read(current_path)?, current_path)?;
+
+    let mut ok = true;
+    println!("| id | baseline | current | ratio | verdict |");
+    println!("|---|---|---|---|---|");
+    for (id, base) in &baseline {
+        let Some((_, cur)) = current.iter().find(|(cid, _)| cid == id) else {
+            println!("| {id} | {base:.0}ns | (missing) | — | skipped |");
+            continue;
+        };
+        if *base < NOISE_FLOOR_NS {
+            println!("| {id} | {base:.0}ns | {cur:.0}ns | — | below noise floor |");
+            continue;
+        }
+        let ratio = cur / base;
+        let verdict = if ratio > max_ratio {
+            ok = false;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("| {id} | {base:.0}ns | {cur:.0}ns | {ratio:.2}× | {verdict} |");
+    }
+    for (id, _) in &current {
+        if !baseline.iter().any(|(bid, _)| bid == id) {
+            println!("| {id} | (new) | — | — | no baseline yet |");
+        }
+    }
+    if !ok {
+        println!("\nbench_gate: at least one hot path regressed more than {max_ratio}× — if the");
+        println!("slowdown is intended, regenerate the baseline with `tables --json`.");
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_smoke_lines() {
+        let text = "{\n  \"results\": [\n    {\"id\": \"a\", \"n\": 4, \"median_ns\": 1500000},\n    {\"id\": \"b\", \"n\": 2, \"median_ns\": 42}\n  ]\n}";
+        let got = parse_entries(text, "t").unwrap();
+        assert_eq!(
+            got,
+            vec![("a".to_string(), 1_500_000.0), ("b".to_string(), 42.0)]
+        );
+        assert!(parse_entries("{}", "t").is_err());
+    }
+}

@@ -131,6 +131,54 @@ fn json_smoke() {
         path_on_pt::long_path_probability::<f64>(&h, 6, PtStrategy::OptAutomaton).unwrap()
     });
 
+    // Batched serving: k = 16 requests over 2 distinct repeated-structure
+    // planted queries on one 2WP instance (a serving trace with heavy
+    // repetition). `solve_many` interns the repeats, preprocesses the
+    // instance once, and answers every circuit through one shared arena +
+    // engine pass; the baseline issues 16 independent `solve` calls.
+    // Exact rational arithmetic on both sides, results bit-identical
+    // (asserted here and in tests/batch_solver.rs).
+    {
+        let h = wl::twp_instance(512, 2);
+        let queries: Vec<Graph> = (0..16).map(|i| wl::planted_query(&h, 2 + i % 2)).collect();
+        let opts = phom_core::SolverOptions::default();
+        let solo: Vec<_> = queries
+            .iter()
+            .map(|q| phom_core::solve_with(q, &h, opts).expect("tractable"))
+            .collect();
+        let batched = phom_core::solve_many(&queries, &h, opts);
+        for (s, b) in solo.iter().zip(&batched) {
+            let b = b.as_ref().expect("tractable");
+            assert_eq!(s.probability, b.probability, "batch must be bit-identical");
+        }
+        json_entry(&mut entries, "solve_repeated_k16", 16, || {
+            queries
+                .iter()
+                .map(|q| {
+                    phom_core::solve_with(q, &h, opts)
+                        .expect("tractable")
+                        .probability
+                        .to_f64()
+                })
+                .sum()
+        });
+        json_entry(&mut entries, "solve_many_k16", 16, || {
+            phom_core::solve_many(&queries, &h, opts)
+                .into_iter()
+                .map(|r| r.expect("tractable").probability.to_f64())
+                .sum()
+        });
+        // Warm-cache serving: every query answered from the eval cache.
+        let mut cache = phom_core::EvalCache::new();
+        let _ = phom_core::solve_many_cached(&queries, &h, opts, &mut cache);
+        json_entry(&mut entries, "solve_many_cached_k16", 16, || {
+            phom_core::solve_many_cached(&queries, &h, opts, &mut cache)
+                .into_iter()
+                .map(|r| r.expect("tractable").probability.to_f64())
+                .sum()
+        });
+    }
+
     println!("{{");
     println!("  \"schema\": \"phom-bench-smoke/v1\",");
     println!("  \"reps\": {REPS},");

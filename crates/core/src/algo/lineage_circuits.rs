@@ -24,50 +24,69 @@
 use super::connected_on_2wp::minimal_intervals;
 use phom_graph::classes::{as_downward_tree, as_one_way_path, as_two_way_path};
 use phom_graph::{Graph, VertexId};
+use phom_lineage::fxhash::FxHashMap;
 use phom_lineage::{Circuit, GateId};
-use std::collections::HashMap;
 
 /// Compiles the lineage of "the connected query matches the 2WP instance"
 /// into a d-DNNF over the instance's edge ids. Returns `None` when the
 /// inputs do not have the Prop 4.11 shapes.
 pub fn match_circuit_2wp(query: &Graph, instance: &Graph) -> Option<(Circuit, GateId)> {
+    let mut c = Circuit::new(instance.n_edges());
+    let root = match_into_2wp(&mut c, query, instance)?;
+    Some((c, root))
+}
+
+/// As [`match_circuit_2wp`], but compiling into a caller-provided arena —
+/// the batched solver compiles *many* queries against one instance into a
+/// single shared arena this way, so common sub-lineages intern once and
+/// one multi-root engine pass answers the whole batch. `c` must have been
+/// created over `instance.n_edges()` variables. Shape checks run before
+/// any gate is created, so a `None` return leaves `c` untouched.
+pub fn match_into_2wp(c: &mut Circuit, query: &Graph, instance: &Graph) -> Option<GateId> {
+    assert_eq!(c.num_vars(), instance.n_edges());
     let view = as_two_way_path(instance)?;
     let (intervals, trivially_true) = minimal_intervals(query, instance)?;
-    let mut c = Circuit::new(instance.n_edges());
     if trivially_true {
-        let t = c.constant(true);
-        return Some((c, t));
+        return Some(c.constant(true));
     }
     if intervals.is_empty() {
-        let f = c.constant(false);
-        return Some((c, f));
+        return Some(c.constant(false));
     }
     let k = intervals.len();
     // DFA states: 0..k = first unbroken interval; k = all broken (dead,
     // since completing any interval is absorbed into acceptance).
-    // Process positions right to left: gate[state] = "future accepts".
+    // Process positions right to left; `future[s]` = "the suffix after
+    // `pos` accepts from state `s`". Only states whose interval is *open*
+    // at `pos` need gates: minimal intervals form an antichain (starts
+    // and ends both strictly increase — see
+    // `connected_on_2wp::minimal_intervals`), so they are the contiguous
+    // band `lo..hi`. States left of the band are dead (never read again:
+    // their interval completed or broke strictly earlier), states right
+    // of it transition identically on both literals, so their gate
+    // carries over untouched. The carried-over branches skip the
+    // position's variable, leaving the circuit *unsmoothed*; probability
+    // is unaffected (`p + (1 − p) = 1`) and the engine's
+    // support-tracking pass keeps model counting exact (see
+    // `phom_lineage::engine` on smoothing). Compared to unrolling every
+    // (position, state) pair this drops the gate count from `O(n·k)` to
+    // the sum of the interval lengths.
     let n_steps = view.steps.len();
-    let mut future: Vec<GateId> = (0..=k).map(|_| c.constant(false)).collect();
+    let constant_false = c.constant(false);
+    let mut future: Vec<GateId> = vec![constant_false; k + 1];
     for pos in (0..n_steps).rev() {
+        let lo = intervals.partition_point(|iv| iv.end < pos);
+        let hi = intervals.partition_point(|iv| iv.start <= pos);
+        if lo >= hi {
+            continue; // no interval open at pos: identity on every state
+        }
         let var = view.steps[pos].0;
         let x = c.var(var);
         let nx = c.neg_var(var);
-        let mut next: Vec<GateId> = Vec::with_capacity(k + 1);
-        for state in 0..=k {
-            if state == k {
-                // Dead: no interval left to complete.
-                next.push(future[k]);
-                continue;
-            }
-            if intervals[state].start > pos {
-                // The edge precedes the open interval: state unchanged
-                // either way. g = (x ∨ ¬x) ∧ future[state] would not be
-                // deterministic-by-literal; instead keep the branch shape.
-                let a = c.and_gate(vec![x, future[state]]);
-                let b = c.and_gate(vec![nx, future[state]]);
-                next.push(c.or_gate(vec![a, b]));
-                continue;
-            }
+        // Absent: every open interval breaks; the run advances to the
+        // first interval starting after pos (`hi`; the dead state's entry
+        // stays constant false).
+        let absent = c.and_gate(vec![nx, future[hi]]);
+        for state in lo..hi {
             // Present: completes interval `state` iff pos == end.
             let present = if intervals[state].end == pos {
                 // Acceptance: the rest of the word is unconstrained.
@@ -75,17 +94,10 @@ pub fn match_circuit_2wp(query: &Graph, instance: &Graph) -> Option<(Circuit, Ga
             } else {
                 c.and_gate(vec![x, future[state]])
             };
-            // Absent: advance to the first interval starting after pos.
-            let t2 = intervals[state..]
-                .iter()
-                .position(|iv| iv.start > pos)
-                .map_or(k, |off| state + off);
-            let absent = c.and_gate(vec![nx, future[t2]]);
-            next.push(c.or_gate(vec![present, absent]));
+            future[state] = c.or_gate(vec![present, absent]);
         }
-        future = next;
     }
-    Some((c, future[0]))
+    Some(future[0])
 }
 
 /// Compiles the lineage of "the 1WP query has **no** match in the DWT
@@ -93,13 +105,21 @@ pub fn match_circuit_2wp(query: &Graph, instance: &Graph) -> Option<(Circuit, Ga
 /// probability side). Returns `None` when the inputs do not have the
 /// Prop 4.10 shapes.
 pub fn fail_circuit_dwt(query: &Graph, instance: &Graph) -> Option<(Circuit, GateId)> {
+    let mut c = Circuit::new(instance.n_edges());
+    let root = fail_into_dwt(&mut c, query, instance)?;
+    Some((c, root))
+}
+
+/// As [`fail_circuit_dwt`], compiling into a caller-provided arena (see
+/// [`match_into_2wp`] for why). Shape checks run before any gate is
+/// created, so a `None` return leaves `c` untouched.
+pub fn fail_into_dwt(c: &mut Circuit, query: &Graph, instance: &Graph) -> Option<GateId> {
+    assert_eq!(c.num_vars(), instance.n_edges());
     let qpath = as_one_way_path(query)?;
     let view = as_downward_tree(instance)?;
     let m = qpath.labels.len();
-    let mut c = Circuit::new(instance.n_edges());
     if m == 0 {
-        let f = c.constant(false); // the empty query always matches
-        return Some((c, f));
+        return Some(c.constant(false)); // the empty query always matches
     }
     // matches[v]: the m edges above v exist and spell the query labels.
     let mut matches = vec![false; instance.n_vertices()];
@@ -120,7 +140,7 @@ pub fn fail_circuit_dwt(query: &Graph, instance: &Graph) -> Option<(Circuit, Gat
         matches[v] = ok;
     }
     // Fail(v, r): gates built bottom-up; r capped at m.
-    let mut gates: HashMap<(VertexId, usize), GateId> = HashMap::new();
+    let mut gates: FxHashMap<(VertexId, usize), GateId> = FxHashMap::default();
     for &v in view.order.iter().rev() {
         for r in 0..=m {
             let gate = if matches[v] && r >= m {
@@ -146,7 +166,7 @@ pub fn fail_circuit_dwt(query: &Graph, instance: &Graph) -> Option<(Circuit, Gat
             gates.insert((v, r), gate);
         }
     }
-    Some((c, gates[&(view.root, 0)]))
+    Some(gates[&(view.root, 0)])
 }
 
 #[cfg(test)]

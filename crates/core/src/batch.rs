@@ -1,0 +1,505 @@
+//! Batched query-set solving (`solve_many`): the serving path.
+//!
+//! `phom_core::solve` answers one query at a time, re-deriving the
+//! instance-side state (classification, label set, Lemma 3.7 component
+//! split) and compiling a fresh lineage for every call. A serving
+//! workload — many queries against one probabilistic instance, with heavy
+//! repetition — amortizes all of that:
+//!
+//! 1. **Instance preprocessing once.** One [`SharedInstance`] carries the
+//!    classification, label set, and (lazily) the component split for the
+//!    whole batch.
+//! 2. **Interned queries.** Structurally identical queries in the batch
+//!    collapse to one [`QueryKey`]; each unique query is planned, solved,
+//!    and cached exactly once.
+//! 3. **One shared arena, one engine pass.** Every circuit-compilable
+//!    plan (Prop 4.10 fail circuits, Prop 4.11 match circuits, on
+//!    connected instances) compiles into a *single* [`Arena`] — common
+//!    sub-lineages intern once across queries — and a single multi-root
+//!    [`Arena::probability_many_with`] pass answers them all.
+//! 4. **Cross-batch caching.** An optional [`EvalCache`], keyed by
+//!    (instance fingerprint, solver-options fingerprint, interned query
+//!    key), lets repeated queries on a served instance skip planning and
+//!    compilation entirely. Mutating the instance (structure *or*
+//!    probabilities) changes its fingerprint and naturally invalidates
+//!    every cached answer.
+//!
+//! Results are **identical** to the per-query path: plans that the shared
+//! arena cannot take (trivial routes, Prop 3.6/5.4, disconnected
+//! instances, fallbacks, provenance requests) execute through exactly the
+//! same code `solve_with` runs, and the circuit-backed plans compute the
+//! same exact rational probabilities the β-elimination path does (the
+//! equivalence the test suite asserts per world and per probability).
+
+use crate::solver::{
+    finish_plan, plan_query, Hardness, Plan, SharedInstance, Solution, SolverOptions,
+};
+use crate::{algo::lineage_circuits, Route};
+use phom_graph::{Graph, ProbGraph};
+use phom_lineage::engine::{Arena, EvalScratch, GateId};
+use phom_lineage::fxhash::{FxHashMap, FxHasher};
+use phom_num::Rational;
+use std::hash::{Hash, Hasher};
+
+/// An interned query key: structural identity of a query graph (vertex
+/// count + exact edge list), pre-hashed so batch dedup and cache lookups
+/// cost one u64 hash. Isomorphic-but-renumbered queries get distinct keys
+/// — interning is exact, not up to isomorphism.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryKey {
+    hash: u64,
+    n_vertices: u32,
+    edges: Box<[(u32, u32, u32)]>,
+}
+
+impl QueryKey {
+    /// The key of `query`.
+    pub fn new(query: &Graph) -> Self {
+        let edges: Box<[(u32, u32, u32)]> = query
+            .edges()
+            .iter()
+            .map(|e| (e.src as u32, e.dst as u32, e.label.0))
+            .collect();
+        let mut h = FxHasher::default();
+        h.write_u32(query.n_vertices() as u32);
+        for &(s, d, l) in &*edges {
+            h.write_u32(s);
+            h.write_u32(d);
+            h.write_u32(l);
+        }
+        QueryKey {
+            hash: h.finish(),
+            n_vertices: query.n_vertices() as u32,
+            edges,
+        }
+    }
+}
+
+impl Hash for QueryKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// A content fingerprint of a probabilistic instance: graph structure
+/// (vertices, edges, labels) and every edge probability. Two instances
+/// with equal fingerprints serve interchangeable cached answers; any
+/// mutation — adding an edge, nudging a probability — moves the
+/// fingerprint and invalidates the cache for free.
+pub fn instance_fingerprint(instance: &ProbGraph) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(instance.graph().n_vertices() as u32);
+    for e in instance.graph().edges() {
+        h.write_u32(e.src as u32);
+        h.write_u32(e.dst as u32);
+        h.write_u32(e.label.0);
+    }
+    for p in instance.probs() {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Folds the option fields that change answers (or attached artifacts)
+/// into the cache key, so e.g. a `want_provenance` answer is never served
+/// to a caller that set a brute-force fallback.
+fn opts_fingerprint(opts: &SolverOptions) -> u64 {
+    use crate::solver::Fallback;
+    let mut h = FxHasher::default();
+    match opts.fallback {
+        Fallback::None => h.write_u8(0),
+        Fallback::BruteForce { max_uncertain } => {
+            h.write_u8(1);
+            h.write_usize(max_uncertain);
+        }
+        Fallback::MonteCarlo { samples, seed } => {
+            h.write_u8(2);
+            h.write_u64(samples);
+            h.write_u64(seed);
+        }
+    }
+    h.write_u8(opts.pt_strategy as u8);
+    h.write_u8(opts.prefer_dp as u8);
+    h.write_u8(opts.want_provenance as u8);
+    h.finish()
+}
+
+/// Hit/miss counters of an [`EvalCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache (no planning, no compilation).
+    pub hits: u64,
+    /// Queries that had to be solved and were then inserted.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+/// A cross-batch answer cache for serving workloads: maps (instance
+/// fingerprint, options fingerprint, interned query key) to the completed
+/// `Result<Solution, Hardness>`. Owned by the caller so one cache can
+/// serve many `solve_many_cached` batches — and many instances; answers
+/// for an old instance version simply stop being reachable once its
+/// fingerprint changes.
+#[derive(Default)]
+pub struct EvalCache {
+    /// Two-level map: (instance fingerprint, options fingerprint) →
+    /// interned query key → answer. The outer lookup happens once per
+    /// batch and the inner probes borrow the already-built [`QueryKey`],
+    /// so the warm path clones nothing.
+    map: FxHashMap<(u64, u64), FxHashMap<QueryKey, Result<Solution, Hardness>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        EvalCache::default()
+    }
+
+    /// Hit/miss counters and current size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.values().map(FxHashMap::len).sum(),
+        }
+    }
+
+    /// Drops every entry (counters are kept; they describe the cache's
+    /// lifetime, not its contents).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// What one `solve_many` call did, for observability and the perf
+/// harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Structurally distinct queries after interning.
+    pub unique_queries: usize,
+    /// Unique queries answered from the [`EvalCache`].
+    pub cache_hits: usize,
+    /// Unique queries answered through the shared arena's single engine
+    /// pass.
+    pub circuit_batched: usize,
+    /// Unique queries answered on the general per-query path (trivial
+    /// routes, non-circuit algorithms, disconnected instances,
+    /// fallbacks).
+    pub general_solved: usize,
+    /// Gates in the shared arena (0 when nothing batched).
+    pub shared_gates: usize,
+}
+
+/// Batched solving: answers every query in `queries` against `instance`,
+/// preserving order, with the amortizations described in the module docs.
+/// Results are identical to calling [`crate::solve_with`] per query.
+pub fn solve_many(
+    queries: &[Graph],
+    instance: &ProbGraph,
+    opts: SolverOptions,
+) -> Vec<Result<Solution, Hardness>> {
+    solve_many_stats(queries, instance, opts, None).0
+}
+
+/// As [`solve_many`], with a caller-owned [`EvalCache`]: repeated queries
+/// across batches skip compilation entirely while the instance
+/// fingerprint holds.
+pub fn solve_many_cached(
+    queries: &[Graph],
+    instance: &ProbGraph,
+    opts: SolverOptions,
+    cache: &mut EvalCache,
+) -> Vec<Result<Solution, Hardness>> {
+    solve_many_stats(queries, instance, opts, Some(cache)).0
+}
+
+/// How a unique query slot is answered before the engine pass runs.
+enum SlotState {
+    Ready(Result<Solution, Hardness>),
+    /// Compiled into the shared arena: `deferred[idx]` holds the root;
+    /// `negated` marks Prop 4.10 fail circuits (complement on read-out).
+    Deferred {
+        idx: usize,
+        negated: bool,
+        route: Route,
+    },
+}
+
+/// The full-control entry point: optional cache, and the batch statistics
+/// alongside the results.
+pub fn solve_many_stats(
+    queries: &[Graph],
+    instance: &ProbGraph,
+    opts: SolverOptions,
+    mut cache: Option<&mut EvalCache>,
+) -> (Vec<Result<Solution, Hardness>>, BatchStats) {
+    let shared = SharedInstance::new(instance);
+    let mut stats = BatchStats {
+        queries: queries.len(),
+        ..Default::default()
+    };
+
+    // 1. Intern the batch: one slot per structurally distinct query.
+    let mut slot_of_key: FxHashMap<QueryKey, usize> = FxHashMap::default();
+    let mut unique: Vec<(usize, QueryKey)> = Vec::new(); // (query index, key)
+    let mut slot_of_query: Vec<usize> = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let key = QueryKey::new(q);
+        let next = unique.len();
+        let slot = *slot_of_key.entry(key.clone()).or_insert_with(|| {
+            unique.push((i, key));
+            next
+        });
+        slot_of_query.push(slot);
+    }
+    stats.unique_queries = unique.len();
+
+    // 2. Resolve each unique query: cache hit, shared-arena compilation,
+    //    or the general per-query path.
+    let fingerprint = cache.as_ref().map(|_| instance_fingerprint(instance));
+    let opts_fp = opts_fingerprint(&opts);
+    let mut arena = Arena::new(instance.graph().n_edges());
+    let mut deferred_roots: Vec<GateId> = Vec::new();
+    let mut slots: Vec<SlotState> = Vec::with_capacity(unique.len());
+    for (qi, key) in &unique {
+        if let (Some(cache), Some(fp)) = (cache.as_deref_mut(), fingerprint) {
+            if let Some(answer) = cache.map.get(&(fp, opts_fp)).and_then(|m| m.get(key)) {
+                cache.hits += 1;
+                stats.cache_hits += 1;
+                slots.push(SlotState::Ready(answer.clone()));
+                continue;
+            }
+        }
+        let planned = plan_query(&queries[*qi], &shared);
+        // The shared-arena fast path: circuit-compilable plans on a
+        // connected instance, when no provenance handle was requested
+        // (handles own their circuit, so they compile separately).
+        if shared.ic.is_connected() && !opts.want_provenance {
+            match &planned.plan {
+                Plan::Prop411 { effective } => {
+                    if let Some(root) =
+                        lineage_circuits::match_into_2wp(&mut arena, effective, instance.graph())
+                    {
+                        slots.push(SlotState::Deferred {
+                            idx: push_root(&mut deferred_roots, root),
+                            negated: false,
+                            route: Route::Prop411,
+                        });
+                        stats.circuit_batched += 1;
+                        continue;
+                    }
+                }
+                Plan::Prop410 => {
+                    if let Some(root) = lineage_circuits::fail_into_dwt(
+                        &mut arena,
+                        &planned.absorbed,
+                        instance.graph(),
+                    ) {
+                        slots.push(SlotState::Deferred {
+                            idx: push_root(&mut deferred_roots, root),
+                            negated: true,
+                            route: Route::Prop410,
+                        });
+                        stats.circuit_batched += 1;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // General path: finish the plan exactly as `solve_with` does,
+        // reusing the shared instance-side state (provenance compilation
+        // included).
+        let answer = finish_plan(&queries[*qi], planned, &shared, opts);
+        stats.general_solved += 1;
+        slots.push(SlotState::Ready(answer));
+    }
+    stats.shared_gates = arena.n_gates();
+
+    // 3. One multi-root engine pass answers every deferred query.
+    let batched: Vec<Rational> = if deferred_roots.is_empty() {
+        Vec::new()
+    } else {
+        arena.probability_many_with(&deferred_roots, instance.probs(), &mut EvalScratch::new())
+    };
+
+    // 4. Materialize, fill the cache, and fan back out to batch order.
+    let slots: Vec<Result<Solution, Hardness>> = slots
+        .into_iter()
+        .map(|state| match state {
+            SlotState::Ready(answer) => answer,
+            SlotState::Deferred {
+                idx,
+                negated,
+                route,
+            } => {
+                let p = if negated {
+                    batched[idx].one_minus()
+                } else {
+                    batched[idx].clone()
+                };
+                Ok(Solution {
+                    probability: p,
+                    route,
+                    provenance: None,
+                })
+            }
+        })
+        .collect();
+    if let (Some(cache), Some(fp)) = (cache, fingerprint) {
+        let per_instance = cache.map.entry((fp, opts_fp)).or_default();
+        for ((_, key), answer) in unique.into_iter().zip(&slots) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = per_instance.entry(key) {
+                cache.misses += 1;
+                slot.insert(answer.clone());
+            }
+        }
+    }
+    let results = slot_of_query.iter().map(|&s| slots[s].clone()).collect();
+    (results, stats)
+}
+
+fn push_root(roots: &mut Vec<GateId>, root: GateId) -> usize {
+    roots.push(root);
+    roots.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::generate::{self, ProbProfile};
+    use phom_graph::{Graph, Label};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn twp_instance(seed: u64) -> ProbGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generate::with_probabilities(
+            generate::two_way_path(8, 2, &mut rng),
+            ProbProfile::default(),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn batch_matches_per_query_solve() {
+        let mut rng = SmallRng::seed_from_u64(0xBA7C);
+        let h = twp_instance(0xBA7C);
+        let queries: Vec<Graph> = (0..12)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Graph::directed_path(i % 4)
+                } else {
+                    generate::connected(2 + i % 3, 1, 2, &mut rng)
+                }
+            })
+            .collect();
+        let opts = SolverOptions::default();
+        let (batch, stats) = solve_many_stats(&queries, &h, opts, None);
+        assert_eq!(batch.len(), queries.len());
+        assert!(stats.unique_queries <= stats.queries);
+        for (i, q) in queries.iter().enumerate() {
+            match (&batch[i], crate::solve_with(q, &h, opts)) {
+                (Ok(b), Ok(s)) => {
+                    assert_eq!(b.probability, s.probability, "query {i}");
+                    assert_eq!(b.route, s.route, "query {i}");
+                }
+                (Err(b), Err(s)) => assert_eq!(b, &s, "query {i}"),
+                (b, s) => panic!("query {i}: batch {b:?} vs solo {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn interning_dedupes_identical_queries() {
+        let h = twp_instance(7);
+        let q = Graph::one_way_path(&[Label(0), Label(1)]);
+        let queries = vec![q.clone(); 10];
+        let (results, stats) = solve_many_stats(&queries, &h, SolverOptions::default(), None);
+        assert_eq!(stats.queries, 10);
+        assert_eq!(stats.unique_queries, 1);
+        let expect = crate::solve(&q, &h).unwrap();
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().probability, expect.probability);
+        }
+    }
+
+    #[test]
+    fn cache_hits_skip_compilation_and_mutation_invalidates() {
+        let h = twp_instance(21);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let queries: Vec<Graph> = (0..4)
+            .map(|_| generate::connected(3, 1, 2, &mut rng))
+            .collect();
+        let opts = SolverOptions::default();
+        let mut cache = EvalCache::new();
+        let (first, s1) = solve_many_stats(&queries, &h, opts, Some(&mut cache));
+        assert_eq!(s1.cache_hits, 0);
+        let misses_after_first = cache.stats().misses;
+        assert_eq!(misses_after_first as usize, s1.unique_queries);
+        // Second batch: everything comes from the cache.
+        let (second, s2) = solve_many_stats(&queries, &h, opts, Some(&mut cache));
+        assert_eq!(s2.cache_hits, s2.unique_queries);
+        assert_eq!(s2.circuit_batched + s2.general_solved, 0);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(
+                a.as_ref().unwrap().probability,
+                b.as_ref().unwrap().probability
+            );
+        }
+        // Mutate one probability: the fingerprint moves, the cache misses,
+        // and answers are re-derived (and still correct).
+        let mut probs = h.probs().to_vec();
+        probs[0] = Rational::from_ratio(1, 7);
+        let h2 = ProbGraph::new(h.graph().clone(), probs);
+        assert_ne!(instance_fingerprint(&h), instance_fingerprint(&h2));
+        let (third, s3) = solve_many_stats(&queries, &h2, opts, Some(&mut cache));
+        assert_eq!(s3.cache_hits, 0);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(
+                third[i].as_ref().unwrap().probability,
+                crate::solve(q, &h2).unwrap().probability
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_and_probabilities() {
+        let h = twp_instance(3);
+        assert_eq!(instance_fingerprint(&h), instance_fingerprint(&h.clone()));
+        let mut rng = SmallRng::seed_from_u64(99);
+        let other = generate::with_probabilities(
+            generate::two_way_path(8, 2, &mut rng),
+            ProbProfile::default(),
+            &mut rng,
+        );
+        assert_ne!(instance_fingerprint(&h), instance_fingerprint(&other));
+    }
+
+    #[test]
+    fn query_keys_are_structural() {
+        let a = Graph::one_way_path(&[Label(0), Label(1)]);
+        let b = Graph::one_way_path(&[Label(0), Label(1)]);
+        let c = Graph::one_way_path(&[Label(1), Label(0)]);
+        assert_eq!(QueryKey::new(&a), QueryKey::new(&b));
+        assert_ne!(QueryKey::new(&a), QueryKey::new(&c));
+    }
+
+    #[test]
+    fn deferred_circuits_share_one_arena() {
+        let h = twp_instance(5);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let queries: Vec<Graph> = (0..6)
+            .map(|_| generate::connected(rng.gen_range(2..4), 1, 2, &mut rng))
+            .collect();
+        let (_, stats) = solve_many_stats(&queries, &h, SolverOptions::default(), None);
+        // On a connected 2WP instance every connected query batches.
+        assert!(stats.circuit_batched > 0, "{stats:?}");
+        assert!(stats.shared_gates > 2, "{stats:?}");
+    }
+}

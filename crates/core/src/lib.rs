@@ -28,6 +28,7 @@
 //! * Lemma 3.7 — disconnected instances ([`algo::components`]).
 
 pub mod algo;
+pub mod batch;
 pub mod bruteforce;
 pub mod counting;
 pub mod montecarlo;
@@ -37,5 +38,9 @@ pub mod tables;
 pub mod ucq;
 pub mod xpath;
 
+pub use batch::{
+    instance_fingerprint, solve_many, solve_many_cached, solve_many_stats, BatchStats, CacheStats,
+    EvalCache, QueryKey,
+};
 pub use solver::{solve, solve_with, Fallback, Hardness, Route, Solution, SolverOptions};
 pub use tables::{CellStatus, Setting, TableId};

@@ -136,13 +136,275 @@ pub fn solve(query: &Graph, instance: &ProbGraph) -> Result<Solution, Hardness> 
     solve_with(query, instance, SolverOptions::default())
 }
 
+/// Instance-side state shared across many queries: classification, the
+/// instance's label set, and the Lemma 3.7 component split (computed
+/// lazily — trivial and hard routes never pay for it). One `solve` call
+/// builds it once; the batched solver (`crate::batch`) builds it once for
+/// the *whole query set*, which is the instance-side half of the
+/// amortization.
+pub(crate) struct SharedInstance<'a> {
+    pub(crate) instance: &'a ProbGraph,
+    pub(crate) ic: Classification,
+    h_labels: Vec<phom_graph::Label>,
+    components: std::cell::OnceCell<Vec<ProbGraph>>,
+}
+
+impl<'a> SharedInstance<'a> {
+    pub(crate) fn new(instance: &'a ProbGraph) -> Self {
+        let ic = classify(instance.graph());
+        let mut h_labels = instance.graph().labels_used();
+        h_labels.sort_unstable();
+        h_labels.dedup();
+        SharedInstance {
+            instance,
+            ic,
+            h_labels,
+            components: std::cell::OnceCell::new(),
+        }
+    }
+
+    fn components(&self) -> &[ProbGraph] {
+        self.components
+            .get_or_init(|| components::split_components(self.instance))
+    }
+
+    /// Lemma 3.7: run a per-component algorithm and combine with
+    /// `1 − Π(1 − pᵢ)`. The query must be connected. On connected
+    /// instances the algorithm runs on the instance directly (no clone);
+    /// `1 − (1 − p) = p` exactly, so the value is unchanged.
+    fn per_component(
+        &self,
+        query: &Graph,
+        algo: impl Fn(&Graph, &ProbGraph) -> Option<Rational>,
+    ) -> Option<Rational> {
+        if self.ic.is_connected() {
+            return algo(query, self.instance);
+        }
+        let per: Option<Vec<Rational>> = self.components().iter().map(|h| algo(query, h)).collect();
+        Some(components::combine_connected_query(&per?))
+    }
+}
+
+/// A per-query routing decision against a [`SharedInstance`] — what
+/// `solve` will execute. Splitting *planning* from *execution* lets the
+/// batched solver compile every circuit-backed plan into one shared arena
+/// and answer them in a single engine pass, while all other plans execute
+/// exactly as the per-query path does.
+pub(crate) struct Planned {
+    /// The query after component absorption (what the route runs on).
+    pub(crate) absorbed: Graph,
+    pub(crate) qc: Classification,
+    pub(crate) unlabeled: bool,
+    pub(crate) plan: Plan,
+}
+
+pub(crate) enum Plan {
+    /// Answered during planning (the trivial and zero routes).
+    Done(Solution),
+    /// Prop 3.6: graded query on a `⊔DWT` instance (direct DP).
+    Prop36,
+    /// Prop 5.4: `→^m` on a `⊔PT` instance via the path automaton.
+    Prop54 { m: usize, via_collapse: bool },
+    /// Prop 4.11: connected `effective` query on a `⊔2WP` instance
+    /// (circuit-compilable when the instance is connected).
+    Prop411 { effective: Graph },
+    /// Prop 4.10: 1WP query on a `⊔DWT` instance (circuit-compilable when
+    /// the instance is connected).
+    Prop410,
+    /// No tractable route: hardness attribution or fallback.
+    Hard,
+}
+
+/// Classifies one query against the shared instance state, mirroring the
+/// historical `solve_inner` decision order exactly.
+pub(crate) fn plan_query(query: &Graph, shared: &SharedInstance) -> Planned {
+    let trivially = |absorbed: Graph, solution: Solution| {
+        let qc = classify(&absorbed);
+        Planned {
+            absorbed,
+            qc,
+            unlabeled: false,
+            plan: Plan::Done(solution),
+        }
+    };
+    // Trivial: an edgeless query maps anywhere (vertex sets are non-empty
+    // and worlds keep all vertices).
+    if query.n_edges() == 0 {
+        return trivially(
+            query.clone(),
+            Solution::new(Rational::one(), Route::TrivialNoEdges),
+        );
+    }
+    // A query edge label absent from the instance can never be matched.
+    if query
+        .labels_used()
+        .iter()
+        .any(|l| shared.h_labels.binary_search(l).is_err())
+    {
+        return trivially(
+            query.clone(),
+            Solution::new(Rational::zero(), Route::MissingLabel),
+        );
+    }
+    // Component absorption (algo::absorb): hom-comparable components of a
+    // disconnected query are redundant; this can move the input into a
+    // tractable cell (e.g. duplicated ⊔1WP components become one 1WP).
+    let absorbed = crate::algo::absorb::absorb_query_components(query);
+    if absorbed.n_edges() == 0 {
+        return trivially(
+            absorbed,
+            Solution::new(Rational::one(), Route::TrivialNoEdges),
+        );
+    }
+    let qc = classify(&absorbed);
+    let unlabeled = {
+        let mut labels = absorbed.labels_used();
+        labels.extend(shared.h_labels.iter().copied());
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len() <= 1
+    };
+    // On ⊔PT instances every world is a polytree forest: queries with a
+    // directed cycle or a jumping edge have probability 0 (App. A).
+    let plan =
+        if shared.ic.in_union_class(ConnClass::Polytree) && level_mapping(&absorbed).is_none() {
+            Plan::Done(Solution::new(Rational::zero(), Route::ZeroOnPolytrees))
+        } else if unlabeled {
+            plan_unlabeled(&absorbed, &qc, &shared.ic)
+        } else {
+            plan_labeled(&absorbed, &qc, &shared.ic)
+        };
+    Planned {
+        absorbed,
+        qc,
+        unlabeled,
+        plan,
+    }
+}
+
+fn plan_unlabeled(absorbed: &Graph, qc: &Classification, ic: &Classification) -> Plan {
+    // Prop 3.6: any query on ⊔DWT instances.
+    if ic.in_union_class(ConnClass::DownwardTree) {
+        return Plan::Prop36;
+    }
+    // Prop 5.5: a ⊔DWT query collapses to →^m on every instance.
+    if let Some(path_query) = collapse::collapse_union_dwt_query(absorbed) {
+        if path_query.n_edges() == 0 {
+            return Plan::Done(Solution::new(Rational::one(), Route::TrivialNoEdges));
+        }
+        if ic.in_union_class(ConnClass::TwoWayPath) {
+            return Plan::Prop411 {
+                effective: path_query,
+            };
+        }
+        if ic.in_union_class(ConnClass::Polytree) {
+            return Plan::Prop54 {
+                m: path_query.n_edges(),
+                via_collapse: !qc.flags.owp || !qc.is_connected(),
+            };
+        }
+        return Plan::Hard;
+    }
+    // Connected queries on ⊔2WP instances (Prop 4.11, unlabeled flavor).
+    if qc.is_connected() && ic.in_union_class(ConnClass::TwoWayPath) {
+        return Plan::Prop411 {
+            effective: absorbed.clone(),
+        };
+    }
+    Plan::Hard
+}
+
+fn plan_labeled(absorbed: &Graph, qc: &Classification, ic: &Classification) -> Plan {
+    if !qc.is_connected() {
+        return Plan::Hard; // Prop 3.3 territory
+    }
+    // Prop 4.11: connected queries on ⊔2WP instances.
+    if ic.in_union_class(ConnClass::TwoWayPath) {
+        return Plan::Prop411 {
+            effective: absorbed.clone(),
+        };
+    }
+    // Prop 4.10: 1WP queries on ⊔DWT instances.
+    if qc.flags.owp && ic.in_union_class(ConnClass::DownwardTree) {
+        return Plan::Prop410;
+    }
+    Plan::Hard
+}
+
+/// Executes a plan exactly as the historical per-query path did; routes
+/// whose polynomial algorithm declines (`None`) fall through to the
+/// configured fallback / hardness attribution.
+pub(crate) fn execute_plan(
+    planned: Planned,
+    shared: &SharedInstance,
+    opts: SolverOptions,
+) -> Result<Solution, Hardness> {
+    let Planned {
+        absorbed,
+        qc,
+        unlabeled,
+        plan,
+    } = planned;
+    let attempt: Option<Solution> = match plan {
+        Plan::Done(solution) => return Ok(solution),
+        Plan::Prop36 => dwt_instance::probability(&absorbed, shared.instance)
+            .map(|p| Solution::new(p, Route::Prop36)),
+        Plan::Prop54 { m, via_collapse } => shared
+            .per_component(&absorbed, |_q, h| {
+                path_on_pt::long_path_probability::<Rational>(h, m, opts.pt_strategy)
+            })
+            .map(|p| Solution::new(p, Route::Prop54 { via_collapse })),
+        Plan::Prop411 { effective } => shared
+            .per_component(&effective, |q, h| prop_411(q, h, opts))
+            .map(|p| Solution::new(p, Route::Prop411)),
+        Plan::Prop410 => shared
+            .per_component(&absorbed, |q, h| {
+                if opts.prefer_dp {
+                    path_on_dwt::probability_dp::<Rational>(q, h)
+                } else {
+                    path_on_dwt::probability_lineage(q, h)
+                }
+            })
+            .map(|p| Solution::new(p, Route::Prop410)),
+        Plan::Hard => None,
+    };
+    match attempt {
+        Some(solution) => Ok(solution),
+        None => fallback(&absorbed, shared.instance, &qc, &shared.ic, unlabeled, opts),
+    }
+}
+
 /// Solves with explicit options.
 pub fn solve_with(
     query: &Graph,
     instance: &ProbGraph,
     opts: SolverOptions,
 ) -> Result<Solution, Hardness> {
-    let mut sol = solve_inner(query, instance, opts)?;
+    let shared = SharedInstance::new(instance);
+    solve_shared(query, &shared, opts)
+}
+
+/// The shared-state entry point: one [`SharedInstance`], many calls
+/// (`solve_with` builds it fresh; the batched solver reuses it).
+pub(crate) fn solve_shared(
+    query: &Graph,
+    shared: &SharedInstance,
+    opts: SolverOptions,
+) -> Result<Solution, Hardness> {
+    finish_plan(query, plan_query(query, shared), shared, opts)
+}
+
+/// Executes an already-computed plan and attaches the provenance handle —
+/// the tail of `solve_shared`, split out so the batched solver can finish
+/// a plan it already holds without planning the query a second time.
+pub(crate) fn finish_plan(
+    query: &Graph,
+    planned: Planned,
+    shared: &SharedInstance,
+    opts: SolverOptions,
+) -> Result<Solution, Hardness> {
+    let instance = shared.instance;
+    let mut sol = execute_plan(planned, shared, opts)?;
     if opts.want_provenance && sol.provenance.is_none() {
         sol.provenance = compile_provenance(query, instance, &sol.route);
         // compile_provenance mirrors solve_inner's routing (absorb +
@@ -210,152 +472,12 @@ fn compile_provenance(
     }
 }
 
-fn solve_inner(
-    query: &Graph,
-    instance: &ProbGraph,
-    opts: SolverOptions,
-) -> Result<Solution, Hardness> {
-    // Trivial: an edgeless query maps anywhere (vertex sets are non-empty
-    // and worlds keep all vertices).
-    if query.n_edges() == 0 {
-        return Ok(Solution::new(Rational::one(), Route::TrivialNoEdges));
-    }
-    // A query edge label absent from the instance can never be matched.
-    {
-        let h_labels = instance.graph().labels_used();
-        if query.labels_used().iter().any(|l| !h_labels.contains(l)) {
-            return Ok(Solution::new(Rational::zero(), Route::MissingLabel));
-        }
-    }
-    // Component absorption (algo::absorb): hom-comparable components of a
-    // disconnected query are redundant; this can move the input into a
-    // tractable cell (e.g. duplicated ⊔1WP components become one 1WP).
-    let simplified;
-    let query = {
-        let s = crate::algo::absorb::absorb_query_components(query);
-        simplified = s;
-        &simplified
-    };
-    if query.n_edges() == 0 {
-        return Ok(Solution::new(Rational::one(), Route::TrivialNoEdges));
-    }
-    let qc = classify(query);
-    let ic = classify(instance.graph());
-    let unlabeled = {
-        let mut labels = query.labels_used();
-        labels.extend(instance.graph().labels_used());
-        labels.sort_unstable();
-        labels.dedup();
-        labels.len() <= 1
-    };
-
-    // On ⊔PT instances every world is a polytree forest: queries with a
-    // directed cycle or a jumping edge have probability 0 (App. A).
-    if ic.in_union_class(ConnClass::Polytree) && level_mapping(query).is_none() {
-        return Ok(Solution::new(Rational::zero(), Route::ZeroOnPolytrees));
-    }
-
-    let attempt = if unlabeled {
-        solve_unlabeled(query, instance, &qc, &ic, opts)
-    } else {
-        solve_labeled(query, instance, &qc, &ic, opts)
-    };
-    match attempt {
-        Some(solution) => Ok(solution),
-        None => fallback(query, instance, &qc, &ic, unlabeled, opts),
-    }
-}
-
-fn solve_unlabeled(
-    query: &Graph,
-    instance: &ProbGraph,
-    qc: &Classification,
-    ic: &Classification,
-    opts: SolverOptions,
-) -> Option<Solution> {
-    // Prop 3.6: any query on ⊔DWT instances.
-    if ic.in_union_class(ConnClass::DownwardTree) {
-        let probability = dwt_instance::probability(query, instance)?;
-        return Some(Solution::new(probability, Route::Prop36));
-    }
-    // Prop 5.5: a ⊔DWT query collapses to →^m on every instance.
-    if let Some(path_query) = collapse::collapse_union_dwt_query(query) {
-        if path_query.n_edges() == 0 {
-            return Some(Solution::new(Rational::one(), Route::TrivialNoEdges));
-        }
-        if ic.in_union_class(ConnClass::TwoWayPath) {
-            let p = per_component(&path_query, instance, |q, h| prop_411(q, h, opts))?;
-            return Some(Solution::new(p, Route::Prop411));
-        }
-        if ic.in_union_class(ConnClass::Polytree) {
-            let m = path_query.n_edges();
-            let p = per_component(&path_query, instance, |_q, h| {
-                path_on_pt::long_path_probability::<Rational>(h, m, opts.pt_strategy)
-            })?;
-            return Some(Solution::new(
-                p,
-                Route::Prop54 {
-                    via_collapse: !qc.flags.owp || !qc.is_connected(),
-                },
-            ));
-        }
-        return None;
-    }
-    // Connected queries on ⊔2WP instances (Prop 4.11, unlabeled flavor).
-    if qc.is_connected() && ic.in_union_class(ConnClass::TwoWayPath) {
-        let p = per_component(query, instance, |q, h| prop_411(q, h, opts))?;
-        return Some(Solution::new(p, Route::Prop411));
-    }
-    None
-}
-
-fn solve_labeled(
-    query: &Graph,
-    instance: &ProbGraph,
-    qc: &Classification,
-    ic: &Classification,
-    opts: SolverOptions,
-) -> Option<Solution> {
-    if !qc.is_connected() {
-        return None; // Prop 3.3 territory
-    }
-    // Prop 4.11: connected queries on ⊔2WP instances.
-    if ic.in_union_class(ConnClass::TwoWayPath) {
-        let p = per_component(query, instance, |q, h| prop_411(q, h, opts))?;
-        return Some(Solution::new(p, Route::Prop411));
-    }
-    // Prop 4.10: 1WP queries on ⊔DWT instances.
-    if qc.flags.owp && ic.in_union_class(ConnClass::DownwardTree) {
-        let p = per_component(query, instance, |q, h| {
-            if opts.prefer_dp {
-                path_on_dwt::probability_dp::<Rational>(q, h)
-            } else {
-                path_on_dwt::probability_lineage(q, h)
-            }
-        })?;
-        return Some(Solution::new(p, Route::Prop410));
-    }
-    None
-}
-
 fn prop_411(query: &Graph, instance: &ProbGraph, opts: SolverOptions) -> Option<Rational> {
     if opts.prefer_dp {
         connected_on_2wp::probability_dp::<Rational>(query, instance)
     } else {
         connected_on_2wp::probability_lineage(query, instance)
     }
-}
-
-/// Lemma 3.7: run a per-component algorithm and combine with
-/// `1 − Π(1 − pᵢ)`. The query must be connected.
-fn per_component(
-    query: &Graph,
-    instance: &ProbGraph,
-    algo: impl Fn(&Graph, &ProbGraph) -> Option<Rational>,
-) -> Option<Rational> {
-    let parts = components::split_components(instance);
-    let per: Option<Vec<Rational>> = parts.iter().map(|h| algo(query, h)).collect();
-    Some(components::combine_connected_query(&per?))
 }
 
 fn fallback(

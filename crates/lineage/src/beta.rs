@@ -32,8 +32,9 @@
 //! β-acyclic, greedy elimination completes, and the final constant is `q`.
 
 use crate::dnf::{Dnf, VarId};
+use crate::fxhash::{FxHashMap, FxHasher};
 use phom_num::Weight;
-use std::collections::HashMap;
+use std::hash::Hasher;
 
 /// Why an elimination run failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -52,10 +53,12 @@ pub enum BetaError {
 /// `prob_true[v]` is the probability that variable `v` is true.
 pub fn beta_dnf_probability<W: Weight>(dnf: &Dnf, prob_true: &[W]) -> Option<W> {
     let order = dnf.hypergraph().beta_elimination_order()?;
-    match beta_dnf_probability_with_order(dnf, prob_true, &order) {
-        Ok(p) => Some(p),
-        Err(e) => unreachable!("a greedy β-elimination order must be valid: {e:?}"),
-    }
+    // A greedy order must validate; if it ever does not (an upstream
+    // bug), report "not β-acyclic" to the caller rather than panicking
+    // mid-solve — the solver then falls back or reports hardness.
+    let result = beta_dnf_probability_with_order(dnf, prob_true, &order);
+    debug_assert!(result.is_ok(), "greedy β-elimination order rejected");
+    result.ok()
 }
 
 /// Computes the probability of a β-acyclic positive DNF along a caller-
@@ -77,77 +80,126 @@ pub fn beta_dnf_probability_with_order<W: Weight>(
     for &x in order {
         state.eliminate(x, &prob_true[x])?;
     }
-    if !state.live_constraints.iter().all(Option::is_none) {
+    if !state.penalty.iter().all(Option::is_none) {
         return Err(BetaError::IncompleteOrder);
     }
     // state.constant is q = Pr(¬φ).
     Ok(state.constant.complement())
 }
 
+/// Id of an interned scope (= constraint id: scopes are pairwise distinct,
+/// so a scope identifies at most one live constraint).
+type ScopeId = u32;
+
+/// The elimination state. Scopes are *interned*: the sorted variable sets
+/// live once in an append-only store and constraints refer to them by
+/// [`ScopeId`], so the per-elimination bookkeeping moves small integer
+/// ids around instead of hashing and cloning `Vec<VarId>` keys. Lookup
+/// goes through an Fx-hashed table (hash → candidate ids), mirroring the
+/// engine arena's gate interning. A scope truncated by one elimination
+/// frequently reappears in later ones (chains shrink variable by
+/// variable), so interning also caps allocation at the number of
+/// *distinct* scopes ever seen.
 struct Eliminator<W> {
-    /// `Some((sorted scope, penalty))` for live constraints.
-    live_constraints: Vec<Option<(Vec<VarId>, W)>>,
-    by_scope: HashMap<Vec<VarId>, usize>,
-    /// For each variable, the ids of live constraints containing it.
-    incident: Vec<Vec<usize>>,
+    /// Interned scope storage (sorted variable sets), append-only.
+    scopes: Vec<Box<[VarId]>>,
+    /// Scope hash → candidate scope ids.
+    lookup: FxHashMap<u64, Vec<ScopeId>>,
+    /// Per scope id: `Some(penalty)` iff the constraint is live.
+    penalty: Vec<Option<W>>,
+    /// For each variable, the scope ids of live constraints containing it.
+    incident: Vec<Vec<ScopeId>>,
     constant: W,
+    /// Reusable buffer for truncated scopes (avoids a per-chain-link
+    /// allocation).
+    scratch: Vec<VarId>,
 }
 
 impl<W: Weight> Eliminator<W> {
     fn new(dnf: &Dnf) -> Self {
         let mut me = Eliminator {
-            live_constraints: Vec::new(),
-            by_scope: HashMap::new(),
+            scopes: Vec::with_capacity(dnf.clauses().len()),
+            lookup: FxHashMap::default(),
+            penalty: Vec::with_capacity(dnf.clauses().len()),
             incident: vec![Vec::new(); dnf.num_vars()],
             constant: W::one(),
+            scratch: Vec::new(),
         };
         for clause in dnf.clauses() {
             if !clause.is_empty() {
-                me.insert(clause.clone(), W::zero());
+                me.insert(clause, W::zero());
             }
         }
         me
     }
 
-    fn insert(&mut self, scope: Vec<VarId>, penalty: W) {
+    fn hash_scope(scope: &[VarId]) -> u64 {
+        let mut h = FxHasher::default();
+        for &v in scope {
+            h.write_usize(v);
+        }
+        h.finish()
+    }
+
+    /// The id of `scope`, interning it on first sight.
+    fn intern(&mut self, scope: &[VarId]) -> ScopeId {
+        let h = Self::hash_scope(scope);
+        if let Some(candidates) = self.lookup.get(&h) {
+            for &id in candidates {
+                if &*self.scopes[id as usize] == scope {
+                    return id;
+                }
+            }
+        }
+        let id = self.scopes.len() as ScopeId;
+        self.scopes.push(scope.into());
+        self.penalty.push(None);
+        self.lookup.entry(h).or_default().push(id);
+        id
+    }
+
+    fn insert(&mut self, scope: &[VarId], penalty: W) {
         debug_assert!(
             scope.windows(2).all(|w| w[0] < w[1]),
             "scopes are sorted sets"
         );
-        if let Some(&id) = self.by_scope.get(&scope) {
-            let (_, a) = self.live_constraints[id].as_mut().unwrap();
-            *a = a.mul(&penalty);
-            return;
+        let id = self.intern(scope);
+        match &mut self.penalty[id as usize] {
+            Some(a) => *a = a.mul(&penalty), // scope collision: merge
+            slot => {
+                *slot = Some(penalty);
+                for &v in &*self.scopes[id as usize] {
+                    self.incident[v].push(id);
+                }
+            }
         }
-        let id = self.live_constraints.len();
-        for &v in &scope {
-            self.incident[v].push(id);
-        }
-        self.by_scope.insert(scope.clone(), id);
-        self.live_constraints.push(Some((scope, penalty)));
     }
 
-    fn delete(&mut self, id: usize) -> (Vec<VarId>, W) {
-        let (scope, penalty) = self.live_constraints[id].take().unwrap();
-        self.by_scope.remove(&scope);
-        for &v in &scope {
-            self.incident[v].retain(|&c| c != id);
+    /// Kills the constraint, unhooking it from the incident lists of every
+    /// scope variable except `x` (whose list the caller already took).
+    fn delete(&mut self, id: ScopeId, x: VarId) -> W {
+        let alpha = self.penalty[id as usize].take().expect("live constraint");
+        for &v in &*self.scopes[id as usize] {
+            if v != x {
+                self.incident[v].retain(|&c| c != id);
+            }
         }
-        (scope, penalty)
+        alpha
     }
 
     fn eliminate(&mut self, x: VarId, p: &W) -> Result<(), BetaError> {
-        let mut ids = self.incident[x].clone();
+        let mut ids = std::mem::take(&mut self.incident[x]);
         if ids.is_empty() {
             return Ok(()); // variable no longer occurs
         }
         // Sort incident scopes by size; a chain must then be consecutive
         // inclusions (distinct scopes of equal size can never nest).
-        ids.sort_by_key(|&id| self.live_constraints[id].as_ref().unwrap().0.len());
+        ids.sort_by_key(|&id| self.scopes[id as usize].len());
         for w in ids.windows(2) {
-            let small = &self.live_constraints[w[0]].as_ref().unwrap().0;
-            let big = &self.live_constraints[w[1]].as_ref().unwrap().0;
-            if !is_subset(small, big) {
+            if !is_subset(&self.scopes[w[0] as usize], &self.scopes[w[1] as usize]) {
+                // Restore the incident list: the state is unchanged.
+                ids.sort_unstable();
+                self.incident[x] = ids;
                 return Err(BetaError::NotABetaLeaf(x));
             }
         }
@@ -156,9 +208,11 @@ impl<W: Weight> Eliminator<W> {
         let mut prev_v = W::one();
         let mut alpha_prod = W::one();
         let mut hit_zero = false;
-        // Delete the chain first (collecting scopes/penalties in order).
-        let chain: Vec<(Vec<VarId>, W)> = ids.iter().map(|&id| self.delete(id)).collect();
-        for (scope, alpha) in chain {
+        // Delete the whole chain first, then re-insert the truncated
+        // scopes (which may merge into each other or into later state).
+        let chain: Vec<(ScopeId, W)> = ids.into_iter().map(|id| (id, self.delete(id, x))).collect();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (id, alpha) in chain {
             let gamma = if hit_zero {
                 W::one()
             } else {
@@ -173,13 +227,15 @@ impl<W: Weight> Eliminator<W> {
                     g
                 }
             };
-            let new_scope: Vec<VarId> = scope.into_iter().filter(|&v| v != x).collect();
-            if new_scope.is_empty() {
+            scratch.clear();
+            scratch.extend(self.scopes[id as usize].iter().copied().filter(|&v| v != x));
+            if scratch.is_empty() {
                 self.constant = self.constant.mul(&gamma);
             } else {
-                self.insert(new_scope, gamma);
+                self.insert(&scratch, gamma);
             }
         }
+        self.scratch = scratch;
         Ok(())
     }
 }

@@ -39,8 +39,8 @@
 //! branches (and the final root value) exactly, so *model counting on
 //! unsmoothed circuits is exact*.
 
+use crate::fxhash::{FxHashMap, FxHasher};
 use phom_num::{Natural, Semiring, Weight};
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 /// Index of a gate in an [`Arena`] (creation order = topological order).
@@ -124,7 +124,8 @@ pub struct Arena {
     nodes: Vec<NodeKind>,
     children: Vec<u32>,
     /// Structural-hash interning table: hash → candidate gate ids.
-    unique: HashMap<u64, Vec<u32>>,
+    /// Fx-hashed: gate interning is the compilation hot path.
+    unique: FxHashMap<u64, Vec<u32>>,
     /// Scratch buffer for child canonicalization (kept to avoid per-gate
     /// allocations while building).
     scratch: Vec<u32>,
@@ -144,7 +145,7 @@ impl Arena {
             num_vars,
             nodes: Vec::with_capacity(16),
             children: Vec::new(),
-            unique: HashMap::new(),
+            unique: FxHashMap::default(),
             scratch: Vec::new(),
         };
         let f = arena.intern(NodeKind::Const(false), &[]);
@@ -189,7 +190,7 @@ impl Arena {
     }
 
     fn hash_node(kind_tag: u8, payload: u32, kids: &[u32]) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = FxHasher::default();
         kind_tag.hash(&mut h);
         payload.hash(&mut h);
         kids.hash(&mut h);
@@ -372,10 +373,12 @@ impl Arena {
             self.num_vars,
             "neg weights must cover all variables"
         );
-        let gaps: Vec<S> = pos.iter().zip(neg).map(|(p, n)| p.add(n)).collect();
-        if gaps.iter().all(Semiring::is_one) {
+        // Smoothness is the overwhelmingly common case; test it without
+        // materializing the gap vector (allocated only when needed).
+        if pos.iter().zip(neg).all(|(p, n)| p.add(n).is_one()) {
             self.eval_impl(roots, pos, neg, None)
         } else {
+            let gaps: Vec<S> = pos.iter().zip(neg).map(|(p, n)| p.add(n)).collect();
             self.eval_impl(roots, pos, neg, Some(&gaps))
         }
     }
@@ -401,9 +404,95 @@ impl Arena {
     /// it bypasses the smoothing gap check (`p + (1 − p) = 1` by
     /// construction), so `f64` weights stay on the fast path.
     pub fn probability_many<W: Weight>(&self, roots: &[GateId], prob_true: &[W]) -> Vec<W> {
+        self.probability_many_with(roots, prob_true, &mut EvalScratch::new())
+    }
+
+    /// [`Arena::probability_many`] with caller-owned scratch buffers:
+    /// after warm-up, repeated evaluations over the same arena perform no
+    /// heap allocation beyond the returned vector. Additionally, only the
+    /// gates *reachable from `roots`* are evaluated — on a big shared
+    /// multi-query arena, refreshing one query's value costs its cone,
+    /// not the whole store (gate ids are already topologically ordered,
+    /// so no per-call sorting happens either way).
+    pub fn probability_many_with<W: Weight>(
+        &self,
+        roots: &[GateId],
+        prob_true: &[W],
+        scratch: &mut EvalScratch<W>,
+    ) -> Vec<W> {
         assert_eq!(prob_true.len(), self.num_vars);
-        let neg: Vec<W> = prob_true.iter().map(Weight::complement).collect();
-        self.eval_impl(roots, prob_true, &neg, None)
+        let mut neg = std::mem::take(&mut scratch.neg);
+        neg.clear();
+        neg.extend(prob_true.iter().map(Weight::complement));
+        let out = self.eval_cone(roots, prob_true, &neg, scratch);
+        scratch.neg = neg;
+        out
+    }
+
+    /// The smooth-case evaluation restricted to the union of the roots'
+    /// cones. Marks reachable gates in one cheap top-down sweep (ids are
+    /// topological, so descending order visits parents before children),
+    /// then evaluates only the marked gates bottom-up.
+    fn eval_cone<S: Semiring>(
+        &self,
+        roots: &[GateId],
+        pos: &[S],
+        neg: &[S],
+        scratch: &mut EvalScratch<S>,
+    ) -> Vec<S> {
+        let n = self.nodes.len();
+        let live = &mut scratch.live;
+        live.clear();
+        live.resize(n, false);
+        for &r in roots {
+            live[r] = true;
+        }
+        for i in (0..n).rev() {
+            if !live[i] {
+                continue;
+            }
+            if let NodeKind::And { start, len } | NodeKind::Or { start, len } = self.nodes[i] {
+                for &c in &self.children[start as usize..(start + len) as usize] {
+                    live[c as usize] = true;
+                }
+            }
+        }
+        let values = &mut scratch.values;
+        values.clear();
+        values.resize(n, S::zero());
+        for i in 0..n {
+            if !live[i] {
+                continue;
+            }
+            values[i] = match self.nodes[i] {
+                NodeKind::Const(b) => {
+                    if b {
+                        S::one()
+                    } else {
+                        S::zero()
+                    }
+                }
+                NodeKind::Var(v) => pos[v as usize].clone(),
+                NodeKind::NegVar(v) => neg[v as usize].clone(),
+                NodeKind::And { start, len } => {
+                    let kids = &self.children[start as usize..(start + len) as usize];
+                    let mut acc = values[kids[0] as usize].clone();
+                    for &c in &kids[1..] {
+                        acc = acc.mul(&values[c as usize]);
+                    }
+                    acc
+                }
+                NodeKind::Or { start, len } => {
+                    let kids = &self.children[start as usize..(start + len) as usize];
+                    let mut acc = values[kids[0] as usize].clone();
+                    for &c in &kids[1..] {
+                        acc = acc.add(&values[c as usize]);
+                    }
+                    acc
+                }
+            };
+        }
+        roots.iter().map(|&r| values[r].clone()).collect()
     }
 
     /// Evaluates the circuit as a Boolean function under a valuation
@@ -677,6 +766,30 @@ impl Arena {
     }
 }
 
+/// Reusable buffers for repeated engine evaluations
+/// ([`Arena::probability_many_with`]): per-gate values, the root-cone
+/// marks, and the derived negative-literal weights. Serving loops (the
+/// batched solver's eval cache, Monte-Carlo world sweeps) evaluate the
+/// same arena thousands of times; holding the scratch across calls makes
+/// the hot path allocation-free after warm-up.
+#[derive(Clone, Debug, Default)]
+pub struct EvalScratch<S> {
+    values: Vec<S>,
+    live: Vec<bool>,
+    neg: Vec<S>,
+}
+
+impl<S> EvalScratch<S> {
+    /// Empty scratch; buffers grow to the arena's size on first use.
+    pub fn new() -> Self {
+        EvalScratch {
+            values: Vec::new(),
+            live: Vec::new(),
+            neg: Vec::new(),
+        }
+    }
+}
+
 /// Borrows two disjoint `words`-sized rows of a flattened bitset matrix.
 fn split_rows(bits: &mut [u64], dst: usize, src: usize, words: usize) -> (&mut [u64], &[u64]) {
     debug_assert_ne!(dst, src);
@@ -913,6 +1026,43 @@ mod tests {
         let neg: Vec<Rational> = probs.iter().map(|p| p.one_minus()).collect();
         let out = a.eval_roots(&[both, only_x, x], &probs, &neg);
         assert_eq!(out, vec![rat(1, 6), rat(1, 3), rat(1, 2)]);
+    }
+
+    #[test]
+    fn scratch_cone_evaluation_matches_full_pass() {
+        // Two independent sub-circuits in one arena: evaluating one root
+        // through the scratch path must match the full pass, and the same
+        // scratch must be reusable across roots and arenas.
+        let mut a = Arena::new(4);
+        let x = a.var(0);
+        let y = a.var(1);
+        let z = a.var(2);
+        let w = a.var(3);
+        let left = a.and(&[x, y]);
+        let right = a.and(&[z, w]);
+        let both = a.or(&[left, right]); // not deterministic, but fine for algebra
+        let probs = [rat(1, 2), rat(1, 3), rat(1, 5), rat(1, 7)];
+        let mut scratch = EvalScratch::new();
+        for root in [left, right, both, TRUE_GATE, FALSE_GATE] {
+            assert_eq!(
+                a.probability_many_with(&[root], &probs, &mut scratch),
+                vec![a.probability(root, &probs)],
+                "root {root}"
+            );
+        }
+        // Multi-root call agrees element-wise.
+        let many = a.probability_many_with(&[left, right], &probs, &mut scratch);
+        assert_eq!(
+            many,
+            vec![a.probability(left, &probs), a.probability(right, &probs)]
+        );
+        // Scratch survives a switch to a smaller arena.
+        let (b, root) = xor_arena();
+        let probs2 = [rat(1, 2), rat(1, 3)];
+        assert_eq!(
+            b.probability_many_with(&[root], &probs2, &mut scratch),
+            vec![b.probability(root, &probs2)]
+        );
     }
 
     #[test]

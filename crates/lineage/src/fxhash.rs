@@ -1,0 +1,106 @@
+//! A minimal Fx-style hasher (the multiply-rotate scheme rustc uses) for
+//! the interning tables on the compilation and elimination hot paths.
+//!
+//! The default `HashMap` hasher (SipHash-1-3) is DoS-resistant but costs
+//! ~10× more per key than needed here: every key we hash is a structural
+//! hash, a small integer tuple, or a short id slice — never
+//! attacker-controlled data whose collisions an adversary could craft.
+//! Swapping it out removes the dominant constant from arena gate
+//! interning ([`crate::engine::Arena`]) and β-eliminator scope lookups
+//! ([`crate::beta`]).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state: one u64 folded with rotate-xor-multiply per word.
+#[derive(Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Fold the length in so "ab" and "ab\0" differ.
+            self.add(u64::from_le_bytes(buf) ^ (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(f: impl Fn(&mut FxHasher)) -> u64 {
+        let mut h = FxHasher::default();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_inputs_hash_distinctly() {
+        let a = hash_of(|h| h.write_u64(1));
+        let b = hash_of(|h| h.write_u64(2));
+        let c = hash_of(|h| {
+            h.write_u32(1);
+            h.write_u32(0)
+        });
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(hash_of(|h| h.write(b"ab")), hash_of(|h| h.write(b"ab\0")));
+    }
+
+    #[test]
+    fn deterministic_within_and_across_states() {
+        assert_eq!(hash_of(|h| h.write_u64(42)), hash_of(|h| h.write_u64(42)));
+        let m: FxHashMap<u64, u32> = [(7u64, 1u32)].into_iter().collect();
+        assert_eq!(m.get(&7), Some(&1));
+    }
+}

@@ -39,11 +39,12 @@ pub mod circuit;
 pub mod dnf;
 pub mod engine;
 pub mod export;
+pub mod fxhash;
 pub mod hypergraph;
 pub mod obdd;
 
 pub use beta::beta_dnf_probability;
 pub use circuit::{Circuit, GateId};
 pub use dnf::Dnf;
-pub use engine::{Arena, Provenance, VarStatus};
+pub use engine::{Arena, EvalScratch, Provenance, VarStatus};
 pub use hypergraph::Hypergraph;

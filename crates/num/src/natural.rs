@@ -52,6 +52,19 @@ impl Natural {
         Natural { limbs }
     }
 
+    /// Returns the value as a `u64` if it fits (the common case on the
+    /// probability hot path, where numerators and denominators stay
+    /// word-sized; see `Rational`'s small-value fast paths).
+    #[inline]
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.as_slice() {
+            [] => Some(0),
+            [lo] => Some(*lo as u64),
+            [lo, hi] => Some(*lo as u64 | (*hi as u64) << 32),
+            _ => None,
+        }
+    }
+
     /// Returns the value as a `u128` if it fits.
     pub fn to_u128(&self) -> Option<u128> {
         if self.limbs.len() > 4 {

@@ -94,8 +94,22 @@ impl Rational {
         }
     }
 
+    /// Numerator and denominator as machine words, when both fit.
+    #[inline]
+    fn as_u64_parts(&self) -> Option<(u64, u64)> {
+        Some((self.num.to_u64()?, self.den.to_u64()?))
+    }
+
     /// Addition.
     pub fn add(&self, other: &Rational) -> Rational {
+        // Small-value fast path: word-sized operands combine in u128
+        // arithmetic with a primitive gcd, skipping all Natural
+        // allocations (and the arbitrary-precision gcd) entirely.
+        if let (Some((a, b)), Some((c, d))) = (self.as_u64_parts(), other.as_u64_parts()) {
+            if let Some(r) = add_small(a, b, self.neg, c, d, other.neg) {
+                return r;
+            }
+        }
         // a/b + c/d = (a*d + c*b) / (b*d), with signs.
         let ad = self.num.mul(&other.den);
         let cb = other.num.mul(&self.den);
@@ -118,6 +132,22 @@ impl Rational {
 
     /// Multiplication.
     pub fn mul(&self, other: &Rational) -> Rational {
+        // Small-value fast path: cross-reduce with primitive gcds before
+        // multiplying. Because both operands are in lowest terms, the
+        // cross-reduced product is already canonical — no gcd of the
+        // (up to 128-bit) product is ever computed.
+        if let (Some((a, b)), Some((c, d))) = (self.as_u64_parts(), other.as_u64_parts()) {
+            if a == 0 || c == 0 {
+                return Rational::zero();
+            }
+            let g1 = gcd_u64(a, d);
+            let g2 = gcd_u64(c, b);
+            return Rational {
+                neg: self.neg != other.neg,
+                num: Natural::from_u128((a / g1) as u128 * (c / g2) as u128),
+                den: Natural::from_u128((b / g2) as u128 * (d / g1) as u128),
+            };
+        }
         Rational::new(
             self.neg != other.neg,
             self.num.mul(&other.num),
@@ -180,6 +210,66 @@ impl Rational {
         !self.neg && self.num.cmp_nat(&self.den) != Ordering::Greater
     }
 }
+
+/// Word-sized addition: `±a/b + ±c/d` in u128 arithmetic. Returns `None`
+/// on (near-impossible) u128 overflow of `a·d + c·b`, sending the caller
+/// to the arbitrary-precision path. The result is canonical: the u128 gcd
+/// normalization mirrors [`Rational::new`] exactly.
+#[inline]
+fn add_small(a: u64, b: u64, a_neg: bool, c: u64, d: u64, c_neg: bool) -> Option<Rational> {
+    let ad = a as u128 * d as u128;
+    let cb = c as u128 * b as u128;
+    let den = b as u128 * d as u128;
+    let (neg, num) = match (a_neg, c_neg) {
+        (false, false) => (false, ad.checked_add(cb)?),
+        (true, true) => (true, ad.checked_add(cb)?),
+        (sn, _) => match ad.cmp(&cb) {
+            Ordering::Equal => return Some(Rational::zero()),
+            Ordering::Greater => (sn, ad - cb),
+            Ordering::Less => (!sn, cb - ad),
+        },
+    };
+    if num == 0 {
+        return Some(Rational::zero());
+    }
+    let g = gcd_u128(num, den);
+    Some(Rational {
+        neg,
+        num: Natural::from_u128(num / g),
+        den: Natural::from_u128(den / g),
+    })
+}
+
+/// Binary gcd over a primitive unsigned width: `gcd_u64` runs on the
+/// multiplication cross-reduction, `gcd_u128` normalizes word-sized sums.
+macro_rules! binary_gcd {
+    ($name:ident, $t:ty) => {
+        #[inline]
+        fn $name(mut a: $t, mut b: $t) -> $t {
+            if a == 0 {
+                return b;
+            }
+            if b == 0 {
+                return a;
+            }
+            let shift = (a | b).trailing_zeros();
+            a >>= a.trailing_zeros();
+            loop {
+                b >>= b.trailing_zeros();
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                b -= a;
+                if b == 0 {
+                    return a << shift;
+                }
+            }
+        }
+    };
+}
+
+binary_gcd!(gcd_u64, u64);
+binary_gcd!(gcd_u128, u128);
 
 impl PartialOrd for Rational {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -260,6 +350,29 @@ mod tests {
         assert_eq!(rat(1, 2).pow(10), rat(1, 1024));
         assert_eq!(rat(-2, 1).pow(3), rat(-8, 1));
         assert_eq!(rat(7, 3).pow(0), Rational::one());
+    }
+
+    #[test]
+    fn fast_and_slow_paths_agree_across_the_word_boundary() {
+        // A >64-bit numerator forces the arbitrary-precision path; mixing
+        // it with word-sized operands must stay exact and canonical.
+        let big = Rational::new(
+            false,
+            Natural::from_decimal("123456789012345678901234567890").unwrap(),
+            Natural::from_u64(7),
+        );
+        let small = rat(3, 4);
+        assert_eq!(big.mul(&small).div(&small), big);
+        assert_eq!(big.add(&small).sub(&small), big);
+        // Near-overflow word-sized operands: `a·d + c·b` approaches 2¹²⁸
+        // but stays on the fast path, exactly.
+        let x = Rational::from_ratio(u64::MAX - 1, u64::MAX);
+        let y = Rational::from_ratio(1, u64::MAX - 2);
+        assert_eq!(x.add(&y).sub(&y), x);
+        assert_eq!(x.mul(&y).div(&y), x);
+        // Signs and cancellation through the fast path.
+        assert_eq!(rat(-1, 2).add(&rat(1, 2)), Rational::zero());
+        assert_eq!(rat(-2, 3).mul(&rat(-3, 2)), Rational::one());
     }
 
     #[test]

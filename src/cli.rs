@@ -4,6 +4,7 @@
 //! ```text
 //! phom solve <query-file> <instance-file> [--brute-force <max-edges>]
 //!                                         [--monte-carlo <samples>] [--dp]
+//! phom solve --queries-file <batch-file> <instance-file> [options]
 //! phom classify <graph-file>
 //! phom count <query-file> <instance-file> [--brute-force <max-edges>]
 //! phom tables
@@ -12,6 +13,13 @@
 //! Graph files use the `phom_graph::io` text format. Queries must share
 //! label *names* with the instance: labels are interned per run, instance
 //! first, so `R` in the query means `R` in the instance.
+//!
+//! The `--queries-file` batch mode reads many queries from one file
+//! (sections separated by lines containing only `---`) and answers them
+//! through `phom_core::solve_many`: instance preprocessing runs once,
+//! structurally identical queries intern to one solve, and all
+//! circuit-compilable queries share a single lineage arena and engine
+//! pass. A summary line reports the batch statistics.
 
 use phom_core::counting;
 use phom_core::tables;
@@ -56,7 +64,10 @@ fn usage() -> String {
      options for solve/count:\n\
      \x20 --brute-force <max-edges>   fall back to world enumeration\n\
      \x20 --monte-carlo <samples>     fall back to sampling (solve only)\n\
-     \x20 --dp                        use the direct-DP ablations\n"
+     \x20 --dp                        use the direct-DP ablations\n\
+     \x20 --queries-file <file>       solve only: batch mode — answer every\n\
+     \x20                             query in <file> (sections split by ---)\n\
+     \x20                             via the shared-arena batched solver\n"
         .into()
 }
 
@@ -108,9 +119,15 @@ fn solve_cmd(
 ) -> Result<String, String> {
     let mut files = Vec::new();
     let mut opts = phom_core::SolverOptions::default();
+    let mut queries_file: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--queries-file" => {
+                i += 1;
+                let f = args.get(i).ok_or("--queries-file needs a file")?;
+                queries_file = Some(f.clone());
+            }
             "--brute-force" => {
                 i += 1;
                 let n: usize = args
@@ -134,6 +151,15 @@ fn solve_cmd(
             f => files.push(f.to_string()),
         }
         i += 1;
+    }
+    if let Some(qsfile) = queries_file {
+        if count_mode {
+            return Err("--queries-file applies to solve, not count".into());
+        }
+        let [hfile] = files.as_slice() else {
+            return Err("expected: --queries-file <batch-file> <instance-file>".into());
+        };
+        return batch_solve_cmd(&qsfile, hfile, opts, read_file);
     }
     let [qfile, hfile] = files.as_slice() else {
         return Err("expected: <query-file> <instance-file>".into());
@@ -174,6 +200,68 @@ fn solve_cmd(
             h.cell, h.prop
         )),
     }
+}
+
+/// The `--queries-file` batch mode: parse every `---`-separated query
+/// section, answer the whole set through `solve_many`, and report the
+/// batch statistics.
+fn batch_solve_cmd(
+    qsfile: &str,
+    hfile: &str,
+    opts: phom_core::SolverOptions,
+    read_file: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<String, String> {
+    let htext = read_file(hfile)?;
+    let hparsed = parse_graph(&htext).map_err(|e| format!("{hfile}: {e}"))?;
+    let qstext = read_file(qsfile)?;
+    let mut queries = Vec::new();
+    for (si, section) in qstext.split("\n---").enumerate() {
+        let section = section.trim_start_matches("---");
+        if section.trim().is_empty() {
+            continue;
+        }
+        let qparsed =
+            parse_graph(section).map_err(|e| format!("{qsfile}: query {}: {e}", si + 1))?;
+        if qparsed.probs.iter().any(|p| !p.is_one()) {
+            return Err(format!(
+                "{qsfile}: query {}: query edges must not carry probabilities",
+                si + 1
+            ));
+        }
+        queries.push(align_labels(&qparsed, &hparsed.labels));
+    }
+    if queries.is_empty() {
+        return Err(format!("{qsfile}: no queries found"));
+    }
+    let instance = hparsed.into_prob_graph();
+    let (results, stats) = phom_core::solve_many_stats(&queries, &instance, opts, None);
+    let mut out = String::new();
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Ok(sol) => {
+                let _ = writeln!(
+                    out,
+                    "[{i}] Pr(G ⇝ H) = {} ≈ {:.6}  (route {:?})",
+                    sol.probability,
+                    sol.probability.to_f64(),
+                    sol.route
+                );
+            }
+            Err(h) => {
+                let _ = writeln!(out, "[{i}] #P-hard cell: {} [{}]", h.cell, h.prop);
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "batch: {} queries, {} unique; {} via shared arena ({} gates), {} general",
+        stats.queries,
+        stats.unique_queries,
+        stats.circuit_batched,
+        stats.shared_gates,
+        stats.general_solved,
+    );
+    Ok(out)
 }
 
 fn classify_cmd(
@@ -552,6 +640,47 @@ mod tests {
         assert!(out.contains("= 3/8"), "{out}");
         // No queries: usage error.
         assert!(run(&args(&["ucq", "h.pg"]), &fs).is_err());
+    }
+
+    #[test]
+    fn batch_mode_solves_a_query_file() {
+        let fs = fake_fs(&[
+            (
+                "qs.pg",
+                "edge 0 1 R\nedge 1 2 S\n---\nedge 0 1 R\n---\nedge 0 1 R\nedge 1 2 S\n---\nedge 0 1 Zap\n",
+            ),
+            ("h.pg", "vertices 3\nedge 0 1 R 1/2\nedge 1 2 S 3/4\n"),
+        ]);
+        let out = run(&args(&["solve", "--queries-file", "qs.pg", "h.pg"]), &fs).unwrap();
+        // Per-query lines, in order; the repeated query interns to one.
+        assert!(out.contains("[0] Pr(G ⇝ H) = 3/8"), "{out}");
+        assert!(out.contains("[1] Pr(G ⇝ H) = 1/2"), "{out}");
+        assert!(out.contains("[2] Pr(G ⇝ H) = 3/8"), "{out}");
+        assert!(out.contains("[3] Pr(G ⇝ H) = 0"), "{out}");
+        assert!(out.contains("4 queries, 3 unique"), "{out}");
+        // Hard cells report inline instead of aborting the batch.
+        let fs = fake_fs(&[
+            ("qs.pg", "edge 0 1 R\n"),
+            ("h.pg", "edge 0 1 R 1/2\nedge 1 0 R 1/2\n"),
+        ]);
+        let out = run(&args(&["solve", "--queries-file", "qs.pg", "h.pg"]), &fs).unwrap();
+        assert!(out.contains("[0] #P-hard cell"), "{out}");
+    }
+
+    #[test]
+    fn batch_mode_input_errors() {
+        let fs = fake_fs(&[("qs.pg", "---\n"), ("h.pg", "edge 0 1 R 1/2\n")]);
+        let err = run(&args(&["solve", "--queries-file", "qs.pg", "h.pg"]), &fs).unwrap_err();
+        assert!(err.contains("no queries"), "{err}");
+        let fs = fake_fs(&[("qs.pg", "edge 0 1 R 1/2\n"), ("h.pg", "edge 0 1 R 1/2\n")]);
+        let err = run(&args(&["solve", "--queries-file", "qs.pg", "h.pg"]), &fs).unwrap_err();
+        assert!(err.contains("must not carry probabilities"), "{err}");
+        let err = run(
+            &args(&["count", "--queries-file", "qs.pg", "h.pg"]),
+            &fake_fs(&[]),
+        )
+        .unwrap_err();
+        assert!(err.contains("not count"), "{err}");
     }
 
     #[test]

@@ -40,7 +40,7 @@
 //! | [`graph`] | graphs, probabilistic graphs, classes, homomorphisms |
 //! | [`lineage`] | the **unified provenance engine** ([`lineage::engine`]): one arena IR with interned gates and structural hashing, one semiring-generic bottom-up evaluator shared by positive DNFs, β-acyclicity (Thm 4.9), d-DNNF circuits, and OBDDs |
 //! | [`automata`] | the polytree encoding and path automata of Prop 5.4, compiling into engine arenas |
-//! | [`core`] | the per-proposition algorithms and the Tables 1–3 dispatcher; tractable routes attach a [`Provenance`](phom_lineage::Provenance) handle to their [`Solution`]s |
+//! | [`core`] | the per-proposition algorithms and the Tables 1–3 dispatcher; tractable routes attach a [`Provenance`](phom_lineage::Provenance) handle to their [`Solution`]s; the batched serving path ([`solve_many`], [`EvalCache`](phom_core::EvalCache)) compiles whole query sets into one shared arena and caches answers per (instance fingerprint, query) |
 //! | [`reductions`] | executable #P-hardness reductions (Props 3.3/3.4/4.1/5.6) |
 //!
 //! ## The provenance engine
@@ -79,6 +79,44 @@
 //! assert_eq!(influences.len(), 2);
 //! ```
 //!
+//! ## Batched serving
+//!
+//! Serving workloads — many queries against one instance, with heavy
+//! repetition — go through [`solve_many`]: instance preprocessing runs
+//! once, structurally identical queries intern to one solve, every
+//! circuit-compilable query shares a single lineage arena and one
+//! multi-root engine pass, and an optional [`EvalCache`] keyed by
+//! (instance fingerprint, query) serves repeats across batches without
+//! re-solving. Results are bit-identical to per-query [`solve`] calls.
+//!
+//! ```
+//! use phom::prelude::*;
+//! use phom_core::solve_many_stats;
+//!
+//! let (r, s) = (Label(0), Label(1));
+//! let mut b = GraphBuilder::with_vertices(3);
+//! b.edge(0, 1, r);
+//! b.edge(1, 2, s);
+//! let h = ProbGraph::new(
+//!     b.build(),
+//!     vec![Rational::from_ratio(1, 2), Rational::from_ratio(3, 4)],
+//! );
+//!
+//! // A batch with repeats: the repeated query is solved once.
+//! let rs = Graph::one_way_path(&[r, s]);
+//! let queries = vec![rs.clone(), Graph::one_way_path(&[r]), rs];
+//! let mut cache = EvalCache::new();
+//! let (answers, stats) =
+//!     solve_many_stats(&queries, &h, SolverOptions::default(), Some(&mut cache));
+//! assert_eq!(stats.unique_queries, 2);
+//! assert_eq!(answers[0].as_ref().unwrap().probability, Rational::from_ratio(3, 8));
+//! assert_eq!(answers[2].as_ref().unwrap().probability, Rational::from_ratio(3, 8));
+//!
+//! // A second batch is served entirely from the cache.
+//! let (_, stats) = solve_many_stats(&queries, &h, SolverOptions::default(), Some(&mut cache));
+//! assert_eq!(stats.cache_hits, 2);
+//! ```
+//!
 //! Beyond the paper's own results, the workspace implements its Section 6
 //! future-work program: **bounded-treewidth instances**
 //! ([`graph::treedecomp`] + [`core::algo::walk_on_tw`]), **unions of
@@ -96,14 +134,20 @@ pub use phom_lineage as lineage;
 pub use phom_num as num;
 pub use phom_reductions as reductions;
 
-pub use phom_core::{solve, solve_with, Fallback, Hardness, Route, Solution, SolverOptions};
+pub use phom_core::{
+    solve, solve_many, solve_many_cached, solve_with, EvalCache, Fallback, Hardness, Route,
+    Solution, SolverOptions,
+};
 
 pub mod cli;
 
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
     pub use phom_core::ucq::Ucq;
-    pub use phom_core::{solve, solve_with, Fallback, Route, Solution, SolverOptions};
+    pub use phom_core::{
+        solve, solve_many, solve_many_cached, solve_with, EvalCache, Fallback, Route, Solution,
+        SolverOptions,
+    };
     pub use phom_graph::{classify, Dir, Graph, GraphBuilder, Label, ProbGraph};
     pub use phom_lineage::{Provenance, VarStatus};
     pub use phom_num::{Rational, Semiring, Weight};

@@ -1,0 +1,302 @@
+//! Equivalence suite for the batched solver: `solve_many` must be
+//! indistinguishable from per-query `solve_with` — same probabilities
+//! (bit-identical rationals), same routes, same hardness cells, same
+//! provenance behavior, and the same model counts — across randomized
+//! query sets on every tractable route, with and without the eval cache.
+
+use phom::prelude::*;
+use phom_core::{
+    counting, instance_fingerprint, solve_many_cached, solve_many_stats, EvalCache, Fallback,
+    Hardness, Solution,
+};
+use phom_graph::generate::{self, ProbProfile};
+use phom_num::Natural;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomized instance drawn from every interesting class: connected
+/// 2WP / DWT / polytree, unions of them, and (sometimes) general graphs
+/// whose cells are #P-hard.
+fn random_instance(rng: &mut SmallRng) -> ProbGraph {
+    let profile = ProbProfile {
+        certain_ratio: 0.2,
+        denominator: 4,
+    };
+    let g = match rng.gen_range(0..6) {
+        0 => generate::two_way_path(rng.gen_range(1..8), 2, rng),
+        1 => generate::downward_tree(rng.gen_range(2..9), 2, rng),
+        2 => generate::polytree(rng.gen_range(2..9), 1, rng),
+        3 => generate::union_of(2, rng, |r| generate::two_way_path(3, 2, r)),
+        4 => generate::union_of(2, rng, |r| generate::downward_tree(4, 1, r)),
+        _ => generate::connected(rng.gen_range(2..7), 2, 2, rng),
+    };
+    generate::with_probabilities(g, profile, rng)
+}
+
+/// A randomized query mix: planted paths (hit the circuit routes), random
+/// connected and graded queries, unions, trivial and unmatchable shapes —
+/// with deliberate repetition so interning always has work to do.
+fn random_queries(h: &ProbGraph, rng: &mut SmallRng) -> Vec<Graph> {
+    let mut queries = Vec::new();
+    for _ in 0..rng.gen_range(4..10) {
+        let q = match rng.gen_range(0..6) {
+            0 => generate::planted_path_query(h.graph(), rng.gen_range(1..4), rng)
+                .unwrap_or_else(|| generate::one_way_path(2, 2, rng)),
+            1 => generate::connected(rng.gen_range(2..5), 1, 2, rng),
+            2 => generate::graded_query(rng.gen_range(2..6), 2, 2, rng),
+            3 => Graph::directed_path(rng.gen_range(0..3)),
+            4 => generate::one_way_path(rng.gen_range(1..4), 3, rng),
+            _ => generate::union_of(2, rng, |r| generate::downward_tree(3, 1, r)),
+        };
+        // Sometimes push the query twice: interning must dedup.
+        if rng.gen_bool(0.3) {
+            queries.push(q.clone());
+        }
+        queries.push(q);
+    }
+    queries
+}
+
+fn assert_same(batch: &Result<Solution, Hardness>, solo: &Result<Solution, Hardness>, ctx: &str) {
+    match (batch, solo) {
+        (Ok(b), Ok(s)) => {
+            assert_eq!(b.probability, s.probability, "{ctx}: probability");
+            assert_eq!(b.route, s.route, "{ctx}: route");
+            assert_eq!(
+                b.provenance.is_some(),
+                s.provenance.is_some(),
+                "{ctx}: provenance presence"
+            );
+        }
+        (Err(b), Err(s)) => assert_eq!(b, s, "{ctx}: hardness"),
+        (b, s) => panic!("{ctx}: batch {b:?} but solo {s:?}"),
+    }
+}
+
+#[test]
+fn solve_many_matches_per_query_solve_across_routes() {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C41);
+    let mut seen_routes = std::collections::BTreeSet::new();
+    for trial in 0..60 {
+        let h = random_instance(&mut rng);
+        let queries = random_queries(&h, &mut rng);
+        let opts = SolverOptions::default();
+        let (batch, stats) = solve_many_stats(&queries, &h, opts, None);
+        assert_eq!(batch.len(), queries.len());
+        assert_eq!(
+            stats.circuit_batched + stats.general_solved + stats.cache_hits,
+            stats.unique_queries,
+            "trial {trial}: every unique query is accounted for"
+        );
+        for (i, q) in queries.iter().enumerate() {
+            let solo = phom::solve_with(q, &h, opts);
+            assert_same(&batch[i], &solo, &format!("trial {trial} query {i}"));
+            if let Ok(sol) = &solo {
+                seen_routes.insert(format!("{:?}", sol.route));
+            }
+        }
+    }
+    // The generator must actually exercise every tractable route family.
+    let seen = format!("{seen_routes:?}");
+    for expect in ["Prop36", "Prop410", "Prop411", "Prop54", "TrivialNoEdges"] {
+        assert!(seen.contains(expect), "routes exercised: {seen}");
+    }
+}
+
+#[test]
+fn solve_many_matches_solve_with_provenance_handles() {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C42);
+    let opts = SolverOptions {
+        want_provenance: true,
+        ..Default::default()
+    };
+    for trial in 0..30 {
+        let h = random_instance(&mut rng);
+        let queries = random_queries(&h, &mut rng);
+        let batch = phom_core::solve_many(&queries, &h, opts);
+        for (i, q) in queries.iter().enumerate() {
+            let solo = phom::solve_with(q, &h, opts);
+            assert_same(&batch[i], &solo, &format!("trial {trial} query {i}"));
+            // When a handle attaches, it re-derives the probability
+            // through the engine — on both paths.
+            if let (Ok(b), Ok(s)) = (&batch[i], &solo) {
+                for sol in [b, s] {
+                    if let Some(prov) = &sol.provenance {
+                        assert_eq!(
+                            prov.probability::<Rational>(h.probs()),
+                            sol.probability,
+                            "trial {trial} query {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn solve_many_matches_solve_under_fallbacks() {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C43);
+    for opts in [
+        SolverOptions {
+            fallback: Fallback::BruteForce { max_uncertain: 12 },
+            ..Default::default()
+        },
+        SolverOptions {
+            fallback: Fallback::MonteCarlo {
+                samples: 300,
+                seed: 7,
+            },
+            ..Default::default()
+        },
+        SolverOptions {
+            prefer_dp: true,
+            ..Default::default()
+        },
+    ] {
+        for trial in 0..12 {
+            let h = random_instance(&mut rng);
+            let queries = random_queries(&h, &mut rng);
+            let batch = phom_core::solve_many(&queries, &h, opts);
+            for (i, q) in queries.iter().enumerate() {
+                let solo = phom::solve_with(q, &h, opts);
+                assert_same(&batch[i], &solo, &format!("trial {trial} query {i}"));
+            }
+        }
+    }
+}
+
+/// Counting equivalence: on all-½ instances, the batched probability
+/// scales to exactly the model count the counting module derives.
+#[test]
+fn batched_probabilities_scale_to_model_counts() {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C44);
+    for _ in 0..25 {
+        let g = match rng.gen_range(0..2) {
+            0 => generate::two_way_path(rng.gen_range(1..7), 2, &mut rng),
+            _ => generate::downward_tree(rng.gen_range(2..8), 2, &mut rng),
+        };
+        let h = generate::with_probabilities(g, ProbProfile::half(), &mut rng);
+        let queries = random_queries(&h, &mut rng);
+        let batch = phom_core::solve_many(&queries, &h, SolverOptions::default());
+        let u = h.uncertain_edges().len() as u32;
+        for (i, q) in queries.iter().enumerate() {
+            let Ok(sol) = &batch[i] else { continue };
+            let scaled =
+                sol.probability
+                    .mul(&Rational::new(false, Natural::one().shl(u), Natural::one()));
+            assert!(scaled.denom().is_one(), "query {i}: ½-weights scale to ℕ");
+            match counting::count_satisfying_worlds(q, &h) {
+                Ok(count) => assert_eq!(count, scaled.numer().clone(), "query {i}"),
+                Err(counting::CountError::Hard(_)) => {}
+                Err(e) => panic!("query {i}: {e:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_serves_repeats_and_instance_mutation_invalidates() {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C45);
+    let h = generate::with_probabilities(
+        generate::two_way_path(10, 2, &mut rng),
+        ProbProfile {
+            certain_ratio: 0.2,
+            denominator: 4,
+        },
+        &mut rng,
+    );
+    let queries = random_queries(&h, &mut rng);
+    let opts = SolverOptions::default();
+    let mut cache = EvalCache::new();
+
+    // Cold batch: all misses.
+    let (cold, s_cold) = solve_many_stats(&queries, &h, opts, Some(&mut cache));
+    assert_eq!(s_cold.cache_hits, 0);
+    assert_eq!(cache.stats().misses as usize, s_cold.unique_queries);
+    assert_eq!(cache.stats().entries, s_cold.unique_queries);
+
+    // Warm batch: all unique queries hit; nothing recompiles; identical
+    // answers.
+    let (warm, s_warm) = solve_many_stats(&queries, &h, opts, Some(&mut cache));
+    assert_eq!(s_warm.cache_hits, s_warm.unique_queries);
+    assert_eq!(s_warm.circuit_batched + s_warm.general_solved, 0);
+    assert_eq!(s_warm.shared_gates, 2, "only the two constant gates");
+    for (i, (a, b)) in cold.iter().zip(&warm).enumerate() {
+        assert_same(a, b, &format!("cold vs warm {i}"));
+    }
+
+    // Different options key separately (no cross-option bleed).
+    let dp_opts = SolverOptions {
+        prefer_dp: true,
+        ..Default::default()
+    };
+    let (_, s_dp) = solve_many_stats(&queries, &h, dp_opts, Some(&mut cache));
+    assert_eq!(s_dp.cache_hits, 0, "other options must not hit");
+
+    // Structural mutation: drop the last edge. New fingerprint, cold
+    // cache, and answers match a fresh per-query solve.
+    let keep = h.graph().n_edges() - 1;
+    let mut b = phom_graph::GraphBuilder::with_vertices(h.graph().n_vertices());
+    for e in &h.graph().edges()[..keep] {
+        b.edge(e.src, e.dst, e.label);
+    }
+    let h2 = ProbGraph::new(b.build(), h.probs()[..keep].to_vec());
+    assert_ne!(instance_fingerprint(&h), instance_fingerprint(&h2));
+    let (mutated, s_mut) = solve_many_stats(&queries, &h2, opts, Some(&mut cache));
+    assert_eq!(s_mut.cache_hits, 0, "mutated instance must not hit");
+    for (i, q) in queries.iter().enumerate() {
+        assert_same(
+            &mutated[i],
+            &phom::solve_with(q, &h2, opts),
+            &format!("mutated {i}"),
+        );
+    }
+
+    // The original instance's entries still serve.
+    let (again, s_again) = solve_many_cached_stats(&queries, &h, opts, &mut cache);
+    assert_eq!(s_again.cache_hits, s_again.unique_queries);
+    for (i, (a, b)) in cold.iter().zip(&again).enumerate() {
+        assert_same(a, b, &format!("original after mutation {i}"));
+    }
+}
+
+/// Thin adapter so the test reads uniformly (stats + the convenience
+/// wrapper are both part of the public surface).
+fn solve_many_cached_stats(
+    queries: &[Graph],
+    h: &ProbGraph,
+    opts: SolverOptions,
+    cache: &mut EvalCache,
+) -> (Vec<Result<Solution, Hardness>>, phom_core::BatchStats) {
+    let before = cache.stats();
+    let results = solve_many_cached(queries, h, opts, cache);
+    let after = cache.stats();
+    let mut stats = phom_core::BatchStats::default();
+    stats.cache_hits = (after.hits - before.hits) as usize;
+    stats.unique_queries = stats.cache_hits + (after.misses - before.misses) as usize;
+    (results, stats)
+}
+
+#[test]
+fn batch_order_is_preserved_under_heavy_duplication() {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C46);
+    let h = generate::with_probabilities(
+        generate::two_way_path(6, 2, &mut rng),
+        ProbProfile::default(),
+        &mut rng,
+    );
+    let a = generate::planted_path_query(h.graph(), 1, &mut rng)
+        .unwrap_or_else(|| generate::one_way_path(1, 2, &mut rng));
+    let b = Graph::directed_path(0);
+    let pattern = [&a, &b, &a, &a, &b, &a, &b, &b, &a, &a];
+    let queries: Vec<Graph> = pattern.iter().map(|q| (*q).clone()).collect();
+    let (results, stats) = solve_many_stats(&queries, &h, SolverOptions::default(), None);
+    assert_eq!(stats.unique_queries, 2);
+    let pa = phom::solve(&a, &h).unwrap().probability;
+    let pb = phom::solve(&b, &h).unwrap().probability;
+    for (i, q) in pattern.iter().enumerate() {
+        let expect = if std::ptr::eq(*q, &a) { &pa } else { &pb };
+        assert_eq!(&results[i].as_ref().unwrap().probability, expect, "{i}");
+    }
+}
