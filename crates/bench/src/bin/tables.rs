@@ -137,7 +137,10 @@ fn json_smoke() {
     // instance once, and answers every circuit through one shared arena +
     // engine pass; the baseline issues 16 independent `solve` calls.
     // Exact rational arithmetic on both sides, results bit-identical
-    // (asserted here and in tests/batch_solver.rs).
+    // (asserted here and in tests/batch_solver.rs). The deprecated legacy
+    // entry points are measured on purpose: they are the perf-trajectory
+    // baselines the Engine path is gated against.
+    #[allow(deprecated)]
     {
         let h = wl::twp_instance(512, 2);
         let queries: Vec<Graph> = (0..16).map(|i| wl::planted_query(&h, 2 + i % 2)).collect();
@@ -177,6 +180,102 @@ fn json_smoke() {
                 .map(|r| r.expect("tractable").probability.to_f64())
                 .sum()
         });
+
+        // Engine serving tick: the same k = 16 workload submitted to a
+        // long-lived sharded `Engine` (4 shards, bounded LRU cache) —
+        // the steady-state cost of one serving tick: request interning,
+        // cache service, and sharded dispatch of the residual. The cold
+        // first submit runs outside the timer (its cost is the
+        // solve_many_k16 entry above, minus the amortized instance
+        // preprocessing the engine no longer pays per call);
+        // bit-identity across shard widths and against the legacy paths
+        // is asserted here and in tests/engine_api.rs.
+        let engine = phom_core::Engine::builder()
+            .threads(4)
+            .cache_capacity(64)
+            .build(h.clone());
+        let requests: Vec<phom_core::Request> = queries
+            .iter()
+            .map(|q| phom_core::Request::probability(q.clone()))
+            .collect();
+        let warm = engine.submit(&requests);
+        for (s, a) in solo.iter().zip(&warm) {
+            let a = a.as_ref().expect("tractable");
+            let sol = a.solution().expect("probability request");
+            assert_eq!(
+                s.probability, sol.probability,
+                "engine must be bit-identical"
+            );
+        }
+        json_entry(&mut entries, "engine_submit_sharded_k16", 16, || {
+            engine
+                .submit(&requests)
+                .into_iter()
+                .map(|r| {
+                    r.expect("tractable")
+                        .solution()
+                        .expect("probability request")
+                        .probability
+                        .to_f64()
+                })
+                .sum()
+        });
+    }
+
+    // Fleet serving: 3 registered graph versions behind one shared
+    // bounded cache, answering a mixed 16-request tick (probability,
+    // counting, and UCQ requests routed by instance fingerprint). The
+    // fleet is warmed once; counting/UCQ requests are not cached, so the
+    // entry tracks the steady-state mixed-workload cost of the registry.
+    {
+        use phom_core::{Fleet, Request, Response};
+        let live = wl::twp_instance(64, 2);
+        let census = phom_graph::ProbGraph::new(
+            live.graph().clone(),
+            vec![phom_num::Rational::from_ratio(1, 2); live.graph().n_edges()],
+        );
+        let dwt = wl::dwt_instance(64, 2);
+        let q_live = wl::planted_query(&live, 3);
+        let q_census = wl::planted_query(&census, 2);
+        let q_dwt = wl::planted_query(&dwt, 2);
+        let mut fleet = Fleet::with_cache_capacity(256).threads(4);
+        let v_live = fleet.register(live);
+        let v_census = fleet.register(census);
+        let v_dwt = fleet.register(dwt);
+        let tick: Vec<(u64, Request)> = (0..16)
+            .map(|i| match i % 4 {
+                0 => (v_live, Request::probability(q_live.clone())),
+                1 => (v_dwt, Request::probability(q_dwt.clone())),
+                2 => (v_census, Request::probability(q_census.clone()).counting()),
+                _ => (
+                    v_live,
+                    Request::ucq(phom_core::ucq::Ucq::new(vec![
+                        q_live.clone(),
+                        q_census.clone(),
+                    ])),
+                ),
+            })
+            .collect();
+        let run_tick = |fleet: &Fleet| -> f64 {
+            tick.iter()
+                .map(|(version, request)| {
+                    let answers = fleet
+                        .submit(*version, std::slice::from_ref(request))
+                        .expect("registered version");
+                    match answers.into_iter().next().expect("one answer") {
+                        Ok(Response::Probability(sol)) => sol.probability.to_f64(),
+                        Ok(Response::Ucq { probability, .. }) => probability.to_f64(),
+                        Ok(Response::Count {
+                            uncertain_edges, ..
+                        }) => uncertain_edges as f64,
+                        Ok(Response::Sensitivity { influences, .. }) => influences.len() as f64,
+                        Err(e) => panic!("fleet workload must be tractable: {e}"),
+                    }
+                })
+                .sum()
+        };
+        let _ = run_tick(&fleet); // warm the shared cache
+        json_entry(&mut entries, "fleet_mixed_k16", 16, || run_tick(&fleet));
     }
 
     println!("{{");

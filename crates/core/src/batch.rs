@@ -1,44 +1,33 @@
-//! Batched query-set solving (`solve_many`): the serving path.
+//! Batched query-set solving: interned query keys, instance
+//! fingerprints, the bounded answer cache, and the legacy `solve_many`
+//! entry points (now thin shims over [`crate::engine`]).
 //!
-//! `phom_core::solve` answers one query at a time, re-deriving the
-//! instance-side state (classification, label set, Lemma 3.7 component
-//! split) and compiling a fresh lineage for every call. A serving
-//! workload — many queries against one probabilistic instance, with heavy
-//! repetition — amortizes all of that:
+//! The serving path itself lives in [`crate::engine`]: a long-lived
+//! [`Engine`](crate::Engine) owns the instance-side state, a bounded
+//! [`EvalCache`], and a sharded submit loop. This module keeps the
+//! serving *vocabulary* — [`QueryKey`] (structural query identity),
+//! [`instance_fingerprint`] (content identity of a probabilistic
+//! instance), [`CacheStats`]/[`BatchStats`] observability — plus the
+//! pre-engine free functions `solve_many`/`solve_many_cached`/
+//! `solve_many_stats`, which now delegate to the engine's single-threaded
+//! batch core so no caller breaks.
 //!
-//! 1. **Instance preprocessing once.** One [`SharedInstance`] carries the
-//!    classification, label set, and (lazily) the component split for the
-//!    whole batch.
-//! 2. **Interned queries.** Structurally identical queries in the batch
-//!    collapse to one [`QueryKey`]; each unique query is planned, solved,
-//!    and cached exactly once.
-//! 3. **One shared arena, one engine pass.** Every circuit-compilable
-//!    plan (Prop 4.10 fail circuits, Prop 4.11 match circuits, on
-//!    connected instances) compiles into a *single* [`Arena`] — common
-//!    sub-lineages intern once across queries — and a single multi-root
-//!    [`Arena::probability_many_with`] pass answers them all.
-//! 4. **Cross-batch caching.** An optional [`EvalCache`], keyed by
-//!    (instance fingerprint, solver-options fingerprint, interned query
-//!    key), lets repeated queries on a served instance skip planning and
-//!    compilation entirely. Mutating the instance (structure *or*
-//!    probabilities) changes its fingerprint and naturally invalidates
-//!    every cached answer.
+//! ## The answer cache
 //!
-//! Results are **identical** to the per-query path: plans that the shared
-//! arena cannot take (trivial routes, Prop 3.6/5.4, disconnected
-//! instances, fallbacks, provenance requests) execute through exactly the
-//! same code `solve_with` runs, and the circuit-backed plans compute the
-//! same exact rational probabilities the β-elimination path does (the
-//! equivalence the test suite asserts per world and per probability).
+//! [`EvalCache`] maps (instance fingerprint, solver-options fingerprint,
+//! interned query key) to the completed `Result<Solution, Hardness>`.
+//! Mutating the instance (structure *or* probabilities) changes its
+//! fingerprint and naturally invalidates every cached answer. Since one
+//! cache can serve many instances (a [`Fleet`](crate::Fleet) shares a
+//! single cache across every registered graph version), the cache is
+//! **bounded**: construct with [`EvalCache::with_capacity`] and the
+//! least-recently-used entry is evicted on overflow, counted in
+//! [`CacheStats::evictions`]. [`EvalCache::new`] keeps the historical
+//! unbounded behavior.
 
-use crate::solver::{
-    finish_plan, plan_query, Hardness, Plan, SharedInstance, Solution, SolverOptions,
-};
-use crate::{algo::lineage_circuits, Route};
+use crate::solver::{Hardness, Solution, SolverOptions};
 use phom_graph::{Graph, ProbGraph};
-use phom_lineage::engine::{Arena, EvalScratch, GateId};
 use phom_lineage::fxhash::{FxHashMap, FxHasher};
-use phom_num::Rational;
 use std::hash::{Hash, Hasher};
 
 /// An interned query key: structural identity of a query graph (vertex
@@ -85,7 +74,8 @@ impl Hash for QueryKey {
 /// (vertices, edges, labels) and every edge probability. Two instances
 /// with equal fingerprints serve interchangeable cached answers; any
 /// mutation — adding an edge, nudging a probability — moves the
-/// fingerprint and invalidates the cache for free.
+/// fingerprint and invalidates the cache for free. The same fingerprint
+/// keys engines inside a [`Fleet`](crate::Fleet).
 pub fn instance_fingerprint(instance: &ProbGraph) -> u64 {
     let mut h = FxHasher::default();
     h.write_u32(instance.graph().n_vertices() as u32);
@@ -103,7 +93,7 @@ pub fn instance_fingerprint(instance: &ProbGraph) -> u64 {
 /// Folds the option fields that change answers (or attached artifacts)
 /// into the cache key, so e.g. a `want_provenance` answer is never served
 /// to a caller that set a brute-force fallback.
-fn opts_fingerprint(opts: &SolverOptions) -> u64 {
+pub(crate) fn opts_fingerprint(opts: &SolverOptions) -> u64 {
     use crate::solver::Fallback;
     let mut h = FxHasher::default();
     match opts.fallback {
@@ -124,256 +114,224 @@ fn opts_fingerprint(opts: &SolverOptions) -> u64 {
     h.finish()
 }
 
-/// Hit/miss counters of an [`EvalCache`].
+/// The full cache key: (instance fingerprint, options fingerprint,
+/// interned query). Flat — one map, one LRU order — so a bounded cache
+/// shares its capacity across every instance and option set it serves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct CacheKey {
+    pub(crate) instance: u64,
+    pub(crate) opts: u64,
+    pub(crate) query: QueryKey,
+}
+
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.instance ^ self.opts.rotate_left(32) ^ self.query.hash);
+    }
+}
+
+/// Counters and size of an [`EvalCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from the cache (no planning, no compilation).
     pub hits: u64,
     /// Queries that had to be solved and were then inserted.
     pub misses: u64,
+    /// Entries dropped by the LRU bound (0 on unbounded caches).
+    pub evictions: u64,
     /// Entries currently stored.
     pub entries: usize,
 }
 
-/// A cross-batch answer cache for serving workloads: maps (instance
-/// fingerprint, options fingerprint, interned query key) to the completed
-/// `Result<Solution, Hardness>`. Owned by the caller so one cache can
-/// serve many `solve_many_cached` batches — and many instances; answers
-/// for an old instance version simply stop being reachable once its
-/// fingerprint changes.
-#[derive(Default)]
+/// A cross-batch answer cache for serving workloads; see the module docs
+/// for the key structure and invalidation story.
+///
+/// Owned by the caller (or by an [`Engine`](crate::Engine) /
+/// [`Fleet`](crate::Fleet)) so one cache can serve many batches and many
+/// instances. Bound it with [`EvalCache::with_capacity`]: on overflow the
+/// least-recently-*used* entry (reads refresh recency) is evicted.
+/// Eviction is an `O(entries)` scan — caches are sized in the thousands,
+/// and the scan only runs on inserts past capacity, never on hits.
 pub struct EvalCache {
-    /// Two-level map: (instance fingerprint, options fingerprint) →
-    /// interned query key → answer. The outer lookup happens once per
-    /// batch and the inner probes borrow the already-built [`QueryKey`],
-    /// so the warm path clones nothing.
-    map: FxHashMap<(u64, u64), FxHashMap<QueryKey, Result<Solution, Hardness>>>,
+    map: FxHashMap<CacheKey, CacheEntry>,
+    /// `usize::MAX` = unbounded (the historical behavior).
+    capacity: usize,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+struct CacheEntry {
+    last_used: u64,
+    answer: Result<Solution, Hardness>,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::new()
+    }
 }
 
 impl EvalCache {
-    /// An empty cache.
+    /// An empty, **unbounded** cache.
     pub fn new() -> Self {
-        EvalCache::default()
+        EvalCache::with_capacity(usize::MAX)
     }
 
-    /// Hit/miss counters and current size.
+    /// An empty cache holding at most `capacity` answers; the
+    /// least-recently-used entry is evicted on overflow. `capacity == 0`
+    /// disables retention entirely (every insert is evicted immediately;
+    /// miss/eviction counters still advance).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EvalCache {
+            map: FxHashMap::default(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configured bound (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss/eviction counters and current size.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
-            entries: self.map.values().map(FxHashMap::len).sum(),
+            evictions: self.evictions,
+            entries: self.map.len(),
         }
     }
 
-    /// Drops every entry (counters are kept; they describe the cache's
-    /// lifetime, not its contents).
+    /// Drops every entry. The cumulative hit/miss/eviction counters are
+    /// **kept**: they describe the cache's lifetime, not its contents
+    /// (clearing is not an eviction, so `evictions` does not advance
+    /// either). [`CacheStats::entries`] drops to 0.
     pub fn clear(&mut self) {
         self.map.clear();
     }
+
+    /// Looks up a completed answer, refreshing its recency and counting a
+    /// hit when present.
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<&Result<Solution, Hardness>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits += 1;
+                Some(&entry.answer)
+            }
+            None => None,
+        }
+    }
+
+    /// Records a freshly solved answer (counted as a miss), evicting the
+    /// least-recently-used entries if the bound is exceeded.
+    pub(crate) fn insert(&mut self, key: CacheKey, answer: Result<Solution, Hardness>) {
+        if self.map.contains_key(&key) {
+            return; // identical answer already present; keep its recency
+        }
+        self.misses += 1;
+        self.tick += 1;
+        self.map.insert(
+            key,
+            CacheEntry {
+                last_used: self.tick,
+                answer,
+            },
+        );
+        while self.map.len() > self.capacity {
+            let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
 }
 
-/// What one `solve_many` call did, for observability and the perf
-/// harness.
+/// What one batched solve did, for observability and the perf harness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BatchStats {
     /// Queries in the batch.
     pub queries: usize,
-    /// Structurally distinct queries after interning.
+    /// Structurally distinct (query, options) pairs after interning.
     pub unique_queries: usize,
     /// Unique queries answered from the [`EvalCache`].
     pub cache_hits: usize,
-    /// Unique queries answered through the shared arena's single engine
-    /// pass.
+    /// Unique queries answered through a shard's single engine pass over
+    /// its compiled lineage arena.
     pub circuit_batched: usize,
     /// Unique queries answered on the general per-query path (trivial
     /// routes, non-circuit algorithms, disconnected instances,
     /// fallbacks).
     pub general_solved: usize,
-    /// Gates in the shared arena (0 when nothing batched).
+    /// Gates across all shard arenas (0 when nothing batched).
     pub shared_gates: usize,
+    /// Worker shards the batch ran on (1 = the sequential path).
+    pub shards: usize,
 }
 
 /// Batched solving: answers every query in `queries` against `instance`,
-/// preserving order, with the amortizations described in the module docs.
-/// Results are identical to calling [`crate::solve_with`] per query.
+/// preserving order. Results are identical to per-query `solve_with`
+/// calls.
+#[deprecated(note = "build a long-lived `phom_core::Engine` and call \
+                     `Engine::submit` (sharded, cached) instead")]
 pub fn solve_many(
     queries: &[Graph],
     instance: &ProbGraph,
     opts: SolverOptions,
 ) -> Vec<Result<Solution, Hardness>> {
-    solve_many_stats(queries, instance, opts, None).0
+    crate::engine::legacy_batch(queries, instance, opts, None).0
 }
 
 /// As [`solve_many`], with a caller-owned [`EvalCache`]: repeated queries
 /// across batches skip compilation entirely while the instance
 /// fingerprint holds.
+#[deprecated(note = "build a long-lived `phom_core::Engine` (it owns a \
+                     bounded `EvalCache`) and call `Engine::submit` instead")]
 pub fn solve_many_cached(
     queries: &[Graph],
     instance: &ProbGraph,
     opts: SolverOptions,
     cache: &mut EvalCache,
 ) -> Vec<Result<Solution, Hardness>> {
-    solve_many_stats(queries, instance, opts, Some(cache)).0
+    crate::engine::legacy_batch(queries, instance, opts, Some(cache)).0
 }
 
-/// How a unique query slot is answered before the engine pass runs.
-enum SlotState {
-    Ready(Result<Solution, Hardness>),
-    /// Compiled into the shared arena: `deferred[idx]` holds the root;
-    /// `negated` marks Prop 4.10 fail circuits (complement on read-out).
-    Deferred {
-        idx: usize,
-        negated: bool,
-        route: Route,
-    },
-}
-
-/// The full-control entry point: optional cache, and the batch statistics
-/// alongside the results.
+/// The full-control legacy entry point: optional cache, and the batch
+/// statistics alongside the results.
+#[deprecated(note = "build a long-lived `phom_core::Engine` and call \
+                     `Engine::submit_stats` instead")]
 pub fn solve_many_stats(
     queries: &[Graph],
     instance: &ProbGraph,
     opts: SolverOptions,
-    mut cache: Option<&mut EvalCache>,
+    cache: Option<&mut EvalCache>,
 ) -> (Vec<Result<Solution, Hardness>>, BatchStats) {
-    let shared = SharedInstance::new(instance);
-    let mut stats = BatchStats {
-        queries: queries.len(),
-        ..Default::default()
-    };
-
-    // 1. Intern the batch: one slot per structurally distinct query.
-    let mut slot_of_key: FxHashMap<QueryKey, usize> = FxHashMap::default();
-    let mut unique: Vec<(usize, QueryKey)> = Vec::new(); // (query index, key)
-    let mut slot_of_query: Vec<usize> = Vec::with_capacity(queries.len());
-    for (i, q) in queries.iter().enumerate() {
-        let key = QueryKey::new(q);
-        let next = unique.len();
-        let slot = *slot_of_key.entry(key.clone()).or_insert_with(|| {
-            unique.push((i, key));
-            next
-        });
-        slot_of_query.push(slot);
-    }
-    stats.unique_queries = unique.len();
-
-    // 2. Resolve each unique query: cache hit, shared-arena compilation,
-    //    or the general per-query path.
-    let fingerprint = cache.as_ref().map(|_| instance_fingerprint(instance));
-    let opts_fp = opts_fingerprint(&opts);
-    let mut arena = Arena::new(instance.graph().n_edges());
-    let mut deferred_roots: Vec<GateId> = Vec::new();
-    let mut slots: Vec<SlotState> = Vec::with_capacity(unique.len());
-    for (qi, key) in &unique {
-        if let (Some(cache), Some(fp)) = (cache.as_deref_mut(), fingerprint) {
-            if let Some(answer) = cache.map.get(&(fp, opts_fp)).and_then(|m| m.get(key)) {
-                cache.hits += 1;
-                stats.cache_hits += 1;
-                slots.push(SlotState::Ready(answer.clone()));
-                continue;
-            }
-        }
-        let planned = plan_query(&queries[*qi], &shared);
-        // The shared-arena fast path: circuit-compilable plans on a
-        // connected instance, when no provenance handle was requested
-        // (handles own their circuit, so they compile separately).
-        if shared.ic.is_connected() && !opts.want_provenance {
-            match &planned.plan {
-                Plan::Prop411 { effective } => {
-                    if let Some(root) =
-                        lineage_circuits::match_into_2wp(&mut arena, effective, instance.graph())
-                    {
-                        slots.push(SlotState::Deferred {
-                            idx: push_root(&mut deferred_roots, root),
-                            negated: false,
-                            route: Route::Prop411,
-                        });
-                        stats.circuit_batched += 1;
-                        continue;
-                    }
-                }
-                Plan::Prop410 => {
-                    if let Some(root) = lineage_circuits::fail_into_dwt(
-                        &mut arena,
-                        &planned.absorbed,
-                        instance.graph(),
-                    ) {
-                        slots.push(SlotState::Deferred {
-                            idx: push_root(&mut deferred_roots, root),
-                            negated: true,
-                            route: Route::Prop410,
-                        });
-                        stats.circuit_batched += 1;
-                        continue;
-                    }
-                }
-                _ => {}
-            }
-        }
-        // General path: finish the plan exactly as `solve_with` does,
-        // reusing the shared instance-side state (provenance compilation
-        // included).
-        let answer = finish_plan(&queries[*qi], planned, &shared, opts);
-        stats.general_solved += 1;
-        slots.push(SlotState::Ready(answer));
-    }
-    stats.shared_gates = arena.n_gates();
-
-    // 3. One multi-root engine pass answers every deferred query.
-    let batched: Vec<Rational> = if deferred_roots.is_empty() {
-        Vec::new()
-    } else {
-        arena.probability_many_with(&deferred_roots, instance.probs(), &mut EvalScratch::new())
-    };
-
-    // 4. Materialize, fill the cache, and fan back out to batch order.
-    let slots: Vec<Result<Solution, Hardness>> = slots
-        .into_iter()
-        .map(|state| match state {
-            SlotState::Ready(answer) => answer,
-            SlotState::Deferred {
-                idx,
-                negated,
-                route,
-            } => {
-                let p = if negated {
-                    batched[idx].one_minus()
-                } else {
-                    batched[idx].clone()
-                };
-                Ok(Solution {
-                    probability: p,
-                    route,
-                    provenance: None,
-                })
-            }
-        })
-        .collect();
-    if let (Some(cache), Some(fp)) = (cache, fingerprint) {
-        let per_instance = cache.map.entry((fp, opts_fp)).or_default();
-        for ((_, key), answer) in unique.into_iter().zip(&slots) {
-            if let std::collections::hash_map::Entry::Vacant(slot) = per_instance.entry(key) {
-                cache.misses += 1;
-                slot.insert(answer.clone());
-            }
-        }
-    }
-    let results = slot_of_query.iter().map(|&s| slots[s].clone()).collect();
-    (results, stats)
-}
-
-fn push_root(roots: &mut Vec<GateId>, root: GateId) -> usize {
-    roots.push(root);
-    roots.len() - 1
+    crate::engine::legacy_batch(queries, instance, opts, cache)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the suite pins the legacy shims to the engine path
 mod tests {
     use super::*;
     use phom_graph::generate::{self, ProbProfile};
     use phom_graph::{Graph, Label};
+    use phom_num::Rational;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -403,6 +361,7 @@ mod tests {
         let (batch, stats) = solve_many_stats(&queries, &h, opts, None);
         assert_eq!(batch.len(), queries.len());
         assert!(stats.unique_queries <= stats.queries);
+        assert_eq!(stats.shards, 1, "legacy shims stay sequential");
         for (i, q) in queries.iter().enumerate() {
             match (&batch[i], crate::solve_with(q, &h, opts)) {
                 (Ok(b), Ok(s)) => {
@@ -466,6 +425,108 @@ mod tests {
                 crate::solve(q, &h2).unwrap().probability
             );
         }
+    }
+
+    #[test]
+    fn lru_bound_evicts_coldest_and_counts() {
+        let h = twp_instance(33);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let queries: Vec<Graph> = (0..5)
+            .map(|_| generate::connected(3, 1, 2, &mut rng))
+            .collect();
+        let opts = SolverOptions::default();
+        let mut cache = EvalCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let (_, s1) = solve_many_stats(&queries, &h, opts, Some(&mut cache));
+        let stats = cache.stats();
+        assert!(stats.entries <= 2, "{stats:?}");
+        assert_eq!(
+            stats.evictions,
+            stats.misses - stats.entries as u64,
+            "every overflow insert evicts exactly one entry: {stats:?}"
+        );
+        assert!(stats.evictions >= (s1.unique_queries as u64).saturating_sub(2));
+        // The two most recent unique queries are hot; re-asking only them
+        // stays within capacity and hits.
+        let tail: Vec<Graph> = queries[queries.len() - 2..].to_vec();
+        let before = cache.stats();
+        let (answers, s2) = solve_many_stats(&tail, &h, opts, Some(&mut cache));
+        // Correctness is unaffected by eviction either way.
+        assert_eq!(s2.cache_hits + s2.circuit_batched + s2.general_solved, {
+            s2.unique_queries
+        });
+        assert!(cache.stats().hits >= before.hits);
+        for (q, a) in tail.iter().zip(&answers) {
+            assert_eq!(
+                a.as_ref().unwrap().probability,
+                crate::solve(q, &h).unwrap().probability
+            );
+        }
+    }
+
+    #[test]
+    fn lru_reads_refresh_recency() {
+        let key = |tag: u64| CacheKey {
+            instance: tag,
+            opts: 0,
+            query: QueryKey::new(&Graph::directed_path(1)),
+        };
+        let answer = || -> Result<Solution, Hardness> {
+            Err(Hardness {
+                prop: "test",
+                cell: String::new(),
+            })
+        };
+        let mut cache = EvalCache::with_capacity(2);
+        cache.insert(key(1), answer());
+        cache.insert(key(2), answer());
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), answer());
+        assert!(cache.get(&key(1)).is_some(), "recently read survives");
+        assert!(cache.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let h = twp_instance(5);
+        let q = Graph::one_way_path(&[Label(0)]);
+        let mut cache = EvalCache::new();
+        let opts = SolverOptions::default();
+        let _ = solve_many_cached(std::slice::from_ref(&q), &h, opts, &mut cache);
+        let _ = solve_many_cached(std::slice::from_ref(&q), &h, opts, &mut cache);
+        let before = cache.stats();
+        assert!(before.hits > 0 && before.misses > 0 && before.entries > 0);
+        cache.clear();
+        let after = cache.stats();
+        assert_eq!(after.entries, 0, "entries cleared");
+        assert_eq!(after.hits, before.hits, "lifetime counters kept");
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(after.evictions, before.evictions);
+        // The next batch re-solves and re-fills.
+        let (_, s) = solve_many_stats(&[q], &h, opts, Some(&mut cache));
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn zero_capacity_retains_nothing() {
+        let h = twp_instance(9);
+        let q = Graph::one_way_path(&[Label(0)]);
+        let mut cache = EvalCache::with_capacity(0);
+        let _ = solve_many_cached(
+            std::slice::from_ref(&q),
+            &h,
+            SolverOptions::default(),
+            &mut cache,
+        );
+        let _ = solve_many_cached(&[q], &h, SolverOptions::default(), &mut cache);
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, s.evictions);
     }
 
     #[test]

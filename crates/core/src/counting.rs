@@ -15,7 +15,7 @@
 //! pinned), with no rational arithmetic and no scaling step. Routes
 //! without a circuit fall back to the `Pr · 2^u` identity.
 
-use crate::solver::{solve_with, Hardness, SolverOptions};
+use crate::solver::{solve_shared, Hardness, InstanceState, SharedInstance, SolverOptions};
 use phom_graph::{Graph, ProbGraph};
 use phom_lineage::VarStatus;
 use phom_num::{Natural, Rational};
@@ -48,6 +48,19 @@ pub fn count_satisfying_worlds_with(
     instance: &ProbGraph,
     opts: SolverOptions,
 ) -> Result<Natural, CountError> {
+    let state = InstanceState::new(instance);
+    count_satisfying_worlds_shared(query, &SharedInstance::new(instance, &state), opts)
+}
+
+/// The shared-state counting path: a long-lived [`crate::Engine`] passes
+/// its cached instance state here, so counting-heavy serving never
+/// re-classifies the instance.
+pub(crate) fn count_satisfying_worlds_shared(
+    query: &Graph,
+    shared: &SharedInstance,
+    opts: SolverOptions,
+) -> Result<Natural, CountError> {
+    let instance = shared.instance;
     let half = Rational::from_ratio(1, 2);
     let uncertain = instance.uncertain_edges();
     for &e in &uncertain {
@@ -61,7 +74,7 @@ pub fn count_satisfying_worlds_with(
         want_provenance: true,
         ..opts
     };
-    let sol = solve_with(query, instance, opts).map_err(CountError::Hard)?;
+    let sol = solve_shared(query, shared, opts).map_err(CountError::Hard)?;
     if let Some(prov) = &sol.provenance {
         let status: Vec<VarStatus> = (0..instance.graph().n_edges())
             .map(|e| {

@@ -1,0 +1,1160 @@
+//! The session-oriented serving surface: a long-lived [`Engine`] per
+//! probabilistic instance, typed [`Request`]s/[`Response`]s, sharded
+//! batch submission, and a [`Fleet`] registry for serving many graph
+//! versions at once.
+//!
+//! The paper's dichotomy makes query evaluation a *routing* problem —
+//! every tractable `PHom` route ends in one engine pass — and a serving
+//! process should pay the instance-side work (classification, label set,
+//! the Lemma 3.7 split, the answer cache) **once per instance lifetime**,
+//! not once per call. That is what `Engine` owns:
+//!
+//! * the [`ProbGraph`] instance plus its cached
+//!   [`InstanceState`](crate::solver) (classification, labels, lazy
+//!   component split);
+//! * a **bounded LRU [`EvalCache`]** keyed by (instance fingerprint,
+//!   options fingerprint, interned query) — see
+//!   [`EngineBuilder::cache_capacity`];
+//! * a **shard width** ([`EngineBuilder::threads`]): `submit` distributes
+//!   the batch's unique, uncached queries across scoped worker threads.
+//!
+//! ## Sharding and bit-identical results
+//!
+//! Planning is pure reads over the shared state. Each shard compiles its
+//! assigned circuit-compilable plans into its *own* lineage arena and
+//! answers them with one multi-root engine pass; all other plans run the
+//! exact per-query path. A query's compiled circuit — and therefore its
+//! exact rational probability — does not depend on which arena it lands
+//! in or on what else that arena holds (interning only deduplicates
+//! structurally identical gates), so `submit` returns **bit-identical**
+//! `Response`s for `threads = 1`, `threads = N`, and the legacy
+//! `solve_many` path. The equivalence suite in `tests/engine_api.rs`
+//! asserts exactly this.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use phom_core::{Engine, Request, Response};
+//! use phom_graph::{Graph, GraphBuilder, Label, ProbGraph};
+//! use phom_num::Rational;
+//!
+//! let (r, s) = (Label(0), Label(1));
+//! let mut b = GraphBuilder::with_vertices(3);
+//! b.edge(0, 1, r);
+//! b.edge(1, 2, s);
+//! let h = ProbGraph::new(
+//!     b.build(),
+//!     vec![Rational::from_ratio(1, 2), Rational::from_ratio(3, 4)],
+//! );
+//!
+//! let engine = Engine::builder().cache_capacity(1024).build(h);
+//! let batch = [
+//!     Request::probability(Graph::one_way_path(&[r, s])),
+//!     Request::probability(Graph::one_way_path(&[r])).with_provenance(),
+//! ];
+//! let answers = engine.submit(&batch);
+//! let Ok(Response::Probability(sol)) = &answers[0] else { panic!() };
+//! assert_eq!(sol.probability, Rational::from_ratio(3, 8));
+//! assert_eq!(engine.cache_stats().misses, 2);
+//! ```
+
+use crate::algo::lineage_circuits;
+use crate::batch::{
+    instance_fingerprint, opts_fingerprint, BatchStats, CacheKey, CacheStats, EvalCache, QueryKey,
+};
+use crate::sensitivity::{self, SensitivityRoute};
+use crate::solver::{
+    finish_plan, plan_query, solve_with_impl, Hardness, InstanceState, Plan, Planned,
+    SharedInstance, Solution, SolveError, SolverOptions,
+};
+use crate::ucq::{Ucq, UcqRoute};
+use crate::{counting, Fallback, Route};
+use phom_graph::{Graph, ProbGraph};
+use phom_lineage::engine::{Arena, EvalScratch, GateId};
+use phom_lineage::fxhash::FxHashMap;
+use phom_num::{Natural, Rational};
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------
+// Requests and responses
+// ---------------------------------------------------------------------
+
+/// A typed unit of work for [`Engine::submit`], unifying the historical
+/// per-module entry points (`solve*`, `counting`, `sensitivity`, `ucq`)
+/// behind one builder.
+///
+/// Construct with [`Request::probability`] or [`Request::ucq`], reshape
+/// with [`counting`](Request::counting) / [`sensitivity`](Request::sensitivity),
+/// and tune with [`with_provenance`](Request::with_provenance) /
+/// [`fallback`](Request::fallback) / [`options`](Request::options).
+/// Unset knobs inherit the engine's
+/// [`default_options`](EngineBuilder::default_options).
+#[derive(Clone, Debug)]
+pub struct Request {
+    kind: RequestKind,
+    overrides: Overrides,
+}
+
+#[derive(Clone, Debug)]
+enum RequestKind {
+    Probability(Graph),
+    Counting(Graph),
+    Sensitivity(Graph),
+    Ucq(Ucq),
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Overrides {
+    /// Full replacement of the engine defaults, applied before the
+    /// per-field overrides below.
+    options: Option<SolverOptions>,
+    fallback: Option<Fallback>,
+    want_provenance: Option<bool>,
+}
+
+impl Request {
+    /// `Pr(G ⇝ H)`: the core probability query. Answered through the
+    /// engine's interned/cached/sharded batch path.
+    pub fn probability(query: Graph) -> Self {
+        Request {
+            kind: RequestKind::Probability(query),
+            overrides: Overrides::default(),
+        }
+    }
+
+    /// A union of conjunctive queries: `Pr(G₁ ∨ … ∨ G_r ⇝ H)`.
+    pub fn ucq(ucq: Ucq) -> Self {
+        Request {
+            kind: RequestKind::Ucq(ucq),
+            overrides: Overrides::default(),
+        }
+    }
+
+    /// Reshape into a model-counting request: the number of worlds (over
+    /// the instance's all-½ uncertain edges) in which the query holds.
+    ///
+    /// # Panics
+    /// When called on a UCQ request (counting is defined per query graph).
+    pub fn counting(self) -> Self {
+        Request {
+            kind: RequestKind::Counting(self.query_graph("counting")),
+            overrides: self.overrides,
+        }
+    }
+
+    /// Reshape into a sensitivity request: all edge influences
+    /// `∂ Pr / ∂ π(e)`.
+    ///
+    /// # Panics
+    /// When called on a UCQ request.
+    pub fn sensitivity(self) -> Self {
+        Request {
+            kind: RequestKind::Sensitivity(self.query_graph("sensitivity")),
+            overrides: self.overrides,
+        }
+    }
+
+    /// Ask the solver to attach a [`Provenance`](phom_lineage::Provenance)
+    /// handle on routes that can compile one.
+    pub fn with_provenance(mut self) -> Self {
+        self.overrides.want_provenance = Some(true);
+        self
+    }
+
+    /// Configure the hard-cell fallback for this request.
+    pub fn fallback(mut self, fallback: Fallback) -> Self {
+        self.overrides.fallback = Some(fallback);
+        self
+    }
+
+    /// Replace the engine's default [`SolverOptions`] wholesale for this
+    /// request (the chained per-field overrides still apply on top).
+    pub fn options(mut self, options: SolverOptions) -> Self {
+        self.overrides.options = Some(options);
+        self
+    }
+
+    fn query_graph(&self, what: &str) -> Graph {
+        match &self.kind {
+            RequestKind::Probability(q)
+            | RequestKind::Counting(q)
+            | RequestKind::Sensitivity(q) => q.clone(),
+            RequestKind::Ucq(_) => {
+                panic!("Request::{what}() applies to single-query requests, not UCQs")
+            }
+        }
+    }
+
+    fn resolved_options(&self, default: SolverOptions) -> SolverOptions {
+        let mut opts = self.overrides.options.unwrap_or(default);
+        if let Some(f) = self.overrides.fallback {
+            opts.fallback = f;
+        }
+        if let Some(w) = self.overrides.want_provenance {
+            opts.want_provenance = w;
+        }
+        opts
+    }
+}
+
+/// The typed answer to a [`Request`].
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// The answer to a [`Request::probability`] request.
+    Probability(Solution),
+    /// The answer to a counting request.
+    Count {
+        /// Worlds (over the uncertain edges) in which the query holds.
+        worlds: Natural,
+        /// The number of uncertain edges (worlds range over `2^this`).
+        uncertain_edges: usize,
+    },
+    /// The answer to a sensitivity request.
+    Sensitivity {
+        /// `∂ Pr / ∂ π(e)` per instance edge.
+        influences: Vec<Rational>,
+        /// How the influences were obtained.
+        route: SensitivityRoute,
+    },
+    /// The answer to a [`Request::ucq`] request.
+    Ucq {
+        /// `Pr(G₁ ∨ … ∨ G_r ⇝ H)`.
+        probability: Rational,
+        /// The tractable UCQ route taken.
+        route: UcqRoute,
+    },
+}
+
+impl Response {
+    /// The [`Solution`] of a probability response.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            Response::Probability(sol) => Some(sol),
+            _ => None,
+        }
+    }
+
+    /// The probability of a probability or UCQ response.
+    pub fn probability(&self) -> Option<&Rational> {
+        match self {
+            Response::Probability(sol) => Some(&sol.probability),
+            Response::Ucq { probability, .. } => Some(probability),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+/// Configuration for a long-lived [`Engine`].
+#[derive(Clone)]
+pub struct EngineBuilder {
+    cache_capacity: usize,
+    threads: usize,
+    default_options: SolverOptions,
+    shared_cache: Option<Arc<Mutex<EvalCache>>>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder::new()
+    }
+}
+
+impl EngineBuilder {
+    /// Defaults: unbounded cache, one shard, default [`SolverOptions`].
+    pub fn new() -> Self {
+        EngineBuilder {
+            cache_capacity: usize::MAX,
+            threads: 1,
+            default_options: SolverOptions::default(),
+            shared_cache: None,
+        }
+    }
+
+    /// Bound the engine's [`EvalCache`] to `n` answers (LRU eviction).
+    /// Ignored when the engine joins a [`Fleet`] (the fleet's shared
+    /// cache carries the bound).
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n;
+        self
+    }
+
+    /// Shard width for [`Engine::submit`]: unique uncached queries are
+    /// distributed across `k` scoped worker threads. `1` keeps the
+    /// historical sequential path (one shared arena across the whole
+    /// batch); `0` resolves to the machine's available parallelism.
+    /// Results are bit-identical for every width.
+    pub fn threads(mut self, k: usize) -> Self {
+        self.threads = k;
+        self
+    }
+
+    /// The [`SolverOptions`] applied to requests that don't override
+    /// them.
+    pub fn default_options(mut self, options: SolverOptions) -> Self {
+        self.default_options = options;
+        self
+    }
+
+    /// Joins an existing shared cache (used by [`Fleet`]).
+    fn with_shared_cache(mut self, cache: Arc<Mutex<EvalCache>>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Builds the engine: classifies the instance, computes its
+    /// fingerprint, and allocates the cache.
+    pub fn build(self, instance: ProbGraph) -> Engine {
+        let state = InstanceState::new(&instance);
+        let fingerprint = instance_fingerprint(&instance);
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.threads
+        };
+        let cache = self
+            .shared_cache
+            .unwrap_or_else(|| Arc::new(Mutex::new(EvalCache::with_capacity(self.cache_capacity))));
+        Engine {
+            instance,
+            state,
+            fingerprint,
+            cache,
+            threads,
+            default_options: self.default_options,
+        }
+    }
+}
+
+/// A long-lived serving handle for one probabilistic instance: owns the
+/// instance-side state, a bounded answer cache, and the sharded submit
+/// loop. See the [module docs](self) for the full story.
+///
+/// `Engine` is `Sync`: one engine can serve `submit` calls from many
+/// threads (the cache is internally locked; everything else is read-only
+/// after construction).
+pub struct Engine {
+    instance: ProbGraph,
+    state: InstanceState,
+    fingerprint: u64,
+    cache: Arc<Mutex<EvalCache>>,
+    threads: usize,
+    default_options: SolverOptions,
+}
+
+impl Engine {
+    /// An engine with default configuration (unbounded cache, one shard).
+    pub fn new(instance: ProbGraph) -> Self {
+        EngineBuilder::new().build(instance)
+    }
+
+    /// Starts a configuration.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The served instance.
+    pub fn instance(&self) -> &ProbGraph {
+        &self.instance
+    }
+
+    /// The instance's content fingerprint
+    /// ([`instance_fingerprint`]) — the routing key inside a [`Fleet`].
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The configured shard width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The options requests inherit when they don't override them.
+    pub fn default_options(&self) -> SolverOptions {
+        self.default_options
+    }
+
+    /// Counters and size of the engine's answer cache. For a fleet
+    /// member these describe the *shared* cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.lock_cache().stats()
+    }
+
+    /// Drops every cached answer (lifetime counters are kept — see
+    /// [`EvalCache::clear`]).
+    pub fn clear_cache(&self) {
+        self.lock_cache().clear();
+    }
+
+    /// The cache lock, recovering from poisoning: the cache's own
+    /// operations never unwind mid-mutation, so a panic elsewhere while
+    /// the lock was held cannot leave it inconsistent — a long-lived
+    /// serving engine must not die because one query panicked.
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, EvalCache> {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// One-shot convenience: a single probability query under the engine
+    /// defaults, through the same cache the batch path uses.
+    pub fn solve(&self, query: &Graph) -> Result<Solution, SolveError> {
+        let shared = SharedInstance::new(&self.instance, &self.state);
+        let items = [BatchItem {
+            query,
+            opts: self.default_options,
+        }];
+        let (mut results, _) = self.run_cached_batch(shared, &items, 1);
+        results
+            .pop()
+            .expect("one item in")
+            .map_err(SolveError::from)
+    }
+
+    /// Answers a batch of requests, preserving order. Probability
+    /// requests are interned, served from the cache where possible, and
+    /// sharded across the configured worker threads; counting,
+    /// sensitivity, and UCQ requests run as independent jobs on the same
+    /// workers.
+    ///
+    /// The cache lock is held only for the (cheap) probe and fill
+    /// phases, never across planning or solving — concurrent `submit`
+    /// calls against one engine (or one fleet) overlap their solve work.
+    /// Two concurrent misses of the same query may both solve it; the
+    /// second insert is a no-op.
+    pub fn submit(&self, requests: &[Request]) -> Vec<Result<Response, SolveError>> {
+        self.submit_stats(requests).0
+    }
+
+    /// As [`submit`](Engine::submit), returning the [`BatchStats`] of the
+    /// probability sub-batch alongside the responses.
+    pub fn submit_stats(
+        &self,
+        requests: &[Request],
+    ) -> (Vec<Result<Response, SolveError>>, BatchStats) {
+        let shared = SharedInstance::new(&self.instance, &self.state);
+        let mut prob_items: Vec<BatchItem> = Vec::new();
+        let mut prob_req: Vec<usize> = Vec::new();
+        let mut other_req: Vec<usize> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            match &request.kind {
+                RequestKind::Probability(query) => {
+                    prob_items.push(BatchItem {
+                        query,
+                        opts: request.resolved_options(self.default_options),
+                    });
+                    prob_req.push(i);
+                }
+                _ => other_req.push(i),
+            }
+        }
+        let mut out: Vec<Option<Result<Response, SolveError>>> = Vec::new();
+        out.resize_with(requests.len(), || None);
+        let (prob_results, stats) = self.run_cached_batch(shared, &prob_items, self.threads);
+        for (i, result) in prob_req.into_iter().zip(prob_results) {
+            out[i] = Some(result.map(Response::Probability).map_err(SolveError::from));
+        }
+        let other_results = run_jobs(self.threads, other_req.len(), |j| {
+            self.run_request(&requests[other_req[j]])
+        });
+        for (i, result) in other_req.into_iter().zip(other_results) {
+            out[i] = Some(result);
+        }
+        let responses = out
+            .into_iter()
+            .map(|slot| slot.expect("every request answered"))
+            .collect();
+        (responses, stats)
+    }
+
+    /// The probability batch against the engine cache, locking only
+    /// around the probe and fill phases.
+    fn run_cached_batch(
+        &self,
+        shared: SharedInstance<'_>,
+        items: &[BatchItem<'_>],
+        threads: usize,
+    ) -> (Vec<Result<Solution, Hardness>>, BatchStats) {
+        let mut prepared = {
+            let mut guard = self.lock_cache();
+            prepare_batch(items, Some(&mut guard), self.fingerprint)
+        };
+        execute_batch(shared, items, &mut prepared, threads);
+        let mut guard = self.lock_cache();
+        finalize_batch(prepared, Some(&mut guard), self.fingerprint)
+    }
+
+    /// One non-probability request (counting / sensitivity / UCQ). The
+    /// counting and UCQ paths reuse the engine's cached instance state —
+    /// no per-request re-classification.
+    fn run_request(&self, request: &Request) -> Result<Response, SolveError> {
+        let opts = request.resolved_options(self.default_options);
+        let shared = SharedInstance::new(&self.instance, &self.state);
+        match &request.kind {
+            RequestKind::Probability(_) => unreachable!("handled by the batch path"),
+            RequestKind::Counting(query) => {
+                match counting::count_satisfying_worlds_shared(query, &shared, opts) {
+                    Ok(worlds) => Ok(Response::Count {
+                        worlds,
+                        uncertain_edges: self.instance.uncertain_edges().len(),
+                    }),
+                    Err(counting::CountError::NotUnweighted { edge }) => {
+                        Err(SolveError::InvalidQuery(format!(
+                            "counting requires all-½ uncertain probabilities; \
+                             edge {edge} has probability {}",
+                            self.instance.prob(edge)
+                        )))
+                    }
+                    Err(counting::CountError::Hard(h)) => Err(SolveError::Hard(h)),
+                }
+            }
+            RequestKind::Sensitivity(query) => self.run_sensitivity(query, opts),
+            RequestKind::Ucq(ucq) => self.run_ucq(ucq, &shared, opts),
+        }
+    }
+
+    /// A UCQ request: the tractable routes first (on the engine's cached
+    /// instance state), then the request's configured fallback (mirroring
+    /// the probability path's hard-cell handling), then typed hardness.
+    fn run_ucq(
+        &self,
+        ucq: &Ucq,
+        shared: &SharedInstance<'_>,
+        opts: SolverOptions,
+    ) -> Result<Response, SolveError> {
+        if let Some((probability, route)) = crate::ucq::probability_shared::<Rational>(ucq, shared)
+        {
+            return Ok(Response::Ucq { probability, route });
+        }
+        match opts.fallback {
+            Fallback::BruteForce { max_uncertain }
+                if self.instance.uncertain_edges().len() <= max_uncertain =>
+            {
+                Ok(Response::Ucq {
+                    probability: crate::ucq::bruteforce_probability(ucq, &self.instance),
+                    route: UcqRoute::BruteForce,
+                })
+            }
+            Fallback::MonteCarlo { samples, seed } => {
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+                let est = crate::montecarlo::estimate_ucq(ucq, &self.instance, samples, &mut rng);
+                Ok(Response::Ucq {
+                    probability: crate::solver::dyadic_from_f64(est.mean),
+                    route: UcqRoute::MonteCarlo { samples },
+                })
+            }
+            _ => Err(SolveError::Hard(Hardness {
+                prop: "beyond the tractable UCQ routes",
+                cell: format!("{}-disjunct UCQ on this instance shape", ucq.len()),
+            })),
+        }
+    }
+
+    /// All edge influences: the engine gradient sweep when a circuit
+    /// route applies, otherwise exact conditioning (`2·|E|` dispatcher
+    /// solves — the request's fallback applies to each, and hardness
+    /// propagates).
+    fn run_sensitivity(&self, query: &Graph, opts: SolverOptions) -> Result<Response, SolveError> {
+        if let Some((influences, route)) =
+            sensitivity::influences::<Rational>(query, &self.instance)
+        {
+            return Ok(Response::Sensitivity { influences, route });
+        }
+        let influences = sensitivity::try_influences_by_conditioning::<Rational, SolveError>(
+            &self.instance,
+            |pinned| Ok(solve_with_impl(query, pinned, opts)?.probability),
+        )?;
+        Ok(Response::Sensitivity {
+            influences,
+            route: SensitivityRoute::Conditioning,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fleet
+// ---------------------------------------------------------------------
+
+/// A registry of [`Engine`]s keyed by [`instance_fingerprint`], for
+/// processes serving **many graph versions** at once (the ROADMAP's
+/// cross-instance item). All member engines share **one** bounded
+/// [`EvalCache`] — the cache key embeds the instance fingerprint, so
+/// answers never leak across versions while hot versions compete for the
+/// same capacity.
+///
+/// ```
+/// use phom_core::{Fleet, Request, Response};
+/// use phom_graph::{Graph, ProbGraph};
+/// use phom_num::Rational;
+///
+/// let mut fleet = Fleet::with_cache_capacity(4096);
+/// let v1 = ProbGraph::new(Graph::directed_path(2), vec![
+///     Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)]);
+/// let fp = fleet.register(v1);
+/// let answers = fleet
+///     .submit(fp, &[Request::probability(Graph::directed_path(1))])
+///     .expect("registered version");
+/// assert_eq!(
+///     answers[0].as_ref().unwrap().probability(),
+///     Some(&Rational::from_ratio(3, 4)),
+/// );
+/// ```
+pub struct Fleet {
+    cache: Arc<Mutex<EvalCache>>,
+    engines: FxHashMap<u64, Engine>,
+    threads: usize,
+    default_options: SolverOptions,
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        Fleet::new()
+    }
+}
+
+impl Fleet {
+    /// An empty fleet with an unbounded shared cache.
+    pub fn new() -> Self {
+        Fleet::with_cache_capacity(usize::MAX)
+    }
+
+    /// An empty fleet whose members share one cache bounded to
+    /// `capacity` answers (LRU across *all* served instances).
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        Fleet {
+            cache: Arc::new(Mutex::new(EvalCache::with_capacity(capacity))),
+            engines: FxHashMap::default(),
+            threads: 1,
+            default_options: SolverOptions::default(),
+        }
+    }
+
+    /// Shard width applied to engines registered from now on.
+    pub fn threads(mut self, k: usize) -> Self {
+        self.threads = k;
+        self
+    }
+
+    /// Default [`SolverOptions`] applied to engines registered from now
+    /// on.
+    pub fn default_options(mut self, options: SolverOptions) -> Self {
+        self.default_options = options;
+        self
+    }
+
+    /// Registers an instance version, building its engine on the shared
+    /// cache, and returns its routing fingerprint. Re-registering an
+    /// identical instance replaces the engine (same fingerprint, same
+    /// cached answers).
+    pub fn register(&mut self, instance: ProbGraph) -> u64 {
+        let engine = EngineBuilder::new()
+            .threads(self.threads)
+            .default_options(self.default_options)
+            .with_shared_cache(Arc::clone(&self.cache))
+            .build(instance);
+        let fingerprint = engine.fingerprint();
+        self.engines.insert(fingerprint, engine);
+        fingerprint
+    }
+
+    /// Removes a served version, freeing its engine (its cached answers
+    /// age out of the shared cache naturally).
+    pub fn deregister(&mut self, fingerprint: u64) -> bool {
+        self.engines.remove(&fingerprint).is_some()
+    }
+
+    /// The engine serving `fingerprint`, if registered.
+    pub fn engine(&self, fingerprint: u64) -> Option<&Engine> {
+        self.engines.get(&fingerprint)
+    }
+
+    /// Routes a batch to the engine serving `fingerprint`; `None` when no
+    /// such version is registered.
+    pub fn submit(
+        &self,
+        fingerprint: u64,
+        requests: &[Request],
+    ) -> Option<Vec<Result<Response, SolveError>>> {
+        Some(self.engine(fingerprint)?.submit(requests))
+    }
+
+    /// Registered versions.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// True iff no version is registered.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// The routing fingerprints of every registered version.
+    pub fn fingerprints(&self) -> impl Iterator<Item = u64> + '_ {
+        self.engines.keys().copied()
+    }
+
+    /// Counters and size of the shared cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Drops every cached answer across all served versions.
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache lock").clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The batch core (shared by Engine::submit and the legacy shims)
+// ---------------------------------------------------------------------
+
+/// One probability query with its resolved options.
+struct BatchItem<'q> {
+    query: &'q Graph,
+    opts: SolverOptions,
+}
+
+/// A unique cache miss recorded during the probe phase, before planning.
+struct MissSlot {
+    slot: usize,
+    item_idx: usize,
+}
+
+/// A planned-but-unsolved unique query, ready for a shard.
+struct PendingSlot {
+    slot: usize,
+    item_idx: usize,
+    planned: Planned,
+}
+
+/// What one shard produced.
+struct ShardOutcome {
+    results: Vec<(usize, Result<Solution, Hardness>)>,
+    gates: usize,
+    circuit_batched: usize,
+    general_solved: usize,
+}
+
+/// A batch after the probe/plan phase, awaiting execution and cache
+/// fill. Splitting the phases lets [`Engine`] hold its cache lock only
+/// around [`prepare_batch`] and [`finalize_batch`], never across the
+/// solve work in [`execute_batch`].
+struct PreparedBatch {
+    stats: BatchStats,
+    /// Per unique slot: the answer, once known.
+    slots: Vec<Option<Result<Solution, Hardness>>>,
+    /// Unique slots still to solve (not planned yet — planning runs in
+    /// [`execute_batch`], outside any cache lock).
+    pending: Vec<MissSlot>,
+    /// Per unique slot: (first item idx, opts fingerprint, query key).
+    unique: Vec<(usize, u64, QueryKey)>,
+    /// Batch order → unique slot.
+    slot_of_item: Vec<usize>,
+}
+
+/// Phase 1 of the batched probability core: intern the batch (one slot
+/// per structurally distinct (options, query) pair), probe the cache,
+/// and record every miss. Nothing heavier than hashing runs here — this
+/// is the phase an [`Engine`] holds its cache lock around.
+fn prepare_batch(
+    items: &[BatchItem<'_>],
+    mut cache: Option<&mut EvalCache>,
+    fingerprint: u64,
+) -> PreparedBatch {
+    let mut stats = BatchStats {
+        queries: items.len(),
+        shards: 1,
+        ..Default::default()
+    };
+    let mut slot_of_key: FxHashMap<(u64, QueryKey), usize> = FxHashMap::default();
+    let mut unique: Vec<(usize, u64, QueryKey)> = Vec::new();
+    let mut slot_of_item: Vec<usize> = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let opts_fp = opts_fingerprint(&item.opts);
+        let key = QueryKey::new(item.query);
+        let next = unique.len();
+        let slot = *slot_of_key
+            .entry((opts_fp, key.clone()))
+            .or_insert_with(|| {
+                unique.push((i, opts_fp, key));
+                next
+            });
+        slot_of_item.push(slot);
+    }
+    stats.unique_queries = unique.len();
+
+    let mut slots: Vec<Option<Result<Solution, Hardness>>> = Vec::new();
+    slots.resize_with(unique.len(), || None);
+    let mut pending: Vec<MissSlot> = Vec::new();
+    for (slot, (item_idx, opts_fp, key)) in unique.iter().enumerate() {
+        if let Some(c) = cache.as_deref_mut() {
+            let ckey = CacheKey {
+                instance: fingerprint,
+                opts: *opts_fp,
+                query: key.clone(),
+            };
+            if let Some(answer) = c.get(&ckey) {
+                stats.cache_hits += 1;
+                slots[slot] = Some(answer.clone());
+                continue;
+            }
+        }
+        pending.push(MissSlot {
+            slot,
+            item_idx: *item_idx,
+        });
+    }
+    PreparedBatch {
+        stats,
+        slots,
+        pending,
+        unique,
+        slot_of_item,
+    }
+}
+
+/// Phase 2: plan and execute the pending slots, sharded. Planning is
+/// pure reads and runs sequentially (slot order stays deterministic);
+/// each shard then owns an arena: circuit-compilable plans compile into
+/// it and are answered by one multi-root engine pass; everything else
+/// runs the exact per-query path. No cache access.
+fn execute_batch(
+    shared: SharedInstance<'_>,
+    items: &[BatchItem<'_>],
+    prepared: &mut PreparedBatch,
+    threads: usize,
+) {
+    let pending: Vec<PendingSlot> = std::mem::take(&mut prepared.pending)
+        .into_iter()
+        .map(|miss| PendingSlot {
+            slot: miss.slot,
+            item_idx: miss.item_idx,
+            planned: plan_query(items[miss.item_idx].query, &shared),
+        })
+        .collect();
+    let workers = if threads <= 1 {
+        1
+    } else {
+        threads.min(pending.len()).max(1)
+    };
+    prepared.stats.shards = workers;
+    let outcomes: Vec<ShardOutcome> = if workers == 1 {
+        vec![run_shard(shared, items, pending)]
+    } else {
+        let mut buckets: Vec<Vec<PendingSlot>> = Vec::new();
+        buckets.resize_with(workers, Vec::new);
+        for (i, p) in pending.into_iter().enumerate() {
+            buckets[i % workers].push(p);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|work| scope.spawn(move || run_shard(shared, items, work)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch shard panicked"))
+                .collect()
+        })
+    };
+    for outcome in outcomes {
+        prepared.stats.shared_gates += outcome.gates;
+        prepared.stats.circuit_batched += outcome.circuit_batched;
+        prepared.stats.general_solved += outcome.general_solved;
+        for (slot, answer) in outcome.results {
+            prepared.slots[slot] = Some(answer);
+        }
+    }
+}
+
+/// Phase 3: fill the cache with the freshly solved slots and fan back
+/// out to batch order.
+fn finalize_batch(
+    prepared: PreparedBatch,
+    cache: Option<&mut EvalCache>,
+    fingerprint: u64,
+) -> (Vec<Result<Solution, Hardness>>, BatchStats) {
+    let PreparedBatch {
+        stats,
+        slots,
+        pending,
+        unique,
+        slot_of_item,
+    } = prepared;
+    debug_assert!(pending.is_empty(), "finalize before execute");
+    let slots: Vec<Result<Solution, Hardness>> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every unique slot answered"))
+        .collect();
+    if let Some(c) = cache {
+        for ((_, opts_fp, key), answer) in unique.into_iter().zip(&slots) {
+            c.insert(
+                CacheKey {
+                    instance: fingerprint,
+                    opts: opts_fp,
+                    query: key,
+                },
+                answer.clone(),
+            );
+        }
+    }
+    let results = slot_of_item.iter().map(|&s| slots[s].clone()).collect();
+    (results, stats)
+}
+
+/// The single-lock-scope batched probability core (intern → cache probe
+/// → plan → shard-execute → cache fill → fan out), for callers that own
+/// their cache exclusively. Results are bit-identical for every
+/// `threads` value and identical to per-query `solve_with` calls.
+fn run_batch(
+    shared: SharedInstance<'_>,
+    items: &[BatchItem<'_>],
+    mut cache: Option<&mut EvalCache>,
+    fingerprint: u64,
+    threads: usize,
+) -> (Vec<Result<Solution, Hardness>>, BatchStats) {
+    let mut prepared = prepare_batch(items, cache.as_deref_mut(), fingerprint);
+    execute_batch(shared, items, &mut prepared, threads);
+    finalize_batch(prepared, cache, fingerprint)
+}
+
+/// Executes one shard's worth of planned queries; see [`run_batch`].
+fn run_shard(
+    shared: SharedInstance<'_>,
+    items: &[BatchItem<'_>],
+    work: Vec<PendingSlot>,
+) -> ShardOutcome {
+    let instance = shared.instance;
+    let mut arena = Arena::new(instance.graph().n_edges());
+    let mut deferred: Vec<(usize, GateId, bool, Route)> = Vec::new();
+    let mut outcome = ShardOutcome {
+        results: Vec::with_capacity(work.len()),
+        gates: 0,
+        circuit_batched: 0,
+        general_solved: 0,
+    };
+    let connected = shared.ic().is_connected();
+    for pending in work {
+        let opts = items[pending.item_idx].opts;
+        // The shared-arena fast path: circuit-compilable plans on a
+        // connected instance, when no provenance handle was requested
+        // (handles own their circuit, so they compile separately).
+        if connected && !opts.want_provenance {
+            match &pending.planned.plan {
+                Plan::Prop411 { effective } => {
+                    if let Some(root) =
+                        lineage_circuits::match_into_2wp(&mut arena, effective, instance.graph())
+                    {
+                        deferred.push((pending.slot, root, false, Route::Prop411));
+                        outcome.circuit_batched += 1;
+                        continue;
+                    }
+                }
+                Plan::Prop410 => {
+                    if let Some(root) = lineage_circuits::fail_into_dwt(
+                        &mut arena,
+                        &pending.planned.absorbed,
+                        instance.graph(),
+                    ) {
+                        deferred.push((pending.slot, root, true, Route::Prop410));
+                        outcome.circuit_batched += 1;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // General path: finish the plan exactly as `solve_with` does.
+        let answer = finish_plan(
+            items[pending.item_idx].query,
+            pending.planned,
+            &shared,
+            opts,
+        );
+        outcome.general_solved += 1;
+        outcome.results.push((pending.slot, answer));
+    }
+    outcome.gates = arena.n_gates();
+    // One multi-root engine pass answers every deferred query.
+    if !deferred.is_empty() {
+        let roots: Vec<GateId> = deferred.iter().map(|&(_, root, _, _)| root).collect();
+        let values = arena.probability_many_with(&roots, instance.probs(), &mut EvalScratch::new());
+        for ((slot, _, negated, route), value) in deferred.into_iter().zip(values) {
+            let probability = if negated { value.one_minus() } else { value };
+            outcome.results.push((
+                slot,
+                Ok(Solution {
+                    probability,
+                    route,
+                    provenance: None,
+                }),
+            ));
+        }
+    }
+    outcome
+}
+
+/// The legacy `solve_many*` core: uniform options, caller-owned cache,
+/// single shard. Kept so the deprecated shims in [`crate::batch`] stay
+/// bit-identical to their historical behavior.
+pub(crate) fn legacy_batch(
+    queries: &[Graph],
+    instance: &ProbGraph,
+    opts: SolverOptions,
+    cache: Option<&mut EvalCache>,
+) -> (Vec<Result<Solution, Hardness>>, BatchStats) {
+    let state = InstanceState::new(instance);
+    let shared = SharedInstance::new(instance, &state);
+    let items: Vec<BatchItem> = queries
+        .iter()
+        .map(|query| BatchItem { query, opts })
+        .collect();
+    let fingerprint = if cache.is_some() {
+        instance_fingerprint(instance)
+    } else {
+        0 // never read: the cache is what consumes the fingerprint
+    };
+    run_batch(shared, &items, cache, fingerprint, 1)
+}
+
+/// Runs `n` independent jobs on up to `threads` scoped workers,
+/// returning job `i`'s output in slot `i` (deterministic regardless of
+/// scheduling).
+fn run_jobs<T: Send>(threads: usize, n: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let workers = threads.min(n);
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let job = &job;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut acc = Vec::new();
+                    let mut i = w;
+                    while i < n {
+                        acc.push((i, job(i)));
+                        i += workers;
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("job worker panicked") {
+                out[i] = Some(value);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_graph::generate::{self, ProbProfile};
+    use phom_graph::Label;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn twp_instance(seed: u64) -> ProbGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generate::with_probabilities(
+            generate::two_way_path(8, 2, &mut rng),
+            ProbProfile::default(),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn engine_solve_matches_legacy_and_caches() {
+        let h = twp_instance(0xE1);
+        let q = Graph::one_way_path(&[Label(0), Label(1)]);
+        let engine = Engine::new(h.clone());
+        let sol = engine.solve(&q).unwrap();
+        #[allow(deprecated)]
+        let legacy = crate::solve(&q, &h).unwrap();
+        assert_eq!(sol.probability, legacy.probability);
+        assert_eq!(sol.route, legacy.route);
+        let _ = engine.solve(&q).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn request_builder_reshapes_and_overrides() {
+        let q = Graph::directed_path(1);
+        let req = Request::probability(q.clone())
+            .with_provenance()
+            .fallback(Fallback::BruteForce { max_uncertain: 4 });
+        let opts = req.resolved_options(SolverOptions::default());
+        assert!(opts.want_provenance);
+        assert!(matches!(
+            opts.fallback,
+            Fallback::BruteForce { max_uncertain: 4 }
+        ));
+        assert!(matches!(
+            Request::probability(q.clone()).counting().kind,
+            RequestKind::Counting(_)
+        ));
+        assert!(matches!(
+            Request::probability(q).sensitivity().kind,
+            RequestKind::Sensitivity(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-query requests")]
+    fn counting_a_ucq_panics() {
+        let _ = Request::ucq(Ucq::new(vec![])).counting();
+    }
+
+    #[test]
+    fn run_jobs_is_order_preserving() {
+        for threads in [1, 2, 5] {
+            let got = run_jobs(threads, 13, |i| i * i);
+            assert_eq!(got, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(run_jobs(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn fleet_routes_by_fingerprint_and_shares_cache() {
+        let h1 = twp_instance(1);
+        let h2 = twp_instance(2);
+        let mut fleet = Fleet::with_cache_capacity(64);
+        let fp1 = fleet.register(h1.clone());
+        let fp2 = fleet.register(h2);
+        assert_ne!(fp1, fp2);
+        assert_eq!(fleet.len(), 2);
+        let q = Graph::one_way_path(&[Label(0)]);
+        let r1 = fleet
+            .submit(fp1, &[Request::probability(q.clone())])
+            .unwrap();
+        let r2 = fleet
+            .submit(fp2, &[Request::probability(q.clone())])
+            .unwrap();
+        #[allow(deprecated)]
+        let expect = crate::solve(&q, &h1).unwrap();
+        assert_eq!(
+            r1[0].as_ref().unwrap().probability().unwrap(),
+            &expect.probability
+        );
+        // Different versions may answer differently; both are cached in
+        // the one shared cache under distinct fingerprints.
+        let _ = r2;
+        assert_eq!(fleet.cache_stats().misses, 2);
+        assert!(fleet.submit(fp1 ^ fp2 ^ 1, &[]).is_none());
+        assert!(fleet.deregister(fp2));
+        assert!(fleet.submit(fp2, &[]).is_none());
+    }
+}

@@ -31,6 +31,7 @@ pub mod algo;
 pub mod batch;
 pub mod bruteforce;
 pub mod counting;
+pub mod engine;
 pub mod montecarlo;
 pub mod sensitivity;
 pub mod solver;
@@ -38,9 +39,11 @@ pub mod tables;
 pub mod ucq;
 pub mod xpath;
 
-pub use batch::{
-    instance_fingerprint, solve_many, solve_many_cached, solve_many_stats, BatchStats, CacheStats,
-    EvalCache, QueryKey,
-};
-pub use solver::{solve, solve_with, Fallback, Hardness, Route, Solution, SolverOptions};
+pub use batch::{instance_fingerprint, BatchStats, CacheStats, EvalCache, QueryKey};
+#[allow(deprecated)] // the shims stay exported so no caller breaks
+pub use batch::{solve_many, solve_many_cached, solve_many_stats};
+pub use engine::{Engine, EngineBuilder, Fleet, Request, Response};
+#[allow(deprecated)] // the shims stay exported so no caller breaks
+pub use solver::{solve, solve_with};
+pub use solver::{Fallback, Hardness, Route, Solution, SolveError, SolverOptions};
 pub use tables::{CellStatus, Setting, TableId};

@@ -33,22 +33,23 @@ impl Estimate {
     }
 }
 
-/// Estimates `Pr(G ⇝ H)` from `samples` independent possible worlds.
-pub fn estimate<R: Rng>(
-    query: &Graph,
-    instance: &ProbGraph,
+/// The one sampling loop behind every estimator: draws `samples` worlds
+/// from the product distribution over `prob_true` and reports the hit
+/// rate of `event` with its normal-approximation confidence interval.
+fn estimate_event<R: Rng>(
+    prob_true: &[f64],
     samples: u64,
     rng: &mut R,
+    mut event: impl FnMut(&[bool]) -> bool,
 ) -> Estimate {
     assert!(samples > 0);
-    let probs: Vec<f64> = instance.probs().iter().map(|p| p.to_f64()).collect();
     let mut hits = 0u64;
-    let mut mask = vec![false; probs.len()];
+    let mut mask = vec![false; prob_true.len()];
     for _ in 0..samples {
-        for (e, p) in probs.iter().enumerate() {
+        for (e, p) in prob_true.iter().enumerate() {
             mask[e] = rng.gen_bool(*p);
         }
-        if exists_hom_into_world(query, instance.graph(), &mask) {
+        if event(&mask) {
             hits += 1;
         }
     }
@@ -59,6 +60,35 @@ pub fn estimate<R: Rng>(
         samples,
         ci95: 1.96 * var.sqrt(),
     }
+}
+
+/// Estimates `Pr(G ⇝ H)` from `samples` independent possible worlds.
+pub fn estimate<R: Rng>(
+    query: &Graph,
+    instance: &ProbGraph,
+    samples: u64,
+    rng: &mut R,
+) -> Estimate {
+    let probs: Vec<f64> = instance.probs().iter().map(|p| p.to_f64()).collect();
+    estimate_event(&probs, samples, rng, |mask| {
+        exists_hom_into_world(query, instance.graph(), mask)
+    })
+}
+
+/// Estimates `Pr(Q ⇝ H)` for a union of conjunctive queries from
+/// `samples` independent possible worlds — the UCQ analogue of
+/// [`estimate`], used by the engine's Monte-Carlo fallback on UCQ
+/// requests beyond the tractable routes.
+pub fn estimate_ucq<R: Rng>(
+    ucq: &crate::ucq::Ucq,
+    instance: &ProbGraph,
+    samples: u64,
+    rng: &mut R,
+) -> Estimate {
+    let probs: Vec<f64> = instance.probs().iter().map(|p| p.to_f64()).collect();
+    estimate_event(&probs, samples, rng, |mask| {
+        ucq.holds_in_world(instance.graph(), mask)
+    })
 }
 
 /// Estimates `Pr[event]` from a compiled [`Provenance`] handle: worlds
@@ -75,25 +105,8 @@ pub fn estimate_from_provenance<R: Rng>(
     samples: u64,
     rng: &mut R,
 ) -> Estimate {
-    assert!(samples > 0);
     assert_eq!(prob_true.len(), prov.circuit.num_vars());
-    let mut hits = 0u64;
-    let mut mask = vec![false; prob_true.len()];
-    for _ in 0..samples {
-        for (e, p) in prob_true.iter().enumerate() {
-            mask[e] = rng.gen_bool(*p);
-        }
-        if prov.holds_in(&mask) {
-            hits += 1;
-        }
-    }
-    let mean = hits as f64 / samples as f64;
-    let var = mean * (1.0 - mean) / samples as f64;
-    Estimate {
-        mean,
-        samples,
-        ci95: 1.96 * var.sqrt(),
-    }
+    estimate_event(prob_true, samples, rng, |mask| prov.holds_in(mask))
 }
 
 #[cfg(test)]
@@ -134,7 +147,7 @@ mod tests {
             want_provenance: true,
             ..Default::default()
         };
-        let sol = crate::solver::solve_with(&q, &h, opts).unwrap();
+        let sol = crate::solver::solve_with_impl(&q, &h, opts).unwrap();
         let prov = sol.provenance.expect("2WP route attaches provenance");
         let probs: Vec<f64> = h.probs().iter().map(|p| p.to_f64()).collect();
         let est = estimate_from_provenance(&prov, &probs, 20_000, &mut rng);

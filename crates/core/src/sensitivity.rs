@@ -35,13 +35,17 @@ use phom_lineage::beta::beta_dnf_probability_with_order;
 use phom_lineage::{analysis, Provenance};
 use phom_num::{Dual, Rational, Weight};
 
-/// How [`influences`] obtained its answer.
+/// How [`influences`] (or a sensitivity [`Request`](crate::Request)
+/// through the engine) obtained its answer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SensitivityRoute {
     /// Prop 4.11 match circuit (connected query, 2WP instance).
     Circuit2wp,
     /// Prop 4.10 fail circuit, complemented (1WP query, DWT instance).
     CircuitDwt,
+    /// Exact conditioning: `2·|E|` dispatcher solves (the engine's
+    /// fallback when no circuit route matches the input shapes).
+    Conditioning,
 }
 
 /// The provenance handle the circuit routes compile, with the route
@@ -122,14 +126,29 @@ pub fn influences_by_conditioning<W: Weight>(
     instance: &ProbGraph,
     mut solve: impl FnMut(&ProbGraph) -> W,
 ) -> Vec<W> {
+    match try_influences_by_conditioning::<W, std::convert::Infallible>(instance, |h| Ok(solve(h)))
+    {
+        Ok(influences) => influences,
+        Err(infallible) => match infallible {},
+    }
+}
+
+/// As [`influences_by_conditioning`], with a fallible solver: the first
+/// error aborts the sweep and is returned. This is how a sensitivity
+/// [`Request`](crate::Request) propagates hardness from a pinned solve
+/// on shapes without a circuit route.
+pub fn try_influences_by_conditioning<W: Weight, E>(
+    instance: &ProbGraph,
+    mut solve: impl FnMut(&ProbGraph) -> Result<W, E>,
+) -> Result<Vec<W>, E> {
     let n_edges = instance.graph().n_edges();
     let mut out = Vec::with_capacity(n_edges);
     for e in 0..n_edges {
-        let plus = solve(&pin(instance, e, true));
-        let minus = solve(&pin(instance, e, false));
+        let plus = solve(&pin(instance, e, true))?;
+        let minus = solve(&pin(instance, e, false))?;
         out.push(plus.sub(&minus));
     }
-    out
+    Ok(out)
 }
 
 /// The instance with `π(e)` pinned to 1 (present) or 0 (absent).

@@ -131,40 +131,105 @@ pub struct Hardness {
     pub cell: String,
 }
 
-/// Solves with default options (no fallback).
-pub fn solve(query: &Graph, instance: &ProbGraph) -> Result<Solution, Hardness> {
-    solve_with(query, instance, SolverOptions::default())
+/// Why a request failed: the typed error of the [`crate::engine`] serving
+/// surface. Hardness is one *variant* rather than the whole error type
+/// (the historical `Err(Hardness)` conflation), leaving room for request
+/// validation and resource-limit failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The input falls in a #P-hard cell and no fallback applied.
+    Hard(Hardness),
+    /// The request is malformed for its kind (e.g. a counting request on
+    /// an instance with non-½ uncertain probabilities).
+    InvalidQuery(String),
+    /// A configured resource budget was exhausted before an answer was
+    /// reached (reserved for budgeted serving modes).
+    BudgetExceeded {
+        /// What was bounded (e.g. "worlds", "gates").
+        resource: &'static str,
+        /// The configured limit that was hit.
+        limit: u64,
+    },
 }
 
-/// Instance-side state shared across many queries: classification, the
-/// instance's label set, and the Lemma 3.7 component split (computed
+impl From<Hardness> for SolveError {
+    fn from(h: Hardness) -> Self {
+        SolveError::Hard(h)
+    }
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Hard(h) => write!(f, "#P-hard cell: {} [{}]", h.cell, h.prop),
+            SolveError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            SolveError::BudgetExceeded { resource, limit } => {
+                write!(f, "budget exceeded: {resource} limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves with default options (no fallback).
+#[deprecated(note = "build a long-lived `phom_core::Engine` and use \
+                     `Engine::solve` / `Engine::submit` instead")]
+pub fn solve(query: &Graph, instance: &ProbGraph) -> Result<Solution, Hardness> {
+    solve_with_impl(query, instance, SolverOptions::default())
+}
+
+/// Owned instance-side state shared across many queries: classification,
+/// the instance's label set, and the Lemma 3.7 component split (computed
 /// lazily — trivial and hard routes never pay for it). One `solve` call
-/// builds it once; the batched solver (`crate::batch`) builds it once for
-/// the *whole query set*, which is the instance-side half of the
-/// amortization.
-pub(crate) struct SharedInstance<'a> {
-    pub(crate) instance: &'a ProbGraph,
+/// builds it once; a long-lived [`crate::Engine`] builds it once for its
+/// *whole lifetime*, which is the instance-side half of the amortization.
+/// `Sync`: the engine's sharded submit path reads it from many threads.
+pub(crate) struct InstanceState {
     pub(crate) ic: Classification,
     h_labels: Vec<phom_graph::Label>,
-    components: std::cell::OnceCell<Vec<ProbGraph>>,
+    components: std::sync::OnceLock<Vec<ProbGraph>>,
 }
 
-impl<'a> SharedInstance<'a> {
-    pub(crate) fn new(instance: &'a ProbGraph) -> Self {
+impl InstanceState {
+    pub(crate) fn new(instance: &ProbGraph) -> Self {
         let ic = classify(instance.graph());
         let mut h_labels = instance.graph().labels_used();
         h_labels.sort_unstable();
         h_labels.dedup();
-        SharedInstance {
-            instance,
+        InstanceState {
             ic,
             h_labels,
-            components: std::cell::OnceCell::new(),
+            components: std::sync::OnceLock::new(),
         }
     }
+}
 
-    fn components(&self) -> &[ProbGraph] {
-        self.components
+/// A borrowed view pairing an instance with its [`InstanceState`] — what
+/// the planning/execution internals pass around. `solve_with` builds the
+/// state fresh per call; [`crate::Engine`] owns one and reuses it.
+#[derive(Clone, Copy)]
+pub(crate) struct SharedInstance<'a> {
+    pub(crate) instance: &'a ProbGraph,
+    state: &'a InstanceState,
+}
+
+impl<'a> SharedInstance<'a> {
+    pub(crate) fn new(instance: &'a ProbGraph, state: &'a InstanceState) -> Self {
+        SharedInstance { instance, state }
+    }
+
+    pub(crate) fn ic(&self) -> &Classification {
+        &self.state.ic
+    }
+
+    fn h_labels(&self) -> &[phom_graph::Label] {
+        &self.state.h_labels
+    }
+
+    pub(crate) fn components(&self) -> &[ProbGraph] {
+        self.state
+            .components
             .get_or_init(|| components::split_components(self.instance))
     }
 
@@ -177,7 +242,7 @@ impl<'a> SharedInstance<'a> {
         query: &Graph,
         algo: impl Fn(&Graph, &ProbGraph) -> Option<Rational>,
     ) -> Option<Rational> {
-        if self.ic.is_connected() {
+        if self.ic().is_connected() {
             return algo(query, self.instance);
         }
         let per: Option<Vec<Rational>> = self.components().iter().map(|h| algo(query, h)).collect();
@@ -239,7 +304,7 @@ pub(crate) fn plan_query(query: &Graph, shared: &SharedInstance) -> Planned {
     if query
         .labels_used()
         .iter()
-        .any(|l| shared.h_labels.binary_search(l).is_err())
+        .any(|l| shared.h_labels().binary_search(l).is_err())
     {
         return trivially(
             query.clone(),
@@ -259,7 +324,7 @@ pub(crate) fn plan_query(query: &Graph, shared: &SharedInstance) -> Planned {
     let qc = classify(&absorbed);
     let unlabeled = {
         let mut labels = absorbed.labels_used();
-        labels.extend(shared.h_labels.iter().copied());
+        labels.extend(shared.h_labels().iter().copied());
         labels.sort_unstable();
         labels.dedup();
         labels.len() <= 1
@@ -267,12 +332,12 @@ pub(crate) fn plan_query(query: &Graph, shared: &SharedInstance) -> Planned {
     // On ⊔PT instances every world is a polytree forest: queries with a
     // directed cycle or a jumping edge have probability 0 (App. A).
     let plan =
-        if shared.ic.in_union_class(ConnClass::Polytree) && level_mapping(&absorbed).is_none() {
+        if shared.ic().in_union_class(ConnClass::Polytree) && level_mapping(&absorbed).is_none() {
             Plan::Done(Solution::new(Rational::zero(), Route::ZeroOnPolytrees))
         } else if unlabeled {
-            plan_unlabeled(&absorbed, &qc, &shared.ic)
+            plan_unlabeled(&absorbed, &qc, shared.ic())
         } else {
-            plan_labeled(&absorbed, &qc, &shared.ic)
+            plan_labeled(&absorbed, &qc, shared.ic())
         };
     Planned {
         absorbed,
@@ -370,17 +435,40 @@ pub(crate) fn execute_plan(
     };
     match attempt {
         Some(solution) => Ok(solution),
-        None => fallback(&absorbed, shared.instance, &qc, &shared.ic, unlabeled, opts),
+        None => fallback(
+            &absorbed,
+            shared.instance,
+            &qc,
+            shared.ic(),
+            unlabeled,
+            opts,
+        ),
     }
 }
 
 /// Solves with explicit options.
+#[deprecated(note = "build a long-lived `phom_core::Engine` (with \
+                     `EngineBuilder::default_options`) and use \
+                     `Engine::solve` / `Engine::submit` instead")]
 pub fn solve_with(
     query: &Graph,
     instance: &ProbGraph,
     opts: SolverOptions,
 ) -> Result<Solution, Hardness> {
-    let shared = SharedInstance::new(instance);
+    solve_with_impl(query, instance, opts)
+}
+
+/// The non-deprecated internal single-query path: builds the instance
+/// state fresh and solves. The `solve`/`solve_with` shims and in-crate
+/// callers (counting, the engine's conditioning fallback) route through
+/// here.
+pub(crate) fn solve_with_impl(
+    query: &Graph,
+    instance: &ProbGraph,
+    opts: SolverOptions,
+) -> Result<Solution, Hardness> {
+    let state = InstanceState::new(instance);
+    let shared = SharedInstance::new(instance, &state);
     solve_shared(query, &shared, opts)
 }
 
@@ -555,13 +643,14 @@ fn hardness(qc: &Classification, ic: &Classification, unlabeled: bool) -> Hardne
 }
 
 /// Rounds an `f64` in `[0,1]` to a dyadic rational with denominator 2³².
-fn dyadic_from_f64(x: f64) -> Rational {
+pub(crate) fn dyadic_from_f64(x: f64) -> Rational {
     let denom: u64 = 1 << 32;
     let num = (x.clamp(0.0, 1.0) * denom as f64).round() as u64;
     Rational::new(false, Natural::from_u64(num), Natural::from_u64(denom))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the suite exercises the legacy shims on purpose
 mod tests {
     use super::*;
     use phom_graph::fixtures;

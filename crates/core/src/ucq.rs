@@ -28,7 +28,7 @@
 //! survives the union when all disjuncts are connected:
 //! `Pr(Q ⇝ ⊔ Hⱼ) = 1 − Π_j (1 − Pr(Q ⇝ Hⱼ))`.
 
-use crate::algo::{components, connected_on_2wp, path_on_dwt, walk_on_tw};
+use crate::algo::{connected_on_2wp, path_on_dwt, walk_on_tw};
 use phom_graph::classes::classify;
 use phom_graph::hom::exists_hom_into_world;
 use phom_graph::{ConnClass, Graph, Label, ProbGraph};
@@ -101,6 +101,14 @@ pub enum UcqRoute {
     UnionLineageDwt,
     /// Union of Prop 4.11 lineages on `⊔2WP` instance components.
     UnionLineage2wp,
+    /// Exponential brute force (the engine's configured fallback on
+    /// shapes beyond the tractable routes).
+    BruteForce,
+    /// Monte-Carlo estimate (engine fallback; approximate).
+    MonteCarlo {
+        /// Samples used.
+        samples: u64,
+    },
 }
 
 /// Exact `Pr(Q ⇝ H)` by world enumeration — the UCQ reference oracle
@@ -182,6 +190,18 @@ fn component_probability<W: Weight>(
 /// tractable route applies (the problem is #P-hard already for single
 /// disjuncts beyond these cells; use [`bruteforce_probability`] then).
 pub fn probability<W: Weight>(ucq: &Ucq, instance: &ProbGraph) -> Option<(W, UcqRoute)> {
+    let state = crate::solver::InstanceState::new(instance);
+    probability_shared(ucq, &crate::solver::SharedInstance::new(instance, &state))
+}
+
+/// The shared-state UCQ path: a long-lived [`crate::Engine`] passes its
+/// cached classification and component split here instead of re-deriving
+/// them per request.
+pub(crate) fn probability_shared<W: Weight>(
+    ucq: &Ucq,
+    shared: &crate::solver::SharedInstance,
+) -> Option<(W, UcqRoute)> {
+    let instance = shared.instance;
     if ucq.is_empty() {
         return Some((W::zero(), UcqRoute::Trivial));
     }
@@ -206,8 +226,8 @@ pub fn probability<W: Weight>(ucq: &Ucq, instance: &ProbGraph) -> Option<(W, Ucq
     if !all_connected {
         return None;
     }
-    let cls = classify(instance.graph());
-    let parts = components::split_components(instance);
+    let cls = shared.ic();
+    let parts = shared.components();
     // Route B: all disjuncts 1WP, all components DWT.
     if cls.in_union_class(ConnClass::DownwardTree)
         && ucq
@@ -216,7 +236,7 @@ pub fn probability<W: Weight>(ucq: &Ucq, instance: &ProbGraph) -> Option<(W, Ucq
             .all(|g| classify(g).in_class(ConnClass::OneWayPath))
     {
         let mut failure = W::one();
-        for part in &parts {
+        for part in parts {
             let p: W = component_probability(ucq, part, path_on_dwt::lineage)?;
             failure = failure.mul(&p.complement());
         }
@@ -225,7 +245,7 @@ pub fn probability<W: Weight>(ucq: &Ucq, instance: &ProbGraph) -> Option<(W, Ucq
     // Route C: connected disjuncts, all components 2WP.
     if cls.in_union_class(ConnClass::TwoWayPath) {
         let mut failure = W::one();
-        for part in &parts {
+        for part in parts {
             let p: W = component_probability(ucq, part, connected_on_2wp::lineage)?;
             failure = failure.mul(&p.complement());
         }

@@ -120,6 +120,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the legacy shim to the hard cell too
     fn solver_reports_prop_56_hardness() {
         // The dispatcher must classify the reduced inputs into the Prop 5.6
         // hard cell (unlabeled 2WP query on a polytree instance).

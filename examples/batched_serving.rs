@@ -1,22 +1,27 @@
 //! Batched serving: answering a repeating query stream over one
-//! probabilistic instance with `solve_many` and the `EvalCache`.
+//! probabilistic instance with a long-lived `Engine`.
 //!
 //! The scenario is the ROADMAP's serving story: a long-lived process
 //! holds a probabilistic graph (a labeled two-way path, say a pipeline of
-//! uncertain sensor links) and answers homomorphism-probability queries
+//! uncertain sensor links) and answers homomorphism-probability requests
 //! from many clients. Queries repeat heavily — most traffic is a handful
-//! of hot patterns — so the server wins three ways:
+//! of hot patterns — so the engine wins four ways:
 //!
-//! 1. instance preprocessing runs once per batch, not once per query;
+//! 1. instance preprocessing (classification, labels, component split)
+//!    runs once per *engine lifetime*, not once per query or per batch;
 //! 2. structurally identical queries in a batch intern to a single solve;
-//! 3. across batches, the `EvalCache` serves hot queries without touching
-//!    the solver at all — until the instance itself changes, which flips
-//!    its fingerprint and invalidates every stale answer automatically.
+//! 3. unique uncached queries are sharded across the engine's worker
+//!    threads, each shard answering its circuit-compilable plans with one
+//!    multi-root pass over its own lineage arena — results bit-identical
+//!    to the sequential path;
+//! 4. across batches, the engine's **bounded LRU cache** serves hot
+//!    queries without touching the solver at all — until the instance
+//!    itself changes, which flips its fingerprint and invalidates every
+//!    stale answer automatically.
 //!
 //! Run with: `cargo run --release --example batched_serving`
 
 use phom::prelude::*;
-use phom_core::{solve_many_stats, EvalCache};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,12 +43,16 @@ fn main() {
         })
         .collect();
 
+    // The long-lived engine: two shards, a bounded answer cache.
+    let engine = Engine::builder()
+        .threads(2)
+        .cache_capacity(1024)
+        .build(h.clone());
+
     // A simulated traffic trace: 5 ticks × 32 requests, Zipf-ish skew
     // toward the first catalogue entries.
-    let mut cache = EvalCache::new();
-    let opts = SolverOptions::default();
     for tick in 0..5 {
-        let requests: Vec<Graph> = (0..32)
+        let requests: Vec<Request> = (0..32)
             .map(|_| {
                 let skew: usize = rng.gen_range(0..10);
                 let idx = match skew {
@@ -52,41 +61,50 @@ fn main() {
                     8 => 2,
                     _ => 3,
                 };
-                catalogue[idx].clone()
+                Request::probability(catalogue[idx].clone())
             })
             .collect();
         let t0 = std::time::Instant::now();
-        let (answers, stats) = solve_many_stats(&requests, &h, opts, Some(&mut cache));
+        let (answers, stats) = engine.submit_stats(&requests);
         let elapsed = t0.elapsed();
         let ok = answers.iter().filter(|a| a.is_ok()).count();
         println!(
             "tick {tick}: {} requests ({} unique) in {elapsed:?} — {} cache hits, \
-             {} via shared arena ({} gates), {} general; {ok} answered",
+             {} via {} shard(s) ({} gates), {} general; {ok} answered",
             stats.queries,
             stats.unique_queries,
             stats.cache_hits,
             stats.circuit_batched,
+            stats.shards,
             stats.shared_gates,
             stats.general_solved,
         );
     }
-    let s = cache.stats();
+    let s = engine.cache_stats();
     println!(
-        "cache after warm traffic: {} entries, {} hits / {} misses ({:.0}% hit rate)",
+        "cache after warm traffic: {} entries, {} hits / {} misses / {} evictions \
+         ({:.0}% hit rate)",
         s.entries,
         s.hits,
         s.misses,
+        s.evictions,
         100.0 * s.hits as f64 / (s.hits + s.misses) as f64
     );
 
-    // An operator fixes one sensor: its link becomes certain. The
-    // fingerprint moves, so the next batch re-solves and re-caches —
-    // nothing stale can ever be served.
+    // An operator fixes one sensor: its link becomes certain. A new graph
+    // version means a new engine — its fingerprint moves, so nothing the
+    // old version cached can ever be served for the new one (in a
+    // `Fleet`, both versions would coexist behind one shared cache; see
+    // examples/fleet_serving.rs).
     let mut probs = h.probs().to_vec();
     probs[0] = Rational::one();
     let h2 = ProbGraph::new(h.graph().clone(), probs);
-    let requests: Vec<Graph> = (0..8).map(|i| catalogue[i % 4].clone()).collect();
-    let (_, stats) = solve_many_stats(&requests, &h2, opts, Some(&mut cache));
+    let engine2 = Engine::builder().threads(2).build(h2);
+    assert_ne!(engine.fingerprint(), engine2.fingerprint());
+    let requests: Vec<Request> = (0..8)
+        .map(|i| Request::probability(catalogue[i % 4].clone()))
+        .collect();
+    let (_, stats) = engine2.submit_stats(&requests);
     println!(
         "after instance mutation: {} cache hits (expected 0), {} re-solved",
         stats.cache_hits,
@@ -94,15 +112,21 @@ fn main() {
     );
 
     // The probabilities themselves, for the record.
-    let (answers, _) = solve_many_stats(&catalogue, &h2, opts, Some(&mut cache));
+    let answers = engine2.submit(
+        &catalogue
+            .iter()
+            .map(|q| Request::probability(q.clone()))
+            .collect::<Vec<_>>(),
+    );
     for (i, a) in answers.iter().enumerate() {
         match a {
-            Ok(sol) => println!(
+            Ok(Response::Probability(sol)) => println!(
                 "catalogue[{i}]: Pr = {:.6}  (route {:?})",
                 sol.probability.to_f64(),
                 sol.route
             ),
-            Err(hard) => println!("catalogue[{i}]: #P-hard ({})", hard.prop),
+            Ok(other) => unreachable!("probability request answered as {other:?}"),
+            Err(e) => println!("catalogue[{i}]: {e}"),
         }
     }
 }

@@ -173,7 +173,7 @@ fn cell_report(
     for _ in 0..trials {
         let q = sample_query(row, union_queries, sigma, rng);
         let h = sample_instance(col, sigma, rng);
-        match phom::solve(&q, &h) {
+        match Engine::new(h.clone()).solve(&q) {
             Ok(sol) => {
                 assert_eq!(
                     sol.probability,
@@ -195,10 +195,15 @@ fn cell_report(
         }
         tables::CellStatus::Hard(_prop) => {
             let (wq, wh) = hard_witness(table, row, col);
-            let err = phom::solve(&wq, &wh).expect_err("the witness must land in the hard cell");
+            let err = Engine::new(wh)
+                .solve(&wq)
+                .expect_err("the witness must land in the hard cell");
+            let SolveError::Hard(hard_cell) = err else {
+                panic!("the witness must report hardness, not {err}");
+            };
             format!(
                 "#P[{}]",
-                err.prop.replace("Prop ", "").replace("Props ", "")
+                hard_cell.prop.replace("Prop ", "").replace("Props ", "")
             )
         }
     }

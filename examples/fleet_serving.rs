@@ -1,0 +1,142 @@
+//! Fleet serving: many graph *versions* behind one registry, one shared
+//! bounded cache, and typed mixed workloads.
+//!
+//! The scenario extends `examples/batched_serving.rs` to the ROADMAP's
+//! cross-instance item: a server holds several versions of a
+//! probabilistic graph at once — say, the live pipeline, a candidate
+//! repair, and an all-½ "census" variant used for model counting — and
+//! routes each request to the right version by fingerprint. A `Fleet`
+//! gives every version an `Engine` on **one shared LRU cache**, so:
+//!
+//! * hot versions compete for the same bounded memory (no per-version
+//!   unbounded growth);
+//! * answers can never leak across versions — the cache key embeds the
+//!   instance fingerprint;
+//! * retiring a version is O(1) (`deregister`); its cached answers
+//!   simply age out.
+//!
+//! Run with: `cargo run --release --example fleet_serving`
+
+use phom::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(0xF1EE7);
+
+    // Version 1: the live pipeline (mixed probabilities).
+    let live = phom::graph::generate::with_probabilities(
+        phom::graph::generate::two_way_path(200, 2, &mut rng),
+        phom::graph::generate::ProbProfile::default(),
+        &mut rng,
+    );
+    // Version 2: a candidate repair — the first uncertain link made
+    // certain.
+    let repaired = {
+        let mut probs = live.probs().to_vec();
+        if let Some(e) = live.uncertain_edges().first() {
+            probs[*e] = Rational::one();
+        }
+        ProbGraph::new(live.graph().clone(), probs)
+    };
+    // Version 3: the all-½ census variant (for world counting).
+    let census = phom::graph::generate::with_probabilities(
+        live.graph().clone(),
+        phom::graph::generate::ProbProfile::half(),
+        &mut rng,
+    );
+
+    let mut fleet = Fleet::with_cache_capacity(256).threads(2);
+    let v_live = fleet.register(live.clone());
+    let v_repaired = fleet.register(repaired);
+    let v_census = fleet.register(census);
+    println!(
+        "fleet: {} versions registered ({:#x}, {:#x}, {:#x})",
+        fleet.len(),
+        v_live,
+        v_repaired,
+        v_census
+    );
+
+    // The hot patterns clients ask for.
+    let catalogue: Vec<Graph> = (1..=3)
+        .map(|m| {
+            phom::graph::generate::planted_path_query(live.graph(), m, &mut rng)
+                .unwrap_or_else(|| phom::graph::generate::one_way_path(m, 2, &mut rng))
+        })
+        .collect();
+
+    // A mixed traffic trace: probability requests against live and
+    // repaired, counting requests against the census version, and a UCQ
+    // ("any of the hot patterns") against live.
+    for tick in 0..3 {
+        let mut answered = 0;
+        for _ in 0..8 {
+            let q = catalogue[rng.gen_range(0..catalogue.len())].clone();
+            let (version, request) = match rng.gen_range(0..4) {
+                0 => (v_live, Request::probability(q)),
+                1 => (v_repaired, Request::probability(q)),
+                2 => (v_census, Request::probability(q).counting()),
+                _ => (v_live, Request::ucq(Ucq::new(catalogue.clone()))),
+            };
+            let answers = fleet.submit(version, &[request]).expect("registered");
+            match &answers[0] {
+                Ok(Response::Probability(sol)) => {
+                    answered += 1;
+                    let _ = sol;
+                }
+                Ok(Response::Count {
+                    worlds,
+                    uncertain_edges,
+                }) => {
+                    answered += 1;
+                    let _ = (worlds, uncertain_edges);
+                }
+                Ok(Response::Ucq { probability, .. }) => {
+                    answered += 1;
+                    let _ = probability;
+                }
+                Ok(Response::Sensitivity { .. }) => answered += 1,
+                Err(e) => println!("  request failed: {e}"),
+            }
+        }
+        let s = fleet.cache_stats();
+        println!(
+            "tick {tick}: {answered}/8 answered; shared cache {} entries, \
+             {} hits / {} misses / {} evictions",
+            s.entries, s.hits, s.misses, s.evictions
+        );
+    }
+
+    // Answers are version-correct: the repaired pipeline is at least as
+    // reliable as the live one for every hot pattern.
+    for (i, q) in catalogue.iter().enumerate() {
+        let p_live = fleet
+            .submit(v_live, &[Request::probability(q.clone())])
+            .unwrap()[0]
+            .as_ref()
+            .unwrap()
+            .probability()
+            .unwrap()
+            .clone();
+        let p_rep = fleet
+            .submit(v_repaired, &[Request::probability(q.clone())])
+            .unwrap()[0]
+            .as_ref()
+            .unwrap()
+            .probability()
+            .unwrap()
+            .clone();
+        assert!(p_rep >= p_live, "repair can only help a monotone event");
+        println!(
+            "catalogue[{i}]: live {:.6} → repaired {:.6}",
+            p_live.to_f64(),
+            p_rep.to_f64()
+        );
+    }
+
+    // Retire the candidate once it ships.
+    assert!(fleet.deregister(v_repaired));
+    assert!(fleet.submit(v_repaired, &[]).is_none());
+    println!("repaired version retired; {} versions remain", fleet.len());
+}

@@ -108,8 +108,9 @@ fn main() {
             Graph::one_way_path(&[SECTION, PARTY, DATE]),
         ),
     ];
+    let engine = Engine::new(small.clone());
     for (name, q) in &queries {
-        let sol = phom::solve(q, &small).unwrap();
+        let sol = engine.solve(q).unwrap();
         assert_eq!(sol.route, Route::Prop410);
         let exact = bruteforce::probability(q, &small);
         assert_eq!(sol.probability, exact, "Prop 4.10 must match brute force");

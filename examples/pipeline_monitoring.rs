@@ -76,8 +76,9 @@ fn main() {
     // Small pipeline: validate Prop 4.11 against brute force.
     let small = build_pipeline(10, &mut rng);
     println!("Small pipeline: {} hops", small.graph().n_edges());
+    let engine = Engine::new(small.clone());
     for (name, q) in &patterns() {
-        let sol = phom::solve(q, &small).unwrap();
+        let sol = engine.solve(q).unwrap();
         // Short pipelines may lack a label entirely, in which case the
         // solver short-circuits to 0 instead of running Prop 4.11.
         assert!(matches!(sol.route, Route::Prop411 | Route::MissingLabel));

@@ -16,19 +16,25 @@ fn main() {
     println!("Query    G (Ex. 2.2):  {g:?}");
 
     // H is a general connected graph, so this input sits in a #P-hard cell
-    // (Prop 5.1); the solver says so...
-    match phom::solve(&g, &h) {
-        Err(hard) => println!("dispatcher: #P-hard cell — {} [{}]", hard.cell, hard.prop),
-        Ok(_) => unreachable!(),
+    // (Prop 5.1); the engine says so with a typed error...
+    let engine = Engine::new(h.clone());
+    match engine.solve(&g) {
+        Err(SolveError::Hard(hard)) => {
+            println!("dispatcher: #P-hard cell — {} [{}]", hard.cell, hard.prop)
+        }
+        other => unreachable!("{other:?}"),
     }
 
     // ...but the instance is tiny, so we can fall back to brute force and
-    // recover the paper's exact value 0.574 = 287/500.
-    let opts = SolverOptions {
-        fallback: Fallback::BruteForce { max_uncertain: 20 },
-        ..Default::default()
+    // recover the paper's exact value 0.574 = 287/500. The fallback rides
+    // on the request.
+    let answers =
+        engine
+            .submit(&[Request::probability(g.clone())
+                .fallback(Fallback::BruteForce { max_uncertain: 20 })]);
+    let Ok(Response::Probability(sol)) = answers.into_iter().next().unwrap() else {
+        unreachable!()
     };
-    let sol = solve_with(&g, &h, opts).unwrap();
     println!(
         "Pr(G ⇝ H) = {} ≈ {:.4}   (route: {:?})",
         sol.probability,
@@ -61,7 +67,7 @@ fn main() {
         ],
     );
     let q = Graph::one_way_path(&[r, s]);
-    let sol = phom::solve(&q, &h).unwrap();
+    let sol = Engine::new(h).solve(&q).unwrap();
     println!(
         "\nPath query R·S on a probabilistic tree: Pr = {} ≈ {:.4} (route: {:?})",
         sol.probability,
@@ -96,7 +102,7 @@ fn main() {
             Rational::from_ratio(1, 4),
         ],
     );
-    let sol = phom::solve(&query_tree, &h).unwrap();
+    let sol = Engine::new(h).solve(&query_tree).unwrap();
     println!(
         "Branching unlabeled query on a polytree: Pr = {} ≈ {:.4} (route: {:?})",
         sol.probability,

@@ -43,7 +43,9 @@ fn main() {
     // The incident pattern: a deploy immediately followed by an alert.
     let incident = Graph::one_way_path(&[d, a]);
 
-    let sol = phom::solve(&incident, &h).expect("connected query on a 2WP: Prop 4.11");
+    let sol = Engine::new(h.clone())
+        .solve(&incident)
+        .expect("connected query on a 2WP: Prop 4.11");
     println!(
         "Pr(deploy → alert somewhere) = {} ≈ {:.4}",
         sol.probability,

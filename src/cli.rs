@@ -5,6 +5,8 @@
 //! phom solve <query-file> <instance-file> [--brute-force <max-edges>]
 //!                                         [--monte-carlo <samples>] [--dp]
 //! phom solve --queries-file <batch-file> <instance-file> [options]
+//!                                         [--threads <k>] [--cache-cap <n>]
+//!                                         [--stats]
 //! phom classify <graph-file>
 //! phom count <query-file> <instance-file> [--brute-force <max-edges>]
 //! phom tables
@@ -14,15 +16,18 @@
 //! label *names* with the instance: labels are interned per run, instance
 //! first, so `R` in the query means `R` in the instance.
 //!
-//! The `--queries-file` batch mode reads many queries from one file
-//! (sections separated by lines containing only `---`) and answers them
-//! through `phom_core::solve_many`: instance preprocessing runs once,
-//! structurally identical queries intern to one solve, and all
-//! circuit-compilable queries share a single lineage arena and engine
-//! pass. A summary line reports the batch statistics.
+//! Every solve/count goes through a `phom_core::Engine` built for the
+//! parsed instance. The `--queries-file` batch mode reads many queries
+//! from one file (sections separated by lines containing only `---`) and
+//! submits them as one request batch: instance preprocessing runs once,
+//! structurally identical queries intern to one solve, circuit-compilable
+//! queries compile into per-shard lineage arenas (`--threads` controls
+//! the shard width) answered by one engine pass each, and the engine's
+//! bounded answer cache (`--cache-cap`) serves repeats. A summary line
+//! reports the batch statistics; `--stats` adds the cache counters.
 
-use phom_core::counting;
 use phom_core::tables;
+use phom_core::{Engine, Request, Response, SolveError};
 use phom_graph::io::{parse_graph, ParsedGraph};
 use phom_graph::{classify, Graph, Label, ProbGraph};
 use std::collections::HashMap;
@@ -67,7 +72,10 @@ fn usage() -> String {
      \x20 --dp                        use the direct-DP ablations\n\
      \x20 --queries-file <file>       solve only: batch mode — answer every\n\
      \x20                             query in <file> (sections split by ---)\n\
-     \x20                             via the shared-arena batched solver\n"
+     \x20                             via one Engine::submit batch\n\
+     \x20 --threads <k>               engine shard width (0 = all cores)\n\
+     \x20 --cache-cap <n>             bound the engine's answer cache (LRU)\n\
+     \x20 --stats                     print the cache counters too\n"
         .into()
 }
 
@@ -120,6 +128,9 @@ fn solve_cmd(
     let mut files = Vec::new();
     let mut opts = phom_core::SolverOptions::default();
     let mut queries_file: Option<String> = None;
+    let mut threads: usize = 1;
+    let mut cache_cap: Option<usize> = None;
+    let mut show_stats = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -128,6 +139,22 @@ fn solve_cmd(
                 let f = args.get(i).ok_or("--queries-file needs a file")?;
                 queries_file = Some(f.clone());
             }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a shard count (0 = all cores)")?;
+            }
+            "--cache-cap" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--cache-cap needs an entry count")?;
+                cache_cap = Some(n);
+            }
+            "--stats" => show_stats = true,
             "--brute-force" => {
                 i += 1;
                 let n: usize = args
@@ -159,31 +186,46 @@ fn solve_cmd(
         let [hfile] = files.as_slice() else {
             return Err("expected: --queries-file <batch-file> <instance-file>".into());
         };
-        return batch_solve_cmd(&qsfile, hfile, opts, read_file);
+        let batch = BatchConfig {
+            opts,
+            threads,
+            cache_cap,
+            show_stats,
+        };
+        return batch_solve_cmd(&qsfile, hfile, batch, read_file);
     }
     let [qfile, hfile] = files.as_slice() else {
         return Err("expected: <query-file> <instance-file>".into());
     };
     let (query, instance) = parse_inputs(qfile, hfile, read_file)?;
+    // The engine flags apply in single-query mode too (one query means
+    // one shard, but the cache bound and --stats output are honored).
+    let mut builder = Engine::builder().default_options(opts).threads(threads);
+    if let Some(cap) = cache_cap {
+        builder = builder.cache_capacity(cap);
+    }
+    let engine = builder.build(instance);
 
     if count_mode {
-        return match counting::count_satisfying_worlds_with(&query, &instance, opts) {
-            Ok(count) => Ok(format!(
-                "satisfying worlds: {count} (of 2^{})\n",
-                instance.uncertain_edges().len()
+        let answers = engine.submit(&[Request::probability(query).counting()]);
+        return match answers.into_iter().next().expect("one request") {
+            Ok(Response::Count {
+                worlds,
+                uncertain_edges,
+            }) => Ok(format!(
+                "satisfying worlds: {worlds} (of 2^{uncertain_edges})\n"
             )),
-            Err(counting::CountError::NotUnweighted { edge }) => Err(format!(
-                "instance is not unweighted: edge {edge} has probability {}",
-                instance.prob(edge)
-            )),
-            Err(counting::CountError::Hard(h)) => Err(format!(
+            Ok(other) => unreachable!("counting request answered as {other:?}"),
+            Err(SolveError::InvalidQuery(msg)) => Err(format!("instance is not unweighted: {msg}")),
+            Err(SolveError::Hard(h)) => Err(format!(
                 "#P-hard cell ({}; {}); re-run with --brute-force",
                 h.cell, h.prop
             )),
+            Err(e) => Err(e.to_string()),
         };
     }
 
-    match phom_core::solve_with(&query, &instance, opts) {
+    match engine.solve(&query) {
         Ok(sol) => {
             let mut out = String::new();
             let _ = writeln!(
@@ -193,22 +235,40 @@ fn solve_cmd(
                 sol.probability.to_f64()
             );
             let _ = writeln!(out, "route: {:?}", sol.route);
+            if show_stats {
+                let cache = engine.cache_stats();
+                let cap = cache_cap.map_or("∞".to_string(), |n| n.to_string());
+                let _ = writeln!(
+                    out,
+                    "cache: {} entries (cap {cap}), {} hits, {} misses, {} evictions",
+                    cache.entries, cache.hits, cache.misses, cache.evictions,
+                );
+            }
             Ok(out)
         }
-        Err(h) => Err(format!(
+        Err(SolveError::Hard(h)) => Err(format!(
             "#P-hard cell: {} [{}]; re-run with --brute-force or --monte-carlo",
             h.cell, h.prop
         )),
+        Err(e) => Err(e.to_string()),
     }
 }
 
+/// Batch-mode configuration collected from the `solve` flags.
+struct BatchConfig {
+    opts: phom_core::SolverOptions,
+    threads: usize,
+    cache_cap: Option<usize>,
+    show_stats: bool,
+}
+
 /// The `--queries-file` batch mode: parse every `---`-separated query
-/// section, answer the whole set through `solve_many`, and report the
-/// batch statistics.
+/// section, submit the whole set as one `Engine::submit` batch, and
+/// report the batch statistics (plus cache counters under `--stats`).
 fn batch_solve_cmd(
     qsfile: &str,
     hfile: &str,
-    opts: phom_core::SolverOptions,
+    config: BatchConfig,
     read_file: &dyn Fn(&str) -> Result<String, String>,
 ) -> Result<String, String> {
     let htext = read_file(hfile)?;
@@ -234,11 +294,20 @@ fn batch_solve_cmd(
         return Err(format!("{qsfile}: no queries found"));
     }
     let instance = hparsed.into_prob_graph();
-    let (results, stats) = phom_core::solve_many_stats(&queries, &instance, opts, None);
+    let mut builder = Engine::builder()
+        .default_options(config.opts)
+        .threads(config.threads);
+    if let Some(cap) = config.cache_cap {
+        builder = builder.cache_capacity(cap);
+    }
+    let engine = builder.build(instance);
+    let requests: Vec<Request> = queries.into_iter().map(Request::probability).collect();
+    let (results, stats) = engine.submit_stats(&requests);
     let mut out = String::new();
     for (i, result) in results.iter().enumerate() {
         match result {
-            Ok(sol) => {
+            Ok(response) => {
+                let sol = response.solution().expect("probability request");
                 let _ = writeln!(
                     out,
                     "[{i}] Pr(G ⇝ H) = {} ≈ {:.6}  (route {:?})",
@@ -247,20 +316,35 @@ fn batch_solve_cmd(
                     sol.route
                 );
             }
-            Err(h) => {
+            Err(SolveError::Hard(h)) => {
                 let _ = writeln!(out, "[{i}] #P-hard cell: {} [{}]", h.cell, h.prop);
+            }
+            Err(e) => {
+                let _ = writeln!(out, "[{i}] error: {e}");
             }
         }
     }
     let _ = writeln!(
         out,
-        "batch: {} queries, {} unique; {} via shared arena ({} gates), {} general",
+        "batch: {} queries, {} unique; {} via {} shard arena(s) ({} gates), \
+         {} general; {} threads",
         stats.queries,
         stats.unique_queries,
         stats.circuit_batched,
+        stats.shards,
         stats.shared_gates,
         stats.general_solved,
+        engine.threads(),
     );
+    if config.show_stats {
+        let cache = engine.cache_stats();
+        let cap = config.cache_cap.map_or("∞".to_string(), |n| n.to_string());
+        let _ = writeln!(
+            out,
+            "cache: {} entries (cap {cap}), {} hits, {} misses, {} evictions",
+            cache.entries, cache.hits, cache.misses, cache.evictions,
+        );
+    }
     Ok(out)
 }
 
@@ -665,6 +749,58 @@ mod tests {
         ]);
         let out = run(&args(&["solve", "--queries-file", "qs.pg", "h.pg"]), &fs).unwrap();
         assert!(out.contains("[0] #P-hard cell"), "{out}");
+    }
+
+    #[test]
+    fn batch_mode_threads_and_stats_flags() {
+        let fs = fake_fs(&[
+            (
+                "qs.pg",
+                "edge 0 1 R\nedge 1 2 S\n---\nedge 0 1 R\n---\nedge 0 1 R\nedge 1 2 S\n",
+            ),
+            ("h.pg", "vertices 3\nedge 0 1 R 1/2\nedge 1 2 S 3/4\n"),
+        ]);
+        let sequential = run(&args(&["solve", "--queries-file", "qs.pg", "h.pg"]), &fs).unwrap();
+        let sharded = run(
+            &args(&[
+                "solve",
+                "--queries-file",
+                "qs.pg",
+                "h.pg",
+                "--threads",
+                "3",
+                "--cache-cap",
+                "8",
+                "--stats",
+            ]),
+            &fs,
+        )
+        .unwrap();
+        // Bit-identical per-query lines regardless of shard width.
+        for i in 0..3 {
+            let line = |s: &str| {
+                s.lines()
+                    .find(|l| l.starts_with(&format!("[{i}]")))
+                    .unwrap()
+                    .to_string()
+            };
+            assert_eq!(line(&sequential), line(&sharded), "query {i}");
+        }
+        assert!(sharded.contains("3 threads"), "{sharded}");
+        assert!(sharded.contains("cache:"), "{sharded}");
+        assert!(sharded.contains("(cap 8)"), "{sharded}");
+        assert!(!sequential.contains("cache:"), "{sequential}");
+        // Bad flag values are reported.
+        assert!(run(
+            &args(&["solve", "--queries-file", "qs.pg", "h.pg", "--threads", "x"]),
+            &fs
+        )
+        .is_err());
+        assert!(run(
+            &args(&["solve", "--queries-file", "qs.pg", "h.pg", "--cache-cap"]),
+            &fs
+        )
+        .is_err());
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!
 //! ## Quick start
 //!
+//! The serving surface is a long-lived [`Engine`] per probabilistic
+//! instance: build it once, then solve — the classification, label set,
+//! Lemma 3.7 split, and the answer cache are all paid once per instance
+//! lifetime, not once per call.
+//!
 //! ```
 //! use phom::prelude::*;
 //!
@@ -23,13 +28,20 @@
 //!     vec![Rational::from_ratio(1, 2), Rational::from_ratio(3, 4)],
 //! );
 //!
-//! // The query: does an R-edge followed by an S-edge exist?
-//! let g = Graph::one_way_path(&[r, s]);
+//! // The engine owns the instance-side state and a bounded answer cache.
+//! let engine = Engine::builder().cache_capacity(1024).build(h);
 //!
-//! // The solver routes this to Prop 4.10 (β-acyclic lineage) and answers
-//! // exactly: 1/2 · 3/4 = 3/8.
-//! let sol = phom::solve(&g, &h).unwrap();
+//! // The query: does an R-edge followed by an S-edge exist? The solver
+//! // routes this to Prop 4.10 territory and answers exactly:
+//! // 1/2 · 3/4 = 3/8.
+//! let g = Graph::one_way_path(&[r, s]);
+//! let sol = engine.solve(&g).unwrap();
 //! assert_eq!(sol.probability, Rational::from_ratio(3, 8));
+//!
+//! // A repeat is served from the cache without touching the solver.
+//! let again = engine.solve(&g).unwrap();
+//! assert_eq!(again.probability, sol.probability);
+//! assert_eq!(engine.cache_stats().hits, 1);
 //! ```
 //!
 //! ## Crate map
@@ -40,20 +52,14 @@
 //! | [`graph`] | graphs, probabilistic graphs, classes, homomorphisms |
 //! | [`lineage`] | the **unified provenance engine** ([`lineage::engine`]): one arena IR with interned gates and structural hashing, one semiring-generic bottom-up evaluator shared by positive DNFs, β-acyclicity (Thm 4.9), d-DNNF circuits, and OBDDs |
 //! | [`automata`] | the polytree encoding and path automata of Prop 5.4, compiling into engine arenas |
-//! | [`core`] | the per-proposition algorithms and the Tables 1–3 dispatcher; tractable routes attach a [`Provenance`](phom_lineage::Provenance) handle to their [`Solution`]s; the batched serving path ([`solve_many`], [`EvalCache`](phom_core::EvalCache)) compiles whole query sets into one shared arena and caches answers per (instance fingerprint, query) |
+//! | [`core`] | the per-proposition algorithms and the Tables 1–3 dispatcher, behind the serving surface of [`core::engine`]: a long-lived [`Engine`] per instance (bounded LRU [`EvalCache`], sharded [`Engine::submit`]), typed [`Request`]/[`Response`], and a [`Fleet`] registry serving many graph versions off one shared cache |
 //! | [`reductions`] | executable #P-hardness reductions (Props 3.3/3.4/4.1/5.6) |
 //!
-//! ## The provenance engine
+//! ## Requests: one surface for every workload
 //!
-//! Every tractable `PHom` route ultimately evaluates a Boolean lineage
-//! bottom-up. Those evaluations all run through **one** routine —
-//! [`Arena::eval_roots`](phom_lineage::engine::Arena::eval_roots) —
-//! instantiated at different semirings: exact [`Rational`](phom_num::Rational) probability,
-//! the `f64` fast path, [`Natural`](phom_num::Natural) model counting
-//! (with on-the-fly smoothing for unsmoothed circuits),
-//! Boolean world evaluation, and [`Dual`](phom_num::Dual)-number
-//! directional derivatives. Ask the solver for the handle with
-//! [`SolverOptions::want_provenance`] and reuse it downstream:
+//! A [`Request`] names the workload; [`Engine::submit`] answers a whole
+//! batch of them (interned, cached, and sharded across the engine's
+//! worker threads) with one typed [`Response`] each:
 //!
 //! ```
 //! use phom::prelude::*;
@@ -64,68 +70,92 @@
 //! b.edge(1, 2, s);
 //! let h = ProbGraph::new(
 //!     b.build(),
-//!     vec![Rational::from_ratio(1, 2), Rational::from_ratio(3, 4)],
+//!     vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
 //! );
-//! let g = Graph::one_way_path(&[r, s]);
+//! let engine = Engine::new(h);
 //!
-//! let opts = SolverOptions { want_provenance: true, ..Default::default() };
-//! let sol = phom::solve_with(&g, &h, opts).unwrap();
-//! let prov = sol.provenance.expect("Prop 4.10 compiles a circuit");
-//! // The same circuit re-evaluates under new probabilities (no re-solve),
-//! // answers per-world queries, and differentiates:
-//! assert_eq!(prov.probability::<Rational>(h.probs()), sol.probability);
-//! assert!(prov.holds_in(&[true, true]));
-//! let influences = prov.gradients::<Rational>(h.probs());
-//! assert_eq!(influences.len(), 2);
-//! ```
-//!
-//! ## Batched serving
-//!
-//! Serving workloads — many queries against one instance, with heavy
-//! repetition — go through [`solve_many`]: instance preprocessing runs
-//! once, structurally identical queries intern to one solve, every
-//! circuit-compilable query shares a single lineage arena and one
-//! multi-root engine pass, and an optional [`EvalCache`] keyed by
-//! (instance fingerprint, query) serves repeats across batches without
-//! re-solving. Results are bit-identical to per-query [`solve`] calls.
-//!
-//! ```
-//! use phom::prelude::*;
-//! use phom_core::solve_many_stats;
-//!
-//! let (r, s) = (Label(0), Label(1));
-//! let mut b = GraphBuilder::with_vertices(3);
-//! b.edge(0, 1, r);
-//! b.edge(1, 2, s);
-//! let h = ProbGraph::new(
-//!     b.build(),
-//!     vec![Rational::from_ratio(1, 2), Rational::from_ratio(3, 4)],
-//! );
-//!
-//! // A batch with repeats: the repeated query is solved once.
 //! let rs = Graph::one_way_path(&[r, s]);
-//! let queries = vec![rs.clone(), Graph::one_way_path(&[r]), rs];
-//! let mut cache = EvalCache::new();
-//! let (answers, stats) =
-//!     solve_many_stats(&queries, &h, SolverOptions::default(), Some(&mut cache));
-//! assert_eq!(stats.unique_queries, 2);
-//! assert_eq!(answers[0].as_ref().unwrap().probability, Rational::from_ratio(3, 8));
-//! assert_eq!(answers[2].as_ref().unwrap().probability, Rational::from_ratio(3, 8));
+//! let batch = [
+//!     // Pr(G ⇝ H), with a provenance circuit attached.
+//!     Request::probability(rs.clone()).with_provenance(),
+//!     // Model counting: in how many worlds does G match? (all-½ edges)
+//!     Request::probability(rs.clone()).counting(),
+//!     // Sensitivity: every edge influence ∂Pr/∂π(e).
+//!     Request::probability(rs.clone()).sensitivity(),
+//!     // A union of conjunctive queries.
+//!     Request::ucq(Ucq::new(vec![rs, Graph::one_way_path(&[r])])),
+//! ];
+//! let answers = engine.submit(&batch);
 //!
-//! // A second batch is served entirely from the cache.
-//! let (_, stats) = solve_many_stats(&queries, &h, SolverOptions::default(), Some(&mut cache));
-//! assert_eq!(stats.cache_hits, 2);
+//! let Ok(Response::Probability(sol)) = &answers[0] else { panic!() };
+//! let prov = sol.provenance.as_ref().expect("Prop 4.10 compiles a circuit");
+//! assert_eq!(prov.probability::<Rational>(engine.instance().probs()), sol.probability);
+//!
+//! let Ok(Response::Count { worlds, .. }) = &answers[1] else { panic!() };
+//! assert_eq!(worlds.to_u64(), Some(1)); // only the both-edges world
+//!
+//! let Ok(Response::Sensitivity { influences, .. }) = &answers[2] else { panic!() };
+//! assert_eq!(influences.len(), 2);
+//!
+//! let Ok(Response::Ucq { probability, .. }) = &answers[3] else { panic!() };
+//! assert_eq!(probability, &Rational::from_ratio(1, 2)); // the R-edge alone
 //! ```
+//!
+//! Hardness is a typed error — [`SolveError::Hard`] — rather than the
+//! historical bare `Err(Hardness)`; configure a
+//! [`Fallback`](phom_core::Fallback) per request (or per engine) to turn
+//! hard cells into brute-force or Monte-Carlo answers.
+//!
+//! ## Serving at scale: shards, bounded cache, fleets
+//!
+//! [`EngineBuilder::threads`] shards a submitted batch's unique, uncached
+//! queries across scoped worker threads — each shard compiles its
+//! circuit-compilable plans into its own lineage arena and answers them
+//! with one multi-root engine pass; results are **bit-identical** to the
+//! sequential path (asserted by `tests/engine_api.rs`). The engine's
+//! [`EvalCache`] is bounded ([`EngineBuilder::cache_capacity`]) with LRU
+//! eviction, so a long-lived server's memory is capped. And a [`Fleet`]
+//! registers many instance *versions* — engines keyed by
+//! [`instance_fingerprint`](phom_core::instance_fingerprint) — sharing
+//! one cache, so hot versions compete for the same capacity and a
+//! mutated graph invalidates itself by moving its fingerprint:
+//!
+//! ```
+//! use phom::prelude::*;
+//!
+//! let h_v1 = ProbGraph::new(Graph::directed_path(2), vec![
+//!     Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)]);
+//! let mut h_v2_probs = h_v1.probs().to_vec();
+//! h_v2_probs[0] = Rational::one();
+//! let h_v2 = ProbGraph::new(h_v1.graph().clone(), h_v2_probs);
+//!
+//! let mut fleet = Fleet::with_cache_capacity(4096).threads(2);
+//! let v1 = fleet.register(h_v1);
+//! let v2 = fleet.register(h_v2);
+//! let q = Request::probability(Graph::directed_path(1));
+//! let a1 = fleet.submit(v1, &[q.clone()]).unwrap();
+//! let a2 = fleet.submit(v2, &[q]).unwrap();
+//! assert_eq!(a1[0].as_ref().unwrap().probability(), Some(&Rational::from_ratio(3, 4)));
+//! assert_eq!(a2[0].as_ref().unwrap().probability(), Some(&Rational::one()));
+//! ```
+//!
+//! (The pre-engine free functions `solve`, `solve_with`, `solve_many`,
+//! `solve_many_cached`, and `solve_many_stats` remain available as
+//! deprecated shims over the same machinery, so existing callers keep
+//! working and keep returning bit-identical answers.)
 //!
 //! Beyond the paper's own results, the workspace implements its Section 6
 //! future-work program: **bounded-treewidth instances**
 //! ([`graph::treedecomp`] + [`core::algo::walk_on_tw`]), **unions of
-//! conjunctive queries** ([`core::ucq`]), **OBDD lineage compilation**
-//! ([`lineage::obdd`] + [`core::algo::obdd_route`]), **model counting**
-//! through the engine's counting semiring ([`core::counting`]), and
-//! **sensitivity analysis** — engine gradients, dual-number forward mode,
-//! conditioning and most-probable witnesses ([`lineage::analysis`],
-//! [`core::sensitivity`]).
+//! conjunctive queries** ([`core::ucq`], served via [`Request::ucq`]),
+//! **OBDD lineage compilation** ([`lineage::obdd`] +
+//! [`core::algo::obdd_route`]), **model counting** through the engine's
+//! counting semiring ([`core::counting`], served via
+//! [`Request::counting`](Request::counting)), and **sensitivity
+//! analysis** — engine gradients, dual-number forward mode, conditioning
+//! and most-probable witnesses ([`lineage::analysis`],
+//! [`core::sensitivity`], served via
+//! [`Request::sensitivity`](Request::sensitivity)).
 
 pub use phom_automata as automata;
 pub use phom_core as core;
@@ -134,9 +164,11 @@ pub use phom_lineage as lineage;
 pub use phom_num as num;
 pub use phom_reductions as reductions;
 
+#[allow(deprecated)] // the legacy shims stay exported so no caller breaks
+pub use phom_core::{solve, solve_many, solve_many_cached, solve_with};
 pub use phom_core::{
-    solve, solve_many, solve_many_cached, solve_with, EvalCache, Fallback, Hardness, Route,
-    Solution, SolverOptions,
+    Engine, EngineBuilder, EvalCache, Fallback, Fleet, Hardness, Request, Response, Route,
+    Solution, SolveError, SolverOptions,
 };
 
 pub mod cli;
@@ -144,9 +176,11 @@ pub mod cli;
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
     pub use phom_core::ucq::Ucq;
+    #[allow(deprecated)] // the legacy shims stay exported so no caller breaks
+    pub use phom_core::{solve, solve_many, solve_many_cached, solve_with};
     pub use phom_core::{
-        solve, solve_many, solve_many_cached, solve_with, EvalCache, Fallback, Route, Solution,
-        SolverOptions,
+        BatchStats, CacheStats, Engine, EngineBuilder, EvalCache, Fallback, Fleet, Request,
+        Response, Route, Solution, SolveError, SolverOptions,
     };
     pub use phom_graph::{classify, Dir, Graph, GraphBuilder, Label, ProbGraph};
     pub use phom_lineage::{Provenance, VarStatus};
@@ -161,5 +195,15 @@ mod tests {
         let g = crate::graph::fixtures::example_2_2_query();
         let p = crate::core::bruteforce::probability(&g, &h);
         assert_eq!(p, crate::graph::fixtures::example_2_2_answer());
+    }
+
+    #[test]
+    fn engine_facade_serves() {
+        let h = crate::graph::fixtures::figure_1();
+        let engine = crate::Engine::new(h.clone());
+        let g = crate::graph::fixtures::example_2_2_query();
+        // Figure 1's instance is a hard cell for this query: typed error.
+        let err = engine.solve(&g).unwrap_err();
+        assert!(matches!(err, crate::SolveError::Hard(_)));
     }
 }

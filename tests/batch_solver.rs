@@ -4,6 +4,8 @@
 //! provenance behavior, and the same model counts — across randomized
 //! query sets on every tractable route, with and without the eval cache.
 
+#![allow(deprecated)] // the suite pins the legacy shims to the engine path
+
 use phom::prelude::*;
 use phom_core::{
     counting, instance_fingerprint, solve_many_cached, solve_many_stats, EvalCache, Fallback,

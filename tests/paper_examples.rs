@@ -1,5 +1,7 @@
 //! The paper's worked examples and figures, reproduced exactly.
 
+#![allow(deprecated)] // the suite pins the legacy shims to the engine path
+
 use phom::core::{bruteforce, tables};
 use phom::graph::fixtures;
 use phom::graph::graded::{is_graded, level_mapping};

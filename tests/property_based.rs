@@ -1,5 +1,7 @@
 //! Property-based tests (proptest) on the workspace invariants.
 
+#![allow(deprecated)] // the suite pins the legacy shims to the engine path
+
 use phom::core::bruteforce;
 use phom::graph::generate;
 use phom::graph::hom::{exists_hom, exists_hom_into_world};

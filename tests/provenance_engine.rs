@@ -9,6 +9,8 @@
 //! Together the loops below cover well over 500 randomized
 //! query/instance (or DNF/weights) pairs per run.
 
+#![allow(deprecated)] // the suite pins the legacy shims to the engine path
+
 use phom::graph::generate;
 use phom::graph::hom::exists_hom_into_world;
 use phom::lineage::beta::beta_dnf_probability;

@@ -2,6 +2,8 @@
 //! inputs drawn from every PTIME cell of Tables 1–3, the dispatcher must
 //! (a) accept the input and (b) return exactly the brute-force probability.
 
+#![allow(deprecated)] // the suite pins the legacy shims to the engine path
+
 use phom::core::bruteforce;
 use phom::graph::generate;
 use phom::prelude::*;
