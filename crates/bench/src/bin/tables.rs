@@ -220,6 +220,83 @@ fn json_smoke() {
                 })
                 .sum()
         });
+
+        // Persistent runtime tick: the same k = 16 workload enqueued
+        // request-by-request into a warm `phom_serve::Runtime` (4
+        // workers spawned once, max_batch 16) and awaited — the
+        // steady-state cost of one micro-batched serving tick,
+        // including the enqueue/ticket handoff and the batcher wake, on
+        // top of the warm engine tick measured above. Bit-identity vs
+        // the per-query path is asserted outside the timer (and in
+        // tests/runtime_serving.rs).
+        let wait_prob = |t: phom_serve::Ticket| -> f64 {
+            t.wait()
+                .expect("tractable")
+                .solution()
+                .expect("probability request")
+                .probability
+                .to_f64()
+        };
+        let runtime = phom_serve::Runtime::builder()
+            .max_batch(16)
+            .max_wait(std::time::Duration::from_millis(50))
+            .queue_cap(1024)
+            .workers(4)
+            .build();
+        runtime.register(h.clone());
+        let warm: Vec<_> = requests
+            .iter()
+            .map(|r| runtime.enqueue(r.clone()).expect("admitted"))
+            .collect();
+        for (s, ticket) in solo.iter().zip(warm) {
+            let got = ticket.wait().expect("tractable");
+            assert_eq!(
+                s.probability,
+                got.solution().expect("probability request").probability,
+                "runtime must be bit-identical"
+            );
+        }
+        json_entry(&mut entries, "runtime_tick_k16", 16, || {
+            let tickets: Vec<_> = requests
+                .iter()
+                .map(|r| runtime.enqueue(r.clone()).expect("admitted"))
+                .collect();
+            tickets.into_iter().map(wait_prob).sum()
+        });
+
+        // Saturated runtime: the same 16 requests against a queue
+        // bounded to 8 — admission control rejects the overflow with
+        // `Overloaded` and the producer drains a ticket before
+        // retrying. Tracks the cost of serving *through* backpressure
+        // (reject + drain + retry), the worst-case steady state of an
+        // overloaded front end.
+        let saturated = phom_serve::Runtime::builder()
+            .max_batch(8)
+            .max_wait(std::time::Duration::ZERO)
+            .queue_cap(8)
+            .workers(4)
+            .build();
+        saturated.register(h.clone());
+        json_entry(&mut entries, "runtime_saturated_k16", 16, || {
+            let mut acc = 0.0;
+            let mut admitted: Vec<phom_serve::Ticket> = Vec::new();
+            for r in &requests {
+                loop {
+                    match saturated.enqueue(r.clone()) {
+                        Ok(ticket) => {
+                            admitted.push(ticket);
+                            break;
+                        }
+                        Err(phom_core::SolveError::Overloaded { .. }) => match admitted.pop() {
+                            Some(ticket) => acc += wait_prob(ticket),
+                            None => std::thread::yield_now(),
+                        },
+                        Err(e) => panic!("saturated bench enqueue: {e}"),
+                    }
+                }
+            }
+            acc + admitted.into_iter().map(wait_prob).sum::<f64>()
+        });
     }
 
     // Fleet serving: 3 registered graph versions behind one shared

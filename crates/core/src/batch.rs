@@ -15,7 +15,10 @@
 //! ## The answer cache
 //!
 //! [`EvalCache`] maps (instance fingerprint, solver-options fingerprint,
-//! interned query key) to the completed `Result<Solution, Hardness>`.
+//! request kind, interned query key) to the completed answer — the
+//! probability batch path caches `Result<Solution, Hardness>`, and the
+//! counting / sensitivity / UCQ request paths cache their full typed
+//! [`Response`](crate::Response)s under the same flat LRU order.
 //! Mutating the instance (structure *or* probabilities) changes its
 //! fingerprint and naturally invalidates every cached answer. Since one
 //! cache can serve many instances (a [`Fleet`](crate::Fleet) shares a
@@ -25,10 +28,12 @@
 //! [`CacheStats::evictions`]. [`EvalCache::new`] keeps the historical
 //! unbounded behavior.
 
-use crate::solver::{Hardness, Solution, SolverOptions};
+use crate::engine::Response;
+use crate::solver::{Hardness, Solution, SolveError, SolverOptions};
 use phom_graph::{Graph, ProbGraph};
 use phom_lineage::fxhash::{FxHashMap, FxHasher};
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 /// An interned query key: structural identity of a query graph (vertex
 /// count + exact edge list), pre-hashed so batch dedup and cache lookups
@@ -60,6 +65,35 @@ impl QueryKey {
             hash: h.finish(),
             n_vertices: query.n_vertices() as u32,
             edges,
+        }
+    }
+
+    /// The key of an ordered *sequence* of graphs (a UCQ's disjuncts):
+    /// exact structural identity over the whole sequence. Each graph is
+    /// preceded by a `(u32::MAX, u32::MAX, n_vertices)` separator —
+    /// vertex ids never reach `u32::MAX`, so distinct sequences can
+    /// never serialize to the same edge list.
+    pub fn of_many(graphs: &[Graph]) -> Self {
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        for g in graphs {
+            edges.push((u32::MAX, u32::MAX, g.n_vertices() as u32));
+            edges.extend(
+                g.edges()
+                    .iter()
+                    .map(|e| (e.src as u32, e.dst as u32, e.label.0)),
+            );
+        }
+        let mut h = FxHasher::default();
+        h.write_u32(graphs.len() as u32);
+        for &(s, d, l) in &edges {
+            h.write_u32(s);
+            h.write_u32(d);
+            h.write_u32(l);
+        }
+        QueryKey {
+            hash: h.finish(),
+            n_vertices: graphs.len() as u32,
+            edges: edges.into_boxed_slice(),
         }
     }
 }
@@ -114,20 +148,49 @@ pub(crate) fn opts_fingerprint(opts: &SolverOptions) -> u64 {
     h.finish()
 }
 
+/// What kind of answer a cache entry holds. Folded into [`CacheKey`] so
+/// one flat cache serves every request kind without collisions: a
+/// counting answer for query `G` never shadows the probability answer
+/// for the same `G`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum CacheKind {
+    Probability,
+    Counting,
+    Sensitivity,
+    Ucq,
+}
+
 /// The full cache key: (instance fingerprint, options fingerprint,
-/// interned query). Flat — one map, one LRU order — so a bounded cache
-/// shares its capacity across every instance and option set it serves.
+/// request kind, interned query). Flat — one map, one LRU order — so a
+/// bounded cache shares its capacity across every instance, option set,
+/// and workload kind it serves.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) struct CacheKey {
     pub(crate) instance: u64,
     pub(crate) opts: u64,
+    pub(crate) kind: CacheKind,
     pub(crate) query: QueryKey,
 }
 
 impl Hash for CacheKey {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        state.write_u64(self.instance ^ self.opts.rotate_left(32) ^ self.query.hash);
+        state.write_u64(
+            self.instance
+                ^ self.opts.rotate_left(32)
+                ^ self.query.hash
+                ^ (self.kind as u64).rotate_left(17),
+        );
     }
+}
+
+/// A completed answer as stored in the cache: the probability batch path
+/// keeps its historical `Result<Solution, Hardness>` shape (the legacy
+/// shims still speak `Hardness`), while counting / sensitivity / UCQ
+/// responses are cached as full typed `Response`s.
+#[derive(Clone, Debug)]
+pub(crate) enum CachedAnswer {
+    Solution(Result<Solution, Hardness>),
+    Response(Result<Response, SolveError>),
 }
 
 /// Counters and size of an [`EvalCache`].
@@ -165,7 +228,7 @@ pub struct EvalCache {
 
 struct CacheEntry {
     last_used: u64,
-    answer: Result<Solution, Hardness>,
+    answer: CachedAnswer,
 }
 
 impl Default for EvalCache {
@@ -220,7 +283,7 @@ impl EvalCache {
 
     /// Looks up a completed answer, refreshing its recency and counting a
     /// hit when present.
-    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<&Result<Solution, Hardness>> {
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<&CachedAnswer> {
         self.tick += 1;
         let tick = self.tick;
         match self.map.get_mut(key) {
@@ -235,7 +298,7 @@ impl EvalCache {
 
     /// Records a freshly solved answer (counted as a miss), evicting the
     /// least-recently-used entries if the bound is exceeded.
-    pub(crate) fn insert(&mut self, key: CacheKey, answer: Result<Solution, Hardness>) {
+    pub(crate) fn insert(&mut self, key: CacheKey, answer: CachedAnswer) {
         if self.map.contains_key(&key) {
             return; // identical answer already present; keep its recency
         }
@@ -260,6 +323,52 @@ impl EvalCache {
             self.map.remove(&oldest);
             self.evictions += 1;
         }
+    }
+}
+
+/// A cloneable, thread-safe handle to a shared [`EvalCache`] — the unit
+/// of cache *sharing* across serving surfaces. A [`Fleet`](crate::Fleet)
+/// hands one handle to every registered engine, and an external runtime
+/// (`phom_serve::Runtime`) does the same, so many instance versions
+/// compete for one bounded LRU capacity. Build an engine on a shared
+/// cache with [`EngineBuilder::shared_cache`](crate::EngineBuilder::shared_cache).
+#[derive(Clone)]
+pub struct CacheHandle {
+    cache: Arc<Mutex<EvalCache>>,
+}
+
+impl CacheHandle {
+    /// A handle to a fresh **unbounded** cache.
+    pub fn unbounded() -> Self {
+        CacheHandle::with_capacity(usize::MAX)
+    }
+
+    /// A handle to a fresh cache bounded to `capacity` answers (LRU).
+    pub fn with_capacity(capacity: usize) -> Self {
+        CacheHandle {
+            cache: Arc::new(Mutex::new(EvalCache::with_capacity(capacity))),
+        }
+    }
+
+    /// Counters and size of the shared cache.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats()
+    }
+
+    /// Drops every cached answer (lifetime counters are kept — see
+    /// [`EvalCache::clear`]).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// The cache lock, recovering from poisoning: the cache's own
+    /// operations never unwind mid-mutation, so a panic elsewhere while
+    /// the lock was held cannot leave it inconsistent — a long-lived
+    /// serving process must not die because one query panicked.
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, EvalCache> {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -469,13 +578,14 @@ mod tests {
         let key = |tag: u64| CacheKey {
             instance: tag,
             opts: 0,
+            kind: CacheKind::Probability,
             query: QueryKey::new(&Graph::directed_path(1)),
         };
-        let answer = || -> Result<Solution, Hardness> {
-            Err(Hardness {
+        let answer = || {
+            CachedAnswer::Solution(Err(Hardness {
                 prop: "test",
                 cell: String::new(),
-            })
+            }))
         };
         let mut cache = EvalCache::with_capacity(2);
         cache.insert(key(1), answer());

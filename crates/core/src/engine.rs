@@ -60,7 +60,8 @@
 
 use crate::algo::lineage_circuits;
 use crate::batch::{
-    instance_fingerprint, opts_fingerprint, BatchStats, CacheKey, CacheStats, EvalCache, QueryKey,
+    instance_fingerprint, opts_fingerprint, BatchStats, CacheHandle, CacheKey, CacheKind,
+    CacheStats, CachedAnswer, EvalCache, QueryKey,
 };
 use crate::sensitivity::{self, SensitivityRoute};
 use crate::solver::{
@@ -74,6 +75,7 @@ use phom_lineage::engine::{Arena, EvalScratch, GateId};
 use phom_lineage::fxhash::FxHashMap;
 use phom_num::{Natural, Rational};
 use rand::SeedableRng;
+use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------
@@ -255,7 +257,7 @@ pub struct EngineBuilder {
     cache_capacity: usize,
     threads: usize,
     default_options: SolverOptions,
-    shared_cache: Option<Arc<Mutex<EvalCache>>>,
+    shared_cache: Option<CacheHandle>,
 }
 
 impl Default for EngineBuilder {
@@ -276,8 +278,9 @@ impl EngineBuilder {
     }
 
     /// Bound the engine's [`EvalCache`] to `n` answers (LRU eviction).
-    /// Ignored when the engine joins a [`Fleet`] (the fleet's shared
-    /// cache carries the bound).
+    /// Ignored when the engine joins a shared cache
+    /// ([`shared_cache`](EngineBuilder::shared_cache) / [`Fleet`]) —
+    /// the shared handle carries the bound.
     pub fn cache_capacity(mut self, n: usize) -> Self {
         self.cache_capacity = n;
         self
@@ -300,8 +303,12 @@ impl EngineBuilder {
         self
     }
 
-    /// Joins an existing shared cache (used by [`Fleet`]).
-    fn with_shared_cache(mut self, cache: Arc<Mutex<EvalCache>>) -> Self {
+    /// Joins an existing shared answer cache: the engine probes and
+    /// fills `cache` instead of allocating its own, so many engines
+    /// (a [`Fleet`], a `phom_serve::Runtime`) compete for one bounded
+    /// LRU capacity. Cache keys embed the instance fingerprint — answers
+    /// never leak across versions.
+    pub fn shared_cache(mut self, cache: CacheHandle) -> Self {
         self.shared_cache = Some(cache);
         self
     }
@@ -318,7 +325,7 @@ impl EngineBuilder {
         };
         let cache = self
             .shared_cache
-            .unwrap_or_else(|| Arc::new(Mutex::new(EvalCache::with_capacity(self.cache_capacity))));
+            .unwrap_or_else(|| CacheHandle::with_capacity(self.cache_capacity));
         Engine {
             instance,
             state,
@@ -341,7 +348,7 @@ pub struct Engine {
     instance: ProbGraph,
     state: InstanceState,
     fingerprint: u64,
-    cache: Arc<Mutex<EvalCache>>,
+    cache: CacheHandle,
     threads: usize,
     default_options: SolverOptions,
 }
@@ -390,29 +397,27 @@ impl Engine {
         self.lock_cache().clear();
     }
 
-    /// The cache lock, recovering from poisoning: the cache's own
-    /// operations never unwind mid-mutation, so a panic elsewhere while
-    /// the lock was held cannot leave it inconsistent — a long-lived
-    /// serving engine must not die because one query panicked.
+    /// A cloneable handle to the engine's answer cache, for building
+    /// further engines on the *same* cache
+    /// ([`EngineBuilder::shared_cache`]).
+    pub fn cache_handle(&self) -> CacheHandle {
+        self.cache.clone()
+    }
+
+    /// The cache lock (poison-recovering — see [`CacheHandle`]).
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, EvalCache> {
-        self.cache
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.cache.lock()
     }
 
     /// One-shot convenience: a single probability query under the engine
     /// defaults, through the same cache the batch path uses.
     pub fn solve(&self, query: &Graph) -> Result<Solution, SolveError> {
-        let shared = SharedInstance::new(&self.instance, &self.state);
-        let items = [BatchItem {
-            query,
-            opts: self.default_options,
-        }];
-        let (mut results, _) = self.run_cached_batch(shared, &items, 1);
-        results
-            .pop()
-            .expect("one item in")
-            .map_err(SolveError::from)
+        let mut answers = self.submit(&[Request::probability(query.clone())]);
+        match answers.pop().expect("one request in") {
+            Ok(Response::Probability(sol)) => Ok(sol),
+            Ok(other) => unreachable!("probability request answered as {other:?}"),
+            Err(e) => Err(e),
+        }
     }
 
     /// Answers a batch of requests, preserving order. Probability
@@ -426,6 +431,12 @@ impl Engine {
     /// calls against one engine (or one fleet) overlap their solve work.
     /// Two concurrent misses of the same query may both solve it; the
     /// second insert is a no-op.
+    ///
+    /// A panic while solving (a worker bug, a malformed plan) is
+    /// **contained**: the affected requests answer
+    /// `Err(SolveError::Internal)`, every other request in the batch is
+    /// unaffected, and the engine — including its cache — stays
+    /// serviceable.
     pub fn submit(&self, requests: &[Request]) -> Vec<Result<Response, SolveError>> {
         self.submit_stats(requests).0
     }
@@ -436,63 +447,72 @@ impl Engine {
         &self,
         requests: &[Request],
     ) -> (Vec<Result<Response, SolveError>>, BatchStats) {
-        let shared = SharedInstance::new(&self.instance, &self.state);
-        let mut prob_items: Vec<BatchItem> = Vec::new();
-        let mut prob_req: Vec<usize> = Vec::new();
-        let mut other_req: Vec<usize> = Vec::new();
-        for (i, request) in requests.iter().enumerate() {
-            match &request.kind {
-                RequestKind::Probability(query) => {
-                    prob_items.push(BatchItem {
-                        query,
-                        opts: request.resolved_options(self.default_options),
-                    });
-                    prob_req.push(i);
-                }
-                _ => other_req.push(i),
-            }
-        }
-        let mut out: Vec<Option<Result<Response, SolveError>>> = Vec::new();
-        out.resize_with(requests.len(), || None);
-        let (prob_results, stats) = self.run_cached_batch(shared, &prob_items, self.threads);
-        for (i, result) in prob_req.into_iter().zip(prob_results) {
-            out[i] = Some(result.map(Response::Probability).map_err(SolveError::from));
-        }
-        let other_results = run_jobs(self.threads, other_req.len(), |j| {
-            self.run_request(&requests[other_req[j]])
-        });
-        for (i, result) in other_req.into_iter().zip(other_results) {
-            out[i] = Some(result);
-        }
-        let responses = out
-            .into_iter()
-            .map(|slot| slot.expect("every request answered"))
-            .collect();
-        (responses, stats)
+        let mut tick = plan_tick(self, requests, self.threads);
+        let units = std::mem::take(&mut tick.units);
+        let outputs = run_units_scoped(self, units, self.threads);
+        finish_tick(self, tick, outputs)
     }
 
-    /// The probability batch against the engine cache, locking only
-    /// around the probe and fill phases.
-    fn run_cached_batch(
-        &self,
-        shared: SharedInstance<'_>,
-        items: &[BatchItem<'_>],
-        threads: usize,
-    ) -> (Vec<Result<Solution, Hardness>>, BatchStats) {
-        let mut prepared = {
-            let mut guard = self.lock_cache();
-            prepare_batch(items, Some(&mut guard), self.fingerprint)
-        };
-        execute_batch(shared, items, &mut prepared, threads);
-        let mut guard = self.lock_cache();
-        finalize_batch(prepared, Some(&mut guard), self.fingerprint)
-    }
-
-    /// One non-probability request (counting / sensitivity / UCQ). The
-    /// counting and UCQ paths reuse the engine's cached instance state —
-    /// no per-request re-classification.
+    /// One non-probability request (counting / sensitivity / UCQ),
+    /// served through the engine's answer cache under a kind-tagged key:
+    /// deterministic outcomes — answers, typed hardness, validation
+    /// errors — are cached; transient failures (worker panics) never
+    /// are.
     fn run_request(&self, request: &Request) -> Result<Response, SolveError> {
         let opts = request.resolved_options(self.default_options);
+        let key = self.request_cache_key(request, &opts);
+        if let Some(key) = &key {
+            let cached = {
+                let mut guard = self.lock_cache();
+                match guard.get(key) {
+                    Some(CachedAnswer::Response(r)) => Some(r.clone()),
+                    _ => None,
+                }
+            };
+            if let Some(response) = cached {
+                return response;
+            }
+        }
+        let result = self.run_request_uncached(request, opts);
+        if let Some(key) = key {
+            if !matches!(
+                result,
+                Err(SolveError::Internal(_)
+                    | SolveError::Overloaded { .. }
+                    | SolveError::Cancelled)
+            ) {
+                self.lock_cache()
+                    .insert(key, CachedAnswer::Response(result.clone()));
+            }
+        }
+        result
+    }
+
+    /// The kind-tagged cache key of a non-probability request (`None`
+    /// for probability requests — the batch path interns those itself).
+    fn request_cache_key(&self, request: &Request, opts: &SolverOptions) -> Option<CacheKey> {
+        let (kind, query) = match &request.kind {
+            RequestKind::Probability(_) => return None,
+            RequestKind::Counting(q) => (CacheKind::Counting, QueryKey::new(q)),
+            RequestKind::Sensitivity(q) => (CacheKind::Sensitivity, QueryKey::new(q)),
+            RequestKind::Ucq(u) => (CacheKind::Ucq, QueryKey::of_many(u.disjuncts())),
+        };
+        Some(CacheKey {
+            instance: self.fingerprint,
+            opts: opts_fingerprint(opts),
+            kind,
+            query,
+        })
+    }
+
+    /// The uncached core of [`run_request`](Engine::run_request). The
+    /// counting and UCQ paths reuse the engine's cached instance state —
+    /// no per-request re-classification.
+    fn run_request_uncached(
+        &self,
+        request: &Request,
+        opts: SolverOptions,
+    ) -> Result<Response, SolveError> {
         let shared = SharedInstance::new(&self.instance, &self.state);
         match &request.kind {
             RequestKind::Probability(_) => unreachable!("handled by the batch path"),
@@ -604,7 +624,7 @@ impl Engine {
 /// );
 /// ```
 pub struct Fleet {
-    cache: Arc<Mutex<EvalCache>>,
+    cache: CacheHandle,
     engines: FxHashMap<u64, Engine>,
     threads: usize,
     default_options: SolverOptions,
@@ -626,7 +646,7 @@ impl Fleet {
     /// `capacity` answers (LRU across *all* served instances).
     pub fn with_cache_capacity(capacity: usize) -> Self {
         Fleet {
-            cache: Arc::new(Mutex::new(EvalCache::with_capacity(capacity))),
+            cache: CacheHandle::with_capacity(capacity),
             engines: FxHashMap::default(),
             threads: 1,
             default_options: SolverOptions::default(),
@@ -654,7 +674,7 @@ impl Fleet {
         let engine = EngineBuilder::new()
             .threads(self.threads)
             .default_options(self.default_options)
-            .with_shared_cache(Arc::clone(&self.cache))
+            .shared_cache(self.cache.clone())
             .build(instance);
         let fingerprint = engine.fingerprint();
         self.engines.insert(fingerprint, engine);
@@ -699,12 +719,18 @@ impl Fleet {
 
     /// Counters and size of the shared cache.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache lock").stats()
+        self.cache.stats()
+    }
+
+    /// A cloneable handle to the fleet's shared cache (for building
+    /// further engines or runtimes on the same capacity).
+    pub fn cache_handle(&self) -> CacheHandle {
+        self.cache.clone()
     }
 
     /// Drops every cached answer across all served versions.
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache lock").clear();
+        self.cache.clear();
     }
 }
 
@@ -724,36 +750,185 @@ struct MissSlot {
     item_idx: usize,
 }
 
-/// A planned-but-unsolved unique query, ready for a shard.
+/// A planned-but-unsolved unique query, ready for a shard. Owns its
+/// query and options (no borrows), so a shard can cross a thread or
+/// channel boundary — the `Send` handoff the persistent worker pools in
+/// `phom_serve` are built on.
 struct PendingSlot {
     slot: usize,
-    item_idx: usize,
+    query: Graph,
+    opts: SolverOptions,
     planned: Planned,
 }
 
 /// What one shard produced.
 struct ShardOutcome {
-    results: Vec<(usize, Result<Solution, Hardness>)>,
+    results: Vec<(usize, Result<Solution, SolveError>)>,
     gates: usize,
     circuit_batched: usize,
     general_solved: usize,
 }
 
-/// A batch after the probe/plan phase, awaiting execution and cache
-/// fill. Splitting the phases lets [`Engine`] hold its cache lock only
-/// around [`prepare_batch`] and [`finalize_batch`], never across the
-/// solve work in [`execute_batch`].
+/// One independent, owned unit of tick work: a shard of planned
+/// probability queries, or a single non-probability request.
+enum UnitWork {
+    Shard(Vec<PendingSlot>),
+    Single { index: usize, request: Request },
+}
+
+/// The index-tagged output of one [`UnitWork`] — scheduling order never
+/// affects where results land.
+enum UnitOutput {
+    Shard(ShardOutcome),
+    Single {
+        index: usize,
+        result: Result<Response, SolveError>,
+    },
+}
+
+/// A batch after the probe phase, awaiting planning, execution, and
+/// cache fill. Splitting the phases lets [`Engine`] hold its cache lock
+/// only around [`prepare_batch`] and [`finalize_batch`], never across
+/// planning or the solve work in the units.
 struct PreparedBatch {
     stats: BatchStats,
     /// Per unique slot: the answer, once known.
-    slots: Vec<Option<Result<Solution, Hardness>>>,
+    slots: Vec<Option<Result<Solution, SolveError>>>,
     /// Unique slots still to solve (not planned yet — planning runs in
-    /// [`execute_batch`], outside any cache lock).
+    /// [`plan_pending`], outside any cache lock).
     pending: Vec<MissSlot>,
     /// Per unique slot: (first item idx, opts fingerprint, query key).
     unique: Vec<(usize, u64, QueryKey)>,
     /// Batch order → unique slot.
     slot_of_item: Vec<usize>,
+}
+
+/// The planned core of one micro-batch: the probability sub-batch after
+/// intern → probe → plan, the independent work units (probability
+/// shards first, then one unit per other request), and the layout
+/// mapping unit outputs back to request order.
+struct PlannedTick {
+    n_requests: usize,
+    /// Request index of each probability batch item (batch order).
+    prob_req: Vec<usize>,
+    /// Non-probability requests answered from the cache at plan time.
+    served: Vec<(usize, Result<Response, SolveError>)>,
+    prepared: PreparedBatch,
+    units: Vec<UnitWork>,
+}
+
+/// Intern → cache probe → plan → shard: everything before execution.
+/// The cache lock is held only around the probe; planning is pure reads
+/// over the shared instance state and runs sequentially, so slot order
+/// stays deterministic.
+fn plan_tick(engine: &Engine, requests: &[Request], shards: usize) -> PlannedTick {
+    let shared = SharedInstance::new(&engine.instance, &engine.state);
+    let mut prob_items: Vec<BatchItem> = Vec::new();
+    let mut prob_req: Vec<usize> = Vec::new();
+    let mut other_req: Vec<usize> = Vec::new();
+    for (i, request) in requests.iter().enumerate() {
+        match &request.kind {
+            RequestKind::Probability(query) => {
+                prob_items.push(BatchItem {
+                    query,
+                    opts: request.resolved_options(engine.default_options),
+                });
+                prob_req.push(i);
+            }
+            _ => other_req.push(i),
+        }
+    }
+    let mut singles: Vec<UnitWork> = Vec::new();
+    let mut served: Vec<(usize, Result<Response, SolveError>)> = Vec::new();
+    let mut prepared = {
+        let mut guard = engine.lock_cache();
+        let prepared = prepare_batch(&prob_items, Some(&mut guard), engine.fingerprint);
+        // Non-probability requests probe the cache at plan time too, so
+        // a cached counting/sensitivity/UCQ answer produces no unit and
+        // never queues behind a saturated (or panicking) pool.
+        for &i in &other_req {
+            let request = &requests[i];
+            let opts = request.resolved_options(engine.default_options);
+            if let Some(key) = engine.request_cache_key(request, &opts) {
+                if let Some(CachedAnswer::Response(response)) = guard.get(&key) {
+                    served.push((i, response.clone()));
+                    continue;
+                }
+            }
+            singles.push(UnitWork::Single {
+                index: i,
+                request: request.clone(),
+            });
+        }
+        prepared
+    };
+    let pending = plan_pending(shared, &prob_items, &mut prepared);
+    let mut units = shard_units(pending, shards, &mut prepared.stats);
+    units.extend(singles);
+    PlannedTick {
+        n_requests: requests.len(),
+        prob_req,
+        served,
+        prepared,
+        units,
+    }
+}
+
+/// Fills the cache with the freshly solved probability slots and fans
+/// every unit output back to request order. Outputs may arrive in any
+/// order; a missing output surfaces as `Err(SolveError::Internal)` on
+/// its requests rather than a panic — a serving loop must not die
+/// because one unit was lost.
+fn finish_tick(
+    engine: &Engine,
+    tick: PlannedTick,
+    outputs: Vec<UnitOutput>,
+) -> (Vec<Result<Response, SolveError>>, BatchStats) {
+    let PlannedTick {
+        n_requests,
+        prob_req,
+        served,
+        mut prepared,
+        units,
+    } = tick;
+    debug_assert!(units.is_empty(), "finish before running the units");
+    let mut out: Vec<Option<Result<Response, SolveError>>> = Vec::new();
+    out.resize_with(n_requests, || None);
+    for (i, response) in served {
+        out[i] = Some(response);
+    }
+    for output in outputs {
+        match output {
+            UnitOutput::Shard(outcome) => apply_shard(&mut prepared, outcome),
+            UnitOutput::Single { index, result } => out[index] = Some(result),
+        }
+    }
+    let (prob_results, stats) = {
+        let mut guard = engine.lock_cache();
+        finalize_batch(prepared, Some(&mut guard), engine.fingerprint)
+    };
+    for (i, result) in prob_req.into_iter().zip(prob_results) {
+        out[i] = Some(result.map(Response::Probability));
+    }
+    let responses = out
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(SolveError::Internal("a work unit's output was lost".into()))
+            })
+        })
+        .collect();
+    (responses, stats)
+}
+
+/// Merges one shard's outcome into the prepared batch.
+fn apply_shard(prepared: &mut PreparedBatch, outcome: ShardOutcome) {
+    prepared.stats.shared_gates += outcome.gates;
+    prepared.stats.circuit_batched += outcome.circuit_batched;
+    prepared.stats.general_solved += outcome.general_solved;
+    for (slot, answer) in outcome.results {
+        prepared.slots[slot] = Some(answer);
+    }
 }
 
 /// Phase 1 of the batched probability core: intern the batch (one slot
@@ -787,7 +962,7 @@ fn prepare_batch(
     }
     stats.unique_queries = unique.len();
 
-    let mut slots: Vec<Option<Result<Solution, Hardness>>> = Vec::new();
+    let mut slots: Vec<Option<Result<Solution, SolveError>>> = Vec::new();
     slots.resize_with(unique.len(), || None);
     let mut pending: Vec<MissSlot> = Vec::new();
     for (slot, (item_idx, opts_fp, key)) in unique.iter().enumerate() {
@@ -795,11 +970,12 @@ fn prepare_batch(
             let ckey = CacheKey {
                 instance: fingerprint,
                 opts: *opts_fp,
+                kind: CacheKind::Probability,
                 query: key.clone(),
             };
-            if let Some(answer) = c.get(&ckey) {
+            if let Some(CachedAnswer::Solution(answer)) = c.get(&ckey) {
                 stats.cache_hits += 1;
-                slots[slot] = Some(answer.clone());
+                slots[slot] = Some(answer.clone().map_err(SolveError::Hard));
                 continue;
             }
         }
@@ -817,67 +993,127 @@ fn prepare_batch(
     }
 }
 
-/// Phase 2: plan and execute the pending slots, sharded. Planning is
-/// pure reads and runs sequentially (slot order stays deterministic);
-/// each shard then owns an arena: circuit-compilable plans compile into
-/// it and are answered by one multi-root engine pass; everything else
-/// runs the exact per-query path. No cache access.
-fn execute_batch(
+/// Phase 2a: plan every pending unique query. Planning is pure reads
+/// over the shared state and runs sequentially (slot order stays
+/// deterministic); the produced [`PendingSlot`]s own their query and
+/// options, ready to cross a thread boundary. No cache access.
+fn plan_pending(
     shared: SharedInstance<'_>,
     items: &[BatchItem<'_>],
     prepared: &mut PreparedBatch,
-    threads: usize,
-) {
-    let pending: Vec<PendingSlot> = std::mem::take(&mut prepared.pending)
+) -> Vec<PendingSlot> {
+    std::mem::take(&mut prepared.pending)
         .into_iter()
         .map(|miss| PendingSlot {
             slot: miss.slot,
-            item_idx: miss.item_idx,
+            query: items[miss.item_idx].query.clone(),
+            opts: items[miss.item_idx].opts,
             planned: plan_query(items[miss.item_idx].query, &shared),
         })
-        .collect();
-    let workers = if threads <= 1 {
+        .collect()
+}
+
+/// Phase 2b: buckets the planned slots into at most `shards` shard
+/// units (round-robin — the historical assignment, so results stay
+/// bit-identical), recording the shard count in `stats`.
+fn shard_units(pending: Vec<PendingSlot>, shards: usize, stats: &mut BatchStats) -> Vec<UnitWork> {
+    let workers = if shards <= 1 {
         1
     } else {
-        threads.min(pending.len()).max(1)
+        shards.min(pending.len()).max(1)
     };
-    prepared.stats.shards = workers;
-    let outcomes: Vec<ShardOutcome> = if workers == 1 {
-        vec![run_shard(shared, items, pending)]
-    } else {
-        let mut buckets: Vec<Vec<PendingSlot>> = Vec::new();
-        buckets.resize_with(workers, Vec::new);
-        for (i, p) in pending.into_iter().enumerate() {
-            buckets[i % workers].push(p);
+    stats.shards = workers;
+    if pending.is_empty() {
+        return Vec::new();
+    }
+    let mut buckets: Vec<Vec<PendingSlot>> = Vec::new();
+    buckets.resize_with(workers, Vec::new);
+    for (i, p) in pending.into_iter().enumerate() {
+        buckets[i % workers].push(p);
+    }
+    buckets.into_iter().map(UnitWork::Shard).collect()
+}
+
+/// Executes one unit. Each shard owns an arena: circuit-compilable
+/// plans compile into it and are answered by one multi-root engine
+/// pass; everything else runs the exact per-query path. Panics are
+/// contained into per-request [`SolveError::Internal`] errors.
+fn run_unit(engine: &Engine, work: UnitWork) -> UnitOutput {
+    match work {
+        UnitWork::Shard(work) => {
+            let shared = SharedInstance::new(&engine.instance, &engine.state);
+            UnitOutput::Shard(run_shard_guarded(shared, work))
         }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = buckets
-                .into_iter()
-                .map(|work| scope.spawn(move || run_shard(shared, items, work)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("batch shard panicked"))
-                .collect()
-        })
-    };
-    for outcome in outcomes {
-        prepared.stats.shared_gates += outcome.gates;
-        prepared.stats.circuit_batched += outcome.circuit_batched;
-        prepared.stats.general_solved += outcome.general_solved;
-        for (slot, answer) in outcome.results {
-            prepared.slots[slot] = Some(answer);
+        UnitWork::Single { index, request } => {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                test_support::maybe_panic();
+                engine.run_request(&request)
+            }))
+            .unwrap_or_else(|payload| Err(SolveError::Internal(panic_message(payload.as_ref()))));
+            UnitOutput::Single { index, result }
         }
     }
 }
 
+/// Runs work units on up to `threads` scoped worker threads (inline
+/// when one suffices). Unit outputs are index-tagged, so scheduling
+/// never affects where results land; panics inside a unit are already
+/// contained by [`run_unit`].
+fn run_units_scoped(engine: &Engine, units: Vec<UnitWork>, threads: usize) -> Vec<UnitOutput> {
+    if threads <= 1 || units.len() <= 1 {
+        return units.into_iter().map(|u| run_unit(engine, u)).collect();
+    }
+    let workers = threads.min(units.len());
+    let work: Vec<Mutex<Option<UnitWork>>> =
+        units.into_iter().map(|u| Mutex::new(Some(u))).collect();
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut acc = Vec::new();
+                    let mut i = w;
+                    while i < work.len() {
+                        let unit = work[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .take()
+                            .expect("each unit is taken exactly once");
+                        acc.push(run_unit(engine, unit));
+                        i += workers;
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("units contain their own panics"))
+            .collect()
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
 /// Phase 3: fill the cache with the freshly solved slots and fan back
-/// out to batch order.
+/// out to batch order. Deterministic outcomes (answers and typed
+/// hardness) are cached; transient failures (a contained worker panic)
+/// never are, so a retry re-solves. A slot whose shard was lost
+/// surfaces as `Err(SolveError::Internal)`, never a panic.
 fn finalize_batch(
     prepared: PreparedBatch,
     cache: Option<&mut EvalCache>,
     fingerprint: u64,
-) -> (Vec<Result<Solution, Hardness>>, BatchStats) {
+) -> (Vec<Result<Solution, SolveError>>, BatchStats) {
     let PreparedBatch {
         stats,
         slots,
@@ -886,19 +1122,27 @@ fn finalize_batch(
         slot_of_item,
     } = prepared;
     debug_assert!(pending.is_empty(), "finalize before execute");
-    let slots: Vec<Result<Solution, Hardness>> = slots
+    let slots: Vec<Result<Solution, SolveError>> = slots
         .into_iter()
-        .map(|slot| slot.expect("every unique slot answered"))
+        .map(|slot| {
+            slot.unwrap_or_else(|| Err(SolveError::Internal("a shard's output was lost".into())))
+        })
         .collect();
     if let Some(c) = cache {
         for ((_, opts_fp, key), answer) in unique.into_iter().zip(&slots) {
+            let cached = match answer {
+                Ok(sol) => CachedAnswer::Solution(Ok(sol.clone())),
+                Err(SolveError::Hard(h)) => CachedAnswer::Solution(Err(h.clone())),
+                Err(_) => continue,
+            };
             c.insert(
                 CacheKey {
                     instance: fingerprint,
                     opts: opts_fp,
+                    kind: CacheKind::Probability,
                     query: key,
                 },
-                answer.clone(),
+                cached,
             );
         }
     }
@@ -906,28 +1150,33 @@ fn finalize_batch(
     (results, stats)
 }
 
-/// The single-lock-scope batched probability core (intern → cache probe
-/// → plan → shard-execute → cache fill → fan out), for callers that own
-/// their cache exclusively. Results are bit-identical for every
-/// `threads` value and identical to per-query `solve_with` calls.
-fn run_batch(
-    shared: SharedInstance<'_>,
-    items: &[BatchItem<'_>],
-    mut cache: Option<&mut EvalCache>,
-    fingerprint: u64,
-    threads: usize,
-) -> (Vec<Result<Solution, Hardness>>, BatchStats) {
-    let mut prepared = prepare_batch(items, cache.as_deref_mut(), fingerprint);
-    execute_batch(shared, items, &mut prepared, threads);
-    finalize_batch(prepared, cache, fingerprint)
+/// Executes one shard with panic containment: a panicking plan turns
+/// into `Err(SolveError::Internal)` on every slot the shard was
+/// assigned, and the caller's thread never unwinds.
+fn run_shard_guarded(shared: SharedInstance<'_>, work: Vec<PendingSlot>) -> ShardOutcome {
+    let slots: Vec<usize> = work.iter().map(|p| p.slot).collect();
+    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+        test_support::maybe_panic();
+        run_shard(shared, work)
+    })) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            ShardOutcome {
+                results: slots
+                    .into_iter()
+                    .map(|slot| (slot, Err(SolveError::Internal(message.clone()))))
+                    .collect(),
+                gates: 0,
+                circuit_batched: 0,
+                general_solved: 0,
+            }
+        }
+    }
 }
 
-/// Executes one shard's worth of planned queries; see [`run_batch`].
-fn run_shard(
-    shared: SharedInstance<'_>,
-    items: &[BatchItem<'_>],
-    work: Vec<PendingSlot>,
-) -> ShardOutcome {
+/// Executes one shard's worth of planned queries.
+fn run_shard(shared: SharedInstance<'_>, work: Vec<PendingSlot>) -> ShardOutcome {
     let instance = shared.instance;
     let mut arena = Arena::new(instance.graph().n_edges());
     let mut deferred: Vec<(usize, GateId, bool, Route)> = Vec::new();
@@ -939,7 +1188,7 @@ fn run_shard(
     };
     let connected = shared.ic().is_connected();
     for pending in work {
-        let opts = items[pending.item_idx].opts;
+        let opts = pending.opts;
         // The shared-arena fast path: circuit-compilable plans on a
         // connected instance, when no provenance handle was requested
         // (handles own their circuit, so they compile separately).
@@ -969,12 +1218,8 @@ fn run_shard(
             }
         }
         // General path: finish the plan exactly as `solve_with` does.
-        let answer = finish_plan(
-            items[pending.item_idx].query,
-            pending.planned,
-            &shared,
-            opts,
-        );
+        let answer =
+            finish_plan(&pending.query, pending.planned, &shared, opts).map_err(SolveError::Hard);
         outcome.general_solved += 1;
         outcome.results.push((pending.slot, answer));
     }
@@ -1000,12 +1245,14 @@ fn run_shard(
 
 /// The legacy `solve_many*` core: uniform options, caller-owned cache,
 /// single shard. Kept so the deprecated shims in [`crate::batch`] stay
-/// bit-identical to their historical behavior.
+/// bit-identical to their historical behavior — including propagating a
+/// worker panic to the caller (the typed containment is an [`Engine`]
+/// surface; these shims still speak bare `Hardness`).
 pub(crate) fn legacy_batch(
     queries: &[Graph],
     instance: &ProbGraph,
     opts: SolverOptions,
-    cache: Option<&mut EvalCache>,
+    mut cache: Option<&mut EvalCache>,
 ) -> (Vec<Result<Solution, Hardness>>, BatchStats) {
     let state = InstanceState::new(instance);
     let shared = SharedInstance::new(instance, &state);
@@ -1018,43 +1265,159 @@ pub(crate) fn legacy_batch(
     } else {
         0 // never read: the cache is what consumes the fingerprint
     };
-    run_batch(shared, &items, cache, fingerprint, 1)
+    let mut prepared = prepare_batch(&items, cache.as_deref_mut(), fingerprint);
+    let pending = plan_pending(shared, &items, &mut prepared);
+    for unit in shard_units(pending, 1, &mut prepared.stats) {
+        let UnitWork::Shard(work) = unit else {
+            unreachable!("probability-only batch")
+        };
+        apply_shard(&mut prepared, run_shard_guarded(shared, work));
+    }
+    let (results, stats) = finalize_batch(prepared, cache, fingerprint);
+    let results = results
+        .into_iter()
+        .map(|r| {
+            r.map_err(|e| match e {
+                SolveError::Hard(h) => h,
+                other => panic!("{other}"),
+            })
+        })
+        .collect();
+    (results, stats)
 }
 
-/// Runs `n` independent jobs on up to `threads` scoped workers,
-/// returning job `i`'s output in slot `i` (deterministic regardless of
-/// scheduling).
-fn run_jobs<T: Send>(threads: usize, n: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(job).collect();
-    }
-    let workers = threads.min(n);
-    let mut out: Vec<Option<T>> = Vec::new();
-    out.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        let job = &job;
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    let mut acc = Vec::new();
-                    let mut i = w;
-                    while i < n {
-                        acc.push((i, job(i)));
-                        i += workers;
-                    }
-                    acc
-                })
+// ---------------------------------------------------------------------
+// The tick seam: external worker pools
+// ---------------------------------------------------------------------
+
+/// A planned micro-batch ("tick") against one engine, split into
+/// independent [`TickUnit`]s — the plan/execute seam behind
+/// `phom_serve`'s persistent worker pools.
+///
+/// [`Engine::begin_tick`] plans the batch (cheap, pure reads over the
+/// shared instance state, sequential); the returned units are
+/// `Send + 'static` — they own their queries, options, and plans — and
+/// may run on any thread, in any order, **without scoped spawns**;
+/// [`Tick::finish`] fills the answer cache and assembles the responses
+/// in request order.
+///
+/// [`Engine::submit`] is exactly this seam run on ad-hoc scoped
+/// threads, so tick results are **bit-identical** to `submit` for every
+/// shard count and scheduling.
+pub struct Tick {
+    engine: Arc<Engine>,
+    plan: PlannedTick,
+    units: Vec<TickUnit>,
+}
+
+impl Engine {
+    /// Plans `requests` into a [`Tick`] whose probability work is split
+    /// across at most `shards` units (plus one unit per counting /
+    /// sensitivity / UCQ request). Cache hits are answered during
+    /// planning and produce no units at all.
+    pub fn begin_tick(self: &Arc<Self>, requests: &[Request], shards: usize) -> Tick {
+        let mut plan = plan_tick(self, requests, shards);
+        let units = std::mem::take(&mut plan.units)
+            .into_iter()
+            .map(|work| TickUnit {
+                engine: Arc::clone(self),
+                work,
             })
             .collect();
-        for handle in handles {
-            for (i, value) in handle.join().expect("job worker panicked") {
-                out[i] = Some(value);
-            }
+        Tick {
+            engine: Arc::clone(self),
+            plan,
+            units,
         }
-    });
-    out.into_iter()
-        .map(|slot| slot.expect("every job ran"))
-        .collect()
+    }
+}
+
+impl Tick {
+    /// Hands out the tick's work units (empty on a second call — each
+    /// unit runs exactly once).
+    pub fn take_units(&mut self) -> Vec<TickUnit> {
+        std::mem::take(&mut self.units)
+    }
+
+    /// Total requests this tick answers.
+    pub fn n_requests(&self) -> usize {
+        self.plan.n_requests
+    }
+
+    /// Assembles the responses (request order) once every unit has run.
+    /// Outputs may arrive in any order; a missing output surfaces as
+    /// `Err(SolveError::Internal)` on its requests, never a panic.
+    pub fn finish(
+        self,
+        outputs: Vec<TickOutput>,
+    ) -> (Vec<Result<Response, SolveError>>, BatchStats) {
+        finish_tick(
+            &self.engine,
+            self.plan,
+            outputs.into_iter().map(|o| o.0).collect(),
+        )
+    }
+}
+
+/// One independent, `Send + 'static` unit of tick work: a shard of
+/// planned probability queries (compiled into one arena, answered by
+/// one multi-root engine pass) or a single non-probability request.
+pub struct TickUnit {
+    engine: Arc<Engine>,
+    work: UnitWork,
+}
+
+impl TickUnit {
+    /// Executes the unit. Panics are contained: a panicking plan turns
+    /// into `Err(SolveError::Internal)` on the affected requests and
+    /// the engine stays serviceable.
+    pub fn run(self) -> TickOutput {
+        TickOutput(run_unit(&self.engine, self.work))
+    }
+
+    /// How many requests this unit answers (for load accounting).
+    pub fn n_requests(&self) -> usize {
+        match &self.work {
+            UnitWork::Shard(work) => work.len(),
+            UnitWork::Single { .. } => 1,
+        }
+    }
+}
+
+/// The opaque output of one [`TickUnit::run`], handed back to
+/// [`Tick::finish`].
+pub struct TickOutput(UnitOutput);
+
+// The pool handoff types must cross thread and channel boundaries.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<TickUnit>();
+    assert_send::<TickOutput>();
+    assert_send::<Request>();
+    assert_send::<Response>();
+};
+
+/// Support for the worker panic-recovery regression suite — not part of
+/// the public API.
+#[doc(hidden)]
+pub mod test_support {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INJECT_PANIC: AtomicBool = AtomicBool::new(false);
+
+    /// While set, every executed work unit panics at entry (before any
+    /// solving). The engine must contain the panic into per-request
+    /// `SolveError::Internal` errors. Test-only; never set in
+    /// production code.
+    pub fn inject_unit_panic(on: bool) {
+        INJECT_PANIC.store(on, Ordering::SeqCst);
+    }
+
+    pub(super) fn maybe_panic() {
+        if INJECT_PANIC.load(Ordering::SeqCst) {
+            panic!("injected unit panic (engine::test_support)");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1119,12 +1482,79 @@ mod tests {
     }
 
     #[test]
-    fn run_jobs_is_order_preserving() {
-        for threads in [1, 2, 5] {
-            let got = run_jobs(threads, 13, |i| i * i);
-            assert_eq!(got, (0..13).map(|i| i * i).collect::<Vec<_>>());
+    fn non_probability_responses_are_cached() {
+        let mut rng = SmallRng::seed_from_u64(0xCA);
+        let h = generate::with_probabilities(
+            generate::two_way_path(6, 2, &mut rng),
+            ProbProfile::half(),
+            &mut rng,
+        );
+        let q = generate::planted_path_query(h.graph(), 2, &mut rng)
+            .unwrap_or_else(|| Graph::one_way_path(&[Label(0)]));
+        let engine = Engine::new(h);
+        let batch = [
+            Request::probability(q.clone()).counting(),
+            Request::probability(q.clone()).sensitivity(),
+            Request::ucq(Ucq::new(vec![q.clone(), Graph::directed_path(1)])),
+        ];
+        let first = engine.submit(&batch);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 0, "{stats:?}");
+        assert_eq!(stats.entries, 3, "{stats:?}");
+        let second = engine.submit(&batch);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 3, "every response kind served hot: {stats:?}");
+        for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+            match (a, b) {
+                (
+                    Ok(Response::Count { worlds: wa, .. }),
+                    Ok(Response::Count { worlds: wb, .. }),
+                ) => {
+                    assert_eq!(wa, wb, "request {i}")
+                }
+                (
+                    Ok(Response::Sensitivity { influences: ia, .. }),
+                    Ok(Response::Sensitivity { influences: ib, .. }),
+                ) => assert_eq!(ia, ib, "request {i}"),
+                (
+                    Ok(Response::Ucq {
+                        probability: pa, ..
+                    }),
+                    Ok(Response::Ucq {
+                        probability: pb, ..
+                    }),
+                ) => assert_eq!(pa, pb, "request {i}"),
+                (a, b) => panic!("request {i}: {a:?} vs {b:?}"),
+            }
         }
-        assert!(run_jobs(4, 0, |i| i).is_empty());
+        // A counting answer never shadows the probability answer for the
+        // same query graph: the kind tag keeps the keys distinct.
+        let answers = engine.submit(&[Request::probability(q)]);
+        assert!(matches!(answers[0], Ok(Response::Probability(_))));
+    }
+
+    #[test]
+    fn hardness_responses_are_cached_but_deterministically() {
+        // A hard-cell counting request caches its typed hardness error.
+        let mut rng = SmallRng::seed_from_u64(0xCB);
+        let h = generate::with_probabilities(
+            generate::connected(4, 2, 1, &mut rng),
+            ProbProfile::half(),
+            &mut rng,
+        );
+        let q = Graph::directed_path(2);
+        let engine = Engine::new(h);
+        let req = [Request::probability(q).counting()];
+        let first = engine.submit(&req);
+        let second = engine.submit(&req);
+        match (&first[0], &second[0]) {
+            (Err(SolveError::Hard(a)), Err(SolveError::Hard(b))) => assert_eq!(a, b),
+            (Ok(Response::Count { worlds: a, .. }), Ok(Response::Count { worlds: b, .. })) => {
+                assert_eq!(a, b)
+            }
+            (a, b) => panic!("{a:?} vs {b:?}"),
+        }
+        assert_eq!(engine.cache_stats().hits, 1);
     }
 
     #[test]

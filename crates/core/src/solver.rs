@@ -150,6 +150,22 @@ pub enum SolveError {
         /// The configured limit that was hit.
         limit: u64,
     },
+    /// The serving runtime's bounded ingress queue was full — admission
+    /// control rejected the request instead of growing memory without
+    /// bound. Retry after backing off; already-admitted requests are
+    /// unaffected.
+    Overloaded {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The request's ticket was cancelled before an answer was produced
+    /// (explicitly, or because the runtime shut down before admitting
+    /// it).
+    Cancelled,
+    /// A worker panicked while solving this request. The panic was
+    /// contained: other requests in the batch, the engine, and its cache
+    /// all stay serviceable.
+    Internal(String),
 }
 
 impl From<Hardness> for SolveError {
@@ -166,6 +182,11 @@ impl std::fmt::Display for SolveError {
             SolveError::BudgetExceeded { resource, limit } => {
                 write!(f, "budget exceeded: {resource} limit {limit}")
             }
+            SolveError::Overloaded { capacity } => {
+                write!(f, "overloaded: ingress queue full ({capacity} requests)")
+            }
+            SolveError::Cancelled => write!(f, "cancelled before completion"),
+            SolveError::Internal(msg) => write!(f, "internal worker failure: {msg}"),
         }
     }
 }
@@ -279,6 +300,19 @@ pub(crate) enum Plan {
     /// No tractable route: hardness attribution or fallback.
     Hard,
 }
+
+// The plan handoff types cross thread boundaries in the serving tick
+// path (engine shards, `phom_serve` worker pools). They are all owned
+// data, but enforce `Send` at compile time so a non-Send field can never
+// sneak in and silently break the pool handoff.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Planned>();
+    assert_send::<Plan>();
+    assert_send::<Solution>();
+    assert_send::<SolveError>();
+    assert_send::<SolverOptions>();
+};
 
 /// Classifies one query against the shared instance state, mirroring the
 /// historical `solve_inner` decision order exactly.

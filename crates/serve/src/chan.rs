@@ -1,0 +1,118 @@
+//! A tiny closeable multi-producer/multi-consumer channel
+//! (`Mutex<VecDeque>` + `Condvar`) — the persistent workers' feed.
+//! `std::sync::mpsc` receivers are single-consumer, the pool needs many
+//! workers pulling from one queue, and the offline build image rules
+//! out external crates, so the ~60 lines live here.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+pub(crate) struct Chan<T> {
+    state: Mutex<ChanState<T>>,
+    ready: Condvar,
+}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Chan<T> {
+    pub(crate) fn new() -> Self {
+        Chan {
+            state: Mutex::new(ChanState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ChanState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues an item, waking one waiting receiver. Returns `false`
+    /// (dropping the item) once the channel is closed.
+    pub(crate) fn send(&self, item: T) -> bool {
+        let mut state = self.lock();
+        if state.closed {
+            return false;
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until an item is available. `None` once the channel is
+    /// closed *and* drained — the worker-loop exit signal.
+    pub(crate) fn recv(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the channel: subsequent sends fail, receivers drain what
+    /// remains and then observe the end.
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn drains_then_signals_close() {
+        let chan: Chan<u32> = Chan::new();
+        assert!(chan.send(1));
+        assert!(chan.send(2));
+        chan.close();
+        assert!(!chan.send(3), "closed channel drops sends");
+        assert_eq!(chan.recv(), Some(1));
+        assert_eq!(chan.recv(), Some(2));
+        assert_eq!(chan.recv(), None);
+    }
+
+    #[test]
+    fn many_consumers_each_item_once() {
+        let chan: Arc<Chan<usize>> = Arc::new(Chan::new());
+        let n = 100;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let chan = Arc::clone(&chan);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = chan.recv() {
+                        got.push(item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..n {
+            assert!(chan.send(i));
+        }
+        chan.close();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("consumer"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,77 @@
+//! # phom_serve — the persistent serving runtime
+//!
+//! PR 3's [`Engine`](phom_core::Engine) made single-process serving
+//! cheap: instance-side state and the answer cache are paid once per
+//! instance lifetime. But every `submit` still spawned scoped threads,
+//! and callers had to hand-assemble batches. This crate closes the loop
+//! for **heavy concurrent traffic**: a long-lived [`Runtime`] owns
+//!
+//! * a **persistent worker pool** — threads spawned exactly once at
+//!   startup and fed over an internal channel (no per-batch spawns);
+//! * a **bounded ingress queue** with **tick-based micro-batching**:
+//!   requests from any number of producers accumulate into a tick that
+//!   flushes when `max_batch` are waiting or the oldest has waited
+//!   `max_wait`, whichever comes first — so concurrent callers share
+//!   interning, cache probes, and compiled arenas without coordinating;
+//! * **admission control**: a full queue answers
+//!   [`SolveError::Overloaded`](phom_core::SolveError::Overloaded)
+//!   immediately (backpressure instead of unbounded memory), never
+//!   touching already-admitted requests;
+//! * a **fleet-aware router**: many instance versions registered by
+//!   fingerprint, all sharing one bounded answer cache;
+//! * [`Ticket`]s — blocking [`wait`](Ticket::wait), non-blocking
+//!   [`try_get`](Ticket::try_get), best-effort
+//!   [`cancel`](Ticket::cancel) — and a graceful
+//!   [`shutdown`](Runtime::shutdown) that drains every admitted
+//!   request;
+//! * a [`RuntimeStats`] snapshot: queue depth, tick sizes, per-shard
+//!   latencies, batch aggregates, cache counters.
+//!
+//! Answers are **bit-identical** to [`Engine::submit`](phom_core::Engine::submit)
+//! for every `max_batch` / `max_wait` / worker-count setting —
+//! micro-batching changes latency and throughput, never results.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use phom_core::{Request, Response};
+//! use phom_graph::{Graph, GraphBuilder, Label, ProbGraph};
+//! use phom_num::Rational;
+//! use phom_serve::Runtime;
+//! use std::time::Duration;
+//!
+//! let (r, s) = (Label(0), Label(1));
+//! let mut b = GraphBuilder::with_vertices(3);
+//! b.edge(0, 1, r);
+//! b.edge(1, 2, s);
+//! let h = ProbGraph::new(
+//!     b.build(),
+//!     vec![Rational::from_ratio(1, 2), Rational::from_ratio(3, 4)],
+//! );
+//!
+//! let runtime = Runtime::builder()
+//!     .max_batch(16)
+//!     .max_wait(Duration::from_millis(1))
+//!     .queue_cap(256)
+//!     .workers(2)
+//!     .build();
+//! runtime.register(h);
+//!
+//! let ticket = runtime
+//!     .enqueue(Request::probability(Graph::one_way_path(&[r, s])))
+//!     .expect("admitted");
+//! let Ok(Response::Probability(sol)) = ticket.wait() else { panic!() };
+//! assert_eq!(sol.probability, Rational::from_ratio(3, 8));
+//!
+//! let stats = runtime.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+mod chan;
+mod runtime;
+mod stats;
+mod ticket;
+
+pub use runtime::{Runtime, RuntimeBuilder};
+pub use stats::RuntimeStats;
+pub use ticket::Ticket;

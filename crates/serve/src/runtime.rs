@@ -1,0 +1,661 @@
+//! The persistent serving runtime: a bounded ingress queue, a
+//! tick-building batcher thread, and a pool of worker threads spawned
+//! **once** at startup and fed over an internal channel — no scoped
+//! spawns, no per-batch thread churn.
+//!
+//! ## Life of a request
+//!
+//! 1. [`Runtime::enqueue`] routes the request to a registered instance
+//!    version, applies admission control (a full queue answers
+//!    [`SolveError::Overloaded`] immediately — backpressure instead of
+//!    unbounded memory), and returns a [`Ticket`].
+//! 2. The batcher accumulates admitted requests into a **tick**,
+//!    flushing when [`max_batch`](RuntimeBuilder::max_batch) requests
+//!    are waiting or the oldest has waited
+//!    [`max_wait`](RuntimeBuilder::max_wait), whichever comes first.
+//! 3. Each tick is grouped by instance version and planned through
+//!    [`Engine::begin_tick`] (interning, cache probe, routing — cheap,
+//!    sequential); the resulting `Send` units are dispatched to the
+//!    worker pool, where shards compile their circuit plans into one
+//!    arena each and answer them with one multi-root engine pass.
+//! 4. [`Tick::finish`](phom_core::Tick::finish) fills the shared answer
+//!    cache and the batcher fulfills every ticket, in request order.
+//!
+//! Results are **bit-identical** to calling [`Engine::submit`] with the
+//! same requests — micro-batching changes latency and throughput, never
+//! answers (asserted by `tests/runtime_serving.rs`).
+
+use crate::chan::Chan;
+use crate::stats::RuntimeStats;
+use crate::ticket::{Ticket, TicketState};
+use phom_core::{
+    CacheHandle, Engine, EngineBuilder, Request, SolveError, SolverOptions, TickOutput, TickUnit,
+};
+use phom_graph::ProbGraph;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Configuration for a [`Runtime`]. The three serving knobs:
+///
+/// * [`max_batch`](RuntimeBuilder::max_batch) — tick flush threshold
+///   (bigger ticks amortize planning and share arenas, at the cost of
+///   per-request latency);
+/// * [`max_wait`](RuntimeBuilder::max_wait) — how long the first
+///   request of a tick may wait for company (the latency bound under
+///   light load);
+/// * [`queue_cap`](RuntimeBuilder::queue_cap) — the admission-control
+///   bound: beyond it, `enqueue` answers
+///   [`SolveError::Overloaded`].
+#[derive(Clone)]
+pub struct RuntimeBuilder {
+    max_batch: usize,
+    max_wait: Duration,
+    queue_cap: usize,
+    workers: usize,
+    cache_capacity: usize,
+    shared_cache: Option<CacheHandle>,
+    default_options: SolverOptions,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        RuntimeBuilder::new()
+    }
+}
+
+impl RuntimeBuilder {
+    /// Defaults: ticks of up to 64 requests, 2 ms of batching patience,
+    /// a 1024-request queue, one worker per core, an unbounded shared
+    /// cache, default [`SolverOptions`].
+    pub fn new() -> Self {
+        RuntimeBuilder {
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 1024,
+            workers: 0,
+            cache_capacity: usize::MAX,
+            shared_cache: None,
+            default_options: SolverOptions::default(),
+        }
+    }
+
+    /// Flush a tick as soon as `n` requests are waiting (≥ 1).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n.max(1);
+        self
+    }
+
+    /// Flush a tick once its oldest request has waited this long, even
+    /// if it is smaller than `max_batch`. `Duration::ZERO` disables
+    /// batching patience entirely (every poll drains what is there).
+    pub fn max_wait(mut self, d: Duration) -> Self {
+        self.max_wait = d;
+        self
+    }
+
+    /// Bound the ingress queue to `n` waiting requests; beyond it,
+    /// [`Runtime::enqueue`] answers [`SolveError::Overloaded`] (≥ 1).
+    pub fn queue_cap(mut self, n: usize) -> Self {
+        self.queue_cap = n.max(1);
+        self
+    }
+
+    /// Worker-pool size (`0` = the machine's available parallelism).
+    /// Workers are spawned once, when the runtime is built.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Bound the shared answer cache (LRU across every registered
+    /// version). Ignored when [`shared_cache`](RuntimeBuilder::shared_cache)
+    /// supplies an existing cache.
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n;
+        self
+    }
+
+    /// Serve off an existing shared cache (e.g. one also used by a
+    /// [`Fleet`](phom_core::Fleet) or another runtime).
+    pub fn shared_cache(mut self, cache: CacheHandle) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// The [`SolverOptions`] requests inherit when they don't override
+    /// them.
+    pub fn default_options(mut self, options: SolverOptions) -> Self {
+        self.default_options = options;
+        self
+    }
+
+    /// Builds the runtime: allocates the shared cache, spawns the
+    /// worker pool and the batcher thread — **exactly once** for the
+    /// runtime's lifetime.
+    pub fn build(self) -> Runtime {
+        let pool_size = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.workers
+        };
+        let cache = self
+            .shared_cache
+            .unwrap_or_else(|| CacheHandle::with_capacity(self.cache_capacity));
+        let inner = Arc::new(Inner {
+            max_batch: self.max_batch,
+            max_wait: self.max_wait,
+            queue_cap: self.queue_cap,
+            pool_size,
+            default_options: self.default_options,
+            cache,
+            ingress: Mutex::new(Ingress {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            ingress_ready: Condvar::new(),
+            engines: RwLock::new(HashMap::new()),
+            default_version: Mutex::new(None),
+            work: Chan::new(),
+            stats: Mutex::new(RuntimeStats {
+                workers: pool_size,
+                ..RuntimeStats::default()
+            }),
+        });
+        let workers = (0..pool_size)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("phom-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let batcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("phom-serve-batcher".into())
+                .spawn(move || {
+                    // Even if the batcher panics, the guard resolves any
+                    // stranded tickets and closes the worker feed — a
+                    // dead batcher must never hang `wait()` callers or
+                    // deadlock `shutdown()` on a pool that would
+                    // otherwise block in `recv()` forever.
+                    let _guard = BatcherGuard(Arc::clone(&inner));
+                    batcher_loop(&inner);
+                })
+                .expect("spawn batcher thread")
+        };
+        Runtime {
+            inner,
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------
+
+/// One admitted request, waiting in the ingress queue. It pins its
+/// engine from admission time, so an admitted request always completes
+/// against the instance version it was routed to — even if that
+/// version is deregistered before its tick fires.
+struct Admitted {
+    version: u64,
+    engine: Arc<Engine>,
+    request: Request,
+    ticket: Arc<TicketState>,
+    enqueued_at: Instant,
+}
+
+/// Runs when the batcher thread exits — normally or by panic. On the
+/// normal path the queue is already drained and this only closes the
+/// worker feed; after a panic it also resolves every stranded ticket.
+struct BatcherGuard(Arc<Inner>);
+
+impl Drop for BatcherGuard {
+    fn drop(&mut self) {
+        let stranded: Vec<Admitted> = {
+            let mut ingress = lock(&self.0.ingress);
+            ingress.shutdown = true;
+            ingress.queue.drain(..).collect()
+        };
+        for entry in stranded {
+            entry.ticket.fulfill(Err(SolveError::Internal(
+                "the serving batcher thread died".into(),
+            )));
+        }
+        self.0.work.close();
+    }
+}
+
+struct Ingress {
+    queue: VecDeque<Admitted>,
+    shutdown: bool,
+}
+
+/// The state shared by the handle, the batcher, and the workers.
+struct Inner {
+    max_batch: usize,
+    max_wait: Duration,
+    queue_cap: usize,
+    pool_size: usize,
+    default_options: SolverOptions,
+    cache: CacheHandle,
+    ingress: Mutex<Ingress>,
+    ingress_ready: Condvar,
+    engines: RwLock<HashMap<u64, Arc<Engine>>>,
+    default_version: Mutex<Option<u64>>,
+    work: Chan<WorkItem>,
+    stats: Mutex<RuntimeStats>,
+}
+
+/// One dispatched tick unit plus where its output goes.
+struct WorkItem {
+    unit: TickUnit,
+    collector: Arc<Collector>,
+    idx: usize,
+}
+
+/// Gathers a tick's unit outputs; the batcher blocks on it until every
+/// unit has reported.
+struct Collector {
+    outputs: Mutex<(Vec<Option<TickOutput>>, usize)>,
+    done: Condvar,
+}
+
+impl Collector {
+    fn new(n: usize) -> Arc<Self> {
+        let mut slots = Vec::new();
+        slots.resize_with(n, || None);
+        Arc::new(Collector {
+            outputs: Mutex::new((slots, 0)),
+            done: Condvar::new(),
+        })
+    }
+
+    fn set(&self, idx: usize, output: TickOutput) {
+        let mut guard = lock(&self.outputs);
+        debug_assert!(guard.0[idx].is_none(), "each unit reports once");
+        guard.0[idx] = Some(output);
+        guard.1 += 1;
+        if guard.1 == guard.0.len() {
+            drop(guard);
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_all(&self) -> Vec<TickOutput> {
+        let mut guard = lock(&self.outputs);
+        while guard.1 < guard.0.len() {
+            guard = self
+                .done
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        std::mem::take(&mut guard.0).into_iter().flatten().collect()
+    }
+}
+
+/// A long-lived serving runtime over persistent worker threads: the
+/// async-friendly front end the ROADMAP's serving scale-out item calls
+/// for. See the [module docs](self) for the life of a request and
+/// [`RuntimeBuilder`] for the knobs.
+///
+/// The handle is `Sync`: producers on any number of threads may
+/// [`enqueue`](Runtime::enqueue) concurrently, and
+/// [`register`](Runtime::register)/[`deregister`](Runtime::deregister)
+/// hot-swap instance versions while traffic flows.
+pub struct Runtime {
+    inner: Arc<Inner>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Starts a configuration.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
+    /// A runtime with default configuration serving one instance.
+    pub fn serve(instance: ProbGraph) -> Self {
+        let runtime = RuntimeBuilder::new().build();
+        runtime.register(instance);
+        runtime
+    }
+
+    /// Registers an instance version (building its [`Engine`] on the
+    /// shared cache) and returns its routing fingerprint. The first
+    /// registered version becomes the [`enqueue`](Runtime::enqueue)
+    /// default. Re-registering an identical instance replaces the
+    /// engine — same fingerprint, same cached answers.
+    pub fn register(&self, instance: ProbGraph) -> u64 {
+        let engine = Arc::new(
+            EngineBuilder::new()
+                .default_options(self.inner.default_options)
+                .shared_cache(self.inner.cache.clone())
+                .build(instance),
+        );
+        let version = engine.fingerprint();
+        self.inner
+            .engines
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(version, engine);
+        let mut default = lock(&self.inner.default_version);
+        if default.is_none() {
+            *default = Some(version);
+        }
+        version
+    }
+
+    /// Removes a served version. Requests already admitted for it still
+    /// complete (each admitted entry pins its engine from admission
+    /// time); new enqueues are rejected.
+    pub fn deregister(&self, version: u64) -> bool {
+        let removed = self
+            .inner
+            .engines
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&version)
+            .is_some();
+        if removed {
+            let mut default = lock(&self.inner.default_version);
+            if *default == Some(version) {
+                *default = self.versions().first().copied();
+            }
+        }
+        removed
+    }
+
+    /// The engine serving `version`, if registered.
+    pub fn engine(&self, version: u64) -> Option<Arc<Engine>> {
+        self.inner
+            .engines
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&version)
+            .cloned()
+    }
+
+    /// The routing fingerprints of every registered version.
+    pub fn versions(&self) -> Vec<u64> {
+        self.inner
+            .engines
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Enqueues a request for the default version (the first
+    /// registered). See [`enqueue_to`](Runtime::enqueue_to).
+    pub fn enqueue(&self, request: Request) -> Result<Ticket, SolveError> {
+        let version = (*lock(&self.inner.default_version))
+            .ok_or_else(|| SolveError::InvalidQuery("no instance version registered".into()))?;
+        self.enqueue_to(version, request)
+    }
+
+    /// Routes `request` to the engine registered under `version` and
+    /// admits it into the ingress queue.
+    ///
+    /// * Full queue → `Err(SolveError::Overloaded)` **immediately** —
+    ///   the backpressure signal; nothing is queued, already-admitted
+    ///   tickets are unaffected.
+    /// * Unknown version → `Err(SolveError::InvalidQuery)`.
+    /// * After [`shutdown`](Runtime::shutdown) began →
+    ///   `Err(SolveError::Cancelled)`.
+    pub fn enqueue_to(&self, version: u64, request: Request) -> Result<Ticket, SolveError> {
+        let Some(engine) = self.engine(version) else {
+            return Err(SolveError::InvalidQuery(format!(
+                "no instance registered for version {version:#018x}"
+            )));
+        };
+        let ticket = TicketState::new();
+        {
+            let mut ingress = lock(&self.inner.ingress);
+            if ingress.shutdown {
+                return Err(SolveError::Cancelled);
+            }
+            if ingress.queue.len() >= self.inner.queue_cap {
+                drop(ingress);
+                lock(&self.inner.stats).rejected += 1;
+                return Err(SolveError::Overloaded {
+                    capacity: self.inner.queue_cap,
+                });
+            }
+            ingress.queue.push_back(Admitted {
+                version,
+                engine,
+                request,
+                ticket: Arc::clone(&ticket),
+                enqueued_at: Instant::now(),
+            });
+        }
+        lock(&self.inner.stats).admitted += 1;
+        self.inner.ingress_ready.notify_all();
+        Ok(Ticket::new(ticket))
+    }
+
+    /// A point-in-time activity snapshot: queue depth, tick shapes,
+    /// unit latencies, batch aggregates, cache counters.
+    pub fn stats(&self) -> RuntimeStats {
+        let mut stats = lock(&self.inner.stats).clone();
+        stats.queue_depth = lock(&self.inner.ingress).queue.len();
+        stats.cache = self.inner.cache.stats();
+        stats
+    }
+
+    /// A cloneable handle to the runtime's shared answer cache.
+    pub fn cache_handle(&self) -> CacheHandle {
+        self.inner.cache.clone()
+    }
+
+    /// Graceful shutdown: stops admitting, **drains** every admitted
+    /// request through final ticks (all outstanding tickets resolve),
+    /// then stops the batcher and the worker pool. Returns the final
+    /// stats snapshot.
+    pub fn shutdown(mut self) -> RuntimeStats {
+        self.begin_shutdown();
+        self.join_threads();
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        lock(&self.inner.ingress).shutdown = true;
+        self.inner.ingress_ready.notify_all();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    /// Dropping without [`shutdown`](Runtime::shutdown) still drains
+    /// admitted requests and joins every thread — a runtime never
+    /// leaks detached workers.
+    fn drop(&mut self) {
+        if self.batcher.is_some() || !self.workers.is_empty() {
+            self.begin_shutdown();
+            self.join_threads();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The batcher and the workers
+// ---------------------------------------------------------------------
+
+/// A worker: spawned once at runtime startup, pulls units off the
+/// shared channel until the channel closes at shutdown. Unit panics are
+/// contained inside `TickUnit::run` — the loop (and the thread) never
+/// unwinds.
+fn worker_loop(inner: &Inner) {
+    lock(&inner.stats).workers_started += 1;
+    while let Some(item) = inner.work.recv() {
+        let started = Instant::now();
+        let output = item.unit.run();
+        let nanos = started.elapsed().as_nanos() as u64;
+        {
+            let mut stats = lock(&inner.stats);
+            stats.unit_runs += 1;
+            stats.unit_nanos_total += nanos;
+            stats.unit_nanos_max = stats.unit_nanos_max.max(nanos);
+        }
+        item.collector.set(item.idx, output);
+    }
+}
+
+/// The batcher: accumulates admitted requests into micro-batch ticks
+/// (flush on `max_batch` or `max_wait`, whichever first), dispatches
+/// each tick's units to the pool, and fulfills the tickets. On
+/// shutdown it drains the remaining queue through final ticks, then
+/// closes the work channel so the workers exit.
+fn batcher_loop(inner: &Inner) {
+    loop {
+        let batch: Option<Vec<Admitted>> = {
+            let mut ingress = lock(&inner.ingress);
+            loop {
+                if !ingress.queue.is_empty() {
+                    let oldest = ingress.queue.front().expect("non-empty").enqueued_at;
+                    // `checked_add`: an absurd `max_wait` (Duration::MAX)
+                    // must mean "no timer flush", not an Instant-overflow
+                    // panic that would take the batcher down.
+                    let deadline = oldest.checked_add(inner.max_wait);
+                    let now = Instant::now();
+                    let timer_expired = deadline.is_some_and(|d| now >= d);
+                    if ingress.queue.len() >= inner.max_batch || ingress.shutdown || timer_expired {
+                        let n = ingress.queue.len().min(inner.max_batch);
+                        break Some(ingress.queue.drain(..n).collect());
+                    }
+                    ingress = match deadline {
+                        Some(d) => {
+                            inner
+                                .ingress_ready
+                                .wait_timeout(ingress, d - now)
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .0
+                        }
+                        None => inner
+                            .ingress_ready
+                            .wait(ingress)
+                            .unwrap_or_else(PoisonError::into_inner),
+                    };
+                } else if ingress.shutdown {
+                    break None;
+                } else {
+                    ingress = inner
+                        .ingress_ready
+                        .wait(ingress)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        };
+        match batch {
+            Some(entries) => process_tick(inner, entries),
+            None => break,
+        }
+    }
+    // The worker feed is closed by the batcher thread's guard.
+}
+
+/// Executes one tick: skip cancelled tickets, group by instance
+/// version, plan each group through `Engine::begin_tick`, dispatch the
+/// units to the pool, and fulfill every ticket with its response.
+fn process_tick(inner: &Inner, entries: Vec<Admitted>) {
+    let started = Instant::now();
+    let mut live: Vec<Admitted> = Vec::with_capacity(entries.len());
+    {
+        let mut stats = lock(&inner.stats);
+        stats.ticks += 1;
+        stats.total_tick_requests += entries.len() as u64;
+        stats.max_tick_requests = stats.max_tick_requests.max(entries.len());
+        for entry in entries {
+            if entry.ticket.is_cancelled() {
+                stats.cancelled += 1;
+            } else {
+                live.push(entry);
+            }
+        }
+    }
+    // Group by version, preserving arrival order within each group.
+    let mut groups: Vec<(u64, Vec<Admitted>)> = Vec::new();
+    for entry in live {
+        match groups.iter_mut().find(|(v, _)| *v == entry.version) {
+            Some((_, group)) => group.push(entry),
+            None => groups.push((entry.version, vec![entry])),
+        }
+    }
+    // Plan every group and dispatch all units before collecting any —
+    // the whole tick's work is in flight across the pool at once.
+    let mut in_flight = Vec::with_capacity(groups.len());
+    for (_version, entries) in groups {
+        // Each admitted entry pinned its engine at admission, so a
+        // version deregistered since then still completes normally.
+        let engine = Arc::clone(&entries[0].engine);
+        let (requests, tickets): (Vec<Request>, Vec<Arc<TicketState>>) = entries
+            .into_iter()
+            .map(|entry| (entry.request, entry.ticket))
+            .unzip();
+        let mut tick = engine.begin_tick(&requests, inner.pool_size);
+        let units = tick.take_units();
+        let collector = Collector::new(units.len());
+        for (idx, unit) in units.into_iter().enumerate() {
+            let sent = inner.work.send(WorkItem {
+                unit,
+                collector: Arc::clone(&collector),
+                idx,
+            });
+            debug_assert!(sent, "work channel closes only after the batcher exits");
+        }
+        in_flight.push((tick, tickets, collector));
+    }
+    for (tick, tickets, collector) in in_flight {
+        let outputs = collector.wait_all();
+        let (results, batch_stats) = tick.finish(outputs);
+        debug_assert_eq!(results.len(), tickets.len());
+        let mut fulfilled = 0u64;
+        for (ticket, result) in tickets.into_iter().zip(results) {
+            // `fulfill` reports whether the answer landed — a ticket
+            // cancelled mid-flight keeps its `Err(Cancelled)` and is
+            // not counted as completed.
+            if ticket.fulfill(result) {
+                fulfilled += 1;
+            }
+        }
+        let mut stats = lock(&inner.stats);
+        stats.completed += fulfilled;
+        stats.absorb_batch(&batch_stats);
+    }
+    let nanos = started.elapsed().as_nanos() as u64;
+    let mut stats = lock(&inner.stats);
+    stats.tick_nanos_total += nanos;
+    stats.tick_nanos_max = stats.tick_nanos_max.max(nanos);
+}
+
+// The handle crosses producer threads freely.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Runtime>();
+    assert_send_sync::<Ticket>();
+};

@@ -1,0 +1,90 @@
+//! Serving observability: queue depth, tick shapes, per-unit (shard)
+//! latencies, aggregated batch counters, and the shared answer-cache
+//! counters — everything a capacity planner or a dashboard needs from a
+//! long-lived runtime.
+
+use phom_core::{BatchStats, CacheStats};
+
+/// A point-in-time snapshot of a [`Runtime`](crate::Runtime)'s
+/// activity. Monotonic counters describe the runtime's lifetime;
+/// `queue_depth` and `cache` are sampled at snapshot time.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeStats {
+    /// Configured worker-pool size.
+    pub workers: usize,
+    /// Worker threads that ever started. Equals `workers` for the whole
+    /// runtime lifetime — workers are spawned exactly once, at startup,
+    /// never per batch.
+    pub workers_started: u64,
+    /// Requests currently waiting in the ingress queue.
+    pub queue_depth: usize,
+    /// Requests admitted past admission control.
+    pub admitted: u64,
+    /// Requests rejected with `SolveError::Overloaded` (queue full).
+    pub rejected: u64,
+    /// Admitted requests skipped because their ticket was cancelled
+    /// before execution.
+    pub cancelled: u64,
+    /// Tickets fulfilled with a computed response (or typed error).
+    pub completed: u64,
+    /// Micro-batch ticks flushed (by size or by the `max_wait` timer).
+    pub ticks: u64,
+    /// Requests across all ticks (mean tick size =
+    /// `total_tick_requests / ticks`).
+    pub total_tick_requests: u64,
+    /// Largest tick flushed so far.
+    pub max_tick_requests: usize,
+    /// Work units executed by the pool (shards + single requests).
+    pub unit_runs: u64,
+    /// Total wall time inside unit execution, i.e. the per-shard
+    /// latency aggregate (`unit_nanos_total / unit_runs` = mean).
+    pub unit_nanos_total: u64,
+    /// Slowest single unit so far.
+    pub unit_nanos_max: u64,
+    /// Total wall time per tick (plan → dispatch → fulfill).
+    pub tick_nanos_total: u64,
+    /// Slowest tick so far.
+    pub tick_nanos_max: u64,
+    /// Probability queries across all ticks (the [`BatchStats`]
+    /// aggregate).
+    pub queries: u64,
+    /// Structurally distinct (query, options) pairs after interning.
+    pub unique_queries: u64,
+    /// Unique queries answered from the shared cache during planning.
+    pub batch_cache_hits: u64,
+    /// Unique queries answered through a shard's multi-root engine pass.
+    pub circuit_batched: u64,
+    /// Unique queries answered on the general per-query path.
+    pub general_solved: u64,
+    /// The shared answer cache's counters (hits/misses/evictions/size).
+    pub cache: CacheStats,
+}
+
+impl RuntimeStats {
+    /// Mean tick size in requests (0 before the first tick).
+    pub fn mean_tick_requests(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.total_tick_requests as f64 / self.ticks as f64
+        }
+    }
+
+    /// Mean unit (shard) latency in microseconds (0 before the first
+    /// unit).
+    pub fn mean_unit_micros(&self) -> f64 {
+        if self.unit_runs == 0 {
+            0.0
+        } else {
+            self.unit_nanos_total as f64 / self.unit_runs as f64 / 1e3
+        }
+    }
+
+    pub(crate) fn absorb_batch(&mut self, batch: &BatchStats) {
+        self.queries += batch.queries as u64;
+        self.unique_queries += batch.unique_queries as u64;
+        self.batch_cache_hits += batch.cache_hits as u64;
+        self.circuit_batched += batch.circuit_batched as u64;
+        self.general_solved += batch.general_solved as u64;
+    }
+}

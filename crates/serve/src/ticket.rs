@@ -1,0 +1,138 @@
+//! The caller's claim on an in-flight request: blocking [`Ticket::wait`],
+//! non-blocking [`Ticket::try_get`], and best-effort
+//! [`Ticket::cancel`]lation.
+
+use phom_core::{Response, SolveError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// A claim on the eventual answer to one request admitted by
+/// [`Runtime::enqueue`](crate::Runtime::enqueue).
+///
+/// The runtime fulfills the ticket when its micro-batch tick completes;
+/// admitted tickets are always fulfilled eventually — a graceful
+/// [`shutdown`](crate::Runtime::shutdown) drains them, a worker panic
+/// resolves them with [`SolveError::Internal`], and a
+/// [`cancel`](Ticket::cancel) resolves them with
+/// [`SolveError::Cancelled`]. Dropping a ticket is safe: the answer is
+/// simply discarded when the tick completes.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+pub(crate) struct TicketState {
+    slot: Mutex<Option<Result<Response, SolveError>>>,
+    ready: Condvar,
+    cancelled: AtomicBool,
+}
+
+impl TicketState {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(TicketState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Option<Result<Response, SolveError>>> {
+        self.slot.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Resolves the ticket. The first resolution wins; later ones (a
+    /// cancelled request whose tick still completed) are dropped.
+    /// Returns whether this resolution landed.
+    pub(crate) fn fulfill(&self, result: Result<Response, SolveError>) -> bool {
+        let mut slot = self.lock();
+        if slot.is_none() {
+            *slot = Some(result);
+            drop(slot);
+            self.ready.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether [`Ticket::cancel`] ran — the runtime skips execution of
+    /// cancelled entries when it builds a tick.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+}
+
+impl Ticket {
+    pub(crate) fn new(state: Arc<TicketState>) -> Self {
+        Ticket { state }
+    }
+
+    /// Blocks until the answer is available and returns it. Repeated
+    /// calls return the same answer.
+    pub fn wait(&self) -> Result<Response, SolveError> {
+        let mut slot = self.state.lock();
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self
+                .state
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// As [`wait`](Ticket::wait), giving up after `timeout` (`None` when
+    /// the answer did not arrive in time).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response, SolveError>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.state.lock();
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Some(result.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .state
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            slot = guard;
+        }
+    }
+
+    /// Non-blocking probe: the answer if it is already available.
+    pub fn try_get(&self) -> Option<Result<Response, SolveError>> {
+        self.state.lock().clone()
+    }
+
+    /// True once the ticket has been resolved (answer, error, or
+    /// cancellation).
+    pub fn is_done(&self) -> bool {
+        self.state.lock().is_some()
+    }
+
+    /// Cancellation: if the answer has not landed yet, the ticket
+    /// resolves to `Err(SolveError::Cancelled)` immediately — even when
+    /// its tick is already executing (the computation may still run to
+    /// completion, but its answer is discarded and not counted as
+    /// completed). A request whose tick has not started is skipped
+    /// outright. Once the answer has landed, `cancel` is a no-op.
+    /// Returns `true` when the cancellation resolved the ticket.
+    pub fn cancel(&self) -> bool {
+        self.state.cancelled.store(true, Ordering::SeqCst);
+        let mut slot = self.state.lock();
+        if slot.is_none() {
+            *slot = Some(Err(SolveError::Cancelled));
+            drop(slot);
+            self.state.ready.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+}

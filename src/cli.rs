@@ -7,6 +7,9 @@
 //! phom solve --queries-file <batch-file> <instance-file> [options]
 //!                                         [--threads <k>] [--cache-cap <n>]
 //!                                         [--stats]
+//! phom serve --bench [--max-batch <n>] [--max-wait-ms <ms>]
+//!                    [--queue-cap <n>] [--workers <k>]
+//!                    [--requests <n>] [--producers <p>]
 //! phom classify <graph-file>
 //! phom count <query-file> <instance-file> [--brute-force <max-edges>]
 //! phom tables
@@ -43,6 +46,7 @@ pub fn run(
     match it.next().map(String::as_str) {
         Some("solve") => solve_cmd(&args[1..], read_file, false),
         Some("count") => solve_cmd(&args[1..], read_file, true),
+        Some("serve") => serve_cmd(&args[1..]),
         Some("classify") => classify_cmd(&args[1..], read_file),
         Some("tables") => Ok(tables_cmd()),
         Some("walk") => walk_cmd(&args[1..], read_file),
@@ -65,6 +69,9 @@ fn usage() -> String {
      \x20                             bounded-treewidth DP (§6 extension)\n\
      \x20 influence <query> <instance>  edge influences ∂Pr/∂π(e), ranked\n\
      \x20 ucq <instance> <query>...   Pr(G₁ ∨ … ∨ G_k ⇝ H), union of CQs\n\
+     \x20 serve --bench               drive the persistent serving runtime\n\
+     \x20                             (phom_serve::Runtime) with a synthetic\n\
+     \x20                             multi-producer load and print its stats\n\
      \n\
      options for solve/count:\n\
      \x20 --brute-force <max-edges>   fall back to world enumeration\n\
@@ -75,8 +82,231 @@ fn usage() -> String {
      \x20                             via one Engine::submit batch\n\
      \x20 --threads <k>               engine shard width (0 = all cores)\n\
      \x20 --cache-cap <n>             bound the engine's answer cache (LRU)\n\
-     \x20 --stats                     print the cache counters too\n"
+     \x20 --stats                     print the cache counters too\n\
+     \n\
+     options for serve --bench (the tick/backpressure knobs):\n\
+     \x20 --max-batch <n>             flush a tick at n accumulated requests\n\
+     \x20                             (default 64; bigger ticks amortize\n\
+     \x20                             planning and share arenas)\n\
+     \x20 --max-wait-ms <ms>          flush a tick once its oldest request\n\
+     \x20                             waited this long (default 2; the\n\
+     \x20                             latency bound under light load)\n\
+     \x20 --queue-cap <n>             ingress bound: a full queue rejects\n\
+     \x20                             with Overloaded — backpressure, not\n\
+     \x20                             unbounded memory (default 1024)\n\
+     \x20 --workers <k>               persistent pool size, spawned once\n\
+     \x20                             (default: all cores)\n\
+     \x20 --requests <n>              synthetic requests to fire (default 512)\n\
+     \x20 --producers <p>             concurrent producer threads (default 4)\n"
         .into()
+}
+
+/// The `serve --bench` load generator: registers two deterministic
+/// instance versions with the runtime, fires a mixed workload
+/// (probability / counting / UCQ) from several producer threads through
+/// `Runtime::enqueue`, waits on every ticket, cross-checks a sample of
+/// answers against direct `Engine::submit`, and reports throughput plus
+/// the runtime's stats snapshot.
+fn serve_cmd(args: &[String]) -> Result<String, String> {
+    let mut max_batch: usize = 64;
+    let mut max_wait_ms: u64 = 2;
+    let mut queue_cap: usize = 1024;
+    let mut workers: usize = 0;
+    let mut requests: usize = 512;
+    let mut producers: usize = 4;
+    let mut bench = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> Option<&String> {
+            *i += 1;
+            args.get(*i)
+        };
+        match args[i].as_str() {
+            "--bench" => bench = true,
+            "--max-batch" => {
+                max_batch = flag_value(&mut i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--max-batch needs a request count")?
+            }
+            "--max-wait-ms" => {
+                max_wait_ms = flag_value(&mut i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--max-wait-ms needs a millisecond count")?
+            }
+            "--queue-cap" => {
+                queue_cap = flag_value(&mut i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--queue-cap needs a request count")?
+            }
+            "--workers" => {
+                workers = flag_value(&mut i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--workers needs a thread count (0 = all cores)")?
+            }
+            "--requests" => {
+                requests = flag_value(&mut i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--requests needs a count")?
+            }
+            "--producers" => {
+                producers = flag_value(&mut i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--producers needs a thread count")?
+            }
+            other => return Err(format!("serve: unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    if !bench {
+        return Err("serve currently ships the --bench load generator only \
+                    (no network front end yet); run `phom serve --bench`"
+            .into());
+    }
+    let producers = producers.max(1);
+    let requests = requests.max(1);
+
+    // Two deterministic instance versions: a mixed-probability 2WP and
+    // its all-½ "census" twin (so counting requests are valid).
+    use phom_graph::generate::{self, ProbProfile};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(0x5E21E);
+    let live = generate::with_probabilities(
+        generate::two_way_path(64, 2, &mut rng),
+        ProbProfile::default(),
+        &mut rng,
+    );
+    let census = ProbGraph::new(
+        live.graph().clone(),
+        vec![phom_num::Rational::from_ratio(1, 2); live.graph().n_edges()],
+    );
+    let q1 = generate::planted_path_query(live.graph(), 3, &mut rng)
+        .unwrap_or_else(|| Graph::one_way_path(&[Label(0)]));
+    let q2 = generate::planted_path_query(live.graph(), 2, &mut rng)
+        .unwrap_or_else(|| Graph::one_way_path(&[Label(1)]));
+
+    let runtime = phom_serve::Runtime::builder()
+        .max_batch(max_batch)
+        .max_wait(std::time::Duration::from_millis(max_wait_ms))
+        .queue_cap(queue_cap)
+        .workers(workers)
+        .build();
+    let v_live = runtime.register(live.clone());
+    let v_census = runtime.register(census);
+
+    let request_for = |j: usize| -> (u64, Request) {
+        match j % 4 {
+            0 => (v_live, Request::probability(q1.clone())),
+            1 => (v_live, Request::probability(q2.clone())),
+            2 => (v_census, Request::probability(q1.clone()).counting()),
+            _ => (
+                v_live,
+                Request::ucq(phom_core::ucq::Ucq::new(vec![q1.clone(), q2.clone()])),
+            ),
+        }
+    };
+
+    let started = std::time::Instant::now();
+    let mut overloaded_retries = 0u64;
+    std::thread::scope(|scope| {
+        let runtime = &runtime;
+        let request_for = &request_for;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                scope.spawn(move || {
+                    let mut tickets = Vec::new();
+                    let mut retries = 0u64;
+                    let mut j = p;
+                    while j < requests {
+                        let (version, request) = request_for(j);
+                        // Backpressure loop: on Overloaded, yield and retry.
+                        loop {
+                            match runtime.enqueue_to(version, request.clone()) {
+                                Ok(ticket) => {
+                                    tickets.push(ticket);
+                                    break;
+                                }
+                                Err(SolveError::Overloaded { .. }) => {
+                                    retries += 1;
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("bench enqueue failed: {e}"),
+                            }
+                        }
+                        j += producers;
+                    }
+                    for ticket in &tickets {
+                        ticket.wait().map(|_| ()).map_err(|e| e.to_string()).ok();
+                    }
+                    retries
+                })
+            })
+            .collect();
+        for handle in handles {
+            overloaded_retries += handle.join().expect("producer thread");
+        }
+    });
+    let elapsed = started.elapsed();
+
+    // Cross-check a sample against the direct engine path.
+    let oracle = Engine::new(live);
+    let direct = oracle.submit(&[Request::probability(q1.clone())]);
+    let ticket = runtime
+        .enqueue_to(v_live, Request::probability(q1))
+        .map_err(|e| e.to_string())?;
+    let served = ticket.wait();
+    match (&served, &direct[0]) {
+        (Ok(Response::Probability(a)), Ok(Response::Probability(b)))
+            if a.probability == b.probability => {}
+        (a, b) => return Err(format!("runtime/engine answer mismatch: {a:?} vs {b:?}")),
+    }
+
+    let stats = runtime.shutdown();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {requests} requests from {producers} producers in {:.2?} \
+         ({:.0} req/s); answers cross-checked vs Engine::submit",
+        elapsed,
+        requests as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    let _ = writeln!(
+        out,
+        "config: max_batch {max_batch}, max_wait {max_wait_ms}ms, \
+         queue_cap {queue_cap}, workers {}",
+        stats.workers
+    );
+    let _ = writeln!(
+        out,
+        "ticks: {} (mean {:.1} req, max {}), units: {} (mean {:.1}µs, max {:.1}µs)",
+        stats.ticks,
+        stats.mean_tick_requests(),
+        stats.max_tick_requests,
+        stats.unit_runs,
+        stats.mean_unit_micros(),
+        stats.unit_nanos_max as f64 / 1e3,
+    );
+    let _ = writeln!(
+        out,
+        "admission: {} admitted, {} rejected (Overloaded), {} retries by producers",
+        stats.admitted, stats.rejected, overloaded_retries,
+    );
+    let _ = writeln!(
+        out,
+        "batch: {} queries ({} unique, {} cache hits at plan time), \
+         {} circuit-batched, {} general",
+        stats.queries,
+        stats.unique_queries,
+        stats.batch_cache_hits,
+        stats.circuit_batched,
+        stats.general_solved,
+    );
+    let _ = writeln!(
+        out,
+        "cache: {} entries, {} hits, {} misses, {} evictions",
+        stats.cache.entries, stats.cache.hits, stats.cache.misses, stats.cache.evictions,
+    );
+    Ok(out)
 }
 
 /// Re-interns the query's labels against the instance's label names, so
@@ -817,6 +1047,44 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("not count"), "{err}");
+    }
+
+    #[test]
+    fn serve_bench_drives_the_runtime() {
+        let out = run(
+            &args(&[
+                "serve",
+                "--bench",
+                "--requests",
+                "40",
+                "--producers",
+                "3",
+                "--max-batch",
+                "8",
+                "--max-wait-ms",
+                "1",
+                "--queue-cap",
+                "16",
+                "--workers",
+                "2",
+            ]),
+            &fake_fs(&[]),
+        )
+        .unwrap();
+        assert!(out.contains("served 40 requests"), "{out}");
+        assert!(out.contains("cross-checked"), "{out}");
+        assert!(out.contains("ticks:"), "{out}");
+        assert!(out.contains("cache:"), "{out}");
+        assert!(out.contains("workers 2"), "{out}");
+    }
+
+    #[test]
+    fn serve_flag_errors() {
+        // serve without --bench explains itself (no network front end).
+        let err = run(&args(&["serve"]), &fake_fs(&[])).unwrap_err();
+        assert!(err.contains("--bench"), "{err}");
+        assert!(run(&args(&["serve", "--max-batch"]), &fake_fs(&[])).is_err());
+        assert!(run(&args(&["serve", "--bogus"]), &fake_fs(&[])).is_err());
     }
 
     #[test]

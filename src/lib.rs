@@ -52,7 +52,8 @@
 //! | [`graph`] | graphs, probabilistic graphs, classes, homomorphisms |
 //! | [`lineage`] | the **unified provenance engine** ([`lineage::engine`]): one arena IR with interned gates and structural hashing, one semiring-generic bottom-up evaluator shared by positive DNFs, β-acyclicity (Thm 4.9), d-DNNF circuits, and OBDDs |
 //! | [`automata`] | the polytree encoding and path automata of Prop 5.4, compiling into engine arenas |
-//! | [`core`] | the per-proposition algorithms and the Tables 1–3 dispatcher, behind the serving surface of [`core::engine`]: a long-lived [`Engine`] per instance (bounded LRU [`EvalCache`], sharded [`Engine::submit`]), typed [`Request`]/[`Response`], and a [`Fleet`] registry serving many graph versions off one shared cache |
+//! | [`core`] | the per-proposition algorithms and the Tables 1–3 dispatcher, behind the serving surface of [`core::engine`]: a long-lived [`Engine`] per instance (bounded LRU [`EvalCache`], sharded [`Engine::submit`], the [`Tick`](phom_core::Tick) seam for external pools), typed [`Request`]/[`Response`], and a [`Fleet`] registry serving many graph versions off one shared cache |
+//! | [`serve`] | the **persistent serving runtime**: [`Runtime`] with micro-batching ticks over a worker pool spawned once, bounded-queue backpressure ([`SolveError::Overloaded`]), [`Ticket`]s, graceful drain, [`RuntimeStats`] |
 //! | [`reductions`] | executable #P-hardness reductions (Props 3.3/3.4/4.1/5.6) |
 //!
 //! ## Requests: one surface for every workload
@@ -106,19 +107,58 @@
 //! [`Fallback`](phom_core::Fallback) per request (or per engine) to turn
 //! hard cells into brute-force or Monte-Carlo answers.
 //!
-//! ## Serving at scale: shards, bounded cache, fleets
+//! ## Serving at scale: the persistent runtime
 //!
-//! [`EngineBuilder::threads`] shards a submitted batch's unique, uncached
-//! queries across scoped worker threads — each shard compiles its
-//! circuit-compilable plans into its own lineage arena and answers them
-//! with one multi-root engine pass; results are **bit-identical** to the
-//! sequential path (asserted by `tests/engine_api.rs`). The engine's
-//! [`EvalCache`] is bounded ([`EngineBuilder::cache_capacity`]) with LRU
-//! eviction, so a long-lived server's memory is capped. And a [`Fleet`]
-//! registers many instance *versions* — engines keyed by
-//! [`instance_fingerprint`](phom_core::instance_fingerprint) — sharing
-//! one cache, so hot versions compete for the same capacity and a
-//! mutated graph invalidates itself by moving its fingerprint:
+//! For **concurrent traffic** — many producers, no hand-assembled
+//! batches — the [`serve`] crate runs a long-lived [`Runtime`]: a pool
+//! of worker threads spawned **once** at startup (no per-batch spawns),
+//! a bounded ingress queue, and **tick-based micro-batching** — enqueued
+//! requests accumulate until `max_batch` are waiting or the oldest has
+//! waited `max_wait`, then the whole tick is planned at once (interning,
+//! cache probes, shared-arena compilation) and dispatched across the
+//! pool. [`Runtime::enqueue`] returns a [`Ticket`] with blocking
+//! [`wait`](Ticket::wait), non-blocking [`try_get`](Ticket::try_get),
+//! and [`cancel`](Ticket::cancel); a full queue answers
+//! [`SolveError::Overloaded`] immediately (backpressure), and
+//! [`Runtime::shutdown`] drains every admitted request before stopping.
+//! Answers are **bit-identical** to [`Engine::submit`] under every
+//! `max_batch` / `max_wait` / worker-count setting
+//! (`tests/runtime_serving.rs`):
+//!
+//! ```
+//! use phom::prelude::*;
+//! use std::time::Duration;
+//!
+//! let h = ProbGraph::new(Graph::directed_path(2), vec![
+//!     Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)]);
+//! let runtime = Runtime::builder()
+//!     .max_batch(32)                          // tick flush threshold
+//!     .max_wait(Duration::from_millis(1))     // batching patience
+//!     .queue_cap(256)                         // admission control
+//!     .workers(2)                             // pool size, spawned once
+//!     .build();
+//! let version = runtime.register(h);
+//!
+//! // Any number of threads enqueue concurrently; one tick serves them.
+//! let t1 = runtime.enqueue(Request::probability(Graph::directed_path(1))).unwrap();
+//! let t2 = runtime
+//!     .enqueue_to(version, Request::probability(Graph::directed_path(2)))
+//!     .unwrap();
+//! assert_eq!(t1.wait().unwrap().probability(), Some(&Rational::from_ratio(3, 4)));
+//! assert_eq!(t2.wait().unwrap().probability(), Some(&Rational::from_ratio(1, 4)));
+//!
+//! let stats = runtime.shutdown();             // drains, then stops the pool
+//! assert_eq!(stats.completed, 2);
+//! assert_eq!(stats.workers_started, 2);       // spawned exactly once
+//! ```
+//!
+//! The same engines remain directly usable: [`EngineBuilder::threads`]
+//! shards an [`Engine::submit`] batch across scoped worker threads, a
+//! [`Fleet`] registers many instance *versions* — engines keyed by
+//! [`instance_fingerprint`](phom_core::instance_fingerprint) — off one
+//! shared bounded cache (as does the runtime's router), and the engine's
+//! [`EvalCache`] caches **every** response kind: probability solutions,
+//! counting, sensitivity, and UCQ answers, under kind-tagged keys.
 //!
 //! ```
 //! use phom::prelude::*;
@@ -163,6 +203,7 @@ pub use phom_graph as graph;
 pub use phom_lineage as lineage;
 pub use phom_num as num;
 pub use phom_reductions as reductions;
+pub use phom_serve as serve;
 
 #[allow(deprecated)] // the legacy shims stay exported so no caller breaks
 pub use phom_core::{solve, solve_many, solve_many_cached, solve_with};
@@ -170,6 +211,7 @@ pub use phom_core::{
     Engine, EngineBuilder, EvalCache, Fallback, Fleet, Hardness, Request, Response, Route,
     Solution, SolveError, SolverOptions,
 };
+pub use phom_serve::{Runtime, RuntimeBuilder, RuntimeStats, Ticket};
 
 pub mod cli;
 
@@ -179,12 +221,13 @@ pub mod prelude {
     #[allow(deprecated)] // the legacy shims stay exported so no caller breaks
     pub use phom_core::{solve, solve_many, solve_many_cached, solve_with};
     pub use phom_core::{
-        BatchStats, CacheStats, Engine, EngineBuilder, EvalCache, Fallback, Fleet, Request,
-        Response, Route, Solution, SolveError, SolverOptions,
+        BatchStats, CacheHandle, CacheStats, Engine, EngineBuilder, EvalCache, Fallback, Fleet,
+        Request, Response, Route, Solution, SolveError, SolverOptions,
     };
     pub use phom_graph::{classify, Dir, Graph, GraphBuilder, Label, ProbGraph};
     pub use phom_lineage::{Provenance, VarStatus};
     pub use phom_num::{Rational, Semiring, Weight};
+    pub use phom_serve::{Runtime, RuntimeBuilder, RuntimeStats, Ticket};
 }
 
 #[cfg(test)]

@@ -223,7 +223,10 @@ fn cache_serves_repeats_and_instance_mutation_invalidates() {
     let (warm, s_warm) = solve_many_stats(&queries, &h, opts, Some(&mut cache));
     assert_eq!(s_warm.cache_hits, s_warm.unique_queries);
     assert_eq!(s_warm.circuit_batched + s_warm.general_solved, 0);
-    assert_eq!(s_warm.shared_gates, 2, "only the two constant gates");
+    assert_eq!(
+        s_warm.shared_gates, 0,
+        "no shard arena when nothing batched"
+    );
     for (i, (a, b)) in cold.iter().zip(&warm).enumerate() {
         assert_same(a, b, &format!("cold vs warm {i}"));
     }

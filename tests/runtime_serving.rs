@@ -1,0 +1,486 @@
+//! The serving-runtime acceptance suite: `phom_serve::Runtime` must
+//! return **bit-identical** answers to sequential `Engine::submit`
+//! across every `max_batch` / `max_wait` / worker-count setting and
+//! under heavy concurrent production; a full ingress queue must reject
+//! with `SolveError::Overloaded` without losing already-admitted
+//! tickets; cancellation, routing, draining shutdown, and the
+//! spawned-exactly-once worker pool are all pinned here.
+
+use phom::prelude::*;
+use phom_graph::generate::{self, ProbProfile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// A random instance spanning the tables' columns.
+fn random_instance(rng: &mut SmallRng, profile: ProbProfile) -> ProbGraph {
+    let g = match rng.gen_range(0..5) {
+        0 => generate::two_way_path(rng.gen_range(2..10), 2, rng),
+        1 => generate::downward_tree(rng.gen_range(2..10), 2, rng),
+        2 => generate::polytree(rng.gen_range(3..10), 1, rng),
+        3 => generate::two_way_path(rng.gen_range(2..8), 1, rng),
+        _ => generate::connected(rng.gen_range(2..5), 1, 2, rng),
+    };
+    generate::with_probabilities(g, profile, rng)
+}
+
+/// A random request mixing every kind the runtime serves.
+fn random_request(h: &ProbGraph, rng: &mut SmallRng) -> Request {
+    let query = match rng.gen_range(0..5) {
+        0 => Graph::directed_path(rng.gen_range(0..3)),
+        1 => generate::one_way_path(rng.gen_range(1..4), 2, rng),
+        2 => generate::planted_path_query(h.graph(), rng.gen_range(1..4), rng)
+            .unwrap_or_else(|| generate::one_way_path(2, 2, rng)),
+        3 => generate::two_way_path(rng.gen_range(1..4), 1, rng),
+        _ => generate::connected(rng.gen_range(2..5), 1, 2, rng),
+    };
+    match rng.gen_range(0..6) {
+        0 => Request::probability(query).counting(),
+        1 => Request::probability(query).sensitivity(),
+        2 => Request::ucq(Ucq::new(vec![query, Graph::directed_path(1)])),
+        3 => Request::probability(query).with_provenance(),
+        _ => Request::probability(query),
+    }
+}
+
+/// Field-wise bit-identity of two responses (or errors).
+fn assert_same(a: &Result<Response, SolveError>, b: &Result<Response, SolveError>, ctx: &str) {
+    match (a, b) {
+        (Ok(Response::Probability(x)), Ok(Response::Probability(y))) => {
+            assert_eq!(x.probability, y.probability, "{ctx}");
+            assert_eq!(x.route, y.route, "{ctx}");
+            match (&x.provenance, &y.provenance) {
+                (None, None) => {}
+                (Some(px), Some(py)) => {
+                    assert_eq!(px.negated, py.negated, "{ctx}");
+                    assert_eq!(px.circuit.n_gates(), py.circuit.n_gates(), "{ctx}");
+                }
+                _ => panic!("{ctx}: provenance presence differs"),
+            }
+        }
+        (
+            Ok(Response::Count {
+                worlds: wa,
+                uncertain_edges: ua,
+            }),
+            Ok(Response::Count {
+                worlds: wb,
+                uncertain_edges: ub,
+            }),
+        ) => {
+            assert_eq!(wa, wb, "{ctx}");
+            assert_eq!(ua, ub, "{ctx}");
+        }
+        (
+            Ok(Response::Sensitivity {
+                influences: ia,
+                route: ra,
+            }),
+            Ok(Response::Sensitivity {
+                influences: ib,
+                route: rb,
+            }),
+        ) => {
+            assert_eq!(ia, ib, "{ctx}");
+            assert_eq!(ra, rb, "{ctx}");
+        }
+        (
+            Ok(Response::Ucq {
+                probability: pa,
+                route: ra,
+            }),
+            Ok(Response::Ucq {
+                probability: pb,
+                route: rb,
+            }),
+        ) => {
+            assert_eq!(pa, pb, "{ctx}");
+            assert_eq!(ra, rb, "{ctx}");
+        }
+        (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{ctx}"),
+        (a, b) => panic!("{ctx}: {a:?} vs {b:?}"),
+    }
+}
+
+/// The headline acceptance test: randomized mixed workloads through the
+/// runtime under varied tick/pool settings, all bit-identical to
+/// sequential `Engine::submit`.
+#[test]
+fn runtime_matches_engine_submit_across_knobs() {
+    let mut rng = SmallRng::seed_from_u64(0x2E217);
+    let knobs = [
+        (1usize, 0u64, 1usize),
+        (4, 1, 2),
+        (64, 5, 4),
+        (7, 0, 3),
+        (2, 3, 8),
+    ];
+    for (trial, &(max_batch, max_wait_ms, workers)) in knobs.iter().enumerate() {
+        let profile = if trial % 2 == 0 {
+            ProbProfile::half()
+        } else {
+            ProbProfile::default()
+        };
+        let h = random_instance(&mut rng, profile);
+        let requests: Vec<Request> = (0..rng.gen_range(6..18))
+            .map(|_| random_request(&h, &mut rng))
+            .collect();
+        // The sequential oracle.
+        let engine = Engine::new(h.clone());
+        let expect = engine.submit(&requests);
+        // The runtime under this knob setting.
+        let runtime = Runtime::builder()
+            .max_batch(max_batch)
+            .max_wait(Duration::from_millis(max_wait_ms))
+            .workers(workers)
+            .build();
+        runtime.register(h);
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| runtime.enqueue(r.clone()).expect("under queue_cap"))
+            .collect();
+        for (i, (ticket, want)) in tickets.iter().zip(&expect).enumerate() {
+            assert_same(
+                &ticket.wait(),
+                want,
+                &format!("trial {trial} (b={max_batch}, w={max_wait_ms}ms, k={workers}), req {i}"),
+            );
+        }
+        let stats = runtime.shutdown();
+        assert_eq!(stats.completed, requests.len() as u64, "trial {trial}");
+        assert_eq!(stats.workers_started as usize, workers, "trial {trial}");
+    }
+}
+
+/// The soak test: many producer threads fire mixed requests at one
+/// runtime serving two instance versions, with a small queue so
+/// backpressure genuinely kicks in; every answer is bit-identical to a
+/// sequential `Engine::submit` of the same request.
+#[test]
+fn soak_concurrent_producers_stay_bit_identical() {
+    let mut rng = SmallRng::seed_from_u64(0x50A1 ^ 0xFFF);
+    let h1 = generate::with_probabilities(
+        generate::two_way_path(10, 2, &mut rng),
+        ProbProfile::default(),
+        &mut rng,
+    );
+    let h2 = generate::with_probabilities(
+        generate::downward_tree(8, 2, &mut rng),
+        ProbProfile::half(),
+        &mut rng,
+    );
+    let oracle1 = Engine::new(h1.clone());
+    let oracle2 = Engine::new(h2.clone());
+    let runtime = Runtime::builder()
+        .max_batch(16)
+        .max_wait(Duration::from_millis(1))
+        .queue_cap(32)
+        .workers(4)
+        .build();
+    let v1 = runtime.register(h1.clone());
+    let v2 = runtime.register(h2.clone());
+    const PRODUCERS: usize = 8;
+    const PER_PRODUCER: usize = 40;
+    std::thread::scope(|scope| {
+        let (runtime, oracle1, oracle2, h1, h2) = (&runtime, &oracle1, &oracle2, &h1, &h2);
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0x50AC + p as u64);
+                    for j in 0..PER_PRODUCER {
+                        let (version, h, oracle) = if rng.gen_bool(0.5) {
+                            (v1, h1, oracle1)
+                        } else {
+                            (v2, h2, oracle2)
+                        };
+                        let request = random_request(h, &mut rng);
+                        // Backpressure: retry until admitted; admitted
+                        // tickets must never be lost.
+                        let ticket = loop {
+                            match runtime.enqueue_to(version, request.clone()) {
+                                Ok(ticket) => break ticket,
+                                Err(SolveError::Overloaded { capacity }) => {
+                                    assert_eq!(capacity, 32, "producer {p}");
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("producer {p}, req {j}: {e}"),
+                            }
+                        };
+                        let got = ticket.wait();
+                        let want = oracle.submit(std::slice::from_ref(&request));
+                        assert_same(&got, &want[0], &format!("producer {p}, req {j}"));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("producer");
+        }
+    });
+    let stats = runtime.shutdown();
+    let total = (PRODUCERS * PER_PRODUCER) as u64;
+    assert_eq!(stats.completed, total, "{stats:?}");
+    assert_eq!(stats.total_tick_requests, stats.admitted, "{stats:?}");
+    assert_eq!(stats.workers_started, 4, "pool spawned once: {stats:?}");
+    assert!(stats.ticks > 0, "{stats:?}");
+    assert!(stats.max_tick_requests <= 16, "{stats:?}");
+    assert!(
+        stats.cache.hits > 0,
+        "repeated requests must hit the shared cache: {stats:?}"
+    );
+}
+
+/// Backpressure: a full queue answers `Overloaded` immediately, with
+/// the configured capacity, and every already-admitted ticket still
+/// completes (the shutdown drains them).
+#[test]
+fn overloaded_rejects_without_losing_admitted_tickets() {
+    let h = ProbGraph::new(
+        Graph::directed_path(2),
+        vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+    );
+    // A huge batch bound plus a long wait keeps the queue parked until
+    // shutdown, so admission control is what we observe.
+    let runtime = Runtime::builder()
+        .max_batch(10_000)
+        .max_wait(Duration::from_secs(60))
+        .queue_cap(4)
+        .workers(1)
+        .build();
+    runtime.register(h);
+    let request = Request::probability(Graph::directed_path(1));
+    let mut admitted = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..20 {
+        match runtime.enqueue(request.clone()) {
+            Ok(ticket) => admitted.push(ticket),
+            Err(SolveError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 4);
+                rejected += 1;
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+    assert_eq!(admitted.len(), 4, "exactly queue_cap admitted");
+    assert_eq!(rejected, 16);
+    assert_eq!(runtime.stats().queue_depth, 4);
+    for ticket in &admitted {
+        assert!(ticket.try_get().is_none(), "parked until the tick fires");
+    }
+    // Graceful shutdown drains the admitted tickets through final ticks.
+    let stats = runtime.shutdown();
+    for ticket in &admitted {
+        let answer = ticket.try_get().expect("drained at shutdown");
+        let Ok(Response::Probability(sol)) = answer else {
+            panic!("{answer:?}");
+        };
+        assert_eq!(sol.probability, Rational::from_ratio(3, 4));
+    }
+    assert_eq!(stats.completed, 4, "{stats:?}");
+    assert_eq!(stats.rejected, 16, "{stats:?}");
+    assert_eq!(stats.queue_depth, 0, "{stats:?}");
+}
+
+/// Cancellation resolves a parked ticket immediately with
+/// `Err(Cancelled)`, the runtime skips its execution, and the rest of
+/// the tick is unaffected.
+#[test]
+fn cancellation_skips_execution() {
+    let h = ProbGraph::new(
+        Graph::directed_path(2),
+        vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+    );
+    let runtime = Runtime::builder()
+        .max_batch(10_000)
+        .max_wait(Duration::from_millis(50))
+        .workers(1)
+        .build();
+    runtime.register(h);
+    let keep = runtime
+        .enqueue(Request::probability(Graph::directed_path(1)))
+        .unwrap();
+    let dropped = runtime
+        .enqueue(Request::probability(Graph::directed_path(2)))
+        .unwrap();
+    assert!(dropped.cancel(), "parked ticket cancels");
+    assert!(dropped.is_done(), "cancellation resolves immediately");
+    assert!(matches!(dropped.wait(), Err(SolveError::Cancelled)));
+    assert!(!dropped.cancel(), "second cancel is a no-op");
+    // The un-cancelled neighbor still answers after the wait window.
+    let Ok(Response::Probability(sol)) = keep.wait() else {
+        panic!("kept ticket must answer");
+    };
+    assert_eq!(sol.probability, Rational::from_ratio(3, 4));
+    let stats = runtime.shutdown();
+    assert_eq!(stats.cancelled, 1, "{stats:?}");
+    assert_eq!(stats.completed, 1, "{stats:?}");
+}
+
+/// Tickets expose non-blocking probes and bounded waits.
+#[test]
+fn tickets_support_nonblocking_probes_and_timeouts() {
+    let h = ProbGraph::new(Graph::directed_path(1), vec![Rational::from_ratio(1, 3)]);
+    let runtime = Runtime::builder()
+        .max_batch(10_000)
+        .max_wait(Duration::from_millis(100))
+        .workers(1)
+        .build();
+    runtime.register(h);
+    let ticket = runtime
+        .enqueue(Request::probability(Graph::directed_path(1)))
+        .unwrap();
+    // The tick cannot have fired yet (100 ms of batching patience).
+    assert!(ticket.try_get().is_none());
+    assert!(!ticket.is_done());
+    assert!(
+        ticket.wait_timeout(Duration::from_millis(1)).is_none(),
+        "bounded wait gives up while parked"
+    );
+    let answer = ticket
+        .wait_timeout(Duration::from_secs(30))
+        .expect("tick fires after max_wait");
+    assert_eq!(
+        answer.unwrap().probability(),
+        Some(&Rational::from_ratio(1, 3))
+    );
+    runtime.shutdown();
+}
+
+/// The router dispatches by version fingerprint, rejects unknown
+/// versions at enqueue time, and hot-swaps registrations.
+#[test]
+fn router_dispatches_by_version() {
+    let g = Graph::directed_path(2);
+    let h1 = ProbGraph::new(
+        g.clone(),
+        vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+    );
+    let h2 = ProbGraph::new(g, vec![Rational::one(), Rational::from_ratio(1, 2)]);
+    let runtime = Runtime::builder()
+        .max_batch(4)
+        .max_wait(Duration::from_millis(1))
+        .workers(2)
+        .build();
+    let v1 = runtime.register(h1);
+    let v2 = runtime.register(h2);
+    assert_ne!(v1, v2);
+    assert_eq!(runtime.versions().len(), 2);
+    let q = Request::probability(Graph::directed_path(1));
+    let t1 = runtime.enqueue_to(v1, q.clone()).unwrap();
+    let t2 = runtime.enqueue_to(v2, q.clone()).unwrap();
+    assert_eq!(
+        t1.wait().unwrap().probability(),
+        Some(&Rational::from_ratio(3, 4))
+    );
+    assert_eq!(t2.wait().unwrap().probability(), Some(&Rational::one()));
+    // Unknown version: typed rejection, no ticket.
+    assert!(matches!(
+        runtime.enqueue_to(v1 ^ v2 ^ 1, q.clone()),
+        Err(SolveError::InvalidQuery(_))
+    ));
+    // Deregistered version: same.
+    assert!(runtime.deregister(v2));
+    assert!(matches!(
+        runtime.enqueue_to(v2, q.clone()),
+        Err(SolveError::InvalidQuery(_))
+    ));
+    // The default route (first registered) still serves.
+    let t = runtime.enqueue(q).unwrap();
+    assert!(t.wait().is_ok());
+    runtime.shutdown();
+}
+
+/// An admitted request completes even when its version is deregistered
+/// before the tick fires (each admitted entry pins its engine at
+/// admission time), and an unbounded `max_wait` means "flush by count
+/// or shutdown only" — not an `Instant`-overflow panic in the batcher.
+#[test]
+fn admitted_requests_survive_deregistration_and_unbounded_waits() {
+    let h = ProbGraph::new(Graph::directed_path(1), vec![Rational::from_ratio(1, 2)]);
+    let runtime = Runtime::builder()
+        .max_batch(10_000)
+        .max_wait(Duration::MAX) // no timer flush, ever
+        .workers(1)
+        .build();
+    let v = runtime.register(h);
+    let parked = runtime
+        .enqueue_to(v, Request::probability(Graph::directed_path(1)))
+        .unwrap();
+    assert!(runtime.deregister(v));
+    assert!(matches!(
+        runtime.enqueue_to(v, Request::probability(Graph::directed_path(0))),
+        Err(SolveError::InvalidQuery(_))
+    ));
+    // The shutdown drain flushes the parked tick; the pinned engine
+    // answers it despite the deregistration.
+    let stats = runtime.shutdown();
+    let answer = parked.try_get().expect("drained at shutdown");
+    assert_eq!(
+        answer.unwrap().probability(),
+        Some(&Rational::from_ratio(1, 2))
+    );
+    assert_eq!(stats.completed, 1, "{stats:?}");
+}
+
+/// Dropping a runtime without calling `shutdown` still drains admitted
+/// work and joins every thread (no detached workers, no lost tickets).
+#[test]
+fn drop_is_a_graceful_shutdown() {
+    let h = ProbGraph::new(Graph::directed_path(1), vec![Rational::from_ratio(1, 2)]);
+    let ticket;
+    {
+        let runtime = Runtime::builder()
+            .max_batch(10_000)
+            .max_wait(Duration::from_secs(60))
+            .workers(2)
+            .build();
+        runtime.register(h);
+        ticket = runtime
+            .enqueue(Request::probability(Graph::directed_path(1)))
+            .unwrap();
+        // Parked: the tick would fire in 60 s, but the drop drains now.
+    }
+    let answer = ticket.try_get().expect("drained by drop");
+    assert_eq!(
+        answer.unwrap().probability(),
+        Some(&Rational::from_ratio(1, 2))
+    );
+}
+
+/// Heavy repetition across ticks rides the shared answer cache — the
+/// second wave of identical requests is served from planning alone
+/// (no shard executes), and the counters prove it.
+#[test]
+fn repeated_ticks_serve_from_the_shared_cache() {
+    let mut rng = SmallRng::seed_from_u64(0xCAC4E);
+    let h = generate::with_probabilities(
+        generate::two_way_path(12, 2, &mut rng),
+        ProbProfile::default(),
+        &mut rng,
+    );
+    let q = generate::planted_path_query(h.graph(), 3, &mut rng)
+        .unwrap_or_else(|| generate::one_way_path(2, 2, &mut rng));
+    let runtime = Runtime::builder()
+        .max_batch(8)
+        .max_wait(Duration::from_millis(1))
+        .workers(2)
+        .build();
+    runtime.register(h);
+    let request = Request::probability(q);
+    let first: Vec<Ticket> = (0..8)
+        .map(|_| runtime.enqueue(request.clone()).unwrap())
+        .collect();
+    let answers: Vec<_> = first.iter().map(|t| t.wait()).collect();
+    let again: Vec<Ticket> = (0..8)
+        .map(|_| runtime.enqueue(request.clone()).unwrap())
+        .collect();
+    for (a, t) in answers.iter().zip(&again) {
+        assert_same(a, &t.wait(), "warm tick");
+    }
+    let stats = runtime.shutdown();
+    assert!(
+        stats.batch_cache_hits > 0,
+        "warm ticks answer at plan time: {stats:?}"
+    );
+    assert_eq!(stats.cache.misses, 1, "one unique query overall: {stats:?}");
+}
