@@ -264,6 +264,91 @@ fn json_smoke() {
             tickets.into_iter().map(wait_prob).sum()
         });
 
+        // Adaptive runtime tick: the same k = 16 workload against a
+        // runtime with the latency-aware controller enabled — tracks
+        // the overhead of adaptive tick sizing on the warm tick path
+        // (the controller reads two atomics per flush and adjusts
+        // after the tick; answers are bit-identical either way).
+        let adaptive = phom_serve::Runtime::builder()
+            .max_batch(16)
+            .max_wait(std::time::Duration::from_millis(50))
+            .queue_cap(1024)
+            .workers(4)
+            .adaptive(true)
+            .build();
+        adaptive.register(h.clone());
+        let warm: Vec<_> = requests
+            .iter()
+            .map(|r| adaptive.enqueue(r.clone()).expect("admitted"))
+            .collect();
+        for (s, ticket) in solo.iter().zip(warm) {
+            let got = ticket.wait().expect("tractable");
+            assert_eq!(
+                s.probability,
+                got.solution().expect("probability request").probability,
+                "adaptive runtime must be bit-identical"
+            );
+        }
+        json_entry(&mut entries, "adaptive_tick_k16", 16, || {
+            let tickets: Vec<_> = requests
+                .iter()
+                .map(|r| adaptive.enqueue(r.clone()).expect("admitted"))
+                .collect();
+            tickets.into_iter().map(wait_prob).sum()
+        });
+
+        // Network round trip: the same k = 16 workload submitted and
+        // polled over loopback TCP through the phom_net front end —
+        // the full stack (frame encode → reader thread → bounded
+        // ingress → tick → poll delivery) on a warm cache. The gap to
+        // runtime_tick_k16 is the wire cost itself.
+        {
+            use phom_net::{Client, Server, WireRequest};
+            let runtime = std::sync::Arc::new(
+                phom_serve::Runtime::builder()
+                    .max_batch(16)
+                    .max_wait(std::time::Duration::from_millis(50))
+                    .workers(4)
+                    .build(),
+            );
+            let server =
+                Server::bind("127.0.0.1:0", std::sync::Arc::clone(&runtime)).expect("bind");
+            let mut client = Client::connect(server.local_addr()).expect("connect");
+            let version = client.register(&h).expect("register");
+            let wire_requests: Vec<WireRequest> = queries
+                .iter()
+                .map(|q| WireRequest::probability(q.clone()))
+                .collect();
+            // Warm pass, cross-checked against the solo answers.
+            for (s, r) in solo.iter().zip(&wire_requests) {
+                let ticket = client.submit(version, r).expect("admitted");
+                let answer = client.wait(ticket).expect("tractable");
+                assert_eq!(
+                    answer.get("p").and_then(|p| p.as_str()),
+                    Some(s.probability.to_string().as_str()),
+                    "wire must be bit-identical"
+                );
+            }
+            json_entry(&mut entries, "net_roundtrip_k16", 16, || {
+                let tickets: Vec<u64> = wire_requests
+                    .iter()
+                    .map(|r| client.submit(version, r).expect("admitted"))
+                    .collect();
+                tickets
+                    .into_iter()
+                    .map(|t| {
+                        let answer = client.wait(t).expect("tractable");
+                        phom_graph::io::parse_rational(
+                            answer.get("p").and_then(|p| p.as_str()).expect("p"),
+                        )
+                        .expect("rational")
+                        .to_f64()
+                    })
+                    .sum()
+            });
+            server.shutdown(std::time::Duration::from_secs(2));
+        }
+
         // Saturated runtime: the same 16 requests against a queue
         // bounded to 8 — admission control rejects the overflow with
         // `Overloaded` and the producer drains a ticket before

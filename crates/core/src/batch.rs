@@ -392,6 +392,11 @@ pub struct BatchStats {
     pub shared_gates: usize,
     /// Worker shards the batch ran on (1 = the sequential path).
     pub shards: usize,
+    /// Whether the batch compiled its circuit plans into **one**
+    /// cross-shard shared arena (the large-tick path — see
+    /// [`TickConfig::share_arena_at`](crate::TickConfig::share_arena_at))
+    /// instead of one arena per shard.
+    pub shared_arena: bool,
 }
 
 /// Batched solving: answers every query in `queries` against `instance`,

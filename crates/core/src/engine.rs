@@ -447,7 +447,11 @@ impl Engine {
         &self,
         requests: &[Request],
     ) -> (Vec<Result<Response, SolveError>>, BatchStats) {
-        let mut tick = plan_tick(self, requests, self.threads);
+        let config = TickConfig {
+            shards: self.threads,
+            share_arena_at: None,
+        };
+        let mut tick = plan_tick(self, requests, &config);
         let units = std::mem::take(&mut tick.units);
         let outputs = run_units_scoped(self, units, self.threads);
         finish_tick(self, tick, outputs)
@@ -769,11 +773,25 @@ struct ShardOutcome {
     general_solved: usize,
 }
 
+/// One circuit compiled into a shared arena, waiting for its partition's
+/// multi-root evaluation pass: (unique slot, root gate, negated, route).
+type DeferredRoot = (usize, GateId, bool, Route);
+
 /// One independent, owned unit of tick work: a shard of planned
-/// probability queries, or a single non-probability request.
+/// probability queries, a partition of a **cross-shard shared arena**
+/// (large ticks — every circuit compiled into one arena, each unit
+/// evaluating its slice of the roots), or a single non-probability
+/// request.
 enum UnitWork {
     Shard(Vec<PendingSlot>),
-    Single { index: usize, request: Request },
+    SharedEval {
+        arena: Arc<Arena>,
+        items: Vec<DeferredRoot>,
+    },
+    Single {
+        index: usize,
+        request: Request,
+    },
 }
 
 /// The index-tagged output of one [`UnitWork`] — scheduling order never
@@ -817,11 +835,37 @@ struct PlannedTick {
     units: Vec<UnitWork>,
 }
 
+/// How a tick splits its work across units — the knobs of the
+/// [`Engine::begin_tick_with`] seam.
+#[derive(Clone, Copy, Debug)]
+pub struct TickConfig {
+    /// Probability work is split across at most this many units.
+    pub shards: usize,
+    /// Cross-shard arena sharing: when at least this many unique,
+    /// uncached probability queries must be solved, every
+    /// circuit-compilable plan is compiled into **one** shared arena at
+    /// plan time and the roots are partitioned across the shards (one
+    /// multi-root pass per unit) — instead of each shard compiling its
+    /// own arena. `None` keeps per-shard arenas always. Answers are
+    /// bit-identical either way; sharing trades plan-time compilation
+    /// for maximal gate interning across the whole tick.
+    pub share_arena_at: Option<usize>,
+}
+
+impl Default for TickConfig {
+    fn default() -> Self {
+        TickConfig {
+            shards: 1,
+            share_arena_at: None,
+        }
+    }
+}
+
 /// Intern → cache probe → plan → shard: everything before execution.
 /// The cache lock is held only around the probe; planning is pure reads
 /// over the shared instance state and runs sequentially, so slot order
 /// stays deterministic.
-fn plan_tick(engine: &Engine, requests: &[Request], shards: usize) -> PlannedTick {
+fn plan_tick(engine: &Engine, requests: &[Request], config: &TickConfig) -> PlannedTick {
     let shared = SharedInstance::new(&engine.instance, &engine.state);
     let mut prob_items: Vec<BatchItem> = Vec::new();
     let mut prob_req: Vec<usize> = Vec::new();
@@ -863,7 +907,19 @@ fn plan_tick(engine: &Engine, requests: &[Request], shards: usize) -> PlannedTic
         prepared
     };
     let pending = plan_pending(shared, &prob_items, &mut prepared);
-    let mut units = shard_units(pending, shards, &mut prepared.stats);
+    // Large ticks on a connected instance may compile into one shared
+    // arena; what does not compile falls through to per-shard units.
+    let share = config
+        .share_arena_at
+        .is_some_and(|t| pending.len() >= t.max(1))
+        && shared.ic().is_connected();
+    let (shared_units, pending) = if share {
+        split_shared_arena(shared, pending, config.shards, &mut prepared.stats)
+    } else {
+        (Vec::new(), pending)
+    };
+    let mut units = shard_units(pending, config.shards, &mut prepared.stats);
+    units.extend(shared_units);
     units.extend(singles);
     PlannedTick {
         n_requests: requests.len(),
@@ -1044,6 +1100,9 @@ fn run_unit(engine: &Engine, work: UnitWork) -> UnitOutput {
             let shared = SharedInstance::new(&engine.instance, &engine.state);
             UnitOutput::Shard(run_shard_guarded(shared, work))
         }
+        UnitWork::SharedEval { arena, items } => {
+            UnitOutput::Shard(run_shared_eval_guarded(engine, &arena, items))
+        }
         UnitWork::Single { index, request } => {
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 test_support::maybe_panic();
@@ -1148,6 +1207,125 @@ fn finalize_batch(
     }
     let results = slot_of_item.iter().map(|&s| slots[s].clone()).collect();
     (results, stats)
+}
+
+/// Evaluates one partition of a cross-shard shared arena: a single
+/// multi-root engine pass restricted to this partition's root cones.
+/// Panic containment mirrors [`run_shard_guarded`].
+fn run_shared_eval_guarded(
+    engine: &Engine,
+    arena: &Arena,
+    items: Vec<DeferredRoot>,
+) -> ShardOutcome {
+    let slots: Vec<usize> = items.iter().map(|d| d.0).collect();
+    let n = items.len();
+    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+        test_support::maybe_panic();
+        let roots: Vec<GateId> = items.iter().map(|d| d.1).collect();
+        let values =
+            arena.probability_many_with(&roots, engine.instance.probs(), &mut EvalScratch::new());
+        ShardOutcome {
+            results: items
+                .into_iter()
+                .zip(values)
+                .map(|((slot, _, negated, route), value)| {
+                    let probability = if negated { value.one_minus() } else { value };
+                    (
+                        slot,
+                        Ok(Solution {
+                            probability,
+                            route,
+                            provenance: None,
+                        }),
+                    )
+                })
+                .collect(),
+            gates: 0, // the shared arena's gates are counted once, at plan time
+            circuit_batched: n,
+            general_solved: 0,
+        }
+    })) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            ShardOutcome {
+                results: slots
+                    .into_iter()
+                    .map(|slot| (slot, Err(SolveError::Internal(message.clone()))))
+                    .collect(),
+                gates: 0,
+                circuit_batched: 0,
+                general_solved: 0,
+            }
+        }
+    }
+}
+
+/// The cross-shard shared-arena split: compiles every circuit-compilable
+/// pending plan into **one** arena (sequentially, at plan time — gate
+/// interning across queries maximizes sharing) and partitions the
+/// resulting roots round-robin into [`UnitWork::SharedEval`] units, one
+/// multi-root pass each. Plans that don't compile (general routes,
+/// provenance requests, failed compilations) are returned for the
+/// ordinary per-shard path. A query's compiled circuit — and therefore
+/// its exact rational probability — does not depend on which arena it
+/// lands in, so answers stay bit-identical to the per-shard path.
+fn split_shared_arena(
+    shared: SharedInstance<'_>,
+    pending: Vec<PendingSlot>,
+    shards: usize,
+    stats: &mut BatchStats,
+) -> (Vec<UnitWork>, Vec<PendingSlot>) {
+    let instance = shared.instance;
+    let mut arena = Arena::new(instance.graph().n_edges());
+    let mut deferred: Vec<DeferredRoot> = Vec::new();
+    let mut rest: Vec<PendingSlot> = Vec::new();
+    for pending in pending {
+        if !pending.opts.want_provenance {
+            match &pending.planned.plan {
+                Plan::Prop411 { effective } => {
+                    if let Some(root) =
+                        lineage_circuits::match_into_2wp(&mut arena, effective, instance.graph())
+                    {
+                        deferred.push((pending.slot, root, false, Route::Prop411));
+                        continue;
+                    }
+                }
+                Plan::Prop410 => {
+                    if let Some(root) = lineage_circuits::fail_into_dwt(
+                        &mut arena,
+                        &pending.planned.absorbed,
+                        instance.graph(),
+                    ) {
+                        deferred.push((pending.slot, root, true, Route::Prop410));
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest.push(pending);
+    }
+    if deferred.is_empty() {
+        return (Vec::new(), rest);
+    }
+    stats.shared_arena = true;
+    stats.shared_gates += arena.n_gates();
+    let arena = Arc::new(arena);
+    let partitions = shards.max(1).min(deferred.len());
+    let mut buckets: Vec<Vec<DeferredRoot>> = Vec::new();
+    buckets.resize_with(partitions, Vec::new);
+    for (i, d) in deferred.into_iter().enumerate() {
+        buckets[i % partitions].push(d);
+    }
+    let units = buckets
+        .into_iter()
+        .map(|items| UnitWork::SharedEval {
+            arena: Arc::clone(&arena),
+            items,
+        })
+        .collect();
+    (units, rest)
 }
 
 /// Executes one shard with panic containment: a panicking plan turns
@@ -1314,9 +1492,25 @@ impl Engine {
     /// Plans `requests` into a [`Tick`] whose probability work is split
     /// across at most `shards` units (plus one unit per counting /
     /// sensitivity / UCQ request). Cache hits are answered during
-    /// planning and produce no units at all.
+    /// planning and produce no units at all. Per-shard arenas only; see
+    /// [`begin_tick_with`](Engine::begin_tick_with) for the cross-shard
+    /// shared-arena knob.
     pub fn begin_tick(self: &Arc<Self>, requests: &[Request], shards: usize) -> Tick {
-        let mut plan = plan_tick(self, requests, shards);
+        self.begin_tick_with(
+            requests,
+            &TickConfig {
+                shards,
+                share_arena_at: None,
+            },
+        )
+    }
+
+    /// As [`begin_tick`](Engine::begin_tick), with the full
+    /// [`TickConfig`] — including
+    /// [`share_arena_at`](TickConfig::share_arena_at), the cross-shard
+    /// shared-arena threshold the serving runtime uses for large ticks.
+    pub fn begin_tick_with(self: &Arc<Self>, requests: &[Request], config: &TickConfig) -> Tick {
+        let mut plan = plan_tick(self, requests, config);
         let units = std::mem::take(&mut plan.units)
             .into_iter()
             .map(|work| TickUnit {
@@ -1379,6 +1573,7 @@ impl TickUnit {
     pub fn n_requests(&self) -> usize {
         match &self.work {
             UnitWork::Shard(work) => work.len(),
+            UnitWork::SharedEval { items, .. } => items.len(),
             UnitWork::Single { .. } => 1,
         }
     }

@@ -42,7 +42,9 @@ pub mod xpath;
 pub use batch::{instance_fingerprint, BatchStats, CacheHandle, CacheStats, EvalCache, QueryKey};
 #[allow(deprecated)] // the shims stay exported so no caller breaks
 pub use batch::{solve_many, solve_many_cached, solve_many_stats};
-pub use engine::{Engine, EngineBuilder, Fleet, Request, Response, Tick, TickOutput, TickUnit};
+pub use engine::{
+    Engine, EngineBuilder, Fleet, Request, Response, Tick, TickConfig, TickOutput, TickUnit,
+};
 #[allow(deprecated)] // the shims stay exported so no caller breaks
 pub use solver::{solve, solve_with};
 pub use solver::{Fallback, Hardness, Route, Solution, SolveError, SolverOptions};

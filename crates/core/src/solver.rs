@@ -168,6 +168,22 @@ pub enum SolveError {
     Internal(String),
 }
 
+impl SolveError {
+    /// The stable, machine-readable error code spoken by the network
+    /// front end (`phom_net` error frames). One code per variant;
+    /// existing codes never change — remote clients match on them.
+    pub fn wire_code(&self) -> &'static str {
+        match self {
+            SolveError::Hard(_) => "hard",
+            SolveError::InvalidQuery(_) => "invalid_query",
+            SolveError::BudgetExceeded { .. } => "budget_exceeded",
+            SolveError::Overloaded { .. } => "overloaded",
+            SolveError::Cancelled => "cancelled",
+            SolveError::Internal(_) => "internal",
+        }
+    }
+}
+
 impl From<Hardness> for SolveError {
     fn from(h: Hardness) -> Self {
         SolveError::Hard(h)

@@ -1,0 +1,241 @@
+//! A small blocking client for the wire protocol — what the examples,
+//! the differential tests, and downstream tooling speak. One request in
+//! flight per connection; open several connections for concurrency
+//! (each gets its own server-side reader thread).
+
+use crate::json::Json;
+use crate::wire::{self, read_frame, write_frame, WireRequest};
+use phom_graph::ProbGraph;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum NetError {
+    /// The connection failed (including a server that closed mid-call).
+    Io(io::Error),
+    /// The server answered a typed error frame. `code` is stable
+    /// ([`SolveError::wire_code`](phom_core::SolveError::wire_code) for
+    /// solver-side errors, `bad_frame`/`bad_request`/`unknown_ticket`
+    /// for protocol errors).
+    Server {
+        /// The stable error code.
+        code: String,
+        /// Human-readable message.
+        msg: String,
+        /// `overloaded` errors carry the queue capacity that was hit.
+        capacity: Option<usize>,
+    },
+    /// The server answered something the client could not interpret.
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Server { code, msg, .. } => write!(f, "server error [{code}]: {msg}"),
+            NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl NetError {
+    /// True for the `overloaded` backpressure frame.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, NetError::Server { code, .. } if code == "overloaded")
+    }
+
+    /// True for the `cancelled` code (explicit cancellation, or a
+    /// draining/shut-down server refusing new work).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, NetError::Server { code, .. } if code == "cancelled")
+    }
+}
+
+/// A blocking connection to a [`Server`](crate::Server).
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects with the default frame bound.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // The protocol is small request/reply frames: Nagle + delayed
+        // ACKs would add tens of milliseconds per round trip.
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_frame: wire::MAX_FRAME,
+        })
+    }
+
+    /// One request/reply exchange; unwraps the `ok`/`err` envelope.
+    fn call(&mut self, request: Json) -> Result<Json, NetError> {
+        write_frame(&mut self.stream, &request)?;
+        let reply = read_frame(&mut self.stream, self.max_frame)?
+            .ok_or_else(|| NetError::Io(io::ErrorKind::UnexpectedEof.into()))?;
+        if let Some(ok) = reply.get("ok") {
+            return Ok(ok.clone());
+        }
+        if let Some(err) = reply.get("err") {
+            return Err(NetError::Server {
+                code: err
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                msg: err
+                    .get("msg")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                capacity: err
+                    .get("capacity")
+                    .and_then(Json::as_u64)
+                    .map(|n| n as usize),
+            });
+        }
+        Err(NetError::Protocol(format!("unrecognized reply: {reply}")))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        self.call(Json::obj(vec![("op", Json::str("ping"))]))
+            .map(|_| ())
+    }
+
+    /// Registers an instance version server-side; returns its routing
+    /// fingerprint.
+    pub fn register(&mut self, instance: &ProbGraph) -> Result<u64, NetError> {
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("register")),
+            ("instance", wire::encode_instance(instance)),
+        ]))?;
+        reply
+            .get("version")
+            .ok_or_else(|| NetError::Protocol("register reply lacks 'version'".into()))
+            .and_then(|v| wire::decode_version(v).map_err(NetError::Protocol))
+    }
+
+    /// Submits a request for `version`; returns the server-side ticket
+    /// id. A full ingress queue surfaces as an `overloaded`
+    /// [`NetError::Server`] — backpressure, retry after backing off.
+    pub fn submit(&mut self, version: u64, request: &WireRequest) -> Result<u64, NetError> {
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("submit")),
+            ("version", wire::encode_version(version)),
+            ("request", request.encode()),
+        ]))?;
+        reply
+            .get("ticket")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| NetError::Protocol("submit reply lacks 'ticket'".into()))
+    }
+
+    /// Polls a ticket, blocking server-side up to `wait` (capped by the
+    /// server). `Ok(None)` while pending; `Ok(Some(result))` delivers
+    /// the canonical result object exactly once (the ticket is then
+    /// gone).
+    pub fn poll(&mut self, ticket: u64, wait: Duration) -> Result<Option<Json>, NetError> {
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("poll")),
+            ("ticket", Json::u64(ticket)),
+            (
+                "wait_ms",
+                Json::u64(wait.as_millis().min(u128::from(u64::MAX)) as u64),
+            ),
+        ]))?;
+        match reply.get("done").and_then(Json::as_bool) {
+            Some(false) => Ok(None),
+            Some(true) => reply
+                .get("result")
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| NetError::Protocol("done poll lacks 'result'".into())),
+            None => Err(NetError::Protocol("poll reply lacks 'done'".into())),
+        }
+    }
+
+    /// Polls until the answer arrives (no overall deadline — callers
+    /// wanting one should loop over [`poll`](Client::poll)).
+    pub fn wait(&mut self, ticket: u64) -> Result<Json, NetError> {
+        loop {
+            if let Some(result) = self.poll(ticket, Duration::from_millis(500))? {
+                return Ok(result);
+            }
+        }
+    }
+
+    /// Polls until the answer arrives or `deadline` elapses.
+    pub fn wait_deadline(
+        &mut self,
+        ticket: u64,
+        deadline: Duration,
+    ) -> Result<Option<Json>, NetError> {
+        let until = Instant::now() + deadline;
+        loop {
+            let left = until.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(None);
+            }
+            if let Some(result) = self.poll(ticket, left.min(Duration::from_millis(500)))? {
+                return Ok(Some(result));
+            }
+        }
+    }
+
+    /// Cancels a ticket (best effort — `Ok(true)` when the cancellation
+    /// resolved it before the answer landed).
+    pub fn cancel(&mut self, ticket: u64) -> Result<bool, NetError> {
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("cancel")),
+            ("ticket", Json::u64(ticket)),
+        ]))?;
+        reply
+            .get("cancelled")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| NetError::Protocol("cancel reply lacks 'cancelled'".into()))
+    }
+
+    /// The server's stats snapshot (runtime + front-end counters).
+    pub fn stats(&mut self) -> Result<Json, NetError> {
+        self.call(Json::obj(vec![("op", Json::str("stats"))]))?
+            .get("stats")
+            .cloned()
+            .ok_or_else(|| NetError::Protocol("stats reply lacks 'stats'".into()))
+    }
+
+    /// Sends a raw frame and returns the raw reply — protocol tests and
+    /// debugging.
+    pub fn call_raw(&mut self, request: Json) -> Result<Json, NetError> {
+        write_frame(&mut self.stream, &request)?;
+        read_frame(&mut self.stream, self.max_frame)?
+            .ok_or_else(|| NetError::Io(io::ErrorKind::UnexpectedEof.into()))
+    }
+
+    /// Frames arbitrary payload bytes (valid length prefix, any
+    /// content) and reads the reply — for driving the server's
+    /// malformed-input handling in tests.
+    pub fn call_frame_raw(&mut self, payload: &[u8]) -> Result<Json, NetError> {
+        use std::io::Write as _;
+        let len = u32::try_from(payload.len())
+            .map_err(|_| NetError::Protocol("payload too large to frame".into()))?;
+        self.stream.write_all(&len.to_be_bytes())?;
+        self.stream.write_all(payload)?;
+        self.stream.flush()?;
+        read_frame(&mut self.stream, self.max_frame)?
+            .ok_or_else(|| NetError::Io(io::ErrorKind::UnexpectedEof.into()))
+    }
+}

@@ -1,0 +1,404 @@
+//! A minimal JSON value: parser and writer, ~250 lines, no
+//! dependencies. The offline build image rules out serde, the wire
+//! protocol needs exactly one frame format, and a hand-rolled value
+//! keeps object key order — which makes serialization **deterministic**,
+//! the property the differential test suite compares bit-for-bit.
+
+use std::fmt;
+
+/// A JSON value. Objects preserve insertion order, so encoding the same
+/// value always produces the same bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// All JSON numbers, as f64 (integers are exact up to 2^53 — ticket
+    /// ids and counters fit; 64-bit fingerprints travel as hex strings).
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from key/value pairs (order preserved).
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number value from anything that converts to f64.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// A u64 as a JSON number (exact up to 2^53; counters and ids only —
+    /// full 64-bit fingerprints must travel as strings).
+    pub fn u64(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Member lookup on an object (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an exactly-representable unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (trailing whitespace allowed, nothing
+    /// else). Nesting is bounded ([`MAX_DEPTH`]): the input comes off
+    /// the network, and unbounded recursion would let one frame of
+    /// brackets overflow the reader thread's stack.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                    write!(f, "{}", *n as i64)
+                } else if n.is_finite() {
+                    write!(f, "{n}")
+                } else {
+                    // JSON has no Infinity/NaN; never emit invalid bytes.
+                    write!(f, "null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+/// Maximum bracket/brace nesting accepted by the parser.
+pub const MAX_DEPTH: usize = 64;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected '{lit}' at offset {pos}"))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH}"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        // Combine surrogate pairs; lone surrogates become
+                        // the replacement character.
+                        let code = if (0xD800..0xDC00).contains(&hi)
+                            && bytes.get(*pos + 1..*pos + 3) == Some(b"\\u")
+                        {
+                            let lo = parse_hex4(bytes, *pos + 3)?;
+                            if (0xDC00..0xE000).contains(&lo) {
+                                *pos += 6;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            }
+                        } else {
+                            hi
+                        };
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so
+                // boundaries are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let slice = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| "truncated \\u escape".to_string())?;
+    let text = std::str::from_utf8(slice).map_err(|e| e.to_string())?;
+    u32::from_str_radix(text, 16).map_err(|e| e.to_string())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .ok()
+        .filter(|n| n.is_finite()) // "1e999" parses to inf — not JSON
+        .ok_or_else(|| format!("bad number '{text}' at offset {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_values() {
+        let cases = [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-17",
+            "3.5",
+            "\"hi\"",
+            "\"quo\\\"te\\n\"",
+            "[]",
+            "[1,2,[3]]",
+            "{}",
+            "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"e\"}}",
+        ];
+        for case in cases {
+            let parsed = Json::parse(case).unwrap_or_else(|e| panic!("{case}: {e}"));
+            let printed = parsed.to_string();
+            assert_eq!(
+                Json::parse(&printed).unwrap(),
+                parsed,
+                "{case} -> {printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_and_ordered() {
+        let v = Json::obj(vec![
+            ("z", Json::u64(1)),
+            ("a", Json::str("x")),
+            ("nested", Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            "{\"z\":1,\"a\":\"x\",\"nested\":[true,null]}"
+        );
+        assert_eq!(v.get("a").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("z").and_then(Json::as_u64), Some(1));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = Json::parse("\"a\\u00e9b \\uD83D\\uDE00 c\"").unwrap();
+        assert_eq!(v.as_str(), Some("aéb 😀 c"));
+        let printed = Json::str("tab\tnl\nquote\"").to_string();
+        assert_eq!(printed, "\"tab\\tnl\\nquote\\\"\"");
+        assert_eq!(
+            Json::parse(&printed).unwrap().as_str(),
+            Some("tab\tnl\nquote\"")
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "{", "[1,", "\"unterminated", "nul", "{\"a\" 1}", "1 2"] {
+            assert!(Json::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn bounded_depth_and_finite_numbers() {
+        // One deep frame must be a parse error, not a stack overflow.
+        let deep = "[".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+        let ok_depth = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok_depth).is_ok());
+        // Out-of-range literals parse to inf in f64 — rejected, since
+        // emitting them back would produce invalid JSON.
+        assert!(Json::parse("1e999").is_err());
+        // And a non-finite value constructed in-process never serializes
+        // to invalid bytes.
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+}

@@ -1,0 +1,545 @@
+//! The TCP front end: an accept thread plus one reader thread per
+//! connection, each feeding the runtime's **bounded** ingress queue.
+//! Nothing in the server buffers without limit — a full queue surfaces
+//! as a typed `overloaded` error frame on the wire (the backpressure
+//! signal), oversized frames are rejected at the framing layer, and a
+//! draining server answers new submissions with `cancelled` while it
+//! lets clients collect their outstanding answers.
+
+use crate::json::Json;
+use crate::wire::{
+    self, encode_error, encode_result, encode_version, read_frame, write_frame, WireRequest,
+};
+use phom_core::SolveError;
+use phom_serve::{Runtime, RuntimeStats, Ticket};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerBuilder {
+    max_frame: usize,
+    poll_wait_cap: Duration,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        ServerBuilder::new()
+    }
+}
+
+impl ServerBuilder {
+    /// Defaults: 8 MiB frame bound, 2 s poll-wait cap.
+    pub fn new() -> Self {
+        ServerBuilder {
+            max_frame: wire::MAX_FRAME,
+            poll_wait_cap: Duration::from_secs(2),
+        }
+    }
+
+    /// Bound on a single wire frame; larger frames are rejected without
+    /// being buffered.
+    pub fn max_frame(mut self, bytes: usize) -> Self {
+        self.max_frame = bytes.max(64);
+        self
+    }
+
+    /// Cap on the `wait_ms` a `poll` op may block the connection for
+    /// (clients re-poll for longer waits).
+    pub fn poll_wait_cap(mut self, cap: Duration) -> Self {
+        self.poll_wait_cap = cap;
+        self
+    }
+
+    /// Binds the listener and spawns the accept thread.
+    pub fn bind(self, addr: impl ToSocketAddrs, runtime: Arc<Runtime>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(ServerInner {
+            runtime,
+            draining: AtomicBool::new(false),
+            max_frame: self.max_frame,
+            poll_wait_cap: self.poll_wait_cap,
+            conns: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("phom-net-accept".into())
+                .spawn(move || accept_loop(&inner, listener))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            inner,
+            accept: Some(accept),
+            local_addr,
+        })
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    submitted: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    delivered: AtomicU64,
+    /// Tickets held server-side on behalf of clients, not yet delivered
+    /// (or dropped at connection close). The no-leak gauge.
+    tickets_open: AtomicI64,
+}
+
+struct ServerInner {
+    runtime: Arc<Runtime>,
+    draining: AtomicBool,
+    max_frame: usize,
+    poll_wait_cap: Duration,
+    /// Live connections: the reader thread's handle plus a duplicated
+    /// stream used to force it out of a blocking read at shutdown.
+    /// Reaped by the accept loop as connections close.
+    conns: Mutex<Vec<(TcpStream, Option<JoinHandle<()>>)>>,
+    counters: Counters,
+}
+
+/// A point-in-time snapshot of the front end's own counters (the
+/// runtime's serving stats live in [`RuntimeStats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Frames read off all connections.
+    pub frames_in: u64,
+    /// Frames written to all connections.
+    pub frames_out: u64,
+    /// `submit` ops that admitted a request.
+    pub submitted: u64,
+    /// `submit` ops rejected with the `overloaded` backpressure frame.
+    pub rejected_overloaded: u64,
+    /// Answers delivered to clients via `poll`.
+    pub delivered: u64,
+    /// Tickets currently held server-side awaiting delivery (0 after a
+    /// clean drain — the no-leak gauge).
+    pub open_tickets: i64,
+}
+
+/// The network serving front end: a TCP listener speaking the
+/// length-prefixed JSON protocol of [`crate::wire`] over a shared
+/// [`Runtime`]. One reader thread per connection; every op maps
+/// directly onto the runtime surface (`REGISTER` →
+/// [`Runtime::register`], `SUBMIT` → [`Runtime::enqueue_to`], `POLL` /
+/// `CANCEL` → [`Ticket`], `STATS` → [`Runtime::stats`]).
+pub struct Server {
+    inner: Arc<ServerInner>,
+    accept: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Starts a configuration.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::new()
+    }
+
+    /// Binds with default configuration.
+    pub fn bind(addr: impl ToSocketAddrs, runtime: Arc<Runtime>) -> io::Result<Server> {
+        ServerBuilder::new().bind(addr, runtime)
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The served runtime.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.inner.runtime
+    }
+
+    /// Tickets currently held on behalf of connected clients.
+    pub fn open_tickets(&self) -> i64 {
+        self.inner.counters.tickets_open.load(Ordering::SeqCst)
+    }
+
+    /// The front end's counters.
+    pub fn net_stats(&self) -> NetStats {
+        let c = &self.inner.counters;
+        NetStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            frames_in: c.frames_in.load(Ordering::Relaxed),
+            frames_out: c.frames_out.load(Ordering::Relaxed),
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected_overloaded: c.rejected_overloaded.load(Ordering::Relaxed),
+            delivered: c.delivered.load(Ordering::Relaxed),
+            open_tickets: c.tickets_open.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Draining shutdown: stop accepting connections, answer new
+    /// `submit` ops with a `cancelled` error frame, give clients up to
+    /// `drain` to poll their outstanding answers (the runtime keeps
+    /// resolving tickets throughout), then close every connection and
+    /// join every thread. Returns the final [`NetStats`].
+    pub fn shutdown(mut self, drain: Duration) -> NetStats {
+        self.shutdown_impl(drain);
+        self.net_stats()
+    }
+
+    fn shutdown_impl(&mut self, drain: Duration) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let deadline = Instant::now() + drain;
+        while self.open_tickets() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let conns = std::mem::take(
+            &mut *self
+                .inner
+                .conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for (stream, _) in &conns {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for (_, handle) in conns {
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    /// Dropping without [`shutdown`](Server::shutdown) still stops the
+    /// accept loop, closes every connection, and joins every thread (no
+    /// drain window).
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown_impl(Duration::ZERO);
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<ServerInner>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if inner.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            // Accept errors (EMFILE, transient resets) must not turn
+            // this loop into a spin; back off briefly and retry.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        // Small request/reply frames: disable Nagle, or every round
+        // trip eats a delayed-ACK timeout.
+        let _ = stream.set_nodelay(true);
+        inner.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let Ok(clone) = stream.try_clone() else {
+            continue;
+        };
+        let inner2 = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name("phom-net-conn".into())
+            .spawn(move || handle_conn(&inner2, stream))
+            .expect("spawn connection thread");
+        // Reap closed connections while registering the new one, so a
+        // long-lived server does not accumulate one fd + one join
+        // handle per connection it ever served.
+        let mut conns = inner.conns.lock().unwrap_or_else(PoisonError::into_inner);
+        conns.retain_mut(|(_, slot)| match slot {
+            Some(h) if h.is_finished() => {
+                let _ = slot.take().expect("present").join();
+                false
+            }
+            _ => true,
+        });
+        conns.push((clone, Some(handle)));
+    }
+}
+
+/// One connection: read a frame, serve the op, write the reply, repeat
+/// until EOF. Submitted tickets are held in a per-connection registry
+/// until the final `poll` delivers their answer (then dropped — a
+/// delivered ticket is never retained).
+fn handle_conn(inner: &ServerInner, mut stream: TcpStream) {
+    let mut tickets: HashMap<u64, Ticket> = HashMap::new();
+    let mut next_ticket: u64 = 1;
+    loop {
+        let frame = match read_frame(&mut stream, inner.max_frame) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // The payload was consumed; framing is still aligned.
+                let reply = err_reply(&Json::Null, "bad_frame", &e.to_string());
+                if write_reply(inner, &mut stream, reply).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        inner.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+        let reply = handle_op(inner, &mut tickets, &mut next_ticket, &frame);
+        if write_reply(inner, &mut stream, reply).is_err() {
+            break;
+        }
+    }
+    // Undelivered tickets die with the connection; their answers are
+    // discarded when the runtime resolves them (never leaked).
+    inner
+        .counters
+        .tickets_open
+        .fetch_sub(tickets.len() as i64, Ordering::SeqCst);
+}
+
+fn write_reply(inner: &ServerInner, stream: &mut TcpStream, reply: Json) -> io::Result<()> {
+    inner.counters.frames_out.fetch_add(1, Ordering::Relaxed);
+    write_frame(stream, &reply)
+}
+
+/// Wraps a payload in the success envelope, echoing the request's `id`.
+fn ok_reply(request: &Json, payload: Json) -> Json {
+    let mut pairs = Vec::with_capacity(2);
+    if let Some(id) = request.get("id") {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    pairs.push(("ok".to_string(), payload));
+    Json::Obj(pairs)
+}
+
+/// Wraps an error in the failure envelope, echoing the request's `id`.
+fn err_reply(request: &Json, code: &str, msg: &str) -> Json {
+    let mut pairs = Vec::with_capacity(2);
+    if let Some(id) = request.get("id") {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    pairs.push((
+        "err".to_string(),
+        Json::obj(vec![("code", Json::str(code)), ("msg", Json::str(msg))]),
+    ));
+    Json::Obj(pairs)
+}
+
+/// An error envelope carrying a full typed [`SolveError`] (structured
+/// fields included — `overloaded` keeps its `capacity`).
+fn solve_err_reply(request: &Json, e: &SolveError) -> Json {
+    let mut pairs = Vec::with_capacity(2);
+    if let Some(id) = request.get("id") {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    pairs.push(("err".to_string(), encode_error(e)));
+    Json::Obj(pairs)
+}
+
+fn handle_op(
+    inner: &ServerInner,
+    tickets: &mut HashMap<u64, Ticket>,
+    next_ticket: &mut u64,
+    frame: &Json,
+) -> Json {
+    let Some(op) = frame.get("op").and_then(Json::as_str) else {
+        return err_reply(frame, "bad_request", "missing 'op'");
+    };
+    match op {
+        "ping" => ok_reply(frame, Json::obj(vec![("pong", Json::Bool(true))])),
+        "register" => {
+            if inner.draining.load(Ordering::SeqCst) {
+                return solve_err_reply(frame, &SolveError::Cancelled);
+            }
+            let Some(instance) = frame.get("instance") else {
+                return err_reply(frame, "bad_request", "register needs an 'instance'");
+            };
+            match wire::decode_instance(instance) {
+                Ok(instance) => {
+                    let version = inner.runtime.register(instance);
+                    ok_reply(frame, Json::obj(vec![("version", encode_version(version))]))
+                }
+                Err(msg) => err_reply(frame, "bad_request", &msg),
+            }
+        }
+        "submit" => {
+            // A draining server admits nothing new — the same typed
+            // `cancelled` a shut-down runtime answers.
+            if inner.draining.load(Ordering::SeqCst) {
+                return solve_err_reply(frame, &SolveError::Cancelled);
+            }
+            let version = match frame.get("version").map(wire::decode_version) {
+                Some(Ok(version)) => version,
+                Some(Err(msg)) => return err_reply(frame, "bad_request", &msg),
+                None => return err_reply(frame, "bad_request", "submit needs a 'version'"),
+            };
+            let request = match frame.get("request").map(WireRequest::decode) {
+                Some(Ok(request)) => request,
+                Some(Err(msg)) => return err_reply(frame, "bad_request", &msg),
+                None => return err_reply(frame, "bad_request", "submit needs a 'request'"),
+            };
+            // The reader thread feeds the *bounded* ingress queue: a
+            // full queue answers immediately with the typed
+            // `overloaded` frame — backpressure reaches the wire
+            // instead of piling up in server memory.
+            match inner.runtime.enqueue_to(version, request.to_request()) {
+                Ok(ticket) => {
+                    let id = *next_ticket;
+                    *next_ticket += 1;
+                    tickets.insert(id, ticket);
+                    inner.counters.tickets_open.fetch_add(1, Ordering::SeqCst);
+                    inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                    ok_reply(frame, Json::obj(vec![("ticket", Json::u64(id))]))
+                }
+                Err(e) => {
+                    if matches!(e, SolveError::Overloaded { .. }) {
+                        inner
+                            .counters
+                            .rejected_overloaded
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    solve_err_reply(frame, &e)
+                }
+            }
+        }
+        "poll" => {
+            let Some(id) = frame.get("ticket").and_then(Json::as_u64) else {
+                return err_reply(frame, "bad_request", "poll needs a 'ticket'");
+            };
+            let Some(ticket) = tickets.get(&id) else {
+                return err_reply(frame, "unknown_ticket", "no such ticket on this connection");
+            };
+            let wait = frame
+                .get("wait_ms")
+                .and_then(Json::as_u64)
+                .map_or(Duration::ZERO, Duration::from_millis)
+                .min(inner.poll_wait_cap);
+            let result = if wait.is_zero() {
+                ticket.try_get()
+            } else {
+                ticket.wait_timeout(wait)
+            };
+            match result {
+                None => ok_reply(frame, Json::obj(vec![("done", Json::Bool(false))])),
+                Some(result) => {
+                    tickets.remove(&id);
+                    inner.counters.tickets_open.fetch_sub(1, Ordering::SeqCst);
+                    inner.counters.delivered.fetch_add(1, Ordering::Relaxed);
+                    ok_reply(
+                        frame,
+                        Json::obj(vec![
+                            ("done", Json::Bool(true)),
+                            ("result", encode_result(&result)),
+                        ]),
+                    )
+                }
+            }
+        }
+        "cancel" => {
+            let Some(id) = frame.get("ticket").and_then(Json::as_u64) else {
+                return err_reply(frame, "bad_request", "cancel needs a 'ticket'");
+            };
+            match tickets.get(&id) {
+                Some(ticket) => {
+                    let cancelled = ticket.cancel();
+                    ok_reply(frame, Json::obj(vec![("cancelled", Json::Bool(cancelled))]))
+                }
+                None => err_reply(frame, "unknown_ticket", "no such ticket on this connection"),
+            }
+        }
+        "stats" => {
+            let stats = inner.runtime.stats();
+            ok_reply(
+                frame,
+                Json::obj(vec![("stats", encode_stats(&stats, &inner.counters))]),
+            )
+        }
+        other => err_reply(frame, "bad_request", &format!("unknown op '{other}'")),
+    }
+}
+
+/// The `stats` op's payload: the runtime snapshot plus the front end's
+/// own counters.
+fn encode_stats(stats: &RuntimeStats, counters: &Counters) -> Json {
+    Json::obj(vec![
+        ("workers", Json::u64(stats.workers as u64)),
+        ("queue_depth", Json::u64(stats.queue_depth as u64)),
+        ("queue_depth_max", Json::u64(stats.queue_depth_max as u64)),
+        ("admitted", Json::u64(stats.admitted)),
+        ("rejected", Json::u64(stats.rejected)),
+        ("cancelled", Json::u64(stats.cancelled)),
+        ("completed", Json::u64(stats.completed)),
+        ("ticks", Json::u64(stats.ticks)),
+        ("total_tick_requests", Json::u64(stats.total_tick_requests)),
+        (
+            "max_tick_requests",
+            Json::u64(stats.max_tick_requests as u64),
+        ),
+        (
+            "tick_size_hist",
+            Json::Arr(stats.tick_size_hist.iter().map(|&n| Json::u64(n)).collect()),
+        ),
+        ("adaptive", Json::Bool(stats.adaptive)),
+        (
+            "effective_max_batch",
+            Json::u64(stats.effective_max_batch as u64),
+        ),
+        (
+            "effective_max_wait_ns",
+            Json::u64(u64::try_from(stats.effective_max_wait.as_nanos()).unwrap_or(u64::MAX)),
+        ),
+        (
+            "adaptive_adjustments",
+            Json::u64(stats.adaptive_adjustments),
+        ),
+        ("unit_ewma_nanos", Json::u64(stats.unit_ewma_nanos)),
+        ("shared_arena_ticks", Json::u64(stats.shared_arena_ticks)),
+        ("shared_gates", Json::u64(stats.shared_gates)),
+        ("queries", Json::u64(stats.queries)),
+        ("unique_queries", Json::u64(stats.unique_queries)),
+        ("batch_cache_hits", Json::u64(stats.batch_cache_hits)),
+        ("circuit_batched", Json::u64(stats.circuit_batched)),
+        ("general_solved", Json::u64(stats.general_solved)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("entries", Json::u64(stats.cache.entries as u64)),
+                ("hits", Json::u64(stats.cache.hits)),
+                ("misses", Json::u64(stats.cache.misses)),
+                ("evictions", Json::u64(stats.cache.evictions)),
+            ]),
+        ),
+        (
+            "net",
+            Json::obj(vec![
+                (
+                    "connections",
+                    Json::u64(counters.connections.load(Ordering::Relaxed)),
+                ),
+                (
+                    "frames_in",
+                    Json::u64(counters.frames_in.load(Ordering::Relaxed)),
+                ),
+                (
+                    "frames_out",
+                    Json::u64(counters.frames_out.load(Ordering::Relaxed)),
+                ),
+                (
+                    "open_tickets",
+                    Json::Num(counters.tickets_open.load(Ordering::SeqCst) as f64),
+                ),
+                (
+                    "delivered",
+                    Json::u64(counters.delivered.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,637 @@
+//! The wire protocol: length-prefixed JSON frames, the graph/request
+//! codecs, and the **canonical result encoding** — the serialization the
+//! differential suite compares bit-for-bit against in-process
+//! [`Engine::submit`](phom_core::Engine::submit) oracle answers.
+//!
+//! ## Framing
+//!
+//! Every message, in both directions, is one *frame*: a 4-byte
+//! big-endian length followed by that many bytes of UTF-8 JSON (one
+//! document per frame). Frames larger than the receiver's bound are
+//! rejected — the protocol never buffers without limit.
+//!
+//! ## Requests (client → server)
+//!
+//! | op | fields | reply |
+//! |---|---|---|
+//! | `register` | `instance` (graph object with probabilities) | `{"ok":{"version":"0x…"}}` |
+//! | `submit` | `version`, `request` | `{"ok":{"ticket":n}}` |
+//! | `poll` | `ticket`, optional `wait_ms` | `{"ok":{"done":false}}` or `{"ok":{"done":true,"result":…}}` |
+//! | `cancel` | `ticket` | `{"ok":{"cancelled":bool}}` |
+//! | `stats` | — | `{"ok":{"stats":…}}` |
+//! | `ping` | — | `{"ok":{"pong":true}}` |
+//!
+//! An optional `id` member is echoed verbatim into the reply. Failures
+//! reply `{"err":{"code":…,"msg":…}}`; solver-side codes come from
+//! [`SolveError::wire_code`] (`"overloaded"` carries `capacity` — the
+//! backpressure signal on the wire), protocol-side codes are
+//! `"bad_frame"`, `"bad_request"`, and `"unknown_ticket"`.
+//!
+//! ## Graphs
+//!
+//! `{"vertices":n,"edges":[[src,dst,label],…]}` for queries;
+//! instance edges carry a fourth element, the exact rational probability
+//! as a string (`[0,1,0,"1/2"]`). Labels are numeric and shared between
+//! a registered instance and its queries, exactly like the in-process
+//! [`Request`] API.
+
+use crate::json::Json;
+use phom_core::ucq::Ucq;
+use phom_core::{Fallback, Request, Response, SolveError};
+use phom_graph::{Graph, GraphBuilder, Label, ProbGraph};
+use std::io::{self, Read, Write};
+
+/// Default bound on a single frame (8 MiB).
+pub const MAX_FRAME: usize = 8 << 20;
+
+/// Writes one frame: 4-byte big-endian length, then the JSON bytes.
+pub fn write_frame(w: &mut impl Write, json: &Json) -> io::Result<()> {
+    let bytes = json.to_string().into_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` on a clean end of stream (EOF at a frame
+/// boundary); `InvalidData` on an oversized frame or a JSON parse
+/// failure (the payload was still consumed — framing stays aligned).
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> io::Result<Option<Json>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > max_len {
+        // Discard the payload in bounded chunks (never buffering it)
+        // so the stream stays frame-aligned and the reader can answer
+        // a typed error and keep serving.
+        io::copy(&mut r.take(len as u64), &mut io::sink())?;
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_len}-byte bound"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Json::parse(&text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+// ---------------------------------------------------------------------
+// Graph codec
+// ---------------------------------------------------------------------
+
+/// Encodes a query graph (no probabilities).
+pub fn encode_query(g: &Graph) -> Json {
+    Json::obj(vec![
+        ("vertices", Json::u64(g.n_vertices() as u64)),
+        (
+            "edges",
+            Json::Arr(
+                g.edges()
+                    .iter()
+                    .map(|e| {
+                        Json::Arr(vec![
+                            Json::u64(e.src as u64),
+                            Json::u64(e.dst as u64),
+                            Json::u64(e.label.0 as u64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Encodes a probabilistic instance (edges carry their exact rational
+/// probability as a string).
+pub fn encode_instance(h: &ProbGraph) -> Json {
+    Json::obj(vec![
+        ("vertices", Json::u64(h.graph().n_vertices() as u64)),
+        (
+            "edges",
+            Json::Arr(
+                h.graph()
+                    .edges()
+                    .iter()
+                    .zip(h.probs())
+                    .map(|(e, p)| {
+                        Json::Arr(vec![
+                            Json::u64(e.src as u64),
+                            Json::u64(e.dst as u64),
+                            Json::u64(e.label.0 as u64),
+                            Json::str(p.to_string()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Bound on the vertex count a wire graph may declare. The count sizes
+/// allocations directly (`Graph` keeps per-vertex adjacency), so an
+/// untrusted frame must not pick it freely.
+pub const MAX_WIRE_VERTICES: usize = 1 << 20;
+
+fn decode_graph(json: &Json) -> Result<(Graph, Vec<phom_num::Rational>), String> {
+    let vertices = json
+        .get("vertices")
+        .and_then(Json::as_u64)
+        .ok_or("graph needs a numeric 'vertices'")? as usize;
+    // Everything below feeds `GraphBuilder`, whose panics-on-misuse
+    // contract is fine in-process but must never be reachable from the
+    // wire: validate first, answer typed errors.
+    if vertices == 0 {
+        return Err("graphs have a non-empty vertex set".into());
+    }
+    if vertices > MAX_WIRE_VERTICES {
+        return Err(format!(
+            "vertex count {vertices} exceeds the wire bound {MAX_WIRE_VERTICES}"
+        ));
+    }
+    let edges = json
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or("graph needs an 'edges' array")?;
+    let mut b = GraphBuilder::with_vertices(vertices);
+    let mut probs = Vec::with_capacity(edges.len());
+    for (i, edge) in edges.iter().enumerate() {
+        let parts = edge
+            .as_arr()
+            .ok_or_else(|| format!("edge {i}: not an array"))?;
+        if parts.len() != 3 && parts.len() != 4 {
+            return Err(format!(
+                "edge {i}: expected [src,dst,label] or [src,dst,label,p]"
+            ));
+        }
+        let num = |j: usize, what: &str| {
+            parts[j]
+                .as_u64()
+                .ok_or_else(|| format!("edge {i}: bad {what}"))
+        };
+        let (src, dst, label) = (
+            num(0, "src")? as usize,
+            num(1, "dst")? as usize,
+            num(2, "label")?,
+        );
+        if src >= vertices || dst >= vertices {
+            return Err(format!("edge {i}: endpoint out of range"));
+        }
+        let label = u32::try_from(label).map_err(|_| format!("edge {i}: label out of range"))?;
+        if b.try_edge(src, dst, Label(label)).is_none() {
+            return Err(format!("edge {i}: duplicate ordered pair ({src}, {dst})"));
+        }
+        let p = match parts.get(3) {
+            None => phom_num::Rational::one(),
+            Some(p) => {
+                let text = p
+                    .as_str()
+                    .ok_or_else(|| format!("edge {i}: probability must be a string"))?;
+                phom_graph::io::parse_rational(text)
+                    .filter(|p| p <= &phom_num::Rational::one())
+                    .ok_or_else(|| format!("edge {i}: bad probability '{text}'"))?
+            }
+        };
+        probs.push(p);
+    }
+    Ok((b.build(), probs))
+}
+
+/// Decodes a query graph; probabilities are rejected.
+pub fn decode_query(json: &Json) -> Result<Graph, String> {
+    let (graph, probs) = decode_graph(json)?;
+    if probs.iter().any(|p| !p.is_one()) {
+        return Err("query edges must not carry probabilities".into());
+    }
+    Ok(graph)
+}
+
+/// Decodes a probabilistic instance (edges without a probability are
+/// certain).
+pub fn decode_instance(json: &Json) -> Result<ProbGraph, String> {
+    let (graph, probs) = decode_graph(json)?;
+    Ok(ProbGraph::new(graph, probs))
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// The workload of a [`WireRequest`].
+#[derive(Clone, Debug)]
+pub enum WireKind {
+    /// `Pr(G ⇝ H)`.
+    Probability(Graph),
+    /// Satisfying-world counting (all-½ instances).
+    Counting(Graph),
+    /// All edge influences `∂Pr/∂π(e)`.
+    Sensitivity(Graph),
+    /// A union of conjunctive queries.
+    Ucq(Vec<Graph>),
+}
+
+/// A hard-cell fallback carried over the wire.
+#[derive(Clone, Copy, Debug)]
+pub enum WireFallback {
+    /// World enumeration up to `max_uncertain` uncertain edges.
+    BruteForce {
+        /// Bound on the uncertain edges.
+        max_uncertain: usize,
+    },
+    /// Monte-Carlo estimation.
+    MonteCarlo {
+        /// Worlds to sample.
+        samples: u64,
+        /// RNG seed (the answer is deterministic given the seed).
+        seed: u64,
+    },
+}
+
+/// A request as it travels over the wire: the serializable mirror of
+/// [`phom_core::Request`], convertible both ways ([`WireRequest::encode`]
+/// / [`WireRequest::decode`] for the bytes,
+/// [`to_request`](WireRequest::to_request) for the in-process form the
+/// oracle tests submit directly).
+#[derive(Clone, Debug)]
+pub struct WireRequest {
+    /// The workload.
+    pub kind: WireKind,
+    /// Ask for a provenance circuit where the route can compile one.
+    pub provenance: bool,
+    /// The hard-cell fallback, if any.
+    pub fallback: Option<WireFallback>,
+}
+
+impl WireRequest {
+    /// A probability request.
+    pub fn probability(query: Graph) -> Self {
+        WireRequest {
+            kind: WireKind::Probability(query),
+            provenance: false,
+            fallback: None,
+        }
+    }
+
+    /// A counting request.
+    pub fn counting(query: Graph) -> Self {
+        WireRequest {
+            kind: WireKind::Counting(query),
+            provenance: false,
+            fallback: None,
+        }
+    }
+
+    /// A sensitivity request.
+    pub fn sensitivity(query: Graph) -> Self {
+        WireRequest {
+            kind: WireKind::Sensitivity(query),
+            provenance: false,
+            fallback: None,
+        }
+    }
+
+    /// A UCQ request.
+    pub fn ucq(disjuncts: Vec<Graph>) -> Self {
+        WireRequest {
+            kind: WireKind::Ucq(disjuncts),
+            provenance: false,
+            fallback: None,
+        }
+    }
+
+    /// Requests a provenance handle.
+    pub fn with_provenance(mut self) -> Self {
+        self.provenance = true;
+        self
+    }
+
+    /// Sets the hard-cell fallback.
+    pub fn with_fallback(mut self, fallback: WireFallback) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// The in-process [`Request`] this wire request maps onto — the
+    /// *same* request the differential oracle submits to
+    /// [`Engine::submit`](phom_core::Engine::submit).
+    pub fn to_request(&self) -> Request {
+        let mut request = match &self.kind {
+            WireKind::Probability(q) => Request::probability(q.clone()),
+            WireKind::Counting(q) => Request::probability(q.clone()).counting(),
+            WireKind::Sensitivity(q) => Request::probability(q.clone()).sensitivity(),
+            WireKind::Ucq(disjuncts) => Request::ucq(Ucq::new(disjuncts.clone())),
+        };
+        if self.provenance {
+            request = request.with_provenance();
+        }
+        if let Some(fallback) = self.fallback {
+            request = request.fallback(match fallback {
+                WireFallback::BruteForce { max_uncertain } => {
+                    Fallback::BruteForce { max_uncertain }
+                }
+                WireFallback::MonteCarlo { samples, seed } => {
+                    Fallback::MonteCarlo { samples, seed }
+                }
+            });
+        }
+        request
+    }
+
+    /// The request as wire JSON.
+    pub fn encode(&self) -> Json {
+        let mut pairs = match &self.kind {
+            WireKind::Probability(q) => vec![
+                ("kind".to_string(), Json::str("probability")),
+                ("query".to_string(), encode_query(q)),
+            ],
+            WireKind::Counting(q) => vec![
+                ("kind".to_string(), Json::str("counting")),
+                ("query".to_string(), encode_query(q)),
+            ],
+            WireKind::Sensitivity(q) => vec![
+                ("kind".to_string(), Json::str("sensitivity")),
+                ("query".to_string(), encode_query(q)),
+            ],
+            WireKind::Ucq(disjuncts) => vec![
+                ("kind".to_string(), Json::str("ucq")),
+                (
+                    "disjuncts".to_string(),
+                    Json::Arr(disjuncts.iter().map(encode_query).collect()),
+                ),
+            ],
+        };
+        if self.provenance {
+            pairs.push(("provenance".to_string(), Json::Bool(true)));
+        }
+        match self.fallback {
+            Some(WireFallback::BruteForce { max_uncertain }) => pairs.push((
+                "fallback".to_string(),
+                Json::obj(vec![("brute_force", Json::u64(max_uncertain as u64))]),
+            )),
+            Some(WireFallback::MonteCarlo { samples, seed }) => pairs.push((
+                "fallback".to_string(),
+                Json::obj(vec![(
+                    "monte_carlo",
+                    Json::obj(vec![
+                        ("samples", Json::u64(samples)),
+                        ("seed", Json::u64(seed)),
+                    ]),
+                )]),
+            )),
+            None => {}
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Parses a request from wire JSON.
+    pub fn decode(json: &Json) -> Result<Self, String> {
+        let kind = json
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("request needs a 'kind'")?;
+        let query = || {
+            json.get("query")
+                .ok_or("request needs a 'query'".to_string())
+                .and_then(decode_query)
+        };
+        let kind = match kind {
+            "probability" => WireKind::Probability(query()?),
+            "counting" => WireKind::Counting(query()?),
+            "sensitivity" => WireKind::Sensitivity(query()?),
+            "ucq" => WireKind::Ucq(
+                json.get("disjuncts")
+                    .and_then(Json::as_arr)
+                    .ok_or("ucq request needs a 'disjuncts' array")?
+                    .iter()
+                    .map(decode_query)
+                    .collect::<Result<_, _>>()?,
+            ),
+            other => return Err(format!("unknown request kind '{other}'")),
+        };
+        let provenance = json
+            .get("provenance")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let fallback = match json.get("fallback") {
+            None | Some(Json::Null) => None,
+            Some(f) => Some(
+                if let Some(n) = f.get("brute_force").and_then(Json::as_u64) {
+                    WireFallback::BruteForce {
+                        max_uncertain: n as usize,
+                    }
+                } else if let Some(mc) = f.get("monte_carlo") {
+                    WireFallback::MonteCarlo {
+                        samples: mc
+                            .get("samples")
+                            .and_then(Json::as_u64)
+                            .ok_or("monte_carlo fallback needs 'samples'")?,
+                        seed: mc.get("seed").and_then(Json::as_u64).unwrap_or(0),
+                    }
+                } else {
+                    return Err("unknown fallback shape".into());
+                },
+            ),
+        };
+        Ok(WireRequest {
+            kind,
+            provenance,
+            fallback,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------
+
+/// Formats a 64-bit version fingerprint for the wire (hex string — JSON
+/// numbers cannot carry full u64 precision).
+pub fn encode_version(version: u64) -> Json {
+    Json::str(format!("{version:#018x}"))
+}
+
+/// Parses a version fingerprint off the wire.
+pub fn decode_version(json: &Json) -> Result<u64, String> {
+    let text = json.as_str().ok_or("version must be a hex string")?;
+    let digits = text.strip_prefix("0x").unwrap_or(text);
+    u64::from_str_radix(digits, 16).map_err(|e| format!("bad version '{text}': {e}"))
+}
+
+/// The **canonical** serialization of one request outcome. This is the
+/// single encoding both sides of the differential suite use: the server
+/// encodes what came off a [`Ticket`](phom_serve::Ticket), the test
+/// encodes what `Engine::submit` returned, and the two JSON documents
+/// must be byte-identical. Probabilities and influences are exact
+/// rational strings; routes are their debug names; errors carry
+/// [`SolveError::wire_code`] plus the variant's structured fields.
+pub fn encode_result(result: &Result<Response, SolveError>) -> Json {
+    match result {
+        Ok(Response::Probability(sol)) => {
+            let mut pairs = vec![
+                ("status".to_string(), Json::str("ok")),
+                ("type".to_string(), Json::str("probability")),
+                ("p".to_string(), Json::str(sol.probability.to_string())),
+                ("route".to_string(), Json::str(format!("{:?}", sol.route))),
+            ];
+            if let Some(prov) = &sol.provenance {
+                pairs.push((
+                    "provenance".to_string(),
+                    Json::obj(vec![
+                        ("negated", Json::Bool(prov.negated)),
+                        ("gates", Json::u64(prov.circuit.n_gates() as u64)),
+                    ]),
+                ));
+            }
+            Json::Obj(pairs)
+        }
+        Ok(Response::Count {
+            worlds,
+            uncertain_edges,
+        }) => Json::obj(vec![
+            ("status", Json::str("ok")),
+            ("type", Json::str("count")),
+            ("worlds", Json::str(worlds.to_string())),
+            ("uncertain_edges", Json::u64(*uncertain_edges as u64)),
+        ]),
+        Ok(Response::Sensitivity { influences, route }) => Json::obj(vec![
+            ("status", Json::str("ok")),
+            ("type", Json::str("sensitivity")),
+            ("route", Json::str(format!("{route:?}"))),
+            (
+                "influences",
+                Json::Arr(
+                    influences
+                        .iter()
+                        .map(|p| Json::str(p.to_string()))
+                        .collect(),
+                ),
+            ),
+        ]),
+        Ok(Response::Ucq { probability, route }) => Json::obj(vec![
+            ("status", Json::str("ok")),
+            ("type", Json::str("ucq")),
+            ("p", Json::str(probability.to_string())),
+            ("route", Json::str(format!("{route:?}"))),
+        ]),
+        Err(e) => encode_error(e),
+    }
+}
+
+/// A typed error as a wire object (`status:"error"`, the stable
+/// [`wire_code`](SolveError::wire_code), a human-readable message, and
+/// the variant's structured fields).
+pub fn encode_error(e: &SolveError) -> Json {
+    let mut pairs = vec![
+        ("status".to_string(), Json::str("error")),
+        ("code".to_string(), Json::str(e.wire_code())),
+        ("msg".to_string(), Json::str(e.to_string())),
+    ];
+    match e {
+        SolveError::Hard(h) => {
+            pairs.push(("prop".to_string(), Json::str(h.prop)));
+            pairs.push(("cell".to_string(), Json::str(h.cell.clone())));
+        }
+        SolveError::Overloaded { capacity } => {
+            pairs.push(("capacity".to_string(), Json::u64(*capacity as u64)));
+        }
+        SolveError::BudgetExceeded { resource, limit } => {
+            pairs.push(("resource".to_string(), Json::str(*resource)));
+            pairs.push(("limit".to_string(), Json::u64(*limit)));
+        }
+        _ => {}
+    }
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_num::Rational;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        let v = Json::obj(vec![("op", Json::str("ping"))]);
+        write_frame(&mut buf, &v).unwrap();
+        write_frame(&mut buf, &Json::Null).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap(), Some(v));
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap(), Some(Json::Null));
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_and_malformed_frames_are_typed_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::str("x".repeat(64))).unwrap();
+        write_frame(&mut buf, &Json::Null).unwrap();
+        let mut r = buf.as_slice();
+        let err = read_frame(&mut r, 16).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The oversized payload was discarded, not buffered: the stream
+        // stays frame-aligned.
+        assert_eq!(read_frame(&mut r, 16).unwrap(), Some(Json::Null));
+        // A parse failure consumes the payload: the next frame still reads.
+        let mut buf = 5u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"{oops");
+        write_frame(&mut buf, &Json::Bool(true)).unwrap();
+        let mut r = buf.as_slice();
+        assert!(read_frame(&mut r, MAX_FRAME).is_err());
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME).unwrap(),
+            Some(Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn graphs_roundtrip() {
+        let mut b = GraphBuilder::with_vertices(3);
+        b.edge(0, 1, Label(0));
+        b.edge(1, 2, Label(1));
+        let g = b.build();
+        let h = ProbGraph::new(g.clone(), vec![Rational::from_ratio(1, 2), Rational::one()]);
+        assert_eq!(&decode_query(&encode_query(&g)).unwrap(), &g);
+        let h2 = decode_instance(&encode_instance(&h)).unwrap();
+        assert_eq!(h2.graph(), h.graph());
+        assert_eq!(h2.probs(), h.probs());
+        // A query with probabilities is rejected.
+        assert!(decode_query(&encode_instance(&h)).is_err());
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let q = Graph::directed_path(2);
+        let reqs = [
+            WireRequest::probability(q.clone()).with_provenance(),
+            WireRequest::counting(q.clone()),
+            WireRequest::sensitivity(q.clone())
+                .with_fallback(WireFallback::BruteForce { max_uncertain: 6 }),
+            WireRequest::ucq(vec![q.clone(), Graph::directed_path(1)]).with_fallback(
+                WireFallback::MonteCarlo {
+                    samples: 100,
+                    seed: 7,
+                },
+            ),
+        ];
+        for req in &reqs {
+            let decoded = WireRequest::decode(&req.encode()).unwrap();
+            assert_eq!(req.encode().to_string(), decoded.encode().to_string());
+        }
+    }
+
+    #[test]
+    fn versions_roundtrip() {
+        for v in [0u64, 1, u64::MAX, 0xDEADBEEFDEADBEEF] {
+            assert_eq!(decode_version(&encode_version(v)).unwrap(), v);
+        }
+        assert!(decode_version(&Json::u64(5)).is_err());
+    }
+}

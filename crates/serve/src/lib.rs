@@ -24,8 +24,21 @@
 //!   [`cancel`](Ticket::cancel) — and a graceful
 //!   [`shutdown`](Runtime::shutdown) that drains every admitted
 //!   request;
-//! * a [`RuntimeStats`] snapshot: queue depth, tick sizes, per-shard
-//!   latencies, batch aggregates, cache counters.
+//! * **adaptive tick sizing** ([`RuntimeBuilder::adaptive`]): a
+//!   controller moves the *effective* `max_batch`/`max_wait` with the
+//!   load — queue-depth pressure and a per-request latency EWMA —
+//!   always inside the configured bounds;
+//! * **cross-shard arena sharing**
+//!   ([`RuntimeBuilder::share_arena_at`]): large ticks compile every
+//!   circuit-compilable plan into one shared arena and partition the
+//!   roots across the workers;
+//! * a [`RuntimeStats`] snapshot: queue depth (+ high-water mark),
+//!   tick-size histogram, per-shard latencies, controller state, batch
+//!   aggregates, cache counters.
+//!
+//! The runtime is the process-internal half of serving; the network
+//! half — a TCP front end speaking a length-prefixed JSON protocol
+//! over this runtime — lives in `phom_net`.
 //!
 //! Answers are **bit-identical** to [`Engine::submit`](phom_core::Engine::submit)
 //! for every `max_batch` / `max_wait` / worker-count setting —
@@ -73,5 +86,5 @@ mod stats;
 mod ticket;
 
 pub use runtime::{Runtime, RuntimeBuilder};
-pub use stats::RuntimeStats;
+pub use stats::{tick_size_bucket, RuntimeStats, TICK_HIST_BUCKETS};
 pub use ticket::Ticket;

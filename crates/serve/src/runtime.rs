@@ -26,16 +26,24 @@
 //! answers (asserted by `tests/runtime_serving.rs`).
 
 use crate::chan::Chan;
-use crate::stats::RuntimeStats;
+use crate::stats::{tick_size_bucket, RuntimeStats};
 use crate::ticket::{Ticket, TicketState};
 use phom_core::{
-    CacheHandle, Engine, EngineBuilder, Request, SolveError, SolverOptions, TickOutput, TickUnit,
+    CacheHandle, Engine, EngineBuilder, Request, SolveError, SolverOptions, TickConfig, TickOutput,
+    TickUnit,
 };
 use phom_graph::ProbGraph;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// A `Duration` as saturated nanoseconds, with `u64::MAX` standing in
+/// for "no deadline" (`Duration::MAX` and friends).
+fn duration_to_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
@@ -65,6 +73,8 @@ pub struct RuntimeBuilder {
     cache_capacity: usize,
     shared_cache: Option<CacheHandle>,
     default_options: SolverOptions,
+    adaptive: bool,
+    share_arena_at: Option<usize>,
 }
 
 impl Default for RuntimeBuilder {
@@ -76,7 +86,8 @@ impl Default for RuntimeBuilder {
 impl RuntimeBuilder {
     /// Defaults: ticks of up to 64 requests, 2 ms of batching patience,
     /// a 1024-request queue, one worker per core, an unbounded shared
-    /// cache, default [`SolverOptions`].
+    /// cache, default [`SolverOptions`], adaptive tick sizing off, and
+    /// cross-shard arena sharing from 32 unique queries per tick.
     pub fn new() -> Self {
         RuntimeBuilder {
             max_batch: 64,
@@ -86,6 +97,8 @@ impl RuntimeBuilder {
             cache_capacity: usize::MAX,
             shared_cache: None,
             default_options: SolverOptions::default(),
+            adaptive: false,
+            share_arena_at: Some(32),
         }
     }
 
@@ -139,6 +152,33 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Latency-aware **adaptive tick sizing**: a controller adjusts the
+    /// *effective* `max_batch`/`max_wait` from the stats feedback loop —
+    /// queue depth after each flush plus an EWMA of the per-request tick
+    /// latency. Under backlog it doubles the batch bound (up to the
+    /// configured `max_batch`) and halves the patience; when idle it
+    /// shrinks the batch bound and grows the patience toward the
+    /// observed service time (never past the configured `max_wait`).
+    /// The effective knobs always stay within the configured bounds,
+    /// and tick sizing never changes answers — only latency and
+    /// throughput (asserted by `tests/net_serving.rs`).
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
+    /// Cross-shard arena sharing threshold: ticks with at least this
+    /// many unique, uncached probability queries compile every
+    /// circuit-compilable plan into **one** shared arena and partition
+    /// the roots across the workers (one multi-root evaluation pass
+    /// each) instead of building one arena per shard — see
+    /// [`TickConfig::share_arena_at`]. `None` keeps per-shard arenas
+    /// always. Answers are bit-identical either way.
+    pub fn share_arena_at(mut self, threshold: Option<usize>) -> Self {
+        self.share_arena_at = threshold;
+        self
+    }
+
     /// Builds the runtime: allocates the shared cache, spawns the
     /// worker pool and the batcher thread — **exactly once** for the
     /// runtime's lifetime.
@@ -153,9 +193,14 @@ impl RuntimeBuilder {
             .unwrap_or_else(|| CacheHandle::with_capacity(self.cache_capacity));
         let inner = Arc::new(Inner {
             max_batch: self.max_batch,
-            max_wait: self.max_wait,
+            max_wait_nanos: duration_to_nanos(self.max_wait),
             queue_cap: self.queue_cap,
             pool_size,
+            adaptive: self.adaptive,
+            share_arena_at: self.share_arena_at,
+            effective_batch: AtomicUsize::new(self.max_batch),
+            effective_wait_nanos: AtomicU64::new(duration_to_nanos(self.max_wait)),
+            unit_ewma_nanos: AtomicU64::new(0),
             default_options: self.default_options,
             cache,
             ingress: Mutex::new(Ingress {
@@ -248,9 +293,20 @@ struct Ingress {
 /// The state shared by the handle, the batcher, and the workers.
 struct Inner {
     max_batch: usize,
-    max_wait: Duration,
+    max_wait_nanos: u64,
     queue_cap: usize,
     pool_size: usize,
+    adaptive: bool,
+    share_arena_at: Option<usize>,
+    /// The controller's current flush threshold, in `[1, max_batch]`
+    /// (pinned to `max_batch` when adaptation is off).
+    effective_batch: AtomicUsize,
+    /// The controller's current batching patience, in
+    /// `[0, max_wait_nanos]` (`u64::MAX` = no timer flush).
+    effective_wait_nanos: AtomicU64,
+    /// EWMA of the per-request tick latency — the controller's latency
+    /// signal.
+    unit_ewma_nanos: AtomicU64,
     default_options: SolverOptions,
     cache: CacheHandle,
     ingress: Mutex<Ingress>,
@@ -426,7 +482,7 @@ impl Runtime {
             )));
         };
         let ticket = TicketState::new();
-        {
+        let depth = {
             let mut ingress = lock(&self.inner.ingress);
             if ingress.shutdown {
                 return Err(SolveError::Cancelled);
@@ -445,8 +501,13 @@ impl Runtime {
                 ticket: Arc::clone(&ticket),
                 enqueued_at: Instant::now(),
             });
+            ingress.queue.len()
+        };
+        {
+            let mut stats = lock(&self.inner.stats);
+            stats.admitted += 1;
+            stats.queue_depth_max = stats.queue_depth_max.max(depth);
         }
-        lock(&self.inner.stats).admitted += 1;
         self.inner.ingress_ready.notify_all();
         Ok(Ticket::new(ticket))
     }
@@ -457,6 +518,15 @@ impl Runtime {
         let mut stats = lock(&self.inner.stats).clone();
         stats.queue_depth = lock(&self.inner.ingress).queue.len();
         stats.cache = self.inner.cache.stats();
+        stats.adaptive = self.inner.adaptive;
+        stats.effective_max_batch = self.inner.effective_batch.load(Ordering::Relaxed);
+        let wait_nanos = self.inner.effective_wait_nanos.load(Ordering::Relaxed);
+        stats.effective_max_wait = if wait_nanos == u64::MAX {
+            Duration::MAX
+        } else {
+            Duration::from_nanos(wait_nanos)
+        };
+        stats.unit_ewma_nanos = self.inner.unit_ewma_nanos.load(Ordering::Relaxed);
         stats
     }
 
@@ -537,15 +607,27 @@ fn batcher_loop(inner: &Inner) {
             let mut ingress = lock(&inner.ingress);
             loop {
                 if !ingress.queue.is_empty() {
+                    // The *effective* knobs: equal to the configured
+                    // `max_batch`/`max_wait` unless the adaptive
+                    // controller moved them (always within the
+                    // configured bounds). Re-read on every wakeup so
+                    // adaptation applies to the tick being built.
+                    let max_batch = inner.effective_batch.load(Ordering::Relaxed).max(1);
+                    let wait_nanos = inner.effective_wait_nanos.load(Ordering::Relaxed);
                     let oldest = ingress.queue.front().expect("non-empty").enqueued_at;
-                    // `checked_add`: an absurd `max_wait` (Duration::MAX)
-                    // must mean "no timer flush", not an Instant-overflow
-                    // panic that would take the batcher down.
-                    let deadline = oldest.checked_add(inner.max_wait);
+                    // `checked_add` (and the `u64::MAX` sentinel): an
+                    // absurd `max_wait` (Duration::MAX) must mean "no
+                    // timer flush", not an Instant-overflow panic that
+                    // would take the batcher down.
+                    let deadline = if wait_nanos == u64::MAX {
+                        None
+                    } else {
+                        oldest.checked_add(Duration::from_nanos(wait_nanos))
+                    };
                     let now = Instant::now();
                     let timer_expired = deadline.is_some_and(|d| now >= d);
-                    if ingress.queue.len() >= inner.max_batch || ingress.shutdown || timer_expired {
-                        let n = ingress.queue.len().min(inner.max_batch);
+                    if ingress.queue.len() >= max_batch || ingress.shutdown || timer_expired {
+                        let n = ingress.queue.len().min(max_batch);
                         break Some(ingress.queue.drain(..n).collect());
                     }
                     ingress = match deadline {
@@ -584,14 +666,24 @@ fn batcher_loop(inner: &Inner) {
 /// units to the pool, and fulfill every ticket with its response.
 fn process_tick(inner: &Inner, entries: Vec<Admitted>) {
     let started = Instant::now();
+    let tick_requests = entries.len();
     let mut live: Vec<Admitted> = Vec::with_capacity(entries.len());
     {
         let mut stats = lock(&inner.stats);
         stats.ticks += 1;
         stats.total_tick_requests += entries.len() as u64;
         stats.max_tick_requests = stats.max_tick_requests.max(entries.len());
+        stats.tick_size_hist[tick_size_bucket(entries.len())] += 1;
         for entry in entries {
             if entry.ticket.is_cancelled() {
+                // Resolve the skipped ticket *here* too. `cancel` also
+                // resolves it, but the flush must not depend on the
+                // canceller finishing its half: a cancel that set the
+                // flag and then lost the race to this flush would
+                // otherwise leave `wait` hanging on the canceller's
+                // progress. Resolution is idempotent (first one wins),
+                // so the double fulfill is safe.
+                entry.ticket.fulfill(Err(SolveError::Cancelled));
                 stats.cancelled += 1;
             } else {
                 live.push(entry);
@@ -617,7 +709,13 @@ fn process_tick(inner: &Inner, entries: Vec<Admitted>) {
             .into_iter()
             .map(|entry| (entry.request, entry.ticket))
             .unzip();
-        let mut tick = engine.begin_tick(&requests, inner.pool_size);
+        let mut tick = engine.begin_tick_with(
+            &requests,
+            &TickConfig {
+                shards: inner.pool_size,
+                share_arena_at: inner.share_arena_at,
+            },
+        );
         let units = tick.take_units();
         let collector = Collector::new(units.len());
         for (idx, unit) in units.into_iter().enumerate() {
@@ -648,9 +746,63 @@ fn process_tick(inner: &Inner, entries: Vec<Admitted>) {
         stats.absorb_batch(&batch_stats);
     }
     let nanos = started.elapsed().as_nanos() as u64;
-    let mut stats = lock(&inner.stats);
-    stats.tick_nanos_total += nanos;
-    stats.tick_nanos_max = stats.tick_nanos_max.max(nanos);
+    {
+        let mut stats = lock(&inner.stats);
+        stats.tick_nanos_total += nanos;
+        stats.tick_nanos_max = stats.tick_nanos_max.max(nanos);
+    }
+    let queue_after = lock(&inner.ingress).queue.len();
+    adapt(inner, tick_requests, queue_after, nanos);
+}
+
+/// The adaptive tick-sizing controller, run after every tick. The
+/// feedback signals are the queue depth left after the flush (backlog
+/// pressure) and an EWMA of the per-request tick latency; the actuators
+/// are the *effective* `max_batch` and `max_wait` the batcher reads,
+/// always bounded by the configured knobs:
+///
+/// * backlog (`queue_after ≥ effective_batch`) → throughput mode:
+///   double the batch bound (≤ configured `max_batch`), halve the
+///   patience — bigger ticks amortize planning and share arenas;
+/// * idle (`queue_after == 0` and the tick filled ≤ ¼ of the bound) →
+///   latency mode: halve the batch bound (≥ 1) and grow the patience
+///   toward the observed per-request service time (≤ configured
+///   `max_wait`) so light load still coalesces without waiting longer
+///   than one request costs anyway.
+///
+/// Tick sizing never changes answers — only latency and throughput —
+/// so the controller needs no coordination with the solve path.
+fn adapt(inner: &Inner, tick_requests: usize, queue_after: usize, tick_nanos: u64) {
+    let per_request = tick_nanos / tick_requests.max(1) as u64;
+    let prev = inner.unit_ewma_nanos.load(Ordering::Relaxed);
+    let ewma = if prev == 0 {
+        per_request
+    } else {
+        (3 * prev + per_request) / 4
+    };
+    inner.unit_ewma_nanos.store(ewma, Ordering::Relaxed);
+    if !inner.adaptive {
+        return;
+    }
+    let cur_batch = inner.effective_batch.load(Ordering::Relaxed);
+    let cur_wait = inner.effective_wait_nanos.load(Ordering::Relaxed);
+    let mut batch = cur_batch;
+    let mut wait = cur_wait;
+    if queue_after >= cur_batch {
+        batch = cur_batch.saturating_mul(2).min(inner.max_batch);
+        wait = cur_wait / 2;
+    } else if queue_after == 0 && tick_requests.saturating_mul(4) <= cur_batch {
+        batch = (cur_batch / 2).max(1);
+        wait = cur_wait
+            .saturating_mul(2)
+            .max(ewma)
+            .min(inner.max_wait_nanos);
+    }
+    if batch != cur_batch || wait != cur_wait {
+        inner.effective_batch.store(batch, Ordering::Relaxed);
+        inner.effective_wait_nanos.store(wait, Ordering::Relaxed);
+        lock(&inner.stats).adaptive_adjustments += 1;
+    }
 }
 
 // The handle crosses producer threads freely.

@@ -4,6 +4,21 @@
 //! long-lived runtime.
 
 use phom_core::{BatchStats, CacheStats};
+use std::time::Duration;
+
+/// Number of buckets in [`RuntimeStats::tick_size_hist`].
+pub const TICK_HIST_BUCKETS: usize = 8;
+
+/// The histogram bucket a tick of `n` requests falls in: power-of-two
+/// buckets `[1]`, `[2–3]`, `[4–7]`, `[8–15]`, `[16–31]`, `[32–63]`,
+/// `[64–127]`, `[≥128]`.
+pub fn tick_size_bucket(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        ((usize::BITS - 1 - n.leading_zeros()) as usize).min(TICK_HIST_BUCKETS - 1)
+    }
+}
 
 /// A point-in-time snapshot of a [`Runtime`](crate::Runtime)'s
 /// activity. Monotonic counters describe the runtime's lifetime;
@@ -18,6 +33,9 @@ pub struct RuntimeStats {
     pub workers_started: u64,
     /// Requests currently waiting in the ingress queue.
     pub queue_depth: usize,
+    /// High-water mark of the ingress queue depth (sampled at every
+    /// admission).
+    pub queue_depth_max: usize,
     /// Requests admitted past admission control.
     pub admitted: u64,
     /// Requests rejected with `SolveError::Overloaded` (queue full).
@@ -34,6 +52,31 @@ pub struct RuntimeStats {
     pub total_tick_requests: u64,
     /// Largest tick flushed so far.
     pub max_tick_requests: usize,
+    /// Tick-size histogram: [`tick_size_bucket`] buckets
+    /// (`[1]`, `[2–3]`, `[4–7]`, …, `[≥128]`); the bucket counts sum to
+    /// [`ticks`](RuntimeStats::ticks).
+    pub tick_size_hist: [u64; TICK_HIST_BUCKETS],
+    /// Whether adaptive tick sizing is enabled
+    /// ([`RuntimeBuilder::adaptive`](crate::RuntimeBuilder::adaptive)).
+    pub adaptive: bool,
+    /// The controller's current effective flush threshold
+    /// (≤ the configured `max_batch`; equal to it when adaptation is
+    /// off).
+    pub effective_max_batch: usize,
+    /// The controller's current effective batching patience
+    /// (≤ the configured `max_wait`).
+    pub effective_max_wait: Duration,
+    /// Times the adaptive controller changed the effective knobs.
+    pub adaptive_adjustments: u64,
+    /// EWMA of the per-request tick latency (the controller's latency
+    /// signal), in nanoseconds.
+    pub unit_ewma_nanos: u64,
+    /// Tick groups (one per instance version within a tick) that
+    /// compiled their circuit plans into one cross-shard shared arena
+    /// (the large-tick path).
+    pub shared_arena_ticks: u64,
+    /// Gates across all tick arenas (shared and per-shard).
+    pub shared_gates: u64,
     /// Work units executed by the pool (shards + single requests).
     pub unit_runs: u64,
     /// Total wall time inside unit execution, i.e. the per-shard
@@ -86,5 +129,9 @@ impl RuntimeStats {
         self.batch_cache_hits += batch.cache_hits as u64;
         self.circuit_batched += batch.circuit_batched as u64;
         self.general_solved += batch.general_solved as u64;
+        self.shared_gates += batch.shared_gates as u64;
+        if batch.shared_arena {
+            self.shared_arena_ticks += 1;
+        }
     }
 }

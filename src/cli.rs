@@ -69,6 +69,9 @@ fn usage() -> String {
      \x20                             bounded-treewidth DP (§6 extension)\n\
      \x20 influence <query> <instance>  edge influences ∂Pr/∂π(e), ranked\n\
      \x20 ucq <instance> <query>...   Pr(G₁ ∨ … ∨ G_k ⇝ H), union of CQs\n\
+     \x20 serve --listen ADDR         the phom_net TCP front end: clients\n\
+     \x20                             register instances and submit requests\n\
+     \x20                             over a length-prefixed JSON protocol\n\
      \x20 serve --bench               drive the persistent serving runtime\n\
      \x20                             (phom_serve::Runtime) with a synthetic\n\
      \x20                             multi-producer load and print its stats\n\
@@ -84,7 +87,16 @@ fn usage() -> String {
      \x20 --cache-cap <n>             bound the engine's answer cache (LRU)\n\
      \x20 --stats                     print the cache counters too\n\
      \n\
-     options for serve --bench (the tick/backpressure knobs):\n\
+     options for serve (the tick/backpressure knobs):\n\
+     \x20 --adaptive                  adaptive tick sizing: adjust the\n\
+     \x20                             effective max-batch/max-wait from the\n\
+     \x20                             queue depth + latency-EWMA feedback,\n\
+     \x20                             bounded by the configured knobs\n\
+     \x20 --share-arena-at <n|off>    compile ticks with ≥ n unique queries\n\
+     \x20                             into one cross-shard shared arena\n\
+     \x20                             (default 32; 'off' = per-shard arenas)\n\
+     \x20 --serve-for-ms <ms>         --listen only: serve for a bounded\n\
+     \x20                             time, then drain and print a summary\n\
      \x20 --max-batch <n>             flush a tick at n accumulated requests\n\
      \x20                             (default 64; bigger ticks amortize\n\
      \x20                             planning and share arenas)\n\
@@ -115,6 +127,10 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
     let mut requests: usize = 512;
     let mut producers: usize = 4;
     let mut bench = false;
+    let mut listen: Option<String> = None;
+    let mut adaptive = false;
+    let mut share_arena_at: Option<usize> = Some(32);
+    let mut serve_for_ms: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         let flag_value = |i: &mut usize| -> Option<&String> {
@@ -123,6 +139,33 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
         };
         match args[i].as_str() {
             "--bench" => bench = true,
+            "--listen" => {
+                listen = Some(
+                    flag_value(&mut i)
+                        .ok_or("--listen needs an address (e.g. 127.0.0.1:4100)")?
+                        .clone(),
+                )
+            }
+            "--adaptive" => adaptive = true,
+            "--share-arena-at" => {
+                let v = flag_value(&mut i)
+                    .ok_or("--share-arena-at needs a unique-query count (or 'off')")?;
+                share_arena_at =
+                    if v == "off" {
+                        None
+                    } else {
+                        Some(v.parse().map_err(|_| {
+                            "--share-arena-at needs a unique-query count (or 'off')"
+                        })?)
+                    };
+            }
+            "--serve-for-ms" => {
+                serve_for_ms = Some(
+                    flag_value(&mut i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--serve-for-ms needs a millisecond count")?,
+                )
+            }
             "--max-batch" => {
                 max_batch = flag_value(&mut i)
                     .and_then(|s| s.parse().ok())
@@ -157,9 +200,24 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
         }
         i += 1;
     }
+    if let Some(addr) = listen {
+        if bench {
+            return Err("--listen and --bench are mutually exclusive".into());
+        }
+        return listen_cmd(ListenConfig {
+            addr,
+            max_batch,
+            max_wait_ms,
+            queue_cap,
+            workers,
+            adaptive,
+            share_arena_at,
+            serve_for_ms,
+        });
+    }
     if !bench {
-        return Err("serve currently ships the --bench load generator only \
-                    (no network front end yet); run `phom serve --bench`"
+        return Err("serve needs a mode: `--listen ADDR` (the phom_net TCP \
+                    front end) or `--bench` (the synthetic load generator)"
             .into());
     }
     let producers = producers.max(1);
@@ -190,6 +248,8 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
         .max_wait(std::time::Duration::from_millis(max_wait_ms))
         .queue_cap(queue_cap)
         .workers(workers)
+        .adaptive(adaptive)
+        .share_arena_at(share_arena_at)
         .build();
     let v_live = runtime.register(live.clone());
     let v_census = runtime.register(census);
@@ -305,6 +365,85 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
         out,
         "cache: {} entries, {} hits, {} misses, {} evictions",
         stats.cache.entries, stats.cache.hits, stats.cache.misses, stats.cache.evictions,
+    );
+    Ok(out)
+}
+
+/// Configuration for `phom serve --listen`.
+struct ListenConfig {
+    addr: String,
+    max_batch: usize,
+    max_wait_ms: u64,
+    queue_cap: usize,
+    workers: usize,
+    adaptive: bool,
+    share_arena_at: Option<usize>,
+    serve_for_ms: Option<u64>,
+}
+
+/// `phom serve --listen ADDR`: the phom_net TCP front end over a fresh
+/// runtime. Clients `register` instances over the wire, then
+/// `submit`/`poll`/`cancel`/`stats` (see `phom_net::wire` for the frame
+/// format). Runs until killed, or for `--serve-for-ms` when given (the
+/// bounded mode tests and scripts use); the returned summary reports
+/// the front-end counters and the runtime stats snapshot.
+fn listen_cmd(config: ListenConfig) -> Result<String, String> {
+    use std::time::Duration;
+    let runtime = std::sync::Arc::new(
+        phom_serve::Runtime::builder()
+            .max_batch(config.max_batch)
+            .max_wait(Duration::from_millis(config.max_wait_ms))
+            .queue_cap(config.queue_cap)
+            .workers(config.workers)
+            .adaptive(config.adaptive)
+            .share_arena_at(config.share_arena_at)
+            .build(),
+    );
+    let server = phom_net::Server::bind(config.addr.as_str(), std::sync::Arc::clone(&runtime))
+        .map_err(|e| format!("listen {}: {e}", config.addr))?;
+    let local = server.local_addr();
+    // Announce readiness on stdout immediately — scripts wait for this
+    // line before connecting.
+    println!(
+        "phom_net: listening on {local} (adaptive {}, register instances over the wire)",
+        if config.adaptive { "on" } else { "off" }
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    match config.serve_for_ms {
+        Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    let net = server.shutdown(Duration::from_secs(2));
+    let stats = runtime.stats();
+    drop(runtime); // the last handle: Drop drains and joins the pool
+    let mut out = String::new();
+    let _ = writeln!(out, "served on {local}");
+    let _ = writeln!(
+        out,
+        "net: {} connections, {} frames in / {} out, {} submitted, \
+         {} overloaded, {} delivered, {} tickets open at close",
+        net.connections,
+        net.frames_in,
+        net.frames_out,
+        net.submitted,
+        net.rejected_overloaded,
+        net.delivered,
+        net.open_tickets,
+    );
+    let _ = writeln!(
+        out,
+        "runtime: {} admitted, {} completed, {} rejected, {} cancelled, \
+         {} ticks (max {} req), effective max_batch {}",
+        stats.admitted,
+        stats.completed,
+        stats.rejected,
+        stats.cancelled,
+        stats.ticks,
+        stats.max_tick_requests,
+        stats.effective_max_batch,
     );
     Ok(out)
 }
@@ -1080,11 +1219,67 @@ mod tests {
 
     #[test]
     fn serve_flag_errors() {
-        // serve without --bench explains itself (no network front end).
+        // serve without a mode explains both of them.
         let err = run(&args(&["serve"]), &fake_fs(&[])).unwrap_err();
         assert!(err.contains("--bench"), "{err}");
+        assert!(err.contains("--listen"), "{err}");
         assert!(run(&args(&["serve", "--max-batch"]), &fake_fs(&[])).is_err());
         assert!(run(&args(&["serve", "--bogus"]), &fake_fs(&[])).is_err());
+        assert!(run(&args(&["serve", "--listen"]), &fake_fs(&[])).is_err());
+        assert!(run(&args(&["serve", "--share-arena-at", "x"]), &fake_fs(&[])).is_err());
+        // --listen and --bench are exclusive modes.
+        let err = run(
+            &args(&["serve", "--listen", "127.0.0.1:0", "--bench"]),
+            &fake_fs(&[]),
+        )
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        // An unbindable address is a typed error, not a panic.
+        assert!(run(
+            &args(&["serve", "--listen", "definitely-not-an-address"]),
+            &fake_fs(&[])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn serve_listen_bounded_run() {
+        // A bounded listen run: bind an ephemeral port, serve briefly
+        // with the adaptive controller on, drain, and summarize.
+        let out = run(
+            &args(&[
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--serve-for-ms",
+                "50",
+                "--adaptive",
+                "--share-arena-at",
+                "8",
+                "--workers",
+                "2",
+            ]),
+            &fake_fs(&[]),
+        )
+        .unwrap();
+        assert!(out.contains("served on 127.0.0.1:"), "{out}");
+        assert!(out.contains("net: 0 connections"), "{out}");
+        assert!(out.contains("runtime: 0 admitted"), "{out}");
+        // 'off' disables cross-shard sharing without erroring.
+        let out = run(
+            &args(&[
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--serve-for-ms",
+                "10",
+                "--share-arena-at",
+                "off",
+            ]),
+            &fake_fs(&[]),
+        )
+        .unwrap();
+        assert!(out.contains("served on"), "{out}");
     }
 
     #[test]

@@ -53,7 +53,8 @@
 //! | [`lineage`] | the **unified provenance engine** ([`lineage::engine`]): one arena IR with interned gates and structural hashing, one semiring-generic bottom-up evaluator shared by positive DNFs, β-acyclicity (Thm 4.9), d-DNNF circuits, and OBDDs |
 //! | [`automata`] | the polytree encoding and path automata of Prop 5.4, compiling into engine arenas |
 //! | [`core`] | the per-proposition algorithms and the Tables 1–3 dispatcher, behind the serving surface of [`core::engine`]: a long-lived [`Engine`] per instance (bounded LRU [`EvalCache`], sharded [`Engine::submit`], the [`Tick`](phom_core::Tick) seam for external pools), typed [`Request`]/[`Response`], and a [`Fleet`] registry serving many graph versions off one shared cache |
-//! | [`serve`] | the **persistent serving runtime**: [`Runtime`] with micro-batching ticks over a worker pool spawned once, bounded-queue backpressure ([`SolveError::Overloaded`]), [`Ticket`]s, graceful drain, [`RuntimeStats`] |
+//! | [`serve`] | the **persistent serving runtime**: [`Runtime`] with micro-batching ticks over a worker pool spawned once, **adaptive tick sizing** ([`RuntimeBuilder::adaptive`]), bounded-queue backpressure ([`SolveError::Overloaded`]), [`Ticket`]s, graceful drain, [`RuntimeStats`] |
+//! | [`net`] | the **network front end**: a TCP [`NetServer`] + [`NetClient`] speaking the length-prefixed JSON protocol of [`net::wire`] over a shared [`Runtime`] (`phom serve --listen ADDR`) |
 //! | [`reductions`] | executable #P-hardness reductions (Props 3.3/3.4/4.1/5.6) |
 //!
 //! ## Requests: one surface for every workload
@@ -107,23 +108,58 @@
 //! [`Fallback`](phom_core::Fallback) per request (or per engine) to turn
 //! hard cells into brute-force or Monte-Carlo answers.
 //!
-//! ## Serving at scale: the persistent runtime
+//! ## Serving at scale: three layers
 //!
-//! For **concurrent traffic** — many producers, no hand-assembled
-//! batches — the [`serve`] crate runs a long-lived [`Runtime`]: a pool
-//! of worker threads spawned **once** at startup (no per-batch spawns),
-//! a bounded ingress queue, and **tick-based micro-batching** — enqueued
-//! requests accumulate until `max_batch` are waiting or the oldest has
-//! waited `max_wait`, then the whole tick is planned at once (interning,
-//! cache probes, shared-arena compilation) and dispatched across the
-//! pool. [`Runtime::enqueue`] returns a [`Ticket`] with blocking
-//! [`wait`](Ticket::wait), non-blocking [`try_get`](Ticket::try_get),
-//! and [`cancel`](Ticket::cancel); a full queue answers
-//! [`SolveError::Overloaded`] immediately (backpressure), and
-//! [`Runtime::shutdown`] drains every admitted request before stopping.
-//! Answers are **bit-identical** to [`Engine::submit`] under every
-//! `max_batch` / `max_wait` / worker-count setting
-//! (`tests/runtime_serving.rs`):
+//! The serving stack is three layers, each usable on its own and each
+//! proven **bit-identical** to direct [`Engine::submit`] by its
+//! differential suite:
+//!
+//! 1. **The engine tick seam** ([`core::engine`]):
+//!    [`Engine::begin_tick`](phom_core::Engine::begin_tick) plans a
+//!    batch into `Send + 'static` [`TickUnit`](phom_core::TickUnit)s
+//!    that any pool may run, and
+//!    [`Tick::finish`](phom_core::Tick::finish) assembles the answers.
+//!    [`TickConfig::share_arena_at`](phom_core::TickConfig) enables
+//!    **cross-shard arena sharing**: large ticks compile every
+//!    circuit-compilable plan into *one* shared arena and partition the
+//!    roots across the shards (one cone-restricted multi-root pass
+//!    each) instead of building per-shard arenas.
+//! 2. **The persistent runtime** ([`serve`]): a pool of worker threads
+//!    spawned **once** at startup, a bounded ingress queue, and
+//!    **tick-based micro-batching** — enqueued requests accumulate
+//!    until `max_batch` are waiting or the oldest has waited
+//!    `max_wait`. With [`RuntimeBuilder::adaptive`] the *effective*
+//!    knobs follow the load: under backlog the controller doubles the
+//!    batch bound and halves the patience; when idle it shrinks the
+//!    bound and grows the patience toward the observed per-request
+//!    latency EWMA — always within the configured limits.
+//!    [`Runtime::enqueue`] returns a [`Ticket`] (blocking
+//!    [`wait`](Ticket::wait), non-blocking [`try_get`](Ticket::try_get),
+//!    [`cancel`](Ticket::cancel)); a full queue answers
+//!    [`SolveError::Overloaded`] immediately (backpressure), and
+//!    [`Runtime::shutdown`] drains every admitted request before
+//!    stopping. [`RuntimeStats`] exposes tick-size histograms, the
+//!    queue-depth high-water mark, adaptive-controller state, and the
+//!    shared cache counters.
+//! 3. **The network front end** ([`net`]): `phom serve --listen ADDR`
+//!    (or [`NetServer`] in process) speaks a length-prefixed JSON
+//!    protocol over plain TCP — one 4-byte big-endian length then one
+//!    JSON document per frame, both directions. Ops map 1:1 onto the
+//!    runtime: `register` → [`Runtime::register`] (returns the hex
+//!    version fingerprint), `submit` → [`Runtime::enqueue_to`] (returns
+//!    a ticket id, or a typed `{"err":{"code":"overloaded",…}}` frame
+//!    when the bounded queue is full — backpressure reaches the wire),
+//!    `poll`/`cancel` → the [`Ticket`], `stats` →
+//!    [`Runtime::stats`]. Results travel in a canonical encoding
+//!    (exact rational strings + route names) that
+//!    `tests/net_serving.rs` compares byte-for-byte against in-process
+//!    oracle answers; `tests/soak_net.rs` saturates it from eight
+//!    concurrent connections and drains it mid-traffic. See
+//!    [`net::wire`] for the full protocol reference.
+//!
+//! The runtime layer in five lines — answers bit-identical to
+//! [`Engine::submit`] under every `max_batch` / `max_wait` /
+//! worker-count / adaptive setting (`tests/runtime_serving.rs`):
 //!
 //! ```
 //! use phom::prelude::*;
@@ -201,6 +237,7 @@ pub use phom_automata as automata;
 pub use phom_core as core;
 pub use phom_graph as graph;
 pub use phom_lineage as lineage;
+pub use phom_net as net;
 pub use phom_num as num;
 pub use phom_reductions as reductions;
 pub use phom_serve as serve;
@@ -209,8 +246,9 @@ pub use phom_serve as serve;
 pub use phom_core::{solve, solve_many, solve_many_cached, solve_with};
 pub use phom_core::{
     Engine, EngineBuilder, EvalCache, Fallback, Fleet, Hardness, Request, Response, Route,
-    Solution, SolveError, SolverOptions,
+    Solution, SolveError, SolverOptions, TickConfig,
 };
+pub use phom_net::{Client as NetClient, NetError, NetStats, Server as NetServer, WireRequest};
 pub use phom_serve::{Runtime, RuntimeBuilder, RuntimeStats, Ticket};
 
 pub mod cli;
@@ -222,10 +260,13 @@ pub mod prelude {
     pub use phom_core::{solve, solve_many, solve_many_cached, solve_with};
     pub use phom_core::{
         BatchStats, CacheHandle, CacheStats, Engine, EngineBuilder, EvalCache, Fallback, Fleet,
-        Request, Response, Route, Solution, SolveError, SolverOptions,
+        Request, Response, Route, Solution, SolveError, SolverOptions, TickConfig,
     };
     pub use phom_graph::{classify, Dir, Graph, GraphBuilder, Label, ProbGraph};
     pub use phom_lineage::{Provenance, VarStatus};
+    pub use phom_net::{
+        Client as NetClient, NetError, NetStats, Server as NetServer, WireFallback, WireRequest,
+    };
     pub use phom_num::{Rational, Semiring, Weight};
     pub use phom_serve::{Runtime, RuntimeBuilder, RuntimeStats, Ticket};
 }

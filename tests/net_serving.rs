@@ -1,0 +1,393 @@
+//! The network front end's differential acceptance suite: random mixed
+//! workloads sent over **loopback TCP** must come back **bit-identical**
+//! to in-process `Engine::submit` oracle answers — compared as the
+//! canonical wire encoding, byte for byte — across
+//! `max_batch`/`max_wait`/`workers` settings, with adaptive ticking on
+//! and off, and with cross-shard arena sharing forced on and off.
+//! Protocol-level behavior (typed `overloaded` backpressure frames,
+//! error frames for malformed input, cancel/stats/register ops) is
+//! pinned here too.
+
+use phom::net::wire::{encode_result, WireFallback, WireRequest};
+use phom::net::{Client, Json, NetError, Server};
+use phom::prelude::*;
+use phom_graph::generate::{self, ProbProfile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A random instance spanning the tables' columns (kept small: the
+/// sensitivity-by-conditioning oracle is quadratic in the edges).
+fn random_instance(rng: &mut SmallRng, profile: ProbProfile) -> ProbGraph {
+    let g = match rng.gen_range(0..4) {
+        0 => generate::two_way_path(rng.gen_range(2..9), 2, rng),
+        1 => generate::downward_tree(rng.gen_range(2..9), 2, rng),
+        2 => generate::polytree(rng.gen_range(3..9), 1, rng),
+        _ => generate::two_way_path(rng.gen_range(2..7), 1, rng),
+    };
+    generate::with_probabilities(g, profile, rng)
+}
+
+/// A random wire request mixing every kind the protocol carries.
+fn random_request(h: &ProbGraph, rng: &mut SmallRng) -> WireRequest {
+    let query = match rng.gen_range(0..4) {
+        0 => Graph::directed_path(rng.gen_range(0..3)),
+        1 => generate::one_way_path(rng.gen_range(1..4), 2, rng),
+        2 => generate::planted_path_query(h.graph(), rng.gen_range(1..4), rng)
+            .unwrap_or_else(|| generate::one_way_path(2, 2, rng)),
+        _ => generate::two_way_path(rng.gen_range(1..4), 1, rng),
+    };
+    match rng.gen_range(0..8) {
+        0 => WireRequest::counting(query),
+        1 => WireRequest::sensitivity(query),
+        2 => WireRequest::ucq(vec![query, Graph::directed_path(1)]),
+        3 => WireRequest::probability(query).with_provenance(),
+        4 => WireRequest::probability(query)
+            .with_fallback(WireFallback::BruteForce { max_uncertain: 10 }),
+        _ => WireRequest::probability(query),
+    }
+}
+
+/// The headline acceptance test: for every knob combination, answers
+/// polled off the wire are byte-identical (canonical encoding) to the
+/// oracle's `Engine::submit` answers for the *same* requests.
+#[test]
+fn wire_answers_are_bit_identical_to_engine_submit() {
+    let mut rng = SmallRng::seed_from_u64(0x2E7D1FF);
+    // (max_batch, max_wait_ms, workers, adaptive, share_arena_at)
+    let knobs = [
+        (1usize, 0u64, 1usize, false, None),
+        (8, 1, 2, false, Some(1)), // sharing forced on every tick
+        (32, 2, 4, true, Some(4)),
+        (4, 0, 3, true, None),
+        (64, 5, 2, false, Some(32)),
+    ];
+    for (trial, &(max_batch, max_wait_ms, workers, adaptive, share)) in knobs.iter().enumerate() {
+        let profile = if trial % 2 == 0 {
+            ProbProfile::half()
+        } else {
+            ProbProfile::default()
+        };
+        let h = random_instance(&mut rng, profile);
+        let requests: Vec<WireRequest> = (0..rng.gen_range(8..20))
+            .map(|_| random_request(&h, &mut rng))
+            .collect();
+        // The in-process oracle, on the same requests.
+        let oracle = Engine::new(h.clone());
+        let expect: Vec<String> = {
+            let reqs: Vec<Request> = requests.iter().map(WireRequest::to_request).collect();
+            oracle
+                .submit(&reqs)
+                .iter()
+                .map(|r| encode_result(r).to_string())
+                .collect()
+        };
+        // The served path: runtime + TCP server + client over loopback.
+        let runtime = Arc::new(
+            Runtime::builder()
+                .max_batch(max_batch)
+                .max_wait(Duration::from_millis(max_wait_ms))
+                .workers(workers)
+                .adaptive(adaptive)
+                .share_arena_at(share)
+                .build(),
+        );
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime)).expect("bind loopback");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let version = client.register(&h).expect("register over the wire");
+        let tickets: Vec<u64> = requests
+            .iter()
+            .map(|r| client.submit(version, r).expect("under queue_cap"))
+            .collect();
+        for (i, (ticket, want)) in tickets.iter().zip(&expect).enumerate() {
+            let got = client.wait(*ticket).expect("answer").to_string();
+            assert_eq!(
+                &got, want,
+                "trial {trial} (b={max_batch}, w={max_wait_ms}ms, k={workers}, \
+                 adaptive={adaptive}, share={share:?}), request {i}"
+            );
+        }
+        // Sharing actually engaged where the knob forces it and the
+        // instance is connected (per-shard path otherwise) — and the
+        // answers above were identical either way.
+        let stats = runtime.stats();
+        if share == Some(1) && phom::graph::classify(h.graph()).is_connected() {
+            assert!(
+                stats.circuit_batched == 0 || stats.shared_arena_ticks > 0,
+                "trial {trial}: {stats:?}"
+            );
+        }
+        server.shutdown(Duration::from_secs(2));
+    }
+}
+
+/// Backpressure over the wire: a full ingress queue answers a typed
+/// `overloaded` error frame carrying the configured capacity — the
+/// client-visible form of `SolveError::Overloaded` — and every admitted
+/// ticket still answers.
+#[test]
+fn overload_surfaces_as_typed_error_frames() {
+    let h = ProbGraph::new(
+        Graph::directed_path(2),
+        vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+    );
+    // Huge batch bound + 2 s of patience: the queue stays full for the
+    // whole (sub-millisecond) submit loop, so admission control is what
+    // the wire observes — then the timer flush answers the admitted
+    // three.
+    let runtime = Arc::new(
+        Runtime::builder()
+            .max_batch(10_000)
+            .max_wait(Duration::from_secs(2))
+            .queue_cap(3)
+            .workers(1)
+            .build(),
+    );
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime)).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let version = client.register(&h).expect("register");
+    let request = WireRequest::probability(Graph::directed_path(1));
+    let mut admitted = Vec::new();
+    let mut overloaded = 0;
+    for _ in 0..10 {
+        match client.submit(version, &request) {
+            Ok(ticket) => admitted.push(ticket),
+            Err(e) => {
+                assert!(e.is_overloaded(), "{e}");
+                let NetError::Server { capacity, .. } = &e else {
+                    panic!("{e}")
+                };
+                assert_eq!(*capacity, Some(3), "the capacity travels in the frame");
+                overloaded += 1;
+            }
+        }
+    }
+    assert_eq!(admitted.len(), 3, "exactly queue_cap admitted");
+    assert_eq!(overloaded, 7);
+    // Every admitted ticket still answers once the timer flush fires.
+    for ticket in admitted {
+        let answer = client.wait(ticket).expect("admitted requests answer");
+        assert_eq!(answer.get("p").and_then(Json::as_str), Some("3/4"));
+    }
+    let net = server.shutdown(Duration::from_secs(5));
+    assert_eq!(net.open_tickets, 0, "no ticket leaks: {net:?}");
+    assert_eq!(net.rejected_overloaded, 7, "{net:?}");
+    let stats = runtime.stats();
+    assert_eq!(stats.rejected, 7, "{stats:?}");
+    assert_eq!(stats.completed, 3, "{stats:?}");
+}
+
+/// Hostile-input hardening: frames that used to reach panicking or
+/// unbounded code paths (absurd vertex counts, empty vertex sets,
+/// duplicate edges, pathological nesting, oversized frames, non-finite
+/// numbers) must come back as typed error frames on a connection that
+/// stays aligned and serviceable — never a panicked reader thread, an
+/// unbounded allocation, or a desynced stream.
+#[test]
+fn hostile_frames_get_typed_errors_not_panics() {
+    let h = ProbGraph::new(Graph::directed_path(1), vec![Rational::from_ratio(1, 2)]);
+    let runtime = Arc::new(Runtime::builder().max_batch(4).workers(1).build());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime)).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let version = client.register(&h).expect("register");
+
+    let bad_request = |client: &mut Client, frame: Json| {
+        let reply = client
+            .call_raw(frame)
+            .expect("typed reply, not a dead conn");
+        let code = reply
+            .get("err")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("expected an error frame: {reply}"))
+            .to_string();
+        code
+    };
+    let instance_frame =
+        |graph: Json| Json::obj(vec![("op", Json::str("register")), ("instance", graph)]);
+    // A 60-byte frame must not be able to commission a 2^53-slot
+    // allocation (or any vertex set beyond the wire bound).
+    let code = bad_request(
+        &mut client,
+        instance_frame(Json::obj(vec![
+            ("vertices", Json::Num(9_007_199_254_740_992.0)),
+            ("edges", Json::Arr(vec![])),
+        ])),
+    );
+    assert_eq!(code, "bad_request");
+    // The empty vertex set and the duplicate ordered pair both panic in
+    // GraphBuilder; the wire must reject them first.
+    for graph in [
+        Json::obj(vec![
+            ("vertices", Json::u64(0)),
+            ("edges", Json::Arr(vec![])),
+        ]),
+        Json::obj(vec![
+            ("vertices", Json::u64(2)),
+            (
+                "edges",
+                Json::Arr(vec![
+                    Json::Arr(vec![Json::u64(0), Json::u64(1), Json::u64(0)]),
+                    Json::Arr(vec![Json::u64(0), Json::u64(1), Json::u64(1)]),
+                ]),
+            ),
+        ]),
+    ] {
+        assert_eq!(
+            bad_request(&mut client, instance_frame(graph)),
+            "bad_request"
+        );
+    }
+    // Pathological nesting is a parse error (bounded recursion), and a
+    // non-finite numeric literal is rejected rather than round-tripped
+    // into invalid JSON.
+    for (raw, want) in [
+        (
+            format!("{}1{}", "[".repeat(50_000), "]".repeat(50_000)),
+            "bad_frame",
+        ),
+        ("{\"op\":\"ping\",\"id\":1e999}".to_string(), "bad_frame"),
+    ] {
+        let reply = client.call_frame_raw(raw.as_bytes()).expect("typed reply");
+        let code = reply
+            .get("err")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str);
+        assert_eq!(code, Some(want), "{raw:.60}: {reply}");
+    }
+    // An oversized frame is discarded without buffering and the stream
+    // stays aligned: the next op on the same connection still works.
+    let mut tiny = Client::connect(server.local_addr()).expect("connect");
+    let huge = "x".repeat(9 << 20); // > the 8 MiB default bound
+    let reply = tiny
+        .call_frame_raw(format!("\"{huge}\"").as_bytes())
+        .expect("typed reply");
+    assert_eq!(
+        reply
+            .get("err")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_frame"),
+        "{reply}"
+    );
+    tiny.ping()
+        .expect("connection survived the oversized frame");
+    // And the original connection still serves real work.
+    let ticket = client
+        .submit(version, &WireRequest::probability(Graph::directed_path(1)))
+        .expect("submit after hostile frames");
+    let answer = client.wait(ticket).expect("answer");
+    assert_eq!(answer.get("p").and_then(Json::as_str), Some("1/2"));
+    server.shutdown(Duration::from_secs(1));
+}
+
+/// Protocol hygiene: malformed frames answer typed protocol errors
+/// without desyncing the connection, unknown versions/tickets are typed
+/// rejections, `cancel` works over the wire, `stats` reports both
+/// layers, and `register`d versions route independently.
+#[test]
+fn protocol_errors_and_ops_are_typed() {
+    let h1 = ProbGraph::new(
+        Graph::directed_path(2),
+        vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+    );
+    let h2 = ProbGraph::new(
+        Graph::directed_path(2),
+        vec![Rational::one(), Rational::from_ratio(1, 2)],
+    );
+    let runtime = Arc::new(
+        Runtime::builder()
+            .max_batch(4)
+            .max_wait(Duration::from_millis(1))
+            .workers(2)
+            .build(),
+    );
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime)).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.ping().expect("ping");
+
+    // Two versions, registered over the wire, routing independently.
+    let v1 = client.register(&h1).expect("v1");
+    let v2 = client.register(&h2).expect("v2");
+    assert_ne!(v1, v2);
+    let q = WireRequest::probability(Graph::directed_path(1));
+    let t1 = client.submit(v1, &q).unwrap();
+    let t2 = client.submit(v2, &q).unwrap();
+    assert_eq!(
+        client.wait(t1).unwrap().get("p").and_then(Json::as_str),
+        Some("3/4")
+    );
+    assert_eq!(
+        client.wait(t2).unwrap().get("p").and_then(Json::as_str),
+        Some("1")
+    );
+
+    // A delivered ticket is gone (exactly-once delivery).
+    match client.poll(t1, Duration::ZERO) {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, "unknown_ticket"),
+        other => panic!("{other:?}"),
+    }
+    // Unknown version: the runtime's typed InvalidQuery crosses the wire.
+    match client.submit(v1 ^ v2 ^ 1, &q) {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, "invalid_query"),
+        other => panic!("{other:?}"),
+    }
+    // Unknown op and missing fields: bad_request.
+    let reply = client
+        .call_raw(Json::obj(vec![
+            ("op", Json::str("frobnicate")),
+            ("id", Json::u64(42)),
+        ]))
+        .unwrap();
+    assert_eq!(reply.get("id").and_then(Json::as_u64), Some(42), "{reply}");
+    assert_eq!(
+        reply
+            .get("err")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request"),
+        "{reply}"
+    );
+    // A cancel on a parked request resolves it to the typed Cancelled.
+    let parked_runtime = Runtime::builder()
+        .max_batch(10_000)
+        .max_wait(Duration::from_secs(600))
+        .workers(1)
+        .build();
+    let parked_runtime = Arc::new(parked_runtime);
+    let parked_server =
+        Server::bind("127.0.0.1:0", Arc::clone(&parked_runtime)).expect("bind parked");
+    let mut parked_client = Client::connect(parked_server.local_addr()).expect("connect");
+    let pv = parked_client.register(&h1).expect("register");
+    let pt = parked_client.submit(pv, &q).unwrap();
+    assert!(parked_client.cancel(pt).expect("cancel"));
+    let result = parked_client.wait(pt).expect("resolved");
+    assert_eq!(
+        result.get("code").and_then(Json::as_str),
+        Some("cancelled"),
+        "{result}"
+    );
+    parked_server.shutdown(Duration::from_secs(1));
+
+    // Stats carries both layers.
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.get("ticks").and_then(Json::as_u64).unwrap() >= 1,
+        "{stats}"
+    );
+    let net = stats.get("net").expect("net section");
+    assert!(
+        net.get("frames_in").and_then(Json::as_u64).unwrap() > 4,
+        "{stats}"
+    );
+    assert_eq!(
+        stats
+            .get("tick_size_hist")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(phom_serve::TICK_HIST_BUCKETS),
+        "{stats}"
+    );
+    server.shutdown(Duration::from_secs(1));
+}

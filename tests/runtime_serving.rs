@@ -316,6 +316,203 @@ fn cancellation_skips_execution() {
     assert_eq!(stats.completed, 1, "{stats:?}");
 }
 
+/// Regression for the `Ticket::cancel` vs tick-flush race: a cancel
+/// that loses the race to the flush (the batcher observed the cancelled
+/// flag and skipped the entry, or the tick already executed) must
+/// still leave the ticket **resolved** — `wait` may never hang on the
+/// canceller's progress. Hammers the window with a tiny tick size and
+/// zero patience so flushes and cancels interleave every which way.
+#[test]
+fn cancel_vs_flush_race_always_resolves() {
+    let h = ProbGraph::new(
+        Graph::directed_path(2),
+        vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+    );
+    let runtime = Runtime::builder()
+        .max_batch(1)
+        .max_wait(Duration::ZERO)
+        .workers(2)
+        .build();
+    runtime.register(h);
+    let request = Request::probability(Graph::directed_path(1));
+    let mut outcomes = (0u64, 0u64); // (answered, cancelled)
+    for round in 0..300 {
+        let ticket = runtime.enqueue(request.clone()).expect("admitted");
+        std::thread::scope(|scope| {
+            let canceller = scope.spawn(|| {
+                if round % 3 == 0 {
+                    std::thread::yield_now();
+                }
+                ticket.cancel()
+            });
+            // The race window: the batcher may be flushing this very
+            // tick while the cancel lands. Whatever interleaving
+            // happens, the ticket must resolve promptly.
+            let resolved = ticket
+                .wait_timeout(Duration::from_secs(10))
+                .expect("a raced cancel must never leave a ticket unresolved");
+            match resolved {
+                Ok(Response::Probability(sol)) => {
+                    assert_eq!(sol.probability, Rational::from_ratio(3, 4), "round {round}");
+                    outcomes.0 += 1;
+                }
+                Err(SolveError::Cancelled) => outcomes.1 += 1,
+                other => panic!("round {round}: {other:?}"),
+            }
+            canceller.join().expect("canceller");
+        });
+    }
+    assert_eq!(outcomes.0 + outcomes.1, 300);
+    let stats = runtime.shutdown();
+    // Every admitted entry went through a tick (none stranded), and the
+    // books balance: answered tickets are `completed`, skipped ones are
+    // `cancelled`, and a cancel landing mid-execution is neither.
+    assert_eq!(stats.total_tick_requests, stats.admitted, "{stats:?}");
+    assert_eq!(stats.completed, outcomes.0, "{stats:?} vs {outcomes:?}");
+    assert_eq!(stats.queue_depth, 0, "{stats:?}");
+}
+
+/// `RuntimeStats` consistency under a scripted workload: the tick-size
+/// histogram, the queue-depth high-water mark, and the cache counters
+/// all match what the script forces. (`max_batch` 4 with a long wait
+/// means every tick flushes by size, at exactly 4 — deterministic.)
+#[test]
+fn stats_match_a_scripted_workload() {
+    let h = ProbGraph::new(Graph::directed_path(4), vec![Rational::from_ratio(1, 2); 4]);
+    let runtime = Runtime::builder()
+        .max_batch(4)
+        .max_wait(Duration::from_secs(600))
+        .workers(1)
+        .build();
+    runtime.register(h);
+    let wave = |requests: [Request; 4]| -> Vec<Result<Response, SolveError>> {
+        let tickets: Vec<Ticket> = requests
+            .into_iter()
+            .map(|r| runtime.enqueue(r).expect("admitted"))
+            .collect();
+        tickets.iter().map(|t| t.wait()).collect()
+    };
+    // Wave 1: four copies of one query — one unique miss, 3 interned.
+    let q = Graph::directed_path(2);
+    let first = wave([(); 4].map(|()| Request::probability(q.clone())));
+    // Wave 2: four structurally distinct queries (none of them wave 1's
+    // 2-path) — four unique misses.
+    let second = wave([0usize, 1, 3, 4].map(|m| Request::probability(Graph::directed_path(m))));
+    // Wave 3: wave 1 again — answered from the shared cache at plan time.
+    let third = wave([(); 4].map(|()| Request::probability(q.clone())));
+    for (a, b) in first.iter().zip(&third) {
+        assert_same(a, b, "warm wave must repeat the cold answers");
+    }
+    assert!(second.iter().all(Result::is_ok));
+    let stats = runtime.shutdown();
+    // Tick shapes: exactly three ticks of exactly four requests.
+    assert_eq!(stats.ticks, 3, "{stats:?}");
+    assert_eq!(stats.total_tick_requests, 12, "{stats:?}");
+    assert_eq!(stats.admitted, 12, "{stats:?}");
+    assert_eq!(stats.max_tick_requests, 4, "{stats:?}");
+    let mut expected_hist = [0u64; phom_serve::TICK_HIST_BUCKETS];
+    expected_hist[phom_serve::tick_size_bucket(4)] = 3;
+    assert_eq!(stats.tick_size_hist, expected_hist, "{stats:?}");
+    assert_eq!(
+        stats.tick_size_hist.iter().sum::<u64>(),
+        stats.ticks,
+        "bucket counts account for every tick: {stats:?}"
+    );
+    // The high-water mark: each wave parks all 4 requests before the
+    // size trigger fires, and nothing ever exceeds a full wave.
+    assert_eq!(stats.queue_depth_max, 4, "{stats:?}");
+    // Cache counters: 5 unique queries solved (1 + 4), wave 3 served
+    // from the cache during planning (1 interned probe, hit).
+    assert_eq!(stats.queries, 12, "{stats:?}");
+    assert_eq!(stats.unique_queries, 6, "{stats:?}");
+    assert_eq!(stats.cache.misses, 5, "{stats:?}");
+    assert_eq!(stats.cache.hits, 1, "{stats:?}");
+    assert_eq!(stats.batch_cache_hits, 1, "{stats:?}");
+    assert_eq!(stats.cache.entries, 5, "{stats:?}");
+    assert_eq!(stats.completed, 12, "{stats:?}");
+    // No adaptation configured: the effective knobs pin to the builder's.
+    assert!(!stats.adaptive, "{stats:?}");
+    assert_eq!(stats.effective_max_batch, 4, "{stats:?}");
+    assert_eq!(
+        stats.effective_max_wait,
+        Duration::from_secs(600),
+        "{stats:?}"
+    );
+}
+
+/// The adaptive controller moves the *effective* knobs with the load —
+/// shrinking toward latency mode when idle, growing back under backlog —
+/// while never leaving the configured bounds and never changing answers.
+#[test]
+fn adaptive_tick_sizing_stays_bounded_and_correct() {
+    let h = ProbGraph::new(
+        Graph::directed_path(2),
+        vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+    );
+    let oracle = Engine::new(h.clone());
+    let runtime = Runtime::builder()
+        .max_batch(64)
+        .max_wait(Duration::from_millis(5))
+        .workers(2)
+        .adaptive(true)
+        .build();
+    runtime.register(h);
+    let request = Request::probability(Graph::directed_path(1));
+    let want = oracle.submit(std::slice::from_ref(&request));
+    // A lone request: the tick fills 1/64 of the bound, so the idle
+    // branch halves the effective batch at least once. (The controller
+    // runs right after the tick fulfills its tickets — poll briefly.)
+    let t = runtime.enqueue(request.clone()).expect("admitted");
+    assert_same(&t.wait(), &want[0], "idle request");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let idle = loop {
+        let stats = runtime.stats();
+        if stats.effective_max_batch < 64 || std::time::Instant::now() > deadline {
+            break stats;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    assert!(idle.adaptive, "{idle:?}");
+    assert!(
+        idle.effective_max_batch < 64 && idle.effective_max_batch >= 1,
+        "idle traffic must shrink the effective batch: {idle:?}"
+    );
+    assert!(idle.adaptive_adjustments >= 1, "{idle:?}");
+    assert!(
+        idle.effective_max_wait <= Duration::from_millis(5),
+        "{idle:?}"
+    );
+    // A sustained burst: answers stay bit-identical and the effective
+    // knobs stay within the configured bounds throughout.
+    for _ in 0..6 {
+        let tickets: Vec<Ticket> = (0..48)
+            .map(|_| {
+                let t = loop {
+                    match runtime.enqueue(request.clone()) {
+                        Ok(t) => break t,
+                        Err(SolveError::Overloaded { .. }) => std::thread::yield_now(),
+                        Err(e) => panic!("{e}"),
+                    }
+                };
+                t
+            })
+            .collect();
+        for t in &tickets {
+            assert_same(&t.wait(), &want[0], "burst request");
+        }
+        let stats = runtime.stats();
+        assert!(
+            (1..=64).contains(&stats.effective_max_batch),
+            "bounded by the configured knob: {stats:?}"
+        );
+        assert!(
+            stats.effective_max_wait <= Duration::from_millis(5),
+            "{stats:?}"
+        );
+    }
+    runtime.shutdown();
+}
+
 /// Tickets expose non-blocking probes and bounded waits.
 #[test]
 fn tickets_support_nonblocking_probes_and_timeouts() {

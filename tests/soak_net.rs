@@ -1,0 +1,233 @@
+//! The network front end's soak suite: eight concurrent client
+//! connections fire bursts through a deliberately tiny ingress queue —
+//! saturation is the *point* — and a draining `shutdown` lands in the
+//! middle of the traffic. The invariant under all of it: **every
+//! request ends in exactly one of answered / Overloaded / Cancelled**
+//! (an answer includes typed hardness — the deterministic outcome of a
+//! hard cell), no ticket leaks server-side, and the books balance after
+//! the drain.
+//!
+//! A watchdog aborts the process if the soak wedges — a deadlock fails
+//! fast (here and in CI) instead of hanging the job.
+
+use phom::net::{Client, Json, NetError, Server, WireRequest};
+use phom::prelude::*;
+use phom_graph::generate::{self, ProbProfile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENTS: usize = 8;
+const PER_CLIENT: usize = 160;
+const BURST: usize = 20;
+
+/// How one request ended. Exactly one of these per request — the soak's
+/// core invariant.
+#[derive(Clone, Copy, Default, Debug)]
+struct Outcomes {
+    answered: u64,
+    overloaded: u64,
+    cancelled: u64,
+}
+
+/// Aborts the whole process if the soak has not finished within
+/// `limit` — a deadlock must fail fast, never hang the test job.
+fn arm_watchdog(limit: Duration, done: &Arc<AtomicBool>) {
+    let done = Arc::clone(done);
+    std::thread::spawn(move || {
+        std::thread::sleep(limit);
+        if !done.load(Ordering::SeqCst) {
+            eprintln!("soak_net: watchdog fired after {limit:?} — aborting (deadlock?)");
+            std::process::abort();
+        }
+    });
+}
+
+/// Classifies one delivered result object.
+fn classify_result(result: &Json) -> &'static str {
+    match result.get("status").and_then(Json::as_str) {
+        Some("ok") => "answered",
+        Some("error") => match result.get("code").and_then(Json::as_str) {
+            Some("cancelled") => "cancelled",
+            // Typed hardness / validation are deterministic *answers*.
+            Some("hard") | Some("invalid_query") => "answered",
+            other => panic!("unexpected error code {other:?}: {result}"),
+        },
+        _ => panic!("malformed result: {result}"),
+    }
+}
+
+#[test]
+fn saturated_soak_accounts_for_every_request() {
+    let done = Arc::new(AtomicBool::new(false));
+    arm_watchdog(Duration::from_secs(120), &done);
+
+    let mut rng = SmallRng::seed_from_u64(0x50A1CAFE);
+    let live = generate::with_probabilities(
+        generate::two_way_path(24, 2, &mut rng),
+        ProbProfile::default(),
+        &mut rng,
+    );
+    let census = ProbGraph::new(
+        live.graph().clone(),
+        vec![Rational::from_ratio(1, 2); live.graph().n_edges()],
+    );
+    let runtime = Arc::new(
+        Runtime::builder()
+            .max_batch(8)
+            .max_wait(Duration::from_millis(5))
+            .queue_cap(4) // tiny on purpose: saturation is the point
+            .workers(4)
+            .adaptive(true)
+            .share_arena_at(Some(8))
+            .build(),
+    );
+    let v_live = runtime.register(live.clone());
+    let v_census = runtime.register(census);
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime)).expect("bind");
+    let addr = server.local_addr();
+
+    let attempts = Arc::new(AtomicU64::new(0));
+    let catalogue: Vec<Graph> = (1..=3)
+        .map(|m| {
+            generate::planted_path_query(live.graph(), m, &mut rng)
+                .unwrap_or_else(|| generate::one_way_path(m, 2, &mut rng))
+        })
+        .collect();
+
+    let (outcomes, net) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let catalogue = catalogue.clone();
+                let attempts = Arc::clone(&attempts);
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0xC11E47 + c as u64);
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut outcomes = Outcomes::default();
+                    let mut server_gone = false;
+                    let mut sent = 0usize;
+                    while sent < PER_CLIENT {
+                        let burst = BURST.min(PER_CLIENT - sent);
+                        // Submit a burst without draining in between, so
+                        // eight clients genuinely pile onto the bounded
+                        // queue; every submit's outcome is terminal (no
+                        // retries — the accounting must see each request
+                        // exactly once).
+                        let mut tickets: Vec<(u64, bool)> = Vec::new();
+                        for j in 0..burst {
+                            if server_gone {
+                                // The drained server refuses new work: the
+                                // remaining requests end Cancelled.
+                                outcomes.cancelled += 1;
+                                continue;
+                            }
+                            let query = catalogue[rng.gen_range(0..catalogue.len())].clone();
+                            let (version, request) = match rng.gen_range(0..4) {
+                                0 | 1 => (v_live, WireRequest::probability(query)),
+                                2 => (v_census, WireRequest::counting(query)),
+                                _ => (v_live, WireRequest::ucq(vec![query])),
+                            };
+                            attempts.fetch_add(1, Ordering::Relaxed);
+                            match client.submit(version, &request) {
+                                Ok(ticket) => {
+                                    // Sprinkle cancellations into the race
+                                    // with the tick flush.
+                                    let cancel = (sent + j).is_multiple_of(13);
+                                    if cancel {
+                                        match client.cancel(ticket) {
+                                            Ok(_) => {}
+                                            Err(NetError::Io(_)) => server_gone = true,
+                                            Err(e) => panic!("client {c}: cancel: {e}"),
+                                        }
+                                    }
+                                    tickets.push((ticket, cancel));
+                                }
+                                Err(e) if e.is_overloaded() => outcomes.overloaded += 1,
+                                Err(e) if e.is_cancelled() => outcomes.cancelled += 1,
+                                Err(NetError::Io(_)) => {
+                                    // The server closed after its drain:
+                                    // nothing was admitted.
+                                    server_gone = true;
+                                    outcomes.cancelled += 1;
+                                }
+                                Err(e) => panic!("client {c}: submit: {e}"),
+                            }
+                        }
+                        // Drain the burst: every admitted ticket must
+                        // resolve (the runtime keeps serving through the
+                        // front end's drain window).
+                        for (ticket, _) in tickets {
+                            match client.wait_deadline(ticket, Duration::from_secs(60)) {
+                                Ok(Some(result)) => match classify_result(&result) {
+                                    "answered" => outcomes.answered += 1,
+                                    "cancelled" => outcomes.cancelled += 1,
+                                    _ => unreachable!(),
+                                },
+                                Ok(None) => panic!("client {c}: ticket {ticket} hung"),
+                                Err(e) => panic!("client {c}: poll: {e}"),
+                            }
+                        }
+                        sent += burst;
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+
+        // Mid-traffic drain: wait until real load went through, then
+        // shut the front end down while clients are still working.
+        while attempts.load(Ordering::Relaxed) < (CLIENTS * PER_CLIENT * 3 / 4) as u64 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let net = server.shutdown(Duration::from_secs(60));
+        let outcomes: Vec<Outcomes> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        (outcomes, net)
+    });
+
+    // Per client: every request ended in exactly one outcome.
+    let mut total = Outcomes::default();
+    for (c, o) in outcomes.iter().enumerate() {
+        assert_eq!(
+            o.answered + o.overloaded + o.cancelled,
+            PER_CLIENT as u64,
+            "client {c}: {o:?}"
+        );
+        total.answered += o.answered;
+        total.overloaded += o.overloaded;
+        total.cancelled += o.cancelled;
+    }
+    assert_eq!(
+        total.answered + total.overloaded + total.cancelled,
+        (CLIENTS * PER_CLIENT) as u64,
+        "{total:?}"
+    );
+    assert!(total.answered > 0, "{total:?}");
+    assert!(
+        total.overloaded > 0,
+        "the tiny queue must actually saturate: {total:?}"
+    );
+    // Server-side books: no ticket leaks, and the runtime accounted for
+    // every admitted request (ticked, then answered / skipped-cancelled /
+    // cancelled mid-flight — never stranded).
+    assert_eq!(net.open_tickets, 0, "ticket leak: {net:?}");
+    // The server is gone (threads joined, its runtime handle dropped), so
+    // the Arc unwraps and the runtime can drain deterministically.
+    let runtime = Arc::try_unwrap(runtime)
+        .unwrap_or_else(|_| panic!("server shutdown must release its runtime handle"));
+    let stats = runtime.shutdown();
+    assert_eq!(stats.total_tick_requests, stats.admitted, "{stats:?}");
+    assert_eq!(stats.queue_depth, 0, "{stats:?}");
+    assert!(
+        stats.completed + stats.cancelled <= stats.admitted,
+        "{stats:?}"
+    );
+    assert!(stats.rejected >= total.overloaded, "{stats:?}");
+    // The adaptive controller stayed within its bounds through all of it.
+    assert!((1..=8).contains(&stats.effective_max_batch), "{stats:?}");
+    done.store(true, Ordering::SeqCst);
+}
