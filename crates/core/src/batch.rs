@@ -145,6 +145,20 @@ pub(crate) fn opts_fingerprint(opts: &SolverOptions) -> u64 {
     h.write_u8(opts.pt_strategy as u8);
     h.write_u8(opts.prefer_dp as u8);
     h.write_u8(opts.want_provenance as u8);
+    // Precision isolates cache entries across evaluation tiers: a float
+    // answer is never served to an exact request (or vice versa), and
+    // float callers with different tolerances never share answers.
+    match opts.precision {
+        crate::solver::Precision::Exact => h.write_u8(0),
+        crate::solver::Precision::Float { max_rel_err } => {
+            h.write_u8(1);
+            h.write_u64(max_rel_err.to_bits());
+        }
+        crate::solver::Precision::Auto { max_rel_err } => {
+            h.write_u8(2);
+            h.write_u64(max_rel_err.to_bits());
+        }
+    }
     h.finish()
 }
 
@@ -397,6 +411,14 @@ pub struct BatchStats {
     /// [`TickConfig::share_arena_at`](crate::TickConfig::share_arena_at))
     /// instead of one arena per shard.
     pub shared_arena: bool,
+    /// Unique circuit queries answered by the float tier
+    /// ([`Precision::Float`](crate::Precision::Float) /
+    /// [`Auto`](crate::Precision::Auto) requests whose certified bound
+    /// met the tolerance).
+    pub float_evaluated: usize,
+    /// `Auto` circuit queries whose float bound exceeded the tolerance
+    /// and were re-evaluated exactly.
+    pub escalations: usize,
 }
 
 /// Batched solving: answers every query in `queries` against `instance`,

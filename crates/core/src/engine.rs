@@ -65,7 +65,7 @@ use crate::batch::{
 };
 use crate::sensitivity::{self, SensitivityRoute};
 use crate::solver::{
-    finish_plan, plan_query, solve_with_impl, Hardness, InstanceState, Plan, Planned,
+    finish_plan, plan_query, solve_with_impl, Hardness, InstanceState, Plan, Planned, Precision,
     SharedInstance, Solution, SolveError, SolverOptions,
 };
 use crate::ucq::{Ucq, UcqRoute};
@@ -73,7 +73,8 @@ use crate::{counting, Fallback, Route};
 use phom_graph::{Graph, ProbGraph};
 use phom_lineage::engine::{Arena, EvalScratch, GateId};
 use phom_lineage::fxhash::FxHashMap;
-use phom_num::{Natural, Rational};
+use phom_lineage::FlatArena;
+use phom_num::{ErrF64, Natural, Rational, Weight};
 use rand::SeedableRng;
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Mutex};
@@ -113,6 +114,7 @@ struct Overrides {
     options: Option<SolverOptions>,
     fallback: Option<Fallback>,
     want_provenance: Option<bool>,
+    precision: Option<Precision>,
 }
 
 impl Request {
@@ -170,6 +172,13 @@ impl Request {
         self
     }
 
+    /// Pick the evaluation tier for this request — see [`Precision`].
+    /// Float-tier answers arrive as [`Response::Approximate`].
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.overrides.precision = Some(precision);
+        self
+    }
+
     /// Replace the engine's default [`SolverOptions`] wholesale for this
     /// request (the chained per-field overrides still apply on top).
     pub fn options(mut self, options: SolverOptions) -> Self {
@@ -196,6 +205,9 @@ impl Request {
         if let Some(w) = self.overrides.want_provenance {
             opts.want_provenance = w;
         }
+        if let Some(p) = self.overrides.precision {
+            opts.precision = p;
+        }
         opts
     }
 }
@@ -205,6 +217,19 @@ impl Request {
 pub enum Response {
     /// The answer to a [`Request::probability`] request.
     Probability(Solution),
+    /// A float-tier probability answer
+    /// ([`Precision::Float`] / [`Precision::Auto`] requests): the
+    /// value plus a rigorous upper bound on its relative error,
+    /// accumulated through every gate of the lineage evaluation.
+    Approximate {
+        /// `Pr(G ⇝ H)` as evaluated over `f64`.
+        value: f64,
+        /// Certified upper bound on `|value − exact| / exact`
+        /// (infinite when the value itself rounded to zero).
+        rel_err_bound: f64,
+        /// The algorithm that produced it.
+        route: Route,
+    },
     /// The answer to a counting request.
     Count {
         /// Worlds (over the uncertain edges) in which the query holds.
@@ -242,6 +267,31 @@ impl Response {
         match self {
             Response::Probability(sol) => Some(&sol.probability),
             Response::Ucq { probability, .. } => Some(probability),
+            _ => None,
+        }
+    }
+
+    /// The value and certified relative-error bound of an
+    /// [`Approximate`](Response::Approximate) response.
+    pub fn approximate(&self) -> Option<(f64, f64)> {
+        match self {
+            Response::Approximate {
+                value,
+                rel_err_bound,
+                ..
+            } => Some((*value, *rel_err_bound)),
+            _ => None,
+        }
+    }
+
+    /// Any probability-shaped answer as an `f64` — exact responses are
+    /// converted (correctly rounded), approximate ones return their
+    /// carried value.
+    pub fn value_f64(&self) -> Option<f64> {
+        match self {
+            Response::Probability(sol) => Some(sol.probability.to_f64()),
+            Response::Approximate { value, .. } => Some(*value),
+            Response::Ucq { probability, .. } => Some(probability.to_f64()),
             _ => None,
         }
     }
@@ -415,6 +465,13 @@ impl Engine {
         let mut answers = self.submit(&[Request::probability(query.clone())]);
         match answers.pop().expect("one request in") {
             Ok(Response::Probability(sol)) => Ok(sol),
+            // Float-tier engine defaults: fold the approximate value into
+            // the historical `Solution` shape (dyadic rational).
+            Ok(Response::Approximate { value, route, .. }) => Ok(Solution {
+                probability: crate::solver::dyadic_from_f64(value),
+                route,
+                provenance: None,
+            }),
             Ok(other) => unreachable!("probability request answered as {other:?}"),
             Err(e) => Err(e),
         }
@@ -767,15 +824,70 @@ struct PendingSlot {
 
 /// What one shard produced.
 struct ShardOutcome {
-    results: Vec<(usize, Result<Solution, SolveError>)>,
+    results: Vec<(usize, Result<Response, SolveError>)>,
     gates: usize,
     circuit_batched: usize,
     general_solved: usize,
+    float_evaluated: usize,
+    escalations: usize,
+}
+
+impl ShardOutcome {
+    fn empty(capacity: usize) -> ShardOutcome {
+        ShardOutcome {
+            results: Vec::with_capacity(capacity),
+            gates: 0,
+            circuit_batched: 0,
+            general_solved: 0,
+            float_evaluated: 0,
+            escalations: 0,
+        }
+    }
+
+    fn lost(slots: Vec<usize>, message: String) -> ShardOutcome {
+        ShardOutcome {
+            results: slots
+                .into_iter()
+                .map(|slot| (slot, Err(SolveError::Internal(message.clone()))))
+                .collect(),
+            ..ShardOutcome::empty(0)
+        }
+    }
 }
 
 /// One circuit compiled into a shared arena, waiting for its partition's
-/// multi-root evaluation pass: (unique slot, root gate, negated, route).
-type DeferredRoot = (usize, GateId, bool, Route);
+/// multi-root evaluation pass: (unique slot, root gate, negated, route,
+/// requested precision tier).
+type DeferredRoot = (usize, GateId, bool, Route, Precision);
+
+/// Reusable evaluation buffers for [`TickUnit::run_with`]: the exact
+/// tier's cone-marking scratch and the float tier's value slab.
+///
+/// A persistent worker (one `phom_serve` pool thread) holds one
+/// `WorkerScratch` for its lifetime and hands it to every unit it runs;
+/// after warm-up the multi-root evaluation passes allocate nothing
+/// beyond the returned answers. [`TickUnit::run`] is the
+/// scratch-per-call convenience.
+pub struct WorkerScratch {
+    exact: EvalScratch<Rational>,
+    float_values: Vec<ErrF64>,
+}
+
+impl Default for WorkerScratch {
+    fn default() -> Self {
+        WorkerScratch::new()
+    }
+}
+
+impl WorkerScratch {
+    /// Empty scratch; buffers grow to the arenas evaluated through it.
+    pub fn new() -> Self {
+        WorkerScratch {
+            exact: EvalScratch::new(),
+            float_values: Vec::new(),
+        }
+    }
+}
 
 /// One independent, owned unit of tick work: a shard of planned
 /// probability queries, a partition of a **cross-shard shared arena**
@@ -790,7 +902,7 @@ enum UnitWork {
     },
     Single {
         index: usize,
-        request: Request,
+        request: Box<Request>,
     },
 }
 
@@ -810,8 +922,10 @@ enum UnitOutput {
 /// planning or the solve work in the units.
 struct PreparedBatch {
     stats: BatchStats,
-    /// Per unique slot: the answer, once known.
-    slots: Vec<Option<Result<Solution, SolveError>>>,
+    /// Per unique slot: the answer, once known. Probability-batch slots
+    /// hold `Response::Probability` (exact) or `Response::Approximate`
+    /// (float tier) — never the other response kinds.
+    slots: Vec<Option<Result<Response, SolveError>>>,
     /// Unique slots still to solve (not planned yet — planning runs in
     /// [`plan_pending`], outside any cache lock).
     pending: Vec<MissSlot>,
@@ -901,7 +1015,7 @@ fn plan_tick(engine: &Engine, requests: &[Request], config: &TickConfig) -> Plan
             }
             singles.push(UnitWork::Single {
                 index: i,
-                request: request.clone(),
+                request: Box::new(request.clone()),
             });
         }
         prepared
@@ -964,7 +1078,7 @@ fn finish_tick(
         finalize_batch(prepared, Some(&mut guard), engine.fingerprint)
     };
     for (i, result) in prob_req.into_iter().zip(prob_results) {
-        out[i] = Some(result.map(Response::Probability));
+        out[i] = Some(result);
     }
     let responses = out
         .into_iter()
@@ -982,6 +1096,8 @@ fn apply_shard(prepared: &mut PreparedBatch, outcome: ShardOutcome) {
     prepared.stats.shared_gates += outcome.gates;
     prepared.stats.circuit_batched += outcome.circuit_batched;
     prepared.stats.general_solved += outcome.general_solved;
+    prepared.stats.float_evaluated += outcome.float_evaluated;
+    prepared.stats.escalations += outcome.escalations;
     for (slot, answer) in outcome.results {
         prepared.slots[slot] = Some(answer);
     }
@@ -1018,7 +1134,7 @@ fn prepare_batch(
     }
     stats.unique_queries = unique.len();
 
-    let mut slots: Vec<Option<Result<Solution, SolveError>>> = Vec::new();
+    let mut slots: Vec<Option<Result<Response, SolveError>>> = Vec::new();
     slots.resize_with(unique.len(), || None);
     let mut pending: Vec<MissSlot> = Vec::new();
     for (slot, (item_idx, opts_fp, key)) in unique.iter().enumerate() {
@@ -1029,10 +1145,26 @@ fn prepare_batch(
                 kind: CacheKind::Probability,
                 query: key.clone(),
             };
-            if let Some(CachedAnswer::Solution(answer)) = c.get(&ckey) {
-                stats.cache_hits += 1;
-                slots[slot] = Some(answer.clone().map_err(SolveError::Hard));
-                continue;
+            // Exact answers are stored as `Solution`s, float-tier answers
+            // as full `Response`s; the options fingerprint (which folds
+            // in the precision) keeps the two populations disjoint.
+            match c.get(&ckey) {
+                Some(CachedAnswer::Solution(answer)) => {
+                    stats.cache_hits += 1;
+                    slots[slot] = Some(
+                        answer
+                            .clone()
+                            .map(Response::Probability)
+                            .map_err(SolveError::Hard),
+                    );
+                    continue;
+                }
+                Some(CachedAnswer::Response(response)) => {
+                    stats.cache_hits += 1;
+                    slots[slot] = Some(response.clone());
+                    continue;
+                }
+                None => {}
             }
         }
         pending.push(MissSlot {
@@ -1094,14 +1226,14 @@ fn shard_units(pending: Vec<PendingSlot>, shards: usize, stats: &mut BatchStats)
 /// plans compile into it and are answered by one multi-root engine
 /// pass; everything else runs the exact per-query path. Panics are
 /// contained into per-request [`SolveError::Internal`] errors.
-fn run_unit(engine: &Engine, work: UnitWork) -> UnitOutput {
+fn run_unit(engine: &Engine, work: UnitWork, scratch: &mut WorkerScratch) -> UnitOutput {
     match work {
         UnitWork::Shard(work) => {
             let shared = SharedInstance::new(&engine.instance, &engine.state);
-            UnitOutput::Shard(run_shard_guarded(shared, work))
+            UnitOutput::Shard(run_shard_guarded(shared, work, scratch))
         }
         UnitWork::SharedEval { arena, items } => {
-            UnitOutput::Shard(run_shared_eval_guarded(engine, &arena, items))
+            UnitOutput::Shard(run_shared_eval_guarded(engine, &arena, items, scratch))
         }
         UnitWork::Single { index, request } => {
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -1120,7 +1252,11 @@ fn run_unit(engine: &Engine, work: UnitWork) -> UnitOutput {
 /// contained by [`run_unit`].
 fn run_units_scoped(engine: &Engine, units: Vec<UnitWork>, threads: usize) -> Vec<UnitOutput> {
     if threads <= 1 || units.len() <= 1 {
-        return units.into_iter().map(|u| run_unit(engine, u)).collect();
+        let mut scratch = WorkerScratch::new();
+        return units
+            .into_iter()
+            .map(|u| run_unit(engine, u, &mut scratch))
+            .collect();
     }
     let workers = threads.min(units.len());
     let work: Vec<Mutex<Option<UnitWork>>> =
@@ -1131,6 +1267,7 @@ fn run_units_scoped(engine: &Engine, units: Vec<UnitWork>, threads: usize) -> Ve
             .map(|w| {
                 scope.spawn(move || {
                     let mut acc = Vec::new();
+                    let mut scratch = WorkerScratch::new();
                     let mut i = w;
                     while i < work.len() {
                         let unit = work[i]
@@ -1138,7 +1275,7 @@ fn run_units_scoped(engine: &Engine, units: Vec<UnitWork>, threads: usize) -> Ve
                             .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .take()
                             .expect("each unit is taken exactly once");
-                        acc.push(run_unit(engine, unit));
+                        acc.push(run_unit(engine, unit, &mut scratch));
                         i += workers;
                     }
                     acc
@@ -1172,7 +1309,7 @@ fn finalize_batch(
     prepared: PreparedBatch,
     cache: Option<&mut EvalCache>,
     fingerprint: u64,
-) -> (Vec<Result<Solution, SolveError>>, BatchStats) {
+) -> (Vec<Result<Response, SolveError>>, BatchStats) {
     let PreparedBatch {
         stats,
         slots,
@@ -1181,7 +1318,7 @@ fn finalize_batch(
         slot_of_item,
     } = prepared;
     debug_assert!(pending.is_empty(), "finalize before execute");
-    let slots: Vec<Result<Solution, SolveError>> = slots
+    let slots: Vec<Result<Response, SolveError>> = slots
         .into_iter()
         .map(|slot| {
             slot.unwrap_or_else(|| Err(SolveError::Internal("a shard's output was lost".into())))
@@ -1190,7 +1327,11 @@ fn finalize_batch(
     if let Some(c) = cache {
         for ((_, opts_fp, key), answer) in unique.into_iter().zip(&slots) {
             let cached = match answer {
-                Ok(sol) => CachedAnswer::Solution(Ok(sol.clone())),
+                Ok(Response::Probability(sol)) => CachedAnswer::Solution(Ok(sol.clone())),
+                Ok(approx @ Response::Approximate { .. }) => {
+                    CachedAnswer::Response(Ok(approx.clone()))
+                }
+                Ok(_) => continue,
                 Err(SolveError::Hard(h)) => CachedAnswer::Solution(Err(h.clone())),
                 Err(_) => continue,
             };
@@ -1216,48 +1357,20 @@ fn run_shared_eval_guarded(
     engine: &Engine,
     arena: &Arena,
     items: Vec<DeferredRoot>,
+    scratch: &mut WorkerScratch,
 ) -> ShardOutcome {
     let slots: Vec<usize> = items.iter().map(|d| d.0).collect();
     let n = items.len();
     match std::panic::catch_unwind(AssertUnwindSafe(|| {
         test_support::maybe_panic();
-        let roots: Vec<GateId> = items.iter().map(|d| d.1).collect();
-        let values =
-            arena.probability_many_with(&roots, engine.instance.probs(), &mut EvalScratch::new());
-        ShardOutcome {
-            results: items
-                .into_iter()
-                .zip(values)
-                .map(|((slot, _, negated, route), value)| {
-                    let probability = if negated { value.one_minus() } else { value };
-                    (
-                        slot,
-                        Ok(Solution {
-                            probability,
-                            route,
-                            provenance: None,
-                        }),
-                    )
-                })
-                .collect(),
-            gates: 0, // the shared arena's gates are counted once, at plan time
-            circuit_batched: n,
-            general_solved: 0,
-        }
+        let mut outcome = ShardOutcome::empty(n);
+        // The shared arena's gates are counted once, at plan time.
+        outcome.circuit_batched = n;
+        eval_deferred(arena, engine.instance.probs(), items, &mut outcome, scratch);
+        outcome
     })) {
         Ok(outcome) => outcome,
-        Err(payload) => {
-            let message = panic_message(payload.as_ref());
-            ShardOutcome {
-                results: slots
-                    .into_iter()
-                    .map(|slot| (slot, Err(SolveError::Internal(message.clone()))))
-                    .collect(),
-                gates: 0,
-                circuit_batched: 0,
-                general_solved: 0,
-            }
-        }
+        Err(payload) => ShardOutcome::lost(slots, panic_message(payload.as_ref())),
     }
 }
 
@@ -1287,7 +1400,13 @@ fn split_shared_arena(
                     if let Some(root) =
                         lineage_circuits::match_into_2wp(&mut arena, effective, instance.graph())
                     {
-                        deferred.push((pending.slot, root, false, Route::Prop411));
+                        deferred.push((
+                            pending.slot,
+                            root,
+                            false,
+                            Route::Prop411,
+                            pending.opts.precision,
+                        ));
                         continue;
                     }
                 }
@@ -1297,7 +1416,13 @@ fn split_shared_arena(
                         &pending.planned.absorbed,
                         instance.graph(),
                     ) {
-                        deferred.push((pending.slot, root, true, Route::Prop410));
+                        deferred.push((
+                            pending.slot,
+                            root,
+                            true,
+                            Route::Prop410,
+                            pending.opts.precision,
+                        ));
                         continue;
                     }
                 }
@@ -1331,39 +1456,131 @@ fn split_shared_arena(
 /// Executes one shard with panic containment: a panicking plan turns
 /// into `Err(SolveError::Internal)` on every slot the shard was
 /// assigned, and the caller's thread never unwinds.
-fn run_shard_guarded(shared: SharedInstance<'_>, work: Vec<PendingSlot>) -> ShardOutcome {
+fn run_shard_guarded(
+    shared: SharedInstance<'_>,
+    work: Vec<PendingSlot>,
+    scratch: &mut WorkerScratch,
+) -> ShardOutcome {
     let slots: Vec<usize> = work.iter().map(|p| p.slot).collect();
     match std::panic::catch_unwind(AssertUnwindSafe(|| {
         test_support::maybe_panic();
-        run_shard(shared, work)
+        run_shard(shared, work, scratch)
     })) {
         Ok(outcome) => outcome,
-        Err(payload) => {
-            let message = panic_message(payload.as_ref());
-            ShardOutcome {
-                results: slots
-                    .into_iter()
-                    .map(|slot| (slot, Err(SolveError::Internal(message.clone()))))
-                    .collect(),
-                gates: 0,
-                circuit_batched: 0,
-                general_solved: 0,
+        Err(payload) => ShardOutcome::lost(slots, panic_message(payload.as_ref())),
+    }
+}
+
+/// Wraps a general-path (non-circuit) exact answer for its requested
+/// tier: under [`Precision::Float`] the exact probability is *reported*
+/// approximately (correctly-rounded conversion, half-ulp bound) — unless
+/// a provenance handle rides on the solution, which only the exact shape
+/// carries. `Exact` and `Auto` report the exact solution unchanged.
+fn respond_exact(
+    answer: Result<Solution, SolveError>,
+    precision: Precision,
+) -> Result<Response, SolveError> {
+    let sol = answer?;
+    match precision {
+        Precision::Float { .. } if sol.provenance.is_none() => {
+            let value = sol.probability.to_f64();
+            let wrapped = ErrF64::from_rounded(value, sol.probability.is_zero());
+            Ok(Response::Approximate {
+                value,
+                rel_err_bound: wrapped.rel_err_bound(),
+                route: sol.route,
+            })
+        }
+        _ => Ok(Response::Probability(sol)),
+    }
+}
+
+/// Answers every deferred circuit root of one arena, honoring each
+/// root's precision tier.
+///
+/// The float tiers (`Float` / `Auto`) compile the union of their root
+/// cones into a [`FlatArena`] and evaluate once over
+/// [`ErrF64`](phom_num::ErrF64), certifying a relative-error bound per
+/// root. `Float` roots always answer [`Response::Approximate`]; `Auto`
+/// roots whose bound exceeds their tolerance **escalate** into the
+/// exact pass. The exact pass — `Exact` roots plus escalations — is the
+/// historical multi-root rational evaluation, so exact answers stay
+/// bit-identical to a pure-exact batch (per-root values don't depend on
+/// which other roots share the pass).
+fn eval_deferred(
+    arena: &Arena,
+    probs: &[Rational],
+    deferred: Vec<DeferredRoot>,
+    outcome: &mut ShardOutcome,
+    scratch: &mut WorkerScratch,
+) {
+    let mut exact: Vec<(usize, GateId, bool, Route)> = Vec::new();
+    // (slot, root, negated, route, tolerance, escalates-on-miss)
+    let mut float: Vec<(usize, GateId, bool, Route, f64, bool)> = Vec::new();
+    for (slot, root, negated, route, precision) in deferred {
+        match precision {
+            Precision::Exact => exact.push((slot, root, negated, route)),
+            Precision::Float { max_rel_err } => {
+                float.push((slot, root, negated, route, max_rel_err, false))
             }
+            Precision::Auto { max_rel_err } => {
+                float.push((slot, root, negated, route, max_rel_err, true))
+            }
+        }
+    }
+    if !float.is_empty() {
+        let roots: Vec<GateId> = float.iter().map(|d| d.1).collect();
+        let flat = FlatArena::compile(arena, &roots);
+        let leaves: Vec<ErrF64> = probs.iter().map(ErrF64::from_rational).collect();
+        let values = flat.eval_err_many(&leaves, &mut scratch.float_values);
+        for ((slot, root, negated, route, tol, escalates), value) in float.into_iter().zip(values) {
+            let value = if negated { value.complement() } else { value };
+            let rel_err_bound = value.rel_err_bound();
+            if rel_err_bound > tol && escalates {
+                outcome.escalations += 1;
+                exact.push((slot, root, negated, route));
+            } else {
+                // `Float` never escalates: above tolerance the value is
+                // still served, with its honest (too-large) bound.
+                outcome.float_evaluated += 1;
+                outcome.results.push((
+                    slot,
+                    Ok(Response::Approximate {
+                        value: value.value(),
+                        rel_err_bound,
+                        route,
+                    }),
+                ));
+            }
+        }
+    }
+    if !exact.is_empty() {
+        let roots: Vec<GateId> = exact.iter().map(|d| d.1).collect();
+        let values = arena.probability_many_with(&roots, probs, &mut scratch.exact);
+        for ((slot, _, negated, route), value) in exact.into_iter().zip(values) {
+            let probability = if negated { value.one_minus() } else { value };
+            outcome.results.push((
+                slot,
+                Ok(Response::Probability(Solution {
+                    probability,
+                    route,
+                    provenance: None,
+                })),
+            ));
         }
     }
 }
 
 /// Executes one shard's worth of planned queries.
-fn run_shard(shared: SharedInstance<'_>, work: Vec<PendingSlot>) -> ShardOutcome {
+fn run_shard(
+    shared: SharedInstance<'_>,
+    work: Vec<PendingSlot>,
+    scratch: &mut WorkerScratch,
+) -> ShardOutcome {
     let instance = shared.instance;
     let mut arena = Arena::new(instance.graph().n_edges());
-    let mut deferred: Vec<(usize, GateId, bool, Route)> = Vec::new();
-    let mut outcome = ShardOutcome {
-        results: Vec::with_capacity(work.len()),
-        gates: 0,
-        circuit_batched: 0,
-        general_solved: 0,
-    };
+    let mut deferred: Vec<DeferredRoot> = Vec::new();
+    let mut outcome = ShardOutcome::empty(work.len());
     let connected = shared.ic().is_connected();
     for pending in work {
         let opts = pending.opts;
@@ -1376,7 +1593,7 @@ fn run_shard(shared: SharedInstance<'_>, work: Vec<PendingSlot>) -> ShardOutcome
                     if let Some(root) =
                         lineage_circuits::match_into_2wp(&mut arena, effective, instance.graph())
                     {
-                        deferred.push((pending.slot, root, false, Route::Prop411));
+                        deferred.push((pending.slot, root, false, Route::Prop411, opts.precision));
                         outcome.circuit_batched += 1;
                         continue;
                     }
@@ -1387,7 +1604,7 @@ fn run_shard(shared: SharedInstance<'_>, work: Vec<PendingSlot>) -> ShardOutcome
                         &pending.planned.absorbed,
                         instance.graph(),
                     ) {
-                        deferred.push((pending.slot, root, true, Route::Prop410));
+                        deferred.push((pending.slot, root, true, Route::Prop410, opts.precision));
                         outcome.circuit_batched += 1;
                         continue;
                     }
@@ -1399,24 +1616,14 @@ fn run_shard(shared: SharedInstance<'_>, work: Vec<PendingSlot>) -> ShardOutcome
         let answer =
             finish_plan(&pending.query, pending.planned, &shared, opts).map_err(SolveError::Hard);
         outcome.general_solved += 1;
-        outcome.results.push((pending.slot, answer));
+        outcome
+            .results
+            .push((pending.slot, respond_exact(answer, opts.precision)));
     }
     outcome.gates = arena.n_gates();
-    // One multi-root engine pass answers every deferred query.
+    // One multi-root engine pass per tier answers every deferred query.
     if !deferred.is_empty() {
-        let roots: Vec<GateId> = deferred.iter().map(|&(_, root, _, _)| root).collect();
-        let values = arena.probability_many_with(&roots, instance.probs(), &mut EvalScratch::new());
-        for ((slot, _, negated, route), value) in deferred.into_iter().zip(values) {
-            let probability = if negated { value.one_minus() } else { value };
-            outcome.results.push((
-                slot,
-                Ok(Solution {
-                    probability,
-                    route,
-                    provenance: None,
-                }),
-            ));
-        }
+        eval_deferred(&arena, instance.probs(), deferred, &mut outcome, scratch);
     }
     outcome
 }
@@ -1432,6 +1639,12 @@ pub(crate) fn legacy_batch(
     opts: SolverOptions,
     mut cache: Option<&mut EvalCache>,
 ) -> (Vec<Result<Solution, Hardness>>, BatchStats) {
+    // The legacy surface predates the float tiers and speaks `Solution`
+    // only — exact precision, whatever the caller's options say.
+    let opts = SolverOptions {
+        precision: Precision::Exact,
+        ..opts
+    };
     let state = InstanceState::new(instance);
     let shared = SharedInstance::new(instance, &state);
     let items: Vec<BatchItem> = queries
@@ -1445,17 +1658,22 @@ pub(crate) fn legacy_batch(
     };
     let mut prepared = prepare_batch(&items, cache.as_deref_mut(), fingerprint);
     let pending = plan_pending(shared, &items, &mut prepared);
+    let mut scratch = WorkerScratch::new();
     for unit in shard_units(pending, 1, &mut prepared.stats) {
         let UnitWork::Shard(work) = unit else {
             unreachable!("probability-only batch")
         };
-        apply_shard(&mut prepared, run_shard_guarded(shared, work));
+        apply_shard(&mut prepared, run_shard_guarded(shared, work, &mut scratch));
     }
     let (results, stats) = finalize_batch(prepared, cache, fingerprint);
     let results = results
         .into_iter()
         .map(|r| {
-            r.map_err(|e| match e {
+            r.map(|resp| match resp {
+                Response::Probability(sol) => sol,
+                other => unreachable!("exact batch answered as {other:?}"),
+            })
+            .map_err(|e| match e {
                 SolveError::Hard(h) => h,
                 other => panic!("{other}"),
             })
@@ -1566,7 +1784,15 @@ impl TickUnit {
     /// into `Err(SolveError::Internal)` on the affected requests and
     /// the engine stays serviceable.
     pub fn run(self) -> TickOutput {
-        TickOutput(run_unit(&self.engine, self.work))
+        self.run_with(&mut WorkerScratch::new())
+    }
+
+    /// As [`run`](TickUnit::run), with caller-owned evaluation scratch:
+    /// a persistent worker holds one [`WorkerScratch`] across ticks so
+    /// the multi-root evaluation passes stop allocating after warm-up.
+    /// Answers are bit-identical to [`run`](TickUnit::run).
+    pub fn run_with(self, scratch: &mut WorkerScratch) -> TickOutput {
+        TickOutput(run_unit(&self.engine, self.work, scratch))
     }
 
     /// How many requests this unit answers (for load accounting).

@@ -44,8 +44,9 @@ pub use batch::{instance_fingerprint, BatchStats, CacheHandle, CacheStats, EvalC
 pub use batch::{solve_many, solve_many_cached, solve_many_stats};
 pub use engine::{
     Engine, EngineBuilder, Fleet, Request, Response, Tick, TickConfig, TickOutput, TickUnit,
+    WorkerScratch,
 };
 #[allow(deprecated)] // the shims stay exported so no caller breaks
 pub use solver::{solve, solve_with};
-pub use solver::{Fallback, Hardness, Route, Solution, SolveError, SolverOptions};
+pub use solver::{Fallback, Hardness, Precision, Route, Solution, SolveError, SolverOptions};
 pub use tables::{CellStatus, Setting, TableId};

@@ -45,6 +45,59 @@ pub enum Fallback {
     },
 }
 
+/// Which evaluation tier answers a probability request.
+///
+/// The circuit routes (Props 4.10/4.11 on connected instances) can
+/// evaluate their lineage either exactly over [`Rational`] or over a
+/// flat `f64` slab with a running error bound
+/// ([`ErrF64`](phom_num::ErrF64)). The float tiers answer with
+/// [`Response::Approximate`](crate::Response::Approximate); the exact
+/// tier stays bit-identical across shard widths and scheduling.
+///
+/// Non-circuit work — counting, sensitivity, UCQs, fallbacks, and the
+/// general probability routes — is always computed exactly; under
+/// `Float` the exact answer is *reported* as an `Approximate` response
+/// (half-ulp bound), under `Auto` it is reported exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Precision {
+    /// Exact rational arithmetic end to end (default; paper-faithful).
+    #[default]
+    Exact,
+    /// Float-first: circuit routes evaluate over `f64` with a running
+    /// error bound and always answer approximately. `max_rel_err` is
+    /// recorded in the cache key (callers with different tolerances
+    /// never share answers) and reported alongside the value.
+    Float {
+        /// The caller's relative-error tolerance.
+        max_rel_err: f64,
+    },
+    /// Float-first with exact escalation: circuit routes evaluate over
+    /// `f64` first and fall back to the exact rational pass whenever
+    /// the certified relative-error bound exceeds `max_rel_err` — so
+    /// every answer is either certified-approximate within tolerance or
+    /// bit-identical to [`Precision::Exact`].
+    Auto {
+        /// Escalate to exact when the bound exceeds this.
+        max_rel_err: f64,
+    },
+}
+
+impl Precision {
+    /// The relative-error tolerance of the float tiers (`None` for
+    /// `Exact`).
+    pub fn max_rel_err(&self) -> Option<f64> {
+        match *self {
+            Precision::Exact => None,
+            Precision::Float { max_rel_err } | Precision::Auto { max_rel_err } => Some(max_rel_err),
+        }
+    }
+
+    /// True iff this is the exact tier.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Precision::Exact)
+    }
+}
+
 /// Solver configuration.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SolverOptions {
@@ -57,8 +110,12 @@ pub struct SolverOptions {
     pub prefer_dp: bool,
     /// Attach a [`Provenance`] handle (a d-DNNF circuit over the
     /// instance's edge ids) to the solution on the routes that can
-    /// compile one — see [`Solution::provenance`].
+    /// compile one — see [`Solution::provenance`]. Provenance is an
+    /// exact artifact: requests that set this always answer exactly,
+    /// whatever [`precision`](SolverOptions::precision) says.
     pub want_provenance: bool,
+    /// Which evaluation tier answers probability requests.
+    pub precision: Precision,
 }
 
 /// How a solution was obtained.

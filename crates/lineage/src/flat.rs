@@ -1,0 +1,283 @@
+//! [`FlatArena`]: the run representation behind the float evaluation
+//! tier.
+//!
+//! [`Arena`](crate::engine::Arena) is the *build* representation —
+//! interned gates, a structural-hash table, build scratch. Once a plan
+//! is fixed, none of that matters for evaluation: what matters is a
+//! contiguous, cache-linear slab of operations in topological order
+//! with dense operand indices. `FlatArena::compile` produces exactly
+//! that, restricted to the union of the requested roots' cones (gates
+//! outside the cones are dropped and the survivors renumbered densely),
+//! so a compiled arena is both smaller and faster to walk than the
+//! live-marking pass of `probability_many_with` — and it can be cached
+//! on the plan and re-evaluated many times with zero per-call marking.
+//!
+//! Evaluation is one non-recursive loop over the slab, generic over
+//! [`Weight`]: [`FlatArena::eval_f64_many`] is the raw-speed tier,
+//! [`FlatArena::eval_err_many`] the certified tier over
+//! [`ErrF64`](phom_num::ErrF64) (value + running error bound). Both
+//! take a caller-owned value slab so repeated evaluations allocate
+//! nothing beyond the returned answers.
+
+use crate::engine::{Arena, Gate, GateId};
+use phom_num::{ErrF64, Weight};
+
+/// One operation in the flat slab. Operand indices point at *slab
+/// slots* (dense, cone-local), not arena gate ids.
+#[derive(Clone, Copy, Debug)]
+enum FlatOp {
+    /// Constant true / false.
+    Const(bool),
+    /// A positive literal of variable `v`.
+    Var(u32),
+    /// A negative literal of variable `v` (evaluated as the
+    /// [`Weight::complement`] of the variable's weight).
+    NegVar(u32),
+    /// Conjunction over `operands[start .. start + len]`.
+    And { start: u32, len: u32 },
+    /// Disjunction over `operands[start .. start + len]`.
+    Or { start: u32, len: u32 },
+}
+
+/// A compiled, cone-restricted, topologically ordered evaluation plan
+/// for a set of roots over one [`Arena`]. See the module docs.
+#[derive(Clone, Debug)]
+pub struct FlatArena {
+    num_vars: usize,
+    ops: Vec<FlatOp>,
+    operands: Vec<u32>,
+    /// Slab slot of each requested root, in the caller's order.
+    roots: Vec<u32>,
+}
+
+impl FlatArena {
+    /// Compiles the union of the `roots` cones of `arena` into a flat
+    /// slab. Gates unreachable from `roots` are dropped; the survivors
+    /// keep their relative (topological) order under dense new ids.
+    pub fn compile(arena: &Arena, roots: &[GateId]) -> FlatArena {
+        let n = arena.n_gates();
+        let mut live = vec![false; n];
+        for &r in roots {
+            live[r] = true;
+        }
+        // Ids are topological, so one descending sweep marks every cone.
+        for i in (0..n).rev() {
+            if !live[i] {
+                continue;
+            }
+            if let Gate::And(kids) | Gate::Or(kids) = arena.gate(i) {
+                for c in kids {
+                    live[c] = true;
+                }
+            }
+        }
+        let mut slot = vec![u32::MAX; n];
+        let mut ops = Vec::new();
+        let mut operands: Vec<u32> = Vec::new();
+        for i in 0..n {
+            if !live[i] {
+                continue;
+            }
+            let op = match arena.gate(i) {
+                Gate::Const(b) => FlatOp::Const(b),
+                Gate::Var(v) => FlatOp::Var(v as u32),
+                Gate::NegVar(v) => FlatOp::NegVar(v as u32),
+                Gate::And(kids) => {
+                    let start = operands.len() as u32;
+                    let len = kids.len() as u32;
+                    operands.extend(kids.map(|c| slot[c]));
+                    FlatOp::And { start, len }
+                }
+                Gate::Or(kids) => {
+                    let start = operands.len() as u32;
+                    let len = kids.len() as u32;
+                    operands.extend(kids.map(|c| slot[c]));
+                    FlatOp::Or { start, len }
+                }
+            };
+            slot[i] = ops.len() as u32;
+            ops.push(op);
+        }
+        FlatArena {
+            num_vars: arena.num_vars(),
+            ops,
+            operands,
+            roots: roots.iter().map(|&r| slot[r]).collect(),
+        }
+    }
+
+    /// Number of variables of the source arena (the required length of
+    /// every `prob_true` slice).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of retained (cone-reachable) operations.
+    pub fn n_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of roots this plan answers.
+    pub fn n_roots(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// The generic tight loop: evaluates every retained op bottom-up
+    /// into `values` (resized as needed; contents reused as scratch)
+    /// and returns the root values in the compiled order. Negative
+    /// literals use [`Weight::complement`]; literal gates are interned
+    /// one-per-variable upstream, so no complement is computed twice.
+    pub fn eval_many<W: Weight>(&self, prob_true: &[W], values: &mut Vec<W>) -> Vec<W> {
+        assert_eq!(prob_true.len(), self.num_vars);
+        values.clear();
+        values.resize(self.ops.len(), W::zero());
+        for i in 0..self.ops.len() {
+            values[i] = match self.ops[i] {
+                FlatOp::Const(b) => {
+                    if b {
+                        W::one()
+                    } else {
+                        W::zero()
+                    }
+                }
+                FlatOp::Var(v) => prob_true[v as usize].clone(),
+                FlatOp::NegVar(v) => prob_true[v as usize].complement(),
+                FlatOp::And { start, len } => {
+                    let kids = &self.operands[start as usize..(start + len) as usize];
+                    let mut acc = values[kids[0] as usize].clone();
+                    for &c in &kids[1..] {
+                        acc = acc.mul(&values[c as usize]);
+                    }
+                    acc
+                }
+                FlatOp::Or { start, len } => {
+                    let kids = &self.operands[start as usize..(start + len) as usize];
+                    let mut acc = values[kids[0] as usize].clone();
+                    for &c in &kids[1..] {
+                        acc = acc.add(&values[c as usize]);
+                    }
+                    acc
+                }
+            };
+        }
+        self.roots
+            .iter()
+            .map(|&r| values[r as usize].clone())
+            .collect()
+    }
+
+    /// The raw-speed tier: root probabilities over plain `f64`
+    /// (uncertified — error grows with circuit depth).
+    pub fn eval_f64_many(&self, prob_true: &[f64], values: &mut Vec<f64>) -> Vec<f64> {
+        self.eval_many(prob_true, values)
+    }
+
+    /// The certified tier: root probabilities over
+    /// [`ErrF64`](phom_num::ErrF64), each carrying a rigorous absolute
+    /// error bound accumulated through every gate.
+    pub fn eval_err_many(&self, prob_true: &[ErrF64], values: &mut Vec<ErrF64>) -> Vec<ErrF64> {
+        self.eval_many(prob_true, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_num::Rational;
+
+    /// `(x0 ∧ x1) ∨ (¬x0 ∧ x2)`, plus an unrelated gate to exercise the
+    /// cone restriction.
+    fn sample() -> (Arena, GateId, GateId) {
+        let mut a = Arena::new(4);
+        let x0 = a.var(0);
+        let x1 = a.var(1);
+        let nx0 = a.neg_var(0);
+        let x2 = a.var(2);
+        let left = a.and(&[x0, x1]);
+        let right = a.and(&[nx0, x2]);
+        let root = a.or(&[left, right]);
+        let x3 = a.var(3);
+        let unrelated = a.and(&[x3, x1]);
+        (a, root, unrelated)
+    }
+
+    fn probs() -> Vec<Rational> {
+        vec![
+            Rational::from_ratio(1, 2),
+            Rational::from_ratio(1, 3),
+            Rational::from_ratio(2, 7),
+            Rational::from_ratio(5, 11),
+        ]
+    }
+
+    #[test]
+    fn matches_the_arena_evaluator() {
+        let (a, root, unrelated) = sample();
+        let exact = a.probability_many(&[root, unrelated], &probs());
+        let flat = FlatArena::compile(&a, &[root, unrelated]);
+        let pf: Vec<f64> = probs().iter().map(Rational::to_f64).collect();
+        let got = flat.eval_f64_many(&pf, &mut Vec::new());
+        for (g, e) in got.iter().zip(&exact) {
+            assert!((g - e.to_f64()).abs() < 1e-12, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn cone_restriction_drops_dead_gates() {
+        let (a, root, _) = sample();
+        let flat = FlatArena::compile(&a, &[root]);
+        assert!(
+            flat.n_ops() < a.n_gates(),
+            "{} ops vs {} gates",
+            flat.n_ops(),
+            a.n_gates()
+        );
+        assert_eq!(flat.n_roots(), 1);
+        // Constants-only root: a one-op plan.
+        let trivial = FlatArena::compile(&a, &[crate::engine::TRUE_GATE]);
+        assert_eq!(trivial.n_ops(), 1);
+        let one = trivial.eval_f64_many(&[0.0; 4], &mut Vec::new());
+        assert_eq!(one, vec![1.0]);
+    }
+
+    #[test]
+    fn err_tier_bounds_cover_the_exact_answer() {
+        let (a, root, unrelated) = sample();
+        let exact = a.probability_many(&[root, unrelated], &probs());
+        let flat = FlatArena::compile(&a, &[root, unrelated]);
+        let pe: Vec<ErrF64> = probs().iter().map(ErrF64::from_rational).collect();
+        let got = flat.eval_err_many(&pe, &mut Vec::new());
+        for (g, e) in got.iter().zip(&exact) {
+            let diff = (g.value() - e.to_f64()).abs();
+            assert!(
+                diff <= g.abs_err_bound() + 1e-16,
+                "error {diff:e} vs bound {:e}",
+                g.abs_err_bound()
+            );
+            assert!(g.rel_err_bound() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let (a, root, _) = sample();
+        let flat = FlatArena::compile(&a, &[root]);
+        let pf: Vec<f64> = probs().iter().map(Rational::to_f64).collect();
+        let mut slab = Vec::new();
+        let first = flat.eval_f64_many(&pf, &mut slab);
+        let again = flat.eval_f64_many(&pf, &mut slab);
+        assert_eq!(first, again);
+        assert!(slab.capacity() >= flat.n_ops());
+    }
+
+    #[test]
+    fn repeated_roots_keep_caller_order() {
+        let (a, root, unrelated) = sample();
+        let flat = FlatArena::compile(&a, &[unrelated, root, unrelated]);
+        let pf: Vec<f64> = probs().iter().map(Rational::to_f64).collect();
+        let got = flat.eval_f64_many(&pf, &mut Vec::new());
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], got[2]);
+        assert_ne!(got[0], got[1]);
+    }
+}

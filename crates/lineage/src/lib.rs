@@ -26,6 +26,10 @@
 //! * [`beta`] — the polynomial-time β-acyclic DNF probability algorithm
 //!   (Weight-generic: runs over exact rationals, `f64`, or
 //!   [`Dual`](phom_num::Dual) numbers for sensitivities);
+//! * [`flat`] — [`FlatArena`](flat::FlatArena), the cone-restricted
+//!   flat-slab *run* representation behind the float evaluation tier
+//!   (compile once per plan, evaluate cache-linearly many times over
+//!   `f64` or [`ErrF64`](phom_num::ErrF64));
 //! * [`circuit`] — d-DNNF circuits as arena views, with structural checks;
 //! * [`obdd`] — OBDD compilation; counting and probability route through
 //!   the engine via [`obdd::Manager::to_circuit`];
@@ -39,6 +43,7 @@ pub mod circuit;
 pub mod dnf;
 pub mod engine;
 pub mod export;
+pub mod flat;
 pub mod fxhash;
 pub mod hypergraph;
 pub mod obdd;
@@ -47,4 +52,5 @@ pub use beta::beta_dnf_probability;
 pub use circuit::{Circuit, GateId};
 pub use dnf::Dnf;
 pub use engine::{Arena, EvalScratch, Provenance, VarStatus};
+pub use flat::FlatArena;
 pub use hypergraph::Hypergraph;

@@ -507,6 +507,9 @@ fn encode_stats(stats: &RuntimeStats, counters: &Counters) -> Json {
         ("batch_cache_hits", Json::u64(stats.batch_cache_hits)),
         ("circuit_batched", Json::u64(stats.circuit_batched)),
         ("general_solved", Json::u64(stats.general_solved)),
+        ("float_evaluated", Json::u64(stats.float_evaluated)),
+        ("escalations", Json::u64(stats.escalations)),
+        ("scratch_reuse", Json::u64(stats.scratch_reuse)),
         (
             "cache",
             Json::obj(vec![

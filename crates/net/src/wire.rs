@@ -34,10 +34,22 @@
 //! as a string (`[0,1,0,"1/2"]`). Labels are numeric and shared between
 //! a registered instance and its queries, exactly like the in-process
 //! [`Request`] API.
+//!
+//! ## Precision tiers
+//!
+//! A request may carry `"precision"` — `"exact"` (the default),
+//! `{"float":"<tol>"}`, or `{"auto":"<tol>"}` — selecting the engine's
+//! evaluation tier ([`Precision`]). Float-tier probability answers come
+//! back as `{"status":"ok","type":"approximate","p":…,"rel_err":…,`
+//! `"route":…}` with the value and its certified relative-error bound
+//! as shortest-roundtrip float strings (byte-deterministic, so the
+//! differential suite can compare them literally). Exact requests
+//! always answer `"type":"probability"` with an exact rational `p` —
+//! the cache never crosses the tiers.
 
 use crate::json::Json;
 use phom_core::ucq::Ucq;
-use phom_core::{Fallback, Request, Response, SolveError};
+use phom_core::{Fallback, Precision, Request, Response, SolveError};
 use phom_graph::{Graph, GraphBuilder, Label, ProbGraph};
 use std::io::{self, Read, Write};
 
@@ -268,6 +280,12 @@ pub struct WireRequest {
     pub provenance: bool,
     /// The hard-cell fallback, if any.
     pub fallback: Option<WireFallback>,
+    /// The evaluation tier (`None` inherits the server's default —
+    /// exact). On the wire: `"precision":"exact"`,
+    /// `"precision":{"float":"1e-9"}`, or `"precision":{"auto":"1e-9"}`
+    /// (tolerances as shortest-roundtrip float strings). Float-tier
+    /// probability answers come back as `"type":"approximate"` results.
+    pub precision: Option<Precision>,
 }
 
 impl WireRequest {
@@ -277,6 +295,7 @@ impl WireRequest {
             kind: WireKind::Probability(query),
             provenance: false,
             fallback: None,
+            precision: None,
         }
     }
 
@@ -286,6 +305,7 @@ impl WireRequest {
             kind: WireKind::Counting(query),
             provenance: false,
             fallback: None,
+            precision: None,
         }
     }
 
@@ -295,6 +315,7 @@ impl WireRequest {
             kind: WireKind::Sensitivity(query),
             provenance: false,
             fallback: None,
+            precision: None,
         }
     }
 
@@ -304,6 +325,7 @@ impl WireRequest {
             kind: WireKind::Ucq(disjuncts),
             provenance: false,
             fallback: None,
+            precision: None,
         }
     }
 
@@ -316,6 +338,12 @@ impl WireRequest {
     /// Sets the hard-cell fallback.
     pub fn with_fallback(mut self, fallback: WireFallback) -> Self {
         self.fallback = Some(fallback);
+        self
+    }
+
+    /// Sets the evaluation tier (see [`Precision`]).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
         self
     }
 
@@ -341,6 +369,9 @@ impl WireRequest {
                     Fallback::MonteCarlo { samples, seed }
                 }
             });
+        }
+        if let Some(precision) = self.precision {
+            request = request.precision(precision);
         }
         request
     }
@@ -385,6 +416,20 @@ impl WireRequest {
                         ("seed", Json::u64(seed)),
                     ]),
                 )]),
+            )),
+            None => {}
+        }
+        match self.precision {
+            Some(Precision::Exact) => {
+                pairs.push(("precision".to_string(), Json::str("exact")));
+            }
+            Some(Precision::Float { max_rel_err }) => pairs.push((
+                "precision".to_string(),
+                Json::obj(vec![("float", Json::str(format!("{max_rel_err}")))]),
+            )),
+            Some(Precision::Auto { max_rel_err }) => pairs.push((
+                "precision".to_string(),
+                Json::obj(vec![("auto", Json::str(format!("{max_rel_err}")))]),
             )),
             None => {}
         }
@@ -440,12 +485,49 @@ impl WireRequest {
                 },
             ),
         };
+        let precision = match json.get("precision") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some(decode_precision(p)?),
+        };
         Ok(WireRequest {
             kind,
             provenance,
             fallback,
+            precision,
         })
     }
+}
+
+/// Parses a precision tier: `"exact"`, `{"float":"<tol>"}`, or
+/// `{"auto":"<tol>"}` — tolerances as finite, non-negative float
+/// strings.
+fn decode_precision(json: &Json) -> Result<Precision, String> {
+    if json.as_str() == Some("exact") {
+        return Ok(Precision::Exact);
+    }
+    let tol = |j: &Json, which: &str| -> Result<f64, String> {
+        let text = j
+            .as_str()
+            .ok_or_else(|| format!("{which} precision tolerance must be a string"))?;
+        let tol: f64 = text
+            .parse()
+            .map_err(|_| format!("bad {which} tolerance '{text}'"))?;
+        if !tol.is_finite() || tol < 0.0 {
+            return Err(format!("{which} tolerance must be finite and non-negative"));
+        }
+        Ok(tol)
+    };
+    if let Some(t) = json.get("float") {
+        return Ok(Precision::Float {
+            max_rel_err: tol(t, "float")?,
+        });
+    }
+    if let Some(t) = json.get("auto") {
+        return Ok(Precision::Auto {
+            max_rel_err: tol(t, "auto")?,
+        });
+    }
+    Err("unknown precision shape".into())
 }
 
 // ---------------------------------------------------------------------
@@ -492,6 +574,20 @@ pub fn encode_result(result: &Result<Response, SolveError>) -> Json {
             }
             Json::Obj(pairs)
         }
+        // Floats travel as shortest-roundtrip strings (`format!("{v}")`):
+        // byte-deterministic, and — unlike a JSON number — `1.0` stays
+        // distinguishable from the integer `1`.
+        Ok(Response::Approximate {
+            value,
+            rel_err_bound,
+            route,
+        }) => Json::obj(vec![
+            ("status", Json::str("ok")),
+            ("type", Json::str("approximate")),
+            ("p", Json::str(format!("{value}"))),
+            ("rel_err", Json::str(format!("{rel_err_bound}"))),
+            ("route", Json::str(format!("{route:?}"))),
+        ]),
         Ok(Response::Count {
             worlds,
             uncertain_edges,
@@ -620,11 +716,27 @@ mod tests {
                     seed: 7,
                 },
             ),
+            WireRequest::probability(q.clone()).with_precision(Precision::Exact),
+            WireRequest::probability(q.clone())
+                .with_precision(Precision::Float { max_rel_err: 1e-9 }),
+            WireRequest::probability(q.clone()).with_precision(Precision::Auto {
+                max_rel_err: 0.015625,
+            }),
         ];
         for req in &reqs {
             let decoded = WireRequest::decode(&req.encode()).unwrap();
             assert_eq!(req.encode().to_string(), decoded.encode().to_string());
+            assert_eq!(decoded.precision, req.precision);
         }
+        // Tolerances survive the canonical string encoding bit-for-bit.
+        let encoded = WireRequest::probability(q)
+            .with_precision(Precision::Float { max_rel_err: 1e-9 })
+            .encode();
+        let decoded = WireRequest::decode(&encoded).unwrap();
+        assert_eq!(
+            decoded.precision,
+            Some(Precision::Float { max_rel_err: 1e-9 })
+        );
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! [`ErrF64`]: a double with a running, rigorous absolute-error bound.
+//!
+//! The float evaluation tier runs the same semiring-generic circuit
+//! pass as the exact `Rational` tier, but over `ErrF64`: every value
+//! carries an upper bound on `|carried − true|`, grown by standard
+//! running-error analysis at each operation (Higham, *Accuracy and
+//! Stability of Numerical Algorithms*, §3.1). The bound is what makes
+//! `Precision::Auto` sound — when the final bound exceeds the caller's
+//! tolerance, the engine escalates to the exact path; when it does
+//! not, the float answer is *certified* within that bound.
+//!
+//! The accounting tracks **absolute** error (not relative): absolute
+//! bounds compose through subtraction and complement (`1 − x`) without
+//! blowing up on cancellation, and the reported
+//! [`rel_err_bound`](ErrF64::rel_err_bound) is derived at the end.
+//! Every bound computation is inflated by a small pad factor so the
+//! rounding of the bound arithmetic itself can never under-report.
+
+use crate::{Rational, Semiring, Weight};
+
+/// Unit roundoff for f64: 2⁻⁵³. One correctly-rounded operation on a
+/// value `v` contributes at most `U·|v|` of new error.
+const U: f64 = f64::EPSILON / 2.0;
+
+/// Inflation applied to every computed bound, covering the (at most a
+/// few ulps of) rounding error in the bound arithmetic itself.
+const PAD: f64 = 1.0 + 4.0 * f64::EPSILON;
+
+/// An `f64` value paired with an upper bound on its absolute error.
+///
+/// Implements [`Semiring`] and [`Weight`], so it instantiates the
+/// generic circuit evaluator unchanged. An `ErrF64` with `err == 0`
+/// is exact; [`ErrF64::from_rational`] records the (half-ulp)
+/// conversion error of the correctly-rounded `Rational::to_f64`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrF64 {
+    val: f64,
+    err: f64,
+}
+
+impl ErrF64 {
+    /// An exactly-known value (zero error).
+    pub fn exact(val: f64) -> ErrF64 {
+        ErrF64 { val, err: 0.0 }
+    }
+
+    /// A value with an explicit absolute-error bound.
+    pub fn with_err(val: f64, err: f64) -> ErrF64 {
+        ErrF64 { val, err }
+    }
+
+    /// The carried value.
+    pub fn value(&self) -> f64 {
+        self.val
+    }
+
+    /// Upper bound on `|value − true value|`.
+    pub fn abs_err_bound(&self) -> f64 {
+        self.err
+    }
+
+    /// Upper bound on the relative error `|value − true| / |value|`.
+    ///
+    /// Zero when the value is exactly zero with zero error; infinite
+    /// when the value is zero but the bound is not (the bound then
+    /// says nothing about relative accuracy).
+    pub fn rel_err_bound(&self) -> f64 {
+        if self.err == 0.0 {
+            0.0
+        } else if self.val == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.err / self.val.abs()) * PAD
+        }
+    }
+
+    /// Wraps a value produced by a correctly-rounded conversion: the
+    /// error is at most half an ulp (`U·|val|`), or one subnormal ulp
+    /// when the conversion underflowed the normal range.
+    pub fn from_rounded(val: f64, source_was_zero: bool) -> ErrF64 {
+        if source_was_zero {
+            return ErrF64::exact(0.0);
+        }
+        let err = if val.abs() >= f64::MIN_POSITIVE {
+            U * val.abs() * PAD
+        } else {
+            // Underflow: the subnormal caveat of `Rational::to_f64`
+            // allows up to one extra ulp there (≤ 2⁻¹⁰⁷⁴ each).
+            2f64.powi(-1073)
+        };
+        ErrF64 { val, err }
+    }
+
+    fn sum_err(a: &ErrF64, b: &ErrF64, val: f64) -> f64 {
+        (a.err + b.err + U * val.abs()) * PAD
+    }
+}
+
+impl Semiring for ErrF64 {
+    fn zero() -> Self {
+        ErrF64::exact(0.0)
+    }
+    fn one() -> Self {
+        ErrF64::exact(1.0)
+    }
+    fn add(&self, other: &Self) -> Self {
+        let val = self.val + other.val;
+        ErrF64 {
+            val,
+            err: ErrF64::sum_err(self, other, val),
+        }
+    }
+    fn mul(&self, other: &Self) -> Self {
+        let val = self.val * other.val;
+        let err = (self.val.abs() * other.err
+            + other.val.abs() * self.err
+            + self.err * other.err
+            + U * val.abs())
+            * PAD;
+        ErrF64 { val, err }
+    }
+    fn is_zero(&self) -> bool {
+        self.val == 0.0 && self.err == 0.0
+    }
+    fn is_one(&self) -> bool {
+        self.val == 1.0 && self.err == 0.0
+    }
+}
+
+impl Weight for ErrF64 {
+    fn sub(&self, other: &Self) -> Self {
+        let val = self.val - other.val;
+        ErrF64 {
+            val,
+            err: ErrF64::sum_err(self, other, val),
+        }
+    }
+    fn div(&self, other: &Self) -> Self {
+        let val = self.val / other.val;
+        let denom_low = other.val.abs() - other.err;
+        let err = if denom_low <= 0.0 {
+            // The divisor's interval touches zero: the quotient's error
+            // is unbounded. Keep the value (callers may only need it
+            // heuristically) but make the bound honest.
+            f64::INFINITY
+        } else {
+            ((self.err + val.abs() * other.err) / denom_low + U * val.abs()) * PAD
+        };
+        ErrF64 { val, err }
+    }
+    fn from_rational(r: &Rational) -> Self {
+        ErrF64::from_rounded(r.to_f64(), r.is_zero())
+    }
+    fn to_f64(&self) -> f64 {
+        self.val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn third() -> ErrF64 {
+        ErrF64::from_rational(&Rational::from_ratio(1, 3))
+    }
+
+    #[test]
+    fn exact_values_carry_no_error() {
+        assert!(ErrF64::zero().is_zero());
+        assert!(ErrF64::one().is_one());
+        let half = ErrF64::from_rational(&Rational::from_ratio(1, 2));
+        assert_eq!(half.value(), 0.5);
+        // 1/2 is dyadic but the conversion still reports a half-ulp
+        // bound (it cannot know the source was exact) — tiny either way.
+        assert!(half.abs_err_bound() <= 1e-16);
+        assert_eq!(ErrF64::from_rational(&Rational::zero()), ErrF64::exact(0.0));
+    }
+
+    #[test]
+    fn bound_covers_the_true_error() {
+        // (1/3 · 1/3 + 1/3) − 1/3 computed in floats vs exactly.
+        let t = third();
+        let float = t.mul(&t).add(&t).sub(&t);
+        let e = Rational::from_ratio(1, 3);
+        let exact = e.mul(&e).add(&e).sub(&e);
+        let diff = (float.value() - exact.to_f64()).abs();
+        assert!(
+            diff <= float.abs_err_bound(),
+            "true error {diff:e} exceeds bound {:e}",
+            float.abs_err_bound()
+        );
+        assert!(float.abs_err_bound() < 1e-14, "bound stays tight");
+        assert!(float.rel_err_bound() < 1e-13);
+    }
+
+    #[test]
+    fn complement_accumulates() {
+        let t = third();
+        let c = t.complement();
+        assert!((c.value() - 2.0 / 3.0).abs() <= c.abs_err_bound());
+        assert!(c.abs_err_bound() > 0.0);
+    }
+
+    #[test]
+    fn division_by_uncertain_zero_is_unbounded() {
+        let shaky = ErrF64::with_err(1e-20, 1e-18);
+        let q = ErrF64::one().div(&shaky);
+        assert_eq!(q.abs_err_bound(), f64::INFINITY);
+        assert_eq!(ErrF64::with_err(0.0, 1.0).rel_err_bound(), f64::INFINITY);
+        assert_eq!(ErrF64::exact(0.0).rel_err_bound(), 0.0);
+    }
+
+    #[test]
+    fn generic_code_agrees_with_rational_within_bound() {
+        fn run<W: Weight>() -> W {
+            let half = W::from_rational(&Rational::from_ratio(1, 2));
+            let third = W::from_rational(&Rational::from_ratio(1, 3));
+            half.mul(&third).complement().complement()
+        }
+        let exact = run::<Rational>();
+        let float = run::<ErrF64>();
+        assert!((float.value() - exact.to_f64()).abs() <= float.abs_err_bound());
+        assert!((float.value() - 1.0 / 6.0).abs() < 1e-15);
+    }
+}

@@ -6,6 +6,8 @@
 //!
 //! * [`Natural`] — arbitrary-precision unsigned integers (base 2³² limbs),
 //! * [`Rational`] — exact rationals kept in lowest terms,
+//! * [`ErrF64`] — an `f64` carrying a running absolute-error bound
+//!   (the float evaluation tier's certified approximation),
 //! * [`Semiring`] — the `(+, ·, 0, 1)` core that the unified provenance
 //!   engine in `phom_lineage::engine` evaluates over, instantiated by
 //!   [`Rational`], `f64`, [`Natural`] (model counting), `bool` (circuit
@@ -18,11 +20,13 @@
 //! No external bignum crate is used: the whole stack is self-contained, as
 //! documented in `DESIGN.md`.
 
+pub mod errf64;
 pub mod natural;
 pub mod rational;
 pub mod semiring;
 pub mod weight;
 
+pub use errf64::ErrF64;
 pub use natural::Natural;
 pub use rational::Rational;
 pub use semiring::{Dual, Semiring};

@@ -349,28 +349,55 @@ impl Natural {
         }
     }
 
-    /// Approximate conversion to `f64` (correct up to the usual rounding;
-    /// returns `f64::INFINITY` when out of range).
+    /// Correctly-rounded conversion to `f64` (round-to-nearest,
+    /// ties-to-even — the IEEE 754 default); returns `f64::INFINITY`
+    /// when out of range. The float evaluation tier's error accounting
+    /// starts from this guarantee: the result is always within half an
+    /// ulp of the true value.
     pub fn to_f64(&self) -> f64 {
         let bits = self.bit_len();
         if bits == 0 {
             return 0.0;
         }
         if bits <= 64 {
+            // `u64 as f64` rounds to nearest-even natively.
             let mut v: u64 = 0;
             for (i, &l) in self.limbs.iter().enumerate() {
                 v |= (l as u64) << (32 * i as u32);
             }
             return v as f64;
         }
-        // Take the top 64 bits and scale.
-        let excess = (bits - 64) as u32;
-        let top = self.shr(excess);
-        let mut v: u64 = 0;
-        for (i, &l) in top.limbs.iter().enumerate() {
-            v |= (l as u64) << (32 * i as u32);
+        if bits > 1024 {
+            return f64::INFINITY; // ≥ 2^1024 > f64::MAX
         }
-        (v as f64) * 2f64.powi(excess as i32)
+        // Keep the top 54 bits (53-bit significand + round bit) and
+        // fold every dropped bit into a sticky bit, so the final
+        // nearest-even decision sees the full value — shifting to 64
+        // bits and casting would round twice and miss ties.
+        let excess = (bits - 54) as u32;
+        let mut m = self.shr(excess).to_u64().expect("54 bits fit in a u64");
+        let sticky = self.low_bits_nonzero(excess as u64);
+        let round = m & 1 == 1;
+        m >>= 1;
+        if round && (sticky || m & 1 == 1) {
+            m += 1; // may carry to 2^53 — still exactly representable
+        }
+        (m as f64) * 2f64.powi(excess as i32 + 1)
+    }
+
+    /// True iff any of the low `bits` bits are set (the "sticky" test
+    /// used by the correctly-rounded float conversions).
+    pub(crate) fn low_bits_nonzero(&self, bits: u64) -> bool {
+        let full = (bits / BASE_BITS as u64) as usize;
+        if self.limbs.iter().take(full).any(|&l| l != 0) {
+            return true;
+        }
+        let rem = (bits % BASE_BITS as u64) as u32;
+        rem != 0
+            && self
+                .limbs
+                .get(full)
+                .is_some_and(|&l| l & ((1u32 << rem) - 1) != 0)
     }
 
     /// `self * 10^0 ..` decimal rendering.
@@ -486,6 +513,37 @@ mod tests {
         }
         assert_eq!(n.to_string(), "340282366920938463463374607431768211456");
         assert_eq!(Natural::from_decimal(&n.to_string()), Some(n));
+    }
+
+    #[test]
+    fn to_f64_correctly_rounded_at_boundaries() {
+        // Exact up to 2^53; ties round to even above it.
+        let p53 = 1u128 << 53;
+        assert_eq!(Natural::from_u128(p53).to_f64(), p53 as f64);
+        assert_eq!(Natural::from_u128(p53 + 1).to_f64(), p53 as f64); // tie → even
+        assert_eq!(Natural::from_u128(p53 + 2).to_f64(), (p53 + 2) as f64);
+        assert_eq!(Natural::from_u128(p53 + 3).to_f64(), (p53 + 4) as f64); // tie → even
+                                                                            // Across the 2^64 boundary the ulp is 2^12 = 4096; the sticky
+                                                                            // bit must survive the shift (the old truncating conversion
+                                                                            // rounded 2^64 + 2049 down to 2^64).
+        let p64 = 1u128 << 64;
+        assert_eq!(Natural::from_u128(p64).to_f64(), p64 as f64);
+        assert_eq!(Natural::from_u128(p64 + 2048).to_f64(), p64 as f64); // tie → even
+        assert_eq!(Natural::from_u128(p64 + 2049).to_f64(), (p64 + 4096) as f64);
+        assert_eq!(Natural::from_u128(p64 + 4096).to_f64(), (p64 + 4096) as f64);
+        // `u128 as f64` is itself correctly rounded — cross-check a spread.
+        for v in [
+            u64::MAX as u128,
+            u64::MAX as u128 + 1,
+            0x1234_5678_9abc_def0_1234u128,
+            u128::MAX,
+        ] {
+            assert_eq!(Natural::from_u128(v).to_f64(), v as f64, "{v}");
+        }
+        // Out-of-range values saturate to infinity.
+        let huge = Natural::one().shl(1025);
+        assert_eq!(huge.to_f64(), f64::INFINITY);
+        assert_eq!(Natural::one().shl(1023).to_f64(), 2f64.powi(1023));
     }
 
     #[test]

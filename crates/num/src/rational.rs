@@ -184,19 +184,51 @@ impl Rational {
         acc
     }
 
-    /// Approximate `f64` value.
+    /// Correctly-rounded `f64` value (round-to-nearest, ties-to-even)
+    /// for results in the normal range; results that underflow to the
+    /// subnormal range may be off by at most one additional ulp
+    /// (≤ 2⁻¹⁰⁷⁴ absolute). The float evaluation tier's error
+    /// accounting leans on this: a conversion contributes at most half
+    /// an ulp of relative error.
     pub fn to_f64(&self) -> f64 {
         let mag = if self.den.is_one() {
             self.num.to_f64()
+        } else if self.num.is_zero() {
+            0.0
         } else {
-            // Align bit lengths to avoid overflow for huge numerators
-            // or denominators.
+            // Scale so the integer quotient q = ⌊num·2^k / den⌋ carries
+            // 55–56 bits, then round q (plus a sticky bit from both the
+            // dropped quotient bits and the division remainder) to a
+            // 53-bit significand in one nearest-even step.
             let nb = self.num.bit_len() as i64;
             let db = self.den.bit_len() as i64;
-            let shift = (nb.max(db) - 96).max(0) as u32;
-            let n = self.num.shr(shift).to_f64();
-            let d = self.den.shr(shift).to_f64();
-            n / d
+            let k = db - nb + 55;
+            let (scaled_num, divisor) = if k >= 0 {
+                (
+                    self.num.shl(k.min(u32::MAX as i64) as u32),
+                    self.den.clone(),
+                )
+            } else {
+                (
+                    self.num.clone(),
+                    self.den.shl((-k).min(u32::MAX as i64) as u32),
+                )
+            };
+            let (q, r) = scaled_num.div_rem(&divisor);
+            let qb = q.bit_len();
+            debug_assert!((54..=56).contains(&qb), "quotient carries {qb} bits");
+            let s = qb.saturating_sub(54);
+            let mut m = q.shr(s as u32).to_u64().expect("54 bits fit in a u64");
+            let sticky = !r.is_zero() || q.low_bits_nonzero(s);
+            let round = m & 1 == 1;
+            m >>= 1;
+            if round && (sticky || m & 1 == 1) {
+                m += 1;
+            }
+            ldexp(
+                m as f64,
+                (s as i64 + 1 - k).clamp(i32::MIN as i64, i32::MAX as i64) as i32,
+            )
         };
         if self.neg {
             -mag
@@ -209,6 +241,28 @@ impl Rational {
     pub fn is_probability(&self) -> bool {
         !self.neg && self.num.cmp_nat(&self.den) != Ordering::Greater
     }
+}
+
+/// `m · 2^e` with the exponent applied in steps small enough that no
+/// intermediate `powi` overflows on its own (a single `powi(-1074)`
+/// would underflow to zero before the multiply).
+fn ldexp(m: f64, mut e: i32) -> f64 {
+    let mut x = m;
+    while e > 1000 {
+        x *= 2f64.powi(1000);
+        e -= 1000;
+        if x.is_infinite() {
+            return x;
+        }
+    }
+    while e < -1000 {
+        x *= 2f64.powi(-1000);
+        e += 1000;
+        if x == 0.0 {
+            return x;
+        }
+    }
+    x * 2f64.powi(e)
 }
 
 /// Word-sized addition: `±a/b + ±c/d` in u128 arithmetic. Returns `None`
@@ -376,6 +430,47 @@ mod tests {
     }
 
     #[test]
+    fn to_f64_correctly_rounded() {
+        // IEEE division of exactly-representable operands is itself the
+        // correctly-rounded quotient — the oracle for word-sized cases.
+        for (n, d) in [
+            (1u64, 3u64),
+            (2, 3),
+            (1, 10),
+            (355, 113),
+            ((1 << 53) - 1, 7),
+            (1, (1 << 53) - 1),
+            ((1 << 53) - 3, (1 << 53) - 1),
+        ] {
+            assert_eq!(
+                Rational::from_ratio(n, d).to_f64(),
+                n as f64 / d as f64,
+                "{n}/{d}"
+            );
+        }
+        assert_eq!(rat(-1, 3).to_f64(), -(1.0 / 3.0));
+        // 2^53 significand boundary: (2^53+1)/2^107 needs 54 bits —
+        // the tie rounds to even (2^53), giving exactly 2^-54.
+        let p53_plus_1 = Natural::from_u128((1u128 << 53) + 1);
+        let tie = Rational::new(false, p53_plus_1, Natural::one().shl(107));
+        assert_eq!(tie.to_f64(), 2f64.powi(-54));
+        // 2^64 boundary in the numerator: the sticky bit below the top
+        // 54 bits must reach the rounding decision.
+        let p64 = 1u128 << 64;
+        let r = Rational::new(
+            false,
+            Natural::from_u128(p64 + 2049),
+            Natural::one().shl(64),
+        );
+        assert_eq!(r.to_f64(), ((p64 + 4096) as f64) / (p64 as f64));
+        // Deep underflow rounds to zero; overflow saturates.
+        let tiny = Rational::new(false, Natural::one(), Natural::one().shl(1080));
+        assert_eq!(tiny.to_f64(), 0.0);
+        let huge = Rational::new(false, Natural::one().shl(1030), Natural::from_u64(3));
+        assert_eq!(huge.to_f64(), f64::INFINITY);
+    }
+
+    #[test]
     fn probability_range() {
         assert!(rat(1, 2).is_probability());
         assert!(Rational::zero().is_probability());
@@ -401,6 +496,13 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn to_f64_matches_ieee_division(n in 0u64..(1 << 53), d in 1u64..(1 << 53)) {
+            // Both operands are exact in f64, so hardware division is the
+            // correctly-rounded quotient.
+            prop_assert_eq!(Rational::from_ratio(n, d).to_f64(), n as f64 / d as f64);
+        }
+
         #[test]
         fn add_commutes(a in -1000i64..1000, b in 1u64..100, c in -1000i64..1000, d in 1u64..100) {
             let x = rat(a, b);

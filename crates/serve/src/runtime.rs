@@ -30,7 +30,7 @@ use crate::stats::{tick_size_bucket, RuntimeStats};
 use crate::ticket::{Ticket, TicketState};
 use phom_core::{
     CacheHandle, Engine, EngineBuilder, Request, SolveError, SolverOptions, TickConfig, TickOutput,
-    TickUnit,
+    TickUnit, WorkerScratch,
 };
 use phom_graph::ProbGraph;
 use std::collections::{HashMap, VecDeque};
@@ -582,15 +582,25 @@ impl Drop for Runtime {
 /// unwinds.
 fn worker_loop(inner: &Inner) {
     lock(&inner.stats).workers_started += 1;
+    // One scratch for the worker's lifetime: every unit after the first
+    // evaluates through warmed buffers (`TickUnit::run_with`) instead of
+    // allocating fresh ones per tick.
+    let mut scratch = WorkerScratch::new();
+    let mut first_run = true;
     while let Some(item) = inner.work.recv() {
         let started = Instant::now();
-        let output = item.unit.run();
+        let output = item.unit.run_with(&mut scratch);
         let nanos = started.elapsed().as_nanos() as u64;
         {
             let mut stats = lock(&inner.stats);
             stats.unit_runs += 1;
             stats.unit_nanos_total += nanos;
             stats.unit_nanos_max = stats.unit_nanos_max.max(nanos);
+            if first_run {
+                first_run = false;
+            } else {
+                stats.scratch_reuse += 1;
+            }
         }
         item.collector.set(item.idx, output);
     }

@@ -99,6 +99,15 @@ pub struct RuntimeStats {
     pub circuit_batched: u64,
     /// Unique queries answered on the general per-query path.
     pub general_solved: u64,
+    /// Unique circuit queries answered by the float evaluation tier
+    /// (`Precision::Float` / `Auto` within tolerance).
+    pub float_evaluated: u64,
+    /// `Precision::Auto` circuit queries whose certified bound exceeded
+    /// the tolerance and were re-evaluated exactly.
+    pub escalations: u64,
+    /// Unit runs that reused a worker's pooled evaluation scratch
+    /// (every run after a worker's first — the allocation-free path).
+    pub scratch_reuse: u64,
     /// The shared answer cache's counters (hits/misses/evictions/size).
     pub cache: CacheStats,
 }
@@ -129,6 +138,8 @@ impl RuntimeStats {
         self.batch_cache_hits += batch.cache_hits as u64;
         self.circuit_batched += batch.circuit_batched as u64;
         self.general_solved += batch.general_solved as u64;
+        self.float_evaluated += batch.float_evaluated as u64;
+        self.escalations += batch.escalations as u64;
         self.shared_gates += batch.shared_gates as u64;
         if batch.shared_arena {
             self.shared_arena_ticks += 1;

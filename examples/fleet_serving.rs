@@ -96,7 +96,9 @@ fn main() {
                     answered += 1;
                     let _ = probability;
                 }
-                Ok(Response::Sensitivity { .. }) => answered += 1,
+                Ok(Response::Approximate { .. }) | Ok(Response::Sensitivity { .. }) => {
+                    answered += 1
+                }
                 Err(e) => println!("  request failed: {e}"),
             }
         }

@@ -1,0 +1,108 @@
+//! Float-tier serving with exact escalation: the `Precision` knob end
+//! to end on an ill-conditioned circuit.
+//!
+//! The instance is a long directed R-path whose edge probabilities are
+//! all 1/3 — **not representable** in binary floating point, so every
+//! leaf of the lineage circuit starts life with half-an-ulp of rounding
+//! error, and the OR-of-ANDs window circuit for the query R^6 grinds
+//! that error through hundreds of multiplications and complements. The
+//! float tier tracks the accumulated bound alongside the value:
+//!
+//! * `Precision::Float { max_rel_err }` always serves the f64 answer
+//!   with its certified bound — honest even when the bound misses the
+//!   tolerance;
+//! * `Precision::Auto { max_rel_err }` serves the float answer when the
+//!   bound fits and otherwise **escalates to the exact rational pass**,
+//!   returning an answer bit-for-bit identical to `Precision::Exact`;
+//! * `Precision::Exact` (the default) never touches the float tier.
+//!
+//! Run with: `cargo run --release --example float_serving`
+
+use phom::prelude::*;
+
+fn main() {
+    // A 48-edge directed path alternating R and S labels, every edge
+    // present with Pr 1/3 (labeled, so the Prop 4.10 lineage circuit —
+    // not the unlabeled level-collapse DP — answers the query).
+    let n = 48;
+    let (r, s) = (Label(0), Label(1));
+    let mut b = GraphBuilder::with_vertices(n + 1);
+    for v in 0..n {
+        b.edge(v, v + 1, if v % 2 == 0 { r } else { s });
+    }
+    let h = ProbGraph::new(b.build(), vec![Rational::from_ratio(1, 3); n]);
+    let engine = Engine::new(h);
+
+    // The query: six consecutive R·S·R·S·R·S edges anywhere along the
+    // path — an OR over every even window of an AND of six 1/3 leaves.
+    let q = Graph::one_way_path(&[r, s, r, s, r, s]);
+
+    // Ground truth from the exact tier.
+    let exact = engine
+        .solve(&q)
+        .expect("labeled 1WP on a DWT instance is tractable");
+    println!(
+        "exact:        Pr = {} ≈ {:.12}  (route {:?})",
+        exact.probability,
+        exact.probability.to_f64(),
+        exact.route
+    );
+
+    // The float tier: same circuit, f64 arithmetic, certified bound.
+    let float_req =
+        Request::probability(q.clone()).precision(Precision::Float { max_rel_err: 1e-15 });
+    let answers = engine.submit(&[float_req]);
+    let Ok(Response::Approximate {
+        value,
+        rel_err_bound,
+        route,
+    }) = &answers[0]
+    else {
+        panic!("float requests answer approximately: {:?}", answers[0]);
+    };
+    println!("float:        Pr ≈ {value:.12}  rel err ≤ {rel_err_bound:.3e}  (route {route:?})");
+    // The certified bound really contains the exact answer…
+    let true_f64 = exact.probability.to_f64();
+    assert!((value - true_f64).abs() <= rel_err_bound * value.abs() + f64::EPSILON);
+    // …and on this circuit it cannot certify 1e-15: the 1/3 leaves and
+    // the deep window circuit are exactly the ill-conditioned case.
+    assert!(
+        rel_err_bound > &1e-15,
+        "expected an ill-conditioned bound, got {rel_err_bound:.3e}"
+    );
+
+    // Auto with the same impossible tolerance: the engine notices the
+    // bound overshoot and escalates to the exact rational pass.
+    let strict = Request::probability(q.clone()).precision(Precision::Auto { max_rel_err: 1e-15 });
+    let (answers, stats) = engine.submit_stats(&[strict]);
+    let Ok(Response::Probability(sol)) = &answers[0] else {
+        panic!("Auto above tolerance escalates: {:?}", answers[0]);
+    };
+    assert_eq!(
+        sol.probability, exact.probability,
+        "escalated answers are bit-for-bit exact"
+    );
+    println!(
+        "auto @ 1e-15: Pr = {} — escalated ({} escalation, {} float-served)",
+        sol.probability, stats.escalations, stats.float_evaluated
+    );
+
+    // Auto with an achievable tolerance: the float answer is certified
+    // well inside 1e-9, so the exact pass never runs.
+    let relaxed = Request::probability(q).precision(Precision::Auto { max_rel_err: 1e-9 });
+    let (answers, stats) = engine.submit_stats(&[relaxed]);
+    let Ok(Response::Approximate {
+        value,
+        rel_err_bound,
+        ..
+    }) = &answers[0]
+    else {
+        panic!("Auto within tolerance serves float: {:?}", answers[0]);
+    };
+    assert!(rel_err_bound <= &1e-9);
+    println!(
+        "auto @ 1e-9:  Pr ≈ {value:.12}  rel err ≤ {rel_err_bound:.3e} — served float \
+         ({} escalations, {} float-served)",
+        stats.escalations, stats.float_evaluated
+    );
+}

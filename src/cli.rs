@@ -4,12 +4,14 @@
 //! ```text
 //! phom solve <query-file> <instance-file> [--brute-force <max-edges>]
 //!                                         [--monte-carlo <samples>] [--dp]
+//!                                         [--precision exact|float:<tol>|auto[:<tol>]]
 //! phom solve --queries-file <batch-file> <instance-file> [options]
 //!                                         [--threads <k>] [--cache-cap <n>]
 //!                                         [--stats]
 //! phom serve --bench [--max-batch <n>] [--max-wait-ms <ms>]
 //!                    [--queue-cap <n>] [--workers <k>]
 //!                    [--requests <n>] [--producers <p>]
+//!                    [--precision exact|float:<tol>|auto[:<tol>]]
 //! phom classify <graph-file>
 //! phom count <query-file> <instance-file> [--brute-force <max-edges>]
 //! phom tables
@@ -85,7 +87,14 @@ fn usage() -> String {
      \x20                             via one Engine::submit batch\n\
      \x20 --threads <k>               engine shard width (0 = all cores)\n\
      \x20 --cache-cap <n>             bound the engine's answer cache (LRU)\n\
-     \x20 --stats                     print the cache counters too\n\
+     \x20 --precision <p>             evaluation tier (solve only):\n\
+     \x20                             exact (default), float:<tol> — f64 with\n\
+     \x20                             a certified relative-error bound, or\n\
+     \x20                             auto[:<tol>] — float first, escalate to\n\
+     \x20                             exact when the bound exceeds <tol>\n\
+     \x20                             (auto defaults to 1e-9)\n\
+     \x20 --stats                     print the cache counters too (and the\n\
+     \x20                             float-tier / escalation counts)\n\
      \n\
      options for serve (the tick/backpressure knobs):\n\
      \x20 --adaptive                  adaptive tick sizing: adjust the\n\
@@ -109,8 +118,47 @@ fn usage() -> String {
      \x20 --workers <k>               persistent pool size, spawned once\n\
      \x20                             (default: all cores)\n\
      \x20 --requests <n>              synthetic requests to fire (default 512)\n\
-     \x20 --producers <p>             concurrent producer threads (default 4)\n"
+     \x20 --producers <p>             concurrent producer threads (default 4)\n\
+     \x20 --precision <p>             --bench only: evaluation tier for the\n\
+     \x20                             synthetic probability requests (exact |\n\
+     \x20                             float:<tol> | auto[:<tol>])\n"
         .into()
+}
+
+/// Parses a `--precision` value: `exact`, `float:<tol>`, or
+/// `auto[:<tol>]` (`auto` alone uses a 1e-9 tolerance).
+fn parse_precision(v: &str) -> Result<phom_core::Precision, String> {
+    use phom_core::Precision;
+    let parse_tol = |s: &str| -> Result<f64, String> {
+        let tol: f64 = s
+            .parse()
+            .map_err(|_| format!("--precision: bad tolerance '{s}'"))?;
+        if !tol.is_finite() || tol < 0.0 {
+            return Err(format!(
+                "--precision: tolerance must be finite and non-negative, got '{s}'"
+            ));
+        }
+        Ok(tol)
+    };
+    match v {
+        "exact" => Ok(Precision::Exact),
+        "auto" => Ok(Precision::Auto { max_rel_err: 1e-9 }),
+        _ => {
+            if let Some(t) = v.strip_prefix("float:") {
+                Ok(Precision::Float {
+                    max_rel_err: parse_tol(t)?,
+                })
+            } else if let Some(t) = v.strip_prefix("auto:") {
+                Ok(Precision::Auto {
+                    max_rel_err: parse_tol(t)?,
+                })
+            } else {
+                Err(format!(
+                    "--precision: expected exact, float:<tol>, or auto[:<tol>], got '{v}'"
+                ))
+            }
+        }
+    }
 }
 
 /// The `serve --bench` load generator: registers two deterministic
@@ -128,6 +176,7 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
     let mut producers: usize = 4;
     let mut bench = false;
     let mut listen: Option<String> = None;
+    let mut precision = phom_core::Precision::Exact;
     let mut adaptive = false;
     let mut share_arena_at: Option<usize> = Some(32);
     let mut serve_for_ms: Option<u64> = None;
@@ -196,6 +245,11 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--producers needs a thread count")?
             }
+            "--precision" => {
+                let v = flag_value(&mut i)
+                    .ok_or("--precision needs exact, float:<tol>, or auto[:<tol>]")?;
+                precision = parse_precision(v)?;
+            }
             other => return Err(format!("serve: unknown flag '{other}'")),
         }
         i += 1;
@@ -256,8 +310,14 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
 
     let request_for = |j: usize| -> (u64, Request) {
         match j % 4 {
-            0 => (v_live, Request::probability(q1.clone())),
-            1 => (v_live, Request::probability(q2.clone())),
+            0 => (
+                v_live,
+                Request::probability(q1.clone()).precision(precision),
+            ),
+            1 => (
+                v_live,
+                Request::probability(q2.clone()).precision(precision),
+            ),
             2 => (v_census, Request::probability(q1.clone()).counting()),
             _ => (
                 v_live,
@@ -360,6 +420,11 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
         stats.batch_cache_hits,
         stats.circuit_batched,
         stats.general_solved,
+    );
+    let _ = writeln!(
+        out,
+        "float tier: {} answered, {} escalations; scratch reuse {} of {} unit runs",
+        stats.float_evaluated, stats.escalations, stats.scratch_reuse, stats.unit_runs,
     );
     let _ = writeln!(
         out,
@@ -544,6 +609,13 @@ fn solve_cmd(
                 };
             }
             "--dp" => opts.prefer_dp = true,
+            "--precision" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or("--precision needs exact, float:<tol>, or auto[:<tol>]")?;
+                opts.precision = parse_precision(v)?;
+            }
             f => files.push(f.to_string()),
         }
         i += 1;
@@ -594,9 +666,11 @@ fn solve_cmd(
         };
     }
 
-    match engine.solve(&query) {
-        Ok(sol) => {
-            let mut out = String::new();
+    let (answers, stats) = engine.submit_stats(&[Request::probability(query)]);
+    let answer = answers.into_iter().next().expect("one request");
+    let mut out = String::new();
+    match answer {
+        Ok(Response::Probability(sol)) => {
             let _ = writeln!(
                 out,
                 "Pr(G ⇝ H) = {} ≈ {:.6}",
@@ -604,23 +678,39 @@ fn solve_cmd(
                 sol.probability.to_f64()
             );
             let _ = writeln!(out, "route: {:?}", sol.route);
-            if show_stats {
-                let cache = engine.cache_stats();
-                let cap = cache_cap.map_or("∞".to_string(), |n| n.to_string());
-                let _ = writeln!(
-                    out,
-                    "cache: {} entries (cap {cap}), {} hits, {} misses, {} evictions",
-                    cache.entries, cache.hits, cache.misses, cache.evictions,
-                );
-            }
-            Ok(out)
         }
-        Err(SolveError::Hard(h)) => Err(format!(
-            "#P-hard cell: {} [{}]; re-run with --brute-force or --monte-carlo",
-            h.cell, h.prop
-        )),
-        Err(e) => Err(e.to_string()),
+        Ok(Response::Approximate {
+            value,
+            rel_err_bound,
+            route,
+        }) => {
+            let _ = writeln!(out, "Pr(G ⇝ H) ≈ {value} (rel err ≤ {rel_err_bound:.3e})");
+            let _ = writeln!(out, "route: {route:?} [float tier]");
+        }
+        Ok(other) => unreachable!("probability request answered as {other:?}"),
+        Err(SolveError::Hard(h)) => {
+            return Err(format!(
+                "#P-hard cell: {} [{}]; re-run with --brute-force or --monte-carlo",
+                h.cell, h.prop
+            ))
+        }
+        Err(e) => return Err(e.to_string()),
     }
+    if show_stats {
+        let cache = engine.cache_stats();
+        let cap = cache_cap.map_or("∞".to_string(), |n| n.to_string());
+        let _ = writeln!(
+            out,
+            "cache: {} entries (cap {cap}), {} hits, {} misses, {} evictions",
+            cache.entries, cache.hits, cache.misses, cache.evictions,
+        );
+        let _ = writeln!(
+            out,
+            "precision: {} float-evaluated, {} escalations",
+            stats.float_evaluated, stats.escalations,
+        );
+    }
+    Ok(out)
 }
 
 /// Batch-mode configuration collected from the `solve` flags.
@@ -675,6 +765,16 @@ fn batch_solve_cmd(
     let mut out = String::new();
     for (i, result) in results.iter().enumerate() {
         match result {
+            Ok(Response::Approximate {
+                value,
+                rel_err_bound,
+                route,
+            }) => {
+                let _ = writeln!(
+                    out,
+                    "[{i}] Pr(G ⇝ H) ≈ {value:.6} (rel err ≤ {rel_err_bound:.3e})  (route {route:?})"
+                );
+            }
             Ok(response) => {
                 let sol = response.solution().expect("probability request");
                 let _ = writeln!(
@@ -712,6 +812,11 @@ fn batch_solve_cmd(
             out,
             "cache: {} entries (cap {cap}), {} hits, {} misses, {} evictions",
             cache.entries, cache.hits, cache.misses, cache.evictions,
+        );
+        let _ = writeln!(
+            out,
+            "precision: {} float-evaluated, {} escalations",
+            stats.float_evaluated, stats.escalations,
         );
     }
     Ok(out)
@@ -1173,6 +1278,77 @@ mod tests {
     }
 
     #[test]
+    fn precision_flag_selects_the_float_tier() {
+        let fs = fake_fs(&[
+            ("q.pg", "edge 0 1 R\nedge 1 2 S\n"),
+            ("h.pg", "vertices 3\nedge 0 1 R 1/2\nedge 1 2 S 3/4\n"),
+        ]);
+        // Float tier: an approximate answer with a certified bound.
+        let out = run(
+            &args(&[
+                "solve",
+                "q.pg",
+                "h.pg",
+                "--precision",
+                "float:1e-6",
+                "--stats",
+            ]),
+            &fs,
+        )
+        .unwrap();
+        assert!(out.contains("≈ 0.375"), "{out}");
+        assert!(out.contains("rel err ≤"), "{out}");
+        assert!(out.contains("float tier"), "{out}");
+        assert!(out.contains("1 float-evaluated, 0 escalations"), "{out}");
+        // Auto with an impossible tolerance escalates back to exact.
+        let out = run(
+            &args(&["solve", "q.pg", "h.pg", "--precision", "auto:0", "--stats"]),
+            &fs,
+        )
+        .unwrap();
+        assert!(out.contains("= 3/8"), "{out}");
+        assert!(out.contains("0 float-evaluated, 1 escalations"), "{out}");
+        // `exact` and bare `auto` (1e-9 tolerance) parse too.
+        assert!(run(
+            &args(&["solve", "q.pg", "h.pg", "--precision", "exact"]),
+            &fs
+        )
+        .is_ok());
+        assert!(run(
+            &args(&["solve", "q.pg", "h.pg", "--precision", "auto"]),
+            &fs
+        )
+        .is_ok());
+        // Batch mode renders approximate lines and the escalation counters.
+        let fs = fake_fs(&[
+            ("qs.pg", "edge 0 1 R\nedge 1 2 S\n---\nedge 0 1 R\n"),
+            ("h.pg", "vertices 3\nedge 0 1 R 1/2\nedge 1 2 S 3/4\n"),
+        ]);
+        let out = run(
+            &args(&[
+                "solve",
+                "--queries-file",
+                "qs.pg",
+                "h.pg",
+                "--precision",
+                "float:1e-6",
+                "--stats",
+            ]),
+            &fs,
+        )
+        .unwrap();
+        assert!(out.contains("[0] Pr(G ⇝ H) ≈ 0.375"), "{out}");
+        assert!(out.contains("2 float-evaluated"), "{out}");
+        // Malformed values are typed errors.
+        for bad in ["float", "float:x", "auto:-1", "float:inf", "sometimes"] {
+            assert!(
+                run(&args(&["solve", "q.pg", "h.pg", "--precision", bad]), &fs).is_err(),
+                "'{bad}' should be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn batch_mode_input_errors() {
         let fs = fake_fs(&[("qs.pg", "---\n"), ("h.pg", "edge 0 1 R 1/2\n")]);
         let err = run(&args(&["solve", "--queries-file", "qs.pg", "h.pg"]), &fs).unwrap_err();
@@ -1206,6 +1382,8 @@ mod tests {
                 "16",
                 "--workers",
                 "2",
+                "--precision",
+                "float:1e-6",
             ]),
             &fake_fs(&[]),
         )
@@ -1215,6 +1393,9 @@ mod tests {
         assert!(out.contains("ticks:"), "{out}");
         assert!(out.contains("cache:"), "{out}");
         assert!(out.contains("workers 2"), "{out}");
+        // Half the synthetic load is float-tier probability requests.
+        assert!(out.contains("float tier:"), "{out}");
+        assert!(!out.contains("float tier: 0 answered"), "{out}");
     }
 
     #[test]

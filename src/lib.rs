@@ -48,9 +48,9 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`num`] | arbitrary-precision naturals, exact rationals, and the algebra layer: the [`Semiring`](phom_num::Semiring) trait (Rational / `f64` / [`Natural`](phom_num::Natural) counting / `bool` / [`Dual`](phom_num::Dual) forward-mode derivatives) refined by [`Weight`](phom_num::Weight) |
+//! | [`num`] | arbitrary-precision naturals, exact rationals, and the algebra layer: the [`Semiring`](phom_num::Semiring) trait (Rational / `f64` / [`Natural`](phom_num::Natural) counting / `bool` / [`Dual`](phom_num::Dual) forward-mode derivatives / [`ErrF64`](phom_num::ErrF64) — f64 with a running certified error bound) refined by [`Weight`](phom_num::Weight); correctly-rounded `to_f64` conversions |
 //! | [`graph`] | graphs, probabilistic graphs, classes, homomorphisms |
-//! | [`lineage`] | the **unified provenance engine** ([`lineage::engine`]): one arena IR with interned gates and structural hashing, one semiring-generic bottom-up evaluator shared by positive DNFs, β-acyclicity (Thm 4.9), d-DNNF circuits, and OBDDs |
+//! | [`lineage`] | the **unified provenance engine** ([`lineage::engine`]): one arena IR with interned gates and structural hashing, one semiring-generic bottom-up evaluator shared by positive DNFs, β-acyclicity (Thm 4.9), d-DNNF circuits, and OBDDs; [`FlatArena`](phom_lineage::FlatArena) — the cone-restricted flat-slab run representation behind the float tier |
 //! | [`automata`] | the polytree encoding and path automata of Prop 5.4, compiling into engine arenas |
 //! | [`core`] | the per-proposition algorithms and the Tables 1–3 dispatcher, behind the serving surface of [`core::engine`]: a long-lived [`Engine`] per instance (bounded LRU [`EvalCache`], sharded [`Engine::submit`], the [`Tick`](phom_core::Tick) seam for external pools), typed [`Request`]/[`Response`], and a [`Fleet`] registry serving many graph versions off one shared cache |
 //! | [`serve`] | the **persistent serving runtime**: [`Runtime`] with micro-batching ticks over a worker pool spawned once, **adaptive tick sizing** ([`RuntimeBuilder::adaptive`]), bounded-queue backpressure ([`SolveError::Overloaded`]), [`Ticket`]s, graceful drain, [`RuntimeStats`] |
@@ -107,6 +107,82 @@
 //! historical bare `Err(Hardness)`; configure a
 //! [`Fallback`](phom_core::Fallback) per request (or per engine) to turn
 //! hard cells into brute-force or Monte-Carlo answers.
+//!
+//! ## Evaluation modes: exact, float, auto
+//!
+//! Probability answers come in three precision tiers, chosen per request
+//! (or per engine via `SolverOptions::precision`) with the
+//! [`Precision`] knob:
+//!
+//! * **`Precision::Exact`** (the default) — arbitrary-precision rational
+//!   arithmetic through the whole pipeline, answers as
+//!   [`Response::Probability`]. Nothing changes for existing callers.
+//! * **`Precision::Float { max_rel_err }`** — the lineage circuit is
+//!   compiled once into a [`FlatArena`](phom_lineage::FlatArena)
+//!   (topologically ordered contiguous slab, non-recursive evaluation)
+//!   and evaluated in [`ErrF64`](phom_num::ErrF64): `f64` values with a
+//!   **certified running error bound** (standard ulp accounting per
+//!   add/mul/complement, seeded by the correctly-rounded
+//!   `Rational::to_f64` leaf conversions). The answer is
+//!   [`Response::Approximate`]`{ value, rel_err_bound, route }` — always
+//!   served, with an honest bound even when it misses the tolerance.
+//! * **`Precision::Auto { max_rel_err }`** — float first; when the
+//!   certified bound exceeds the tolerance the request **escalates to
+//!   the same exact rational pass** `Exact` runs, so escalated answers
+//!   are bit-for-bit identical to exact ones
+//!   (`tests/float_exact_differential.rs` pins this on hundreds of
+//!   randomized cases). Escalations are counted in
+//!   [`BatchStats::escalations`](phom_core::BatchStats) and surfaced in
+//!   [`RuntimeStats`].
+//!
+//! Provenance-bearing requests, counting, sensitivity, and UCQ are
+//! always answered exactly; the precision (tolerance bits included) is
+//! part of the cache key, so float and exact answers can never alias —
+//! not in an engine's cache, a [`Fleet`]'s shared cache, or over the
+//! wire (`tests/precision_cache_isolation.rs`).
+//!
+//! ```
+//! use phom::prelude::*;
+//!
+//! let (r, s) = (Label(0), Label(1));
+//! let mut b = GraphBuilder::with_vertices(3);
+//! b.edge(0, 1, r);
+//! b.edge(1, 2, s);
+//! // Pr(R·S) = 1/3 · 3/4 = 1/4 — but 1/3 is not a binary float, so the
+//! // float tier's leaves carry rounding error from the start.
+//! let h = ProbGraph::new(
+//!     b.build(),
+//!     vec![Rational::from_ratio(1, 3), Rational::from_ratio(3, 4)],
+//! );
+//! let engine = Engine::new(h);
+//! let q = Graph::one_way_path(&[r, s]);
+//!
+//! // Float: an f64 answer inside its own certified bound.
+//! let float = engine.submit(&[Request::probability(q.clone())
+//!     .precision(Precision::Float { max_rel_err: 1e-9 })]);
+//! let Ok(Response::Approximate { value, rel_err_bound, .. }) = &float[0] else { panic!() };
+//! assert!((value - 0.25).abs() <= rel_err_bound * value.abs() + f64::EPSILON);
+//!
+//! // Auto under an impossible tolerance: the bound can't certify 0, so
+//! // the request escalates — and the answer is exactly 1/4, not a float.
+//! let (strict, stats) = engine.submit_stats(&[Request::probability(q.clone())
+//!     .precision(Precision::Auto { max_rel_err: 0.0 })]);
+//! let Ok(Response::Probability(sol)) = &strict[0] else { panic!() };
+//! assert_eq!(sol.probability, Rational::from_ratio(1, 4));
+//! assert_eq!(stats.escalations, 1);
+//!
+//! // The tiers never share cache entries: three requests, zero hits.
+//! let exact = engine.submit(&[Request::probability(q)]);
+//! assert!(matches!(&exact[0], Ok(Response::Probability(_))));
+//! assert_eq!(engine.cache_stats().hits, 0);
+//! ```
+//!
+//! `examples/float_serving.rs` walks the escalation behavior on a
+//! genuinely ill-conditioned circuit; the CLI exposes the same knob as
+//! `--precision exact|float:<tol>|auto[:<tol>]` on `phom solve` and
+//! `phom serve --bench`, and the wire protocol as a per-request
+//! `"precision"` field answered by `"type": "approximate"` results with
+//! a `rel_err` bound (see [`net::wire`]).
 //!
 //! ## Serving at scale: three layers
 //!
@@ -245,8 +321,8 @@ pub use phom_serve as serve;
 #[allow(deprecated)] // the legacy shims stay exported so no caller breaks
 pub use phom_core::{solve, solve_many, solve_many_cached, solve_with};
 pub use phom_core::{
-    Engine, EngineBuilder, EvalCache, Fallback, Fleet, Hardness, Request, Response, Route,
-    Solution, SolveError, SolverOptions, TickConfig,
+    Engine, EngineBuilder, EvalCache, Fallback, Fleet, Hardness, Precision, Request, Response,
+    Route, Solution, SolveError, SolverOptions, TickConfig, WorkerScratch,
 };
 pub use phom_net::{Client as NetClient, NetError, NetStats, Server as NetServer, WireRequest};
 pub use phom_serve::{Runtime, RuntimeBuilder, RuntimeStats, Ticket};
@@ -260,14 +336,14 @@ pub mod prelude {
     pub use phom_core::{solve, solve_many, solve_many_cached, solve_with};
     pub use phom_core::{
         BatchStats, CacheHandle, CacheStats, Engine, EngineBuilder, EvalCache, Fallback, Fleet,
-        Request, Response, Route, Solution, SolveError, SolverOptions, TickConfig,
+        Precision, Request, Response, Route, Solution, SolveError, SolverOptions, TickConfig,
     };
     pub use phom_graph::{classify, Dir, Graph, GraphBuilder, Label, ProbGraph};
-    pub use phom_lineage::{Provenance, VarStatus};
+    pub use phom_lineage::{FlatArena, Provenance, VarStatus};
     pub use phom_net::{
         Client as NetClient, NetError, NetStats, Server as NetServer, WireFallback, WireRequest,
     };
-    pub use phom_num::{Rational, Semiring, Weight};
+    pub use phom_num::{ErrF64, Rational, Semiring, Weight};
     pub use phom_serve::{Runtime, RuntimeBuilder, RuntimeStats, Ticket};
 }
 
