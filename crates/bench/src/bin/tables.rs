@@ -503,6 +503,7 @@ fn json_smoke() {
                             uncertain_edges, ..
                         }) => uncertain_edges as f64,
                         Ok(Response::Sensitivity { influences, .. }) => influences.len() as f64,
+                        Ok(Response::Estimate { lo, hi, .. }) => (lo + hi) / 2.0,
                         Err(e) => panic!("fleet workload must be tractable: {e}"),
                     }
                 })
@@ -512,12 +513,155 @@ fn json_smoke() {
         json_entry(&mut entries, "fleet_mixed_k16", 16, || run_tick(&fleet));
     }
 
+    // Degradation-ladder serving: cheap exact (fast-lane) p99 request
+    // latency with the slow lane idle vs. saturated by genuine
+    // Monte-Carlo sampling (estimate-policy requests against a #P-hard
+    // 2-cycle version, distinct sample budgets so nothing caches). The
+    // priority lanes are why the ratio is bounded: exact ticks never
+    // queue behind sampling, and budgeted sampling runs in solo slots,
+    // so free workers stay available. The sampling units are kept small
+    // (~1k samples) so the bound also holds on a single-core box, where
+    // the OS scheduler timeshares the sampler with the fast ticks and
+    // per-unit core occupancy is what sets the tail. The 3× bound is
+    // the robustness acceptance criterion; the lane/degradation books
+    // are emitted in the `serving` section of the JSON document.
+    let serving = {
+        use phom_core::{Budget, OnHard, Request, SolveError};
+        use phom_graph::{GraphBuilder, Label, ProbGraph};
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+
+        let h = wl::twp_instance(256, 2);
+        let hard = {
+            let mut b = GraphBuilder::with_vertices(2);
+            b.edge(0, 1, Label(0));
+            b.edge(1, 0, Label(0));
+            ProbGraph::new(
+                b.build(),
+                vec![phom_num::Rational::from_ratio(1, 2); 2],
+            )
+        };
+        let runtime = Arc::new(
+            phom_serve::Runtime::builder()
+                .max_batch(16)
+                .max_wait(Duration::from_millis(1))
+                .queue_cap(1024)
+                .workers(4)
+                .build(),
+        );
+        let v_fast = runtime.register(h.clone());
+        let v_hard = runtime.register(hard);
+        let queries: Vec<Graph> = (0..4).map(|i| wl::planted_query(&h, 2 + i % 2)).collect();
+        for q in &queries {
+            runtime
+                .enqueue_to(v_fast, Request::probability(q.clone()))
+                .expect("admitted")
+                .wait()
+                .expect("tractable");
+        }
+        let iters = 150usize;
+        // Best-of-3 p99: a scheduler hiccup inflates one pass, but a
+        // broken lane (exact ticks queued behind sampling) inflates
+        // every pass — the min keeps the signal, drops the noise.
+        let p99 = |label: &str| -> u64 {
+            (0..3)
+                .map(|_| {
+                    let mut samples = Vec::with_capacity(iters);
+                    for i in 0..iters {
+                        let q = queries[i % queries.len()].clone();
+                        let t0 = Instant::now();
+                        let ticket = runtime
+                            .enqueue_to(v_fast, Request::probability(q))
+                            .expect("admitted");
+                        ticket
+                            .wait()
+                            .unwrap_or_else(|e| panic!("{label}: fast tick failed: {e}"));
+                        samples.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    samples.sort_unstable();
+                    samples[samples.len() - 1 - samples.len() / 100]
+                })
+                .min()
+                .expect("three passes")
+        };
+        let noload = p99("no-load");
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let counter = Arc::new(AtomicU64::new(0));
+        let producers: Vec<_> = (0..2)
+            .map(|_| {
+                let runtime = Arc::clone(&runtime);
+                let stop = Arc::clone(&stop);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let q = Graph::one_way_path(&[Label(0)]);
+                    while !stop.load(Ordering::Relaxed) {
+                        let n = 1_000 + counter.fetch_add(1, Ordering::Relaxed);
+                        let request = Request::probability(q.clone())
+                            .on_hard(OnHard::Estimate)
+                            .budget(Budget::unlimited().with_samples(n));
+                        match runtime.enqueue_to(v_hard, request) {
+                            Ok(ticket) => {
+                                ticket.wait().expect("estimate answers");
+                            }
+                            Err(_) => std::thread::yield_now(),
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20)); // sampling in flight
+        let load = p99("sampling-load");
+        stop.store(true, Ordering::Relaxed);
+        for p in producers {
+            p.join().expect("producer");
+        }
+        let ratio = load as f64 / noload as f64;
+        assert!(
+            ratio <= 3.0,
+            "fast-lane p99 degraded {ratio:.2}× under sampling load \
+             ({noload}ns → {load}ns): the lanes are not isolating exact traffic"
+        );
+        // One already-expired request so the deadline books show up in
+        // the emitted counters (shed at flush or metered, depending on
+        // where the flush catches it).
+        let doomed = runtime
+            .enqueue_to(
+                v_fast,
+                Request::probability(queries[0].clone()).deadline(Duration::ZERO),
+            )
+            .expect("admitted");
+        assert!(
+            matches!(doomed.wait(), Err(SolveError::DeadlineExceeded)),
+            "an already-expired request must answer the typed deadline error"
+        );
+        entries.push(format!(
+            "    {{\"id\": \"fast_tick_p99_noload\", \"n\": {iters}, \"median_ns\": {noload}}}"
+        ));
+        entries.push(format!(
+            "    {{\"id\": \"fast_tick_p99_sampling\", \"n\": {iters}, \"median_ns\": {load}}}"
+        ));
+        runtime.stats()
+    };
+
     println!("{{");
     println!("  \"schema\": \"phom-bench-smoke/v1\",");
     println!("  \"reps\": {REPS},");
     println!("  \"results\": [");
     println!("{}", entries.join(",\n"));
-    println!("  ]");
+    println!("  ],");
+    println!(
+        "  \"serving\": {{\"fast_lane_total\": {}, \"slow_lane_total\": {}, \
+         \"shed_expired\": {}, \"estimates\": {}, \"deadline_exceeded\": {}, \
+         \"budget_exceeded\": {}}}",
+        serving.fast_lane_total,
+        serving.slow_lane_total,
+        serving.shed_expired,
+        serving.estimates,
+        serving.deadline_exceeded,
+        serving.budget_exceeded
+    );
     println!("}}");
 }
 

@@ -159,6 +159,27 @@ pub(crate) fn opts_fingerprint(opts: &SolverOptions) -> u64 {
             h.write_u64(max_rel_err.to_bits());
         }
     }
+    // Budgets change what is computed (truncated estimates, tripped
+    // caps), so budgeted callers never share cached answers with
+    // unbudgeted ones. Deadlines are deliberately *not* hashed: they
+    // are relative to arrival time and don't alter a completed answer.
+    for cap in [
+        opts.budget.samples,
+        opts.budget.gates,
+        opts.budget.time.map(|t| t.as_nanos() as u64),
+    ] {
+        match cap {
+            None => h.write_u8(0),
+            Some(v) => {
+                h.write_u8(1);
+                h.write_u64(v);
+            }
+        }
+    }
+    match opts.on_hard {
+        crate::solver::OnHard::Error => h.write_u8(0),
+        crate::solver::OnHard::Estimate => h.write_u8(1),
+    }
     h.finish()
 }
 
@@ -419,6 +440,17 @@ pub struct BatchStats {
     /// `Auto` circuit queries whose float bound exceeded the tolerance
     /// and were re-evaluated exactly.
     pub escalations: usize,
+    /// Requests answered with a Monte-Carlo
+    /// [`Response::Estimate`](crate::Response::Estimate) (the
+    /// `OnHard::Estimate` degradation).
+    pub estimates: usize,
+    /// Requests that failed with `SolveError::DeadlineExceeded` inside
+    /// this batch (expired before or during evaluation; queue sheds are
+    /// counted by the serving runtime, not here).
+    pub deadline_exceeded: usize,
+    /// Requests that failed with `SolveError::BudgetExceeded` inside
+    /// this batch.
+    pub budget_exceeded: usize,
 }
 
 /// Batched solving: answers every query in `queries` against `instance`,

@@ -65,19 +65,21 @@ use crate::batch::{
 };
 use crate::sensitivity::{self, SensitivityRoute};
 use crate::solver::{
-    finish_plan, plan_query, solve_with_impl, Hardness, InstanceState, Plan, Planned, Precision,
-    SharedInstance, Solution, SolveError, SolverOptions,
+    finish_plan, plan_query, solve_with_impl, Budget, Hardness, InstanceState, OnHard, Plan,
+    Planned, Precision, SharedInstance, Solution, SolveError, SolverOptions,
 };
 use crate::ucq::{Ucq, UcqRoute};
 use crate::{counting, Fallback, Route};
 use phom_graph::{Graph, ProbGraph};
 use phom_lineage::engine::{Arena, EvalScratch, GateId};
-use phom_lineage::fxhash::FxHashMap;
-use phom_lineage::FlatArena;
+use phom_lineage::fxhash::{FxHashMap, FxHasher};
+use phom_lineage::{FlatArena, WorkMeter};
 use phom_num::{ErrF64, Natural, Rational, Weight};
 use rand::SeedableRng;
+use std::hash::{Hash, Hasher};
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------
 // Requests and responses
@@ -115,6 +117,27 @@ struct Overrides {
     fallback: Option<Fallback>,
     want_provenance: Option<bool>,
     precision: Option<Precision>,
+    budget: Option<Budget>,
+    on_hard: Option<OnHard>,
+    /// Absolute expiry, anchored when [`Request::deadline`] was called
+    /// (request construction = arrival). Deliberately *not* part of the
+    /// resolved [`SolverOptions`]: a deadline is relative to wall-clock
+    /// arrival and never fragments the answer cache.
+    deadline_at: Option<Instant>,
+}
+
+/// Which of the serving runtime's two priority lanes a request rides,
+/// derived from its route class at admission: cheap exact plans take
+/// the fast lane and never queue behind sampling, estimation, or
+/// float-escalation jobs in the slow lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lane {
+    /// Exact probability work with no sampling possibility: bounded,
+    /// predictable tick cost.
+    Fast,
+    /// Everything that may sample, estimate, escalate, or run a
+    /// non-probability pipeline (counting / sensitivity / UCQ).
+    Slow,
 }
 
 impl Request {
@@ -186,6 +209,70 @@ impl Request {
         self
     }
 
+    /// Give this request a deadline, anchored **now** (request
+    /// construction = arrival). The serving runtime sheds the request
+    /// with [`SolveError::DeadlineExceeded`] if it expires while
+    /// queued, and cooperative [`WorkMeter`] checkpoints inside the
+    /// circuit evaluators and the sampler enforce it mid-evaluation.
+    pub fn deadline(self, after: Duration) -> Self {
+        self.deadline_at(Instant::now() + after)
+    }
+
+    /// As [`deadline`](Request::deadline), with an explicit absolute
+    /// expiry (for callers that anchored arrival themselves).
+    pub fn deadline_at(mut self, at: Instant) -> Self {
+        self.overrides.deadline_at = Some(match self.overrides.deadline_at {
+            Some(prev) => prev.min(at),
+            None => at,
+        });
+        self
+    }
+
+    /// Cap this request's work — see [`Budget`]. Tripped caps surface
+    /// as [`SolveError::BudgetExceeded`] (or a truncated
+    /// [`Response::Estimate`] on the estimate path).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.overrides.budget = Some(budget);
+        self
+    }
+
+    /// Pick the hard-cell degradation policy — see [`OnHard`]. With
+    /// [`OnHard::Estimate`], a #P-hard cell answers a budgeted
+    /// Monte-Carlo [`Response::Estimate`] instead of
+    /// [`SolveError::Hard`].
+    pub fn on_hard(mut self, on_hard: OnHard) -> Self {
+        self.overrides.on_hard = Some(on_hard);
+        self
+    }
+
+    /// The absolute deadline set via [`deadline`](Request::deadline) /
+    /// [`deadline_at`](Request::deadline_at), if any. The serving
+    /// runtime reads this to shed expired-in-queue requests at flush.
+    pub fn deadline_instant(&self) -> Option<Instant> {
+        self.overrides.deadline_at
+    }
+
+    /// The priority [`Lane`] this request rides in the serving
+    /// runtime's tick scheduler, derived from its route class under
+    /// `default` options: probability requests that stay exact and
+    /// cannot sample are [`Lane::Fast`]; anything that may sample,
+    /// estimate, or escalate — Monte-Carlo fallbacks,
+    /// [`OnHard::Estimate`], float precision tiers, counting,
+    /// sensitivity, UCQs — is [`Lane::Slow`].
+    pub fn lane(&self, default: SolverOptions) -> Lane {
+        if !matches!(self.kind, RequestKind::Probability(_)) {
+            return Lane::Slow;
+        }
+        let opts = self.resolved_options(default);
+        let may_sample = matches!(opts.fallback, Fallback::MonteCarlo { .. })
+            || opts.on_hard == OnHard::Estimate;
+        if opts.precision.is_exact() && !may_sample {
+            Lane::Fast
+        } else {
+            Lane::Slow
+        }
+    }
+
     fn query_graph(&self, what: &str) -> Graph {
         match &self.kind {
             RequestKind::Probability(q)
@@ -207,6 +294,12 @@ impl Request {
         }
         if let Some(p) = self.overrides.precision {
             opts.precision = p;
+        }
+        if let Some(b) = self.overrides.budget {
+            opts.budget = b;
+        }
+        if let Some(h) = self.overrides.on_hard {
+            opts.on_hard = h;
         }
         opts
     }
@@ -251,6 +344,22 @@ pub enum Response {
         /// The tractable UCQ route taken.
         route: UcqRoute,
     },
+    /// A budgeted Monte-Carlo confidence interval: the degraded answer
+    /// for a #P-hard cell under [`OnHard::Estimate`]. The interval is a
+    /// 95% normal-approximation CI around the sampled hit rate; when a
+    /// deadline or time budget tripped mid-run, `samples` is the
+    /// truncated count and the interval is honestly wider (the
+    /// *anytime* contract — partial work is still a certified answer).
+    Estimate {
+        /// Lower end of the 95% confidence interval (clamped to `[0, 1]`).
+        lo: f64,
+        /// Upper end of the 95% confidence interval (clamped to `[0, 1]`).
+        hi: f64,
+        /// Worlds actually sampled (≤ the budgeted count).
+        samples: u64,
+        /// The sampling route taken ([`Route::MonteCarlo`]).
+        route: Route,
+    },
 }
 
 impl Response {
@@ -284,14 +393,26 @@ impl Response {
         }
     }
 
+    /// The `(lo, hi, samples)` of an [`Estimate`](Response::Estimate)
+    /// response.
+    pub fn estimate(&self) -> Option<(f64, f64, u64)> {
+        match self {
+            Response::Estimate {
+                lo, hi, samples, ..
+            } => Some((*lo, *hi, *samples)),
+            _ => None,
+        }
+    }
+
     /// Any probability-shaped answer as an `f64` — exact responses are
     /// converted (correctly rounded), approximate ones return their
-    /// carried value.
+    /// carried value, estimates their interval midpoint.
     pub fn value_f64(&self) -> Option<f64> {
         match self {
             Response::Probability(sol) => Some(sol.probability.to_f64()),
             Response::Approximate { value, .. } => Some(*value),
             Response::Ucq { probability, .. } => Some(probability.to_f64()),
+            Response::Estimate { lo, hi, .. } => Some((lo + hi) / 2.0),
             _ => None,
         }
     }
@@ -534,14 +655,31 @@ impl Engine {
                 return response;
             }
         }
+        // Pre-work deadline checkpoint: a cache hit above is served
+        // regardless (instant), but an expired request never starts
+        // uncached work.
+        if let Some(at) = request.overrides.deadline_at {
+            if Instant::now() >= at {
+                return Err(SolveError::DeadlineExceeded);
+            }
+        }
         let result = self.run_request_uncached(request, opts);
         if let Some(key) = key {
-            if !matches!(
+            // Deterministic outcomes only: transient failures and the
+            // time-relative limit errors (another run may finish in
+            // budget) never poison the cache. Estimates are cached —
+            // their seed is derived from the query, so re-runs are
+            // deterministic — unless a time cap truncated the run.
+            let time_capped = request.overrides.deadline_at.is_some() || opts.budget.time.is_some();
+            let transient = matches!(
                 result,
                 Err(SolveError::Internal(_)
                     | SolveError::Overloaded { .. }
-                    | SolveError::Cancelled)
-            ) {
+                    | SolveError::Cancelled
+                    | SolveError::DeadlineExceeded
+                    | SolveError::BudgetExceeded { .. })
+            ) || (time_capped && matches!(result, Ok(Response::Estimate { .. })));
+            if !transient {
                 self.lock_cache()
                     .insert(key, CachedAnswer::Response(result.clone()));
             }
@@ -620,12 +758,41 @@ impl Engine {
                     route: UcqRoute::BruteForce,
                 })
             }
-            Fallback::MonteCarlo { samples, seed } => {
+            Fallback::MonteCarlo { samples, seed } if opts.budget.samples != Some(0) => {
+                let samples = match opts.budget.samples {
+                    Some(limit) => samples.min(limit),
+                    None => samples,
+                };
                 let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
                 let est = crate::montecarlo::estimate_ucq(ucq, &self.instance, samples, &mut rng);
                 Ok(Response::Ucq {
                     probability: crate::solver::dyadic_from_f64(est.mean),
                     route: UcqRoute::MonteCarlo { samples },
+                })
+            }
+            // Hard UCQ cell: degrade to a budgeted interval when the
+            // request opted in, mirroring the probability path.
+            _ if opts.on_hard == OnHard::Estimate => {
+                let samples = opts.budget.samples.unwrap_or(DEFAULT_ESTIMATE_SAMPLES);
+                let mut meter = opts.budget.arm(WorkMeter::unbounded());
+                let mut rng =
+                    rand::rngs::SmallRng::seed_from_u64(ucq_estimate_seed(ucq));
+                let (est, _stop) = crate::montecarlo::estimate_ucq_metered(
+                    ucq,
+                    &self.instance,
+                    samples,
+                    &mut rng,
+                    &mut meter,
+                )
+                .map_err(SolveError::from_meter)?;
+                Ok(Response::Estimate {
+                    lo: (est.mean - est.ci95).max(0.0),
+                    hi: (est.mean + est.ci95).min(1.0),
+                    samples: est.samples,
+                    route: Route::MonteCarlo {
+                        samples: est.samples,
+                        ci95_times_1e9: (est.ci95 * 1e9) as u64,
+                    },
                 })
             }
             _ => Err(SolveError::Hard(Hardness {
@@ -803,6 +970,10 @@ impl Fleet {
 struct BatchItem<'q> {
     query: &'q Graph,
     opts: SolverOptions,
+    /// Absolute expiry, when the request carries a deadline. Deadline'd
+    /// items are never interned together (each gets its own slot) and
+    /// run the solo metered path instead of a deferred batch pass.
+    deadline_at: Option<Instant>,
 }
 
 /// A unique cache miss recorded during the probe phase, before planning.
@@ -820,6 +991,18 @@ struct PendingSlot {
     query: Graph,
     opts: SolverOptions,
     planned: Planned,
+    deadline_at: Option<Instant>,
+}
+
+impl PendingSlot {
+    /// True iff this slot needs cooperative [`WorkMeter`] checkpoints —
+    /// a deadline or any budget cap. Metered slots run the solo path
+    /// (own arena, fallible evaluation) and never join a deferred
+    /// multi-root batch pass, whose single evaluation couldn't honor
+    /// per-request limits.
+    fn is_metered(&self) -> bool {
+        self.deadline_at.is_some() || !self.opts.budget.is_unlimited()
+    }
 }
 
 /// What one shard produced.
@@ -990,6 +1173,7 @@ fn plan_tick(engine: &Engine, requests: &[Request], config: &TickConfig) -> Plan
                 prob_items.push(BatchItem {
                     query,
                     opts: request.resolved_options(engine.default_options),
+                    deadline_at: request.overrides.deadline_at,
                 });
                 prob_req.push(i);
             }
@@ -1070,7 +1254,10 @@ fn finish_tick(
     for output in outputs {
         match output {
             UnitOutput::Shard(outcome) => apply_shard(&mut prepared, outcome),
-            UnitOutput::Single { index, result } => out[index] = Some(result),
+            UnitOutput::Single { index, result } => {
+                count_degradations(&mut prepared.stats, &result);
+                out[index] = Some(result);
+            }
         }
     }
     let (prob_results, stats) = {
@@ -1099,7 +1286,19 @@ fn apply_shard(prepared: &mut PreparedBatch, outcome: ShardOutcome) {
     prepared.stats.float_evaluated += outcome.float_evaluated;
     prepared.stats.escalations += outcome.escalations;
     for (slot, answer) in outcome.results {
+        count_degradations(&mut prepared.stats, &answer);
         prepared.slots[slot] = Some(answer);
+    }
+}
+
+/// Folds one answer's degradation outcome (estimate / deadline /
+/// budget) into the batch counters.
+fn count_degradations(stats: &mut BatchStats, answer: &Result<Response, SolveError>) {
+    match answer {
+        Ok(Response::Estimate { .. }) => stats.estimates += 1,
+        Err(SolveError::DeadlineExceeded) => stats.deadline_exceeded += 1,
+        Err(SolveError::BudgetExceeded { .. }) => stats.budget_exceeded += 1,
+        _ => {}
     }
 }
 
@@ -1124,12 +1323,22 @@ fn prepare_batch(
         let opts_fp = opts_fingerprint(&item.opts);
         let key = QueryKey::new(item.query);
         let next = unique.len();
-        let slot = *slot_of_key
-            .entry((opts_fp, key.clone()))
-            .or_insert_with(|| {
-                unique.push((i, opts_fp, key));
-                next
-            });
+        // Deadline'd items never share a slot: two identical queries
+        // with different expiries must be sheddable independently (the
+        // deadline is not in the options fingerprint, so the intern map
+        // would otherwise conflate them). They still probe and are
+        // probed *from* the same cache key.
+        let slot = if item.deadline_at.is_some() {
+            unique.push((i, opts_fp, key));
+            next
+        } else {
+            *slot_of_key
+                .entry((opts_fp, key.clone()))
+                .or_insert_with(|| {
+                    unique.push((i, opts_fp, key));
+                    next
+                })
+        };
         slot_of_item.push(slot);
     }
     stats.unique_queries = unique.len();
@@ -1197,6 +1406,7 @@ fn plan_pending(
             query: items[miss.item_idx].query.clone(),
             opts: items[miss.item_idx].opts,
             planned: plan_query(items[miss.item_idx].query, &shared),
+            deadline_at: items[miss.item_idx].deadline_at,
         })
         .collect()
 }
@@ -1394,7 +1604,10 @@ fn split_shared_arena(
     let mut deferred: Vec<DeferredRoot> = Vec::new();
     let mut rest: Vec<PendingSlot> = Vec::new();
     for pending in pending {
-        if !pending.opts.want_provenance {
+        // Metered slots (deadline / budget) need a fallible solo
+        // evaluation; the shared multi-root pass can't stop one root
+        // without stopping them all.
+        if !pending.opts.want_provenance && !pending.is_metered() {
             match &pending.planned.plan {
                 Plan::Prop411 { effective } => {
                     if let Some(root) =
@@ -1571,6 +1784,180 @@ fn eval_deferred(
     }
 }
 
+/// Samples drawn by the [`OnHard::Estimate`] degradation when the
+/// request's [`Budget`] doesn't cap them.
+const DEFAULT_ESTIMATE_SAMPLES: u64 = 10_000;
+
+/// The deterministic seed of the [`OnHard::Estimate`] sampler: a hash
+/// of the query's content. Repeated runs of the same request estimate
+/// from the same world sequence — the statistical suite (and any
+/// retrying client) sees identical intervals.
+fn estimate_seed(query: &Graph) -> u64 {
+    let mut h = FxHasher::default();
+    QueryKey::new(query).hash(&mut h);
+    h.finish()
+}
+
+/// [`estimate_seed`] for UCQ requests: hashed over every disjunct.
+fn ucq_estimate_seed(ucq: &Ucq) -> u64 {
+    let mut h = FxHasher::default();
+    QueryKey::of_many(ucq.disjuncts()).hash(&mut h);
+    h.finish()
+}
+
+/// The [`OnHard::Estimate`] degradation: a budgeted, metered
+/// Monte-Carlo run answering a 95% confidence interval as
+/// [`Response::Estimate`]. Anytime: a deadline or time budget tripping
+/// after at least one sample returns the truncated (wider) interval; a
+/// stop before the first sample surfaces as the meter's typed error.
+fn estimate_response(
+    query: &Graph,
+    instance: &ProbGraph,
+    opts: SolverOptions,
+    meter: &mut WorkMeter,
+) -> Result<Response, SolveError> {
+    let samples = opts.budget.samples.unwrap_or(DEFAULT_ESTIMATE_SAMPLES);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(estimate_seed(query));
+    let (est, _stop) = crate::montecarlo::estimate_metered(query, instance, samples, &mut rng, meter)
+        .map_err(SolveError::from_meter)?;
+    Ok(Response::Estimate {
+        lo: (est.mean - est.ci95).max(0.0),
+        hi: (est.mean + est.ci95).min(1.0),
+        samples: est.samples,
+        route: Route::MonteCarlo {
+            samples: est.samples,
+            ci95_times_1e9: (est.ci95 * 1e9) as u64,
+        },
+    })
+}
+
+/// The solo path for metered slots (deadline / budget caps): compiles
+/// the slot's own arena when its plan is circuit-shaped and evaluates
+/// it under the [`WorkMeter`]'s checkpoints, so a stuck or oversized
+/// evaluation stops cooperatively instead of wedging the worker. The
+/// compiled circuit — and therefore the exact rational answer — is
+/// identical to the batched path's, so a request that finishes within
+/// its limits answers bit-identically to an unmetered twin.
+fn run_metered_slot(
+    shared: SharedInstance<'_>,
+    pending: PendingSlot,
+    outcome: &mut ShardOutcome,
+    scratch: &mut WorkerScratch,
+) -> (usize, Result<Response, SolveError>) {
+    let opts = pending.opts;
+    let slot = pending.slot;
+    let mut meter = opts.budget.arm(WorkMeter::unbounded());
+    if let Some(at) = pending.deadline_at {
+        meter = meter.with_deadline(at);
+    }
+    // Pre-work checkpoint: a request that expired in a queue (or
+    // behind a stuck unit) sheds before compiling anything.
+    if let Err(stop) = meter.check_now() {
+        return (slot, Err(SolveError::from_meter(stop)));
+    }
+    let instance = shared.instance;
+    if shared.ic().is_connected() && !opts.want_provenance {
+        let mut arena = Arena::new(instance.graph().n_edges());
+        let compiled = match &pending.planned.plan {
+            Plan::Prop411 { effective } => {
+                lineage_circuits::match_into_2wp(&mut arena, effective, instance.graph())
+                    .map(|root| (root, false, Route::Prop411))
+            }
+            Plan::Prop410 => lineage_circuits::fail_into_dwt(
+                &mut arena,
+                &pending.planned.absorbed,
+                instance.graph(),
+            )
+            .map(|root| (root, true, Route::Prop410)),
+            _ => None,
+        };
+        if let Some((root, negated, route)) = compiled {
+            outcome.circuit_batched += 1;
+            outcome.gates += arena.n_gates();
+            let result = eval_metered_root(
+                &arena,
+                instance.probs(),
+                root,
+                negated,
+                route,
+                opts.precision,
+                &mut meter,
+                outcome,
+                scratch,
+            );
+            return (slot, result);
+        }
+    }
+    // General path (DP routes, fallbacks, provenance): the meter
+    // checkpointed before the work; hard cells degrade per `on_hard`.
+    outcome.general_solved += 1;
+    let answer = finish_plan(&pending.query, pending.planned, &shared, opts);
+    let result = match answer {
+        Err(_) if opts.on_hard == OnHard::Estimate => {
+            estimate_response(&pending.query, instance, opts, &mut meter)
+        }
+        other => respond_exact(other.map_err(SolveError::Hard), opts.precision),
+    };
+    (slot, result)
+}
+
+/// Metered evaluation of one compiled root, honoring its precision
+/// tier: the exact tier runs the metered rational cone pass, the float
+/// tiers the metered flat-slab pass (with `Auto` escalating to the
+/// metered exact pass when the certified bound misses tolerance).
+/// Arithmetic and evaluation order match the unmetered batch passes,
+/// so completed answers are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn eval_metered_root(
+    arena: &Arena,
+    probs: &[Rational],
+    root: GateId,
+    negated: bool,
+    route: Route,
+    precision: Precision,
+    meter: &mut WorkMeter,
+    outcome: &mut ShardOutcome,
+    scratch: &mut WorkerScratch,
+) -> Result<Response, SolveError> {
+    let exact_pass = |meter: &mut WorkMeter,
+                      scratch: &mut WorkerScratch|
+     -> Result<Response, SolveError> {
+        let values = arena
+            .probability_many_metered(&[root], probs, &mut scratch.exact, meter)
+            .map_err(SolveError::from_meter)?;
+        let value = values.into_iter().next().expect("one root");
+        let probability = if negated { value.one_minus() } else { value };
+        Ok(Response::Probability(Solution {
+            probability,
+            route: route.clone(),
+            provenance: None,
+        }))
+    };
+    let (tol, escalates) = match precision {
+        Precision::Exact => return exact_pass(meter, scratch),
+        Precision::Float { max_rel_err } => (max_rel_err, false),
+        Precision::Auto { max_rel_err } => (max_rel_err, true),
+    };
+    let flat = FlatArena::compile(arena, &[root]);
+    let leaves: Vec<ErrF64> = probs.iter().map(ErrF64::from_rational).collect();
+    let values = flat
+        .eval_many_metered(&leaves, &mut scratch.float_values, meter)
+        .map_err(SolveError::from_meter)?;
+    let value = values.into_iter().next().expect("one root");
+    let value = if negated { value.complement() } else { value };
+    let rel_err_bound = value.rel_err_bound();
+    if rel_err_bound > tol && escalates {
+        outcome.escalations += 1;
+        return exact_pass(meter, scratch);
+    }
+    outcome.float_evaluated += 1;
+    Ok(Response::Approximate {
+        value: value.value(),
+        rel_err_bound,
+        route,
+    })
+}
+
 /// Executes one shard's worth of planned queries.
 fn run_shard(
     shared: SharedInstance<'_>,
@@ -1584,6 +1971,13 @@ fn run_shard(
     let connected = shared.ic().is_connected();
     for pending in work {
         let opts = pending.opts;
+        // Metered slots (deadline / budget caps) run the fallible solo
+        // path: own arena, WorkMeter checkpoints, typed stops.
+        if pending.is_metered() {
+            let (slot, result) = run_metered_slot(shared, pending, &mut outcome, scratch);
+            outcome.results.push((slot, result));
+            continue;
+        }
         // The shared-arena fast path: circuit-compilable plans on a
         // connected instance, when no provenance handle was requested
         // (handles own their circuit, so they compile separately).
@@ -1612,13 +2006,19 @@ fn run_shard(
                 _ => {}
             }
         }
-        // General path: finish the plan exactly as `solve_with` does.
-        let answer =
-            finish_plan(&pending.query, pending.planned, &shared, opts).map_err(SolveError::Hard);
+        // General path: finish the plan exactly as `solve_with` does —
+        // then degrade a hard cell to a budgeted estimate when the
+        // request opted in.
+        let answer = finish_plan(&pending.query, pending.planned, &shared, opts);
         outcome.general_solved += 1;
-        outcome
-            .results
-            .push((pending.slot, respond_exact(answer, opts.precision)));
+        let result = match answer {
+            Err(_) if opts.on_hard == OnHard::Estimate => {
+                let mut meter = opts.budget.arm(WorkMeter::unbounded());
+                estimate_response(&pending.query, instance, opts, &mut meter)
+            }
+            other => respond_exact(other.map_err(SolveError::Hard), opts.precision),
+        };
+        outcome.results.push((pending.slot, result));
     }
     outcome.gates = arena.n_gates();
     // One multi-root engine pass per tier answers every deferred query.
@@ -1649,7 +2049,11 @@ pub(crate) fn legacy_batch(
     let shared = SharedInstance::new(instance, &state);
     let items: Vec<BatchItem> = queries
         .iter()
-        .map(|query| BatchItem { query, opts })
+        .map(|query| BatchItem {
+            query,
+            opts,
+            deadline_at: None,
+        })
         .collect();
     let fingerprint = if cache.is_some() {
         instance_fingerprint(instance)
@@ -1822,9 +2226,10 @@ const _: () = {
 /// the public API.
 #[doc(hidden)]
 pub mod test_support {
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
     static INJECT_PANIC: AtomicBool = AtomicBool::new(false);
+    static PANIC_BUDGET: AtomicU64 = AtomicU64::new(0);
 
     /// While set, every executed work unit panics at entry (before any
     /// solving). The engine must contain the panic into per-request
@@ -1834,9 +2239,29 @@ pub mod test_support {
         INJECT_PANIC.store(on, Ordering::SeqCst);
     }
 
+    /// One-shot flavor: the next `n` executed work units panic at
+    /// entry, then injection stops by itself. Used by scripted fault
+    /// plans (`phom_serve::test_support::FaultPlan`) where exactly one
+    /// unit should fail rather than every unit while a flag is up.
+    pub fn inject_unit_panics(n: u64) {
+        PANIC_BUDGET.store(n, Ordering::SeqCst);
+    }
+
     pub(super) fn maybe_panic() {
         if INJECT_PANIC.load(Ordering::SeqCst) {
             panic!("injected unit panic (engine::test_support)");
+        }
+        loop {
+            let left = PANIC_BUDGET.load(Ordering::SeqCst);
+            if left == 0 {
+                return;
+            }
+            if PANIC_BUDGET
+                .compare_exchange(left, left - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                panic!("injected unit panic (engine::test_support, one-shot)");
+            }
         }
     }
 }

@@ -43,10 +43,12 @@ pub use batch::{instance_fingerprint, BatchStats, CacheHandle, CacheStats, EvalC
 #[allow(deprecated)] // the shims stay exported so no caller breaks
 pub use batch::{solve_many, solve_many_cached, solve_many_stats};
 pub use engine::{
-    Engine, EngineBuilder, Fleet, Request, Response, Tick, TickConfig, TickOutput, TickUnit,
+    Engine, EngineBuilder, Fleet, Lane, Request, Response, Tick, TickConfig, TickOutput, TickUnit,
     WorkerScratch,
 };
 #[allow(deprecated)] // the shims stay exported so no caller breaks
 pub use solver::{solve, solve_with};
-pub use solver::{Fallback, Hardness, Precision, Route, Solution, SolveError, SolverOptions};
+pub use solver::{
+    Budget, Fallback, Hardness, OnHard, Precision, Route, Solution, SolveError, SolverOptions,
+};
 pub use tables::{CellStatus, Setting, TableId};

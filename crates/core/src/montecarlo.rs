@@ -10,7 +10,7 @@
 
 use phom_graph::hom::exists_hom_into_world;
 use phom_graph::{Graph, ProbGraph};
-use phom_lineage::Provenance;
+use phom_lineage::{MeterStop, Provenance, WorkMeter};
 use rand::Rng;
 
 /// The result of a sampling run.
@@ -60,6 +60,86 @@ fn estimate_event<R: Rng>(
         samples,
         ci95: 1.96 * var.sqrt(),
     }
+}
+
+/// [`estimate_event`] under a cooperative [`WorkMeter`]: each sample is
+/// charged before it is drawn, and the run stops at the first tripped
+/// checkpoint (sample budget, time budget, or deadline). This is the
+/// *anytime* loop behind `OnHard::Estimate`: when the meter trips after
+/// at least one sample, the truncated run is still a valid (wider)
+/// estimate, so it is returned as `Ok` alongside the stop reason; a
+/// stop before the first sample is a hard `Err`.
+fn estimate_event_metered<R: Rng>(
+    prob_true: &[f64],
+    samples: u64,
+    rng: &mut R,
+    meter: &mut WorkMeter,
+    mut event: impl FnMut(&[bool]) -> bool,
+) -> Result<(Estimate, Option<MeterStop>), MeterStop> {
+    let mut hits = 0u64;
+    let mut drawn = 0u64;
+    let mut stopped = None;
+    let mut mask = vec![false; prob_true.len()];
+    while drawn < samples {
+        if let Err(stop) = meter.charge_sample() {
+            if drawn == 0 {
+                return Err(stop);
+            }
+            stopped = Some(stop);
+            break;
+        }
+        for (e, p) in prob_true.iter().enumerate() {
+            mask[e] = rng.gen_bool(*p);
+        }
+        if event(&mask) {
+            hits += 1;
+        }
+        drawn += 1;
+    }
+    if drawn == 0 {
+        // `samples == 0`: nothing was asked for and nothing tripped.
+        return Err(MeterStop::Samples { limit: 0 });
+    }
+    let mean = hits as f64 / drawn as f64;
+    let var = mean * (1.0 - mean) / drawn as f64;
+    Ok((
+        Estimate {
+            mean,
+            samples: drawn,
+            ci95: 1.96 * var.sqrt(),
+        },
+        stopped,
+    ))
+}
+
+/// Metered [`estimate`]: draws up to `samples` worlds, stopping early
+/// at the first tripped [`WorkMeter`] checkpoint. See
+/// [`estimate_event_metered`] for the anytime contract.
+pub fn estimate_metered<R: Rng>(
+    query: &Graph,
+    instance: &ProbGraph,
+    samples: u64,
+    rng: &mut R,
+    meter: &mut WorkMeter,
+) -> Result<(Estimate, Option<MeterStop>), MeterStop> {
+    let probs: Vec<f64> = instance.probs().iter().map(|p| p.to_f64()).collect();
+    estimate_event_metered(&probs, samples, rng, meter, |mask| {
+        exists_hom_into_world(query, instance.graph(), mask)
+    })
+}
+
+/// Metered [`estimate_ucq`]: the UCQ analogue of [`estimate_metered`].
+pub fn estimate_ucq_metered<R: Rng>(
+    ucq: &crate::ucq::Ucq,
+    instance: &ProbGraph,
+    samples: u64,
+    rng: &mut R,
+    meter: &mut WorkMeter,
+) -> Result<(Estimate, Option<MeterStop>), MeterStop> {
+    let probs: Vec<f64> = instance.probs().iter().map(|p| p.to_f64()).collect();
+    estimate_event_metered(&probs, samples, rng, meter, |mask| {
+        ucq.holds_in_world(instance.graph(), mask)
+    })
 }
 
 /// Estimates `Pr(G ⇝ H)` from `samples` independent possible worlds.
@@ -156,6 +236,36 @@ mod tests {
             "{est:?} vs {}",
             sol.probability.to_f64()
         );
+    }
+
+    #[test]
+    fn metered_estimator_is_deterministic_and_anytime() {
+        let h = fixtures::figure_1();
+        let g = fixtures::example_2_2_query();
+        // A full unbudgeted run draws the same worlds as the unmetered
+        // estimator, sample for sample.
+        let mut rng_a = SmallRng::seed_from_u64(7);
+        let plain = estimate(&g, &h, 500, &mut rng_a);
+        let mut rng_b = SmallRng::seed_from_u64(7);
+        let mut meter = WorkMeter::unbounded();
+        let (metered, stop) = estimate_metered(&g, &h, 500, &mut rng_b, &mut meter).unwrap();
+        assert!(stop.is_none());
+        assert_eq!(plain.mean, metered.mean);
+        assert_eq!(metered.samples, 500);
+
+        // A sample budget truncates the run — anytime: still an estimate.
+        let mut rng_c = SmallRng::seed_from_u64(7);
+        let mut tight = WorkMeter::unbounded().with_sample_budget(100);
+        let (truncated, stop) = estimate_metered(&g, &h, 500, &mut rng_c, &mut tight).unwrap();
+        assert_eq!(truncated.samples, 100);
+        assert_eq!(stop, Some(MeterStop::Samples { limit: 100 }));
+        assert!(truncated.ci95 >= metered.ci95);
+
+        // A zero sample budget cannot start at all.
+        let mut rng_d = SmallRng::seed_from_u64(7);
+        let mut zero = WorkMeter::unbounded().with_sample_budget(0);
+        let got = estimate_metered(&g, &h, 500, &mut rng_d, &mut zero);
+        assert!(matches!(got, Err(MeterStop::Samples { limit: 0 })), "{got:?}");
     }
 
     #[test]

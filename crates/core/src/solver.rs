@@ -18,10 +18,11 @@ use phom_graph::classes::{classify, Classification};
 use phom_graph::graded::level_mapping;
 use phom_graph::{ConnClass, Graph, ProbGraph};
 use phom_lineage::engine::Arena;
-use phom_lineage::Provenance;
+use phom_lineage::{MeterStop, Provenance, WorkMeter};
 use phom_num::{Natural, Rational};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 /// What to do when the input falls in a #P-hard cell.
 #[derive(Clone, Copy, Debug, Default)]
@@ -98,6 +99,93 @@ impl Precision {
     }
 }
 
+/// A per-request work budget: hard caps on the resources a single
+/// request may consume inside evaluation. All caps default to
+/// unlimited; each set cap is enforced cooperatively by the
+/// [`WorkMeter`] checkpoints threaded through the circuit evaluators
+/// and the Monte-Carlo sampler, and a tripped cap surfaces as
+/// [`SolveError::BudgetExceeded`] (or, for the estimate path with at
+/// least one sample drawn, a truncated — still certified —
+/// [`Response::Estimate`](crate::Response::Estimate)).
+///
+/// Unlike a [deadline](crate::Request::deadline) (which is relative to
+/// wall-clock arrival and therefore never part of the answer cache
+/// key), a budget changes *what is computed*, so it is folded into the
+/// options fingerprint: requests with different budgets never share
+/// cached answers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Cap on Monte-Carlo samples drawn.
+    pub samples: Option<u64>,
+    /// Cap on circuit gates evaluated.
+    pub gates: Option<u64>,
+    /// Cap on wall-clock time spent inside evaluation, anchored when
+    /// the work starts (distinct from a deadline, which is anchored at
+    /// request arrival and may expire in a queue).
+    pub time: Option<Duration>,
+}
+
+impl Budget {
+    /// The default: no caps.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// True iff no cap is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.samples.is_none() && self.gates.is_none() && self.time.is_none()
+    }
+
+    /// Caps Monte-Carlo samples.
+    pub fn with_samples(mut self, samples: u64) -> Budget {
+        self.samples = Some(samples);
+        self
+    }
+
+    /// Caps circuit gates evaluated.
+    pub fn with_gates(mut self, gates: u64) -> Budget {
+        self.gates = Some(gates);
+        self
+    }
+
+    /// Caps wall-clock evaluation time.
+    pub fn with_time(mut self, time: Duration) -> Budget {
+        self.time = Some(time);
+        self
+    }
+
+    /// Folds the set caps into a [`WorkMeter`].
+    pub(crate) fn arm(&self, mut meter: WorkMeter) -> WorkMeter {
+        if let Some(gates) = self.gates {
+            meter = meter.with_gate_budget(gates);
+        }
+        if let Some(samples) = self.samples {
+            meter = meter.with_sample_budget(samples);
+        }
+        if let Some(time) = self.time {
+            meter = meter.with_time_budget(time);
+        }
+        meter
+    }
+}
+
+/// What to answer when a probability request lands in a #P-hard cell
+/// (and any configured [`Fallback`] did not apply): the top rung of
+/// the degradation ladder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OnHard {
+    /// Report [`SolveError::Hard`] (default; paper-faithful).
+    #[default]
+    Error,
+    /// Degrade to a budgeted Monte-Carlo estimate with a 95%
+    /// confidence interval, answered as a typed
+    /// [`Response::Estimate`](crate::Response::Estimate). Sampling
+    /// honors the request's [`Budget`] and deadline; if time runs out
+    /// after at least one sample, the truncated (wider) interval is
+    /// returned instead of an error.
+    Estimate,
+}
+
 /// Solver configuration.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SolverOptions {
@@ -116,6 +204,12 @@ pub struct SolverOptions {
     pub want_provenance: bool,
     /// Which evaluation tier answers probability requests.
     pub precision: Precision,
+    /// Per-request work caps (samples / gates / time), enforced by
+    /// cooperative [`WorkMeter`] checkpoints inside evaluation.
+    pub budget: Budget,
+    /// Degradation policy for #P-hard cells: typed error (default) or
+    /// a budgeted Monte-Carlo [`Response::Estimate`](crate::Response::Estimate).
+    pub on_hard: OnHard,
 }
 
 /// How a solution was obtained.
@@ -199,14 +293,19 @@ pub enum SolveError {
     /// The request is malformed for its kind (e.g. a counting request on
     /// an instance with non-½ uncertain probabilities).
     InvalidQuery(String),
-    /// A configured resource budget was exhausted before an answer was
-    /// reached (reserved for budgeted serving modes).
+    /// A configured [`Budget`] cap was exhausted before an answer was
+    /// reached: the request's own work limit tripped a cooperative
+    /// [`WorkMeter`] checkpoint inside evaluation.
     BudgetExceeded {
-        /// What was bounded (e.g. "worlds", "gates").
+        /// What was bounded (`"gates"`, `"samples"`, or `"time_ms"`).
         resource: &'static str,
         /// The configured limit that was hit.
         limit: u64,
     },
+    /// The request's deadline passed before an answer was reached —
+    /// either while queued (shed at flush by the serving runtime) or
+    /// mid-evaluation (a cooperative [`WorkMeter`] checkpoint tripped).
+    DeadlineExceeded,
     /// The serving runtime's bounded ingress queue was full — admission
     /// control rejected the request instead of growing memory without
     /// bound. Retry after backing off; already-admitted requests are
@@ -234,9 +333,30 @@ impl SolveError {
             SolveError::Hard(_) => "hard",
             SolveError::InvalidQuery(_) => "invalid_query",
             SolveError::BudgetExceeded { .. } => "budget_exceeded",
+            SolveError::DeadlineExceeded => "deadline_exceeded",
             SolveError::Overloaded { .. } => "overloaded",
             SolveError::Cancelled => "cancelled",
             SolveError::Internal(_) => "internal",
+        }
+    }
+
+    /// Maps a tripped [`WorkMeter`] checkpoint onto the serving error
+    /// it surfaces as.
+    pub(crate) fn from_meter(stop: MeterStop) -> SolveError {
+        match stop {
+            MeterStop::Deadline => SolveError::DeadlineExceeded,
+            MeterStop::Gates { limit } => SolveError::BudgetExceeded {
+                resource: "gates",
+                limit,
+            },
+            MeterStop::Samples { limit } => SolveError::BudgetExceeded {
+                resource: "samples",
+                limit,
+            },
+            MeterStop::Time { limit_millis } => SolveError::BudgetExceeded {
+                resource: "time_ms",
+                limit: limit_millis,
+            },
         }
     }
 }
@@ -255,6 +375,7 @@ impl std::fmt::Display for SolveError {
             SolveError::BudgetExceeded { resource, limit } => {
                 write!(f, "budget exceeded: {resource} limit {limit}")
             }
+            SolveError::DeadlineExceeded => write!(f, "deadline exceeded before completion"),
             SolveError::Overloaded { capacity } => {
                 write!(f, "overloaded: ingress queue full ({capacity} requests)")
             }
@@ -438,14 +559,18 @@ pub(crate) fn plan_query(query: &Graph, shared: &SharedInstance) -> Planned {
     };
     // On ⊔PT instances every world is a polytree forest: queries with a
     // directed cycle or a jumping edge have probability 0 (App. A).
-    let plan =
-        if shared.ic().in_union_class(ConnClass::Polytree) && level_mapping(&absorbed).is_none() {
-            Plan::Done(Solution::new(Rational::zero(), Route::ZeroOnPolytrees))
-        } else if unlabeled {
-            plan_unlabeled(&absorbed, &qc, shared.ic())
-        } else {
-            plan_labeled(&absorbed, &qc, shared.ic())
-        };
+    let plan = if test_support::plans_forced_hard() {
+        // Fault injection (chaos suites): every classified plan degrades
+        // to the hard cell, exercising the fallback / `OnHard` ladder.
+        Plan::Hard
+    } else if shared.ic().in_union_class(ConnClass::Polytree) && level_mapping(&absorbed).is_none()
+    {
+        Plan::Done(Solution::new(Rational::zero(), Route::ZeroOnPolytrees))
+    } else if unlabeled {
+        plan_unlabeled(&absorbed, &qc, shared.ic())
+    } else {
+        plan_labeled(&absorbed, &qc, shared.ic())
+    };
     Planned {
         absorbed,
         qc,
@@ -693,6 +818,16 @@ fn fallback(
             ))
         }
         Fallback::MonteCarlo { samples, seed } => {
+            // A sample budget caps the fallback's draw count; a zero
+            // allowance means the estimate cannot run at all, and the
+            // cell's hardness is reported instead.
+            let samples = match opts.budget.samples {
+                Some(limit) => samples.min(limit),
+                None => samples,
+            };
+            if samples == 0 {
+                return Err(hardness(qc, ic, unlabeled));
+            }
             let mut rng = SmallRng::seed_from_u64(seed);
             let est = montecarlo::estimate(query, instance, samples, &mut rng);
             Ok(Solution::new(
@@ -749,6 +884,29 @@ fn hardness(qc: &Classification, ic: &Classification, unlabeled: bool) -> Hardne
     }
 }
 
+/// Fault injection for the chaos and degradation suites — not part of
+/// the public API.
+#[doc(hidden)]
+pub mod test_support {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static FORCE_HARD: AtomicBool = AtomicBool::new(false);
+
+    /// While set, [`plan_query`](super::plan_query) classifies every
+    /// non-trivial query as [`Plan::Hard`](super::Plan::Hard), so all
+    /// probability traffic exercises the fallback / `OnHard`
+    /// degradation ladder. Global and process-wide: serialize tests
+    /// that flip it, and remember that hardness answers are cached —
+    /// use fresh engines (or distinct queries) per test.
+    pub fn force_hard_plans(on: bool) {
+        FORCE_HARD.store(on, Ordering::SeqCst);
+    }
+
+    pub(crate) fn plans_forced_hard() -> bool {
+        FORCE_HARD.load(Ordering::SeqCst)
+    }
+}
+
 /// Rounds an `f64` in `[0,1]` to a dyadic rational with denominator 2³².
 pub(crate) fn dyadic_from_f64(x: f64) -> Rational {
     let denom: u64 = 1 << 32;
@@ -792,6 +950,49 @@ mod tests {
         let sol = solve(&Graph::one_way_path(&[Label(9)]), &h).unwrap();
         assert_eq!(sol.route, Route::MissingLabel);
         assert!(sol.probability.is_zero());
+    }
+
+    #[test]
+    fn limit_errors_have_stable_codes_and_messages() {
+        // The wire codes are protocol constants — net clients dispatch
+        // on them, so they must never drift.
+        let budget = SolveError::BudgetExceeded {
+            resource: "gates",
+            limit: 4096,
+        };
+        assert_eq!(budget.wire_code(), "budget_exceeded");
+        assert_eq!(budget.to_string(), "budget exceeded: gates limit 4096");
+        assert_eq!(SolveError::DeadlineExceeded.wire_code(), "deadline_exceeded");
+        assert_eq!(
+            SolveError::DeadlineExceeded.to_string(),
+            "deadline exceeded before completion"
+        );
+        // Every MeterStop maps onto exactly the right serving error.
+        assert_eq!(
+            SolveError::from_meter(MeterStop::Deadline),
+            SolveError::DeadlineExceeded
+        );
+        assert_eq!(
+            SolveError::from_meter(MeterStop::Gates { limit: 7 }),
+            SolveError::BudgetExceeded {
+                resource: "gates",
+                limit: 7
+            }
+        );
+        assert_eq!(
+            SolveError::from_meter(MeterStop::Samples { limit: 9 }),
+            SolveError::BudgetExceeded {
+                resource: "samples",
+                limit: 9
+            }
+        );
+        assert_eq!(
+            SolveError::from_meter(MeterStop::Time { limit_millis: 25 }),
+            SolveError::BudgetExceeded {
+                resource: "time_ms",
+                limit: 25
+            }
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! unsmoothed circuits is exact*.
 
 use crate::fxhash::{FxHashMap, FxHasher};
+use crate::meter::{MeterStop, WorkMeter};
 use phom_num::{Natural, Semiring, Weight};
 use std::hash::{Hash, Hasher};
 
@@ -493,6 +494,97 @@ impl Arena {
             };
         }
         roots.iter().map(|&r| values[r].clone()).collect()
+    }
+
+    /// [`Arena::probability_many_with`] under a cooperative
+    /// [`WorkMeter`]: identical arithmetic and evaluation order, but
+    /// every evaluated gate is charged to the meter and the pass bails
+    /// out with the [`MeterStop`] the moment a gate/time budget or
+    /// deadline trips. The unmetered path stays branch-free; callers
+    /// with no limits should keep using it.
+    pub fn probability_many_metered<W: Weight>(
+        &self,
+        roots: &[GateId],
+        prob_true: &[W],
+        scratch: &mut EvalScratch<W>,
+        meter: &mut WorkMeter,
+    ) -> Result<Vec<W>, MeterStop> {
+        assert_eq!(prob_true.len(), self.num_vars);
+        let mut neg = std::mem::take(&mut scratch.neg);
+        neg.clear();
+        neg.extend(prob_true.iter().map(Weight::complement));
+        let out = self.eval_cone_metered(roots, prob_true, &neg, scratch, meter);
+        scratch.neg = neg;
+        out
+    }
+
+    /// [`Arena::eval_cone`] with a per-gate meter charge. Kept as a
+    /// separate loop (rather than threading an `Option<&mut WorkMeter>`
+    /// through the hot path) so the unmetered evaluator's codegen is
+    /// untouched and its answers stay bit-identical.
+    fn eval_cone_metered<S: Semiring>(
+        &self,
+        roots: &[GateId],
+        pos: &[S],
+        neg: &[S],
+        scratch: &mut EvalScratch<S>,
+        meter: &mut WorkMeter,
+    ) -> Result<Vec<S>, MeterStop> {
+        let n = self.nodes.len();
+        let live = &mut scratch.live;
+        live.clear();
+        live.resize(n, false);
+        for &r in roots {
+            live[r] = true;
+        }
+        for i in (0..n).rev() {
+            if !live[i] {
+                continue;
+            }
+            if let NodeKind::And { start, len } | NodeKind::Or { start, len } = self.nodes[i] {
+                for &c in &self.children[start as usize..(start + len) as usize] {
+                    live[c as usize] = true;
+                }
+            }
+        }
+        meter.check_now()?;
+        let values = &mut scratch.values;
+        values.clear();
+        values.resize(n, S::zero());
+        for i in 0..n {
+            if !live[i] {
+                continue;
+            }
+            meter.charge_gates(1)?;
+            values[i] = match self.nodes[i] {
+                NodeKind::Const(b) => {
+                    if b {
+                        S::one()
+                    } else {
+                        S::zero()
+                    }
+                }
+                NodeKind::Var(v) => pos[v as usize].clone(),
+                NodeKind::NegVar(v) => neg[v as usize].clone(),
+                NodeKind::And { start, len } => {
+                    let kids = &self.children[start as usize..(start + len) as usize];
+                    let mut acc = values[kids[0] as usize].clone();
+                    for &c in &kids[1..] {
+                        acc = acc.mul(&values[c as usize]);
+                    }
+                    acc
+                }
+                NodeKind::Or { start, len } => {
+                    let kids = &self.children[start as usize..(start + len) as usize];
+                    let mut acc = values[kids[0] as usize].clone();
+                    for &c in &kids[1..] {
+                        acc = acc.add(&values[c as usize]);
+                    }
+                    acc
+                }
+            };
+        }
+        Ok(roots.iter().map(|&r| values[r].clone()).collect())
     }
 
     /// Evaluates the circuit as a Boolean function under a valuation

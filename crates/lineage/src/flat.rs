@@ -20,6 +20,7 @@
 //! nothing beyond the returned answers.
 
 use crate::engine::{Arena, Gate, GateId};
+use crate::meter::{MeterStop, WorkMeter};
 use phom_num::{ErrF64, Weight};
 
 /// One operation in the flat slab. Operand indices point at *slab
@@ -166,6 +167,58 @@ impl FlatArena {
             .collect()
     }
 
+    /// [`FlatArena::eval_many`] under a cooperative [`WorkMeter`]:
+    /// identical arithmetic and slab order, but every op is charged to
+    /// the meter and the loop bails out with the [`MeterStop`] the
+    /// moment a gate/time budget or deadline trips. Kept as a separate
+    /// loop so the unmetered tight loop's codegen is untouched.
+    pub fn eval_many_metered<W: Weight>(
+        &self,
+        prob_true: &[W],
+        values: &mut Vec<W>,
+        meter: &mut WorkMeter,
+    ) -> Result<Vec<W>, MeterStop> {
+        assert_eq!(prob_true.len(), self.num_vars);
+        meter.check_now()?;
+        values.clear();
+        values.resize(self.ops.len(), W::zero());
+        for i in 0..self.ops.len() {
+            meter.charge_gates(1)?;
+            values[i] = match self.ops[i] {
+                FlatOp::Const(b) => {
+                    if b {
+                        W::one()
+                    } else {
+                        W::zero()
+                    }
+                }
+                FlatOp::Var(v) => prob_true[v as usize].clone(),
+                FlatOp::NegVar(v) => prob_true[v as usize].complement(),
+                FlatOp::And { start, len } => {
+                    let kids = &self.operands[start as usize..(start + len) as usize];
+                    let mut acc = values[kids[0] as usize].clone();
+                    for &c in &kids[1..] {
+                        acc = acc.mul(&values[c as usize]);
+                    }
+                    acc
+                }
+                FlatOp::Or { start, len } => {
+                    let kids = &self.operands[start as usize..(start + len) as usize];
+                    let mut acc = values[kids[0] as usize].clone();
+                    for &c in &kids[1..] {
+                        acc = acc.add(&values[c as usize]);
+                    }
+                    acc
+                }
+            };
+        }
+        Ok(self
+            .roots
+            .iter()
+            .map(|&r| values[r as usize].clone())
+            .collect())
+    }
+
     /// The raw-speed tier: root probabilities over plain `f64`
     /// (uncertified — error grows with circuit depth).
     pub fn eval_f64_many(&self, prob_true: &[f64], values: &mut Vec<f64>) -> Vec<f64> {
@@ -268,6 +321,42 @@ mod tests {
         let again = flat.eval_f64_many(&pf, &mut slab);
         assert_eq!(first, again);
         assert!(slab.capacity() >= flat.n_ops());
+    }
+
+    #[test]
+    fn metered_eval_matches_unmetered_and_trips_on_budget() {
+        let (a, root, unrelated) = sample();
+        let flat = FlatArena::compile(&a, &[root, unrelated]);
+        let pf: Vec<f64> = probs().iter().map(Rational::to_f64).collect();
+        let plain = flat.eval_f64_many(&pf, &mut Vec::new());
+        let mut meter = WorkMeter::unbounded();
+        let metered = flat
+            .eval_many_metered(&pf, &mut Vec::new(), &mut meter)
+            .unwrap();
+        assert_eq!(plain, metered);
+        assert_eq!(meter.gates_used(), flat.n_ops() as u64);
+
+        let mut tight = WorkMeter::unbounded().with_gate_budget(1);
+        let stopped = flat.eval_many_metered(&pf, &mut Vec::new(), &mut tight);
+        assert_eq!(stopped, Err(MeterStop::Gates { limit: 1 }));
+    }
+
+    #[test]
+    fn metered_arena_eval_matches_probability_many() {
+        let (a, root, unrelated) = sample();
+        let exact = a.probability_many(&[root, unrelated], &probs());
+        let mut scratch = crate::engine::EvalScratch::new();
+        let mut meter = WorkMeter::unbounded();
+        let metered = a
+            .probability_many_metered(&[root, unrelated], &probs(), &mut scratch, &mut meter)
+            .unwrap();
+        assert_eq!(exact, metered);
+        assert!(meter.gates_used() > 0);
+
+        let mut tight = WorkMeter::unbounded().with_gate_budget(1);
+        let stopped =
+            a.probability_many_metered(&[root], &probs(), &mut scratch, &mut tight);
+        assert_eq!(stopped, Err(MeterStop::Gates { limit: 1 }));
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod export;
 pub mod flat;
 pub mod fxhash;
 pub mod hypergraph;
+pub mod meter;
 pub mod obdd;
 
 pub use beta::beta_dnf_probability;
@@ -54,3 +55,4 @@ pub use dnf::Dnf;
 pub use engine::{Arena, EvalScratch, Provenance, VarStatus};
 pub use flat::FlatArena;
 pub use hypergraph::Hypergraph;
+pub use meter::{MeterStop, WorkMeter};

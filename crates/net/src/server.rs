@@ -472,10 +472,24 @@ fn encode_stats(stats: &RuntimeStats, counters: &Counters) -> Json {
         ("workers", Json::u64(stats.workers as u64)),
         ("queue_depth", Json::u64(stats.queue_depth as u64)),
         ("queue_depth_max", Json::u64(stats.queue_depth_max as u64)),
+        ("fast_lane_depth", Json::u64(stats.fast_lane_depth as u64)),
+        ("slow_lane_depth", Json::u64(stats.slow_lane_depth as u64)),
+        (
+            "fast_lane_depth_max",
+            Json::u64(stats.fast_lane_depth_max as u64),
+        ),
+        (
+            "slow_lane_depth_max",
+            Json::u64(stats.slow_lane_depth_max as u64),
+        ),
+        ("fast_lane_total", Json::u64(stats.fast_lane_total)),
+        ("slow_lane_total", Json::u64(stats.slow_lane_total)),
         ("admitted", Json::u64(stats.admitted)),
         ("rejected", Json::u64(stats.rejected)),
         ("cancelled", Json::u64(stats.cancelled)),
         ("completed", Json::u64(stats.completed)),
+        ("shed_expired", Json::u64(stats.shed_expired)),
+        ("ticks_in_flight", Json::u64(stats.ticks_in_flight as u64)),
         ("ticks", Json::u64(stats.ticks)),
         ("total_tick_requests", Json::u64(stats.total_tick_requests)),
         (
@@ -509,6 +523,9 @@ fn encode_stats(stats: &RuntimeStats, counters: &Counters) -> Json {
         ("general_solved", Json::u64(stats.general_solved)),
         ("float_evaluated", Json::u64(stats.float_evaluated)),
         ("escalations", Json::u64(stats.escalations)),
+        ("estimates", Json::u64(stats.estimates)),
+        ("deadline_exceeded", Json::u64(stats.deadline_exceeded)),
+        ("budget_exceeded", Json::u64(stats.budget_exceeded)),
         ("scratch_reuse", Json::u64(stats.scratch_reuse)),
         (
             "cache",

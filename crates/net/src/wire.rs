@@ -46,12 +46,32 @@
 //! differential suite can compare them literally). Exact requests
 //! always answer `"type":"probability"` with an exact rational `p` —
 //! the cache never crosses the tiers.
+//!
+//! ## Deadlines, budgets, and degradation
+//!
+//! A request may also carry:
+//!
+//! * `"deadline_ms"` — a relative deadline, anchored at server-side
+//!   decode (arrival). Expired requests shed from the queue, and
+//!   cooperative checkpoints stop in-flight evaluation; either way the
+//!   reply is the typed error `"deadline_exceeded"`.
+//! * `"budget"` — `{"samples":n,"gates":n,"time_ms":n}` (each member
+//!   optional): hard work limits enforced at the same checkpoints.
+//!   Exhaustion answers `"budget_exceeded"` with `resource`
+//!   (`"samples"`/`"gates"`/`"time_ms"`) and `limit` fields.
+//! * `"on_hard"` — `"error"` (default) or `"estimate"`: what a
+//!   hard-cell classification answers. With `"estimate"`, the reply is
+//!   the anytime result frame `{"status":"ok","type":"estimate",`
+//!   `"lo":…,"hi":…,"samples":n,"route":…}` — a certified 95%
+//!   confidence interval from budgeted Monte-Carlo sampling (`lo`/`hi`
+//!   as shortest-roundtrip float strings).
 
 use crate::json::Json;
 use phom_core::ucq::Ucq;
-use phom_core::{Fallback, Precision, Request, Response, SolveError};
+use phom_core::{Budget, Fallback, OnHard, Precision, Request, Response, SolveError};
 use phom_graph::{Graph, GraphBuilder, Label, ProbGraph};
 use std::io::{self, Read, Write};
+use std::time::Duration;
 
 /// Default bound on a single frame (8 MiB).
 pub const MAX_FRAME: usize = 8 << 20;
@@ -286,6 +306,46 @@ pub struct WireRequest {
     /// (tolerances as shortest-roundtrip float strings). Float-tier
     /// probability answers come back as `"type":"approximate"` results.
     pub precision: Option<Precision>,
+    /// Relative deadline in milliseconds, anchored at server-side
+    /// decode (arrival). On the wire: `"deadline_ms":n`.
+    pub deadline_ms: Option<u64>,
+    /// Work budget. On the wire:
+    /// `"budget":{"samples":n,"gates":n,"time_ms":n}` (each member
+    /// optional).
+    pub budget: Option<WireBudget>,
+    /// Hard-cell degradation: `"on_hard":"error"` (default) or
+    /// `"on_hard":"estimate"` (answer a certified interval instead of
+    /// a hardness error).
+    pub on_hard: Option<OnHard>,
+}
+
+/// A work budget as it travels over the wire — the serializable mirror
+/// of [`Budget`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireBudget {
+    /// Bound on Monte-Carlo samples.
+    pub samples: Option<u64>,
+    /// Bound on evaluated circuit gates.
+    pub gates: Option<u64>,
+    /// Bound on evaluation wall time, in milliseconds.
+    pub time_ms: Option<u64>,
+}
+
+impl WireBudget {
+    /// The in-process [`Budget`] this wire budget maps onto.
+    pub fn to_budget(self) -> Budget {
+        let mut budget = Budget::unlimited();
+        if let Some(samples) = self.samples {
+            budget = budget.with_samples(samples);
+        }
+        if let Some(gates) = self.gates {
+            budget = budget.with_gates(gates);
+        }
+        if let Some(ms) = self.time_ms {
+            budget = budget.with_time(Duration::from_millis(ms));
+        }
+        budget
+    }
 }
 
 impl WireRequest {
@@ -296,6 +356,9 @@ impl WireRequest {
             provenance: false,
             fallback: None,
             precision: None,
+            deadline_ms: None,
+            budget: None,
+            on_hard: None,
         }
     }
 
@@ -306,6 +369,9 @@ impl WireRequest {
             provenance: false,
             fallback: None,
             precision: None,
+            deadline_ms: None,
+            budget: None,
+            on_hard: None,
         }
     }
 
@@ -316,6 +382,9 @@ impl WireRequest {
             provenance: false,
             fallback: None,
             precision: None,
+            deadline_ms: None,
+            budget: None,
+            on_hard: None,
         }
     }
 
@@ -326,6 +395,9 @@ impl WireRequest {
             provenance: false,
             fallback: None,
             precision: None,
+            deadline_ms: None,
+            budget: None,
+            on_hard: None,
         }
     }
 
@@ -344,6 +416,24 @@ impl WireRequest {
     /// Sets the evaluation tier (see [`Precision`]).
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = Some(precision);
+        self
+    }
+
+    /// Sets a relative deadline (milliseconds from server-side arrival).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Sets a work budget.
+    pub fn with_budget(mut self, budget: WireBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the hard-cell degradation mode (see [`OnHard`]).
+    pub fn with_on_hard(mut self, on_hard: OnHard) -> Self {
+        self.on_hard = Some(on_hard);
         self
     }
 
@@ -372,6 +462,17 @@ impl WireRequest {
         }
         if let Some(precision) = self.precision {
             request = request.precision(precision);
+        }
+        if let Some(ms) = self.deadline_ms {
+            // The deadline clock starts here — at server-side decode,
+            // i.e. arrival — not when the tick eventually executes.
+            request = request.deadline(Duration::from_millis(ms));
+        }
+        if let Some(budget) = self.budget {
+            request = request.budget(budget.to_budget());
+        }
+        if let Some(on_hard) = self.on_hard {
+            request = request.on_hard(on_hard);
         }
         request
     }
@@ -433,6 +534,29 @@ impl WireRequest {
             )),
             None => {}
         }
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms".to_string(), Json::u64(ms)));
+        }
+        if let Some(budget) = self.budget {
+            let mut members = Vec::new();
+            if let Some(samples) = budget.samples {
+                members.push(("samples", Json::u64(samples)));
+            }
+            if let Some(gates) = budget.gates {
+                members.push(("gates", Json::u64(gates)));
+            }
+            if let Some(ms) = budget.time_ms {
+                members.push(("time_ms", Json::u64(ms)));
+            }
+            pairs.push(("budget".to_string(), Json::obj(members)));
+        }
+        match self.on_hard {
+            Some(OnHard::Error) => pairs.push(("on_hard".to_string(), Json::str("error"))),
+            Some(OnHard::Estimate) => {
+                pairs.push(("on_hard".to_string(), Json::str("estimate")));
+            }
+            None => {}
+        }
         Json::Obj(pairs)
     }
 
@@ -489,11 +613,43 @@ impl WireRequest {
             None | Some(Json::Null) => None,
             Some(p) => Some(decode_precision(p)?),
         };
+        let deadline_ms = match json.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(d) => Some(d.as_u64().ok_or("deadline_ms must be a number")?),
+        };
+        let budget = match json.get("budget") {
+            None | Some(Json::Null) => None,
+            Some(b) => {
+                let member = |name: &str| -> Result<Option<u64>, String> {
+                    match b.get(name) {
+                        None | Some(Json::Null) => Ok(None),
+                        Some(v) => v
+                            .as_u64()
+                            .map(Some)
+                            .ok_or_else(|| format!("budget '{name}' must be a number")),
+                    }
+                };
+                Some(WireBudget {
+                    samples: member("samples")?,
+                    gates: member("gates")?,
+                    time_ms: member("time_ms")?,
+                })
+            }
+        };
+        let on_hard = match json.get("on_hard").map(Json::as_str) {
+            None => None,
+            Some(Some("error")) => Some(OnHard::Error),
+            Some(Some("estimate")) => Some(OnHard::Estimate),
+            Some(other) => return Err(format!("unknown on_hard mode {other:?}")),
+        };
         Ok(WireRequest {
             kind,
             provenance,
             fallback,
             precision,
+            deadline_ms,
+            budget,
+            on_hard,
         })
     }
 }
@@ -617,6 +773,23 @@ pub fn encode_result(result: &Result<Response, SolveError>) -> Json {
             ("p", Json::str(probability.to_string())),
             ("route", Json::str(format!("{route:?}"))),
         ]),
+        // The anytime degradation frame: a certified interval from
+        // budgeted sampling (`OnHard::Estimate` on a hard cell). The
+        // bounds travel as shortest-roundtrip float strings like every
+        // float on this wire.
+        Ok(Response::Estimate {
+            lo,
+            hi,
+            samples,
+            route,
+        }) => Json::obj(vec![
+            ("status", Json::str("ok")),
+            ("type", Json::str("estimate")),
+            ("lo", Json::str(format!("{lo}"))),
+            ("hi", Json::str(format!("{hi}"))),
+            ("samples", Json::u64(*samples)),
+            ("route", Json::str(format!("{route:?}"))),
+        ]),
         Err(e) => encode_error(e),
     }
 }
@@ -722,11 +895,22 @@ mod tests {
             WireRequest::probability(q.clone()).with_precision(Precision::Auto {
                 max_rel_err: 0.015625,
             }),
+            WireRequest::probability(q.clone())
+                .with_deadline_ms(250)
+                .with_budget(WireBudget {
+                    samples: Some(1000),
+                    gates: None,
+                    time_ms: Some(50),
+                })
+                .with_on_hard(OnHard::Estimate),
+            WireRequest::probability(q.clone()).with_on_hard(OnHard::Error),
         ];
         for req in &reqs {
             let decoded = WireRequest::decode(&req.encode()).unwrap();
             assert_eq!(req.encode().to_string(), decoded.encode().to_string());
             assert_eq!(decoded.precision, req.precision);
+            assert_eq!(decoded.deadline_ms, req.deadline_ms);
+            assert_eq!(decoded.budget, req.budget);
         }
         // Tolerances survive the canonical string encoding bit-for-bit.
         let encoded = WireRequest::probability(q)
@@ -737,6 +921,42 @@ mod tests {
             decoded.precision,
             Some(Precision::Float { max_rel_err: 1e-9 })
         );
+    }
+
+    #[test]
+    fn degradation_frames_are_canonical() {
+        // The estimate result frame.
+        let estimate = Ok(Response::Estimate {
+            lo: 0.25,
+            hi: 0.375,
+            samples: 512,
+            route: phom_core::Route::MonteCarlo {
+                samples: 512,
+                ci95_times_1e9: 62_500_000,
+            },
+        });
+        let json = encode_result(&estimate);
+        assert_eq!(json.get("type").and_then(Json::as_str), Some("estimate"));
+        assert_eq!(json.get("lo").and_then(Json::as_str), Some("0.25"));
+        assert_eq!(json.get("hi").and_then(Json::as_str), Some("0.375"));
+        assert_eq!(json.get("samples").and_then(Json::as_u64), Some(512));
+        // The limit errors carry their stable codes and structured
+        // fields.
+        let deadline = encode_result(&Err(SolveError::DeadlineExceeded));
+        assert_eq!(
+            deadline.get("code").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
+        let budget = encode_result(&Err(SolveError::BudgetExceeded {
+            resource: "gates",
+            limit: 4096,
+        }));
+        assert_eq!(
+            budget.get("code").and_then(Json::as_str),
+            Some("budget_exceeded")
+        );
+        assert_eq!(budget.get("resource").and_then(Json::as_str), Some("gates"));
+        assert_eq!(budget.get("limit").and_then(Json::as_u64), Some(4096));
     }
 
     #[test]

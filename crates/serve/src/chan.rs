@@ -13,6 +13,10 @@ pub(crate) struct Chan<T> {
 }
 
 struct ChanState<T> {
+    /// The priority queue: drained before `queue` on every `recv`, FIFO
+    /// within itself — the fast lane's work never waits behind slow
+    /// units already enqueued.
+    priority: VecDeque<T>,
     queue: VecDeque<T>,
     closed: bool,
 }
@@ -21,6 +25,7 @@ impl<T> Chan<T> {
     pub(crate) fn new() -> Self {
         Chan {
             state: Mutex::new(ChanState {
+                priority: VecDeque::new(),
                 queue: VecDeque::new(),
                 closed: false,
             }),
@@ -45,11 +50,29 @@ impl<T> Chan<T> {
         true
     }
 
-    /// Blocks until an item is available. `None` once the channel is
-    /// closed *and* drained — the worker-loop exit signal.
+    /// As [`send`](Chan::send), but into the priority queue: receivers
+    /// take priority items before anything sent with `send`, however
+    /// long the normal queue already is.
+    pub(crate) fn send_priority(&self, item: T) -> bool {
+        let mut state = self.lock();
+        if state.closed {
+            return false;
+        }
+        state.priority.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until an item is available (priority items first). `None`
+    /// once the channel is closed *and* drained — the worker-loop exit
+    /// signal.
     pub(crate) fn recv(&self) -> Option<T> {
         let mut state = self.lock();
         loop {
+            if let Some(item) = state.priority.pop_front() {
+                return Some(item);
+            }
             if let Some(item) = state.queue.pop_front() {
                 return Some(item);
             }
@@ -83,6 +106,23 @@ mod tests {
         assert!(chan.send(2));
         chan.close();
         assert!(!chan.send(3), "closed channel drops sends");
+        assert_eq!(chan.recv(), Some(1));
+        assert_eq!(chan.recv(), Some(2));
+        assert_eq!(chan.recv(), None);
+    }
+
+    #[test]
+    fn priority_items_jump_the_queue() {
+        let chan: Chan<u32> = Chan::new();
+        assert!(chan.send(1));
+        assert!(chan.send(2));
+        assert!(chan.send_priority(10));
+        assert!(chan.send_priority(11));
+        chan.close();
+        assert!(!chan.send_priority(12), "closed channel drops sends");
+        // Priority drains first (FIFO within itself), then the rest.
+        assert_eq!(chan.recv(), Some(10));
+        assert_eq!(chan.recv(), Some(11));
         assert_eq!(chan.recv(), Some(1));
         assert_eq!(chan.recv(), Some(2));
         assert_eq!(chan.recv(), None);

@@ -83,6 +83,8 @@
 mod chan;
 mod runtime;
 mod stats;
+#[doc(hidden)]
+pub mod test_support;
 mod ticket;
 
 pub use runtime::{Runtime, RuntimeBuilder};

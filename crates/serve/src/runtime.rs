@@ -29,8 +29,8 @@ use crate::chan::Chan;
 use crate::stats::{tick_size_bucket, RuntimeStats};
 use crate::ticket::{Ticket, TicketState};
 use phom_core::{
-    CacheHandle, Engine, EngineBuilder, Request, SolveError, SolverOptions, TickConfig, TickOutput,
-    TickUnit, WorkerScratch,
+    CacheHandle, Engine, EngineBuilder, Lane, Request, SolveError, SolverOptions, Tick, TickConfig,
+    TickOutput, TickUnit, WorkerScratch,
 };
 use phom_graph::ProbGraph;
 use std::collections::{HashMap, VecDeque};
@@ -204,7 +204,8 @@ impl RuntimeBuilder {
             default_options: self.default_options,
             cache,
             ingress: Mutex::new(Ingress {
-                queue: VecDeque::new(),
+                fast: VecDeque::new(),
+                slow: VecDeque::new(),
                 shutdown: false,
             }),
             ingress_ready: Condvar::new(),
@@ -215,6 +216,8 @@ impl RuntimeBuilder {
                 workers: pool_size,
                 ..RuntimeStats::default()
             }),
+            inflight: Mutex::new(0),
+            inflight_done: Condvar::new(),
         });
         let workers = (0..pool_size)
             .map(|i| {
@@ -255,13 +258,18 @@ impl RuntimeBuilder {
 /// One admitted request, waiting in the ingress queue. It pins its
 /// engine from admission time, so an admitted request always completes
 /// against the instance version it was routed to — even if that
-/// version is deregistered before its tick fires.
+/// version is deregistered before its tick fires. Lane and deadline are
+/// also fixed at admission: the lane decides which ingress queue (and
+/// worker-feed priority) the request gets, the deadline lets the flush
+/// shed it unexecuted once expired.
 struct Admitted {
     version: u64,
     engine: Arc<Engine>,
     request: Request,
     ticket: Arc<TicketState>,
     enqueued_at: Instant,
+    lane: Lane,
+    deadline_at: Option<Instant>,
 }
 
 /// Runs when the batcher thread exits — normally or by panic. On the
@@ -274,20 +282,60 @@ impl Drop for BatcherGuard {
         let stranded: Vec<Admitted> = {
             let mut ingress = lock(&self.0.ingress);
             ingress.shutdown = true;
-            ingress.queue.drain(..).collect()
+            let mut all: Vec<Admitted> = ingress.fast.drain(..).collect();
+            all.extend(ingress.slow.drain(..));
+            all
         };
+        let mut resolved = 0u64;
         for entry in stranded {
-            entry.ticket.fulfill(Err(SolveError::Internal(
+            if entry.ticket.fulfill(Err(SolveError::Internal(
                 "the serving batcher thread died".into(),
-            )));
+            ))) {
+                resolved += 1;
+            }
+        }
+        if resolved > 0 {
+            // Stranded tickets got a terminal typed error: count them as
+            // completed so the books (admitted = completed + cancelled +
+            // shed) still balance after a batcher death.
+            lock(&self.0.stats).completed += resolved;
         }
         self.0.work.close();
     }
 }
 
+/// The two-lane ingress queue. The fast lane holds cheap exact plans
+/// (see [`Request::lane`](phom_core::Request::lane)); everything that
+/// may sample, escalate, or estimate waits in the slow lane. Flushes
+/// drain the fast lane first (with one slot reserved for the slow lane
+/// per tick, so it never starves), and the two lanes become separate
+/// tick groups that complete independently — a cheap exact answer never
+/// waits on a sampling job.
 struct Ingress {
-    queue: VecDeque<Admitted>,
+    fast: VecDeque<Admitted>,
+    slow: VecDeque<Admitted>,
     shutdown: bool,
+}
+
+impl Ingress {
+    fn len(&self) -> usize {
+        self.fast.len() + self.slow.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.fast.is_empty() && self.slow.is_empty()
+    }
+
+    /// Arrival time of the oldest waiting request across both lanes —
+    /// the `max_wait` flush timer anchors on it.
+    fn oldest_enqueued_at(&self) -> Option<Instant> {
+        match (self.fast.front(), self.slow.front()) {
+            (Some(f), Some(s)) => Some(f.enqueued_at.min(s.enqueued_at)),
+            (Some(f), None) => Some(f.enqueued_at),
+            (None, Some(s)) => Some(s.enqueued_at),
+            (None, None) => None,
+        }
+    }
 }
 
 /// The state shared by the handle, the batcher, and the workers.
@@ -315,6 +363,21 @@ struct Inner {
     default_version: Mutex<Option<u64>>,
     work: Chan<WorkItem>,
     stats: Mutex<RuntimeStats>,
+    /// Tick groups dispatched to the pool and not yet finished. The
+    /// batcher flushes ahead of completion (so a slow tick never blocks
+    /// a fast one) but stops at [`Inner::inflight_cap`] to bound the
+    /// work sitting in the pool feed.
+    inflight: Mutex<usize>,
+    inflight_done: Condvar,
+}
+
+impl Inner {
+    /// How many tick groups may be in flight at once: enough that
+    /// slow-lane groups stuck on a worker never gate fast-lane flushes,
+    /// small enough to bound dispatched-but-unfinished work.
+    fn inflight_cap(&self) -> usize {
+        self.pool_size * 2 + 2
+    }
 }
 
 /// One dispatched tick unit plus where its output goes.
@@ -324,43 +387,61 @@ struct WorkItem {
     idx: usize,
 }
 
-/// Gathers a tick's unit outputs; the batcher blocks on it until every
-/// unit has reported.
+/// Everything needed to finish a tick group once its last unit reports:
+/// the planned [`Tick`], the tickets to fulfill, and the flush
+/// timestamp for the latency counters. Fully owned, so whichever worker
+/// reports last completes the group — the batcher never blocks on a
+/// group and a slow tick never delays a fast one.
+struct FinishJob {
+    tick: Tick,
+    tickets: Vec<Arc<TicketState>>,
+    started: Instant,
+    tick_requests: usize,
+}
+
+/// Gathers a tick group's unit outputs; the worker whose report
+/// completes the set runs the group's [`FinishJob`] in place.
 struct Collector {
-    outputs: Mutex<(Vec<Option<TickOutput>>, usize)>,
-    done: Condvar,
+    state: Mutex<CollectorState>,
+}
+
+struct CollectorState {
+    outputs: Vec<Option<TickOutput>>,
+    reported: usize,
+    job: Option<FinishJob>,
 }
 
 impl Collector {
-    fn new(n: usize) -> Arc<Self> {
+    fn new(n: usize, job: FinishJob) -> Arc<Self> {
         let mut slots = Vec::new();
         slots.resize_with(n, || None);
         Arc::new(Collector {
-            outputs: Mutex::new((slots, 0)),
-            done: Condvar::new(),
+            state: Mutex::new(CollectorState {
+                outputs: slots,
+                reported: 0,
+                job: Some(job),
+            }),
         })
     }
 
-    fn set(&self, idx: usize, output: TickOutput) {
-        let mut guard = lock(&self.outputs);
-        debug_assert!(guard.0[idx].is_none(), "each unit reports once");
-        guard.0[idx] = Some(output);
-        guard.1 += 1;
-        if guard.1 == guard.0.len() {
-            drop(guard);
-            self.done.notify_all();
+    /// Records one unit's output; the final report takes the finish job
+    /// and completes the group on the calling thread.
+    fn set(&self, idx: usize, output: TickOutput, inner: &Inner) {
+        let ready = {
+            let mut guard = lock(&self.state);
+            debug_assert!(guard.outputs[idx].is_none(), "each unit reports once");
+            guard.outputs[idx] = Some(output);
+            guard.reported += 1;
+            if guard.reported == guard.outputs.len() {
+                let outputs = std::mem::take(&mut guard.outputs);
+                guard.job.take().map(|job| (job, outputs))
+            } else {
+                None
+            }
+        };
+        if let Some((job, outputs)) = ready {
+            finish_group(inner, job, outputs.into_iter().flatten().collect());
         }
-    }
-
-    fn wait_all(&self) -> Vec<TickOutput> {
-        let mut guard = lock(&self.outputs);
-        while guard.1 < guard.0.len() {
-            guard = self
-                .done
-                .wait(guard)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
-        std::mem::take(&mut guard.0).into_iter().flatten().collect()
     }
 }
 
@@ -482,31 +563,49 @@ impl Runtime {
             )));
         };
         let ticket = TicketState::new();
-        let depth = {
+        // Lane and deadline are fixed at admission: the lane comes from
+        // the plan's route class (cheap exact plans go fast; anything
+        // that may sample or estimate goes slow), the deadline from the
+        // request's own clock.
+        let lane = request.lane(self.inner.default_options);
+        let deadline_at = request.deadline_instant();
+        let (depth, fast_depth, slow_depth) = {
             let mut ingress = lock(&self.inner.ingress);
             if ingress.shutdown {
                 return Err(SolveError::Cancelled);
             }
-            if ingress.queue.len() >= self.inner.queue_cap {
+            if ingress.len() >= self.inner.queue_cap {
                 drop(ingress);
                 lock(&self.inner.stats).rejected += 1;
                 return Err(SolveError::Overloaded {
                     capacity: self.inner.queue_cap,
                 });
             }
-            ingress.queue.push_back(Admitted {
+            let entry = Admitted {
                 version,
                 engine,
                 request,
                 ticket: Arc::clone(&ticket),
                 enqueued_at: Instant::now(),
-            });
-            ingress.queue.len()
+                lane,
+                deadline_at,
+            };
+            match lane {
+                Lane::Fast => ingress.fast.push_back(entry),
+                Lane::Slow => ingress.slow.push_back(entry),
+            }
+            (ingress.len(), ingress.fast.len(), ingress.slow.len())
         };
         {
             let mut stats = lock(&self.inner.stats);
             stats.admitted += 1;
             stats.queue_depth_max = stats.queue_depth_max.max(depth);
+            stats.fast_lane_depth_max = stats.fast_lane_depth_max.max(fast_depth);
+            stats.slow_lane_depth_max = stats.slow_lane_depth_max.max(slow_depth);
+            match lane {
+                Lane::Fast => stats.fast_lane_total += 1,
+                Lane::Slow => stats.slow_lane_total += 1,
+            }
         }
         self.inner.ingress_ready.notify_all();
         Ok(Ticket::new(ticket))
@@ -516,7 +615,13 @@ impl Runtime {
     /// unit latencies, batch aggregates, cache counters.
     pub fn stats(&self) -> RuntimeStats {
         let mut stats = lock(&self.inner.stats).clone();
-        stats.queue_depth = lock(&self.inner.ingress).queue.len();
+        {
+            let ingress = lock(&self.inner.ingress);
+            stats.queue_depth = ingress.len();
+            stats.fast_lane_depth = ingress.fast.len();
+            stats.slow_lane_depth = ingress.slow.len();
+        }
+        stats.ticks_in_flight = *lock(&self.inner.inflight);
         stats.cache = self.inner.cache.stats();
         stats.adaptive = self.inner.adaptive;
         stats.effective_max_batch = self.inner.effective_batch.load(Ordering::Relaxed);
@@ -588,6 +693,10 @@ fn worker_loop(inner: &Inner) {
     let mut scratch = WorkerScratch::new();
     let mut first_run = true;
     while let Some(item) = inner.work.recv() {
+        // Chaos seam: scripted faults (slow/stuck sleeps, one-shot unit
+        // panics) are consumed one per executed unit. No-op unless a
+        // test scripted a fault plan.
+        crate::test_support::apply_next_fault();
         let started = Instant::now();
         let output = item.unit.run_with(&mut scratch);
         let nanos = started.elapsed().as_nanos() as u64;
@@ -602,7 +711,7 @@ fn worker_loop(inner: &Inner) {
                 stats.scratch_reuse += 1;
             }
         }
-        item.collector.set(item.idx, output);
+        item.collector.set(item.idx, output, inner);
     }
 }
 
@@ -616,7 +725,7 @@ fn batcher_loop(inner: &Inner) {
         let batch: Option<Vec<Admitted>> = {
             let mut ingress = lock(&inner.ingress);
             loop {
-                if !ingress.queue.is_empty() {
+                if !ingress.is_empty() {
                     // The *effective* knobs: equal to the configured
                     // `max_batch`/`max_wait` unless the adaptive
                     // controller moved them (always within the
@@ -624,7 +733,7 @@ fn batcher_loop(inner: &Inner) {
                     // adaptation applies to the tick being built.
                     let max_batch = inner.effective_batch.load(Ordering::Relaxed).max(1);
                     let wait_nanos = inner.effective_wait_nanos.load(Ordering::Relaxed);
-                    let oldest = ingress.queue.front().expect("non-empty").enqueued_at;
+                    let oldest = ingress.oldest_enqueued_at().expect("non-empty");
                     // `checked_add` (and the `u64::MAX` sentinel): an
                     // absurd `max_wait` (Duration::MAX) must mean "no
                     // timer flush", not an Instant-overflow panic that
@@ -636,9 +745,18 @@ fn batcher_loop(inner: &Inner) {
                     };
                     let now = Instant::now();
                     let timer_expired = deadline.is_some_and(|d| now >= d);
-                    if ingress.queue.len() >= max_batch || ingress.shutdown || timer_expired {
-                        let n = ingress.queue.len().min(max_batch);
-                        break Some(ingress.queue.drain(..n).collect());
+                    if ingress.len() >= max_batch || ingress.shutdown || timer_expired {
+                        // Fast lane first, but when both lanes wait,
+                        // one slot is reserved for the slow lane so it
+                        // never starves under sustained fast traffic.
+                        let n = ingress.len().min(max_batch);
+                        let reserve = usize::from(!ingress.slow.is_empty() && n > 1);
+                        let from_fast = ingress.fast.len().min(n - reserve);
+                        let from_slow = ingress.slow.len().min(n - from_fast);
+                        let mut batch: Vec<Admitted> =
+                            ingress.fast.drain(..from_fast).collect();
+                        batch.extend(ingress.slow.drain(..from_slow));
+                        break Some(batch);
                     }
                     ingress = match deadline {
                         Some(d) => {
@@ -671,14 +789,19 @@ fn batcher_loop(inner: &Inner) {
     // The worker feed is closed by the batcher thread's guard.
 }
 
-/// Executes one tick: skip cancelled tickets, group by instance
-/// version, plan each group through `Engine::begin_tick`, dispatch the
-/// units to the pool, and fulfill every ticket with its response.
+/// Executes one tick: shed cancelled and already-expired tickets, group
+/// by (instance version, lane), plan each group through
+/// `Engine::begin_tick`, and dispatch the units to the pool — fast-lane
+/// units into the feed's priority queue. Groups complete
+/// *asynchronously*: the worker reporting a group's last unit output
+/// runs [`finish_group`], so a slow group never delays a fast one and
+/// the batcher is free to flush the next tick (bounded by
+/// [`Inner::inflight_cap`]).
 fn process_tick(inner: &Inner, entries: Vec<Admitted>) {
     let started = Instant::now();
-    let tick_requests = entries.len();
     let mut live: Vec<Admitted> = Vec::with_capacity(entries.len());
     {
+        let now = Instant::now();
         let mut stats = lock(&inner.stats);
         stats.ticks += 1;
         stats.total_tick_requests += entries.len() as u64;
@@ -695,23 +818,36 @@ fn process_tick(inner: &Inner, entries: Vec<Admitted>) {
                 // so the double fulfill is safe.
                 entry.ticket.fulfill(Err(SolveError::Cancelled));
                 stats.cancelled += 1;
+            } else if entry.deadline_at.is_some_and(|at| now >= at) {
+                // Expired in the queue: shed without executing. The
+                // same idempotent-fulfill reasoning as cancellation
+                // applies — a racing cancel keeps its `Err(Cancelled)`.
+                if entry.ticket.fulfill(Err(SolveError::DeadlineExceeded)) {
+                    stats.shed_expired += 1;
+                } else {
+                    stats.cancelled += 1;
+                }
             } else {
                 live.push(entry);
             }
         }
     }
-    // Group by version, preserving arrival order within each group.
-    let mut groups: Vec<(u64, Vec<Admitted>)> = Vec::new();
+    // Group by (version, lane), preserving arrival order within each
+    // group. Lanes stay separate groups so a fast group's tickets
+    // resolve without waiting on any slow group's units.
+    let mut groups: Vec<(u64, Lane, Vec<Admitted>)> = Vec::new();
     for entry in live {
-        match groups.iter_mut().find(|(v, _)| *v == entry.version) {
-            Some((_, group)) => group.push(entry),
-            None => groups.push((entry.version, vec![entry])),
+        match groups
+            .iter_mut()
+            .find(|(v, l, _)| *v == entry.version && *l == entry.lane)
+        {
+            Some((_, _, group)) => group.push(entry),
+            None => groups.push((entry.version, entry.lane, vec![entry])),
         }
     }
-    // Plan every group and dispatch all units before collecting any —
-    // the whole tick's work is in flight across the pool at once.
-    let mut in_flight = Vec::with_capacity(groups.len());
-    for (_version, entries) in groups {
+    // Plan every group and dispatch all units; completion happens on
+    // the workers.
+    for (_version, lane, entries) in groups {
         // Each admitted entry pinned its engine at admission, so a
         // version deregistered since then still completes normally.
         let engine = Arc::clone(&entries[0].engine);
@@ -727,41 +863,88 @@ fn process_tick(inner: &Inner, entries: Vec<Admitted>) {
             },
         );
         let units = tick.take_units();
-        let collector = Collector::new(units.len());
+        let job = FinishJob {
+            tick_requests: tickets.len(),
+            tick,
+            tickets,
+            started,
+        };
+        if units.is_empty() {
+            // Everything answered at plan time (cache hits, trivial
+            // routes): no worker will ever report, finish inline.
+            finish_group(inner, job, Vec::new());
+            continue;
+        }
+        *lock(&inner.inflight) += 1;
+        let collector = Collector::new(units.len(), job);
         for (idx, unit) in units.into_iter().enumerate() {
-            let sent = inner.work.send(WorkItem {
+            let item = WorkItem {
                 unit,
                 collector: Arc::clone(&collector),
                 idx,
-            });
+            };
+            let sent = match lane {
+                Lane::Fast => inner.work.send_priority(item),
+                Lane::Slow => inner.work.send(item),
+            };
             debug_assert!(sent, "work channel closes only after the batcher exits");
         }
-        in_flight.push((tick, tickets, collector));
     }
-    for (tick, tickets, collector) in in_flight {
-        let outputs = collector.wait_all();
-        let (results, batch_stats) = tick.finish(outputs);
-        debug_assert_eq!(results.len(), tickets.len());
-        let mut fulfilled = 0u64;
-        for (ticket, result) in tickets.into_iter().zip(results) {
-            // `fulfill` reports whether the answer landed — a ticket
-            // cancelled mid-flight keeps its `Err(Cancelled)` and is
-            // not counted as completed.
-            if ticket.fulfill(result) {
-                fulfilled += 1;
-            }
+    // Backpressure on the pool feed: wait here (not before the flush,
+    // so deadline shedding above still runs promptly) until the
+    // in-flight count drops below the cap.
+    let cap = inner.inflight_cap();
+    let mut inflight = lock(&inner.inflight);
+    while *inflight >= cap {
+        inflight = inner
+            .inflight_done
+            .wait(inflight)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Completes one tick group: folds the unit outputs through
+/// `Tick::finish`, fulfills the tickets, and feeds the stats and the
+/// adaptive controller. Runs on whichever worker reported the group's
+/// last unit (inline in the batcher for unit-less groups).
+fn finish_group(inner: &Inner, job: FinishJob, outputs: Vec<TickOutput>) {
+    let FinishJob {
+        tick,
+        tickets,
+        started,
+        tick_requests,
+    } = job;
+    let had_units = !outputs.is_empty();
+    let (results, batch_stats) = tick.finish(outputs);
+    debug_assert_eq!(results.len(), tickets.len());
+    let mut fulfilled = 0u64;
+    let mut lost_to_cancel = 0u64;
+    for (ticket, result) in tickets.into_iter().zip(results) {
+        // `fulfill` reports whether the answer landed — a ticket
+        // cancelled mid-flight keeps its `Err(Cancelled)` and is
+        // counted as cancelled, not completed.
+        if ticket.fulfill(result) {
+            fulfilled += 1;
+        } else {
+            lost_to_cancel += 1;
         }
-        let mut stats = lock(&inner.stats);
-        stats.completed += fulfilled;
-        stats.absorb_batch(&batch_stats);
     }
     let nanos = started.elapsed().as_nanos() as u64;
     {
         let mut stats = lock(&inner.stats);
+        stats.completed += fulfilled;
+        stats.cancelled += lost_to_cancel;
+        stats.absorb_batch(&batch_stats);
         stats.tick_nanos_total += nanos;
         stats.tick_nanos_max = stats.tick_nanos_max.max(nanos);
     }
-    let queue_after = lock(&inner.ingress).queue.len();
+    if had_units {
+        let mut inflight = lock(&inner.inflight);
+        *inflight = inflight.saturating_sub(1);
+        drop(inflight);
+        inner.inflight_done.notify_all();
+    }
+    let queue_after = lock(&inner.ingress).len();
     adapt(inner, tick_requests, queue_after, nanos);
 }
 

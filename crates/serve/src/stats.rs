@@ -31,20 +31,40 @@ pub struct RuntimeStats {
     /// runtime lifetime — workers are spawned exactly once, at startup,
     /// never per batch.
     pub workers_started: u64,
-    /// Requests currently waiting in the ingress queue.
+    /// Requests currently waiting in the ingress queue (both lanes).
     pub queue_depth: usize,
     /// High-water mark of the ingress queue depth (sampled at every
     /// admission).
     pub queue_depth_max: usize,
+    /// Requests currently waiting in the fast lane (cheap exact plans).
+    pub fast_lane_depth: usize,
+    /// Requests currently waiting in the slow lane (sampling,
+    /// escalation-prone, and non-probability work).
+    pub slow_lane_depth: usize,
+    /// High-water mark of the fast-lane depth.
+    pub fast_lane_depth_max: usize,
+    /// High-water mark of the slow-lane depth.
+    pub slow_lane_depth_max: usize,
+    /// Requests ever admitted into the fast lane.
+    pub fast_lane_total: u64,
+    /// Requests ever admitted into the slow lane.
+    pub slow_lane_total: u64,
     /// Requests admitted past admission control.
     pub admitted: u64,
     /// Requests rejected with `SolveError::Overloaded` (queue full).
     pub rejected: u64,
-    /// Admitted requests skipped because their ticket was cancelled
-    /// before execution.
+    /// Admitted requests whose ticket resolved
+    /// `Err(SolveError::Cancelled)` — skipped before execution or
+    /// cancelled mid-flight.
     pub cancelled: u64,
     /// Tickets fulfilled with a computed response (or typed error).
     pub completed: u64,
+    /// Requests already past their deadline when their tick flushed,
+    /// shed from the queue with `SolveError::DeadlineExceeded` without
+    /// executing.
+    pub shed_expired: u64,
+    /// Ticks currently dispatched to the pool and not yet finished.
+    pub ticks_in_flight: usize,
     /// Micro-batch ticks flushed (by size or by the `max_wait` timer).
     pub ticks: u64,
     /// Requests across all ticks (mean tick size =
@@ -105,6 +125,18 @@ pub struct RuntimeStats {
     /// `Precision::Auto` circuit queries whose certified bound exceeded
     /// the tolerance and were re-evaluated exactly.
     pub escalations: u64,
+    /// Requests answered with a certified interval
+    /// ([`Response::Estimate`](phom_core::Response::Estimate)) because a
+    /// hard cell degraded under `OnHard::Estimate`.
+    pub estimates: u64,
+    /// Requests that resolved `SolveError::DeadlineExceeded` *inside*
+    /// evaluation (a cooperative checkpoint tripped mid-work; queue
+    /// sheds are counted in
+    /// [`shed_expired`](RuntimeStats::shed_expired) instead).
+    pub deadline_exceeded: u64,
+    /// Requests that resolved `SolveError::BudgetExceeded` (a work
+    /// budget — gates, samples, or time — ran out mid-evaluation).
+    pub budget_exceeded: u64,
     /// Unit runs that reused a worker's pooled evaluation scratch
     /// (every run after a worker's first — the allocation-free path).
     pub scratch_reuse: u64,
@@ -140,9 +172,21 @@ impl RuntimeStats {
         self.general_solved += batch.general_solved as u64;
         self.float_evaluated += batch.float_evaluated as u64;
         self.escalations += batch.escalations as u64;
+        self.estimates += batch.estimates as u64;
+        self.deadline_exceeded += batch.deadline_exceeded as u64;
+        self.budget_exceeded += batch.budget_exceeded as u64;
         self.shared_gates += batch.shared_gates as u64;
         if batch.shared_arena {
             self.shared_arena_ticks += 1;
         }
+    }
+
+    /// Admitted requests whose ticket has not resolved yet (still
+    /// queued or in flight). Every admitted request ends in exactly one
+    /// terminal state — completed, cancelled, or shed — so a drained
+    /// runtime reports 0 here (asserted by the chaos suite).
+    pub fn open_tickets(&self) -> u64 {
+        self.admitted
+            .saturating_sub(self.completed + self.cancelled + self.shed_expired)
     }
 }

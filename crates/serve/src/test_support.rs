@@ -1,0 +1,76 @@
+//! Scripted fault injection for the chaos suites — not part of the
+//! public API. A [`FaultPlan`] scripts a sequence of per-unit faults
+//! (slow units, stuck units, one-shot contained panics) that the worker
+//! loop consumes one per executed work unit; combined with
+//! [`force_hard_plans`] (every plan classifies hard, exercising the
+//! `OnHard` degradation ladder) it drives the liveness and bookkeeping
+//! assertions in `tests/chaos_runtime.rs`.
+//!
+//! All state is process-global: serialize tests that script faults.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Re-exported planner seam: while on, every classified probability
+/// plan is forced into the hard cell, so all traffic exercises the
+/// fallback / `OnHard::Estimate` ladder. Remember that hardness answers
+/// are cached — use fresh runtimes (or distinct queries) per test.
+pub use phom_core::solver::test_support::force_hard_plans;
+
+/// One scripted fault, applied to one executed work unit.
+#[derive(Clone, Copy, Debug)]
+pub enum Fault {
+    /// The worker sleeps this long before running its unit — a slow
+    /// unit occupying its worker.
+    Slow(Duration),
+    /// Same mechanics as [`Slow`](Fault::Slow), scripted with longer
+    /// durations to model a unit stuck well past every deadline.
+    Stuck(Duration),
+    /// The unit panics at entry; the engine contains the panic into
+    /// per-request `SolveError::Internal` errors and the worker
+    /// survives.
+    Panic,
+}
+
+static SCRIPT: Mutex<Option<VecDeque<Fault>>> = Mutex::new(None);
+
+fn lock_script() -> MutexGuard<'static, Option<VecDeque<Fault>>> {
+    SCRIPT.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The scripted fault queue: faults are consumed front-to-back, one per
+/// executed work unit across the whole pool, then injection stops by
+/// itself.
+pub struct FaultPlan;
+
+impl FaultPlan {
+    /// Replaces the script with `faults` (consumed in order).
+    pub fn script(faults: impl IntoIterator<Item = Fault>) {
+        *lock_script() = Some(faults.into_iter().collect());
+    }
+
+    /// Drops any remaining scripted faults.
+    pub fn clear() {
+        *lock_script() = None;
+    }
+
+    /// Scripted faults not yet consumed.
+    pub fn remaining() -> usize {
+        lock_script().as_ref().map_or(0, VecDeque::len)
+    }
+}
+
+/// Consumes and applies the next scripted fault, if any. Called by the
+/// worker loop once per work unit; a no-op without an active script.
+pub(crate) fn apply_next_fault() {
+    let fault = lock_script().as_mut().and_then(VecDeque::pop_front);
+    match fault {
+        None => {}
+        Some(Fault::Slow(d) | Fault::Stuck(d)) => std::thread::sleep(d),
+        // Arm the engine's one-shot panic budget right before this
+        // worker runs its unit; the unit's entry checkpoint consumes
+        // it and the panic is contained to per-request errors.
+        Some(Fault::Panic) => phom_core::engine::test_support::inject_unit_panics(1),
+    }
+}

@@ -136,3 +136,64 @@ impl Ticket {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phom_core::Response;
+    use std::time::Instant;
+
+    fn answer() -> Result<Response, SolveError> {
+        Err(SolveError::Cancelled) // any cloneable stand-in result
+    }
+
+    /// The timeout-vs-fulfill race: a `wait_timeout` that gives up does
+    /// NOT consume or lose the eventual answer — the slot is written by
+    /// `fulfill` regardless, later waits return it, and the fulfillment
+    /// still reports "landed" exactly once (no double resolution).
+    #[test]
+    fn timed_out_wait_never_loses_the_answer() {
+        let state = TicketState::new();
+        let ticket = Ticket::new(Arc::clone(&state));
+        // Give up before any answer exists.
+        let t0 = Instant::now();
+        assert!(ticket.wait_timeout(Duration::from_millis(10)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert!(!ticket.is_done());
+        // The runtime fulfills after the caller already timed out.
+        assert!(state.fulfill(answer()), "first resolution lands");
+        // The answer is still there for every later wait flavor.
+        assert!(ticket.try_get().is_some());
+        assert!(ticket.wait_timeout(Duration::ZERO).is_some());
+        assert_eq!(ticket.wait().unwrap_err(), SolveError::Cancelled);
+        // And the slot is single-assignment: nothing double-resolves.
+        assert!(!state.fulfill(answer()), "second resolution is dropped");
+        assert!(!ticket.cancel(), "cancel after the answer is a no-op");
+        assert_eq!(ticket.wait().unwrap_err(), SolveError::Cancelled);
+    }
+
+    /// A `wait_timeout` racing a concurrent fulfill either returns the
+    /// answer or times out and finds it on the next wait — it never
+    /// observes a half-written state and never blocks past its
+    /// deadline.
+    #[test]
+    fn wait_timeout_races_concurrent_fulfill() {
+        for _ in 0..50 {
+            let state = TicketState::new();
+            let ticket = Ticket::new(Arc::clone(&state));
+            let fulfiller = {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    state.fulfill(answer());
+                })
+            };
+            let got = ticket.wait_timeout(Duration::from_micros(50));
+            fulfiller.join().unwrap();
+            match got {
+                Some(result) => assert!(result.is_err()),
+                // Timed out first: the answer must be waiting now.
+                None => assert!(ticket.wait().is_err()),
+            }
+        }
+    }
+}

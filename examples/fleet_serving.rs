@@ -96,9 +96,9 @@ fn main() {
                     answered += 1;
                     let _ = probability;
                 }
-                Ok(Response::Approximate { .. }) | Ok(Response::Sensitivity { .. }) => {
-                    answered += 1
-                }
+                Ok(Response::Approximate { .. })
+                | Ok(Response::Sensitivity { .. })
+                | Ok(Response::Estimate { .. }) => answered += 1,
                 Err(e) => println!("  request failed: {e}"),
             }
         }

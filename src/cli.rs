@@ -95,6 +95,19 @@ fn usage() -> String {
      \x20                             (auto defaults to 1e-9)\n\
      \x20 --stats                     print the cache counters too (and the\n\
      \x20                             float-tier / escalation counts)\n\
+     \x20 --deadline-ms <ms>          wall-clock deadline, anchored now: an\n\
+     \x20                             expired request answers the typed\n\
+     \x20                             deadline_exceeded error (enforced by\n\
+     \x20                             cooperative checkpoints inside\n\
+     \x20                             evaluation), never a stale answer\n\
+     \x20 --budget-samples <n>        cap Monte-Carlo samples per request\n\
+     \x20 --budget-gates <n>          cap circuit gates evaluated\n\
+     \x20 --budget-time-ms <ms>       cap wall-clock evaluation time; a\n\
+     \x20                             tripped cap answers budget_exceeded\n\
+     \x20 --on-hard error|estimate    #P-hard-cell policy (solve only):\n\
+     \x20                             typed error (default), or degrade to\n\
+     \x20                             a budgeted Monte-Carlo 95% confidence\n\
+     \x20                             interval (the degradation ladder)\n\
      \n\
      options for serve (the tick/backpressure knobs):\n\
      \x20 --adaptive                  adaptive tick sizing: adjust the\n\
@@ -413,6 +426,24 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
     );
     let _ = writeln!(
         out,
+        "lanes: {} fast / {} slow (peak depths {}/{}), {} shed expired in queue",
+        stats.fast_lane_total,
+        stats.slow_lane_total,
+        stats.fast_lane_depth_max,
+        stats.slow_lane_depth_max,
+        stats.shed_expired,
+    );
+    let _ = writeln!(
+        out,
+        "degradation: {} estimates, {} deadline exceeded, {} budget exceeded; \
+         {} tickets open",
+        stats.estimates,
+        stats.deadline_exceeded,
+        stats.budget_exceeded,
+        stats.open_tickets(),
+    );
+    let _ = writeln!(
+        out,
         "batch: {} queries ({} unique, {} cache hits at plan time), \
          {} circuit-batched, {} general",
         stats.queries,
@@ -501,11 +532,12 @@ fn listen_cmd(config: ListenConfig) -> Result<String, String> {
     let _ = writeln!(
         out,
         "runtime: {} admitted, {} completed, {} rejected, {} cancelled, \
-         {} ticks (max {} req), effective max_batch {}",
+         {} shed expired, {} ticks (max {} req), effective max_batch {}",
         stats.admitted,
         stats.completed,
         stats.rejected,
         stats.cancelled,
+        stats.shed_expired,
         stats.ticks,
         stats.max_tick_requests,
         stats.effective_max_batch,
@@ -565,6 +597,7 @@ fn solve_cmd(
     let mut threads: usize = 1;
     let mut cache_cap: Option<usize> = None;
     let mut show_stats = false;
+    let mut deadline_ms: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -609,6 +642,49 @@ fn solve_cmd(
                 };
             }
             "--dp" => opts.prefer_dp = true,
+            "--deadline-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--deadline-ms needs a millisecond count")?;
+                deadline_ms = Some(ms);
+            }
+            "--budget-samples" => {
+                i += 1;
+                let n: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--budget-samples needs a sample count")?;
+                opts.budget.samples = Some(n);
+            }
+            "--budget-gates" => {
+                i += 1;
+                let n: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--budget-gates needs a gate count")?;
+                opts.budget.gates = Some(n);
+            }
+            "--budget-time-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--budget-time-ms needs a millisecond count")?;
+                opts.budget.time = Some(std::time::Duration::from_millis(ms));
+            }
+            "--on-hard" => {
+                i += 1;
+                opts.on_hard = match args.get(i).map(String::as_str) {
+                    Some("error") => phom_core::OnHard::Error,
+                    Some("estimate") => phom_core::OnHard::Estimate,
+                    Some(other) => {
+                        return Err(format!("--on-hard: expected error or estimate, got '{other}'"))
+                    }
+                    None => return Err("--on-hard needs error or estimate".into()),
+                };
+            }
             "--precision" => {
                 i += 1;
                 let v = args
@@ -632,6 +708,7 @@ fn solve_cmd(
             threads,
             cache_cap,
             show_stats,
+            deadline_ms,
         };
         return batch_solve_cmd(&qsfile, hfile, batch, read_file);
     }
@@ -647,8 +724,12 @@ fn solve_cmd(
     }
     let engine = builder.build(instance);
 
+    let with_deadline = |r: Request| match deadline_ms {
+        Some(ms) => r.deadline(std::time::Duration::from_millis(ms)),
+        None => r,
+    };
     if count_mode {
-        let answers = engine.submit(&[Request::probability(query).counting()]);
+        let answers = engine.submit(&[with_deadline(Request::probability(query).counting())]);
         return match answers.into_iter().next().expect("one request") {
             Ok(Response::Count {
                 worlds,
@@ -666,7 +747,7 @@ fn solve_cmd(
         };
     }
 
-    let (answers, stats) = engine.submit_stats(&[Request::probability(query)]);
+    let (answers, stats) = engine.submit_stats(&[with_deadline(Request::probability(query))]);
     let answer = answers.into_iter().next().expect("one request");
     let mut out = String::new();
     match answer {
@@ -687,10 +768,23 @@ fn solve_cmd(
             let _ = writeln!(out, "Pr(G ⇝ H) ≈ {value} (rel err ≤ {rel_err_bound:.3e})");
             let _ = writeln!(out, "route: {route:?} [float tier]");
         }
+        Ok(Response::Estimate {
+            lo,
+            hi,
+            samples,
+            route,
+        }) => {
+            let _ = writeln!(
+                out,
+                "Pr(G ⇝ H) ∈ [{lo:.6}, {hi:.6}] (95% CI, {samples} samples)"
+            );
+            let _ = writeln!(out, "route: {route:?} [estimate tier]");
+        }
         Ok(other) => unreachable!("probability request answered as {other:?}"),
         Err(SolveError::Hard(h)) => {
             return Err(format!(
-                "#P-hard cell: {} [{}]; re-run with --brute-force or --monte-carlo",
+                "#P-hard cell: {} [{}]; re-run with --brute-force, --monte-carlo, \
+                 or --on-hard estimate",
                 h.cell, h.prop
             ))
         }
@@ -719,6 +813,7 @@ struct BatchConfig {
     threads: usize,
     cache_cap: Option<usize>,
     show_stats: bool,
+    deadline_ms: Option<u64>,
 }
 
 /// The `--queries-file` batch mode: parse every `---`-separated query
@@ -760,7 +855,16 @@ fn batch_solve_cmd(
         builder = builder.cache_capacity(cap);
     }
     let engine = builder.build(instance);
-    let requests: Vec<Request> = queries.into_iter().map(Request::probability).collect();
+    let requests: Vec<Request> = queries
+        .into_iter()
+        .map(|q| {
+            let r = Request::probability(q);
+            match config.deadline_ms {
+                Some(ms) => r.deadline(std::time::Duration::from_millis(ms)),
+                None => r,
+            }
+        })
+        .collect();
     let (results, stats) = engine.submit_stats(&requests);
     let mut out = String::new();
     for (i, result) in results.iter().enumerate() {
@@ -773,6 +877,17 @@ fn batch_solve_cmd(
                 let _ = writeln!(
                     out,
                     "[{i}] Pr(G ⇝ H) ≈ {value:.6} (rel err ≤ {rel_err_bound:.3e})  (route {route:?})"
+                );
+            }
+            Ok(Response::Estimate {
+                lo,
+                hi,
+                samples,
+                route,
+            }) => {
+                let _ = writeln!(
+                    out,
+                    "[{i}] Pr(G ⇝ H) ∈ [{lo:.6}, {hi:.6}] (95% CI, {samples} samples, route {route:?})"
                 );
             }
             Ok(response) => {
@@ -1393,6 +1508,11 @@ mod tests {
         assert!(out.contains("ticks:"), "{out}");
         assert!(out.contains("cache:"), "{out}");
         assert!(out.contains("workers 2"), "{out}");
+        // The lane and degradation books are printed — and balanced: a
+        // clean bench run sheds nothing and leaves no ticket open.
+        assert!(out.contains("lanes:"), "{out}");
+        assert!(out.contains("0 shed expired"), "{out}");
+        assert!(out.contains("0 tickets open"), "{out}");
         // Half the synthetic load is float-tier probability requests.
         assert!(out.contains("float tier:"), "{out}");
         assert!(!out.contains("float tier: 0 answered"), "{out}");
@@ -1461,6 +1581,85 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("served on"), "{out}");
+    }
+
+    #[test]
+    fn degradation_flags() {
+        let hard = fake_fs(&[
+            ("q.pg", "edge 0 1 R\n"),
+            // A 2-cycle instance: a #P-hard cell for any query.
+            ("h.pg", "edge 0 1 R 1/2\nedge 1 0 R 1/2\n"),
+        ]);
+        // The default hard-cell error now advertises the escape hatch.
+        let err = run(&args(&["solve", "q.pg", "h.pg"]), &hard).unwrap_err();
+        assert!(err.contains("--on-hard estimate"), "{err}");
+        // Opting in degrades to a certified interval; the sample budget
+        // caps the Monte-Carlo run.
+        let out = run(
+            &args(&[
+                "solve",
+                "q.pg",
+                "h.pg",
+                "--on-hard",
+                "estimate",
+                "--budget-samples",
+                "2000",
+            ]),
+            &hard,
+        )
+        .unwrap();
+        assert!(out.contains("95% CI, 2000 samples"), "{out}");
+        assert!(out.contains("estimate tier"), "{out}");
+        // The true Pr(∃ R edge) = 3/4 lies inside the printed interval.
+        let line = out.lines().next().unwrap();
+        let (lo, rest) = line
+            .split_once('[')
+            .and_then(|(_, r)| r.split_once(','))
+            .unwrap();
+        let hi = rest.trim_start().split_once(']').unwrap().0;
+        let (lo, hi): (f64, f64) = (lo.parse().unwrap(), hi.parse().unwrap());
+        assert!(lo <= 0.75 && 0.75 <= hi, "{out}");
+
+        // An already-expired deadline is a typed error, never a stale
+        // (or slow) answer — even on a tractable input.
+        let easy = fake_fs(&[("q.pg", "edge 0 1 R\n"), ("h.pg", "edge 0 1 R 1/2\n")]);
+        let err = run(&args(&["solve", "q.pg", "h.pg", "--deadline-ms", "0"]), &easy).unwrap_err();
+        assert!(err.contains("deadline exceeded"), "{err}");
+        // Count mode honors the deadline too.
+        let half = fake_fs(&[("q.pg", "edge 0 1 R\n"), ("h.pg", "edge 0 1 R 1/2\n")]);
+        let err = run(&args(&["count", "q.pg", "h.pg", "--deadline-ms", "0"]), &half).unwrap_err();
+        assert!(err.contains("deadline exceeded"), "{err}");
+        // Batch mode reports per-query deadline errors inline.
+        let batch = fake_fs(&[
+            ("qs.pg", "edge 0 1 R\n"),
+            ("h.pg", "edge 0 1 R 1/2\n"),
+        ]);
+        let out = run(
+            &args(&[
+                "solve",
+                "--queries-file",
+                "qs.pg",
+                "h.pg",
+                "--deadline-ms",
+                "0",
+            ]),
+            &batch,
+        )
+        .unwrap();
+        assert!(out.contains("[0] error: deadline exceeded"), "{out}");
+
+        // Malformed values are typed errors, not panics.
+        for bad in [
+            &["solve", "q.pg", "h.pg", "--on-hard", "sometimes"][..],
+            &["solve", "q.pg", "h.pg", "--on-hard"],
+            &["solve", "q.pg", "h.pg", "--deadline-ms", "x"],
+            &["solve", "q.pg", "h.pg", "--deadline-ms"],
+            &["solve", "q.pg", "h.pg", "--budget-samples", "-3"],
+            &["solve", "q.pg", "h.pg", "--budget-gates"],
+            &["solve", "q.pg", "h.pg", "--budget-time-ms", "never"],
+        ] {
+            assert!(run(&args(bad), &hard).is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

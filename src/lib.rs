@@ -184,6 +184,79 @@
 //! `"precision"` field answered by `"type": "approximate"` results with
 //! a `rel_err` bound (see [`net::wire`]).
 //!
+//! ## The degradation ladder: no request left behind
+//!
+//! Every request ends in **exactly one** typed terminal state, chosen
+//! by descending a ladder of increasingly degraded — but always
+//! *certified* — answers. Nothing on the ladder is silent: each rung is
+//! a distinct [`Response`] variant or [`SolveError`] code, so a client
+//! always knows what kind of answer it holds.
+//!
+//! 1. **Exact** — [`Response::Probability`], arbitrary-precision
+//!    rational (the default, paper-faithful).
+//! 2. **Float** — [`Response::Approximate`] with a certified relative
+//!    error bound (`Precision::Float` / `Auto`, above).
+//! 3. **Estimate** — [`Response::Estimate`]: a 95% confidence interval
+//!    from a budgeted, deterministically seeded Monte-Carlo run. Opt-in
+//!    per request via [`Request::on_hard`]`(`[`OnHard::Estimate`]`)`:
+//!    a #P-hard cell degrades to an interval instead of erroring, and a
+//!    deadline or time budget tripping **after at least one sample**
+//!    returns the truncated (honestly wider) interval — the *anytime*
+//!    contract: partial work is still a certified answer.
+//! 4. **Typed error** — [`SolveError::Hard`] (hard cell, no degradation
+//!    requested), [`SolveError::DeadlineExceeded`] (the wall-clock
+//!    deadline set by [`Request::deadline`] expired — in queue or at a
+//!    cooperative checkpoint inside evaluation), or
+//!    [`SolveError::BudgetExceeded`] (a [`Request::budget`] cap on
+//!    samples / gates / time tripped before any certifiable answer).
+//!
+//! Deadlines are enforced *inside* evaluation by cooperative
+//! [`WorkMeter`](phom_lineage::WorkMeter) checkpoints threaded through
+//! the circuit evaluators and the sampler — a stuck or oversized
+//! evaluation stops itself rather than wedging a worker. A deadline
+//! never changes *what* is computed, so it is not part of the cache
+//! key; a [`Budget`] does, so it is.
+//!
+//! ```
+//! use phom::prelude::*;
+//!
+//! // Figure 1's instance is a #P-hard cell for the Example 2.2 query.
+//! let engine = Engine::new(phom::graph::fixtures::figure_1());
+//! let g = phom::graph::fixtures::example_2_2_query();
+//!
+//! // Rung 4 (default policy): hardness is a typed error.
+//! let strict = engine.submit(&[Request::probability(g.clone())]);
+//! assert!(matches!(&strict[0], Err(SolveError::Hard(_))));
+//!
+//! // Rung 3: opt in to degradation — the same hard cell now answers a
+//! // certified interval from a sample-budgeted Monte-Carlo run.
+//! let soft = engine.submit(&[Request::probability(g.clone())
+//!     .on_hard(OnHard::Estimate)
+//!     .budget(Budget::unlimited().with_samples(2_000))]);
+//! let Ok(Response::Estimate { lo, hi, samples, .. }) = &soft[0] else { panic!() };
+//! assert!(lo <= hi && *samples == 2_000);
+//!
+//! // The sampler is seeded from the query content: a retry returns the
+//! // bit-identical interval (and different budgets never share cache
+//! // entries, so this is a genuine re-run).
+//! let again = engine.submit(&[Request::probability(g.clone())
+//!     .on_hard(OnHard::Estimate)
+//!     .budget(Budget::unlimited().with_samples(2_000))]);
+//! let Ok(Response::Estimate { lo: lo2, hi: hi2, .. }) = &again[0] else { panic!() };
+//! assert!(lo == lo2 && hi == hi2);
+//! ```
+//!
+//! The serving layers complete the "no request left behind" story: the
+//! [`serve`] runtime classifies every request into a [`Lane`]
+//! (cheap-exact work never queues behind sampling or escalation),
+//! sheds requests whose deadline expired **while queued** with
+//! [`SolveError::DeadlineExceeded`] at flush time, and counts every
+//! outcome in [`RuntimeStats`] (`shed_expired`, `estimates`,
+//! `deadline_exceeded`, `budget_exceeded`, per-lane depths) so the
+//! books always balance: admitted = completed + cancelled + shed. The
+//! wire protocol carries `deadline_ms` / `budget` / `on_hard` per
+//! request and a `"type": "estimate"` result frame (see [`net::wire`]).
+//!
 //! ## Serving at scale: three layers
 //!
 //! The serving stack is three layers, each usable on its own and each
@@ -321,8 +394,8 @@ pub use phom_serve as serve;
 #[allow(deprecated)] // the legacy shims stay exported so no caller breaks
 pub use phom_core::{solve, solve_many, solve_many_cached, solve_with};
 pub use phom_core::{
-    Engine, EngineBuilder, EvalCache, Fallback, Fleet, Hardness, Precision, Request, Response,
-    Route, Solution, SolveError, SolverOptions, TickConfig, WorkerScratch,
+    Budget, Engine, EngineBuilder, EvalCache, Fallback, Fleet, Hardness, Lane, OnHard, Precision,
+    Request, Response, Route, Solution, SolveError, SolverOptions, TickConfig, WorkerScratch,
 };
 pub use phom_net::{Client as NetClient, NetError, NetStats, Server as NetServer, WireRequest};
 pub use phom_serve::{Runtime, RuntimeBuilder, RuntimeStats, Ticket};
@@ -335,8 +408,9 @@ pub mod prelude {
     #[allow(deprecated)] // the legacy shims stay exported so no caller breaks
     pub use phom_core::{solve, solve_many, solve_many_cached, solve_with};
     pub use phom_core::{
-        BatchStats, CacheHandle, CacheStats, Engine, EngineBuilder, EvalCache, Fallback, Fleet,
-        Precision, Request, Response, Route, Solution, SolveError, SolverOptions, TickConfig,
+        BatchStats, Budget, CacheHandle, CacheStats, Engine, EngineBuilder, EvalCache, Fallback,
+        Fleet, Lane, OnHard, Precision, Request, Response, Route, Solution, SolveError,
+        SolverOptions, TickConfig,
     };
     pub use phom_graph::{classify, Dir, Graph, GraphBuilder, Label, ProbGraph};
     pub use phom_lineage::{FlatArena, Provenance, VarStatus};

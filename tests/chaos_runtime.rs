@@ -1,0 +1,401 @@
+//! The chaos soak: the serving runtime under scripted faults — slow
+//! units, units stuck well past every deadline, contained unit panics,
+//! forced-hard plans — mixed with deadlines, budgets, estimate
+//! degradation, and mid-flight cancellation. The liveness contract
+//! under all of it:
+//!
+//! * every admitted request ends in **exactly one** terminal state
+//!   (every ticket resolves, none resolves twice);
+//! * the books balance: `admitted = completed + cancelled + shed` and
+//!   `open_tickets() == 0` after shutdown;
+//! * no worker is ever lost (panics are contained per request);
+//! * expired requests resolve `DeadlineExceeded` promptly even while
+//!   workers are stuck, and the runtime keeps serving afterwards.
+//!
+//! An in-process watchdog aborts the process with a diagnostic rather
+//! than letting a liveness bug hang the suite forever.
+//!
+//! The fault script and the forced-hard plan seam are process-global:
+//! every test here serializes on one lock.
+
+use phom::prelude::*;
+use phom::serve::test_support::{force_hard_plans, Fault, FaultPlan};
+use phom_graph::generate::{self, ProbProfile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_chaos() -> MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Aborts the whole process if the test body does not disarm it in
+/// time — a hang IS the failure mode this suite hunts, so we refuse to
+/// rely on an external timeout to surface it.
+struct Watchdog {
+    disarmed: Arc<AtomicBool>,
+}
+
+impl Watchdog {
+    fn arm(name: &'static str, limit: Duration) -> Watchdog {
+        let disarmed = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&disarmed);
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            while start.elapsed() < limit {
+                if flag.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            eprintln!("watchdog: {name} still running after {limit:?} — liveness violated");
+            std::process::abort();
+        });
+        Watchdog { disarmed }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.disarmed.store(true, Ordering::SeqCst);
+    }
+}
+
+/// RAII cleanup: whatever the test scripted, the globals are reset on
+/// the way out (including on panic) so later tests start clean.
+struct ChaosGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl ChaosGuard {
+    fn take() -> ChaosGuard {
+        let guard = lock_chaos();
+        FaultPlan::clear();
+        force_hard_plans(false);
+        ChaosGuard(guard)
+    }
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        FaultPlan::clear();
+        force_hard_plans(false);
+    }
+}
+
+fn instance(seed: u64) -> ProbGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generate::with_probabilities(
+        generate::two_way_path(24, 2, &mut rng),
+        ProbProfile::default(),
+        &mut rng,
+    )
+}
+
+/// The headline soak: 200 mixed requests — exact, estimate-degraded,
+/// deadline'd, budgeted, and randomly cancelled — against a pool whose
+/// units are scripted to run slow, stick, or panic. Everything
+/// terminates, exactly once, and the books balance.
+#[test]
+fn chaos_soak_every_request_ends_in_exactly_one_terminal_state() {
+    let _guard = ChaosGuard::take();
+    let _watchdog = Watchdog::arm("chaos_soak", Duration::from_secs(120));
+    let mut rng = SmallRng::seed_from_u64(0xC4A05);
+
+    let runtime = Runtime::builder()
+        .max_batch(8)
+        .max_wait(Duration::from_millis(1))
+        .queue_cap(512)
+        .workers(3)
+        .build();
+    let h = instance(0xC4A05);
+    let oracle = Engine::new(h.clone());
+    let version = runtime.register(h.clone());
+
+    // A long fault script: every third unit misbehaves somehow.
+    FaultPlan::script((0..90).map(|i| match i % 3 {
+        0 => Fault::Slow(Duration::from_millis(2)),
+        1 => Fault::Stuck(Duration::from_millis(20)),
+        _ => Fault::Panic,
+    }));
+
+    let total = 200usize;
+    let mut tickets = Vec::with_capacity(total);
+    let mut cancelled_by_us = 0u64;
+    for j in 0..total {
+        let query = generate::planted_path_query(h.graph(), rng.gen_range(1..4), &mut rng)
+            .unwrap_or_else(|| generate::one_way_path(2, 2, &mut rng));
+        let mut request = Request::probability(query);
+        match j % 5 {
+            // Plain exact traffic (the fast lane).
+            0 | 1 => {}
+            // Estimate degradation with a small sample budget.
+            2 => {
+                request = request
+                    .on_hard(OnHard::Estimate)
+                    .budget(Budget::unlimited().with_samples(200));
+            }
+            // A deadline tight enough that stuck units push some
+            // requests past it — in queue or at the pre-work check.
+            3 => request = request.deadline(Duration::from_millis(rng.gen_range(1..25))),
+            // A starved gate budget: may trip, may fit — both legal.
+            _ => request = request.budget(Budget::unlimited().with_gates(rng.gen_range(1..10_000))),
+        }
+        let ticket = runtime
+            .enqueue_to(version, request)
+            .expect("queue_cap 512 is never hit by 200 requests");
+        // Cancel a random ~10% mid-flight.
+        if rng.gen_range(0..10) == 0
+            && ticket.cancel() {
+                cancelled_by_us += 1;
+            }
+        tickets.push(ticket);
+    }
+
+    // Every ticket resolves — and resolves consistently: the answer a
+    // second wait sees is the answer the first wait saw.
+    let mut ok = 0u64;
+    let mut estimates = 0u64;
+    let mut hard = 0u64;
+    let mut deadline = 0u64;
+    let mut budget = 0u64;
+    let mut cancelled = 0u64;
+    let mut internal = 0u64;
+    for (j, ticket) in tickets.iter().enumerate() {
+        let first = ticket.wait();
+        let second = ticket.wait();
+        match (&first, &second) {
+            (Ok(_), Ok(_)) | (Err(_), Err(_)) => {}
+            _ => panic!("request {j}: terminal state changed between waits"),
+        }
+        match first {
+            Ok(Response::Probability(_)) => ok += 1,
+            Ok(Response::Estimate { lo, hi, .. }) => {
+                assert!(lo <= hi, "request {j}: malformed interval");
+                estimates += 1;
+            }
+            Ok(other) => panic!("request {j}: unexpected response {other:?}"),
+            Err(SolveError::Hard(_)) => hard += 1,
+            Err(SolveError::DeadlineExceeded) => deadline += 1,
+            Err(SolveError::BudgetExceeded { .. }) => budget += 1,
+            Err(SolveError::Cancelled) => cancelled += 1,
+            Err(SolveError::Internal(_)) => internal += 1,
+            Err(e) => panic!("request {j}: unexpected error {e}"),
+        }
+    }
+    assert_eq!(
+        ok + estimates + hard + deadline + budget + cancelled + internal,
+        total as u64
+    );
+    assert!(cancelled >= cancelled_by_us, "a cancellation lost its ticket");
+
+    // The runtime keeps serving after the chaos: clear whatever script
+    // remains (interning and caching mean fewer units than requests)
+    // and check a fresh exact request against the oracle.
+    FaultPlan::clear();
+    let probe = generate::planted_path_query(h.graph(), 2, &mut rng)
+        .unwrap_or_else(|| generate::one_way_path(2, 2, &mut rng));
+    let after = runtime
+        .enqueue_to(version, Request::probability(probe.clone()))
+        .expect("still serving")
+        .wait();
+    let want = &oracle.submit(&[Request::probability(probe)])[0];
+    match (&after, want) {
+        (Ok(Response::Probability(a)), Ok(Response::Probability(b))) => {
+            assert_eq!(a.probability, b.probability, "post-chaos answer drifted");
+        }
+        (a, b) => panic!("post-chaos: {a:?} vs {b:?}"),
+    }
+
+    // Shutdown drains; then the books must balance exactly.
+    let stats = runtime.shutdown();
+    assert_eq!(stats.open_tickets(), 0, "open tickets after drain: {stats:?}");
+    assert_eq!(
+        stats.admitted,
+        stats.completed + stats.cancelled + stats.shed_expired,
+        "the books do not balance: {stats:?}"
+    );
+    assert_eq!(stats.workers, 3);
+    assert_eq!(stats.workers_started, 3, "a worker was lost and respawned (or never started)");
+    assert!(internal > 0, "the panic faults never fired");
+}
+
+/// Stuck workers cannot starve deadline'd requests: with every unit
+/// scripted to stick for 50ms, requests carrying 10ms deadlines all
+/// resolve `DeadlineExceeded` — shed at flush or stopped at the
+/// pre-work checkpoint — within the deadline plus a small number of
+/// stuck-tick lengths, never an unbounded wait. The runtime then
+/// recovers to exact service.
+#[test]
+fn stuck_units_cannot_starve_deadlined_requests() {
+    let _guard = ChaosGuard::take();
+    let _watchdog = Watchdog::arm("stuck_units", Duration::from_secs(60));
+    let mut rng = SmallRng::seed_from_u64(0x57C);
+
+    let runtime = Runtime::builder()
+        .max_batch(4)
+        .max_wait(Duration::from_millis(1))
+        .queue_cap(256)
+        .workers(2)
+        .build();
+    let h = instance(0x57C);
+    let version = runtime.register(h.clone());
+
+    let stuck = Duration::from_millis(50);
+    FaultPlan::script(std::iter::repeat_n(Fault::Stuck(stuck), 40));
+
+    // Saturate both workers with slow-lane estimate work so the
+    // deadline'd requests genuinely contend with stuck units.
+    let mut background = Vec::new();
+    for _ in 0..8 {
+        let q = generate::planted_path_query(h.graph(), 3, &mut rng)
+            .unwrap_or_else(|| generate::one_way_path(3, 2, &mut rng));
+        background.push(
+            runtime
+                .enqueue_to(
+                    version,
+                    Request::probability(q)
+                        .on_hard(OnHard::Estimate)
+                        .budget(Budget::unlimited().with_samples(500)),
+                )
+                .expect("admitted"),
+        );
+    }
+
+    let deadline = Duration::from_millis(10);
+    let started = Instant::now();
+    let mut doomed = Vec::new();
+    for _ in 0..12 {
+        let q = generate::planted_path_query(h.graph(), 2, &mut rng)
+            .unwrap_or_else(|| generate::one_way_path(2, 2, &mut rng));
+        doomed.push(
+            runtime
+                .enqueue_to(version, Request::probability(q).deadline(deadline))
+                .expect("admitted"),
+        );
+    }
+
+    let mut deadline_exceeded = 0usize;
+    for (j, ticket) in doomed.iter().enumerate() {
+        match ticket.wait() {
+            // Fast enough despite the chaos: a legal outcome for the
+            // requests a worker reached in time.
+            Ok(_) => {}
+            Err(SolveError::DeadlineExceeded) => deadline_exceeded += 1,
+            Err(e) => panic!("doomed request {j}: unexpected error {e}"),
+        }
+    }
+    // Liveness bound: every doomed ticket resolved within the deadline
+    // plus a handful of stuck-unit lengths — not after the entire
+    // backlog ground through.
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < deadline + 8 * stuck,
+        "doomed requests took {elapsed:?} to resolve"
+    );
+    assert!(
+        deadline_exceeded > 0,
+        "10ms deadlines all survived 50ms stuck units — the shed/checkpoint path never ran"
+    );
+
+    for ticket in &background {
+        assert!(ticket.wait().is_ok(), "background estimate lost");
+    }
+
+    FaultPlan::clear();
+    let probe = generate::one_way_path(1, 2, &mut rng);
+    assert!(
+        runtime
+            .enqueue_to(version, Request::probability(probe))
+            .expect("still serving")
+            .wait()
+            .is_ok(),
+        "runtime did not recover after the stuck script"
+    );
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.open_tickets(), 0, "{stats:?}");
+    assert!(
+        stats.shed_expired + stats.deadline_exceeded >= deadline_exceeded as u64,
+        "deadline outcomes not counted: {stats:?}"
+    );
+}
+
+/// The forced-hard seam end to end through the runtime: with every
+/// plan classified hard, `OnHard::Error` traffic resolves typed
+/// `Hard` errors, `OnHard::Estimate` traffic resolves intervals, the
+/// estimates counter adds up, and the books still balance.
+#[test]
+fn forced_hard_plans_drive_the_degradation_ladder() {
+    let _guard = ChaosGuard::take();
+    let _watchdog = Watchdog::arm("forced_hard", Duration::from_secs(60));
+
+    force_hard_plans(true);
+    let runtime = Runtime::builder()
+        .max_batch(8)
+        .max_wait(Duration::from_millis(1))
+        .queue_cap(256)
+        .workers(2)
+        .build();
+    let h = instance(0xF0);
+    let version = runtime.register(h.clone());
+
+    let mut rng = SmallRng::seed_from_u64(0xF0);
+    let mut error_tickets = Vec::new();
+    let mut estimate_tickets = Vec::new();
+    for i in 0..40 {
+        let q = generate::planted_path_query(h.graph(), 1 + (i % 3), &mut rng)
+            .unwrap_or_else(|| generate::one_way_path(2, 2, &mut rng));
+        if i % 2 == 0 {
+            error_tickets.push(
+                runtime
+                    .enqueue_to(version, Request::probability(q))
+                    .expect("admitted"),
+            );
+        } else {
+            estimate_tickets.push(
+                runtime
+                    .enqueue_to(
+                        version,
+                        Request::probability(q)
+                            .on_hard(OnHard::Estimate)
+                            .budget(Budget::unlimited().with_samples(300)),
+                    )
+                    .expect("admitted"),
+            );
+        }
+    }
+    for (i, t) in error_tickets.iter().enumerate() {
+        match t.wait() {
+            Err(SolveError::Hard(_)) => {}
+            // Trivial routes (missing label etc.) answer before planning.
+            Ok(Response::Probability(_)) => {}
+            other => panic!("error-policy request {i}: {other:?}"),
+        }
+    }
+    let mut estimates_seen = 0u64;
+    for (i, t) in estimate_tickets.iter().enumerate() {
+        match t.wait() {
+            Ok(Response::Estimate { lo, hi, .. }) => {
+                assert!(lo <= hi, "estimate request {i}");
+                estimates_seen += 1;
+            }
+            Ok(Response::Probability(_)) => {} // trivial route
+            other => panic!("estimate-policy request {i}: {other:?}"),
+        }
+    }
+    assert!(estimates_seen > 0, "the estimate ladder never engaged");
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.open_tickets(), 0, "{stats:?}");
+    // Cache hits serve repeated estimate requests without recomputing,
+    // so the counter tracks *computed* estimates: positive, and no
+    // larger than the estimates actually delivered.
+    assert!(
+        (1..=estimates_seen).contains(&stats.estimates),
+        "estimates counter off: {} vs {estimates_seen} delivered",
+        stats.estimates
+    );
+}

@@ -8,7 +8,7 @@
 //! error frames for malformed input, cancel/stats/register ops) is
 //! pinned here too.
 
-use phom::net::wire::{encode_result, WireFallback, WireRequest};
+use phom::net::wire::{encode_result, WireBudget, WireFallback, WireRequest};
 use phom::net::{Client, Json, NetError, Server};
 use phom::prelude::*;
 use phom_graph::generate::{self, ProbProfile};
@@ -390,4 +390,158 @@ fn protocol_errors_and_ops_are_typed() {
         "{stats}"
     );
     server.shutdown(Duration::from_secs(1));
+}
+
+/// The wire-level non-interference differential: while the slow lane
+/// churns genuine Monte-Carlo sampling (estimate-policy frames against
+/// a #P-hard version), exact answers polled off the same connection
+/// stay **byte-identical** (canonical encoding) to `Engine::submit`
+/// oracles. `deadline_ms`, `budget`, and `on_hard` travel end-to-end:
+/// the estimate result frame carries its interval and sample count,
+/// an already-expired deadline answers the typed `deadline_exceeded`
+/// frame, and the stats frame reports the lane and degradation
+/// counters.
+#[test]
+fn degradation_fields_travel_the_wire_without_disturbing_exact_answers() {
+    let mut rng = SmallRng::seed_from_u64(0xD15A97);
+    let h = random_instance(&mut rng, ProbProfile::default());
+    let hard = ProbGraph::new(
+        {
+            let mut b = GraphBuilder::with_vertices(2);
+            b.edge(0, 1, Label(0));
+            b.edge(1, 0, Label(0));
+            b.build()
+        },
+        vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+    );
+    let oracle = Engine::new(h.clone());
+    let exact: Vec<WireRequest> = (0..24).map(|_| random_request(&h, &mut rng)).collect();
+    let expect: Vec<String> = {
+        let reqs: Vec<Request> = exact.iter().map(WireRequest::to_request).collect();
+        oracle
+            .submit(&reqs)
+            .iter()
+            .map(|r| encode_result(r).to_string())
+            .collect()
+    };
+    let runtime = Arc::new(
+        Runtime::builder()
+            .max_batch(8)
+            .max_wait(Duration::from_millis(1))
+            .workers(3)
+            .build(),
+    );
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime)).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let v_exact = client.register(&h).expect("register exact");
+    let v_hard = client.register(&hard).expect("register hard");
+
+    // Slow-lane load first: distinct sample budgets keep every frame a
+    // distinct cache key, so each one genuinely samples.
+    let hard_query = Graph::one_way_path(&[Label(0)]);
+    let sampling: Vec<u64> = (0..12)
+        .map(|i| {
+            client
+                .submit(
+                    v_hard,
+                    &WireRequest::probability(hard_query.clone())
+                        .with_on_hard(OnHard::Estimate)
+                        .with_budget(WireBudget {
+                            samples: Some(3_000 + i),
+                            gates: None,
+                            time_ms: None,
+                        }),
+                )
+                .expect("admitted")
+        })
+        .collect();
+    // An already-expired deadline on the hard version: the typed error
+    // crosses the wire (anchored at server-side decode, this is
+    // deterministic — no work starts).
+    let doomed = client
+        .submit(
+            v_hard,
+            &WireRequest::probability(hard_query.clone()).with_deadline_ms(0),
+        )
+        .expect("admitted");
+    // The exact traffic, interleaved with the sampling load in flight.
+    let tickets: Vec<u64> = exact
+        .iter()
+        .map(|r| client.submit(v_exact, r).expect("admitted"))
+        .collect();
+
+    for (i, (ticket, want)) in tickets.iter().zip(&expect).enumerate() {
+        let got = client.wait(*ticket).expect("answer").to_string();
+        assert_eq!(&got, want, "exact request {i} disturbed by sampling load");
+    }
+    for (i, ticket) in sampling.iter().enumerate() {
+        let frame = client.wait(*ticket).expect("estimate frame");
+        assert_eq!(
+            frame.get("type").and_then(Json::as_str),
+            Some("estimate"),
+            "sampling frame {i}: {frame}"
+        );
+        // The bounds travel as shortest-roundtrip float strings.
+        let bound = |key: &str| -> f64 {
+            frame
+                .get(key)
+                .and_then(Json::as_str)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("frame {i} has no float {key:?}: {frame}"))
+        };
+        let (lo, hi) = (bound("lo"), bound("hi"));
+        assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0, "frame {i}: [{lo}, {hi}]");
+        assert_eq!(
+            frame.get("samples").and_then(Json::as_u64),
+            Some(3_000 + i as u64),
+            "frame {i}: the wire budget sets the sample count"
+        );
+    }
+    let frame = client.wait(doomed).expect("resolved");
+    assert_eq!(
+        frame.get("code").and_then(Json::as_str),
+        Some("deadline_exceeded"),
+        "{frame}"
+    );
+
+    // The stats frame reports the lanes and the degradation counters.
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.get("fast_lane_total").and_then(Json::as_u64).unwrap() > 0,
+        "{stats}"
+    );
+    assert!(
+        stats.get("slow_lane_total").and_then(Json::as_u64).unwrap() >= 12,
+        "{stats}"
+    );
+    assert!(
+        stats.get("estimates").and_then(Json::as_u64).unwrap() > 0,
+        "{stats}"
+    );
+    // The doomed request lands in exactly one of the two deadline
+    // books: shed at flush (expired while queued) or tripped by the
+    // in-evaluation meter.
+    let deadline_hits = stats
+        .get("deadline_exceeded")
+        .and_then(Json::as_u64)
+        .unwrap()
+        + stats.get("shed_expired").and_then(Json::as_u64).unwrap();
+    assert!(deadline_hits >= 1, "{stats}");
+    let net = server.shutdown(Duration::from_secs(5));
+    assert_eq!(net.open_tickets, 0, "no ticket leaks: {net:?}");
+    // Every answer was already delivered to the client; the runtime's
+    // books settle when the final tick's bookkeeping lands, a hair
+    // after the tickets resolve — wait for quiescence, bounded.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = runtime.stats();
+        if stats.open_tickets() == 0 && stats.ticks_in_flight == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "runtime never quiesced: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
 }

@@ -681,3 +681,99 @@ fn repeated_ticks_serve_from_the_shared_cache() {
     );
     assert_eq!(stats.cache.misses, 1, "one unique query overall: {stats:?}");
 }
+
+/// The lanes non-interference differential: with the slow lane
+/// saturated by genuine Monte-Carlo sampling (estimate-policy traffic
+/// against a #P-hard version), exact answers — fast-lane probability
+/// work and slow-lane counting/UCQ/sensitivity work alike — must stay
+/// **bit-identical** to sequential `Engine::submit` oracles. Priority
+/// lanes and background sampling may only ever change latency, never
+/// bits.
+#[test]
+fn exact_answers_survive_background_sampling_load_bit_for_bit() {
+    let mut rng = SmallRng::seed_from_u64(0x1A9E5);
+    // The tractable version serving the exact traffic…
+    let h = random_instance(&mut rng, ProbProfile::default());
+    // …and a 2-cycle version whose estimate traffic genuinely samples.
+    let hard = {
+        let mut b = GraphBuilder::with_vertices(2);
+        b.edge(0, 1, Label(0));
+        b.edge(1, 0, Label(0));
+        ProbGraph::new(
+            b.build(),
+            vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+        )
+    };
+    let oracle = Engine::new(h.clone());
+    let runtime = Runtime::builder()
+        .max_batch(8)
+        .max_wait(Duration::from_millis(1))
+        .queue_cap(4096)
+        .workers(3)
+        .build();
+    let v_exact = runtime.register(h.clone());
+    let v_hard = runtime.register(hard);
+
+    // Cheap exact probability requests classify into the fast lane;
+    // the mixed kinds and the estimate traffic ride the slow lane.
+    let fast: Vec<Request> = (0..40)
+        .map(|_| {
+            let q = generate::planted_path_query(h.graph(), rng.gen_range(1..4), &mut rng)
+                .unwrap_or_else(|| generate::one_way_path(2, 2, &mut rng));
+            let r = Request::probability(q);
+            assert_eq!(r.lane(SolverOptions::default()), Lane::Fast);
+            r
+        })
+        .collect();
+    let mixed: Vec<Request> = (0..20).map(|_| random_request(&h, &mut rng)).collect();
+    let fast_expect = oracle.submit(&fast);
+    let mixed_expect = oracle.submit(&mixed);
+
+    // Distinct sample budgets keep every estimate request a distinct
+    // cache key — each one really samples.
+    let sampling: Vec<Request> = (0..24)
+        .map(|i| {
+            let r = Request::probability(Graph::one_way_path(&[Label(0)]))
+                .on_hard(OnHard::Estimate)
+                .budget(Budget::unlimited().with_samples(5_000 + i));
+            assert_eq!(r.lane(SolverOptions::default()), Lane::Slow);
+            r
+        })
+        .collect();
+
+    // Interleave: sampling load first and between the exact requests,
+    // so exact ticks flush while the slow lane is busy.
+    let sampling_tickets: Vec<Ticket> = sampling
+        .iter()
+        .map(|r| runtime.enqueue_to(v_hard, r.clone()).expect("admitted"))
+        .collect();
+    let fast_tickets: Vec<Ticket> = fast
+        .iter()
+        .map(|r| runtime.enqueue_to(v_exact, r.clone()).expect("admitted"))
+        .collect();
+    let mixed_tickets: Vec<Ticket> = mixed
+        .iter()
+        .map(|r| runtime.enqueue_to(v_exact, r.clone()).expect("admitted"))
+        .collect();
+
+    for (i, (ticket, want)) in fast_tickets.iter().zip(&fast_expect).enumerate() {
+        assert_same(&ticket.wait(), want, &format!("fast-lane request {i}"));
+    }
+    for (i, (ticket, want)) in mixed_tickets.iter().zip(&mixed_expect).enumerate() {
+        assert_same(&ticket.wait(), want, &format!("mixed request {i}"));
+    }
+    for (i, ticket) in sampling_tickets.iter().enumerate() {
+        let Ok(Response::Estimate { lo, hi, samples, .. }) = ticket.wait() else {
+            panic!("sampling request {i} did not answer an estimate");
+        };
+        assert!(lo <= hi, "sampling request {i}");
+        assert_eq!(samples, 5_000 + i as u64, "sampling request {i}");
+    }
+
+    let stats = runtime.shutdown();
+    assert_eq!(stats.open_tickets(), 0, "{stats:?}");
+    assert!(stats.fast_lane_total >= 40, "{stats:?}");
+    assert!(stats.slow_lane_total >= 24, "{stats:?}");
+    assert!(stats.estimates > 0, "{stats:?}");
+    assert_eq!(stats.shed_expired, 0, "nothing carried a deadline: {stats:?}");
+}
