@@ -513,6 +513,120 @@ fn json_smoke() {
         json_entry(&mut entries, "fleet_mixed_k16", 16, || run_tick(&fleet));
     }
 
+    // Process-fleet front door: the same k = 16 shape submitted and
+    // polled through a phom_fleet router over loopback TCP — the full
+    // fourth layer (router relay → member front end → runtime tick) on
+    // a warm member cache. The gap to net_roundtrip_k16 is the router
+    // hop itself. The handoff entry prices the admin `move` op (warm
+    // the target via the hinted-register fast path + atomic routing
+    // flip; the old copy drains in the background) by bouncing one
+    // version between two members.
+    {
+        use phom_fleet::{MemberSpec, Router};
+        use phom_net::{wire, Client, Json, Server, WireRequest};
+        let h = wl::twp_instance(64, 2);
+        let queries: Vec<Graph> = (0..4).map(|i| wl::planted_query(&h, 2 + i % 2)).collect();
+        let mut members = Vec::new();
+        let mut servers = Vec::new();
+        for name in ["a", "b", "c"] {
+            let runtime = std::sync::Arc::new(
+                phom_serve::Runtime::builder()
+                    .max_batch(16)
+                    .max_wait(std::time::Duration::from_millis(1))
+                    .workers(2)
+                    .build(),
+            );
+            let server = Server::bind("127.0.0.1:0", runtime).expect("bind member");
+            members.push(MemberSpec {
+                name: name.into(),
+                addr: server.local_addr().to_string(),
+                weight: 1.0,
+            });
+            servers.push(server);
+        }
+        let router = Router::bind("127.0.0.1:0", members).expect("bind router");
+        let mut client = Client::connect(router.local_addr()).expect("connect");
+        let version = client.register(&h).expect("register");
+        let wire_requests: Vec<WireRequest> = (0..16)
+            .map(|i| WireRequest::probability(queries[i % queries.len()].clone()))
+            .collect();
+        // Warm pass: lazy member registration + the member's cache.
+        for r in &wire_requests {
+            let ticket = client.submit(version, r).expect("admitted");
+            client.wait(ticket).expect("tractable");
+        }
+        json_entry(&mut entries, "router_roundtrip_k16", 16, || {
+            let tickets: Vec<u64> = wire_requests
+                .iter()
+                .map(|r| client.submit(version, r).expect("admitted"))
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| {
+                    let answer = client.wait(t).expect("tractable");
+                    phom_graph::io::parse_rational(
+                        answer.get("p").and_then(|p| p.as_str()).expect("p"),
+                    )
+                    .expect("rational")
+                    .to_f64()
+                })
+                .sum()
+        });
+        // Bounce the version between its owner and one other member;
+        // every rep is a genuine flip.
+        let owner = {
+            let reply = client
+                .call_raw(Json::obj(vec![("op", Json::str("fleet"))]))
+                .expect("fleet op");
+            let hex = wire::encode_version(version).to_string();
+            reply
+                .get("ok")
+                .and_then(|ok| ok.get("placements"))
+                .and_then(Json::as_arr)
+                .and_then(|ps| {
+                    ps.iter()
+                        .find(|p| p.get("version").map(|v| v.to_string()).as_deref() == Some(&hex))
+                        .and_then(|p| p.get("member"))
+                        .and_then(Json::as_str)
+                        .map(String::from)
+                })
+                .expect("placement")
+        };
+        let other = ["a", "b", "c"]
+            .into_iter()
+            .find(|n| *n != owner)
+            .expect("three members")
+            .to_string();
+        let hops = [other, owner];
+        let mut flips = 0usize;
+        json_entry(&mut entries, "router_handoff", 1, || {
+            let to = &hops[flips % 2];
+            flips += 1;
+            let reply = client
+                .call_raw(Json::obj(vec![
+                    ("op", Json::str("move")),
+                    ("version", wire::encode_version(version)),
+                    ("to", Json::str(to)),
+                ]))
+                .expect("move op");
+            assert_eq!(
+                reply
+                    .get("ok")
+                    .and_then(|ok| ok.get("moved"))
+                    .and_then(Json::as_bool),
+                Some(true),
+                "every rep must be a genuine flip: {reply}"
+            );
+            1.0
+        });
+        drop(client);
+        let stats = router.shutdown(std::time::Duration::from_secs(2));
+        assert_eq!(stats.open_tickets, 0, "router ticket leak: {stats:?}");
+        for server in servers {
+            server.shutdown(std::time::Duration::from_secs(1));
+        }
+    }
+
     // Degradation-ladder serving: cheap exact (fast-lane) p99 request
     // latency with the slow lane idle vs. saturated by genuine
     // Monte-Carlo sampling (estimate-policy requests against a #P-hard
@@ -537,10 +651,7 @@ fn json_smoke() {
             let mut b = GraphBuilder::with_vertices(2);
             b.edge(0, 1, Label(0));
             b.edge(1, 0, Label(0));
-            ProbGraph::new(
-                b.build(),
-                vec![phom_num::Rational::from_ratio(1, 2); 2],
-            )
+            ProbGraph::new(b.build(), vec![phom_num::Rational::from_ratio(1, 2); 2])
         };
         let runtime = Arc::new(
             phom_serve::Runtime::builder()

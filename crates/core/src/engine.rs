@@ -775,8 +775,7 @@ impl Engine {
             _ if opts.on_hard == OnHard::Estimate => {
                 let samples = opts.budget.samples.unwrap_or(DEFAULT_ESTIMATE_SAMPLES);
                 let mut meter = opts.budget.arm(WorkMeter::unbounded());
-                let mut rng =
-                    rand::rngs::SmallRng::seed_from_u64(ucq_estimate_seed(ucq));
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(ucq_estimate_seed(ucq));
                 let (est, _stop) = crate::montecarlo::estimate_ucq_metered(
                     ucq,
                     &self.instance,
@@ -1818,8 +1817,9 @@ fn estimate_response(
 ) -> Result<Response, SolveError> {
     let samples = opts.budget.samples.unwrap_or(DEFAULT_ESTIMATE_SAMPLES);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(estimate_seed(query));
-    let (est, _stop) = crate::montecarlo::estimate_metered(query, instance, samples, &mut rng, meter)
-        .map_err(SolveError::from_meter)?;
+    let (est, _stop) =
+        crate::montecarlo::estimate_metered(query, instance, samples, &mut rng, meter)
+            .map_err(SolveError::from_meter)?;
     Ok(Response::Estimate {
         lo: (est.mean - est.ci95).max(0.0),
         hi: (est.mean + est.ci95).min(1.0),
@@ -1919,20 +1919,19 @@ fn eval_metered_root(
     outcome: &mut ShardOutcome,
     scratch: &mut WorkerScratch,
 ) -> Result<Response, SolveError> {
-    let exact_pass = |meter: &mut WorkMeter,
-                      scratch: &mut WorkerScratch|
-     -> Result<Response, SolveError> {
-        let values = arena
-            .probability_many_metered(&[root], probs, &mut scratch.exact, meter)
-            .map_err(SolveError::from_meter)?;
-        let value = values.into_iter().next().expect("one root");
-        let probability = if negated { value.one_minus() } else { value };
-        Ok(Response::Probability(Solution {
-            probability,
-            route: route.clone(),
-            provenance: None,
-        }))
-    };
+    let exact_pass =
+        |meter: &mut WorkMeter, scratch: &mut WorkerScratch| -> Result<Response, SolveError> {
+            let values = arena
+                .probability_many_metered(&[root], probs, &mut scratch.exact, meter)
+                .map_err(SolveError::from_meter)?;
+            let value = values.into_iter().next().expect("one root");
+            let probability = if negated { value.one_minus() } else { value };
+            Ok(Response::Probability(Solution {
+                probability,
+                route: route.clone(),
+                provenance: None,
+            }))
+        };
     let (tol, escalates) = match precision {
         Precision::Exact => return exact_pass(meter, scratch),
         Precision::Float { max_rel_err } => (max_rel_err, false),

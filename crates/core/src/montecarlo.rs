@@ -265,7 +265,10 @@ mod tests {
         let mut rng_d = SmallRng::seed_from_u64(7);
         let mut zero = WorkMeter::unbounded().with_sample_budget(0);
         let got = estimate_metered(&g, &h, 500, &mut rng_d, &mut zero);
-        assert!(matches!(got, Err(MeterStop::Samples { limit: 0 })), "{got:?}");
+        assert!(
+            matches!(got, Err(MeterStop::Samples { limit: 0 })),
+            "{got:?}"
+        );
     }
 
     #[test]

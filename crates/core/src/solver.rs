@@ -962,7 +962,10 @@ mod tests {
         };
         assert_eq!(budget.wire_code(), "budget_exceeded");
         assert_eq!(budget.to_string(), "budget exceeded: gates limit 4096");
-        assert_eq!(SolveError::DeadlineExceeded.wire_code(), "deadline_exceeded");
+        assert_eq!(
+            SolveError::DeadlineExceeded.wire_code(),
+            "deadline_exceeded"
+        );
         assert_eq!(
             SolveError::DeadlineExceeded.to_string(),
             "deadline exceeded before completion"

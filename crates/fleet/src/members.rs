@@ -1,0 +1,224 @@
+//! Static, gossip-free fleet membership and the rendezvous routing
+//! function. A fleet is a fixed list of members (name, address,
+//! capacity weight) handed to the router at startup — from a
+//! `--members` file or repeated `--member` flags; there is no
+//! discovery protocol to converge or disagree about.
+//!
+//! Routing is **weighted rendezvous (HRW) hashing** on the instance
+//! fingerprint: each member scores every fingerprint independently and
+//! the highest score owns it, so editing the member list only moves
+//! the instances whose winner changed — no ring to rebalance. Weights
+//! scale a member's share of fingerprints in proportion to its
+//! capacity (the `-w / ln(u)` construction, exact in expectation).
+//! Routing only ever picks *which member answers*; answers themselves
+//! never depend on it, so the `f64` math here is not a correctness
+//! surface.
+
+/// One fleet member: a `phom serve --listen` process the router fans
+/// out to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemberSpec {
+    /// Stable routing identity — renaming a member reshuffles the
+    /// fingerprints it owns, re-addressing it does not.
+    pub name: String,
+    /// The member's listen address (`host:port`).
+    pub addr: String,
+    /// Relative capacity weight (> 0); a weight-2 member owns about
+    /// twice the fingerprints of a weight-1 member.
+    pub weight: f64,
+}
+
+impl MemberSpec {
+    /// Parses the flag form `name=addr[@weight]`
+    /// (e.g. `a=127.0.0.1:7401@2`).
+    pub fn parse(spec: &str) -> Result<MemberSpec, String> {
+        let (name, rest) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("member '{spec}' is not name=addr[@weight]"))?;
+        let (addr, weight) = match rest.rsplit_once('@') {
+            Some((addr, w)) => {
+                let w: f64 = w
+                    .parse()
+                    .map_err(|_| format!("member '{spec}': bad weight '{w}'"))?;
+                (addr, w)
+            }
+            None => (rest, 1.0),
+        };
+        if name.is_empty() || addr.is_empty() {
+            return Err(format!("member '{spec}': empty name or address"));
+        }
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(format!("member '{spec}': weight must be finite and > 0"));
+        }
+        Ok(MemberSpec {
+            name: name.to_string(),
+            addr: addr.to_string(),
+            weight,
+        })
+    }
+}
+
+/// Parses a members file: one member per line, either whitespace form
+/// (`name addr [weight]`) or flag form (`name=addr[@weight]`); blank
+/// lines and `#` comments are skipped. Names must be unique and at
+/// least one member must remain.
+pub fn parse_members(text: &str) -> Result<Vec<MemberSpec>, String> {
+    let mut members = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or_default().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let member = if line.contains('=') {
+            MemberSpec::parse(line)
+        } else {
+            let mut parts = line.split_whitespace();
+            let (Some(name), Some(addr)) = (parts.next(), parts.next()) else {
+                return Err(format!(
+                    "line {}: expected 'name addr [weight]'",
+                    lineno + 1
+                ));
+            };
+            let weight = match parts.next() {
+                Some(w) => w
+                    .parse()
+                    .map_err(|_| format!("line {}: bad weight '{w}'", lineno + 1))?,
+                None => 1.0,
+            };
+            MemberSpec::parse(&format!("{name}={addr}@{weight}"))
+        }
+        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        members.push(member);
+    }
+    validate_members(&members)?;
+    Ok(members)
+}
+
+/// Checks a member list is servable: non-empty, unique names.
+pub fn validate_members(members: &[MemberSpec]) -> Result<(), String> {
+    if members.is_empty() {
+        return Err("a fleet needs at least one member".into());
+    }
+    for (i, m) in members.iter().enumerate() {
+        if members[..i].iter().any(|other| other.name == m.name) {
+            return Err(format!("duplicate member name '{}'", m.name));
+        }
+    }
+    Ok(())
+}
+
+/// splitmix64 finalizer — a fast, well-mixed 64-bit permutation. The
+/// routing hash is hand-rolled (FNV over the name, mixed with the
+/// fingerprint) so placement is deterministic across builds and
+/// processes — `std`'s hashers don't promise that.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The rendezvous point for (fingerprint, member): uniform in `u64`.
+fn rendezvous_point(fingerprint: u64, name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(fingerprint ^ mix64(h))
+}
+
+/// The member owning `fingerprint` under weighted rendezvous hashing:
+/// the index maximizing `-weight / ln(u)` where `u ∈ (0,1)` is the
+/// member's uniform rendezvous point. Deterministic; total (every
+/// fingerprint has exactly one owner for a non-empty list).
+///
+/// # Panics
+///
+/// On an empty member list (validated at router construction).
+pub fn owner_of(fingerprint: u64, members: &[MemberSpec]) -> usize {
+    assert!(!members.is_empty(), "owner_of on an empty member list");
+    let mut best = 0;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, m) in members.iter().enumerate() {
+        // u in (0,1): never exactly 0 or 1, so ln(u) is finite and < 0.
+        let u = (rendezvous_point(fingerprint, &m.name) as f64 + 1.0) / (u64::MAX as f64 + 2.0);
+        let score = -m.weight / u.ln();
+        if score > best_score {
+            best = i;
+            best_score = score;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(weights: &[f64]) -> Vec<MemberSpec> {
+        weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| MemberSpec {
+                name: format!("m{i}"),
+                addr: format!("127.0.0.1:{}", 7400 + i),
+                weight: w,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parses_both_file_forms_and_rejects_junk() {
+        let text = "# fleet\n\na 127.0.0.1:7401 2\nb=127.0.0.1:7402@0.5\nc 127.0.0.1:7403\n";
+        let members = parse_members(text).unwrap();
+        assert_eq!(members.len(), 3);
+        assert_eq!(members[0].name, "a");
+        assert_eq!(members[0].weight, 2.0);
+        assert_eq!(members[1].addr, "127.0.0.1:7402");
+        assert_eq!(members[1].weight, 0.5);
+        assert_eq!(members[2].weight, 1.0);
+
+        assert!(parse_members("").is_err());
+        assert!(parse_members("a 127.0.0.1:1\na 127.0.0.1:2").is_err());
+        assert!(parse_members("a=127.0.0.1:1@-1").is_err());
+        assert!(parse_members("only-a-name").is_err());
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_total() {
+        let members = fleet(&[1.0, 1.0, 1.0]);
+        for fp in 0..1000u64 {
+            let owner = owner_of(fp, &members);
+            assert!(owner < members.len());
+            assert_eq!(owner, owner_of(fp, &members));
+        }
+    }
+
+    #[test]
+    fn membership_edits_only_move_affected_fingerprints() {
+        // The rendezvous property: removing a member only relocates the
+        // fingerprints it owned; everything else keeps its owner.
+        let full = fleet(&[1.0, 1.0, 1.0]);
+        let reduced = vec![full[0].clone(), full[1].clone()];
+        for fp in 0..2000u64 {
+            let before = owner_of(fp, &full);
+            let after = owner_of(fp, &reduced);
+            if before < 2 {
+                assert_eq!(before, after, "fp {fp} moved although its owner stayed");
+            }
+        }
+    }
+
+    #[test]
+    fn weights_bias_ownership_share() {
+        let members = fleet(&[1.0, 3.0]);
+        let n = 20_000u64;
+        let heavy = (0..n).filter(|&fp| owner_of(fp, &members) == 1).count();
+        let share = heavy as f64 / n as f64;
+        // Expectation is 3/4; the tolerance is generous (binomial
+        // σ ≈ 0.003 at n = 20k).
+        assert!(
+            (share - 0.75).abs() < 0.03,
+            "weight-3 member owns {share:.3} of fingerprints, expected ≈ 0.75"
+        );
+    }
+}

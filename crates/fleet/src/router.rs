@@ -1,0 +1,1164 @@
+//! The front-door router: one listen address speaking the standard
+//! wire protocol, fanning out to N member `phom serve` processes over
+//! [`phom_net::Client`] connections.
+//!
+//! ## Structure
+//!
+//! An accept thread plus one handler thread per client connection —
+//! the same shape as [`phom_net::Server`]. Each connection owns its
+//! own member links (lazily connected, reconnect-with-backoff via
+//! [`Client::connect_with_retry`]) and its own ticket table mapping
+//! router tickets to `(member, member_ticket)` pairs; a ticket is
+//! pinned to the member link it was submitted over, which is exactly
+//! what makes handoff safe — tickets created before a routing flip
+//! keep polling through the old member until resolved.
+//!
+//! Routing state (placements, which members hold which fingerprints,
+//! cached instances for handoff warm-up, in-flight counts, the drain
+//! queue) is shared across connections under one mutex; member I/O is
+//! never performed while holding it.
+//!
+//! ## Failure semantics
+//!
+//! The router never silently retries a `submit` — once a submit frame
+//! reached a member, an I/O failure answers the typed
+//! `member_unavailable` error and exactly-once stays with the client.
+//! (The one deliberate exception: a submit *rejected* by the member
+//! with `invalid_query` because the member lost its registry — e.g. a
+//! restart — is definitively not admitted, so the router re-registers
+//! and forwards once more.) A lost member link loses the tickets
+//! routed over it: each answers `member_unavailable` exactly once,
+//! then is gone. Member error frames (`overloaded` with its
+//! `capacity`, `deadline_exceeded`, …) are relayed verbatim, so
+//! backpressure reaches the edge.
+
+use crate::members::{owner_of, validate_members, MemberSpec};
+use phom_net::json::Json;
+use phom_net::wire::{self, read_frame, write_frame};
+use phom_net::Client;
+use std::collections::{BTreeSet, HashMap};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Configuration for a [`Router`].
+#[derive(Clone, Debug)]
+pub struct RouterBuilder {
+    max_frame: usize,
+    poll_wait_cap: Duration,
+    connect_attempts: u32,
+    connect_backoff: Duration,
+}
+
+impl Default for RouterBuilder {
+    fn default() -> Self {
+        RouterBuilder::new()
+    }
+}
+
+impl RouterBuilder {
+    /// Defaults: 8 MiB frame bound, 2 s poll-wait cap, 3 connection
+    /// attempts with 50 ms backoff per member call.
+    pub fn new() -> Self {
+        RouterBuilder {
+            max_frame: wire::MAX_FRAME,
+            poll_wait_cap: Duration::from_secs(2),
+            connect_attempts: 3,
+            connect_backoff: Duration::from_millis(50),
+        }
+    }
+
+    /// Bound on a single wire frame, client side and member side.
+    pub fn max_frame(mut self, bytes: usize) -> Self {
+        self.max_frame = bytes.max(64);
+        self
+    }
+
+    /// Cap on the `wait_ms` a `poll` op may block for.
+    pub fn poll_wait_cap(mut self, cap: Duration) -> Self {
+        self.poll_wait_cap = cap;
+        self
+    }
+
+    /// Member (re)connection budget: up to `attempts` tries with
+    /// linearly growing `backoff` before a member call answers
+    /// `member_unavailable`.
+    pub fn connect_retry(mut self, attempts: u32, backoff: Duration) -> Self {
+        self.connect_attempts = attempts.max(1);
+        self.connect_backoff = backoff;
+        self
+    }
+
+    /// Binds the listener and spawns the accept + maintenance threads.
+    pub fn bind(self, addr: impl ToSocketAddrs, members: Vec<MemberSpec>) -> io::Result<Router> {
+        validate_members(&members).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(RouterInner {
+            members,
+            draining: AtomicBool::new(false),
+            max_frame: self.max_frame,
+            poll_wait_cap: self.poll_wait_cap,
+            connect_attempts: self.connect_attempts,
+            connect_backoff: self.connect_backoff,
+            state: Mutex::new(RouteState::default()),
+            maint_wake: Condvar::new(),
+            conns: Mutex::new(Vec::new()),
+            counters: RouterCounters::default(),
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("phom-fleet-accept".into())
+                .spawn(move || accept_loop(&inner, listener))
+                .expect("spawn accept thread")
+        };
+        let maintenance = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("phom-fleet-maint".into())
+                .spawn(move || maintenance_loop(&inner))
+                .expect("spawn maintenance thread")
+        };
+        Ok(Router {
+            inner,
+            accept: Some(accept),
+            maintenance: Some(maintenance),
+            local_addr,
+        })
+    }
+}
+
+/// Routing state shared by every connection. Member I/O is never done
+/// under this lock.
+#[derive(Default)]
+struct RouteState {
+    /// Current owner of each registered fingerprint.
+    placements: HashMap<u64, usize>,
+    /// Which members are known to hold which fingerprints (lazily
+    /// populated by broadcast-on-demand registration).
+    holders: HashMap<u64, BTreeSet<usize>>,
+    /// Canonically re-encoded instances, kept for handoff warm-up and
+    /// lazy registration.
+    instances: HashMap<u64, Json>,
+    /// Outstanding tickets per (member, fingerprint) — the drain
+    /// condition for deregistering after a handoff.
+    inflight: HashMap<(usize, u64), u64>,
+    /// Handoffs waiting for the old member's in-flight tickets to
+    /// resolve, with a retry count for the deregister call.
+    drains: Vec<DrainJob>,
+}
+
+struct DrainJob {
+    version: u64,
+    member: usize,
+    tries: u32,
+}
+
+#[derive(Default)]
+struct RouterCounters {
+    connections: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    submitted: AtomicU64,
+    delivered: AtomicU64,
+    member_unavailable: AtomicU64,
+    handoffs: AtomicU64,
+    lazy_registers: AtomicU64,
+    drained_deregisters: AtomicU64,
+    tickets_open: AtomicI64,
+}
+
+struct RouterInner {
+    members: Vec<MemberSpec>,
+    draining: AtomicBool,
+    max_frame: usize,
+    poll_wait_cap: Duration,
+    connect_attempts: u32,
+    connect_backoff: Duration,
+    state: Mutex<RouteState>,
+    /// Wakes the maintenance thread when a drain may have completed.
+    maint_wake: Condvar,
+    conns: Mutex<Vec<(TcpStream, Option<JoinHandle<()>>)>>,
+    counters: RouterCounters,
+}
+
+/// A point-in-time snapshot of the router's own counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RouterStats {
+    /// Client connections accepted over the router's lifetime.
+    pub connections: u64,
+    /// Frames read off client connections.
+    pub frames_in: u64,
+    /// Frames written to client connections.
+    pub frames_out: u64,
+    /// `submit` ops successfully forwarded (a member ticket exists).
+    pub submitted: u64,
+    /// Answers delivered to clients via `poll`.
+    pub delivered: u64,
+    /// Ops answered with the typed `member_unavailable` frame.
+    pub member_unavailable: u64,
+    /// Completed `move` ops (routing flips).
+    pub handoffs: u64,
+    /// Broadcast-on-demand registrations forwarded to members.
+    pub lazy_registers: u64,
+    /// Post-handoff deregistrations completed on drained members.
+    pub drained_deregisters: u64,
+    /// Tickets currently held router-side awaiting delivery (0 after a
+    /// clean drain — the no-leak gauge).
+    pub open_tickets: i64,
+}
+
+/// The fleet front door. See the [module docs](self) for structure and
+/// failure semantics, and [`phom_net::wire`] for the ops it serves
+/// (the member protocol plus `move` and `fleet`).
+pub struct Router {
+    inner: Arc<RouterInner>,
+    accept: Option<JoinHandle<()>>,
+    maintenance: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl Router {
+    /// Starts a configuration.
+    pub fn builder() -> RouterBuilder {
+        RouterBuilder::new()
+    }
+
+    /// Binds with default configuration.
+    pub fn bind(addr: impl ToSocketAddrs, members: Vec<MemberSpec>) -> io::Result<Router> {
+        RouterBuilder::new().bind(addr, members)
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The static membership.
+    pub fn members(&self) -> &[MemberSpec] {
+        &self.inner.members
+    }
+
+    /// The router's own counters.
+    pub fn stats(&self) -> RouterStats {
+        let c = &self.inner.counters;
+        RouterStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            frames_in: c.frames_in.load(Ordering::Relaxed),
+            frames_out: c.frames_out.load(Ordering::Relaxed),
+            submitted: c.submitted.load(Ordering::Relaxed),
+            delivered: c.delivered.load(Ordering::Relaxed),
+            member_unavailable: c.member_unavailable.load(Ordering::Relaxed),
+            handoffs: c.handoffs.load(Ordering::Relaxed),
+            lazy_registers: c.lazy_registers.load(Ordering::Relaxed),
+            drained_deregisters: c.drained_deregisters.load(Ordering::Relaxed),
+            open_tickets: c.tickets_open.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Tickets currently held on behalf of connected clients.
+    pub fn open_tickets(&self) -> i64 {
+        self.inner.counters.tickets_open.load(Ordering::SeqCst)
+    }
+
+    /// Draining shutdown: stop accepting, answer new `submit`s with
+    /// `cancelled`, give clients up to `drain` to poll their
+    /// outstanding answers, then close every connection and join every
+    /// thread. Returns the final [`RouterStats`].
+    pub fn shutdown(mut self, drain: Duration) -> RouterStats {
+        self.shutdown_impl(drain);
+        self.stats()
+    }
+
+    fn shutdown_impl(&mut self, drain: Duration) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let deadline = Instant::now() + drain;
+        while self.open_tickets() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let conns = std::mem::take(&mut *lock(&self.inner.conns));
+        for (stream, _) in &conns {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for (_, handle) in conns {
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        }
+        self.inner.maint_wake.notify_all();
+        if let Some(maintenance) = self.maintenance.take() {
+            let _ = maintenance.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    /// Dropping without [`shutdown`](Router::shutdown) still stops
+    /// every thread (no drain window).
+    fn drop(&mut self) {
+        if self.accept.is_some() || self.maintenance.is_some() {
+            self.shutdown_impl(Duration::ZERO);
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<RouterInner>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if inner.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        inner.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let Ok(clone) = stream.try_clone() else {
+            continue;
+        };
+        let inner2 = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name("phom-fleet-conn".into())
+            .spawn(move || Conn::new(&inner2).run(stream))
+            .expect("spawn connection thread");
+        let mut conns = lock(&inner.conns);
+        conns.retain_mut(|(_, slot)| match slot {
+            Some(h) if h.is_finished() => {
+                let _ = slot.take().expect("present").join();
+                false
+            }
+            _ => true,
+        });
+        conns.push((clone, Some(handle)));
+    }
+}
+
+/// Background handoff completion: once a drained (member, version)
+/// pair has no in-flight tickets left, deregister the version on the
+/// old member. Deregistration is an at-most-`MAX_TRIES` best effort —
+/// a dead member's registry died with it, so giving up is safe.
+fn maintenance_loop(inner: &Arc<RouterInner>) {
+    const MAX_TRIES: u32 = 5;
+    loop {
+        let ready: Vec<DrainJob> = {
+            let mut state = lock(&inner.state);
+            if inner.draining.load(Ordering::SeqCst) {
+                return;
+            }
+            let (ready, waiting) = std::mem::take(&mut state.drains)
+                .into_iter()
+                .partition(|job| {
+                    state
+                        .inflight
+                        .get(&(job.member, job.version))
+                        .copied()
+                        .unwrap_or(0)
+                        == 0
+                });
+            state.drains = waiting;
+            if ready.is_empty() {
+                let (guard, _) = inner
+                    .maint_wake
+                    .wait_timeout(state, Duration::from_millis(25))
+                    .unwrap_or_else(PoisonError::into_inner);
+                drop(guard);
+                continue;
+            }
+            ready
+        };
+        for mut job in ready {
+            let member = &inner.members[job.member];
+            let done = Client::connect_with_retry(
+                member.addr.as_str(),
+                inner.connect_attempts,
+                inner.connect_backoff,
+            )
+            .and_then(|mut client| client.deregister(job.version))
+            .is_ok();
+            let mut state = lock(&inner.state);
+            if done {
+                inner
+                    .counters
+                    .drained_deregisters
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(holders) = state.holders.get_mut(&job.version) {
+                    holders.remove(&job.member);
+                }
+            } else {
+                job.tries += 1;
+                if job.tries < MAX_TRIES {
+                    state.drains.push(job);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reply envelopes (the router speaks the same envelope as the server)
+// ---------------------------------------------------------------------
+
+fn ok_reply(request: &Json, payload: Json) -> Json {
+    let mut pairs = Vec::with_capacity(2);
+    if let Some(id) = request.get("id") {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    pairs.push(("ok".to_string(), payload));
+    Json::Obj(pairs)
+}
+
+fn err_reply(request: &Json, code: &str, msg: &str) -> Json {
+    let mut pairs = Vec::with_capacity(2);
+    if let Some(id) = request.get("id") {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    pairs.push((
+        "err".to_string(),
+        Json::obj(vec![("code", Json::str(code)), ("msg", Json::str(msg))]),
+    ));
+    Json::Obj(pairs)
+}
+
+/// Re-envelopes a member's raw reply under the client's `id`: `ok`
+/// payloads and `err` objects (with all their structured fields —
+/// `overloaded` keeps its `capacity`) pass through verbatim.
+fn relay_reply(request: &Json, member_reply: Json) -> Json {
+    let mut pairs = Vec::with_capacity(2);
+    if let Some(id) = request.get("id") {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    if let Some(ok) = member_reply.get("ok") {
+        pairs.push(("ok".to_string(), ok.clone()));
+    } else if let Some(err) = member_reply.get("err") {
+        pairs.push(("err".to_string(), err.clone()));
+    } else {
+        return err_reply(
+            request,
+            "bad_frame",
+            "member answered an unrecognized frame",
+        );
+    }
+    Json::Obj(pairs)
+}
+
+// ---------------------------------------------------------------------
+// Per-connection handler
+// ---------------------------------------------------------------------
+
+/// A ticket forwarded to a member, pinned to the link generation it
+/// was submitted over — if that link dies, the member-side ticket died
+/// with it, and the router answers `member_unavailable` exactly once.
+struct RoutedTicket {
+    member: usize,
+    generation: u64,
+    version: u64,
+    remote: u64,
+}
+
+struct MemberLink {
+    client: Option<Client>,
+    /// Bumped every time the link is torn down; tickets remember the
+    /// generation they were created under.
+    generation: u64,
+}
+
+struct Conn<'a> {
+    inner: &'a RouterInner,
+    links: Vec<MemberLink>,
+    tickets: HashMap<u64, RoutedTicket>,
+    next_ticket: u64,
+}
+
+impl<'a> Conn<'a> {
+    fn new(inner: &'a RouterInner) -> Conn<'a> {
+        Conn {
+            inner,
+            links: inner
+                .members
+                .iter()
+                .map(|_| MemberLink {
+                    client: None,
+                    generation: 0,
+                })
+                .collect(),
+            tickets: HashMap::new(),
+            next_ticket: 1,
+        }
+    }
+
+    fn run(mut self, mut stream: TcpStream) {
+        loop {
+            let frame = match read_frame(&mut stream, self.inner.max_frame) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    let reply = err_reply(&Json::Null, "bad_frame", &e.to_string());
+                    if self.write_reply(&mut stream, reply).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                Err(_) => break,
+            };
+            self.inner
+                .counters
+                .frames_in
+                .fetch_add(1, Ordering::Relaxed);
+            let reply = self.handle_op(&frame);
+            if self.write_reply(&mut stream, reply).is_err() {
+                break;
+            }
+        }
+        // Tickets die with the connection; release their drain holds.
+        let tickets = std::mem::take(&mut self.tickets);
+        self.inner
+            .counters
+            .tickets_open
+            .fetch_sub(tickets.len() as i64, Ordering::SeqCst);
+        for t in tickets.values() {
+            self.dec_inflight(t.member, t.version);
+        }
+    }
+
+    fn write_reply(&self, stream: &mut TcpStream, reply: Json) -> io::Result<()> {
+        self.inner
+            .counters
+            .frames_out
+            .fetch_add(1, Ordering::Relaxed);
+        write_frame(stream, &reply)
+    }
+
+    // -- member link plumbing --------------------------------------
+
+    /// The connected link to member `idx`, (re)connecting with the
+    /// configured retry budget on demand.
+    fn link(&mut self, idx: usize) -> Result<&mut Client, String> {
+        if self.links[idx].client.is_none() {
+            let member = &self.inner.members[idx];
+            match Client::connect_with_retry(
+                member.addr.as_str(),
+                self.inner.connect_attempts,
+                self.inner.connect_backoff,
+            ) {
+                Ok(client) => self.links[idx].client = Some(client),
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        Ok(self.links[idx].client.as_mut().expect("connected above"))
+    }
+
+    /// Tears a link down after an I/O failure; tickets pinned to the
+    /// old generation resolve as `member_unavailable` on their next
+    /// poll.
+    fn drop_link(&mut self, idx: usize) {
+        self.links[idx].client = None;
+        self.links[idx].generation += 1;
+    }
+
+    /// One request/reply exchange with member `idx`. `Ok` is the raw
+    /// member reply (possibly an error envelope, relayed upward);
+    /// `Err` means the member could not be reached or died mid-call —
+    /// the link is torn down and the caller answers
+    /// `member_unavailable`.
+    fn member_call(&mut self, idx: usize, frame: Json) -> Result<Json, String> {
+        let client = self.link(idx)?;
+        match client.call_raw(frame) {
+            Ok(reply) => Ok(reply),
+            Err(e) => {
+                self.drop_link(idx);
+                Err(e.to_string())
+            }
+        }
+    }
+
+    fn member_unavailable_reply(&self, frame: &Json, idx: usize, why: &str) -> Json {
+        self.inner
+            .counters
+            .member_unavailable
+            .fetch_add(1, Ordering::Relaxed);
+        let member = &self.inner.members[idx];
+        let mut pairs = Vec::with_capacity(2);
+        if let Some(id) = frame.get("id") {
+            pairs.push(("id".to_string(), id.clone()));
+        }
+        pairs.push((
+            "err".to_string(),
+            Json::obj(vec![
+                ("code", Json::str("member_unavailable")),
+                ("member", Json::str(&member.name)),
+                (
+                    "msg",
+                    Json::str(format!(
+                        "member '{}' at {} unavailable: {why}",
+                        member.name, member.addr
+                    )),
+                ),
+            ]),
+        ));
+        Json::Obj(pairs)
+    }
+
+    fn dec_inflight(&self, member: usize, version: u64) {
+        let mut state = lock(&self.inner.state);
+        if let Some(n) = state.inflight.get_mut(&(member, version)) {
+            *n -= 1;
+            if *n == 0 {
+                state.inflight.remove(&(member, version));
+                self.inner.maint_wake.notify_all();
+            }
+        }
+    }
+
+    /// Removes a ticket in a terminal state, releasing its bookkeeping.
+    fn finish_ticket(&mut self, id: u64) {
+        if let Some(t) = self.tickets.remove(&id) {
+            self.inner
+                .counters
+                .tickets_open
+                .fetch_sub(1, Ordering::SeqCst);
+            self.dec_inflight(t.member, t.version);
+        }
+    }
+
+    /// Ensures member `idx` holds `version`, forwarding a hinted
+    /// `register` if not (broadcast-on-demand). `Err` carries the
+    /// ready-to-send error reply.
+    fn ensure_registered(&mut self, frame: &Json, idx: usize, version: u64) -> Result<(), Json> {
+        let instance = {
+            let state = lock(&self.inner.state);
+            if state
+                .holders
+                .get(&version)
+                .is_some_and(|h| h.contains(&idx))
+            {
+                return Ok(());
+            }
+            match state.instances.get(&version) {
+                Some(instance) => instance.clone(),
+                None => {
+                    return Err(err_reply(
+                        frame,
+                        "invalid_query",
+                        &format!("no instance registered for version {version:#018x}"),
+                    ))
+                }
+            }
+        };
+        let register = Json::obj(vec![
+            ("op", Json::str("register")),
+            ("version", wire::encode_version(version)),
+            ("instance", instance),
+        ]);
+        match self.member_call(idx, register) {
+            Ok(reply) if reply.get("ok").is_some() => {
+                self.inner
+                    .counters
+                    .lazy_registers
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut state = lock(&self.inner.state);
+                state.holders.entry(version).or_default().insert(idx);
+                Ok(())
+            }
+            Ok(reply) => Err(relay_reply(frame, reply)),
+            Err(why) => Err(self.member_unavailable_reply(frame, idx, &why)),
+        }
+    }
+
+    // -- op dispatch -----------------------------------------------
+
+    fn handle_op(&mut self, frame: &Json) -> Json {
+        let Some(op) = frame.get("op").and_then(Json::as_str) else {
+            return err_reply(frame, "bad_request", "missing 'op'");
+        };
+        match op {
+            "ping" => ok_reply(
+                frame,
+                Json::obj(vec![
+                    ("pong", Json::Bool(true)),
+                    ("router", Json::Bool(true)),
+                ]),
+            ),
+            "register" => self.op_register(frame),
+            "submit" => self.op_submit(frame),
+            "poll" => self.op_poll(frame),
+            "cancel" => self.op_cancel(frame),
+            "move" => self.op_move(frame),
+            "stats" => self.op_stats(frame),
+            "fleet" => self.op_fleet(frame),
+            other => err_reply(frame, "bad_request", &format!("unknown op '{other}'")),
+        }
+    }
+
+    /// `register`: decode + fingerprint the instance, cache its
+    /// canonical encoding, and assign an owner — lazily; no member is
+    /// contacted until the first submit needs it.
+    fn op_register(&mut self, frame: &Json) -> Json {
+        if self.inner.draining.load(Ordering::SeqCst) {
+            return err_reply(frame, "cancelled", "router is draining");
+        }
+        let Some(instance_json) = frame.get("instance") else {
+            return err_reply(frame, "bad_request", "register needs an 'instance'");
+        };
+        let instance = match wire::decode_instance(instance_json) {
+            Ok(instance) => instance,
+            Err(msg) => return err_reply(frame, "bad_request", &msg),
+        };
+        let version = phom_core::instance_fingerprint(&instance);
+        match frame.get("version").map(wire::decode_version) {
+            Some(Ok(hint)) if hint != version => {
+                return err_reply(
+                    frame,
+                    "bad_request",
+                    &format!(
+                        "register hint {hint:#018x} does not match the \
+                         instance fingerprint {version:#018x}"
+                    ),
+                );
+            }
+            Some(Err(msg)) => return err_reply(frame, "bad_request", &msg),
+            _ => {}
+        }
+        let mut state = lock(&self.inner.state);
+        let cached = state.instances.contains_key(&version);
+        if !cached {
+            // Canonical re-encoding: what handoff warm-ups will send.
+            state
+                .instances
+                .insert(version, wire::encode_instance(&instance));
+        }
+        let owner = *state
+            .placements
+            .entry(version)
+            .or_insert_with(|| owner_of(version, &self.inner.members));
+        let owner_name = self.inner.members[owner].name.clone();
+        drop(state);
+        ok_reply(
+            frame,
+            Json::obj(vec![
+                ("version", wire::encode_version(version)),
+                (
+                    "registered",
+                    Json::str(if cached { "cached" } else { "new" }),
+                ),
+                ("owner", Json::str(&owner_name)),
+            ]),
+        )
+    }
+
+    fn op_submit(&mut self, frame: &Json) -> Json {
+        if self.inner.draining.load(Ordering::SeqCst) {
+            return err_reply(frame, "cancelled", "router is draining");
+        }
+        let version = match frame.get("version").map(wire::decode_version) {
+            Some(Ok(version)) => version,
+            Some(Err(msg)) => return err_reply(frame, "bad_request", &msg),
+            None => return err_reply(frame, "bad_request", "submit needs a 'version'"),
+        };
+        let Some(request) = frame.get("request") else {
+            return err_reply(frame, "bad_request", "submit needs a 'request'");
+        };
+        // Owner lookup and the in-flight increment happen under one
+        // lock acquisition: a concurrent `move` flips routing either
+        // before (we route to the new member) or after (the drain
+        // waits for our ticket) — never in between.
+        let owner = {
+            let mut state = lock(&self.inner.state);
+            let Some(&owner) = state.placements.get(&version) else {
+                return err_reply(
+                    frame,
+                    "invalid_query",
+                    &format!("no instance registered for version {version:#018x}"),
+                );
+            };
+            *state.inflight.entry((owner, version)).or_insert(0) += 1;
+            owner
+        };
+        match self.forward_submit(frame, owner, version, request) {
+            Ok(reply) => reply,
+            Err(reply) => {
+                self.dec_inflight(owner, version);
+                reply
+            }
+        }
+    }
+
+    /// Forwards one submit to `owner`. `Ok` means a ticket exists (the
+    /// in-flight hold stays); `Err` is a ready error reply (the caller
+    /// releases the hold).
+    fn forward_submit(
+        &mut self,
+        frame: &Json,
+        owner: usize,
+        version: u64,
+        request: &Json,
+    ) -> Result<Json, Json> {
+        self.ensure_registered(frame, owner, version)?;
+        let forward = Json::obj(vec![
+            ("op", Json::str("submit")),
+            ("version", wire::encode_version(version)),
+            ("request", request.clone()),
+        ]);
+        let mut reply = match self.member_call(owner, forward.clone()) {
+            Ok(reply) => reply,
+            Err(why) => return Err(self.member_unavailable_reply(frame, owner, &why)),
+        };
+        // A member that lost its registry (restart) rejects with
+        // `invalid_query` — definitively not admitted, so one
+        // re-register + re-forward is safe (this is the only retry the
+        // router ever performs).
+        if reply
+            .get("err")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            == Some("invalid_query")
+        {
+            lock(&self.inner.state)
+                .holders
+                .entry(version)
+                .or_default()
+                .remove(&owner);
+            self.ensure_registered(frame, owner, version)?;
+            reply = match self.member_call(owner, forward) {
+                Ok(reply) => reply,
+                Err(why) => return Err(self.member_unavailable_reply(frame, owner, &why)),
+            };
+        }
+        let Some(remote) = reply
+            .get("ok")
+            .and_then(|ok| ok.get("ticket"))
+            .and_then(Json::as_u64)
+        else {
+            // Typed member rejection (overloaded, cancelled, …):
+            // relayed verbatim so backpressure reaches the edge.
+            return Err(relay_reply(frame, reply));
+        };
+        let id = self.next_ticket;
+        self.next_ticket += 1;
+        self.tickets.insert(
+            id,
+            RoutedTicket {
+                member: owner,
+                generation: self.links[owner].generation,
+                version,
+                remote,
+            },
+        );
+        self.inner
+            .counters
+            .tickets_open
+            .fetch_add(1, Ordering::SeqCst);
+        self.inner
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(ok_reply(frame, Json::obj(vec![("ticket", Json::u64(id))])))
+    }
+
+    fn op_poll(&mut self, frame: &Json) -> Json {
+        let Some(id) = frame.get("ticket").and_then(Json::as_u64) else {
+            return err_reply(frame, "bad_request", "poll needs a 'ticket'");
+        };
+        let Some(t) = self.tickets.get(&id) else {
+            return err_reply(frame, "unknown_ticket", "no such ticket on this connection");
+        };
+        let (member, generation, remote) = (t.member, t.generation, t.remote);
+        if generation != self.links[member].generation {
+            let reply =
+                self.member_unavailable_reply(frame, member, "link lost with ticket in flight");
+            self.finish_ticket(id);
+            return reply;
+        }
+        let wait = frame
+            .get("wait_ms")
+            .and_then(Json::as_u64)
+            .map_or(Duration::ZERO, Duration::from_millis)
+            .min(self.inner.poll_wait_cap);
+        let forward = Json::obj(vec![
+            ("op", Json::str("poll")),
+            ("ticket", Json::u64(remote)),
+            ("wait_ms", Json::u64(wait.as_millis() as u64)),
+        ]);
+        match self.member_call(member, forward) {
+            Ok(reply) => {
+                if reply
+                    .get("ok")
+                    .and_then(|ok| ok.get("done"))
+                    .and_then(Json::as_bool)
+                    == Some(true)
+                {
+                    self.finish_ticket(id);
+                    self.inner
+                        .counters
+                        .delivered
+                        .fetch_add(1, Ordering::Relaxed);
+                } else if reply.get("err").is_some() {
+                    // The member no longer knows the ticket (e.g. it
+                    // restarted between polls) — terminal here too.
+                    self.finish_ticket(id);
+                }
+                relay_reply(frame, reply)
+            }
+            Err(why) => {
+                let reply = self.member_unavailable_reply(frame, member, &why);
+                self.finish_ticket(id);
+                reply
+            }
+        }
+    }
+
+    fn op_cancel(&mut self, frame: &Json) -> Json {
+        let Some(id) = frame.get("ticket").and_then(Json::as_u64) else {
+            return err_reply(frame, "bad_request", "cancel needs a 'ticket'");
+        };
+        let Some(t) = self.tickets.get(&id) else {
+            return err_reply(frame, "unknown_ticket", "no such ticket on this connection");
+        };
+        let (member, generation, remote) = (t.member, t.generation, t.remote);
+        if generation != self.links[member].generation {
+            let reply =
+                self.member_unavailable_reply(frame, member, "link lost with ticket in flight");
+            self.finish_ticket(id);
+            return reply;
+        }
+        let forward = Json::obj(vec![
+            ("op", Json::str("cancel")),
+            ("ticket", Json::u64(remote)),
+        ]);
+        match self.member_call(member, forward) {
+            // Cancellation is not terminal: the ticket still resolves
+            // through `poll` (with the cancelled result or the answer
+            // that beat it).
+            Ok(reply) => relay_reply(frame, reply),
+            Err(why) => {
+                let reply = self.member_unavailable_reply(frame, member, &why);
+                self.finish_ticket(id);
+                reply
+            }
+        }
+    }
+
+    /// `move`: the re-register handoff. Warm the instance on the
+    /// target (a hinted register — usually the member's cached fast
+    /// path), flip routing atomically, queue the drain-and-deregister
+    /// on the old member. On any failure routing is left untouched.
+    fn op_move(&mut self, frame: &Json) -> Json {
+        let version = match frame.get("version").map(wire::decode_version) {
+            Some(Ok(version)) => version,
+            Some(Err(msg)) => return err_reply(frame, "bad_request", &msg),
+            None => return err_reply(frame, "bad_request", "move needs a 'version'"),
+        };
+        let Some(to) = frame.get("to").and_then(Json::as_str) else {
+            return err_reply(frame, "bad_request", "move needs a 'to' member name");
+        };
+        let Some(target) = self.inner.members.iter().position(|m| m.name == to) else {
+            return err_reply(frame, "bad_request", &format!("no member named '{to}'"));
+        };
+        {
+            let state = lock(&self.inner.state);
+            if !state.instances.contains_key(&version) {
+                return err_reply(
+                    frame,
+                    "invalid_query",
+                    &format!("no instance registered for version {version:#018x}"),
+                );
+            }
+        }
+        // Warm the target first; only a registered target takes over.
+        if let Err(reply) = self.ensure_registered(frame, target, version) {
+            return reply;
+        }
+        let (from_idx, drained) = {
+            let mut state = lock(&self.inner.state);
+            let old = state
+                .placements
+                .insert(version, target)
+                .expect("registered");
+            if old != target {
+                // A bounce-back cancels the target's pending drain: the
+                // copy queued for retirement is the copy now serving.
+                state
+                    .drains
+                    .retain(|job| !(job.version == version && job.member == target));
+                state.drains.push(DrainJob {
+                    version,
+                    member: old,
+                    tries: 0,
+                });
+                self.inner.maint_wake.notify_all();
+                self.inner.counters.handoffs.fetch_add(1, Ordering::Relaxed);
+            }
+            (old, old != target)
+        };
+        ok_reply(
+            frame,
+            Json::obj(vec![
+                ("version", wire::encode_version(version)),
+                ("from", Json::str(&self.inner.members[from_idx].name)),
+                ("to", Json::str(&self.inner.members[target].name)),
+                ("moved", Json::Bool(drained)),
+            ]),
+        )
+    }
+
+    /// `stats`: per-member snapshots plus a numeric rollup and the
+    /// router's own counters. A member that cannot be reached is
+    /// reported (`ok: false`), never an error for the whole op.
+    fn op_stats(&mut self, frame: &Json) -> Json {
+        let mut member_entries = Vec::new();
+        let mut rollup: Vec<(String, u64)> = Vec::new();
+        let mut available = 0u64;
+        for idx in 0..self.inner.members.len() {
+            let member = &self.inner.members[idx];
+            let (name, addr) = (member.name.clone(), member.addr.clone());
+            let reply = self.member_call(idx, Json::obj(vec![("op", Json::str("stats"))]));
+            let stats = match reply {
+                Ok(reply) => reply.get("ok").and_then(|ok| ok.get("stats")).cloned(),
+                Err(_) => None,
+            };
+            match stats {
+                Some(stats) => {
+                    available += 1;
+                    for field in ROLLUP_FIELDS {
+                        if let Some(v) = stats.get(field).and_then(Json::as_u64) {
+                            match rollup.iter_mut().find(|(f, _)| f == field) {
+                                Some((_, sum)) => *sum += v,
+                                None => rollup.push((field.to_string(), v)),
+                            }
+                        }
+                    }
+                    member_entries.push(Json::obj(vec![
+                        ("name", Json::str(&name)),
+                        ("addr", Json::str(&addr)),
+                        ("ok", Json::Bool(true)),
+                        ("stats", stats),
+                    ]));
+                }
+                None => member_entries.push(Json::obj(vec![
+                    ("name", Json::str(&name)),
+                    ("addr", Json::str(&addr)),
+                    ("ok", Json::Bool(false)),
+                ])),
+            }
+        }
+        let c = self.stats_snapshot();
+        let mut rollup_pairs: Vec<(String, Json)> =
+            vec![("members_available".to_string(), Json::u64(available))];
+        rollup_pairs.extend(rollup.into_iter().map(|(f, v)| (f, Json::u64(v))));
+        ok_reply(
+            frame,
+            Json::obj(vec![(
+                "stats",
+                Json::obj(vec![
+                    ("router", c),
+                    ("members", Json::Arr(member_entries)),
+                    ("rollup", Json::Obj(rollup_pairs)),
+                ]),
+            )]),
+        )
+    }
+
+    fn stats_snapshot(&self) -> Json {
+        let c = &self.inner.counters;
+        Json::obj(vec![
+            (
+                "connections",
+                Json::u64(c.connections.load(Ordering::Relaxed)),
+            ),
+            ("frames_in", Json::u64(c.frames_in.load(Ordering::Relaxed))),
+            (
+                "frames_out",
+                Json::u64(c.frames_out.load(Ordering::Relaxed)),
+            ),
+            ("submitted", Json::u64(c.submitted.load(Ordering::Relaxed))),
+            ("delivered", Json::u64(c.delivered.load(Ordering::Relaxed))),
+            (
+                "member_unavailable",
+                Json::u64(c.member_unavailable.load(Ordering::Relaxed)),
+            ),
+            ("handoffs", Json::u64(c.handoffs.load(Ordering::Relaxed))),
+            (
+                "lazy_registers",
+                Json::u64(c.lazy_registers.load(Ordering::Relaxed)),
+            ),
+            (
+                "drained_deregisters",
+                Json::u64(c.drained_deregisters.load(Ordering::Relaxed)),
+            ),
+            (
+                "open_tickets",
+                Json::Num(c.tickets_open.load(Ordering::SeqCst) as f64),
+            ),
+        ])
+    }
+
+    /// `fleet`: the static membership plus current placements — the
+    /// admin's view of where every fingerprint lives.
+    fn op_fleet(&mut self, frame: &Json) -> Json {
+        let members = self
+            .inner
+            .members
+            .iter()
+            .map(|m| {
+                Json::obj(vec![
+                    ("name", Json::str(&m.name)),
+                    ("addr", Json::str(&m.addr)),
+                    ("weight", Json::Num(m.weight)),
+                ])
+            })
+            .collect();
+        let state = lock(&self.inner.state);
+        let mut placements: Vec<(u64, usize)> =
+            state.placements.iter().map(|(&v, &m)| (v, m)).collect();
+        placements.sort_unstable();
+        let draining = state.drains.len() as u64;
+        drop(state);
+        let placements = placements
+            .into_iter()
+            .map(|(version, member)| {
+                Json::obj(vec![
+                    ("version", wire::encode_version(version)),
+                    ("member", Json::str(&self.inner.members[member].name)),
+                ])
+            })
+            .collect();
+        ok_reply(
+            frame,
+            Json::obj(vec![
+                ("members", Json::Arr(members)),
+                ("placements", Json::Arr(placements)),
+                ("draining", Json::u64(draining)),
+            ]),
+        )
+    }
+}
+
+/// The member `stats` fields summed into the fleet-wide rollup.
+const ROLLUP_FIELDS: &[&str] = &[
+    "workers",
+    "queue_depth",
+    "admitted",
+    "rejected",
+    "cancelled",
+    "completed",
+    "shed_expired",
+    "ticks",
+    "queries",
+    "batch_cache_hits",
+    "float_evaluated",
+    "escalations",
+    "estimates",
+    "deadline_exceeded",
+    "budget_exceeded",
+];

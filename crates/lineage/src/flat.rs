@@ -354,8 +354,7 @@ mod tests {
         assert!(meter.gates_used() > 0);
 
         let mut tight = WorkMeter::unbounded().with_gate_budget(1);
-        let stopped =
-            a.probability_many_metered(&[root], &probs(), &mut scratch, &mut tight);
+        let stopped = a.probability_many_metered(&[root], &probs(), &mut scratch, &mut tight);
         assert_eq!(stopped, Err(MeterStop::Gates { limit: 1 }));
     }
 

@@ -248,7 +248,10 @@ mod tests {
             if m.charge_gates(1).is_err() {
                 break;
             }
-            assert!(charged <= CLOCK_CHECK_INTERVAL + 1, "deadline never tripped");
+            assert!(
+                charged <= CLOCK_CHECK_INTERVAL + 1,
+                "deadline never tripped"
+            );
         }
     }
 
@@ -261,7 +264,8 @@ mod tests {
 
     #[test]
     fn far_deadline_does_not_trip() {
-        let mut m = WorkMeter::unbounded().with_deadline(Instant::now() + Duration::from_secs(3600));
+        let mut m =
+            WorkMeter::unbounded().with_deadline(Instant::now() + Duration::from_secs(3600));
         for _ in 0..2 * CLOCK_CHECK_INTERVAL {
             m.charge_gates(1).unwrap();
         }
@@ -272,9 +276,13 @@ mod tests {
     fn tighter_of_two_deadlines_wins() {
         let near = Instant::now() - Duration::from_millis(1);
         let far = Instant::now() + Duration::from_secs(3600);
-        let mut m = WorkMeter::unbounded().with_deadline(far).with_deadline(near);
+        let mut m = WorkMeter::unbounded()
+            .with_deadline(far)
+            .with_deadline(near);
         assert_eq!(m.check_now(), Err(MeterStop::Deadline));
-        let mut m2 = WorkMeter::unbounded().with_deadline(near).with_deadline(far);
+        let mut m2 = WorkMeter::unbounded()
+            .with_deadline(near)
+            .with_deadline(far);
         assert_eq!(m2.check_now(), Err(MeterStop::Deadline));
     }
 }

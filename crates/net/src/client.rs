@@ -29,6 +29,18 @@ pub enum NetError {
     },
     /// The server answered something the client could not interpret.
     Protocol(String),
+    /// The endpoint could not be reached within the configured retry
+    /// budget ([`Client::connect_with_retry`]), or a fleet router
+    /// answered a `member_unavailable` frame for a downed member.
+    Unavailable {
+        /// The address that refused us (or the member's name, when the
+        /// error came off the wire from a router).
+        addr: String,
+        /// Connection attempts made before giving up.
+        attempts: u32,
+        /// The last underlying error, rendered.
+        last: String,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -37,6 +49,13 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "io: {e}"),
             NetError::Server { code, msg, .. } => write!(f, "server error [{code}]: {msg}"),
             NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            NetError::Unavailable {
+                addr,
+                attempts,
+                last,
+            } => {
+                write!(f, "unavailable: {addr} after {attempts} attempt(s): {last}")
+            }
         }
     }
 }
@@ -60,6 +79,14 @@ impl NetError {
     pub fn is_cancelled(&self) -> bool {
         matches!(self, NetError::Server { code, .. } if code == "cancelled")
     }
+
+    /// True when the endpoint (or a fleet member behind a router) could
+    /// not be reached: a local [`NetError::Unavailable`], or a
+    /// `member_unavailable` error frame from a router.
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self, NetError::Unavailable { .. })
+            || matches!(self, NetError::Server { code, .. } if code == "member_unavailable")
+    }
 }
 
 /// A blocking connection to a [`Server`](crate::Server).
@@ -78,6 +105,35 @@ impl Client {
         Ok(Client {
             stream,
             max_frame: wire::MAX_FRAME,
+        })
+    }
+
+    /// Connects with up to `attempts` tries, sleeping `backoff` longer
+    /// after each failure (attempt k sleeps `k × backoff`). Exhausting
+    /// the budget yields the typed [`NetError::Unavailable`] instead of
+    /// a raw [`io::Error`] — the shared entry point for router member
+    /// links and CLI connections, where "the member is down" must stay
+    /// distinguishable from a protocol failure.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + std::fmt::Debug,
+        attempts: u32,
+        backoff: Duration,
+    ) -> Result<Client, NetError> {
+        let attempts = attempts.max(1);
+        let mut last = String::new();
+        for attempt in 1..=attempts {
+            match Client::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = e.to_string(),
+            }
+            if attempt < attempts {
+                std::thread::sleep(backoff * attempt);
+            }
+        }
+        Err(NetError::Unavailable {
+            addr: format!("{addr:?}"),
+            attempts,
+            last,
         })
     }
 
@@ -127,6 +183,56 @@ impl Client {
             .get("version")
             .ok_or_else(|| NetError::Protocol("register reply lacks 'version'".into()))
             .and_then(|v| wire::decode_version(v).map_err(NetError::Protocol))
+    }
+
+    /// Like [`register`](Client::register) but sends the fingerprint as
+    /// a `version` hint so a server already holding it can ack from the
+    /// registry without re-decoding the graph. Returns the version plus
+    /// whether the server answered from its registry
+    /// (`registered: "cached"`).
+    pub fn register_hinted(
+        &mut self,
+        instance: &ProbGraph,
+        hint: u64,
+    ) -> Result<(u64, bool), NetError> {
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("register")),
+            ("version", wire::encode_version(hint)),
+            ("instance", wire::encode_instance(instance)),
+        ]))?;
+        let version = reply
+            .get("version")
+            .ok_or_else(|| NetError::Protocol("register reply lacks 'version'".into()))
+            .and_then(|v| wire::decode_version(v).map_err(NetError::Protocol))?;
+        let cached = reply.get("registered").and_then(Json::as_str) == Some("cached");
+        Ok((version, cached))
+    }
+
+    /// Removes a version from the server's registry (`Ok(true)` when it
+    /// was registered). Requests already admitted for it still
+    /// complete; new submits are rejected with `invalid_query`.
+    pub fn deregister(&mut self, version: u64) -> Result<bool, NetError> {
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("deregister")),
+            ("version", wire::encode_version(version)),
+        ]))?;
+        reply
+            .get("deregistered")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| NetError::Protocol("deregister reply lacks 'deregistered'".into()))
+    }
+
+    /// The fingerprints of every version the server currently holds
+    /// (sorted).
+    pub fn versions(&mut self) -> Result<Vec<u64>, NetError> {
+        let reply = self.call(Json::obj(vec![("op", Json::str("versions"))]))?;
+        let Some(Json::Arr(items)) = reply.get("versions") else {
+            return Err(NetError::Protocol("versions reply lacks 'versions'".into()));
+        };
+        items
+            .iter()
+            .map(|v| wire::decode_version(v).map_err(NetError::Protocol))
+            .collect()
     }
 
     /// Submits a request for `version`; returns the server-side ticket

@@ -358,16 +358,85 @@ fn handle_op(
             if inner.draining.load(Ordering::SeqCst) {
                 return solve_err_reply(frame, &SolveError::Cancelled);
             }
+            // Idempotent-cheap fast path: when the client sends the
+            // fingerprint it expects as a `version` hint and we already
+            // hold that version, ack straight from the registry without
+            // decoding the graph at all. A client hinting a fingerprint
+            // its instance doesn't hash to only reaches the wrong
+            // engine's *content* — fingerprints are content hashes, so
+            // the lie harms no one else; the slow path below still
+            // cross-checks when it does decode.
+            let hint = match frame.get("version").map(wire::decode_version) {
+                Some(Ok(hint)) => Some(hint),
+                Some(Err(msg)) => return err_reply(frame, "bad_request", &msg),
+                None => None,
+            };
+            if let Some(hint) = hint {
+                if inner.runtime.is_registered(hint) {
+                    return ok_reply(
+                        frame,
+                        Json::obj(vec![
+                            ("version", encode_version(hint)),
+                            ("registered", Json::str("cached")),
+                        ]),
+                    );
+                }
+            }
             let Some(instance) = frame.get("instance") else {
                 return err_reply(frame, "bad_request", "register needs an 'instance'");
             };
             match wire::decode_instance(instance) {
                 Ok(instance) => {
+                    let fingerprint = phom_core::instance_fingerprint(&instance);
+                    if hint.is_some_and(|h| h != fingerprint) {
+                        return err_reply(
+                            frame,
+                            "bad_request",
+                            &format!(
+                                "register hint {:#018x} does not match the \
+                                 instance fingerprint {fingerprint:#018x}",
+                                hint.expect("checked")
+                            ),
+                        );
+                    }
+                    let cached = inner.runtime.is_registered(fingerprint);
                     let version = inner.runtime.register(instance);
-                    ok_reply(frame, Json::obj(vec![("version", encode_version(version))]))
+                    ok_reply(
+                        frame,
+                        Json::obj(vec![
+                            ("version", encode_version(version)),
+                            (
+                                "registered",
+                                Json::str(if cached { "cached" } else { "new" }),
+                            ),
+                        ]),
+                    )
                 }
                 Err(msg) => err_reply(frame, "bad_request", &msg),
             }
+        }
+        "deregister" => {
+            let version = match frame.get("version").map(wire::decode_version) {
+                Some(Ok(version)) => version,
+                Some(Err(msg)) => return err_reply(frame, "bad_request", &msg),
+                None => return err_reply(frame, "bad_request", "deregister needs a 'version'"),
+            };
+            let removed = inner.runtime.deregister(version);
+            ok_reply(
+                frame,
+                Json::obj(vec![("deregistered", Json::Bool(removed))]),
+            )
+        }
+        "versions" => {
+            let mut versions = inner.runtime.versions();
+            versions.sort_unstable();
+            ok_reply(
+                frame,
+                Json::obj(vec![(
+                    "versions",
+                    Json::Arr(versions.into_iter().map(encode_version).collect()),
+                )]),
+            )
         }
         "submit" => {
             // A draining server admits nothing new — the same typed

@@ -14,10 +14,12 @@
 //!
 //! | op | fields | reply |
 //! |---|---|---|
-//! | `register` | `instance` (graph object with probabilities) | `{"ok":{"version":"0x…"}}` |
+//! | `register` | `instance` (graph object with probabilities), optional `version` hint | `{"ok":{"version":"0x…","registered":"new"\|"cached"}}` |
 //! | `submit` | `version`, `request` | `{"ok":{"ticket":n}}` |
 //! | `poll` | `ticket`, optional `wait_ms` | `{"ok":{"done":false}}` or `{"ok":{"done":true,"result":…}}` |
 //! | `cancel` | `ticket` | `{"ok":{"cancelled":bool}}` |
+//! | `deregister` | `version` | `{"ok":{"deregistered":bool}}` |
+//! | `versions` | — | `{"ok":{"versions":["0x…",…]}}` (sorted) |
 //! | `stats` | — | `{"ok":{"stats":…}}` |
 //! | `ping` | — | `{"ok":{"pong":true}}` |
 //!
@@ -26,6 +28,41 @@
 //! [`SolveError::wire_code`] (`"overloaded"` carries `capacity` — the
 //! backpressure signal on the wire), protocol-side codes are
 //! `"bad_frame"`, `"bad_request"`, and `"unknown_ticket"`.
+//!
+//! `register` is **idempotent-cheap**: a request carrying the expected
+//! fingerprint as a `version` hint acks `registered: "cached"` straight
+//! from the registry when that version is already held — the graph is
+//! not even decoded. When the server does decode, a mismatched hint is
+//! a `bad_request`. A fleet router re-registers on every handoff, so
+//! this is the handoff hot path.
+//!
+//! ## Router ops (fleet front door)
+//!
+//! A `phom_fleet` router speaks this same protocol on its listen
+//! address and adds:
+//!
+//! | op | fields | reply |
+//! |---|---|---|
+//! | `move` | `version`, `to` (member name) | `{"ok":{"version":"0x…","from":…,"to":…}}` |
+//! | `fleet` | — | `{"ok":{"members":[…],"placements":{…}}}` |
+//!
+//! The router's `stats` reply aggregates member stats:
+//! `{"router":{…},"members":[{"name":…,"ok":bool,"stats":…}…],`
+//! `"rollup":{…}}`. One extra error code exists on the router:
+//! `"member_unavailable"` (with a `member` field) — the owning member
+//! could not be reached, or it died while the ticket was in flight.
+//! A lost member connection loses the tickets routed over it; each
+//! such ticket answers `member_unavailable` exactly once (a terminal
+//! state — exactly-once submission stays with the client, the router
+//! never silently retries a submit).
+//!
+//! **Handoff semantics** (`move`): the router warms the instance on
+//! the target member (a hinted `register`, usually the cached fast
+//! path), flips routing atomically, then drains-and-deregisters on the
+//! old member in the background once its in-flight tickets resolve.
+//! Tickets created before the flip keep polling through the old member
+//! until resolved — a handoff never drops or double-answers an
+//! in-flight ticket.
 //!
 //! ## Graphs
 //!

@@ -476,16 +476,24 @@ impl Runtime {
     /// Registers an instance version (building its [`Engine`] on the
     /// shared cache) and returns its routing fingerprint. The first
     /// registered version becomes the [`enqueue`](Runtime::enqueue)
-    /// default. Re-registering an identical instance replaces the
-    /// engine — same fingerprint, same cached answers.
+    /// default. Re-registering an identical instance is
+    /// **idempotent-cheap**: the fingerprint is hashed (no engine
+    /// rebuild, no cache churn) and the existing engine keeps serving —
+    /// a fleet router re-registers on every handoff, so this is its hot
+    /// path. The engine derives entirely from the instance content, so
+    /// an equal fingerprint means an interchangeable engine.
     pub fn register(&self, instance: ProbGraph) -> u64 {
+        let version = phom_core::instance_fingerprint(&instance);
+        if self.is_registered(version) {
+            return version;
+        }
         let engine = Arc::new(
             EngineBuilder::new()
                 .default_options(self.inner.default_options)
                 .shared_cache(self.inner.cache.clone())
                 .build(instance),
         );
-        let version = engine.fingerprint();
+        debug_assert_eq!(engine.fingerprint(), version);
         self.inner
             .engines
             .write()
@@ -496,6 +504,17 @@ impl Runtime {
             *default = Some(version);
         }
         version
+    }
+
+    /// True when `version` is currently registered — the cheap probe
+    /// behind idempotent [`register`](Runtime::register) and the wire
+    /// front end's `registered: "cached"` fast path.
+    pub fn is_registered(&self, version: u64) -> bool {
+        self.inner
+            .engines
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(&version)
     }
 
     /// Removes a served version. Requests already admitted for it still
@@ -650,6 +669,27 @@ impl Runtime {
         self.stats()
     }
 
+    /// Begins draining **through a shared handle**: stops admitting
+    /// (new enqueues answer [`SolveError::Cancelled`]), flushes every
+    /// admitted request through final ticks, and returns once the books
+    /// balance (`admitted == completed + cancelled + shed_expired`,
+    /// queue empty, no tick in flight) — every outstanding [`Ticket`]
+    /// is resolved. Unlike [`shutdown`](Runtime::shutdown) it takes
+    /// `&self`, so a front end still holding an `Arc<Runtime>` can keep
+    /// serving polls while the drain completes; call `shutdown`
+    /// afterwards to join the (now idle) threads.
+    pub fn drain(&self) {
+        self.begin_shutdown();
+        loop {
+            let stats = self.stats();
+            let settled = stats.admitted == stats.completed + stats.cancelled + stats.shed_expired;
+            if settled && stats.queue_depth == 0 && stats.ticks_in_flight == 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
     fn begin_shutdown(&self) {
         lock(&self.inner.ingress).shutdown = true;
         self.inner.ingress_ready.notify_all();
@@ -753,8 +793,7 @@ fn batcher_loop(inner: &Inner) {
                         let reserve = usize::from(!ingress.slow.is_empty() && n > 1);
                         let from_fast = ingress.fast.len().min(n - reserve);
                         let from_slow = ingress.slow.len().min(n - from_fast);
-                        let mut batch: Vec<Admitted> =
-                            ingress.fast.drain(..from_fast).collect();
+                        let mut batch: Vec<Admitted> = ingress.fast.drain(..from_fast).collect();
                         batch.extend(ingress.slow.drain(..from_slow));
                         break Some(batch);
                     }

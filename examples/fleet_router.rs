@@ -1,0 +1,175 @@
+//! The fourth serving layer, end to end: a `phom_fleet::Router` front
+//! door over three member runtimes, one client address for the whole
+//! fleet — rendezvous routing on the instance fingerprint, lazy
+//! broadcast-on-demand registration, a live `move` handoff with
+//! tickets in flight, and the fleet-wide stats rollup.
+//!
+//! Real deployments spawn the members as `phom serve --listen`
+//! processes and the router as `phom router --listen ADDR --members
+//! FILE`; this example keeps everything in one process so it runs
+//! anywhere. The protocol on the wire is identical either way.
+//!
+//! Run with: `cargo run --release --example fleet_router`
+
+use phom::net::{wire, Client, Json, Server, WireRequest};
+use phom::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0xF1EE7);
+
+    // Three members: each a runtime behind a phom_net server on its
+    // own loopback port, exactly what `phom serve --listen` spawns.
+    let mut members = Vec::new();
+    let mut servers = Vec::new();
+    for (name, weight) in [("a", 1.0), ("b", 1.0), ("c", 2.0)] {
+        let runtime = Arc::new(
+            Runtime::builder()
+                .max_batch(16)
+                .max_wait(Duration::from_millis(1))
+                .workers(2)
+                .build(),
+        );
+        let server = Server::bind("127.0.0.1:0", runtime).expect("bind member");
+        members.push(MemberSpec {
+            name: name.into(),
+            addr: server.local_addr().to_string(),
+            weight,
+        });
+        servers.push(server);
+    }
+
+    // The front door: one address, the whole fleet behind it. Weighted
+    // rendezvous hashing on the instance fingerprint decides which
+    // member owns which instance; weight-2 `c` owns about twice the
+    // share of `a` or `b`.
+    let router = Router::bind("127.0.0.1:0", members).expect("bind router");
+    println!("fleet front door on {}", router.local_addr());
+
+    // Clients talk the standard wire protocol to the router — nothing
+    // fleet-specific on the client side.
+    let mut client = Client::connect(router.local_addr()).expect("connect");
+    let instances: Vec<ProbGraph> = (0..4)
+        .map(|_| {
+            phom::graph::generate::with_probabilities(
+                phom::graph::generate::two_way_path(24, 2, &mut rng),
+                phom::graph::generate::ProbProfile::default(),
+                &mut rng,
+            )
+        })
+        .collect();
+    // Registration is broadcast-on-demand: the router fingerprints the
+    // instance, caches its canonical encoding, assigns an owner — and
+    // only forwards it to that member when traffic actually arrives.
+    let versions: Vec<u64> = instances
+        .iter()
+        .map(|h| client.register(h).expect("register"))
+        .collect();
+
+    let mut tickets = Vec::new();
+    for round in 0..8 {
+        for (j, h) in instances.iter().enumerate() {
+            let query = phom::graph::generate::planted_path_query(h.graph(), 2, &mut rng)
+                .unwrap_or_else(|| Graph::directed_path(1));
+            let request = if round % 3 == 0 {
+                WireRequest::probability(query).with_provenance()
+            } else {
+                WireRequest::probability(query)
+            };
+            tickets.push(client.submit(versions[j], &request).expect("submit"));
+        }
+    }
+
+    // A live handoff while those tickets are in flight: move the first
+    // instance to whichever member does not currently own it. The
+    // router warms the target (a hinted register — the member's cached
+    // fast path), flips routing atomically, then drains and
+    // deregisters the old copy in the background. Pre-flip tickets
+    // keep resolving through the old member.
+    let placements = client
+        .call_raw(Json::obj(vec![("op", Json::str("fleet"))]))
+        .expect("fleet op");
+    let hex = wire::encode_version(versions[0]).to_string();
+    let owner = placements
+        .get("ok")
+        .and_then(|ok| ok.get("placements"))
+        .and_then(Json::as_arr)
+        .and_then(|ps| {
+            ps.iter()
+                .find(|p| p.get("version").map(|v| v.to_string()).as_deref() == Some(&hex))
+                .and_then(|p| p.get("member"))
+                .and_then(Json::as_str)
+                .map(String::from)
+        })
+        .expect("placement");
+    let target = ["a", "b", "c"]
+        .into_iter()
+        .find(|name| *name != owner)
+        .expect("three members");
+    let moved = client
+        .call_raw(Json::obj(vec![
+            ("op", Json::str("move")),
+            ("version", wire::encode_version(versions[0])),
+            ("to", Json::str(target)),
+        ]))
+        .expect("move op");
+    println!(
+        "handoff: {} moved {owner} → {target} ({})",
+        hex,
+        moved.get("ok").map(|ok| ok.to_string()).unwrap_or_default()
+    );
+
+    let mut answered = 0u64;
+    for ticket in tickets {
+        client.wait(ticket).expect("answer");
+        answered += 1;
+    }
+    println!("{answered} answers through the front door");
+
+    // Fleet-wide observability: one stats frame aggregates every
+    // member's runtime snapshot plus a rollup and the router's own
+    // counters.
+    let stats = client.stats().expect("fleet stats");
+    if let Some(rollup) = stats.get("rollup") {
+        println!(
+            "rollup: {} members up, {} admitted, {} completed, {} ticks",
+            rollup
+                .get("members_available")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            rollup.get("admitted").and_then(Json::as_u64).unwrap_or(0),
+            rollup.get("completed").and_then(Json::as_u64).unwrap_or(0),
+            rollup.get("ticks").and_then(Json::as_u64).unwrap_or(0),
+        );
+    }
+    if let Some(entries) = stats.get("members").and_then(Json::as_arr) {
+        for entry in entries {
+            println!(
+                "member {}: {} completed",
+                entry.get("name").and_then(Json::as_str).unwrap_or("?"),
+                entry
+                    .get("stats")
+                    .and_then(|s| s.get("completed"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+            );
+        }
+    }
+
+    let router_stats = router.shutdown(Duration::from_secs(2));
+    println!(
+        "router drained: {} submitted, {} delivered, {} handoffs, {} lazy registers, \
+         {} drained deregisters, {} tickets open",
+        router_stats.submitted,
+        router_stats.delivered,
+        router_stats.handoffs,
+        router_stats.lazy_registers,
+        router_stats.drained_deregisters,
+        router_stats.open_tickets,
+    );
+    for server in servers {
+        server.shutdown(Duration::from_secs(1));
+    }
+}

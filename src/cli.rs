@@ -12,6 +12,9 @@
 //!                    [--queue-cap <n>] [--workers <k>]
 //!                    [--requests <n>] [--producers <p>]
 //!                    [--precision exact|float:<tol>|auto[:<tol>]]
+//! phom router --listen ADDR [--members <file>] [--member name=addr[@w]]...
+//!                           [--connect-attempts <n>] [--connect-backoff-ms <ms>]
+//! phom router --bench [--fleet-size <k>] [--requests <n>]
 //! phom classify <graph-file>
 //! phom count <query-file> <instance-file> [--brute-force <max-edges>]
 //! phom tables
@@ -49,6 +52,7 @@ pub fn run(
         Some("solve") => solve_cmd(&args[1..], read_file, false),
         Some("count") => solve_cmd(&args[1..], read_file, true),
         Some("serve") => serve_cmd(&args[1..]),
+        Some("router") => router_cmd(&args[1..], read_file),
         Some("classify") => classify_cmd(&args[1..], read_file),
         Some("tables") => Ok(tables_cmd()),
         Some("walk") => walk_cmd(&args[1..], read_file),
@@ -77,6 +81,15 @@ fn usage() -> String {
      \x20 serve --bench               drive the persistent serving runtime\n\
      \x20                             (phom_serve::Runtime) with a synthetic\n\
      \x20                             multi-producer load and print its stats\n\
+     \x20 router --listen ADDR        the phom_fleet front door: one address\n\
+     \x20                             fanning out to member `phom serve`\n\
+     \x20                             processes (rendezvous routing on the\n\
+     \x20                             instance fingerprint, `move` handoff,\n\
+     \x20                             fleet-wide stats); members come from\n\
+     \x20                             --members FILE or repeated --member\n\
+     \x20 router --bench              spin an in-process fleet (members +\n\
+     \x20                             router), fire a mixed workload through\n\
+     \x20                             one handoff, print fleet-wide stats\n\
      \n\
      options for solve/count:\n\
      \x20 --brute-force <max-edges>   fall back to world enumeration\n\
@@ -134,7 +147,25 @@ fn usage() -> String {
      \x20 --producers <p>             concurrent producer threads (default 4)\n\
      \x20 --precision <p>             --bench only: evaluation tier for the\n\
      \x20                             synthetic probability requests (exact |\n\
-     \x20                             float:<tol> | auto[:<tol>])\n"
+     \x20                             float:<tol> | auto[:<tol>])\n\
+     \n\
+     options for router:\n\
+     \x20 --members <file>            member list: one `name addr [weight]`\n\
+     \x20                             (or `name=addr[@weight]`) per line;\n\
+     \x20                             `#` comments allowed\n\
+     \x20 --member name=addr[@w]      add one member (repeatable; combines\n\
+     \x20                             with --members)\n\
+     \x20 --connect-attempts <n>      per-member connection attempts before\n\
+     \x20                             a call answers member_unavailable\n\
+     \x20                             (default 3)\n\
+     \x20 --connect-backoff-ms <ms>   backoff between attempts, growing\n\
+     \x20                             linearly (default 50)\n\
+     \x20 --serve-for-ms <ms>         --listen only: route for a bounded\n\
+     \x20                             time, then drain and print a summary\n\
+     \x20 --fleet-size <k>            --bench only: in-process members to\n\
+     \x20                             spin up (default 3)\n\
+     \x20 --requests <n>              --bench only: requests to fire\n\
+     \x20                             (default 256)\n"
         .into()
 }
 
@@ -280,6 +311,7 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
             adaptive,
             share_arena_at,
             serve_for_ms,
+            ready: None,
         });
     }
     if !bench {
@@ -475,6 +507,9 @@ struct ListenConfig {
     adaptive: bool,
     share_arena_at: Option<usize>,
     serve_for_ms: Option<u64>,
+    /// Test hook: receives the bound address once the listener is up
+    /// (`None` outside tests — scripts parse the readiness line).
+    ready: Option<std::sync::mpsc::Sender<std::net::SocketAddr>>,
 }
 
 /// `phom serve --listen ADDR`: the phom_net TCP front end over a fresh
@@ -506,15 +541,33 @@ fn listen_cmd(config: ListenConfig) -> Result<String, String> {
     );
     use std::io::Write as _;
     std::io::stdout().flush().ok();
+    if let Some(ready) = &config.ready {
+        let _ = ready.send(local);
+    }
     match config.serve_for_ms {
         Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
         None => loop {
             std::thread::sleep(Duration::from_secs(3600));
         },
     }
+    // Drain deterministically: stop admitting and flush every admitted
+    // request through final ticks *first* — while the server stays up,
+    // so clients poll the answers during its drain window. Shutting the
+    // server down before the runtime flushed raced the drain window
+    // against the batcher's max_wait timer: with patient tick settings,
+    // connections closed on tickets that were still queued.
+    runtime.drain();
     let net = server.shutdown(Duration::from_secs(2));
-    let stats = runtime.stats();
-    drop(runtime); // the last handle: Drop drains and joins the pool
+    let stats = match std::sync::Arc::try_unwrap(runtime) {
+        // The server was the only other holder and is joined: consume
+        // the runtime for its final, fully settled stats snapshot.
+        Ok(runtime) => runtime.shutdown(),
+        Err(runtime) => {
+            let stats = runtime.stats();
+            drop(runtime);
+            stats
+        }
+    };
     let mut out = String::new();
     let _ = writeln!(out, "served on {local}");
     let _ = writeln!(
@@ -542,6 +595,321 @@ fn listen_cmd(config: ListenConfig) -> Result<String, String> {
         stats.max_tick_requests,
         stats.effective_max_batch,
     );
+    Ok(out)
+}
+
+/// `phom router`: the phom_fleet front door. `--listen ADDR` routes
+/// client traffic across the configured members (`--members FILE` and/
+/// or repeated `--member name=addr[@weight]`); `--bench` spins an
+/// in-process fleet, fires a mixed workload through a mid-traffic
+/// handoff, and prints the fleet-wide stats rollup.
+fn router_cmd(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<String, String> {
+    let mut listen: Option<String> = None;
+    let mut members: Vec<phom_fleet::MemberSpec> = Vec::new();
+    let mut members_file: Option<String> = None;
+    let mut connect_attempts: u32 = 3;
+    let mut connect_backoff_ms: u64 = 50;
+    let mut serve_for_ms: Option<u64> = None;
+    let mut bench = false;
+    let mut fleet_size: usize = 3;
+    let mut requests: usize = 256;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> Option<&String> {
+            *i += 1;
+            args.get(*i)
+        };
+        match args[i].as_str() {
+            "--bench" => bench = true,
+            "--listen" => {
+                listen = Some(
+                    flag_value(&mut i)
+                        .ok_or("--listen needs an address (e.g. 127.0.0.1:4200)")?
+                        .clone(),
+                )
+            }
+            "--members" => {
+                members_file = Some(
+                    flag_value(&mut i)
+                        .ok_or("--members needs a file path")?
+                        .clone(),
+                )
+            }
+            "--member" => {
+                let spec = flag_value(&mut i).ok_or("--member needs name=addr[@weight]")?;
+                members.push(phom_fleet::MemberSpec::parse(spec)?);
+            }
+            "--connect-attempts" => {
+                connect_attempts = flag_value(&mut i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--connect-attempts needs a count")?
+            }
+            "--connect-backoff-ms" => {
+                connect_backoff_ms = flag_value(&mut i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--connect-backoff-ms needs a millisecond count")?
+            }
+            "--serve-for-ms" => {
+                serve_for_ms = Some(
+                    flag_value(&mut i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--serve-for-ms needs a millisecond count")?,
+                )
+            }
+            "--fleet-size" => {
+                fleet_size = flag_value(&mut i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--fleet-size needs a member count")?
+            }
+            "--requests" => {
+                requests = flag_value(&mut i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--requests needs a count")?
+            }
+            other => return Err(format!("router: unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    if bench {
+        if listen.is_some() {
+            return Err("--listen and --bench are mutually exclusive".into());
+        }
+        return router_bench(fleet_size.max(2), requests.max(1));
+    }
+    let Some(addr) = listen else {
+        return Err(
+            "router needs a mode: `--listen ADDR` (with --members/--member) \
+                    or `--bench` (the in-process fleet demo)"
+                .into(),
+        );
+    };
+    if let Some(file) = members_file {
+        let mut from_file =
+            phom_fleet::parse_members(&read_file(&file)?).map_err(|e| format!("{file}: {e}"))?;
+        from_file.extend(members);
+        members = from_file;
+    }
+    phom_fleet::validate_members(&members)?;
+    let n_members = members.len();
+    let router = phom_fleet::Router::builder()
+        .connect_retry(
+            connect_attempts,
+            std::time::Duration::from_millis(connect_backoff_ms),
+        )
+        .bind(addr.as_str(), members)
+        .map_err(|e| format!("router listen {addr}: {e}"))?;
+    let local = router.local_addr();
+    // Announce readiness on stdout immediately — scripts wait for this
+    // line before connecting.
+    println!("phom_fleet: routing on {local} for {n_members} member(s)");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    match serve_for_ms {
+        Some(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    let stats = router.shutdown(std::time::Duration::from_secs(2));
+    let mut out = String::new();
+    let _ = writeln!(out, "routed on {local} for {n_members} member(s)");
+    let _ = writeln!(out, "{}", render_router_stats(&stats));
+    Ok(out)
+}
+
+fn render_router_stats(stats: &phom_fleet::RouterStats) -> String {
+    format!(
+        "router: {} connections, {} frames in / {} out, {} submitted, \
+         {} delivered, {} member_unavailable, {} handoffs, {} lazy \
+         registers, {} drained deregisters, {} tickets open at close",
+        stats.connections,
+        stats.frames_in,
+        stats.frames_out,
+        stats.submitted,
+        stats.delivered,
+        stats.member_unavailable,
+        stats.handoffs,
+        stats.lazy_registers,
+        stats.drained_deregisters,
+        stats.open_tickets,
+    )
+}
+
+/// `phom router --bench`: an in-process fleet (members on loopback, one
+/// router in front), a mixed probability/counting workload with a
+/// mid-traffic handoff of the hottest instance, and the fleet-wide
+/// stats rollup.
+fn router_bench(fleet_size: usize, requests: usize) -> Result<String, String> {
+    use phom_graph::generate::{self, ProbProfile};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    let mut rng = SmallRng::seed_from_u64(0xF1EE7);
+    let live = generate::with_probabilities(
+        generate::two_way_path(48, 2, &mut rng),
+        ProbProfile::default(),
+        &mut rng,
+    );
+    let census = ProbGraph::new(
+        live.graph().clone(),
+        vec![phom_num::Rational::from_ratio(1, 2); live.graph().n_edges()],
+    );
+    let q1 = generate::planted_path_query(live.graph(), 3, &mut rng)
+        .unwrap_or_else(|| Graph::one_way_path(&[Label(0)]));
+    let q2 = generate::planted_path_query(live.graph(), 2, &mut rng)
+        .unwrap_or_else(|| Graph::one_way_path(&[Label(1)]));
+
+    let mut servers = Vec::new();
+    let mut members = Vec::new();
+    for idx in 0..fleet_size {
+        let runtime = std::sync::Arc::new(
+            phom_serve::Runtime::builder()
+                .max_wait(Duration::from_millis(1))
+                .build(),
+        );
+        let server = phom_net::Server::bind("127.0.0.1:0", runtime)
+            .map_err(|e| format!("bench member bind: {e}"))?;
+        members.push(phom_fleet::MemberSpec {
+            name: format!("m{idx}"),
+            addr: server.local_addr().to_string(),
+            weight: 1.0,
+        });
+        servers.push(server);
+    }
+    let router = phom_fleet::Router::bind("127.0.0.1:0", members)
+        .map_err(|e| format!("bench router bind: {e}"))?;
+    let mut client = phom_net::Client::connect(router.local_addr())
+        .map_err(|e| format!("bench connect: {e}"))?;
+
+    let started = std::time::Instant::now();
+    let v_live = client.register(&live).map_err(|e| e.to_string())?;
+    let v_census = client.register(&census).map_err(|e| e.to_string())?;
+    let reqs: Vec<(u64, phom_net::WireRequest)> = (0..requests)
+        .map(|k| match k % 3 {
+            0 => (v_live, phom_net::WireRequest::probability(q1.clone())),
+            1 => (v_census, phom_net::WireRequest::counting(q2.clone())),
+            _ => (v_live, phom_net::WireRequest::probability(q2.clone())),
+        })
+        .collect();
+    let mut answered = 0usize;
+    for (wave_start, wave) in reqs.chunks(16).enumerate().map(|(w, c)| (w * 16, c)) {
+        // Mid-traffic handoff: once, halfway through the run, move the
+        // hot instance to a member that does not currently own it.
+        if wave_start >= requests / 2 && wave_start < requests / 2 + 16 {
+            let fleet = client
+                .call_raw(phom_net::Json::obj(vec![(
+                    "op",
+                    phom_net::Json::str("fleet"),
+                )]))
+                .map_err(|e| e.to_string())?;
+            let hex = phom_net::wire::encode_version(v_live).to_string();
+            let owner = fleet
+                .get("ok")
+                .and_then(|ok| ok.get("placements"))
+                .and_then(|p| match p {
+                    phom_net::Json::Arr(items) => items
+                        .iter()
+                        .find(|e| e.get("version").map(|v| v.to_string()).as_deref() == Some(&hex))
+                        .and_then(|e| e.get("member"))
+                        .and_then(phom_net::Json::as_str)
+                        .map(String::from),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            let to = (0..fleet_size)
+                .map(|i| format!("m{i}"))
+                .find(|name| *name != owner)
+                .expect("fleet_size >= 2");
+            client
+                .call_raw(phom_net::Json::obj(vec![
+                    ("op", phom_net::Json::str("move")),
+                    ("version", phom_net::wire::encode_version(v_live)),
+                    ("to", phom_net::Json::str(&to)),
+                ]))
+                .map_err(|e| e.to_string())?;
+        }
+        let tickets: Vec<u64> = wave
+            .iter()
+            .map(|(v, r)| client.submit(*v, r).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?;
+        for t in tickets {
+            client.wait(t).map_err(|e| e.to_string())?;
+            answered += 1;
+        }
+    }
+    let elapsed = started.elapsed();
+    let fleet_stats = client.stats().map_err(|e| e.to_string())?;
+    let router_stats = router.stats();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet bench: {answered} requests across {fleet_size} members in {:.1} ms \
+         ({:.1} µs/request)",
+        elapsed.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e6 / answered.max(1) as f64,
+    );
+    let _ = writeln!(out, "{}", render_router_stats(&router_stats));
+    if let Some(rollup) = fleet_stats.get("rollup") {
+        let field = |name: &str| {
+            rollup
+                .get(name)
+                .and_then(phom_net::Json::as_u64)
+                .unwrap_or(0)
+        };
+        let _ = writeln!(
+            out,
+            "rollup: {} members up, {} admitted, {} completed, {} rejected, \
+             {} cancelled, {} ticks, {} cache hits",
+            field("members_available"),
+            field("admitted"),
+            field("completed"),
+            field("rejected"),
+            field("cancelled"),
+            field("ticks"),
+            field("batch_cache_hits"),
+        );
+    }
+    if let Some(phom_net::Json::Arr(entries)) = fleet_stats.get("members") {
+        for entry in entries {
+            let name = entry
+                .get("name")
+                .and_then(phom_net::Json::as_str)
+                .unwrap_or("?");
+            match entry.get("stats") {
+                Some(stats) => {
+                    let _ = writeln!(
+                        out,
+                        "member {name}: {} admitted, {} completed, {} ticks",
+                        stats
+                            .get("admitted")
+                            .and_then(phom_net::Json::as_u64)
+                            .unwrap_or(0),
+                        stats
+                            .get("completed")
+                            .and_then(phom_net::Json::as_u64)
+                            .unwrap_or(0),
+                        stats
+                            .get("ticks")
+                            .and_then(phom_net::Json::as_u64)
+                            .unwrap_or(0),
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "member {name}: unavailable");
+                }
+            }
+        }
+    }
+    drop(client);
+    router.shutdown(Duration::from_secs(1));
+    for server in servers {
+        server.shutdown(Duration::from_secs(1));
+    }
     Ok(out)
 }
 
@@ -680,7 +1048,9 @@ fn solve_cmd(
                     Some("error") => phom_core::OnHard::Error,
                     Some("estimate") => phom_core::OnHard::Estimate,
                     Some(other) => {
-                        return Err(format!("--on-hard: expected error or estimate, got '{other}'"))
+                        return Err(format!(
+                            "--on-hard: expected error or estimate, got '{other}'"
+                        ))
                     }
                     None => return Err("--on-hard needs error or estimate".into()),
                 };
@@ -1584,6 +1954,135 @@ mod tests {
     }
 
     #[test]
+    fn serve_listen_drain_flushes_queued_tickets() {
+        // Pin the bounded-exit drain: with a patient batcher (10 s
+        // max_wait, nothing fills a 128-batch), requests submitted
+        // during the serve window sit queued until the window closes.
+        // The exit path must flush them through final ticks while the
+        // server still answers polls — not drop the listener on
+        // tickets that are still queued.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            listen_cmd(ListenConfig {
+                addr: "127.0.0.1:0".into(),
+                max_batch: 128,
+                max_wait_ms: 10_000,
+                queue_cap: 1024,
+                workers: 2,
+                adaptive: false,
+                share_arena_at: Some(32),
+                serve_for_ms: Some(500),
+                ready: Some(tx),
+            })
+        });
+        let addr = rx.recv().unwrap();
+        let mut client = phom_net::Client::connect(addr).unwrap();
+        let h = ProbGraph::new(
+            Graph::directed_path(2),
+            vec![phom_num::Rational::from_ratio(1, 2); 2],
+        );
+        let version = client.register(&h).unwrap();
+        let query = Graph::directed_path(1);
+        let tickets: Vec<u64> = (0..4)
+            .map(|_| {
+                client
+                    .submit(version, &phom_net::WireRequest::probability(query.clone()))
+                    .unwrap()
+            })
+            .collect();
+        // Real answers arrive once the drain fires — never a closed
+        // connection or an orphaned ticket.
+        for t in tickets {
+            let answer = client.wait(t).unwrap();
+            assert_eq!(
+                answer.get("p").and_then(phom_net::Json::as_str),
+                Some("3/4"),
+                "{answer}"
+            );
+        }
+        drop(client);
+        let out = handle.join().unwrap().unwrap();
+        assert!(out.contains("4 admitted, 4 completed"), "{out}");
+        assert!(out.contains("0 tickets open at close"), "{out}");
+    }
+
+    #[test]
+    fn router_flag_errors() {
+        let fs = fake_fs(&[("fleet.txt", "a 127.0.0.1:1\nb 127.0.0.1:2\n")]);
+        // router without a mode explains both of them.
+        let err = run(&args(&["router"]), &fs).unwrap_err();
+        assert!(err.contains("--listen"), "{err}");
+        assert!(err.contains("--bench"), "{err}");
+        // --listen and --bench are exclusive modes.
+        let err = run(
+            &args(&["router", "--bench", "--listen", "127.0.0.1:0"]),
+            &fs,
+        )
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        // A fleet needs at least one member before it can listen.
+        let err = run(&args(&["router", "--listen", "127.0.0.1:0"]), &fs).unwrap_err();
+        assert!(err.contains("at least one member"), "{err}");
+        // Malformed specs, missing files, bad values: typed errors.
+        assert!(run(&args(&["router", "--listen", "x", "--member", "nope"]), &fs).is_err());
+        assert!(run(
+            &args(&["router", "--listen", "x", "--members", "missing.txt"]),
+            &fs
+        )
+        .is_err());
+        assert!(run(&args(&["router", "--bogus"]), &fs).is_err());
+        assert!(run(&args(&["router", "--connect-attempts", "x"]), &fs).is_err());
+        assert!(run(&args(&["router", "--member"]), &fs).is_err());
+    }
+
+    #[test]
+    fn router_listen_bounded_run() {
+        // A bounded router run against members that are not up: the
+        // router binds and serves anyway (member connections are
+        // lazy), then reports clean books at close.
+        let fs = fake_fs(&[(
+            "fleet.txt",
+            "# demo fleet\na 127.0.0.1:7451 2\nb=127.0.0.1:7452@0.5\n",
+        )]);
+        let out = run(
+            &args(&[
+                "router",
+                "--listen",
+                "127.0.0.1:0",
+                "--members",
+                "fleet.txt",
+                "--serve-for-ms",
+                "50",
+                "--connect-attempts",
+                "1",
+                "--connect-backoff-ms",
+                "1",
+            ]),
+            &fs,
+        )
+        .unwrap();
+        assert!(out.contains("routed on 127.0.0.1:"), "{out}");
+        assert!(out.contains("for 2 member(s)"), "{out}");
+        assert!(out.contains("0 tickets open at close"), "{out}");
+    }
+
+    #[test]
+    fn router_bench_drives_a_fleet() {
+        let out = run(
+            &args(&["router", "--bench", "--fleet-size", "2", "--requests", "24"]),
+            &fake_fs(&[]),
+        )
+        .unwrap();
+        assert!(
+            out.contains("fleet bench: 24 requests across 2 members"),
+            "{out}"
+        );
+        assert!(out.contains("1 handoffs"), "{out}");
+        assert!(out.contains("0 tickets open at close"), "{out}");
+        assert!(out.contains("rollup: 2 members up"), "{out}");
+    }
+
+    #[test]
     fn degradation_flags() {
         let hard = fake_fs(&[
             ("q.pg", "edge 0 1 R\n"),
@@ -1623,17 +2122,22 @@ mod tests {
         // An already-expired deadline is a typed error, never a stale
         // (or slow) answer — even on a tractable input.
         let easy = fake_fs(&[("q.pg", "edge 0 1 R\n"), ("h.pg", "edge 0 1 R 1/2\n")]);
-        let err = run(&args(&["solve", "q.pg", "h.pg", "--deadline-ms", "0"]), &easy).unwrap_err();
+        let err = run(
+            &args(&["solve", "q.pg", "h.pg", "--deadline-ms", "0"]),
+            &easy,
+        )
+        .unwrap_err();
         assert!(err.contains("deadline exceeded"), "{err}");
         // Count mode honors the deadline too.
         let half = fake_fs(&[("q.pg", "edge 0 1 R\n"), ("h.pg", "edge 0 1 R 1/2\n")]);
-        let err = run(&args(&["count", "q.pg", "h.pg", "--deadline-ms", "0"]), &half).unwrap_err();
+        let err = run(
+            &args(&["count", "q.pg", "h.pg", "--deadline-ms", "0"]),
+            &half,
+        )
+        .unwrap_err();
         assert!(err.contains("deadline exceeded"), "{err}");
         // Batch mode reports per-query deadline errors inline.
-        let batch = fake_fs(&[
-            ("qs.pg", "edge 0 1 R\n"),
-            ("h.pg", "edge 0 1 R 1/2\n"),
-        ]);
+        let batch = fake_fs(&[("qs.pg", "edge 0 1 R\n"), ("h.pg", "edge 0 1 R 1/2\n")]);
         let out = run(
             &args(&[
                 "solve",
@@ -1658,7 +2162,10 @@ mod tests {
             &["solve", "q.pg", "h.pg", "--budget-gates"],
             &["solve", "q.pg", "h.pg", "--budget-time-ms", "never"],
         ] {
-            assert!(run(&args(bad), &hard).is_err(), "{bad:?} should be rejected");
+            assert!(
+                run(&args(bad), &hard).is_err(),
+                "{bad:?} should be rejected"
+            );
         }
     }
 

@@ -55,6 +55,7 @@
 //! | [`core`] | the per-proposition algorithms and the Tables 1–3 dispatcher, behind the serving surface of [`core::engine`]: a long-lived [`Engine`] per instance (bounded LRU [`EvalCache`], sharded [`Engine::submit`], the [`Tick`](phom_core::Tick) seam for external pools), typed [`Request`]/[`Response`], and a [`Fleet`] registry serving many graph versions off one shared cache |
 //! | [`serve`] | the **persistent serving runtime**: [`Runtime`] with micro-batching ticks over a worker pool spawned once, **adaptive tick sizing** ([`RuntimeBuilder::adaptive`]), bounded-queue backpressure ([`SolveError::Overloaded`]), [`Ticket`]s, graceful drain, [`RuntimeStats`] |
 //! | [`net`] | the **network front end**: a TCP [`NetServer`] + [`NetClient`] speaking the length-prefixed JSON protocol of [`net::wire`] over a shared [`Runtime`] (`phom serve --listen ADDR`) |
+//! | [`fleet`] | the **multi-process sharded fleet**: a front-door [`Router`] on one address fanning out to member `phom serve` processes — weighted rendezvous routing on the instance fingerprint, lazy broadcast-on-demand registration, the `move` re-register handoff, typed `member_unavailable` health, and fleet-wide stats rollup (`phom router --listen ADDR --members FILE`) |
 //! | [`reductions`] | executable #P-hardness reductions (Props 3.3/3.4/4.1/5.6) |
 //!
 //! ## Requests: one surface for every workload
@@ -257,9 +258,9 @@
 //! wire protocol carries `deadline_ms` / `budget` / `on_hard` per
 //! request and a `"type": "estimate"` result frame (see [`net::wire`]).
 //!
-//! ## Serving at scale: three layers
+//! ## Serving at scale: four layers
 //!
-//! The serving stack is three layers, each usable on its own and each
+//! The serving stack is four layers, each usable on its own and each
 //! proven **bit-identical** to direct [`Engine::submit`] by its
 //! differential suite:
 //!
@@ -305,6 +306,25 @@
 //!    oracle answers; `tests/soak_net.rs` saturates it from eight
 //!    concurrent connections and drains it mid-traffic. See
 //!    [`net::wire`] for the full protocol reference.
+//! 4. **The fleet front door** ([`fleet`]): `phom router --listen ADDR
+//!    --members FILE` (or a [`Router`] in process) puts one address in
+//!    front of N member `phom serve` processes. Membership is **static
+//!    and gossip-free** ([`MemberSpec`]); routing is **weighted
+//!    rendezvous hashing** on the instance fingerprint, so membership
+//!    edits move only the affected instances. Registration is
+//!    broadcast-on-demand (the router caches the canonical instance
+//!    encoding and forwards it to the owning member lazily — members
+//!    ack repeats with the cheap `registered: "cached"` fast path);
+//!    the admin `move` op warms an instance on its new member, flips
+//!    routing atomically, and drains-and-deregisters the old copy
+//!    while pre-flip tickets keep resolving through it. A dead member
+//!    surfaces as typed `member_unavailable` frames — submits are
+//!    never silently retried — and the router's `stats` op aggregates
+//!    every member's [`RuntimeStats`] plus a rollup.
+//!    `tests/fleet_serving.rs` proves a 3-process fleet byte-identical
+//!    to the in-process oracle through a mid-traffic handoff and a
+//!    member kill; `examples/fleet_router.rs` walks the whole story in
+//!    process.
 //!
 //! The runtime layer in five lines — answers bit-identical to
 //! [`Engine::submit`] under every `max_batch` / `max_wait` /
@@ -384,6 +404,7 @@
 
 pub use phom_automata as automata;
 pub use phom_core as core;
+pub use phom_fleet as fleet;
 pub use phom_graph as graph;
 pub use phom_lineage as lineage;
 pub use phom_net as net;
@@ -397,6 +418,7 @@ pub use phom_core::{
     Budget, Engine, EngineBuilder, EvalCache, Fallback, Fleet, Hardness, Lane, OnHard, Precision,
     Request, Response, Route, Solution, SolveError, SolverOptions, TickConfig, WorkerScratch,
 };
+pub use phom_fleet::{MemberSpec, Router, RouterBuilder, RouterStats};
 pub use phom_net::{Client as NetClient, NetError, NetStats, Server as NetServer, WireRequest};
 pub use phom_serve::{Runtime, RuntimeBuilder, RuntimeStats, Ticket};
 
@@ -412,6 +434,7 @@ pub mod prelude {
         Fleet, Lane, OnHard, Precision, Request, Response, Route, Solution, SolveError,
         SolverOptions, TickConfig,
     };
+    pub use phom_fleet::{MemberSpec, Router, RouterBuilder, RouterStats};
     pub use phom_graph::{classify, Dir, Graph, GraphBuilder, Label, ProbGraph};
     pub use phom_lineage::{FlatArena, Provenance, VarStatus};
     pub use phom_net::{

@@ -147,10 +147,9 @@ fn chaos_soak_every_request_ends_in_exactly_one_terminal_state() {
             .enqueue_to(version, request)
             .expect("queue_cap 512 is never hit by 200 requests");
         // Cancel a random ~10% mid-flight.
-        if rng.gen_range(0..10) == 0
-            && ticket.cancel() {
-                cancelled_by_us += 1;
-            }
+        if rng.gen_range(0..10) == 0 && ticket.cancel() {
+            cancelled_by_us += 1;
+        }
         tickets.push(ticket);
     }
 
@@ -189,7 +188,10 @@ fn chaos_soak_every_request_ends_in_exactly_one_terminal_state() {
         ok + estimates + hard + deadline + budget + cancelled + internal,
         total as u64
     );
-    assert!(cancelled >= cancelled_by_us, "a cancellation lost its ticket");
+    assert!(
+        cancelled >= cancelled_by_us,
+        "a cancellation lost its ticket"
+    );
 
     // The runtime keeps serving after the chaos: clear whatever script
     // remains (interning and caching mean fewer units than requests)
@@ -211,14 +213,21 @@ fn chaos_soak_every_request_ends_in_exactly_one_terminal_state() {
 
     // Shutdown drains; then the books must balance exactly.
     let stats = runtime.shutdown();
-    assert_eq!(stats.open_tickets(), 0, "open tickets after drain: {stats:?}");
+    assert_eq!(
+        stats.open_tickets(),
+        0,
+        "open tickets after drain: {stats:?}"
+    );
     assert_eq!(
         stats.admitted,
         stats.completed + stats.cancelled + stats.shed_expired,
         "the books do not balance: {stats:?}"
     );
     assert_eq!(stats.workers, 3);
-    assert_eq!(stats.workers_started, 3, "a worker was lost and respawned (or never started)");
+    assert_eq!(
+        stats.workers_started, 3,
+        "a worker was lost and respawned (or never started)"
+    );
     assert!(internal > 0, "the panic faults never fired");
 }
 

@@ -436,6 +436,67 @@ fn fleet_shares_one_bounded_cache_across_versions() {
     assert!(stats.misses >= 3, "{stats:?}");
 }
 
+/// Deregister + re-register semantics: re-registering the *identical*
+/// instance reuses the fingerprint and the shared cache stays warm
+/// (the repeat is a hit, not a solve), while a *mutated* instance gets
+/// a fresh fingerprint — there is no route by which a stale answer
+/// survives the mutation.
+#[test]
+fn fleet_deregister_and_reregister_semantics() {
+    let mut fleet = Fleet::new();
+    let h = ProbGraph::new(
+        Graph::directed_path(2),
+        vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+    );
+    let q = Request::probability(Graph::directed_path(1));
+    let answer = |fleet: &Fleet, fp: u64| -> Option<Rational> {
+        let answers = fleet.submit(fp, std::slice::from_ref(&q))?;
+        match &answers[0] {
+            Ok(Response::Probability(sol)) => Some(sol.probability.clone()),
+            other => panic!("{other:?}"),
+        }
+    };
+    let fp = fleet.register(h.clone());
+    assert_eq!(answer(&fleet, fp), Some(Rational::from_ratio(3, 4)));
+    let misses = fleet.cache_stats().misses;
+
+    // Deregister: the version stops routing, twice is a no-op.
+    assert!(fleet.deregister(fp));
+    assert!(!fleet.deregister(fp), "second deregister is a no-op");
+    assert!(answer(&fleet, fp).is_none());
+    assert!(fleet.is_empty());
+
+    // Re-register the identical instance: same fingerprint, and the
+    // shared cache is still warm — the repeat answers without a solve.
+    let hits = fleet.cache_stats().hits;
+    assert_eq!(
+        fleet.register(h.clone()),
+        fp,
+        "identical ⇒ same fingerprint"
+    );
+    assert_eq!(answer(&fleet, fp), Some(Rational::from_ratio(3, 4)));
+    let stats = fleet.cache_stats();
+    assert_eq!(stats.misses, misses, "warm cache: no new solve");
+    assert!(stats.hits > hits, "warm cache: the repeat was a hit");
+
+    // Mutate the instance and re-register: a fresh fingerprint whose
+    // answers reflect the mutation, never the old version's cache.
+    let mutated = ProbGraph::new(
+        Graph::directed_path(2),
+        vec![Rational::one(), Rational::from_ratio(1, 2)],
+    );
+    let fp_mut = fleet.register(mutated);
+    assert_ne!(fp_mut, fp, "mutation ⇒ new fingerprint");
+    assert_eq!(answer(&fleet, fp_mut), Some(Rational::one()));
+    // Retiring the old version leaves only the mutated truth routable.
+    assert!(fleet.deregister(fp));
+    assert!(
+        answer(&fleet, fp).is_none(),
+        "no stale route to old answers"
+    );
+    assert_eq!(answer(&fleet, fp_mut), Some(Rational::one()));
+}
+
 /// `SolveError` keeps `From<Hardness>` for the shims and displays its
 /// variants.
 #[test]

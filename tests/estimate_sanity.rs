@@ -92,7 +92,12 @@ fn estimate_intervals_cover_ground_truth() {
         // answer before planning, so the forced-hard seam never sees
         // them: they stay exact. Verify and move on.
         if let Ok(Response::Probability(sol)) = &answers[0] {
-            assert_eq!(sol.probability.to_f64(), truth, "trivial route {:?}", sol.route);
+            assert_eq!(
+                sol.probability.to_f64(),
+                truth,
+                "trivial route {:?}",
+                sol.route
+            );
             continue;
         }
         let Ok(Response::Estimate {
@@ -190,8 +195,8 @@ fn tractable_cells_stay_exact_under_estimate_policy() {
         let h = small_instance(&mut rng);
         let q = small_query(&h, &mut rng);
         let plain = Engine::new(h.clone()).submit(&[Request::probability(q.clone())]);
-        let policy =
-            Engine::new(h.clone()).submit(&[Request::probability(q.clone()).on_hard(OnHard::Estimate)]);
+        let policy = Engine::new(h.clone())
+            .submit(&[Request::probability(q.clone()).on_hard(OnHard::Estimate)]);
         match (&plain[0], &policy[0]) {
             (Ok(Response::Probability(a)), Ok(Response::Probability(b))) => {
                 assert_eq!(a.probability, b.probability, "trial {trial}");

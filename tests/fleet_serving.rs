@@ -1,0 +1,452 @@
+//! The fleet's differential acceptance suite: a **3-process** fleet —
+//! real `phom serve` children behind a real `phom router` child, all
+//! spawned from the built binary — must answer a randomized mixed
+//! workload **byte-identically** to one in-process `Engine::submit`
+//! oracle, through a mid-traffic `move` handoff (tickets created
+//! before the flip keep resolving; the old member drains and drops the
+//! version), and through a member kill (typed `member_unavailable`
+//! frames, never a silent retry; every request reaches exactly one
+//! terminal state). A hard watchdog kills the child processes on
+//! panic or timeout so a wedged fleet can never orphan children or
+//! hang CI.
+
+use phom::net::wire::{self, encode_result, WireFallback, WireRequest};
+use phom::net::{Client, Json, NetError};
+use phom::prelude::*;
+use phom_graph::generate::{self, ProbProfile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A random instance spanning the tables' columns (kept small: the
+/// sensitivity-by-conditioning oracle is quadratic in the edges).
+fn random_instance(rng: &mut SmallRng, profile: ProbProfile) -> ProbGraph {
+    let g = match rng.gen_range(0..4) {
+        0 => generate::two_way_path(rng.gen_range(2..9), 2, rng),
+        1 => generate::downward_tree(rng.gen_range(2..9), 2, rng),
+        2 => generate::polytree(rng.gen_range(3..9), 1, rng),
+        _ => generate::two_way_path(rng.gen_range(2..7), 1, rng),
+    };
+    generate::with_probabilities(g, profile, rng)
+}
+
+/// A random wire request mixing every kind the protocol carries.
+fn random_request(h: &ProbGraph, rng: &mut SmallRng) -> WireRequest {
+    let query = match rng.gen_range(0..4) {
+        0 => Graph::directed_path(rng.gen_range(0..3)),
+        1 => generate::one_way_path(rng.gen_range(1..4), 2, rng),
+        2 => generate::planted_path_query(h.graph(), rng.gen_range(1..4), rng)
+            .unwrap_or_else(|| generate::one_way_path(2, 2, rng)),
+        _ => generate::two_way_path(rng.gen_range(1..4), 1, rng),
+    };
+    match rng.gen_range(0..8) {
+        0 => WireRequest::counting(query),
+        1 => WireRequest::sensitivity(query),
+        2 => WireRequest::ucq(vec![query, Graph::directed_path(1)]),
+        3 => WireRequest::probability(query).with_provenance(),
+        4 => WireRequest::probability(query)
+            .with_fallback(WireFallback::BruteForce { max_uncertain: 10 }),
+        _ => WireRequest::probability(query),
+    }
+}
+
+/// Spawns the built `phom` binary, waits for its readiness line on
+/// stdout, and returns the child plus the address it announced.
+fn spawn_phom(args: &[String], ready_prefix: &str) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_phom"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn phom child");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(rest) = line.strip_prefix(ready_prefix) {
+                    break rest
+                        .split_whitespace()
+                        .next()
+                        .expect("address after readiness prefix")
+                        .to_string();
+                }
+            }
+            other => {
+                let _ = child.kill();
+                panic!("child exited before announcing readiness: {other:?}");
+            }
+        }
+    };
+    (child, addr)
+}
+
+struct Member {
+    name: String,
+    addr: String,
+    child: Arc<Mutex<Child>>,
+}
+
+/// The fleet under test: 3 member processes behind 1 router process,
+/// with a drop guard (kills the children on panic) and a hard
+/// watchdog thread (kills the children and aborts the whole test
+/// process if the test wedges past its deadline).
+struct FleetUnderTest {
+    members: Vec<Member>,
+    router_addr: String,
+    router: Arc<Mutex<Child>>,
+    disarmed: Arc<AtomicBool>,
+}
+
+impl FleetUnderTest {
+    fn spawn(n: usize) -> FleetUnderTest {
+        let member_args: Vec<String> = [
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--max-wait-ms",
+            "1",
+            "--workers",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let members: Vec<Member> = (0..n)
+            .map(|i| {
+                let (child, addr) = spawn_phom(&member_args, "phom_net: listening on ");
+                Member {
+                    name: format!("m{i}"),
+                    addr,
+                    child: Arc::new(Mutex::new(child)),
+                }
+            })
+            .collect();
+        // Short retry settings so a killed member fails fast and typed.
+        let mut router_args: Vec<String> = [
+            "router",
+            "--listen",
+            "127.0.0.1:0",
+            "--connect-attempts",
+            "2",
+            "--connect-backoff-ms",
+            "30",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        for m in &members {
+            router_args.push("--member".into());
+            router_args.push(format!("{}={}", m.name, m.addr));
+        }
+        let (router, router_addr) = spawn_phom(&router_args, "phom_fleet: routing on ");
+        let fleet = FleetUnderTest {
+            members,
+            router_addr,
+            router: Arc::new(Mutex::new(router)),
+            disarmed: Arc::new(AtomicBool::new(false)),
+        };
+        fleet.arm_watchdog(Duration::from_secs(120));
+        fleet
+    }
+
+    fn all_children(&self) -> Vec<Arc<Mutex<Child>>> {
+        let mut all: Vec<_> = self.members.iter().map(|m| Arc::clone(&m.child)).collect();
+        all.push(Arc::clone(&self.router));
+        all
+    }
+
+    /// The hard watchdog: if the test has not disarmed it before the
+    /// deadline, kill every child and abort the process — a wedged
+    /// fleet must never hang CI or orphan children.
+    fn arm_watchdog(&self, deadline: Duration) {
+        let children = self.all_children();
+        let disarmed = Arc::clone(&self.disarmed);
+        std::thread::spawn(move || {
+            let until = Instant::now() + deadline;
+            while Instant::now() < until {
+                if disarmed.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            eprintln!("fleet_serving watchdog: deadline passed — killing children, aborting");
+            kill_all(&children);
+            std::process::abort();
+        });
+    }
+
+    fn kill_member(&self, name: &str) {
+        let member = self
+            .members
+            .iter()
+            .find(|m| m.name == name)
+            .expect("member");
+        let mut child = member.child.lock().expect("child lock");
+        child.kill().expect("kill member");
+        child.wait().expect("reap member");
+    }
+}
+
+fn kill_all(children: &[Arc<Mutex<Child>>]) {
+    for child in children {
+        if let Ok(mut child) = child.lock() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for FleetUnderTest {
+    fn drop(&mut self) {
+        // Runs on success and on panic-unwind alike: no orphans either
+        // way, and the watchdog stands down.
+        self.disarmed.store(true, Ordering::SeqCst);
+        kill_all(&self.all_children());
+    }
+}
+
+/// The member name currently routing `version`, per the `fleet` op.
+fn owner_of_version(client: &mut Client, version: u64) -> String {
+    let reply = client
+        .call_raw(Json::obj(vec![("op", Json::str("fleet"))]))
+        .expect("fleet op");
+    let hex = wire::encode_version(version).to_string();
+    reply
+        .get("ok")
+        .and_then(|ok| ok.get("placements"))
+        .and_then(Json::as_arr)
+        .and_then(|placements| {
+            placements
+                .iter()
+                .find(|p| p.get("version").map(|v| v.to_string()).as_deref() == Some(&hex))
+                .and_then(|p| p.get("member"))
+                .and_then(Json::as_str)
+                .map(String::from)
+        })
+        .unwrap_or_else(|| panic!("no placement for {hex}: {reply}"))
+}
+
+/// The headline acceptance test: 3 real member processes behind a real
+/// router process answer byte-identically to the in-process oracle —
+/// before, during, and after a handoff, and a killed member degrades
+/// to typed `member_unavailable` frames without disturbing the rest.
+#[test]
+fn fleet_answers_bit_identically_through_handoff_and_member_kill() {
+    let fleet = FleetUnderTest::spawn(3);
+    let mut rng = SmallRng::seed_from_u64(0xF1EE75E2);
+    let instances: Vec<ProbGraph> = (0..4)
+        .map(|i| {
+            let profile = if i % 2 == 0 {
+                ProbProfile::half()
+            } else {
+                ProbProfile::default()
+            };
+            random_instance(&mut rng, profile)
+        })
+        .collect();
+    let oracles: Vec<Engine> = instances.iter().map(|h| Engine::new(h.clone())).collect();
+
+    let mut client = Client::connect(fleet.router_addr.as_str()).expect("connect to router");
+    let versions: Vec<u64> = instances
+        .iter()
+        .map(|h| client.register(h).expect("register through the router"))
+        .collect();
+
+    // One wave: submit k mixed requests across all versions, then wait
+    // each ticket and byte-compare against the oracle's canonical
+    // encoding of the same request.
+    let wave = |client: &mut Client, rng: &mut SmallRng, k: usize, ctx: &str| {
+        let submitted: Vec<(usize, WireRequest, u64)> = (0..k)
+            .map(|_| {
+                let j = rng.gen_range(0..instances.len());
+                let req = random_request(&instances[j], rng);
+                let ticket = client.submit(versions[j], &req).expect("admitted");
+                (j, req, ticket)
+            })
+            .collect();
+        for (i, (j, req, ticket)) in submitted.into_iter().enumerate() {
+            let want = encode_result(&oracles[j].submit(&[req.to_request()])[0]).to_string();
+            let got = client.wait(ticket).expect("answer").to_string();
+            assert_eq!(got, want, "{ctx}: instance {j}, request {i}");
+        }
+    };
+
+    // Phase 1: steady state.
+    wave(&mut client, &mut rng, 14, "steady state");
+
+    // Phase 2: mid-traffic handoff. Submit a wave of tickets for the
+    // hot version, flip it to a member that does not own it while they
+    // are in flight, then wait them — tickets created before the flip
+    // resolve through the old member, byte-identically.
+    let hot = versions[0];
+    let old_owner = owner_of_version(&mut client, hot);
+    let in_flight: Vec<(WireRequest, u64)> = (0..6)
+        .map(|_| {
+            let req = random_request(&instances[0], &mut rng);
+            let ticket = client.submit(hot, &req).expect("admitted");
+            (req, ticket)
+        })
+        .collect();
+    let target = fleet
+        .members
+        .iter()
+        .map(|m| m.name.clone())
+        .find(|name| *name != old_owner)
+        .expect("3 members, one owner");
+    let moved = client
+        .call_raw(Json::obj(vec![
+            ("op", Json::str("move")),
+            ("version", wire::encode_version(hot)),
+            ("to", Json::str(&target)),
+        ]))
+        .expect("move op");
+    assert!(
+        moved
+            .get("ok")
+            .and_then(|ok| ok.get("moved"))
+            .and_then(Json::as_bool)
+            == Some(true),
+        "{moved}"
+    );
+    assert_eq!(
+        owner_of_version(&mut client, hot),
+        target,
+        "routing flipped"
+    );
+    for (i, (req, ticket)) in in_flight.into_iter().enumerate() {
+        let want = encode_result(&oracles[0].submit(&[req.to_request()])[0]).to_string();
+        let got = client
+            .wait(ticket)
+            .expect("pre-flip ticket resolves")
+            .to_string();
+        assert_eq!(got, want, "pre-flip ticket {i}");
+    }
+    // Traffic after the flip lands on the new owner, still identical.
+    wave(&mut client, &mut rng, 10, "after handoff");
+
+    // The old member drains and drops the version: observe its version
+    // list directly (not through the router) until the handoff's
+    // deregister lands.
+    let old_addr = &fleet
+        .members
+        .iter()
+        .find(|m| m.name == old_owner)
+        .expect("old owner")
+        .addr;
+    let mut direct = Client::connect(old_addr.as_str()).expect("connect to old member");
+    let drained_by = Instant::now() + Duration::from_secs(10);
+    loop {
+        if !direct.versions().expect("versions").contains(&hot) {
+            break;
+        }
+        assert!(
+            Instant::now() < drained_by,
+            "old member never deregistered the moved version"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(direct);
+
+    // Phase 3: kill the member now owning the hot version. A ticket in
+    // flight at the kill resolves to exactly one terminal state — the
+    // typed member_unavailable frame — and is then gone; fresh submits
+    // for its versions fail typed, never silently retried; versions on
+    // surviving members keep answering byte-identically.
+    let doomed_req = random_request(&instances[0], &mut rng);
+    let doomed = client
+        .submit(hot, &doomed_req)
+        .expect("admitted before the kill");
+    fleet.kill_member(&target);
+    match client.wait(doomed) {
+        Err(NetError::Server { code, msg, .. }) => {
+            assert_eq!(code, "member_unavailable", "{msg}");
+        }
+        other => panic!("expected a terminal member_unavailable: {other:?}"),
+    }
+    // Terminal means terminal: the ticket is gone afterwards.
+    match client.poll(doomed, Duration::ZERO) {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, "unknown_ticket"),
+        other => panic!("a resolved ticket must be unknown: {other:?}"),
+    }
+    match client.submit(hot, &WireRequest::probability(Graph::directed_path(1))) {
+        Err(e) => {
+            assert!(e.is_unavailable(), "{e}");
+            let NetError::Server { code, .. } = &e else {
+                panic!("{e}")
+            };
+            assert_eq!(code, "member_unavailable");
+        }
+        Ok(t) => panic!("submit to a dead member's version admitted ticket {t}"),
+    }
+    let survivor = (0..versions.len())
+        .find(|&j| owner_of_version(&mut client, versions[j]) != target)
+        .expect("a version on a surviving member");
+    for i in 0..6 {
+        let req = random_request(&instances[survivor], &mut rng);
+        let want = encode_result(&oracles[survivor].submit(&[req.to_request()])[0]).to_string();
+        let ticket = client
+            .submit(versions[survivor], &req)
+            .expect("survivors admit");
+        let got = client.wait(ticket).expect("survivors answer").to_string();
+        assert_eq!(got, want, "survivor request {i} after the kill");
+    }
+
+    // Fleet-wide stats: the dead member reports unavailable, the
+    // rollup counts the survivors, and the router's books are clean —
+    // every ticket reached exactly one terminal state.
+    let stats = client.stats().expect("fleet stats");
+    let rollup = stats.get("rollup").expect("rollup section");
+    assert_eq!(
+        rollup.get("members_available").and_then(Json::as_u64),
+        Some(2),
+        "{stats}"
+    );
+    // The survivors' books roll up (the dead member's counters are
+    // gone with it, so this undercounts the true fleet total).
+    assert!(
+        rollup.get("completed").and_then(Json::as_u64).unwrap_or(0) >= 10,
+        "{stats}"
+    );
+    let members = stats
+        .get("members")
+        .and_then(Json::as_arr)
+        .expect("members section");
+    let dead = members
+        .iter()
+        .find(|m| m.get("name").and_then(Json::as_str) == Some(target.as_str()))
+        .expect("dead member listed");
+    assert_eq!(
+        dead.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "{stats}"
+    );
+    let router = stats.get("router").expect("router section");
+    assert_eq!(
+        router.get("open_tickets").and_then(Json::as_u64),
+        Some(0),
+        "{stats}"
+    );
+    assert_eq!(
+        router.get("handoffs").and_then(Json::as_u64),
+        Some(1),
+        "{stats}"
+    );
+    assert!(
+        router
+            .get("member_unavailable")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 2,
+        "{stats}"
+    );
+    assert_eq!(
+        router.get("drained_deregisters").and_then(Json::as_u64),
+        Some(1),
+        "{stats}"
+    );
+}

@@ -282,6 +282,105 @@ fn hostile_frames_get_typed_errors_not_panics() {
     server.shutdown(Duration::from_secs(1));
 }
 
+/// Registering the same instance twice is idempotent and cheap: the
+/// repeat ack carries the `registered: "cached"` marker, and a hinted
+/// re-register short-circuits before the instance is even *decoded* —
+/// a garbage instance under a known-good hint still acks cached. A
+/// hint that contradicts the instance it travels with is a typed
+/// `bad_request`, and deregister/versions round-trip over the wire.
+#[test]
+fn register_is_idempotent_and_hinted_fast_path_skips_decode() {
+    use phom::net::wire::{encode_instance, encode_version};
+    let h = ProbGraph::new(
+        Graph::directed_path(2),
+        vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+    );
+    let other = ProbGraph::new(Graph::directed_path(1), vec![Rational::from_ratio(1, 3)]);
+    let runtime = Arc::new(Runtime::builder().workers(1).build());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime)).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let marker = |reply: &Json| {
+        reply
+            .get("ok")
+            .and_then(|ok| ok.get("registered"))
+            .and_then(Json::as_str)
+            .map(String::from)
+    };
+    let register_frame = |instance: Json, hint: Option<u64>| {
+        let mut fields = vec![("op", Json::str("register")), ("instance", instance)];
+        if let Some(v) = hint {
+            fields.push(("version", encode_version(v)));
+        }
+        Json::obj(fields)
+    };
+
+    // Fresh, then repeat: the ack marker flips new → cached.
+    let first = client
+        .call_raw(register_frame(encode_instance(&h), None))
+        .expect("register");
+    assert_eq!(marker(&first).as_deref(), Some("new"), "{first}");
+    let repeat = client
+        .call_raw(register_frame(encode_instance(&h), None))
+        .expect("re-register");
+    assert_eq!(marker(&repeat).as_deref(), Some("cached"), "{repeat}");
+    let v = client.register(&h).expect("register is stable");
+
+    // The typed client surface reports the same marker.
+    let (vh, cached) = client.register_hinted(&h, v).expect("hinted register");
+    assert_eq!((vh, cached), (v, true));
+
+    // The hinted fast path never decodes the payload: garbage under a
+    // known-good hint still acks cached.
+    let reply = client
+        .call_raw(register_frame(Json::str("garbage"), Some(v)))
+        .expect("hinted register");
+    assert_eq!(marker(&reply).as_deref(), Some("cached"), "{reply}");
+
+    // An *unregistered* hint contradicting the instance it travels
+    // with is typed. (A registered hint deliberately skips the decode,
+    // so the payload is never inspected on that path — above.)
+    let fp = phom_core::instance_fingerprint(&other);
+    let reply = client
+        .call_raw(register_frame(encode_instance(&other), Some(fp ^ 1)))
+        .expect("typed reply");
+    assert_eq!(
+        reply
+            .get("err")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request"),
+        "{reply}"
+    );
+
+    // A correct hint for a not-yet-registered version builds it.
+    let (v2, cached) = client.register_hinted(&other, fp).expect("hinted build");
+    assert_eq!((v2, cached), (fp, false));
+
+    // deregister/versions round-trip: the version list shrinks and a
+    // second deregister reports false.
+    assert_eq!(
+        client.versions().expect("versions"),
+        vec![v.min(v2), v.max(v2)]
+    );
+    assert!(client.deregister(v2).expect("deregister"));
+    assert!(!client.deregister(v2).expect("idempotent deregister"));
+    assert_eq!(client.versions().expect("versions"), vec![v]);
+    // The surviving version still answers.
+    let t = client
+        .submit(v, &WireRequest::probability(Graph::directed_path(1)))
+        .expect("submit");
+    assert_eq!(
+        client
+            .wait(t)
+            .expect("answer")
+            .get("p")
+            .and_then(Json::as_str),
+        Some("3/4")
+    );
+    server.shutdown(Duration::from_secs(1));
+}
+
 /// Protocol hygiene: malformed frames answer typed protocol errors
 /// without desyncing the connection, unknown versions/tickets are typed
 /// rejections, `cancel` works over the wire, `stats` reports both
@@ -490,7 +589,10 @@ fn degradation_fields_travel_the_wire_without_disturbing_exact_answers() {
                 .unwrap_or_else(|| panic!("frame {i} has no float {key:?}: {frame}"))
         };
         let (lo, hi) = (bound("lo"), bound("hi"));
-        assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0, "frame {i}: [{lo}, {hi}]");
+        assert!(
+            (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0,
+            "frame {i}: [{lo}, {hi}]"
+        );
         assert_eq!(
             frame.get("samples").and_then(Json::as_u64),
             Some(3_000 + i as u64),

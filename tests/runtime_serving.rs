@@ -763,7 +763,10 @@ fn exact_answers_survive_background_sampling_load_bit_for_bit() {
         assert_same(&ticket.wait(), want, &format!("mixed request {i}"));
     }
     for (i, ticket) in sampling_tickets.iter().enumerate() {
-        let Ok(Response::Estimate { lo, hi, samples, .. }) = ticket.wait() else {
+        let Ok(Response::Estimate {
+            lo, hi, samples, ..
+        }) = ticket.wait()
+        else {
             panic!("sampling request {i} did not answer an estimate");
         };
         assert!(lo <= hi, "sampling request {i}");
@@ -775,5 +778,8 @@ fn exact_answers_survive_background_sampling_load_bit_for_bit() {
     assert!(stats.fast_lane_total >= 40, "{stats:?}");
     assert!(stats.slow_lane_total >= 24, "{stats:?}");
     assert!(stats.estimates > 0, "{stats:?}");
-    assert_eq!(stats.shed_expired, 0, "nothing carried a deadline: {stats:?}");
+    assert_eq!(
+        stats.shed_expired, 0,
+        "nothing carried a deadline: {stats:?}"
+    );
 }
