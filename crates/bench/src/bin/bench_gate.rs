@@ -43,6 +43,11 @@ const ENTRY_RATIOS: &[(&str, f64)] = &[
     // TCP stack noise dominates; the handoff entry is a single move op.
     ("router_roundtrip_k16", 6.0),
     ("router_handoff", 6.0),
+    // End-to-end request p99 from the runtime's latency histograms:
+    // pure tail-latency readings, so the same loose ratio as the other
+    // p99 entries.
+    ("fast_request_p99", 6.0),
+    ("slow_request_p99", 6.0),
 ];
 
 fn parse_entries(text: &str, origin: &str) -> Result<Vec<(String, f64)>, String> {
@@ -207,6 +212,9 @@ mod tests {
         // The fleet-router entries cross a real socket and gate loose too.
         assert_eq!(limit_for("router_roundtrip_k16", &[], 3.0), 6.0);
         assert_eq!(limit_for("router_handoff", &[], 3.0), 6.0);
+        // The histogram-sourced request p99 entries gate loose as well.
+        assert_eq!(limit_for("fast_request_p99", &[], 3.0), 6.0);
+        assert_eq!(limit_for("slow_request_p99", &[], 3.0), 6.0);
         // A command-line override beats the built-in; the last one wins.
         let overrides = vec![
             ("float_tick_k16".to_string(), 2.0),

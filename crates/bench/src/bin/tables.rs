@@ -573,7 +573,15 @@ fn json_smoke() {
                 .sum()
         });
         // Bounce the version between its owner and one other member;
-        // every rep is a genuine flip.
+        // every rep is a genuine flip, and each rep waits for the old
+        // copy's background drain-and-deregister to land before
+        // returning. Without that wait the entry is bimodal: a flip
+        // racing ahead of the previous drain finds the target still
+        // registered (~25µs flip), while one that loses the race pays
+        // a synchronous re-register (~300µs) — which mode the median
+        // lands in is scheduler luck. Waiting makes every rep the same
+        // measurable thing: one complete handoff, warm-up through
+        // retirement.
         let owner = {
             let reply = client
                 .call_raw(Json::obj(vec![("op", Json::str("fleet"))]))
@@ -617,6 +625,22 @@ fn json_smoke() {
                 Some(true),
                 "every rep must be a genuine flip: {reply}"
             );
+            // One drain job per flip: wait until the router reports
+            // this flip's deregister completed on the old member.
+            loop {
+                let fleet = client
+                    .call_raw(Json::obj(vec![("op", Json::str("fleet"))]))
+                    .expect("fleet op");
+                let drained = fleet
+                    .get("ok")
+                    .and_then(|ok| ok.get("drained"))
+                    .and_then(Json::as_u64)
+                    .expect("drained counter");
+                if drained >= flips as u64 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
             1.0
         });
         drop(client);
@@ -755,6 +779,21 @@ fn json_smoke() {
         ));
         runtime.stats()
     };
+    // Quantiles from the runtime's own latency histograms (the same
+    // numbers `phom top` and the metrics op expose): end-to-end p99 per
+    // lane, over every request the serving section fired. Loose-gated —
+    // tail latency on a shared box is noisy, so the gate allows a wider
+    // ratio than the throughput entries.
+    entries.push(format!(
+        "    {{\"id\": \"fast_request_p99\", \"n\": {}, \"median_ns\": {}}}",
+        serving.request_ns_fast.count(),
+        serving.request_ns_fast.quantile(0.99),
+    ));
+    entries.push(format!(
+        "    {{\"id\": \"slow_request_p99\", \"n\": {}, \"median_ns\": {}}}",
+        serving.request_ns_slow.count(),
+        serving.request_ns_slow.quantile(0.99),
+    ));
 
     println!("{{");
     println!("  \"schema\": \"phom-bench-smoke/v1\",");

@@ -124,6 +124,11 @@ struct Overrides {
     /// resolved [`SolverOptions`]: a deadline is relative to wall-clock
     /// arrival and never fragments the answer cache.
     deadline_at: Option<Instant>,
+    /// Observability trace id minted at the front door. Like
+    /// `deadline_at`, *not* part of the resolved [`SolverOptions`]:
+    /// a trace id is per-request metadata and never fragments the
+    /// answer cache.
+    trace: Option<u64>,
 }
 
 /// Which of the serving runtime's two priority lanes a request rides,
@@ -250,6 +255,21 @@ impl Request {
     /// runtime reads this to shed expired-in-queue requests at flush.
     pub fn deadline_instant(&self) -> Option<Instant> {
         self.overrides.deadline_at
+    }
+
+    /// Tag this request with an observability trace id (normally minted
+    /// at the front door — net server or fleet router — and carried in
+    /// the wire frame's optional `"trace"` field). The serving runtime
+    /// records per-stage spans under this id; it does not affect
+    /// solving or caching.
+    pub fn trace(mut self, id: u64) -> Self {
+        self.overrides.trace = Some(id);
+        self
+    }
+
+    /// The trace id set via [`trace`](Request::trace), if any.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.overrides.trace
     }
 
     /// The priority [`Lane`] this request rides in the serving

@@ -38,9 +38,16 @@
 //!   reaches the edge). The router never silently retries a submit;
 //!   exactly-once stays with the client.
 //! * **Fleet-wide observability**: the router's `stats` op aggregates
-//!   every member's `RuntimeStats` (per-member + rollup) alongside the
-//!   router's own [`RouterStats`]; the `fleet` op reports membership
-//!   and current placements.
+//!   every member's `RuntimeStats` (per-member + rollup, with the
+//!   members' sparse latency histograms merged bucket-wise); the
+//!   `fleet` op reports membership and current placements. The router
+//!   is also the fleet's trace front door — it mints and injects a
+//!   trace id into submits that lack one, records a `routed` span per
+//!   forward, answers the `trace` op with member spans merged under
+//!   its own routing spans, and serves the `metrics` op in Prometheus
+//!   text format with the fleet-merged histograms under the same
+//!   stable names a single member uses (see the [`router`
+//!   module](self) docs, section "Observability").
 //!
 //! Answers are **byte-identical** to a single in-process
 //! [`Engine::submit`](phom_core::Engine::submit): the router moves

@@ -31,11 +31,26 @@
 //! then is gone. Member error frames (`overloaded` with its
 //! `capacity`, `deadline_exceeded`, …) are relayed verbatim, so
 //! backpressure reaches the edge.
+//!
+//! ## Observability
+//!
+//! The router is the fleet's trace front door: a `submit` whose request
+//! lacks a `"trace"` field gets a freshly minted
+//! [`TraceId`](phom_obs::TraceId) injected before forwarding, so the
+//! member records its per-stage spans under the same id, and the
+//! router's own `routed` span (forward latency, member index in
+//! `detail`) lands in a local span ring. The `trace` op fans out to
+//! every member and merges member spans with the router's routing
+//! spans; the `metrics` op renders the router counters plus the
+//! fleet-merged latency histograms (same stable names as a member's,
+//! so dashboards work at either level); and the `stats` rollup merges
+//! the members' sparse histograms bucket-wise.
 
 use crate::members::{owner_of, validate_members, MemberSpec};
 use phom_net::json::Json;
 use phom_net::wire::{self, read_frame, write_frame};
 use phom_net::Client;
+use phom_obs::{Histogram, PromText, Span, SpanLane, SpanRing, Stage, TraceId};
 use std::collections::{BTreeSet, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -112,6 +127,7 @@ impl RouterBuilder {
             maint_wake: Condvar::new(),
             conns: Mutex::new(Vec::new()),
             counters: RouterCounters::default(),
+            spans: SpanRing::new(phom_obs::DEFAULT_RING_CAPACITY),
         });
         let accept = {
             let inner = Arc::clone(&inner);
@@ -188,6 +204,9 @@ struct RouterInner {
     maint_wake: Condvar,
     conns: Mutex<Vec<(TcpStream, Option<JoinHandle<()>>)>>,
     counters: RouterCounters,
+    /// Lock-free overwrite-oldest ring of `routed` spans — one per
+    /// forwarded submit, under the request's trace id.
+    spans: SpanRing,
 }
 
 /// A point-in-time snapshot of the router's own counters.
@@ -696,6 +715,8 @@ impl<'a> Conn<'a> {
             "cancel" => self.op_cancel(frame),
             "move" => self.op_move(frame),
             "stats" => self.op_stats(frame),
+            "metrics" => self.op_metrics(frame),
+            "trace" => self.op_trace(frame),
             "fleet" => self.op_fleet(frame),
             other => err_reply(frame, "bad_request", &format!("unknown op '{other}'")),
         }
@@ -804,11 +825,27 @@ impl<'a> Conn<'a> {
         version: u64,
         request: &Json,
     ) -> Result<Json, Json> {
+        let started = Instant::now();
+        // The router is the trace front door: a request without a trace
+        // id gets one minted and injected here, so the member records
+        // its stage spans under the same id the client sees in the ack.
+        let (request, trace) = match request.get("trace").map(wire::decode_version) {
+            Some(Ok(trace)) => (request.clone(), trace),
+            Some(Err(msg)) => return Err(err_reply(frame, "bad_request", &msg)),
+            None => {
+                let trace = TraceId::mint().get();
+                let mut request = request.clone();
+                if let Json::Obj(pairs) = &mut request {
+                    pairs.push(("trace".to_string(), wire::encode_version(trace)));
+                }
+                (request, trace)
+            }
+        };
         self.ensure_registered(frame, owner, version)?;
         let forward = Json::obj(vec![
             ("op", Json::str("submit")),
             ("version", wire::encode_version(version)),
-            ("request", request.clone()),
+            ("request", request),
         ]);
         let mut reply = match self.member_call(owner, forward.clone()) {
             Ok(reply) => reply,
@@ -863,7 +900,20 @@ impl<'a> Conn<'a> {
             .counters
             .submitted
             .fetch_add(1, Ordering::Relaxed);
-        Ok(ok_reply(frame, Json::obj(vec![("ticket", Json::u64(id))])))
+        self.inner.spans.push(Span {
+            trace,
+            stage: Stage::Routed,
+            lane: SpanLane::None,
+            nanos: started.elapsed().as_nanos() as u64,
+            detail: owner as u64,
+        });
+        Ok(ok_reply(
+            frame,
+            Json::obj(vec![
+                ("ticket", Json::u64(id)),
+                ("trace", wire::encode_version(trace)),
+            ]),
+        ))
     }
 
     fn op_poll(&mut self, frame: &Json) -> Json {
@@ -1012,13 +1062,17 @@ impl<'a> Conn<'a> {
         )
     }
 
-    /// `stats`: per-member snapshots plus a numeric rollup and the
-    /// router's own counters. A member that cannot be reached is
-    /// reported (`ok: false`), never an error for the whole op.
-    fn op_stats(&mut self, frame: &Json) -> Json {
-        let mut member_entries = Vec::new();
-        let mut rollup: Vec<(String, u64)> = Vec::new();
-        let mut available = 0u64;
+    /// Fans a `stats` op out to every member, summing scalar rollup
+    /// fields and merging the sparse latency histograms bucket-wise. A
+    /// member that cannot be reached is reported (`ok: false`), never
+    /// an error for the whole collection.
+    fn collect_member_stats(&mut self) -> FleetRollup {
+        let mut rollup = FleetRollup {
+            member_entries: Vec::new(),
+            scalars: Vec::new(),
+            hists: ROLLUP_HISTOGRAMS.iter().map(|_| Histogram::new()).collect(),
+            available: 0,
+        };
         for idx in 0..self.inner.members.len() {
             let member = &self.inner.members[idx];
             let (name, addr) = (member.name.clone(), member.addr.clone());
@@ -1029,42 +1083,260 @@ impl<'a> Conn<'a> {
             };
             match stats {
                 Some(stats) => {
-                    available += 1;
+                    rollup.available += 1;
                     for field in ROLLUP_FIELDS {
                         if let Some(v) = stats.get(field).and_then(Json::as_u64) {
-                            match rollup.iter_mut().find(|(f, _)| f == field) {
+                            match rollup.scalars.iter_mut().find(|(f, _)| f == field) {
                                 Some((_, sum)) => *sum += v,
-                                None => rollup.push((field.to_string(), v)),
+                                None => rollup.scalars.push((field.to_string(), v)),
                             }
                         }
                     }
-                    member_entries.push(Json::obj(vec![
+                    for (i, key) in ROLLUP_HISTOGRAMS.iter().enumerate() {
+                        if let Some(Ok(h)) = stats.get(key).map(wire::decode_histogram) {
+                            rollup.hists[i].merge(&h);
+                        }
+                    }
+                    rollup.member_entries.push(Json::obj(vec![
                         ("name", Json::str(&name)),
                         ("addr", Json::str(&addr)),
                         ("ok", Json::Bool(true)),
                         ("stats", stats),
                     ]));
                 }
-                None => member_entries.push(Json::obj(vec![
+                None => rollup.member_entries.push(Json::obj(vec![
                     ("name", Json::str(&name)),
                     ("addr", Json::str(&addr)),
                     ("ok", Json::Bool(false)),
                 ])),
             }
         }
+        rollup
+    }
+
+    /// `stats`: per-member snapshots plus a numeric rollup (scalar sums
+    /// and bucket-wise-merged latency histograms) and the router's own
+    /// counters.
+    fn op_stats(&mut self, frame: &Json) -> Json {
+        let fleet = self.collect_member_stats();
         let c = self.stats_snapshot();
         let mut rollup_pairs: Vec<(String, Json)> =
-            vec![("members_available".to_string(), Json::u64(available))];
-        rollup_pairs.extend(rollup.into_iter().map(|(f, v)| (f, Json::u64(v))));
+            vec![("members_available".to_string(), Json::u64(fleet.available))];
+        rollup_pairs.extend(fleet.scalars.into_iter().map(|(f, v)| (f, Json::u64(v))));
+        for (i, key) in ROLLUP_HISTOGRAMS.iter().enumerate() {
+            rollup_pairs.push((key.to_string(), wire::encode_histogram(&fleet.hists[i])));
+        }
         ok_reply(
             frame,
             Json::obj(vec![(
                 "stats",
                 Json::obj(vec![
                     ("router", c),
-                    ("members", Json::Arr(member_entries)),
+                    ("members", Json::Arr(fleet.member_entries)),
                     ("rollup", Json::Obj(rollup_pairs)),
                 ]),
+            )]),
+        )
+    }
+
+    /// `metrics`: Prometheus text for the fleet — router counters under
+    /// `phom_router_*`/`phom_fleet_*`, plus the members' latency
+    /// histograms merged bucket-wise and rendered under the *same*
+    /// stable names a single member uses (`phom_request_latency_ns`,
+    /// `phom_queue_latency_ns`, `phom_stage_latency_ns`), so dashboards
+    /// work unchanged at either level.
+    fn op_metrics(&mut self, frame: &Json) -> Json {
+        let fleet = self.collect_member_stats();
+        let c = &self.inner.counters;
+        let mut prom = PromText::new();
+        prom.gauge(
+            "phom_fleet_members",
+            "configured fleet members",
+            self.inner.members.len() as u64,
+        );
+        prom.gauge(
+            "phom_fleet_members_available",
+            "members that answered the last stats fan-out",
+            fleet.available,
+        );
+        prom.counter(
+            "phom_router_connections_total",
+            "client connections accepted",
+            c.connections.load(Ordering::Relaxed),
+        );
+        prom.counter(
+            "phom_router_frames_in_total",
+            "frames read off client connections",
+            c.frames_in.load(Ordering::Relaxed),
+        );
+        prom.counter(
+            "phom_router_frames_out_total",
+            "frames written to client connections",
+            c.frames_out.load(Ordering::Relaxed),
+        );
+        prom.counter(
+            "phom_router_submitted_total",
+            "submits forwarded with a member ticket",
+            c.submitted.load(Ordering::Relaxed),
+        );
+        prom.counter(
+            "phom_router_delivered_total",
+            "answers delivered to clients",
+            c.delivered.load(Ordering::Relaxed),
+        );
+        prom.counter(
+            "phom_router_member_unavailable_total",
+            "ops answered member_unavailable",
+            c.member_unavailable.load(Ordering::Relaxed),
+        );
+        prom.counter(
+            "phom_router_handoffs_total",
+            "completed move ops (routing flips)",
+            c.handoffs.load(Ordering::Relaxed),
+        );
+        prom.counter(
+            "phom_router_lazy_registers_total",
+            "broadcast-on-demand registrations",
+            c.lazy_registers.load(Ordering::Relaxed),
+        );
+        prom.counter(
+            "phom_router_drained_deregisters_total",
+            "post-handoff deregistrations",
+            c.drained_deregisters.load(Ordering::Relaxed),
+        );
+        prom.gauge(
+            "phom_router_open_tickets",
+            "tickets held router-side awaiting delivery",
+            c.tickets_open.load(Ordering::SeqCst).max(0) as u64,
+        );
+        for (field, v) in &fleet.scalars {
+            prom.gauge(
+                &format!("phom_fleet_{field}"),
+                "summed across available members",
+                *v,
+            );
+        }
+        prom.family(
+            "phom_request_latency_ns",
+            "end-to-end request latency, nanoseconds, merged fleet-wide",
+            "histogram",
+        );
+        prom.histogram(
+            "phom_request_latency_ns",
+            &[("lane", "fast")],
+            &fleet.hists[5],
+        );
+        prom.histogram(
+            "phom_request_latency_ns",
+            &[("lane", "slow")],
+            &fleet.hists[6],
+        );
+        prom.family(
+            "phom_queue_latency_ns",
+            "queue wait, nanoseconds, merged fleet-wide",
+            "histogram",
+        );
+        prom.histogram(
+            "phom_queue_latency_ns",
+            &[("lane", "fast")],
+            &fleet.hists[0],
+        );
+        prom.histogram(
+            "phom_queue_latency_ns",
+            &[("lane", "slow")],
+            &fleet.hists[1],
+        );
+        prom.family(
+            "phom_stage_latency_ns",
+            "per-tick-group stage time, nanoseconds, merged fleet-wide",
+            "histogram",
+        );
+        prom.histogram(
+            "phom_stage_latency_ns",
+            &[("stage", "plan")],
+            &fleet.hists[2],
+        );
+        prom.histogram(
+            "phom_stage_latency_ns",
+            &[("stage", "eval")],
+            &fleet.hists[3],
+        );
+        prom.histogram(
+            "phom_stage_latency_ns",
+            &[("stage", "encode")],
+            &fleet.hists[4],
+        );
+        ok_reply(
+            frame,
+            Json::obj(vec![("metrics", Json::str(prom.finish()))]),
+        )
+    }
+
+    /// `trace`: fan out to every member, merging member stage spans
+    /// with the router's own `routed` spans under each trace id. A
+    /// member that cannot be reached (or predates the op) contributes
+    /// nothing; the router's spans alone still witness the routing hop.
+    fn op_trace(&mut self, frame: &Json) -> Json {
+        let filter = match frame.get("trace").map(wire::decode_version) {
+            Some(Ok(id)) => Some(id),
+            Some(Err(msg)) => return err_reply(frame, "bad_request", &msg),
+            None => None,
+        };
+        let slowest = frame.get("slowest").and_then(Json::as_u64);
+        if filter.is_none() && slowest.is_none() {
+            return err_reply(
+                frame,
+                "bad_request",
+                "trace needs a 'trace' id or a 'slowest' count",
+            );
+        }
+        let mut spans: Vec<Span> = Vec::new();
+        for idx in 0..self.inner.members.len() {
+            let mut forward = vec![("op", Json::str("trace"))];
+            match filter {
+                Some(id) => forward.push(("trace", wire::encode_version(id))),
+                None => forward.push(("slowest", Json::u64(slowest.expect("checked above")))),
+            }
+            let Ok(reply) = self.member_call(idx, Json::obj(forward)) else {
+                continue;
+            };
+            let Some(Json::Arr(items)) = reply.get("ok").and_then(|ok| ok.get("requests")) else {
+                continue;
+            };
+            for item in items {
+                if let Ok(tr) = wire::decode_trace_request(item) {
+                    spans.extend(tr.spans);
+                }
+            }
+        }
+        let requests = match filter {
+            Some(id) => {
+                spans.extend(self.inner.spans.spans_for(id));
+                phom_obs::group_by_trace(&spans)
+            }
+            None => {
+                // Routed spans only matter for traces the members still
+                // remember — a lone routing hop is not a request.
+                let present: std::collections::HashSet<u64> =
+                    spans.iter().map(|s| s.trace).collect();
+                spans.extend(
+                    self.inner
+                        .spans
+                        .snapshot()
+                        .into_iter()
+                        .filter(|s| present.contains(&s.trace)),
+                );
+                phom_obs::slowest_requests(
+                    &spans,
+                    slowest.expect("checked above").min(256) as usize,
+                )
+            }
+        };
+        ok_reply(
+            frame,
+            Json::obj(vec![(
+                "requests",
+                Json::Arr(requests.iter().map(wire::encode_trace_request).collect()),
             )]),
         )
     }
@@ -1124,6 +1396,11 @@ impl<'a> Conn<'a> {
         placements.sort_unstable();
         let draining = state.drains.len() as u64;
         drop(state);
+        let drained = self
+            .inner
+            .counters
+            .drained_deregisters
+            .load(Ordering::Relaxed);
         let placements = placements
             .into_iter()
             .map(|(version, member)| {
@@ -1139,9 +1416,20 @@ impl<'a> Conn<'a> {
                 ("members", Json::Arr(members)),
                 ("placements", Json::Arr(placements)),
                 ("draining", Json::u64(draining)),
+                ("drained", Json::u64(drained)),
             ]),
         )
     }
+}
+
+/// One stats fan-out's worth of fleet state: per-member reply entries,
+/// summed scalar fields, and bucket-wise-merged latency histograms
+/// (parallel to [`ROLLUP_HISTOGRAMS`]).
+struct FleetRollup {
+    member_entries: Vec<Json>,
+    scalars: Vec<(String, u64)>,
+    hists: Vec<Histogram>,
+    available: u64,
 }
 
 /// The member `stats` fields summed into the fleet-wide rollup.
@@ -1161,4 +1449,16 @@ const ROLLUP_FIELDS: &[&str] = &[
     "estimates",
     "deadline_exceeded",
     "budget_exceeded",
+];
+
+/// The member `stats` histogram fields merged bucket-wise into the
+/// fleet-wide rollup (sparse encoding; see `wire::encode_histogram`).
+const ROLLUP_HISTOGRAMS: &[&str] = &[
+    "queue_ns_fast",
+    "queue_ns_slow",
+    "plan_ns",
+    "eval_ns",
+    "encode_ns",
+    "request_ns_fast",
+    "request_ns_slow",
 ];

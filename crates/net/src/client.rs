@@ -89,6 +89,16 @@ impl NetError {
     }
 }
 
+fn decode_trace_reply(reply: &Json) -> Result<Vec<phom_obs::TraceRequest>, NetError> {
+    let Some(Json::Arr(items)) = reply.get("requests") else {
+        return Err(NetError::Protocol("trace reply lacks 'requests'".into()));
+    };
+    items
+        .iter()
+        .map(|r| wire::decode_trace_request(r).map_err(NetError::Protocol))
+        .collect()
+}
+
 /// A blocking connection to a [`Server`](crate::Server).
 pub struct Client {
     stream: TcpStream,
@@ -250,6 +260,31 @@ impl Client {
             .ok_or_else(|| NetError::Protocol("submit reply lacks 'ticket'".into()))
     }
 
+    /// Like [`submit`](Client::submit) but also returns the trace id the
+    /// front door echoed in the ack (the request's own when it carried
+    /// one, freshly minted otherwise). `None` against a pre-tracing
+    /// server.
+    pub fn submit_traced(
+        &mut self,
+        version: u64,
+        request: &WireRequest,
+    ) -> Result<(u64, Option<u64>), NetError> {
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("submit")),
+            ("version", wire::encode_version(version)),
+            ("request", request.encode()),
+        ]))?;
+        let ticket = reply
+            .get("ticket")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| NetError::Protocol("submit reply lacks 'ticket'".into()))?;
+        let trace = match reply.get("trace") {
+            Some(v) => Some(wire::decode_version(v).map_err(NetError::Protocol)?),
+            None => None,
+        };
+        Ok((ticket, trace))
+    }
+
     /// Polls a ticket, blocking server-side up to `wait` (capped by the
     /// server). `Ok(None)` while pending; `Ok(Some(result))` delivers
     /// the canonical result object exactly once (the ticket is then
@@ -321,6 +356,37 @@ impl Client {
             .get("stats")
             .cloned()
             .ok_or_else(|| NetError::Protocol("stats reply lacks 'stats'".into()))
+    }
+
+    /// The server's metrics in Prometheus text exposition format (the
+    /// stable names are documented on `RuntimeStats::prometheus_text`).
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        self.call(Json::obj(vec![("op", Json::str("metrics"))]))?
+            .get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| NetError::Protocol("metrics reply lacks 'metrics'".into()))
+    }
+
+    /// The recorded spans for one trace id, grouped per request (a
+    /// router answers with member spans merged under its own routing
+    /// spans). Empty when the trace has aged out of the span ring.
+    pub fn trace_spans(&mut self, trace: u64) -> Result<Vec<phom_obs::TraceRequest>, NetError> {
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("trace")),
+            ("trace", wire::encode_version(trace)),
+        ]))?;
+        decode_trace_reply(&reply)
+    }
+
+    /// The `n` slowest requests still in the span ring, by total
+    /// recorded nanos, slowest first.
+    pub fn slowest(&mut self, n: u64) -> Result<Vec<phom_obs::TraceRequest>, NetError> {
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("trace")),
+            ("slowest", Json::u64(n)),
+        ]))?;
+        decode_trace_reply(&reply)
     }
 
     /// Sends a raw frame and returns the raw reply — protocol tests and

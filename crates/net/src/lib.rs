@@ -19,6 +19,17 @@
 //! [`Engine::submit`](phom_core::Engine::submit) under every knob
 //! combination. See [`wire`] for the full protocol reference.
 //!
+//! **Observability**: the server is the trace front door — a `submit`
+//! without a `"trace"` field gets a freshly minted
+//! [`TraceId`](phom_serve::TraceId), and the ack echoes the id either
+//! way. The `metrics` op returns the whole snapshot in Prometheus text
+//! format ([`Client::metrics`]); the `trace` op returns per-stage span
+//! breakdowns for one trace id ([`Client::trace_spans`]) or the N
+//! slowest requests still in the span ring ([`Client::slowest`]); and
+//! the `stats` reply carries sparse latency histograms per lane and per
+//! stage, mergeable fleet-wide by the router. See the
+//! [`wire`] module docs, section "Tracing".
+//!
 //! ## Quick start
 //!
 //! ```

@@ -449,10 +449,22 @@ fn handle_op(
                 Some(Err(msg)) => return err_reply(frame, "bad_request", &msg),
                 None => return err_reply(frame, "bad_request", "submit needs a 'version'"),
             };
-            let request = match frame.get("request").map(WireRequest::decode) {
+            let mut request = match frame.get("request").map(WireRequest::decode) {
                 Some(Ok(request)) => request,
                 Some(Err(msg)) => return err_reply(frame, "bad_request", &msg),
                 None => return err_reply(frame, "bad_request", "submit needs a 'request'"),
+            };
+            // The front door mints the trace id when the client didn't
+            // carry one (a router upstream would have), and echoes it in
+            // the ack either way — every request is traceable end to
+            // end, and old clients simply ignore the extra ack field.
+            let trace = match request.trace {
+                Some(trace) => trace,
+                None => {
+                    let trace = phom_obs::TraceId::mint().get();
+                    request = request.with_trace(trace);
+                    trace
+                }
             };
             // The reader thread feeds the *bounded* ingress queue: a
             // full queue answers immediately with the typed
@@ -465,7 +477,13 @@ fn handle_op(
                     tickets.insert(id, ticket);
                     inner.counters.tickets_open.fetch_add(1, Ordering::SeqCst);
                     inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                    ok_reply(frame, Json::obj(vec![("ticket", Json::u64(id))]))
+                    ok_reply(
+                        frame,
+                        Json::obj(vec![
+                            ("ticket", Json::u64(id)),
+                            ("trace", encode_version(trace)),
+                        ]),
+                    )
                 }
                 Err(e) => {
                     if matches!(e, SolveError::Overloaded { .. }) {
@@ -528,6 +546,79 @@ fn handle_op(
             ok_reply(
                 frame,
                 Json::obj(vec![("stats", encode_stats(&stats, &inner.counters))]),
+            )
+        }
+        "metrics" => {
+            // The whole snapshot in Prometheus text format: the runtime
+            // metrics (stable names documented on
+            // `RuntimeStats::prometheus_text`) plus the front end's own
+            // counters.
+            let mut text = inner.runtime.stats().prometheus_text();
+            let c = &inner.counters;
+            let mut prom = phom_obs::PromText::new();
+            prom.counter(
+                "phom_net_connections_total",
+                "connections accepted",
+                c.connections.load(Ordering::Relaxed),
+            );
+            prom.counter(
+                "phom_net_frames_in_total",
+                "frames read off all connections",
+                c.frames_in.load(Ordering::Relaxed),
+            );
+            prom.counter(
+                "phom_net_frames_out_total",
+                "frames written to all connections",
+                c.frames_out.load(Ordering::Relaxed),
+            );
+            prom.counter(
+                "phom_net_submitted_total",
+                "submit ops that admitted a request",
+                c.submitted.load(Ordering::Relaxed),
+            );
+            prom.counter(
+                "phom_net_rejected_overloaded_total",
+                "submit ops rejected with backpressure",
+                c.rejected_overloaded.load(Ordering::Relaxed),
+            );
+            prom.counter(
+                "phom_net_delivered_total",
+                "answers delivered via poll",
+                c.delivered.load(Ordering::Relaxed),
+            );
+            prom.gauge(
+                "phom_net_open_tickets",
+                "tickets held server-side awaiting delivery",
+                c.tickets_open.load(Ordering::SeqCst).max(0) as u64,
+            );
+            text.push_str(&prom.finish());
+            ok_reply(frame, Json::obj(vec![("metrics", Json::str(text))]))
+        }
+        "trace" => {
+            let requests = match frame.get("trace") {
+                Some(t) => match wire::decode_version(t) {
+                    Ok(id) => phom_obs::group_by_trace(&inner.runtime.spans_for(id)),
+                    Err(msg) => return err_reply(frame, "bad_request", &msg),
+                },
+                None => match frame.get("slowest").and_then(Json::as_u64) {
+                    Some(n) => {
+                        phom_obs::slowest_requests(&inner.runtime.spans(), n.min(256) as usize)
+                    }
+                    None => {
+                        return err_reply(
+                            frame,
+                            "bad_request",
+                            "trace needs a 'trace' id or a 'slowest' count",
+                        )
+                    }
+                },
+            };
+            ok_reply(
+                frame,
+                Json::obj(vec![(
+                    "requests",
+                    Json::Arr(requests.iter().map(wire::encode_trace_request).collect()),
+                )]),
             )
         }
         other => err_reply(frame, "bad_request", &format!("unknown op '{other}'")),
@@ -596,6 +687,27 @@ fn encode_stats(stats: &RuntimeStats, counters: &Counters) -> Json {
         ("deadline_exceeded", Json::u64(stats.deadline_exceeded)),
         ("budget_exceeded", Json::u64(stats.budget_exceeded)),
         ("scratch_reuse", Json::u64(stats.scratch_reuse)),
+        // Sparse latency histograms (see `wire::encode_histogram`); the
+        // fleet router merges these bucket-wise into its stats rollup.
+        (
+            "queue_ns_fast",
+            wire::encode_histogram(&stats.queue_ns_fast),
+        ),
+        (
+            "queue_ns_slow",
+            wire::encode_histogram(&stats.queue_ns_slow),
+        ),
+        ("plan_ns", wire::encode_histogram(&stats.plan_ns)),
+        ("eval_ns", wire::encode_histogram(&stats.eval_ns)),
+        ("encode_ns", wire::encode_histogram(&stats.encode_ns)),
+        (
+            "request_ns_fast",
+            wire::encode_histogram(&stats.request_ns_fast),
+        ),
+        (
+            "request_ns_slow",
+            wire::encode_histogram(&stats.request_ns_slow),
+        ),
         (
             "cache",
             Json::obj(vec![

@@ -21,6 +21,8 @@
 //! | `deregister` | `version` | `{"ok":{"deregistered":bool}}` |
 //! | `versions` | — | `{"ok":{"versions":["0x…",…]}}` (sorted) |
 //! | `stats` | — | `{"ok":{"stats":…}}` |
+//! | `metrics` | — | `{"ok":{"metrics":"<Prometheus text>"}}` |
+//! | `trace` | `trace` (hex id) *or* `slowest` (count) | `{"ok":{"requests":[{"trace":"0x…","total_ns":n,"spans":[{"stage":…,"lane":…,"ns":n,"detail":n},…]},…]}}` |
 //! | `ping` | — | `{"ok":{"pong":true}}` |
 //!
 //! An optional `id` member is echoed verbatim into the reply. Failures
@@ -28,6 +30,24 @@
 //! [`SolveError::wire_code`] (`"overloaded"` carries `capacity` — the
 //! backpressure signal on the wire), protocol-side codes are
 //! `"bad_frame"`, `"bad_request"`, and `"unknown_ticket"`.
+//!
+//! ### Tracing
+//!
+//! A `submit` request object may carry an optional `"trace"` field (a
+//! hex trace id, same shape as versions). A front door that receives a
+//! request *without* one mints a fresh [`TraceId`](phom_obs::TraceId)
+//! and echoes it in the submit ack (`{"ok":{"ticket":n,"trace":"0x…"}}`),
+//! so every request is traceable end to end; old peers simply ignore
+//! both fields. The `trace` op fetches the retained per-stage spans for
+//! one id, or — with `"slowest": N` — the N slowest retained requests
+//! (the slow-request log). Span stages are `admitted`, `queued`,
+//! `planned`, `evaluated` (detail = shared gates), `encoded`, and (on a
+//! router) `routed`.
+//!
+//! The `metrics` op returns the server's whole stats snapshot rendered
+//! as Prometheus text format — see
+//! [`RuntimeStats::prometheus_text`](phom_serve::RuntimeStats::prometheus_text)
+//! for the stable metric names.
 //!
 //! `register` is **idempotent-cheap**: a request carrying the expected
 //! fingerprint as a `version` hint acks `registered: "cached"` straight
@@ -354,6 +374,10 @@ pub struct WireRequest {
     /// `"on_hard":"estimate"` (answer a certified interval instead of
     /// a hardness error).
     pub on_hard: Option<OnHard>,
+    /// Observability trace id. On the wire: `"trace":"0x…"` (hex, like
+    /// versions). `None` makes the receiving front door mint one and
+    /// echo it in the submit ack; old peers ignore the field entirely.
+    pub trace: Option<u64>,
 }
 
 /// A work budget as it travels over the wire — the serializable mirror
@@ -396,6 +420,7 @@ impl WireRequest {
             deadline_ms: None,
             budget: None,
             on_hard: None,
+            trace: None,
         }
     }
 
@@ -409,6 +434,7 @@ impl WireRequest {
             deadline_ms: None,
             budget: None,
             on_hard: None,
+            trace: None,
         }
     }
 
@@ -422,6 +448,7 @@ impl WireRequest {
             deadline_ms: None,
             budget: None,
             on_hard: None,
+            trace: None,
         }
     }
 
@@ -435,6 +462,7 @@ impl WireRequest {
             deadline_ms: None,
             budget: None,
             on_hard: None,
+            trace: None,
         }
     }
 
@@ -474,6 +502,13 @@ impl WireRequest {
         self
     }
 
+    /// Tags the request with an observability trace id (see the
+    /// [module docs](self) tracing section).
+    pub fn with_trace(mut self, id: u64) -> Self {
+        self.trace = Some(id);
+        self
+    }
+
     /// The in-process [`Request`] this wire request maps onto — the
     /// *same* request the differential oracle submits to
     /// [`Engine::submit`](phom_core::Engine::submit).
@@ -510,6 +545,9 @@ impl WireRequest {
         }
         if let Some(on_hard) = self.on_hard {
             request = request.on_hard(on_hard);
+        }
+        if let Some(trace) = self.trace {
+            request = request.trace(trace);
         }
         request
     }
@@ -593,6 +631,9 @@ impl WireRequest {
                 pairs.push(("on_hard".to_string(), Json::str("estimate")));
             }
             None => {}
+        }
+        if let Some(trace) = self.trace {
+            pairs.push(("trace".to_string(), encode_version(trace)));
         }
         Json::Obj(pairs)
     }
@@ -679,6 +720,10 @@ impl WireRequest {
             Some(Some("estimate")) => Some(OnHard::Estimate),
             Some(other) => return Err(format!("unknown on_hard mode {other:?}")),
         };
+        let trace = match json.get("trace") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(decode_version(t)?),
+        };
         Ok(WireRequest {
             kind,
             provenance,
@@ -687,6 +732,7 @@ impl WireRequest {
             deadline_ms,
             budget,
             on_hard,
+            trace,
         })
     }
 }
@@ -738,6 +784,127 @@ pub fn decode_version(json: &Json) -> Result<u64, String> {
     let text = json.as_str().ok_or("version must be a hex string")?;
     let digits = text.strip_prefix("0x").unwrap_or(text);
     u64::from_str_radix(digits, 16).map_err(|e| format!("bad version '{text}': {e}"))
+}
+
+// ---------------------------------------------------------------------
+// Histograms and spans
+// ---------------------------------------------------------------------
+
+/// Encodes a latency [`Histogram`](phom_obs::Histogram) sparsely:
+/// `{"count":n,"sum":n,"max":n,"buckets":[[index,count],…]}` — only
+/// occupied buckets travel, so an idle histogram is a few bytes.
+pub fn encode_histogram(h: &phom_obs::Histogram) -> Json {
+    Json::obj(vec![
+        ("count", Json::u64(h.count())),
+        ("sum", Json::u64(h.sum())),
+        ("max", Json::u64(h.max())),
+        (
+            "buckets",
+            Json::Arr(
+                h.nonzero_buckets()
+                    .map(|(idx, c)| Json::Arr(vec![Json::u64(idx as u64), Json::u64(c)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a sparse histogram off the wire (inverse of
+/// [`encode_histogram`]). The fleet router uses this to merge member
+/// histograms into its stats rollup.
+pub fn decode_histogram(json: &Json) -> Result<phom_obs::Histogram, String> {
+    let num = |name: &str| -> Result<u64, String> {
+        match json.get(name) {
+            None => Ok(0),
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| format!("histogram '{name}' must be a number")),
+        }
+    };
+    let mut sparse = Vec::new();
+    if let Some(buckets) = json.get("buckets").and_then(Json::as_arr) {
+        for (i, pair) in buckets.iter().enumerate() {
+            let parts = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("histogram bucket {i}: expected [index, count]"))?;
+            let idx = parts[0]
+                .as_u64()
+                .ok_or_else(|| format!("histogram bucket {i}: bad index"))?;
+            let count = parts[1]
+                .as_u64()
+                .ok_or_else(|| format!("histogram bucket {i}: bad count"))?;
+            sparse.push((idx as usize, count));
+        }
+    }
+    Ok(phom_obs::Histogram::from_parts(
+        num("sum")?,
+        num("max")?,
+        &sparse,
+    ))
+}
+
+/// Encodes one traced request (its span set and summed stage time) for
+/// the `trace` op reply.
+pub fn encode_trace_request(req: &phom_obs::TraceRequest) -> Json {
+    Json::obj(vec![
+        ("trace", encode_version(req.trace)),
+        ("total_ns", Json::u64(req.total_nanos)),
+        (
+            "spans",
+            Json::Arr(
+                req.spans
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("stage", Json::str(s.stage.name())),
+                            ("lane", Json::str(s.lane.name())),
+                            ("ns", Json::u64(s.nanos)),
+                            ("detail", Json::u64(s.detail)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses one traced request off the wire (inverse of
+/// [`encode_trace_request`]). Spans with an unknown stage name are
+/// skipped, not errors — a newer peer may know stages this build does
+/// not.
+pub fn decode_trace_request(json: &Json) -> Result<phom_obs::TraceRequest, String> {
+    let trace = decode_version(json.get("trace").ok_or("trace request needs a 'trace'")?)?;
+    let total_nanos = json.get("total_ns").and_then(Json::as_u64).unwrap_or(0);
+    let mut spans = Vec::new();
+    if let Some(arr) = json.get("spans").and_then(Json::as_arr) {
+        for span in arr {
+            let Some(stage) = span
+                .get("stage")
+                .and_then(Json::as_str)
+                .and_then(phom_obs::Stage::from_name)
+            else {
+                continue;
+            };
+            let lane = match span.get("lane").and_then(Json::as_str) {
+                Some("fast") => phom_obs::SpanLane::Fast,
+                Some("slow") => phom_obs::SpanLane::Slow,
+                _ => phom_obs::SpanLane::None,
+            };
+            spans.push(phom_obs::Span {
+                trace,
+                stage,
+                lane,
+                nanos: span.get("ns").and_then(Json::as_u64).unwrap_or(0),
+                detail: span.get("detail").and_then(Json::as_u64).unwrap_or(0),
+            });
+        }
+    }
+    Ok(phom_obs::TraceRequest {
+        trace,
+        total_nanos,
+        spans,
+    })
 }
 
 /// The **canonical** serialization of one request outcome. This is the
@@ -941,6 +1108,7 @@ mod tests {
                 })
                 .with_on_hard(OnHard::Estimate),
             WireRequest::probability(q.clone()).with_on_hard(OnHard::Error),
+            WireRequest::probability(q.clone()).with_trace(0xDEAD_BEEF_0042_1337),
         ];
         for req in &reqs {
             let decoded = WireRequest::decode(&req.encode()).unwrap();
@@ -948,7 +1116,15 @@ mod tests {
             assert_eq!(decoded.precision, req.precision);
             assert_eq!(decoded.deadline_ms, req.deadline_ms);
             assert_eq!(decoded.budget, req.budget);
+            assert_eq!(decoded.trace, req.trace);
         }
+        // A request without a trace encodes byte-identically to the
+        // pre-trace wire form — old peers see exactly what they always
+        // saw.
+        assert!(!WireRequest::probability(q.clone())
+            .encode()
+            .to_string()
+            .contains("trace"));
         // Tolerances survive the canonical string encoding bit-for-bit.
         let encoded = WireRequest::probability(q)
             .with_precision(Precision::Float { max_rel_err: 1e-9 })
@@ -1002,5 +1178,46 @@ mod tests {
             assert_eq!(decode_version(&encode_version(v)).unwrap(), v);
         }
         assert!(decode_version(&Json::u64(5)).is_err());
+    }
+
+    #[test]
+    fn histograms_and_traces_roundtrip() {
+        let mut h = phom_obs::Histogram::new();
+        for v in [0u64, 5, 100, 100, 4096, 1 << 33] {
+            h.record(v);
+        }
+        let back = decode_histogram(&encode_histogram(&h)).unwrap();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sum(), h.sum());
+        assert_eq!(back.max(), h.max());
+        assert_eq!(back.quantile(0.99), h.quantile(0.99));
+        // An idle histogram stays a few bytes and round-trips too.
+        let idle = decode_histogram(&encode_histogram(&phom_obs::Histogram::new())).unwrap();
+        assert_eq!(idle.count(), 0);
+
+        let req = phom_obs::TraceRequest {
+            trace: 42,
+            total_nanos: 15,
+            spans: vec![
+                phom_obs::Span {
+                    trace: 42,
+                    stage: phom_obs::Stage::Queued,
+                    lane: phom_obs::SpanLane::Fast,
+                    nanos: 10,
+                    detail: 0,
+                },
+                phom_obs::Span {
+                    trace: 42,
+                    stage: phom_obs::Stage::Evaluated,
+                    lane: phom_obs::SpanLane::Fast,
+                    nanos: 5,
+                    detail: 99,
+                },
+            ],
+        };
+        let back = decode_trace_request(&encode_trace_request(&req)).unwrap();
+        assert_eq!(back.trace, 42);
+        assert_eq!(back.total_nanos, 15);
+        assert_eq!(back.spans, req.spans);
     }
 }

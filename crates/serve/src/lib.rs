@@ -34,7 +34,16 @@
 //!   roots across the workers;
 //! * a [`RuntimeStats`] snapshot: queue depth (+ high-water mark),
 //!   tick-size histogram, per-shard latencies, controller state, batch
-//!   aggregates, cache counters.
+//!   aggregates, cache counters;
+//! * **observability** (`phom_obs`): every admitted request carries a
+//!   [`TraceId`](phom_obs::TraceId) (its own if the front door minted
+//!   one, runtime-minted otherwise) and records per-stage
+//!   [`Span`](phom_obs::Span)s — admitted, queued, planned, evaluated,
+//!   encoded — into a lock-free overwrite-oldest ring
+//!   ([`Runtime::spans`]); [`RuntimeStats`] carries quantile-grade
+//!   log-linear latency [`Histogram`]s per lane and per stage, and
+//!   [`RuntimeStats::prometheus_text`] renders the whole snapshot in
+//!   Prometheus text format.
 //!
 //! The runtime is the process-internal half of serving; the network
 //! half — a TCP front end speaking a length-prefixed JSON protocol
@@ -87,6 +96,7 @@ mod stats;
 pub mod test_support;
 mod ticket;
 
+pub use phom_obs::{Histogram, PromText, Span, SpanLane, SpanRing, Stage, TraceId};
 pub use runtime::{Runtime, RuntimeBuilder};
 pub use stats::{tick_size_bucket, RuntimeStats, TICK_HIST_BUCKETS};
 pub use ticket::Ticket;

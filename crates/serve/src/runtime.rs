@@ -33,6 +33,7 @@ use phom_core::{
     TickOutput, TickUnit, WorkerScratch,
 };
 use phom_graph::ProbGraph;
+use phom_obs::{Span, SpanLane, SpanRing, Stage, TraceId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
@@ -47,6 +48,14 @@ fn duration_to_nanos(d: Duration) -> u64 {
 
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The observability lane tag for an admission [`Lane`].
+fn span_lane(lane: Lane) -> SpanLane {
+    match lane {
+        Lane::Fast => SpanLane::Fast,
+        Lane::Slow => SpanLane::Slow,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -216,6 +225,7 @@ impl RuntimeBuilder {
                 workers: pool_size,
                 ..RuntimeStats::default()
             }),
+            spans: SpanRing::new(phom_obs::DEFAULT_RING_CAPACITY),
             inflight: Mutex::new(0),
             inflight_done: Condvar::new(),
         });
@@ -270,6 +280,10 @@ struct Admitted {
     enqueued_at: Instant,
     lane: Lane,
     deadline_at: Option<Instant>,
+    /// Observability trace id — the request's own if it carried one
+    /// (minted at the wire front door), a fresh runtime-minted one
+    /// otherwise.
+    trace: u64,
 }
 
 /// Runs when the batcher thread exits — normally or by panic. On the
@@ -363,6 +377,10 @@ struct Inner {
     default_version: Mutex<Option<u64>>,
     work: Chan<WorkItem>,
     stats: Mutex<RuntimeStats>,
+    /// Recent per-stage spans (lock-free, overwrite-oldest). Written on
+    /// admission and at group finish; read by the `trace` wire op and
+    /// `Runtime::spans`.
+    spans: SpanRing,
     /// Tick groups dispatched to the pool and not yet finished. The
     /// batcher flushes ahead of completion (so a slow tick never blocks
     /// a fast one) but stops at [`Inner::inflight_cap`] to bound the
@@ -397,6 +415,18 @@ struct FinishJob {
     tickets: Vec<Arc<TicketState>>,
     started: Instant,
     tick_requests: usize,
+    /// The group's lane (groups are split by lane, so it is uniform).
+    lane: Lane,
+    /// When planning finished and the units were handed to the pool —
+    /// the evaluated-stage span starts here.
+    planned_at: Instant,
+    /// Planning duration (`begin_tick_with` + unit construction).
+    plan_nanos: u64,
+    /// Per-request trace ids, parallel to `tickets`.
+    traces: Vec<u64>,
+    /// Per-request queue time (admission → flush), parallel to
+    /// `tickets`.
+    queue_nanos: Vec<u64>,
 }
 
 /// Gathers a tick group's unit outputs; the worker whose report
@@ -585,9 +615,13 @@ impl Runtime {
         // Lane and deadline are fixed at admission: the lane comes from
         // the plan's route class (cheap exact plans go fast; anything
         // that may sample or estimate goes slow), the deadline from the
-        // request's own clock.
+        // request's own clock. The trace id is the request's own when
+        // the front door (net server / router) minted one; in-process
+        // callers get a runtime-minted id so their spans are traceable
+        // too.
         let lane = request.lane(self.inner.default_options);
         let deadline_at = request.deadline_instant();
+        let trace = request.trace_id().unwrap_or_else(|| TraceId::mint().get());
         let (depth, fast_depth, slow_depth) = {
             let mut ingress = lock(&self.inner.ingress);
             if ingress.shutdown {
@@ -608,6 +642,7 @@ impl Runtime {
                 enqueued_at: Instant::now(),
                 lane,
                 deadline_at,
+                trace,
             };
             match lane {
                 Lane::Fast => ingress.fast.push_back(entry),
@@ -626,8 +661,28 @@ impl Runtime {
                 Lane::Slow => stats.slow_lane_total += 1,
             }
         }
+        self.inner.spans.push(Span {
+            trace,
+            stage: Stage::Admitted,
+            lane: span_lane(lane),
+            nanos: 0,
+            detail: 0,
+        });
         self.inner.ingress_ready.notify_all();
         Ok(Ticket::new(ticket))
+    }
+
+    /// A snapshot of the recent per-stage [`Span`]s (admitted, queued,
+    /// planned, evaluated, encoded), oldest first. The ring is
+    /// fixed-size and overwrite-oldest, so only the most recent
+    /// [`phom_obs::DEFAULT_RING_CAPACITY`] spans are retained.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.spans.snapshot()
+    }
+
+    /// Retained spans for one trace id, oldest first.
+    pub fn spans_for(&self, trace: u64) -> Vec<Span> {
+        self.inner.spans.spans_for(trace)
     }
 
     /// A point-in-time activity snapshot: queue depth, tick shapes,
@@ -890,10 +945,19 @@ fn process_tick(inner: &Inner, entries: Vec<Admitted>) {
         // Each admitted entry pinned its engine at admission, so a
         // version deregistered since then still completes normally.
         let engine = Arc::clone(&entries[0].engine);
-        let (requests, tickets): (Vec<Request>, Vec<Arc<TicketState>>) = entries
-            .into_iter()
-            .map(|entry| (entry.request, entry.ticket))
-            .unzip();
+        let mut requests = Vec::with_capacity(entries.len());
+        let mut tickets = Vec::with_capacity(entries.len());
+        let mut traces = Vec::with_capacity(entries.len());
+        let mut queue_nanos = Vec::with_capacity(entries.len());
+        for entry in entries {
+            queue_nanos.push(duration_to_nanos(
+                started.saturating_duration_since(entry.enqueued_at),
+            ));
+            traces.push(entry.trace);
+            requests.push(entry.request);
+            tickets.push(entry.ticket);
+        }
+        let plan_started = Instant::now();
         let mut tick = engine.begin_tick_with(
             &requests,
             &TickConfig {
@@ -902,11 +966,17 @@ fn process_tick(inner: &Inner, entries: Vec<Admitted>) {
             },
         );
         let units = tick.take_units();
+        let planned_at = Instant::now();
         let job = FinishJob {
             tick_requests: tickets.len(),
             tick,
             tickets,
             started,
+            lane,
+            planned_at,
+            plan_nanos: duration_to_nanos(planned_at.saturating_duration_since(plan_started)),
+            traces,
+            queue_nanos,
         };
         if units.is_empty() {
             // Everything answered at plan time (cache hits, trivial
@@ -952,8 +1022,18 @@ fn finish_group(inner: &Inner, job: FinishJob, outputs: Vec<TickOutput>) {
         tickets,
         started,
         tick_requests,
+        lane,
+        planned_at,
+        plan_nanos,
+        traces,
+        queue_nanos,
     } = job;
     let had_units = !outputs.is_empty();
+    // Evaluation ran from dispatch (planning done) until the last unit
+    // reported — i.e. until this function was entered; everything after
+    // is result materialization + ticket fulfillment (the encode stage).
+    let finish_started = Instant::now();
+    let eval_nanos = duration_to_nanos(finish_started.saturating_duration_since(planned_at));
     let (results, batch_stats) = tick.finish(outputs);
     debug_assert_eq!(results.len(), tickets.len());
     let mut fulfilled = 0u64;
@@ -968,14 +1048,59 @@ fn finish_group(inner: &Inner, job: FinishJob, outputs: Vec<TickOutput>) {
             lost_to_cancel += 1;
         }
     }
+    let encode_nanos = finish_started.elapsed().as_nanos() as u64;
     let nanos = started.elapsed().as_nanos() as u64;
     {
         let mut stats = lock(&inner.stats);
+        let stats = &mut *stats;
         stats.completed += fulfilled;
         stats.cancelled += lost_to_cancel;
         stats.absorb_batch(&batch_stats);
         stats.tick_nanos_total += nanos;
         stats.tick_nanos_max = stats.tick_nanos_max.max(nanos);
+        stats.plan_ns.record(plan_nanos);
+        stats.eval_ns.record(eval_nanos);
+        stats.encode_ns.record(encode_nanos);
+        let (queue_hist, request_hist) = match lane {
+            Lane::Fast => (&mut stats.queue_ns_fast, &mut stats.request_ns_fast),
+            Lane::Slow => (&mut stats.queue_ns_slow, &mut stats.request_ns_slow),
+        };
+        for &q in &queue_nanos {
+            queue_hist.record(q);
+            request_hist.record(q.saturating_add(nanos));
+        }
+    }
+    // Span writes happen outside the stats lock — the ring is lock-free.
+    let lane_tag = span_lane(lane);
+    for (i, &trace) in traces.iter().enumerate() {
+        inner.spans.push(Span {
+            trace,
+            stage: Stage::Queued,
+            lane: lane_tag,
+            nanos: queue_nanos[i],
+            detail: 0,
+        });
+        inner.spans.push(Span {
+            trace,
+            stage: Stage::Planned,
+            lane: lane_tag,
+            nanos: plan_nanos,
+            detail: 0,
+        });
+        inner.spans.push(Span {
+            trace,
+            stage: Stage::Evaluated,
+            lane: lane_tag,
+            nanos: eval_nanos,
+            detail: batch_stats.shared_gates as u64,
+        });
+        inner.spans.push(Span {
+            trace,
+            stage: Stage::Encoded,
+            lane: lane_tag,
+            nanos: encode_nanos,
+            detail: 0,
+        });
     }
     if had_units {
         let mut inflight = lock(&inner.inflight);

@@ -53,6 +53,8 @@ pub fn run(
         Some("count") => solve_cmd(&args[1..], read_file, true),
         Some("serve") => serve_cmd(&args[1..]),
         Some("router") => router_cmd(&args[1..], read_file),
+        Some("client") => client_cmd(&args[1..], read_file),
+        Some("top") => top_cmd(&args[1..]),
         Some("classify") => classify_cmd(&args[1..], read_file),
         Some("tables") => Ok(tables_cmd()),
         Some("walk") => walk_cmd(&args[1..], read_file),
@@ -90,6 +92,20 @@ fn usage() -> String {
      \x20 router --bench              spin an in-process fleet (members +\n\
      \x20                             router), fire a mixed workload through\n\
      \x20                             one handoff, print fleet-wide stats\n\
+     \x20 client <query> <instance> --connect ADDR [--trace]\n\
+     \x20                             one-shot wire client against a serve\n\
+     \x20                             or router endpoint: register, submit,\n\
+     \x20                             wait, print the answer; --trace adds\n\
+     \x20                             the per-stage span breakdown the\n\
+     \x20                             serving stack recorded (admitted,\n\
+     \x20                             queued, planned, evaluated, encoded,\n\
+     \x20                             and routed behind a fleet router)\n\
+     \x20 top --connect ADDR          the live stats view of a serve or\n\
+     \x20                             router endpoint: counters plus\n\
+     \x20                             latency quantiles (p50/p90/p99) per\n\
+     \x20                             lane and stage, fleet-merged when the\n\
+     \x20                             endpoint is a router; --interval-ms\n\
+     \x20                             and --iterations control refresh\n\
      \n\
      options for solve/count:\n\
      \x20 --brute-force <max-edges>   fall back to world enumeration\n\
@@ -148,6 +164,8 @@ fn usage() -> String {
      \x20 --precision <p>             --bench only: evaluation tier for the\n\
      \x20                             synthetic probability requests (exact |\n\
      \x20                             float:<tol> | auto[:<tol>])\n\
+     \x20 --metrics                   --bench only: print the Prometheus\n\
+     \x20                             text metrics snapshot after the run\n\
      \n\
      options for router:\n\
      \x20 --members <file>            member list: one `name addr [weight]`\n\
@@ -221,6 +239,7 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
     let mut bench = false;
     let mut listen: Option<String> = None;
     let mut precision = phom_core::Precision::Exact;
+    let mut metrics = false;
     let mut adaptive = false;
     let mut share_arena_at: Option<usize> = Some(32);
     let mut serve_for_ms: Option<u64> = None;
@@ -232,6 +251,7 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
         };
         match args[i].as_str() {
             "--bench" => bench = true,
+            "--metrics" => metrics = true,
             "--listen" => {
                 listen = Some(
                     flag_value(&mut i)
@@ -494,7 +514,48 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
         "cache: {} entries, {} hits, {} misses, {} evictions",
         stats.cache.entries, stats.cache.hits, stats.cache.misses, stats.cache.evictions,
     );
+    let lane = |h: &phom_serve::Histogram| -> String {
+        if h.is_empty() {
+            "-".into()
+        } else {
+            format!(
+                "p50 {} / p99 {} (max {})",
+                fmt_ns(h.quantile(0.50)),
+                fmt_ns(h.quantile(0.99)),
+                fmt_ns(h.max()),
+            )
+        }
+    };
+    let _ = writeln!(
+        out,
+        "latency: fast {}, slow {}",
+        lane(&stats.request_ns_fast),
+        lane(&stats.request_ns_slow),
+    );
+    let _ = writeln!(
+        out,
+        "stages: plan {}, eval {}, encode {}",
+        lane(&stats.plan_ns),
+        lane(&stats.eval_ns),
+        lane(&stats.encode_ns),
+    );
+    if metrics {
+        out.push_str(&stats.prometheus_text());
+    }
     Ok(out)
+}
+
+/// Renders a nanosecond reading in the nearest human unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
 }
 
 /// Configuration for `phom serve --listen`.
@@ -873,6 +934,31 @@ fn router_bench(fleet_size: usize, requests: usize) -> Result<String, String> {
             field("ticks"),
             field("batch_cache_hits"),
         );
+        // The rollup's latency histograms are the members' sparse
+        // histograms merged bucket-wise by the router.
+        let hist = |name: &str| -> phom_obs::Histogram {
+            rollup
+                .get(name)
+                .and_then(|h| phom_net::wire::decode_histogram(h).ok())
+                .unwrap_or_default()
+        };
+        let lane = |h: &phom_obs::Histogram| -> String {
+            if h.is_empty() {
+                "-".into()
+            } else {
+                format!(
+                    "p50 {} / p99 {}",
+                    fmt_ns(h.quantile(0.50)),
+                    fmt_ns(h.quantile(0.99)),
+                )
+            }
+        };
+        let _ = writeln!(
+            out,
+            "latency (fleet merged): fast {}, slow {}",
+            lane(&hist("request_ns_fast")),
+            lane(&hist("request_ns_slow")),
+        );
     }
     if let Some(phom_net::Json::Arr(entries)) = fleet_stats.get("members") {
         for entry in entries {
@@ -911,6 +997,234 @@ fn router_bench(fleet_size: usize, requests: usize) -> Result<String, String> {
         server.shutdown(Duration::from_secs(1));
     }
     Ok(out)
+}
+
+/// `phom client <query> <instance> --connect ADDR [--trace]`: a
+/// one-shot wire client against a `phom serve` front end or a
+/// `phom router` fleet front door — register the instance, submit the
+/// query, wait for the answer. `--trace` follows up with the `trace`
+/// wire op and prints the per-stage span breakdown the serving stack
+/// recorded for this request (including the router's `routed` hop when
+/// the endpoint is a fleet front door).
+fn client_cmd(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<String, String> {
+    let mut files: Vec<String> = Vec::new();
+    let mut connect: Option<String> = None;
+    let mut show_trace = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" => {
+                i += 1;
+                connect = Some(
+                    args.get(i)
+                        .ok_or("--connect needs an address (e.g. 127.0.0.1:4100)")?
+                        .clone(),
+                );
+            }
+            "--trace" => show_trace = true,
+            other if other.starts_with("--") => {
+                return Err(format!("client: unknown flag '{other}'"))
+            }
+            other => files.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let addr =
+        connect.ok_or("client needs --connect ADDR (a `phom serve` or `phom router` endpoint)")?;
+    let [qfile, hfile] = files.as_slice() else {
+        return Err("client needs <query-file> <instance-file> --connect ADDR".into());
+    };
+    let (query, instance) = parse_inputs(qfile, hfile, read_file)?;
+    let mut client = phom_net::Client::connect(addr.as_str())
+        .map_err(|e| format!("client connect {addr}: {e}"))?;
+    let version = client.register(&instance).map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    let (ticket, trace) = client
+        .submit_traced(version, &phom_net::WireRequest::probability(query))
+        .map_err(|e| e.to_string())?;
+    let result = client.wait(ticket).map_err(|e| e.to_string())?;
+    let wall = started.elapsed();
+    let mut out = String::new();
+    match result.get("p").and_then(phom_net::Json::as_str) {
+        Some(p) => {
+            let _ = writeln!(out, "Pr(G ⇝ H) = {p}");
+        }
+        None => {
+            let _ = writeln!(out, "result: {result}");
+        }
+    }
+    let _ = writeln!(out, "answered in {wall:.2?} over {addr}");
+    if !show_trace {
+        return Ok(out);
+    }
+    let Some(trace) = trace else {
+        let _ = writeln!(out, "trace: endpoint did not echo a trace id");
+        return Ok(out);
+    };
+    let requests = client.trace_spans(trace).map_err(|e| e.to_string())?;
+    let Some(req) = requests.iter().find(|r| r.trace == trace) else {
+        let _ = writeln!(
+            out,
+            "trace {trace:#018x}: no spans recorded (aged out of the span ring?)"
+        );
+        return Ok(out);
+    };
+    let _ = writeln!(out, "trace {trace:#018x}:");
+    for span in &req.spans {
+        let detail = if span.detail != 0 {
+            format!("  (detail {})", span.detail)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  {:<9} {:<4} {:>10}{detail}",
+            span.stage.name(),
+            span.lane.name(),
+            fmt_ns(span.nanos),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  stages sum {}, wall clock {}",
+        fmt_ns(req.total_nanos),
+        fmt_ns(wall.as_nanos().min(u128::from(u64::MAX)) as u64),
+    );
+    Ok(out)
+}
+
+/// `phom top --connect ADDR [--interval-ms N] [--iterations N]`: the
+/// live stats view over the wire. Works against both a `phom serve`
+/// front end (flat snapshot) and a `phom router` fleet front door
+/// (rollup shape) — counters plus latency quantiles decoded from the
+/// sparse histograms the `stats` op carries. Iterations beyond the
+/// first print immediately; the last is the command's output.
+fn top_cmd(args: &[String]) -> Result<String, String> {
+    let mut connect: Option<String> = None;
+    let mut interval_ms: u64 = 1000;
+    let mut iterations: u64 = 1;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> Option<&String> {
+            *i += 1;
+            args.get(*i)
+        };
+        match args[i].as_str() {
+            "--connect" => {
+                connect = Some(
+                    flag_value(&mut i)
+                        .ok_or("--connect needs an address (e.g. 127.0.0.1:4100)")?
+                        .clone(),
+                )
+            }
+            "--interval-ms" => {
+                interval_ms = flag_value(&mut i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--interval-ms needs a millisecond count")?
+            }
+            "--iterations" => {
+                iterations = flag_value(&mut i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--iterations needs a count")?
+            }
+            other => return Err(format!("top: unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    let addr =
+        connect.ok_or("top needs --connect ADDR (a `phom serve` or `phom router` endpoint)")?;
+    let mut client =
+        phom_net::Client::connect(addr.as_str()).map_err(|e| format!("top connect {addr}: {e}"))?;
+    let iterations = iterations.max(1);
+    for k in 0..iterations {
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        let rendered = render_top(&addr, &stats);
+        if k + 1 == iterations {
+            return Ok(rendered);
+        }
+        println!("{rendered}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    unreachable!("iterations >= 1 returns from the loop")
+}
+
+/// One `top` frame: counters plus histogram quantiles, from either a
+/// server's flat stats snapshot or a router's `{router, members,
+/// rollup}` shape.
+fn render_top(addr: &str, stats: &phom_net::Json) -> String {
+    use phom_net::Json;
+    let mut out = String::new();
+    // A router reply nests the fleet-merged sums under "rollup"; a
+    // serve front end answers the flat runtime snapshot directly.
+    let (scope, source) = match stats.get("rollup") {
+        Some(rollup) => ("fleet", rollup),
+        None => ("server", stats),
+    };
+    let field = |name: &str| source.get(name).and_then(Json::as_u64).unwrap_or(0);
+    let _ = writeln!(out, "top {addr} ({scope})");
+    if scope == "fleet" {
+        let _ = writeln!(out, "members up: {}", field("members_available"));
+    }
+    let _ = writeln!(
+        out,
+        "requests: {} admitted, {} completed, {} rejected, {} cancelled, \
+         {} shed expired",
+        field("admitted"),
+        field("completed"),
+        field("rejected"),
+        field("cancelled"),
+        field("shed_expired"),
+    );
+    let _ = writeln!(
+        out,
+        "load: queue depth {}, {} ticks, {} workers, {} cache hits",
+        field("queue_depth"),
+        field("ticks"),
+        field("workers"),
+        field("batch_cache_hits"),
+    );
+    let hist = |name: &str| -> phom_obs::Histogram {
+        source
+            .get(name)
+            .and_then(|h| phom_net::wire::decode_histogram(h).ok())
+            .unwrap_or_default()
+    };
+    let quantiles = |label: &str, h: &phom_obs::Histogram| -> String {
+        if h.is_empty() {
+            format!("  {label:<13} -")
+        } else {
+            format!(
+                "  {label:<13} n={:<6} p50 {:>9} p90 {:>9} p99 {:>9} max {:>9}",
+                h.count(),
+                fmt_ns(h.quantile(0.50)),
+                fmt_ns(h.quantile(0.90)),
+                fmt_ns(h.quantile(0.99)),
+                fmt_ns(h.max()),
+            )
+        }
+    };
+    let _ = writeln!(out, "latency:");
+    let _ = writeln!(
+        out,
+        "{}",
+        quantiles("request(fast)", &hist("request_ns_fast"))
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        quantiles("request(slow)", &hist("request_ns_slow"))
+    );
+    let _ = writeln!(out, "{}", quantiles("queue(fast)", &hist("queue_ns_fast")));
+    let _ = writeln!(out, "{}", quantiles("queue(slow)", &hist("queue_ns_slow")));
+    let _ = writeln!(out, "{}", quantiles("stage(plan)", &hist("plan_ns")));
+    let _ = writeln!(out, "{}", quantiles("stage(eval)", &hist("eval_ns")));
+    let _ = writeln!(out, "{}", quantiles("stage(encode)", &hist("encode_ns")));
+    out
 }
 
 /// Re-interns the query's labels against the instance's label names, so

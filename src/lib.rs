@@ -56,6 +56,7 @@
 //! | [`serve`] | the **persistent serving runtime**: [`Runtime`] with micro-batching ticks over a worker pool spawned once, **adaptive tick sizing** ([`RuntimeBuilder::adaptive`]), bounded-queue backpressure ([`SolveError::Overloaded`]), [`Ticket`]s, graceful drain, [`RuntimeStats`] |
 //! | [`net`] | the **network front end**: a TCP [`NetServer`] + [`NetClient`] speaking the length-prefixed JSON protocol of [`net::wire`] over a shared [`Runtime`] (`phom serve --listen ADDR`) |
 //! | [`fleet`] | the **multi-process sharded fleet**: a front-door [`Router`] on one address fanning out to member `phom serve` processes — weighted rendezvous routing on the instance fingerprint, lazy broadcast-on-demand registration, the `move` re-register handoff, typed `member_unavailable` health, and fleet-wide stats rollup (`phom router --listen ADDR --members FILE`) |
+//! | `obs` | **zero-dependency observability**: [`TraceId`](phom_serve::TraceId)s, per-stage [`Span`](phom_serve::Span)s in a lock-free overwrite-oldest [`SpanRing`](phom_serve::SpanRing), mergeable log-linear latency [`Histogram`](phom_serve::Histogram)s (p50/p90/p99 within a 12.5% bucket bound), and the [`PromText`](phom_serve::PromText) Prometheus text renderer — threaded through every serving layer (see "Observability" below) |
 //! | [`reductions`] | executable #P-hardness reductions (Props 3.3/3.4/4.1/5.6) |
 //!
 //! ## Requests: one surface for every workload
@@ -325,6 +326,52 @@
 //!    to the in-process oracle through a mid-traffic handoff and a
 //!    member kill; `examples/fleet_router.rs` walks the whole story in
 //!    process.
+//!
+//! ### Observability: traces, histograms, metrics
+//!
+//! All four layers share one zero-dependency observability spine
+//! (`phom_obs`, re-exported through [`serve`]):
+//!
+//! * **Tracing** — every request carries a
+//!   [`TraceId`](phom_serve::TraceId), minted at the front door (the
+//!   net server, or the fleet router, which injects it into the
+//!   forwarded frame) and echoed in the submit ack as a `"trace"` hex
+//!   field old peers simply ignore. Each layer records per-stage
+//!   [`Span`](phom_serve::Span)s — `admitted`, `queued`, `planned`,
+//!   `evaluated` (shared-gate count in `detail`), `encoded`, and
+//!   `routed` at the router — into a fixed-size lock-free
+//!   overwrite-oldest [`SpanRing`](phom_serve::SpanRing): no hot-path
+//!   allocation, torn slots skipped on read. The `trace` wire op
+//!   returns the span breakdown for one trace id (a router fans out to
+//!   members and merges its own routing spans in) or the N `slowest`
+//!   requests still in the ring; `phom client <query> <instance>
+//!   --connect ADDR --trace` prints it per stage.
+//! * **Histograms** — [`RuntimeStats`] carries mergeable log-linear
+//!   latency [`Histogram`](phom_serve::Histogram)s (quantile error
+//!   bounded by the 1/8 relative bucket width): end-to-end request and
+//!   queue-wait latency per [`Lane`], and per-stage plan/eval/encode
+//!   time. The `stats` wire frame carries them sparsely
+//!   (`{count,sum,max,buckets:[[idx,n],…]}`), and the router's rollup
+//!   merges member histograms bucket-wise — fleet-wide p99 without
+//!   member-side aggregation. `phom top --connect ADDR` renders the
+//!   quantiles live against either a server or a router.
+//! * **Metrics exposition** — the `metrics` wire op returns Prometheus
+//!   text format: counters (`phom_requests_{admitted,rejected,
+//!   cancelled,completed,shed_expired}_total`,
+//!   `phom_lane_requests_total{lane}`, `phom_ticks_total`,
+//!   `phom_shared_gates_total`, `phom_float_evaluated_total`,
+//!   `phom_escalations_total`, `phom_cache_{hits,misses,evictions}_total`,
+//!   …), gauges (`phom_workers`, `phom_queue_depth`,
+//!   `phom_{fast,slow}_lane_depth`, `phom_open_tickets`, …), and
+//!   histogram families with `_bucket{le}`/`_sum`/`_count` plus
+//!   convenience `_p50`/`_p90`/`_p99`/`_max` samples:
+//!   `phom_request_latency_ns{lane}`, `phom_queue_latency_ns{lane}`,
+//!   `phom_stage_latency_ns{stage}`. The net server appends its
+//!   `phom_net_*` counters; the router serves the same histogram names
+//!   fleet-merged plus `phom_router_*`/`phom_fleet_*` counters, so one
+//!   dashboard works at either level. The full stable-name reference
+//!   lives on [`RuntimeStats::prometheus_text`]; `phom serve --bench
+//!   --metrics` prints a snapshot after a synthetic run.
 //!
 //! The runtime layer in five lines — answers bit-identical to
 //! [`Engine::submit`] under every `max_batch` / `max_wait` /

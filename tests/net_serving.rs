@@ -491,6 +491,72 @@ fn protocol_errors_and_ops_are_typed() {
     server.shutdown(Duration::from_secs(1));
 }
 
+/// Backward compatibility of the tracing fields: a submit without a
+/// `trace` field (an old client) is served normally and the ack carries
+/// a freshly minted trace id; a request that does carry one gets it
+/// echoed back verbatim and resolvable through the `trace` op; and the
+/// encoder emits no `trace` key unless one was set, so pre-tracing
+/// peers see byte-identical request frames.
+#[test]
+fn tracing_fields_are_optional_on_the_wire() {
+    let h = ProbGraph::new(
+        Graph::directed_path(2),
+        vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
+    );
+    let runtime = Arc::new(
+        Runtime::builder()
+            .max_batch(4)
+            .max_wait(Duration::from_millis(1))
+            .workers(1)
+            .build(),
+    );
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime)).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let version = client.register(&h).expect("register");
+    let q = WireRequest::probability(Graph::directed_path(1));
+    // No trace set: the encoder emits no `trace` key at all (old peers
+    // decode the exact frame they always did).
+    assert!(!q.encode().to_string().contains("trace"), "{}", q.encode());
+    // Old-style submit: answered normally, and the front door minted a
+    // trace id into the ack.
+    let (ticket, minted) = client.submit_traced(version, &q).expect("submit");
+    let minted = minted.expect("ack carries a minted trace id");
+    assert_ne!(minted, 0);
+    assert_eq!(
+        client.wait(ticket).unwrap().get("p").and_then(Json::as_str),
+        Some("3/4")
+    );
+    // An explicit trace id round-trips: present in the encoding, echoed
+    // in the ack, and resolvable through the `trace` op afterwards.
+    let chosen = 0x00DD_BA11_CAFE_u64;
+    let traced = q.clone().with_trace(chosen);
+    assert!(traced.encode().to_string().contains("trace"));
+    let (t2, echoed) = client
+        .submit_traced(version, &traced)
+        .expect("submit traced");
+    assert_eq!(echoed, Some(chosen));
+    client.wait(t2).expect("answered");
+    // Span writes land just after ticket fulfillment — poll briefly.
+    let spans_of = |client: &mut Client, id: u64| {
+        for _ in 0..200 {
+            let requests = client.trace_spans(id).expect("trace op");
+            if !requests.is_empty() {
+                return requests;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("no spans for trace {id:#x}");
+    };
+    let requests = spans_of(&mut client, chosen);
+    assert_eq!(requests.len(), 1, "{requests:?}");
+    assert_eq!(requests[0].trace, chosen, "{requests:?}");
+    assert!(!requests[0].spans.is_empty(), "{requests:?}");
+    // The minted id resolves the same way, to a distinct request.
+    let minted_requests = spans_of(&mut client, minted);
+    assert_eq!(minted_requests[0].trace, minted, "{minted_requests:?}");
+    server.shutdown(Duration::from_secs(1));
+}
+
 /// The wire-level non-interference differential: while the slow lane
 /// churns genuine Monte-Carlo sampling (estimate-policy frames against
 /// a #P-hard version), exact answers polled off the same connection

@@ -440,6 +440,71 @@ fn stats_match_a_scripted_workload() {
     );
 }
 
+/// The latency histograms account for every request of a scripted
+/// workload: per-lane counts match the completion counters, the stage
+/// histograms see one sample per tick group, and the quantile ladder is
+/// monotone with everything bounded by the test's own wall clock.
+#[test]
+fn latency_histograms_track_a_scripted_workload() {
+    let started = std::time::Instant::now();
+    let h = ProbGraph::new(Graph::directed_path(4), vec![Rational::from_ratio(1, 2); 4]);
+    let runtime = Runtime::builder()
+        .max_batch(4)
+        .max_wait(Duration::from_secs(600))
+        .workers(1)
+        .build();
+    runtime.register(h);
+    for _ in 0..3 {
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| {
+                runtime
+                    .enqueue(Request::probability(Graph::directed_path(2)))
+                    .expect("admitted")
+            })
+            .collect();
+        for t in &tickets {
+            t.wait().expect("answered");
+        }
+    }
+    let stats = runtime.shutdown();
+    let wall = started.elapsed().as_nanos() as u64;
+    assert_eq!(stats.completed, 12, "{stats:?}");
+    // Exact-plan probability queries ride the fast lane; the slow-lane
+    // histograms stay untouched.
+    let fast = &stats.request_ns_fast;
+    assert_eq!(fast.count(), stats.completed, "{fast:?}");
+    assert!(stats.request_ns_slow.is_empty(), "{stats:?}");
+    assert_eq!(stats.queue_ns_fast.count(), stats.completed, "{stats:?}");
+    assert!(stats.queue_ns_slow.is_empty(), "{stats:?}");
+    // One sample per tick group for each stage histogram (three ticks,
+    // each a single fast-lane group of one instance).
+    assert_eq!(stats.plan_ns.count(), stats.ticks, "{stats:?}");
+    assert_eq!(stats.eval_ns.count(), stats.ticks, "{stats:?}");
+    assert_eq!(stats.encode_ns.count(), stats.ticks, "{stats:?}");
+    // The quantile ladder is monotone and never reports past the
+    // observed max, which itself cannot exceed the test's wall clock.
+    let (p50, p90, p99) = (fast.quantile(0.5), fast.quantile(0.9), fast.quantile(0.99));
+    assert!(p50 <= p90 && p90 <= p99, "{fast:?}");
+    assert!(p99 <= fast.max(), "{fast:?}");
+    assert!(fast.max() <= wall, "{fast:?} vs wall {wall}");
+    assert!(fast.quantile(1.0) == fast.max(), "{fast:?}");
+    // Queueing is a slice of the end-to-end request time: the queue
+    // histogram's mass can never exceed the request histogram's.
+    assert!(stats.queue_ns_fast.sum() <= fast.sum(), "{stats:?}");
+    // Merging two disjoint halves is exact: rebuild the full histogram
+    // from per-member pieces the way the fleet rollup does.
+    let mut merged = phom_serve::Histogram::new();
+    merged.merge(&stats.queue_ns_fast);
+    merged.merge(fast);
+    assert_eq!(merged.count(), stats.queue_ns_fast.count() + fast.count());
+    assert_eq!(merged.max(), fast.max().max(stats.queue_ns_fast.max()));
+    assert_eq!(
+        merged.sum(),
+        stats.queue_ns_fast.sum() + fast.sum(),
+        "{merged:?}"
+    );
+}
+
 /// The adaptive controller moves the *effective* knobs with the load —
 /// shrinking toward latency mode when idle, growing back under backlog —
 /// while never leaving the configured bounds and never changing answers.
