@@ -43,6 +43,11 @@ const ENTRY_RATIOS: &[(&str, f64)] = &[
     // TCP stack noise dominates; the handoff entry is a single move op.
     ("router_roundtrip_k16", 6.0),
     ("router_handoff", 6.0),
+    // Protocol-v2 entries ride the same loopback sockets, and the
+    // pipelined one additionally interleaves with the server's writer
+    // thread scheduling — same loose ratio as the router hops.
+    ("net_push_vs_poll_k16", 6.0),
+    ("net_pipelined_k64", 6.0),
     // End-to-end request p99 from the runtime's latency histograms:
     // pure tail-latency readings, so the same loose ratio as the other
     // p99 entries.

@@ -375,11 +375,16 @@ fn json_smoke() {
         // runtime_tick_k16 is the wire cost itself.
         {
             use phom_net::{Client, Server, WireRequest};
+            // Size the pool to the machine: on small boxes extra
+            // workers only preempt the reader/writer threads that the
+            // net entries are timing.
+            let workers =
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
             let runtime = std::sync::Arc::new(
                 phom_serve::Runtime::builder()
                     .max_batch(16)
                     .max_wait(std::time::Duration::from_millis(50))
-                    .workers(4)
+                    .workers(workers)
                     .build(),
             );
             let server =
@@ -400,6 +405,12 @@ fn json_smoke() {
                     "wire must be bit-identical"
                 );
             }
+            // The net entries sum the delivered answer *lengths*, not a
+            // re-parsed rational: decoding the decimal string back into
+            // a bigint is client post-processing, not wire cost, and it
+            // would swamp the tick-to-wire comparison these entries
+            // exist for. Bit-identity of the answers themselves is
+            // asserted by the warm passes above/below.
             json_entry(&mut entries, "net_roundtrip_k16", 16, || {
                 let tickets: Vec<u64> = wire_requests
                     .iter()
@@ -409,14 +420,72 @@ fn json_smoke() {
                     .into_iter()
                     .map(|t| {
                         let answer = client.wait(t).expect("tractable");
-                        phom_graph::io::parse_rational(
-                            answer.get("p").and_then(|p| p.as_str()).expect("p"),
-                        )
-                        .expect("rational")
-                        .to_f64()
+                        answer.get("p").and_then(|p| p.as_str()).expect("p").len() as f64
                     })
                     .sum()
             });
+
+            // Protocol v2 on the same server: one multiplexed
+            // connection, submits pipelined ahead of the pushed
+            // completions, zero poll round trips.
+            // net_push_vs_poll_k16 is the direct delivery-path
+            // comparison against net_roundtrip_k16 (same k = 16
+            // shape); net_pipelined_k64 amortizes the wire cost
+            // across a 64-deep pipeline — the tentpole number for
+            // multiplexing (v1 would pay ~64 serial round trips).
+            let mux = phom_net::MuxClient::connect(server.local_addr()).expect("hello");
+            for (s, r) in solo.iter().zip(&wire_requests) {
+                let answer = mux
+                    .submit(version, r)
+                    .expect("admitted")
+                    .wait()
+                    .expect("tractable");
+                assert_eq!(
+                    answer.get("p").and_then(|p| p.as_str()),
+                    Some(s.probability.to_string().as_str()),
+                    "pushed completion must be bit-identical"
+                );
+            }
+            let sum_pushed = |tickets: Vec<phom_net::MuxTicket>| -> f64 {
+                tickets
+                    .into_iter()
+                    .map(|t| {
+                        let answer = t.wait().expect("tractable");
+                        answer.get("p").and_then(|p| p.as_str()).expect("p").len() as f64
+                    })
+                    .sum()
+            };
+            json_entry(&mut entries, "net_push_vs_poll_k16", 16, || {
+                sum_pushed(
+                    wire_requests
+                        .iter()
+                        .map(|r| mux.submit(version, r).expect("admitted"))
+                        .collect(),
+                )
+            });
+            let deep: Vec<phom_net::WireRequest> = (0..64)
+                .map(|i| wire_requests[i % wire_requests.len()].clone())
+                .collect();
+            // Warm batch pass, cross-checked: one `submit_batch` frame
+            // must push back exactly the solo answers, bit-identical,
+            // before the pipelined stream is timed on warm paths.
+            for (i, ticket) in mux
+                .submit_batch(version, &deep)
+                .expect("admitted")
+                .iter()
+                .enumerate()
+            {
+                let answer = ticket.wait().expect("tractable");
+                assert_eq!(
+                    answer.get("p").and_then(|p| p.as_str()),
+                    Some(solo[i % solo.len()].probability.to_string().as_str()),
+                    "batched pushed completion must be bit-identical"
+                );
+            }
+            json_entry(&mut entries, "net_pipelined_k64", 64, || {
+                sum_pushed(mux.submit_batch(version, &deep).expect("admitted"))
+            });
+            drop(mux);
             server.shutdown(std::time::Duration::from_secs(2));
         }
 

@@ -49,7 +49,7 @@
 use crate::members::{owner_of, validate_members, MemberSpec};
 use phom_net::json::Json;
 use phom_net::wire::{self, read_frame, write_frame};
-use phom_net::Client;
+use phom_net::{Client, MuxClient, MuxTicket, NetError};
 use phom_obs::{Histogram, PromText, Span, SpanLane, SpanRing, Stage, TraceId};
 use std::collections::{BTreeSet, HashMap};
 use std::io;
@@ -116,8 +116,18 @@ impl RouterBuilder {
         validate_members(&members).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let mux = members
+            .iter()
+            .map(|_| {
+                Mutex::new(MuxMemberLink {
+                    client: None,
+                    v1_only: false,
+                })
+            })
+            .collect();
         let inner = Arc::new(RouterInner {
             members,
+            mux,
             draining: AtomicBool::new(false),
             max_frame: self.max_frame,
             poll_wait_cap: self.poll_wait_cap,
@@ -184,6 +194,7 @@ struct RouterCounters {
     frames_in: AtomicU64,
     frames_out: AtomicU64,
     submitted: AtomicU64,
+    mux_submits: AtomicU64,
     delivered: AtomicU64,
     member_unavailable: AtomicU64,
     handoffs: AtomicU64,
@@ -200,6 +211,11 @@ struct RouterInner {
     connect_attempts: u32,
     connect_backoff: Duration,
     state: Mutex<RouteState>,
+    /// One shared protocol-v2 link per member, multiplexing the
+    /// submits of *every* client connection onto a single pipelined
+    /// connection (v1 per-connection links remain for the control
+    /// plane and as the fallback for members that reject `hello`).
+    mux: Vec<Mutex<MuxMemberLink>>,
     /// Wakes the maintenance thread when a drain may have completed.
     maint_wake: Condvar,
     conns: Mutex<Vec<(TcpStream, Option<JoinHandle<()>>)>>,
@@ -220,6 +236,9 @@ pub struct RouterStats {
     pub frames_out: u64,
     /// `submit` ops successfully forwarded (a member ticket exists).
     pub submitted: u64,
+    /// Of those, submits that rode a shared multiplexed (protocol-v2)
+    /// member link instead of a per-connection v1 round trip.
+    pub mux_submits: u64,
     /// Answers delivered to clients via `poll`.
     pub delivered: u64,
     /// Ops answered with the typed `member_unavailable` frame.
@@ -274,6 +293,7 @@ impl Router {
             frames_in: c.frames_in.load(Ordering::Relaxed),
             frames_out: c.frames_out.load(Ordering::Relaxed),
             submitted: c.submitted.load(Ordering::Relaxed),
+            mux_submits: c.mux_submits.load(Ordering::Relaxed),
             delivered: c.delivered.load(Ordering::Relaxed),
             member_unavailable: c.member_unavailable.load(Ordering::Relaxed),
             handoffs: c.handoffs.load(Ordering::Relaxed),
@@ -450,6 +470,26 @@ fn err_reply(request: &Json, code: &str, msg: &str) -> Json {
     Json::Obj(pairs)
 }
 
+/// An error envelope rebuilt from a typed [`NetError::Server`] that
+/// arrived through a multiplexed link (where the raw member frame is
+/// gone by the time the router answers): `overloaded` keeps its
+/// `capacity`, matching what [`relay_reply`] passes through verbatim.
+fn typed_err_reply(request: &Json, code: &str, msg: &str, capacity: Option<usize>) -> Json {
+    let mut err = vec![
+        ("code".to_string(), Json::str(code)),
+        ("msg".to_string(), Json::str(msg)),
+    ];
+    if let Some(capacity) = capacity {
+        err.push(("capacity".to_string(), Json::u64(capacity as u64)));
+    }
+    let mut pairs = Vec::with_capacity(2);
+    if let Some(id) = request.get("id") {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    pairs.push(("err".to_string(), Json::Obj(err)));
+    Json::Obj(pairs)
+}
+
 /// Re-envelopes a member's raw reply under the client's `id`: `ok`
 /// payloads and `err` objects (with all their structured fields —
 /// `overloaded` keeps its `capacity`) pass through verbatim.
@@ -483,7 +523,23 @@ struct RoutedTicket {
     member: usize,
     generation: u64,
     version: u64,
-    remote: u64,
+    remote: Remote,
+}
+
+/// Where a routed ticket's answer lives.
+#[derive(Clone)]
+enum Remote {
+    /// A member-side ticket id, polled over the per-connection v1
+    /// link it was submitted on.
+    V1(u64),
+    /// A pushed completion on a shared multiplexed link. The ticket
+    /// keeps its `MuxClient` alive (via `Arc`) even after the shared
+    /// link is swapped, so in-flight answers on the old connection
+    /// still arrive; the ticket itself reports the connection's death.
+    Mux {
+        link: Arc<MuxClient>,
+        ticket: Arc<MuxTicket>,
+    },
 }
 
 struct MemberLink {
@@ -491,6 +547,15 @@ struct MemberLink {
     /// Bumped every time the link is torn down; tickets remember the
     /// generation they were created under.
     generation: u64,
+}
+
+/// The shared pipelined link to one member, lazily connected. A
+/// member that answers `hello` with a typed error is v1-only: the
+/// router stops retrying the upgrade and every submit takes the v1
+/// round-trip path instead.
+struct MuxMemberLink {
+    client: Option<Arc<MuxClient>>,
+    v1_only: bool,
 }
 
 struct Conn<'a> {
@@ -584,6 +649,45 @@ impl<'a> Conn<'a> {
     fn drop_link(&mut self, idx: usize) {
         self.links[idx].client = None;
         self.links[idx].generation += 1;
+    }
+
+    /// The shared multiplexed link to member `idx`, negotiating
+    /// `hello` on first use. `None` means take the v1 path instead:
+    /// permanently for a member that rejected the upgrade with a typed
+    /// error, just for this op on a transient connect failure (the v1
+    /// path applies the full retry budget).
+    fn mux_link(&self, idx: usize) -> Option<Arc<MuxClient>> {
+        let mut link = lock(&self.inner.mux[idx]);
+        if link.v1_only {
+            return None;
+        }
+        if let Some(client) = link.client.as_ref() {
+            return Some(Arc::clone(client));
+        }
+        match MuxClient::connect(self.inner.members[idx].addr.as_str()) {
+            Ok(client) => {
+                let client = Arc::new(client);
+                link.client = Some(Arc::clone(&client));
+                Some(client)
+            }
+            Err(NetError::Server { .. } | NetError::Protocol(_)) => {
+                // The member is reachable but does not speak v2: stop
+                // proposing the upgrade on this link.
+                link.v1_only = true;
+                None
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Swaps out a dead shared link (unless another connection already
+    /// replaced it). Tickets still holding the old `Arc` resolve
+    /// through it — or report its death themselves.
+    fn drop_mux_link(&self, idx: usize, dead: &Arc<MuxClient>) {
+        let mut link = lock(&self.inner.mux[idx]);
+        if link.client.as_ref().is_some_and(|c| Arc::ptr_eq(c, dead)) {
+            link.client = None;
+        }
     }
 
     /// One request/reply exchange with member `idx`. `Ok` is the raw
@@ -842,6 +946,13 @@ impl<'a> Conn<'a> {
             }
         };
         self.ensure_registered(frame, owner, version)?;
+        // The fast path: one submit frame on the shared multiplexed
+        // link — admission resolves via the ack, and the completion
+        // arrives as a push, with no poll round trips to the member.
+        if let Some(done) = self.forward_submit_mux(frame, owner, version, &request, trace, started)
+        {
+            return done;
+        }
         let forward = Json::obj(vec![
             ("op", Json::str("submit")),
             ("version", wire::encode_version(version)),
@@ -881,6 +992,128 @@ impl<'a> Conn<'a> {
             // relayed verbatim so backpressure reaches the edge.
             return Err(relay_reply(frame, reply));
         };
+        let id = self.admit_ticket(owner, version, Remote::V1(remote), trace, started);
+        Ok(ok_reply(
+            frame,
+            Json::obj(vec![
+                ("ticket", Json::u64(id)),
+                ("trace", wire::encode_version(trace)),
+            ]),
+        ))
+    }
+
+    /// Attempts the forward over the shared multiplexed link. `None`
+    /// means take the v1 path (the member is v1-only, or the link died
+    /// before the frame went out — nothing admitted, falling back is
+    /// safe). `Some` is the final verdict: admission, a typed member
+    /// rejection, or `member_unavailable`.
+    fn forward_submit_mux(
+        &mut self,
+        frame: &Json,
+        owner: usize,
+        version: u64,
+        request: &Json,
+        trace: u64,
+        started: Instant,
+    ) -> Option<Result<Json, Json>> {
+        let link = self.mux_link(owner)?;
+        let mut ticket = match link.try_submit_json(version, request.clone()) {
+            Ok(ticket) => ticket,
+            Err(NetError::Server {
+                code,
+                msg,
+                capacity,
+            }) => {
+                // The shared window's typed backpressure, relayed like
+                // any member rejection.
+                return Some(Err(typed_err_reply(frame, &code, &msg, capacity)));
+            }
+            Err(_) => {
+                self.drop_mux_link(owner, &link);
+                return None;
+            }
+        };
+        let mut acked = ticket.ack();
+        // Parity with the v1 path's one deliberate retry: a member
+        // that lost its registry (restart) rejects with
+        // `invalid_query` — definitively not admitted — so the router
+        // re-registers and forwards once more.
+        if matches!(&acked, Err(NetError::Server { code, .. }) if code == "invalid_query") {
+            lock(&self.inner.state)
+                .holders
+                .entry(version)
+                .or_default()
+                .remove(&owner);
+            if let Err(reply) = self.ensure_registered(frame, owner, version) {
+                return Some(Err(reply));
+            }
+            match link.try_submit_json(version, request.clone()) {
+                Ok(retry) => {
+                    ticket = retry;
+                    acked = ticket.ack();
+                }
+                Err(NetError::Server {
+                    code,
+                    msg,
+                    capacity,
+                }) => return Some(Err(typed_err_reply(frame, &code, &msg, capacity))),
+                Err(e) => {
+                    self.drop_mux_link(owner, &link);
+                    return Some(Err(self.member_unavailable_reply(
+                        frame,
+                        owner,
+                        &e.to_string(),
+                    )));
+                }
+            }
+        }
+        match acked {
+            Ok(_) => {
+                let remote = Remote::Mux {
+                    link,
+                    ticket: Arc::new(ticket),
+                };
+                let id = self.admit_ticket(owner, version, remote, trace, started);
+                self.inner
+                    .counters
+                    .mux_submits
+                    .fetch_add(1, Ordering::Relaxed);
+                Some(Ok(ok_reply(
+                    frame,
+                    Json::obj(vec![
+                        ("ticket", Json::u64(id)),
+                        ("trace", wire::encode_version(trace)),
+                    ]),
+                )))
+            }
+            Err(NetError::Server {
+                code,
+                msg,
+                capacity,
+            }) => Some(Err(typed_err_reply(frame, &code, &msg, capacity))),
+            Err(e) => {
+                // The frame reached the wire: exactly-once stays with
+                // the client — no silent retry.
+                self.drop_mux_link(owner, &link);
+                Some(Err(self.member_unavailable_reply(
+                    frame,
+                    owner,
+                    &e.to_string(),
+                )))
+            }
+        }
+    }
+
+    /// Creates the router-side ticket for an admitted submit and
+    /// records the books plus the `routed` span.
+    fn admit_ticket(
+        &mut self,
+        owner: usize,
+        version: u64,
+        remote: Remote,
+        trace: u64,
+        started: Instant,
+    ) -> u64 {
         let id = self.next_ticket;
         self.next_ticket += 1;
         self.tickets.insert(
@@ -907,13 +1140,7 @@ impl<'a> Conn<'a> {
             nanos: started.elapsed().as_nanos() as u64,
             detail: owner as u64,
         });
-        Ok(ok_reply(
-            frame,
-            Json::obj(vec![
-                ("ticket", Json::u64(id)),
-                ("trace", wire::encode_version(trace)),
-            ]),
-        ))
+        id
     }
 
     fn op_poll(&mut self, frame: &Json) -> Json {
@@ -923,18 +1150,53 @@ impl<'a> Conn<'a> {
         let Some(t) = self.tickets.get(&id) else {
             return err_reply(frame, "unknown_ticket", "no such ticket on this connection");
         };
-        let (member, generation, remote) = (t.member, t.generation, t.remote);
+        let (member, generation, remote) = (t.member, t.generation, t.remote.clone());
+        let wait = frame
+            .get("wait_ms")
+            .and_then(Json::as_u64)
+            .map_or(Duration::ZERO, Duration::from_millis)
+            .min(self.inner.poll_wait_cap);
+        let remote = match remote {
+            Remote::V1(remote) => remote,
+            // A mux-routed ticket answers locally: the completion was
+            // (or will be) pushed by the member — no round trip.
+            Remote::Mux { link, ticket } => {
+                return match ticket.wait_deadline(wait) {
+                    Ok(Some(result)) => {
+                        self.finish_ticket(id);
+                        self.inner
+                            .counters
+                            .delivered
+                            .fetch_add(1, Ordering::Relaxed);
+                        ok_reply(
+                            frame,
+                            Json::obj(vec![("done", Json::Bool(true)), ("result", result)]),
+                        )
+                    }
+                    Ok(None) => ok_reply(frame, Json::obj(vec![("done", Json::Bool(false))])),
+                    Err(NetError::Server {
+                        code,
+                        msg,
+                        capacity,
+                    }) => {
+                        self.finish_ticket(id);
+                        typed_err_reply(frame, &code, &msg, capacity)
+                    }
+                    Err(e) => {
+                        self.drop_mux_link(member, &link);
+                        let reply = self.member_unavailable_reply(frame, member, &e.to_string());
+                        self.finish_ticket(id);
+                        reply
+                    }
+                };
+            }
+        };
         if generation != self.links[member].generation {
             let reply =
                 self.member_unavailable_reply(frame, member, "link lost with ticket in flight");
             self.finish_ticket(id);
             return reply;
         }
-        let wait = frame
-            .get("wait_ms")
-            .and_then(Json::as_u64)
-            .map_or(Duration::ZERO, Duration::from_millis)
-            .min(self.inner.poll_wait_cap);
         let forward = Json::obj(vec![
             ("op", Json::str("poll")),
             ("ticket", Json::u64(remote)),
@@ -975,7 +1237,42 @@ impl<'a> Conn<'a> {
         let Some(t) = self.tickets.get(&id) else {
             return err_reply(frame, "unknown_ticket", "no such ticket on this connection");
         };
-        let (member, generation, remote) = (t.member, t.generation, t.remote);
+        let (member, generation, remote) = (t.member, t.generation, t.remote.clone());
+        let remote = match remote {
+            Remote::V1(remote) => remote,
+            // The member-side ticket id is in the ack, which resolved
+            // before this router ticket existed. Cancellation is not
+            // terminal here either — the pushed completion (cancelled
+            // result or the answer that beat it) still resolves the
+            // ticket through `poll`.
+            Remote::Mux { link, ticket } => match ticket.ack() {
+                Ok((remote, _)) => {
+                    return match link.cancel(remote) {
+                        Ok(cancelled) => {
+                            ok_reply(frame, Json::obj(vec![("cancelled", Json::Bool(cancelled))]))
+                        }
+                        Err(NetError::Server {
+                            code,
+                            msg,
+                            capacity,
+                        }) => typed_err_reply(frame, &code, &msg, capacity),
+                        Err(e) => {
+                            self.drop_mux_link(member, &link);
+                            let reply =
+                                self.member_unavailable_reply(frame, member, &e.to_string());
+                            self.finish_ticket(id);
+                            reply
+                        }
+                    };
+                }
+                Err(e) => {
+                    self.drop_mux_link(member, &link);
+                    let reply = self.member_unavailable_reply(frame, member, &e.to_string());
+                    self.finish_ticket(id);
+                    return reply;
+                }
+            },
+        };
         if generation != self.links[member].generation {
             let reply =
                 self.member_unavailable_reply(frame, member, "link lost with ticket in flight");
@@ -1180,6 +1477,11 @@ impl<'a> Conn<'a> {
             c.submitted.load(Ordering::Relaxed),
         );
         prom.counter(
+            "phom_router_mux_submits_total",
+            "submits that rode a multiplexed (protocol-v2) member link",
+            c.mux_submits.load(Ordering::Relaxed),
+        );
+        prom.counter(
             "phom_router_delivered_total",
             "answers delivered to clients",
             c.delivered.load(Ordering::Relaxed),
@@ -1354,6 +1656,10 @@ impl<'a> Conn<'a> {
                 Json::u64(c.frames_out.load(Ordering::Relaxed)),
             ),
             ("submitted", Json::u64(c.submitted.load(Ordering::Relaxed))),
+            (
+                "mux_submits",
+                Json::u64(c.mux_submits.load(Ordering::Relaxed)),
+            ),
             ("delivered", Json::u64(c.delivered.load(Ordering::Relaxed))),
             (
                 "member_unavailable",

@@ -100,63 +100,116 @@ impl Json {
         }
         Ok(value)
     }
+
+    /// The canonical encoding, serialized directly into a `String`.
+    /// Same bytes as `Display`/`to_string` — `Display` delegates here —
+    /// but without a formatter round trip per node, which dominated
+    /// whole-frame encoding once v2 started coalescing multi-KB frames.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(128);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the canonical encoding to `out` (the recursive core of
+    /// [`Json::encode`]).
+    pub fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => push_num(out, *n),
+            Json::Str(s) => push_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_escaped(out, k);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Json::Null => write!(f, "null"),
-            Json::Bool(b) => write!(f, "{b}"),
-            Json::Num(n) => {
-                if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
-                    write!(f, "{}", *n as i64)
-                } else if n.is_finite() {
-                    write!(f, "{n}")
-                } else {
-                    // JSON has no Infinity/NaN; never emit invalid bytes.
-                    write!(f, "null")
-                }
-            }
-            Json::Str(s) => write_escaped(f, s),
-            Json::Arr(items) => {
-                write!(f, "[")?;
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ",")?;
-                    }
-                    write!(f, "{item}")?;
-                }
-                write!(f, "]")
-            }
-            Json::Obj(pairs) => {
-                write!(f, "{{")?;
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ",")?;
-                    }
-                    write_escaped(f, k)?;
-                    write!(f, ":{v}")?;
-                }
-                write!(f, "}}")
-            }
-        }
+        f.write_str(&self.encode())
     }
 }
 
-fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
-    write!(f, "\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => write!(f, "\\\"")?,
-            '\\' => write!(f, "\\\\")?,
-            '\n' => write!(f, "\\n")?,
-            '\r' => write!(f, "\\r")?,
-            '\t' => write!(f, "\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
+fn push_num(out: &mut String, n: f64) {
+    if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+        // The common case — ids, tickets, counters — without the `fmt`
+        // machinery per number.
+        let v = n as i64;
+        if v < 0 {
+            out.push('-');
         }
+        let mut buf = [0u8; 20];
+        let mut i = buf.len();
+        let mut u = v.unsigned_abs();
+        loop {
+            i -= 1;
+            buf[i] = b'0' + (u % 10) as u8;
+            u /= 10;
+            if u == 0 {
+                break;
+            }
+        }
+        out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
+    } else if n.is_finite() {
+        use fmt::Write as _;
+        let _ = write!(out, "{n}");
+    } else {
+        // JSON has no Infinity/NaN; never emit invalid bytes.
+        out.push_str("null");
     }
-    write!(f, "\"")
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    // Emit contiguous runs of unescaped text in one append. Every byte
+    // that needs escaping is ASCII, so cutting the run there is always
+    // a valid char boundary.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let escape: Option<&str> = match b {
+            b'"' => Some("\\\""),
+            b'\\' => Some("\\\\"),
+            b'\n' => Some("\\n"),
+            b'\r' => Some("\\r"),
+            b'\t' => Some("\\t"),
+            _ if b < 0x20 => None, // \u-escaped below
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        match escape {
+            Some(esc) => out.push_str(esc),
+            None => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", b);
+            }
+        }
+        start = i + 1;
+    }
+    out.push_str(&s[start..]);
+    out.push('"');
 }
 
 /// Maximum bracket/brace nesting accepted by the parser.
@@ -190,7 +243,10 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, Stri
         Some(b'"') => parse_string(bytes, pos).map(Json::Str),
         Some(b'[') => {
             *pos += 1;
-            let mut items = Vec::new();
+            // Start with room for a few elements — wire frames are
+            // object/array heavy and the growth reallocations showed up
+            // in whole-frame parse cost.
+            let mut items = Vec::with_capacity(4);
             skip_ws(bytes, pos);
             if bytes.get(*pos) == Some(&b']') {
                 *pos += 1;
@@ -211,7 +267,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, Stri
         }
         Some(b'{') => {
             *pos += 1;
-            let mut pairs = Vec::new();
+            let mut pairs = Vec::with_capacity(8);
             skip_ws(bytes, pos);
             if bytes.get(*pos) == Some(&b'}') {
                 *pos += 1;
@@ -288,12 +344,21 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (the input is a &str, so
-                // boundaries are valid).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
+                // Bulk-copy the contiguous run up to the next quote or
+                // backslash in one append. Both delimiters are ASCII, so
+                // the cut is always a valid char boundary in the &str
+                // input; validating only the run keeps whole-frame parse
+                // linear (the per-char path re-validated the entire tail
+                // on every character).
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+                out.push_str(run);
             }
         }
     }

@@ -17,7 +17,20 @@
 //! without bound — and the differential suite in `tests/net_serving.rs`
 //! proves answers over loopback TCP **bit-identical** to in-process
 //! [`Engine::submit`](phom_core::Engine::submit) under every knob
-//! combination. See [`wire`] for the full protocol reference.
+//! combination. See [`wire`] for the full protocol reference and
+//! `docs/wire-protocol.md` for the exhaustive frame tables.
+//!
+//! ## Protocol v2: multiplexing and server push
+//!
+//! A connection whose **first frame** is `hello` upgrades to protocol
+//! v2: frames carry client-assigned ids, up to a negotiated window of
+//! submits ride the connection concurrently, and completions are
+//! *pushed* by a per-connection writer thread the moment the runtime
+//! resolves them — no `poll` round trips. [`MuxClient`] is the
+//! matching client: `&self` methods, shareable across threads, with
+//! [`MuxTicket`] standing in for the poll loop. Connections that never
+//! send `hello` get v1 behavior byte-for-byte, so old clients keep
+//! working unmodified.
 //!
 //! **Observability**: the server is the trace front door — a `submit`
 //! without a `"trace"` field gets a freshly minted
@@ -65,7 +78,7 @@ pub mod wire;
 mod client;
 mod server;
 
-pub use client::{Client, NetError};
+pub use client::{Client, MuxClient, MuxTicket, NetError, DEFAULT_MUX_WINDOW};
 pub use json::Json;
 pub use server::{NetStats, Server, ServerBuilder};
 pub use wire::{WireFallback, WireKind, WireRequest};

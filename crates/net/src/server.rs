@@ -5,18 +5,28 @@
 //! signal), oversized frames are rejected at the framing layer, and a
 //! draining server answers new submissions with `cancelled` while it
 //! lets clients collect their outstanding answers.
+//!
+//! A connection whose first frame is `hello` upgrades to **protocol
+//! v2** (see the [`crate::wire`] docs and `docs/wire-protocol.md`):
+//! the server adds one writer thread for the connection, serializes
+//! every outgoing frame through it, and *pushes* a completion frame
+//! the moment a ticket resolves — the wakeup rides
+//! [`Ticket::on_complete`], so an outstanding ticket costs a map entry,
+//! not a parked thread. Connections that never send `hello` get the v1
+//! protocol byte for byte.
 
 use crate::json::Json;
 use crate::wire::{
     self, encode_error, encode_result, encode_version, read_frame, write_frame, WireRequest,
 };
-use phom_core::SolveError;
+use phom_core::{Response, SolveError};
+use phom_obs::{Span, SpanLane, SpanRing, Stage};
 use phom_serve::{Runtime, RuntimeStats, Ticket};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -25,6 +35,7 @@ use std::time::{Duration, Instant};
 pub struct ServerBuilder {
     max_frame: usize,
     poll_wait_cap: Duration,
+    inflight_window: usize,
 }
 
 impl Default for ServerBuilder {
@@ -34,11 +45,13 @@ impl Default for ServerBuilder {
 }
 
 impl ServerBuilder {
-    /// Defaults: 8 MiB frame bound, 2 s poll-wait cap.
+    /// Defaults: 8 MiB frame bound, 2 s poll-wait cap, 1024-request
+    /// in-flight window per v2 connection.
     pub fn new() -> Self {
         ServerBuilder {
             max_frame: wire::MAX_FRAME,
             poll_wait_cap: Duration::from_secs(2),
+            inflight_window: 1024,
         }
     }
 
@@ -56,6 +69,14 @@ impl ServerBuilder {
         self
     }
 
+    /// Server-side cap on the per-connection in-flight window a v2
+    /// `hello` may negotiate (the granted window is
+    /// `min(client's max_inflight, this cap)`, at least 1).
+    pub fn inflight_window(mut self, window: usize) -> Self {
+        self.inflight_window = window.max(1);
+        self
+    }
+
     /// Binds the listener and spawns the accept thread.
     pub fn bind(self, addr: impl ToSocketAddrs, runtime: Arc<Runtime>) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
@@ -65,8 +86,11 @@ impl ServerBuilder {
             draining: AtomicBool::new(false),
             max_frame: self.max_frame,
             poll_wait_cap: self.poll_wait_cap,
+            inflight_window: self.inflight_window,
             conns: Mutex::new(Vec::new()),
             counters: Counters::default(),
+            inflight_depth: Mutex::new(phom_obs::Histogram::new()),
+            spans: SpanRing::new(phom_obs::DEFAULT_RING_CAPACITY),
         });
         let accept = {
             let inner = Arc::clone(&inner);
@@ -94,6 +118,14 @@ struct Counters {
     /// Tickets held server-side on behalf of clients, not yet delivered
     /// (or dropped at connection close). The no-leak gauge.
     tickets_open: AtomicI64,
+    /// Completion frames pushed to v2 connections.
+    pushed: AtomicU64,
+    /// Connections that negotiated protocol v2 via `hello`.
+    hello_upgrades: AtomicU64,
+    /// Requests currently inside some v2 connection's in-flight window
+    /// (admitted, completion not yet pushed). The `phom_net_inflight`
+    /// gauge.
+    inflight: AtomicI64,
 }
 
 struct ServerInner {
@@ -101,11 +133,20 @@ struct ServerInner {
     draining: AtomicBool,
     max_frame: usize,
     poll_wait_cap: Duration,
+    /// Cap on the per-connection window a v2 `hello` may negotiate.
+    inflight_window: usize,
     /// Live connections: the reader thread's handle plus a duplicated
     /// stream used to force it out of a blocking read at shutdown.
     /// Reaped by the accept loop as connections close.
     conns: Mutex<Vec<(TcpStream, Option<JoinHandle<()>>)>>,
     counters: Counters,
+    /// Window depth observed at each v2 admit (how deep pipelining
+    /// actually runs) — `phom_net_inflight_depth` in the exposition.
+    inflight_depth: Mutex<phom_obs::Histogram>,
+    /// The front end's own spans (today: the `pushed` stage — ticket
+    /// resolution to completion frame on the wire), merged with the
+    /// runtime's ring by the `trace` op.
+    spans: SpanRing,
 }
 
 /// A point-in-time snapshot of the front end's own counters (the
@@ -127,6 +168,12 @@ pub struct NetStats {
     /// Tickets currently held server-side awaiting delivery (0 after a
     /// clean drain — the no-leak gauge).
     pub open_tickets: i64,
+    /// Completion frames pushed to v2 connections.
+    pub pushed: u64,
+    /// Connections that negotiated protocol v2 via `hello`.
+    pub hello_upgrades: u64,
+    /// Requests currently inside some v2 connection's in-flight window.
+    pub inflight: i64,
 }
 
 /// The network serving front end: a TCP listener speaking the
@@ -178,6 +225,9 @@ impl Server {
             rejected_overloaded: c.rejected_overloaded.load(Ordering::Relaxed),
             delivered: c.delivered.load(Ordering::Relaxed),
             open_tickets: c.tickets_open.load(Ordering::SeqCst),
+            pushed: c.pushed.load(Ordering::Relaxed),
+            hello_upgrades: c.hello_upgrades.load(Ordering::Relaxed),
+            inflight: c.inflight.load(Ordering::SeqCst),
         }
     }
 
@@ -272,16 +322,21 @@ fn accept_loop(inner: &Arc<ServerInner>, listener: TcpListener) {
 /// One connection: read a frame, serve the op, write the reply, repeat
 /// until EOF. Submitted tickets are held in a per-connection registry
 /// until the final `poll` delivers their answer (then dropped — a
-/// delivered ticket is never retained).
-fn handle_conn(inner: &ServerInner, mut stream: TcpStream) {
+/// delivered ticket is never retained). A `hello` as the very first
+/// frame upgrades the connection to protocol v2 and hands it to
+/// [`handle_conn_v2`]; any later `hello` is a `bad_request` (the two
+/// modes never mix on one connection).
+fn handle_conn(inner: &Arc<ServerInner>, mut stream: TcpStream) {
     let mut tickets: HashMap<u64, Ticket> = HashMap::new();
     let mut next_ticket: u64 = 1;
+    let mut first = true;
     loop {
         let frame = match read_frame(&mut stream, inner.max_frame) {
             Ok(Some(frame)) => frame,
             Ok(None) => break,
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // The payload was consumed; framing is still aligned.
+                first = false;
                 let reply = err_reply(&Json::Null, "bad_frame", &e.to_string());
                 if write_reply(inner, &mut stream, reply).is_err() {
                     break;
@@ -291,6 +346,22 @@ fn handle_conn(inner: &ServerInner, mut stream: TcpStream) {
             Err(_) => break,
         };
         inner.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+        let was_first = std::mem::replace(&mut first, false);
+        if frame.get("op").and_then(Json::as_str) == Some("hello") {
+            if was_first {
+                handle_conn_v2(inner, stream, &frame);
+                return; // v2 owns its own teardown accounting
+            }
+            let reply = err_reply(
+                &frame,
+                "bad_request",
+                "hello must be the first frame on a connection",
+            );
+            if write_reply(inner, &mut stream, reply).is_err() {
+                break;
+            }
+            continue;
+        }
         let reply = handle_op(inner, &mut tickets, &mut next_ticket, &frame);
         if write_reply(inner, &mut stream, reply).is_err() {
             break;
@@ -302,6 +373,630 @@ fn handle_conn(inner: &ServerInner, mut stream: TcpStream) {
         .counters
         .tickets_open
         .fetch_sub(tickets.len() as i64, Ordering::SeqCst);
+}
+
+// ---------------------------------------------------------------------
+// Protocol v2: pipelined reader + single writer thread per connection
+// ---------------------------------------------------------------------
+
+/// Everything a v2 connection writes goes through one writer thread, in
+/// queue order — acks from the reader and completion pushes from
+/// whatever thread resolved the ticket never interleave mid-frame.
+enum WriterMsg {
+    /// An ordered reply produced by the reader thread.
+    Reply(Json),
+    /// A completion wakeup fired by [`Ticket::on_complete`].
+    Push(PushMsg),
+    /// The reader is gone; exit without waiting for stragglers.
+    Close,
+}
+
+struct PushMsg {
+    /// The client-assigned request id, echoed verbatim.
+    id: Json,
+    /// Position in a `submit_batch`'s `requests` array (absent for
+    /// plain submits).
+    index: Option<u64>,
+    /// The server-side ticket id.
+    ticket: u64,
+    /// The request's trace id (for the `pushed` stage span).
+    trace: u64,
+    /// When the resolution fired — the push-delay span's start.
+    resolved_at: Instant,
+    result: Result<Response, SolveError>,
+}
+
+/// Per-connection v2 state shared by the reader and the writer.
+struct V2Conn {
+    /// Outstanding tickets: inserted by the reader at submit, removed
+    /// by the writer when the completion push hits the wire.
+    tickets: Mutex<HashMap<u64, Ticket>>,
+    /// This connection's current in-flight count (the window gauge).
+    inflight: AtomicI64,
+    /// The window granted at `hello`.
+    window: usize,
+}
+
+fn lock_tickets(conn: &V2Conn) -> std::sync::MutexGuard<'_, HashMap<u64, Ticket>> {
+    conn.tickets.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The v2 connection loop, entered after a first-frame `hello`.
+fn handle_conn_v2(inner: &Arc<ServerInner>, mut stream: TcpStream, hello: &Json) {
+    // Negotiate: the client proposes a window, the server caps it.
+    match hello.get("version").and_then(Json::as_u64) {
+        Some(wire::PROTOCOL_V2) => {}
+        _ => {
+            let reply = err_reply(hello, "bad_request", "hello needs 'version': 2");
+            let _ = write_reply(inner, &mut stream, reply);
+            return;
+        }
+    }
+    let proposed = hello
+        .get("max_inflight")
+        .and_then(Json::as_u64)
+        .map_or(inner.inflight_window, |n| n as usize);
+    let window = proposed.clamp(1, inner.inflight_window);
+    let ack = ok_reply(
+        hello,
+        Json::obj(vec![
+            ("version", Json::u64(wire::PROTOCOL_V2)),
+            ("window", Json::u64(window as u64)),
+        ]),
+    );
+    if write_reply(inner, &mut stream, ack).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    inner
+        .counters
+        .hello_upgrades
+        .fetch_add(1, Ordering::Relaxed);
+    let conn = Arc::new(V2Conn {
+        tickets: Mutex::new(HashMap::new()),
+        inflight: AtomicI64::new(0),
+        window,
+    });
+    let (tx, rx) = mpsc::channel::<WriterMsg>();
+    let writer = {
+        let inner = Arc::clone(inner);
+        let conn = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name("phom-net-writer".into())
+            .spawn(move || v2_writer(&inner, &conn, write_half, &rx))
+            .expect("spawn writer thread")
+    };
+    let mut next_ticket: u64 = 1;
+    loop {
+        let frame = match read_frame(&mut stream, inner.max_frame) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let reply = err_reply(&Json::Null, "bad_frame", &e.to_string());
+                if tx.send(WriterMsg::Reply(reply)).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        inner.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+        if !v2_frame(inner, &conn, &tx, &mut next_ticket, &frame) {
+            break;
+        }
+    }
+    let _ = tx.send(WriterMsg::Close);
+    drop(tx);
+    let _ = writer.join();
+    // Undelivered tickets die with the connection (their answers are
+    // discarded when the runtime resolves them); late callbacks fire
+    // into the closed channel and are dropped.
+    let remaining = {
+        let mut tickets = lock_tickets(&conn);
+        let n = tickets.len() as i64;
+        tickets.clear();
+        n
+    };
+    inner
+        .counters
+        .tickets_open
+        .fetch_sub(remaining, Ordering::SeqCst);
+    inner
+        .counters
+        .inflight
+        .fetch_sub(remaining, Ordering::SeqCst);
+}
+
+/// Dispatches one v2 frame. Returns whether the connection should keep
+/// reading (false once the writer is gone).
+fn v2_frame(
+    inner: &ServerInner,
+    conn: &Arc<V2Conn>,
+    tx: &mpsc::Sender<WriterMsg>,
+    next_ticket: &mut u64,
+    frame: &Json,
+) -> bool {
+    let Some(op) = frame.get("op").and_then(Json::as_str) else {
+        let reply = err_reply(frame, "bad_request", "missing 'op'");
+        return tx.send(WriterMsg::Reply(reply)).is_ok();
+    };
+    let reply = match op {
+        "submit" | "submit_batch" if frame.get("id").is_none() => err_reply(
+            frame,
+            "bad_request",
+            "v2 submits need a client-assigned 'id'",
+        ),
+        "submit" => return v2_submit(inner, conn, tx, next_ticket, frame),
+        "submit_batch" => return v2_submit_batch(inner, conn, tx, next_ticket, frame),
+        "poll" => err_reply(
+            frame,
+            "bad_request",
+            "poll is unavailable on a v2 connection; results are pushed",
+        ),
+        "cancel" => {
+            let Some(id) = frame.get("ticket").and_then(Json::as_u64) else {
+                return tx
+                    .send(WriterMsg::Reply(err_reply(
+                        frame,
+                        "bad_request",
+                        "cancel needs a 'ticket'",
+                    )))
+                    .is_ok();
+            };
+            // `cancel` routes through the same idempotent resolution as
+            // every other path, so the completion (a `cancelled` error
+            // result) is still pushed exactly once.
+            match lock_tickets(conn).get(&id) {
+                Some(ticket) => {
+                    let cancelled = ticket.cancel();
+                    ok_reply(frame, Json::obj(vec![("cancelled", Json::Bool(cancelled))]))
+                }
+                None => err_reply(frame, "unknown_ticket", "no such ticket on this connection"),
+            }
+        }
+        "hello" => err_reply(frame, "bad_request", "connection already negotiated"),
+        other => stateless_op(inner, frame, other),
+    };
+    tx.send(WriterMsg::Reply(reply)).is_ok()
+}
+
+/// Admits one v2 submit: window check, runtime admission, ack, then the
+/// completion callback. The ack is queued to the writer *before* the
+/// callback is registered, so the push can never overtake it.
+fn v2_submit(
+    inner: &ServerInner,
+    conn: &Arc<V2Conn>,
+    tx: &mpsc::Sender<WriterMsg>,
+    next_ticket: &mut u64,
+    frame: &Json,
+) -> bool {
+    if inner.draining.load(Ordering::SeqCst) {
+        return tx
+            .send(WriterMsg::Reply(solve_err_reply(
+                frame,
+                &SolveError::Cancelled,
+            )))
+            .is_ok();
+    }
+    let version = match frame.get("version").map(wire::decode_version) {
+        Some(Ok(version)) => version,
+        Some(Err(msg)) => {
+            return tx
+                .send(WriterMsg::Reply(err_reply(frame, "bad_request", &msg)))
+                .is_ok()
+        }
+        None => {
+            return tx
+                .send(WriterMsg::Reply(err_reply(
+                    frame,
+                    "bad_request",
+                    "submit needs a 'version'",
+                )))
+                .is_ok()
+        }
+    };
+    let request = match frame.get("request").map(WireRequest::decode) {
+        Some(Ok(request)) => request,
+        Some(Err(msg)) => {
+            return tx
+                .send(WriterMsg::Reply(err_reply(frame, "bad_request", &msg)))
+                .is_ok()
+        }
+        None => {
+            return tx
+                .send(WriterMsg::Reply(err_reply(
+                    frame,
+                    "bad_request",
+                    "submit needs a 'request'",
+                )))
+                .is_ok()
+        }
+    };
+    let id = frame.get("id").cloned().unwrap_or(Json::Null);
+    match v2_admit(inner, conn, next_ticket, version, request) {
+        Ok((server_ticket, ticket, trace)) => {
+            let ack = ok_reply(
+                frame,
+                Json::obj(vec![
+                    ("ticket", Json::u64(server_ticket)),
+                    ("trace", encode_version(trace)),
+                ]),
+            );
+            if tx.send(WriterMsg::Reply(ack)).is_err() {
+                // Writer gone mid-submit: unwind the admission books —
+                // the ticket drops here and the runtime's answer is
+                // discarded.
+                inner.counters.tickets_open.fetch_sub(1, Ordering::SeqCst);
+                inner.counters.inflight.fetch_sub(1, Ordering::SeqCst);
+                conn.inflight.fetch_sub(1, Ordering::SeqCst);
+                return false;
+            }
+            v2_register_push(conn, tx, server_ticket, ticket, id, None, trace);
+            true
+        }
+        Err(e) => tx
+            .send(WriterMsg::Reply(solve_err_reply(frame, &e)))
+            .is_ok(),
+    }
+}
+
+/// Admits one v2 `submit_batch`: one frame in, one ack out (per-entry
+/// ticket or typed error), every admitted entry completed by push.
+fn v2_submit_batch(
+    inner: &ServerInner,
+    conn: &Arc<V2Conn>,
+    tx: &mpsc::Sender<WriterMsg>,
+    next_ticket: &mut u64,
+    frame: &Json,
+) -> bool {
+    if inner.draining.load(Ordering::SeqCst) {
+        return tx
+            .send(WriterMsg::Reply(solve_err_reply(
+                frame,
+                &SolveError::Cancelled,
+            )))
+            .is_ok();
+    }
+    let version = match frame.get("version").map(wire::decode_version) {
+        Some(Ok(version)) => version,
+        Some(Err(msg)) => {
+            return tx
+                .send(WriterMsg::Reply(err_reply(frame, "bad_request", &msg)))
+                .is_ok()
+        }
+        None => {
+            return tx
+                .send(WriterMsg::Reply(err_reply(
+                    frame,
+                    "bad_request",
+                    "submit_batch needs a 'version'",
+                )))
+                .is_ok()
+        }
+    };
+    let Some(Json::Arr(raw)) = frame.get("requests") else {
+        return tx
+            .send(WriterMsg::Reply(err_reply(
+                frame,
+                "bad_request",
+                "submit_batch needs a 'requests' array",
+            )))
+            .is_ok();
+    };
+    // Decode strictly up front: a malformed entry rejects the whole
+    // frame (nothing was admitted yet — no partial batch to unwind).
+    let mut requests = Vec::with_capacity(raw.len());
+    for (i, r) in raw.iter().enumerate() {
+        match WireRequest::decode(r) {
+            Ok(request) => requests.push(request),
+            Err(msg) => {
+                return tx
+                    .send(WriterMsg::Reply(err_reply(
+                        frame,
+                        "bad_request",
+                        &format!("requests[{i}]: {msg}"),
+                    )))
+                    .is_ok()
+            }
+        }
+    }
+    let id = frame.get("id").cloned().unwrap_or(Json::Null);
+    // Admission in two steps: the connection window gates each request
+    // here, then the runtime admits the survivors in one batched call —
+    // a single ingress lock and a single batcher wake-up for the whole
+    // frame (per-request admission woke the batcher mid-loop, and the
+    // tick it started could preempt this thread and delay the ack by a
+    // scheduler timeslice). Rejections stay per-request and typed.
+    let inflight = conn.inflight.load(Ordering::SeqCst);
+    let mut gated: Vec<Result<u64, SolveError>> = Vec::with_capacity(requests.len());
+    let mut batch = Vec::with_capacity(requests.len());
+    for mut request in requests {
+        if inflight + batch.len() as i64 >= conn.window as i64 {
+            inner
+                .counters
+                .rejected_overloaded
+                .fetch_add(1, Ordering::Relaxed);
+            gated.push(Err(SolveError::Overloaded {
+                capacity: conn.window,
+            }));
+        } else {
+            let trace = match request.trace {
+                Some(trace) => trace,
+                None => {
+                    let trace = phom_obs::TraceId::mint().get();
+                    request = request.with_trace(trace);
+                    trace
+                }
+            };
+            batch.push(request.to_request());
+            gated.push(Ok(trace));
+        }
+    }
+    let mut outcomes = inner.runtime.enqueue_batch_to(version, batch).into_iter();
+    let mut acks = Vec::with_capacity(gated.len());
+    let mut admitted = Vec::new();
+    let mut depths = Vec::with_capacity(gated.len());
+    for (i, gate) in gated.into_iter().enumerate() {
+        let outcome = match gate {
+            Err(e) => Err(e),
+            Ok(trace) => match outcomes.next().expect("one outcome per gated request") {
+                Ok(ticket) => Ok((ticket, trace)),
+                Err(e) => {
+                    if matches!(e, SolveError::Overloaded { .. }) {
+                        inner
+                            .counters
+                            .rejected_overloaded
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e)
+                }
+            },
+        };
+        match outcome {
+            Ok((ticket, trace)) => {
+                let depth = conn.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+                inner.counters.inflight.fetch_add(1, Ordering::SeqCst);
+                inner.counters.tickets_open.fetch_add(1, Ordering::SeqCst);
+                inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                depths.push(depth.max(0) as u64);
+                let server_ticket = *next_ticket;
+                *next_ticket += 1;
+                acks.push(Json::obj(vec![
+                    ("ticket", Json::u64(server_ticket)),
+                    ("trace", encode_version(trace)),
+                ]));
+                admitted.push((i as u64, server_ticket, ticket, trace));
+            }
+            Err(e) => acks.push(Json::obj(vec![("err", encode_error(&e))])),
+        }
+    }
+    {
+        let mut histogram = inner
+            .inflight_depth
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for depth in depths {
+            histogram.record(depth);
+        }
+    }
+    let ack = ok_reply(frame, Json::obj(vec![("tickets", Json::Arr(acks))]));
+    if tx.send(WriterMsg::Reply(ack)).is_err() {
+        let n = admitted.len() as i64;
+        inner.counters.tickets_open.fetch_sub(n, Ordering::SeqCst);
+        inner.counters.inflight.fetch_sub(n, Ordering::SeqCst);
+        conn.inflight.fetch_sub(n, Ordering::SeqCst);
+        return false;
+    }
+    for (index, server_ticket, ticket, trace) in admitted {
+        v2_register_push(
+            conn,
+            tx,
+            server_ticket,
+            ticket,
+            id.clone(),
+            Some(index),
+            trace,
+        );
+    }
+    true
+}
+
+/// The shared admission step: window check, then the runtime's own
+/// admission control — both reject with the same typed `overloaded`,
+/// so backpressure is always explicit on the wire.
+fn v2_admit(
+    inner: &ServerInner,
+    conn: &V2Conn,
+    next_ticket: &mut u64,
+    version: u64,
+    mut request: WireRequest,
+) -> Result<(u64, Ticket, u64), SolveError> {
+    if conn.inflight.load(Ordering::SeqCst) >= conn.window as i64 {
+        inner
+            .counters
+            .rejected_overloaded
+            .fetch_add(1, Ordering::Relaxed);
+        return Err(SolveError::Overloaded {
+            capacity: conn.window,
+        });
+    }
+    let trace = match request.trace {
+        Some(trace) => trace,
+        None => {
+            let trace = phom_obs::TraceId::mint().get();
+            request = request.with_trace(trace);
+            trace
+        }
+    };
+    match inner.runtime.enqueue_to(version, request.to_request()) {
+        Ok(ticket) => {
+            let depth = conn.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+            inner.counters.inflight.fetch_add(1, Ordering::SeqCst);
+            inner.counters.tickets_open.fetch_add(1, Ordering::SeqCst);
+            inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            inner
+                .inflight_depth
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record(depth.max(0) as u64);
+            let server_ticket = *next_ticket;
+            *next_ticket += 1;
+            Ok((server_ticket, ticket, trace))
+        }
+        Err(e) => {
+            if matches!(e, SolveError::Overloaded { .. }) {
+                inner
+                    .counters
+                    .rejected_overloaded
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Stores the ticket and registers the completion callback. Must run
+/// *after* the ack is queued: the callback may fire immediately (the
+/// ticket can already be resolved), and its push has to trail the ack
+/// in the writer's queue.
+fn v2_register_push(
+    conn: &Arc<V2Conn>,
+    tx: &mpsc::Sender<WriterMsg>,
+    server_ticket: u64,
+    ticket: Ticket,
+    id: Json,
+    index: Option<u64>,
+    trace: u64,
+) {
+    let mut tickets = lock_tickets(conn);
+    tickets.insert(server_ticket, ticket);
+    let cb_tx = tx.clone();
+    tickets
+        .get(&server_ticket)
+        .expect("just inserted")
+        .on_complete(move |result| {
+            // Runs on whatever thread resolved the ticket (worker,
+            // canceller, or runtime teardown): hand off and return —
+            // never block the resolver.
+            let _ = cb_tx.send(WriterMsg::Push(PushMsg {
+                id,
+                index,
+                ticket: server_ticket,
+                trace,
+                resolved_at: Instant::now(),
+                result: result.clone(),
+            }));
+        });
+}
+
+/// Encodes one completion as a push-frame entry.
+fn encode_push_entry(push: &PushMsg) -> Json {
+    let mut pairs = vec![("id".to_string(), push.id.clone())];
+    if let Some(index) = push.index {
+        pairs.push(("index".to_string(), Json::u64(index)));
+    }
+    pairs.push(("ticket".to_string(), Json::u64(push.ticket)));
+    pairs.push(("result".to_string(), encode_result(&push.result)));
+    Json::Obj(pairs)
+}
+
+/// The per-connection writer: drains the queue, writes acks in order,
+/// and coalesces every completion that is ready at the same moment into
+/// one `results` frame (the streaming pair of `submit_batch`). Window
+/// slots free here — after the completion is actually on the wire.
+fn v2_writer(
+    inner: &Arc<ServerInner>,
+    conn: &Arc<V2Conn>,
+    mut stream: TcpStream,
+    rx: &mpsc::Receiver<WriterMsg>,
+) {
+    loop {
+        let first = match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => return, // every sender gone
+        };
+        // Greedily drain whatever else is already queued. Replies are
+        // written first (an ack always precedes its own push in the
+        // queue — the reader queues the ack before registering the
+        // callback — so this never reorders ack after push for one id),
+        // then all pushes coalesce into a single frame.
+        let mut replies = Vec::new();
+        let mut pushes = Vec::new();
+        let mut close = false;
+        let mut msg = Some(first);
+        loop {
+            match msg {
+                Some(WriterMsg::Reply(json)) => replies.push(json),
+                Some(WriterMsg::Push(push)) => pushes.push(push),
+                Some(WriterMsg::Close) => {
+                    close = true;
+                    break;
+                }
+                None => break,
+            }
+            msg = rx.try_recv().ok();
+        }
+        for reply in replies {
+            if write_reply(inner, &mut stream, reply).is_err() {
+                return;
+            }
+        }
+        if !pushes.is_empty() {
+            let coalesced = pushes.len() as u64;
+            let frame = if pushes.len() == 1 {
+                let mut pairs = vec![("push".to_string(), Json::str("result"))];
+                if let Json::Obj(entry) = encode_push_entry(&pushes[0]) {
+                    pairs.extend(entry);
+                }
+                Json::Obj(pairs)
+            } else {
+                Json::obj(vec![
+                    ("push", Json::str("results")),
+                    (
+                        "results",
+                        Json::Arr(pushes.iter().map(encode_push_entry).collect()),
+                    ),
+                ])
+            };
+            if write_reply(inner, &mut stream, frame).is_err() {
+                return;
+            }
+            // The completions are on the wire: free the window slots
+            // and drop the tickets (a pushed ticket is never retained).
+            {
+                let mut tickets = lock_tickets(conn);
+                for push in &pushes {
+                    tickets.remove(&push.ticket);
+                }
+            }
+            let n = pushes.len() as i64;
+            conn.inflight.fetch_sub(n, Ordering::SeqCst);
+            inner.counters.inflight.fetch_sub(n, Ordering::SeqCst);
+            inner.counters.tickets_open.fetch_sub(n, Ordering::SeqCst);
+            inner
+                .counters
+                .delivered
+                .fetch_add(coalesced, Ordering::Relaxed);
+            inner
+                .counters
+                .pushed
+                .fetch_add(coalesced, Ordering::Relaxed);
+            for push in &pushes {
+                inner.spans.push(Span {
+                    trace: push.trace,
+                    stage: Stage::Pushed,
+                    lane: SpanLane::None,
+                    nanos: push.resolved_at.elapsed().as_nanos() as u64,
+                    detail: coalesced,
+                });
+            }
+        }
+        if close {
+            return;
+        }
+    }
 }
 
 fn write_reply(inner: &ServerInner, stream: &mut TcpStream, reply: Json) -> io::Result<()> {
@@ -341,6 +1036,17 @@ fn solve_err_reply(request: &Json, e: &SolveError) -> Json {
     }
     pairs.push(("err".to_string(), encode_error(e)));
     Json::Obj(pairs)
+}
+
+/// Serves an op that touches no per-connection state (`ping`,
+/// `register`, `versions`, `stats`, `metrics`, `trace`, …) — shared by
+/// the v1 dispatcher and v2 connections. The callers route every
+/// stateful op (`submit`, `submit_batch`, `poll`, `cancel`, `hello`)
+/// before getting here, so the dummy ticket registry is never touched.
+fn stateless_op(inner: &ServerInner, frame: &Json, _op: &str) -> Json {
+    let mut no_tickets = HashMap::new();
+    let mut next_ticket = 1;
+    handle_op(inner, &mut no_tickets, &mut next_ticket, frame)
 }
 
 fn handle_op(
@@ -591,18 +1297,54 @@ fn handle_op(
                 "tickets held server-side awaiting delivery",
                 c.tickets_open.load(Ordering::SeqCst).max(0) as u64,
             );
+            prom.counter(
+                "phom_net_pushed_total",
+                "completion frames pushed to v2 connections",
+                c.pushed.load(Ordering::Relaxed),
+            );
+            prom.counter(
+                "phom_net_hello_total",
+                "connections upgraded to protocol v2",
+                c.hello_upgrades.load(Ordering::Relaxed),
+            );
+            prom.gauge(
+                "phom_net_inflight",
+                "requests inside v2 in-flight windows (admitted, not yet pushed)",
+                c.inflight.load(Ordering::SeqCst).max(0) as u64,
+            );
+            prom.family(
+                "phom_net_inflight_depth",
+                "window depth observed at each v2 admit",
+                "histogram",
+            );
+            prom.histogram(
+                "phom_net_inflight_depth",
+                &[],
+                &inner
+                    .inflight_depth
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
             text.push_str(&prom.finish());
             ok_reply(frame, Json::obj(vec![("metrics", Json::str(text))]))
         }
         "trace" => {
+            // The runtime's spans plus the front end's own (the v2
+            // `pushed` stage), merged per trace.
             let requests = match frame.get("trace") {
                 Some(t) => match wire::decode_version(t) {
-                    Ok(id) => phom_obs::group_by_trace(&inner.runtime.spans_for(id)),
+                    Ok(id) => {
+                        let mut spans = inner.runtime.spans_for(id);
+                        spans.extend(inner.spans.spans_for(id));
+                        phom_obs::group_by_trace(&spans)
+                    }
                     Err(msg) => return err_reply(frame, "bad_request", &msg),
                 },
                 None => match frame.get("slowest").and_then(Json::as_u64) {
                     Some(n) => {
-                        phom_obs::slowest_requests(&inner.runtime.spans(), n.min(256) as usize)
+                        let mut spans = inner.runtime.spans();
+                        spans.extend(inner.spans.snapshot());
+                        phom_obs::slowest_requests(&spans, n.min(256) as usize)
                     }
                     None => {
                         return err_reply(
@@ -739,6 +1481,15 @@ fn encode_stats(stats: &RuntimeStats, counters: &Counters) -> Json {
                 (
                     "delivered",
                     Json::u64(counters.delivered.load(Ordering::Relaxed)),
+                ),
+                ("pushed", Json::u64(counters.pushed.load(Ordering::Relaxed))),
+                (
+                    "hello_upgrades",
+                    Json::u64(counters.hello_upgrades.load(Ordering::Relaxed)),
+                ),
+                (
+                    "inflight",
+                    Json::Num(counters.inflight.load(Ordering::SeqCst) as f64),
                 ),
             ]),
         ),

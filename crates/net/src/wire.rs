@@ -31,6 +31,48 @@
 //! backpressure signal on the wire), protocol-side codes are
 //! `"bad_frame"`, `"bad_request"`, and `"unknown_ticket"`.
 //!
+//! ## Protocol v2 (multiplexed, pipelined, server push)
+//!
+//! A client upgrades a fresh connection by sending `hello` as its
+//! first-class negotiation op. Everything above stays valid after the
+//! upgrade; v2 adds:
+//!
+//! | op | fields | reply |
+//! |---|---|---|
+//! | `hello` | `version` (2), optional `max_inflight` | `{"ok":{"version":2,"window":W}}` |
+//! | `submit` (v2) | as v1, plus required `id` | ack as v1; the result is **pushed** later |
+//! | `submit_batch` | `id`, `version`, `requests` (array) | `{"ok":{"tickets":[{"ticket":n}\|{"err":…},…]}}` |
+//!
+//! After `hello`, every request frame must carry a numeric `id` chosen
+//! by the client; replies echo it and **may arrive out of order** (the
+//! server serializes all writes through one writer thread per
+//! connection, so frames never interleave, but their order follows
+//! completion, not submission). When a submitted ticket resolves, the
+//! server pushes an unsolicited completion frame — no `poll` needed:
+//!
+//! | push frame | shape |
+//! |---|---|
+//! | `result` | `{"push":"result","id":n,"ticket":t,"result":…}` |
+//! | `results` | `{"push":"results","results":[{"id":n,"ticket":t,"result":…},…]}` |
+//!
+//! `results` coalesces completions that are ready at the same moment
+//! (the streaming pair of `submit_batch`); batch members additionally
+//! carry `"index"` — their position in the `requests` array. The
+//! `result` object is byte-identical to what v1 `poll` would have
+//! delivered. `poll` itself answers `bad_request` on a v2 connection
+//! (results are pushed exactly once; polling would double-deliver).
+//!
+//! **Flow control:** `hello` negotiates a per-connection in-flight
+//! window `W = min(max_inflight, server cap)`. A submit that would
+//! exceed W answers the same typed `overloaded` error (with
+//! `capacity: W`) the runtime's admission control uses — backpressure
+//! stays typed and immediate at both layers, never silent buffering.
+//! The window frees when the completion push is written.
+//!
+//! v1 peers simply never send `hello` and get the original protocol
+//! byte for byte. See `docs/wire-protocol.md` at the repository root
+//! for the exhaustive v1+v2 specification.
+//!
 //! ### Tracing
 //!
 //! A `submit` request object may carry an optional `"trace"` field (a
@@ -133,9 +175,19 @@ use std::time::Duration;
 /// Default bound on a single frame (8 MiB).
 pub const MAX_FRAME: usize = 8 << 20;
 
+/// Chunk size for incremental frame reads: payload buffers grow by at
+/// most this much ahead of the bytes that actually arrived, so a
+/// length prefix never commits memory on its own.
+pub const FRAME_READ_CHUNK: usize = 64 << 10;
+
+/// The protocol version [`PROTOCOL_V2`] peers negotiate via `hello`.
+/// Version 1 (no `hello`) is the original strict request/reply
+/// protocol; both stay supported forever.
+pub const PROTOCOL_V2: u64 = 2;
+
 /// Writes one frame: 4-byte big-endian length, then the JSON bytes.
 pub fn write_frame(w: &mut impl Write, json: &Json) -> io::Result<()> {
-    let bytes = json.to_string().into_bytes();
+    let bytes = json.encode().into_bytes();
     let len = u32::try_from(bytes.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
     w.write_all(&len.to_be_bytes())?;
@@ -164,8 +216,17 @@ pub fn read_frame(r: &mut impl Read, max_len: usize) -> io::Result<Option<Json>>
             format!("frame of {len} bytes exceeds the {max_len}-byte bound"),
         ));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    // Grow the buffer only as payload bytes actually arrive: the length
+    // prefix is attacker-controlled, so committing `len` bytes up front
+    // would let a handful of idle connections each pin `max_len` of
+    // memory by sending nothing but a header. Reading in bounded chunks
+    // caps the overcommit at one chunk per connection.
+    let mut payload = Vec::with_capacity(len.min(FRAME_READ_CHUNK));
+    while payload.len() < len {
+        let filled = payload.len();
+        payload.resize(len.min(filled + FRAME_READ_CHUNK), 0);
+        r.read_exact(&mut payload[filled..])?;
+    }
     let text = String::from_utf8(payload)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     Json::parse(&text)

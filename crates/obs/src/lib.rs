@@ -109,16 +109,21 @@ pub enum Stage {
     Encoded = 4,
     /// Router fan-out: forwarding the submit to a fleet member.
     Routed = 5,
+    /// Protocol-v2 server push: the delay from ticket resolution to the
+    /// completion frame hitting the wire; `detail` carries how many
+    /// completions the push frame coalesced.
+    Pushed = 6,
 }
 
 /// Every stage, in request-lifecycle order.
-pub const STAGES: [Stage; 6] = [
+pub const STAGES: [Stage; 7] = [
     Stage::Admitted,
     Stage::Queued,
     Stage::Planned,
     Stage::Evaluated,
     Stage::Encoded,
     Stage::Routed,
+    Stage::Pushed,
 ];
 
 impl Stage {
@@ -131,6 +136,7 @@ impl Stage {
             Stage::Evaluated => "evaluated",
             Stage::Encoded => "encoded",
             Stage::Routed => "routed",
+            Stage::Pushed => "pushed",
         }
     }
 

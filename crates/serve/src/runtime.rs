@@ -672,6 +672,106 @@ impl Runtime {
         Ok(Ticket::new(ticket))
     }
 
+    /// Batched admission: admits `requests` in order under **one**
+    /// ingress lock and wakes the batcher **once**, instead of once per
+    /// request. Each request gets exactly the individual treatment of
+    /// [`enqueue_to`](Runtime::enqueue_to) — a full queue rejects that
+    /// request (and only it) with a typed `Overloaded`, shutdown
+    /// rejects with `Cancelled` — so pipelined front doors (the net
+    /// server's `submit_batch`) keep per-request backpressure while
+    /// paying a single lock/notify for the whole frame. Admitting one
+    /// by one also woke the batcher mid-loop; on a small box the tick
+    /// it started preempted the admitting thread and delayed the ack
+    /// by a scheduler timeslice.
+    pub fn enqueue_batch_to(
+        &self,
+        version: u64,
+        requests: Vec<Request>,
+    ) -> Vec<Result<Ticket, SolveError>> {
+        let Some(engine) = self.engine(version) else {
+            let err = format!("no instance registered for version {version:#018x}");
+            return requests
+                .into_iter()
+                .map(|_| Err(SolveError::InvalidQuery(err.clone())))
+                .collect();
+        };
+        // Lane, deadline, and trace are fixed at admission (see
+        // `enqueue_to`); precompute them outside the lock.
+        let prepared: Vec<(Request, Lane, Option<Instant>, u64)> = requests
+            .into_iter()
+            .map(|request| {
+                let lane = request.lane(self.inner.default_options);
+                let deadline_at = request.deadline_instant();
+                let trace = request.trace_id().unwrap_or_else(|| TraceId::mint().get());
+                (request, lane, deadline_at, trace)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(prepared.len());
+        let mut admitted: Vec<(Lane, u64)> = Vec::with_capacity(prepared.len());
+        let mut rejected = 0u64;
+        let (depth, fast_depth, slow_depth) = {
+            let mut ingress = lock(&self.inner.ingress);
+            for (request, lane, deadline_at, trace) in prepared {
+                if ingress.shutdown {
+                    out.push(Err(SolveError::Cancelled));
+                    continue;
+                }
+                if ingress.len() >= self.inner.queue_cap {
+                    rejected += 1;
+                    out.push(Err(SolveError::Overloaded {
+                        capacity: self.inner.queue_cap,
+                    }));
+                    continue;
+                }
+                let ticket = TicketState::new();
+                let entry = Admitted {
+                    version,
+                    engine: Arc::clone(&engine),
+                    request,
+                    ticket: Arc::clone(&ticket),
+                    enqueued_at: Instant::now(),
+                    lane,
+                    deadline_at,
+                    trace,
+                };
+                match lane {
+                    Lane::Fast => ingress.fast.push_back(entry),
+                    Lane::Slow => ingress.slow.push_back(entry),
+                }
+                admitted.push((lane, trace));
+                out.push(Ok(Ticket::new(ticket)));
+            }
+            (ingress.len(), ingress.fast.len(), ingress.slow.len())
+        };
+        {
+            let mut stats = lock(&self.inner.stats);
+            stats.admitted += admitted.len() as u64;
+            stats.rejected += rejected;
+            stats.queue_depth_max = stats.queue_depth_max.max(depth);
+            stats.fast_lane_depth_max = stats.fast_lane_depth_max.max(fast_depth);
+            stats.slow_lane_depth_max = stats.slow_lane_depth_max.max(slow_depth);
+            for (lane, _) in &admitted {
+                match lane {
+                    Lane::Fast => stats.fast_lane_total += 1,
+                    Lane::Slow => stats.slow_lane_total += 1,
+                }
+            }
+        }
+        for (lane, trace) in &admitted {
+            self.inner.spans.push(Span {
+                trace: *trace,
+                stage: Stage::Admitted,
+                lane: span_lane(*lane),
+                nanos: 0,
+                detail: 0,
+            });
+        }
+        if !admitted.is_empty() {
+            self.inner.ingress_ready.notify_all();
+        }
+        out
+    }
+
     /// A snapshot of the recent per-stage [`Span`]s (admitted, queued,
     /// planned, evaluated, encoded), oldest first. The ring is
     /// fixed-size and overwrite-oldest, so only the most recent

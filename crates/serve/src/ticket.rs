@@ -1,11 +1,15 @@
 //! The caller's claim on an in-flight request: blocking [`Ticket::wait`],
-//! non-blocking [`Ticket::try_get`], and best-effort
-//! [`Ticket::cancel`]lation.
+//! non-blocking [`Ticket::try_get`], best-effort [`Ticket::cancel`]lation,
+//! and a push-style [`Ticket::on_complete`] completion callback (the
+//! seam the wire protocol's server-push completion is built on).
 
 use phom_core::{Response, SolveError};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// The completion callback registered by [`Ticket::on_complete`].
+type Callback = Box<dyn FnOnce(&Result<Response, SolveError>) + Send>;
 
 /// A claim on the eventual answer to one request admitted by
 /// [`Runtime::enqueue`](crate::Runtime::enqueue).
@@ -21,8 +25,19 @@ pub struct Ticket {
     state: Arc<TicketState>,
 }
 
+/// The slot a resolution lands in, plus the at-most-one completion
+/// callback. Both live under ONE mutex: every resolution path (tick
+/// completion, cancel, flush shed, deadline shed, batcher teardown)
+/// funnels through [`TicketState::fulfill`], which atomically writes the
+/// result and takes the callback — so the callback observes exactly one
+/// resolution no matter how those paths race.
+struct Slot {
+    result: Option<Result<Response, SolveError>>,
+    callback: Option<Callback>,
+}
+
 pub(crate) struct TicketState {
-    slot: Mutex<Option<Result<Response, SolveError>>>,
+    slot: Mutex<Slot>,
     ready: Condvar,
     cancelled: AtomicBool,
 }
@@ -30,29 +45,48 @@ pub(crate) struct TicketState {
 impl TicketState {
     pub(crate) fn new() -> Arc<Self> {
         Arc::new(TicketState {
-            slot: Mutex::new(None),
+            slot: Mutex::new(Slot {
+                result: None,
+                callback: None,
+            }),
             ready: Condvar::new(),
             cancelled: AtomicBool::new(false),
         })
     }
 
-    fn lock(&self) -> MutexGuard<'_, Option<Result<Response, SolveError>>> {
+    fn lock(&self) -> MutexGuard<'_, Slot> {
         self.slot.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Resolves the ticket. The first resolution wins; later ones (a
     /// cancelled request whose tick still completed) are dropped.
     /// Returns whether this resolution landed.
+    ///
+    /// If an [`on_complete`](Ticket::on_complete) callback is
+    /// registered, the winning resolution takes it out of the slot under
+    /// the same lock that guards the result — the losing racer finds the
+    /// slot occupied and the callback gone, so the push fires exactly
+    /// once. The callback itself runs *after* the lock is released (it
+    /// may take other locks; it must never re-enter this ticket's
+    /// resolution path).
     pub(crate) fn fulfill(&self, result: Result<Response, SolveError>) -> bool {
         let mut slot = self.lock();
-        if slot.is_none() {
-            *slot = Some(result);
-            drop(slot);
-            self.ready.notify_all();
-            true
-        } else {
-            false
+        if slot.result.is_some() {
+            return false;
         }
+        let callback = slot.callback.take();
+        slot.result = Some(result);
+        // Snapshot for the callback while the slot stays immutable
+        // (single-assignment: nothing rewrites `result` after this).
+        let snapshot = callback
+            .is_some()
+            .then(|| slot.result.clone().expect("just written"));
+        drop(slot);
+        self.ready.notify_all();
+        if let Some(cb) = callback {
+            cb(&snapshot.expect("snapshot taken with callback"));
+        }
+        true
     }
 
     /// Whether [`Ticket::cancel`] ran — the runtime skips execution of
@@ -72,7 +106,7 @@ impl Ticket {
     pub fn wait(&self) -> Result<Response, SolveError> {
         let mut slot = self.state.lock();
         loop {
-            if let Some(result) = slot.as_ref() {
+            if let Some(result) = slot.result.as_ref() {
                 return result.clone();
             }
             slot = self
@@ -89,7 +123,7 @@ impl Ticket {
         let deadline = std::time::Instant::now() + timeout;
         let mut slot = self.state.lock();
         loop {
-            if let Some(result) = slot.as_ref() {
+            if let Some(result) = slot.result.as_ref() {
                 return Some(result.clone());
             }
             let now = std::time::Instant::now();
@@ -107,13 +141,35 @@ impl Ticket {
 
     /// Non-blocking probe: the answer if it is already available.
     pub fn try_get(&self) -> Option<Result<Response, SolveError>> {
-        self.state.lock().clone()
+        self.state.lock().result.clone()
     }
 
     /// True once the ticket has been resolved (answer, error, or
     /// cancellation).
     pub fn is_done(&self) -> bool {
-        self.state.lock().is_some()
+        self.state.lock().result.is_some()
+    }
+
+    /// Registers a completion callback, fired **exactly once** with the
+    /// resolution — whichever of tick completion, [`cancel`], a queue
+    /// shed, or runtime teardown lands it. If the ticket is already
+    /// resolved, the callback fires immediately on the calling thread;
+    /// otherwise it fires on the resolving thread, so it must be cheap
+    /// and non-blocking (the wire server's push path hands the result to
+    /// a channel and returns). At most one callback per ticket: a second
+    /// registration replaces an unfired first.
+    ///
+    /// This is the server-push seam: the network front end registers a
+    /// wakeup here instead of parking a thread per outstanding ticket.
+    pub fn on_complete(&self, f: impl FnOnce(&Result<Response, SolveError>) + Send + 'static) {
+        let mut slot = self.state.lock();
+        if let Some(result) = slot.result.as_ref() {
+            let snapshot = result.clone();
+            drop(slot);
+            f(&snapshot);
+            return;
+        }
+        slot.callback = Some(Box::new(f));
     }
 
     /// Cancellation: if the answer has not landed yet, the ticket
@@ -125,15 +181,10 @@ impl Ticket {
     /// Returns `true` when the cancellation resolved the ticket.
     pub fn cancel(&self) -> bool {
         self.state.cancelled.store(true, Ordering::SeqCst);
-        let mut slot = self.state.lock();
-        if slot.is_none() {
-            *slot = Some(Err(SolveError::Cancelled));
-            drop(slot);
-            self.state.ready.notify_all();
-            true
-        } else {
-            false
-        }
+        // Route through `fulfill` so a registered completion callback
+        // sees the cancellation through the same exactly-once gate as
+        // every other resolution.
+        self.state.fulfill(Err(SolveError::Cancelled))
     }
 }
 
@@ -141,6 +192,7 @@ impl Ticket {
 mod tests {
     use super::*;
     use phom_core::Response;
+    use std::sync::atomic::AtomicU64;
     use std::time::Instant;
 
     fn answer() -> Result<Response, SolveError> {
@@ -195,5 +247,57 @@ mod tests {
                 None => assert!(ticket.wait().is_err()),
             }
         }
+    }
+
+    /// The push seam's contract: no matter how cancel and fulfill race,
+    /// a registered callback fires exactly once, with the resolution
+    /// that actually landed in the slot.
+    #[test]
+    fn on_complete_fires_exactly_once_under_cancel_race() {
+        for round in 0..200 {
+            let state = TicketState::new();
+            let ticket = Arc::new(Ticket::new(Arc::clone(&state)));
+            let fires = Arc::new(AtomicU64::new(0));
+            {
+                let fires = Arc::clone(&fires);
+                ticket.on_complete(move |_| {
+                    fires.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            std::thread::scope(|scope| {
+                let canceller = {
+                    let ticket = Arc::clone(&ticket);
+                    scope.spawn(move || {
+                        if round % 2 == 0 {
+                            std::thread::yield_now();
+                        }
+                        ticket.cancel()
+                    })
+                };
+                let fulfilled = state.fulfill(answer());
+                let cancelled = canceller.join().expect("canceller");
+                // Exactly one resolution won…
+                assert!(fulfilled ^ cancelled, "round {round}");
+            });
+            // …and the callback fired for it, exactly once.
+            assert_eq!(fires.load(Ordering::SeqCst), 1, "round {round}");
+            assert!(ticket.is_done());
+        }
+    }
+
+    /// Registering on an already-resolved ticket fires immediately with
+    /// the landed answer (the server's submit-then-register window).
+    #[test]
+    fn on_complete_after_resolution_fires_immediately() {
+        let state = TicketState::new();
+        let ticket = Ticket::new(Arc::clone(&state));
+        assert!(state.fulfill(answer()));
+        let fires = Arc::new(AtomicU64::new(0));
+        let fires2 = Arc::clone(&fires);
+        ticket.on_complete(move |r| {
+            assert!(r.is_err());
+            fires2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fires.load(Ordering::SeqCst), 1);
     }
 }

@@ -8,7 +8,7 @@
 //! phom solve --queries-file <batch-file> <instance-file> [options]
 //!                                         [--threads <k>] [--cache-cap <n>]
 //!                                         [--stats]
-//! phom serve --bench [--max-batch <n>] [--max-wait-ms <ms>]
+//! phom serve --bench [--net] [--max-batch <n>] [--max-wait-ms <ms>]
 //!                    [--queue-cap <n>] [--workers <k>]
 //!                    [--requests <n>] [--producers <p>]
 //!                    [--precision exact|float:<tol>|auto[:<tol>]]
@@ -166,6 +166,12 @@ fn usage() -> String {
      \x20                             float:<tol> | auto[:<tol>])\n\
      \x20 --metrics                   --bench only: print the Prometheus\n\
      \x20                             text metrics snapshot after the run\n\
+     \x20 --net                       --bench only: drive the load over\n\
+     \x20                             loopback TCP through protocol-v2\n\
+     \x20                             multiplexed connections (pushed\n\
+     \x20                             completions) instead of in-process\n\
+     \x20                             enqueue; --metrics then includes the\n\
+     \x20                             phom_net_* front-end counters\n\
      \n\
      options for router:\n\
      \x20 --members <file>            member list: one `name addr [weight]`\n\
@@ -237,6 +243,7 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
     let mut requests: usize = 512;
     let mut producers: usize = 4;
     let mut bench = false;
+    let mut net = false;
     let mut listen: Option<String> = None;
     let mut precision = phom_core::Precision::Exact;
     let mut metrics = false;
@@ -251,6 +258,7 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
         };
         match args[i].as_str() {
             "--bench" => bench = true,
+            "--net" => net = true,
             "--metrics" => metrics = true,
             "--listen" => {
                 listen = Some(
@@ -335,6 +343,11 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
         });
     }
     if !bench {
+        if net {
+            return Err("--net requires --bench (it routes the synthetic load \
+                        over loopback TCP)"
+                .into());
+        }
         return Err("serve needs a mode: `--listen ADDR` (the phom_net TCP \
                     front end) or `--bench` (the synthetic load generator)"
             .into());
@@ -361,6 +374,25 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
         .unwrap_or_else(|| Graph::one_way_path(&[Label(0)]));
     let q2 = generate::planted_path_query(live.graph(), 2, &mut rng)
         .unwrap_or_else(|| Graph::one_way_path(&[Label(1)]));
+
+    if net {
+        return serve_bench_net(ServeBenchNet {
+            max_batch,
+            max_wait_ms,
+            queue_cap,
+            workers,
+            adaptive,
+            share_arena_at,
+            precision,
+            requests,
+            producers,
+            metrics,
+            live,
+            census,
+            q1,
+            q2,
+        });
+    }
 
     let runtime = phom_serve::Runtime::builder()
         .max_batch(max_batch)
@@ -541,6 +573,198 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
     );
     if metrics {
         out.push_str(&stats.prometheus_text());
+    }
+    Ok(out)
+}
+
+/// Everything `serve --bench --net` needs: the runtime knobs, the
+/// workload shape, and the deterministic instances/queries the plain
+/// bench uses (so the two modes fire the same mixed workload).
+struct ServeBenchNet {
+    max_batch: usize,
+    max_wait_ms: u64,
+    queue_cap: usize,
+    workers: usize,
+    adaptive: bool,
+    share_arena_at: Option<usize>,
+    precision: phom_core::Precision,
+    requests: usize,
+    producers: usize,
+    metrics: bool,
+    live: ProbGraph,
+    census: ProbGraph,
+    q1: Graph,
+    q2: Graph,
+}
+
+/// The `serve --bench --net` load generator: the same mixed workload as
+/// the plain bench, but routed over loopback TCP — a real
+/// `phom_net::Server` front end, one protocol-v2 multiplexed connection
+/// per producer, completions arriving as server pushes. Overloaded
+/// rejections (typed, in the ack) are re-submitted until every request
+/// answers; one answer is cross-checked byte-for-byte against
+/// `Engine::submit` through the wire encoding.
+fn serve_bench_net(cfg: ServeBenchNet) -> Result<String, String> {
+    use phom_net::wire::{encode_result, WireRequest};
+    use phom_net::{MuxClient, Server};
+    use std::sync::Arc;
+
+    let runtime = Arc::new(
+        phom_serve::Runtime::builder()
+            .max_batch(cfg.max_batch)
+            .max_wait(std::time::Duration::from_millis(cfg.max_wait_ms))
+            .queue_cap(cfg.queue_cap)
+            .workers(cfg.workers)
+            .adaptive(cfg.adaptive)
+            .share_arena_at(cfg.share_arena_at)
+            .build(),
+    );
+    let v_live = runtime.register(cfg.live.clone());
+    let v_census = runtime.register(cfg.census);
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&runtime)).map_err(|e| format!("net bench: {e}"))?;
+    let addr = server.local_addr();
+
+    let request_for = |j: usize| -> (u64, WireRequest) {
+        match j % 4 {
+            0 => (
+                v_live,
+                WireRequest::probability(cfg.q1.clone()).with_precision(cfg.precision),
+            ),
+            1 => (
+                v_live,
+                WireRequest::probability(cfg.q2.clone()).with_precision(cfg.precision),
+            ),
+            2 => (v_census, WireRequest::counting(cfg.q1.clone())),
+            _ => (
+                v_live,
+                WireRequest::ucq(vec![cfg.q1.clone(), cfg.q2.clone()]),
+            ),
+        }
+    };
+
+    let started = std::time::Instant::now();
+    let mut resubmits = 0u64;
+    std::thread::scope(|scope| {
+        let request_for = &request_for;
+        let handles: Vec<_> = (0..cfg.producers)
+            .map(|p| {
+                scope.spawn(move || {
+                    let client = MuxClient::connect(addr).expect("hello handshake");
+                    let mut work: Vec<(u64, WireRequest)> = (p..cfg.requests)
+                        .step_by(cfg.producers)
+                        .map(request_for)
+                        .collect();
+                    let mut retries = 0u64;
+                    // Pipeline a full pass (submits run ahead of the
+                    // pushes), then re-submit whatever the admission
+                    // gate rejected until every slot has answered.
+                    while !work.is_empty() {
+                        let tickets: Vec<_> = work
+                            .iter()
+                            .map(|(version, request)| {
+                                client.submit(*version, request).expect("submit")
+                            })
+                            .collect();
+                        let mut requeue = Vec::new();
+                        for ((version, request), ticket) in work.drain(..).zip(tickets) {
+                            match ticket.wait() {
+                                Ok(_) => {}
+                                Err(e) if e.is_overloaded() => {
+                                    retries += 1;
+                                    requeue.push((version, request));
+                                }
+                                Err(e) => panic!("net bench wait: {e}"),
+                            }
+                        }
+                        work = requeue;
+                    }
+                    retries
+                })
+            })
+            .collect();
+        for handle in handles {
+            resubmits += handle.join().expect("producer thread");
+        }
+    });
+    let elapsed = started.elapsed();
+
+    // Cross-check one answer against the direct engine path, through
+    // the same wire encoding a remote client would compare.
+    let oracle = Engine::new(cfg.live);
+    let want =
+        encode_result(&oracle.submit(&[Request::probability(cfg.q1.clone())])[0]).to_string();
+    let check = MuxClient::connect(addr).map_err(|e| format!("net bench check: {e}"))?;
+    let got = check
+        .submit(v_live, &WireRequest::probability(cfg.q1))
+        .and_then(|t| t.wait())
+        .map_err(|e| format!("net bench check: {e}"))?
+        .to_string();
+    if got != want {
+        return Err(format!("net/engine answer mismatch: {got} vs {want}"));
+    }
+    let metrics_text = if cfg.metrics {
+        Some(
+            check
+                .metrics()
+                .map_err(|e| format!("net bench metrics: {e}"))?,
+        )
+    } else {
+        None
+    };
+    drop(check);
+
+    let net = server.shutdown(std::time::Duration::from_secs(60));
+    let stats = Arc::try_unwrap(runtime)
+        .map_err(|_| "net bench: server shutdown must release its runtime handle".to_string())?
+        .shutdown();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {} requests over loopback TCP (protocol v2, {} multiplexed \
+         connections) in {:.2?} ({:.0} req/s); answers cross-checked vs \
+         Engine::submit",
+        cfg.requests,
+        cfg.producers,
+        elapsed,
+        cfg.requests as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    let _ = writeln!(
+        out,
+        "config: max_batch {}, max_wait {}ms, queue_cap {}, workers {}",
+        cfg.max_batch, cfg.max_wait_ms, cfg.queue_cap, stats.workers,
+    );
+    let _ = writeln!(
+        out,
+        "net: {} connections ({} upgraded to v2), {} frames in / {} out, \
+         {} submitted, {} pushed completions, {} rejected (Overloaded), \
+         {} re-submits by producers",
+        net.connections,
+        net.hello_upgrades,
+        net.frames_in,
+        net.frames_out,
+        net.submitted,
+        net.pushed,
+        net.rejected_overloaded,
+        resubmits,
+    );
+    let _ = writeln!(
+        out,
+        "books after drain: {} in flight, {} tickets open",
+        net.inflight, net.open_tickets,
+    );
+    let _ = writeln!(
+        out,
+        "ticks: {} (mean {:.1} req, max {}); admission: {} admitted, {} rejected",
+        stats.ticks,
+        stats.mean_tick_requests(),
+        stats.max_tick_requests,
+        stats.admitted,
+        stats.rejected,
+    );
+    if let Some(text) = metrics_text {
+        out.push_str(&text);
     }
     Ok(out)
 }
@@ -2203,11 +2427,56 @@ mod tests {
     }
 
     #[test]
+    fn serve_bench_net_routes_over_loopback_v2() {
+        let out = run(
+            &args(&[
+                "serve",
+                "--bench",
+                "--net",
+                "--requests",
+                "40",
+                "--producers",
+                "3",
+                "--max-batch",
+                "8",
+                "--max-wait-ms",
+                "1",
+                "--workers",
+                "2",
+                "--metrics",
+            ]),
+            &fake_fs(&[]),
+        )
+        .unwrap();
+        assert!(
+            out.contains("served 40 requests over loopback TCP"),
+            "{out}"
+        );
+        assert!(out.contains("cross-checked"), "{out}");
+        // Every producer connection upgraded at `hello`, every delivery
+        // was a push, and the drain left the books at zero.
+        assert!(
+            out.contains("(3 upgraded to v2)") || out.contains("(4 upgraded to v2)"),
+            "{out}"
+        );
+        assert!(out.contains("pushed completions"), "{out}");
+        assert!(out.contains("0 in flight, 0 tickets open"), "{out}");
+        // --metrics includes the front end's own counters alongside the
+        // runtime's (the names CI greps for).
+        assert!(out.contains("phom_net_inflight"), "{out}");
+        assert!(out.contains("phom_net_pushed_total"), "{out}");
+        assert!(out.contains("phom_requests_completed_total"), "{out}");
+    }
+
+    #[test]
     fn serve_flag_errors() {
         // serve without a mode explains both of them.
         let err = run(&args(&["serve"]), &fake_fs(&[])).unwrap_err();
         assert!(err.contains("--bench"), "{err}");
         assert!(err.contains("--listen"), "{err}");
+        // --net without --bench is a typed usage error.
+        let err = run(&args(&["serve", "--net"]), &fake_fs(&[])).unwrap_err();
+        assert!(err.contains("--net requires --bench"), "{err}");
         assert!(run(&args(&["serve", "--max-batch"]), &fake_fs(&[])).is_err());
         assert!(run(&args(&["serve", "--bogus"]), &fake_fs(&[])).is_err());
         assert!(run(&args(&["serve", "--listen"]), &fake_fs(&[])).is_err());

@@ -305,8 +305,13 @@
 //!    (exact rational strings + route names) that
 //!    `tests/net_serving.rs` compares byte-for-byte against in-process
 //!    oracle answers; `tests/soak_net.rs` saturates it from eight
-//!    concurrent connections and drains it mid-traffic. See
-//!    [`net::wire`] for the full protocol reference.
+//!    concurrent connections and drains it mid-traffic. A `hello`
+//!    first frame upgrades a connection to **protocol v2** —
+//!    client-tagged frames, a negotiated in-flight window, pushed
+//!    completions instead of `poll`, and streaming `submit_batch`
+//!    ([`net::MuxClient`] is the pipelined client). See [`net::wire`]
+//!    for the protocol reference and `docs/wire-protocol.md` for the
+//!    exhaustive v1+v2 frame tables.
 //! 4. **The fleet front door** ([`fleet`]): `phom router --listen ADDR
 //!    --members FILE` (or a [`Router`] in process) puts one address in
 //!    front of N member `phom serve` processes. Membership is **static

@@ -431,6 +431,17 @@ fn fleet_answers_bit_identically_through_handoff_and_member_kill() {
         Some(0),
         "{stats}"
     );
+    // The members speak protocol v2, so the router must have carried
+    // the bulk of this workload over its multiplexed member links
+    // (pushed completions) rather than per-ticket v1 round trips.
+    assert!(
+        router
+            .get("mux_submits")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 20,
+        "{stats}"
+    );
     assert_eq!(
         router.get("handoffs").and_then(Json::as_u64),
         Some(1),

@@ -713,3 +713,304 @@ fn degradation_fields_travel_the_wire_without_disturbing_exact_answers() {
         std::thread::sleep(Duration::from_millis(5));
     }
 }
+
+// ===================================================================
+// Protocol v2: multiplexed pipelined connections with server push
+// ===================================================================
+
+/// The v2 headline differential: N=32 requests pipelined on ONE
+/// connection — far more than in flight than the tick size, so
+/// completions push back in shuffled order — must come back
+/// byte-identical (canonical encoding) to the in-process
+/// `Engine::submit` oracle, with batch streaming both off (individual
+/// pipelined submits) and on (one `submit_batch` frame).
+#[test]
+fn mux_pipelined_answers_are_bit_identical_to_engine_submit() {
+    use phom::net::MuxClient;
+    let mut rng = SmallRng::seed_from_u64(0xA11CE2);
+    for (trial, &(max_batch, workers, batch_mode)) in [
+        (1usize, 4usize, false), // one request per tick: maximal reordering
+        (4, 2, false),
+        (1, 4, true), // same shuffle pressure, streamed as one frame
+        (8, 3, true),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let h = random_instance(&mut rng, ProbProfile::half());
+        let requests: Vec<WireRequest> = (0..32).map(|_| random_request(&h, &mut rng)).collect();
+        let oracle = Engine::new(h.clone());
+        let expect: Vec<String> = {
+            let reqs: Vec<Request> = requests.iter().map(WireRequest::to_request).collect();
+            oracle
+                .submit(&reqs)
+                .iter()
+                .map(|r| encode_result(r).to_string())
+                .collect()
+        };
+        let runtime = Arc::new(
+            Runtime::builder()
+                .max_batch(max_batch)
+                .max_wait(Duration::from_millis(1))
+                .workers(workers)
+                .build(),
+        );
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime)).expect("bind");
+        let client = MuxClient::connect(server.local_addr()).expect("hello handshake");
+        let version = client.register(&h).expect("register over mux");
+        let tickets = if batch_mode {
+            client
+                .submit_batch(version, &requests)
+                .expect("batch frame accepted")
+        } else {
+            requests
+                .iter()
+                .map(|r| client.submit(version, r).expect("pipelined submit"))
+                .collect()
+        };
+        assert_eq!(tickets.len(), requests.len());
+        // All 32 were in flight at once; waits resolve in submission
+        // order regardless of the order completions hit the wire.
+        for (i, (ticket, want)) in tickets.iter().zip(&expect).enumerate() {
+            let got = ticket.wait().expect("pushed completion").to_string();
+            assert_eq!(
+                &got, want,
+                "trial {trial} (b={max_batch}, k={workers}, batch={batch_mode}), request {i}"
+            );
+            let (server_ticket, trace) = ticket.ack().expect("acked");
+            assert!(server_ticket > 0, "server tickets are 1-based");
+            assert!(trace > 0, "front door mints traces on v2 too");
+        }
+        // The server's books: every completion was pushed, nothing
+        // retained, and the connection upgraded exactly once. The
+        // writer settles its books *after* the push frame is on the
+        // wire, so the client can observe results a beat before the
+        // counters do — wait the beat out.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        let net = loop {
+            let net = server.net_stats();
+            if net.pushed == 32 || std::time::Instant::now() >= deadline {
+                break net;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(net.hello_upgrades, 1, "trial {trial}");
+        assert_eq!(net.pushed, 32, "trial {trial}: {net:?}");
+        assert_eq!(net.inflight, 0, "trial {trial}: {net:?}");
+        assert_eq!(net.open_tickets, 0, "trial {trial}: {net:?}");
+        drop(client);
+        server.shutdown(Duration::from_secs(2));
+    }
+}
+
+/// Back-compat: a v1 client against the v2-capable server sees the v1
+/// protocol byte-for-byte (submit/poll round trips, no pushes, no
+/// window), even while a mux connection shares the same server — and a
+/// v2 connection typing `poll` gets the documented rejection.
+#[test]
+fn v1_clients_and_v2_connections_coexist() {
+    use phom::net::wire::{read_frame, write_frame};
+    use phom::net::MuxClient;
+    let h = ProbGraph::new(
+        Graph::directed_path(2),
+        vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 3)],
+    );
+    let runtime = Arc::new(Runtime::builder().max_batch(4).workers(2).build());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime)).expect("bind");
+
+    // v1 and v2 clients interleaved on one server.
+    let mut v1 = Client::connect(server.local_addr()).expect("v1 connect");
+    let mux = MuxClient::connect(server.local_addr()).expect("v2 connect");
+    let version = v1.register(&h).expect("register via v1");
+    let (version2, cached) = mux.register_hinted(&h, version).expect("register via v2");
+    assert_eq!(version, version2);
+    assert!(cached, "registry is shared across protocol versions");
+
+    let query = WireRequest::probability(Graph::directed_path(1));
+    let t1 = v1.submit(version, &query).expect("v1 submit");
+    let t2 = mux.submit(version, &query).expect("v2 submit");
+    let a1 = v1.wait(t1).expect("v1 poll loop");
+    let a2 = t2.wait().expect("v2 push");
+    assert_eq!(
+        a1.to_string(),
+        a2.to_string(),
+        "identical canonical results on both protocols"
+    );
+
+    // A v2 connection speaking `poll` is told to use pushes instead.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("raw connect");
+    write_frame(
+        &mut raw,
+        &Json::obj(vec![
+            ("op", Json::str("hello")),
+            ("version", Json::u64(2)),
+            ("max_inflight", Json::u64(8)),
+        ]),
+    )
+    .expect("hello");
+    let grant = read_frame(&mut raw, 8 << 20).expect("io").expect("grant");
+    assert!(grant.get("ok").is_some(), "{grant}");
+    write_frame(
+        &mut raw,
+        &Json::obj(vec![
+            ("id", Json::u64(1)),
+            ("op", Json::str("poll")),
+            ("ticket", Json::u64(1)),
+        ]),
+    )
+    .expect("poll frame");
+    let reply = read_frame(&mut raw, 8 << 20).expect("io").expect("reply");
+    assert_eq!(
+        reply
+            .get("err")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request"),
+        "{reply}"
+    );
+    // …and a late `hello` on a v1 connection is rejected without
+    // killing it.
+    let late = v1
+        .call_raw(Json::obj(vec![
+            ("op", Json::str("hello")),
+            ("version", Json::u64(2)),
+        ]))
+        .expect("typed reply");
+    assert_eq!(
+        late.get("err")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request"),
+        "{late}"
+    );
+    v1.ping().expect("v1 conn survives the late hello");
+
+    drop(mux);
+    drop(raw);
+    server.shutdown(Duration::from_secs(2));
+}
+
+/// Flow control composes: the server clamps the granted window to its
+/// cap, the client blocks at the window instead of over-submitting,
+/// and every admitted request still answers — no typed `overloaded`
+/// needed on a well-behaved mux connection even when the pipeline is
+/// 8× the window.
+#[test]
+fn mux_window_gates_submits_without_overload_errors() {
+    use phom::net::MuxClient;
+    let h = ProbGraph::new(Graph::directed_path(1), vec![Rational::from_ratio(1, 2)]);
+    let runtime = Arc::new(
+        Runtime::builder()
+            .max_batch(2)
+            .max_wait(Duration::from_millis(1))
+            .workers(2)
+            .build(),
+    );
+    let server = Server::builder()
+        .inflight_window(4)
+        .bind("127.0.0.1:0", Arc::clone(&runtime))
+        .expect("bind");
+    let client = MuxClient::connect_with_window(server.local_addr(), 64).expect("hello");
+    assert_eq!(client.window(), 4, "server cap clamps the proposal");
+    let version = client.register(&h).expect("register");
+    let query = WireRequest::probability(Graph::directed_path(1));
+    let tickets: Vec<_> = (0..32)
+        .map(|i| {
+            client
+                .submit(version, &query)
+                .unwrap_or_else(|e| panic!("submit {i} blocked, never rejected: {e}"))
+        })
+        .collect();
+    for (i, ticket) in tickets.iter().enumerate() {
+        let answer = ticket.wait().unwrap_or_else(|e| panic!("ticket {i}: {e}"));
+        assert_eq!(answer.get("p").and_then(Json::as_str), Some("1/2"), "{i}");
+    }
+    let net = server.net_stats();
+    assert_eq!(net.rejected_overloaded, 0, "{net:?}");
+    assert_eq!(net.pushed, 32, "{net:?}");
+    drop(client);
+    server.shutdown(Duration::from_secs(2));
+}
+
+/// The incremental frame reader: a legitimate frame far larger than
+/// the read chunk round-trips intact, while a hostile header claiming
+/// almost the whole frame bound with no bytes behind it cannot make
+/// the server allocate it up front — the connection just dies at EOF
+/// and the server keeps serving.
+#[test]
+fn frame_reads_are_incremental_and_survive_truncated_hostile_headers() {
+    let h = ProbGraph::new(Graph::directed_path(1), vec![Rational::from_ratio(1, 2)]);
+    let runtime = Arc::new(Runtime::builder().max_batch(4).workers(1).build());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&runtime)).expect("bind");
+
+    // A ~300 KiB frame (several 64 KiB read chunks) parses fine.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let pad = "x".repeat(300 << 10);
+    let reply = client
+        .call_raw(Json::obj(vec![
+            ("op", Json::str("ping")),
+            ("pad", Json::str(&pad)),
+        ]))
+        .expect("multi-chunk frame");
+    assert!(reply.get("ok").is_some(), "{reply}");
+
+    // A header promising 8 MiB − 1 (inside the bound, so v1 servers
+    // used to pre-allocate it) followed by a stall and EOF: the server
+    // must neither pin the allocation for the idle tail nor wedge the
+    // listener.
+    use std::io::Write as _;
+    for _ in 0..4 {
+        let mut hostile = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+        let len = ((8 << 20) - 1) as u32;
+        hostile.write_all(&len.to_be_bytes()).expect("header");
+        hostile.write_all(b"{\"op\":").expect("partial body");
+        hostile.flush().expect("flush");
+        drop(hostile); // EOF mid-frame
+    }
+    // The server is still fully live for real traffic.
+    let version = client.register(&h).expect("register after hostile peers");
+    let ticket = client
+        .submit(version, &WireRequest::probability(Graph::directed_path(1)))
+        .expect("submit");
+    assert_eq!(
+        client
+            .wait(ticket)
+            .expect("answer")
+            .get("p")
+            .and_then(Json::as_str),
+        Some("1/2")
+    );
+    server.shutdown(Duration::from_secs(1));
+}
+
+/// `connect_with_retry` must not sleep after the *final* failed
+/// attempt: 3 attempts at 40 ms backoff sleep 40+80 = 120 ms between
+/// attempts and nothing after, so the typed `Unavailable` lands well
+/// under the 240 ms a trailing backoff would cost.
+#[test]
+fn connect_with_retry_reports_exhaustion_without_trailing_backoff() {
+    // A port that refuses: bind, note the address, drop the listener.
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind probe");
+        listener.local_addr().expect("addr")
+    };
+    let backoff = Duration::from_millis(40);
+    let t0 = std::time::Instant::now();
+    let err = Client::connect_with_retry(addr, 3, backoff)
+        .err()
+        .expect("nothing is listening");
+    let elapsed = t0.elapsed();
+    assert!(err.is_unavailable(), "{err}");
+    let NetError::Unavailable { attempts, .. } = err else {
+        panic!("{err}");
+    };
+    assert_eq!(attempts, 3);
+    assert!(
+        elapsed >= Duration::from_millis(120),
+        "inter-attempt backoff still applies: {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(200),
+        "no sleep after the final attempt: {elapsed:?}"
+    );
+}

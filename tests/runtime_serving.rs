@@ -322,8 +322,16 @@ fn cancellation_skips_execution() {
 /// still leave the ticket **resolved** — `wait` may never hang on the
 /// canceller's progress. Hammers the window with a tiny tick size and
 /// zero patience so flushes and cancels interleave every which way.
+///
+/// The wire protocol's server-push completion rides this same seam:
+/// every round also registers an `on_complete` callback and asserts it
+/// fires **exactly once**, whichever of cancel, flush-skip, or tick
+/// execution wins the resolution race — the invariant that makes a v2
+/// connection push each completion frame exactly once.
 #[test]
 fn cancel_vs_flush_race_always_resolves() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
     let h = ProbGraph::new(
         Graph::directed_path(2),
         vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 2)],
@@ -338,6 +346,13 @@ fn cancel_vs_flush_race_always_resolves() {
     let mut outcomes = (0u64, 0u64); // (answered, cancelled)
     for round in 0..300 {
         let ticket = runtime.enqueue(request.clone()).expect("admitted");
+        let fires = Arc::new(AtomicU64::new(0));
+        {
+            let fires = Arc::clone(&fires);
+            ticket.on_complete(move |_| {
+                fires.fetch_add(1, Ordering::SeqCst);
+            });
+        }
         std::thread::scope(|scope| {
             let canceller = scope.spawn(|| {
                 if round % 3 == 0 {
@@ -361,6 +376,18 @@ fn cancel_vs_flush_race_always_resolves() {
             }
             canceller.join().expect("canceller");
         });
+        // The callback runs on the resolving thread *after* waiters are
+        // notified, so `wait` returning does not mean it has fired yet
+        // — give it a beat, then pin exactly-once.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while fires.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            fires.load(Ordering::SeqCst),
+            1,
+            "round {round}: the pushed completion must fire exactly once"
+        );
     }
     assert_eq!(outcomes.0 + outcomes.1, 300);
     let stats = runtime.shutdown();

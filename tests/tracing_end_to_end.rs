@@ -99,11 +99,26 @@ fn one_trace_id_spans_router_and_member_stages_exactly_once() {
         assert_eq!(n, 1, "stage {} seen {n} times: {request:?}", stage.name());
     }
     // The per-stage breakdown is consistent with the observed latency:
-    // stages either nest in or precede the submit→answer interval, so
-    // their sum cannot exceed the wall clock the client measured.
+    // member-side stages nest inside the submit→answer interval the
+    // client measured. The router's own forwarding span runs
+    // *concurrently* with the member's queue wait (admission happens
+    // mid-forward, and on a multiplexed member link the ack rides back
+    // while the tick is already queued), so it is bounded by the wall
+    // clock separately rather than summed with the rest.
     let sum: u64 = request.spans.iter().map(|s| s.nanos).sum();
     assert_eq!(request.total_nanos, sum, "{request:?}");
-    assert!(sum <= wall, "stage sum {sum} > wall {wall}: {request:?}");
+    let routed: u64 = request
+        .spans
+        .iter()
+        .filter(|s| s.stage == Stage::Routed)
+        .map(|s| s.nanos)
+        .sum();
+    assert!(
+        sum - routed <= wall,
+        "member stage sum {} > wall {wall}: {request:?}",
+        sum - routed
+    );
+    assert!(routed <= wall, "routed {routed} > wall {wall}: {request:?}");
 
     // The same trace resolves through the owning member directly, minus
     // the router's span — the id crossed the wire unchanged.
